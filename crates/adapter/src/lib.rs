@@ -1,0 +1,654 @@
+//! # genalg-adapter — the DBMS-specific adapter (Figure 3)
+//!
+//! "The adapter provides a DBMS-specific coupling mechanism between the
+//! ADTs together with their operations in the Genomics Algebra and the DBMS
+//! managing the Unifying Database" (§6.2). Concretely, [`Adapter::install`]:
+//!
+//! 1. registers every genomic data type as an **opaque UDT** in `unidb`
+//!    (the engine stores the compact §4.4 encoding and never looks inside),
+//!    together with display hooks so query results render biologically;
+//! 2. registers every Genomics Algebra operation as an **external
+//!    function**, making `SELECT id FROM DNAFragments WHERE
+//!    contains(fragment, 'ATTGCCATA')` (§6.3) work verbatim — text
+//!    arguments are coerced to sequences where the algebra expects them;
+//! 3. offers [`Adapter::attach_kmer_index`] to plug the k-mer index in as a
+//!    **user-defined access method** (§6.5) so `contains` predicates become
+//!    index probes instead of full scans.
+//!
+//! The adapter is the *only* component that knows both worlds; neither
+//! `genalg-core` nor `unidb` references the other.
+
+use genalg_core::algebra::{KernelAlgebra, SortId, Value};
+use genalg_core::compact::{value_from_bytes, value_to_bytes};
+use genalg_core::error::GenAlgError;
+use genalg_core::index::KmerIndex;
+use genalg_core::seq::{DnaSeq, ProteinSeq};
+use std::collections::HashMap;
+use std::sync::Arc;
+use unidb::storage::heap::Rid;
+use unidb::{AccessMethod, Database, Datum, DbError, DbResult};
+
+/// Opaque type ids assigned by the engine, keyed by sort.
+#[derive(Debug, Clone, Default)]
+pub struct TypeIds {
+    by_sort: HashMap<SortId, u32>,
+    by_id: HashMap<u32, SortId>,
+}
+
+impl TypeIds {
+    /// Type id for a sort.
+    pub fn id(&self, sort: &SortId) -> Option<u32> {
+        self.by_sort.get(sort).copied()
+    }
+
+    /// Sort for a type id.
+    pub fn sort(&self, id: u32) -> Option<&SortId> {
+        self.by_id.get(&id)
+    }
+
+    /// Type id of the `dna` sort (the most common column type).
+    pub fn dna(&self) -> u32 {
+        self.id(&SortId::dna()).expect("dna is always registered")
+    }
+}
+
+/// The installed adapter: algebra handle plus the type-id mapping.
+#[derive(Clone)]
+pub struct Adapter {
+    algebra: Arc<KernelAlgebra>,
+    types: TypeIds,
+}
+
+/// The operations exposed to SQL, with the name they get in the query
+/// language (avoiding collisions with SQL built-ins like `length`).
+const SQL_OPS: &[(&str, &str)] = &[
+    ("transcribe", "transcribe"),
+    ("splice", "splice"),
+    ("translate", "translate"),
+    ("express", "express"),
+    ("reverse_transcribe", "reverse_transcribe"),
+    ("decode", "decode"),
+    ("complement", "complement"),
+    ("reverse_complement", "reverse_complement"),
+    ("gc_content", "gc_content"),
+    ("length", "seq_length"),
+    ("subsequence", "subsequence"),
+    ("contains", "contains"),
+    ("find", "find_pattern"),
+    ("resembles", "resembles"),
+    ("local_score", "local_score"),
+    ("identity", "seq_identity"),
+    ("hamming", "hamming"),
+    ("orf_count", "orf_count"),
+    ("melting_temperature", "melting_temperature"),
+    ("molecular_weight", "molecular_weight"),
+    ("gravy", "gravy"),
+    ("isoelectric_point", "isoelectric_point"),
+    ("longest_orf", "longest_orf"),
+    ("sequence_of", "sequence_of"),
+    ("gene_id", "gene_id"),
+    ("protein_sequence", "protein_sequence"),
+    ("mrna_sequence", "mrna_sequence"),
+    ("parse_dna", "dna"),
+    ("parse_protein", "protein_seq"),
+];
+
+impl Adapter {
+    /// Register the standard Genomics Algebra with a database.
+    pub fn install(db: &Database) -> DbResult<Adapter> {
+        Self::install_algebra(db, Arc::new(KernelAlgebra::standard()))
+    }
+
+    /// Register a (possibly extended) algebra with a database.
+    pub fn install_algebra(db: &Database, algebra: Arc<KernelAlgebra>) -> DbResult<Adapter> {
+        let mut types = TypeIds::default();
+        for sort in [
+            SortId::dna(),
+            SortId::rna(),
+            SortId::protein_seq(),
+            SortId::gene(),
+            SortId::primary_transcript(),
+            SortId::mrna(),
+            SortId::protein(),
+            SortId::chromosome(),
+            SortId::genome(),
+        ] {
+            let display = display_hook();
+            let id = db.register_opaque_type(sort.name(), Some(display))?;
+            types.by_sort.insert(sort.clone(), id);
+            types.by_id.insert(id, sort);
+        }
+
+        let adapter = Adapter { algebra, types };
+        for (op, sql_name) in SQL_OPS {
+            let glue = adapter.clone();
+            let op = op.to_string();
+            db.register_scalar(sql_name, Arc::new(move |args: &[Datum]| glue.call(&op, args)))?;
+        }
+        // A user-defined aggregate (requirement C14): the longest sequence
+        // of a group.
+        {
+            let glue = adapter.clone();
+            db.register_aggregate(
+                "longest_seq",
+                Arc::new(move || Box::new(LongestSeq { adapter: glue.clone(), best: None })),
+            )?;
+        }
+        Ok(adapter)
+    }
+
+    /// The algebra behind this adapter.
+    pub fn algebra(&self) -> &KernelAlgebra {
+        &self.algebra
+    }
+
+    /// The opaque type-id mapping.
+    pub fn types(&self) -> &TypeIds {
+        &self.types
+    }
+
+    /// Convert an algebra value into a datum (GDTs become opaque payloads).
+    pub fn to_datum(&self, v: &Value) -> DbResult<Datum> {
+        Ok(match v {
+            Value::Bool(b) => Datum::Bool(*b),
+            Value::Int(i) => Datum::Int(*i),
+            Value::Float(f) => Datum::Float(*f),
+            Value::Str(s) => Datum::Text(s.clone()),
+            gdt => {
+                let sort = gdt.sort();
+                let id = self.types.id(&sort).ok_or_else(|| {
+                    DbError::External(format!("sort {sort} has no registered opaque type"))
+                })?;
+                let bytes = value_to_bytes(gdt).map_err(external)?;
+                Datum::opaque(id, bytes)
+            }
+        })
+    }
+
+    /// Convert a datum into an algebra value.
+    pub fn to_value(&self, d: &Datum) -> DbResult<Value> {
+        Ok(match d {
+            Datum::Bool(b) => Value::Bool(*b),
+            Datum::Int(i) => Value::Int(*i),
+            Datum::Float(f) => Value::Float(*f),
+            Datum::Text(s) => Value::Str(s.clone()),
+            Datum::Opaque(id, bytes) => {
+                let value = value_from_bytes(bytes).map_err(external)?;
+                match self.types.sort(*id) {
+                    Some(sort) if *sort == value.sort() => value,
+                    Some(sort) => {
+                        return Err(DbError::External(format!(
+                            "opaque payload decodes to sort {} but column type is {sort}",
+                            value.sort()
+                        )))
+                    }
+                    None => return Err(DbError::External(format!("unknown opaque type id {id}"))),
+                }
+            }
+            Datum::Null => return Err(DbError::External("NULL reached the algebra bridge".into())),
+            Datum::Blob(_) => {
+                return Err(DbError::External("BLOB values have no algebra sort".into()))
+            }
+        })
+    }
+
+    /// Bridge one SQL call into the algebra, coercing text arguments to
+    /// sequences when the direct application does not type-check.
+    fn call(&self, op: &str, args: &[Datum]) -> DbResult<Datum> {
+        if args.iter().any(Datum::is_null) {
+            return Ok(Datum::Null);
+        }
+        let values: Vec<Value> = args.iter().map(|d| self.to_value(d)).collect::<DbResult<_>>()?;
+        match self.algebra.apply(op, &values) {
+            Ok(v) => self.to_datum(&v),
+            Err(GenAlgError::SortMismatch { .. }) | Err(GenAlgError::UnknownOperation(_)) => {
+                // Retry with Str arguments promoted to sequences.
+                for promote in [promote_str_to_dna, promote_str_to_protein] {
+                    if let Some(promoted) = promote(&values) {
+                        if let Ok(v) = self.algebra.apply(op, &promoted) {
+                            return self.to_datum(&v);
+                        }
+                    }
+                }
+                // Report the original resolution failure.
+                let err = self.algebra.apply(op, &values).unwrap_err();
+                Err(external(err))
+            }
+            Err(e) => Err(external(e)),
+        }
+    }
+
+    /// Attach a k-mer access method to `table.column` (a `dna` column), so
+    /// `contains(column, pattern)` predicates probe the index.
+    pub fn attach_kmer_index(
+        &self,
+        db: &Database,
+        table: &str,
+        column: &str,
+        k: usize,
+    ) -> DbResult<()> {
+        let method =
+            KmerAccessMethod { adapter: self.clone(), index: KmerIndex::new(k), all: Vec::new() };
+        db.register_access_method(table, column, Box::new(method))
+    }
+}
+
+fn external(e: GenAlgError) -> DbError {
+    DbError::External(e.to_string())
+}
+
+fn promote_str_to_dna(values: &[Value]) -> Option<Vec<Value>> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut changed = false;
+    for v in values {
+        match v {
+            Value::Str(s) => match DnaSeq::from_text(s) {
+                Ok(d) => {
+                    out.push(Value::Dna(d));
+                    changed = true;
+                }
+                Err(_) => out.push(v.clone()),
+            },
+            other => out.push(other.clone()),
+        }
+    }
+    changed.then_some(out)
+}
+
+fn promote_str_to_protein(values: &[Value]) -> Option<Vec<Value>> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut changed = false;
+    for v in values {
+        match v {
+            Value::Str(s) => match ProteinSeq::from_text(s) {
+                Ok(p) => {
+                    out.push(Value::ProteinSeq(p));
+                    changed = true;
+                }
+                Err(_) => out.push(v.clone()),
+            },
+            other => out.push(other.clone()),
+        }
+    }
+    changed.then_some(out)
+}
+
+/// Display hook for opaque payloads: decode and render, truncating long
+/// sequences for terminal output.
+fn display_hook() -> unidb::catalog::DisplayHook {
+    Arc::new(|bytes: &[u8]| match value_from_bytes(bytes) {
+        Ok(v) => {
+            let text = v.render();
+            if text.len() > 60 {
+                format!("{}…({} chars)", &text[..60], text.len())
+            } else {
+                text
+            }
+        }
+        Err(_) => format!("<corrupt payload, {} bytes>", bytes.len()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// k-mer user-defined access method
+// ---------------------------------------------------------------------------
+
+fn rid_key(rid: Rid) -> u64 {
+    (u64::from(rid.page) << 16) | u64::from(rid.slot)
+}
+
+fn key_rid(key: u64) -> Rid {
+    Rid { page: (key >> 16) as u32, slot: (key & 0xFFFF) as u16 }
+}
+
+/// The genomic index of §6.5, wrapped as a `unidb` access method. Answers
+/// `contains(column, pattern)` with a candidate superset (no false
+/// negatives); the executor re-checks every candidate.
+struct KmerAccessMethod {
+    adapter: Adapter,
+    index: KmerIndex,
+    /// Every indexed rid, for unfilterable patterns.
+    all: Vec<Rid>,
+}
+
+impl KmerAccessMethod {
+    fn decode(&self, value: &Datum) -> Option<DnaSeq> {
+        match self.adapter.to_value(value).ok()? {
+            Value::Dna(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    fn pattern(&self, args: &[Datum]) -> Option<DnaSeq> {
+        match args.first()? {
+            Datum::Text(s) => DnaSeq::from_text(s).ok(),
+            other => self.decode(other),
+        }
+    }
+}
+
+impl AccessMethod for KmerAccessMethod {
+    fn name(&self) -> &str {
+        "kmer"
+    }
+
+    fn on_insert(&mut self, rid: Rid, value: &Datum) {
+        self.all.push(rid);
+        if let Some(seq) = self.decode(value) {
+            self.index.add(rid_key(rid), &seq);
+        }
+    }
+
+    fn on_delete(&mut self, rid: Rid, value: &Datum) {
+        self.all.retain(|r| *r != rid);
+        if self.decode(value).is_some() {
+            self.index.remove(rid_key(rid));
+        }
+    }
+
+    fn supports(&self, func: &str) -> bool {
+        func == "contains"
+    }
+
+    fn probe(&self, func: &str, args: &[Datum]) -> Option<Vec<Rid>> {
+        if func != "contains" {
+            return None;
+        }
+        let pattern = self.pattern(args)?;
+        match self.index.candidates(&pattern) {
+            Some(keys) => {
+                let mut rids: Vec<Rid> = keys.into_iter().map(key_rid).collect();
+                rids.sort();
+                Some(rids)
+            }
+            // Unfilterable pattern (short or ambiguous): every row is a
+            // candidate; the residual predicate does the work.
+            None => Some(self.all.clone()),
+        }
+    }
+
+    fn selectivity(&self, func: &str, args: &[Datum]) -> Option<f64> {
+        if func != "contains" {
+            return None;
+        }
+        let pattern = self.pattern(args)?;
+        Some(self.index.estimate_selectivity(&pattern))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A user-defined aggregate over sequences (C14)
+// ---------------------------------------------------------------------------
+
+struct LongestSeq {
+    adapter: Adapter,
+    best: Option<(usize, Datum)>,
+}
+
+impl unidb::expr::func::Accumulator for LongestSeq {
+    fn update(&mut self, value: &Datum) -> DbResult<()> {
+        if value.is_null() {
+            return Ok(());
+        }
+        let len = match self.adapter.to_value(value)? {
+            Value::Dna(d) => d.len(),
+            Value::Rna(r) => r.len(),
+            Value::ProteinSeq(p) => p.len(),
+            Value::Str(s) => s.len(),
+            other => {
+                return Err(DbError::External(format!(
+                    "longest_seq() expects a sequence, got sort {}",
+                    other.sort()
+                )))
+            }
+        };
+        if self.best.as_ref().is_none_or(|(l, _)| len > *l) {
+            self.best = Some((len, value.clone()));
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Datum {
+        self.best.as_ref().map_or(Datum::Null, |(_, d)| d.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genalg_core::gdt::Gene;
+
+    fn setup() -> (Database, Adapter) {
+        let db = Database::in_memory();
+        let adapter = Adapter::install(&db).unwrap();
+        (db, adapter)
+    }
+
+    #[test]
+    fn installs_types_and_functions() {
+        let (_db, adapter) = setup();
+        assert!(adapter.types().id(&SortId::dna()).is_some());
+        assert!(adapter.types().id(&SortId::protein()).is_some());
+        assert_eq!(adapter.types().sort(adapter.types().dna()), Some(&SortId::dna()));
+    }
+
+    #[test]
+    fn paper_flagship_query_works_verbatim() {
+        let (db, _) = setup();
+        db.execute("CREATE TABLE DNAFragments (id INT, fragment dna)").unwrap();
+        db.execute(
+            "INSERT INTO DNAFragments VALUES
+               (1, dna('GGGATTGCCATAGG')),
+               (2, dna('TTTTTTTT')),
+               (3, dna('ATTGCCATA'))",
+        )
+        .unwrap();
+        let rs = db
+            .execute("SELECT id FROM DNAFragments WHERE contains(fragment, 'ATTGCCATA') ORDER BY id")
+            .unwrap();
+        let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn operators_work_in_every_clause() {
+        let (db, _) = setup();
+        db.execute("CREATE TABLE seqs (id INT, s dna)").unwrap();
+        db.execute(
+            "INSERT INTO seqs VALUES
+               (1, dna('GGCC')), (2, dna('ATAT')), (3, dna('GGAT'))",
+        )
+        .unwrap();
+        // SELECT list.
+        let rs = db.execute("SELECT gc_content(s) FROM seqs WHERE id = 1").unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Float(1.0));
+        // WHERE.
+        let rs = db.execute("SELECT count(*) FROM seqs WHERE gc_content(s) > 0.4").unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Int(2));
+        // ORDER BY.
+        let rs = db.execute("SELECT id FROM seqs ORDER BY gc_content(s), id").unwrap();
+        let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+        // GROUP BY.
+        let rs = db
+            .execute("SELECT seq_length(s), count(*) FROM seqs GROUP BY seq_length(s)")
+            .unwrap();
+        assert_eq!(rs.rows[0], vec![Datum::Int(4), Datum::Int(3)]);
+    }
+
+    #[test]
+    fn central_dogma_through_sql() {
+        let (db, adapter) = setup();
+        db.execute("CREATE TABLE genes (id INT, g gene)").unwrap();
+        let gene = Gene::builder("g1")
+            .sequence(DnaSeq::from_text("ATGGCCTTTAAGGTAACCGGGTTTCACTGA").unwrap())
+            .exon(0, 12)
+            .exon(21, 30)
+            .build()
+            .unwrap();
+        let payload = adapter.to_datum(&Value::Gene(Box::new(gene))).unwrap();
+        // Route the opaque payload in through a registered constructor.
+        let datum = payload.clone();
+        db.register_scalar("the_gene", Arc::new(move |_| Ok(datum.clone()))).unwrap();
+        db.execute("INSERT INTO genes VALUES (1, the_gene())").unwrap();
+
+        let rs = db
+            .execute("SELECT protein_sequence(translate(splice(transcribe(g)))) FROM genes")
+            .unwrap();
+        let value = adapter.to_value(&rs.rows[0][0]).unwrap();
+        let Value::ProteinSeq(p) = value else { panic!("expected a protein sequence") };
+        assert_eq!(p.to_text(), "MAFKFH");
+
+        // And the one-step form.
+        let rs = db.execute("SELECT gene_id(g) FROM genes").unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Text("g1".into()));
+    }
+
+    #[test]
+    fn nulls_propagate_through_operators() {
+        let (db, _) = setup();
+        db.execute("CREATE TABLE seqs (id INT, s dna)").unwrap();
+        db.execute("INSERT INTO seqs VALUES (1, NULL)").unwrap();
+        let rs = db.execute("SELECT gc_content(s) FROM seqs").unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Null);
+    }
+
+    #[test]
+    fn type_confusion_is_rejected() {
+        let (db, _) = setup();
+        db.execute("CREATE TABLE seqs (id INT, s dna)").unwrap();
+        // protein_seq payload into a dna column.
+        assert!(db.execute("INSERT INTO seqs VALUES (1, protein_seq('MAFK'))").is_err());
+        // A non-sequence argument to a sequence operator.
+        db.execute("INSERT INTO seqs VALUES (1, dna('ACGT'))").unwrap();
+        assert!(db.execute("SELECT gc_content(id) FROM seqs").is_err());
+    }
+
+    #[test]
+    fn kmer_index_accelerates_contains() {
+        let (db, adapter) = setup();
+        db.execute("CREATE TABLE frags (id INT, s dna)").unwrap();
+        for i in 0..50 {
+            let seq = if i % 10 == 0 {
+                "CCCCCCCCATTGCCATACCCC".to_string()
+            } else {
+                "GGGGGGGGGGGGGGGGGGGGGG".to_string()
+            };
+            db.execute(&format!("INSERT INTO frags VALUES ({i}, dna('{seq}'))")).unwrap();
+        }
+        // Plan is a scan before attaching, a UDI scan after.
+        let plan = db
+            .execute("EXPLAIN SELECT id FROM frags WHERE contains(s, 'ATTGCCATA')")
+            .unwrap()
+            .explain
+            .unwrap();
+        assert!(plan.contains("SeqScan"), "{plan}");
+        let before =
+            db.execute("SELECT count(*) FROM frags WHERE contains(s, 'ATTGCCATA')").unwrap();
+
+        adapter.attach_kmer_index(&db, "frags", "s", 6).unwrap();
+        let plan = db
+            .execute("EXPLAIN SELECT id FROM frags WHERE contains(s, 'ATTGCCATA')")
+            .unwrap()
+            .explain
+            .unwrap();
+        assert!(plan.contains("UdiScan"), "{plan}");
+        let after =
+            db.execute("SELECT count(*) FROM frags WHERE contains(s, 'ATTGCCATA')").unwrap();
+        assert_eq!(before.rows, after.rows);
+        assert_eq!(after.rows[0][0], Datum::Int(5));
+
+        // Short patterns fall back to checking every row, still correct.
+        let rs = db.execute("SELECT count(*) FROM frags WHERE contains(s, 'ATT')").unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Int(5));
+
+        // Index survives deletes.
+        db.execute("DELETE FROM frags WHERE id = 0").unwrap();
+        let rs =
+            db.execute("SELECT count(*) FROM frags WHERE contains(s, 'ATTGCCATA')").unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Int(4));
+    }
+
+    #[test]
+    fn user_defined_aggregate_longest_seq() {
+        let (db, adapter) = setup();
+        db.execute("CREATE TABLE seqs (grp INT, s dna)").unwrap();
+        db.execute(
+            "INSERT INTO seqs VALUES
+               (1, dna('AT')), (1, dna('ATGGCC')), (2, dna('A'))",
+        )
+        .unwrap();
+        let rs = db
+            .execute("SELECT grp, longest_seq(s) FROM seqs GROUP BY grp ORDER BY grp")
+            .unwrap();
+        let v = adapter.to_value(&rs.rows[0][1]).unwrap();
+        assert_eq!(v.render(), "ATGGCC");
+    }
+
+    #[test]
+    fn resembles_in_sql() {
+        let (db, _) = setup();
+        db.execute("CREATE TABLE seqs (id INT, s dna)").unwrap();
+        db.execute(
+            "INSERT INTO seqs VALUES
+               (1, dna('ATGGCCTTTAAGGGGCCCAAATTTGGGCCCATAT')),
+               (2, dna('GCGCGCGCGCGCGCGCGCGCGCGCGCGCGCGCGC'))",
+        )
+        .unwrap();
+        let rs = db
+            .execute(
+                "SELECT id FROM seqs \
+                 WHERE resembles(s, 'ATGGCCTTTAAGGGGCACAAATTTGGGCCCATAT', 0.9, 0.9)",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Datum::Int(1));
+    }
+
+    #[test]
+    fn extended_analysis_operators_in_sql() {
+        let (db, _) = setup();
+        db.execute("CREATE TABLE seqs (id INT, s dna)").unwrap();
+        db.execute(
+            "INSERT INTO seqs VALUES
+               (1, dna('CCATGAAATTTTAACC')),  -- carries a complete ORF
+               (2, dna('CCCCCCCCCCCC'))",
+        )
+        .unwrap();
+        let rs = db
+            .execute("SELECT id, longest_orf(s) FROM seqs ORDER BY id")
+            .unwrap();
+        assert!(rs.rows[0][1].as_int().unwrap() >= 12);
+        assert_eq!(rs.rows[1][1].as_int(), Some(0));
+
+        // Isoelectric point over protein sequences, straight from text.
+        let rs = db
+            .execute("SELECT isoelectric_point(protein_seq('KKKKKK'))")
+            .unwrap();
+        assert!(rs.rows[0][0].as_float().unwrap() > 9.0);
+        let rs = db
+            .execute("SELECT isoelectric_point(protein_seq('DDDDDD'))")
+            .unwrap();
+        assert!(rs.rows[0][0].as_float().unwrap() < 4.5);
+    }
+
+    #[test]
+    fn roundtrip_conversions() {
+        let (_db, adapter) = setup();
+        for v in [
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Float(1.5),
+            Value::Str("abc".into()),
+            Value::Dna(DnaSeq::from_text("ATGCN").unwrap()),
+            Value::ProteinSeq(ProteinSeq::from_text("MAFK").unwrap()),
+        ] {
+            let d = adapter.to_datum(&v).unwrap();
+            let back = adapter.to_value(&d).unwrap();
+            assert_eq!(back, v);
+        }
+        assert!(adapter.to_value(&Datum::Null).is_err());
+        assert!(adapter.to_value(&Datum::Blob(vec![1])).is_err());
+        assert!(adapter.to_value(&Datum::opaque(999, vec![1, 2])).is_err());
+    }
+}

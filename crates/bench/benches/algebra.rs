@@ -1,0 +1,106 @@
+//! Criterion bench for §4.2's algebra: the central-dogma pipeline at
+//! several gene complexities, term-evaluation overhead, and the similarity
+//! machinery behind `resembles`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genalg::core::algebra::{KernelAlgebra, Term, Value};
+use genalg::core::align::{
+    global_align, local_align, seed_and_extend, NucleotideScore,
+};
+use genalg::core::codon::GeneticCode;
+use genalg::core::seq::ops::find_orfs;
+use genalg::prelude::*;
+
+fn bench_dogma(c: &mut Criterion) {
+    let mut generator = RepoGenerator::new(GeneratorConfig { seed: 1, ..Default::default() });
+    let mut group = c.benchmark_group("algebra/express");
+    for (n_exons, exon_len) in [(1usize, 90usize), (5, 90), (20, 90)] {
+        let gene = generator.gene_with_structure(&format!("g{n_exons}"), n_exons, exon_len);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_exons}x{exon_len}nt")),
+            &gene,
+            |b, gene| b.iter(|| express(gene).unwrap().sequence().len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_term_overhead(c: &mut Criterion) {
+    let mut generator = RepoGenerator::new(GeneratorConfig { seed: 2, ..Default::default() });
+    let gene = generator.gene_with_structure("tg", 5, 90);
+    let algebra = KernelAlgebra::standard();
+    let term = Term::apply(
+        "translate",
+        vec![Term::apply(
+            "splice",
+            vec![Term::apply(
+                "transcribe",
+                vec![Term::constant(Value::Gene(Box::new(gene.clone())))],
+            )],
+        )],
+    );
+
+    let mut group = c.benchmark_group("algebra/dispatch");
+    group.bench_function("direct_rust_calls", |b| {
+        b.iter(|| express(&gene).unwrap().sequence().len())
+    });
+    group.bench_function("term_evaluation", |b| {
+        b.iter(|| algebra.eval(&term).unwrap().render().len())
+    });
+    group.finish();
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut generator = RepoGenerator::new(GeneratorConfig { seed: 3, ..Default::default() });
+    let scoring = NucleotideScore::default();
+    let mut group = c.benchmark_group("algebra/alignment");
+    group.sample_size(20);
+    for len in [200usize, 800] {
+        let a = generator.random_dna(len);
+        let b_seq = {
+            let mut rec = SeqRecord::new("x", a.clone());
+            rec = SeqRecord::new("x", generator.mutate_record(&rec).sequence);
+            rec.sequence
+        };
+        let at = a.to_text();
+        let bt = b_seq.to_text();
+        group.bench_with_input(BenchmarkId::new("global", len), &len, |bench, _| {
+            bench.iter(|| global_align(at.as_bytes(), bt.as_bytes(), &scoring).score)
+        });
+        group.bench_with_input(BenchmarkId::new("local", len), &len, |bench, _| {
+            bench.iter(|| local_align(at.as_bytes(), bt.as_bytes(), &scoring).score)
+        });
+        group.bench_with_input(BenchmarkId::new("seed_extend", len), &len, |bench, _| {
+            bench.iter(|| seed_and_extend(&a, &b_seq, 11, &scoring, 20).len())
+        });
+        group.bench_with_input(BenchmarkId::new("resembles", len), &len, |bench, _| {
+            bench.iter(|| resembles(&a, &b_seq, 0.9, 0.9))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequence_ops(c: &mut Criterion) {
+    let mut generator = RepoGenerator::new(GeneratorConfig { seed: 4, ..Default::default() });
+    let seq = generator.random_dna(10_000);
+    let code = GeneticCode::standard();
+    let mut group = c.benchmark_group("algebra/sequence_ops_10kb");
+    group.bench_function("reverse_complement", |b| b.iter(|| seq.reverse_complement().len()));
+    group.bench_function("gc_content", |b| b.iter(|| seq.gc_content()));
+    group.bench_function("find_orfs_min300", |b| b.iter(|| find_orfs(&seq, &code, 300).len()));
+    group.bench_function("six_frame_decode", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for frame in 0..3 {
+                total += genalg::core::dogma::decode(&seq, frame, &code).unwrap().len();
+            }
+            total
+        })
+    });
+    let pattern = seq.subseq(6000, 6018).unwrap();
+    group.bench_function("contains_18mer", |b| b.iter(|| seq.contains(&pattern)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dogma, bench_term_overhead, bench_alignment, bench_sequence_ops);
+criterion_main!(benches);

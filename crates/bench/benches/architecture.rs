@@ -1,0 +1,91 @@
+//! Criterion bench for the Figure 1 vs Figure 3 comparison (compute costs;
+//! the `fig13` binary adds simulated source latency on top).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use genalg::prelude::*;
+use genalg_bench::{
+    build_mediator, build_warehouse, probe_patterns, shared_accession, ArchWorkload,
+};
+
+fn workload() -> ArchWorkload {
+    ArchWorkload { records_per_source: 100, ..Default::default() }
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let w = workload();
+    let mediator = build_mediator(&w);
+    let warehouse = build_warehouse(&w);
+    warehouse
+        .adapter()
+        .attach_kmer_index(warehouse.db(), "public.sequences", "seq", 8)
+        .expect("index attaches");
+    let (present, _) = probe_patterns(&w);
+    let accession = shared_accession(&w);
+    let pattern = DnaSeq::from_text(&present).expect("valid");
+
+    let mut group = c.benchmark_group("fig1_vs_fig3/query");
+    group.sample_size(20);
+    group.bench_function("mediator_point_lookup", |b| {
+        b.iter(|| mediator.lookup(&accession).unwrap().len())
+    });
+    group.bench_function("warehouse_point_lookup", |b| {
+        let sql = format!(
+            "SELECT accession, confidence FROM public.sequences WHERE accession = '{accession}'"
+        );
+        b.iter(|| warehouse.db().execute(&sql).unwrap().len())
+    });
+    group.bench_function("mediator_containment", |b| {
+        b.iter(|| mediator.find_containing(&pattern).unwrap().len())
+    });
+    group.bench_function("warehouse_containment_indexed", |b| {
+        let sql =
+            format!("SELECT accession FROM public.sequences WHERE contains(seq, '{present}')");
+        b.iter(|| warehouse.db().execute(&sql).unwrap().len())
+    });
+    group.bench_function("mediator_census", |b| b.iter(|| mediator.count_by_organism().len()));
+    group.bench_function("warehouse_census", |b| {
+        b.iter(|| {
+            warehouse
+                .db()
+                .execute("SELECT organism, count(*) FROM public.sequences GROUP BY organism")
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_vs_fig3/maintenance");
+    group.sample_size(10);
+    let w = ArchWorkload { records_per_source: 50, ..Default::default() };
+
+    let mutated_warehouse = |seed: u64| {
+        let mut warehouse = build_warehouse(&w);
+        let mut generator = RepoGenerator::new(GeneratorConfig { seed, ..Default::default() });
+        {
+            let repo = warehouse.source_mut("genbank-sim").expect("registered");
+            generator.mutation_round(repo, 10);
+        }
+        warehouse
+    };
+
+    group.bench_function("incremental_refresh_10_changes", |b| {
+        b.iter_batched(
+            || mutated_warehouse(77),
+            |mut warehouse| warehouse.refresh().unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("full_reload_10_changes", |b| {
+        b.iter_batched(
+            || mutated_warehouse(77),
+            |mut warehouse| warehouse.full_reload().unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_refresh);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Criterion bench for the Figure 2 change-detection techniques: cost of
+//! one observation round per grid cell, same mutation workload everywhere.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use genalg::etl::monitor::log::LogMonitor;
+use genalg::etl::monitor::poll::{DumpMonitor, PollMonitor};
+use genalg::etl::monitor::trigger::TriggerMonitor;
+use genalg::prelude::*;
+
+const RECORDS: usize = 100;
+const CHANGES: usize = 10;
+
+fn seeded_repo(representation: Representation, capability: Capability) -> SimulatedRepository {
+    let mut repo = SimulatedRepository::new("bench", representation, capability);
+    let mut generator = RepoGenerator::new(GeneratorConfig {
+        seed: 11,
+        error_rate: 0.0,
+        ..Default::default()
+    });
+    generator.populate(&mut repo, RECORDS);
+    repo
+}
+
+fn mutate(repo: &mut SimulatedRepository) {
+    let mut g = RepoGenerator::new(GeneratorConfig { seed: 99, error_rate: 0.0, ..Default::default() });
+    g.mutation_round(repo, CHANGES);
+}
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/detect_round");
+    group.sample_size(10);
+
+    // Active × relational: database trigger.
+    group.bench_function("trigger_active_relational", |b| {
+        b.iter_batched(
+            || {
+                let mut repo = seeded_repo(Representation::Relational, Capability::Active);
+                let monitor = TriggerMonitor::attach(&mut repo).expect("active");
+                mutate(&mut repo);
+                (repo, monitor)
+            },
+            |(_repo, mut monitor)| monitor.drain().len(),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Logged × flat file: inspect log.
+    group.bench_function("inspect_log_flatfile", |b| {
+        b.iter_batched(
+            || {
+                let mut repo = seeded_repo(Representation::FlatFile, Capability::Logged);
+                let mut monitor = LogMonitor::new();
+                let _ = monitor.poll(&repo).expect("baseline");
+                mutate(&mut repo);
+                (repo, monitor)
+            },
+            |(repo, mut monitor)| monitor.poll(&repo).expect("logged").len(),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Queryable × relational: snapshot differential.
+    group.bench_function("snapshot_differential_relational", |b| {
+        b.iter_batched(
+            || {
+                let mut repo = seeded_repo(Representation::Relational, Capability::Queryable);
+                let mut monitor = PollMonitor::new();
+                let _ = monitor.poll(&repo);
+                mutate(&mut repo);
+                (repo, monitor)
+            },
+            |(repo, mut monitor)| monitor.poll(&repo).len(),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Non-queryable × flat file: LCS diff of dumps.
+    group.bench_function("lcs_diff_flatfile", |b| {
+        b.iter_batched(
+            || {
+                let mut repo = seeded_repo(Representation::FlatFile, Capability::NonQueryable);
+                let mut monitor = DumpMonitor::new();
+                let _ = monitor.poll(&repo).expect("baseline");
+                mutate(&mut repo);
+                (repo, monitor)
+            },
+            |(repo, mut monitor)| monitor.poll(&repo).expect("dump parses").0.len(),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Non-queryable × hierarchical: tree edit sequence.
+    group.bench_function("tree_diff_hierarchical", |b| {
+        b.iter_batched(
+            || {
+                let mut repo =
+                    seeded_repo(Representation::Hierarchical, Capability::NonQueryable);
+                let mut monitor = DumpMonitor::new();
+                let _ = monitor.poll(&repo).expect("baseline");
+                mutate(&mut repo);
+                (repo, monitor)
+            },
+            |(repo, mut monitor)| monitor.poll(&repo).expect("dump parses").0.len(),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    use genalg::etl::formats::{genbank, hier};
+    use genalg::etl::monitor::{lcs, treediff};
+
+    let mut generator = RepoGenerator::new(GeneratorConfig {
+        seed: 3,
+        error_rate: 0.0,
+        ..Default::default()
+    });
+    let records = generator.records(100);
+    let mut changed = records.clone();
+    changed[50] = generator.mutate_record(&changed[50]);
+
+    let old_flat = genbank::write(&records);
+    let new_flat = genbank::write(&changed);
+    let old_tree = hier::from_records(&records);
+    let new_tree = hier::from_records(&changed);
+
+    let mut group = c.benchmark_group("fig2/diff_primitive");
+    group.sample_size(10);
+    group.bench_function("lcs_line_diff_100_records", |b| {
+        b.iter(|| lcs::diff_lines(&old_flat, &new_flat).len())
+    });
+    group.bench_function("tree_edit_script_100_records", |b| {
+        b.iter(|| treediff::diff_forest(&old_tree, &new_tree).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Criterion bench for the §4.4 storage-design decisions:
+//! * compact pointer-free encodings versus a naive text codec (the
+//!   "enormous conversion costs" the paper warns about);
+//! * packed 4-bit sequences versus plain ASCII for in-memory operations;
+//! * heap-file behaviour, including overflow chains for page-sized
+//!   genomic payloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genalg::core::compact::Compact;
+use genalg::prelude::*;
+use genalg::unidb::index::btree::BTreeIndex;
+use genalg::unidb::storage::buffer::BufferPool;
+use genalg::unidb::storage::heap::HeapFile;
+use genalg::unidb::storage::store::MemStore;
+use genalg::unidb::Datum;
+
+fn bench_encodings(c: &mut Criterion) {
+    let mut generator = RepoGenerator::new(GeneratorConfig { seed: 1, ..Default::default() });
+    let mut group = c.benchmark_group("storage/dna_codec");
+    for len in [1_000usize, 100_000] {
+        let seq = generator.random_dna(len);
+        // Compact §4.4 encoding: packed payload, varint framing.
+        group.bench_with_input(BenchmarkId::new("compact_roundtrip", len), &seq, |b, seq| {
+            b.iter(|| {
+                let bytes = seq.to_bytes();
+                DnaSeq::from_bytes(&bytes).unwrap().len()
+            })
+        });
+        // Naive alternative: ASCII text out, full re-parse in.
+        group.bench_with_input(BenchmarkId::new("text_roundtrip", len), &seq, |b, seq| {
+            b.iter(|| {
+                let text = seq.to_text();
+                DnaSeq::from_text(&text).unwrap().len()
+            })
+        });
+    }
+    group.finish();
+
+    // Size comparison is part of the claim; print it once.
+    let seq = generator.random_dna(100_000);
+    println!(
+        "payload sizes for 100 kb DNA: compact = {} bytes, text = {} bytes",
+        seq.to_bytes().len(),
+        seq.to_text().len()
+    );
+}
+
+fn bench_gene_codec(c: &mut Criterion) {
+    let mut generator = RepoGenerator::new(GeneratorConfig { seed: 2, ..Default::default() });
+    let gene = generator.gene_with_structure("big", 20, 300);
+    let mut group = c.benchmark_group("storage/gene_codec");
+    group.bench_function("compact_encode", |b| b.iter(|| gene.to_bytes().len()));
+    let bytes = gene.to_bytes();
+    group.bench_function("compact_decode", |b| {
+        b.iter(|| genalg::core::gdt::Gene::from_bytes(&bytes).unwrap().exonic_len())
+    });
+    group.bench_function("xml_roundtrip", |b| {
+        b.iter(|| {
+            let xml = genalg::xml::to_xml(&[genalg::core::algebra::Value::Gene(Box::new(
+                gene.clone(),
+            ))]);
+            genalg::xml::from_xml(&xml).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/heap");
+    group.sample_size(10);
+    group.bench_function("insert_1000_small", |b| {
+        b.iter(|| {
+            let mut heap = HeapFile::new(BufferPool::new(Box::new(MemStore::new()), 64));
+            for i in 0..1000u32 {
+                heap.insert(&i.to_le_bytes()).unwrap();
+            }
+            heap.len()
+        })
+    });
+    group.bench_function("insert_20_overflow_100kb", |b| {
+        let payload = vec![7u8; 100_000];
+        b.iter(|| {
+            let mut heap = HeapFile::new(BufferPool::new(Box::new(MemStore::new()), 64));
+            for _ in 0..20 {
+                heap.insert(&payload).unwrap();
+            }
+            heap.len()
+        })
+    });
+    // Scan over a prebuilt heap.
+    let mut heap = HeapFile::new(BufferPool::new(Box::new(MemStore::new()), 256));
+    for i in 0..5000u32 {
+        heap.insert(&i.to_le_bytes()).unwrap();
+    }
+    group.bench_function("scan_5000", |b| b.iter(|| heap.scan().unwrap().len()));
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/btree");
+    group.sample_size(10);
+    group.bench_function("insert_10k_ints", |b| {
+        b.iter(|| {
+            let mut tree = BTreeIndex::new(false);
+            for i in 0..10_000i64 {
+                tree.insert(
+                    Datum::Int((i * 7919) % 10_000),
+                    genalg::unidb::Rid { page: i as u32, slot: 0 },
+                )
+                .unwrap();
+            }
+            tree.len()
+        })
+    });
+    let mut tree = BTreeIndex::new(false);
+    for i in 0..10_000i64 {
+        tree.insert(Datum::Int(i), genalg::unidb::Rid { page: i as u32, slot: 0 }).unwrap();
+    }
+    group.bench_function("point_lookup", |b| {
+        b.iter(|| tree.get(&Datum::Int(7321)).len())
+    });
+    group.bench_function("range_scan_100", |b| {
+        b.iter(|| {
+            tree.range(
+                std::ops::Bound::Included(&Datum::Int(5000)),
+                std::ops::Bound::Excluded(&Datum::Int(5100)),
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encodings, bench_gene_codec, bench_heap, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Regenerates **Figure 2** with measurements: for every (source
+//! capability × data representation) cell, run the prescribed
+//! change-detection technique over the same mutation workload and report
+//! its cost and yield.
+//!
+//! ```sh
+//! cargo run -q -p genalg-bench --bin fig2
+//! ```
+
+use genalg::etl::monitor::log::LogMonitor;
+use genalg::etl::monitor::poll::{DumpMonitor, PollMonitor};
+use genalg::etl::monitor::trigger::TriggerMonitor;
+use genalg::etl::monitor::{effective_strategy, pick_strategy, Strategy};
+use genalg::prelude::*;
+use std::time::Instant;
+
+const RECORDS: usize = 300;
+const CHANGES: usize = 30;
+
+fn main() {
+    println!("Figure 2 — change detection per (capability x representation)");
+    println!("workload: {RECORDS} records per source, {CHANGES} mutations per round, 3 rounds\n");
+    println!(
+        "{:<13} {:<13} {:<22} {:>8} {:>12} {:>12}",
+        "capability", "representation", "technique", "deltas", "detect us", "src requests"
+    );
+
+    for capability in [
+        Capability::Active,
+        Capability::Logged,
+        Capability::Queryable,
+        Capability::NonQueryable,
+    ] {
+        for representation in [
+            Representation::Relational,
+            Representation::FlatFile,
+            Representation::Hierarchical,
+        ] {
+            let strategy = effective_strategy(capability, representation);
+            let figure_says = pick_strategy(capability, representation);
+            let cell_label = match figure_says {
+                Some(s) => format!("{s:?}"),
+                None => format!("(N/A) {strategy:?}"),
+            };
+
+            // Build and seed the source.
+            let mut repo = SimulatedRepository::new("cell", representation, capability);
+            let mut generator = RepoGenerator::new(GeneratorConfig {
+                seed: 11,
+                error_rate: 0.0,
+                ..Default::default()
+            });
+            generator.populate(&mut repo, RECORDS);
+
+            // Attach the monitor and take the baseline observation.
+            enum M {
+                Trigger(TriggerMonitor),
+                Log(LogMonitor),
+                Poll(PollMonitor),
+                Dump(DumpMonitor),
+            }
+            let mut monitor = match strategy {
+                Strategy::DatabaseTrigger | Strategy::ProgramTrigger => {
+                    M::Trigger(TriggerMonitor::attach(&mut repo).expect("active"))
+                }
+                Strategy::InspectLog => {
+                    let mut m = LogMonitor::new();
+                    let _ = m.poll(&repo).expect("logged");
+                    M::Log(m)
+                }
+                Strategy::SnapshotDifferential => {
+                    let mut m = PollMonitor::new();
+                    let _ = m.poll(&repo);
+                    M::Poll(m)
+                }
+                Strategy::EditSequence | Strategy::LcsDiff => {
+                    let mut m = DumpMonitor::new();
+                    let _ = m.poll(&repo).expect("dump parses");
+                    M::Dump(m)
+                }
+            };
+
+            // Mutation rounds with observation after each.
+            let requests_before = repo.requests_served();
+            let mut total_deltas = 0usize;
+            let mut detect_time = std::time::Duration::ZERO;
+            for round in 0..3u64 {
+                let mut g = RepoGenerator::new(GeneratorConfig {
+                    seed: 100 + round,
+                    error_rate: 0.0,
+                    ..Default::default()
+                });
+                g.mutation_round(&mut repo, CHANGES);
+                let start = Instant::now();
+                let n = match &mut monitor {
+                    M::Trigger(m) => m.drain().len(),
+                    M::Log(m) => m.poll(&repo).expect("logged").len(),
+                    M::Poll(m) => m.poll(&repo).len(),
+                    M::Dump(m) => m.poll(&repo).expect("dump parses").0.len(),
+                };
+                detect_time += start.elapsed();
+                total_deltas += n;
+            }
+            // mutation_round itself snapshots once per operation; subtract
+            // that bookkeeping so the column shows pure monitoring cost.
+            let requests = repo.requests_served() - requests_before - (3 * CHANGES) as u64;
+            println!(
+                "{:<13} {:<13} {:<22} {:>8} {:>12.1} {:>12}",
+                format!("{capability:?}"),
+                format!("{representation:?}"),
+                cell_label,
+                total_deltas,
+                detect_time.as_secs_f64() * 1e6,
+                requests
+            );
+        }
+    }
+
+    println!(
+        "\nreading the shape: triggers and logs recover every change at near-zero\n\
+         detection cost; snapshot differentials and dump diffs (LCS / tree edit\n\
+         sequences) pay re-shipping plus diff time and collapse rapid updates —\n\
+         exactly why the paper shades those cells as the interesting ones."
+    );
+
+    // Mutation-round bookkeeping: snapshot() calls inside mutation_round
+    // also hit the request counter, so report the honest per-technique diff
+    // cost separately for the two dump techniques at growing sizes.
+    println!("\nedit-script cost scaling (non-queryable sources, one update in N records):");
+    println!("{:<10} {:>16} {:>16}", "records", "LCS diff us", "tree diff us");
+    for n in [100usize, 400, 1600] {
+        let mut flat = SimulatedRepository::new(
+            "flat",
+            Representation::FlatFile,
+            Capability::NonQueryable,
+        );
+        let mut hier = SimulatedRepository::new(
+            "hier",
+            Representation::Hierarchical,
+            Capability::NonQueryable,
+        );
+        let mut g = RepoGenerator::new(GeneratorConfig {
+            seed: 5,
+            error_rate: 0.0,
+            ..Default::default()
+        });
+        let records = g.records(n);
+        for rec in &records {
+            flat.apply(ChangeKind::Insert, rec.clone()).unwrap();
+            hier.apply(ChangeKind::Insert, rec.clone()).unwrap();
+        }
+        let mut flat_monitor = DumpMonitor::new();
+        let mut hier_monitor = DumpMonitor::new();
+        let _ = flat_monitor.poll(&flat).unwrap();
+        let _ = hier_monitor.poll(&hier).unwrap();
+
+        let target = g.mutate_record(&records[n / 2]);
+        flat.apply(ChangeKind::Update, target.clone()).unwrap();
+        hier.apply(ChangeKind::Update, target).unwrap();
+
+        let start = Instant::now();
+        let (d1, _) = flat_monitor.poll(&flat).unwrap();
+        let lcs_time = start.elapsed();
+        let start = Instant::now();
+        let (d2, _) = hier_monitor.poll(&hier).unwrap();
+        let tree_time = start.elapsed();
+        assert_eq!(d1.len(), 1);
+        assert_eq!(d2.len(), 1);
+        println!(
+            "{:<10} {:>16.1} {:>16.1}",
+            n,
+            lcs_time.as_secs_f64() * 1e6,
+            tree_time.as_secs_f64() * 1e6
+        );
+    }
+}

@@ -1,0 +1,875 @@
+//! # genalg-bql — the Biological Query Language
+//!
+//! §6.4: "The extended SQL query language … is not necessarily the
+//! appropriate end user query language for the biologist. … Thus, the
+//! issue is here to design such a biological query language based on the
+//! biologists' needs. A query formulated in this query language will then
+//! be mapped to the extended SQL of the Unifying Database."
+//!
+//! BQL reads like the questions biologists ask and compiles to the
+//! extended SQL the adapter installed:
+//!
+//! ```text
+//! FIND sequences CONTAINING 'ATTGCCATA' FROM ORGANISM 'Escherichia coli'
+//!      SHOW accession, description SORTED BY gc DESCENDING TOP 10
+//! COUNT sequences BY organism
+//! FIND disputed sequences
+//! FIND sequences RESEMBLING 'ATGGCC…' IDENTITY 90% COVERING 80% AS FASTA
+//! ```
+//!
+//! Three pieces of §6.4 live here:
+//! * the **textual language** ([`parse`] → [`BqlQuery`] → [`BqlQuery::to_sql`]);
+//! * the **graphical output description language** — the trailing
+//!   `AS TABLE | AS HISTOGRAM | AS FASTA` directive rendered by [`render`];
+//! * the **visual query builder** ([`QueryBuilder`]) — the programmatic AST
+//!   the paper's GUI would construct instead of text.
+
+use genalg_core::error::{GenAlgError, Result};
+use unidb::{Database, ResultSet};
+
+/// What the query returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    Sequences,
+    DisputedSequences,
+    Features,
+    /// The §5.2 protein extension tables (derived by the loader).
+    Proteins,
+}
+
+/// One biologist-level filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    FromOrganism(String),
+    Containing(String),
+    Resembling { query: String, identity: f64, cover: f64 },
+    LongerThan(u64),
+    ShorterThan(u64),
+    GcAbove(f64),
+    GcBelow(f64),
+    DescribedAs(String),
+    OfKind(String),
+}
+
+/// Output rendering directive (§6.4's graphical output description
+/// language, in terminal form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputSpec {
+    #[default]
+    Table,
+    /// ASCII histogram over the first numeric column.
+    Histogram,
+    /// FASTA dump of (accession, sequence-text) results.
+    Fasta,
+}
+
+/// A parsed BQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BqlQuery {
+    pub target: Target,
+    pub count_by: Option<String>,
+    pub filters: Vec<Filter>,
+    pub show: Vec<String>,
+    pub sort_by: Option<(String, bool)>,
+    pub top: Option<u64>,
+    pub output: OutputSpec,
+}
+
+impl BqlQuery {
+    fn new(target: Target) -> Self {
+        BqlQuery {
+            target,
+            count_by: None,
+            filters: Vec::new(),
+            show: Vec::new(),
+            sort_by: None,
+            top: None,
+            output: OutputSpec::Table,
+        }
+    }
+
+    /// Map a biologist field name onto a SQL expression for this query's
+    /// target table.
+    fn map_field(&self, field: &str) -> Result<String> {
+        if self.target == Target::Proteins {
+            return Ok(match field.to_ascii_lowercase().as_str() {
+                "accession" | "length" | "weight" | "cds_start" | "cds_end" => {
+                    field.to_ascii_lowercase()
+                }
+                "residues" | "sequence" => "residues".into(),
+                other => {
+                    return Err(GenAlgError::Other(format!(
+                        "unknown protein field {other:?}; known fields: accession, \
+                         length, weight, cds_start, cds_end, residues"
+                    )))
+                }
+            });
+        }
+        Self::field_sql(field)
+    }
+
+    /// Map a biologist field name onto a SQL expression.
+    fn field_sql(field: &str) -> Result<String> {
+        Ok(match field.to_ascii_lowercase().as_str() {
+            "accession" => "accession".into(),
+            "organism" => "organism".into(),
+            "description" => "description".into(),
+            "version" => "version".into(),
+            "confidence" => "confidence".into(),
+            "sources" => "n_sources".into(),
+            "length" => "seq_length(seq)".into(),
+            "gc" => "gc_content(seq)".into(),
+            "sequence" => "seq".into(),
+            "kind" => "kind".into(),
+            other => {
+                return Err(GenAlgError::Other(format!(
+                    "unknown field {other:?}; known fields: accession, organism, \
+                     description, version, confidence, sources, length, gc, sequence, kind"
+                )))
+            }
+        })
+    }
+
+    /// Compile to the extended SQL of the Unifying Database.
+    pub fn to_sql(&self) -> Result<String> {
+        let table = match self.target {
+            Target::Sequences | Target::DisputedSequences => "public.sequences",
+            Target::Features => "public.features",
+            Target::Proteins => "public.proteins",
+        };
+        let mut conditions: Vec<String> = Vec::new();
+        if self.target == Target::DisputedSequences {
+            conditions.push("disputed = true".into());
+        }
+        for f in &self.filters {
+            conditions.push(match f {
+                Filter::FromOrganism(o) => format!("organism = '{}'", escape(o)),
+                Filter::Containing(p) => format!("contains(seq, '{}')", escape(p)),
+                Filter::Resembling { query, identity, cover } => {
+                    format!("resembles(seq, '{}', {identity}, {cover})", escape(query))
+                }
+                Filter::LongerThan(n) => {
+                    if self.target == Target::Proteins {
+                        format!("length > {n}")
+                    } else {
+                        format!("seq_length(seq) > {n}")
+                    }
+                }
+                Filter::ShorterThan(n) => {
+                    if self.target == Target::Proteins {
+                        format!("length < {n}")
+                    } else {
+                        format!("seq_length(seq) < {n}")
+                    }
+                }
+                Filter::GcAbove(x) => format!("gc_content(seq) > {x}"),
+                Filter::GcBelow(x) => format!("gc_content(seq) < {x}"),
+                Filter::DescribedAs(t) => format!("description LIKE '%{}%'", escape(t)),
+                Filter::OfKind(k) => format!("kind = '{}'", escape(k)),
+            });
+        }
+        let where_clause = if conditions.is_empty() {
+            String::new()
+        } else {
+            format!(" WHERE {}", conditions.join(" AND "))
+        };
+
+        let sql = if let Some(by) = &self.count_by {
+            let field = self.map_field(by)?;
+            format!(
+                "SELECT {field} AS {by}, count(*) AS n FROM {table}{where_clause} \
+                 GROUP BY {field} ORDER BY count(*) DESC"
+            )
+        } else {
+            let projection = if self.show.is_empty() {
+                match self.target {
+                    Target::Features => "accession, kind, loc_start, loc_end, strand".to_string(),
+                    Target::Proteins => "accession, length, weight".to_string(),
+                    _ => "accession, organism, description, seq_length(seq) AS length"
+                        .to_string(),
+                }
+            } else {
+                self.show
+                    .iter()
+                    .map(|f| {
+                        self.map_field(f).map(|sql| {
+                            if sql == *f {
+                                sql
+                            } else {
+                                format!("{sql} AS {f}")
+                            }
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?
+                    .join(", ")
+            };
+            let order = match &self.sort_by {
+                Some((field, asc)) => format!(
+                    " ORDER BY {}{}",
+                    self.map_field(field)?,
+                    if *asc { "" } else { " DESC" }
+                ),
+                None => String::new(),
+            };
+            let limit = self.top.map_or(String::new(), |n| format!(" LIMIT {n}"));
+            format!("SELECT {projection} FROM {table}{where_clause}{order}{limit}")
+        };
+        Ok(sql)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn tokenize(text: &str) -> Result<Vec<String>> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() || c == ',' {
+            chars.next();
+        } else if c == '\'' {
+            chars.next();
+            let mut s = String::from("'");
+            loop {
+                match chars.next() {
+                    Some('\'') => break,
+                    Some(c) => s.push(c),
+                    None => return Err(GenAlgError::Other("unterminated quote in query".into())),
+                }
+            }
+            tokens.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() || c == ',' || c == '\'' {
+                    break;
+                }
+                s.push(c);
+                chars.next();
+            }
+            tokens.push(s);
+        }
+    }
+    Ok(tokens)
+}
+
+struct P {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(GenAlgError::Other(format!(
+                "expected {kw}, found {}",
+                self.peek().unwrap_or("end of query")
+            )))
+        }
+    }
+
+    fn word(&mut self) -> Result<String> {
+        match self.tokens.get(self.pos) {
+            Some(t) if !t.starts_with('\'') => {
+                self.pos += 1;
+                Ok(t.clone())
+            }
+            other => Err(GenAlgError::Other(format!(
+                "expected a word, found {}",
+                other.map_or("end of query", |s| s.as_str())
+            ))),
+        }
+    }
+
+    fn quoted(&mut self) -> Result<String> {
+        match self.tokens.get(self.pos) {
+            Some(t) if t.starts_with('\'') => {
+                self.pos += 1;
+                Ok(t[1..].to_string())
+            }
+            other => Err(GenAlgError::Other(format!(
+                "expected a quoted value, found {}",
+                other.map_or("end of query", |s| s.as_str())
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let w = self.word()?;
+        let w = w.trim_end_matches('%');
+        w.parse()
+            .map_err(|_| GenAlgError::Other(format!("expected a number, found {w:?}")))
+    }
+
+    /// Percentages (`90%`) become fractions; plain numbers pass through.
+    fn fraction(&mut self) -> Result<f64> {
+        let raw = self.word()?;
+        let is_pct = raw.ends_with('%');
+        let v: f64 = raw
+            .trim_end_matches('%')
+            .parse()
+            .map_err(|_| GenAlgError::Other(format!("expected a number, found {raw:?}")))?;
+        Ok(if is_pct { v / 100.0 } else { v })
+    }
+}
+
+/// Parse a BQL query.
+pub fn parse(text: &str) -> Result<BqlQuery> {
+    let mut p = P { tokens: tokenize(text)?, pos: 0 };
+    let counting = if p.eat_kw("FIND") {
+        false
+    } else if p.eat_kw("COUNT") {
+        true
+    } else {
+        return Err(GenAlgError::Other("queries begin with FIND or COUNT".into()));
+    };
+
+    let target = if p.eat_kw("DISPUTED") {
+        p.expect_kw("SEQUENCES")?;
+        Target::DisputedSequences
+    } else if p.eat_kw("SEQUENCES") {
+        Target::Sequences
+    } else if p.eat_kw("FEATURES") {
+        Target::Features
+    } else if p.eat_kw("PROTEINS") {
+        Target::Proteins
+    } else {
+        return Err(GenAlgError::Other(format!(
+            "expected SEQUENCES, DISPUTED SEQUENCES, FEATURES, or PROTEINS, found {}",
+            p.peek().unwrap_or("end of query")
+        )));
+    };
+    let mut q = BqlQuery::new(target);
+
+    if counting {
+        p.expect_kw("BY")?;
+        q.count_by = Some(p.word()?);
+    }
+
+    while let Some(tok) = p.peek() {
+        let tok = tok.to_ascii_uppercase();
+        match tok.as_str() {
+            "FROM" => {
+                p.pos += 1;
+                p.expect_kw("ORGANISM")?;
+                q.filters.push(Filter::FromOrganism(p.quoted()?));
+            }
+            "CONTAINING" => {
+                p.pos += 1;
+                q.filters.push(Filter::Containing(p.quoted()?));
+            }
+            "RESEMBLING" => {
+                p.pos += 1;
+                let query = p.quoted()?;
+                let mut identity = 0.9;
+                let mut cover = 0.8;
+                loop {
+                    if p.eat_kw("IDENTITY") {
+                        identity = p.fraction()?;
+                    } else if p.eat_kw("COVERING") {
+                        cover = p.fraction()?;
+                    } else {
+                        break;
+                    }
+                }
+                q.filters.push(Filter::Resembling { query, identity, cover });
+            }
+            "LONGER" => {
+                p.pos += 1;
+                p.expect_kw("THAN")?;
+                q.filters.push(Filter::LongerThan(p.number()? as u64));
+            }
+            "SHORTER" => {
+                p.pos += 1;
+                p.expect_kw("THAN")?;
+                q.filters.push(Filter::ShorterThan(p.number()? as u64));
+            }
+            "GC" => {
+                p.pos += 1;
+                if p.eat_kw("ABOVE") {
+                    q.filters.push(Filter::GcAbove(p.fraction()?));
+                } else {
+                    p.expect_kw("BELOW")?;
+                    q.filters.push(Filter::GcBelow(p.fraction()?));
+                }
+            }
+            "DESCRIBED" => {
+                p.pos += 1;
+                p.expect_kw("AS")?;
+                q.filters.push(Filter::DescribedAs(p.quoted()?));
+            }
+            "OF" => {
+                p.pos += 1;
+                p.expect_kw("KIND")?;
+                q.filters.push(Filter::OfKind(p.quoted()?));
+            }
+            "SHOW" => {
+                p.pos += 1;
+                q.show.push(p.word()?);
+                while let Some(t) = p.peek() {
+                    if t.starts_with('\'') {
+                        break;
+                    }
+                    let up = t.to_ascii_uppercase();
+                    // `gc` is both a field and the head of the `GC ABOVE`
+                    // clause: the lookahead disambiguates.
+                    let gc_as_field = up == "GC"
+                        && !matches!(
+                            p.tokens.get(p.pos + 1).map(|s| s.to_ascii_uppercase()).as_deref(),
+                            Some("ABOVE") | Some("BELOW")
+                        );
+                    if RESERVED.contains(&up.as_str()) && !gc_as_field {
+                        break;
+                    }
+                    q.show.push(p.word()?);
+                }
+            }
+            "SORTED" => {
+                p.pos += 1;
+                p.expect_kw("BY")?;
+                let field = p.word()?;
+                let asc = !p.eat_kw("DESCENDING");
+                let _ = p.eat_kw("ASCENDING");
+                q.sort_by = Some((field, asc));
+            }
+            "TOP" => {
+                p.pos += 1;
+                q.top = Some(p.number()? as u64);
+            }
+            "AS" => {
+                p.pos += 1;
+                q.output = if p.eat_kw("TABLE") {
+                    OutputSpec::Table
+                } else if p.eat_kw("HISTOGRAM") {
+                    OutputSpec::Histogram
+                } else if p.eat_kw("FASTA") {
+                    OutputSpec::Fasta
+                } else {
+                    return Err(GenAlgError::Other(
+                        "AS expects TABLE, HISTOGRAM, or FASTA".into(),
+                    ));
+                };
+            }
+            other => {
+                return Err(GenAlgError::Other(format!("unexpected token {other:?}")));
+            }
+        }
+    }
+    Ok(q)
+}
+
+const RESERVED: &[&str] = &[
+    "FROM", "CONTAINING", "RESEMBLING", "LONGER", "SHORTER", "GC", "DESCRIBED", "OF", "SHOW",
+    "SORTED", "TOP", "AS",
+];
+
+// ---------------------------------------------------------------------------
+// Execution and rendering
+// ---------------------------------------------------------------------------
+
+/// Compile and run a BQL query against the warehouse.
+pub fn run(db: &Database, bql: &str) -> Result<ResultSet> {
+    let query = parse(bql)?;
+    let sql = query.to_sql()?;
+    execute(db, &sql)
+}
+
+/// Compile, run, and render per the query's output directive.
+pub fn run_rendered(db: &Database, bql: &str) -> Result<String> {
+    let query = parse(bql)?;
+    let sql = query.to_sql()?;
+    let rs = execute(db, &sql)?;
+    Ok(render(db, &rs, query.output))
+}
+
+fn execute(db: &Database, sql: &str) -> Result<ResultSet> {
+    db.execute(sql)
+        .map_err(|e| GenAlgError::Other(format!("compiled query failed: {e} (sql: {sql})")))
+}
+
+/// Render a result set per the output directive.
+pub fn render(db: &Database, rs: &ResultSet, spec: OutputSpec) -> String {
+    match spec {
+        OutputSpec::Table => db.render(rs),
+        OutputSpec::Fasta => {
+            let acc_col = rs.columns.iter().position(|c| c == "accession").unwrap_or(0);
+            let seq_col = rs
+                .columns
+                .iter()
+                .position(|c| c == "seq" || c == "sequence")
+                .unwrap_or(rs.columns.len().saturating_sub(1));
+            let mut out = String::new();
+            for row in &rs.rows {
+                let acc = row.get(acc_col).map_or("?".into(), |d| d.to_string());
+                let seq = match row.get(seq_col) {
+                    Some(unidb::Datum::Opaque(_, bytes)) => {
+                        genalg_core::compact::value_from_bytes(bytes)
+                            .map(|v| v.render())
+                            .unwrap_or_else(|_| "?".into())
+                    }
+                    Some(other) => other.to_string(),
+                    None => "?".into(),
+                };
+                out.push_str(&format!(">{acc}\n"));
+                for chunk in seq.as_bytes().chunks(60) {
+                    out.push_str(&String::from_utf8_lossy(chunk));
+                    out.push('\n');
+                }
+            }
+            out
+        }
+        OutputSpec::Histogram => {
+            // First text-ish column is the label, first numeric column the value.
+            let mut out = String::new();
+            let numeric_col = rs.rows.first().and_then(|row| {
+                row.iter().position(|d| d.as_float().is_some())
+            });
+            let Some(vcol) = numeric_col else {
+                return "histogram: no numeric column in result\n".into();
+            };
+            let label_col = (0..rs.columns.len()).find(|&i| i != vcol).unwrap_or(vcol);
+            let max = rs
+                .rows
+                .iter()
+                .filter_map(|r| r[vcol].as_float())
+                .fold(f64::MIN, f64::max)
+                .max(1e-9);
+            for row in &rs.rows {
+                let v = row[vcol].as_float().unwrap_or(0.0);
+                let bar_len = ((v / max) * 40.0).round().max(0.0) as usize;
+                out.push_str(&format!(
+                    "{:<24} {:>10.3} |{}\n",
+                    row[label_col].to_string(),
+                    v,
+                    "#".repeat(bar_len)
+                ));
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The visual query builder (the GUI's programmatic face)
+// ---------------------------------------------------------------------------
+
+/// Fluent builder mirroring the visual query designer of §6.4: the GUI
+/// would build this AST directly; `to_bql()` shows the user the textual
+/// equivalent, `build()` yields the query.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    query: BqlQuery,
+}
+
+impl QueryBuilder {
+    pub fn find_sequences() -> Self {
+        QueryBuilder { query: BqlQuery::new(Target::Sequences) }
+    }
+
+    pub fn find_disputed() -> Self {
+        QueryBuilder { query: BqlQuery::new(Target::DisputedSequences) }
+    }
+
+    pub fn count_sequences_by(field: &str) -> Self {
+        let mut q = BqlQuery::new(Target::Sequences);
+        q.count_by = Some(field.to_string());
+        QueryBuilder { query: q }
+    }
+
+    pub fn from_organism(mut self, organism: &str) -> Self {
+        self.query.filters.push(Filter::FromOrganism(organism.into()));
+        self
+    }
+
+    pub fn containing(mut self, pattern: &str) -> Self {
+        self.query.filters.push(Filter::Containing(pattern.into()));
+        self
+    }
+
+    pub fn resembling(mut self, query: &str, identity: f64, cover: f64) -> Self {
+        self.query.filters.push(Filter::Resembling { query: query.into(), identity, cover });
+        self
+    }
+
+    pub fn longer_than(mut self, n: u64) -> Self {
+        self.query.filters.push(Filter::LongerThan(n));
+        self
+    }
+
+    pub fn gc_above(mut self, x: f64) -> Self {
+        self.query.filters.push(Filter::GcAbove(x));
+        self
+    }
+
+    pub fn show(mut self, fields: &[&str]) -> Self {
+        self.query.show = fields.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn sorted_by(mut self, field: &str, ascending: bool) -> Self {
+        self.query.sort_by = Some((field.into(), ascending));
+        self
+    }
+
+    pub fn top(mut self, n: u64) -> Self {
+        self.query.top = Some(n);
+        self
+    }
+
+    pub fn output(mut self, spec: OutputSpec) -> Self {
+        self.query.output = spec;
+        self
+    }
+
+    pub fn build(self) -> BqlQuery {
+        self.query
+    }
+
+    /// The textual BQL this visual query corresponds to.
+    pub fn to_bql(&self) -> String {
+        let q = &self.query;
+        let mut s = String::new();
+        if let Some(by) = &q.count_by {
+            s.push_str(&format!("COUNT SEQUENCES BY {by}"));
+        } else {
+            s.push_str("FIND ");
+            s.push_str(match q.target {
+                Target::Sequences => "SEQUENCES",
+                Target::DisputedSequences => "DISPUTED SEQUENCES",
+                Target::Features => "FEATURES",
+                Target::Proteins => "PROTEINS",
+            });
+        }
+        for f in &q.filters {
+            match f {
+                Filter::FromOrganism(o) => s.push_str(&format!(" FROM ORGANISM '{o}'")),
+                Filter::Containing(p) => s.push_str(&format!(" CONTAINING '{p}'")),
+                Filter::Resembling { query, identity, cover } => s.push_str(&format!(
+                    " RESEMBLING '{query}' IDENTITY {}% COVERING {}%",
+                    identity * 100.0,
+                    cover * 100.0
+                )),
+                Filter::LongerThan(n) => s.push_str(&format!(" LONGER THAN {n}")),
+                Filter::ShorterThan(n) => s.push_str(&format!(" SHORTER THAN {n}")),
+                Filter::GcAbove(x) => s.push_str(&format!(" GC ABOVE {x}")),
+                Filter::GcBelow(x) => s.push_str(&format!(" GC BELOW {x}")),
+                Filter::DescribedAs(t) => s.push_str(&format!(" DESCRIBED AS '{t}'")),
+                Filter::OfKind(k) => s.push_str(&format!(" OF KIND '{k}'")),
+            }
+        }
+        if !q.show.is_empty() {
+            s.push_str(&format!(" SHOW {}", q.show.join(", ")));
+        }
+        if let Some((field, asc)) = &q.sort_by {
+            s.push_str(&format!(" SORTED BY {field}{}", if *asc { "" } else { " DESCENDING" }));
+        }
+        if let Some(n) = q.top {
+            s.push_str(&format!(" TOP {n}"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genalg_adapter::Adapter;
+    use genalg_etl::integrate::{reconcile, TrustModel};
+    use genalg_etl::loader::Loader;
+    use genalg_etl::record::SeqRecord;
+    use genalg_core::seq::DnaSeq;
+    use std::collections::HashMap;
+
+    fn warehouse() -> Database {
+        let db = Database::in_memory();
+        Adapter::install(&db).unwrap();
+        let loader = Loader::new(&db);
+        loader.ensure_schema().unwrap();
+        let records = vec![
+            SeqRecord::new("A1", DnaSeq::from_text("ATTGCCATAGGGGGGCC").unwrap())
+                .with_description("alpha kinase")
+                .with_organism("Escherichia coli")
+                .with_source("genbank-sim"),
+            SeqRecord::new("B2", DnaSeq::from_text("ATATATATAT").unwrap())
+                .with_description("beta repeat")
+                .with_organism("Escherichia coli")
+                .with_source("genbank-sim"),
+            SeqRecord::new("C3", DnaSeq::from_text("GGCCGGCCGGCCGGCCGGCC").unwrap())
+                .with_description("gamma gc-rich")
+                .with_organism("Homo sapiens")
+                .with_source("embl-sim"),
+        ];
+        let entries = reconcile(&records, &TrustModel::default(), &HashMap::new());
+        loader.upsert(&entries).unwrap();
+        // One disputed entry.
+        let conflict = vec![
+            SeqRecord::new("D4", DnaSeq::from_text("ATGGCC").unwrap()).with_source("s1"),
+            SeqRecord::new("D4", DnaSeq::from_text("ATGGAC").unwrap()).with_source("s2"),
+        ];
+        let entries = reconcile(&conflict, &TrustModel::default(), &HashMap::new());
+        loader.upsert(&entries).unwrap();
+        db
+    }
+
+    #[test]
+    fn parse_and_compile_basic_find() {
+        let q = parse("FIND SEQUENCES CONTAINING 'ATTGCCATA'").unwrap();
+        assert_eq!(q.target, Target::Sequences);
+        let sql = q.to_sql().unwrap();
+        assert!(sql.contains("contains(seq, 'ATTGCCATA')"), "{sql}");
+    }
+
+    #[test]
+    fn full_query_through_warehouse() {
+        let db = warehouse();
+        let rs = run(&db, "FIND SEQUENCES CONTAINING 'ATTGCCATA'").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_text(), Some("A1"));
+
+        let rs = run(
+            &db,
+            "FIND SEQUENCES FROM ORGANISM 'Escherichia coli' \
+             SHOW accession, gc SORTED BY gc DESCENDING",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0][0].as_text(), Some("A1"), "A1 has higher GC than B2");
+        assert_eq!(rs.columns, vec!["accession", "gc"]);
+
+        let rs = run(&db, "FIND SEQUENCES GC ABOVE 0.9 TOP 5").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_text(), Some("C3"));
+
+        let rs = run(&db, "FIND SEQUENCES LONGER THAN 15").unwrap();
+        assert_eq!(rs.len(), 2);
+
+        let rs = run(&db, "FIND SEQUENCES DESCRIBED AS 'kinase'").unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn count_by_compiles_to_group_by() {
+        let db = warehouse();
+        let rs = run(&db, "COUNT SEQUENCES BY organism").unwrap();
+        assert_eq!(rs.columns, vec!["organism", "n"]);
+        assert_eq!(rs.rows[0][1].as_int(), Some(2), "E. coli leads");
+    }
+
+    #[test]
+    fn disputed_sequences_target() {
+        let db = warehouse();
+        let rs = run(&db, "FIND DISPUTED SEQUENCES SHOW accession, confidence").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_text(), Some("D4"));
+    }
+
+    #[test]
+    fn resembling_with_percentages() {
+        let db = warehouse();
+        let rs = run(
+            &db,
+            "FIND SEQUENCES RESEMBLING 'ATTGCCATAGGGGGGCC' IDENTITY 90% COVERING 80%",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_text(), Some("A1"));
+    }
+
+    #[test]
+    fn output_directives_render() {
+        let db = warehouse();
+        let table = run_rendered(&db, "FIND SEQUENCES SHOW accession AS TABLE").unwrap();
+        assert!(table.contains("accession"));
+
+        let fasta =
+            run_rendered(&db, "FIND SEQUENCES CONTAINING 'ATTGCC' SHOW accession, sequence AS FASTA")
+                .unwrap();
+        assert!(fasta.starts_with(">A1\n"), "{fasta}");
+        assert!(fasta.contains("ATTGCCATAGG"));
+
+        let histogram = run_rendered(&db, "COUNT SEQUENCES BY organism AS HISTOGRAM").unwrap();
+        assert!(histogram.contains('#'), "{histogram}");
+        assert!(histogram.contains("Escherichia coli"));
+    }
+
+    #[test]
+    fn proteins_target() {
+        let db = warehouse();
+        // Add an entity with a clean CDS and derive proteins.
+        let records = vec![SeqRecord::new(
+            "PR1",
+            DnaSeq::from_text("CCATGAAATTTGGGTAACC").unwrap(),
+        )
+        .with_source("s1")];
+        let entries = reconcile(&records, &TrustModel::default(), &HashMap::new());
+        let loader = Loader::new(&db);
+        loader.upsert(&entries).unwrap();
+        assert!(loader.derive_proteins().unwrap() >= 1);
+
+        let rs = run(&db, "FIND PROTEINS LONGER THAN 2 SHOW accession, length, weight").unwrap();
+        assert!(rs.rows.iter().any(|r| r[0].as_text() == Some("PR1")));
+        let rs = run(&db, "FIND PROTEINS SORTED BY weight DESCENDING TOP 1").unwrap();
+        assert_eq!(rs.columns, vec!["accession", "length", "weight"]);
+        assert!(run(&db, "FIND PROTEINS GC ABOVE 0.5").is_err(), "gc is not a protein field");
+    }
+
+    #[test]
+    fn parse_errors_are_biologist_readable() {
+        assert!(parse("SELECT * FROM x").is_err());
+        assert!(parse("FIND").is_err());
+        assert!(parse("FIND SEQUENCES CONTAINING").is_err());
+        assert!(parse("FIND SEQUENCES NONSENSE").is_err());
+        assert!(parse("FIND SEQUENCES AS SPREADSHEET").is_err());
+        let err = parse("FIND SEQUENCES SHOW nonexistent").unwrap().to_sql();
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("known fields"));
+    }
+
+    #[test]
+    fn builder_matches_textual_language() {
+        let built = QueryBuilder::find_sequences()
+            .from_organism("Escherichia coli")
+            .containing("ATTGCC")
+            .show(&["accession", "gc"])
+            .sorted_by("gc", false)
+            .top(10)
+            .build();
+        let text = QueryBuilder::find_sequences()
+            .from_organism("Escherichia coli")
+            .containing("ATTGCC")
+            .show(&["accession", "gc"])
+            .sorted_by("gc", false)
+            .top(10)
+            .to_bql();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, built, "visual and textual forms agree: {text}");
+    }
+
+    #[test]
+    fn builder_runs_against_warehouse() {
+        let db = warehouse();
+        let q = QueryBuilder::count_sequences_by("organism").build();
+        let rs = db.execute(&q.to_sql().unwrap()).unwrap();
+        assert!(rs.len() >= 2);
+    }
+}

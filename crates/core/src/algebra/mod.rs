@@ -1,0 +1,37 @@
+//! The many-sorted Genomics Algebra (§4.2).
+//!
+//! A *signature* is a set of **sorts** (type names) and **operators**
+//! annotated with argument and result sorts, e.g.
+//!
+//! ```text
+//! sorts gene, primaryTranscript, mRNA, protein
+//! ops   transcribe: gene → primaryTranscript
+//!       splice:     primaryTranscript → mRNA
+//!       translate:  mRNA → protein
+//! ```
+//!
+//! A *many-sorted algebra* assigns a carrier set to each sort and a
+//! function to each operator. Here:
+//!
+//! * [`SortId`] names a sort; [`Signature`] holds sorts and operator
+//!   signatures and resolves overloads.
+//! * [`Value`] is the union of all carrier sets — every genomic data type
+//!   plus the base types, lists, uncertain values, and *custom* values so
+//!   the algebra stays extensible at runtime.
+//! * [`Term`] is the free term algebra over a signature
+//!   (`translate(splice(transcribe(g)))` is a term).
+//! * [`KernelAlgebra`] binds Rust functions to operators and evaluates
+//!   terms. [`KernelAlgebra::standard`] ships the full built-in operation
+//!   set; `register_sort`/`register_op` extend it (requirement C13/C14).
+
+mod sort;
+mod value;
+mod signature;
+mod term;
+mod registry;
+
+pub use sort::SortId;
+pub use value::{CustomValue, Value};
+pub use signature::{OpSig, Signature};
+pub use term::Term;
+pub use registry::{Bindings, KernelAlgebra, OpImpl};

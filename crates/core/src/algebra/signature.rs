@@ -1,0 +1,186 @@
+//! Many-sorted signatures: sorts plus operator declarations.
+
+use crate::algebra::sort::SortId;
+use crate::error::{GenAlgError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An operator declaration: `name : arg₁ × … × argₙ → result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSig {
+    pub name: String,
+    pub args: Vec<SortId>,
+    pub result: SortId,
+}
+
+impl fmt::Display for OpSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<&str> = self.args.iter().map(SortId::name).collect();
+        write!(f, "{} : {} -> {}", self.name, args.join(" x "), self.result)
+    }
+}
+
+/// The syntactic part of a many-sorted algebra: the registered sorts and
+/// operator signatures, with overloading resolved by argument sorts.
+#[derive(Debug, Clone, Default)]
+pub struct Signature {
+    sorts: HashMap<SortId, String>,
+    ops: HashMap<String, Vec<OpSig>>,
+}
+
+impl Signature {
+    /// An empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a sort with a human-readable description. Idempotent.
+    pub fn add_sort(&mut self, sort: SortId, description: &str) {
+        self.sorts.entry(sort).or_insert_with(|| description.to_string());
+    }
+
+    /// True if the sort is registered.
+    pub fn has_sort(&self, sort: &SortId) -> bool {
+        self.sorts.contains_key(sort)
+    }
+
+    /// Description of a registered sort.
+    pub fn sort_description(&self, sort: &SortId) -> Option<&str> {
+        self.sorts.get(sort).map(String::as_str)
+    }
+
+    /// All registered sorts, sorted by name.
+    pub fn sorts(&self) -> Vec<&SortId> {
+        let mut v: Vec<&SortId> = self.sorts.keys().collect();
+        v.sort();
+        v
+    }
+
+    /// Register an operator. Every sort it mentions must already be
+    /// registered; duplicate signatures (same name and argument sorts) are
+    /// rejected.
+    pub fn add_op(&mut self, op: OpSig) -> Result<()> {
+        for sort in op.args.iter().chain(std::iter::once(&op.result)) {
+            if !self.has_sort(sort) {
+                return Err(GenAlgError::UnknownSort(sort.name().to_string()));
+            }
+        }
+        let overloads = self.ops.entry(op.name.clone()).or_default();
+        if overloads.iter().any(|existing| existing.args == op.args) {
+            return Err(GenAlgError::SortMismatch {
+                operation: op.name.clone(),
+                detail: "an overload with identical argument sorts already exists".into(),
+            });
+        }
+        overloads.push(op);
+        Ok(())
+    }
+
+    /// All overloads of an operator name.
+    pub fn overloads(&self, name: &str) -> &[OpSig] {
+        self.ops.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolve an application by name and argument sorts.
+    pub fn resolve(&self, name: &str, arg_sorts: &[SortId]) -> Result<&OpSig> {
+        let overloads = self
+            .ops
+            .get(name)
+            .ok_or_else(|| GenAlgError::UnknownOperation(name.to_string()))?;
+        overloads
+            .iter()
+            .find(|op| op.args.as_slice() == arg_sorts)
+            .ok_or_else(|| GenAlgError::SortMismatch {
+                operation: name.to_string(),
+                detail: format!(
+                    "no overload accepts ({})",
+                    arg_sorts.iter().map(SortId::name).collect::<Vec<_>>().join(", ")
+                ),
+            })
+    }
+
+    /// All operator names, sorted.
+    pub fn op_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.ops.keys().map(String::as_str).collect();
+        v.sort();
+        v
+    }
+
+    /// Total number of operator signatures (counting overloads).
+    pub fn op_count(&self) -> usize {
+        self.ops.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        s.add_sort(SortId::gene(), "a gene");
+        s.add_sort(SortId::primary_transcript(), "a primary transcript");
+        s.add_sort(SortId::string(), "text");
+        s.add_sort(SortId::int(), "integer");
+        s
+    }
+
+    #[test]
+    fn add_and_resolve() {
+        let mut s = sig();
+        s.add_op(OpSig {
+            name: "transcribe".into(),
+            args: vec![SortId::gene()],
+            result: SortId::primary_transcript(),
+        })
+        .unwrap();
+        let op = s.resolve("transcribe", &[SortId::gene()]).unwrap();
+        assert_eq!(op.result, SortId::primary_transcript());
+        assert!(s.resolve("transcribe", &[SortId::string()]).is_err());
+        assert!(s.resolve("nonsense", &[]).is_err());
+    }
+
+    #[test]
+    fn overloading_by_argument_sorts() {
+        let mut s = sig();
+        s.add_op(OpSig { name: "length".into(), args: vec![SortId::string()], result: SortId::int() })
+            .unwrap();
+        s.add_op(OpSig { name: "length".into(), args: vec![SortId::gene()], result: SortId::int() })
+            .unwrap();
+        assert_eq!(s.overloads("length").len(), 2);
+        assert!(s.resolve("length", &[SortId::gene()]).is_ok());
+        // Duplicate overload rejected.
+        assert!(s
+            .add_op(OpSig { name: "length".into(), args: vec![SortId::gene()], result: SortId::int() })
+            .is_err());
+    }
+
+    #[test]
+    fn ops_require_registered_sorts() {
+        let mut s = sig();
+        let err = s.add_op(OpSig {
+            name: "bad".into(),
+            args: vec![SortId::new("nonexistent")],
+            result: SortId::int(),
+        });
+        assert!(matches!(err, Err(GenAlgError::UnknownSort(_))));
+    }
+
+    #[test]
+    fn sort_registration_idempotent() {
+        let mut s = sig();
+        s.add_sort(SortId::gene(), "different text");
+        assert_eq!(s.sort_description(&SortId::gene()), Some("a gene"));
+        assert!(s.sorts().len() >= 4);
+    }
+
+    #[test]
+    fn display_of_signature_entries() {
+        let op = OpSig {
+            name: "concat".into(),
+            args: vec![SortId::string(), SortId::string()],
+            result: SortId::string(),
+        };
+        assert_eq!(op.to_string(), "concat : string x string -> string");
+    }
+}

@@ -1,0 +1,70 @@
+//! Sort identifiers.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The name of a sort (type) in the many-sorted signature.
+///
+/// Cheap to clone (shared string) and compared by name. The built-in sorts
+/// are exposed as constructors; user extensions make their own with
+/// [`SortId::new`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SortId(Arc<str>);
+
+impl SortId {
+    /// A sort with the given name.
+    pub fn new(name: &str) -> Self {
+        SortId(Arc::from(name))
+    }
+
+    /// The sort's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    // Built-in base sorts.
+    pub fn bool() -> Self { Self::new("bool") }
+    pub fn int() -> Self { Self::new("int") }
+    pub fn float() -> Self { Self::new("float") }
+    pub fn string() -> Self { Self::new("string") }
+
+    // Genomic sorts.
+    pub fn dna() -> Self { Self::new("dna") }
+    pub fn rna() -> Self { Self::new("rna") }
+    pub fn protein_seq() -> Self { Self::new("protein_seq") }
+    pub fn gene() -> Self { Self::new("gene") }
+    pub fn primary_transcript() -> Self { Self::new("primary_transcript") }
+    pub fn mrna() -> Self { Self::new("mrna") }
+    pub fn protein() -> Self { Self::new("protein") }
+    pub fn chromosome() -> Self { Self::new("chromosome") }
+    pub fn genome() -> Self { Self::new("genome") }
+
+    // Structural sorts.
+    pub fn list() -> Self { Self::new("list") }
+    pub fn uncertain() -> Self { Self::new("uncertain") }
+}
+
+impl fmt::Display for SortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_by_name() {
+        assert_eq!(SortId::new("gene"), SortId::gene());
+        assert_ne!(SortId::dna(), SortId::rna());
+        assert_eq!(SortId::gene().to_string(), "gene");
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(SortId::dna(), 1);
+        assert_eq!(m.get(&SortId::new("dna")), Some(&1));
+    }
+}

@@ -1,0 +1,210 @@
+//! Terms of the free algebra over a signature.
+
+use crate::algebra::signature::Signature;
+use crate::algebra::sort::SortId;
+use crate::algebra::value::Value;
+use crate::error::Result;
+use std::fmt;
+
+/// A term: a constant, a sorted variable, or an operator application.
+///
+/// The paper's example `getchar(concat("Genomics", "Algebra"), 10)` is
+/// `Term::apply("getchar", [Term::apply("concat", [...]), Term::int(10)])`,
+/// and its sort is the result sort of the outermost operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A literal value.
+    Const(Value),
+    /// A named variable of a known sort, bound at evaluation time.
+    Var(String, SortId),
+    /// An operator applied to argument terms.
+    Apply(String, Vec<Term>),
+}
+
+impl Term {
+    /// A constant term.
+    pub fn constant(v: Value) -> Self {
+        Term::Const(v)
+    }
+
+    /// Shorthand for an integer constant.
+    pub fn int(i: i64) -> Self {
+        Term::Const(Value::Int(i))
+    }
+
+    /// Shorthand for a string constant.
+    pub fn str(s: &str) -> Self {
+        Term::Const(Value::Str(s.to_string()))
+    }
+
+    /// Shorthand for a float constant.
+    pub fn float(f: f64) -> Self {
+        Term::Const(Value::Float(f))
+    }
+
+    /// A variable of the given sort.
+    pub fn var(name: &str, sort: SortId) -> Self {
+        Term::Var(name.to_string(), sort)
+    }
+
+    /// An operator application.
+    pub fn apply(op: &str, args: Vec<Term>) -> Self {
+        Term::Apply(op.to_string(), args)
+    }
+
+    /// Infer the sort of this term against a signature; also type-checks
+    /// every application.
+    pub fn sort(&self, signature: &Signature) -> Result<SortId> {
+        match self {
+            Term::Const(v) => Ok(v.sort()),
+            Term::Var(_, sort) => Ok(sort.clone()),
+            Term::Apply(op, args) => {
+                let arg_sorts: Vec<SortId> =
+                    args.iter().map(|t| t.sort(signature)).collect::<Result<_>>()?;
+                Ok(signature.resolve(op, &arg_sorts)?.result.clone())
+            }
+        }
+    }
+
+    /// True if the term type-checks against the signature.
+    pub fn well_formed(&self, signature: &Signature) -> bool {
+        self.sort(signature).is_ok()
+    }
+
+    /// The free variables of the term, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<(&str, &SortId)> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<(&'a str, &'a SortId)>) {
+        match self {
+            Term::Const(_) => {}
+            Term::Var(name, sort) => {
+                if !out.iter().any(|(n, _)| *n == name) {
+                    out.push((name, sort));
+                }
+            }
+            Term::Apply(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Depth of the term tree (a constant has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Const(_) | Term::Var(_, _) => 1,
+            Term::Apply(_, args) => 1 + args.iter().map(Term::depth).max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => match v {
+                Value::Str(s) => write!(f, "{s:?}"),
+                other => write!(f, "{other}"),
+            },
+            Term::Var(name, sort) => write!(f, "{name}:{sort}"),
+            Term::Apply(op, args) => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::signature::OpSig;
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        s.add_sort(SortId::string(), "text");
+        s.add_sort(SortId::int(), "integer");
+        s.add_op(OpSig {
+            name: "concat".into(),
+            args: vec![SortId::string(), SortId::string()],
+            result: SortId::string(),
+        })
+        .unwrap();
+        s.add_op(OpSig {
+            name: "getchar".into(),
+            args: vec![SortId::string(), SortId::int()],
+            result: SortId::string(),
+        })
+        .unwrap();
+        s
+    }
+
+    fn paper_term() -> Term {
+        Term::apply(
+            "getchar",
+            vec![
+                Term::apply("concat", vec![Term::str("Genomics"), Term::str("Algebra")]),
+                Term::int(10),
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_example_type_checks() {
+        let s = sig();
+        let t = paper_term();
+        assert_eq!(t.sort(&s).unwrap(), SortId::string());
+        assert!(t.well_formed(&s));
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.to_string(), "getchar(concat(\"Genomics\", \"Algebra\"), 10)");
+    }
+
+    #[test]
+    fn ill_sorted_terms_rejected() {
+        let s = sig();
+        let bad = Term::apply("getchar", vec![Term::int(1), Term::int(2)]);
+        assert!(bad.sort(&s).is_err());
+        assert!(!bad.well_formed(&s));
+        let unknown = Term::apply("nonsense", vec![]);
+        assert!(unknown.sort(&s).is_err());
+    }
+
+    #[test]
+    fn variables_carry_their_sort() {
+        let s = sig();
+        let t = Term::apply(
+            "concat",
+            vec![Term::var("x", SortId::string()), Term::str("suffix")],
+        );
+        assert_eq!(t.sort(&s).unwrap(), SortId::string());
+        let vars = t.free_vars();
+        assert_eq!(vars.len(), 1);
+        assert_eq!(vars[0].0, "x");
+    }
+
+    #[test]
+    fn free_vars_deduplicated_in_order() {
+        let t = Term::apply(
+            "concat",
+            vec![
+                Term::var("b", SortId::string()),
+                Term::apply(
+                    "concat",
+                    vec![Term::var("a", SortId::string()), Term::var("b", SortId::string())],
+                ),
+            ],
+        );
+        let names: Vec<&str> = t.free_vars().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+}

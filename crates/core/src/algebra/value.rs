@@ -1,0 +1,276 @@
+//! The universal carrier set of the algebra.
+
+use crate::algebra::sort::SortId;
+use crate::gdt::{Chromosome, Gene, Genome, Mrna, PrimaryTranscript, Protein};
+use crate::seq::{DnaSeq, ProteinSeq, RnaSeq};
+use crate::uncertainty::Uncertain;
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// A value of any registered sort, including user-defined ones.
+///
+/// This enum is the union of the carrier sets: base types, every genomic
+/// data type, lists, uncertainty-wrapped values, and opaque custom values
+/// for sorts registered at runtime.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Dna(DnaSeq),
+    Rna(RnaSeq),
+    ProteinSeq(ProteinSeq),
+    Gene(Box<Gene>),
+    Transcript(Box<PrimaryTranscript>),
+    Mrna(Box<Mrna>),
+    Protein(Box<Protein>),
+    Chromosome(Box<Chromosome>),
+    Genome(Box<Genome>),
+    List(Vec<Value>),
+    Uncertain(Box<Uncertain<Value>>),
+    /// A value of a runtime-registered sort.
+    Custom(SortId, Arc<dyn CustomValue>),
+}
+
+/// Object-safe trait for values of user-registered sorts.
+pub trait CustomValue: fmt::Debug + Send + Sync {
+    /// Downcasting support for operation implementations.
+    fn as_any(&self) -> &dyn Any;
+    /// Equality against another custom value.
+    fn eq_dyn(&self, other: &dyn CustomValue) -> bool;
+    /// Human-readable rendering.
+    fn render(&self) -> String;
+}
+
+impl Value {
+    /// The sort this value inhabits.
+    pub fn sort(&self) -> SortId {
+        match self {
+            Value::Bool(_) => SortId::bool(),
+            Value::Int(_) => SortId::int(),
+            Value::Float(_) => SortId::float(),
+            Value::Str(_) => SortId::string(),
+            Value::Dna(_) => SortId::dna(),
+            Value::Rna(_) => SortId::rna(),
+            Value::ProteinSeq(_) => SortId::protein_seq(),
+            Value::Gene(_) => SortId::gene(),
+            Value::Transcript(_) => SortId::primary_transcript(),
+            Value::Mrna(_) => SortId::mrna(),
+            Value::Protein(_) => SortId::protein(),
+            Value::Chromosome(_) => SortId::chromosome(),
+            Value::Genome(_) => SortId::genome(),
+            Value::List(_) => SortId::list(),
+            Value::Uncertain(_) => SortId::uncertain(),
+            Value::Custom(sort, _) => sort.clone(),
+        }
+    }
+
+    /// Convenience accessors used by operation implementations.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_dna(&self) -> Option<&DnaSeq> {
+        match self {
+            Value::Dna(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    pub fn as_rna(&self) -> Option<&RnaSeq> {
+        match self {
+            Value::Rna(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    pub fn as_protein_seq(&self) -> Option<&ProteinSeq> {
+        match self {
+            Value::ProteinSeq(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    pub fn as_gene(&self) -> Option<&Gene> {
+        match self {
+            Value::Gene(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    pub fn as_transcript(&self) -> Option<&PrimaryTranscript> {
+        match self {
+            Value::Transcript(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_mrna(&self) -> Option<&Mrna> {
+        match self {
+            Value::Mrna(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_protein(&self) -> Option<&Protein> {
+        match self {
+            Value::Protein(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Downcast a custom value to a concrete type.
+    pub fn as_custom<T: 'static>(&self) -> Option<&T> {
+        match self {
+            Value::Custom(_, v) => v.as_any().downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Human-readable rendering used by result display and the BQL output
+    /// language.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f}"),
+            Value::Str(s) => s.clone(),
+            Value::Dna(d) => d.to_text(),
+            Value::Rna(r) => r.to_text(),
+            Value::ProteinSeq(p) => p.to_text(),
+            Value::Gene(g) => format!("gene:{}", g.id()),
+            Value::Transcript(t) => format!("transcript:{}", t.gene_id()),
+            Value::Mrna(m) => format!("mrna:{}", m.gene_id()),
+            Value::Protein(p) => format!("protein:{}", p.id()),
+            Value::Chromosome(c) => format!("chromosome:{}", c.name()),
+            Value::Genome(g) => format!("genome:{}", g.organism()),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(Value::render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Value::Uncertain(u) => {
+                format!("{} ({})", u.value().render(), u.confidence())
+            }
+            Value::Custom(sort, v) => format!("{}:{}", sort, v.render()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Dna(a), Value::Dna(b)) => a == b,
+            (Value::Rna(a), Value::Rna(b)) => a == b,
+            (Value::ProteinSeq(a), Value::ProteinSeq(b)) => a == b,
+            (Value::Gene(a), Value::Gene(b)) => a == b,
+            (Value::Transcript(a), Value::Transcript(b)) => a == b,
+            (Value::Mrna(a), Value::Mrna(b)) => a == b,
+            (Value::Protein(a), Value::Protein(b)) => a == b,
+            (Value::Chromosome(a), Value::Chromosome(b)) => a == b,
+            (Value::Genome(a), Value::Genome(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            (Value::Uncertain(a), Value::Uncertain(b)) => a == b,
+            (Value::Custom(sa, va), Value::Custom(sb, vb)) => {
+                sa == sb && va.eq_dyn(vb.as_ref())
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_of_values() {
+        assert_eq!(Value::Int(3).sort(), SortId::int());
+        assert_eq!(Value::Dna(DnaSeq::empty()).sort(), SortId::dna());
+        assert_eq!(Value::List(vec![]).sort(), SortId::list());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Int(3).as_bool(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert!(Value::Bool(true).as_dna().is_none());
+    }
+
+    #[test]
+    fn equality_and_render() {
+        let a = Value::Dna(DnaSeq::from_text("ATG").unwrap());
+        let b = Value::Dna(DnaSeq::from_text("ATG").unwrap());
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "ATG");
+        assert_ne!(a, Value::Str("ATG".into()));
+        let list = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(list.render(), "[1, 2]");
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Motif(String);
+
+    impl CustomValue for Motif {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn eq_dyn(&self, other: &dyn CustomValue) -> bool {
+            other.as_any().downcast_ref::<Motif>() == Some(self)
+        }
+        fn render(&self) -> String {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn custom_values() {
+        let sort = SortId::new("motif");
+        let a = Value::Custom(sort.clone(), Arc::new(Motif("TATA".into())));
+        let b = Value::Custom(sort.clone(), Arc::new(Motif("TATA".into())));
+        let c = Value::Custom(sort.clone(), Arc::new(Motif("CAAT".into())));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.sort(), sort);
+        assert_eq!(a.as_custom::<Motif>().unwrap().0, "TATA");
+        assert_eq!(a.render(), "motif:TATA");
+    }
+}

@@ -1,0 +1,192 @@
+//! Banded global alignment for near-identical sequences.
+//!
+//! When two sequences are known to differ by at most a handful of edits —
+//! the common case when reconciling overlapping repository entries — the
+//! full quadratic dynamic program is wasteful. Restricting the computation
+//! to a diagonal band of half-width `band` makes it `O(n·band)` while
+//! returning the identical result whenever the optimal path stays inside
+//! the band.
+
+use crate::align::gotoh::Aligned;
+use crate::align::score::Scoring;
+
+const NEG: i32 = i32::MIN / 2;
+
+/// Banded Needleman–Wunsch with *linear* gap costs (`gap_open` applied per
+/// gap symbol). Returns `None` when the band cannot connect the corners,
+/// i.e. when the length difference exceeds the band half-width.
+pub fn banded_global_align(
+    a: &[u8],
+    b: &[u8],
+    scoring: &impl Scoring,
+    band: usize,
+) -> Option<Aligned> {
+    let n = a.len();
+    let m = b.len();
+    if n.abs_diff(m) > band {
+        return None;
+    }
+    let width = 2 * band + 1;
+    let gap = scoring.gap_open();
+
+    // score[i][k] where k encodes diagonal offset j - i + band ∈ [0, width).
+    let mut score = vec![NEG; (n + 1) * width];
+    let mut trace = vec![0u8; (n + 1) * width]; // 0 diag, 1 up (gap in b), 2 left (gap in a)
+    let idx = |i: usize, k: usize| i * width + k;
+    let in_band = |i: usize, j: usize| (j + band >= i) && (j <= i + band);
+
+    score[idx(0, band)] = 0;
+    for j in 1..=m.min(band) {
+        score[idx(0, j + band)] = gap * j as i32;
+        trace[idx(0, j + band)] = 2;
+    }
+    for i in 1..=n {
+        for k in 0..width {
+            // j = i + k - band, guarded against underflow/overflow.
+            let j_signed = i as isize + k as isize - band as isize;
+            if j_signed < 0 || j_signed as usize > m {
+                continue;
+            }
+            let j = j_signed as usize;
+            if j == 0 {
+                score[idx(i, k)] = gap * i as i32;
+                trace[idx(i, k)] = 1;
+                continue;
+            }
+            let mut best = NEG;
+            let mut dir = 0u8;
+            // Diagonal: (i-1, j-1) is the same k.
+            if in_band(i - 1, j - 1) {
+                let v = score[idx(i - 1, k)].saturating_add(scoring.score(a[i - 1], b[j - 1]));
+                if v > best {
+                    best = v;
+                    dir = 0;
+                }
+            }
+            // Up: (i-1, j) is k+1.
+            if k + 1 < width && in_band(i - 1, j) {
+                let v = score[idx(i - 1, k + 1)].saturating_add(gap);
+                if v > best {
+                    best = v;
+                    dir = 1;
+                }
+            }
+            // Left: (i, j-1) is k-1.
+            if k >= 1 && in_band(i, j - 1) {
+                let v = score[idx(i, k - 1)].saturating_add(gap);
+                if v > best {
+                    best = v;
+                    dir = 2;
+                }
+            }
+            score[idx(i, k)] = best;
+            trace[idx(i, k)] = dir;
+        }
+    }
+
+    let final_k = (m + band).checked_sub(n)?;
+    if final_k >= width {
+        return None;
+    }
+    let final_score = score[idx(n, final_k)];
+    if final_score <= NEG / 2 {
+        return None;
+    }
+
+    // Traceback.
+    let mut ra = Vec::new();
+    let mut rb = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let k = (j + band) - i;
+        match trace[idx(i, k)] {
+            0 => {
+                ra.push(a[i - 1]);
+                rb.push(b[j - 1]);
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                ra.push(a[i - 1]);
+                rb.push(b'-');
+                i -= 1;
+            }
+            _ => {
+                ra.push(b'-');
+                rb.push(b[j - 1]);
+                j -= 1;
+            }
+        }
+    }
+    ra.reverse();
+    rb.reverse();
+    Some(Aligned {
+        score: final_score,
+        aligned_a: ra,
+        aligned_b: rb,
+        a_range: (0, n),
+        b_range: (0, m),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::gotoh::global_align;
+    use crate::align::score::NucleotideScore;
+
+    /// Linear-gap scoring so banded and full NW are directly comparable.
+    fn linear() -> NucleotideScore {
+        NucleotideScore { matched: 2, mismatch: -3, gap_open: -4, gap_extend: -4 }
+    }
+
+    #[test]
+    fn matches_full_alignment_for_close_sequences() {
+        let a = b"ATGGCCTTTAAGCCGGTT";
+        let b = b"ATGGCCTTAAGCCGGTT"; // one deletion
+        let banded = banded_global_align(a, b, &linear(), 4).unwrap();
+        let full = global_align(a, b, &linear());
+        assert_eq!(banded.score, full.score);
+        assert_eq!(banded.matches(), full.matches());
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let a = b"ACGTACGTACGT";
+        let aln = banded_global_align(a, a, &linear(), 2).unwrap();
+        assert_eq!(aln.score, 24);
+        assert!((aln.identity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_difference_beyond_band_is_none() {
+        assert!(banded_global_align(b"AAAAAAAAAA", b"AA", &linear(), 3).is_none());
+    }
+
+    #[test]
+    fn band_zero_is_pure_diagonal() {
+        let aln = banded_global_align(b"ACGT", b"AGGT", &linear(), 0).unwrap();
+        assert_eq!(aln.score, 3 * 2 - 3);
+        assert_eq!(aln.gap_count(), 0);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let aln = banded_global_align(b"", b"", &linear(), 1).unwrap();
+        assert_eq!(aln.score, 0);
+        assert!(aln.is_empty());
+        let aln = banded_global_align(b"AB", b"", &linear(), 2).unwrap();
+        assert_eq!(aln.score, -8);
+    }
+
+    #[test]
+    fn reconstruction_consistent() {
+        let a = b"ATGCCGTA";
+        let b = b"ATGCGTAA";
+        let aln = banded_global_align(a, b, &linear(), 3).unwrap();
+        let stripped_a: Vec<u8> = aln.aligned_a.iter().copied().filter(|&c| c != b'-').collect();
+        let stripped_b: Vec<u8> = aln.aligned_b.iter().copied().filter(|&c| c != b'-').collect();
+        assert_eq!(&stripped_a[..], a);
+        assert_eq!(&stripped_b[..], b);
+    }
+}

@@ -1,0 +1,366 @@
+//! Affine-gap pairwise alignment (Gotoh's algorithm), used both globally
+//! (Needleman–Wunsch) and locally (Smith–Waterman).
+
+use crate::align::score::Scoring;
+use std::fmt;
+
+/// Sentinel for "unreachable" dynamic-programming states; low enough that
+/// adding a penalty can never overflow or win a `max`.
+const NEG: i32 = i32::MIN / 2;
+
+/// The result of a pairwise alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aligned {
+    /// Total alignment score under the scoring scheme used.
+    pub score: i32,
+    /// First sequence with `-` gap characters inserted.
+    pub aligned_a: Vec<u8>,
+    /// Second sequence with `-` gap characters inserted.
+    pub aligned_b: Vec<u8>,
+    /// Half-open range of the first sequence covered by the alignment
+    /// (the whole sequence for global alignment).
+    pub a_range: (usize, usize),
+    /// Half-open range of the second sequence covered by the alignment.
+    pub b_range: (usize, usize),
+}
+
+impl Aligned {
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.aligned_a.len()
+    }
+
+    /// True for a zero-column alignment (possible for local alignment of
+    /// unrelated sequences).
+    pub fn is_empty(&self) -> bool {
+        self.aligned_a.is_empty()
+    }
+
+    /// Columns where the two symbols are identical.
+    pub fn matches(&self) -> usize {
+        self.aligned_a
+            .iter()
+            .zip(&self.aligned_b)
+            .filter(|(x, y)| x == y && **x != b'-')
+            .count()
+    }
+
+    /// Fraction of identical columns (0 for an empty alignment).
+    pub fn identity(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.matches() as f64 / self.len() as f64
+        }
+    }
+
+    /// Number of gap characters across both rows.
+    pub fn gap_count(&self) -> usize {
+        self.aligned_a.iter().filter(|&&c| c == b'-').count()
+            + self.aligned_b.iter().filter(|&&c| c == b'-').count()
+    }
+}
+
+impl fmt::Display for Aligned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mid: String = self
+            .aligned_a
+            .iter()
+            .zip(&self.aligned_b)
+            .map(|(x, y)| if x == y && *x != b'-' { '|' } else { ' ' })
+            .collect();
+        writeln!(f, "{}", String::from_utf8_lossy(&self.aligned_a))?;
+        writeln!(f, "{mid}")?;
+        write!(f, "{}", String::from_utf8_lossy(&self.aligned_b))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Layer {
+    M,
+    X, // gap in b (consumes a)
+    Y, // gap in a (consumes b)
+}
+
+struct Dp {
+    cols: usize,
+    m: Vec<i32>,
+    x: Vec<i32>,
+    y: Vec<i32>,
+}
+
+impl Dp {
+    fn new(rows: usize, cols: usize) -> Self {
+        Dp { cols, m: vec![NEG; rows * cols], x: vec![NEG; rows * cols], y: vec![NEG; rows * cols] }
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.cols + j
+    }
+}
+
+/// Global alignment (Needleman–Wunsch with affine gaps).
+pub fn global_align(a: &[u8], b: &[u8], scoring: &impl Scoring) -> Aligned {
+    align(a, b, scoring, false)
+}
+
+/// Local alignment (Smith–Waterman with affine gaps).
+pub fn local_align(a: &[u8], b: &[u8], scoring: &impl Scoring) -> Aligned {
+    align(a, b, scoring, true)
+}
+
+fn align(a: &[u8], b: &[u8], scoring: &impl Scoring, local: bool) -> Aligned {
+    let n = a.len();
+    let m = b.len();
+    let open = scoring.gap_open();
+    let ext = scoring.gap_extend();
+    let mut dp = Dp::new(n + 1, m + 1);
+
+    // Borders.
+    let origin = dp.idx(0, 0);
+    dp.m[origin] = 0;
+    for i in 1..=n {
+        let k = dp.idx(i, 0);
+        if local {
+            dp.m[k] = 0;
+        } else {
+            dp.x[k] = open + (i as i32 - 1) * ext;
+        }
+    }
+    for j in 1..=m {
+        let k = dp.idx(0, j);
+        if local {
+            dp.m[k] = 0;
+        } else {
+            dp.y[k] = open + (j as i32 - 1) * ext;
+        }
+    }
+
+    // Fill.
+    for i in 1..=n {
+        for j in 1..=m {
+            let k = dp.idx(i, j);
+            let diag = dp.idx(i - 1, j - 1);
+            let up = dp.idx(i - 1, j);
+            let left = dp.idx(i, j - 1);
+
+            let s = scoring.score(a[i - 1], b[j - 1]);
+            let best_prev = dp.m[diag].max(dp.x[diag]).max(dp.y[diag]);
+            let mut mv = best_prev.saturating_add(s);
+            if local && mv < 0 {
+                mv = 0;
+            }
+            dp.m[k] = mv;
+            dp.x[k] = (dp.m[up].saturating_add(open)).max(dp.x[up].saturating_add(ext));
+            dp.y[k] = (dp.m[left].saturating_add(open)).max(dp.y[left].saturating_add(ext));
+        }
+    }
+
+    // Locate the traceback start.
+    let (mut i, mut j, mut layer, score) = if local {
+        let mut best = (0usize, 0usize, 0i32);
+        for i in 0..=n {
+            for j in 0..=m {
+                let v = dp.m[dp.idx(i, j)];
+                if v > best.2 {
+                    best = (i, j, v);
+                }
+            }
+        }
+        (best.0, best.1, Layer::M, best.2)
+    } else {
+        let k = dp.idx(n, m);
+        let (mut layer, mut sc) = (Layer::M, dp.m[k]);
+        if dp.x[k] > sc {
+            layer = Layer::X;
+            sc = dp.x[k];
+        }
+        if dp.y[k] > sc {
+            layer = Layer::Y;
+            sc = dp.y[k];
+        }
+        (n, m, layer, sc)
+    };
+
+    // Traceback.
+    let mut ra = Vec::new();
+    let mut rb = Vec::new();
+    let (a_end, b_end) = (i, j);
+    loop {
+        if local {
+            if layer == Layer::M && dp.m[dp.idx(i, j)] == 0 {
+                break;
+            }
+        } else if i == 0 && j == 0 {
+            break;
+        }
+        match layer {
+            Layer::M => {
+                let s = scoring.score(a[i - 1], b[j - 1]);
+                let target = dp.m[dp.idx(i, j)] - s;
+                ra.push(a[i - 1]);
+                rb.push(b[j - 1]);
+                let diag = dp.idx(i - 1, j - 1);
+                i -= 1;
+                j -= 1;
+                // In local mode `target` is `best_prev`, which always equals
+                // one of the three layers (the 0-clamp only ever produces
+                // cells we stop at before reaching this point).
+                layer = if dp.m[diag] == target {
+                    Layer::M
+                } else if dp.x[diag] == target {
+                    Layer::X
+                } else {
+                    Layer::Y
+                };
+            }
+            Layer::X => {
+                ra.push(a[i - 1]);
+                rb.push(b'-');
+                let up = dp.idx(i - 1, j);
+                let v = dp.x[dp.idx(i, j)];
+                i -= 1;
+                layer = if v == dp.m[up].saturating_add(scoring.gap_open()) {
+                    Layer::M
+                } else {
+                    Layer::X
+                };
+            }
+            Layer::Y => {
+                ra.push(b'-');
+                rb.push(b[j - 1]);
+                let left = dp.idx(i, j - 1);
+                let v = dp.y[dp.idx(i, j)];
+                j -= 1;
+                layer = if v == dp.m[left].saturating_add(scoring.gap_open()) {
+                    Layer::M
+                } else {
+                    Layer::Y
+                };
+            }
+        }
+    }
+    ra.reverse();
+    rb.reverse();
+
+    Aligned {
+        score,
+        aligned_a: ra,
+        aligned_b: rb,
+        a_range: (i, a_end),
+        b_range: (j, b_end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::score::NucleotideScore;
+
+    fn s() -> NucleotideScore {
+        NucleotideScore::default()
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let aln = global_align(b"ATGGCC", b"ATGGCC", &s());
+        assert_eq!(aln.score, 12);
+        assert_eq!(aln.aligned_a, b"ATGGCC");
+        assert_eq!(aln.aligned_b, b"ATGGCC");
+        assert!((aln.identity() - 1.0).abs() < 1e-12);
+        assert_eq!(aln.a_range, (0, 6));
+    }
+
+    #[test]
+    fn single_substitution() {
+        let aln = global_align(b"ATGGCC", b"ATGACC", &s());
+        assert_eq!(aln.score, 5 * 2 - 3);
+        assert_eq!(aln.matches(), 5);
+        assert_eq!(aln.len(), 6);
+    }
+
+    #[test]
+    fn global_introduces_gap() {
+        // Deleting one symbol: ATGGCC vs ATGCC.
+        let aln = global_align(b"ATGGCC", b"ATGCC", &s());
+        assert_eq!(aln.score, 5 * 2 - 5); // 5 matches, one 1-symbol gap
+        assert_eq!(aln.gap_count(), 1);
+        assert_eq!(aln.aligned_a.len(), 6);
+    }
+
+    #[test]
+    fn affine_prefers_one_long_gap() {
+        // One 2-gap (-5 + -2 = -7) beats two 1-gaps (-10).
+        let aln = global_align(b"AAAATTTTCCCC", b"AAAACCCC", &s());
+        assert_eq!(aln.score, 8 * 2 - 5 - 3 * 2);
+        // All gap columns must be contiguous.
+        let gaps: Vec<usize> = aln
+            .aligned_b
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == b'-')
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(gaps.len(), 4);
+        assert!(gaps.windows(2).all(|w| w[1] == w[0] + 1), "gap not contiguous: {gaps:?}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let aln = global_align(b"", b"", &s());
+        assert_eq!(aln.score, 0);
+        assert!(aln.is_empty());
+        let aln = global_align(b"AAA", b"", &s());
+        assert_eq!(aln.score, -5 + -2 * 2);
+        assert_eq!(aln.aligned_b, b"---");
+    }
+
+    #[test]
+    fn local_finds_embedded_match() {
+        let aln = local_align(b"TTTTATGGCCTTTT", b"GGGGATGGCCGGGG", &s());
+        assert_eq!(aln.score, 12); // ATGGCC
+        assert_eq!(aln.aligned_a, b"ATGGCC");
+        assert_eq!(aln.a_range, (4, 10));
+        assert_eq!(aln.b_range, (4, 10));
+    }
+
+    #[test]
+    fn local_of_unrelated_is_short_or_empty() {
+        let aln = local_align(b"AAAA", b"GGGG", &s());
+        assert_eq!(aln.score, 0);
+        assert!(aln.is_empty());
+    }
+
+    #[test]
+    fn local_score_ge_global() {
+        let a = b"ATGCCGTAAGC";
+        let b = b"TTGCCGTAAGA";
+        let g = global_align(a, b, &s());
+        let l = local_align(a, b, &s());
+        assert!(l.score >= g.score);
+    }
+
+    #[test]
+    fn alignment_reconstruction_consistent() {
+        // Stripping gaps from the aligned rows must recover the aligned
+        // ranges of the inputs.
+        let a = b"ATGGCCTTTAAG";
+        let b = b"ATGCCCTTAAG";
+        for aln in [global_align(a, b, &s()), local_align(a, b, &s())] {
+            let stripped_a: Vec<u8> =
+                aln.aligned_a.iter().copied().filter(|&c| c != b'-').collect();
+            let stripped_b: Vec<u8> =
+                aln.aligned_b.iter().copied().filter(|&c| c != b'-').collect();
+            assert_eq!(&stripped_a[..], &a[aln.a_range.0..aln.a_range.1]);
+            assert_eq!(&stripped_b[..], &b[aln.b_range.0..aln.b_range.1]);
+        }
+    }
+
+    #[test]
+    fn display_renders_three_lines() {
+        let aln = global_align(b"ATG", b"ATG", &s());
+        let text = aln.to_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("|||"));
+    }
+}

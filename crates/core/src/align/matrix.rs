@@ -1,0 +1,122 @@
+//! The BLOSUM62 substitution matrix for protein alignment.
+
+use crate::align::score::Scoring;
+
+/// Residue order of the BLOSUM62 table below.
+const ORDER: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+/// The standard BLOSUM62 20×20 substitution scores, rows/columns in
+/// [`ORDER`] order.
+#[rustfmt::skip]
+const BLOSUM62: [[i8; 20]; 20] = [
+    //A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    [ 4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0], // A
+    [-1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3], // R
+    [-2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3], // N
+    [-2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3], // D
+    [ 0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1], // C
+    [-1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2], // Q
+    [-1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2], // E
+    [ 0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3], // G
+    [-2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3], // H
+    [-1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3], // I
+    [-1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1], // L
+    [-1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2], // K
+    [-1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1], // M
+    [-2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1], // F
+    [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2], // P
+    [ 1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2], // S
+    [ 0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0], // T
+    [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3], // W
+    [-2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1], // Y
+    [ 0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4], // V
+];
+
+/// BLOSUM62 scoring with affine gaps (default: −11 open, −1 extend, the
+/// classic BLASTP parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blosum62 {
+    pub gap_open: i32,
+    pub gap_extend: i32,
+}
+
+impl Default for Blosum62 {
+    fn default() -> Self {
+        Blosum62 { gap_open: -11, gap_extend: -1 }
+    }
+}
+
+fn residue_index(c: u8) -> Option<usize> {
+    ORDER.iter().position(|&r| r == c.to_ascii_uppercase())
+}
+
+impl Scoring for Blosum62 {
+    fn score(&self, a: u8, b: u8) -> i32 {
+        match (residue_index(a), residue_index(b)) {
+            (Some(i), Some(j)) => BLOSUM62[i][j] as i32,
+            // Stop aligned with stop is a weak match; any residue against
+            // stop or against X takes the standard penalties.
+            _ => {
+                if a == b'*' && b == b'*' {
+                    1
+                } else if a == b'*' || b == b'*' {
+                    -4
+                } else {
+                    -1 // X against anything
+                }
+            }
+        }
+    }
+
+    fn gap_open(&self) -> i32 {
+        self.gap_open
+    }
+
+    fn gap_extend(&self) -> i32 {
+        self.gap_extend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matrix_is_symmetric() {
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(BLOSUM62[i][j], BLOSUM62[j][i], "asymmetry at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_entries() {
+        let m = Blosum62::default();
+        assert_eq!(m.score(b'W', b'W'), 11);
+        assert_eq!(m.score(b'A', b'A'), 4);
+        assert_eq!(m.score(b'A', b'R'), -1);
+        assert_eq!(m.score(b'I', b'V'), 3);
+        assert_eq!(m.score(b'i', b'v'), 3, "case-insensitive");
+    }
+
+    #[test]
+    fn special_symbols() {
+        let m = Blosum62::default();
+        assert_eq!(m.score(b'X', b'A'), -1);
+        assert_eq!(m.score(b'*', b'*'), 1);
+        assert_eq!(m.score(b'A', b'*'), -4);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn diagonal_dominates_row() {
+        // Every residue scores itself at least as well as any substitution.
+        for i in 0..20 {
+            for j in 0..20 {
+                assert!(BLOSUM62[i][i] >= BLOSUM62[i][j]);
+            }
+        }
+    }
+}

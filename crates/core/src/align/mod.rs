@@ -1,0 +1,135 @@
+//! Sequence alignment and similarity.
+//!
+//! The paper's §6.3 sketches a user-defined `resembles` operator for
+//! comparing nucleotide sequences, and its §3 baseline systems wrap BLAST.
+//! This module supplies the machinery from scratch:
+//!
+//! * [`global_align`] — Needleman–Wunsch with affine gaps (Gotoh).
+//! * [`local_align`] — Smith–Waterman with affine gaps.
+//! * [`banded_global_align`] — banded global alignment for near-identical
+//!   sequences.
+//! * [`seed_and_extend`] — a BLAST-style heuristic: exact k-mer seeds,
+//!   ungapped X-drop extension, and a banded refinement pass.
+//! * [`resembles`] — the similarity predicate exposed to the query language.
+//!
+//! All aligners work on ASCII symbol slices so one implementation serves
+//! DNA, RNA, and protein sequences; typed wrappers do the conversion.
+
+mod score;
+mod matrix;
+mod gotoh;
+mod banded;
+mod seedextend;
+
+pub use score::{NucleotideScore, Scoring};
+pub use matrix::Blosum62;
+pub use gotoh::{global_align, local_align, Aligned};
+pub use banded::banded_global_align;
+pub use seedextend::{best_hsp_score, seed_and_extend, Hsp};
+
+use crate::seq::{DnaSeq, ProteinSeq};
+
+/// Align two DNA sequences globally with the given scoring.
+pub fn global_align_dna(a: &DnaSeq, b: &DnaSeq, scoring: &NucleotideScore) -> Aligned {
+    global_align(a.to_text().as_bytes(), b.to_text().as_bytes(), scoring)
+}
+
+/// Align two DNA sequences locally with the given scoring.
+pub fn local_align_dna(a: &DnaSeq, b: &DnaSeq, scoring: &NucleotideScore) -> Aligned {
+    local_align(a.to_text().as_bytes(), b.to_text().as_bytes(), scoring)
+}
+
+/// Align two protein sequences globally under BLOSUM62.
+pub fn global_align_protein(a: &ProteinSeq, b: &ProteinSeq) -> Aligned {
+    global_align(a.to_text().as_bytes(), b.to_text().as_bytes(), &Blosum62::default())
+}
+
+/// Align two protein sequences locally under BLOSUM62.
+pub fn local_align_protein(a: &ProteinSeq, b: &ProteinSeq) -> Aligned {
+    local_align(a.to_text().as_bytes(), b.to_text().as_bytes(), &Blosum62::default())
+}
+
+/// The paper's `resembles` predicate: do the two sequences share a local
+/// alignment with identity at least `min_identity` covering at least
+/// `min_cover` of the shorter sequence?
+///
+/// A fast k-mer screen rejects obviously unrelated pairs before the
+/// quadratic local alignment runs, which is what makes the predicate usable
+/// inside `WHERE` clauses over whole tables.
+pub fn resembles(a: &DnaSeq, b: &DnaSeq, min_identity: f64, min_cover: f64) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    let short = a.len().min(b.len());
+    // Screen: any shared 8-mer? Only meaningful once the sequences are long
+    // enough that chance 8-mer hits are informative.
+    if short >= 16 {
+        let k = 8;
+        let mut seen = std::collections::HashSet::new();
+        for (_, km) in crate::seq::ops::kmers(a, k) {
+            seen.insert(km);
+        }
+        if !crate::seq::ops::kmers(b, k).iter().any(|(_, km)| seen.contains(km)) {
+            return false;
+        }
+    }
+    let scoring = NucleotideScore::default();
+    let aln = local_align_dna(a, b, &scoring);
+    let covered = aln.a_range.1 - aln.a_range.0;
+    let cover = covered as f64 / short as f64;
+    aln.identity() >= min_identity && cover >= min_cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(s: &str) -> DnaSeq {
+        DnaSeq::from_text(s).unwrap()
+    }
+
+    #[test]
+    fn resembles_identical() {
+        let a = dna("ATGGCCTTTAAGGGGCCCAAATTTGGGCCCATAT");
+        assert!(resembles(&a, &a, 0.95, 0.95));
+    }
+
+    #[test]
+    fn resembles_tolerates_small_divergence() {
+        let a = dna("ATGGCCTTTAAGGGGCCCAAATTTGGGCCCATATACGT");
+        let b = dna("ATGGCCTTTAAGGGGCACAAATTTGGGCCCATATACGT"); // one substitution
+        assert!(resembles(&a, &b, 0.9, 0.9));
+    }
+
+    #[test]
+    fn resembles_rejects_unrelated() {
+        let a = dna("ATATATATATATATATATATATATATATATAT");
+        let b = dna("GCGCGCGCGCGCGCGCGCGCGCGCGCGCGCGC");
+        assert!(!resembles(&a, &b, 0.8, 0.5));
+    }
+
+    #[test]
+    fn resembles_empty_is_false() {
+        assert!(!resembles(&DnaSeq::empty(), &dna("ATG"), 0.5, 0.5));
+    }
+
+    #[test]
+    fn typed_wrappers_agree_with_raw() {
+        let a = dna("ATGGCC");
+        let b = dna("ATGCCC");
+        let scoring = NucleotideScore::default();
+        let w = global_align_dna(&a, &b, &scoring);
+        let r = global_align(b"ATGGCC", b"ATGCCC", &scoring);
+        assert_eq!(w.score, r.score);
+    }
+
+    #[test]
+    fn protein_wrappers_run() {
+        let a = ProteinSeq::from_text("MAFKWH").unwrap();
+        let b = ProteinSeq::from_text("MAFKYH").unwrap();
+        let g = global_align_protein(&a, &b);
+        assert!(g.score > 0);
+        let l = local_align_protein(&a, &b);
+        assert!(l.score >= g.score);
+    }
+}

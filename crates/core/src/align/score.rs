@@ -1,0 +1,68 @@
+//! Scoring schemes for alignment.
+
+/// A substitution/gap scoring scheme over ASCII symbols.
+///
+/// Gap penalties follow the affine model: the first gap symbol of a run
+/// costs `gap_open` and every further symbol costs `gap_extend` (both are
+/// negative numbers).
+pub trait Scoring {
+    /// Substitution score for aligning symbols `a` and `b`.
+    fn score(&self, a: u8, b: u8) -> i32;
+    /// Cost of opening a gap (negative).
+    fn gap_open(&self) -> i32;
+    /// Cost of extending a gap by one symbol (negative).
+    fn gap_extend(&self) -> i32;
+}
+
+/// Simple match/mismatch scoring for nucleotide sequences.
+///
+/// `N` (and any IUPAC ambiguity symbol) scores as a mismatch against
+/// everything including itself — the conservative choice for noisy data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NucleotideScore {
+    pub matched: i32,
+    pub mismatch: i32,
+    pub gap_open: i32,
+    pub gap_extend: i32,
+}
+
+impl Default for NucleotideScore {
+    /// BLASTN-like defaults: +2 match, −3 mismatch, −5 open, −2 extend.
+    fn default() -> Self {
+        NucleotideScore { matched: 2, mismatch: -3, gap_open: -5, gap_extend: -2 }
+    }
+}
+
+impl Scoring for NucleotideScore {
+    fn score(&self, a: u8, b: u8) -> i32 {
+        let concrete = matches!(a, b'A' | b'C' | b'G' | b'T' | b'U');
+        if concrete && a == b {
+            self.matched
+        } else {
+            self.mismatch
+        }
+    }
+
+    fn gap_open(&self) -> i32 {
+        self.gap_open
+    }
+
+    fn gap_extend(&self) -> i32 {
+        self.gap_extend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scores() {
+        let s = NucleotideScore::default();
+        assert_eq!(s.score(b'A', b'A'), 2);
+        assert_eq!(s.score(b'A', b'G'), -3);
+        assert_eq!(s.score(b'N', b'N'), -3, "ambiguity never scores as a match");
+        assert_eq!(s.gap_open(), -5);
+        assert_eq!(s.gap_extend(), -2);
+    }
+}

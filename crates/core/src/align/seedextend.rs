@@ -1,0 +1,225 @@
+//! BLAST-style seed-and-extend heuristic alignment.
+//!
+//! The mediator systems the paper surveys all wrap BLAST for similarity
+//! search; our substitution (DESIGN.md) is this self-contained
+//! implementation: exact k-mer seeds between query and subject, ungapped
+//! X-drop extension along each seeded diagonal, and high-scoring segment
+//! pairs (HSPs) as the result.
+
+use crate::align::score::{NucleotideScore, Scoring};
+use crate::seq::ops::kmers;
+use crate::seq::DnaSeq;
+use std::collections::HashMap;
+
+/// A high-scoring segment pair: an ungapped local match between a query
+/// region and a subject region on one diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hsp {
+    /// Query range `[a_start, a_end)`.
+    pub a_start: usize,
+    pub a_end: usize,
+    /// Subject range `[b_start, b_end)`.
+    pub b_start: usize,
+    pub b_end: usize,
+    /// Ungapped alignment score.
+    pub score: i32,
+}
+
+impl Hsp {
+    /// Length of the matched segment.
+    pub fn len(&self) -> usize {
+        self.a_end - self.a_start
+    }
+
+    /// HSPs always have at least seed length.
+    pub fn is_empty(&self) -> bool {
+        self.a_end == self.a_start
+    }
+
+    /// The diagonal (`b_start - a_start`) the HSP lies on.
+    pub fn diagonal(&self) -> isize {
+        self.b_start as isize - self.a_start as isize
+    }
+}
+
+/// Find HSPs between `query` and `subject`.
+///
+/// * `k` — seed length (word size); BLASTN's default is 11, short
+///   sequences want 6–8.
+/// * `x_drop` — how far the running score may fall below its maximum
+///   before extension stops.
+///
+/// Returns HSPs sorted by decreasing score. Overlapping seeds on a
+/// diagonal that fall inside an already-extended HSP are skipped, so the
+/// result contains each distinct segment once.
+pub fn seed_and_extend(
+    query: &DnaSeq,
+    subject: &DnaSeq,
+    k: usize,
+    scoring: &NucleotideScore,
+    x_drop: i32,
+) -> Vec<Hsp> {
+    let qa = query.to_text().into_bytes();
+    let sb = subject.to_text().into_bytes();
+
+    // Index the query's k-mers.
+    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (pos, km) in kmers(query, k) {
+        index.entry(km).or_default().push(pos);
+    }
+
+    // Per-diagonal high-water mark: skip seeds already covered by an HSP.
+    let mut covered: HashMap<isize, usize> = HashMap::new();
+    let mut hsps = Vec::new();
+
+    for (spos, km) in kmers(subject, k) {
+        let Some(qpositions) = index.get(&km) else { continue };
+        for &qpos in qpositions {
+            let diag = spos as isize - qpos as isize;
+            if covered.get(&diag).is_some_and(|&end| qpos < end) {
+                continue;
+            }
+            let hsp = extend(&qa, &sb, qpos, spos, k, scoring, x_drop);
+            covered.insert(diag, hsp.a_end);
+            hsps.push(hsp);
+        }
+    }
+    hsps.sort_by(|x, y| y.score.cmp(&x.score).then(x.a_start.cmp(&y.a_start)));
+    hsps
+}
+
+/// Best HSP score between two sequences, or 0 when no seed matches — a
+/// cheap similarity statistic for ranking.
+pub fn best_hsp_score(
+    query: &DnaSeq,
+    subject: &DnaSeq,
+    k: usize,
+    scoring: &NucleotideScore,
+    x_drop: i32,
+) -> i32 {
+    seed_and_extend(query, subject, k, scoring, x_drop)
+        .first()
+        .map_or(0, |h| h.score)
+}
+
+fn extend(
+    qa: &[u8],
+    sb: &[u8],
+    qpos: usize,
+    spos: usize,
+    k: usize,
+    scoring: &impl Scoring,
+    x_drop: i32,
+) -> Hsp {
+    // Seed score.
+    let mut score: i32 = (0..k).map(|i| scoring.score(qa[qpos + i], sb[spos + i])).sum();
+
+    // Extend right.
+    let (mut qe, mut se) = (qpos + k, spos + k);
+    let mut running = score;
+    let mut best = score;
+    let (mut best_qe, mut best_se) = (qe, se);
+    while qe < qa.len() && se < sb.len() {
+        running += scoring.score(qa[qe], sb[se]);
+        qe += 1;
+        se += 1;
+        if running > best {
+            best = running;
+            best_qe = qe;
+            best_se = se;
+        } else if best - running > x_drop {
+            break;
+        }
+    }
+    score = best;
+
+    // Extend left.
+    let (mut qs, mut ss) = (qpos, spos);
+    let mut running = score;
+    let mut best = score;
+    let (mut best_qs, mut best_ss) = (qs, ss);
+    while qs > 0 && ss > 0 {
+        running += scoring.score(qa[qs - 1], sb[ss - 1]);
+        qs -= 1;
+        ss -= 1;
+        if running > best {
+            best = running;
+            best_qs = qs;
+            best_ss = ss;
+        } else if best - running > x_drop {
+            break;
+        }
+    }
+
+    Hsp { a_start: best_qs, a_end: best_qe, b_start: best_ss, b_end: best_se, score: best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(s: &str) -> DnaSeq {
+        DnaSeq::from_text(s).unwrap()
+    }
+
+    fn scoring() -> NucleotideScore {
+        NucleotideScore::default()
+    }
+
+    #[test]
+    fn identical_sequences_single_full_hsp() {
+        let a = dna("ATGGCCTTTAAGCCGG");
+        let hsps = seed_and_extend(&a, &a, 8, &scoring(), 20);
+        assert!(!hsps.is_empty());
+        let top = hsps[0];
+        assert_eq!((top.a_start, top.a_end), (0, 16));
+        assert_eq!((top.b_start, top.b_end), (0, 16));
+        assert_eq!(top.score, 32);
+        assert_eq!(top.diagonal(), 0);
+    }
+
+    #[test]
+    fn embedded_segment_found() {
+        let query = dna("ATGGCCTTTAAG");
+        let subject = dna("CCCCCCCCATGGCCTTTAAGCCCCCCCC");
+        let hsps = seed_and_extend(&query, &subject, 8, &scoring(), 10);
+        let top = hsps[0];
+        assert_eq!((top.a_start, top.a_end), (0, 12));
+        assert_eq!(top.b_start, 8);
+        assert_eq!(top.score, 24);
+    }
+
+    #[test]
+    fn no_shared_kmer_no_hsp() {
+        let a = dna("ATATATATATATATAT");
+        let b = dna("GCGCGCGCGCGCGCGC");
+        assert!(seed_and_extend(&a, &b, 8, &scoring(), 10).is_empty());
+        assert_eq!(best_hsp_score(&a, &b, 8, &scoring(), 10), 0);
+    }
+
+    #[test]
+    fn extension_crosses_single_mismatch() {
+        //             0123456789012345678901
+        let a = dna("ATGGCCTTTAAGACCGGTTAGC");
+        let mut btext = a.to_text();
+        // Introduce one substitution in the middle.
+        btext.replace_range(11..12, "T");
+        let b = dna(&btext);
+        let hsps = seed_and_extend(&a, &b, 8, &scoring(), 20);
+        let top = hsps[0];
+        // The extension should span the full sequence despite the mismatch.
+        assert_eq!((top.a_start, top.a_end), (0, 22));
+        assert_eq!(top.score, 21 * 2 - 3);
+    }
+
+    #[test]
+    fn covered_diagonals_not_duplicated() {
+        let a = dna("ATGGCCTTTAAGATGGCCTTTAAG"); // internal repeat
+        let hsps = seed_and_extend(&a, &a, 8, &scoring(), 10);
+        // Each (diagonal, segment) appears once; the main diagonal HSP
+        // covers the whole sequence.
+        let diag0: Vec<_> = hsps.iter().filter(|h| h.diagonal() == 0).collect();
+        assert_eq!(diag0.len(), 1);
+        assert_eq!(diag0[0].len(), 24);
+    }
+}

@@ -1,0 +1,731 @@
+//! Biological alphabets: DNA and RNA bases, IUPAC ambiguity codes, amino
+//! acids, and strand orientation.
+//!
+//! These are the "atomic" sorts of the Genomics Algebra (§4.2): every
+//! sequence GDT is a finite word over one of these alphabets. The types are
+//! deliberately tiny (`u8`-sized) so that packed sequence representations
+//! (see [`crate::seq`]) stay compact, per the paper's §4.4 requirement that
+//! genomic values live in contiguous storage areas.
+
+use crate::error::{GenAlgError, Result};
+use std::fmt;
+
+/// One of the four unambiguous DNA bases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum DnaBase {
+    A = 0,
+    C = 1,
+    G = 2,
+    T = 3,
+}
+
+impl DnaBase {
+    /// All four bases in index order.
+    pub const ALL: [DnaBase; 4] = [DnaBase::A, DnaBase::C, DnaBase::G, DnaBase::T];
+
+    /// Parse from an upper- or lower-case character.
+    pub fn from_char(c: char) -> Result<Self> {
+        match c {
+            'A' | 'a' => Ok(DnaBase::A),
+            'C' | 'c' => Ok(DnaBase::C),
+            'G' | 'g' => Ok(DnaBase::G),
+            'T' | 't' => Ok(DnaBase::T),
+            _ => Err(GenAlgError::InvalidSymbol { symbol: c, alphabet: "DNA" }),
+        }
+    }
+
+    /// Upper-case character for this base.
+    pub fn to_char(self) -> char {
+        match self {
+            DnaBase::A => 'A',
+            DnaBase::C => 'C',
+            DnaBase::G => 'G',
+            DnaBase::T => 'T',
+        }
+    }
+
+    /// Watson–Crick complement.
+    pub fn complement(self) -> Self {
+        match self {
+            DnaBase::A => DnaBase::T,
+            DnaBase::T => DnaBase::A,
+            DnaBase::C => DnaBase::G,
+            DnaBase::G => DnaBase::C,
+        }
+    }
+
+    /// 2-bit code (0..=3), the packed-storage representation.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`DnaBase::code`]; only the low two bits are observed.
+    pub fn from_code(code: u8) -> Self {
+        match code & 0b11 {
+            0 => DnaBase::A,
+            1 => DnaBase::C,
+            2 => DnaBase::G,
+            _ => DnaBase::T,
+        }
+    }
+
+    /// The RNA base this DNA base transcribes to (template-free convention:
+    /// T becomes U, everything else is unchanged).
+    pub fn to_rna(self) -> RnaBase {
+        match self {
+            DnaBase::A => RnaBase::A,
+            DnaBase::C => RnaBase::C,
+            DnaBase::G => RnaBase::G,
+            DnaBase::T => RnaBase::U,
+        }
+    }
+}
+
+impl fmt::Display for DnaBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// One of the four unambiguous RNA bases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum RnaBase {
+    A = 0,
+    C = 1,
+    G = 2,
+    U = 3,
+}
+
+impl RnaBase {
+    /// All four bases in index order.
+    pub const ALL: [RnaBase; 4] = [RnaBase::A, RnaBase::C, RnaBase::G, RnaBase::U];
+
+    /// Parse from an upper- or lower-case character.
+    pub fn from_char(c: char) -> Result<Self> {
+        match c {
+            'A' | 'a' => Ok(RnaBase::A),
+            'C' | 'c' => Ok(RnaBase::C),
+            'G' | 'g' => Ok(RnaBase::G),
+            'U' | 'u' => Ok(RnaBase::U),
+            _ => Err(GenAlgError::InvalidSymbol { symbol: c, alphabet: "RNA" }),
+        }
+    }
+
+    /// Upper-case character for this base.
+    pub fn to_char(self) -> char {
+        match self {
+            RnaBase::A => 'A',
+            RnaBase::C => 'C',
+            RnaBase::G => 'G',
+            RnaBase::U => 'U',
+        }
+    }
+
+    /// Complement within the RNA alphabet (A↔U, C↔G).
+    pub fn complement(self) -> Self {
+        match self {
+            RnaBase::A => RnaBase::U,
+            RnaBase::U => RnaBase::A,
+            RnaBase::C => RnaBase::G,
+            RnaBase::G => RnaBase::C,
+        }
+    }
+
+    /// 2-bit code (0..=3).
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`RnaBase::code`]; only the low two bits are observed.
+    pub fn from_code(code: u8) -> Self {
+        match code & 0b11 {
+            0 => RnaBase::A,
+            1 => RnaBase::C,
+            2 => RnaBase::G,
+            _ => RnaBase::U,
+        }
+    }
+
+    /// Reverse transcription: the DNA base this RNA base corresponds to.
+    pub fn to_dna(self) -> DnaBase {
+        match self {
+            RnaBase::A => DnaBase::A,
+            RnaBase::C => DnaBase::C,
+            RnaBase::G => DnaBase::G,
+            RnaBase::U => DnaBase::T,
+        }
+    }
+}
+
+impl fmt::Display for RnaBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// IUPAC nucleotide code, including ambiguity symbols.
+///
+/// Genomic repositories are noisy (the paper's problem **B10** estimates
+/// 30–60 % of GenBank sequences contain errors), so real entries routinely
+/// contain ambiguity codes. The representation is a 4-bit mask with one bit
+/// per unambiguous base: bit 0 = A, bit 1 = C, bit 2 = G, bit 3 = T.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IupacDna(u8);
+
+impl IupacDna {
+    pub const A: IupacDna = IupacDna(0b0001);
+    pub const C: IupacDna = IupacDna(0b0010);
+    pub const G: IupacDna = IupacDna(0b0100);
+    pub const T: IupacDna = IupacDna(0b1000);
+    /// A or G (purine).
+    pub const R: IupacDna = IupacDna(0b0101);
+    /// C or T (pyrimidine).
+    pub const Y: IupacDna = IupacDna(0b1010);
+    /// G or C (strong).
+    pub const S: IupacDna = IupacDna(0b0110);
+    /// A or T (weak).
+    pub const W: IupacDna = IupacDna(0b1001);
+    /// G or T (keto).
+    pub const K: IupacDna = IupacDna(0b1100);
+    /// A or C (amino).
+    pub const M: IupacDna = IupacDna(0b0011);
+    /// C, G or T (not A).
+    pub const B: IupacDna = IupacDna(0b1110);
+    /// A, G or T (not C).
+    pub const D: IupacDna = IupacDna(0b1101);
+    /// A, C or T (not G).
+    pub const H: IupacDna = IupacDna(0b1011);
+    /// A, C or G (not T).
+    pub const V: IupacDna = IupacDna(0b0111);
+    /// Any base.
+    pub const N: IupacDna = IupacDna(0b1111);
+
+    /// Parse from an upper- or lower-case IUPAC character.
+    pub fn from_char(c: char) -> Result<Self> {
+        Ok(match c.to_ascii_uppercase() {
+            'A' => Self::A,
+            'C' => Self::C,
+            'G' => Self::G,
+            'T' => Self::T,
+            'R' => Self::R,
+            'Y' => Self::Y,
+            'S' => Self::S,
+            'W' => Self::W,
+            'K' => Self::K,
+            'M' => Self::M,
+            'B' => Self::B,
+            'D' => Self::D,
+            'H' => Self::H,
+            'V' => Self::V,
+            'N' => Self::N,
+            _ => return Err(GenAlgError::InvalidSymbol { symbol: c, alphabet: "IUPAC DNA" }),
+        })
+    }
+
+    /// Canonical upper-case IUPAC character.
+    pub fn to_char(self) -> char {
+        match self.0 {
+            0b0001 => 'A',
+            0b0010 => 'C',
+            0b0100 => 'G',
+            0b1000 => 'T',
+            0b0101 => 'R',
+            0b1010 => 'Y',
+            0b0110 => 'S',
+            0b1001 => 'W',
+            0b1100 => 'K',
+            0b0011 => 'M',
+            0b1110 => 'B',
+            0b1101 => 'D',
+            0b1011 => 'H',
+            0b0111 => 'V',
+            _ => 'N',
+        }
+    }
+
+    /// The 4-bit mask (1 bit per matching base), the packed representation.
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild from a 4-bit mask. A zero mask is normalized to `N` so that
+    /// corrupt data never produces an impossible symbol.
+    pub fn from_mask(mask: u8) -> Self {
+        let m = mask & 0b1111;
+        if m == 0 {
+            Self::N
+        } else {
+            IupacDna(m)
+        }
+    }
+
+    /// Lift an unambiguous base into the IUPAC alphabet.
+    pub fn from_base(b: DnaBase) -> Self {
+        IupacDna(1 << b.code())
+    }
+
+    /// Returns the unambiguous base if this code denotes exactly one.
+    pub fn as_base(self) -> Option<DnaBase> {
+        match self.0 {
+            0b0001 => Some(DnaBase::A),
+            0b0010 => Some(DnaBase::C),
+            0b0100 => Some(DnaBase::G),
+            0b1000 => Some(DnaBase::T),
+            _ => None,
+        }
+    }
+
+    /// True if this code is a single concrete base.
+    pub fn is_unambiguous(self) -> bool {
+        self.0.count_ones() == 1
+    }
+
+    /// True if `base` is among the bases this code can stand for.
+    pub fn matches(self, base: DnaBase) -> bool {
+        self.0 & (1 << base.code()) != 0
+    }
+
+    /// True if the two codes could denote the same base (mask intersection).
+    pub fn compatible(self, other: IupacDna) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// IUPAC complement: complement each base in the mask.
+    pub fn complement(self) -> Self {
+        let m = self.0;
+        let mut out = 0u8;
+        // A(bit0)<->T(bit3), C(bit1)<->G(bit2)
+        if m & 0b0001 != 0 {
+            out |= 0b1000;
+        }
+        if m & 0b1000 != 0 {
+            out |= 0b0001;
+        }
+        if m & 0b0010 != 0 {
+            out |= 0b0100;
+        }
+        if m & 0b0100 != 0 {
+            out |= 0b0010;
+        }
+        IupacDna(out)
+    }
+
+    /// Number of concrete bases this code may stand for (1–4).
+    pub fn cardinality(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl fmt::Display for IupacDna {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// The twenty proteinogenic amino acids plus the translation-stop marker and
+/// the `X` "unknown residue" code that noisy repository entries use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum AminoAcid {
+    Ala = 0,
+    Arg = 1,
+    Asn = 2,
+    Asp = 3,
+    Cys = 4,
+    Gln = 5,
+    Glu = 6,
+    Gly = 7,
+    His = 8,
+    Ile = 9,
+    Leu = 10,
+    Lys = 11,
+    Met = 12,
+    Phe = 13,
+    Pro = 14,
+    Ser = 15,
+    Thr = 16,
+    Trp = 17,
+    Tyr = 18,
+    Val = 19,
+    /// Translation stop (`*` in one-letter notation).
+    Stop = 20,
+    /// Unknown / any residue (`X`).
+    Unknown = 21,
+}
+
+impl AminoAcid {
+    /// The twenty standard residues (no Stop, no Unknown), in enum order.
+    pub const STANDARD: [AminoAcid; 20] = [
+        AminoAcid::Ala,
+        AminoAcid::Arg,
+        AminoAcid::Asn,
+        AminoAcid::Asp,
+        AminoAcid::Cys,
+        AminoAcid::Gln,
+        AminoAcid::Glu,
+        AminoAcid::Gly,
+        AminoAcid::His,
+        AminoAcid::Ile,
+        AminoAcid::Leu,
+        AminoAcid::Lys,
+        AminoAcid::Met,
+        AminoAcid::Phe,
+        AminoAcid::Pro,
+        AminoAcid::Ser,
+        AminoAcid::Thr,
+        AminoAcid::Trp,
+        AminoAcid::Tyr,
+        AminoAcid::Val,
+    ];
+
+    /// Parse the one-letter code.
+    pub fn from_char(c: char) -> Result<Self> {
+        Ok(match c.to_ascii_uppercase() {
+            'A' => AminoAcid::Ala,
+            'R' => AminoAcid::Arg,
+            'N' => AminoAcid::Asn,
+            'D' => AminoAcid::Asp,
+            'C' => AminoAcid::Cys,
+            'Q' => AminoAcid::Gln,
+            'E' => AminoAcid::Glu,
+            'G' => AminoAcid::Gly,
+            'H' => AminoAcid::His,
+            'I' => AminoAcid::Ile,
+            'L' => AminoAcid::Leu,
+            'K' => AminoAcid::Lys,
+            'M' => AminoAcid::Met,
+            'F' => AminoAcid::Phe,
+            'P' => AminoAcid::Pro,
+            'S' => AminoAcid::Ser,
+            'T' => AminoAcid::Thr,
+            'W' => AminoAcid::Trp,
+            'Y' => AminoAcid::Tyr,
+            'V' => AminoAcid::Val,
+            '*' => AminoAcid::Stop,
+            'X' => AminoAcid::Unknown,
+            _ => return Err(GenAlgError::InvalidSymbol { symbol: c, alphabet: "amino acid" }),
+        })
+    }
+
+    /// One-letter code.
+    pub fn to_char(self) -> char {
+        match self {
+            AminoAcid::Ala => 'A',
+            AminoAcid::Arg => 'R',
+            AminoAcid::Asn => 'N',
+            AminoAcid::Asp => 'D',
+            AminoAcid::Cys => 'C',
+            AminoAcid::Gln => 'Q',
+            AminoAcid::Glu => 'E',
+            AminoAcid::Gly => 'G',
+            AminoAcid::His => 'H',
+            AminoAcid::Ile => 'I',
+            AminoAcid::Leu => 'L',
+            AminoAcid::Lys => 'K',
+            AminoAcid::Met => 'M',
+            AminoAcid::Phe => 'F',
+            AminoAcid::Pro => 'P',
+            AminoAcid::Ser => 'S',
+            AminoAcid::Thr => 'T',
+            AminoAcid::Trp => 'W',
+            AminoAcid::Tyr => 'Y',
+            AminoAcid::Val => 'V',
+            AminoAcid::Stop => '*',
+            AminoAcid::Unknown => 'X',
+        }
+    }
+
+    /// Three-letter abbreviation (`Ter` for stop, `Xaa` for unknown).
+    pub fn three_letter(self) -> &'static str {
+        match self {
+            AminoAcid::Ala => "Ala",
+            AminoAcid::Arg => "Arg",
+            AminoAcid::Asn => "Asn",
+            AminoAcid::Asp => "Asp",
+            AminoAcid::Cys => "Cys",
+            AminoAcid::Gln => "Gln",
+            AminoAcid::Glu => "Glu",
+            AminoAcid::Gly => "Gly",
+            AminoAcid::His => "His",
+            AminoAcid::Ile => "Ile",
+            AminoAcid::Leu => "Leu",
+            AminoAcid::Lys => "Lys",
+            AminoAcid::Met => "Met",
+            AminoAcid::Phe => "Phe",
+            AminoAcid::Pro => "Pro",
+            AminoAcid::Ser => "Ser",
+            AminoAcid::Thr => "Thr",
+            AminoAcid::Trp => "Trp",
+            AminoAcid::Tyr => "Tyr",
+            AminoAcid::Val => "Val",
+            AminoAcid::Stop => "Ter",
+            AminoAcid::Unknown => "Xaa",
+        }
+    }
+
+    /// Average (isotope-weighted) residue mass in daltons; 0 for stop,
+    /// and the mean standard-residue mass for unknown.
+    pub fn monoisotopic_mass(self) -> f64 {
+        match self {
+            AminoAcid::Ala => 71.03711,
+            AminoAcid::Arg => 156.10111,
+            AminoAcid::Asn => 114.04293,
+            AminoAcid::Asp => 115.02694,
+            AminoAcid::Cys => 103.00919,
+            AminoAcid::Gln => 128.05858,
+            AminoAcid::Glu => 129.04259,
+            AminoAcid::Gly => 57.02146,
+            AminoAcid::His => 137.05891,
+            AminoAcid::Ile => 113.08406,
+            AminoAcid::Leu => 113.08406,
+            AminoAcid::Lys => 128.09496,
+            AminoAcid::Met => 131.04049,
+            AminoAcid::Phe => 147.06841,
+            AminoAcid::Pro => 97.05276,
+            AminoAcid::Ser => 87.03203,
+            AminoAcid::Thr => 101.04768,
+            AminoAcid::Trp => 186.07931,
+            AminoAcid::Tyr => 163.06333,
+            AminoAcid::Val => 99.06841,
+            AminoAcid::Stop => 0.0,
+            AminoAcid::Unknown => 110.0,
+        }
+    }
+
+    /// Kyte–Doolittle hydropathy index.
+    pub fn hydropathy(self) -> f64 {
+        match self {
+            AminoAcid::Ala => 1.8,
+            AminoAcid::Arg => -4.5,
+            AminoAcid::Asn => -3.5,
+            AminoAcid::Asp => -3.5,
+            AminoAcid::Cys => 2.5,
+            AminoAcid::Gln => -3.5,
+            AminoAcid::Glu => -3.5,
+            AminoAcid::Gly => -0.4,
+            AminoAcid::His => -3.2,
+            AminoAcid::Ile => 4.5,
+            AminoAcid::Leu => 3.8,
+            AminoAcid::Lys => -3.9,
+            AminoAcid::Met => 1.9,
+            AminoAcid::Phe => 2.8,
+            AminoAcid::Pro => -1.6,
+            AminoAcid::Ser => -0.8,
+            AminoAcid::Thr => -0.7,
+            AminoAcid::Trp => -0.9,
+            AminoAcid::Tyr => -1.3,
+            AminoAcid::Val => 4.2,
+            AminoAcid::Stop | AminoAcid::Unknown => 0.0,
+        }
+    }
+
+    /// 5-bit storage code (0..=21).
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`AminoAcid::code`]; out-of-range codes become `Unknown`.
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            0 => AminoAcid::Ala,
+            1 => AminoAcid::Arg,
+            2 => AminoAcid::Asn,
+            3 => AminoAcid::Asp,
+            4 => AminoAcid::Cys,
+            5 => AminoAcid::Gln,
+            6 => AminoAcid::Glu,
+            7 => AminoAcid::Gly,
+            8 => AminoAcid::His,
+            9 => AminoAcid::Ile,
+            10 => AminoAcid::Leu,
+            11 => AminoAcid::Lys,
+            12 => AminoAcid::Met,
+            13 => AminoAcid::Phe,
+            14 => AminoAcid::Pro,
+            15 => AminoAcid::Ser,
+            16 => AminoAcid::Thr,
+            17 => AminoAcid::Trp,
+            18 => AminoAcid::Tyr,
+            19 => AminoAcid::Val,
+            20 => AminoAcid::Stop,
+            _ => AminoAcid::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for AminoAcid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// Which strand of the double helix a feature lies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strand {
+    #[default]
+    Forward,
+    Reverse,
+}
+
+impl Strand {
+    /// The opposite strand.
+    pub fn flipped(self) -> Self {
+        match self {
+            Strand::Forward => Strand::Reverse,
+            Strand::Reverse => Strand::Forward,
+        }
+    }
+
+    /// `+` / `-` notation used by annotation formats.
+    pub fn symbol(self) -> char {
+        match self {
+            Strand::Forward => '+',
+            Strand::Reverse => '-',
+        }
+    }
+
+    /// Parse `+` / `-`.
+    pub fn from_symbol(c: char) -> Result<Self> {
+        match c {
+            '+' => Ok(Strand::Forward),
+            '-' => Ok(Strand::Reverse),
+            _ => Err(GenAlgError::InvalidSymbol { symbol: c, alphabet: "strand" }),
+        }
+    }
+}
+
+impl fmt::Display for Strand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_roundtrip_chars() {
+        for b in DnaBase::ALL {
+            assert_eq!(DnaBase::from_char(b.to_char()).unwrap(), b);
+            assert_eq!(DnaBase::from_char(b.to_char().to_ascii_lowercase()).unwrap(), b);
+        }
+        assert!(DnaBase::from_char('U').is_err());
+    }
+
+    #[test]
+    fn dna_complement_is_involution() {
+        for b in DnaBase::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+        assert_eq!(DnaBase::A.complement(), DnaBase::T);
+        assert_eq!(DnaBase::G.complement(), DnaBase::C);
+    }
+
+    #[test]
+    fn dna_code_roundtrip() {
+        for b in DnaBase::ALL {
+            assert_eq!(DnaBase::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn rna_roundtrip_and_complement() {
+        for b in RnaBase::ALL {
+            assert_eq!(RnaBase::from_char(b.to_char()).unwrap(), b);
+            assert_eq!(b.complement().complement(), b);
+            assert_eq!(RnaBase::from_code(b.code()), b);
+        }
+        assert!(RnaBase::from_char('T').is_err());
+    }
+
+    #[test]
+    fn transcription_mapping() {
+        assert_eq!(DnaBase::T.to_rna(), RnaBase::U);
+        assert_eq!(DnaBase::A.to_rna(), RnaBase::A);
+        for b in RnaBase::ALL {
+            assert_eq!(b.to_dna().to_rna(), b);
+        }
+    }
+
+    #[test]
+    fn iupac_all_fifteen_codes_roundtrip() {
+        for c in "ACGTRYSWKMBDHVN".chars() {
+            let code = IupacDna::from_char(c).unwrap();
+            assert_eq!(code.to_char(), c);
+            assert_eq!(IupacDna::from_mask(code.mask()), code);
+        }
+        assert!(IupacDna::from_char('Z').is_err());
+    }
+
+    #[test]
+    fn iupac_matching_semantics() {
+        assert!(IupacDna::N.matches(DnaBase::A));
+        assert!(IupacDna::N.matches(DnaBase::T));
+        assert!(IupacDna::R.matches(DnaBase::A));
+        assert!(IupacDna::R.matches(DnaBase::G));
+        assert!(!IupacDna::R.matches(DnaBase::C));
+        assert!(IupacDna::R.compatible(IupacDna::D));
+        assert!(!IupacDna::S.compatible(IupacDna::W));
+    }
+
+    #[test]
+    fn iupac_complement_pairs() {
+        assert_eq!(IupacDna::A.complement(), IupacDna::T);
+        assert_eq!(IupacDna::R.complement(), IupacDna::Y);
+        assert_eq!(IupacDna::S.complement(), IupacDna::S);
+        assert_eq!(IupacDna::W.complement(), IupacDna::W);
+        assert_eq!(IupacDna::B.complement(), IupacDna::V);
+        assert_eq!(IupacDna::N.complement(), IupacDna::N);
+        for c in "ACGTRYSWKMBDHVN".chars() {
+            let x = IupacDna::from_char(c).unwrap();
+            assert_eq!(x.complement().complement(), x, "complement not involutive for {c}");
+        }
+    }
+
+    #[test]
+    fn iupac_zero_mask_normalizes_to_n() {
+        assert_eq!(IupacDna::from_mask(0), IupacDna::N);
+    }
+
+    #[test]
+    fn iupac_cardinality() {
+        assert_eq!(IupacDna::A.cardinality(), 1);
+        assert_eq!(IupacDna::R.cardinality(), 2);
+        assert_eq!(IupacDna::B.cardinality(), 3);
+        assert_eq!(IupacDna::N.cardinality(), 4);
+    }
+
+    #[test]
+    fn amino_acid_roundtrip() {
+        for aa in AminoAcid::STANDARD {
+            assert_eq!(AminoAcid::from_char(aa.to_char()).unwrap(), aa);
+            assert_eq!(AminoAcid::from_code(aa.code()), aa);
+            assert_eq!(aa.three_letter().len(), 3);
+        }
+        assert_eq!(AminoAcid::from_char('*').unwrap(), AminoAcid::Stop);
+        assert_eq!(AminoAcid::from_char('x').unwrap(), AminoAcid::Unknown);
+        assert!(AminoAcid::from_char('J').is_err());
+        assert_eq!(AminoAcid::from_code(99), AminoAcid::Unknown);
+    }
+
+    #[test]
+    fn amino_acid_masses_positive() {
+        for aa in AminoAcid::STANDARD {
+            assert!(aa.monoisotopic_mass() > 50.0, "{aa:?}");
+        }
+        assert!((AminoAcid::Gly.monoisotopic_mass() - 57.02146).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strand_flip_and_symbols() {
+        assert_eq!(Strand::Forward.flipped(), Strand::Reverse);
+        assert_eq!(Strand::Reverse.flipped(), Strand::Forward);
+        assert_eq!(Strand::from_symbol('+').unwrap(), Strand::Forward);
+        assert_eq!(Strand::from_symbol('-').unwrap(), Strand::Reverse);
+        assert!(Strand::from_symbol('?').is_err());
+        assert_eq!(Strand::default(), Strand::Forward);
+    }
+}

@@ -1,0 +1,354 @@
+//! Genetic code tables and codon-level translation.
+//!
+//! The `decode` operation of the Genomics Algebra maps codons to amino
+//! acids. Because different organelles and taxa use different codes, the
+//! table is a first-class value ([`GeneticCode`]) selected by its NCBI
+//! translation-table number, not a hard-wired constant.
+
+use crate::alphabet::{AminoAcid, DnaBase, RnaBase};
+use crate::error::{GenAlgError, Result};
+use crate::seq::{ProteinSeq, RnaSeq};
+
+/// NCBI-style amino-acid strings are indexed in TCAG order.
+fn tcag_index_dna(b: DnaBase) -> usize {
+    match b {
+        DnaBase::T => 0,
+        DnaBase::C => 1,
+        DnaBase::A => 2,
+        DnaBase::G => 3,
+    }
+}
+
+fn tcag_index_rna(b: RnaBase) -> usize {
+    tcag_index_dna(b.to_dna())
+}
+
+fn codon_index_dna(c: [DnaBase; 3]) -> usize {
+    tcag_index_dna(c[0]) * 16 + tcag_index_dna(c[1]) * 4 + tcag_index_dna(c[2])
+}
+
+fn codon_index_rna(c: [RnaBase; 3]) -> usize {
+    tcag_index_rna(c[0]) * 16 + tcag_index_rna(c[1]) * 4 + tcag_index_rna(c[2])
+}
+
+/// A translation table: 64 codon→residue assignments plus start codons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneticCode {
+    /// NCBI translation-table number (1, 2, 5, 11, …).
+    id: u8,
+    /// Human-readable name.
+    name: &'static str,
+    /// Residue for each codon in TCAG order.
+    table: [AminoAcid; 64],
+    /// Start-codon indicator per codon (TCAG order).
+    starts: [bool; 64],
+}
+
+impl GeneticCode {
+    /// Build a code from an NCBI-style 64-character amino-acid string and a
+    /// list of start codons written as DNA triplets.
+    fn from_ncbi(id: u8, name: &'static str, aas: &str, start_codons: &[&str]) -> Self {
+        assert_eq!(aas.len(), 64, "AA string must have 64 symbols");
+        let mut table = [AminoAcid::Unknown; 64];
+        for (i, c) in aas.chars().enumerate() {
+            table[i] = AminoAcid::from_char(c).expect("valid NCBI table character");
+        }
+        let mut starts = [false; 64];
+        for s in start_codons {
+            let bases: Vec<DnaBase> = s
+                .chars()
+                .map(|c| DnaBase::from_char(c).expect("valid start codon"))
+                .collect();
+            assert_eq!(bases.len(), 3);
+            starts[codon_index_dna([bases[0], bases[1], bases[2]])] = true;
+        }
+        GeneticCode { id, name, table, starts }
+    }
+
+    /// NCBI table 1 — the standard code.
+    pub fn standard() -> Self {
+        Self::from_ncbi(
+            1,
+            "Standard",
+            "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG",
+            &["ATG", "TTG", "CTG"],
+        )
+    }
+
+    /// NCBI table 2 — vertebrate mitochondrial.
+    pub fn vertebrate_mitochondrial() -> Self {
+        Self::from_ncbi(
+            2,
+            "Vertebrate Mitochondrial",
+            "FFLLSSSSYY**CCWWLLLLPPPPHHQQRRRRIIMMTTTTNNKKSS**VVVVAAAADDEEGGGG",
+            &["ATT", "ATC", "ATA", "ATG", "GTG"],
+        )
+    }
+
+    /// NCBI table 5 — invertebrate mitochondrial.
+    pub fn invertebrate_mitochondrial() -> Self {
+        Self::from_ncbi(
+            5,
+            "Invertebrate Mitochondrial",
+            "FFLLSSSSYY**CCWWLLLLPPPPHHQQRRRRIIMMTTTTNNKKSSSSVVVVAAAADDEEGGGG",
+            &["TTG", "ATT", "ATC", "ATA", "ATG", "GTG"],
+        )
+    }
+
+    /// NCBI table 11 — bacterial, archaeal, plant plastid.
+    pub fn bacterial() -> Self {
+        Self::from_ncbi(
+            11,
+            "Bacterial, Archaeal and Plant Plastid",
+            "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG",
+            &["TTG", "CTG", "ATT", "ATC", "ATA", "ATG", "GTG"],
+        )
+    }
+
+    /// Look a table up by its NCBI number.
+    pub fn by_id(id: u8) -> Option<Self> {
+        match id {
+            1 => Some(Self::standard()),
+            2 => Some(Self::vertebrate_mitochondrial()),
+            5 => Some(Self::invertebrate_mitochondrial()),
+            11 => Some(Self::bacterial()),
+            _ => None,
+        }
+    }
+
+    /// NCBI table number.
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Human-readable table name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Residue assigned to an RNA codon.
+    pub fn decode_rna(&self, codon: [RnaBase; 3]) -> AminoAcid {
+        self.table[codon_index_rna(codon)]
+    }
+
+    /// Residue assigned to a DNA codon (coding-strand convention).
+    pub fn decode_dna(&self, codon: [DnaBase; 3]) -> AminoAcid {
+        self.table[codon_index_dna(codon)]
+    }
+
+    /// Is this DNA codon a start codon under this table?
+    pub fn is_start_dna(&self, codon: [DnaBase; 3]) -> bool {
+        self.starts[codon_index_dna(codon)]
+    }
+
+    /// Is this RNA codon a start codon under this table?
+    pub fn is_start_rna(&self, codon: [RnaBase; 3]) -> bool {
+        self.starts[codon_index_rna(codon)]
+    }
+
+    /// Is this DNA codon a stop codon under this table?
+    pub fn is_stop_dna(&self, codon: [DnaBase; 3]) -> bool {
+        self.decode_dna(codon) == AminoAcid::Stop
+    }
+
+    /// Is this RNA codon a stop codon under this table?
+    pub fn is_stop_rna(&self, codon: [RnaBase; 3]) -> bool {
+        self.decode_rna(codon) == AminoAcid::Stop
+    }
+
+    /// All stop codons of this table, as RNA triplets.
+    pub fn stop_codons(&self) -> Vec<[RnaBase; 3]> {
+        all_rna_codons()
+            .filter(|&c| self.is_stop_rna(c))
+            .collect()
+    }
+
+    /// All start codons of this table, as RNA triplets.
+    pub fn start_codons(&self) -> Vec<[RnaBase; 3]> {
+        all_rna_codons()
+            .filter(|&c| self.is_start_rna(c))
+            .collect()
+    }
+
+    /// Translate a complete coding sequence (length must be a multiple of
+    /// three). Stop codons become [`AminoAcid::Stop`] residues; callers that
+    /// want the mature peptide use [`ProteinSeq::until_stop`].
+    pub fn translate_cds(&self, rna: &RnaSeq) -> Result<ProteinSeq> {
+        if !rna.len().is_multiple_of(3) {
+            return Err(GenAlgError::LengthMismatch {
+                expected: "a multiple of 3".into(),
+                actual: rna.len(),
+            });
+        }
+        let mut out = ProteinSeq::empty();
+        for codon in codons(rna, 0) {
+            out.push(self.decode_rna(codon));
+        }
+        Ok(out)
+    }
+
+    /// Translate starting at the first start codon in `frame`, ending at the
+    /// first in-frame stop. Returns `None` if no start codon exists.
+    pub fn translate_from_start(&self, rna: &RnaSeq, frame: usize) -> Option<ProteinSeq> {
+        let cods: Vec<[RnaBase; 3]> = codons(rna, frame).collect();
+        let start = cods.iter().position(|&c| self.is_start_rna(c))?;
+        let mut out = ProteinSeq::empty();
+        // By convention the initiator codon always yields Met.
+        out.push(AminoAcid::Met);
+        for &c in &cods[start + 1..] {
+            if self.is_stop_rna(c) {
+                return Some(out);
+            }
+            out.push(self.decode_rna(c));
+        }
+        Some(out)
+    }
+}
+
+/// Iterate over complete codons of `rna` starting at offset `frame`.
+pub fn codons(rna: &RnaSeq, frame: usize) -> impl Iterator<Item = [RnaBase; 3]> + '_ {
+    let n = rna.len();
+    (frame..)
+        .step_by(3)
+        .take_while(move |i| i + 3 <= n)
+        .map(move |i| {
+            [
+                rna.get(i).expect("bounds checked"),
+                rna.get(i + 1).expect("bounds checked"),
+                rna.get(i + 2).expect("bounds checked"),
+            ]
+        })
+}
+
+fn all_rna_codons() -> impl Iterator<Item = [RnaBase; 3]> {
+    RnaBase::ALL.into_iter().flat_map(|a| {
+        RnaBase::ALL
+            .into_iter()
+            .flat_map(move |b| RnaBase::ALL.into_iter().map(move |c| [a, b, c]))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rna(s: &str) -> RnaSeq {
+        RnaSeq::from_text(s).unwrap()
+    }
+
+    fn rcodon(s: &str) -> [RnaBase; 3] {
+        let v: Vec<RnaBase> = s.chars().map(|c| RnaBase::from_char(c).unwrap()).collect();
+        [v[0], v[1], v[2]]
+    }
+
+    #[test]
+    fn standard_table_known_assignments() {
+        let code = GeneticCode::standard();
+        assert_eq!(code.decode_rna(rcodon("AUG")), AminoAcid::Met);
+        assert_eq!(code.decode_rna(rcodon("UUU")), AminoAcid::Phe);
+        assert_eq!(code.decode_rna(rcodon("UGG")), AminoAcid::Trp);
+        assert_eq!(code.decode_rna(rcodon("UAA")), AminoAcid::Stop);
+        assert_eq!(code.decode_rna(rcodon("UAG")), AminoAcid::Stop);
+        assert_eq!(code.decode_rna(rcodon("UGA")), AminoAcid::Stop);
+        assert_eq!(code.decode_rna(rcodon("GGG")), AminoAcid::Gly);
+    }
+
+    #[test]
+    fn standard_stops_and_starts() {
+        let code = GeneticCode::standard();
+        assert_eq!(code.stop_codons().len(), 3);
+        assert!(code.is_start_rna(rcodon("AUG")));
+        assert!(code.is_start_rna(rcodon("UUG")));
+        assert!(!code.is_start_rna(rcodon("GUG")));
+    }
+
+    #[test]
+    fn mitochondrial_differences() {
+        let mito = GeneticCode::vertebrate_mitochondrial();
+        // UGA is Trp, not stop.
+        assert_eq!(mito.decode_rna(rcodon("UGA")), AminoAcid::Trp);
+        // AGA/AGG are stops.
+        assert_eq!(mito.decode_rna(rcodon("AGA")), AminoAcid::Stop);
+        assert_eq!(mito.decode_rna(rcodon("AGG")), AminoAcid::Stop);
+        // AUA is Met.
+        assert_eq!(mito.decode_rna(rcodon("AUA")), AminoAcid::Met);
+        assert_eq!(mito.stop_codons().len(), 4);
+    }
+
+    #[test]
+    fn invertebrate_mito_aga_is_ser() {
+        let code = GeneticCode::invertebrate_mitochondrial();
+        assert_eq!(code.decode_rna(rcodon("AGA")), AminoAcid::Ser);
+        assert_eq!(code.decode_rna(rcodon("UGA")), AminoAcid::Trp);
+    }
+
+    #[test]
+    fn bacterial_matches_standard_assignments() {
+        let std = GeneticCode::standard();
+        let bac = GeneticCode::bacterial();
+        for c in all_rna_codons() {
+            assert_eq!(std.decode_rna(c), bac.decode_rna(c));
+        }
+        // ...but has more start codons.
+        assert!(bac.start_codons().len() > std.start_codons().len());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(GeneticCode::by_id(1).unwrap().name(), "Standard");
+        assert_eq!(GeneticCode::by_id(11).unwrap().id(), 11);
+        assert!(GeneticCode::by_id(99).is_none());
+    }
+
+    #[test]
+    fn translate_cds_known_peptide() {
+        let code = GeneticCode::standard();
+        let p = code.translate_cds(&rna("AUGGCCUUUAAG")).unwrap();
+        assert_eq!(p.to_text(), "MAFK");
+        assert!(code.translate_cds(&rna("AUGG")).is_err());
+    }
+
+    #[test]
+    fn translate_cds_keeps_stop_marker() {
+        let code = GeneticCode::standard();
+        let p = code.translate_cds(&rna("AUGUAA")).unwrap();
+        assert_eq!(p.to_text(), "M*");
+        assert_eq!(p.until_stop().to_text(), "M");
+    }
+
+    #[test]
+    fn translate_from_start_scans() {
+        let code = GeneticCode::standard();
+        // CCC AUG GCC UAA: start at codon 1.
+        let p = code.translate_from_start(&rna("CCCAUGGCCUAA"), 0).unwrap();
+        assert_eq!(p.to_text(), "MA");
+        assert!(code.translate_from_start(&rna("CCCCCC"), 0).is_none());
+    }
+
+    #[test]
+    fn translate_from_start_initiator_is_met() {
+        let code = GeneticCode::standard();
+        // UUG is an alternative start in table 1 and must yield Met.
+        let p = code.translate_from_start(&rna("UUGGCCUAA"), 0).unwrap();
+        assert_eq!(p.to_text(), "MA");
+    }
+
+    #[test]
+    fn codon_iteration_frames() {
+        let r = rna("AUGGCC");
+        assert_eq!(codons(&r, 0).count(), 2);
+        assert_eq!(codons(&r, 1).count(), 1);
+        assert_eq!(codons(&r, 4).count(), 0);
+    }
+
+    #[test]
+    fn sixtyfour_codons_all_assigned() {
+        let code = GeneticCode::standard();
+        let mut residues: Vec<AminoAcid> = all_rna_codons().map(|c| code.decode_rna(c)).collect();
+        assert_eq!(residues.len(), 64);
+        residues.sort();
+        residues.dedup();
+        // 20 residues + stop are all reachable.
+        assert_eq!(residues.len(), 21);
+    }
+}

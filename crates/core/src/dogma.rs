@@ -1,0 +1,266 @@
+//! The central-dogma operations — the paper's "mini algebra" (§4.2):
+//!
+//! ```text
+//! sorts gene, primaryTranscript, mRNA, protein
+//! ops   transcribe: gene            -> primaryTranscript
+//!       splice:     primaryTranscript -> mRNA
+//!       translate:  mRNA            -> protein
+//! ```
+//!
+//! plus the auxiliary `decode` and `reverse_transcribe` operations. The
+//! paper notes (§4.3) that the *operational* semantics of splicing is
+//! biologically unknown; following its suggestion we implement the
+//! procedure biologists use in practice — splice boundaries come from the
+//! annotated exon structure carried on the gene, not from a from-scratch
+//! splice-site predictor.
+
+use crate::alphabet::AminoAcid;
+use crate::codon::GeneticCode;
+use crate::error::{GenAlgError, Result};
+use crate::gdt::{Gene, Interval, Mrna, PrimaryTranscript, Protein};
+use crate::seq::{DnaSeq, RnaSeq};
+
+/// `transcribe : gene → primaryTranscript`
+///
+/// Produces the full pre-mRNA copy of the gene region (T→U on the coding
+/// strand), carrying the exon structure along for [`splice`]. Fails on
+/// genes whose sequence contains ambiguity codes.
+pub fn transcribe(gene: &Gene) -> Result<PrimaryTranscript> {
+    let rna = gene.sequence().to_rna().map_err(|_| {
+        GenAlgError::InvalidStructure(format!(
+            "gene {} contains ambiguity codes and cannot be transcribed",
+            gene.id()
+        ))
+    })?;
+    PrimaryTranscript::new(gene.id(), rna, gene.exons().to_vec(), gene.code_table())
+}
+
+/// `splice : primaryTranscript → mRNA`
+///
+/// Concatenates the exons of the primary transcript and locates the coding
+/// region: the first start codon (per the gene's translation table) scanned
+/// across all three frames, extended to the first in-frame stop. If no
+/// complete CDS exists the mRNA is still produced with `cds = None`.
+pub fn splice(transcript: &PrimaryTranscript) -> Result<Mrna> {
+    let mut mature = RnaSeq::empty();
+    for exon in transcript.exons() {
+        mature = mature.concat(&transcript.sequence().subseq(exon.start, exon.end)?);
+    }
+    let code = GeneticCode::by_id(transcript.code_table())
+        .ok_or_else(|| GenAlgError::Other(format!(
+            "unknown translation table {}",
+            transcript.code_table()
+        )))?;
+    let cds = locate_cds(&mature, &code);
+    Mrna::new(transcript.gene_id(), mature, cds, transcript.code_table())
+}
+
+/// Locate the first complete coding region: the earliest start codon (any
+/// frame) followed by an in-frame stop.
+pub fn locate_cds(rna: &RnaSeq, code: &GeneticCode) -> Option<Interval> {
+    let n = rna.len();
+    let mut best: Option<Interval> = None;
+    for start in 0..n.saturating_sub(2) {
+        let codon = [rna.get(start)?, rna.get(start + 1)?, rna.get(start + 2)?];
+        if !code.is_start_rna(codon) {
+            continue;
+        }
+        // Extend to the first in-frame stop.
+        let mut i = start + 3;
+        while i + 3 <= n {
+            let c = [
+                rna.get(i).expect("bounds checked"),
+                rna.get(i + 1).expect("bounds checked"),
+                rna.get(i + 2).expect("bounds checked"),
+            ];
+            if code.is_stop_rna(c) {
+                let iv = Interval::new(start, i + 3).ok()?;
+                match best {
+                    Some(b) if b.start <= iv.start => {}
+                    _ => best = Some(iv),
+                }
+                break;
+            }
+            i += 3;
+        }
+        if best.is_some() {
+            break; // earliest start wins
+        }
+    }
+    best
+}
+
+/// `translate : mRNA → protein`
+///
+/// Translates the located coding region (initiator codon always yields
+/// Met), stopping before the stop codon. Fails if the mRNA has no CDS.
+pub fn translate(mrna: &Mrna, code: &GeneticCode) -> Result<Protein> {
+    let cds = mrna.cds().ok_or_else(|| {
+        GenAlgError::InvalidStructure(format!(
+            "mRNA of {} has no located coding region",
+            mrna.gene_id()
+        ))
+    })?;
+    let coding = mrna.sequence().subseq(cds.start, cds.end)?;
+    let mut residues = code.translate_cds(&coding)?;
+    // Initiator codon yields Met even for alternative starts.
+    if !residues.is_empty() {
+        let mut fixed = crate::seq::ProteinSeq::empty();
+        fixed.push(AminoAcid::Met);
+        for (i, aa) in residues.iter().enumerate() {
+            if i > 0 {
+                fixed.push(aa);
+            }
+        }
+        residues = fixed;
+    }
+    let peptide = residues.until_stop();
+    Ok(Protein::new(&format!("{}_protein", mrna.gene_id()), peptide))
+}
+
+/// `decode : dna × frame → protein sequence`
+///
+/// Direct conceptual translation of a DNA reading frame (no start-codon
+/// scanning): the biologist's "six-frame translation" primitive.
+pub fn decode(dna: &DnaSeq, frame: usize, code: &GeneticCode) -> Result<crate::seq::ProteinSeq> {
+    if frame > 2 {
+        return Err(GenAlgError::OutOfBounds { index: frame, len: 3 });
+    }
+    let rna = dna.to_rna()?;
+    let mut out = crate::seq::ProteinSeq::empty();
+    for codon in crate::codon::codons(&rna, frame) {
+        out.push(code.decode_rna(codon));
+    }
+    Ok(out)
+}
+
+/// `reverse_transcribe : mRNA → dna`
+///
+/// The cDNA of a mature mRNA (U→T).
+pub fn reverse_transcribe(mrna: &Mrna) -> DnaSeq {
+    mrna.sequence().to_dna()
+}
+
+/// Convenience composition of the full pathway:
+/// `translate(splice(transcribe(g)))` — the paper's flagship term.
+pub fn express(gene: &Gene) -> Result<Protein> {
+    let code = GeneticCode::by_id(gene.code_table())
+        .ok_or_else(|| GenAlgError::Other(format!("unknown translation table {}", gene.code_table())))?;
+    translate(&splice(&transcribe(gene)?)?, &code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(s: &str) -> DnaSeq {
+        DnaSeq::from_text(s).unwrap()
+    }
+
+    fn simple_gene() -> Gene {
+        // Exon1: ATGGCCTTTAAG (M A F K), intron GTAACCGGG, exon2: TTTCACTGA (F H *).
+        Gene::builder("g1")
+            .sequence(dna("ATGGCCTTTAAGGTAACCGGGTTTCACTGA"))
+            .exon(0, 12)
+            .exon(21, 30)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn transcribe_copies_with_u() {
+        let t = transcribe(&simple_gene()).unwrap();
+        assert_eq!(t.sequence().to_text(), "AUGGCCUUUAAGGUAACCGGGUUUCACUGA");
+        assert_eq!(t.exons().len(), 2);
+        assert_eq!(t.gene_id(), "g1");
+    }
+
+    #[test]
+    fn transcribe_rejects_ambiguity() {
+        let g = Gene::builder("gn").sequence(dna("ATGNNTAA")).build().unwrap();
+        assert!(transcribe(&g).is_err());
+    }
+
+    #[test]
+    fn splice_concatenates_exons_and_finds_cds() {
+        let m = splice(&transcribe(&simple_gene()).unwrap()).unwrap();
+        assert_eq!(m.sequence().to_text(), "AUGGCCUUUAAGUUUCACUGA");
+        assert_eq!(m.cds(), Some(Interval::new(0, 21).unwrap()));
+    }
+
+    #[test]
+    fn translate_produces_peptide() {
+        let m = splice(&transcribe(&simple_gene()).unwrap()).unwrap();
+        let p = translate(&m, &GeneticCode::standard()).unwrap();
+        assert_eq!(p.sequence().to_text(), "MAFKFH");
+        assert_eq!(p.id(), "g1_protein");
+    }
+
+    #[test]
+    fn express_composes_the_pipeline() {
+        let p = express(&simple_gene()).unwrap();
+        assert_eq!(p.sequence().to_text(), "MAFKFH");
+    }
+
+    #[test]
+    fn cds_located_off_frame_zero() {
+        // Two leading bases shift the CDS to offset 2.
+        let rna = RnaSeq::from_text("CCAUGAAAUAG").unwrap();
+        let cds = locate_cds(&rna, &GeneticCode::standard()).unwrap();
+        assert_eq!((cds.start, cds.end), (2, 11));
+    }
+
+    #[test]
+    fn no_cds_yields_none_and_translate_fails() {
+        let g = Gene::builder("g2").sequence(dna("CCCCCCCCC")).build().unwrap();
+        let m = splice(&transcribe(&g).unwrap()).unwrap();
+        assert_eq!(m.cds(), None);
+        assert!(translate(&m, &GeneticCode::standard()).is_err());
+    }
+
+    #[test]
+    fn start_without_stop_is_not_a_cds() {
+        let rna = RnaSeq::from_text("AUGAAAAAA").unwrap();
+        assert_eq!(locate_cds(&rna, &GeneticCode::standard()), None);
+    }
+
+    #[test]
+    fn decode_six_frame_primitive() {
+        let code = GeneticCode::standard();
+        let d = dna("ATGGCC");
+        assert_eq!(decode(&d, 0, &code).unwrap().to_text(), "MA");
+        assert_eq!(decode(&d, 1, &code).unwrap().to_text(), "W"); // UGG
+        assert!(decode(&d, 3, &code).is_err());
+        assert!(decode(&dna("ATGN"), 0, &code).is_err());
+    }
+
+    #[test]
+    fn reverse_transcription_roundtrip() {
+        let m = splice(&transcribe(&simple_gene()).unwrap()).unwrap();
+        let cdna = reverse_transcribe(&m);
+        assert_eq!(cdna.to_text(), "ATGGCCTTTAAGTTTCACTGA");
+        assert_eq!(cdna.to_rna().unwrap(), *m.sequence());
+    }
+
+    #[test]
+    fn alternative_start_yields_met() {
+        // UUG start under the standard table.
+        let g = Gene::builder("g3").sequence(dna("TTGGCCTAA")).build().unwrap();
+        let p = express(&g).unwrap();
+        assert_eq!(p.sequence().to_text(), "MA");
+    }
+
+    #[test]
+    fn mitochondrial_table_respected() {
+        // Under table 2, AGA is a stop; under table 1 it is Arg.
+        let g_std = Gene::builder("g4").sequence(dna("ATGAGATAA")).build().unwrap();
+        assert_eq!(express(&g_std).unwrap().sequence().to_text(), "MR");
+        let g_mito = Gene::builder("g5")
+            .sequence(dna("ATGAGATAA"))
+            .code_table(2)
+            .build()
+            .unwrap();
+        // CDS ends at the AGA stop.
+        assert_eq!(express(&g_mito).unwrap().sequence().to_text(), "M");
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by every module of the kernel algebra.
+
+use std::fmt;
+
+/// Result alias used throughout `genalg-core`.
+pub type Result<T> = std::result::Result<T, GenAlgError>;
+
+/// Errors produced by genomic data types and operations.
+///
+/// The paper (§4.3) stresses that biological computations are inherently
+/// partial: operations may be undefined for particular inputs (a sequence
+/// that is not a valid open reading frame, a base character outside the
+/// alphabet, a term whose sorts do not line up). Those conditions surface
+/// here rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenAlgError {
+    /// A character is not part of the expected alphabet.
+    InvalidSymbol { symbol: char, alphabet: &'static str },
+    /// An index or interval lies outside the sequence it refers to.
+    OutOfBounds { index: usize, len: usize },
+    /// An interval is empty or inverted (`start >= end`).
+    EmptyInterval { start: usize, end: usize },
+    /// A structured GDT failed validation (overlapping exons, missing CDS, …).
+    InvalidStructure(String),
+    /// A sequence length is incompatible with the requested operation
+    /// (e.g. translating an mRNA whose coding region is not a codon multiple).
+    LengthMismatch { expected: String, actual: usize },
+    /// A term or operation application does not type-check against the signature.
+    SortMismatch { operation: String, detail: String },
+    /// An operation name is not registered in the algebra.
+    UnknownOperation(String),
+    /// A sort name is not registered in the algebra.
+    UnknownSort(String),
+    /// A free variable was not bound at evaluation time.
+    UnboundVariable(String),
+    /// A compact encoding could not be decoded.
+    Corrupt(String),
+    /// Any other domain error with a human-readable explanation.
+    Other(String),
+}
+
+impl fmt::Display for GenAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenAlgError::InvalidSymbol { symbol, alphabet } => {
+                write!(f, "symbol {symbol:?} is not part of the {alphabet} alphabet")
+            }
+            GenAlgError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for sequence of length {len}")
+            }
+            GenAlgError::EmptyInterval { start, end } => {
+                write!(f, "interval [{start}, {end}) is empty or inverted")
+            }
+            GenAlgError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
+            GenAlgError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            GenAlgError::SortMismatch { operation, detail } => {
+                write!(f, "sort mismatch applying {operation}: {detail}")
+            }
+            GenAlgError::UnknownOperation(name) => write!(f, "unknown operation {name:?}"),
+            GenAlgError::UnknownSort(name) => write!(f, "unknown sort {name:?}"),
+            GenAlgError::UnboundVariable(name) => write!(f, "unbound variable {name:?}"),
+            GenAlgError::Corrupt(msg) => write!(f, "corrupt compact encoding: {msg}"),
+            GenAlgError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GenAlgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GenAlgError::InvalidSymbol { symbol: 'J', alphabet: "DNA" };
+        assert!(e.to_string().contains('J'));
+        assert!(e.to_string().contains("DNA"));
+        let e = GenAlgError::OutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GenAlgError::UnknownSort("gene".into()),
+            GenAlgError::UnknownSort("gene".into())
+        );
+        assert_ne!(
+            GenAlgError::UnknownSort("gene".into()),
+            GenAlgError::UnknownOperation("gene".into())
+        );
+    }
+}

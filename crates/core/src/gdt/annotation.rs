@@ -1,0 +1,319 @@
+//! Intervals, locations, and annotation features.
+
+use crate::alphabet::Strand;
+use crate::error::{GenAlgError, Result};
+use std::fmt;
+
+/// A half-open interval `[start, end)` in sequence coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Interval {
+    /// Construct, rejecting empty or inverted intervals.
+    pub fn new(start: usize, end: usize) -> Result<Self> {
+        if start >= end {
+            return Err(GenAlgError::EmptyInterval { start, end });
+        }
+        Ok(Interval { start, end })
+    }
+
+    /// Length in positions.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Intervals constructed through [`Interval::new`] are never empty, but
+    /// deserialized ones may be checked.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// True if `pos` lies inside the interval.
+    pub fn contains(&self, pos: usize) -> bool {
+        self.start <= pos && pos < self.end
+    }
+
+    /// True if the two intervals share at least one position.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The common sub-interval, if any.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(Interval { start, end })
+    }
+
+    /// Shift both endpoints by `offset` (used when mapping between gene and
+    /// chromosome coordinate systems).
+    pub fn shifted(&self, offset: isize) -> Result<Interval> {
+        let start = self.start as isize + offset;
+        let end = self.end as isize + offset;
+        if start < 0 || end < 0 {
+            return Err(GenAlgError::OutOfBounds { index: 0, len: 0 });
+        }
+        Interval::new(start as usize, end as usize)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A (possibly multi-segment) location on a sequence with an orientation —
+/// the shape of a GenBank `join(...)` location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Location {
+    intervals: Vec<Interval>,
+    strand: Strand,
+}
+
+impl Location {
+    /// A single-segment location.
+    pub fn simple(interval: Interval, strand: Strand) -> Self {
+        Location { intervals: vec![interval], strand }
+    }
+
+    /// A multi-segment (`join`) location. Segments must be sorted and
+    /// non-overlapping.
+    pub fn join(intervals: Vec<Interval>, strand: Strand) -> Result<Self> {
+        if intervals.is_empty() {
+            return Err(GenAlgError::InvalidStructure("location with no segments".into()));
+        }
+        for pair in intervals.windows(2) {
+            if pair[0].end > pair[1].start {
+                return Err(GenAlgError::InvalidStructure(format!(
+                    "location segments {} and {} overlap or are out of order",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        Ok(Location { intervals, strand })
+    }
+
+    /// The ordered segments.
+    pub fn segments(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Orientation of the feature.
+    pub fn strand(&self) -> Strand {
+        self.strand
+    }
+
+    /// Total number of positions covered.
+    pub fn span_len(&self) -> usize {
+        self.intervals.iter().map(Interval::len).sum()
+    }
+
+    /// Smallest interval containing every segment.
+    pub fn envelope(&self) -> Interval {
+        Interval {
+            start: self.intervals.first().expect("non-empty by construction").start,
+            end: self.intervals.last().expect("non-empty by construction").end,
+        }
+    }
+
+    /// True if `pos` lies inside any segment.
+    pub fn contains(&self, pos: usize) -> bool {
+        self.intervals.iter().any(|iv| iv.contains(pos))
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.intervals.len() == 1 {
+            write!(f, "{}{}", self.intervals[0], self.strand.symbol())
+        } else {
+            write!(f, "join(")?;
+            for (i, iv) in self.intervals.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{iv}")?;
+            }
+            write!(f, "){}", self.strand.symbol())
+        }
+    }
+}
+
+/// The vocabulary of annotation feature kinds (GenBank feature keys).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    Source,
+    Gene,
+    Cds,
+    Exon,
+    Intron,
+    Promoter,
+    /// mRNA feature as annotated on genomic records.
+    Mrna,
+    /// Any key not in the controlled list; the raw key is preserved.
+    Other(String),
+}
+
+impl FeatureKind {
+    /// The GenBank feature-table key for this kind.
+    pub fn key(&self) -> &str {
+        match self {
+            FeatureKind::Source => "source",
+            FeatureKind::Gene => "gene",
+            FeatureKind::Cds => "CDS",
+            FeatureKind::Exon => "exon",
+            FeatureKind::Intron => "intron",
+            FeatureKind::Promoter => "promoter",
+            FeatureKind::Mrna => "mRNA",
+            FeatureKind::Other(k) => k,
+        }
+    }
+
+    /// Parse a GenBank feature-table key.
+    pub fn from_key(key: &str) -> Self {
+        match key {
+            "source" => FeatureKind::Source,
+            "gene" => FeatureKind::Gene,
+            "CDS" => FeatureKind::Cds,
+            "exon" => FeatureKind::Exon,
+            "intron" => FeatureKind::Intron,
+            "promoter" => FeatureKind::Promoter,
+            "mRNA" => FeatureKind::Mrna,
+            other => FeatureKind::Other(other.to_string()),
+        }
+    }
+}
+
+/// An annotation feature: kind + location + qualifier key/value pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feature {
+    pub kind: FeatureKind,
+    pub location: Location,
+    qualifiers: Vec<(String, String)>,
+}
+
+impl Feature {
+    /// A feature with no qualifiers.
+    pub fn new(kind: FeatureKind, location: Location) -> Self {
+        Feature { kind, location, qualifiers: Vec::new() }
+    }
+
+    /// Add a qualifier (builder style).
+    pub fn with_qualifier(mut self, key: &str, value: &str) -> Self {
+        self.qualifiers.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// First value of the named qualifier.
+    pub fn qualifier(&self, key: &str) -> Option<&str> {
+        self.qualifiers
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All qualifiers in insertion order.
+    pub fn qualifiers(&self) -> &[(String, String)] {
+        &self.qualifiers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_construction() {
+        let iv = Interval::new(3, 9).unwrap();
+        assert_eq!(iv.len(), 6);
+        assert!(Interval::new(5, 5).is_err());
+        assert!(Interval::new(9, 3).is_err());
+    }
+
+    #[test]
+    fn interval_contains_half_open() {
+        let iv = Interval::new(3, 6).unwrap();
+        assert!(iv.contains(3));
+        assert!(iv.contains(5));
+        assert!(!iv.contains(6));
+        assert!(!iv.contains(2));
+    }
+
+    #[test]
+    fn interval_overlap_and_intersect() {
+        let a = Interval::new(0, 5).unwrap();
+        let b = Interval::new(3, 8).unwrap();
+        let c = Interval::new(5, 9).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // touching is not overlapping
+        assert_eq!(a.intersect(&b), Some(Interval::new(3, 5).unwrap()));
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn interval_shift() {
+        let iv = Interval::new(5, 10).unwrap();
+        assert_eq!(iv.shifted(3).unwrap(), Interval::new(8, 13).unwrap());
+        assert_eq!(iv.shifted(-5).unwrap(), Interval::new(0, 5).unwrap());
+        assert!(iv.shifted(-6).is_err());
+    }
+
+    #[test]
+    fn location_join_validation() {
+        let a = Interval::new(0, 5).unwrap();
+        let b = Interval::new(5, 9).unwrap();
+        let c = Interval::new(3, 7).unwrap();
+        assert!(Location::join(vec![a, b], Strand::Forward).is_ok());
+        assert!(Location::join(vec![a, c], Strand::Forward).is_err());
+        assert!(Location::join(vec![b, a], Strand::Forward).is_err());
+        assert!(Location::join(vec![], Strand::Forward).is_err());
+    }
+
+    #[test]
+    fn location_metrics() {
+        let loc = Location::join(
+            vec![Interval::new(0, 5).unwrap(), Interval::new(10, 13).unwrap()],
+            Strand::Reverse,
+        )
+        .unwrap();
+        assert_eq!(loc.span_len(), 8);
+        assert_eq!(loc.envelope(), Interval { start: 0, end: 13 });
+        assert!(loc.contains(11));
+        assert!(!loc.contains(7));
+        assert_eq!(loc.strand(), Strand::Reverse);
+        assert_eq!(loc.to_string(), "join([0, 5),[10, 13))-");
+    }
+
+    #[test]
+    fn feature_qualifiers() {
+        let f = Feature::new(
+            FeatureKind::Cds,
+            Location::simple(Interval::new(0, 9).unwrap(), Strand::Forward),
+        )
+        .with_qualifier("gene", "tp53")
+        .with_qualifier("product", "tumor protein");
+        assert_eq!(f.qualifier("gene"), Some("tp53"));
+        assert_eq!(f.qualifier("nope"), None);
+        assert_eq!(f.qualifiers().len(), 2);
+    }
+
+    #[test]
+    fn feature_kind_keys_roundtrip() {
+        for kind in [
+            FeatureKind::Source,
+            FeatureKind::Gene,
+            FeatureKind::Cds,
+            FeatureKind::Exon,
+            FeatureKind::Intron,
+            FeatureKind::Promoter,
+            FeatureKind::Mrna,
+            FeatureKind::Other("repeat_region".into()),
+        ] {
+            assert_eq!(FeatureKind::from_key(kind.key()), kind);
+        }
+    }
+}

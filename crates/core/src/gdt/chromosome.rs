@@ -1,0 +1,203 @@
+//! The `chromosome` genomic data type.
+
+use crate::alphabet::Strand;
+use crate::error::{GenAlgError, Result};
+use crate::gdt::gene::Gene;
+use crate::seq::DnaSeq;
+
+/// A chromosome: a named DNA molecule carrying genes.
+///
+/// Genes are stored by value; each must carry a [`crate::gdt::GenomicLocus`]
+/// naming this chromosome so coordinate mapping stays consistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chromosome {
+    name: String,
+    seq: DnaSeq,
+    genes: Vec<Gene>,
+}
+
+impl Chromosome {
+    /// A chromosome with no genes yet.
+    pub fn new(name: &str, seq: DnaSeq) -> Self {
+        Chromosome { name: name.to_string(), seq, genes: Vec::new() }
+    }
+
+    /// Chromosome name (e.g. `"chr1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full chromosomal sequence (forward strand).
+    pub fn sequence(&self) -> &DnaSeq {
+        &self.seq
+    }
+
+    /// Length in nucleotides.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// The genes annotated on this chromosome.
+    pub fn genes(&self) -> &[Gene] {
+        &self.genes
+    }
+
+    /// Attach a gene. The gene must have a locus naming this chromosome and
+    /// lying within its bounds, and the gene's stored sequence must equal
+    /// the locus-extracted sequence.
+    pub fn add_gene(&mut self, gene: Gene) -> Result<()> {
+        let locus = gene.locus().ok_or_else(|| {
+            GenAlgError::InvalidStructure(format!("gene {} has no chromosomal locus", gene.id()))
+        })?;
+        if locus.chromosome != self.name {
+            return Err(GenAlgError::InvalidStructure(format!(
+                "gene {} is located on {}, not {}",
+                gene.id(),
+                locus.chromosome,
+                self.name
+            )));
+        }
+        if locus.interval.end > self.seq.len() {
+            return Err(GenAlgError::OutOfBounds { index: locus.interval.end, len: self.seq.len() });
+        }
+        let extracted = self.region_sequence(locus.interval.start, locus.interval.end, locus.strand)?;
+        if &extracted != gene.sequence() {
+            return Err(GenAlgError::InvalidStructure(format!(
+                "gene {}'s sequence disagrees with chromosome {} at {}",
+                gene.id(),
+                self.name,
+                locus.interval
+            )));
+        }
+        self.genes.push(gene);
+        Ok(())
+    }
+
+    /// Extract the coding-strand sequence of a region: the forward
+    /// subsequence for [`Strand::Forward`], its reverse complement for
+    /// [`Strand::Reverse`].
+    pub fn region_sequence(&self, start: usize, end: usize, strand: Strand) -> Result<DnaSeq> {
+        let sub = self.seq.subseq(start, end)?;
+        Ok(match strand {
+            Strand::Forward => sub,
+            Strand::Reverse => sub.reverse_complement(),
+        })
+    }
+
+    /// The gene-region sequence for an attached gene, re-derived from the
+    /// chromosome (used to verify round-trips).
+    pub fn gene_sequence(&self, gene_id: &str) -> Result<DnaSeq> {
+        let gene = self
+            .genes
+            .iter()
+            .find(|g| g.id() == gene_id)
+            .ok_or_else(|| GenAlgError::Other(format!("no gene {gene_id} on {}", self.name)))?;
+        let locus = gene.locus().expect("attached genes always have a locus");
+        self.region_sequence(locus.interval.start, locus.interval.end, locus.strand)
+    }
+
+    /// Find a gene by id.
+    pub fn find_gene(&self, gene_id: &str) -> Option<&Gene> {
+        self.genes.iter().find(|g| g.id() == gene_id)
+    }
+
+    /// Genes whose loci overlap the interval `[start, end)`.
+    pub fn genes_in_region(&self, start: usize, end: usize) -> Vec<&Gene> {
+        self.genes
+            .iter()
+            .filter(|g| {
+                let iv = g.locus().expect("attached genes always have a locus").interval;
+                iv.start < end && start < iv.end
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gdt::annotation::Interval;
+
+    fn dna(s: &str) -> DnaSeq {
+        DnaSeq::from_text(s).unwrap()
+    }
+
+    fn chr() -> Chromosome {
+        //            0123456789012345678
+        Chromosome::new("chr1", dna("CCATGAAATAACCGGTTAA"))
+    }
+
+    #[test]
+    fn add_forward_gene() {
+        let mut c = chr();
+        let gene = Gene::builder("g1")
+            .sequence(dna("ATGAAATAA"))
+            .locus("chr1", Interval::new(2, 11).unwrap(), Strand::Forward)
+            .build()
+            .unwrap();
+        c.add_gene(gene).unwrap();
+        assert_eq!(c.genes().len(), 1);
+        assert_eq!(c.gene_sequence("g1").unwrap().to_text(), "ATGAAATAA");
+    }
+
+    #[test]
+    fn add_reverse_gene_uses_reverse_complement() {
+        let mut c = chr();
+        // chromosome[11..15] = "CCGG"; reverse complement = "CCGG".
+        let gene = Gene::builder("g2")
+            .sequence(dna("CCGG"))
+            .locus("chr1", Interval::new(11, 15).unwrap(), Strand::Reverse)
+            .build()
+            .unwrap();
+        c.add_gene(gene).unwrap();
+        assert_eq!(c.gene_sequence("g2").unwrap().to_text(), "CCGG");
+    }
+
+    #[test]
+    fn rejects_mismatched_gene() {
+        let mut c = chr();
+        let wrong_seq = Gene::builder("g3")
+            .sequence(dna("TTTTTTTTT"))
+            .locus("chr1", Interval::new(2, 11).unwrap(), Strand::Forward)
+            .build()
+            .unwrap();
+        assert!(c.add_gene(wrong_seq).is_err());
+
+        let wrong_chr = Gene::builder("g4")
+            .sequence(dna("ATGAAATAA"))
+            .locus("chr2", Interval::new(2, 11).unwrap(), Strand::Forward)
+            .build()
+            .unwrap();
+        assert!(c.add_gene(wrong_chr).is_err());
+
+        let no_locus = Gene::builder("g5").sequence(dna("ATG")).build().unwrap();
+        assert!(c.add_gene(no_locus).is_err());
+
+        let out_of_bounds = Gene::builder("g6")
+            .sequence(dna("ATGAAATAA"))
+            .locus("chr1", Interval::new(15, 24).unwrap(), Strand::Forward)
+            .build()
+            .unwrap();
+        assert!(c.add_gene(out_of_bounds).is_err());
+    }
+
+    #[test]
+    fn region_queries() {
+        let mut c = chr();
+        let gene = Gene::builder("g1")
+            .sequence(dna("ATGAAATAA"))
+            .locus("chr1", Interval::new(2, 11).unwrap(), Strand::Forward)
+            .build()
+            .unwrap();
+        c.add_gene(gene).unwrap();
+        assert_eq!(c.genes_in_region(0, 5).len(), 1);
+        assert_eq!(c.genes_in_region(11, 19).len(), 0);
+        assert!(c.find_gene("g1").is_some());
+        assert!(c.find_gene("nope").is_none());
+    }
+}

@@ -1,0 +1,307 @@
+//! The `gene` genomic data type.
+
+use crate::alphabet::Strand;
+use crate::error::{GenAlgError, Result};
+use crate::gdt::annotation::{Feature, Interval};
+use crate::seq::DnaSeq;
+
+/// Where a gene sits on a chromosome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenomicLocus {
+    /// Name of the chromosome the gene lies on.
+    pub chromosome: String,
+    /// Interval in chromosome coordinates.
+    pub interval: Interval,
+    /// Strand the gene is read from.
+    pub strand: Strand,
+}
+
+/// A gene: a named genomic region with exon structure.
+///
+/// The sequence stored here is the *coding-strand* genomic sequence of the
+/// gene region, 5'→3', so `transcribe` can produce the primary transcript by
+/// direct T→U substitution regardless of which chromosome strand the gene
+/// came from (the extraction from a chromosome reverse-complements as
+/// needed — see [`crate::gdt::Chromosome::gene_sequence`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gene {
+    id: String,
+    name: Option<String>,
+    sequence: DnaSeq,
+    exons: Vec<Interval>,
+    locus: Option<GenomicLocus>,
+    /// NCBI translation-table number used when translating this gene.
+    code_table: u8,
+    features: Vec<Feature>,
+}
+
+impl Gene {
+    /// Start building a gene with the given stable identifier.
+    pub fn builder(id: &str) -> GeneBuilder {
+        GeneBuilder {
+            id: id.to_string(),
+            name: None,
+            sequence: None,
+            exons: Vec::new(),
+            locus: None,
+            code_table: 1,
+            features: Vec::new(),
+        }
+    }
+
+    /// Stable identifier (accession).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Human-readable gene symbol, if known.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Coding-strand genomic sequence of the gene region.
+    pub fn sequence(&self) -> &DnaSeq {
+        &self.sequence
+    }
+
+    /// Exon intervals in gene-local coordinates, sorted and disjoint.
+    pub fn exons(&self) -> &[Interval] {
+        &self.exons
+    }
+
+    /// Intron intervals (the gaps between consecutive exons).
+    pub fn introns(&self) -> Vec<Interval> {
+        self.exons
+            .windows(2)
+            .filter_map(|pair| Interval::new(pair[0].end, pair[1].start).ok())
+            .collect()
+    }
+
+    /// Chromosomal placement, if known.
+    pub fn locus(&self) -> Option<&GenomicLocus> {
+        self.locus.as_ref()
+    }
+
+    /// NCBI translation-table number for this gene.
+    pub fn code_table(&self) -> u8 {
+        self.code_table
+    }
+
+    /// Attached annotation features.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Total exonic length — the length of the mature mRNA.
+    pub fn exonic_len(&self) -> usize {
+        self.exons.iter().map(Interval::len).sum()
+    }
+
+    /// Mutable access used by wrappers enriching a parsed gene.
+    pub fn add_feature(&mut self, feature: Feature) {
+        self.features.push(feature);
+    }
+}
+
+/// Builder validating the structural invariants of [`Gene`].
+#[derive(Debug, Clone)]
+pub struct GeneBuilder {
+    id: String,
+    name: Option<String>,
+    sequence: Option<DnaSeq>,
+    exons: Vec<Interval>,
+    locus: Option<GenomicLocus>,
+    code_table: u8,
+    features: Vec<Feature>,
+}
+
+impl GeneBuilder {
+    /// Set the gene symbol.
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Set the coding-strand genomic sequence.
+    pub fn sequence(mut self, seq: DnaSeq) -> Self {
+        self.sequence = Some(seq);
+        self
+    }
+
+    /// Add an exon `[start, end)` in gene-local coordinates.
+    pub fn exon(mut self, start: usize, end: usize) -> Self {
+        // Validation is deferred to `build` so the builder stays infallible.
+        self.exons.push(Interval { start, end });
+        self
+    }
+
+    /// Set the chromosomal placement.
+    pub fn locus(mut self, chromosome: &str, interval: Interval, strand: Strand) -> Self {
+        self.locus = Some(GenomicLocus { chromosome: chromosome.to_string(), interval, strand });
+        self
+    }
+
+    /// Select an NCBI translation table (default 1, the standard code).
+    pub fn code_table(mut self, id: u8) -> Self {
+        self.code_table = id;
+        self
+    }
+
+    /// Attach an annotation feature.
+    pub fn feature(mut self, feature: Feature) -> Self {
+        self.features.push(feature);
+        self
+    }
+
+    /// Validate and produce the gene.
+    ///
+    /// Invariants enforced:
+    /// * a sequence is present and non-empty;
+    /// * at least one exon exists (a gene with no exons cannot be spliced);
+    /// * exons are non-empty, sorted, mutually disjoint, and within the
+    ///   sequence;
+    /// * if a locus is given, its interval length equals the sequence length.
+    pub fn build(mut self) -> Result<Gene> {
+        let sequence = self
+            .sequence
+            .ok_or_else(|| GenAlgError::InvalidStructure(format!("gene {} has no sequence", self.id)))?;
+        if sequence.is_empty() {
+            return Err(GenAlgError::InvalidStructure(format!(
+                "gene {} has an empty sequence",
+                self.id
+            )));
+        }
+        if self.exons.is_empty() {
+            // A gene specified without explicit exons is treated as a
+            // single-exon (intron-less) gene, the common case for
+            // bacterial data.
+            self.exons.push(Interval { start: 0, end: sequence.len() });
+        }
+        self.exons.sort_by_key(|iv| (iv.start, iv.end));
+        for iv in &self.exons {
+            if iv.is_empty() {
+                return Err(GenAlgError::EmptyInterval { start: iv.start, end: iv.end });
+            }
+            if iv.end > sequence.len() {
+                return Err(GenAlgError::OutOfBounds { index: iv.end, len: sequence.len() });
+            }
+        }
+        for pair in self.exons.windows(2) {
+            if pair[0].end > pair[1].start {
+                return Err(GenAlgError::InvalidStructure(format!(
+                    "gene {}: exons {} and {} overlap",
+                    self.id, pair[0], pair[1]
+                )));
+            }
+        }
+        if let Some(locus) = &self.locus {
+            if locus.interval.len() != sequence.len() {
+                return Err(GenAlgError::InvalidStructure(format!(
+                    "gene {}: locus spans {} positions but sequence has {}",
+                    self.id,
+                    locus.interval.len(),
+                    sequence.len()
+                )));
+            }
+        }
+        Ok(Gene {
+            id: self.id,
+            name: self.name,
+            sequence,
+            exons: self.exons,
+            locus: self.locus,
+            code_table: self.code_table,
+            features: self.features,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(s: &str) -> DnaSeq {
+        DnaSeq::from_text(s).unwrap()
+    }
+
+    #[test]
+    fn builds_multi_exon_gene() {
+        let g = Gene::builder("g1")
+            .name("demo")
+            .sequence(dna("ATGAAACCCGGGTTTTAA"))
+            .exon(0, 6)
+            .exon(12, 18)
+            .build()
+            .unwrap();
+        assert_eq!(g.id(), "g1");
+        assert_eq!(g.name(), Some("demo"));
+        assert_eq!(g.exons().len(), 2);
+        assert_eq!(g.exonic_len(), 12);
+        assert_eq!(g.introns(), vec![Interval::new(6, 12).unwrap()]);
+        assert_eq!(g.code_table(), 1);
+    }
+
+    #[test]
+    fn default_single_exon() {
+        let g = Gene::builder("g2").sequence(dna("ATGTAA")).build().unwrap();
+        assert_eq!(g.exons(), &[Interval::new(0, 6).unwrap()]);
+        assert!(g.introns().is_empty());
+    }
+
+    #[test]
+    fn exons_are_sorted_on_build() {
+        let g = Gene::builder("g3")
+            .sequence(dna("ATGAAACCCGGG"))
+            .exon(6, 9)
+            .exon(0, 3)
+            .build()
+            .unwrap();
+        assert_eq!(g.exons()[0].start, 0);
+    }
+
+    #[test]
+    fn rejects_structural_errors() {
+        assert!(Gene::builder("e1").build().is_err()); // no sequence
+        assert!(Gene::builder("e2").sequence(DnaSeq::empty()).build().is_err());
+        assert!(Gene::builder("e3")
+            .sequence(dna("ATG"))
+            .exon(0, 5)
+            .build()
+            .is_err()); // exon past end
+        assert!(Gene::builder("e4")
+            .sequence(dna("ATGATG"))
+            .exon(0, 4)
+            .exon(3, 6)
+            .build()
+            .is_err()); // overlap
+        assert!(Gene::builder("e5")
+            .sequence(dna("ATG"))
+            .exon(1, 1)
+            .build()
+            .is_err()); // empty exon
+    }
+
+    #[test]
+    fn locus_length_must_match() {
+        let ok = Gene::builder("g4")
+            .sequence(dna("ATGTAA"))
+            .locus("chr1", Interval::new(100, 106).unwrap(), Strand::Reverse)
+            .build();
+        assert!(ok.is_ok());
+        let bad = Gene::builder("g5")
+            .sequence(dna("ATGTAA"))
+            .locus("chr1", Interval::new(100, 110).unwrap(), Strand::Forward)
+            .build();
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn code_table_selectable() {
+        let g = Gene::builder("g6")
+            .sequence(dna("ATGTAA"))
+            .code_table(11)
+            .build()
+            .unwrap();
+        assert_eq!(g.code_table(), 11);
+    }
+}

@@ -1,0 +1,145 @@
+//! The `genome` genomic data type: the full hereditary information of an
+//! organism.
+
+use crate::error::{GenAlgError, Result};
+use crate::gdt::chromosome::Chromosome;
+use crate::gdt::gene::Gene;
+
+/// A genome: organism metadata plus a set of chromosomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Genome {
+    organism: String,
+    /// Taxonomic lineage, most general first (e.g. `["Eukaryota", "Metazoa", …]`).
+    taxonomy: Vec<String>,
+    chromosomes: Vec<Chromosome>,
+}
+
+impl Genome {
+    /// An empty genome for the named organism.
+    pub fn new(organism: &str) -> Self {
+        Genome { organism: organism.to_string(), taxonomy: Vec::new(), chromosomes: Vec::new() }
+    }
+
+    /// Set the taxonomic lineage (builder style).
+    pub fn with_taxonomy(mut self, lineage: &[&str]) -> Self {
+        self.taxonomy = lineage.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Organism name.
+    pub fn organism(&self) -> &str {
+        &self.organism
+    }
+
+    /// Taxonomic lineage.
+    pub fn taxonomy(&self) -> &[String] {
+        &self.taxonomy
+    }
+
+    /// The chromosomes.
+    pub fn chromosomes(&self) -> &[Chromosome] {
+        &self.chromosomes
+    }
+
+    /// Add a chromosome; names must be unique within the genome.
+    pub fn add_chromosome(&mut self, chromosome: Chromosome) -> Result<()> {
+        if self.chromosomes.iter().any(|c| c.name() == chromosome.name()) {
+            return Err(GenAlgError::InvalidStructure(format!(
+                "genome of {} already has a chromosome named {}",
+                self.organism,
+                chromosome.name()
+            )));
+        }
+        self.chromosomes.push(chromosome);
+        Ok(())
+    }
+
+    /// Find a chromosome by name.
+    pub fn chromosome(&self, name: &str) -> Option<&Chromosome> {
+        self.chromosomes.iter().find(|c| c.name() == name)
+    }
+
+    /// Total genome length in nucleotides.
+    pub fn total_len(&self) -> usize {
+        self.chromosomes.iter().map(Chromosome::len).sum()
+    }
+
+    /// Total number of annotated genes.
+    pub fn gene_count(&self) -> usize {
+        self.chromosomes.iter().map(|c| c.genes().len()).sum()
+    }
+
+    /// Find a gene anywhere in the genome.
+    pub fn find_gene(&self, gene_id: &str) -> Option<&Gene> {
+        self.chromosomes.iter().find_map(|c| c.find_gene(gene_id))
+    }
+
+    /// Iterate over every gene of every chromosome.
+    pub fn genes(&self) -> impl Iterator<Item = &Gene> {
+        self.chromosomes.iter().flat_map(|c| c.genes().iter())
+    }
+
+    /// Genome-wide GC content (length-weighted over chromosomes).
+    pub fn gc_content(&self) -> f64 {
+        let total = self.total_len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.chromosomes
+            .iter()
+            .map(|c| c.sequence().gc_content() * c.len() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Strand;
+    use crate::gdt::annotation::Interval;
+    use crate::seq::DnaSeq;
+
+    fn dna(s: &str) -> DnaSeq {
+        DnaSeq::from_text(s).unwrap()
+    }
+
+    #[test]
+    fn genome_assembly() {
+        let mut genome = Genome::new("Examplia demonstrans").with_taxonomy(&["Bacteria", "Demo"]);
+        let mut chr1 = Chromosome::new("chr1", dna("CCATGAAATAACC"));
+        let gene = Gene::builder("g1")
+            .sequence(dna("ATGAAATAA"))
+            .locus("chr1", Interval::new(2, 11).unwrap(), Strand::Forward)
+            .build()
+            .unwrap();
+        chr1.add_gene(gene).unwrap();
+        genome.add_chromosome(chr1).unwrap();
+        genome.add_chromosome(Chromosome::new("chr2", dna("GGGG"))).unwrap();
+
+        assert_eq!(genome.organism(), "Examplia demonstrans");
+        assert_eq!(genome.taxonomy(), &["Bacteria".to_string(), "Demo".to_string()]);
+        assert_eq!(genome.total_len(), 17);
+        assert_eq!(genome.gene_count(), 1);
+        assert!(genome.find_gene("g1").is_some());
+        assert!(genome.find_gene("g2").is_none());
+        assert_eq!(genome.genes().count(), 1);
+        assert!(genome.chromosome("chr2").is_some());
+    }
+
+    #[test]
+    fn duplicate_chromosome_rejected() {
+        let mut genome = Genome::new("x");
+        genome.add_chromosome(Chromosome::new("chr1", dna("AAAA"))).unwrap();
+        assert!(genome.add_chromosome(Chromosome::new("chr1", dna("CCCC"))).is_err());
+    }
+
+    #[test]
+    fn weighted_gc() {
+        let mut genome = Genome::new("x");
+        genome.add_chromosome(Chromosome::new("c1", dna("GGGG"))).unwrap(); // gc 1.0, len 4
+        genome.add_chromosome(Chromosome::new("c2", dna("AAAAAAAAAAAA"))).unwrap(); // gc 0, len 12
+        assert!((genome.gc_content() - 0.25).abs() < 1e-12);
+        assert_eq!(Genome::new("empty").gc_content(), 0.0);
+    }
+}

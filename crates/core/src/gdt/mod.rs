@@ -1,0 +1,21 @@
+//! Structured genomic data types.
+//!
+//! Beyond raw sequences, the Genomics Algebra models the *objects* biologists
+//! talk about (§4.2): genes with exon/intron structure, primary transcripts,
+//! messenger RNAs, proteins, chromosomes, and whole genomes. Each type
+//! validates its own structural invariants on construction so that the
+//! central-dogma operations in [`crate::dogma`] never see malformed input.
+
+mod annotation;
+mod gene;
+mod transcript;
+mod protein;
+mod chromosome;
+mod genome;
+
+pub use annotation::{Feature, FeatureKind, Interval, Location};
+pub use gene::{Gene, GeneBuilder, GenomicLocus};
+pub use transcript::{Mrna, PrimaryTranscript};
+pub use protein::Protein;
+pub use chromosome::Chromosome;
+pub use genome::Genome;

@@ -1,0 +1,99 @@
+//! The `protein` genomic data type: a named, annotated protein.
+
+use crate::gdt::annotation::Feature;
+use crate::seq::ProteinSeq;
+
+/// A protein: identifier, optional name/organism metadata, sequence, and
+/// annotation features (domains, active sites, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Protein {
+    id: String,
+    name: Option<String>,
+    organism: Option<String>,
+    seq: ProteinSeq,
+    features: Vec<Feature>,
+}
+
+impl Protein {
+    /// A protein with just an id and a sequence.
+    pub fn new(id: &str, seq: ProteinSeq) -> Self {
+        Protein { id: id.to_string(), name: None, organism: None, seq, features: Vec::new() }
+    }
+
+    /// Set the human-readable name (builder style).
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Set the source organism (builder style).
+    pub fn with_organism(mut self, organism: &str) -> Self {
+        self.organism = Some(organism.to_string());
+        self
+    }
+
+    /// Attach a feature (builder style).
+    pub fn with_feature(mut self, feature: Feature) -> Self {
+        self.features.push(feature);
+        self
+    }
+
+    /// Stable identifier (accession).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Human-readable protein name.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Source organism.
+    pub fn organism(&self) -> Option<&str> {
+        self.organism.as_deref()
+    }
+
+    /// The residue sequence.
+    pub fn sequence(&self) -> &ProteinSeq {
+        &self.seq
+    }
+
+    /// Annotation features.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Residue count.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Strand;
+    use crate::gdt::annotation::{FeatureKind, Interval, Location};
+
+    #[test]
+    fn builder_style_metadata() {
+        let p = Protein::new("P04637", ProteinSeq::from_text("MEEPQSDPSV").unwrap())
+            .with_name("Cellular tumor antigen p53")
+            .with_organism("Homo sapiens")
+            .with_feature(Feature::new(
+                FeatureKind::Other("domain".into()),
+                Location::simple(Interval::new(0, 5).unwrap(), Strand::Forward),
+            ));
+        assert_eq!(p.id(), "P04637");
+        assert_eq!(p.name(), Some("Cellular tumor antigen p53"));
+        assert_eq!(p.organism(), Some("Homo sapiens"));
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.features().len(), 1);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! The `primary transcript` and `mRNA` genomic data types.
+
+use crate::error::{GenAlgError, Result};
+use crate::gdt::annotation::Interval;
+use crate::seq::RnaSeq;
+
+/// A primary transcript (pre-mRNA): the full RNA copy of a gene region,
+/// introns included, with the exon structure carried along so `splice`
+/// knows what to keep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimaryTranscript {
+    gene_id: String,
+    seq: RnaSeq,
+    exons: Vec<Interval>,
+    /// NCBI translation-table number inherited from the gene.
+    code_table: u8,
+}
+
+impl PrimaryTranscript {
+    /// Construct and validate: exons must be sorted, disjoint, non-empty,
+    /// and within the transcript.
+    pub fn new(gene_id: &str, seq: RnaSeq, exons: Vec<Interval>, code_table: u8) -> Result<Self> {
+        if exons.is_empty() {
+            return Err(GenAlgError::InvalidStructure(format!(
+                "transcript of {gene_id} has no exons"
+            )));
+        }
+        for iv in &exons {
+            if iv.is_empty() {
+                return Err(GenAlgError::EmptyInterval { start: iv.start, end: iv.end });
+            }
+            if iv.end > seq.len() {
+                return Err(GenAlgError::OutOfBounds { index: iv.end, len: seq.len() });
+            }
+        }
+        for pair in exons.windows(2) {
+            if pair[0].end > pair[1].start {
+                return Err(GenAlgError::InvalidStructure(format!(
+                    "transcript of {gene_id}: exons {} and {} overlap",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        Ok(PrimaryTranscript { gene_id: gene_id.to_string(), seq, exons, code_table })
+    }
+
+    /// The gene this transcript was read from.
+    pub fn gene_id(&self) -> &str {
+        &self.gene_id
+    }
+
+    /// Full pre-mRNA sequence (introns included).
+    pub fn sequence(&self) -> &RnaSeq {
+        &self.seq
+    }
+
+    /// Exon intervals in transcript coordinates.
+    pub fn exons(&self) -> &[Interval] {
+        &self.exons
+    }
+
+    /// Translation table inherited from the gene.
+    pub fn code_table(&self) -> u8 {
+        self.code_table
+    }
+}
+
+/// A mature messenger RNA: the exon-concatenated sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mrna {
+    gene_id: String,
+    seq: RnaSeq,
+    /// Coding region, if it has been located (start codon through stop).
+    cds: Option<Interval>,
+    code_table: u8,
+}
+
+impl Mrna {
+    /// Construct; the CDS, if given, must lie within the sequence and be a
+    /// codon multiple.
+    pub fn new(gene_id: &str, seq: RnaSeq, cds: Option<Interval>, code_table: u8) -> Result<Self> {
+        if let Some(cds) = &cds {
+            if cds.end > seq.len() {
+                return Err(GenAlgError::OutOfBounds { index: cds.end, len: seq.len() });
+            }
+            if cds.len() % 3 != 0 {
+                return Err(GenAlgError::LengthMismatch {
+                    expected: "CDS length divisible by 3".into(),
+                    actual: cds.len(),
+                });
+            }
+        }
+        Ok(Mrna { gene_id: gene_id.to_string(), seq, cds, code_table })
+    }
+
+    /// The gene this mRNA derives from.
+    pub fn gene_id(&self) -> &str {
+        &self.gene_id
+    }
+
+    /// The mature (spliced) sequence.
+    pub fn sequence(&self) -> &RnaSeq {
+        &self.seq
+    }
+
+    /// The located coding region, if any.
+    pub fn cds(&self) -> Option<Interval> {
+        self.cds
+    }
+
+    /// Translation table inherited from the gene.
+    pub fn code_table(&self) -> u8 {
+        self.code_table
+    }
+
+    /// The coding subsequence, if the CDS is known.
+    pub fn coding_sequence(&self) -> Result<Option<RnaSeq>> {
+        match self.cds {
+            Some(iv) => Ok(Some(self.seq.subseq(iv.start, iv.end)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rna(s: &str) -> RnaSeq {
+        RnaSeq::from_text(s).unwrap()
+    }
+
+    #[test]
+    fn transcript_validation() {
+        let seq = rna("AUGGCCUUUAAG");
+        let ok = PrimaryTranscript::new(
+            "g",
+            seq.clone(),
+            vec![Interval::new(0, 6).unwrap(), Interval::new(9, 12).unwrap()],
+            1,
+        );
+        assert!(ok.is_ok());
+        assert!(PrimaryTranscript::new("g", seq.clone(), vec![], 1).is_err());
+        assert!(
+            PrimaryTranscript::new("g", seq.clone(), vec![Interval::new(0, 20).unwrap()], 1)
+                .is_err()
+        );
+        assert!(PrimaryTranscript::new(
+            "g",
+            seq,
+            vec![Interval::new(0, 6).unwrap(), Interval::new(4, 9).unwrap()],
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mrna_cds_validation() {
+        let seq = rna("AUGGCCUAA");
+        let ok = Mrna::new("g", seq.clone(), Some(Interval::new(0, 9).unwrap()), 1).unwrap();
+        assert_eq!(ok.coding_sequence().unwrap().unwrap().to_text(), "AUGGCCUAA");
+        assert!(Mrna::new("g", seq.clone(), Some(Interval::new(0, 10).unwrap()), 1).is_err());
+        assert!(Mrna::new("g", seq.clone(), Some(Interval::new(0, 4).unwrap()), 1).is_err());
+        let none = Mrna::new("g", seq, None, 1).unwrap();
+        assert!(none.coding_sequence().unwrap().is_none());
+    }
+}

@@ -1,0 +1,228 @@
+//! Suffix array over a single sequence for exact substring search.
+
+use crate::seq::DnaSeq;
+
+/// A suffix array built by prefix doubling (`O(n log² n)` construction,
+/// `O(m log n)` lookup), with a Kasai LCP array for repeat analysis.
+#[derive(Debug, Clone)]
+pub struct SuffixArray {
+    text: Vec<u8>,
+    sa: Vec<u32>,
+    lcp: Vec<u32>,
+}
+
+impl SuffixArray {
+    /// Build over the textual form of a DNA sequence.
+    pub fn build(seq: &DnaSeq) -> Self {
+        Self::from_bytes(seq.to_text().into_bytes())
+    }
+
+    /// Build over raw bytes (used directly by tests and by protein search).
+    pub fn from_bytes(text: Vec<u8>) -> Self {
+        let n = text.len();
+        let mut sa: Vec<u32> = (0..n as u32).collect();
+        let mut rank: Vec<i64> = text.iter().map(|&b| b as i64).collect();
+        let mut tmp = vec![0i64; n];
+        let mut k = 1usize;
+        while k < n.max(1) {
+            let key = |i: u32| -> (i64, i64) {
+                let i = i as usize;
+                let second = if i + k < n { rank[i + k] } else { -1 };
+                (rank[i], second)
+            };
+            sa.sort_unstable_by_key(|&a| key(a));
+            // Re-rank.
+            if n > 0 {
+                tmp[sa[0] as usize] = 0;
+                for w in 1..n {
+                    let prev = sa[w - 1];
+                    let cur = sa[w];
+                    tmp[cur as usize] =
+                        tmp[prev as usize] + i64::from(key(prev) != key(cur));
+                }
+                rank.copy_from_slice(&tmp);
+                if rank[sa[n - 1] as usize] as usize == n - 1 {
+                    break;
+                }
+            }
+            k *= 2;
+        }
+        let lcp = kasai(&text, &sa);
+        SuffixArray { text, sa, lcp }
+    }
+
+    /// Length of the indexed text.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True if the indexed text is empty.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// The suffix array itself (sorted suffix start offsets).
+    pub fn suffixes(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// The LCP array: `lcp[i]` is the longest common prefix of suffixes
+    /// `sa[i-1]` and `sa[i]` (`lcp[0] = 0`).
+    pub fn lcp(&self) -> &[u32] {
+        &self.lcp
+    }
+
+    /// All start positions of `pattern` in the text, sorted ascending.
+    pub fn find_all(&self, pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() || pattern.len() > self.text.len() {
+            return Vec::new();
+        }
+        let lo = self.lower_bound(pattern);
+        let hi = self.upper_bound(pattern);
+        let mut out: Vec<usize> = self.sa[lo..hi].iter().map(|&i| i as usize).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// True if `pattern` occurs in the text.
+    pub fn contains(&self, pattern: &[u8]) -> bool {
+        if pattern.is_empty() {
+            return true;
+        }
+        let lo = self.lower_bound(pattern);
+        lo < self.sa.len() && self.suffix(lo).starts_with(pattern)
+    }
+
+    /// Length of the longest substring that occurs at least twice.
+    pub fn longest_repeat(&self) -> usize {
+        self.lcp.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    fn suffix(&self, rank: usize) -> &[u8] {
+        &self.text[self.sa[rank] as usize..]
+    }
+
+    fn lower_bound(&self, pattern: &[u8]) -> usize {
+        let (mut lo, mut hi) = (0usize, self.sa.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.suffix(mid) < pattern {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn upper_bound(&self, pattern: &[u8]) -> usize {
+        let (mut lo, mut hi) = (0usize, self.sa.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let suf = self.suffix(mid);
+            let prefix = &suf[..pattern.len().min(suf.len())];
+            if prefix <= pattern {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+fn kasai(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    let mut lcp = vec![0u32; n];
+    if n == 0 {
+        return lcp;
+    }
+    let mut rank = vec![0usize; n];
+    for (r, &i) in sa.iter().enumerate() {
+        rank[i as usize] = r;
+    }
+    let mut h = 0usize;
+    for i in 0..n {
+        if rank[i] > 0 {
+            let j = sa[rank[i] - 1] as usize;
+            while i + h < n && j + h < n && text[i + h] == text[j + h] {
+                h += 1;
+            }
+            lcp[rank[i]] = h as u32;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(s: &str) -> DnaSeq {
+        DnaSeq::from_text(s).unwrap()
+    }
+
+    #[test]
+    fn banana_suffix_array() {
+        let sa = SuffixArray::from_bytes(b"banana".to_vec());
+        // Sorted suffixes: a(5), ana(3), anana(1), banana(0), na(4), nana(2).
+        assert_eq!(sa.suffixes(), &[5, 3, 1, 0, 4, 2]);
+        // LCP: -, a|ana=1, ana|anana=3, -=0, na|nana=2 → [0,1,3,0,0,2].
+        assert_eq!(sa.lcp(), &[0, 1, 3, 0, 0, 2]);
+        assert_eq!(sa.longest_repeat(), 3);
+    }
+
+    #[test]
+    fn find_all_positions() {
+        let sa = SuffixArray::from_bytes(b"banana".to_vec());
+        assert_eq!(sa.find_all(b"ana"), vec![1, 3]);
+        assert_eq!(sa.find_all(b"banana"), vec![0]);
+        assert_eq!(sa.find_all(b"x"), Vec::<usize>::new());
+        assert_eq!(sa.find_all(b""), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn contains_agrees_with_naive() {
+        let text = "ATGGCCTTTAAGATGGCC";
+        let sa = SuffixArray::build(&dna(text));
+        for pat in ["ATG", "GCC", "TTTAAG", "GGCCT", "AAA", "CCGG"] {
+            assert_eq!(
+                sa.contains(pat.as_bytes()),
+                text.contains(pat),
+                "disagreement on {pat}"
+            );
+        }
+        assert!(sa.contains(b""));
+    }
+
+    #[test]
+    fn find_all_agrees_with_naive_scan() {
+        let text = "AAAAABAAAAB";
+        let sa = SuffixArray::from_bytes(text.as_bytes().to_vec());
+        let naive: Vec<usize> = (0..=text.len() - 3)
+            .filter(|&i| &text.as_bytes()[i..i + 3] == b"AAA")
+            .collect();
+        assert_eq!(sa.find_all(b"AAA"), naive);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let sa = SuffixArray::from_bytes(Vec::new());
+        assert!(sa.is_empty());
+        assert!(sa.find_all(b"A").is_empty());
+        let sa = SuffixArray::from_bytes(b"A".to_vec());
+        assert_eq!(sa.len(), 1);
+        assert_eq!(sa.find_all(b"A"), vec![0]);
+        assert_eq!(sa.longest_repeat(), 0);
+    }
+
+    #[test]
+    fn dna_build_matches_text_search() {
+        let seq = dna("ATTGCCATAGGATTGCC");
+        let sa = SuffixArray::build(&seq);
+        assert_eq!(sa.find_all(b"ATTGCC"), vec![0, 11]);
+    }
+}

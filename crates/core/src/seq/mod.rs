@@ -1,0 +1,22 @@
+//! Sequence genomic data types.
+//!
+//! Three typed sequences wrap the packed storage of [`packed::PackedVec`]:
+//!
+//! * [`DnaSeq`] — IUPAC nucleotide codes, 4 bits per symbol, so noisy
+//!   repository data with ambiguity codes is representable losslessly.
+//! * [`RnaSeq`] — unambiguous RNA bases, 2 bits per symbol.
+//! * [`ProteinSeq`] — amino acids, one byte per residue.
+//!
+//! All three expose the sequence operations of the algebra: subsequence,
+//! concatenation, reversal, complementation (nucleic acids), searching, and
+//! composition statistics.
+
+pub mod packed;
+mod dna;
+mod rna;
+mod protein;
+pub mod ops;
+
+pub use dna::DnaSeq;
+pub use rna::RnaSeq;
+pub use protein::ProteinSeq;

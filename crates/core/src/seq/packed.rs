@@ -1,0 +1,273 @@
+//! Bit-packed symbol storage.
+//!
+//! The paper's §4.4 requires that genomic values be kept in *compact storage
+//! areas* that can move between memory and disk without packing/unpacking
+//! pointer structures. [`PackedVec`] is that storage: a flat `Vec<u8>` of
+//! fixed-width codes (2 or 4 bits per symbol for nucleotides), addressed by
+//! symbol index. All sequence GDTs are thin typed wrappers around it.
+
+use crate::error::{GenAlgError, Result};
+
+/// A vector of fixed-width (1–8 bit) codes packed into bytes.
+///
+/// Codes are stored little-endian within each byte: symbol `i` lives in byte
+/// `i / per_byte` at bit offset `(i % per_byte) * bits`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedVec {
+    bits: u8,
+    len: usize,
+    data: Vec<u8>,
+}
+
+impl PackedVec {
+    /// Create an empty vector of `bits`-wide codes.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0, greater than 8, or does not divide 8 evenly
+    /// (we only need 1, 2, 4, 8 in practice and uniform packing keeps
+    /// indexing branch-free).
+    pub fn new(bits: u8) -> Self {
+        assert!(matches!(bits, 1 | 2 | 4 | 8), "unsupported code width: {bits}");
+        PackedVec { bits, len: 0, data: Vec::new() }
+    }
+
+    /// Create an empty vector with room for `capacity` codes.
+    pub fn with_capacity(bits: u8, capacity: usize) -> Self {
+        let mut v = Self::new(bits);
+        v.data = Vec::with_capacity(Self::bytes_for(bits, capacity));
+        v
+    }
+
+    fn bytes_for(bits: u8, len: usize) -> usize {
+        let per_byte = (8 / bits) as usize;
+        len.div_ceil(per_byte)
+    }
+
+    fn per_byte(&self) -> usize {
+        (8 / self.bits) as usize
+    }
+
+    fn mask(&self) -> u8 {
+        if self.bits == 8 {
+            0xFF
+        } else {
+            (1u8 << self.bits) - 1
+        }
+    }
+
+    /// Number of codes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no codes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width of each code in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Append one code. Bits above the code width are discarded.
+    pub fn push(&mut self, code: u8) {
+        let per = self.per_byte();
+        let mask = self.mask();
+        let bits = self.bits;
+        let slot = self.len % per;
+        if slot == 0 {
+            self.data.push(0);
+        }
+        let byte = self.data.last_mut().expect("just ensured non-empty");
+        *byte |= (code & mask) << (slot as u8 * bits);
+        self.len += 1;
+    }
+
+    /// Read the code at `index`.
+    pub fn get(&self, index: usize) -> Option<u8> {
+        if index >= self.len {
+            return None;
+        }
+        let per = self.per_byte();
+        let byte = self.data[index / per];
+        let shift = (index % per) as u8 * self.bits;
+        Some((byte >> shift) & self.mask())
+    }
+
+    /// Overwrite the code at `index`.
+    pub fn set(&mut self, index: usize, code: u8) -> Result<()> {
+        if index >= self.len {
+            return Err(GenAlgError::OutOfBounds { index, len: self.len });
+        }
+        let per = self.per_byte();
+        let mask = self.mask();
+        let shift = (index % per) as u8 * self.bits;
+        let byte = &mut self.data[index / per];
+        *byte &= !(mask << shift);
+        *byte |= (code & mask) << shift;
+        Ok(())
+    }
+
+    /// Iterate over all codes.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len).map(move |i| self.get(i).expect("index < len"))
+    }
+
+    /// Extract codes `range.start..range.end` into a new vector.
+    pub fn slice(&self, start: usize, end: usize) -> Result<PackedVec> {
+        if start > end || end > self.len {
+            return Err(GenAlgError::OutOfBounds { index: end, len: self.len });
+        }
+        let mut out = PackedVec::with_capacity(self.bits, end - start);
+        for i in start..end {
+            out.push(self.get(i).expect("bounds checked"));
+        }
+        Ok(out)
+    }
+
+    /// Append all codes of `other` (must have the same width).
+    pub fn extend_from(&mut self, other: &PackedVec) {
+        assert_eq!(self.bits, other.bits, "cannot concatenate different code widths");
+        for c in other.iter() {
+            self.push(c);
+        }
+    }
+
+    /// The raw packed bytes (for compact serialization).
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuild from raw packed bytes plus an explicit length.
+    pub fn from_raw(bits: u8, len: usize, data: Vec<u8>) -> Result<Self> {
+        assert!(matches!(bits, 1 | 2 | 4 | 8), "unsupported code width: {bits}");
+        if data.len() != Self::bytes_for(bits, len) {
+            return Err(GenAlgError::Corrupt(format!(
+                "packed payload of {} bytes cannot hold {len} codes of {bits} bits",
+                data.len()
+            )));
+        }
+        Ok(PackedVec { bits, len, data })
+    }
+
+    /// Bytes of heap memory used by the packed payload.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl FromIterator<u8> for PackedVec {
+    /// Collects 4-bit codes by default — callers that need a different width
+    /// should use [`PackedVec::new`] and `push` explicitly.
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut v = PackedVec::new(4);
+        for c in iter {
+            v.push(c);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip_2bit() {
+        let mut v = PackedVec::new(2);
+        let input: Vec<u8> = (0..100).map(|i| (i % 4) as u8).collect();
+        for &c in &input {
+            v.push(c);
+        }
+        assert_eq!(v.len(), 100);
+        let out: Vec<u8> = v.iter().collect();
+        assert_eq!(out, input);
+        // 100 codes * 2 bits = 25 bytes
+        assert_eq!(v.payload_bytes(), 25);
+    }
+
+    #[test]
+    fn push_get_roundtrip_4bit() {
+        let mut v = PackedVec::new(4);
+        let input: Vec<u8> = (0..99).map(|i| (i % 16) as u8).collect();
+        for &c in &input {
+            v.push(c);
+        }
+        let out: Vec<u8> = v.iter().collect();
+        assert_eq!(out, input);
+        assert_eq!(v.payload_bytes(), 50);
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut v = PackedVec::new(2);
+        for _ in 0..10 {
+            v.push(0);
+        }
+        v.set(3, 3).unwrap();
+        v.set(9, 2).unwrap();
+        assert_eq!(v.get(3), Some(3));
+        assert_eq!(v.get(9), Some(2));
+        assert_eq!(v.get(4), Some(0));
+        assert!(v.set(10, 1).is_err());
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let v = PackedVec::new(4);
+        assert_eq!(v.get(0), None);
+    }
+
+    #[test]
+    fn slice_extracts_subrange() {
+        let mut v = PackedVec::new(2);
+        for i in 0..20u8 {
+            v.push(i % 4);
+        }
+        let s = v.slice(5, 12).unwrap();
+        let expect: Vec<u8> = (5..12u8).map(|i| i % 4).collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), expect);
+        assert!(v.slice(12, 5).is_err());
+        assert!(v.slice(0, 21).is_err());
+        assert_eq!(v.slice(7, 7).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = PackedVec::new(4);
+        a.push(1);
+        a.push(2);
+        let mut b = PackedVec::new(4);
+        b.push(3);
+        b.push(4);
+        b.push(5);
+        a.extend_from(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut v = PackedVec::new(2);
+        for i in 0..33u8 {
+            v.push(i % 4);
+        }
+        let raw = v.raw_bytes().to_vec();
+        let back = PackedVec::from_raw(2, 33, raw).unwrap();
+        assert_eq!(back, v);
+        assert!(PackedVec::from_raw(2, 33, vec![0; 3]).is_err());
+    }
+
+    #[test]
+    fn push_masks_high_bits() {
+        let mut v = PackedVec::new(2);
+        v.push(0xFF);
+        assert_eq!(v.get(0), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported code width")]
+    fn rejects_weird_widths() {
+        let _ = PackedVec::new(3);
+    }
+}

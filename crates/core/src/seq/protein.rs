@@ -1,0 +1,274 @@
+//! The `protein sequence` genomic data type: a chain of amino-acid residues.
+
+use crate::alphabet::AminoAcid;
+use crate::error::{GenAlgError, Result};
+use std::fmt;
+
+/// An amino-acid sequence, one byte per residue.
+///
+/// Residues are stored as their 5-bit codes in a plain byte vector: protein
+/// sequences are short relative to genomic DNA, so byte addressing beats the
+/// packing overhead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProteinSeq {
+    residues: Vec<u8>,
+}
+
+impl ProteinSeq {
+    /// The empty sequence.
+    pub fn empty() -> Self {
+        ProteinSeq { residues: Vec::new() }
+    }
+
+    /// Parse from one-letter codes (case-insensitive, `*` = stop, `X` = unknown).
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut residues = Vec::with_capacity(text.len());
+        for c in text.chars() {
+            residues.push(AminoAcid::from_char(c)?.code());
+        }
+        Ok(ProteinSeq { residues })
+    }
+
+    /// Build from residues.
+    pub fn from_residues(residues: &[AminoAcid]) -> Self {
+        ProteinSeq { residues: residues.iter().map(|a| a.code()).collect() }
+    }
+
+    /// Build from an iterator of residues.
+    pub fn from_residues_iter(residues: impl IntoIterator<Item = AminoAcid>) -> Self {
+        ProteinSeq { residues: residues.into_iter().map(|a| a.code()).collect() }
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// True if there are no residues.
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// Residue at position `i`.
+    pub fn get(&self, i: usize) -> Option<AminoAcid> {
+        self.residues.get(i).map(|&c| AminoAcid::from_code(c))
+    }
+
+    /// Append a residue.
+    pub fn push(&mut self, aa: AminoAcid) {
+        self.residues.push(aa.code());
+    }
+
+    /// Iterate over residues.
+    pub fn iter(&self) -> impl Iterator<Item = AminoAcid> + '_ {
+        self.residues.iter().map(|&c| AminoAcid::from_code(c))
+    }
+
+    /// Render as one-letter codes.
+    pub fn to_text(&self) -> String {
+        self.iter().map(AminoAcid::to_char).collect()
+    }
+
+    /// Extract the subsequence `[start, end)`.
+    pub fn subseq(&self, start: usize, end: usize) -> Result<ProteinSeq> {
+        if start > end || end > self.len() {
+            return Err(GenAlgError::OutOfBounds { index: end, len: self.len() });
+        }
+        Ok(ProteinSeq { residues: self.residues[start..end].to_vec() })
+    }
+
+    /// Concatenate `other` onto a copy of `self`.
+    pub fn concat(&self, other: &ProteinSeq) -> ProteinSeq {
+        let mut out = self.clone();
+        out.residues.extend_from_slice(&other.residues);
+        out
+    }
+
+    /// Sum of residue monoisotopic masses plus one water (peptide mass).
+    pub fn molecular_weight(&self) -> f64 {
+        const WATER: f64 = 18.010_565;
+        let residue_sum: f64 = self.iter().map(|a| a.monoisotopic_mass()).sum();
+        if self.is_empty() {
+            0.0
+        } else {
+            residue_sum + WATER
+        }
+    }
+
+    /// Mean Kyte–Doolittle hydropathy (GRAVY score).
+    pub fn gravy(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.iter().map(|a| a.hydropathy()).sum::<f64>() / self.len() as f64
+    }
+
+    /// Net charge at a given pH (Henderson–Hasselbalch over the ionizable
+    /// groups, standard pKa values).
+    pub fn charge_at(&self, ph: f64) -> f64 {
+        use crate::alphabet::AminoAcid as AA;
+        if self.is_empty() {
+            return 0.0;
+        }
+        let positive = |pka: f64| 1.0 / (1.0 + 10f64.powf(ph - pka));
+        let negative = |pka: f64| -1.0 / (1.0 + 10f64.powf(pka - ph));
+        // Termini.
+        let mut charge = positive(8.2) + negative(3.65);
+        for aa in self.iter() {
+            charge += match aa {
+                AA::Lys => positive(10.54),
+                AA::Arg => positive(12.48),
+                AA::His => positive(6.04),
+                AA::Asp => negative(3.9),
+                AA::Glu => negative(4.07),
+                AA::Cys => negative(8.18),
+                AA::Tyr => negative(10.46),
+                _ => 0.0,
+            };
+        }
+        charge
+    }
+
+    /// Isoelectric point: the pH at which the net charge is zero, found by
+    /// bisection over [0, 14]. Returns 7.0 for the empty sequence.
+    pub fn isoelectric_point(&self) -> f64 {
+        if self.is_empty() {
+            return 7.0;
+        }
+        let (mut lo, mut hi) = (0.0f64, 14.0f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.charge_at(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// First occurrence of `pattern` (exact match; `X` matches only `X`).
+    pub fn find(&self, pattern: &ProteinSeq) -> Option<usize> {
+        if pattern.is_empty() {
+            return Some(0);
+        }
+        self.residues
+            .windows(pattern.len())
+            .position(|w| w == pattern.residues.as_slice())
+    }
+
+    /// True if `pattern` occurs in this sequence.
+    pub fn contains(&self, pattern: &ProteinSeq) -> bool {
+        self.find(pattern).is_some()
+    }
+
+    /// Truncate at (and excluding) the first stop codon marker, if any.
+    pub fn until_stop(&self) -> ProteinSeq {
+        match self.residues.iter().position(|&c| c == AminoAcid::Stop.code()) {
+            Some(i) => ProteinSeq { residues: self.residues[..i].to_vec() },
+            None => self.clone(),
+        }
+    }
+
+    /// Raw residue codes (for compact serialization).
+    pub(crate) fn raw(&self) -> &[u8] {
+        &self.residues
+    }
+
+    /// Rebuild from raw residue codes.
+    pub(crate) fn from_raw(data: Vec<u8>) -> Self {
+        ProteinSeq { residues: data }
+    }
+}
+
+impl fmt::Display for ProteinSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+impl std::str::FromStr for ProteinSeq {
+    type Err = GenAlgError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        ProteinSeq::from_text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let p = ProteinSeq::from_text("MAFK*").unwrap();
+        assert_eq!(p.to_text(), "MAFK*");
+        assert_eq!(p.len(), 5);
+        assert!(ProteinSeq::from_text("MAJ").is_err());
+    }
+
+    #[test]
+    fn subseq_concat() {
+        let p = ProteinSeq::from_text("MAFKGH").unwrap();
+        assert_eq!(p.subseq(1, 4).unwrap().to_text(), "AFK");
+        assert!(p.subseq(4, 1).is_err());
+        let q = p.subseq(0, 2).unwrap().concat(&p.subseq(4, 6).unwrap());
+        assert_eq!(q.to_text(), "MAGH");
+    }
+
+    #[test]
+    fn molecular_weight_glycine() {
+        // Gly-Gly dipeptide: 2 * 57.02146 + water.
+        let p = ProteinSeq::from_text("GG").unwrap();
+        assert!((p.molecular_weight() - (2.0 * 57.02146 + 18.010565)).abs() < 1e-6);
+        assert_eq!(ProteinSeq::empty().molecular_weight(), 0.0);
+    }
+
+    #[test]
+    fn gravy_score() {
+        let p = ProteinSeq::from_text("II").unwrap(); // Ile hydropathy 4.5
+        assert!((p.gravy() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isoelectric_point_shapes() {
+        // Basic peptide: lots of lysine → high pI.
+        let basic = ProteinSeq::from_text("KKKKKK").unwrap();
+        assert!(basic.isoelectric_point() > 9.5, "{}", basic.isoelectric_point());
+        // Acidic peptide: lots of aspartate → low pI.
+        let acidic = ProteinSeq::from_text("DDDDDD").unwrap();
+        assert!(acidic.isoelectric_point() < 4.5, "{}", acidic.isoelectric_point());
+        // Neutral residues sit between the termini pKa values.
+        let neutral = ProteinSeq::from_text("GGGGGG").unwrap();
+        let pi = neutral.isoelectric_point();
+        assert!(pi > 4.0 && pi < 9.0, "{pi}");
+        // Charge is monotonically decreasing in pH.
+        let p = ProteinSeq::from_text("MKDHERCY").unwrap();
+        let mut prev = f64::INFINITY;
+        for step in 0..=28 {
+            let c = p.charge_at(step as f64 * 0.5);
+            assert!(c <= prev + 1e-9);
+            prev = c;
+        }
+        // At its own pI, the charge is ~zero.
+        assert!(p.charge_at(p.isoelectric_point()).abs() < 1e-6);
+        assert_eq!(ProteinSeq::empty().isoelectric_point(), 7.0);
+        assert_eq!(ProteinSeq::empty().charge_at(7.0), 0.0);
+    }
+
+    #[test]
+    fn find_and_contains() {
+        let p = ProteinSeq::from_text("MAFKGH").unwrap();
+        assert_eq!(p.find(&ProteinSeq::from_text("FKG").unwrap()), Some(2));
+        assert!(!p.contains(&ProteinSeq::from_text("KK").unwrap()));
+        assert_eq!(p.find(&ProteinSeq::empty()), Some(0));
+    }
+
+    #[test]
+    fn until_stop() {
+        let p = ProteinSeq::from_text("MAF*KGH").unwrap();
+        assert_eq!(p.until_stop().to_text(), "MAF");
+        let q = ProteinSeq::from_text("MAF").unwrap();
+        assert_eq!(q.until_stop(), q);
+    }
+}

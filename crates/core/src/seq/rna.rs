@@ -1,0 +1,222 @@
+//! The `rna` genomic data type: an unambiguous RNA sequence.
+
+use crate::alphabet::RnaBase;
+use crate::error::{GenAlgError, Result};
+use crate::seq::dna::DnaSeq;
+use crate::seq::packed::PackedVec;
+use std::fmt;
+
+/// An RNA sequence over `{A, C, G, U}`, packed at 2 bits per base.
+///
+/// RNA values arise *inside* the algebra — as primary transcripts and
+/// messenger RNAs produced by `transcribe` and `splice` — rather than being
+/// ingested raw, so unlike [`DnaSeq`] they do not carry ambiguity codes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RnaSeq {
+    codes: PackedVec,
+}
+
+impl RnaSeq {
+    /// The empty sequence.
+    pub fn empty() -> Self {
+        RnaSeq { codes: PackedVec::new(2) }
+    }
+
+    /// Parse from text over `ACGU` (case-insensitive).
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut codes = PackedVec::with_capacity(2, text.len());
+        for c in text.chars() {
+            codes.push(RnaBase::from_char(c)?.code());
+        }
+        Ok(RnaSeq { codes })
+    }
+
+    /// Build from bases.
+    pub fn from_bases(bases: &[RnaBase]) -> Self {
+        Self::from_bases_iter(bases.iter().copied())
+    }
+
+    /// Build from an iterator of bases.
+    pub fn from_bases_iter(bases: impl IntoIterator<Item = RnaBase>) -> Self {
+        let mut codes = PackedVec::new(2);
+        for b in bases {
+            codes.push(b.code());
+        }
+        RnaSeq { codes }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the sequence has no bases.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Base at position `i`.
+    pub fn get(&self, i: usize) -> Option<RnaBase> {
+        self.codes.get(i).map(RnaBase::from_code)
+    }
+
+    /// Append a base.
+    pub fn push(&mut self, b: RnaBase) {
+        self.codes.push(b.code());
+    }
+
+    /// Iterate over bases.
+    pub fn iter(&self) -> impl Iterator<Item = RnaBase> + '_ {
+        self.codes.iter().map(RnaBase::from_code)
+    }
+
+    /// Render as upper-case text.
+    pub fn to_text(&self) -> String {
+        self.iter().map(RnaBase::to_char).collect()
+    }
+
+    /// Extract the subsequence `[start, end)`.
+    pub fn subseq(&self, start: usize, end: usize) -> Result<RnaSeq> {
+        Ok(RnaSeq { codes: self.codes.slice(start, end)? })
+    }
+
+    /// Concatenate `other` onto a copy of `self`.
+    pub fn concat(&self, other: &RnaSeq) -> RnaSeq {
+        let mut out = self.clone();
+        out.codes.extend_from(&other.codes);
+        out
+    }
+
+    /// Reverse complement (A↔U, C↔G, reversed).
+    pub fn reverse_complement(&self) -> RnaSeq {
+        let mut codes = PackedVec::with_capacity(2, self.len());
+        for i in (0..self.len()).rev() {
+            let b = RnaBase::from_code(self.codes.get(i).expect("index < len"));
+            codes.push(b.complement().code());
+        }
+        RnaSeq { codes }
+    }
+
+    /// Reverse transcription back to DNA (U→T).
+    pub fn to_dna(&self) -> DnaSeq {
+        DnaSeq::from_bases(&self.iter().map(RnaBase::to_dna).collect::<Vec<_>>())
+    }
+
+    /// Fraction of G/C bases.
+    pub fn gc_content(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let gc = self
+            .iter()
+            .filter(|b| matches!(b, RnaBase::G | RnaBase::C))
+            .count();
+        gc as f64 / self.len() as f64
+    }
+
+    /// First occurrence of `pattern` (exact matching).
+    pub fn find(&self, pattern: &RnaSeq) -> Option<usize> {
+        let n = self.len();
+        let m = pattern.len();
+        if m == 0 {
+            return Some(0);
+        }
+        if m > n {
+            return None;
+        }
+        let pat: Vec<RnaBase> = pattern.iter().collect();
+        'outer: for start in 0..=(n - m) {
+            for (j, p) in pat.iter().enumerate() {
+                if self.get(start + j) != Some(*p) {
+                    continue 'outer;
+                }
+            }
+            return Some(start);
+        }
+        None
+    }
+
+    /// Raw packed payload (for compact serialization).
+    pub(crate) fn raw(&self) -> (&[u8], usize) {
+        (self.codes.raw_bytes(), self.codes.len())
+    }
+
+    /// Rebuild from a raw packed payload.
+    pub(crate) fn from_raw(len: usize, data: Vec<u8>) -> Result<Self> {
+        Ok(RnaSeq { codes: PackedVec::from_raw(2, len, data)? })
+    }
+
+    /// Heap bytes used by the packed payload.
+    pub fn payload_bytes(&self) -> usize {
+        self.codes.payload_bytes()
+    }
+}
+
+impl fmt::Display for RnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", b.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for RnaSeq {
+    type Err = GenAlgError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        RnaSeq::from_text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let s = RnaSeq::from_text("AUGGCC").unwrap();
+        assert_eq!(s.to_text(), "AUGGCC");
+        assert!(RnaSeq::from_text("ATG").is_err());
+    }
+
+    #[test]
+    fn dna_roundtrip() {
+        let s = RnaSeq::from_text("AUGC").unwrap();
+        assert_eq!(s.to_dna().to_text(), "ATGC");
+        assert_eq!(s.to_dna().to_rna().unwrap(), s);
+    }
+
+    #[test]
+    fn reverse_complement() {
+        let s = RnaSeq::from_text("AUGC").unwrap();
+        assert_eq!(s.reverse_complement().to_text(), "GCAU");
+        assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn subseq_concat_find() {
+        let s = RnaSeq::from_text("AUGGCCUAA").unwrap();
+        assert_eq!(s.subseq(3, 6).unwrap().to_text(), "GCC");
+        assert_eq!(
+            s.subseq(0, 3).unwrap().concat(&s.subseq(6, 9).unwrap()).to_text(),
+            "AUGUAA"
+        );
+        assert_eq!(s.find(&RnaSeq::from_text("GCC").unwrap()), Some(3));
+        assert_eq!(s.find(&RnaSeq::from_text("GGG").unwrap()), None);
+        assert_eq!(s.find(&RnaSeq::empty()), Some(0));
+    }
+
+    #[test]
+    fn gc() {
+        let s = RnaSeq::from_text("GGCC").unwrap();
+        assert!((s.gc_content() - 1.0).abs() < 1e-12);
+        assert_eq!(RnaSeq::empty().gc_content(), 0.0);
+    }
+
+    #[test]
+    fn two_bit_packing() {
+        let s = RnaSeq::from_text(&"A".repeat(1000)).unwrap();
+        assert_eq!(s.payload_bytes(), 250);
+    }
+}

@@ -1,0 +1,260 @@
+//! First-class uncertainty for genomic values.
+//!
+//! The paper (§4.3, problem C9) insists that biological results are never
+//! guaranteed: repository data is noisy and two sources may hold conflicting
+//! values with no way to decide which is right. "In this case, access to
+//! both alternatives should be given." These types make that policy
+//! concrete: a value carries a [`Confidence`] and its provenance, and a
+//! conflict is preserved as an [`Alternatives`] set rather than silently
+//! resolved.
+
+use crate::error::{GenAlgError, Result};
+use std::fmt;
+
+/// A degree of belief in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// Full certainty.
+    pub const CERTAIN: Confidence = Confidence(1.0);
+
+    /// Construct, clamping into `[0, 1]`; NaN is rejected.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_nan() {
+            return Err(GenAlgError::Other("confidence cannot be NaN".into()));
+        }
+        Ok(Confidence(value.clamp(0.0, 1.0)))
+    }
+
+    /// The raw degree of belief.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Belief that both independent statements hold.
+    pub fn and(self, other: Confidence) -> Confidence {
+        Confidence(self.0 * other.0)
+    }
+
+    /// Belief that at least one of two independent statements holds.
+    pub fn or(self, other: Confidence) -> Confidence {
+        Confidence(self.0 + other.0 - self.0 * other.0)
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+/// A value together with how much we believe it and where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Uncertain<T> {
+    value: T,
+    confidence: Confidence,
+    /// Names of the repositories/derivations this value came through.
+    provenance: Vec<String>,
+}
+
+impl<T> Uncertain<T> {
+    /// A value believed with the given confidence, from the named source.
+    pub fn new(value: T, confidence: Confidence, source: &str) -> Self {
+        Uncertain { value, confidence, provenance: vec![source.to_string()] }
+    }
+
+    /// A fully trusted value (confidence 1, anonymous provenance).
+    pub fn certain(value: T) -> Self {
+        Uncertain { value, confidence: Confidence::CERTAIN, provenance: Vec::new() }
+    }
+
+    /// The carried value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Consume and return the carried value.
+    pub fn into_value(self) -> T {
+        self.value
+    }
+
+    /// Degree of belief.
+    pub fn confidence(&self) -> Confidence {
+        self.confidence
+    }
+
+    /// Provenance trail, oldest first.
+    pub fn provenance(&self) -> &[String] {
+        &self.provenance
+    }
+
+    /// Apply an operation to the value; the result is *at most* as certain
+    /// as the input, scaled by the operation's own reliability.
+    pub fn map<U>(self, op_reliability: Confidence, op_name: &str, f: impl FnOnce(T) -> U) -> Uncertain<U> {
+        let mut provenance = self.provenance;
+        provenance.push(op_name.to_string());
+        Uncertain {
+            value: f(self.value),
+            confidence: self.confidence.and(op_reliability),
+            provenance,
+        }
+    }
+
+    /// Record that the same value was independently confirmed by another
+    /// source: confidence rises (noisy-or), provenance accumulates.
+    pub fn corroborate(&mut self, confidence: Confidence, source: &str) {
+        self.confidence = self.confidence.or(confidence);
+        self.provenance.push(source.to_string());
+    }
+}
+
+/// A non-empty set of mutually exclusive alternatives for the same logical
+/// value, ordered by decreasing confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alternatives<T> {
+    options: Vec<Uncertain<T>>,
+}
+
+impl<T: PartialEq> Alternatives<T> {
+    /// A single undisputed option.
+    pub fn single(option: Uncertain<T>) -> Self {
+        Alternatives { options: vec![option] }
+    }
+
+    /// Build from several options; fails on an empty set.
+    pub fn new(mut options: Vec<Uncertain<T>>) -> Result<Self> {
+        if options.is_empty() {
+            return Err(GenAlgError::InvalidStructure("empty alternative set".into()));
+        }
+        options.sort_by(|a, b| {
+            b.confidence()
+                .value()
+                .partial_cmp(&a.confidence().value())
+                .expect("confidence is never NaN")
+        });
+        Ok(Alternatives { options })
+    }
+
+    /// Add another claimed value. If an existing option carries an equal
+    /// value, it is corroborated; otherwise the claim becomes a new
+    /// alternative. Either way the biologist retains access to every claim.
+    pub fn add_claim(&mut self, claim: Uncertain<T>) {
+        if let Some(existing) = self.options.iter_mut().find(|o| o.value() == claim.value()) {
+            let source = claim
+                .provenance()
+                .last()
+                .cloned()
+                .unwrap_or_else(|| "unknown".to_string());
+            existing.corroborate(claim.confidence(), &source);
+        } else {
+            self.options.push(claim);
+        }
+        self.options.sort_by(|a, b| {
+            b.confidence()
+                .value()
+                .partial_cmp(&a.confidence().value())
+                .expect("confidence is never NaN")
+        });
+    }
+
+    /// The currently most-believed option.
+    pub fn best(&self) -> &Uncertain<T> {
+        &self.options[0]
+    }
+
+    /// All options, most believed first.
+    pub fn options(&self) -> &[Uncertain<T>] {
+        &self.options
+    }
+
+    /// True if only one value is claimed.
+    pub fn is_undisputed(&self) -> bool {
+        self.options.len() == 1
+    }
+
+    /// Number of distinct claimed values.
+    pub fn len(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Alternatives are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_clamps_and_rejects_nan() {
+        assert_eq!(Confidence::new(1.5).unwrap().value(), 1.0);
+        assert_eq!(Confidence::new(-0.5).unwrap().value(), 0.0);
+        assert!(Confidence::new(f64::NAN).is_err());
+        assert_eq!(Confidence::new(0.75).unwrap().to_string(), "75%");
+    }
+
+    #[test]
+    fn confidence_combinators() {
+        let a = Confidence::new(0.8).unwrap();
+        let b = Confidence::new(0.5).unwrap();
+        assert!((a.and(b).value() - 0.4).abs() < 1e-12);
+        assert!((a.or(b).value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_decays_confidence_and_extends_provenance() {
+        let v = Uncertain::new(10i64, Confidence::new(0.9).unwrap(), "genbank");
+        let w = v.map(Confidence::new(0.5).unwrap(), "halve", |x| x / 2);
+        assert_eq!(*w.value(), 5);
+        assert!((w.confidence().value() - 0.45).abs() < 1e-12);
+        assert_eq!(w.provenance(), &["genbank".to_string(), "halve".to_string()]);
+    }
+
+    #[test]
+    fn corroboration_raises_confidence() {
+        let mut v = Uncertain::new("ATG", Confidence::new(0.6).unwrap(), "embl");
+        v.corroborate(Confidence::new(0.6).unwrap(), "ddbj");
+        assert!((v.confidence().value() - 0.84).abs() < 1e-12);
+        assert_eq!(v.provenance().len(), 2);
+    }
+
+    #[test]
+    fn alternatives_keep_every_claim() {
+        let mut alts = Alternatives::single(Uncertain::new(
+            "ATGC",
+            Confidence::new(0.5).unwrap(),
+            "genbank",
+        ));
+        alts.add_claim(Uncertain::new("ATGG", Confidence::new(0.8).unwrap(), "swissprot"));
+        assert_eq!(alts.len(), 2);
+        assert!(!alts.is_undisputed());
+        // Higher-confidence claim sorts first.
+        assert_eq!(*alts.best().value(), "ATGG");
+        // Both remain accessible.
+        assert!(alts.options().iter().any(|o| *o.value() == "ATGC"));
+    }
+
+    #[test]
+    fn matching_claim_corroborates_instead_of_duplicating() {
+        let mut alts = Alternatives::single(Uncertain::new(
+            "ATGC",
+            Confidence::new(0.5).unwrap(),
+            "genbank",
+        ));
+        alts.add_claim(Uncertain::new("ATGC", Confidence::new(0.5).unwrap(), "embl"));
+        assert_eq!(alts.len(), 1);
+        assert!(alts.is_undisputed());
+        assert!((alts.best().confidence().value() - 0.75).abs() < 1e-12);
+        assert_eq!(alts.best().provenance(), &["genbank".to_string(), "embl".to_string()]);
+    }
+
+    #[test]
+    fn empty_alternative_set_rejected() {
+        assert!(Alternatives::<i32>::new(vec![]).is_err());
+        let ok = Alternatives::new(vec![Uncertain::certain(1)]).unwrap();
+        assert!(!ok.is_empty());
+    }
+}

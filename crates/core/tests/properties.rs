@@ -1,0 +1,330 @@
+//! Property-based tests for the kernel algebra's core invariants.
+
+use genalg_core::align::{
+    banded_global_align, global_align, local_align, NucleotideScore, Scoring,
+};
+use genalg_core::alphabet::{AminoAcid, DnaBase, IupacDna};
+use genalg_core::codon::GeneticCode;
+use genalg_core::compact::{value_from_bytes, value_to_bytes, Compact};
+use genalg_core::algebra::Value;
+use genalg_core::gdt::Gene;
+use genalg_core::index::{KmerIndex, SuffixArray};
+use genalg_core::seq::ops::{kmers, pack_kmer, unpack_kmer};
+use genalg_core::seq::{DnaSeq, ProteinSeq, RnaSeq};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn dna_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::sample::select(vec!['A', 'C', 'G', 'T']), 0..200)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+fn iupac_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select("ACGTRYSWKMBDHVN".chars().collect::<Vec<_>>()),
+        0..200,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+fn rna_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::sample::select(vec!['A', 'C', 'G', 'U']), 0..200)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+fn protein_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select("ARNDCQEGHILKMFPSTWYV*X".chars().collect::<Vec<_>>()),
+        0..100,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    // --- sequence invariants -------------------------------------------------
+
+    #[test]
+    fn dna_text_roundtrip(text in iupac_text()) {
+        let seq = DnaSeq::from_text(&text).unwrap();
+        prop_assert_eq!(seq.to_text(), text);
+        prop_assert_eq!(seq.len(), seq.to_text().len());
+    }
+
+    #[test]
+    fn reverse_complement_involutive(text in iupac_text()) {
+        let seq = DnaSeq::from_text(&text).unwrap();
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn complement_preserves_gc(text in dna_text()) {
+        let seq = DnaSeq::from_text(&text).unwrap();
+        let rc = seq.reverse_complement();
+        prop_assert!((seq.gc_content() - rc.gc_content()).abs() < 1e-12);
+        prop_assert_eq!(seq.len(), rc.len());
+    }
+
+    #[test]
+    fn subseq_concat_identity(text in dna_text(), split in 0usize..200) {
+        let seq = DnaSeq::from_text(&text).unwrap();
+        let split = split.min(seq.len());
+        let left = seq.subseq(0, split).unwrap();
+        let right = seq.subseq(split, seq.len()).unwrap();
+        prop_assert_eq!(left.concat(&right), seq);
+    }
+
+    #[test]
+    fn find_agrees_with_text_search(hay in dna_text(), needle in dna_text()) {
+        let h = DnaSeq::from_text(&hay).unwrap();
+        let n = DnaSeq::from_text(&needle).unwrap();
+        // Strict sequences: IUPAC compatibility equals exact matching.
+        prop_assert_eq!(h.find(&n), hay.find(&needle));
+    }
+
+    #[test]
+    fn transcription_roundtrip(text in dna_text()) {
+        let seq = DnaSeq::from_text(&text).unwrap();
+        let rna = seq.to_rna().unwrap();
+        prop_assert_eq!(rna.len(), seq.len());
+        prop_assert_eq!(rna.to_dna(), seq);
+    }
+
+    #[test]
+    fn rna_reverse_complement_involutive(text in rna_text()) {
+        let seq = RnaSeq::from_text(&text).unwrap();
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn hamming_is_a_metric_on_equal_lengths(a in dna_text(), b in dna_text()) {
+        let n = a.len().min(b.len());
+        let x = DnaSeq::from_text(&a[..n]).unwrap();
+        let y = DnaSeq::from_text(&b[..n]).unwrap();
+        let dxy = x.hamming_distance(&y).unwrap();
+        let dyx = y.hamming_distance(&x).unwrap();
+        prop_assert_eq!(dxy, dyx);
+        prop_assert_eq!(x.hamming_distance(&x).unwrap(), 0);
+        prop_assert!(dxy <= n);
+        if dxy == 0 {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    // --- codon / dogma ---------------------------------------------------------
+
+    #[test]
+    fn kmer_pack_unpack(text in dna_text(), k in 1usize..16) {
+        let seq = DnaSeq::from_text(&text).unwrap();
+        for (pos, packed) in kmers(&seq, k) {
+            let bases = unpack_kmer(packed, k);
+            prop_assert_eq!(pack_kmer(&bases), packed);
+            let window = seq.subseq(pos, pos + k).unwrap();
+            prop_assert_eq!(DnaSeq::from_bases(&bases), window);
+        }
+    }
+
+    #[test]
+    fn translation_length_invariant(text in rna_text()) {
+        let rna = RnaSeq::from_text(&text).unwrap();
+        let trimmed = rna.subseq(0, rna.len() - rna.len() % 3).unwrap();
+        let protein = GeneticCode::standard().translate_cds(&trimmed).unwrap();
+        prop_assert_eq!(protein.len(), trimmed.len() / 3);
+    }
+
+    #[test]
+    fn every_codon_decodes(a in 0u8..4, b in 0u8..4, c in 0u8..4) {
+        use genalg_core::alphabet::RnaBase;
+        let codon = [RnaBase::from_code(a), RnaBase::from_code(b), RnaBase::from_code(c)];
+        for table in [1u8, 2, 5, 11] {
+            let code = GeneticCode::by_id(table).unwrap();
+            let aa = code.decode_rna(codon);
+            // Every decode is a residue, stop, or unknown — never a panic.
+            prop_assert!(aa.code() <= AminoAcid::Unknown.code());
+        }
+    }
+
+    // --- compact encodings -------------------------------------------------------
+
+    #[test]
+    fn compact_dna_roundtrip(text in iupac_text()) {
+        let seq = DnaSeq::from_text(&text).unwrap();
+        prop_assert_eq!(DnaSeq::from_bytes(&seq.to_bytes()).unwrap(), seq);
+    }
+
+    #[test]
+    fn compact_protein_roundtrip(text in protein_text()) {
+        let seq = ProteinSeq::from_text(&text).unwrap();
+        prop_assert_eq!(ProteinSeq::from_bytes(&seq.to_bytes()).unwrap(), seq);
+    }
+
+    #[test]
+    fn compact_gene_roundtrip(
+        text in proptest::collection::vec(
+            proptest::sample::select(vec!['A', 'C', 'G', 'T']), 30..120),
+        exon1_end in 3usize..15,
+        exon2_start in 15usize..25,
+    ) {
+        let text: String = text.into_iter().collect();
+        let gene = Gene::builder("prop-gene")
+            .sequence(DnaSeq::from_text(&text).unwrap())
+            .exon(0, exon1_end)
+            .exon(exon2_start, 30)
+            .code_table(11)
+            .build()
+            .unwrap();
+        let value = Value::Gene(Box::new(gene));
+        let bytes = value_to_bytes(&value).unwrap();
+        prop_assert_eq!(value_from_bytes(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn compact_decoding_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // Arbitrary bytes must either decode or error — never panic.
+        let _ = value_from_bytes(&bytes);
+        let _ = DnaSeq::from_bytes(&bytes);
+        let _ = Gene::from_bytes(&bytes);
+    }
+
+    // --- alignment -----------------------------------------------------------------
+
+    #[test]
+    fn self_alignment_is_perfect(text in dna_text()) {
+        prop_assume!(!text.is_empty());
+        let scoring = NucleotideScore::default();
+        let aln = global_align(text.as_bytes(), text.as_bytes(), &scoring);
+        prop_assert_eq!(aln.score, 2 * text.len() as i32);
+        prop_assert!((aln.identity() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(aln.gap_count(), 0);
+    }
+
+    #[test]
+    fn alignment_is_symmetric_in_score(a in dna_text(), b in dna_text()) {
+        let scoring = NucleotideScore::default();
+        let ab = global_align(a.as_bytes(), b.as_bytes(), &scoring);
+        let ba = global_align(b.as_bytes(), a.as_bytes(), &scoring);
+        prop_assert_eq!(ab.score, ba.score);
+        let lab = local_align(a.as_bytes(), b.as_bytes(), &scoring);
+        let lba = local_align(b.as_bytes(), a.as_bytes(), &scoring);
+        prop_assert_eq!(lab.score, lba.score);
+    }
+
+    #[test]
+    fn local_never_below_zero_and_dominates_global(a in dna_text(), b in dna_text()) {
+        let scoring = NucleotideScore::default();
+        let g = global_align(a.as_bytes(), b.as_bytes(), &scoring);
+        let l = local_align(a.as_bytes(), b.as_bytes(), &scoring);
+        prop_assert!(l.score >= 0);
+        prop_assert!(l.score >= g.score);
+    }
+
+    #[test]
+    fn alignment_rows_reconstruct_inputs(a in dna_text(), b in dna_text()) {
+        let scoring = NucleotideScore::default();
+        let aln = global_align(a.as_bytes(), b.as_bytes(), &scoring);
+        let stripped_a: Vec<u8> =
+            aln.aligned_a.iter().copied().filter(|&c| c != b'-').collect();
+        let stripped_b: Vec<u8> =
+            aln.aligned_b.iter().copied().filter(|&c| c != b'-').collect();
+        prop_assert_eq!(&stripped_a[..], a.as_bytes());
+        prop_assert_eq!(&stripped_b[..], b.as_bytes());
+        // The alignment score equals the score recomputed from its rows.
+        let mut recomputed = 0i32;
+        let mut in_gap_a = false;
+        let mut in_gap_b = false;
+        for (&x, &y) in aln.aligned_a.iter().zip(&aln.aligned_b) {
+            if x == b'-' {
+                recomputed += if in_gap_a { scoring.gap_extend() } else { scoring.gap_open() };
+                in_gap_a = true;
+                in_gap_b = false;
+            } else if y == b'-' {
+                recomputed += if in_gap_b { scoring.gap_extend() } else { scoring.gap_open() };
+                in_gap_b = true;
+                in_gap_a = false;
+            } else {
+                recomputed += scoring.score(x, y);
+                in_gap_a = false;
+                in_gap_b = false;
+            }
+        }
+        prop_assert_eq!(recomputed, aln.score, "rows: {} / {}",
+            String::from_utf8_lossy(&aln.aligned_a), String::from_utf8_lossy(&aln.aligned_b));
+    }
+
+    #[test]
+    fn banded_matches_full_when_band_is_wide(a in dna_text(), b in dna_text()) {
+        // With linear gaps and a band wider than both sequences, banded ==
+        // full alignment.
+        let linear = NucleotideScore { matched: 2, mismatch: -3, gap_open: -4, gap_extend: -4 };
+        let band = a.len().max(b.len()) + 1;
+        let full = global_align(a.as_bytes(), b.as_bytes(), &linear);
+        let banded = banded_global_align(a.as_bytes(), b.as_bytes(), &linear, band).unwrap();
+        prop_assert_eq!(banded.score, full.score);
+    }
+
+    // --- indexes -----------------------------------------------------------------
+
+    #[test]
+    fn suffix_array_find_all_matches_naive(
+        text in proptest::collection::vec(proptest::sample::select(vec!['A', 'C', 'G', 'T']), 1..150),
+        pat in proptest::collection::vec(proptest::sample::select(vec!['A', 'C', 'G', 'T']), 1..6),
+    ) {
+        let text: String = text.into_iter().collect();
+        let pat: String = pat.into_iter().collect();
+        let sa = SuffixArray::from_bytes(text.as_bytes().to_vec());
+        let naive: Vec<usize> = if pat.len() > text.len() {
+            Vec::new()
+        } else {
+            (0..=text.len() - pat.len())
+                .filter(|&i| &text.as_bytes()[i..i + pat.len()] == pat.as_bytes())
+                .collect()
+        };
+        prop_assert_eq!(sa.find_all(pat.as_bytes()), naive);
+        prop_assert_eq!(sa.contains(pat.as_bytes()), text.contains(&pat));
+    }
+
+    #[test]
+    fn kmer_index_has_no_false_negatives(
+        seqs in proptest::collection::vec(dna_text(), 1..12),
+        pat in proptest::collection::vec(proptest::sample::select(vec!['A', 'C', 'G', 'T']), 6..12),
+    ) {
+        let pat: String = pat.into_iter().collect();
+        let pattern = DnaSeq::from_text(&pat).unwrap();
+        let mut index = KmerIndex::new(5);
+        let parsed: Vec<DnaSeq> = seqs.iter().map(|s| DnaSeq::from_text(s).unwrap()).collect();
+        for (i, s) in parsed.iter().enumerate() {
+            index.add(i as u64, s);
+        }
+        if let Some(candidates) = index.candidates(&pattern) {
+            for (i, s) in parsed.iter().enumerate() {
+                if s.contains(&pattern) {
+                    prop_assert!(
+                        candidates.contains(&(i as u64)),
+                        "false negative for sequence {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    // --- alphabet totality ------------------------------------------------------
+
+    #[test]
+    fn iupac_mask_roundtrip_total(mask in 0u8..=255) {
+        let code = IupacDna::from_mask(mask);
+        prop_assert!(code.cardinality() >= 1);
+        prop_assert_eq!(IupacDna::from_mask(code.mask()), code);
+        // Complement stays within the alphabet and is involutive.
+        prop_assert_eq!(code.complement().complement(), code);
+    }
+
+    #[test]
+    fn base_codes_total(code in 0u8..=255) {
+        let b = DnaBase::from_code(code);
+        prop_assert_eq!(DnaBase::from_code(b.code()), b);
+        let aa = AminoAcid::from_code(code);
+        prop_assert_eq!(AminoAcid::from_code(aa.code()), aa);
+    }
+}

@@ -1,0 +1,89 @@
+//! Delta representation.
+//!
+//! §5.2: "each delta must be uniquely identifiable and contain (a)
+//! information about the data item to which it belongs and (b) the a priori
+//! and a posteriori data and the time stamp for when the update became
+//! effective."
+
+use crate::record::SeqRecord;
+
+/// The kind of change a delta describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChangeKind {
+    Insert,
+    Update,
+    Delete,
+}
+
+/// One detected change at a source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Unique (per source) delta id.
+    pub id: u64,
+    /// The data item the delta belongs to.
+    pub accession: String,
+    pub kind: ChangeKind,
+    /// A priori state (`None` for inserts).
+    pub before: Option<SeqRecord>,
+    /// A posteriori state (`None` for deletes).
+    pub after: Option<SeqRecord>,
+    /// Logical timestamp at which the update became effective.
+    pub timestamp: u64,
+}
+
+impl Delta {
+    /// Build a delta, inferring the kind from the states.
+    ///
+    /// # Panics
+    /// Panics on the impossible `(None, None)` combination.
+    pub fn infer(id: u64, timestamp: u64, before: Option<SeqRecord>, after: Option<SeqRecord>) -> Self {
+        let (kind, accession) = match (&before, &after) {
+            (None, Some(a)) => (ChangeKind::Insert, a.accession.clone()),
+            (Some(b), None) => (ChangeKind::Delete, b.accession.clone()),
+            (Some(_), Some(a)) => (ChangeKind::Update, a.accession.clone()),
+            (None, None) => panic!("a delta needs at least one state"),
+        };
+        Delta { id, accession, kind, before, after, timestamp }
+    }
+
+    /// Sanity: the stored kind matches the states carried.
+    pub fn is_well_formed(&self) -> bool {
+        match self.kind {
+            ChangeKind::Insert => self.before.is_none() && self.after.is_some(),
+            ChangeKind::Update => self.before.is_some() && self.after.is_some(),
+            ChangeKind::Delete => self.before.is_some() && self.after.is_none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genalg_core::seq::DnaSeq;
+
+    fn rec(acc: &str) -> SeqRecord {
+        SeqRecord::new(acc, DnaSeq::from_text("ATG").unwrap())
+    }
+
+    #[test]
+    fn kinds_inferred() {
+        let d = Delta::infer(1, 10, None, Some(rec("A")));
+        assert_eq!(d.kind, ChangeKind::Insert);
+        assert_eq!(d.accession, "A");
+        assert!(d.is_well_formed());
+
+        let d = Delta::infer(2, 11, Some(rec("B")), None);
+        assert_eq!(d.kind, ChangeKind::Delete);
+        assert!(d.is_well_formed());
+
+        let d = Delta::infer(3, 12, Some(rec("C")), Some(rec("C")));
+        assert_eq!(d.kind, ChangeKind::Update);
+        assert!(d.is_well_formed());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_delta_panics() {
+        let _ = Delta::infer(1, 1, None, None);
+    }
+}

@@ -1,0 +1,234 @@
+//! EMBL-style flat-file wrapper (two-letter line codes).
+
+use crate::formats::location::{parse_location, render_location};
+use crate::record::SeqRecord;
+use genalg_core::error::{GenAlgError, Result};
+use genalg_core::gdt::{Feature, FeatureKind};
+use genalg_core::seq::DnaSeq;
+
+/// An in-progress feature while parsing: (key, location text, qualifiers).
+type PendingFeature = Option<(String, String, Vec<(String, String)>)>;
+
+/// Parse an EMBL flat file (possibly many records).
+pub fn parse(text: &str) -> Result<Vec<SeqRecord>> {
+    let mut records = Vec::new();
+    let mut lines: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if line.trim_end() == "//" {
+            if !lines.is_empty() {
+                records.push(parse_one(&lines)?);
+                lines.clear();
+            }
+        } else {
+            lines.push(line);
+        }
+    }
+    if !lines.iter().all(|l| l.trim().is_empty()) {
+        records.push(parse_one(&lines)?);
+    }
+    Ok(records)
+}
+
+fn parse_one(lines: &[&str]) -> Result<SeqRecord> {
+    let mut accession = String::new();
+    let mut version = 1u32;
+    let mut description = String::new();
+    let mut organism = None;
+    let mut features: Vec<Feature> = Vec::new();
+    let mut sequence = String::new();
+    let mut pending: PendingFeature = None;
+    let mut in_sq = false;
+
+    let flush = |pending: &mut PendingFeature,
+                     features: &mut Vec<Feature>|
+     -> Result<()> {
+        if let Some((key, loc, quals)) = pending.take() {
+            let mut f = Feature::new(FeatureKind::from_key(&key), parse_location(&loc)?);
+            for (k, v) in quals {
+                f = f.with_qualifier(&k, &v);
+            }
+            features.push(f);
+        }
+        Ok(())
+    };
+
+    for line in lines {
+        if in_sq {
+            for token in line.split_whitespace() {
+                if !token.chars().all(|c| c.is_ascii_digit()) {
+                    sequence.push_str(token);
+                }
+            }
+            continue;
+        }
+        let code = line.get(..2).unwrap_or("").trim();
+        let body = line.get(5..).unwrap_or("").trim_end();
+        match code {
+            "ID" => {
+                // ID   ACC; SV n; linear; DNA
+                for part in body.split(';') {
+                    let part = part.trim();
+                    if let Some(v) = part.strip_prefix("SV ") {
+                        version = v
+                            .trim()
+                            .parse()
+                            .map_err(|_| GenAlgError::Other(format!("bad SV field {v:?}")))?;
+                    }
+                }
+            }
+            "AC" => accession = body.trim_end_matches(';').trim().to_string(),
+            "DE" => {
+                if !description.is_empty() {
+                    description.push(' ');
+                }
+                description.push_str(body.trim());
+            }
+            "OS" => organism = Some(body.trim().to_string()),
+            "FT" => {
+                let trimmed = body.trim_start();
+                if trimmed.starts_with('/') {
+                    let q = trimmed.trim_start_matches('/');
+                    let (k, v) = q.split_once('=').unwrap_or((q, ""));
+                    if let Some((_, _, quals)) = pending.as_mut() {
+                        quals.push((k.to_string(), v.trim_matches('"').to_string()));
+                    }
+                } else if !body.starts_with(' ') && !trimmed.is_empty() {
+                    flush(&mut pending, &mut features)?;
+                    let mut parts = trimmed.split_whitespace();
+                    let key = parts
+                        .next()
+                        .ok_or_else(|| GenAlgError::Other("empty FT line".into()))?;
+                    let loc: String = parts.collect::<Vec<_>>().join("");
+                    pending = Some((key.to_string(), loc, Vec::new()));
+                } else if let Some((_, loc, _)) = pending.as_mut() {
+                    loc.push_str(trimmed);
+                }
+            }
+            "SQ" => {
+                flush(&mut pending, &mut features)?;
+                in_sq = true;
+            }
+            _ => {}
+        }
+    }
+    flush(&mut pending, &mut features)?;
+    if accession.is_empty() {
+        return Err(GenAlgError::Other("EMBL record without AC line".into()));
+    }
+    Ok(SeqRecord {
+        accession,
+        version,
+        description,
+        organism,
+        sequence: DnaSeq::from_text(&sequence)?,
+        features,
+        source: String::new(),
+    })
+}
+
+/// Write records in EMBL style.
+pub fn write(records: &[SeqRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "ID   {}; SV {}; linear; DNA; {} BP.\n",
+            r.accession,
+            r.version,
+            r.sequence.len()
+        ));
+        out.push_str(&format!("AC   {};\n", r.accession));
+        if !r.description.is_empty() {
+            out.push_str(&format!("DE   {}\n", r.description));
+        }
+        if let Some(org) = &r.organism {
+            out.push_str(&format!("OS   {org}\n"));
+        }
+        for f in &r.features {
+            out.push_str(&format!(
+                "FT   {:<16}{}\n",
+                f.kind.key(),
+                render_location(&f.location)
+            ));
+            for (k, v) in f.qualifiers() {
+                out.push_str(&format!("FT                   /{k}=\"{v}\"\n"));
+            }
+        }
+        out.push_str(&format!("SQ   Sequence {} BP;\n", r.sequence.len()));
+        let text = r.sequence.to_text().to_ascii_lowercase();
+        for chunk in text.as_bytes().chunks(60) {
+            out.push_str("     ");
+            for ten in chunk.chunks(10) {
+                out.push_str(std::str::from_utf8(ten).expect("ASCII"));
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out.push_str("//\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genalg_core::alphabet::Strand;
+    use genalg_core::gdt::{Interval, Location};
+
+    fn sample() -> SeqRecord {
+        SeqRecord::new("EM00042", DnaSeq::from_text("ATGGCCTTTAAGTTTCACTGA").unwrap())
+            .with_description("an EMBL style entry")
+            .with_organism("Saccharomyces cerevisiae")
+            .with_version(2)
+            .with_feature(
+                Feature::new(
+                    FeatureKind::Cds,
+                    Location::simple(Interval::new(0, 21).unwrap(), Strand::Forward),
+                )
+                .with_qualifier("product", "demo"),
+            )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rec = sample();
+        let text = write(std::slice::from_ref(&rec));
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed[0].same_content(&rec), "{:#?}", parsed[0]);
+    }
+
+    #[test]
+    fn multi_record_roundtrip() {
+        let a = sample();
+        let b = SeqRecord::new("EM00043", DnaSeq::from_text("GGGG").unwrap());
+        let parsed = parse(&write(&[a.clone(), b.clone()])).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed[0].same_content(&a));
+        assert!(parsed[1].same_content(&b));
+    }
+
+    #[test]
+    fn parses_reference_text() {
+        let text = "ID   Z999; SV 5; linear; DNA; 8 BP.\n\
+                    AC   Z999;\n\
+                    DE   two line\n\
+                    DE   description\n\
+                    OS   Mus musculus\n\
+                    FT   gene            1..8\n\
+                    FT                   /gene=\"tiny\"\n\
+                    SQ   Sequence 8 BP;\n\
+                    \x20    atggcctt\n\
+                    //\n";
+        let recs = parse(text).unwrap();
+        assert_eq!(recs[0].accession, "Z999");
+        assert_eq!(recs[0].version, 5);
+        assert_eq!(recs[0].description, "two line description");
+        assert_eq!(recs[0].features[0].qualifier("gene"), Some("tiny"));
+        assert_eq!(recs[0].sequence.to_text(), "ATGGCCTT");
+    }
+
+    #[test]
+    fn missing_ac_is_error() {
+        assert!(parse("ID   X; SV 1;\nSQ   Sequence 4 BP;\n     atgc\n//\n").is_err());
+    }
+}

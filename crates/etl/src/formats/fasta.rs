@@ -1,0 +1,111 @@
+//! FASTA: the simplest flat-file wrapper.
+
+use crate::record::SeqRecord;
+use genalg_core::error::{GenAlgError, Result};
+use genalg_core::seq::DnaSeq;
+
+/// Parse FASTA text into records. The header line is
+/// `>accession description…`; sequence lines are concatenated.
+pub fn parse(text: &str) -> Result<Vec<SeqRecord>> {
+    let mut records = Vec::new();
+    let mut header: Option<(String, String)> = None;
+    let mut seq = String::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if let Some(h) = line.strip_prefix('>') {
+            if let Some((acc, desc)) = header.take() {
+                records.push(make_record(acc, desc, &seq)?);
+                seq.clear();
+            }
+            let mut parts = h.splitn(2, char::is_whitespace);
+            let acc = parts
+                .next()
+                .filter(|a| !a.is_empty())
+                .ok_or_else(|| GenAlgError::Other("FASTA header without accession".into()))?;
+            let desc = parts.next().unwrap_or("").trim().to_string();
+            header = Some((acc.to_string(), desc));
+        } else if !line.is_empty() {
+            if header.is_none() {
+                return Err(GenAlgError::Other("sequence data before any FASTA header".into()));
+            }
+            seq.push_str(line.trim());
+        }
+    }
+    if let Some((acc, desc)) = header {
+        records.push(make_record(acc, desc, &seq)?);
+    }
+    Ok(records)
+}
+
+fn make_record(accession: String, description: String, seq: &str) -> Result<SeqRecord> {
+    Ok(SeqRecord {
+        accession,
+        version: 1,
+        description,
+        organism: None,
+        sequence: DnaSeq::from_text(seq)?,
+        features: Vec::new(),
+        source: String::new(),
+    })
+}
+
+/// Write records as FASTA, wrapping sequence lines at 60 columns.
+pub fn write(records: &[SeqRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push('>');
+        out.push_str(&r.accession);
+        if !r.description.is_empty() {
+            out.push(' ');
+            out.push_str(&r.description);
+        }
+        out.push('\n');
+        let text = r.sequence.to_text();
+        for chunk in text.as_bytes().chunks(60) {
+            out.push_str(std::str::from_utf8(chunk).expect("sequence text is ASCII"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let text = ">X1 first entry\nATGGCC\nTTTAAG\n>X2\nACGT\n";
+        let recs = parse(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].accession, "X1");
+        assert_eq!(recs[0].description, "first entry");
+        assert_eq!(recs[0].sequence.to_text(), "ATGGCCTTTAAG");
+        assert_eq!(recs[1].accession, "X2");
+        assert!(recs[1].description.is_empty());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = ">A1 alpha\nATGGCCTTTAAGN\n>B2 beta entry\nACGTRY\n";
+        let recs = parse(text).unwrap();
+        let rewritten = write(&recs);
+        assert_eq!(parse(&rewritten).unwrap(), recs);
+    }
+
+    #[test]
+    fn long_sequences_wrap() {
+        let rec = SeqRecord::new("L1", DnaSeq::from_text(&"A".repeat(150)).unwrap());
+        let text = write(std::slice::from_ref(&rec));
+        assert!(text.lines().count() >= 4);
+        assert_eq!(parse(&text).unwrap()[0].sequence, rec.sequence);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("ATGC\n").is_err(), "sequence before header");
+        assert!(parse("> \nATGC\n").is_err(), "empty accession");
+        assert!(parse(">X1\nATGJ\n").is_err(), "bad symbol");
+        assert!(parse("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! GenBank-style flat-file wrapper.
+//!
+//! Implements the structural core of the GenBank format: `LOCUS`,
+//! `DEFINITION`, `ACCESSION`, `VERSION`, `SOURCE`, a `FEATURES` table with
+//! locations and `/key="value"` qualifiers, an `ORIGIN` sequence block, and
+//! the `//` record terminator.
+
+use crate::formats::location::{parse_location, render_location};
+use crate::record::SeqRecord;
+use genalg_core::error::{GenAlgError, Result};
+use genalg_core::gdt::{Feature, FeatureKind};
+use genalg_core::seq::DnaSeq;
+
+/// An in-progress feature while parsing: (key, location text, qualifiers).
+type PendingFeature = Option<(String, String, Vec<(String, String)>)>;
+
+/// Parse a GenBank flat file (possibly many records).
+pub fn parse(text: &str) -> Result<Vec<SeqRecord>> {
+    let mut records = Vec::new();
+    for chunk in split_records(text) {
+        if !chunk.trim().is_empty() {
+            records.push(parse_one(&chunk)?);
+        }
+    }
+    Ok(records)
+}
+
+fn split_records(text: &str) -> Vec<String> {
+    let mut chunks = Vec::new();
+    let mut current = String::new();
+    for line in text.lines() {
+        if line.trim_end() == "//" {
+            chunks.push(std::mem::take(&mut current));
+        } else {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    if !current.trim().is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_one(chunk: &str) -> Result<SeqRecord> {
+    let mut accession = String::new();
+    let mut version = 1u32;
+    let mut description = String::new();
+    let mut organism = None;
+    let mut features: Vec<Feature> = Vec::new();
+    let mut sequence = String::new();
+
+    #[derive(PartialEq)]
+    enum Section {
+        Header,
+        Features,
+        Origin,
+    }
+    let mut section = Section::Header;
+    // In-progress feature: (key, location text, qualifiers).
+    let mut pending: PendingFeature = None;
+
+    let flush =
+        |pending: &mut PendingFeature,
+         features: &mut Vec<Feature>|
+         -> Result<()> {
+            if let Some((key, loc, quals)) = pending.take() {
+                let location = parse_location(&loc)?;
+                let mut f = Feature::new(FeatureKind::from_key(&key), location);
+                for (k, v) in quals {
+                    f = f.with_qualifier(&k, &v);
+                }
+                features.push(f);
+            }
+            Ok(())
+        };
+
+    for line in chunk.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let keyword = line.get(..12).unwrap_or(line).trim();
+        match section {
+            Section::Header => match keyword {
+                "LOCUS" => { /* informational; accession is authoritative */ }
+                "DEFINITION" => description = line[12..].trim().trim_end_matches('.').to_string(),
+                "ACCESSION" => accession = line[12..].trim().to_string(),
+                "VERSION" => {
+                    let v = line[12..].trim();
+                    if let Some((_, n)) = v.rsplit_once('.') {
+                        version = n.parse().map_err(|_| {
+                            GenAlgError::Other(format!("bad VERSION line {v:?}"))
+                        })?;
+                    }
+                }
+                "SOURCE" => organism = Some(line[12..].trim().to_string()),
+                "FEATURES" => section = Section::Features,
+                "ORIGIN" => section = Section::Origin,
+                _ => {}
+            },
+            Section::Features => {
+                if keyword == "ORIGIN" {
+                    flush(&mut pending, &mut features)?;
+                    section = Section::Origin;
+                    continue;
+                }
+                let body = line.get(5..).unwrap_or("").trim_end();
+                let trimmed = body.trim_start();
+                if trimmed.starts_with('/') {
+                    // Qualifier line: /key="value" or /key=value.
+                    let q = trimmed.trim_start_matches('/');
+                    let (k, v) = q.split_once('=').unwrap_or((q, ""));
+                    let v = v.trim_matches('"').to_string();
+                    if let Some((_, _, quals)) = pending.as_mut() {
+                        quals.push((k.to_string(), v));
+                    }
+                } else if !body.starts_with(' ') && !trimmed.is_empty() {
+                    // New feature line: key then location.
+                    flush(&mut pending, &mut features)?;
+                    let mut parts = trimmed.split_whitespace();
+                    let key = parts
+                        .next()
+                        .ok_or_else(|| GenAlgError::Other("empty feature line".into()))?;
+                    let loc: String = parts.collect::<Vec<_>>().join("");
+                    pending = Some((key.to_string(), loc, Vec::new()));
+                } else if let Some((_, loc, _)) = pending.as_mut() {
+                    // Location continuation.
+                    loc.push_str(trimmed);
+                }
+            }
+            Section::Origin => {
+                for token in line.split_whitespace() {
+                    if token.chars().all(|c| c.is_ascii_digit()) {
+                        continue;
+                    }
+                    sequence.push_str(token);
+                }
+            }
+        }
+    }
+    flush(&mut pending, &mut features)?;
+    if accession.is_empty() {
+        return Err(GenAlgError::Other("GenBank record without ACCESSION".into()));
+    }
+    Ok(SeqRecord {
+        accession,
+        version,
+        description,
+        organism,
+        sequence: DnaSeq::from_text(&sequence)?,
+        features,
+        source: String::new(),
+    })
+}
+
+/// Write records in GenBank style.
+pub fn write(records: &[SeqRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "LOCUS       {:<16} {} bp    DNA\n",
+            r.accession,
+            r.sequence.len()
+        ));
+        if !r.description.is_empty() {
+            out.push_str(&format!("DEFINITION  {}.\n", r.description));
+        }
+        out.push_str(&format!("ACCESSION   {}\n", r.accession));
+        out.push_str(&format!("VERSION     {}.{}\n", r.accession, r.version));
+        if let Some(org) = &r.organism {
+            out.push_str(&format!("SOURCE      {org}\n"));
+        }
+        if !r.features.is_empty() {
+            out.push_str("FEATURES             Location/Qualifiers\n");
+            for f in &r.features {
+                out.push_str(&format!(
+                    "     {:<16}{}\n",
+                    f.kind.key(),
+                    render_location(&f.location)
+                ));
+                for (k, v) in f.qualifiers() {
+                    out.push_str(&format!("                     /{k}=\"{v}\"\n"));
+                }
+            }
+        }
+        out.push_str("ORIGIN\n");
+        let text = r.sequence.to_text().to_ascii_lowercase();
+        for (i, line_chunk) in text.as_bytes().chunks(60).enumerate() {
+            out.push_str(&format!("{:>9}", i * 60 + 1));
+            for ten in line_chunk.chunks(10) {
+                out.push(' ');
+                out.push_str(std::str::from_utf8(ten).expect("ASCII"));
+            }
+            out.push('\n');
+        }
+        out.push_str("//\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genalg_core::alphabet::Strand;
+    use genalg_core::gdt::{Interval, Location};
+
+    fn sample() -> SeqRecord {
+        SeqRecord::new(
+            "ACC00001",
+            DnaSeq::from_text("ATGGCCTTTAAGGTAACCGGGTTTCACTGAATGC").unwrap(),
+        )
+        .with_description("synthetic demo locus")
+        .with_organism("Examplia demonstrans")
+        .with_version(3)
+        .with_feature(
+            Feature::new(
+                FeatureKind::Gene,
+                Location::simple(Interval::new(0, 30).unwrap(), Strand::Forward),
+            )
+            .with_qualifier("gene", "demoA"),
+        )
+        .with_feature(
+            Feature::new(
+                FeatureKind::Cds,
+                Location::join(
+                    vec![Interval::new(0, 12).unwrap(), Interval::new(21, 30).unwrap()],
+                    Strand::Forward,
+                )
+                .unwrap(),
+            )
+            .with_qualifier("product", "demo protein")
+            .with_qualifier("codon_start", "1"),
+        )
+    }
+
+    #[test]
+    fn roundtrip_single() {
+        let rec = sample();
+        let text = write(std::slice::from_ref(&rec));
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed[0].same_content(&rec), "parsed:\n{:#?}\noriginal:\n{rec:#?}", parsed[0]);
+    }
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let a = sample();
+        let b = SeqRecord::new("ACC00002", DnaSeq::from_text("TTTT").unwrap())
+            .with_description("second");
+        let text = write(&[a.clone(), b.clone()]);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed[0].same_content(&a));
+        assert!(parsed[1].same_content(&b));
+    }
+
+    #[test]
+    fn parses_reference_text() {
+        let text = "LOCUS       X123        10 bp    DNA\n\
+                    DEFINITION  hand-written entry.\n\
+                    ACCESSION   X123\n\
+                    VERSION     X123.7\n\
+                    SOURCE      Homo sapiens\n\
+                    FEATURES             Location/Qualifiers\n\
+                    \x20    CDS             complement(join(1..4,7..10))\n\
+                    \x20                    /product=\"reverse thing\"\n\
+                    ORIGIN\n\
+                    \x20       1 atggccttta\n\
+                    //\n";
+        let recs = parse(text).unwrap();
+        assert_eq!(recs[0].accession, "X123");
+        assert_eq!(recs[0].version, 7);
+        assert_eq!(recs[0].organism.as_deref(), Some("Homo sapiens"));
+        assert_eq!(recs[0].sequence.to_text(), "ATGGCCTTTA");
+        assert_eq!(recs[0].features.len(), 1);
+        assert_eq!(recs[0].features[0].location.strand(), Strand::Reverse);
+        assert_eq!(recs[0].features[0].qualifier("product"), Some("reverse thing"));
+    }
+
+    #[test]
+    fn missing_accession_is_error() {
+        assert!(parse("LOCUS  x\nORIGIN\n 1 atgc\n//\n").is_err());
+    }
+
+    #[test]
+    fn sixty_column_origin_blocks() {
+        let rec = SeqRecord::new("L", DnaSeq::from_text(&"ACGT".repeat(40)).unwrap());
+        let text = write(std::slice::from_ref(&rec));
+        // 160 nt → 3 ORIGIN lines.
+        let origin_lines = text.lines().filter(|l| l.starts_with("    ") || l.starts_with("  ")).count();
+        assert!(origin_lines >= 3);
+        assert_eq!(parse(&text).unwrap()[0].sequence, rec.sequence);
+    }
+}

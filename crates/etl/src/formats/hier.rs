@@ -1,0 +1,329 @@
+//! A hierarchical (AceDB-like) representation: an indentation-structured
+//! tree of named nodes, the "hierarchical data" column of Figure 2.
+//!
+//! ```text
+//! Sequence "ACC00001"
+//!   Version 2
+//!   Description "synthetic demo locus"
+//!   Organism "Examplia demonstrans"
+//!   DNA "ATGGCC..."
+//!   Feature gene "1..30"
+//!     Qualifier gene "demoA"
+//! ```
+
+use crate::formats::location::{parse_location, render_location};
+use crate::record::SeqRecord;
+use genalg_core::error::{GenAlgError, Result};
+use genalg_core::gdt::{Feature, FeatureKind};
+use genalg_core::seq::DnaSeq;
+
+/// A node of the hierarchical representation: a name, positional arguments
+/// (possibly quoted), and children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierNode {
+    pub name: String,
+    pub args: Vec<String>,
+    pub children: Vec<HierNode>,
+}
+
+impl HierNode {
+    /// A leaf node.
+    pub fn leaf(name: &str, args: &[&str]) -> Self {
+        HierNode {
+            name: name.to_string(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Add a child (builder style).
+    pub fn with_child(mut self, child: HierNode) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// First child with the given name.
+    pub fn child(&self, name: &str) -> Option<&HierNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Total node count of the subtree (including self).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(HierNode::size).sum::<usize>()
+    }
+}
+
+/// Parse indentation-structured text into a forest.
+pub fn parse(text: &str) -> Result<Vec<HierNode>> {
+    // (indent, node) stack-based parse; indent unit is two spaces.
+    let mut roots: Vec<HierNode> = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (indent, path index into tree)
+
+    fn node_at<'a>(roots: &'a mut [HierNode], path: &[usize]) -> &'a mut HierNode {
+        let mut node = &mut roots[path[0]];
+        for &i in &path[1..] {
+            node = &mut node.children[i];
+        }
+        node
+    }
+
+    let mut path: Vec<usize> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let indent_spaces = raw.len() - raw.trim_start().len();
+        if indent_spaces % 2 != 0 {
+            return Err(GenAlgError::Other(format!("line {}: odd indentation", lineno + 1)));
+        }
+        let depth = indent_spaces / 2;
+        let node = parse_node_line(raw.trim(), lineno)?;
+
+        // Unwind to the parent depth.
+        while stack.last().is_some_and(|(d, _)| *d >= depth) {
+            stack.pop();
+            path.pop();
+        }
+        if depth != stack.len() {
+            return Err(GenAlgError::Other(format!(
+                "line {}: indentation skips a level",
+                lineno + 1
+            )));
+        }
+        if depth == 0 {
+            roots.push(node);
+            path = vec![roots.len() - 1];
+        } else {
+            let parent = node_at(&mut roots, &path);
+            parent.children.push(node);
+            let idx = parent.children.len() - 1;
+            path.push(idx);
+        }
+        stack.push((depth, 0));
+    }
+    Ok(roots)
+}
+
+fn parse_node_line(line: &str, lineno: usize) -> Result<HierNode> {
+    let mut chars = line.chars().peekable();
+    let mut tokens: Vec<String> = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some(c) => s.push(c),
+                    None => {
+                        return Err(GenAlgError::Other(format!(
+                            "line {}: unterminated quote",
+                            lineno + 1
+                        )))
+                    }
+                }
+            }
+            tokens.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                s.push(c);
+                chars.next();
+            }
+            tokens.push(s);
+        }
+    }
+    if tokens.is_empty() {
+        return Err(GenAlgError::Other(format!("line {}: empty node", lineno + 1)));
+    }
+    let name = tokens.remove(0);
+    Ok(HierNode { name, args: tokens, children: Vec::new() })
+}
+
+/// Write a forest back to indentation-structured text.
+pub fn write(nodes: &[HierNode]) -> String {
+    let mut out = String::new();
+    for n in nodes {
+        write_node(n, 0, &mut out);
+    }
+    out
+}
+
+fn write_node(node: &HierNode, depth: usize, out: &mut String) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&node.name);
+    for a in &node.args {
+        // Arguments are always quoted so the writer/parser pair stays total.
+        out.push(' ');
+        out.push('"');
+        out.push_str(a);
+        out.push('"');
+    }
+    out.push('\n');
+    for c in &node.children {
+        write_node(c, depth + 1, out);
+    }
+}
+
+/// Convert records to the hierarchical representation.
+pub fn from_records(records: &[SeqRecord]) -> Vec<HierNode> {
+    records
+        .iter()
+        .map(|r| {
+            let mut node = HierNode::leaf("Sequence", &[&r.accession])
+                .with_child(HierNode::leaf("Version", &[&r.version.to_string()]))
+                .with_child(HierNode::leaf("Description", &[&r.description]));
+            if let Some(org) = &r.organism {
+                node = node.with_child(HierNode::leaf("Organism", &[org]));
+            }
+            node = node.with_child(HierNode::leaf("DNA", &[&r.sequence.to_text()]));
+            for f in &r.features {
+                let mut fnode = HierNode::leaf(
+                    "Feature",
+                    &[f.kind.key(), &render_location(&f.location)],
+                );
+                for (k, v) in f.qualifiers() {
+                    fnode = fnode.with_child(HierNode::leaf("Qualifier", &[k, v]));
+                }
+                node = node.with_child(fnode);
+            }
+            node
+        })
+        .collect()
+}
+
+/// Convert the hierarchical representation back to records.
+pub fn to_records(nodes: &[HierNode]) -> Result<Vec<SeqRecord>> {
+    let mut out = Vec::new();
+    for n in nodes {
+        if n.name != "Sequence" {
+            return Err(GenAlgError::Other(format!("unexpected root node {:?}", n.name)));
+        }
+        let accession = n
+            .args
+            .first()
+            .ok_or_else(|| GenAlgError::Other("Sequence node without accession".into()))?
+            .clone();
+        let version = n
+            .child("Version")
+            .and_then(|c| c.args.first())
+            .map_or(Ok(1), |v| {
+                v.parse()
+                    .map_err(|_| GenAlgError::Other(format!("bad version {v:?}")))
+            })?;
+        let description = n
+            .child("Description")
+            .and_then(|c| c.args.first())
+            .cloned()
+            .unwrap_or_default();
+        let organism = n.child("Organism").and_then(|c| c.args.first()).cloned();
+        let dna = n
+            .child("DNA")
+            .and_then(|c| c.args.first())
+            .ok_or_else(|| GenAlgError::Other(format!("Sequence {accession} has no DNA node")))?;
+        let mut features = Vec::new();
+        for c in n.children.iter().filter(|c| c.name == "Feature") {
+            let key = c
+                .args
+                .first()
+                .ok_or_else(|| GenAlgError::Other("Feature node without kind".into()))?;
+            let loc = c
+                .args
+                .get(1)
+                .ok_or_else(|| GenAlgError::Other("Feature node without location".into()))?;
+            let mut f = Feature::new(FeatureKind::from_key(key), parse_location(loc)?);
+            for q in c.children.iter().filter(|q| q.name == "Qualifier") {
+                let k = q.args.first().cloned().unwrap_or_default();
+                let v = q.args.get(1).cloned().unwrap_or_default();
+                f = f.with_qualifier(&k, &v);
+            }
+            features.push(f);
+        }
+        out.push(SeqRecord {
+            accession,
+            version,
+            description,
+            organism,
+            sequence: DnaSeq::from_text(dna)?,
+            features,
+            source: String::new(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genalg_core::alphabet::Strand;
+    use genalg_core::gdt::{Interval, Location};
+
+    fn sample() -> SeqRecord {
+        SeqRecord::new("H1", DnaSeq::from_text("ATGGCCTTTAAG").unwrap())
+            .with_description("hierarchical demo")
+            .with_organism("Caenorhabditis elegans")
+            .with_version(4)
+            .with_feature(
+                Feature::new(
+                    FeatureKind::Gene,
+                    Location::simple(Interval::new(0, 12).unwrap(), Strand::Forward),
+                )
+                .with_qualifier("gene", "h-1"),
+            )
+    }
+
+    #[test]
+    fn tree_parse_and_write_roundtrip() {
+        let tree = from_records(&[sample()]);
+        let text = write(&tree);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed, tree);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = sample();
+        let recs = to_records(&from_records(std::slice::from_ref(&rec))).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].same_content(&rec), "{:#?}", recs[0]);
+    }
+
+    #[test]
+    fn full_text_roundtrip() {
+        let rec = sample();
+        let text = write(&from_records(std::slice::from_ref(&rec)));
+        let back = to_records(&parse(&text).unwrap()).unwrap();
+        assert!(back[0].same_content(&rec));
+    }
+
+    #[test]
+    fn structure_queries() {
+        let tree = from_records(&[sample()]);
+        let root = &tree[0];
+        assert_eq!(root.name, "Sequence");
+        assert!(root.child("DNA").is_some());
+        assert!(root.size() > 5);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(" Oops\n").is_err(), "odd indent");
+        assert!(parse("A\n    B\n").is_err(), "skipped level");
+        assert!(parse("A \"unterminated\n").is_err());
+        assert!(to_records(&[HierNode::leaf("Wrong", &[])]).is_err());
+        assert!(to_records(&[HierNode::leaf("Sequence", &["X"])]).is_err(), "no DNA");
+    }
+
+    #[test]
+    fn quoted_args_preserved() {
+        let n = HierNode::leaf("Description", &["two words here"]);
+        let text = write(std::slice::from_ref(&n));
+        let back = parse(&text).unwrap();
+        assert_eq!(back[0], n);
+    }
+}

@@ -1,0 +1,124 @@
+//! GenBank/EMBL feature-location syntax: `start..end`,
+//! `join(a..b,c..d)`, `complement(...)` — 1-based inclusive coordinates on
+//! the wire, 0-based half-open [`Interval`]s in memory.
+
+use genalg_core::alphabet::Strand;
+use genalg_core::error::{GenAlgError, Result};
+use genalg_core::gdt::{Interval, Location};
+
+/// Parse a feature location.
+pub fn parse_location(text: &str) -> Result<Location> {
+    let text = text.trim();
+    if let Some(inner) = text
+        .strip_prefix("complement(")
+        .and_then(|t| t.strip_suffix(')'))
+    {
+        let fwd = parse_location(inner)?;
+        return Location::join(fwd.segments().to_vec(), Strand::Reverse);
+    }
+    if let Some(inner) = text.strip_prefix("join(").and_then(|t| t.strip_suffix(')')) {
+        let mut intervals = Vec::new();
+        for part in inner.split(',') {
+            intervals.push(parse_span(part)?);
+        }
+        return Location::join(intervals, Strand::Forward);
+    }
+    Ok(Location::simple(parse_span(text)?, Strand::Forward))
+}
+
+fn parse_span(text: &str) -> Result<Interval> {
+    let text = text.trim();
+    let (a, b) = match text.split_once("..") {
+        Some((a, b)) => (a, b),
+        None => (text, text), // single-position feature
+    };
+    let start: usize = a
+        .trim()
+        .parse()
+        .map_err(|_| GenAlgError::Other(format!("bad location start {a:?}")))?;
+    let end: usize = b
+        .trim()
+        .parse()
+        .map_err(|_| GenAlgError::Other(format!("bad location end {b:?}")))?;
+    if start == 0 {
+        return Err(GenAlgError::Other("locations are 1-based".into()));
+    }
+    // 1-based inclusive → 0-based half-open.
+    Interval::new(start - 1, end)
+}
+
+/// Render a location back to the wire syntax.
+pub fn render_location(loc: &Location) -> String {
+    let spans: Vec<String> = loc
+        .segments()
+        .iter()
+        .map(|iv| {
+            if iv.len() == 1 {
+                format!("{}", iv.start + 1)
+            } else {
+                format!("{}..{}", iv.start + 1, iv.end)
+            }
+        })
+        .collect();
+    let inner = if spans.len() == 1 {
+        spans.into_iter().next().expect("one span")
+    } else {
+        format!("join({})", spans.join(","))
+    };
+    match loc.strand() {
+        Strand::Forward => inner,
+        Strand::Reverse => format!("complement({inner})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_span() {
+        let loc = parse_location("3..9").unwrap();
+        assert_eq!(loc.segments(), &[Interval::new(2, 9).unwrap()]);
+        assert_eq!(loc.strand(), Strand::Forward);
+        assert_eq!(render_location(&loc), "3..9");
+    }
+
+    #[test]
+    fn single_position() {
+        let loc = parse_location("5").unwrap();
+        assert_eq!(loc.segments(), &[Interval::new(4, 5).unwrap()]);
+        assert_eq!(render_location(&loc), "5");
+    }
+
+    #[test]
+    fn join_and_complement() {
+        let loc = parse_location("join(1..10,15..24)").unwrap();
+        assert_eq!(loc.segments().len(), 2);
+        assert_eq!(render_location(&loc), "join(1..10,15..24)");
+
+        let loc = parse_location("complement(3..9)").unwrap();
+        assert_eq!(loc.strand(), Strand::Reverse);
+        assert_eq!(render_location(&loc), "complement(3..9)");
+
+        let loc = parse_location("complement(join(1..4,8..12))").unwrap();
+        assert_eq!(loc.strand(), Strand::Reverse);
+        assert_eq!(loc.segments().len(), 2);
+        assert_eq!(render_location(&loc), "complement(join(1..4,8..12))");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_location("0..5").is_err(), "1-based coordinates");
+        assert!(parse_location("x..y").is_err());
+        assert!(parse_location("9..3").is_err(), "inverted span");
+        assert!(parse_location("join(1..5,3..9)").is_err(), "overlapping join");
+    }
+
+    #[test]
+    fn roundtrip_many() {
+        for text in ["1..1000", "join(1..10,20..30,40..50)", "complement(7..9)", "42"] {
+            let loc = parse_location(text).unwrap();
+            assert_eq!(render_location(&loc), text);
+        }
+    }
+}

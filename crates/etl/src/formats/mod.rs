@@ -1,0 +1,15 @@
+//! Source wrappers: parsers and writers for the repository formats.
+//!
+//! Each wrapper extracts "relevant new or changed data from the sources"
+//! and restructures the data into the corresponding types provided by the
+//! Genomics Algebra (§5.1). All four formats round-trip: a record written
+//! and re-parsed compares equal, which the property tests verify.
+
+pub mod fasta;
+pub mod genbank;
+pub mod embl;
+pub mod hier;
+
+mod location;
+
+pub use location::{parse_location, render_location};

@@ -1,0 +1,249 @@
+//! The warehouse integrator: entity matching and reconciliation (§5.2).
+//!
+//! "Related data items from different sources must first be identified so
+//! that duplicates can be removed and inconsistencies among related values
+//! can be resolved." Matching uses accessions first and sequence
+//! similarity second (the semantic-heterogeneity fallback for sources that
+//! name the same entity differently, problem B3). Conflicting sequences
+//! are **not** resolved away: per C9, every claim survives as an
+//! [`Alternatives`] option with its confidence and provenance.
+
+use crate::record::SeqRecord;
+use genalg_core::align::resembles;
+use genalg_core::gdt::Feature;
+use genalg_core::seq::DnaSeq;
+use genalg_core::uncertainty::{Alternatives, Confidence, Uncertain};
+use std::collections::{BTreeMap, HashMap};
+
+/// One warehouse entity after reconciliation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconciledEntry {
+    pub accession: String,
+    /// Description from the most trusted source.
+    pub description: String,
+    pub organism: Option<String>,
+    /// Every claimed sequence, most believed first. Undisputed entries have
+    /// exactly one option.
+    pub sequence: Alternatives<DnaSeq>,
+    /// Highest version seen across sources.
+    pub version: u32,
+    /// Features from the most trusted source.
+    pub features: Vec<Feature>,
+    /// Contributing repositories, sorted.
+    pub sources: Vec<String>,
+}
+
+impl ReconciledEntry {
+    /// True when every source agrees on the sequence.
+    pub fn is_undisputed(&self) -> bool {
+        self.sequence.is_undisputed()
+    }
+
+    /// The best-believed sequence.
+    pub fn best_sequence(&self) -> &DnaSeq {
+        self.sequence.best().value()
+    }
+}
+
+/// Per-source trust levels feeding confidence values. Unknown sources get
+/// the default.
+#[derive(Debug, Clone)]
+pub struct TrustModel {
+    trust: HashMap<String, f64>,
+    default: f64,
+}
+
+impl Default for TrustModel {
+    fn default() -> Self {
+        TrustModel { trust: HashMap::new(), default: 0.8 }
+    }
+}
+
+impl TrustModel {
+    /// Set a source's trust (clamped to [0, 1]).
+    pub fn set(&mut self, source: &str, trust: f64) {
+        self.trust.insert(source.to_string(), trust.clamp(0.0, 1.0));
+    }
+
+    /// Trust for a source.
+    pub fn get(&self, source: &str) -> f64 {
+        self.trust.get(source).copied().unwrap_or(self.default)
+    }
+
+    fn confidence(&self, source: &str) -> Confidence {
+        Confidence::new(self.get(source)).expect("trust is clamped")
+    }
+}
+
+/// Find accessions that name the same entity across sources: identical or
+/// highly similar sequences (≥95 % identity over ≥90 % of the shorter
+/// sequence) under different accessions. Returns `(duplicate, canonical)`
+/// pairs, canonical being the lexicographically smaller accession.
+pub fn find_duplicate_accessions(records: &[SeqRecord]) -> Vec<(String, String)> {
+    let mut by_accession: BTreeMap<&str, &SeqRecord> = BTreeMap::new();
+    for r in records {
+        by_accession.entry(r.accession.as_str()).or_insert(r);
+    }
+    let entries: Vec<(&str, &SeqRecord)> = by_accession.into_iter().collect();
+    let mut pairs = Vec::new();
+    for i in 0..entries.len() {
+        for j in i + 1..entries.len() {
+            let (acc_a, a) = entries[i];
+            let (acc_b, b) = entries[j];
+            let same = a.sequence == b.sequence
+                || resembles(&a.sequence, &b.sequence, 0.95, 0.9);
+            if same {
+                pairs.push((acc_b.to_string(), acc_a.to_string()));
+            }
+        }
+    }
+    pairs
+}
+
+/// Reconcile a batch of records (typically: every record a set of sources
+/// holds for some set of accessions) into warehouse entities.
+///
+/// `aliases` maps duplicate accessions onto their canonical one (see
+/// [`find_duplicate_accessions`]); pass an empty map to match on accession
+/// only.
+pub fn reconcile(
+    records: &[SeqRecord],
+    trust: &TrustModel,
+    aliases: &HashMap<String, String>,
+) -> Vec<ReconciledEntry> {
+    let mut groups: BTreeMap<String, Vec<&SeqRecord>> = BTreeMap::new();
+    for r in records {
+        let canonical =
+            aliases.get(&r.accession).cloned().unwrap_or_else(|| r.accession.clone());
+        groups.entry(canonical).or_default().push(r);
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (accession, mut group) in groups {
+        // Most trusted first; ties broken by source name for determinism.
+        group.sort_by(|a, b| {
+            trust
+                .get(&b.source)
+                .partial_cmp(&trust.get(&a.source))
+                .expect("trust values are finite")
+                .then_with(|| a.source.cmp(&b.source))
+        });
+        let leader = group[0];
+        let mut sequence = Alternatives::single(Uncertain::new(
+            leader.sequence.clone(),
+            trust.confidence(&leader.source),
+            &leader.source,
+        ));
+        for r in &group[1..] {
+            sequence.add_claim(Uncertain::new(
+                r.sequence.clone(),
+                trust.confidence(&r.source),
+                &r.source,
+            ));
+        }
+        let mut sources: Vec<String> = group.iter().map(|r| r.source.clone()).collect();
+        sources.sort();
+        sources.dedup();
+        out.push(ReconciledEntry {
+            accession,
+            description: leader.description.clone(),
+            organism: group.iter().find_map(|r| r.organism.clone()),
+            sequence,
+            version: group.iter().map(|r| r.version).max().unwrap_or(1),
+            features: leader.features.clone(),
+            sources,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(acc: &str, seq: &str, source: &str) -> SeqRecord {
+        SeqRecord::new(acc, DnaSeq::from_text(seq).unwrap())
+            .with_description(&format!("{acc} from {source}"))
+            .with_source(source)
+    }
+
+    #[test]
+    fn agreeing_sources_corroborate() {
+        let records =
+            vec![rec("A1", "ATGGCC", "genbank-sim"), rec("A1", "ATGGCC", "embl-sim")];
+        let trust = TrustModel::default();
+        let entries = reconcile(&records, &trust, &HashMap::new());
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert!(e.is_undisputed());
+        // Noisy-or of 0.8 and 0.8 = 0.96.
+        assert!((e.sequence.best().confidence().value() - 0.96).abs() < 1e-9);
+        assert_eq!(e.sources, vec!["embl-sim", "genbank-sim"]);
+    }
+
+    #[test]
+    fn conflicting_sources_preserve_both_claims() {
+        let records =
+            vec![rec("A1", "ATGGCC", "genbank-sim"), rec("A1", "ATGGCG", "embl-sim")];
+        let mut trust = TrustModel::default();
+        trust.set("embl-sim", 0.95);
+        trust.set("genbank-sim", 0.6);
+        let entries = reconcile(&records, &trust, &HashMap::new());
+        let e = &entries[0];
+        assert!(!e.is_undisputed());
+        assert_eq!(e.sequence.len(), 2, "both alternatives kept (C9)");
+        // The more trusted claim ranks first.
+        assert_eq!(e.best_sequence().to_text(), "ATGGCG");
+        // Description follows the most trusted source.
+        assert!(e.description.contains("embl-sim"));
+    }
+
+    #[test]
+    fn version_and_organism_merge() {
+        let mut a = rec("A1", "ATGC", "s1").with_version(3);
+        a.organism = None;
+        let b = rec("A1", "ATGC", "s2").with_version(5).with_organism("E. coli");
+        let entries = reconcile(&[a, b], &TrustModel::default(), &HashMap::new());
+        assert_eq!(entries[0].version, 5);
+        assert_eq!(entries[0].organism.as_deref(), Some("E. coli"));
+    }
+
+    #[test]
+    fn duplicate_accessions_found_by_similarity() {
+        let seq = "ATGGCCTTTAAGGGGCCCAAATTTGGGCCCATAT";
+        let mut mutated = seq.to_string();
+        mutated.replace_range(4..5, "A"); // one substitution, still >98% id
+        let records = vec![
+            rec("GB:001", seq, "genbank-sim"),
+            rec("EM:77", &mutated, "embl-sim"),
+            rec("UNRELATED", "GCGCGCGCGCGCGCGCGCGCGCGCGCGCGCGC", "embl-sim"),
+        ];
+        let pairs = find_duplicate_accessions(&records);
+        assert_eq!(pairs, vec![("GB:001".to_string(), "EM:77".to_string())]);
+
+        // Feeding the alias map unifies the group.
+        let aliases: HashMap<String, String> = pairs.into_iter().collect();
+        let entries = reconcile(&records, &TrustModel::default(), &aliases);
+        assert_eq!(entries.len(), 2);
+        let merged = entries.iter().find(|e| e.accession == "EM:77").unwrap();
+        assert_eq!(merged.sources.len(), 2);
+        assert_eq!(merged.sequence.len(), 2, "similar-but-unequal sequences stay alternatives");
+    }
+
+    #[test]
+    fn exact_duplicates_with_different_names() {
+        let records = vec![rec("X2", "ATGC", "a"), rec("X1", "ATGC", "b")];
+        let pairs = find_duplicate_accessions(&records);
+        assert_eq!(pairs, vec![("X2".to_string(), "X1".to_string())]);
+    }
+
+    #[test]
+    fn trust_model_defaults_and_clamping() {
+        let mut t = TrustModel::default();
+        assert_eq!(t.get("anything"), 0.8);
+        t.set("noisy", 7.0);
+        assert_eq!(t.get("noisy"), 1.0);
+        t.set("junk", -1.0);
+        assert_eq!(t.get("junk"), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # genalg-etl — Extract-Transform-Load for the Unifying Database
+//!
+//! §5 of the paper decomposes ETL into four activities, all implemented
+//! here:
+//!
+//! 1. **Source monitors** detect changes. The technique depends on the
+//!    source's capability × representation, exactly the Figure 2 grid:
+//!    triggers for *active* sources, log inspection for *logged* sources,
+//!    snapshot differentials / edit sequences for *queryable* sources, and
+//!    LCS line diffs (flat files) or ordered-tree edit scripts
+//!    (hierarchical data) for *non-queryable* snapshot dumps.
+//!    [`monitor::pick_strategy`] encodes the grid.
+//! 2. **Wrappers** parse repository formats — FASTA, GenBank-style and
+//!    EMBL-style flat files, and a hierarchical (AceDB-like) format — into
+//!    normalized [`SeqRecord`]s ([`formats`]).
+//! 3. The **integrator** matches related records across sources, merges
+//!    duplicates (corroboration raises confidence), and preserves genuine
+//!    conflicts as uncertainty alternatives — the paper's C9 requirement
+//!    that "access to both alternatives should be given" ([`integrate`]).
+//! 4. The **loader** writes reconciled entries into the Unifying Database
+//!    through the adapter, into the read-only public space ([`loader`]).
+//!
+//! [`refresh::Warehouse`] ties the activities together with both a
+//! *manual refresh* option (§5.2) and incremental, delta-driven
+//! maintenance (self-maintainability: refresh consumes deltas plus
+//! warehouse content, never a full source reload).
+
+pub mod record;
+pub mod delta;
+pub mod formats;
+pub mod source;
+pub mod monitor;
+pub mod integrate;
+pub mod loader;
+pub mod refresh;
+
+pub use delta::{ChangeKind, Delta};
+pub use record::SeqRecord;
+pub use source::{Capability, Representation, SimulatedRepository};

@@ -1,0 +1,357 @@
+//! The loader: writes reconciled entries into the Unifying Database's
+//! public space (as the maintainer — users cannot write there, §5.1).
+//!
+//! Schema evolution follows §5.2's plan: "first create a schema that
+//! contains all of the nucleotide data, which will later be extended by new
+//! tables storing protein data" — [`Loader::ensure_protein_schema`] adds
+//! the protein extension, and [`Loader::derive_proteins`] populates it by
+//! running the Genomics Algebra (ORF discovery + translation) over the
+//! stored nucleotide entities.
+
+use crate::integrate::ReconciledEntry;
+use genalg_core::codon::GeneticCode;
+use genalg_core::dogma::locate_cds;
+use genalg_core::error::GenAlgError;
+use genalg_core::seq::DnaSeq;
+use unidb::catalog::Role;
+use unidb::{Database, DbError, DbResult};
+
+/// The public-space schema the warehouse maintains.
+const SCHEMA: &str = "
+CREATE TABLE public.sequences (
+    accession TEXT NOT NULL,
+    version INT,
+    organism TEXT,
+    description TEXT,
+    seq dna,
+    confidence FLOAT,
+    n_sources INT,
+    disputed BOOL
+);
+CREATE UNIQUE INDEX ON public.sequences (accession);
+CREATE TABLE public.sequence_alternatives (
+    accession TEXT NOT NULL,
+    rank INT,
+    seq dna,
+    confidence FLOAT,
+    provenance TEXT
+);
+CREATE TABLE public.features (
+    accession TEXT NOT NULL,
+    kind TEXT,
+    loc_start INT,
+    loc_end INT,
+    strand TEXT,
+    qualifiers TEXT
+);
+";
+
+/// Loader over an adapter-installed database.
+pub struct Loader<'a> {
+    db: &'a Database,
+}
+
+impl<'a> Loader<'a> {
+    /// Wrap a database. [`Loader::ensure_schema`] must run once before
+    /// loading.
+    pub fn new(db: &'a Database) -> Self {
+        Loader { db }
+    }
+
+    /// Create the public-space tables if they do not exist yet.
+    pub fn ensure_schema(&self) -> DbResult<()> {
+        if self.db.table_names().iter().any(|t| t == "public.sequences") {
+            return Ok(());
+        }
+        self.db.execute_script_as(SCHEMA, &Role::Maintainer)?;
+        Ok(())
+    }
+
+    /// §5.2 schema evolution: add the protein extension tables. Purely
+    /// additive — existing nucleotide tables are untouched.
+    pub fn ensure_protein_schema(&self) -> DbResult<()> {
+        if self.db.table_names().iter().any(|t| t == "public.proteins") {
+            return Ok(());
+        }
+        self.db.execute_script_as(
+            "CREATE TABLE public.proteins (
+                accession TEXT NOT NULL,
+                cds_start INT,
+                cds_end INT,
+                residues protein_seq,
+                length INT,
+                weight FLOAT
+            );",
+            &Role::Maintainer,
+        )?;
+        Ok(())
+    }
+
+    /// Derive protein entries from every stored nucleotide entity: locate
+    /// the first complete coding region (standard table), translate it, and
+    /// upsert into `public.proteins`. Returns the number of proteins
+    /// stored. Entities without a complete CDS simply contribute nothing.
+    pub fn derive_proteins(&self) -> DbResult<usize> {
+        self.ensure_protein_schema()?;
+        let rs = self
+            .db
+            .execute_as("SELECT accession, seq FROM public.sequences", &Role::Maintainer)?;
+        let code = GeneticCode::standard();
+        let mut stored = 0usize;
+        for row in &rs.rows {
+            let Some(accession) = row[0].as_text() else { continue };
+            let Some((_, bytes)) = row[1].as_opaque() else { continue };
+            let value = genalg_core::compact::value_from_bytes(bytes)
+                .map_err(|e| DbError::External(e.to_string()))?;
+            let genalg_core::algebra::Value::Dna(seq) = value else { continue };
+            let Some((cds, peptide)) = first_protein(&seq, &code) else { continue };
+            self.exec(&format!(
+                "DELETE FROM public.proteins WHERE accession = {}",
+                quote(accession)
+            ))?;
+            self.exec(&format!(
+                "INSERT INTO public.proteins VALUES ({}, {}, {}, protein_seq('{}'), {}, {})",
+                quote(accession),
+                cds.0,
+                cds.1,
+                peptide.to_text(),
+                peptide.len(),
+                peptide.molecular_weight(),
+            ))?;
+            stored += 1;
+        }
+        Ok(stored)
+    }
+
+    /// Upsert reconciled entries (delete-then-insert keyed by accession).
+    pub fn upsert(&self, entries: &[ReconciledEntry]) -> DbResult<usize> {
+        for e in entries {
+            self.delete(&e.accession)?;
+            let best = e.sequence.best();
+            self.exec(&format!(
+                "INSERT INTO public.sequences VALUES ({}, {}, {}, {}, dna('{}'), {}, {}, {})",
+                quote(&e.accession),
+                e.version,
+                opt_quote(e.organism.as_deref()),
+                quote(&e.description),
+                best.value().to_text(),
+                best.confidence().value(),
+                e.sources.len(),
+                !e.is_undisputed(),
+            ))?;
+            for (rank, option) in e.sequence.options().iter().enumerate() {
+                self.exec(&format!(
+                    "INSERT INTO public.sequence_alternatives VALUES ({}, {}, dna('{}'), {}, {})",
+                    quote(&e.accession),
+                    rank,
+                    option.value().to_text(),
+                    option.confidence().value(),
+                    quote(&option.provenance().join(",")),
+                ))?;
+            }
+            for f in &e.features {
+                let envelope = f.location.envelope();
+                self.exec(&format!(
+                    "INSERT INTO public.features VALUES ({}, {}, {}, {}, {}, {})",
+                    quote(&e.accession),
+                    quote(f.kind.key()),
+                    envelope.start,
+                    envelope.end,
+                    quote(&f.location.strand().symbol().to_string()),
+                    quote(
+                        &f.qualifiers()
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v}"))
+                            .collect::<Vec<_>>()
+                            .join(";")
+                    ),
+                ))?;
+            }
+        }
+        Ok(entries.len())
+    }
+
+    /// Remove an accession from every warehouse table.
+    pub fn delete(&self, accession: &str) -> DbResult<()> {
+        for table in ["public.sequences", "public.sequence_alternatives", "public.features"] {
+            self.exec(&format!(
+                "DELETE FROM {table} WHERE accession = {}",
+                quote(accession)
+            ))?;
+        }
+        Ok(())
+    }
+
+    fn exec(&self, sql: &str) -> DbResult<()> {
+        self.db.execute_as(sql, &Role::Maintainer)?;
+        Ok(())
+    }
+}
+
+/// Locate the first complete coding region of a strict sequence and
+/// translate it to the mature peptide (initiator codon yields Met).
+/// Returns `None` for noisy (ambiguous) sequences or when no CDS exists.
+fn first_protein(
+    seq: &DnaSeq,
+    code: &GeneticCode,
+) -> Option<((usize, usize), genalg_core::seq::ProteinSeq)> {
+    let rna = seq.to_rna().ok()?;
+    let cds = locate_cds(&rna, code)?;
+    let coding = rna.subseq(cds.start, cds.end).ok()?;
+    let raw = code.translate_cds(&coding).ok()?;
+    let mut peptide = genalg_core::seq::ProteinSeq::empty();
+    peptide.push(genalg_core::alphabet::AminoAcid::Met);
+    for (i, aa) in raw.until_stop().iter().enumerate() {
+        if i > 0 {
+            peptide.push(aa);
+        }
+    }
+    Some(((cds.start, cds.end), peptide))
+}
+
+fn quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+fn opt_quote(s: Option<&str>) -> String {
+    s.map_or("NULL".to_string(), quote)
+}
+
+/// Convert a database error into a domain error at ETL boundaries.
+pub fn etl_error(e: DbError) -> GenAlgError {
+    GenAlgError::Other(format!("warehouse load failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::{reconcile, TrustModel};
+    use crate::record::SeqRecord;
+    use genalg_adapter::Adapter;
+    use genalg_core::seq::DnaSeq;
+    use std::collections::HashMap;
+
+    fn setup() -> (Database, Adapter) {
+        let db = Database::in_memory();
+        let adapter = Adapter::install(&db).unwrap();
+        (db, adapter)
+    }
+
+    fn rec(acc: &str, seq: &str, source: &str) -> SeqRecord {
+        SeqRecord::new(acc, DnaSeq::from_text(seq).unwrap())
+            .with_description("it's a demo") // embedded quote exercises escaping
+            .with_organism("E. coli")
+            .with_source(source)
+    }
+
+    #[test]
+    fn schema_upsert_and_query() {
+        let (db, _) = setup();
+        let loader = Loader::new(&db);
+        loader.ensure_schema().unwrap();
+        loader.ensure_schema().unwrap(); // idempotent
+
+        let records = vec![
+            rec("A1", "ATGGCCTTTAAG", "genbank-sim"),
+            rec("A1", "ATGGCCTTTAAG", "embl-sim"),
+            rec("B2", "GGGG", "genbank-sim"),
+        ];
+        let entries = reconcile(&records, &TrustModel::default(), &HashMap::new());
+        assert_eq!(loader.upsert(&entries).unwrap(), 2);
+
+        let rs = db.execute("SELECT count(*) FROM public.sequences").unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(2));
+        // The paper's flagship predicate runs against warehouse contents.
+        let rs = db
+            .execute("SELECT accession FROM public.sequences WHERE contains(seq, 'GCCTTT')")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_text(), Some("A1"));
+        // Corroborated entry carries raised confidence.
+        let rs = db
+            .execute("SELECT confidence, n_sources, disputed FROM public.sequences WHERE accession = 'A1'")
+            .unwrap();
+        assert!(rs.rows[0][0].as_float().unwrap() > 0.9);
+        assert_eq!(rs.rows[0][1].as_int(), Some(2));
+        assert_eq!(rs.rows[0][2].as_bool(), Some(false));
+
+        // Upsert replaces rather than duplicates.
+        loader.upsert(&entries).unwrap();
+        let rs = db.execute("SELECT count(*) FROM public.sequences").unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(2));
+
+        loader.delete("A1").unwrap();
+        let rs = db.execute("SELECT count(*) FROM public.sequences").unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(1));
+    }
+
+    #[test]
+    fn protein_schema_evolution() {
+        let (db, _) = setup();
+        let loader = Loader::new(&db);
+        loader.ensure_schema().unwrap();
+        let records = vec![
+            // ATG AAA TTT TAA → MKF.
+            rec("P1", "CCATGAAATTTTAACC", "genbank-sim"),
+            // No start codon → no protein row.
+            rec("P2", "CCCCCCCCC", "genbank-sim"),
+            // Ambiguity → skipped.
+            SeqRecord::new("P3", DnaSeq::from_text("ATGNNNTAA").unwrap())
+                .with_source("genbank-sim"),
+        ];
+        let entries = reconcile(&records, &TrustModel::default(), &HashMap::new());
+        loader.upsert(&entries).unwrap();
+        let stored = loader.derive_proteins().unwrap();
+        assert_eq!(stored, 1);
+        // Idempotent: re-derivation replaces, never duplicates.
+        assert_eq!(loader.derive_proteins().unwrap(), 1);
+
+        let rs = db
+            .execute(
+                "SELECT accession, length, cds_start FROM public.proteins ORDER BY accession",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_text(), Some("P1"));
+        assert_eq!(rs.rows[0][1].as_int(), Some(3)); // M K F
+        assert_eq!(rs.rows[0][2].as_int(), Some(2));
+        // The residues are a first-class protein_seq value.
+        let rs = db
+            .execute("SELECT molecular_weight(residues) FROM public.proteins")
+            .unwrap();
+        assert!(rs.rows[0][0].as_float().unwrap() > 100.0);
+        // Nucleotide and protein worlds join on accession.
+        let rs = db
+            .execute(
+                "SELECT s.accession FROM public.sequences s \
+                 JOIN public.proteins p ON s.accession = p.accession \
+                 WHERE contains(s.seq, 'ATGAAA')",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn disputed_entries_expose_alternatives() {
+        let (db, _) = setup();
+        let loader = Loader::new(&db);
+        loader.ensure_schema().unwrap();
+        let records = vec![
+            rec("C3", "ATGGCCTTTAAG", "genbank-sim"),
+            rec("C3", "ATGGACTTTAAG", "embl-sim"),
+        ];
+        let entries = reconcile(&records, &TrustModel::default(), &HashMap::new());
+        loader.upsert(&entries).unwrap();
+        let rs = db
+            .execute("SELECT disputed FROM public.sequences WHERE accession = 'C3'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_bool(), Some(true));
+        // Both claims are queryable — "access to both alternatives".
+        let rs = db
+            .execute(
+                "SELECT rank, provenance FROM public.sequence_alternatives \
+                 WHERE accession = 'C3' ORDER BY rank",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+}

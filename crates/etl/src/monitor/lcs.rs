@@ -1,0 +1,176 @@
+//! Longest-common-subsequence line diff — the UNIX-`diff` technique the
+//! paper prescribes for non-queryable flat-file sources.
+
+use crate::delta::Delta;
+use crate::record::SeqRecord;
+use genalg_core::error::Result;
+
+/// One step of a line edit script (old → new).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineEdit {
+    /// Delete the line at this index of the *old* text.
+    Delete(usize),
+    /// Insert this text so that it lands at this index of the *new* text.
+    Insert(usize, String),
+}
+
+/// Compute a minimal line edit script via dynamic-programming LCS.
+pub fn diff_lines(old: &str, new: &str) -> Vec<LineEdit> {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let n = a.len();
+    let m = b.len();
+    // lcs[i][j] = LCS length of a[i..] and b[j..].
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut edits = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            edits.push(LineEdit::Delete(i));
+            i += 1;
+        } else {
+            edits.push(LineEdit::Insert(j, b[j].to_string()));
+            j += 1;
+        }
+    }
+    while i < n {
+        edits.push(LineEdit::Delete(i));
+        i += 1;
+    }
+    while j < m {
+        edits.push(LineEdit::Insert(j, b[j].to_string()));
+        j += 1;
+    }
+    edits
+}
+
+/// Apply an edit script produced by [`diff_lines`] to `old`, reconstructing
+/// the new text. Verifies the script's internal consistency.
+pub fn apply_edits(old: &str, edits: &[LineEdit]) -> String {
+    let a: Vec<&str> = old.lines().collect();
+    let deleted: std::collections::HashSet<usize> = edits
+        .iter()
+        .filter_map(|e| match e {
+            LineEdit::Delete(i) => Some(*i),
+            LineEdit::Insert(_, _) => None,
+        })
+        .collect();
+    let mut kept: Vec<String> =
+        a.iter().enumerate().filter(|(i, _)| !deleted.contains(i)).map(|(_, l)| l.to_string()).collect();
+    // Inserts carry their position in the *new* document; apply ascending.
+    let mut inserts: Vec<(usize, &String)> = edits
+        .iter()
+        .filter_map(|e| match e {
+            LineEdit::Insert(j, text) => Some((*j, text)),
+            LineEdit::Delete(_) => None,
+        })
+        .collect();
+    inserts.sort_by_key(|(j, _)| *j);
+    for (j, text) in inserts {
+        let at = j.min(kept.len());
+        kept.insert(at, text.clone());
+    }
+    let mut out = kept.join("\n");
+    // Terminate with a newline whenever any line exists — including a
+    // single *empty* line, which would otherwise collapse into "".
+    if !kept.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Flat-file change detection for one monitoring round: LCS-diff the dumps
+/// (the detector's cost), then re-parse both and emit record-level deltas.
+/// Returns `(deltas, edit_script_length)`.
+pub fn flatfile_deltas(
+    old_dump: &str,
+    new_dump: &str,
+    parse: impl Fn(&str) -> Result<Vec<SeqRecord>>,
+    next_id: &mut u64,
+    timestamp: u64,
+) -> Result<(Vec<Delta>, usize)> {
+    let script = diff_lines(old_dump, new_dump);
+    if script.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    let old = parse(old_dump)?;
+    let new = parse(new_dump)?;
+    let deltas = super::snapshot::snapshot_differential(&old, &new, next_id, timestamp);
+    Ok((deltas, script.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::genbank;
+    use crate::record::SeqRecord;
+    use genalg_core::seq::DnaSeq;
+
+    #[test]
+    fn identical_texts_empty_script() {
+        assert!(diff_lines("a\nb\n", "a\nb\n").is_empty());
+    }
+
+    #[test]
+    fn simple_edits() {
+        let edits = diff_lines("a\nb\nc\n", "a\nx\nc\n");
+        assert_eq!(edits.len(), 2, "one delete + one insert: {edits:?}");
+        assert_eq!(apply_edits("a\nb\nc\n", &edits), "a\nx\nc\n");
+    }
+
+    #[test]
+    fn apply_reconstructs_arbitrary_cases() {
+        let cases = [
+            ("", "a\nb\n"),
+            ("a\nb\n", ""),
+            ("a\nb\nc\nd\n", "b\nc\nx\nd\ny\n"),
+            ("line one\nline two\n", "line zero\nline one\nline two\nline three\n"),
+            ("x\nx\nx\n", "x\nx\n"),
+        ];
+        for (old, new) in cases {
+            let edits = diff_lines(old, new);
+            assert_eq!(apply_edits(old, &edits), *new, "old={old:?} new={new:?}");
+        }
+    }
+
+    #[test]
+    fn script_is_minimal_for_single_change() {
+        // 100 identical lines, one changed: script must be 2 edits, not 200.
+        let old: String = (0..100).map(|i| format!("line {i}\n")).collect();
+        let new = old.replace("line 50", "line fifty");
+        let edits = diff_lines(&old, &new);
+        assert_eq!(edits.len(), 2);
+    }
+
+    #[test]
+    fn flatfile_deltas_via_genbank() {
+        let a = SeqRecord::new("A", DnaSeq::from_text("ATGC").unwrap());
+        let b = SeqRecord::new("B", DnaSeq::from_text("GGGG").unwrap());
+        let b2 = SeqRecord::new("B", DnaSeq::from_text("GGGGTT").unwrap()).with_version(2);
+        let old_dump = genbank::write(&[a.clone(), b]);
+        let new_dump = genbank::write(&[a, b2]);
+        let mut id = 1;
+        let (deltas, script_len) =
+            flatfile_deltas(&old_dump, &new_dump, genbank::parse, &mut id, 9).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].accession, "B");
+        assert!(script_len > 0);
+        // Quiet when nothing changed.
+        let (deltas, script_len) =
+            flatfile_deltas(&new_dump, &new_dump, genbank::parse, &mut id, 10).unwrap();
+        assert!(deltas.is_empty());
+        assert_eq!(script_len, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Source monitors and change detection — the Figure 2 grid.
+//!
+//! "The type of change detection algorithm used by the source monitor
+//! depends largely on the information source capability and the data
+//! representation." [`pick_strategy`] encodes the figure verbatim
+//! (including its N/A cells); [`effective_strategy`] substitutes the
+//! nearest working technique for N/A cells so the warehouse can always
+//! monitor a source.
+
+pub mod snapshot;
+pub mod lcs;
+pub mod treediff;
+pub mod log;
+pub mod trigger;
+pub mod poll;
+
+use crate::source::{Capability, Representation};
+
+/// A change-detection technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Relational triggers fire on change (active relational sources).
+    DatabaseTrigger,
+    /// Push notifications from a non-relational active source.
+    ProgramTrigger,
+    /// Read the source's own change log.
+    InspectLog,
+    /// Re-query and compute a keyed snapshot differential.
+    SnapshotDifferential,
+    /// Compute an edit sequence between successive hierarchical snapshots.
+    EditSequence,
+    /// Longest-common-subsequence line diff between flat-file dumps.
+    LcsDiff,
+}
+
+/// Figure 2 verbatim: `None` is an N/A cell.
+pub fn pick_strategy(capability: Capability, representation: Representation) -> Option<Strategy> {
+    use Capability as C;
+    use Representation as R;
+    match (representation, capability) {
+        (R::Hierarchical, C::Active) => Some(Strategy::ProgramTrigger),
+        (R::Hierarchical, C::Logged) => Some(Strategy::InspectLog),
+        (R::Hierarchical, C::Queryable) => Some(Strategy::EditSequence),
+        (R::Hierarchical, C::NonQueryable) => Some(Strategy::EditSequence),
+        (R::FlatFile, C::Active) => None,
+        (R::FlatFile, C::Logged) => Some(Strategy::InspectLog),
+        (R::FlatFile, C::Queryable) => None,
+        (R::FlatFile, C::NonQueryable) => Some(Strategy::LcsDiff),
+        (R::Relational, C::Active) => Some(Strategy::DatabaseTrigger),
+        (R::Relational, C::Logged) => Some(Strategy::InspectLog),
+        (R::Relational, C::Queryable) => Some(Strategy::SnapshotDifferential),
+        (R::Relational, C::NonQueryable) => None,
+    }
+}
+
+/// Always-working assignment: the figure's choice where defined, the
+/// nearest applicable technique in the N/A cells.
+pub fn effective_strategy(capability: Capability, representation: Representation) -> Strategy {
+    pick_strategy(capability, representation).unwrap_or_else(|| {
+        match (representation, capability) {
+            (Representation::FlatFile, Capability::Active) => Strategy::ProgramTrigger,
+            (Representation::FlatFile, Capability::Queryable) => Strategy::SnapshotDifferential,
+            (Representation::Relational, Capability::NonQueryable) => {
+                Strategy::SnapshotDifferential
+            }
+            _ => unreachable!("all N/A cells covered"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_grid() {
+        use Capability as C;
+        use Representation as R;
+        assert_eq!(pick_strategy(C::Active, R::Relational), Some(Strategy::DatabaseTrigger));
+        assert_eq!(pick_strategy(C::Active, R::Hierarchical), Some(Strategy::ProgramTrigger));
+        assert_eq!(pick_strategy(C::Active, R::FlatFile), None);
+        for r in [R::Relational, R::FlatFile, R::Hierarchical] {
+            assert_eq!(pick_strategy(C::Logged, r), Some(Strategy::InspectLog));
+        }
+        assert_eq!(pick_strategy(C::Queryable, R::Relational), Some(Strategy::SnapshotDifferential));
+        assert_eq!(pick_strategy(C::Queryable, R::Hierarchical), Some(Strategy::EditSequence));
+        assert_eq!(pick_strategy(C::NonQueryable, R::FlatFile), Some(Strategy::LcsDiff));
+        assert_eq!(pick_strategy(C::NonQueryable, R::Hierarchical), Some(Strategy::EditSequence));
+        assert_eq!(pick_strategy(C::NonQueryable, R::Relational), None);
+    }
+
+    #[test]
+    fn effective_covers_every_cell() {
+        use Capability as C;
+        use Representation as R;
+        for c in [C::Active, C::Logged, C::Queryable, C::NonQueryable] {
+            for r in [R::Relational, R::FlatFile, R::Hierarchical] {
+                let _ = effective_strategy(c, r); // must not panic
+            }
+        }
+        assert_eq!(
+            effective_strategy(C::Queryable, R::FlatFile),
+            Strategy::SnapshotDifferential
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Polling monitors for queryable and non-queryable sources.
+//!
+//! §5.2's polling-frequency trade-off is observable here: a poll only sees
+//! the *net* difference since the previous poll, so rapid intermediate
+//! changes collapse (contrast [`crate::monitor::log::LogMonitor`], which
+//! sees every log entry). The tests pin that behaviour down; the Figure 2
+//! bench measures the cost side.
+
+use crate::delta::Delta;
+use crate::formats::{genbank, hier};
+use crate::monitor::lcs;
+use crate::monitor::snapshot::snapshot_differential;
+use crate::monitor::treediff;
+use crate::record::SeqRecord;
+use crate::source::{Representation, SimulatedRepository};
+use genalg_core::error::Result;
+
+/// Snapshot-differential polling for queryable sources.
+#[derive(Debug, Default)]
+pub struct PollMonitor {
+    last: Vec<SeqRecord>,
+    next_id: u64,
+    polls: u64,
+    deltas_seen: u64,
+}
+
+impl PollMonitor {
+    pub fn new() -> Self {
+        PollMonitor { last: Vec::new(), next_id: 1, polls: 0, deltas_seen: 0 }
+    }
+
+    /// Re-query the source and diff against the previous snapshot.
+    pub fn poll(&mut self, source: &SimulatedRepository) -> Vec<Delta> {
+        self.polls += 1;
+        let current = source.snapshot();
+        let deltas =
+            snapshot_differential(&self.last, &current, &mut self.next_id, source.clock());
+        self.last = current;
+        self.deltas_seen += deltas.len() as u64;
+        deltas
+    }
+
+    /// `(polls, deltas seen)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.polls, self.deltas_seen)
+    }
+}
+
+/// Dump-comparison monitoring for non-queryable sources: LCS line diff for
+/// flat files, ordered-tree edit scripts for hierarchical dumps. The
+/// returned `usize` is the edit-script length (the technique's work
+/// product beyond the record deltas).
+#[derive(Debug, Default)]
+pub struct DumpMonitor {
+    last_dump: String,
+    next_id: u64,
+    polls: u64,
+}
+
+impl DumpMonitor {
+    pub fn new() -> Self {
+        DumpMonitor { last_dump: String::new(), next_id: 1, polls: 0 }
+    }
+
+    /// Fetch the next periodic dump and compare with the previous one.
+    pub fn poll(&mut self, source: &SimulatedRepository) -> Result<(Vec<Delta>, usize)> {
+        self.polls += 1;
+        let dump = source.dump();
+        let result = match source.representation() {
+            Representation::FlatFile | Representation::Relational => lcs::flatfile_deltas(
+                &self.last_dump,
+                &dump,
+                |text| {
+                    if source.representation() == Representation::FlatFile {
+                        genbank::parse(text)
+                    } else {
+                        parse_relational(text)
+                    }
+                },
+                &mut self.next_id,
+                source.clock(),
+            )?,
+            Representation::Hierarchical => {
+                let old_tree = hier::parse(&self.last_dump)?;
+                let new_tree = hier::parse(&dump)?;
+                let script = treediff::diff_forest(&old_tree, &new_tree);
+                let deltas = if script.is_empty() {
+                    Vec::new()
+                } else {
+                    let old = hier::to_records(&old_tree)?;
+                    let new = hier::to_records(&new_tree)?;
+                    snapshot_differential(&old, &new, &mut self.next_id, source.clock())
+                };
+                (deltas, script.len())
+            }
+        };
+        self.last_dump = dump;
+        Ok(result)
+    }
+
+    /// Polls performed.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+}
+
+/// Parse the tab-separated relational dump format.
+fn parse_relational(text: &str) -> Result<Vec<SeqRecord>> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 5 {
+            return Err(genalg_core::error::GenAlgError::Other(format!(
+                "relational dump line {} has {} columns",
+                i + 1,
+                cols.len()
+            )));
+        }
+        let mut rec = SeqRecord::new(cols[0], genalg_core::seq::DnaSeq::from_text(cols[4])?)
+            .with_description(cols[2]);
+        rec.version = cols[1]
+            .parse()
+            .map_err(|_| genalg_core::error::GenAlgError::Other("bad version".into()))?;
+        if !cols[3].is_empty() {
+            rec.organism = Some(cols[3].to_string());
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::ChangeKind;
+    use crate::source::Capability;
+    use genalg_core::seq::DnaSeq;
+
+    fn rec(acc: &str, seq: &str) -> SeqRecord {
+        SeqRecord::new(acc, DnaSeq::from_text(seq).unwrap()).with_description("x")
+    }
+
+    #[test]
+    fn poll_monitor_sees_net_changes() {
+        let mut repo =
+            SimulatedRepository::new("q", Representation::Relational, Capability::Queryable);
+        let mut monitor = PollMonitor::new();
+        assert!(monitor.poll(&repo).is_empty());
+
+        repo.apply(ChangeKind::Insert, rec("A", "ATGC")).unwrap();
+        let d = monitor.poll(&repo);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, ChangeKind::Insert);
+
+        // Three rapid updates between polls collapse into one net update —
+        // the polling-frequency trade-off of §5.2.
+        for seq in ["ATGCA", "ATGCAT", "ATGCATG"] {
+            repo.apply(ChangeKind::Update, rec("A", seq)).unwrap();
+        }
+        let d = monitor.poll(&repo);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, ChangeKind::Update);
+        assert_eq!(
+            d[0].after.as_ref().unwrap().sequence.to_text(),
+            "ATGCATG",
+            "the poll sees only the final state"
+        );
+
+        // Insert-then-delete between polls is invisible.
+        repo.apply(ChangeKind::Insert, rec("GHOST", "GG")).unwrap();
+        repo.apply(ChangeKind::Delete, rec("GHOST", "GG")).unwrap();
+        assert!(monitor.poll(&repo).is_empty());
+        assert_eq!(monitor.stats().0, 4);
+    }
+
+    #[test]
+    fn dump_monitor_flatfile() {
+        let mut repo =
+            SimulatedRepository::new("nq", Representation::FlatFile, Capability::NonQueryable);
+        let mut monitor = DumpMonitor::new();
+        // First poll sees the initial state as inserts.
+        repo.apply(ChangeKind::Insert, rec("A", "ATGC")).unwrap();
+        repo.apply(ChangeKind::Insert, rec("B", "GGGG")).unwrap();
+        let (deltas, script) = monitor.poll(&repo).unwrap();
+        assert_eq!(deltas.len(), 2);
+        assert!(script > 0);
+        // Then a single update yields one delta and a small script.
+        repo.apply(ChangeKind::Update, rec("B", "GGGGTT")).unwrap();
+        let (deltas, script) = monitor.poll(&repo).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(script > 0);
+        // Quiet poll.
+        let (deltas, script) = monitor.poll(&repo).unwrap();
+        assert!(deltas.is_empty());
+        assert_eq!(script, 0);
+        assert_eq!(monitor.polls(), 3);
+    }
+
+    #[test]
+    fn dump_monitor_hierarchical() {
+        let mut repo =
+            SimulatedRepository::new("ace", Representation::Hierarchical, Capability::NonQueryable);
+        let mut monitor = DumpMonitor::new();
+        repo.apply(ChangeKind::Insert, rec("H1", "ATGGCC")).unwrap();
+        let (deltas, _) = monitor.poll(&repo).unwrap();
+        assert_eq!(deltas.len(), 1);
+        repo.apply(ChangeKind::Update, rec("H1", "ATGGCCTT")).unwrap();
+        repo.apply(ChangeKind::Insert, rec("H2", "TTTT")).unwrap();
+        let (deltas, script) = monitor.poll(&repo).unwrap();
+        assert_eq!(deltas.len(), 2);
+        assert!(script > 0);
+    }
+
+    #[test]
+    fn dump_monitor_relational_tsv() {
+        let mut repo =
+            SimulatedRepository::new("tsv", Representation::Relational, Capability::NonQueryable);
+        let mut monitor = DumpMonitor::new();
+        repo.apply(ChangeKind::Insert, rec("R1", "ACGT")).unwrap();
+        let (deltas, _) = monitor.poll(&repo).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].after.as_ref().unwrap().sequence.to_text(), "ACGT");
+    }
+}

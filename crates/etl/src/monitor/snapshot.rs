@@ -1,0 +1,99 @@
+//! Snapshot differentials: keyed comparison of two complete states.
+
+use crate::delta::Delta;
+use crate::record::SeqRecord;
+use std::collections::BTreeMap;
+
+/// Compare two snapshots keyed by accession; emits inserts, updates (when
+/// content differs), and deletes. Delta ids are allocated from `next_id`.
+pub fn snapshot_differential(
+    old: &[SeqRecord],
+    new: &[SeqRecord],
+    next_id: &mut u64,
+    timestamp: u64,
+) -> Vec<Delta> {
+    let old_map: BTreeMap<&str, &SeqRecord> =
+        old.iter().map(|r| (r.accession.as_str(), r)).collect();
+    let new_map: BTreeMap<&str, &SeqRecord> =
+        new.iter().map(|r| (r.accession.as_str(), r)).collect();
+    let mut out = Vec::new();
+    let mut alloc = |before: Option<SeqRecord>, after: Option<SeqRecord>| {
+        let d = Delta::infer(*next_id, timestamp, before, after);
+        *next_id += 1;
+        d
+    };
+    for (acc, n) in &new_map {
+        match old_map.get(acc) {
+            None => out.push(alloc(None, Some((*n).clone()))),
+            Some(o) if !o.same_content(n) => {
+                out.push(alloc(Some((*o).clone()), Some((*n).clone())))
+            }
+            Some(_) => {}
+        }
+    }
+    for (acc, o) in &old_map {
+        if !new_map.contains_key(acc) {
+            out.push(alloc(Some((*o).clone()), None));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::ChangeKind;
+    use genalg_core::seq::DnaSeq;
+
+    fn rec(acc: &str, seq: &str) -> SeqRecord {
+        SeqRecord::new(acc, DnaSeq::from_text(seq).unwrap())
+    }
+
+    #[test]
+    fn detects_all_three_kinds() {
+        let old = vec![rec("A", "ATGC"), rec("B", "GGGG"), rec("C", "TTTT")];
+        let new = vec![rec("A", "ATGC"), rec("B", "GGGGCC"), rec("D", "AAAA")];
+        let mut id = 1;
+        let deltas = snapshot_differential(&old, &new, &mut id, 42);
+        assert_eq!(deltas.len(), 3);
+        assert!(deltas.iter().all(Delta::is_well_formed));
+        assert!(deltas.iter().all(|d| d.timestamp == 42));
+        let kinds: Vec<(ChangeKind, &str)> =
+            deltas.iter().map(|d| (d.kind, d.accession.as_str())).collect();
+        assert!(kinds.contains(&(ChangeKind::Update, "B")));
+        assert!(kinds.contains(&(ChangeKind::Insert, "D")));
+        assert!(kinds.contains(&(ChangeKind::Delete, "C")));
+        // Ids are unique and consecutive.
+        let mut ids: Vec<u64> = deltas.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(id, 4);
+    }
+
+    #[test]
+    fn identical_snapshots_are_quiet() {
+        let snap = vec![rec("A", "ATGC")];
+        let mut id = 1;
+        assert!(snapshot_differential(&snap, &snap.clone(), &mut id, 1).is_empty());
+        assert_eq!(id, 1);
+    }
+
+    #[test]
+    fn version_changes_count_as_updates() {
+        let old = vec![rec("A", "ATGC")];
+        let new = vec![rec("A", "ATGC").with_version(2)];
+        let mut id = 1;
+        let deltas = snapshot_differential(&old, &new, &mut id, 1);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].kind, ChangeKind::Update);
+    }
+
+    #[test]
+    fn empty_edges() {
+        let mut id = 1;
+        let recs = vec![rec("A", "AT")];
+        assert_eq!(snapshot_differential(&[], &recs, &mut id, 1)[0].kind, ChangeKind::Insert);
+        assert_eq!(snapshot_differential(&recs, &[], &mut id, 1)[0].kind, ChangeKind::Delete);
+        assert!(snapshot_differential(&[], &[], &mut id, 1).is_empty());
+    }
+}

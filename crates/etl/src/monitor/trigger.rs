@@ -1,0 +1,84 @@
+//! Trigger-based monitoring for *active* sources: the source pushes
+//! notifications; the monitor just drains its channel.
+
+use crate::delta::Delta;
+use crate::source::SimulatedRepository;
+use crossbeam::channel::{unbounded, Receiver};
+use genalg_core::error::Result;
+
+/// A push-notification monitor (database trigger / program trigger cell of
+/// Figure 2).
+#[derive(Debug)]
+pub struct TriggerMonitor {
+    rx: Receiver<Delta>,
+    received: u64,
+}
+
+impl TriggerMonitor {
+    /// Subscribe to an active source.
+    pub fn attach(source: &mut SimulatedRepository) -> Result<Self> {
+        let (tx, rx) = unbounded();
+        source.subscribe(tx)?;
+        Ok(TriggerMonitor { rx, received: 0 })
+    }
+
+    /// Collect every notification delivered since the last drain.
+    pub fn drain(&mut self) -> Vec<Delta> {
+        let deltas: Vec<Delta> = self.rx.try_iter().collect();
+        self.received += deltas.len() as u64;
+        deltas
+    }
+
+    /// Total notifications received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::ChangeKind;
+    use crate::record::SeqRecord;
+    use crate::source::{Capability, Representation};
+    use genalg_core::seq::DnaSeq;
+
+    fn rec(acc: &str, seq: &str) -> SeqRecord {
+        SeqRecord::new(acc, DnaSeq::from_text(seq).unwrap())
+    }
+
+    #[test]
+    fn notifications_flow_immediately() {
+        let mut repo =
+            SimulatedRepository::new("push", Representation::Relational, Capability::Active);
+        let mut monitor = TriggerMonitor::attach(&mut repo).unwrap();
+        assert!(monitor.drain().is_empty());
+        repo.apply(ChangeKind::Insert, rec("A", "ATGC")).unwrap();
+        repo.apply(ChangeKind::Delete, rec("A", "ATGC")).unwrap();
+        let deltas = monitor.drain();
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].kind, ChangeKind::Insert);
+        assert_eq!(deltas[1].kind, ChangeKind::Delete);
+        assert_eq!(monitor.received(), 2);
+        // Drained once; nothing left.
+        assert!(monitor.drain().is_empty());
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_everything() {
+        let mut repo =
+            SimulatedRepository::new("push", Representation::Hierarchical, Capability::Active);
+        let mut m1 = TriggerMonitor::attach(&mut repo).unwrap();
+        let mut m2 = TriggerMonitor::attach(&mut repo).unwrap();
+        repo.apply(ChangeKind::Insert, rec("A", "AT")).unwrap();
+        assert_eq!(m1.drain().len(), 1);
+        assert_eq!(m2.drain().len(), 1);
+    }
+
+    #[test]
+    fn non_active_sources_refuse() {
+        let mut repo =
+            SimulatedRepository::new("passive", Representation::Relational, Capability::Logged);
+        assert!(TriggerMonitor::attach(&mut repo).is_err());
+    }
+}

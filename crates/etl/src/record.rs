@@ -1,0 +1,97 @@
+//! The normalized record wrappers produce from every source format.
+
+use genalg_core::gdt::Feature;
+use genalg_core::seq::DnaSeq;
+
+/// One sequence entry as seen by the integrator — the common denominator of
+/// GenBank, EMBL, FASTA, and hierarchical records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqRecord {
+    /// Stable accession (primary key across sources).
+    pub accession: String,
+    /// Entry version; sources bump it on every change.
+    pub version: u32,
+    /// Free-text description line.
+    pub description: String,
+    /// Source organism, if annotated.
+    pub organism: Option<String>,
+    /// The nucleotide sequence.
+    pub sequence: DnaSeq,
+    /// Annotation features (CDS, gene, …).
+    pub features: Vec<Feature>,
+    /// The repository this record came from (provenance).
+    pub source: String,
+}
+
+impl SeqRecord {
+    /// A minimal record (tests and generators flesh it out).
+    pub fn new(accession: &str, sequence: DnaSeq) -> Self {
+        SeqRecord {
+            accession: accession.to_string(),
+            version: 1,
+            description: String::new(),
+            organism: None,
+            sequence,
+            features: Vec::new(),
+            source: String::new(),
+        }
+    }
+
+    /// Builder-style setters.
+    pub fn with_description(mut self, d: &str) -> Self {
+        self.description = d.to_string();
+        self
+    }
+
+    pub fn with_organism(mut self, o: &str) -> Self {
+        self.organism = Some(o.to_string());
+        self
+    }
+
+    pub fn with_version(mut self, v: u32) -> Self {
+        self.version = v;
+        self
+    }
+
+    pub fn with_source(mut self, s: &str) -> Self {
+        self.source = s.to_string();
+        self
+    }
+
+    pub fn with_feature(mut self, f: Feature) -> Self {
+        self.features.push(f);
+        self
+    }
+
+    /// Two records describe the same *content* if everything except
+    /// provenance matches (used by change detection).
+    pub fn same_content(&self, other: &SeqRecord) -> bool {
+        self.accession == other.accession
+            && self.version == other.version
+            && self.description == other.description
+            && self.organism == other.organism
+            && self.sequence == other.sequence
+            && self.features == other.features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_content_equality() {
+        let seq = DnaSeq::from_text("ATGC").unwrap();
+        let a = SeqRecord::new("X1", seq.clone())
+            .with_description("demo")
+            .with_organism("E. coli")
+            .with_version(2)
+            .with_source("genbank");
+        let b = a.clone().with_source("embl");
+        assert!(a.same_content(&b), "provenance must not affect content equality");
+        assert_ne!(a, b);
+        let c = b.clone().with_version(3);
+        assert!(!a.same_content(&c));
+        assert_eq!(a.organism.as_deref(), Some("E. coli"));
+    }
+}

@@ -1,0 +1,493 @@
+//! Warehouse orchestration: sources, monitors, incremental refresh.
+//!
+//! §5.2's maintenance model: the warehouse refreshes on demand ("a manual
+//! refresh option … allows the biologist to defer or advance updates") and
+//! *incrementally* — refresh consumes source deltas plus the warehouse's
+//! own staging state, never a full source reload (self-maintainability).
+//! [`Warehouse::full_reload`] is the expensive alternative, kept for the
+//! architecture benchmark.
+
+use crate::delta::Delta;
+use crate::integrate::{reconcile, ReconciledEntry, TrustModel};
+use crate::loader::Loader;
+use crate::monitor::log::LogMonitor;
+use crate::monitor::poll::{DumpMonitor, PollMonitor};
+use crate::monitor::trigger::TriggerMonitor;
+use crate::monitor::{effective_strategy, Strategy};
+use crate::record::SeqRecord;
+use crate::source::SimulatedRepository;
+use genalg_adapter::Adapter;
+use genalg_core::error::{GenAlgError, Result};
+use std::collections::{BTreeSet, HashMap};
+use unidb::Database;
+
+enum MonitorKind {
+    Trigger(TriggerMonitor),
+    Log(LogMonitor),
+    Poll(PollMonitor),
+    Dump(DumpMonitor),
+}
+
+struct SourceEntry {
+    repo: SimulatedRepository,
+    monitor: MonitorKind,
+    strategy: Strategy,
+}
+
+/// Outcome of one refresh round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshReport {
+    /// Deltas collected across all sources.
+    pub deltas: usize,
+    /// Entities re-reconciled and upserted.
+    pub upserted: usize,
+    /// Entities removed entirely.
+    pub deleted: usize,
+}
+
+/// The Unifying Database plus its ETL machinery.
+pub struct Warehouse {
+    db: Database,
+    adapter: Adapter,
+    trust: TrustModel,
+    sources: Vec<SourceEntry>,
+    /// Incrementally maintained mirror of source contents, keyed by
+    /// `(accession, source)` — what makes refresh self-maintaining.
+    staging: HashMap<(String, String), SeqRecord>,
+}
+
+impl Warehouse {
+    /// A fresh in-memory warehouse with the Genomics Algebra installed and
+    /// the public schema created.
+    pub fn new() -> Result<Self> {
+        Self::with_db(Database::in_memory())
+    }
+
+    /// A durable warehouse in `dir` (snapshot + WAL recovery). Loaded data
+    /// is immediately queryable after reopening; to resume *incremental*
+    /// maintenance, re-register the sources and run [`Warehouse::full_reload`]
+    /// once to rebuild the staging mirror — monitors' cursors, like any ETL
+    /// process state, do not survive restarts.
+    pub fn open(dir: &std::path::Path) -> Result<Self> {
+        let db = Database::open(dir).map_err(wrap)?;
+        let adapter = Adapter::install(&db).map_err(wrap)?;
+        db.recover().map_err(wrap)?;
+        let loader = Loader::new(&db);
+        loader.ensure_schema().map_err(wrap)?;
+        Ok(Warehouse {
+            db,
+            adapter,
+            trust: TrustModel::default(),
+            sources: Vec::new(),
+            staging: HashMap::new(),
+        })
+    }
+
+    fn with_db(db: Database) -> Result<Self> {
+        let adapter = Adapter::install(&db).map_err(wrap)?;
+        let loader = Loader::new(&db);
+        loader.ensure_schema().map_err(wrap)?;
+        Ok(Warehouse {
+            db,
+            adapter,
+            trust: TrustModel::default(),
+            sources: Vec::new(),
+            staging: HashMap::new(),
+        })
+    }
+
+    /// The underlying database (read access for user queries).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The installed adapter.
+    pub fn adapter(&self) -> &Adapter {
+        &self.adapter
+    }
+
+    /// Adjust a source's trust level.
+    pub fn set_trust(&mut self, source: &str, trust: f64) {
+        self.trust.set(source, trust);
+    }
+
+    /// Register a source; the monitor is chosen from the Figure 2 grid.
+    pub fn add_source(&mut self, mut repo: SimulatedRepository) -> Result<Strategy> {
+        let strategy = effective_strategy(repo.capability(), repo.representation());
+        let monitor = match strategy {
+            Strategy::DatabaseTrigger | Strategy::ProgramTrigger => {
+                MonitorKind::Trigger(TriggerMonitor::attach(&mut repo)?)
+            }
+            Strategy::InspectLog => MonitorKind::Log(LogMonitor::new()),
+            Strategy::SnapshotDifferential => MonitorKind::Poll(PollMonitor::new()),
+            Strategy::EditSequence | Strategy::LcsDiff => MonitorKind::Dump(DumpMonitor::new()),
+        };
+        self.sources.push(SourceEntry { repo, monitor, strategy });
+        Ok(strategy)
+    }
+
+    /// Mutable access to a registered source (curators applying changes).
+    pub fn source_mut(&mut self, name: &str) -> Option<&mut SimulatedRepository> {
+        self.sources.iter_mut().find(|s| s.repo.name() == name).map(|s| &mut s.repo)
+    }
+
+    /// The monitoring strategy chosen for a source.
+    pub fn strategy_of(&self, name: &str) -> Option<Strategy> {
+        self.sources.iter().find(|s| s.repo.name() == name).map(|s| s.strategy)
+    }
+
+    /// Manual refresh: collect deltas from every monitor, fold them into
+    /// staging, re-reconcile only the affected accessions, and upsert.
+    pub fn refresh(&mut self) -> Result<RefreshReport> {
+        let mut deltas: Vec<(String, Delta)> = Vec::new();
+        for entry in &mut self.sources {
+            let source_name = entry.repo.name().to_string();
+            let collected: Vec<Delta> = match &mut entry.monitor {
+                MonitorKind::Trigger(m) => m.drain(),
+                MonitorKind::Log(m) => m.poll(&entry.repo)?,
+                MonitorKind::Poll(m) => m.poll(&entry.repo),
+                MonitorKind::Dump(m) => m.poll(&entry.repo)?.0,
+            };
+            deltas.extend(collected.into_iter().map(|d| (source_name.clone(), d)));
+        }
+        self.apply_deltas(deltas)
+    }
+
+    fn apply_deltas(&mut self, deltas: Vec<(String, Delta)>) -> Result<RefreshReport> {
+        let mut affected: BTreeSet<String> = BTreeSet::new();
+        let n_deltas = deltas.len();
+        for (source, d) in deltas {
+            affected.insert(d.accession.clone());
+            let key = (d.accession.clone(), source.clone());
+            match d.after {
+                Some(mut rec) => {
+                    // Provenance is authoritative from the monitor's view.
+                    if rec.source.is_empty() {
+                        rec.source = source.clone();
+                    }
+                    self.staging.insert(key, rec);
+                }
+                None => {
+                    self.staging.remove(&key);
+                }
+            }
+        }
+
+        // Re-reconcile affected accessions from staging.
+        let loader = Loader::new(&self.db);
+        let mut upserted = 0usize;
+        let mut deleted = 0usize;
+        for accession in affected {
+            let group: Vec<SeqRecord> = self
+                .staging
+                .iter()
+                .filter(|((acc, _), _)| *acc == accession)
+                .map(|(_, r)| r.clone())
+                .collect();
+            if group.is_empty() {
+                loader.delete(&accession).map_err(wrap)?;
+                deleted += 1;
+            } else {
+                let entries = reconcile(&group, &self.trust, &HashMap::new());
+                loader.upsert(&entries).map_err(wrap)?;
+                upserted += entries.len();
+            }
+        }
+        Ok(RefreshReport { deltas: n_deltas, upserted, deleted })
+    }
+
+    /// Expensive alternative: re-read every source completely and rebuild
+    /// the affected entities (the cost baseline §5.2 argues against).
+    pub fn full_reload(&mut self) -> Result<RefreshReport> {
+        // Discard monitors' incremental knowledge by consuming their
+        // pending deltas first (they stay consistent for later refreshes).
+        let _ = self.refresh()?;
+        self.staging.clear();
+        let mut all: Vec<(String, SeqRecord)> = Vec::new();
+        for entry in &self.sources {
+            for rec in entry.repo.snapshot() {
+                all.push((entry.repo.name().to_string(), rec));
+            }
+        }
+        for (source, rec) in &all {
+            self.staging.insert((rec.accession.clone(), source.clone()), rec.clone());
+        }
+        let records: Vec<SeqRecord> = all.into_iter().map(|(_, r)| r).collect();
+        let entries = reconcile(&records, &self.trust, &HashMap::new());
+        let loader = Loader::new(&self.db);
+        // Clear and rebuild.
+        for accession in self.current_accessions()? {
+            loader.delete(&accession).map_err(wrap)?;
+        }
+        loader.upsert(&entries).map_err(wrap)?;
+        Ok(RefreshReport { deltas: 0, upserted: entries.len(), deleted: 0 })
+    }
+
+    /// §5.2 schema evolution: extend the warehouse with derived protein
+    /// data (locate + translate the first CDS of every stored entity).
+    /// Returns the number of proteins stored.
+    pub fn derive_proteins(&self) -> Result<usize> {
+        Loader::new(&self.db).derive_proteins().map_err(wrap)
+    }
+
+    /// Reconciled entries currently loadable from staging (for tests).
+    pub fn staged_entries(&self) -> Vec<ReconciledEntry> {
+        let records: Vec<SeqRecord> = self.staging.values().cloned().collect();
+        reconcile(&records, &self.trust, &HashMap::new())
+    }
+
+    fn current_accessions(&self) -> Result<Vec<String>> {
+        let rs = self
+            .db
+            .execute("SELECT accession FROM public.sequences")
+            .map_err(wrap)?;
+        Ok(rs
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_text().map(str::to_string))
+            .collect())
+    }
+}
+
+fn wrap(e: unidb::DbError) -> GenAlgError {
+    GenAlgError::Other(format!("warehouse: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::ChangeKind;
+    use crate::source::{Capability, Representation};
+    use genalg_core::seq::DnaSeq;
+
+    fn rec(acc: &str, seq: &str) -> SeqRecord {
+        SeqRecord::new(acc, DnaSeq::from_text(seq).unwrap()).with_description("d")
+    }
+
+    fn count(w: &Warehouse) -> i64 {
+        w.db()
+            .execute("SELECT count(*) FROM public.sequences")
+            .unwrap()
+            .rows[0][0]
+            .as_int()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_multi_source_refresh() {
+        let mut w = Warehouse::new().unwrap();
+        // Four sources covering four Figure 2 cells.
+        w.add_source(SimulatedRepository::new(
+            "genbank-sim",
+            Representation::FlatFile,
+            Capability::NonQueryable,
+        ))
+        .unwrap();
+        w.add_source(SimulatedRepository::new(
+            "embl-sim",
+            Representation::Relational,
+            Capability::Queryable,
+        ))
+        .unwrap();
+        w.add_source(SimulatedRepository::new(
+            "swiss-sim",
+            Representation::Relational,
+            Capability::Active,
+        ))
+        .unwrap();
+        w.add_source(SimulatedRepository::new(
+            "ace-sim",
+            Representation::Hierarchical,
+            Capability::Logged,
+        ))
+        .unwrap();
+        assert_eq!(w.strategy_of("genbank-sim"), Some(Strategy::LcsDiff));
+        assert_eq!(w.strategy_of("embl-sim"), Some(Strategy::SnapshotDifferential));
+        assert_eq!(w.strategy_of("swiss-sim"), Some(Strategy::DatabaseTrigger));
+        assert_eq!(w.strategy_of("ace-sim"), Some(Strategy::InspectLog));
+
+        // Seed the sources.
+        w.source_mut("genbank-sim")
+            .unwrap()
+            .apply(ChangeKind::Insert, rec("A1", "ATGGCCTTTAAG"))
+            .unwrap();
+        w.source_mut("embl-sim")
+            .unwrap()
+            .apply(ChangeKind::Insert, rec("A1", "ATGGCCTTTAAG"))
+            .unwrap();
+        w.source_mut("swiss-sim")
+            .unwrap()
+            .apply(ChangeKind::Insert, rec("B2", "GGGGCCCC"))
+            .unwrap();
+        w.source_mut("ace-sim")
+            .unwrap()
+            .apply(ChangeKind::Insert, rec("C3", "TTTTAAAA"))
+            .unwrap();
+
+        let report = w.refresh().unwrap();
+        assert_eq!(report.deltas, 4);
+        assert_eq!(report.upserted, 3);
+        assert_eq!(count(&w), 3);
+
+        // Corroborated entry.
+        let rs = w
+            .db()
+            .execute("SELECT n_sources FROM public.sequences WHERE accession = 'A1'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(2));
+
+        // A quiet refresh is a no-op.
+        let report = w.refresh().unwrap();
+        assert_eq!(report, RefreshReport::default());
+
+        // Update propagates incrementally.
+        w.source_mut("swiss-sim")
+            .unwrap()
+            .apply(ChangeKind::Update, rec("B2", "GGGGCCCCTT"))
+            .unwrap();
+        let report = w.refresh().unwrap();
+        assert_eq!(report.deltas, 1);
+        assert_eq!(report.upserted, 1);
+        let rs = w
+            .db()
+            .execute("SELECT seq_length(seq) FROM public.sequences WHERE accession = 'B2'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(10));
+
+        // Delete propagates and removes the entity.
+        w.source_mut("ace-sim")
+            .unwrap()
+            .apply(ChangeKind::Delete, rec("C3", "TTTTAAAA"))
+            .unwrap();
+        let report = w.refresh().unwrap();
+        assert_eq!(report.deleted, 1);
+        assert_eq!(count(&w), 2);
+    }
+
+    #[test]
+    fn conflicting_sources_yield_disputed_entries() {
+        let mut w = Warehouse::new().unwrap();
+        w.set_trust("trusted", 0.95);
+        w.set_trust("sloppy", 0.5);
+        w.add_source(SimulatedRepository::new(
+            "trusted",
+            Representation::Relational,
+            Capability::Queryable,
+        ))
+        .unwrap();
+        w.add_source(SimulatedRepository::new(
+            "sloppy",
+            Representation::Relational,
+            Capability::Queryable,
+        ))
+        .unwrap();
+        w.source_mut("trusted")
+            .unwrap()
+            .apply(ChangeKind::Insert, rec("X", "ATGGCC"))
+            .unwrap();
+        w.source_mut("sloppy")
+            .unwrap()
+            .apply(ChangeKind::Insert, rec("X", "ATGGAC"))
+            .unwrap();
+        w.refresh().unwrap();
+        let rs = w
+            .db()
+            .execute("SELECT disputed FROM public.sequences WHERE accession = 'X'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_bool(), Some(true));
+        // Best-believed sequence is the trusted one.
+        let rs = w
+            .db()
+            .execute("SELECT contains(seq, 'ATGGCC') FROM public.sequences WHERE accession = 'X'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_bool(), Some(true));
+        let rs = w
+            .db()
+            .execute("SELECT count(*) FROM public.sequence_alternatives WHERE accession = 'X'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(2));
+    }
+
+    #[test]
+    fn persistent_warehouse_reopens() {
+        let dir = std::env::temp_dir().join(format!("genalg-wh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut w = Warehouse::open(&dir).unwrap();
+            w.add_source(SimulatedRepository::new(
+                "s1",
+                Representation::Relational,
+                Capability::Queryable,
+            ))
+            .unwrap();
+            for i in 0..5 {
+                w.source_mut("s1")
+                    .unwrap()
+                    .apply(ChangeKind::Insert, rec(&format!("D{i}"), "ATGAAATTTTAA"))
+                    .unwrap();
+            }
+            w.refresh().unwrap();
+            assert_eq!(w.derive_proteins().unwrap(), 5);
+            assert_eq!(count(&w), 5);
+        }
+        // Reopen: data and derived proteins survive; genomic ops still work.
+        {
+            let w = Warehouse::open(&dir).unwrap();
+            assert_eq!(count(&w), 5);
+            let rs = w
+                .db()
+                .execute(
+                    "SELECT count(*) FROM public.sequences WHERE contains(seq, 'ATGAAA')",
+                )
+                .unwrap();
+            assert_eq!(rs.rows[0][0].as_int(), Some(5));
+            let rs = w.db().execute("SELECT count(*) FROM public.proteins").unwrap();
+            assert_eq!(rs.rows[0][0].as_int(), Some(5));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn derive_proteins_through_warehouse() {
+        let mut w = Warehouse::new().unwrap();
+        w.add_source(SimulatedRepository::new(
+            "s1",
+            Representation::Relational,
+            Capability::Queryable,
+        ))
+        .unwrap();
+        w.source_mut("s1")
+            .unwrap()
+            .apply(ChangeKind::Insert, rec("X", "CCATGGGGTTTTAACC"))
+            .unwrap();
+        w.refresh().unwrap();
+        assert_eq!(w.derive_proteins().unwrap(), 1);
+        let rs = w
+            .db()
+            .execute("SELECT length FROM public.proteins WHERE accession = 'X'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(3)); // M G F
+    }
+
+    #[test]
+    fn full_reload_matches_incremental() {
+        let mut w = Warehouse::new().unwrap();
+        w.add_source(SimulatedRepository::new(
+            "s1",
+            Representation::FlatFile,
+            Capability::NonQueryable,
+        ))
+        .unwrap();
+        for i in 0..10 {
+            w.source_mut("s1")
+                .unwrap()
+                .apply(ChangeKind::Insert, rec(&format!("R{i}"), "ATGCATGC"))
+                .unwrap();
+        }
+        w.refresh().unwrap();
+        let incremental = count(&w);
+        w.full_reload().unwrap();
+        assert_eq!(count(&w), incremental);
+        assert_eq!(w.staged_entries().len(), 10);
+    }
+}

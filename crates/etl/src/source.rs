@@ -1,0 +1,353 @@
+//! Simulated genomic repositories.
+//!
+//! DESIGN.md substitution: real GenBank/EMBL/SWISS-PROT endpoints are
+//! replaced by [`SimulatedRepository`], an in-process source whose
+//! *capability* (active / logged / queryable / non-queryable) and *data
+//! representation* (relational / flat file / hierarchical) are
+//! configurable — exactly the two axes of the paper's Figure 2. A
+//! configurable per-request latency stands in for the network, which is
+//! what lets the mediator-vs-warehouse benchmark reproduce the Figure 1 /
+//! Figure 3 comparison.
+
+use crate::delta::{ChangeKind, Delta};
+use crate::formats::{fasta, genbank, hier};
+use crate::record::SeqRecord;
+use crossbeam::channel::Sender;
+use genalg_core::error::{GenAlgError, Result};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How a source's data is represented on the wire (Figure 2, ordinate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    Relational,
+    FlatFile,
+    Hierarchical,
+}
+
+/// What the source's management system can do (Figure 2, abscissa),
+/// ordered by decreasing cooperation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Capability {
+    NonQueryable,
+    Queryable,
+    Logged,
+    Active,
+}
+
+/// An in-process stand-in for a public genomic repository.
+pub struct SimulatedRepository {
+    name: String,
+    representation: Representation,
+    capability: Capability,
+    records: BTreeMap<String, SeqRecord>,
+    log: Vec<(u64, Delta)>,
+    subscribers: Vec<Sender<Delta>>,
+    next_delta: u64,
+    clock: u64,
+    latency: Duration,
+    requests: AtomicU64,
+}
+
+impl SimulatedRepository {
+    /// An empty repository.
+    pub fn new(name: &str, representation: Representation, capability: Capability) -> Self {
+        SimulatedRepository {
+            name: name.to_string(),
+            representation,
+            capability,
+            records: BTreeMap::new(),
+            log: Vec::new(),
+            subscribers: Vec::new(),
+            next_delta: 1,
+            clock: 0,
+            latency: Duration::ZERO,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Configure a simulated per-request latency (builder style).
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn representation(&self) -> Representation {
+        self.representation
+    }
+
+    pub fn capability(&self) -> Capability {
+        self.capability
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the repository holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// External requests served so far (snapshot / fetch / log reads).
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Logical clock (advances on every mutation).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    fn charge(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+    }
+
+    // -- mutation (the repository's own curators) -----------------------------
+
+    /// Apply a change: insert, update, or delete by accession. Maintains
+    /// the internal log and notifies active subscribers.
+    pub fn apply(&mut self, kind: ChangeKind, record: SeqRecord) -> Result<Delta> {
+        self.clock += 1;
+        let accession = record.accession.clone();
+        let before = self.records.get(&accession).cloned();
+        let delta = match kind {
+            ChangeKind::Insert => {
+                if before.is_some() {
+                    return Err(GenAlgError::Other(format!(
+                        "{}: accession {accession} already exists",
+                        self.name
+                    )));
+                }
+                let mut rec = record;
+                rec.source = self.name.clone();
+                self.records.insert(accession.clone(), rec.clone());
+                Delta::infer(self.next_delta, self.clock, None, Some(rec))
+            }
+            ChangeKind::Update => {
+                let Some(before) = before else {
+                    return Err(GenAlgError::Other(format!(
+                        "{}: accession {accession} does not exist",
+                        self.name
+                    )));
+                };
+                let mut rec = record;
+                rec.source = self.name.clone();
+                rec.version = before.version + 1;
+                self.records.insert(accession.clone(), rec.clone());
+                Delta::infer(self.next_delta, self.clock, Some(before), Some(rec))
+            }
+            ChangeKind::Delete => {
+                let Some(before) = before else {
+                    return Err(GenAlgError::Other(format!(
+                        "{}: accession {accession} does not exist",
+                        self.name
+                    )));
+                };
+                self.records.remove(&accession);
+                Delta::infer(self.next_delta, self.clock, Some(before), None)
+            }
+        };
+        self.next_delta += 1;
+        self.log.push((delta.id, delta.clone()));
+        if self.capability == Capability::Active {
+            self.subscribers.retain(|tx| tx.send(delta.clone()).is_ok());
+        }
+        Ok(delta)
+    }
+
+    // -- external access (monitors/wrappers/mediator) ---------------------------
+
+    /// Full dump in the source's native representation (the "periodic data
+    /// dump" every source offers, even non-queryable ones).
+    pub fn dump(&self) -> String {
+        self.charge();
+        let records: Vec<SeqRecord> = self.records.values().cloned().collect();
+        match self.representation {
+            Representation::FlatFile => genbank::write(&records),
+            Representation::Hierarchical => hier::write(&hier::from_records(&records)),
+            Representation::Relational => relational_dump(&records),
+        }
+    }
+
+    /// The parsed view of the current contents (a wrapper's output).
+    pub fn snapshot(&self) -> Vec<SeqRecord> {
+        self.charge();
+        self.records.values().cloned().collect()
+    }
+
+    /// Point query by accession; requires at least a queryable source.
+    pub fn fetch(&self, accession: &str) -> Result<Option<SeqRecord>> {
+        if self.capability < Capability::Queryable {
+            return Err(GenAlgError::Other(format!(
+                "{} is non-queryable; use its periodic dumps",
+                self.name
+            )));
+        }
+        self.charge();
+        Ok(self.records.get(accession).cloned())
+    }
+
+    /// Read log entries with id greater than `since`; requires a logged
+    /// source.
+    pub fn read_log(&self, since: u64) -> Result<Vec<(u64, Delta)>> {
+        if self.capability < Capability::Logged {
+            return Err(GenAlgError::Other(format!("{} keeps no inspectable log", self.name)));
+        }
+        self.charge();
+        Ok(self.log.iter().filter(|(id, _)| *id > since).cloned().collect())
+    }
+
+    /// Subscribe to push notifications; requires an active source.
+    pub fn subscribe(&mut self, tx: Sender<Delta>) -> Result<()> {
+        if self.capability != Capability::Active {
+            return Err(GenAlgError::Other(format!("{} offers no push capability", self.name)));
+        }
+        self.subscribers.push(tx);
+        Ok(())
+    }
+
+    /// FASTA export (some repositories only publish FASTA).
+    pub fn dump_fasta(&self) -> String {
+        self.charge();
+        let records: Vec<SeqRecord> = self.records.values().cloned().collect();
+        fasta::write(&records)
+    }
+}
+
+/// Tab-separated dump for "relational" sources.
+fn relational_dump(records: &[SeqRecord]) -> String {
+    let mut out = String::from("accession\tversion\tdescription\torganism\tsequence\n");
+    for r in records {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            r.accession,
+            r.version,
+            r.description,
+            r.organism.as_deref().unwrap_or(""),
+            r.sequence.to_text()
+        ));
+    }
+    out
+}
+
+impl std::fmt::Debug for SimulatedRepository {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedRepository")
+            .field("name", &self.name)
+            .field("representation", &self.representation)
+            .field("capability", &self.capability)
+            .field("records", &self.records.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genalg_core::seq::DnaSeq;
+
+    fn rec(acc: &str, seq: &str) -> SeqRecord {
+        SeqRecord::new(acc, DnaSeq::from_text(seq).unwrap()).with_description("d")
+    }
+
+    #[test]
+    fn apply_maintains_state_log_and_versions() {
+        let mut repo =
+            SimulatedRepository::new("genbank-sim", Representation::FlatFile, Capability::Logged);
+        repo.apply(ChangeKind::Insert, rec("A1", "ATGC")).unwrap();
+        repo.apply(ChangeKind::Insert, rec("A2", "GGGG")).unwrap();
+        repo.apply(ChangeKind::Update, rec("A1", "ATGCAT")).unwrap();
+        assert_eq!(repo.len(), 2);
+        let snap = repo.snapshot();
+        let a1 = snap.iter().find(|r| r.accession == "A1").unwrap();
+        assert_eq!(a1.version, 2, "update bumps the version");
+        assert_eq!(a1.source, "genbank-sim");
+
+        let log = repo.read_log(0).unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(repo.read_log(2).unwrap().len(), 1);
+
+        repo.apply(ChangeKind::Delete, rec("A2", "GGGG")).unwrap();
+        assert_eq!(repo.len(), 1);
+        assert!(repo.apply(ChangeKind::Delete, rec("A2", "GGGG")).is_err());
+        assert!(repo.apply(ChangeKind::Insert, rec("A1", "AA")).is_err());
+        assert!(repo.apply(ChangeKind::Update, rec("ZZ", "AA")).is_err());
+    }
+
+    #[test]
+    fn capability_gating() {
+        let mut nq =
+            SimulatedRepository::new("dump-only", Representation::FlatFile, Capability::NonQueryable);
+        nq.apply(ChangeKind::Insert, rec("A", "ACGT")).unwrap();
+        assert!(nq.fetch("A").is_err());
+        assert!(nq.read_log(0).is_err());
+        let (tx, _rx) = crossbeam::channel::unbounded();
+        assert!(nq.subscribe(tx).is_err());
+        // But dumps work.
+        assert!(nq.dump().contains("ACGT".to_ascii_lowercase().as_str()));
+
+        let q = SimulatedRepository::new("q", Representation::FlatFile, Capability::Queryable);
+        assert!(q.fetch("A").unwrap().is_none());
+        assert!(q.read_log(0).is_err());
+    }
+
+    #[test]
+    fn active_sources_push() {
+        let mut active =
+            SimulatedRepository::new("push", Representation::Relational, Capability::Active);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        active.subscribe(tx).unwrap();
+        active.apply(ChangeKind::Insert, rec("P1", "ATAT")).unwrap();
+        active.apply(ChangeKind::Update, rec("P1", "ATATAT")).unwrap();
+        let received: Vec<Delta> = rx.try_iter().collect();
+        assert_eq!(received.len(), 2);
+        assert_eq!(received[0].kind, ChangeKind::Insert);
+        assert_eq!(received[1].kind, ChangeKind::Update);
+    }
+
+    #[test]
+    fn dumps_parse_back_by_representation() {
+        for (repr, check) in [
+            (Representation::FlatFile, "ACCESSION"),
+            (Representation::Hierarchical, "Sequence"),
+            (Representation::Relational, "accession\t"),
+        ] {
+            let mut repo = SimulatedRepository::new("r", repr, Capability::NonQueryable);
+            repo.apply(ChangeKind::Insert, rec("D1", "ATGGCC")).unwrap();
+            let dump = repo.dump();
+            assert!(dump.contains(check), "{repr:?} dump missing {check}: {dump}");
+        }
+        // Flat-file dumps re-parse through the GenBank wrapper.
+        let mut repo =
+            SimulatedRepository::new("r", Representation::FlatFile, Capability::NonQueryable);
+        repo.apply(ChangeKind::Insert, rec("D1", "ATGGCC")).unwrap();
+        let parsed = crate::formats::genbank::parse(&repo.dump()).unwrap();
+        assert_eq!(parsed[0].accession, "D1");
+        // And FASTA export parses too.
+        let parsed = crate::formats::fasta::parse(&repo.dump_fasta()).unwrap();
+        assert_eq!(parsed[0].sequence.to_text(), "ATGGCC");
+    }
+
+    #[test]
+    fn request_accounting() {
+        let mut repo =
+            SimulatedRepository::new("r", Representation::FlatFile, Capability::Queryable);
+        repo.apply(ChangeKind::Insert, rec("A", "ACGT")).unwrap();
+        assert_eq!(repo.requests_served(), 0);
+        let _ = repo.snapshot();
+        let _ = repo.fetch("A").unwrap();
+        let _ = repo.dump();
+        assert_eq!(repo.requests_served(), 3);
+        assert!(repo.clock() > 0);
+    }
+}

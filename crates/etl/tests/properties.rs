@@ -1,0 +1,202 @@
+//! Property-based tests for the ETL wrappers and change detection: every
+//! format round-trips arbitrary records, and every diff technique's apply
+//! reconstructs its target.
+
+use genalg_core::alphabet::Strand;
+use genalg_core::gdt::{Feature, FeatureKind, Interval, Location};
+use genalg_core::seq::DnaSeq;
+use genalg_etl::formats::{embl, fasta, genbank, hier, parse_location, render_location};
+use genalg_etl::monitor::{lcs, snapshot, treediff};
+use genalg_etl::record::SeqRecord;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Record generator
+// ---------------------------------------------------------------------------
+
+fn arb_accession() -> impl Strategy<Value = String> {
+    "[A-Z]{1,3}[0-9]{3,6}"
+}
+
+fn arb_dna() -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(
+        proptest::sample::select("ACGTRYN".chars().collect::<Vec<_>>()),
+        1..120,
+    )
+    .prop_map(|v| DnaSeq::from_text(&v.into_iter().collect::<String>()).expect("valid symbols"))
+}
+
+fn arb_description() -> impl Strategy<Value = String> {
+    // Flat-file formats are line-oriented: descriptions are single-line,
+    // trimmed text without the records' own structural characters.
+    "[a-zA-Z0-9 ]{0,30}".prop_map(|s| s.trim().to_string())
+}
+
+fn arb_feature(seq_len: usize) -> impl Strategy<Value = Feature> {
+    let max_start = seq_len.saturating_sub(2).max(1);
+    (
+        0..max_start,
+        1..3usize,
+        any::<bool>(),
+        proptest::sample::select(vec!["gene", "CDS", "exon", "promoter"]),
+        "[a-z]{1,8}",
+    )
+        .prop_map(move |(start, len, fwd, kind, qual)| {
+            let end = (start + len).min(seq_len).max(start + 1);
+            let strand = if fwd { Strand::Forward } else { Strand::Reverse };
+            Feature::new(
+                FeatureKind::from_key(kind),
+                Location::simple(Interval::new(start, end).expect("start < end"), strand),
+            )
+            .with_qualifier("note", &qual)
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = SeqRecord> {
+    (arb_accession(), arb_dna(), arb_description(), 1u32..50, any::<bool>()).prop_flat_map(
+        |(acc, seq, desc, version, with_org)| {
+            let len = seq.len();
+            proptest::collection::vec(arb_feature(len), 0..3).prop_map(move |features| {
+                let mut rec = SeqRecord::new(&acc, seq.clone())
+                    .with_description(&desc)
+                    .with_version(version);
+                if with_org {
+                    rec = rec.with_organism("Examplia demonstrans");
+                }
+                for f in features {
+                    rec = rec.with_feature(f);
+                }
+                rec
+            })
+        },
+    )
+}
+
+fn dedup_accessions(mut records: Vec<SeqRecord>) -> Vec<SeqRecord> {
+    let mut seen = std::collections::HashSet::new();
+    records.retain(|r| seen.insert(r.accession.clone()));
+    records
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- wrapper round-trips -------------------------------------------------
+
+    #[test]
+    fn genbank_roundtrip(records in proptest::collection::vec(arb_record(), 0..5)) {
+        let records = dedup_accessions(records);
+        let text = genbank::write(&records);
+        let parsed = genbank::parse(&text).unwrap();
+        prop_assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            prop_assert!(p.same_content(r), "mismatch:\n{p:#?}\nvs\n{r:#?}");
+        }
+    }
+
+    #[test]
+    fn embl_roundtrip(records in proptest::collection::vec(arb_record(), 0..5)) {
+        let records = dedup_accessions(records);
+        let text = embl::write(&records);
+        let parsed = embl::parse(&text).unwrap();
+        prop_assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            prop_assert!(p.same_content(r), "mismatch:\n{p:#?}\nvs\n{r:#?}");
+        }
+    }
+
+    #[test]
+    fn hier_roundtrip(records in proptest::collection::vec(arb_record(), 0..5)) {
+        let records = dedup_accessions(records);
+        let text = hier::write(&hier::from_records(&records));
+        let parsed = hier::to_records(&hier::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            prop_assert!(p.same_content(r), "mismatch:\n{p:#?}\nvs\n{r:#?}");
+        }
+    }
+
+    #[test]
+    fn fasta_sequences_roundtrip(records in proptest::collection::vec(arb_record(), 0..5)) {
+        let records = dedup_accessions(records);
+        let text = fasta::write(&records);
+        let parsed = fasta::parse(&text).unwrap();
+        prop_assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            prop_assert_eq!(&p.accession, &r.accession);
+            prop_assert_eq!(&p.sequence, &r.sequence);
+        }
+    }
+
+    #[test]
+    fn location_syntax_roundtrip(
+        segments in proptest::collection::vec((1usize..500, 1usize..60), 1..4),
+        reverse in any::<bool>(),
+    ) {
+        // Build sorted, disjoint 1-based segments.
+        let mut intervals = Vec::new();
+        let mut cursor = 0usize;
+        for (gap, len) in segments {
+            let start = cursor + gap;
+            intervals.push(Interval::new(start, start + len).unwrap());
+            cursor = start + len;
+        }
+        let strand = if reverse { Strand::Reverse } else { Strand::Forward };
+        let loc = Location::join(intervals, strand).unwrap();
+        let text = render_location(&loc);
+        let parsed = parse_location(&text).unwrap();
+        prop_assert_eq!(parsed, loc);
+    }
+
+    // --- diff techniques --------------------------------------------------------
+
+    #[test]
+    fn lcs_apply_reconstructs(old in "[ab\\n]{0,60}", new in "[ab\\n]{0,60}") {
+        let edits = lcs::diff_lines(&old, &new);
+        let rebuilt = lcs::apply_edits(&old, &edits);
+        // Line-oriented equality (trailing newline normalization).
+        let norm = |s: &str| s.lines().map(str::to_string).collect::<Vec<_>>();
+        prop_assert_eq!(norm(&rebuilt), norm(&new));
+    }
+
+    #[test]
+    fn tree_diff_apply_reconstructs(
+        old in proptest::collection::vec(arb_record(), 0..4),
+        new in proptest::collection::vec(arb_record(), 0..4),
+    ) {
+        let old_forest = hier::from_records(&dedup_accessions(old));
+        let new_forest = hier::from_records(&dedup_accessions(new));
+        let edits = treediff::diff_forest(&old_forest, &new_forest);
+        let mut rebuilt = old_forest;
+        treediff::apply_edits(&mut rebuilt, &edits);
+        prop_assert_eq!(rebuilt, new_forest);
+    }
+
+    #[test]
+    fn snapshot_differential_is_sound(
+        old in proptest::collection::vec(arb_record(), 0..6),
+        new in proptest::collection::vec(arb_record(), 0..6),
+    ) {
+        let old = dedup_accessions(old);
+        let new = dedup_accessions(new);
+        let mut id = 1;
+        let deltas = snapshot::snapshot_differential(&old, &new, &mut id, 7);
+        // Applying the deltas to the old map yields exactly the new map.
+        let mut state: std::collections::BTreeMap<String, SeqRecord> =
+            old.iter().map(|r| (r.accession.clone(), r.clone())).collect();
+        for d in &deltas {
+            prop_assert!(d.is_well_formed());
+            match &d.after {
+                Some(r) => {
+                    state.insert(d.accession.clone(), r.clone());
+                }
+                None => {
+                    state.remove(&d.accession);
+                }
+            }
+        }
+        let expected: std::collections::BTreeMap<String, SeqRecord> =
+            new.iter().map(|r| (r.accession.clone(), r.clone())).collect();
+        prop_assert_eq!(state, expected);
+    }
+}

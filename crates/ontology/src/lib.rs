@@ -1,0 +1,613 @@
+//! # genalg-ontology — a controlled vocabulary for molecular biology
+//!
+//! §4.1 of the paper makes an ontology the precondition for the Genomics
+//! Algebra: "an ontology is a controlled vocabulary … Each technical term
+//! has to be associated with a unique semantics. If this is not possible,
+//! because different meanings or interpretations are attached to the same
+//! term but in different biological contexts, then the only solution is to
+//! coin a new, appropriate, and unique term for each context."
+//!
+//! This crate provides exactly that machinery:
+//!
+//! * [`Concept`]s with labels, definitions, **synonyms** (terminological
+//!   differences between repositories) and **contexts** (homonym
+//!   disambiguation);
+//! * typed [`Relation`]s (is-a, part-of, derives-from) with transitive
+//!   queries and cycle detection;
+//! * **bindings** from entity concepts to algebra sorts and from process
+//!   concepts to algebra operations, plus [`Ontology::verify_algebra`],
+//!   which checks that the Genomics Algebra is a faithful executable
+//!   instantiation of the ontology (§4.2: "Entity types and functions in
+//!   the ontology are represented directly using the appropriate data
+//!   types and operations").
+
+use genalg_core::algebra::{KernelAlgebra, SortId};
+use genalg_core::error::{GenAlgError, Result};
+use std::collections::{HashMap, HashSet};
+
+/// A stable concept identifier (kebab-case slug).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(String);
+
+impl ConceptId {
+    pub fn new(slug: &str) -> Self {
+        ConceptId(slug.to_ascii_lowercase())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What a concept is bound to in the executable algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraBinding {
+    /// An entity concept realized as a sort (genomic data type).
+    Sort(SortId),
+    /// A process concept realized as an operation name.
+    Operation(String),
+    /// Purely descriptive; no executable counterpart.
+    None,
+}
+
+/// One term of the controlled vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    pub id: ConceptId,
+    /// Preferred human label.
+    pub label: String,
+    /// One-sentence definition.
+    pub definition: String,
+    /// Alternative names used by repositories (synonym problem, B3).
+    pub synonyms: Vec<String>,
+    /// Disambiguation context for homonyms (e.g. `"molecular-biology"` vs
+    /// `"computer-science"` for *translation*).
+    pub context: Option<String>,
+    /// Executable counterpart in the algebra.
+    pub binding: AlgebraBinding,
+}
+
+/// Relation kinds between concepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationKind {
+    /// Specialization: `mrna` is-a `rna-sequence`.
+    IsA,
+    /// Composition: `gene` part-of `chromosome`.
+    PartOf,
+    /// Biological derivation: `mrna` derives-from `primary-transcript`.
+    DerivesFrom,
+}
+
+/// A directed relation `subject --kind--> object`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Relation {
+    pub kind: RelationKind,
+    pub subject: ConceptId,
+    pub object: ConceptId,
+}
+
+/// The ontology: concepts, a synonym index, and relations.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    concepts: HashMap<ConceptId, Concept>,
+    /// term (lowercase) → concept ids claiming it.
+    synonym_index: HashMap<String, Vec<ConceptId>>,
+    relations: HashSet<Relation>,
+}
+
+/// Outcome of resolving a term against the vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// The term names exactly one concept.
+    Unique(ConceptId),
+    /// The term is a homonym; every candidate carries a distinct context
+    /// and the caller must pick one (§4.1's prescribed handling).
+    Ambiguous(Vec<ConceptId>),
+}
+
+impl Ontology {
+    /// An empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a concept. Ids must be unique.
+    pub fn add_concept(&mut self, concept: Concept) -> Result<()> {
+        if self.concepts.contains_key(&concept.id) {
+            return Err(GenAlgError::Other(format!("concept {} already defined", concept.id)));
+        }
+        for term in std::iter::once(&concept.label).chain(concept.synonyms.iter()) {
+            self.index_term(term, &concept.id);
+        }
+        let id_term = concept.id.as_str().to_string();
+        self.index_term(&id_term, &concept.id);
+        self.concepts.insert(concept.id.clone(), concept);
+        Ok(())
+    }
+
+    fn index_term(&mut self, term: &str, id: &ConceptId) {
+        let entry = self.synonym_index.entry(term.to_ascii_lowercase()).or_default();
+        if !entry.contains(id) {
+            entry.push(id.clone());
+        }
+    }
+
+    /// Add a relation; both endpoints must exist.
+    pub fn relate(&mut self, kind: RelationKind, subject: &str, object: &str) -> Result<()> {
+        let subject = ConceptId::new(subject);
+        let object = ConceptId::new(object);
+        for c in [&subject, &object] {
+            if !self.concepts.contains_key(c) {
+                return Err(GenAlgError::Other(format!("unknown concept {c}")));
+            }
+        }
+        self.relations.insert(Relation { kind, subject, object });
+        Ok(())
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True if no concepts are defined.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Fetch a concept.
+    pub fn concept(&self, id: &ConceptId) -> Option<&Concept> {
+        self.concepts.get(id)
+    }
+
+    /// Resolve a free-text term through labels, synonyms, and ids.
+    pub fn resolve(&self, term: &str) -> Result<Resolution> {
+        let mut ids = self
+            .synonym_index
+            .get(&term.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_default();
+        ids.sort();
+        ids.dedup();
+        match ids.len() {
+            0 => Err(GenAlgError::Other(format!("term {term:?} is not in the vocabulary"))),
+            1 => Ok(Resolution::Unique(ids.remove(0))),
+            _ => Ok(Resolution::Ambiguous(ids)),
+        }
+    }
+
+    /// Resolve a term within a disambiguating context.
+    pub fn resolve_in_context(&self, term: &str, context: &str) -> Result<ConceptId> {
+        match self.resolve(term)? {
+            Resolution::Unique(id) => Ok(id),
+            Resolution::Ambiguous(ids) => ids
+                .into_iter()
+                .find(|id| {
+                    self.concepts[id]
+                        .context
+                        .as_deref()
+                        .is_some_and(|c| c.eq_ignore_ascii_case(context))
+                })
+                .ok_or_else(|| {
+                    GenAlgError::Other(format!("no reading of {term:?} in context {context:?}"))
+                }),
+        }
+    }
+
+    /// Direct objects of `subject` under `kind`.
+    pub fn direct(&self, kind: RelationKind, subject: &ConceptId) -> Vec<&ConceptId> {
+        let mut v: Vec<&ConceptId> = self
+            .relations
+            .iter()
+            .filter(|r| r.kind == kind && &r.subject == subject)
+            .map(|r| &r.object)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Transitive closure of `kind` starting at `subject` (excluding it).
+    pub fn ancestors(&self, kind: RelationKind, subject: &ConceptId) -> Vec<ConceptId> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<ConceptId> = self.direct(kind, subject).into_iter().cloned().collect();
+        let mut out = Vec::new();
+        while let Some(c) = stack.pop() {
+            if seen.insert(c.clone()) {
+                stack.extend(self.direct(kind, &c).into_iter().cloned());
+                out.push(c);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// True if `a` is (transitively) a kind of `b`.
+    pub fn is_a(&self, a: &ConceptId, b: &ConceptId) -> bool {
+        a == b || self.ancestors(RelationKind::IsA, a).contains(b)
+    }
+
+    /// Validate structural sanity: the is-a hierarchy must be acyclic.
+    pub fn validate(&self) -> Result<()> {
+        fn dfs<'a>(
+            ont: &'a Ontology,
+            node: &'a ConceptId,
+            state: &mut HashMap<&'a ConceptId, u8>,
+        ) -> Result<()> {
+            match state.get(node) {
+                Some(1) => {
+                    return Err(GenAlgError::InvalidStructure(format!("is-a cycle through {node}")))
+                }
+                Some(2) => return Ok(()),
+                _ => {}
+            }
+            state.insert(node, 1);
+            for r in &ont.relations {
+                if r.kind == RelationKind::IsA && &r.subject == node {
+                    let obj = ont
+                        .concepts
+                        .get_key_value(&r.object)
+                        .map(|(k, _)| k)
+                        .expect("relations reference existing concepts");
+                    dfs(ont, obj, state)?;
+                }
+            }
+            state.insert(node, 2);
+            Ok(())
+        }
+        let mut state: HashMap<&ConceptId, u8> = HashMap::new();
+        for id in self.concepts.keys() {
+            dfs(self, id, &mut state)?;
+        }
+        Ok(())
+    }
+
+    /// Check that every bound concept has its executable counterpart in the
+    /// algebra: sorts registered, operations present in the signature.
+    pub fn verify_algebra(&self, algebra: &KernelAlgebra) -> Result<()> {
+        for c in self.concepts.values() {
+            match &c.binding {
+                AlgebraBinding::Sort(sort) => {
+                    if !algebra.signature().has_sort(sort) {
+                        return Err(GenAlgError::UnknownSort(format!(
+                            "concept {} is bound to unregistered sort {sort}",
+                            c.id
+                        )));
+                    }
+                }
+                AlgebraBinding::Operation(op) => {
+                    if algebra.signature().overloads(op).is_empty() {
+                        return Err(GenAlgError::UnknownOperation(format!(
+                            "concept {} is bound to unregistered operation {op}",
+                            c.id
+                        )));
+                    }
+                }
+                AlgebraBinding::None => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// All concept ids, sorted.
+    pub fn concept_ids(&self) -> Vec<&ConceptId> {
+        let mut v: Vec<&ConceptId> = self.concepts.keys().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Convenience constructor for concepts.
+pub fn concept(
+    id: &str,
+    label: &str,
+    definition: &str,
+    synonyms: &[&str],
+    binding: AlgebraBinding,
+) -> Concept {
+    Concept {
+        id: ConceptId::new(id),
+        label: label.to_string(),
+        definition: definition.to_string(),
+        synonyms: synonyms.iter().map(|s| s.to_string()).collect(),
+        context: None,
+        binding,
+    }
+}
+
+/// The genomics ontology shipped with the system: the vocabulary underlying
+/// the standard Genomics Algebra.
+pub fn standard_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    let sorts: &[(&str, &str, &str, &[&str], SortId)] = &[
+        (
+            "nucleotide-sequence",
+            "Nucleotide sequence",
+            "A linear polymer of nucleotides read 5' to 3'.",
+            &["dna sequence", "dna"],
+            SortId::dna(),
+        ),
+        ("rna-sequence", "RNA sequence", "A ribonucleic acid sequence.", &["rna"], SortId::rna()),
+        (
+            "amino-acid-sequence",
+            "Amino-acid sequence",
+            "A linear chain of amino-acid residues.",
+            &["peptide", "polypeptide"],
+            SortId::protein_seq(),
+        ),
+        (
+            "gene",
+            "Gene",
+            "A genomic region encoding a functional product, with exon structure.",
+            &["locus"],
+            SortId::gene(),
+        ),
+        (
+            "primary-transcript",
+            "Primary transcript",
+            "The unprocessed RNA copy of a gene, introns included.",
+            &["pre-mrna", "hnRNA"],
+            SortId::primary_transcript(),
+        ),
+        (
+            "mrna",
+            "Messenger RNA",
+            "The mature, spliced RNA carrying a coding sequence.",
+            &["messenger rna", "mature transcript"],
+            SortId::mrna(),
+        ),
+        (
+            "protein",
+            "Protein",
+            "A folded gene product made of amino-acid residues.",
+            &["gene product"],
+            SortId::protein(),
+        ),
+        (
+            "chromosome",
+            "Chromosome",
+            "A single DNA molecule carrying many genes.",
+            &[],
+            SortId::chromosome(),
+        ),
+        (
+            "genome",
+            "Genome",
+            "The complete hereditary information of an organism.",
+            &[],
+            SortId::genome(),
+        ),
+    ];
+    for (id, label, def, syns, sort) in sorts {
+        o.add_concept(concept(id, label, def, syns, AlgebraBinding::Sort(sort.clone())))
+            .expect("standard ontology ids are unique");
+    }
+
+    let ops: &[(&str, &str, &str, &[&str], &str)] = &[
+        (
+            "transcription",
+            "Transcription",
+            "Copying a gene's coding strand into a primary transcript.",
+            &["transcribe"],
+            "transcribe",
+        ),
+        (
+            "splicing",
+            "Splicing",
+            "Excising introns from a primary transcript to form mRNA.",
+            &["splice"],
+            "splice",
+        ),
+        (
+            "translation",
+            "Translation (molecular biology)",
+            "Reading an mRNA's coding region into a protein.",
+            &["translate"],
+            "translate",
+        ),
+        (
+            "gene-expression",
+            "Gene expression",
+            "The full pathway from gene to protein.",
+            &["express"],
+            "express",
+        ),
+        (
+            "reverse-transcription",
+            "Reverse transcription",
+            "Producing the cDNA of a messenger RNA.",
+            &["reverse transcribe"],
+            "reverse_transcribe",
+        ),
+        (
+            "decoding",
+            "Decoding",
+            "Direct translation of a DNA reading frame.",
+            &["decode", "six-frame translation"],
+            "decode",
+        ),
+        (
+            "complementation",
+            "Complementation",
+            "Forming the Watson–Crick complement of a sequence.",
+            &["complement"],
+            "complement",
+        ),
+        (
+            "sequence-similarity",
+            "Sequence similarity",
+            "Whether two sequences share a high-identity local alignment.",
+            &["resembles", "homology search"],
+            "resembles",
+        ),
+        (
+            "subsequence-search",
+            "Subsequence search",
+            "Whether a fragment contains a given pattern.",
+            &["contains", "motif search"],
+            "contains",
+        ),
+    ];
+    for (id, label, def, syns, op) in ops {
+        o.add_concept(concept(id, label, def, syns, AlgebraBinding::Operation(op.to_string())))
+            .expect("standard ontology ids are unique");
+    }
+
+    // The classic homonym: "translation" also names a computer-science
+    // concept. Each reading carries its own id and context tag — §4.1's
+    // prescribed handling.
+    {
+        let bio = o.concepts.get_mut(&ConceptId::new("translation")).expect("just added");
+        bio.context = Some("molecular-biology".into());
+        bio.synonyms.push("translation".into());
+        let id = bio.id.clone();
+        o.index_term("translation", &id);
+    }
+    let mut cs_translation = concept(
+        "translation-cs",
+        "Translation (computer science)",
+        "Mapping a program or query from one language to another.",
+        &["translation"],
+        AlgebraBinding::None,
+    );
+    cs_translation.context = Some("computer-science".into());
+    o.add_concept(cs_translation).expect("unique id");
+
+    // Structural relations.
+    for (kind, s, obj) in [
+        (RelationKind::PartOf, "gene", "chromosome"),
+        (RelationKind::PartOf, "chromosome", "genome"),
+        (RelationKind::IsA, "mrna", "rna-sequence"),
+        (RelationKind::IsA, "primary-transcript", "rna-sequence"),
+        (RelationKind::DerivesFrom, "primary-transcript", "gene"),
+        (RelationKind::DerivesFrom, "mrna", "primary-transcript"),
+        (RelationKind::DerivesFrom, "protein", "mrna"),
+    ] {
+        o.relate(kind, s, obj).expect("endpoints exist");
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_ontology_is_consistent() {
+        let o = standard_ontology();
+        assert!(o.len() >= 19, "got {}", o.len());
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn standard_ontology_matches_standard_algebra() {
+        let o = standard_ontology();
+        let alg = KernelAlgebra::standard();
+        o.verify_algebra(&alg).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_missing_bindings() {
+        let mut o = standard_ontology();
+        o.add_concept(concept(
+            "folding",
+            "Protein folding",
+            "Computing tertiary structure.",
+            &[],
+            AlgebraBinding::Operation("fold".into()),
+        ))
+        .unwrap();
+        let alg = KernelAlgebra::standard();
+        assert!(matches!(o.verify_algebra(&alg), Err(GenAlgError::UnknownOperation(_))));
+
+        let mut o2 = Ontology::new();
+        o2.add_concept(concept(
+            "motif",
+            "Motif",
+            "",
+            &[],
+            AlgebraBinding::Sort(SortId::new("motif")),
+        ))
+        .unwrap();
+        assert!(matches!(o2.verify_algebra(&alg), Err(GenAlgError::UnknownSort(_))));
+    }
+
+    #[test]
+    fn synonyms_resolve() {
+        let o = standard_ontology();
+        assert_eq!(
+            o.resolve("pre-mRNA").unwrap(),
+            Resolution::Unique(ConceptId::new("primary-transcript"))
+        );
+        assert_eq!(
+            o.resolve("messenger rna").unwrap(),
+            Resolution::Unique(ConceptId::new("mrna"))
+        );
+        assert!(o.resolve("flux capacitor").is_err());
+    }
+
+    #[test]
+    fn homonyms_demand_context() {
+        let o = standard_ontology();
+        let Resolution::Ambiguous(ids) = o.resolve("translation").unwrap() else {
+            panic!("'translation' must be ambiguous");
+        };
+        assert_eq!(ids.len(), 2);
+        assert_eq!(
+            o.resolve_in_context("translation", "molecular-biology").unwrap(),
+            ConceptId::new("translation")
+        );
+        assert_eq!(
+            o.resolve_in_context("translation", "computer-science").unwrap(),
+            ConceptId::new("translation-cs")
+        );
+        assert!(o.resolve_in_context("translation", "astrology").is_err());
+    }
+
+    #[test]
+    fn relations_and_transitivity() {
+        let o = standard_ontology();
+        let gene = ConceptId::new("gene");
+        let genome = ConceptId::new("genome");
+        let anc = o.ancestors(RelationKind::PartOf, &gene);
+        assert!(anc.contains(&genome), "gene is transitively part of the genome");
+        assert!(o.is_a(&ConceptId::new("mrna"), &ConceptId::new("rna-sequence")));
+        assert!(!o.is_a(&ConceptId::new("gene"), &ConceptId::new("rna-sequence")));
+        assert!(o.is_a(&gene, &gene), "is_a is reflexive");
+        assert_eq!(o.direct(RelationKind::PartOf, &gene).len(), 1);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut o = Ontology::new();
+        o.add_concept(concept("a", "A", "", &[], AlgebraBinding::None)).unwrap();
+        o.add_concept(concept("b", "B", "", &[], AlgebraBinding::None)).unwrap();
+        o.relate(RelationKind::IsA, "a", "b").unwrap();
+        o.validate().unwrap();
+        o.relate(RelationKind::IsA, "b", "a").unwrap();
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_concepts_rejected() {
+        let mut o = Ontology::new();
+        o.add_concept(concept("x", "X", "", &[], AlgebraBinding::None)).unwrap();
+        assert!(o.add_concept(concept("x", "X2", "", &[], AlgebraBinding::None)).is_err());
+        assert!(o.relate(RelationKind::IsA, "x", "missing").is_err());
+    }
+
+    #[test]
+    fn lookup_and_listing() {
+        let o = standard_ontology();
+        let c = o.concept(&ConceptId::new("gene")).unwrap();
+        assert_eq!(c.label, "Gene");
+        assert!(matches!(c.binding, AlgebraBinding::Sort(_)));
+        assert_eq!(o.concept_ids().len(), o.len());
+        assert!(!o.is_empty());
+    }
+}

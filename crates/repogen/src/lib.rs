@@ -1,0 +1,331 @@
+//! # genalg-repogen — deterministic synthetic genomic repositories
+//!
+//! DESIGN.md substitution: the paper's workloads live in GenBank, EMBL and
+//! friends; ours are generated. The generator is seeded and fully
+//! deterministic so every benchmark run sees identical data, and it
+//! reproduces the *statistical* properties the paper leans on:
+//!
+//! * noisy entries (ambiguity codes) at a configurable rate — problem B10
+//!   estimates 30–60 % of GenBank entries are erroneous;
+//! * overlapping contents across repositories with a configurable conflict
+//!   rate — problems B2/C8 (additive and conflicting information);
+//! * annotation features (gene/CDS with exon structure);
+//! * mutation streams for exercising change detection.
+
+use genalg_core::alphabet::{DnaBase, IupacDna, Strand};
+use genalg_core::gdt::{Feature, FeatureKind, Gene, Interval, Location};
+use genalg_core::seq::DnaSeq;
+use genalg_etl::delta::ChangeKind;
+use genalg_etl::record::SeqRecord;
+use genalg_etl::source::SimulatedRepository;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// RNG seed; equal seeds yield byte-identical data.
+    pub seed: u64,
+    /// Sequence length range (inclusive).
+    pub min_len: usize,
+    pub max_len: usize,
+    /// Fraction of records carrying injected noise (ambiguity symbols).
+    pub error_rate: f64,
+    /// Expected annotation features per record.
+    pub feature_density: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            min_len: 120,
+            max_len: 600,
+            error_rate: 0.4,
+            feature_density: 1.5,
+        }
+    }
+}
+
+/// The generator.
+pub struct RepoGenerator {
+    rng: StdRng,
+    config: GeneratorConfig,
+    organisms: Vec<&'static str>,
+}
+
+impl RepoGenerator {
+    pub fn new(config: GeneratorConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        RepoGenerator {
+            rng,
+            config,
+            organisms: vec![
+                "Escherichia coli",
+                "Saccharomyces cerevisiae",
+                "Homo sapiens",
+                "Mus musculus",
+                "Drosophila melanogaster",
+            ],
+        }
+    }
+
+    /// Uniform random strict DNA of the given length.
+    pub fn random_dna(&mut self, len: usize) -> DnaSeq {
+        let bases: Vec<DnaBase> =
+            (0..len).map(|_| DnaBase::ALL[self.rng.gen_range(0..4)]).collect();
+        DnaSeq::from_bases(&bases)
+    }
+
+    /// One synthetic record with accession `SYN{idx:06}`.
+    pub fn record(&mut self, idx: usize) -> SeqRecord {
+        let len = self.rng.gen_range(self.config.min_len..=self.config.max_len);
+        let mut seq = self.random_dna(len);
+        // Noise injection: replace a few symbols with ambiguity codes.
+        if self.rng.gen_bool(self.config.error_rate) {
+            let n_errors = self.rng.gen_range(1..=3.min(len));
+            for _ in 0..n_errors {
+                let pos = self.rng.gen_range(0..len);
+                let code = [IupacDna::N, IupacDna::R, IupacDna::Y, IupacDna::S]
+                    [self.rng.gen_range(0..4)];
+                seq.set(pos, code).expect("pos < len");
+            }
+        }
+        let organism = self.organisms[self.rng.gen_range(0..self.organisms.len())];
+        let mut rec = SeqRecord::new(&format!("SYN{idx:06}"), seq)
+            .with_description(&format!("synthetic locus {idx}"))
+            .with_organism(organism);
+        // Features.
+        let n_features = self.poisson_ish(self.config.feature_density);
+        for f in 0..n_features {
+            let max_start = len.saturating_sub(20).max(1);
+            let start = self.rng.gen_range(0..max_start);
+            let end = (start + self.rng.gen_range(10..60)).min(len);
+            if end <= start {
+                continue;
+            }
+            let strand = if self.rng.gen_bool(0.5) { Strand::Forward } else { Strand::Reverse };
+            let kind = if f == 0 { FeatureKind::Gene } else { FeatureKind::Cds };
+            rec = rec.with_feature(
+                Feature::new(
+                    kind,
+                    Location::simple(Interval::new(start, end).expect("start < end"), strand),
+                )
+                .with_qualifier("note", &format!("synthetic feature {f}")),
+            );
+        }
+        rec
+    }
+
+    fn poisson_ish(&mut self, mean: f64) -> usize {
+        // Cheap discrete approximation good enough for workload shaping.
+        let whole = mean.floor() as usize;
+        whole + usize::from(self.rng.gen_bool(mean.fract().clamp(0.0, 1.0)))
+    }
+
+    /// Generate `n` records.
+    pub fn records(&mut self, n: usize) -> Vec<SeqRecord> {
+        (0..n).map(|i| self.record(i)).collect()
+    }
+
+    /// Fill a repository with `n` fresh records.
+    pub fn populate(&mut self, repo: &mut SimulatedRepository, n: usize) {
+        for rec in self.records(n) {
+            repo.apply(ChangeKind::Insert, rec).expect("fresh accessions");
+        }
+    }
+
+    /// Two record sets sharing `overlap` of their accessions; a `conflict`
+    /// fraction of the shared records differ between the sets (B2: additive
+    /// *and* conflicting information).
+    pub fn overlapping_pair(
+        &mut self,
+        n: usize,
+        overlap: f64,
+        conflict: f64,
+    ) -> (Vec<SeqRecord>, Vec<SeqRecord>) {
+        let base = self.records(n);
+        let n_shared = ((n as f64) * overlap.clamp(0.0, 1.0)) as usize;
+        let mut second: Vec<SeqRecord> = Vec::with_capacity(n);
+        for rec in base.iter().take(n_shared) {
+            let mut copy = rec.clone();
+            if self.rng.gen_bool(conflict.clamp(0.0, 1.0)) {
+                copy = self.mutate_record(&copy);
+            }
+            second.push(copy);
+        }
+        // The remainder of the second set is fresh data.
+        for i in 0..(n - n_shared) {
+            second.push(self.record(n + i));
+        }
+        (base, second)
+    }
+
+    /// Introduce 1–3 point substitutions into a record's sequence (same
+    /// accession and version — a genuine inter-source conflict).
+    pub fn mutate_record(&mut self, rec: &SeqRecord) -> SeqRecord {
+        let mut seq = rec.sequence.clone();
+        let len = seq.len().max(1);
+        for _ in 0..self.rng.gen_range(1..=3) {
+            let pos = self.rng.gen_range(0..len);
+            let new_base = DnaBase::ALL[self.rng.gen_range(0..4)];
+            seq.set(pos, IupacDna::from_base(new_base)).expect("pos < len");
+        }
+        let mut out = rec.clone();
+        out.sequence = seq;
+        out
+    }
+
+    /// Apply `ops` random changes to a repository: ~50 % updates, ~30 %
+    /// inserts, ~20 % deletes (never deleting below one record).
+    pub fn mutation_round(&mut self, repo: &mut SimulatedRepository, ops: usize) {
+        for _ in 0..ops {
+            let existing: Vec<SeqRecord> = repo.snapshot();
+            let roll: f64 = self.rng.gen();
+            if roll < 0.3 || existing.is_empty() {
+                let idx = self.rng.gen_range(1_000_000..2_000_000);
+                let rec = self.record(idx);
+                let _ = repo.apply(ChangeKind::Insert, rec);
+            } else if roll < 0.8 || existing.len() <= 1 {
+                let target = existing.choose(&mut self.rng).expect("non-empty");
+                let mutated = self.mutate_record(target);
+                let _ = repo.apply(ChangeKind::Update, mutated);
+            } else {
+                let target = existing.choose(&mut self.rng).expect("non-empty");
+                let _ = repo.apply(ChangeKind::Delete, target.clone());
+            }
+        }
+    }
+
+    /// A structurally valid multi-exon gene whose spliced CDS translates
+    /// cleanly: used by the algebra benchmarks.
+    pub fn gene_with_structure(&mut self, id: &str, n_exons: usize, exon_len: usize) -> Gene {
+        assert!(n_exons >= 1 && exon_len >= 3 && exon_len.is_multiple_of(3));
+        // Coding sequence: ATG, interior codons that are never stops, stop.
+        let coding_codons = (n_exons * exon_len) / 3;
+        let mut coding = String::from("ATG");
+        let safe_codons =
+            ["GCT", "GGC", "TTT", "AAA", "CCC", "GAT", "CAT", "AGT", "GTT", "ACA"];
+        for _ in 0..coding_codons.saturating_sub(2) {
+            coding.push_str(safe_codons[self.rng.gen_range(0..safe_codons.len())]);
+        }
+        coding.push_str("TGA");
+        let coding = DnaSeq::from_text(&coding).expect("constructed from valid codons");
+
+        // Slice into exons and interleave intron spacers.
+        let exon_total = coding.len();
+        let per_exon = exon_total / n_exons;
+        let mut builder = Gene::builder(id);
+        let mut genomic = DnaSeq::empty();
+        let mut cursor = 0usize;
+        for e in 0..n_exons {
+            let take = if e == n_exons - 1 { exon_total - cursor } else { per_exon };
+            let exon_seq = coding.subseq(cursor, cursor + take).expect("within coding");
+            let start = genomic.len();
+            genomic = genomic.concat(&exon_seq);
+            builder = builder.exon(start, genomic.len());
+            cursor += take;
+            if e != n_exons - 1 {
+                // Intron: GT…AG canonical ends, stop-free interior irrelevant.
+                let intron_len = self.rng.gen_range(12..40);
+                let mut intron = DnaSeq::from_text("GT").expect("valid");
+                intron = intron.concat(&self.random_dna(intron_len));
+                intron = intron.concat(&DnaSeq::from_text("AG").expect("valid"));
+                genomic = genomic.concat(&intron);
+            }
+        }
+        builder.sequence(genomic).name(id).build().expect("structurally valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genalg_core::dogma::express;
+    use genalg_etl::source::{Capability, Representation};
+
+    fn generator(seed: u64) -> RepoGenerator {
+        RepoGenerator::new(GeneratorConfig { seed, ..GeneratorConfig::default() })
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generator(7).records(20);
+        let b = generator(7).records(20);
+        assert_eq!(a, b);
+        let c = generator(8).records(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn records_look_reasonable() {
+        let recs = generator(1).records(200);
+        assert_eq!(recs.len(), 200);
+        let noisy = recs.iter().filter(|r| !r.sequence.is_strict()).count();
+        // error_rate 0.4 → expect roughly 60–100 noisy records.
+        assert!((40..=140).contains(&noisy), "noisy = {noisy}");
+        for r in &recs {
+            assert!(r.sequence.len() >= 120 && r.sequence.len() <= 600);
+            assert!(r.accession.starts_with("SYN"));
+            assert!(r.organism.is_some());
+        }
+        let with_features = recs.iter().filter(|r| !r.features.is_empty()).count();
+        assert!(with_features > 100);
+    }
+
+    #[test]
+    fn populate_repository() {
+        let mut repo =
+            SimulatedRepository::new("s", Representation::FlatFile, Capability::Queryable);
+        generator(3).populate(&mut repo, 50);
+        assert_eq!(repo.len(), 50);
+    }
+
+    #[test]
+    fn overlap_and_conflicts() {
+        let (a, b) = generator(5).overlapping_pair(100, 0.5, 0.4);
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 100);
+        let a_accs: std::collections::HashSet<&str> =
+            a.iter().map(|r| r.accession.as_str()).collect();
+        let shared: Vec<&SeqRecord> =
+            b.iter().filter(|r| a_accs.contains(r.accession.as_str())).collect();
+        assert_eq!(shared.len(), 50);
+        let conflicting = shared
+            .iter()
+            .filter(|r| {
+                let original = a.iter().find(|o| o.accession == r.accession).unwrap();
+                original.sequence != r.sequence
+            })
+            .count();
+        assert!((8..=35).contains(&conflicting), "conflicting = {conflicting}");
+    }
+
+    #[test]
+    fn mutation_rounds_change_things() {
+        let mut repo =
+            SimulatedRepository::new("s", Representation::Relational, Capability::Logged);
+        let mut g = generator(9);
+        g.populate(&mut repo, 30);
+        let before = repo.clock();
+        g.mutation_round(&mut repo, 20);
+        assert_eq!(repo.clock() - before, 20);
+        assert!(repo.read_log(0).unwrap().len() >= 50);
+    }
+
+    #[test]
+    fn generated_genes_express() {
+        let mut g = generator(11);
+        for (n_exons, exon_len) in [(1, 30), (3, 30), (5, 60), (10, 90)] {
+            let gene = g.gene_with_structure("syn-gene", n_exons, exon_len);
+            assert_eq!(gene.exons().len(), n_exons);
+            let protein = express(&gene).expect("generated genes must translate");
+            // Coding length (minus stop) / 3 − 1 initiator already counted.
+            let expected_residues = (n_exons * exon_len) / 3 - 1;
+            assert_eq!(protein.sequence().len(), expected_residues);
+            // First residue is always Met.
+            assert_eq!(protein.sequence().to_text().chars().next(), Some('M'));
+        }
+    }
+}

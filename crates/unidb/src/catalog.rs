@@ -1,0 +1,384 @@
+//! The system catalog: spaces, tables, columns, and opaque UDT registry.
+//!
+//! The paper's Unifying Database separates the **public space** — the
+//! integrated, read-only external data — from updatable per-user spaces
+//! (§5.1): "The schema containing the external data is read-only to
+//! facilitate maintenance of the warehouse; user-owned entities are
+//! updateable by their owners." Writes to the public space require the
+//! maintainer role (held by the ETL loader).
+
+use crate::datum::DataType;
+use crate::error::{DbError, DbResult};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Rendering hook an adapter registers for an opaque type's payloads.
+pub type DisplayHook = Arc<dyn Fn(&[u8]) -> String + Send + Sync>;
+
+/// Who is issuing a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// The warehouse maintainer (the ETL loader); may write every space.
+    Maintainer,
+    /// An ordinary user; may write only spaces they own.
+    User(String),
+}
+
+impl Role {
+    /// The space a user's unqualified table names resolve to.
+    pub fn default_space(&self) -> &str {
+        match self {
+            Role::Maintainer => "public",
+            Role::User(name) => name,
+        }
+    }
+}
+
+/// A namespace within the warehouse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Space {
+    pub name: String,
+    /// Owner; `None` marks the shared public space.
+    pub owner: Option<String>,
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+    pub nullable: bool,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    pub id: u32,
+    pub space: String,
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableDef {
+    /// `space.name`, the canonical key.
+    pub fn qualified_name(&self) -> String {
+        format!("{}.{}", self.space, self.name)
+    }
+
+    /// Position of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A registered opaque user-defined type (§6.2).
+///
+/// The engine never inspects the payload; the registering adapter may
+/// provide a display hook so query results render meaningfully.
+#[derive(Clone)]
+pub struct OpaqueTypeDef {
+    pub id: u32,
+    pub name: String,
+    pub display: Option<DisplayHook>,
+}
+
+impl fmt::Debug for OpaqueTypeDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpaqueTypeDef")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("display", &self.display.is_some())
+            .finish()
+    }
+}
+
+/// The catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    spaces: HashMap<String, Space>,
+    tables: HashMap<String, TableDef>,
+    types_by_name: HashMap<String, OpaqueTypeDef>,
+    types_by_id: HashMap<u32, OpaqueTypeDef>,
+    next_table_id: u32,
+    next_type_id: u32,
+}
+
+impl Catalog {
+    /// A catalog with the `public` space pre-created.
+    pub fn new() -> Self {
+        let mut c = Catalog { next_table_id: 1, next_type_id: 1, ..Default::default() };
+        c.spaces.insert("public".into(), Space { name: "public".into(), owner: None });
+        c
+    }
+
+    // -- spaces -------------------------------------------------------------
+
+    /// Create a user space owned by `owner`.
+    pub fn create_space(&mut self, name: &str, owner: &str) -> DbResult<()> {
+        let key = name.to_ascii_lowercase();
+        if self.spaces.contains_key(&key) {
+            return Err(DbError::AlreadyExists { kind: "space", name: name.into() });
+        }
+        self.spaces.insert(key.clone(), Space { name: key, owner: Some(owner.to_string()) });
+        Ok(())
+    }
+
+    /// Ensure a user's default space exists (created lazily on first write).
+    pub fn ensure_user_space(&mut self, user: &str) {
+        let key = user.to_ascii_lowercase();
+        self.spaces
+            .entry(key.clone())
+            .or_insert_with(|| Space { name: key, owner: Some(user.to_string()) });
+    }
+
+    /// Look up a space.
+    pub fn space(&self, name: &str) -> Option<&Space> {
+        self.spaces.get(&name.to_ascii_lowercase())
+    }
+
+    /// May `role` write into `space`?
+    pub fn can_write(&self, role: &Role, space: &str) -> bool {
+        match role {
+            Role::Maintainer => true,
+            Role::User(user) => self
+                .space(space)
+                .and_then(|s| s.owner.as_deref())
+                .is_some_and(|owner| owner.eq_ignore_ascii_case(user)),
+        }
+    }
+
+    // -- tables -------------------------------------------------------------
+
+    /// Create a table; the space must exist.
+    pub fn create_table(
+        &mut self,
+        space: &str,
+        name: &str,
+        columns: Vec<ColumnDef>,
+    ) -> DbResult<&TableDef> {
+        let space_key = space.to_ascii_lowercase();
+        if self.space(&space_key).is_none() {
+            return Err(DbError::NotFound { kind: "space", name: space.into() });
+        }
+        if columns.is_empty() {
+            return Err(DbError::Constraint("a table needs at least one column".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.to_ascii_lowercase()) {
+                return Err(DbError::Constraint(format!("duplicate column {:?}", c.name)));
+            }
+        }
+        let key = format!("{space_key}.{}", name.to_ascii_lowercase());
+        if self.tables.contains_key(&key) {
+            return Err(DbError::AlreadyExists { kind: "table", name: key });
+        }
+        let def = TableDef {
+            id: self.next_table_id,
+            space: space_key,
+            name: name.to_ascii_lowercase(),
+            columns,
+        };
+        self.next_table_id += 1;
+        Ok(self.tables.entry(key).or_insert(def))
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, space: &str, name: &str) -> DbResult<TableDef> {
+        let key = format!("{}.{}", space.to_ascii_lowercase(), name.to_ascii_lowercase());
+        self.tables
+            .remove(&key)
+            .ok_or(DbError::NotFound { kind: "table", name: key })
+    }
+
+    /// Resolve a possibly qualified table name against the session's
+    /// default space, falling back to `public`.
+    pub fn resolve_table(&self, default_space: &str, name: &str) -> DbResult<&TableDef> {
+        let lower = name.to_ascii_lowercase();
+        if let Some((space, table)) = lower.split_once('.') {
+            let key = format!("{space}.{table}");
+            return self
+                .tables
+                .get(&key)
+                .ok_or(DbError::NotFound { kind: "table", name: key });
+        }
+        let own = format!("{}.{lower}", default_space.to_ascii_lowercase());
+        if let Some(t) = self.tables.get(&own) {
+            return Ok(t);
+        }
+        let public = format!("public.{lower}");
+        self.tables
+            .get(&public)
+            .ok_or(DbError::NotFound { kind: "table", name: name.into() })
+    }
+
+    /// Find a table by qualified name, or by bare name when it is
+    /// unambiguous across spaces (used by API-level registration calls
+    /// that have no session space).
+    pub fn find_table(&self, name: &str) -> DbResult<&TableDef> {
+        let lower = name.to_ascii_lowercase();
+        if lower.contains('.') {
+            return self
+                .tables
+                .get(&lower)
+                .ok_or(DbError::NotFound { kind: "table", name: lower });
+        }
+        let hits: Vec<&TableDef> =
+            self.tables.values().filter(|t| t.name == lower).collect();
+        match hits.as_slice() {
+            [one] => Ok(one),
+            [] => Err(DbError::NotFound { kind: "table", name: lower }),
+            _ => Err(DbError::Constraint(format!(
+                "table name {lower:?} is ambiguous across spaces; qualify it"
+            ))),
+        }
+    }
+
+    /// Look a table up by its numeric id.
+    pub fn table_by_id(&self, id: u32) -> Option<&TableDef> {
+        self.tables.values().find(|t| t.id == id)
+    }
+
+    /// All tables, sorted by qualified name.
+    pub fn tables(&self) -> Vec<&TableDef> {
+        let mut v: Vec<&TableDef> = self.tables.values().collect();
+        v.sort_by_key(|t| t.qualified_name());
+        v
+    }
+
+    // -- opaque types ---------------------------------------------------------
+
+    /// Register an opaque UDT; returns its assigned type id.
+    pub fn register_opaque_type(
+        &mut self,
+        name: &str,
+        display: Option<DisplayHook>,
+    ) -> DbResult<u32> {
+        let key = name.to_ascii_lowercase();
+        if self.types_by_name.contains_key(&key) {
+            return Err(DbError::AlreadyExists { kind: "type", name: name.into() });
+        }
+        let id = self.next_type_id;
+        self.next_type_id += 1;
+        let def = OpaqueTypeDef { id, name: key.clone(), display };
+        self.types_by_name.insert(key, def.clone());
+        self.types_by_id.insert(id, def);
+        Ok(id)
+    }
+
+    /// Look up an opaque type by name (how `CREATE TABLE` refers to it).
+    pub fn opaque_type_by_name(&self, name: &str) -> Option<&OpaqueTypeDef> {
+        self.types_by_name.get(&name.to_ascii_lowercase())
+    }
+
+    /// Look up an opaque type by id (how datums refer to it).
+    pub fn opaque_type_by_id(&self, id: u32) -> Option<&OpaqueTypeDef> {
+        self.types_by_id.get(&id)
+    }
+
+    /// Parse a column type name: builtin or registered opaque type.
+    pub fn parse_type(&self, name: &str) -> DbResult<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "BOOL" | "BOOLEAN" => Ok(DataType::Bool),
+            "INT" | "INTEGER" | "BIGINT" => Ok(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" => Ok(DataType::Float),
+            "TEXT" | "VARCHAR" | "STRING" => Ok(DataType::Text),
+            "BLOB" | "BYTEA" => Ok(DataType::Blob),
+            _ => self
+                .opaque_type_by_name(name)
+                .map(|t| DataType::Opaque(t.id))
+                .ok_or(DbError::NotFound { kind: "type", name: name.into() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef { name: "id".into(), ty: DataType::Int, nullable: false },
+            ColumnDef { name: "name".into(), ty: DataType::Text, nullable: true },
+        ]
+    }
+
+    #[test]
+    fn create_and_resolve_tables() {
+        let mut c = Catalog::new();
+        c.ensure_user_space("alice");
+        c.create_table("public", "genes", cols()).unwrap();
+        c.create_table("alice", "notes", cols()).unwrap();
+
+        // Unqualified resolution prefers the user's space, falls back to public.
+        assert_eq!(c.resolve_table("alice", "notes").unwrap().space, "alice");
+        assert_eq!(c.resolve_table("alice", "genes").unwrap().space, "public");
+        assert_eq!(c.resolve_table("alice", "public.genes").unwrap().space, "public");
+        assert!(c.resolve_table("alice", "missing").is_err());
+        assert_eq!(c.tables().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_invalid_tables_rejected() {
+        let mut c = Catalog::new();
+        c.create_table("public", "t", cols()).unwrap();
+        assert!(matches!(
+            c.create_table("public", "T", cols()),
+            Err(DbError::AlreadyExists { .. })
+        ));
+        assert!(c.create_table("nosuch", "t2", cols()).is_err());
+        assert!(c.create_table("public", "t3", vec![]).is_err());
+        let dup = vec![
+            ColumnDef { name: "a".into(), ty: DataType::Int, nullable: true },
+            ColumnDef { name: "A".into(), ty: DataType::Int, nullable: true },
+        ];
+        assert!(c.create_table("public", "t4", dup).is_err());
+    }
+
+    #[test]
+    fn access_control() {
+        let mut c = Catalog::new();
+        c.ensure_user_space("alice");
+        c.create_space("shared", "alice").unwrap();
+        assert!(c.can_write(&Role::Maintainer, "public"));
+        assert!(!c.can_write(&Role::User("alice".into()), "public"));
+        assert!(c.can_write(&Role::User("alice".into()), "alice"));
+        assert!(c.can_write(&Role::User("alice".into()), "shared"));
+        assert!(!c.can_write(&Role::User("bob".into()), "alice"));
+    }
+
+    #[test]
+    fn opaque_type_registry() {
+        let mut c = Catalog::new();
+        let id = c
+            .register_opaque_type("dna", Some(Arc::new(|b: &[u8]| format!("{} bytes", b.len()))))
+            .unwrap();
+        assert_eq!(c.opaque_type_by_name("DNA").unwrap().id, id);
+        assert_eq!(c.opaque_type_by_id(id).unwrap().name, "dna");
+        assert!(c.register_opaque_type("dna", None).is_err());
+        assert_eq!(c.parse_type("dna").unwrap(), DataType::Opaque(id));
+        assert_eq!(c.parse_type("INT").unwrap(), DataType::Int);
+        assert!(c.parse_type("nonsense").is_err());
+        let disp = c.opaque_type_by_id(id).unwrap().display.clone().unwrap();
+        assert_eq!(disp(&[1, 2, 3]), "3 bytes");
+    }
+
+    #[test]
+    fn table_column_lookup() {
+        let mut c = Catalog::new();
+        let t = c.create_table("public", "t", cols()).unwrap();
+        assert_eq!(t.column_index("ID"), Some(0));
+        assert_eq!(t.column_index("name"), Some(1));
+        assert_eq!(t.column_index("zz"), None);
+        assert_eq!(t.qualified_name(), "public.t");
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut c = Catalog::new();
+        c.create_table("public", "t", cols()).unwrap();
+        assert!(c.drop_table("public", "t").is_ok());
+        assert!(c.drop_table("public", "t").is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Datums: the runtime values of the database.
+
+use crate::error::{DbError, DbResult};
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// The static type of a column or expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Text,
+    Blob,
+    /// A registered opaque user-defined type, identified by its type id.
+    Opaque(u32),
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => f.write_str("BOOL"),
+            DataType::Int => f.write_str("INT"),
+            DataType::Float => f.write_str("FLOAT"),
+            DataType::Text => f.write_str("TEXT"),
+            DataType::Blob => f.write_str("BLOB"),
+            DataType::Opaque(id) => write!(f, "OPAQUE({id})"),
+        }
+    }
+}
+
+/// A runtime value. `Null` is typeless and admissible in any column unless
+/// constrained.
+///
+/// Opaque payloads are reference-counted so routing a genomic value through
+/// operators never copies the (potentially megabase) payload.
+#[derive(Debug, Clone)]
+pub enum Datum {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Blob(Vec<u8>),
+    /// Value of an opaque UDT: type id + encoded payload.
+    Opaque(u32, Arc<Vec<u8>>),
+}
+
+impl Datum {
+    /// Static type, if not null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Datum::Null => None,
+            Datum::Bool(_) => Some(DataType::Bool),
+            Datum::Int(_) => Some(DataType::Int),
+            Datum::Float(_) => Some(DataType::Float),
+            Datum::Text(_) => Some(DataType::Text),
+            Datum::Blob(_) => Some(DataType::Blob),
+            Datum::Opaque(id, _) => Some(DataType::Opaque(*id)),
+        }
+    }
+
+    /// True for SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: ints widen to floats.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Datum::Float(f) => Some(*f),
+            Datum::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Datum::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_blob(&self) -> Option<&[u8]> {
+        match self {
+            Datum::Blob(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_opaque(&self) -> Option<(u32, &Arc<Vec<u8>>)> {
+        match self {
+            Datum::Opaque(id, bytes) => Some((*id, bytes)),
+            _ => None,
+        }
+    }
+
+    /// Build an opaque datum from an encoded payload.
+    pub fn opaque(type_id: u32, payload: Vec<u8>) -> Self {
+        Datum::Opaque(type_id, Arc::new(payload))
+    }
+
+    /// Is this datum assignable to a column of `ty`? NULL is assignable to
+    /// anything; ints are assignable to FLOAT columns.
+    pub fn assignable_to(&self, ty: DataType) -> bool {
+        match (self.data_type(), ty) {
+            (None, _) => true,
+            (Some(DataType::Int), DataType::Float) => true,
+            (Some(actual), expected) => actual == expected,
+        }
+    }
+
+    /// Total comparison for ORDER BY / B-tree keys.
+    ///
+    /// NULL sorts first; numeric types compare by value across Int/Float;
+    /// cross-type comparisons otherwise order by type rank (deterministic,
+    /// documented, never an error — matching SQLite's affinity-free model).
+    pub fn total_cmp(&self, other: &Datum) -> Ordering {
+        fn rank(d: &Datum) -> u8 {
+            match d {
+                Datum::Null => 0,
+                Datum::Bool(_) => 1,
+                Datum::Int(_) | Datum::Float(_) => 2,
+                Datum::Text(_) => 3,
+                Datum::Blob(_) => 4,
+                Datum::Opaque(_, _) => 5,
+            }
+        }
+        match (self, other) {
+            (Datum::Null, Datum::Null) => Ordering::Equal,
+            (Datum::Bool(a), Datum::Bool(b)) => a.cmp(b),
+            (Datum::Int(a), Datum::Int(b)) => a.cmp(b),
+            (Datum::Float(a), Datum::Float(b)) => a.total_cmp(b),
+            (Datum::Int(a), Datum::Float(b)) => (*a as f64).total_cmp(b),
+            (Datum::Float(a), Datum::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Datum::Text(a), Datum::Text(b)) => a.cmp(b),
+            (Datum::Blob(a), Datum::Blob(b)) => a.cmp(b),
+            (Datum::Opaque(ta, a), Datum::Opaque(tb, b)) => ta.cmp(tb).then_with(|| a.cmp(b)),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// SQL equality: NULL equals nothing (returns `None` = unknown).
+    pub fn sql_eq(&self, other: &Datum) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other) == Ordering::Equal)
+    }
+
+    /// Parse a typed literal from text (used by CSV-ish loaders and tests).
+    pub fn parse(ty: DataType, text: &str) -> DbResult<Datum> {
+        match ty {
+            DataType::Bool => match text.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Ok(Datum::Bool(true)),
+                "false" | "f" | "0" => Ok(Datum::Bool(false)),
+                _ => Err(DbError::TypeMismatch(format!("{text:?} is not a BOOL"))),
+            },
+            DataType::Int => text
+                .parse()
+                .map(Datum::Int)
+                .map_err(|_| DbError::TypeMismatch(format!("{text:?} is not an INT"))),
+            DataType::Float => text
+                .parse()
+                .map(Datum::Float)
+                .map_err(|_| DbError::TypeMismatch(format!("{text:?} is not a FLOAT"))),
+            DataType::Text => Ok(Datum::Text(text.to_string())),
+            DataType::Blob | DataType::Opaque(_) => {
+                Err(DbError::Unsupported("cannot parse binary types from text".into()))
+            }
+        }
+    }
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Datum {}
+
+impl PartialOrd for Datum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Datum {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Datum {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Datum::Null => 0u8.hash(state),
+            Datum::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and equal-valued floats must hash alike because they
+            // compare equal.
+            Datum::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Datum::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Datum::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Datum::Blob(b) => {
+                4u8.hash(state);
+                b.hash(state);
+            }
+            Datum::Opaque(t, b) => {
+                5u8.hash(state);
+                t.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => f.write_str("NULL"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Float(x) => write!(f, "{x}"),
+            Datum::Text(s) => write!(f, "{s}"),
+            Datum::Blob(b) => write!(f, "x'{}'", hex(b)),
+            Datum::Opaque(t, b) => write!(f, "<opaque type {t}, {} bytes>", b.len()),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typing_and_accessors() {
+        assert_eq!(Datum::Int(3).data_type(), Some(DataType::Int));
+        assert_eq!(Datum::Null.data_type(), None);
+        assert!(Datum::Null.is_null());
+        assert_eq!(Datum::Int(3).as_float(), Some(3.0));
+        assert_eq!(Datum::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Datum::opaque(7, vec![1, 2]).as_opaque().unwrap().0, 7);
+    }
+
+    #[test]
+    fn assignability() {
+        assert!(Datum::Null.assignable_to(DataType::Int));
+        assert!(Datum::Int(1).assignable_to(DataType::Float));
+        assert!(!Datum::Float(1.0).assignable_to(DataType::Int));
+        assert!(Datum::opaque(3, vec![]).assignable_to(DataType::Opaque(3)));
+        assert!(!Datum::opaque(3, vec![]).assignable_to(DataType::Opaque(4)));
+    }
+
+    #[test]
+    fn ordering_null_first_and_numeric_mix() {
+        let mut v = vec![
+            Datum::Int(2),
+            Datum::Null,
+            Datum::Float(1.5),
+            Datum::Int(1),
+            Datum::Text("a".into()),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Datum::Null,
+                Datum::Int(1),
+                Datum::Float(1.5),
+                Datum::Int(2),
+                Datum::Text("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn sql_equality_treats_null_as_unknown() {
+        assert_eq!(Datum::Null.sql_eq(&Datum::Int(1)), None);
+        assert_eq!(Datum::Int(1).sql_eq(&Datum::Int(1)), Some(true));
+        assert_eq!(Datum::Int(1).sql_eq(&Datum::Float(1.0)), Some(true));
+        assert_eq!(Datum::Int(1).sql_eq(&Datum::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn int_float_hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |d: &Datum| {
+            let mut s = DefaultHasher::new();
+            d.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(Datum::Int(3), Datum::Float(3.0));
+        assert_eq!(h(&Datum::Int(3)), h(&Datum::Float(3.0)));
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!(Datum::parse(DataType::Int, "42").unwrap(), Datum::Int(42));
+        assert_eq!(Datum::parse(DataType::Bool, "true").unwrap(), Datum::Bool(true));
+        assert_eq!(Datum::parse(DataType::Float, "1.5").unwrap(), Datum::Float(1.5));
+        assert!(Datum::parse(DataType::Int, "xyz").is_err());
+        assert!(Datum::parse(DataType::Blob, "00").is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Datum::Null.to_string(), "NULL");
+        assert_eq!(Datum::Blob(vec![0xab]).to_string(), "x'ab'");
+        assert!(Datum::opaque(2, vec![0; 10]).to_string().contains("10 bytes"));
+    }
+}

@@ -1,0 +1,1029 @@
+//! The database engine facade: sessions, DDL/DML execution, transactions,
+//! durability, and the extension registration surface.
+
+use crate::catalog::{Catalog, ColumnDef, Role, TableDef};
+use crate::datum::{DataType, Datum};
+use crate::error::{DbError, DbResult};
+use crate::exec::{execute_plan, StorageAccess};
+use crate::expr::eval::{eval, ColumnBinding, EvalContext};
+use crate::expr::func::{AggregateFn, FunctionRegistry, ScalarFn};
+use crate::index::btree::BTreeIndex;
+use crate::index::udi::AccessMethod;
+use crate::plan::planner::{plan_select, PlannerContext};
+use crate::sql::ast::{Expr, Stmt};
+use crate::sql::parser::{parse, parse_many};
+use crate::storage::buffer::BufferPool;
+use crate::storage::heap::{HeapFile, Rid};
+use crate::storage::store::MemStore;
+use crate::storage::wal::{read_log, WalRecord, WalWriter};
+use crate::tuple::{decode_row, encode_row, Row};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names (empty for DDL/DML).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DDL/DML).
+    pub rows: Vec<Row>,
+    /// Rows affected by DML (0 for queries).
+    pub affected: u64,
+    /// EXPLAIN text, if this was an EXPLAIN.
+    pub explain: Option<String>,
+}
+
+impl ResultSet {
+    fn empty() -> Self {
+        ResultSet { columns: Vec::new(), rows: Vec::new(), affected: 0, explain: None }
+    }
+
+    fn affected(n: u64) -> Self {
+        ResultSet { affected: n, ..Self::empty() }
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Single-value convenience accessor: row 0, column 0.
+    pub fn scalar(&self) -> Option<&Datum> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+struct TableStorage {
+    heap: HeapFile,
+    btrees: HashMap<String, BTreeIndex>,
+    udis: HashMap<String, Box<dyn AccessMethod>>,
+}
+
+impl TableStorage {
+    fn new(buffer_capacity: usize) -> Self {
+        TableStorage {
+            heap: HeapFile::new(BufferPool::new(Box::new(MemStore::new()), buffer_capacity)),
+            btrees: HashMap::new(),
+            udis: HashMap::new(),
+        }
+    }
+}
+
+enum Undo {
+    Insert { table_id: u32, rid: Rid },
+    Delete { table_id: u32, row: Row },
+    Update { table_id: u32, rid: Rid, old_row: Row },
+}
+
+pub(crate) struct Inner {
+    catalog: Catalog,
+    tables: HashMap<u32, TableStorage>,
+    funcs: FunctionRegistry,
+    wal: Option<WalWriter>,
+    dir: Option<PathBuf>,
+    txn_undo: Option<Vec<Undo>>,
+    replaying: bool,
+    buffer_capacity: usize,
+}
+
+/// The Unifying Database engine. Cheap to share (`Arc` internally is not
+/// needed; the handle itself is `Send + Sync` via the internal lock).
+pub struct Database {
+    inner: Mutex<Inner>,
+}
+
+impl Database {
+    /// A volatile in-memory database.
+    pub fn in_memory() -> Self {
+        Database {
+            inner: Mutex::new(Inner {
+                catalog: Catalog::new(),
+                tables: HashMap::new(),
+                funcs: FunctionRegistry::with_builtins(),
+                wal: None,
+                dir: None,
+                txn_undo: None,
+                replaying: false,
+                buffer_capacity: 256,
+            }),
+        }
+    }
+
+    /// Open (or create) a durable database in `dir`. Recovery loads the
+    /// snapshot (if any) and replays the write-ahead log.
+    ///
+    /// Opaque types and external functions are code, not data: callers must
+    /// re-register them (in the same order, for stable type ids) before the
+    /// first statement touches them — exactly like loading an extension
+    /// module in a conventional DBMS. Registration is allowed before
+    /// `open`-time replay by doing it through [`Database::in_memory`]-style
+    /// handles; in practice the adapter registers immediately after open,
+    /// before replay rows reference the types, which `open` guarantees by
+    /// deferring replay to [`Database::recover`].
+    pub fn open(dir: &Path) -> DbResult<Self> {
+        std::fs::create_dir_all(dir)?;
+        let db = Database::in_memory();
+        {
+            let mut inner = db.inner.lock();
+            inner.dir = Some(dir.to_path_buf());
+        }
+        Ok(db)
+    }
+
+    /// Run recovery: load the snapshot, replay the WAL, then arm the WAL
+    /// writer. Call after registering extensions.
+    pub fn recover(&self) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        let Some(dir) = inner.dir.clone() else {
+            return Err(DbError::Unsupported("recover() on an in-memory database".into()));
+        };
+        inner.replaying = true;
+        let snapshot = dir.join("snapshot.db");
+        for rec in read_log(&snapshot)? {
+            inner.apply_wal_record(rec)?;
+        }
+        for rec in read_log(&dir.join("wal.db"))? {
+            inner.apply_wal_record(rec)?;
+        }
+        inner.replaying = false;
+        inner.wal = Some(WalWriter::open(&dir.join("wal.db"))?);
+        Ok(())
+    }
+
+    /// Write a snapshot and truncate the WAL.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        let Some(dir) = inner.dir.clone() else {
+            return Err(DbError::Unsupported("checkpoint() on an in-memory database".into()));
+        };
+        let tmp = dir.join("snapshot.tmp");
+        let _ = std::fs::remove_file(&tmp);
+        {
+            let mut w = WalWriter::open(&tmp)?;
+            for rec in inner.snapshot_records()? {
+                w.append(&rec)?;
+            }
+            w.sync()?;
+        }
+        std::fs::rename(&tmp, dir.join("snapshot.db"))?;
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.truncate()?;
+        }
+        Ok(())
+    }
+
+    /// Execute one statement as the default user.
+    pub fn execute(&self, sql: &str) -> DbResult<ResultSet> {
+        self.execute_as(sql, &Role::User("user".into()))
+    }
+
+    /// Execute one statement with an explicit role.
+    pub fn execute_as(&self, sql: &str, role: &Role) -> DbResult<ResultSet> {
+        let stmt = parse(sql)?;
+        let mut inner = self.inner.lock();
+        inner.run_stmt(stmt, role)
+    }
+
+    /// Execute a semicolon-separated script, returning each statement's result.
+    pub fn execute_script(&self, sql: &str) -> DbResult<Vec<ResultSet>> {
+        self.execute_script_as(sql, &Role::User("user".into()))
+    }
+
+    /// Execute a script with an explicit role.
+    pub fn execute_script_as(&self, sql: &str, role: &Role) -> DbResult<Vec<ResultSet>> {
+        let stmts = parse_many(sql)?;
+        let mut inner = self.inner.lock();
+        stmts.into_iter().map(|s| inner.run_stmt(s, role)).collect()
+    }
+
+    /// Register an opaque UDT (§6.2); returns its type id.
+    pub fn register_opaque_type(
+        &self,
+        name: &str,
+        display: Option<crate::catalog::DisplayHook>,
+    ) -> DbResult<u32> {
+        self.inner.lock().catalog.register_opaque_type(name, display)
+    }
+
+    /// Register an external scalar function (§6.3).
+    pub fn register_scalar(&self, name: &str, f: ScalarFn) -> DbResult<()> {
+        self.inner.lock().funcs.register_scalar(name, f)
+    }
+
+    /// Register a user-defined aggregate (C14).
+    pub fn register_aggregate(&self, name: &str, f: AggregateFn) -> DbResult<()> {
+        self.inner.lock().funcs.register_aggregate(name, f)
+    }
+
+    /// Attach a user-defined index access method to `table.column` (§6.5),
+    /// backfilling it from existing rows.
+    pub fn register_access_method(
+        &self,
+        table: &str,
+        column: &str,
+        mut method: Box<dyn AccessMethod>,
+    ) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        let def = inner.catalog.find_table(table)?;
+        let table_id = def.id;
+        let col_idx = def
+            .column_index(column)
+            .ok_or(DbError::NotFound { kind: "column", name: column.into() })?;
+        let column = column.to_ascii_lowercase();
+        let storage = inner
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        for (rid, bytes) in storage.heap.scan()? {
+            let row = decode_row(&bytes)?;
+            method.on_insert(rid, &row[col_idx]);
+        }
+        storage.udis.insert(column, method);
+        Ok(())
+    }
+
+    /// Render a result set as an aligned text table, using registered
+    /// opaque-type display hooks.
+    pub fn render(&self, rs: &ResultSet) -> String {
+        let inner = self.inner.lock();
+        let mut cells: Vec<Vec<String>> = vec![rs.columns.clone()];
+        for row in &rs.rows {
+            cells.push(
+                row.iter()
+                    .map(|d| match d {
+                        Datum::Opaque(ty, bytes) => inner
+                            .catalog
+                            .opaque_type_by_id(*ty)
+                            .and_then(|t| t.display.as_ref().map(|f| f(bytes)))
+                            .unwrap_or_else(|| d.to_string()),
+                        other => other.to_string(),
+                    })
+                    .collect(),
+            );
+        }
+        let width = rs.columns.len();
+        let mut widths = vec![0usize; width];
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for (ri, row) in cells.iter().enumerate() {
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(c);
+                out.extend(std::iter::repeat_n(' ', widths[i].saturating_sub(c.chars().count())));
+            }
+            out.push('\n');
+            if ri == 0 {
+                out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * width.saturating_sub(1)));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Qualified names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .catalog
+            .tables()
+            .iter()
+            .map(|t| t.qualified_name())
+            .collect()
+    }
+
+    /// Live row count of a table.
+    pub fn row_count(&self, table: &str) -> DbResult<u64> {
+        let inner = self.inner.lock();
+        let def = inner.catalog.find_table(table)?;
+        Ok(inner.tables.get(&def.id).map_or(0, |t| t.heap.len()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Inner: statement execution
+// ---------------------------------------------------------------------------
+
+impl Inner {
+    fn run_stmt(&mut self, stmt: Stmt, role: &Role) -> DbResult<ResultSet> {
+        match stmt {
+            Stmt::Select(s) => {
+                let (plan, columns) = plan_select(self, role.default_space(), &s)?;
+                let funcs = self.funcs.clone();
+                let rows = execute_plan(self, &funcs, &plan)?;
+                Ok(ResultSet { columns, rows, affected: 0, explain: None })
+            }
+            Stmt::Explain(inner_stmt) => match *inner_stmt {
+                Stmt::Select(s) => {
+                    let (plan, _) = plan_select(self, role.default_space(), &s)?;
+                    Ok(ResultSet { explain: Some(plan.explain()), ..ResultSet::empty() })
+                }
+                other => Ok(ResultSet {
+                    explain: Some(format!("{other:?}")),
+                    ..ResultSet::empty()
+                }),
+            },
+            Stmt::CreateTable { table, columns } => self.create_table(&table, &columns, role),
+            Stmt::DropTable { table } => self.drop_table(&table, role),
+            Stmt::CreateIndex { table, column, unique } => {
+                self.create_index(&table, &column, unique, role)
+            }
+            Stmt::CreateSpace { name } => {
+                let owner = match role {
+                    Role::Maintainer => "maintainer".to_string(),
+                    Role::User(u) => u.clone(),
+                };
+                self.catalog.create_space(&name, &owner)?;
+                self.log(WalRecord::CreateSpace { name, owner })?;
+                self.maybe_sync()?;
+                Ok(ResultSet::empty())
+            }
+            Stmt::Insert { table, columns, rows } => self.insert(&table, columns, rows, role),
+            Stmt::Update { table, assignments, filter } => {
+                self.update(&table, assignments, filter, role)
+            }
+            Stmt::Delete { table, filter } => self.delete(&table, filter, role),
+            Stmt::Begin => {
+                if self.txn_undo.is_some() {
+                    return Err(DbError::Unsupported("nested transactions".into()));
+                }
+                self.txn_undo = Some(Vec::new());
+                Ok(ResultSet::empty())
+            }
+            Stmt::Commit => {
+                if self.txn_undo.take().is_none() {
+                    return Err(DbError::Unsupported("COMMIT without BEGIN".into()));
+                }
+                if let Some(wal) = self.wal.as_mut() {
+                    wal.sync()?;
+                }
+                Ok(ResultSet::empty())
+            }
+            Stmt::Rollback => {
+                let Some(undo) = self.txn_undo.take() else {
+                    return Err(DbError::Unsupported("ROLLBACK without BEGIN".into()));
+                };
+                for op in undo.into_iter().rev() {
+                    match op {
+                        Undo::Insert { table_id, rid } => {
+                            let row = self.fetch_row(table_id, rid)?.ok_or_else(|| {
+                                DbError::Internal("undo target vanished".into())
+                            })?;
+                            self.delete_row(table_id, rid, &row)?;
+                        }
+                        Undo::Delete { table_id, row } => {
+                            self.insert_row(table_id, row)?;
+                        }
+                        Undo::Update { table_id, rid, old_row } => {
+                            let current = self.fetch_row(table_id, rid)?.ok_or_else(|| {
+                                DbError::Internal("undo target vanished".into())
+                            })?;
+                            self.update_row(table_id, rid, &current, old_row)?;
+                        }
+                    }
+                }
+                if let Some(wal) = self.wal.as_mut() {
+                    wal.sync()?;
+                }
+                Ok(ResultSet::empty())
+            }
+        }
+    }
+
+    // -- DDL -----------------------------------------------------------------
+
+    fn create_table(
+        &mut self,
+        table: &str,
+        columns: &[(String, String, bool)],
+        role: &Role,
+    ) -> DbResult<ResultSet> {
+        let (space, name) = self.split_table_name(table, role);
+        if let Role::User(u) = role {
+            self.catalog.ensure_user_space(u);
+        }
+        if !self.catalog.can_write(role, &space) {
+            return Err(DbError::AccessDenied(format!("cannot create tables in space {space:?}")));
+        }
+        let mut defs = Vec::with_capacity(columns.len());
+        for (cname, tyname, nullable) in columns {
+            defs.push(ColumnDef {
+                name: cname.to_ascii_lowercase(),
+                ty: self.catalog.parse_type(tyname)?,
+                nullable: *nullable,
+            });
+        }
+        let id = self.catalog.create_table(&space, &name, defs.clone())?.id;
+        self.tables.insert(id, TableStorage::new(self.buffer_capacity));
+        self.log(WalRecord::CreateTable {
+            space: space.clone(),
+            name: name.clone(),
+            columns: defs.into_iter().map(|c| (c.name, c.ty, c.nullable)).collect(),
+        })?;
+        self.maybe_sync()?;
+        Ok(ResultSet::empty())
+    }
+
+    fn drop_table(&mut self, table: &str, role: &Role) -> DbResult<ResultSet> {
+        let def = self.catalog.resolve_table(role.default_space(), table)?;
+        let (space, name, id) = (def.space.clone(), def.name.clone(), def.id);
+        if !self.catalog.can_write(role, &space) {
+            return Err(DbError::AccessDenied(format!("cannot drop tables in space {space:?}")));
+        }
+        self.catalog.drop_table(&space, &name)?;
+        self.tables.remove(&id);
+        self.log(WalRecord::DropTable { space, name })?;
+        self.maybe_sync()?;
+        Ok(ResultSet::empty())
+    }
+
+    fn create_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        unique: bool,
+        role: &Role,
+    ) -> DbResult<ResultSet> {
+        let def = self.catalog.resolve_table(role.default_space(), table)?;
+        let table_id = def.id;
+        let qualified = def.qualified_name();
+        if !self.catalog.can_write(role, &def.space.clone()) {
+            return Err(DbError::AccessDenied(format!("cannot index tables in {qualified:?}")));
+        }
+        let col_idx = def
+            .column_index(column)
+            .ok_or(DbError::NotFound { kind: "column", name: column.into() })?;
+        let column = column.to_ascii_lowercase();
+        let storage = self
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        if storage.btrees.contains_key(&column) {
+            return Err(DbError::AlreadyExists { kind: "index", name: column });
+        }
+        let mut index = BTreeIndex::new(unique);
+        for (rid, bytes) in storage.heap.scan()? {
+            let row = decode_row(&bytes)?;
+            index.insert(row[col_idx].clone(), rid)?;
+        }
+        storage.btrees.insert(column.clone(), index);
+        self.log(WalRecord::CreateIndex { table: qualified, column, unique })?;
+        self.maybe_sync()?;
+        Ok(ResultSet::empty())
+    }
+
+    // -- DML -----------------------------------------------------------------
+
+    fn insert(
+        &mut self,
+        table: &str,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+        role: &Role,
+    ) -> DbResult<ResultSet> {
+        let def = self.catalog.resolve_table(role.default_space(), table)?.clone();
+        if !self.catalog.can_write(role, &def.space) {
+            return Err(DbError::AccessDenied(format!(
+                "space {:?} is read-only for this role",
+                def.space
+            )));
+        }
+        // Map the provided columns to table positions.
+        let positions: Vec<usize> = match &columns {
+            None => (0..def.columns.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    def.column_index(c)
+                        .ok_or(DbError::NotFound { kind: "column", name: c.clone() })
+                })
+                .collect::<DbResult<_>>()?,
+        };
+        let funcs = self.funcs.clone();
+        let mut n = 0u64;
+        for value_exprs in rows {
+            if value_exprs.len() != positions.len() {
+                return Err(DbError::Constraint(format!(
+                    "INSERT supplies {} values for {} columns",
+                    value_exprs.len(),
+                    positions.len()
+                )));
+            }
+            let mut row: Row = vec![Datum::Null; def.columns.len()];
+            let ctx = EvalContext { bindings: &[], row: &[], funcs: &funcs };
+            for (expr, &pos) in value_exprs.iter().zip(&positions) {
+                row[pos] = eval(expr, &ctx)?;
+            }
+            let row = check_row(&def, row)?;
+            let rid = self.insert_row(def.id, row)?;
+            if let Some(undo) = self.txn_undo.as_mut() {
+                undo.push(Undo::Insert { table_id: def.id, rid });
+            }
+            n += 1;
+        }
+        self.maybe_sync()?;
+        Ok(ResultSet::affected(n))
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        assignments: Vec<(String, Expr)>,
+        filter: Option<Expr>,
+        role: &Role,
+    ) -> DbResult<ResultSet> {
+        let def = self.catalog.resolve_table(role.default_space(), table)?.clone();
+        if !self.catalog.can_write(role, &def.space) {
+            return Err(DbError::AccessDenied(format!(
+                "space {:?} is read-only for this role",
+                def.space
+            )));
+        }
+        let targets: Vec<(usize, Expr)> = assignments
+            .into_iter()
+            .map(|(c, e)| {
+                def.column_index(&c)
+                    .map(|i| (i, e))
+                    .ok_or(DbError::NotFound { kind: "column", name: c })
+            })
+            .collect::<DbResult<_>>()?;
+        let bindings: Vec<ColumnBinding> =
+            def.columns.iter().map(|c| ColumnBinding::new(&def.name, &c.name)).collect();
+        let funcs = self.funcs.clone();
+        let matching = self.matching_rows(&def, &bindings, filter.as_ref(), &funcs)?;
+        let mut n = 0u64;
+        for (rid, row) in matching {
+            let ctx = EvalContext { bindings: &bindings, row: &row, funcs: &funcs };
+            let mut new_row = row.clone();
+            for (pos, expr) in &targets {
+                new_row[*pos] = eval(expr, &ctx)?;
+            }
+            let new_row = check_row(&def, new_row)?;
+            let new_rid = self.update_row(def.id, rid, &row, new_row)?;
+            if let Some(undo) = self.txn_undo.as_mut() {
+                undo.push(Undo::Update { table_id: def.id, rid: new_rid, old_row: row });
+            }
+            n += 1;
+        }
+        self.maybe_sync()?;
+        Ok(ResultSet::affected(n))
+    }
+
+    fn delete(&mut self, table: &str, filter: Option<Expr>, role: &Role) -> DbResult<ResultSet> {
+        let def = self.catalog.resolve_table(role.default_space(), table)?.clone();
+        if !self.catalog.can_write(role, &def.space) {
+            return Err(DbError::AccessDenied(format!(
+                "space {:?} is read-only for this role",
+                def.space
+            )));
+        }
+        let bindings: Vec<ColumnBinding> =
+            def.columns.iter().map(|c| ColumnBinding::new(&def.name, &c.name)).collect();
+        let funcs = self.funcs.clone();
+        let matching = self.matching_rows(&def, &bindings, filter.as_ref(), &funcs)?;
+        let mut n = 0u64;
+        for (rid, row) in matching {
+            self.delete_row(def.id, rid, &row)?;
+            if let Some(undo) = self.txn_undo.as_mut() {
+                undo.push(Undo::Delete { table_id: def.id, row });
+            }
+            n += 1;
+        }
+        self.maybe_sync()?;
+        Ok(ResultSet::affected(n))
+    }
+
+    fn matching_rows(
+        &mut self,
+        def: &TableDef,
+        bindings: &[ColumnBinding],
+        filter: Option<&Expr>,
+        funcs: &FunctionRegistry,
+    ) -> DbResult<Vec<(Rid, Row)>> {
+        let storage = self
+            .tables
+            .get_mut(&def.id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        let mut out = Vec::new();
+        for (rid, bytes) in storage.heap.scan()? {
+            let row = decode_row(&bytes)?;
+            let keep = match filter {
+                None => true,
+                Some(pred) => {
+                    let ctx = EvalContext { bindings, row: &row, funcs };
+                    eval(pred, &ctx)? == Datum::Bool(true)
+                }
+            };
+            if keep {
+                out.push((rid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    // -- row-level mutation with index + WAL maintenance -----------------------
+
+    fn insert_row(&mut self, table_id: u32, row: Row) -> DbResult<Rid> {
+        let def = self
+            .catalog
+            .table_by_id(table_id)
+            .ok_or_else(|| DbError::Internal("unknown table id".into()))?
+            .clone();
+        let storage = self
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        // Unique checks first so a violation cannot leave partial state.
+        for (col, idx) in &storage.btrees {
+            if idx.is_unique() {
+                let pos = def.column_index(col).expect("index column exists");
+                if !idx.get(&row[pos]).is_empty() {
+                    return Err(DbError::Constraint(format!(
+                        "duplicate key {} for unique index on {col}",
+                        row[pos]
+                    )));
+                }
+            }
+        }
+        let rid = storage.heap.insert(&encode_row(&row))?;
+        for (col, idx) in storage.btrees.iter_mut() {
+            let pos = def.column_index(col).expect("index column exists");
+            idx.insert(row[pos].clone(), rid)?;
+        }
+        for (col, udi) in storage.udis.iter_mut() {
+            let pos = def.column_index(col).expect("indexed column exists");
+            udi.on_insert(rid, &row[pos]);
+        }
+        self.log(WalRecord::Insert { table: def.qualified_name(), row })?;
+        Ok(rid)
+    }
+
+    fn delete_row(&mut self, table_id: u32, rid: Rid, row: &Row) -> DbResult<()> {
+        let def = self
+            .catalog
+            .table_by_id(table_id)
+            .ok_or_else(|| DbError::Internal("unknown table id".into()))?
+            .clone();
+        let storage = self
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        storage.heap.delete(rid)?;
+        for (col, idx) in storage.btrees.iter_mut() {
+            let pos = def.column_index(col).expect("index column exists");
+            idx.remove(&row[pos], rid);
+        }
+        for (col, udi) in storage.udis.iter_mut() {
+            let pos = def.column_index(col).expect("indexed column exists");
+            udi.on_delete(rid, &row[pos]);
+        }
+        self.log(WalRecord::Delete { table: def.qualified_name(), row: row.clone() })?;
+        Ok(())
+    }
+
+    fn update_row(&mut self, table_id: u32, rid: Rid, old_row: &Row, new_row: Row) -> DbResult<Rid> {
+        let def = self
+            .catalog
+            .table_by_id(table_id)
+            .ok_or_else(|| DbError::Internal("unknown table id".into()))?
+            .clone();
+        let storage = self
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        // Unique checks on changed keys.
+        for (col, idx) in &storage.btrees {
+            if idx.is_unique() {
+                let pos = def.column_index(col).expect("index column exists");
+                if old_row[pos] != new_row[pos] && !idx.get(&new_row[pos]).is_empty() {
+                    return Err(DbError::Constraint(format!(
+                        "duplicate key {} for unique index on {col}",
+                        new_row[pos]
+                    )));
+                }
+            }
+        }
+        let new_rid = storage.heap.update(rid, &encode_row(&new_row))?;
+        for (col, idx) in storage.btrees.iter_mut() {
+            let pos = def.column_index(col).expect("index column exists");
+            idx.remove(&old_row[pos], rid);
+            idx.insert(new_row[pos].clone(), new_rid)?;
+        }
+        for (col, udi) in storage.udis.iter_mut() {
+            let pos = def.column_index(col).expect("indexed column exists");
+            udi.on_delete(rid, &old_row[pos]);
+            udi.on_insert(new_rid, &new_row[pos]);
+        }
+        self.log(WalRecord::Update {
+            table: def.qualified_name(),
+            old_row: old_row.clone(),
+            new_row,
+        })?;
+        Ok(new_rid)
+    }
+
+    fn fetch_row(&mut self, table_id: u32, rid: Rid) -> DbResult<Option<Row>> {
+        let storage = self
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        match storage.heap.get(rid)? {
+            Some(bytes) => Ok(Some(decode_row(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    // -- WAL ---------------------------------------------------------------------
+
+    fn log(&mut self, rec: WalRecord) -> DbResult<()> {
+        if self.replaying {
+            return Ok(());
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&rec)?;
+        }
+        Ok(())
+    }
+
+    /// Sync the WAL when auto-committing (outside an explicit transaction).
+    fn maybe_sync(&mut self) -> DbResult<()> {
+        if self.txn_undo.is_none() {
+            if let Some(wal) = self.wal.as_mut() {
+                wal.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_wal_record(&mut self, rec: WalRecord) -> DbResult<()> {
+        match rec {
+            WalRecord::CreateSpace { name, owner } => self.catalog.create_space(&name, &owner),
+            WalRecord::CreateTable { space, name, columns } => {
+                let defs = columns
+                    .into_iter()
+                    .map(|(n, ty, nullable)| ColumnDef { name: n, ty, nullable })
+                    .collect();
+                let id = self.catalog.create_table(&space, &name, defs)?.id;
+                self.tables.insert(id, TableStorage::new(self.buffer_capacity));
+                Ok(())
+            }
+            WalRecord::DropTable { space, name } => {
+                let def = self.catalog.drop_table(&space, &name)?;
+                self.tables.remove(&def.id);
+                Ok(())
+            }
+            WalRecord::CreateIndex { table, column, unique } => {
+                self.create_index(&table, &column, unique, &Role::Maintainer)
+                    .map(|_| ())
+            }
+            WalRecord::Insert { table, row } => {
+                let id = self.catalog.resolve_table("public", &table)?.id;
+                self.insert_row(id, row).map(|_| ())
+            }
+            WalRecord::Delete { table, row } => {
+                let id = self.catalog.resolve_table("public", &table)?.id;
+                let rid = self.find_row(id, &row)?;
+                if let Some(rid) = rid {
+                    self.delete_row(id, rid, &row)?;
+                }
+                Ok(())
+            }
+            WalRecord::Update { table, old_row, new_row } => {
+                let id = self.catalog.resolve_table("public", &table)?.id;
+                if let Some(rid) = self.find_row(id, &old_row)? {
+                    self.update_row(id, rid, &old_row, new_row)?;
+                }
+                Ok(())
+            }
+            WalRecord::Checkpoint => Ok(()),
+        }
+    }
+
+    fn find_row(&mut self, table_id: u32, row: &Row) -> DbResult<Option<Rid>> {
+        let storage = self
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        for (rid, bytes) in storage.heap.scan()? {
+            if decode_row(&bytes)? == *row {
+                return Ok(Some(rid));
+            }
+        }
+        Ok(None)
+    }
+
+    fn snapshot_records(&mut self) -> DbResult<Vec<WalRecord>> {
+        let mut recs = Vec::new();
+        // Spaces (public pre-exists).
+        let catalog = &self.catalog;
+        let tables: Vec<TableDef> = catalog.tables().into_iter().cloned().collect();
+        let mut spaces_seen = std::collections::HashSet::new();
+        for t in &tables {
+            if t.space != "public" && spaces_seen.insert(t.space.clone()) {
+                let owner = catalog
+                    .space(&t.space)
+                    .and_then(|s| s.owner.clone())
+                    .unwrap_or_else(|| t.space.clone());
+                recs.push(WalRecord::CreateSpace { name: t.space.clone(), owner });
+            }
+        }
+        for t in &tables {
+            recs.push(WalRecord::CreateTable {
+                space: t.space.clone(),
+                name: t.name.clone(),
+                columns: t.columns.iter().map(|c| (c.name.clone(), c.ty, c.nullable)).collect(),
+            });
+        }
+        for t in &tables {
+            let storage = self
+                .tables
+                .get_mut(&t.id)
+                .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+            let btree_meta: Vec<(String, bool)> = storage
+                .btrees
+                .iter()
+                .map(|(c, i)| (c.clone(), i.is_unique()))
+                .collect();
+            for (column, unique) in btree_meta {
+                recs.push(WalRecord::CreateIndex {
+                    table: t.qualified_name(),
+                    column,
+                    unique,
+                });
+            }
+            for (_, bytes) in storage.heap.scan()? {
+                recs.push(WalRecord::Insert {
+                    table: t.qualified_name(),
+                    row: decode_row(&bytes)?,
+                });
+            }
+        }
+        recs.push(WalRecord::Checkpoint);
+        Ok(recs)
+    }
+
+    fn split_table_name(&self, table: &str, role: &Role) -> (String, String) {
+        match table.split_once('.') {
+            Some((s, t)) => (s.to_ascii_lowercase(), t.to_ascii_lowercase()),
+            None => (role.default_space().to_ascii_lowercase(), table.to_ascii_lowercase()),
+        }
+    }
+}
+
+/// Validate and coerce a row against the table definition.
+fn check_row(def: &TableDef, mut row: Row) -> DbResult<Row> {
+    for (i, col) in def.columns.iter().enumerate() {
+        let d = &row[i];
+        if d.is_null() {
+            if !col.nullable {
+                return Err(DbError::Constraint(format!("column {:?} is NOT NULL", col.name)));
+            }
+            continue;
+        }
+        if !d.assignable_to(col.ty) {
+            return Err(DbError::TypeMismatch(format!(
+                "column {:?} has type {}, value {d} does not fit",
+                col.name, col.ty
+            )));
+        }
+        // Widen INT literals stored into FLOAT columns so index keys and
+        // comparisons see one representation.
+        if col.ty == DataType::Float {
+            if let Datum::Int(v) = d {
+                row[i] = Datum::Float(*v as f64);
+            }
+        }
+    }
+    Ok(row)
+}
+
+// ---------------------------------------------------------------------------
+// Planner + executor wiring
+// ---------------------------------------------------------------------------
+
+impl PlannerContext for Inner {
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn funcs(&self) -> &FunctionRegistry {
+        &self.funcs
+    }
+
+    fn btree_columns(&self, table_id: u32) -> Vec<(String, usize)> {
+        self.tables.get(&table_id).map_or_else(Vec::new, |t| {
+            t.btrees
+                .iter()
+                .map(|(c, i)| (c.clone(), i.distinct_keys()))
+                .collect()
+        })
+    }
+
+    fn row_count(&self, table_id: u32) -> u64 {
+        self.tables.get(&table_id).map_or(0, |t| t.heap.len())
+    }
+
+    fn udi_selectivity(
+        &self,
+        table_id: u32,
+        column: &str,
+        func: &str,
+        args: &[Datum],
+    ) -> Option<f64> {
+        let udi = self.tables.get(&table_id)?.udis.get(column)?;
+        if !udi.supports(func) {
+            return None;
+        }
+        Some(udi.selectivity(func, args).unwrap_or(0.1))
+    }
+}
+
+impl StorageAccess for Inner {
+    fn scan_table(&mut self, table_id: u32) -> DbResult<Vec<Row>> {
+        let storage = self
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        storage
+            .heap
+            .scan()?
+            .into_iter()
+            .map(|(_, bytes)| decode_row(&bytes))
+            .collect()
+    }
+
+    fn fetch_rids(&mut self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>> {
+        let storage = self
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        let mut out = Vec::with_capacity(rids.len());
+        for &rid in rids {
+            if let Some(bytes) = storage.heap.get(rid)? {
+                out.push(decode_row(&bytes)?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn btree_eq(&mut self, table_id: u32, column: &str, key: &Datum) -> DbResult<Vec<Rid>> {
+        let storage = self
+            .tables
+            .get(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        let idx = storage
+            .btrees
+            .get(column)
+            .ok_or_else(|| DbError::Internal(format!("no B-tree on {column}")))?;
+        Ok(idx.get(key))
+    }
+
+    fn btree_range(
+        &mut self,
+        table_id: u32,
+        column: &str,
+        lo: Bound<&Datum>,
+        hi: Bound<&Datum>,
+    ) -> DbResult<Vec<Rid>> {
+        let storage = self
+            .tables
+            .get(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        let idx = storage
+            .btrees
+            .get(column)
+            .ok_or_else(|| DbError::Internal(format!("no B-tree on {column}")))?;
+        Ok(idx.range(lo, hi).into_iter().map(|(_, rid)| rid).collect())
+    }
+
+    fn udi_probe(
+        &mut self,
+        table_id: u32,
+        column: &str,
+        func: &str,
+        args: &[Datum],
+    ) -> DbResult<Vec<Rid>> {
+        let storage = self
+            .tables
+            .get(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        let udi = storage
+            .udis
+            .get(column)
+            .ok_or_else(|| DbError::Internal(format!("no access method on {column}")))?;
+        udi.probe(func, args)
+            .ok_or_else(|| DbError::Internal(format!("{} cannot answer {func}", udi.name())))
+    }
+}

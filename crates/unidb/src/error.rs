@@ -1,0 +1,72 @@
+//! Error type for the database engine.
+
+use std::fmt;
+
+/// Result alias used throughout `unidb`.
+pub type DbResult<T> = std::result::Result<T, DbError>;
+
+/// Errors produced by the database engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// A name (table, column, function, type, space) could not be resolved.
+    NotFound { kind: &'static str, name: String },
+    /// A name already exists where a fresh one is required.
+    AlreadyExists { kind: &'static str, name: String },
+    /// A value's type does not match the column or operator expectation.
+    TypeMismatch(String),
+    /// A statement violates access control (e.g. writing the public space
+    /// without the maintainer role).
+    AccessDenied(String),
+    /// Constraint violation (arity, NOT NULL, duplicate key, …).
+    Constraint(String),
+    /// A registered external function reported an error.
+    External(String),
+    /// Storage-layer failure (page corruption, I/O, WAL replay).
+    Storage(String),
+    /// The statement is recognized but not supported by this engine.
+    Unsupported(String),
+    /// Internal invariant violation — indicates a bug, not user error.
+    Internal(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::NotFound { kind, name } => write!(f, "{kind} {name:?} not found"),
+            DbError::AlreadyExists { kind, name } => write!(f, "{kind} {name:?} already exists"),
+            DbError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            DbError::AccessDenied(m) => write!(f, "access denied: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::External(m) => write!(f, "external function error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DbError::Parse("x".into()).to_string().contains("parse"));
+        assert!(DbError::NotFound { kind: "table", name: "t".into() }
+            .to_string()
+            .contains("table"));
+        let io = std::io::Error::other("disk gone");
+        assert!(matches!(DbError::from(io), DbError::Storage(_)));
+    }
+}

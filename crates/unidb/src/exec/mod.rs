@@ -1,0 +1,329 @@
+//! Plan execution.
+//!
+//! Operators consume and produce materialized row batches. For an
+//! analytical warehouse at this scale, batch materialization keeps the
+//! engine simple and the per-row overhead low; scans still stream from the
+//! heap page by page underneath.
+
+use crate::datum::Datum;
+use crate::error::{DbError, DbResult};
+use crate::expr::eval::{eval, ColumnBinding, EvalContext};
+use crate::expr::func::FunctionRegistry;
+use crate::plan::{AggCall, PhysicalPlan};
+use crate::sql::ast::{Expr, JoinKind};
+use crate::storage::heap::Rid;
+use crate::tuple::Row;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// The storage operations the executor needs; implemented by the engine.
+pub trait StorageAccess {
+    /// Every live row of a table.
+    fn scan_table(&mut self, table_id: u32) -> DbResult<Vec<Row>>;
+    /// Fetch specific rows (missing rids are skipped).
+    fn fetch_rids(&mut self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>>;
+    /// Rids with `column == key` from the B-tree index.
+    fn btree_eq(&mut self, table_id: u32, column: &str, key: &Datum) -> DbResult<Vec<Rid>>;
+    /// Rids with `column` in the given range.
+    fn btree_range(
+        &mut self,
+        table_id: u32,
+        column: &str,
+        lo: Bound<&Datum>,
+        hi: Bound<&Datum>,
+    ) -> DbResult<Vec<Rid>>;
+    /// Candidate rids from a user-defined index probe.
+    fn udi_probe(
+        &mut self,
+        table_id: u32,
+        column: &str,
+        func: &str,
+        args: &[Datum],
+    ) -> DbResult<Vec<Rid>>;
+}
+
+/// Execute a plan to completion.
+pub fn execute_plan(
+    storage: &mut dyn StorageAccess,
+    funcs: &FunctionRegistry,
+    plan: &PhysicalPlan,
+) -> DbResult<Vec<Row>> {
+    let bindings = plan.bindings();
+    match plan {
+        PhysicalPlan::Nothing => Ok(vec![Vec::new()]),
+        PhysicalPlan::SeqScan { table_id, residual, columns, .. } => {
+            let rows = storage.scan_table(*table_id)?;
+            apply_residual(rows, residual.as_ref(), columns, funcs)
+        }
+        PhysicalPlan::IndexEqScan { table_id, column, key, residual, columns, .. } => {
+            let rids = storage.btree_eq(*table_id, column, key)?;
+            let rows = storage.fetch_rids(*table_id, &rids)?;
+            apply_residual(rows, residual.as_ref(), columns, funcs)
+        }
+        PhysicalPlan::IndexRangeScan { table_id, column, lo, hi, residual, columns, .. } => {
+            let rids = storage.btree_range(*table_id, column, as_ref_bound(lo), as_ref_bound(hi))?;
+            let rows = storage.fetch_rids(*table_id, &rids)?;
+            apply_residual(rows, residual.as_ref(), columns, funcs)
+        }
+        PhysicalPlan::UdiScan { table_id, column, func, args, residual, columns, .. } => {
+            let rids = storage.udi_probe(*table_id, column, func, args)?;
+            let rows = storage.fetch_rids(*table_id, &rids)?;
+            apply_residual(rows, residual.as_ref(), columns, funcs)
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let in_bindings = input.bindings();
+            let rows = execute_plan(storage, funcs, input)?;
+            apply_residual(rows, Some(predicate), &in_bindings, funcs)
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, kind, on } => {
+            nested_loop_join(storage, funcs, left, right, *kind, on.as_ref())
+        }
+        PhysicalPlan::HashJoin { left, right, left_key, right_key } => {
+            hash_join(storage, funcs, left, right, left_key, right_key)
+        }
+        PhysicalPlan::Aggregate { input, group_by, calls } => {
+            aggregate(storage, funcs, input, group_by, calls)
+        }
+        PhysicalPlan::Project { input, exprs, .. } => {
+            let in_bindings = input.bindings();
+            let rows = execute_plan(storage, funcs, input)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let ctx = EvalContext { bindings: &in_bindings, row: &row, funcs };
+                let mut projected = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    projected.push(eval(e, &ctx)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let in_bindings = input.bindings();
+            let rows = execute_plan(storage, funcs, input)?;
+            // Precompute sort keys, then stable sort.
+            let mut keyed: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let ctx = EvalContext { bindings: &in_bindings, row: &row, funcs };
+                let mut kvec = Vec::with_capacity(keys.len());
+                for (e, _) in keys {
+                    kvec.push(eval(e, &ctx)?);
+                }
+                keyed.push((kvec, row));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, (_, asc)) in keys.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(keyed.into_iter().map(|(_, r)| r).collect())
+        }
+        PhysicalPlan::Distinct { input } => {
+            let rows = execute_plan(storage, funcs, input)?;
+            let mut seen = std::collections::HashSet::new();
+            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let mut rows = execute_plan(storage, funcs, input)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+    }
+    .inspect(|rows| {
+        debug_assert!(rows.iter().all(|r| r.len() == bindings.len() || bindings.is_empty()));
+    })
+}
+
+fn as_ref_bound(b: &Bound<Datum>) -> Bound<&Datum> {
+    match b {
+        Bound::Included(d) => Bound::Included(d),
+        Bound::Excluded(d) => Bound::Excluded(d),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn apply_residual(
+    rows: Vec<Row>,
+    residual: Option<&Expr>,
+    bindings: &[ColumnBinding],
+    funcs: &FunctionRegistry,
+) -> DbResult<Vec<Row>> {
+    let Some(pred) = residual else { return Ok(rows) };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let ctx = EvalContext { bindings, row: &row, funcs };
+        if eval(pred, &ctx)? == Datum::Bool(true) {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn nested_loop_join(
+    storage: &mut dyn StorageAccess,
+    funcs: &FunctionRegistry,
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    kind: JoinKind,
+    on: Option<&Expr>,
+) -> DbResult<Vec<Row>> {
+    let left_rows = execute_plan(storage, funcs, left)?;
+    let right_rows = execute_plan(storage, funcs, right)?;
+    let mut bindings = left.bindings();
+    let right_bindings = right.bindings();
+    bindings.extend(right_bindings.clone());
+    let right_width = right_bindings.len();
+
+    let mut out = Vec::new();
+    for l in &left_rows {
+        let mut matched = false;
+        for r in &right_rows {
+            let mut combined = l.clone();
+            combined.extend(r.iter().cloned());
+            let keep = match on {
+                None => true,
+                Some(pred) => {
+                    let ctx = EvalContext { bindings: &bindings, row: &combined, funcs };
+                    eval(pred, &ctx)? == Datum::Bool(true)
+                }
+            };
+            if keep {
+                matched = true;
+                out.push(combined);
+            }
+        }
+        if kind == JoinKind::Left && !matched {
+            let mut padded = l.clone();
+            padded.extend(std::iter::repeat_n(Datum::Null, right_width));
+            out.push(padded);
+        }
+    }
+    Ok(out)
+}
+
+fn hash_join(
+    storage: &mut dyn StorageAccess,
+    funcs: &FunctionRegistry,
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    left_key: &Expr,
+    right_key: &Expr,
+) -> DbResult<Vec<Row>> {
+    let left_rows = execute_plan(storage, funcs, left)?;
+    let right_rows = execute_plan(storage, funcs, right)?;
+    let left_bindings = left.bindings();
+    let right_bindings = right.bindings();
+
+    // Build on the right side.
+    let mut table: HashMap<Datum, Vec<usize>> = HashMap::new();
+    for (i, r) in right_rows.iter().enumerate() {
+        let ctx = EvalContext { bindings: &right_bindings, row: r, funcs };
+        let k = eval(right_key, &ctx)?;
+        if !k.is_null() {
+            table.entry(k).or_default().push(i);
+        }
+    }
+
+    let mut out = Vec::new();
+    for l in &left_rows {
+        let ctx = EvalContext { bindings: &left_bindings, row: l, funcs };
+        let k = eval(left_key, &ctx)?;
+        if k.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&k) {
+            for &i in matches {
+                let mut combined = l.clone();
+                combined.extend(right_rows[i].iter().cloned());
+                out.push(combined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn aggregate(
+    storage: &mut dyn StorageAccess,
+    funcs: &FunctionRegistry,
+    input: &PhysicalPlan,
+    group_by: &[Expr],
+    calls: &[AggCall],
+) -> DbResult<Vec<Row>> {
+    let in_bindings = input.bindings();
+    let rows = execute_plan(storage, funcs, input)?;
+
+    struct Group {
+        key: Vec<Datum>,
+        accs: Vec<Box<dyn crate::expr::func::Accumulator>>,
+        distinct_seen: Vec<std::collections::HashSet<Datum>>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    let mut lookup: HashMap<Vec<Datum>, usize> = HashMap::new();
+
+    let make_group = |key: Vec<Datum>| -> DbResult<Group> {
+        let mut accs = Vec::with_capacity(calls.len());
+        for c in calls {
+            let factory = funcs
+                .aggregate(&c.func)
+                .ok_or(DbError::NotFound { kind: "aggregate", name: c.func.clone() })?;
+            accs.push(factory());
+        }
+        Ok(Group {
+            key,
+            accs,
+            distinct_seen: vec![std::collections::HashSet::new(); calls.len()],
+        })
+    };
+
+    for row in &rows {
+        let ctx = EvalContext { bindings: &in_bindings, row, funcs };
+        let mut key = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            key.push(eval(g, &ctx)?);
+        }
+        let gi = match lookup.get(&key) {
+            Some(&i) => i,
+            None => {
+                let g = make_group(key.clone())?;
+                groups.push(g);
+                lookup.insert(key, groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        let group = &mut groups[gi];
+        for (ci, call) in calls.iter().enumerate() {
+            let value = match &call.arg {
+                None => Datum::Int(1), // count(*): a non-null marker per row
+                Some(e) => eval(e, &ctx)?,
+            };
+            if call.distinct
+                && (value.is_null() || !group.distinct_seen[ci].insert(value.clone())) {
+                    continue;
+                }
+            group.accs[ci].update(&value).map_err(|e| match e {
+                DbError::TypeMismatch(m) => DbError::TypeMismatch(format!("{}(): {m}", call.func)),
+                other => other,
+            })?;
+        }
+    }
+
+    // A global aggregate over zero rows still produces one row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.push(make_group(Vec::new())?);
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        let mut row = g.key;
+        for acc in &g.accs {
+            row.push(acc.finish());
+        }
+        out.push(row);
+    }
+    Ok(out)
+}

@@ -1,0 +1,416 @@
+//! Expression evaluation with SQL three-valued logic.
+
+use crate::datum::Datum;
+use crate::error::{DbError, DbResult};
+use crate::expr::func::FunctionRegistry;
+use crate::sql::ast::{BinOp, Expr, UnaryOp};
+use std::cmp::Ordering;
+
+/// How a column of the current row is addressable from SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnBinding {
+    /// Table binding (alias or table name), lower-cased.
+    pub table: String,
+    /// Column name, lower-cased.
+    pub column: String,
+}
+
+impl ColumnBinding {
+    pub fn new(table: &str, column: &str) -> Self {
+        ColumnBinding { table: table.to_ascii_lowercase(), column: column.to_ascii_lowercase() }
+    }
+}
+
+/// Everything needed to evaluate an expression against one row.
+pub struct EvalContext<'a> {
+    pub bindings: &'a [ColumnBinding],
+    pub row: &'a [Datum],
+    pub funcs: &'a FunctionRegistry,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Resolve a column reference to its position.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> DbResult<usize> {
+        let name = name.to_ascii_lowercase();
+        let table = table.map(str::to_ascii_lowercase);
+        let mut hit = None;
+        for (i, b) in self.bindings.iter().enumerate() {
+            if b.column != name {
+                continue;
+            }
+            if let Some(t) = &table {
+                if &b.table != t {
+                    continue;
+                }
+            }
+            if hit.is_some() {
+                return Err(DbError::TypeMismatch(format!("ambiguous column {name:?}")));
+            }
+            hit = Some(i);
+        }
+        hit.ok_or(DbError::NotFound { kind: "column", name })
+    }
+}
+
+/// Evaluate an expression. Aggregate calls are rejected here — the planner
+/// rewrites them into aggregate-result column references before any
+/// per-row evaluation happens.
+pub fn eval(expr: &Expr, ctx: &EvalContext) -> DbResult<Datum> {
+    match expr {
+        Expr::Literal(d) => Ok(d.clone()),
+        Expr::Column { table, name } => {
+            let idx = ctx.resolve(table.as_deref(), name)?;
+            Ok(ctx.row[idx].clone())
+        }
+        Expr::Wildcard => Err(DbError::TypeMismatch("* is only valid inside count(*)".into())),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, ctx)?;
+            match op {
+                UnaryOp::Not => Ok(match v {
+                    Datum::Null => Datum::Null,
+                    Datum::Bool(b) => Datum::Bool(!b),
+                    other => {
+                        return Err(DbError::TypeMismatch(format!("NOT expects BOOL, got {other}")))
+                    }
+                }),
+                UnaryOp::Neg => Ok(match v {
+                    Datum::Null => Datum::Null,
+                    Datum::Int(i) => Datum::Int(-i),
+                    Datum::Float(f) => Datum::Float(-f),
+                    other => {
+                        return Err(DbError::TypeMismatch(format!("- expects a number, got {other}")))
+                    }
+                }),
+            }
+        }
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, ctx),
+        Expr::Func { name, args, .. } => {
+            if ctx.funcs.is_aggregate(name) {
+                return Err(DbError::TypeMismatch(format!(
+                    "aggregate {name}() is not allowed in this context"
+                )));
+            }
+            let f = ctx
+                .funcs
+                .scalar(name)
+                .ok_or(DbError::NotFound { kind: "function", name: name.clone() })?
+                .clone();
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval(a, ctx)?);
+            }
+            f(&values)
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, ctx)?;
+            Ok(Datum::Bool(v.is_null() != *negated))
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, ctx)?;
+            if v.is_null() {
+                return Ok(Datum::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval(item, ctx)?;
+                match v.sql_eq(&w) {
+                    Some(true) => return Ok(Datum::Bool(!*negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Datum::Null)
+            } else {
+                Ok(Datum::Bool(*negated))
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval(expr, ctx)?;
+            let lo = eval(low, ctx)?;
+            let hi = eval(high, ctx)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(Datum::Null);
+            }
+            let inside =
+                v.total_cmp(&lo) != Ordering::Less && v.total_cmp(&hi) != Ordering::Greater;
+            Ok(Datum::Bool(inside != *negated))
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval(expr, ctx)?;
+            let p = eval(pattern, ctx)?;
+            match (v, p) {
+                (Datum::Null, _) | (_, Datum::Null) => Ok(Datum::Null),
+                (Datum::Text(s), Datum::Text(pat)) => {
+                    Ok(Datum::Bool(like_match(&s, &pat) != *negated))
+                }
+                _ => Err(DbError::TypeMismatch("LIKE expects TEXT operands".into())),
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, left: &Expr, right: &Expr, ctx: &EvalContext) -> DbResult<Datum> {
+    // AND/OR need lazy NULL handling.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let l = eval(left, ctx)?;
+        let l = to_bool3(l)?;
+        // Short-circuit where the result is already determined.
+        match (op, l) {
+            (BinOp::And, Some(false)) => return Ok(Datum::Bool(false)),
+            (BinOp::Or, Some(true)) => return Ok(Datum::Bool(true)),
+            _ => {}
+        }
+        let r = to_bool3(eval(right, ctx)?)?;
+        let result = match op {
+            BinOp::And => match (l, r) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (l, r) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!("only AND/OR here"),
+        };
+        return Ok(result.map_or(Datum::Null, Datum::Bool));
+    }
+
+    let l = eval(left, ctx)?;
+    let r = eval(right, ctx)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Datum::Null);
+    }
+    match op {
+        BinOp::Eq => Ok(Datum::Bool(l.sql_eq(&r).expect("nulls handled"))),
+        BinOp::NotEq => Ok(Datum::Bool(!l.sql_eq(&r).expect("nulls handled"))),
+        BinOp::Lt => Ok(Datum::Bool(l.total_cmp(&r) == Ordering::Less)),
+        BinOp::LtEq => Ok(Datum::Bool(l.total_cmp(&r) != Ordering::Greater)),
+        BinOp::Gt => Ok(Datum::Bool(l.total_cmp(&r) == Ordering::Greater)),
+        BinOp::GtEq => Ok(Datum::Bool(l.total_cmp(&r) != Ordering::Less)),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, &l, &r),
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn arith(op: BinOp, l: &Datum, r: &Datum) -> DbResult<Datum> {
+    // TEXT + TEXT is concatenation, a convenience for the output language.
+    if op == BinOp::Add {
+        if let (Datum::Text(a), Datum::Text(b)) = (l, r) {
+            return Ok(Datum::Text(format!("{a}{b}")));
+        }
+    }
+    match (l, r) {
+        (Datum::Int(a), Datum::Int(b)) => {
+            let result = match op {
+                BinOp::Add => a.checked_add(*b),
+                BinOp::Sub => a.checked_sub(*b),
+                BinOp::Mul => a.checked_mul(*b),
+                BinOp::Div => {
+                    if *b == 0 {
+                        return Err(DbError::TypeMismatch("division by zero".into()));
+                    }
+                    a.checked_div(*b)
+                }
+                BinOp::Mod => {
+                    if *b == 0 {
+                        return Err(DbError::TypeMismatch("division by zero".into()));
+                    }
+                    a.checked_rem(*b)
+                }
+                _ => unreachable!("arith ops only"),
+            };
+            result
+                .map(Datum::Int)
+                .ok_or_else(|| DbError::TypeMismatch("integer overflow".into()))
+        }
+        _ => {
+            let a = l
+                .as_float()
+                .ok_or_else(|| DbError::TypeMismatch(format!("arithmetic on {l}")))?;
+            let b = r
+                .as_float()
+                .ok_or_else(|| DbError::TypeMismatch(format!("arithmetic on {r}")))?;
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(DbError::TypeMismatch("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Err(DbError::TypeMismatch("division by zero".into()));
+                    }
+                    a % b
+                }
+                _ => unreachable!("arith ops only"),
+            };
+            Ok(Datum::Float(v))
+        }
+    }
+}
+
+fn to_bool3(d: Datum) -> DbResult<Option<bool>> {
+    match d {
+        Datum::Null => Ok(None),
+        Datum::Bool(b) => Ok(Some(b)),
+        other => Err(DbError::TypeMismatch(format!("expected BOOL, got {other}"))),
+    }
+}
+
+/// SQL LIKE: `%` matches any run, `_` matches one character.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative two-pointer with backtracking on the last '%'.
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        // '%' must act as a wildcard even when the text also contains '%'.
+        if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_t = ti;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            pi = star_p + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse;
+    use crate::sql::ast::{Projection, Stmt};
+
+    fn expr(sql: &str) -> Expr {
+        let stmt = parse(&format!("SELECT {sql}")).unwrap();
+        let Stmt::Select(s) = stmt else { panic!() };
+        let Projection::Expr { expr, .. } = s.projections.into_iter().next().unwrap() else {
+            panic!()
+        };
+        expr
+    }
+
+    fn eval_str(sql: &str) -> DbResult<Datum> {
+        let funcs = FunctionRegistry::with_builtins();
+        let ctx = EvalContext { bindings: &[], row: &[], funcs: &funcs };
+        eval(&expr(sql), &ctx)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_str("1 + 2 * 3").unwrap(), Datum::Int(7));
+        assert_eq!(eval_str("7 / 2").unwrap(), Datum::Int(3));
+        assert_eq!(eval_str("7.0 / 2").unwrap(), Datum::Float(3.5));
+        assert_eq!(eval_str("7 % 3").unwrap(), Datum::Int(1));
+        assert_eq!(eval_str("-(2 + 3)").unwrap(), Datum::Int(-5));
+        assert_eq!(eval_str("'a' + 'b'").unwrap(), Datum::Text("ab".into()));
+        assert!(eval_str("1 / 0").is_err());
+        assert!(eval_str("true + 1").is_err());
+        assert_eq!(eval_str("1 + NULL").unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval_str("1 < 2").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("2 <= 2").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("1 = 1.0").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("'a' <> 'b'").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("NULL = NULL").unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(eval_str("false AND NULL").unwrap(), Datum::Bool(false));
+        assert_eq!(eval_str("true AND NULL").unwrap(), Datum::Null);
+        assert_eq!(eval_str("true OR NULL").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("false OR NULL").unwrap(), Datum::Null);
+        assert_eq!(eval_str("NOT NULL").unwrap(), Datum::Null);
+        assert_eq!(eval_str("NOT false").unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn short_circuit_skips_errors() {
+        // The right side would error (aggregate in scalar context), but the
+        // left side already decides.
+        assert_eq!(eval_str("false AND count(1) = 1").unwrap(), Datum::Bool(false));
+        assert_eq!(eval_str("true OR count(1) = 1").unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn special_predicates() {
+        assert_eq!(eval_str("NULL IS NULL").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("1 IS NOT NULL").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("2 IN (1, 2, 3)").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("4 IN (1, 2, 3)").unwrap(), Datum::Bool(false));
+        assert_eq!(eval_str("4 NOT IN (1, 2, 3)").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("4 IN (1, NULL)").unwrap(), Datum::Null);
+        assert_eq!(eval_str("2 BETWEEN 1 AND 3").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("5 NOT BETWEEN 1 AND 3").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("NULL BETWEEN 1 AND 3").unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("kinase", "kin%"));
+        assert!(like_match("kinase", "%ase"));
+        assert!(like_match("kinase", "k_nase"));
+        assert!(like_match("kinase", "%"));
+        assert!(!like_match("kinase", "kin"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "a%c"));
+        assert!(like_match("axxxyc", "a%c"));
+        assert_eq!(eval_str("'kinase' LIKE 'kin%'").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("'kinase' NOT LIKE '%zz%'").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("NULL LIKE 'x'").unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn column_resolution() {
+        let funcs = FunctionRegistry::with_builtins();
+        let bindings = vec![
+            ColumnBinding::new("g", "id"),
+            ColumnBinding::new("g", "name"),
+            ColumnBinding::new("p", "id"),
+        ];
+        let row = vec![Datum::Int(1), Datum::Text("tp53".into()), Datum::Int(9)];
+        let ctx = EvalContext { bindings: &bindings, row: &row, funcs: &funcs };
+
+        assert_eq!(eval(&expr("name"), &ctx).unwrap(), Datum::Text("tp53".into()));
+        assert_eq!(eval(&expr("p.id"), &ctx).unwrap(), Datum::Int(9));
+        // Unqualified ambiguous column errors.
+        assert!(eval(&expr("id"), &ctx).is_err());
+        assert!(eval(&expr("missing"), &ctx).is_err());
+    }
+
+    #[test]
+    fn functions_through_eval() {
+        assert_eq!(eval_str("upper('ab')").unwrap(), Datum::Text("AB".into()));
+        assert_eq!(
+            eval_str("coalesce(NULL, lower('X'))").unwrap(),
+            Datum::Text("x".into())
+        );
+        assert!(eval_str("no_such_fn(1)").is_err());
+        // Aggregates are rejected in scalar contexts.
+        assert!(eval_str("count(1)").is_err());
+    }
+}

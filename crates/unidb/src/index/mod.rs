@@ -1,0 +1,8 @@
+//! Index structures: built-in B+-trees plus the user-defined index
+//! mechanism (§6.5) that lets the adapter plug genomic indexes into plans.
+
+pub mod btree;
+pub mod udi;
+
+pub use btree::BTreeIndex;
+pub use udi::AccessMethod;

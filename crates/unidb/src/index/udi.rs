@@ -1,0 +1,131 @@
+//! User-defined index access methods (§6.5).
+//!
+//! "As we add the ability to store genomic data, a need arises for indexing
+//! these data by using domain-specific indexing techniques. The DBMS must
+//! then offer a mechanism to integrate these user-defined index
+//! structures." This trait is that mechanism: an access method maintains
+//! itself on every insert/delete of the indexed column and may volunteer to
+//! answer a *function predicate* (e.g. `contains(seq, pattern)`) with a
+//! candidate rid list plus a selectivity estimate for the optimizer.
+//!
+//! The contract is filter-semantics: a probe may return false positives
+//! (the executor re-checks the predicate on each candidate row) but must
+//! never miss a true match.
+
+use crate::datum::Datum;
+use crate::storage::heap::Rid;
+
+/// A pluggable domain index over one column of one table.
+pub trait AccessMethod: Send {
+    /// Name for EXPLAIN output and diagnostics.
+    fn name(&self) -> &str;
+
+    /// Maintain the index on insert of a row (called with the indexed
+    /// column's value).
+    fn on_insert(&mut self, rid: Rid, value: &Datum);
+
+    /// Maintain the index on delete of a row.
+    fn on_delete(&mut self, rid: Rid, value: &Datum);
+
+    /// Can this method answer probes for the named function predicate?
+    /// Consulted by the planner before committing to a UDI scan.
+    fn supports(&self, func: &str) -> bool;
+
+    /// Offer candidates for `func(indexed_column, args...)`. `args` holds
+    /// the non-column arguments. Return `None` if this method cannot help
+    /// with the predicate (the planner falls back to a scan).
+    fn probe(&self, func: &str, args: &[Datum]) -> Option<Vec<Rid>>;
+
+    /// Estimated fraction of rows satisfying the predicate, if estimable.
+    /// Feeds the optimizer's cost model (§6.5).
+    fn selectivity(&self, func: &str, args: &[Datum]) -> Option<f64> {
+        let _ = (func, args);
+        None
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A toy access method indexing text values by their first byte —
+    /// answers `starts_with(col, prefix)` probes. Used by planner tests.
+    #[derive(Default)]
+    pub struct FirstByteIndex {
+        by_first: HashMap<u8, Vec<Rid>>,
+    }
+
+    impl AccessMethod for FirstByteIndex {
+        fn name(&self) -> &str {
+            "first_byte"
+        }
+
+        fn on_insert(&mut self, rid: Rid, value: &Datum) {
+            if let Some(text) = value.as_text() {
+                if let Some(&b) = text.as_bytes().first() {
+                    self.by_first.entry(b).or_default().push(rid);
+                }
+            }
+        }
+
+        fn on_delete(&mut self, rid: Rid, value: &Datum) {
+            if let Some(text) = value.as_text() {
+                if let Some(&b) = text.as_bytes().first() {
+                    if let Some(v) = self.by_first.get_mut(&b) {
+                        v.retain(|r| *r != rid);
+                    }
+                }
+            }
+        }
+
+        fn supports(&self, func: &str) -> bool {
+            func == "starts_with"
+        }
+
+        fn probe(&self, func: &str, args: &[Datum]) -> Option<Vec<Rid>> {
+            if func != "starts_with" {
+                return None;
+            }
+            let prefix = args.first()?.as_text()?;
+            let first = *prefix.as_bytes().first()?;
+            Some(self.by_first.get(&first).cloned().unwrap_or_default())
+        }
+
+        fn selectivity(&self, func: &str, args: &[Datum]) -> Option<f64> {
+            let hits = self.probe(func, args)?.len();
+            let total: usize = self.by_first.values().map(Vec::len).sum();
+            Some(if total == 0 { 0.0 } else { hits as f64 / total as f64 })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::FirstByteIndex;
+    use super::*;
+
+    fn rid(n: u32) -> Rid {
+        Rid { page: n, slot: 0 }
+    }
+
+    #[test]
+    fn maintains_and_probes() {
+        let mut idx = FirstByteIndex::default();
+        idx.on_insert(rid(1), &Datum::Text("apple".into()));
+        idx.on_insert(rid(2), &Datum::Text("avocado".into()));
+        idx.on_insert(rid(3), &Datum::Text("banana".into()));
+        idx.on_insert(rid(4), &Datum::Int(7)); // non-text ignored
+
+        let hits = idx.probe("starts_with", &[Datum::Text("apri".into())]).unwrap();
+        assert_eq!(hits, vec![rid(1), rid(2)]);
+        assert!(idx.probe("contains", &[Datum::Text("x".into())]).is_none());
+        let sel = idx.selectivity("starts_with", &[Datum::Text("a".into())]).unwrap();
+        assert!((sel - 2.0 / 3.0).abs() < 1e-12);
+
+        idx.on_delete(rid(1), &Datum::Text("apple".into()));
+        let hits = idx.probe("starts_with", &[Datum::Text("a".into())]).unwrap();
+        assert_eq!(hits, vec![rid(2)]);
+        assert_eq!(idx.name(), "first_byte");
+    }
+}

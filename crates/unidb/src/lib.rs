@@ -1,0 +1,53 @@
+//! # unidb — the Unifying Database substrate
+//!
+//! A from-scratch, extensible relational DBMS implementing the storage
+//! manager the paper's *Unifying Database* (§5) runs on. It is deliberately
+//! built around the extension surface the paper requires of a host DBMS
+//! (§6.2–6.5):
+//!
+//! * **Opaque user-defined types** — values "whose internal and mostly
+//!   complex structure is unknown to the DBMS"; the database provides
+//!   storage, registered hooks provide display/comparison.
+//! * **External functions / user-defined operators** — registered scalar
+//!   functions usable anywhere expressions occur: `SELECT` lists, `WHERE`,
+//!   `GROUP BY`, `ORDER BY`.
+//! * **User-defined index access methods** — domain indexes (k-mer,
+//!   suffix) pluggable into query plans, with selectivity hooks feeding the
+//!   optimizer.
+//! * **Public / user space separation** — the integrated (read-only)
+//!   schema versus updatable per-user schemas (§5.1).
+//!
+//! Architecturally it is a classical single-node engine: slotted pages, a
+//! buffer pool with LRU eviction, a write-ahead log with redo recovery,
+//! heap files, B+-tree secondary indexes, a recursive-descent SQL parser, a
+//! rule-plus-cost optimizer, and a Volcano-style iterator executor.
+//!
+//! ```
+//! use unidb::Database;
+//!
+//! let db = Database::in_memory();
+//! db.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 'alpha'), (2, 'beta')").unwrap();
+//! let rs = db.execute("SELECT name FROM t WHERE id = 2").unwrap();
+//! assert_eq!(rs.rows[0][0].as_text(), Some("beta"));
+//! ```
+
+pub mod error;
+pub mod datum;
+pub mod tuple;
+pub mod catalog;
+pub mod storage;
+pub mod index;
+pub mod sql;
+pub mod expr;
+pub mod plan;
+pub mod exec;
+pub mod db;
+
+pub use catalog::{ColumnDef, OpaqueTypeDef, TableDef};
+pub use datum::{DataType, Datum};
+pub use db::{Database, ResultSet};
+pub use error::{DbError, DbResult};
+pub use expr::func::{AggregateFn, FunctionRegistry, ScalarFn};
+pub use index::udi::AccessMethod;
+pub use storage::heap::Rid;

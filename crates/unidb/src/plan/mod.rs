@@ -1,0 +1,253 @@
+//! Query planning and optimization.
+//!
+//! The planner turns a parsed `SELECT` into a tree of physical operators,
+//! applying the optimizations §6.5 of the paper calls for:
+//!
+//! * **predicate pushdown** — WHERE conjuncts that mention a single table
+//!   move into that table's scan (never into the null-padded side of a
+//!   LEFT JOIN, which would change semantics);
+//! * **index selection** — an equality or range conjunct on a B-tree-indexed
+//!   column becomes an index scan; a *function predicate* (e.g.
+//!   `contains(seq, 'ATT…')`) whose column carries a user-defined access
+//!   method becomes a UDI candidate scan with the predicate re-checked as a
+//!   residual (filter semantics);
+//! * **selectivity estimation** — B-tree distinct-key counts and UDI
+//!   selectivity hooks rank alternative access paths;
+//! * **join strategy** — equi-joins become hash joins, everything else a
+//!   nested loop.
+
+pub mod planner;
+
+use crate::datum::Datum;
+use crate::expr::eval::ColumnBinding;
+use crate::sql::ast::{Expr, JoinKind};
+use std::ops::Bound;
+
+/// One aggregate call collected from the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Aggregate function name (`count`, `sum`, …).
+    pub func: String,
+    /// Argument expression; `None` is `count(*)`.
+    pub arg: Option<Expr>,
+    /// `agg(DISTINCT x)`.
+    pub distinct: bool,
+}
+
+/// A physical operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// A single empty row (for `SELECT 1 + 1`).
+    Nothing,
+    /// Full table scan with an optional pushed-down residual predicate.
+    SeqScan {
+        table_id: u32,
+        qualified: String,
+        columns: Vec<ColumnBinding>,
+        residual: Option<Expr>,
+    },
+    /// B-tree equality lookup.
+    IndexEqScan {
+        table_id: u32,
+        qualified: String,
+        columns: Vec<ColumnBinding>,
+        column: String,
+        key: Datum,
+        residual: Option<Expr>,
+    },
+    /// B-tree range scan.
+    IndexRangeScan {
+        table_id: u32,
+        qualified: String,
+        columns: Vec<ColumnBinding>,
+        column: String,
+        lo: Bound<Datum>,
+        hi: Bound<Datum>,
+        residual: Option<Expr>,
+    },
+    /// User-defined-index candidate scan; `residual` re-checks the full
+    /// predicate because UDI probes may return false positives.
+    UdiScan {
+        table_id: u32,
+        qualified: String,
+        columns: Vec<ColumnBinding>,
+        column: String,
+        func: String,
+        args: Vec<Datum>,
+        residual: Option<Expr>,
+    },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: Expr,
+    },
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    },
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_key: Expr,
+        right_key: Expr,
+    },
+    Aggregate {
+        input: Box<PhysicalPlan>,
+        group_by: Vec<Expr>,
+        calls: Vec<AggCall>,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<Expr>,
+        names: Vec<String>,
+    },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<(Expr, bool)>,
+    },
+    Distinct {
+        input: Box<PhysicalPlan>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        n: u64,
+    },
+}
+
+impl PhysicalPlan {
+    /// The output schema of this operator.
+    pub fn bindings(&self) -> Vec<ColumnBinding> {
+        match self {
+            PhysicalPlan::Nothing => Vec::new(),
+            PhysicalPlan::SeqScan { columns, .. }
+            | PhysicalPlan::IndexEqScan { columns, .. }
+            | PhysicalPlan::IndexRangeScan { columns, .. }
+            | PhysicalPlan::UdiScan { columns, .. } => columns.clone(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Limit { input, .. } => input.bindings(),
+            PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+                let mut b = left.bindings();
+                b.extend(right.bindings());
+                b
+            }
+            PhysicalPlan::HashJoin { left, right, .. } => {
+                let mut b = left.bindings();
+                b.extend(right.bindings());
+                b
+            }
+            PhysicalPlan::Aggregate { group_by, calls, .. } => {
+                let mut b: Vec<ColumnBinding> = (0..group_by.len())
+                    .map(|i| ColumnBinding::new("", &format!("__grp_{i}")))
+                    .collect();
+                b.extend((0..calls.len()).map(|i| ColumnBinding::new("", &format!("__agg_{i}"))));
+                b
+            }
+            PhysicalPlan::Project { names, .. } => {
+                names.iter().map(|n| ColumnBinding::new("", n)).collect()
+            }
+        }
+    }
+
+    /// Render the plan tree for `EXPLAIN`.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::Nothing => out.push_str(&format!("{pad}Nothing\n")),
+            PhysicalPlan::SeqScan { qualified, residual, .. } => {
+                out.push_str(&format!("{pad}SeqScan {qualified}"));
+                if let Some(r) = residual {
+                    out.push_str(&format!(" filter={}", r.render()));
+                }
+                out.push('\n');
+            }
+            PhysicalPlan::IndexEqScan { qualified, column, key, residual, .. } => {
+                out.push_str(&format!("{pad}IndexEqScan {qualified}.{column} = {key}"));
+                if let Some(r) = residual {
+                    out.push_str(&format!(" filter={}", r.render()));
+                }
+                out.push('\n');
+            }
+            PhysicalPlan::IndexRangeScan { qualified, column, residual, .. } => {
+                out.push_str(&format!("{pad}IndexRangeScan {qualified}.{column}"));
+                if let Some(r) = residual {
+                    out.push_str(&format!(" filter={}", r.render()));
+                }
+                out.push('\n');
+            }
+            PhysicalPlan::UdiScan { qualified, column, func, residual, .. } => {
+                out.push_str(&format!("{pad}UdiScan {qualified}.{column} via {func}()"));
+                if let Some(r) = residual {
+                    out.push_str(&format!(" recheck={}", r.render()));
+                }
+                out.push('\n');
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {}\n", predicate.render()));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, kind, on } => {
+                out.push_str(&format!("{pad}NestedLoopJoin {kind:?}"));
+                if let Some(on) = on {
+                    out.push_str(&format!(" on={}", on.render()));
+                }
+                out.push('\n');
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::HashJoin { left, right, left_key, right_key } => {
+                out.push_str(&format!(
+                    "{pad}HashJoin {} = {}\n",
+                    left_key.render(),
+                    right_key.render()
+                ));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Aggregate { input, group_by, calls } => {
+                let groups: Vec<String> = group_by.iter().map(Expr::render).collect();
+                let aggs: Vec<String> = calls
+                    .iter()
+                    .map(|c| {
+                        let arg = c.arg.as_ref().map_or("*".to_string(), Expr::render);
+                        format!("{}({})", c.func, arg)
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate groups=[{}] aggs=[{}]\n",
+                    groups.join(", "),
+                    aggs.join(", ")
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Project { input, names, .. } => {
+                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, asc)| format!("{}{}", e.render(), if *asc { "" } else { " DESC" }))
+                    .collect();
+                out.push_str(&format!("{pad}Sort [{}]\n", ks.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! The planner: SELECT → physical plan.
+
+use crate::catalog::Catalog;
+use crate::datum::Datum;
+use crate::error::{DbError, DbResult};
+use crate::expr::eval::ColumnBinding;
+use crate::expr::func::FunctionRegistry;
+use crate::plan::{AggCall, PhysicalPlan};
+use crate::sql::ast::{BinOp, Expr, JoinKind, Projection, SelectStmt};
+use std::collections::HashSet;
+use std::ops::Bound;
+
+/// What the planner needs to know about the database. Implemented by the
+/// engine; a test double drives the planner tests.
+pub trait PlannerContext {
+    fn catalog(&self) -> &Catalog;
+    fn funcs(&self) -> &FunctionRegistry;
+    /// `(column, distinct_keys)` for every B-tree-indexed column.
+    fn btree_columns(&self, table_id: u32) -> Vec<(String, usize)>;
+    /// Live row count of a table.
+    fn row_count(&self, table_id: u32) -> u64;
+    /// Selectivity if a UDI on `(table, column)` can answer `func(args)`.
+    fn udi_selectivity(&self, table_id: u32, column: &str, func: &str, args: &[Datum])
+        -> Option<f64>;
+}
+
+#[derive(Debug, Clone)]
+struct TableInfo {
+    table_id: u32,
+    qualified: String,
+    binding: String,
+    columns: Vec<ColumnBinding>,
+    /// Right side of a LEFT JOIN: WHERE pushdown is not allowed.
+    null_padded: bool,
+}
+
+/// Plan a SELECT statement. Returns the plan and output column names.
+pub fn plan_select(
+    ctx: &dyn PlannerContext,
+    default_space: &str,
+    s: &SelectStmt,
+) -> DbResult<(PhysicalPlan, Vec<String>)> {
+    // ---- resolve FROM ------------------------------------------------------
+    let mut tables: Vec<TableInfo> = Vec::new();
+    if let Some(from) = &s.from {
+        tables.push(resolve_table(ctx, default_space, &from.base.name, from.base.binding(), false)?);
+        for j in &from.joins {
+            tables.push(resolve_table(
+                ctx,
+                default_space,
+                &j.table.name,
+                j.table.binding(),
+                j.kind == JoinKind::Left,
+            )?);
+        }
+        let mut seen = HashSet::new();
+        for t in &tables {
+            if !seen.insert(t.binding.clone()) {
+                return Err(DbError::Parse(format!("duplicate table binding {:?}", t.binding)));
+            }
+        }
+    }
+
+    // ---- split WHERE and push down -----------------------------------------
+    let conjuncts: Vec<Expr> = s.filter.clone().map_or_else(Vec::new, Expr::conjuncts);
+    let mut pushed: Vec<Vec<Expr>> = vec![Vec::new(); tables.len()];
+    let mut post_join: Vec<Expr> = Vec::new();
+    for c in conjuncts {
+        let target = attribute(&c, &tables).filter(|&i| !tables[i].null_padded);
+        match target {
+            Some(i) => pushed[i].push(c),
+            None => post_join.push(c),
+        }
+    }
+
+    // ---- scans and joins ----------------------------------------------------
+    let mut plan = if tables.is_empty() {
+        PhysicalPlan::Nothing
+    } else {
+        build_scan(ctx, &tables[0], std::mem::take(&mut pushed[0]))
+    };
+    if let Some(from) = &s.from {
+        for (idx, j) in from.joins.iter().enumerate() {
+            let t = &tables[idx + 1];
+            let right = build_scan(ctx, t, std::mem::take(&mut pushed[idx + 1]));
+            plan = plan_join(plan, right, j.kind, j.on.clone(), &tables[..idx + 2])?;
+        }
+    }
+    if let Some(filter) = Expr::conjoin(post_join) {
+        plan = PhysicalPlan::Filter { input: Box::new(plan), predicate: filter };
+    }
+
+    // ---- aggregation ----------------------------------------------------------
+    let mut calls: Vec<AggCall> = Vec::new();
+    for p in &s.projections {
+        if let Projection::Expr { expr, .. } = p {
+            collect_aggs(expr, ctx.funcs(), &mut calls);
+        }
+    }
+    if let Some(h) = &s.having {
+        collect_aggs(h, ctx.funcs(), &mut calls);
+    }
+    for (e, _) in &s.order_by {
+        collect_aggs(e, ctx.funcs(), &mut calls);
+    }
+    let has_agg = !calls.is_empty() || !s.group_by.is_empty();
+    if has_agg {
+        if s.projections.iter().any(|p| matches!(p, Projection::Star)) {
+            return Err(DbError::Unsupported("SELECT * with GROUP BY or aggregates".into()));
+        }
+        plan = PhysicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by: s.group_by.clone(),
+            calls: calls.clone(),
+        };
+        if let Some(h) = &s.having {
+            let rewritten = rewrite_post_agg(h.clone(), &s.group_by, &calls, ctx.funcs())?;
+            plan = PhysicalPlan::Filter { input: Box::new(plan), predicate: rewritten };
+        }
+    } else if s.having.is_some() {
+        return Err(DbError::Parse("HAVING without GROUP BY or aggregates".into()));
+    }
+
+    // ---- projection list -------------------------------------------------------
+    let input_bindings = plan.bindings();
+    let mut out_exprs: Vec<Expr> = Vec::new();
+    let mut out_names: Vec<String> = Vec::new();
+    for p in &s.projections {
+        match p {
+            Projection::Star => {
+                for b in &input_bindings {
+                    out_exprs.push(Expr::Column {
+                        table: Some(b.table.clone()),
+                        name: b.column.clone(),
+                    });
+                    out_names.push(b.column.clone());
+                }
+            }
+            Projection::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                let e = if has_agg {
+                    rewrite_post_agg(expr.clone(), &s.group_by, &calls, ctx.funcs())?
+                } else {
+                    expr.clone()
+                };
+                out_exprs.push(e);
+                out_names.push(name);
+            }
+        }
+    }
+
+    // ---- order by -----------------------------------------------------------------
+    if !s.order_by.is_empty() {
+        let mut keys = Vec::with_capacity(s.order_by.len());
+        for (key, asc) in &s.order_by {
+            // Alias reference?
+            let resolved = if let Expr::Column { table: None, name } = key {
+                out_names
+                    .iter()
+                    .position(|n| n.eq_ignore_ascii_case(name))
+                    .map(|i| out_exprs[i].clone())
+            } else {
+                None
+            };
+            let e = match resolved {
+                Some(e) => e,
+                None if has_agg => rewrite_post_agg(key.clone(), &s.group_by, &calls, ctx.funcs())?,
+                None => key.clone(),
+            };
+            keys.push((e, *asc));
+        }
+        plan = PhysicalPlan::Sort { input: Box::new(plan), keys };
+    }
+
+    plan = PhysicalPlan::Project { input: Box::new(plan), exprs: out_exprs, names: out_names.clone() };
+    if s.distinct {
+        plan = PhysicalPlan::Distinct { input: Box::new(plan) };
+    }
+    if let Some(n) = s.limit {
+        plan = PhysicalPlan::Limit { input: Box::new(plan), n };
+    }
+    Ok((plan, out_names))
+}
+
+fn resolve_table(
+    ctx: &dyn PlannerContext,
+    default_space: &str,
+    name: &str,
+    binding: &str,
+    null_padded: bool,
+) -> DbResult<TableInfo> {
+    let def = ctx.catalog().resolve_table(default_space, name)?;
+    let binding = binding.to_ascii_lowercase();
+    let columns = def
+        .columns
+        .iter()
+        .map(|c| ColumnBinding::new(&binding, &c.name))
+        .collect();
+    Ok(TableInfo {
+        table_id: def.id,
+        qualified: def.qualified_name(),
+        binding,
+        columns,
+        null_padded,
+    })
+}
+
+/// Which single table does this expression reference? `None` when it spans
+/// tables, references nothing, or a column cannot be uniquely attributed.
+fn attribute(expr: &Expr, tables: &[TableInfo]) -> Option<usize> {
+    let mut target: Option<usize> = None;
+    let mut failed = false;
+    expr.visit(&mut |e| {
+        if failed {
+            return;
+        }
+        if let Expr::Column { table, name } = e {
+            let idx = match table {
+                Some(t) => tables
+                    .iter()
+                    .position(|ti| ti.binding.eq_ignore_ascii_case(t)),
+                None => {
+                    let name = name.to_ascii_lowercase();
+                    let hits: Vec<usize> = tables
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, ti)| ti.columns.iter().any(|c| c.column == name))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if hits.len() == 1 {
+                        Some(hits[0])
+                    } else {
+                        None
+                    }
+                }
+            };
+            match idx {
+                None => failed = true,
+                Some(i) => match target {
+                    None => target = Some(i),
+                    Some(t) if t == i => {}
+                    Some(_) => failed = true,
+                },
+            }
+        }
+    });
+    if failed {
+        None
+    } else {
+        target
+    }
+}
+
+/// Choose the cheapest access path for one table given its pushed conjuncts.
+fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> PhysicalPlan {
+    let btrees = ctx.btree_columns(t.table_id);
+    let rows = ctx.row_count(t.table_id).max(1) as f64;
+
+    #[derive(Debug)]
+    enum Path {
+        Eq { column: String, key: Datum },
+        Range { column: String, lo: Bound<Datum>, hi: Bound<Datum> },
+        Udi { column: String, func: String, args: Vec<Datum> },
+    }
+    // (conjunct index, selectivity, path, exact)
+    let mut best: Option<(usize, f64, Path, bool)> = None;
+    let consider = |cand: (usize, f64, Path, bool), best: &mut Option<(usize, f64, Path, bool)>| {
+        if best.as_ref().is_none_or(|b| cand.1 < b.1) {
+            *best = Some(cand);
+        }
+    };
+
+    for (i, c) in conjuncts.iter().enumerate() {
+        // col = literal / literal = col → B-tree equality.
+        if let Expr::Binary { op, left, right } = c {
+            let pair = match (left.as_ref(), right.as_ref()) {
+                (Expr::Column { name, .. }, Expr::Literal(d)) => Some((name, d, *op, false)),
+                (Expr::Literal(d), Expr::Column { name, .. }) => Some((name, d, *op, true)),
+                _ => None,
+            };
+            if let Some((name, d, op, flipped)) = pair {
+                let name = name.to_ascii_lowercase();
+                if let Some((_, distinct)) = btrees.iter().find(|(c, _)| *c == name) {
+                    match op {
+                        BinOp::Eq => {
+                            let sel = 1.0 / (*distinct).max(1) as f64;
+                            consider(
+                                (i, sel, Path::Eq { column: name, key: d.clone() }, true),
+                                &mut best,
+                            );
+                        }
+                        BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                            // Normalize for flipped operands: `5 < col` is `col > 5`.
+                            let effective = if flipped {
+                                match op {
+                                    BinOp::Lt => BinOp::Gt,
+                                    BinOp::LtEq => BinOp::GtEq,
+                                    BinOp::Gt => BinOp::Lt,
+                                    BinOp::GtEq => BinOp::LtEq,
+                                    other => other,
+                                }
+                            } else {
+                                op
+                            };
+                            let (lo, hi) = match effective {
+                                BinOp::Lt => (Bound::Unbounded, Bound::Excluded(d.clone())),
+                                BinOp::LtEq => (Bound::Unbounded, Bound::Included(d.clone())),
+                                BinOp::Gt => (Bound::Excluded(d.clone()), Bound::Unbounded),
+                                _ => (Bound::Included(d.clone()), Bound::Unbounded),
+                            };
+                            consider((i, 0.3, Path::Range { column: name, lo, hi }, true), &mut best);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // col BETWEEN lit AND lit → B-tree range.
+        if let Expr::Between { expr, low, high, negated: false } = c {
+            if let (Expr::Column { name, .. }, Expr::Literal(lo), Expr::Literal(hi)) =
+                (expr.as_ref(), low.as_ref(), high.as_ref())
+            {
+                let name = name.to_ascii_lowercase();
+                if btrees.iter().any(|(c, _)| *c == name) {
+                    consider(
+                        (
+                            i,
+                            0.25,
+                            Path::Range {
+                                column: name,
+                                lo: Bound::Included(lo.clone()),
+                                hi: Bound::Included(hi.clone()),
+                            },
+                            true,
+                        ),
+                        &mut best,
+                    );
+                }
+            }
+        }
+        // func(col, literals…) → UDI probe.
+        if let Expr::Func { name: func, args, distinct: false } = c {
+            if let Some(Expr::Column { name: col, .. }) = args.first() {
+                let rest: Option<Vec<Datum>> = args[1..]
+                    .iter()
+                    .map(|a| match a {
+                        Expr::Literal(d) => Some(d.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(rest) = rest {
+                    let col = col.to_ascii_lowercase();
+                    if let Some(sel) = ctx.udi_selectivity(t.table_id, &col, func, &rest) {
+                        consider(
+                            (i, sel, Path::Udi { column: col, func: func.clone(), args: rest }, false),
+                            &mut best,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let _ = rows; // row count reserved for future join-order costing
+    match best {
+        None => PhysicalPlan::SeqScan {
+            table_id: t.table_id,
+            qualified: t.qualified.clone(),
+            columns: t.columns.clone(),
+            residual: Expr::conjoin(conjuncts),
+        },
+        Some((chosen, _sel, path, exact)) => {
+            let mut residual_parts: Vec<Expr> = Vec::new();
+            for (i, c) in conjuncts.into_iter().enumerate() {
+                // Exact paths fully satisfy their conjunct; UDI paths are
+                // approximate and must re-check it.
+                if i != chosen || !exact {
+                    residual_parts.push(c);
+                }
+            }
+            let residual = Expr::conjoin(residual_parts);
+            match path {
+                Path::Eq { column, key } => PhysicalPlan::IndexEqScan {
+                    table_id: t.table_id,
+                    qualified: t.qualified.clone(),
+                    columns: t.columns.clone(),
+                    column,
+                    key,
+                    residual,
+                },
+                Path::Range { column, lo, hi } => PhysicalPlan::IndexRangeScan {
+                    table_id: t.table_id,
+                    qualified: t.qualified.clone(),
+                    columns: t.columns.clone(),
+                    column,
+                    lo,
+                    hi,
+                    residual,
+                },
+                Path::Udi { column, func, args } => PhysicalPlan::UdiScan {
+                    table_id: t.table_id,
+                    qualified: t.qualified.clone(),
+                    columns: t.columns.clone(),
+                    column,
+                    func,
+                    args,
+                    residual,
+                },
+            }
+        }
+    }
+}
+
+/// Pick a join strategy.
+fn plan_join(
+    left: PhysicalPlan,
+    right: PhysicalPlan,
+    kind: JoinKind,
+    on: Option<Expr>,
+    tables: &[TableInfo],
+) -> DbResult<PhysicalPlan> {
+    if kind == JoinKind::Inner {
+        if let Some(on_expr) = &on {
+            let factors = on_expr.clone().conjuncts();
+            let left_tables: Vec<TableInfo> = tables[..tables.len() - 1].to_vec();
+            let right_table = &tables[tables.len() - 1..];
+            let mut equi: Option<(Expr, Expr)> = None;
+            let mut rest: Vec<Expr> = Vec::new();
+            for f in factors {
+                if equi.is_none() {
+                    if let Expr::Binary { op: BinOp::Eq, left: l, right: r } = &f {
+                        let l_attr = attribute(l, &left_tables);
+                        let r_attr = attribute(r, right_table);
+                        if l_attr.is_some() && r_attr.is_some() && l.references_columns() && r.references_columns() {
+                            equi = Some((l.as_ref().clone(), r.as_ref().clone()));
+                            continue;
+                        }
+                        // Maybe flipped: right side references left tables.
+                        let l_attr2 = attribute(r, &left_tables);
+                        let r_attr2 = attribute(l, right_table);
+                        if l_attr2.is_some() && r_attr2.is_some() && l.references_columns() && r.references_columns() {
+                            equi = Some((r.as_ref().clone(), l.as_ref().clone()));
+                            continue;
+                        }
+                    }
+                }
+                rest.push(f);
+            }
+            if let Some((lk, rk)) = equi {
+                let mut plan = PhysicalPlan::HashJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    left_key: lk,
+                    right_key: rk,
+                };
+                if let Some(f) = Expr::conjoin(rest) {
+                    plan = PhysicalPlan::Filter { input: Box::new(plan), predicate: f };
+                }
+                return Ok(plan);
+            }
+        }
+    }
+    Ok(PhysicalPlan::NestedLoopJoin {
+        left: Box::new(left),
+        right: Box::new(right),
+        kind,
+        on,
+    })
+}
+
+/// Collect aggregate calls, deduplicated.
+fn collect_aggs(expr: &Expr, funcs: &FunctionRegistry, out: &mut Vec<AggCall>) {
+    match expr {
+        Expr::Func { name, args, distinct } if funcs.is_aggregate(name) => {
+            let arg = match args.as_slice() {
+                [Expr::Wildcard] | [] => None,
+                [single] => Some(single.clone()),
+                _ => Some(args[0].clone()), // multi-arg aggregates take the first
+            };
+            let call = AggCall { func: name.clone(), arg, distinct: *distinct };
+            if !out.contains(&call) {
+                out.push(call);
+            }
+        }
+        other => {
+            // Recurse.
+            let mut children: Vec<&Expr> = Vec::new();
+            match other {
+                Expr::Unary { expr, .. } => children.push(expr),
+                Expr::Binary { left, right, .. } => {
+                    children.push(left);
+                    children.push(right);
+                }
+                Expr::Func { args, .. } => children.extend(args.iter()),
+                Expr::IsNull { expr, .. } => children.push(expr),
+                Expr::InList { expr, list, .. } => {
+                    children.push(expr);
+                    children.extend(list.iter());
+                }
+                Expr::Between { expr, low, high, .. } => {
+                    children.extend([expr.as_ref(), low.as_ref(), high.as_ref()]);
+                }
+                Expr::Like { expr, pattern, .. } => {
+                    children.extend([expr.as_ref(), pattern.as_ref()]);
+                }
+                _ => {}
+            }
+            for c in children {
+                collect_aggs(c, funcs, out);
+            }
+        }
+    }
+}
+
+/// Rewrite a post-aggregation expression: group-by expressions become
+/// `__grp_i` references, aggregate calls become `__agg_j` references, and
+/// any remaining raw column reference is an error (not in GROUP BY).
+fn rewrite_post_agg(
+    expr: Expr,
+    group_by: &[Expr],
+    calls: &[AggCall],
+    funcs: &FunctionRegistry,
+) -> DbResult<Expr> {
+    if let Some(i) = group_by.iter().position(|g| *g == expr) {
+        return Ok(Expr::Column { table: None, name: format!("__grp_{i}") });
+    }
+    if let Expr::Func { name, args, distinct } = &expr {
+        if funcs.is_aggregate(name) {
+            let arg = match args.as_slice() {
+                [Expr::Wildcard] | [] => None,
+                [single] => Some(single.clone()),
+                _ => Some(args[0].clone()),
+            };
+            let call = AggCall { func: name.clone(), arg, distinct: *distinct };
+            let j = calls
+                .iter()
+                .position(|c| *c == call)
+                .ok_or_else(|| DbError::Internal("uncollected aggregate call".into()))?;
+            return Ok(Expr::Column { table: None, name: format!("__agg_{j}") });
+        }
+    }
+    // Recurse and then verify no raw column survives.
+    let rewritten = match expr {
+        Expr::Column { table, name } => {
+            return Err(DbError::Parse(format!(
+                "column {}{name} must appear in GROUP BY or inside an aggregate",
+                table.map_or(String::new(), |t| format!("{t}."))
+            )))
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(rewrite_post_agg(*expr, group_by, calls, funcs)?),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op,
+            left: Box::new(rewrite_post_agg(*left, group_by, calls, funcs)?),
+            right: Box::new(rewrite_post_agg(*right, group_by, calls, funcs)?),
+        },
+        Expr::Func { name, args, distinct } => Expr::Func {
+            name,
+            args: args
+                .into_iter()
+                .map(|a| rewrite_post_agg(a, group_by, calls, funcs))
+                .collect::<DbResult<_>>()?,
+            distinct,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_post_agg(*expr, group_by, calls, funcs)?),
+            negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(rewrite_post_agg(*expr, group_by, calls, funcs)?),
+            list: list
+                .into_iter()
+                .map(|e| rewrite_post_agg(e, group_by, calls, funcs))
+                .collect::<DbResult<_>>()?,
+            negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(rewrite_post_agg(*expr, group_by, calls, funcs)?),
+            low: Box::new(rewrite_post_agg(*low, group_by, calls, funcs)?),
+            high: Box::new(rewrite_post_agg(*high, group_by, calls, funcs)?),
+            negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(rewrite_post_agg(*expr, group_by, calls, funcs)?),
+            pattern: Box::new(rewrite_post_agg(*pattern, group_by, calls, funcs)?),
+            negated,
+        },
+        leaf @ (Expr::Literal(_) | Expr::Wildcard) => leaf,
+    };
+    Ok(rewritten)
+}
+
+fn default_name(expr: &Expr) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.to_ascii_lowercase(),
+        Expr::Func { name, .. } => name.clone(),
+        other => other.render(),
+    }
+}

@@ -1,0 +1,421 @@
+//! Heap files: unordered record storage with stable record ids and
+//! overflow chains for records larger than a page (whole chromosomes
+//! easily exceed 8 KiB).
+
+use crate::error::{DbError, DbResult};
+use crate::storage::buffer::BufferPool;
+use crate::storage::page::Page;
+use crate::tuple::{put_varint, take_slice, take_u8, take_varint};
+
+/// A record id: page number plus slot within the page. Stable across the
+/// record's lifetime (slots are tombstoned, never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    pub page: u32,
+    pub slot: u16,
+}
+
+impl std::fmt::Display for Rid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.page, self.slot)
+    }
+}
+
+const INLINE: u8 = 0;
+const OVERFLOW: u8 = 1;
+/// Chunk header inside an overflow record: next page (u32) + next slot (u16).
+const CHUNK_HEADER: usize = 6;
+
+/// An unordered heap of records over a buffer pool.
+pub struct HeapFile {
+    pool: BufferPool,
+    live: u64,
+}
+
+impl HeapFile {
+    /// An empty heap over the given pool.
+    pub fn new(pool: BufferPool) -> Self {
+        HeapFile { pool, live: 0 }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.live
+    }
+
+    /// True when no live records exist.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of allocated pages (heap + overflow).
+    pub fn num_pages(&self) -> u32 {
+        self.pool.num_pages()
+    }
+
+    /// Buffer-pool statistics `(hits, misses, evictions)`.
+    pub fn pool_stats(&self) -> (u64, u64, u64) {
+        self.pool.stats()
+    }
+
+    /// Insert a record, returning its id.
+    pub fn insert(&mut self, bytes: &[u8]) -> DbResult<Rid> {
+        let record = if bytes.len() < Page::max_record() {
+            let mut rec = Vec::with_capacity(1 + bytes.len());
+            rec.push(INLINE);
+            rec.extend_from_slice(bytes);
+            rec
+        } else {
+            let (first_page, first_slot) = self.write_overflow_chain(bytes)?;
+            let mut rec = Vec::with_capacity(16);
+            rec.push(OVERFLOW);
+            put_varint(&mut rec, bytes.len() as u64);
+            rec.extend_from_slice(&first_page.to_le_bytes());
+            rec.extend_from_slice(&first_slot.to_le_bytes());
+            rec
+        };
+        let rid = self.place(&record)?;
+        self.live += 1;
+        Ok(rid)
+    }
+
+    /// Read a record.
+    pub fn get(&mut self, rid: Rid) -> DbResult<Option<Vec<u8>>> {
+        if rid.page >= self.pool.num_pages() {
+            return Ok(None);
+        }
+        let stub = self
+            .pool
+            .with_page(rid.page, |p| p.get(rid.slot).map(<[u8]>::to_vec))?;
+        let Some(stub) = stub else { return Ok(None) };
+        self.expand(&stub).map(Some)
+    }
+
+    /// Delete a record (and its overflow chain). Returns false if already
+    /// absent.
+    pub fn delete(&mut self, rid: Rid) -> DbResult<bool> {
+        if rid.page >= self.pool.num_pages() {
+            return Ok(false);
+        }
+        let stub = self
+            .pool
+            .with_page(rid.page, |p| p.get(rid.slot).map(<[u8]>::to_vec))?;
+        let Some(stub) = stub else { return Ok(false) };
+        if stub.first() == Some(&OVERFLOW) {
+            let (mut page, mut slot, _) = parse_overflow_stub(&stub)?;
+            while page != u32::MAX {
+                let chunk = self
+                    .pool
+                    .with_page(page, |p| p.get(slot).map(<[u8]>::to_vec))?
+                    .ok_or_else(|| DbError::Storage("broken overflow chain".into()))?;
+                let (next_page, next_slot) = chunk_next(&chunk)?;
+                self.pool.with_page_mut(page, |p| p.delete(slot))?;
+                page = next_page;
+                slot = next_slot;
+            }
+        }
+        self.pool.with_page_mut(rid.page, |p| p.delete(rid.slot))?;
+        self.live -= 1;
+        Ok(true)
+    }
+
+    /// Replace a record's contents. The record keeps its id when the new
+    /// value fits in place; otherwise it moves and the new id is returned.
+    pub fn update(&mut self, rid: Rid, bytes: &[u8]) -> DbResult<Rid> {
+        // In-place only for inline-to-inline shrinking updates; anything
+        // else is delete + insert (indexes are maintained by the caller).
+        let existing = self.get(rid)?;
+        if existing.is_none() {
+            return Err(DbError::Storage(format!("update of missing record {rid}")));
+        }
+        if bytes.len() < Page::max_record() {
+            let mut rec = Vec::with_capacity(1 + bytes.len());
+            rec.push(INLINE);
+            rec.extend_from_slice(bytes);
+            let updated = self
+                .pool
+                .with_page_mut(rid.page, |p| p.update_in_place(rid.slot, &rec))?;
+            if updated {
+                return Ok(rid);
+            }
+        }
+        self.delete(rid)?;
+        self.insert(bytes)
+    }
+
+    /// Live records of one page, expanded. Pages past the end yield an
+    /// empty batch, which lets scans race ahead safely.
+    pub fn page_records(&mut self, page_no: u32) -> DbResult<Vec<(Rid, Vec<u8>)>> {
+        if page_no >= self.pool.num_pages() {
+            return Ok(Vec::new());
+        }
+        let stubs: Vec<(u16, Vec<u8>)> = self.pool.with_page(page_no, |p| {
+            p.iter().map(|(slot, rec)| (slot, rec.to_vec())).collect()
+        })?;
+        let mut out = Vec::with_capacity(stubs.len());
+        for (slot, stub) in stubs {
+            // Overflow chunks are internal records; only stubs are rows.
+            if stub.first() == Some(&INLINE) || stub.first() == Some(&OVERFLOW) {
+                out.push((Rid { page: page_no, slot }, self.expand(&stub)?));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materialize every live record.
+    pub fn scan(&mut self) -> DbResult<Vec<(Rid, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for page_no in 0..self.pool.num_pages() {
+            out.extend(self.page_records(page_no)?);
+        }
+        Ok(out)
+    }
+
+    /// Flush dirty pages to the store.
+    pub fn flush(&mut self) -> DbResult<()> {
+        self.pool.flush_all()
+    }
+
+    // -- internals -----------------------------------------------------------
+
+    /// Place a small record on the tail page, allocating if needed.
+    fn place(&mut self, record: &[u8]) -> DbResult<Rid> {
+        let n = self.pool.num_pages();
+        if n > 0 {
+            let tail = n - 1;
+            let slot = self.pool.with_page_mut(tail, |p| p.insert(record))?;
+            if let Some(slot) = slot {
+                return Ok(Rid { page: tail, slot });
+            }
+        }
+        let fresh = self.pool.allocate()?;
+        let slot = self
+            .pool
+            .with_page_mut(fresh, |p| p.insert(record))?
+            .ok_or_else(|| DbError::Storage("record does not fit in an empty page".into()))?;
+        Ok(Rid { page: fresh, slot })
+    }
+
+    /// Write `bytes` as a chain of chunk records; returns the head chunk's
+    /// location. Chunks carry a marker byte distinct from INLINE/OVERFLOW so
+    /// scans skip them.
+    fn write_overflow_chain(&mut self, bytes: &[u8]) -> DbResult<(u32, u16)> {
+        const CHUNK_MARK: u8 = 2;
+        let payload = Page::max_record() - 1 - CHUNK_HEADER;
+        let chunks: Vec<&[u8]> = bytes.chunks(payload).collect();
+        // Write back-to-front so each chunk knows its successor.
+        let (mut next_page, mut next_slot) = (u32::MAX, u16::MAX);
+        for chunk in chunks.iter().rev() {
+            let mut rec = Vec::with_capacity(1 + CHUNK_HEADER + chunk.len());
+            rec.push(CHUNK_MARK);
+            rec.extend_from_slice(&next_page.to_le_bytes());
+            rec.extend_from_slice(&next_slot.to_le_bytes());
+            rec.extend_from_slice(chunk);
+            let rid = self.place(&rec)?;
+            next_page = rid.page;
+            next_slot = rid.slot;
+        }
+        Ok((next_page, next_slot))
+    }
+
+    /// Expand a stub into the full record bytes.
+    fn expand(&mut self, stub: &[u8]) -> DbResult<Vec<u8>> {
+        match stub.first() {
+            Some(&INLINE) => Ok(stub[1..].to_vec()),
+            Some(&OVERFLOW) => {
+                let (mut page, mut slot, total) = parse_overflow_stub(stub)?;
+                let mut out = Vec::with_capacity(total);
+                while page != u32::MAX {
+                    let chunk = self
+                        .pool
+                        .with_page(page, |p| p.get(slot).map(<[u8]>::to_vec))?
+                        .ok_or_else(|| DbError::Storage("broken overflow chain".into()))?;
+                    let (next_page, next_slot) = chunk_next(&chunk)?;
+                    out.extend_from_slice(&chunk[1 + CHUNK_HEADER..]);
+                    page = next_page;
+                    slot = next_slot;
+                }
+                if out.len() != total {
+                    return Err(DbError::Storage(format!(
+                        "overflow chain length {} != declared {total}",
+                        out.len()
+                    )));
+                }
+                Ok(out)
+            }
+            _ => Err(DbError::Storage("unrecognized record marker".into())),
+        }
+    }
+}
+
+fn parse_overflow_stub(stub: &[u8]) -> DbResult<(u32, u16, usize)> {
+    let mut buf = &stub[1..];
+    let total = take_varint(&mut buf)? as usize;
+    let page_bytes = take_slice(&mut buf, 4)?;
+    let slot_bytes = take_slice(&mut buf, 2)?;
+    let page = u32::from_le_bytes(page_bytes.try_into().expect("4 bytes"));
+    let slot = u16::from_le_bytes(slot_bytes.try_into().expect("2 bytes"));
+    Ok((page, slot, total))
+}
+
+fn chunk_next(chunk: &[u8]) -> DbResult<(u32, u16)> {
+    let mut buf = chunk;
+    let _mark = take_u8(&mut buf)?;
+    let page_bytes = take_slice(&mut buf, 4)?;
+    let slot_bytes = take_slice(&mut buf, 2)?;
+    Ok((
+        u32::from_le_bytes(page_bytes.try_into().expect("4 bytes")),
+        u16::from_le_bytes(slot_bytes.try_into().expect("2 bytes")),
+    ))
+}
+
+impl std::fmt::Debug for HeapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapFile")
+            .field("live", &self.live)
+            .field("pages", &self.pool.num_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::store::MemStore;
+
+    fn heap() -> HeapFile {
+        HeapFile::new(BufferPool::new(Box::new(MemStore::new()), 64))
+    }
+
+    #[test]
+    fn insert_get_delete_small() {
+        let mut h = heap();
+        let a = h.insert(b"alpha").unwrap();
+        let b = h.insert(b"beta").unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(a).unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(h.get(b).unwrap().as_deref(), Some(&b"beta"[..]));
+        assert!(h.delete(a).unwrap());
+        assert!(!h.delete(a).unwrap());
+        assert_eq!(h.get(a).unwrap(), None);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn get_of_unknown_rid_is_none() {
+        let mut h = heap();
+        assert_eq!(h.get(Rid { page: 9, slot: 9 }).unwrap(), None);
+        assert!(!h.delete(Rid { page: 9, slot: 0 }).unwrap());
+    }
+
+    #[test]
+    fn many_records_spill_to_new_pages() {
+        let mut h = heap();
+        let rids: Vec<Rid> = (0..1000)
+            .map(|i| h.insert(format!("record-{i:04}").as_bytes()).unwrap())
+            .collect();
+        assert!(h.num_pages() > 1);
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(
+                h.get(*rid).unwrap().unwrap(),
+                format!("record-{i:04}").into_bytes()
+            );
+        }
+        assert_eq!(h.scan().unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn large_record_overflow_roundtrip() {
+        let mut h = heap();
+        // A 100 KiB "chromosome": far beyond one page.
+        let big: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let small = h.insert(b"small").unwrap();
+        let rid = h.insert(&big).unwrap();
+        assert_eq!(h.get(rid).unwrap().unwrap(), big);
+        assert_eq!(h.get(small).unwrap().as_deref(), Some(&b"small"[..]));
+        // Scans see exactly the two logical records, not the chunks.
+        let scan = h.scan().unwrap();
+        assert_eq!(scan.len(), 2);
+        assert!(scan.iter().any(|(r, data)| *r == rid && *data == big));
+    }
+
+    #[test]
+    fn delete_large_record_frees_logical_view() {
+        let mut h = heap();
+        let big = vec![7u8; 50_000];
+        let rid = h.insert(&big).unwrap();
+        assert!(h.delete(rid).unwrap());
+        assert_eq!(h.get(rid).unwrap(), None);
+        assert_eq!(h.scan().unwrap().len(), 0);
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn update_in_place_keeps_rid() {
+        let mut h = heap();
+        let rid = h.insert(b"abcdef").unwrap();
+        let same = h.update(rid, b"abc").unwrap();
+        assert_eq!(same, rid);
+        assert_eq!(h.get(rid).unwrap().as_deref(), Some(&b"abc"[..]));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn growing_update_relocates() {
+        let mut h = heap();
+        let rid = h.insert(b"ab").unwrap();
+        // Fill the tail page a bit so in-place growth is impossible.
+        let grown = vec![9u8; 5000];
+        let new_rid = h.update(rid, &grown).unwrap();
+        assert_eq!(h.get(new_rid).unwrap().unwrap(), grown);
+        if new_rid != rid {
+            assert_eq!(h.get(rid).unwrap(), None);
+        }
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn update_small_to_large_to_small() {
+        let mut h = heap();
+        let rid = h.insert(b"tiny").unwrap();
+        let big = vec![1u8; 30_000];
+        let rid2 = h.update(rid, &big).unwrap();
+        assert_eq!(h.get(rid2).unwrap().unwrap(), big);
+        let rid3 = h.update(rid2, b"tiny again").unwrap();
+        assert_eq!(h.get(rid3).unwrap().as_deref(), Some(&b"tiny again"[..]));
+        assert_eq!(h.scan().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_missing_errors() {
+        let mut h = heap();
+        assert!(h.update(Rid { page: 0, slot: 0 }, b"x").is_err());
+    }
+
+    #[test]
+    fn page_batches_skip_chunks() {
+        let mut h = heap();
+        h.insert(&vec![3u8; 40_000]).unwrap();
+        let mut logical = 0;
+        for p in 0..h.num_pages() {
+            logical += h.page_records(p).unwrap().len();
+        }
+        assert_eq!(logical, 1);
+        assert!(h.page_records(999).unwrap().is_empty());
+    }
+
+    #[test]
+    fn works_with_tiny_buffer_pool() {
+        // Eviction pressure: pool of 2 frames, data spanning many pages.
+        let mut h = HeapFile::new(BufferPool::new(Box::new(MemStore::new()), 2));
+        let big = vec![5u8; 60_000];
+        let rid = h.insert(&big).unwrap();
+        let small: Vec<Rid> = (0..200)
+            .map(|i| h.insert(format!("r{i}").as_bytes()).unwrap())
+            .collect();
+        assert_eq!(h.get(rid).unwrap().unwrap(), big);
+        assert_eq!(h.get(small[0]).unwrap().as_deref(), Some(&b"r0"[..]));
+        let (_, _, evictions) = h.pool_stats();
+        assert!(evictions > 0);
+    }
+}

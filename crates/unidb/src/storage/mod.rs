@@ -1,0 +1,16 @@
+//! The storage engine: slotted pages, page stores, a buffer pool, heap
+//! files with overflow chains for large genomic payloads, and a logical
+//! write-ahead log.
+//!
+//! Durability model: heap pages live in a page store (in-memory or
+//! file-backed, behind the buffer pool); persistence across restarts uses
+//! *logical* WAL records plus snapshot checkpoints (see [`wal`] and
+//! `crate::db`). This is the classical snapshot-plus-redo-log design: easy
+//! to reason about, and the replay path doubles as the ETL refresh
+//! machinery's transport format.
+
+pub mod page;
+pub mod store;
+pub mod buffer;
+pub mod heap;
+pub mod wal;

@@ -1,0 +1,177 @@
+//! Page stores: where page images ultimately live.
+
+use crate::error::{DbError, DbResult};
+use crate::storage::page::{Page, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// The backing store of a heap file's pages.
+pub trait PageStore: Send {
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u32;
+    /// Allocate a fresh (zeroed) page, returning its number.
+    fn allocate(&mut self) -> DbResult<u32>;
+    /// Read a page image.
+    fn read(&mut self, page_no: u32) -> DbResult<Page>;
+    /// Write a page image.
+    fn write(&mut self, page_no: u32, page: &Page) -> DbResult<()>;
+    /// Flush to stable storage (no-op for memory).
+    fn sync(&mut self) -> DbResult<()>;
+}
+
+/// An in-memory page store.
+#[derive(Default)]
+pub struct MemStore {
+    pages: Vec<Page>,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemStore {
+    fn num_pages(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn allocate(&mut self) -> DbResult<u32> {
+        self.pages.push(Page::new());
+        Ok(self.pages.len() as u32 - 1)
+    }
+
+    fn read(&mut self, page_no: u32) -> DbResult<Page> {
+        self.pages
+            .get(page_no as usize)
+            .cloned()
+            .ok_or_else(|| DbError::Storage(format!("page {page_no} out of range")))
+    }
+
+    fn write(&mut self, page_no: u32, page: &Page) -> DbResult<()> {
+        let slot = self
+            .pages
+            .get_mut(page_no as usize)
+            .ok_or_else(|| DbError::Storage(format!("page {page_no} out of range")))?;
+        *slot = page.clone();
+        Ok(())
+    }
+
+    fn sync(&mut self) -> DbResult<()> {
+        Ok(())
+    }
+}
+
+/// A file-backed page store: page `n` lives at byte offset `n * PAGE_SIZE`.
+pub struct FileStore {
+    file: File,
+    num_pages: u32,
+}
+
+impl FileStore {
+    /// Open (creating if needed) a page file.
+    pub fn open(path: &Path) -> DbResult<Self> {
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(DbError::Storage(format!(
+                "page file {} has a partial page ({len} bytes)",
+                path.display()
+            )));
+        }
+        Ok(FileStore { file, num_pages: (len / PAGE_SIZE as u64) as u32 })
+    }
+}
+
+impl PageStore for FileStore {
+    fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    fn allocate(&mut self) -> DbResult<u32> {
+        let page_no = self.num_pages;
+        self.file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(Page::new().as_bytes())?;
+        self.num_pages += 1;
+        Ok(page_no)
+    }
+
+    fn read(&mut self, page_no: u32) -> DbResult<Page> {
+        if page_no >= self.num_pages {
+            return Err(DbError::Storage(format!("page {page_no} out of range")));
+        }
+        self.file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read_exact(&mut buf)?;
+        Ok(Page::from_bytes(&buf))
+    }
+
+    fn write(&mut self, page_no: u32, page: &Page) -> DbResult<()> {
+        if page_no >= self.num_pages {
+            return Err(DbError::Storage(format!("page {page_no} out of range")));
+        }
+        self.file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> DbResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn PageStore) {
+        assert_eq!(store.num_pages(), 0);
+        let p0 = store.allocate().unwrap();
+        let p1 = store.allocate().unwrap();
+        assert_eq!((p0, p1), (0, 1));
+
+        let mut page = Page::new();
+        page.insert(b"data").unwrap();
+        store.write(p1, &page).unwrap();
+        let back = store.read(p1).unwrap();
+        assert_eq!(back.get(0), Some(&b"data"[..]));
+        assert_eq!(store.read(p0).unwrap().slot_count(), 0);
+        assert!(store.read(7).is_err());
+        assert!(store.write(7, &page).is_err());
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_store() {
+        exercise(&mut MemStore::new());
+    }
+
+    #[test]
+    fn file_store_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("unidb-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t1.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut fs = FileStore::open(&path).unwrap();
+            exercise(&mut fs);
+        }
+        // Reopen and verify persistence.
+        let mut fs = FileStore::open(&path).unwrap();
+        assert_eq!(fs.num_pages(), 2);
+        assert_eq!(fs.read(1).unwrap().get(0), Some(&b"data"[..]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_store_rejects_partial_page() {
+        let dir = std::env::temp_dir().join(format!("unidb-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.pages");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        assert!(FileStore::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

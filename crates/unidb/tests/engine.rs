@@ -1,0 +1,713 @@
+//! End-to-end engine tests: SQL in, rows out.
+
+use std::sync::Arc;
+use unidb::catalog::Role;
+use unidb::{AccessMethod, Database, Datum, DbError, Rid};
+
+fn db() -> Database {
+    Database::in_memory()
+}
+
+fn ints(rs: &unidb::ResultSet) -> Vec<i64> {
+    rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect()
+}
+
+fn texts(rs: &unidb::ResultSet) -> Vec<String> {
+    rs.rows.iter().map(|r| r[0].as_text().unwrap().to_string()).collect()
+}
+
+fn seeded() -> Database {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE genes (id INT NOT NULL, symbol TEXT, len INT, gc FLOAT);
+         INSERT INTO genes VALUES
+            (1, 'tp53', 1200, 0.46),
+            (2, 'brca1', 5600, 0.41),
+            (3, 'kras', 900, 0.38),
+            (4, 'egfr', 2800, 0.51),
+            (5, 'myc', 700, 0.55);",
+    )
+    .unwrap();
+    d
+}
+
+#[test]
+fn basic_crud_cycle() {
+    let d = seeded();
+    let rs = d.execute("SELECT symbol FROM genes WHERE id = 3").unwrap();
+    assert_eq!(texts(&rs), vec!["kras"]);
+
+    let rs = d.execute("UPDATE genes SET len = len + 100 WHERE symbol = 'myc'").unwrap();
+    assert_eq!(rs.affected, 1);
+    let rs = d.execute("SELECT len FROM genes WHERE symbol = 'myc'").unwrap();
+    assert_eq!(ints(&rs), vec![800]);
+
+    let rs = d.execute("DELETE FROM genes WHERE len < 1000").unwrap();
+    assert_eq!(rs.affected, 2);
+    let rs = d.execute("SELECT count(*) FROM genes").unwrap();
+    assert_eq!(ints(&rs), vec![3]);
+}
+
+#[test]
+fn ordering_limits_distinct() {
+    let d = seeded();
+    let rs = d
+        .execute("SELECT symbol FROM genes ORDER BY len DESC LIMIT 2")
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["brca1", "egfr"]);
+
+    d.execute("INSERT INTO genes VALUES (6, 'tp53', 999, 0.4)").unwrap();
+    let rs = d.execute("SELECT DISTINCT symbol FROM genes ORDER BY symbol").unwrap();
+    assert_eq!(rs.len(), 5);
+}
+
+#[test]
+fn aggregation_group_having() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE obs (organism TEXT, reading FLOAT);
+         INSERT INTO obs VALUES
+           ('ecoli', 1.0), ('ecoli', 3.0), ('yeast', 10.0),
+           ('yeast', 20.0), ('yeast', 30.0), ('human', 5.0);",
+    )
+    .unwrap();
+    let rs = d
+        .execute(
+            "SELECT organism, count(*) AS n, avg(reading) AS mean \
+             FROM obs GROUP BY organism HAVING count(*) >= 2 ORDER BY n DESC",
+        )
+        .unwrap();
+    assert_eq!(rs.columns, vec!["organism", "n", "mean"]);
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[0][0], Datum::Text("yeast".into()));
+    assert_eq!(rs.rows[0][2], Datum::Float(20.0));
+    assert_eq!(rs.rows[1][2], Datum::Float(2.0));
+
+    // Global aggregate over empty input yields one row.
+    let rs = d.execute("SELECT count(*), sum(reading) FROM obs WHERE reading > 99").unwrap();
+    assert_eq!(rs.rows, vec![vec![Datum::Int(0), Datum::Null]]);
+
+    // min/max/sum with DISTINCT.
+    let rs = d
+        .execute("SELECT min(reading), max(reading), count(DISTINCT organism) FROM obs")
+        .unwrap();
+    assert_eq!(rs.rows[0], vec![Datum::Float(1.0), Datum::Float(30.0), Datum::Int(3)]);
+}
+
+#[test]
+fn group_by_strictness() {
+    let d = seeded();
+    let err = d.execute("SELECT symbol, count(*) FROM genes GROUP BY len").unwrap_err();
+    assert!(matches!(err, DbError::Parse(_)), "{err}");
+}
+
+#[test]
+fn joins_inner_left_cross() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE g (id INT, name TEXT);
+         CREATE TABLE p (gene_id INT, protein TEXT);
+         INSERT INTO g VALUES (1, 'tp53'), (2, 'brca1'), (3, 'orphan');
+         INSERT INTO p VALUES (1, 'P04637'), (2, 'P38398'), (2, 'ISOFORM2'), (9, 'dangling');",
+    )
+    .unwrap();
+
+    let rs = d
+        .execute(
+            "SELECT g.name, p.protein FROM g INNER JOIN p ON g.id = p.gene_id ORDER BY p.protein",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 3);
+
+    let rs = d
+        .execute(
+            "SELECT g.name, p.protein FROM g LEFT JOIN p ON g.id = p.gene_id \
+             WHERE p.protein IS NULL",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][0], Datum::Text("orphan".into()));
+
+    let rs = d.execute("SELECT count(*) FROM g CROSS JOIN p").unwrap();
+    assert_eq!(ints(&rs), vec![12]);
+
+    // Comma join is a cross join.
+    let rs = d.execute("SELECT count(*) FROM g, p WHERE g.id = p.gene_id").unwrap();
+    assert_eq!(ints(&rs), vec![3]);
+}
+
+#[test]
+fn hash_join_is_planned_for_equi_joins() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE a (x INT); CREATE TABLE b (y INT);
+         INSERT INTO a VALUES (1); INSERT INTO b VALUES (1);",
+    )
+    .unwrap();
+    let rs = d
+        .execute("EXPLAIN SELECT * FROM a JOIN b ON a.x = b.y")
+        .unwrap();
+    let plan = rs.explain.unwrap();
+    assert!(plan.contains("HashJoin"), "{plan}");
+
+    let rs = d
+        .execute("EXPLAIN SELECT * FROM a JOIN b ON a.x < b.y")
+        .unwrap();
+    let plan = rs.explain.unwrap();
+    assert!(plan.contains("NestedLoopJoin"), "{plan}");
+}
+
+#[test]
+fn btree_index_planning_and_results_match_scan() {
+    let d = seeded();
+    for i in 6..2000 {
+        d.execute(&format!("INSERT INTO genes VALUES ({i}, 'g{i}', {}, 0.5)", i * 3))
+            .unwrap();
+    }
+    let scan = d.execute("SELECT symbol FROM genes WHERE id = 1500").unwrap();
+    d.execute("CREATE UNIQUE INDEX ON genes (id)").unwrap();
+    let plan = d
+        .execute("EXPLAIN SELECT symbol FROM genes WHERE id = 1500")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(plan.contains("IndexEqScan"), "{plan}");
+    let indexed = d.execute("SELECT symbol FROM genes WHERE id = 1500").unwrap();
+    assert_eq!(scan.rows, indexed.rows);
+
+    // Range scans use the index too.
+    let plan = d
+        .execute("EXPLAIN SELECT count(*) FROM genes WHERE id BETWEEN 10 AND 20")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(plan.contains("IndexRangeScan"), "{plan}");
+    let rs = d.execute("SELECT count(*) FROM genes WHERE id BETWEEN 10 AND 20").unwrap();
+    assert_eq!(ints(&rs), vec![11]);
+
+    let rs = d.execute("SELECT count(*) FROM genes WHERE id < 10").unwrap();
+    assert_eq!(ints(&rs), vec![9]);
+    let rs = d.execute("SELECT count(*) FROM genes WHERE 1990 <= id").unwrap();
+    assert_eq!(ints(&rs), vec![10]);
+}
+
+#[test]
+fn unique_index_enforced() {
+    let d = seeded();
+    d.execute("CREATE UNIQUE INDEX ON genes (id)").unwrap();
+    let err = d.execute("INSERT INTO genes VALUES (3, 'dup', 1, 0.1)").unwrap_err();
+    assert!(matches!(err, DbError::Constraint(_)), "{err}");
+    // The failed insert left nothing behind.
+    let rs = d.execute("SELECT count(*) FROM genes").unwrap();
+    assert_eq!(ints(&rs), vec![5]);
+    // Updates respect it too.
+    let err = d.execute("UPDATE genes SET id = 1 WHERE id = 2").unwrap_err();
+    assert!(matches!(err, DbError::Constraint(_)), "{err}");
+}
+
+#[test]
+fn not_null_and_type_checking() {
+    let d = seeded();
+    let err = d.execute("INSERT INTO genes VALUES (NULL, 'x', 1, 0.1)").unwrap_err();
+    assert!(matches!(err, DbError::Constraint(_)));
+    let err = d.execute("INSERT INTO genes VALUES ('oops', 'x', 1, 0.1)").unwrap_err();
+    assert!(matches!(err, DbError::TypeMismatch(_)));
+    // INT literals widen into FLOAT columns.
+    d.execute("INSERT INTO genes (id, gc) VALUES (99, 1)").unwrap();
+    let rs = d.execute("SELECT gc FROM genes WHERE id = 99").unwrap();
+    assert_eq!(rs.rows[0][0], Datum::Float(1.0));
+    // Unmentioned columns become NULL.
+    let rs = d.execute("SELECT symbol FROM genes WHERE id = 99").unwrap();
+    assert_eq!(rs.rows[0][0], Datum::Null);
+}
+
+#[test]
+fn access_control_public_vs_user_space() {
+    let d = db();
+    let maintainer = Role::Maintainer;
+    let alice = Role::User("alice".into());
+    let bob = Role::User("bob".into());
+
+    d.execute_as("CREATE TABLE warehouse (id INT)", &maintainer).unwrap();
+    d.execute_as("INSERT INTO warehouse VALUES (1)", &maintainer).unwrap();
+
+    // Alice can read public data but not write it.
+    let rs = d.execute_as("SELECT * FROM warehouse", &alice).unwrap();
+    assert_eq!(rs.len(), 1);
+    let err = d.execute_as("INSERT INTO warehouse VALUES (2)", &alice).unwrap_err();
+    assert!(matches!(err, DbError::AccessDenied(_)));
+    let err = d.execute_as("DROP TABLE warehouse", &alice).unwrap_err();
+    assert!(matches!(err, DbError::AccessDenied(_)));
+
+    // Alice gets her own space implicitly.
+    d.execute_as("CREATE TABLE notes (txt TEXT)", &alice).unwrap();
+    d.execute_as("INSERT INTO notes VALUES ('mine')", &alice).unwrap();
+    // Bob cannot write into alice's space.
+    let err = d.execute_as("INSERT INTO alice.notes VALUES ('intruder')", &bob).unwrap_err();
+    assert!(matches!(err, DbError::AccessDenied(_)));
+    // But unqualified reads resolve to each user's own space first.
+    let rs = d.execute_as("SELECT * FROM alice.notes", &bob).unwrap();
+    assert_eq!(rs.len(), 1);
+}
+
+#[test]
+fn transactions_commit_and_rollback() {
+    let d = seeded();
+    d.execute("BEGIN").unwrap();
+    d.execute("INSERT INTO genes VALUES (100, 'tmp', 1, 0.1)").unwrap();
+    d.execute("UPDATE genes SET symbol = 'changed' WHERE id = 1").unwrap();
+    d.execute("DELETE FROM genes WHERE id = 2").unwrap();
+    // Mid-transaction state is visible to the session.
+    assert_eq!(ints(&d.execute("SELECT count(*) FROM genes").unwrap()), vec![5]);
+    d.execute("ROLLBACK").unwrap();
+    // All three mutations reverted.
+    assert_eq!(ints(&d.execute("SELECT count(*) FROM genes").unwrap()), vec![5]);
+    assert_eq!(
+        texts(&d.execute("SELECT symbol FROM genes WHERE id = 1").unwrap()),
+        vec!["tp53"]
+    );
+    assert_eq!(ints(&d.execute("SELECT count(*) FROM genes WHERE id = 2").unwrap()), vec![1]);
+
+    d.execute("BEGIN").unwrap();
+    d.execute("INSERT INTO genes VALUES (100, 'kept', 1, 0.1)").unwrap();
+    d.execute("COMMIT").unwrap();
+    assert_eq!(ints(&d.execute("SELECT count(*) FROM genes").unwrap()), vec![6]);
+
+    assert!(d.execute("COMMIT").is_err());
+    assert!(d.execute("ROLLBACK").is_err());
+    d.execute("BEGIN").unwrap();
+    assert!(d.execute("BEGIN").is_err());
+    d.execute("ROLLBACK").unwrap();
+}
+
+#[test]
+fn rollback_restores_index_consistency() {
+    let d = seeded();
+    d.execute("CREATE UNIQUE INDEX ON genes (id)").unwrap();
+    d.execute("BEGIN").unwrap();
+    d.execute("DELETE FROM genes WHERE id = 1").unwrap();
+    d.execute("ROLLBACK").unwrap();
+    // id 1 is findable through the index again.
+    let plan = d.execute("EXPLAIN SELECT symbol FROM genes WHERE id = 1").unwrap();
+    assert!(plan.explain.unwrap().contains("IndexEqScan"));
+    assert_eq!(
+        texts(&d.execute("SELECT symbol FROM genes WHERE id = 1").unwrap()),
+        vec!["tp53"]
+    );
+    // And re-inserting it violates uniqueness (the index entry is back).
+    assert!(d.execute("INSERT INTO genes VALUES (1, 'dup', 1, 0.1)").is_err());
+}
+
+#[test]
+fn user_defined_scalar_functions_everywhere() {
+    let d = seeded();
+    d.register_scalar(
+        "double_it",
+        Arc::new(|args| {
+            Ok(match args[0].as_int() {
+                Some(i) => Datum::Int(i * 2),
+                None => Datum::Null,
+            })
+        }),
+    )
+    .unwrap();
+    // SELECT list.
+    let rs = d.execute("SELECT double_it(len) FROM genes WHERE id = 1").unwrap();
+    assert_eq!(ints(&rs), vec![2400]);
+    // WHERE.
+    let rs = d.execute("SELECT count(*) FROM genes WHERE double_it(len) > 5000").unwrap();
+    assert_eq!(ints(&rs), vec![2]);
+    // ORDER BY.
+    let rs = d.execute("SELECT symbol FROM genes ORDER BY double_it(len) LIMIT 1").unwrap();
+    assert_eq!(texts(&rs), vec!["myc"]);
+    // GROUP BY.
+    let rs = d
+        .execute("SELECT double_it(id % 2), count(*) FROM genes GROUP BY double_it(id % 2) ORDER BY 1 DESC")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+}
+
+#[test]
+fn user_defined_aggregate() {
+    let d = seeded();
+    struct Product(f64);
+    impl unidb::expr::func::Accumulator for Product {
+        fn update(&mut self, v: &Datum) -> Result<(), DbError> {
+            if let Some(f) = v.as_float() {
+                self.0 *= f;
+            }
+            Ok(())
+        }
+        fn finish(&self) -> Datum {
+            Datum::Float(self.0)
+        }
+    }
+    d.register_aggregate("product", Arc::new(|| Box::new(Product(1.0)))).unwrap();
+    let rs = d.execute("SELECT product(gc) FROM genes WHERE id IN (1, 3)").unwrap();
+    let v = rs.rows[0][0].as_float().unwrap();
+    assert!((v - 0.46 * 0.38).abs() < 1e-9);
+}
+
+#[test]
+fn opaque_types_store_and_render() {
+    let d = db();
+    let ty = d
+        .register_opaque_type(
+            "dna",
+            Some(Arc::new(|b: &[u8]| format!("<dna {} bytes>", b.len()))),
+        )
+        .unwrap();
+    d.execute("CREATE TABLE frags (id INT, seq dna)").unwrap();
+    // Opaque values cannot come from SQL literals; they arrive through the
+    // API (the adapter path) — simulate that here.
+    d.register_scalar(
+        "mk_payload",
+        Arc::new(move |args| {
+            let n = args[0].as_int().unwrap_or(0) as usize;
+            Ok(Datum::opaque(1, vec![7u8; n]))
+        }),
+    )
+    .unwrap();
+    assert_eq!(ty, 1);
+    d.execute("INSERT INTO frags VALUES (1, mk_payload(10))").unwrap();
+    let rs = d.execute("SELECT id, seq FROM frags").unwrap();
+    assert!(matches!(rs.rows[0][1], Datum::Opaque(1, _)));
+    let rendered = d.render(&rs);
+    assert!(rendered.contains("<dna 10 bytes>"), "{rendered}");
+    // Type mismatch against a different opaque id is caught.
+    d.register_opaque_type("protein", None).unwrap();
+    d.register_scalar("mk_protein", Arc::new(|_| Ok(Datum::opaque(2, vec![])))).unwrap();
+    assert!(d.execute("INSERT INTO frags VALUES (2, mk_protein(0))").is_err());
+}
+
+/// A toy UDI: indexes integer values by parity, answers `same_parity(col, n)`.
+struct ParityIndex {
+    even: Vec<Rid>,
+    odd: Vec<Rid>,
+}
+
+impl AccessMethod for ParityIndex {
+    fn name(&self) -> &str {
+        "parity"
+    }
+    fn on_insert(&mut self, rid: Rid, value: &Datum) {
+        if let Some(i) = value.as_int() {
+            if i % 2 == 0 {
+                self.even.push(rid);
+            } else {
+                self.odd.push(rid);
+            }
+        }
+    }
+    fn on_delete(&mut self, rid: Rid, value: &Datum) {
+        if let Some(i) = value.as_int() {
+            let v = if i % 2 == 0 { &mut self.even } else { &mut self.odd };
+            v.retain(|r| *r != rid);
+        }
+    }
+    fn supports(&self, func: &str) -> bool {
+        func == "same_parity"
+    }
+    fn probe(&self, func: &str, args: &[Datum]) -> Option<Vec<Rid>> {
+        if func != "same_parity" {
+            return None;
+        }
+        let n = args.first()?.as_int()?;
+        Some(if n % 2 == 0 { self.even.clone() } else { self.odd.clone() })
+    }
+    fn selectivity(&self, _func: &str, _args: &[Datum]) -> Option<f64> {
+        Some(0.5)
+    }
+}
+
+#[test]
+fn user_defined_index_drives_the_plan() {
+    let d = seeded();
+    d.register_scalar(
+        "same_parity",
+        Arc::new(|args| {
+            let (a, b) = (args[0].as_int(), args[1].as_int());
+            Ok(match (a, b) {
+                (Some(a), Some(b)) => Datum::Bool(a % 2 == b % 2),
+                _ => Datum::Null,
+            })
+        }),
+    )
+    .unwrap();
+    // Without the index: sequential scan.
+    let plan = d
+        .execute("EXPLAIN SELECT symbol FROM genes WHERE same_parity(id, 2)")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(plan.contains("SeqScan"), "{plan}");
+
+    d.register_access_method("genes", "id", Box::new(ParityIndex { even: vec![], odd: vec![] }))
+        .unwrap();
+    let plan = d
+        .execute("EXPLAIN SELECT symbol FROM genes WHERE same_parity(id, 2)")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(plan.contains("UdiScan"), "{plan}");
+    assert!(plan.contains("recheck"), "UDI scans must re-check the predicate: {plan}");
+
+    let rs = d
+        .execute("SELECT symbol FROM genes WHERE same_parity(id, 2) ORDER BY id")
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["brca1", "egfr"]);
+
+    // Index stays correct through mutations.
+    d.execute("DELETE FROM genes WHERE id = 2").unwrap();
+    d.execute("INSERT INTO genes VALUES (6, 'new_even', 10, 0.5)").unwrap();
+    let rs = d
+        .execute("SELECT symbol FROM genes WHERE same_parity(id, 2) ORDER BY id")
+        .unwrap();
+    assert_eq!(texts(&rs), vec!["egfr", "new_even"]);
+}
+
+#[test]
+fn durability_recovery_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("unidb-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let d = Database::open(&dir).unwrap();
+        d.recover().unwrap();
+        d.execute_script_as(
+            "CREATE TABLE t (id INT, name TEXT);
+             CREATE UNIQUE INDEX ON t (id);
+             INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three');
+             UPDATE t SET name = 'TWO' WHERE id = 2;
+             DELETE FROM t WHERE id = 3;",
+            &Role::Maintainer,
+        )
+        .unwrap();
+    }
+    // Reopen: WAL replay restores everything, including the index.
+    {
+        let d = Database::open(&dir).unwrap();
+        d.recover().unwrap();
+        let rs = d.execute("SELECT name FROM t ORDER BY id").unwrap();
+        assert_eq!(texts(&rs), vec!["one", "TWO"]);
+        let plan = d.execute("EXPLAIN SELECT name FROM t WHERE id = 1").unwrap();
+        assert!(plan.explain.unwrap().contains("IndexEqScan"));
+        // Checkpoint compacts, and the database still reopens correctly.
+        d.checkpoint().unwrap();
+        d.execute_as("INSERT INTO t VALUES (4, 'four')", &Role::Maintainer).unwrap();
+    }
+    {
+        let d = Database::open(&dir).unwrap();
+        d.recover().unwrap();
+        let rs = d.execute("SELECT name FROM t ORDER BY id").unwrap();
+        assert_eq!(texts(&rs), vec!["one", "TWO", "four"]);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn select_without_from_and_scalar_math() {
+    let d = db();
+    let rs = d.execute("SELECT 2 + 3 * 4 AS v, upper('ok')").unwrap();
+    assert_eq!(rs.rows[0], vec![Datum::Int(14), Datum::Text("OK".into())]);
+    assert_eq!(rs.columns, vec!["v", "upper"]);
+}
+
+#[test]
+fn predicate_pushdown_visible_in_plan() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE a (x INT, note TEXT); CREATE TABLE b (y INT);
+         INSERT INTO a VALUES (1, 'keep'), (2, 'drop');
+         INSERT INTO b VALUES (1), (2);",
+    )
+    .unwrap();
+    let plan = d
+        .execute("EXPLAIN SELECT * FROM a JOIN b ON a.x = b.y WHERE a.note = 'keep' AND b.y > 0")
+        .unwrap()
+        .explain
+        .unwrap();
+    // Both single-table conjuncts are pushed into their scans.
+    let scan_lines: Vec<&str> = plan.lines().filter(|l| l.contains("SeqScan")).collect();
+    assert!(scan_lines.iter().any(|l| l.contains("user.a") && l.contains("keep")), "{plan}");
+    assert!(scan_lines.iter().any(|l| l.contains("user.b") && l.contains("y")), "{plan}");
+
+    // But never into the null-padded side of a LEFT JOIN.
+    let plan = d
+        .execute("EXPLAIN SELECT * FROM a LEFT JOIN b ON a.x = b.y WHERE b.y = 1")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(plan.contains("Filter"), "{plan}");
+}
+
+#[test]
+fn errors_are_informative() {
+    let d = seeded();
+    assert!(matches!(
+        d.execute("SELECT * FROM missing").unwrap_err(),
+        DbError::NotFound { .. }
+    ));
+    assert!(matches!(
+        d.execute("SELECT nope FROM genes").unwrap_err(),
+        DbError::NotFound { .. }
+    ));
+    assert!(matches!(
+        d.execute("SELECT no_such_fn(id) FROM genes").unwrap_err(),
+        DbError::NotFound { .. }
+    ));
+    assert!(d.execute("CREATE TABLE genes (x INT)").is_err());
+    assert!(d.execute("INSERT INTO genes VALUES (1)").is_err(), "arity mismatch");
+}
+
+#[test]
+fn big_table_with_overflow_rows() {
+    let d = db();
+    d.execute("CREATE TABLE blobs (id INT, data TEXT)").unwrap();
+    // Rows bigger than a page exercise the heap overflow path through SQL.
+    let big = "X".repeat(50_000);
+    for i in 0..20 {
+        d.execute(&format!("INSERT INTO blobs VALUES ({i}, '{big}')")).unwrap();
+    }
+    let rs = d.execute("SELECT count(*), min(length(data)) FROM blobs").unwrap();
+    assert_eq!(rs.rows[0], vec![Datum::Int(20), Datum::Int(50_000)]);
+}
+
+#[test]
+fn null_semantics_in_queries() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE t (id INT, v INT);
+         INSERT INTO t VALUES (1, 10), (2, NULL), (3, 30);",
+    )
+    .unwrap();
+    // NULLs never match comparisons.
+    let rs = d.execute("SELECT id FROM t WHERE v > 5").unwrap();
+    assert_eq!(rs.len(), 2);
+    let rs = d.execute("SELECT id FROM t WHERE v IS NULL").unwrap();
+    assert_eq!(ints(&rs), vec![2]);
+    // NULLs sort first (documented total order).
+    let rs = d.execute("SELECT id FROM t ORDER BY v").unwrap();
+    assert_eq!(ints(&rs), vec![2, 1, 3]);
+    // Aggregates skip NULLs; count(*) does not.
+    let rs = d.execute("SELECT count(v), count(*), sum(v) FROM t").unwrap();
+    assert_eq!(rs.rows[0], vec![Datum::Int(2), Datum::Int(3), Datum::Int(40)]);
+    // coalesce patches them.
+    let rs = d.execute("SELECT sum(coalesce(v, 0) + 1) FROM t").unwrap();
+    assert_eq!(ints(&rs), vec![43]);
+}
+
+#[test]
+fn distinct_interacts_with_order_and_limit() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE t (grp TEXT, v INT);
+         INSERT INTO t VALUES ('b', 2), ('a', 1), ('b', 2), ('c', 3), ('a', 1);",
+    )
+    .unwrap();
+    let rs = d.execute("SELECT DISTINCT grp, v FROM t ORDER BY v DESC LIMIT 2").unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[0][0], Datum::Text("c".into()));
+    assert_eq!(rs.rows[1][0], Datum::Text("b".into()));
+}
+
+#[test]
+fn left_join_feeds_aggregation() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE g (id INT, name TEXT);
+         CREATE TABLE hits (gene_id INT);
+         INSERT INTO g VALUES (1, 'a'), (2, 'b'), (3, 'c');
+         INSERT INTO hits VALUES (1), (1), (3);",
+    )
+    .unwrap();
+    // count(h.gene_id) counts only matched rows: null-padded rows add 0.
+    let rs = d
+        .execute(
+            "SELECT g.name, count(hits.gene_id) AS n FROM g              LEFT JOIN hits ON g.id = hits.gene_id              GROUP BY g.name ORDER BY g.name",
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Datum::Text("a".into()), Datum::Int(2)],
+            vec![Datum::Text("b".into()), Datum::Int(0)],
+            vec![Datum::Text("c".into()), Datum::Int(1)],
+        ]
+    );
+}
+
+#[test]
+fn in_list_and_between_with_index() {
+    let d = db();
+    d.execute("CREATE TABLE t (id INT, tag TEXT)").unwrap();
+    for i in 0..200 {
+        d.execute(&format!("INSERT INTO t VALUES ({i}, 'x{}')", i % 7)).unwrap();
+    }
+    d.execute("CREATE UNIQUE INDEX ON t (id)").unwrap();
+    let rs = d.execute("SELECT count(*) FROM t WHERE id IN (3, 77, 199, 500)").unwrap();
+    assert_eq!(ints(&rs), vec![3]);
+    // BETWEEN uses the range path and composes with another predicate.
+    let rs = d
+        .execute("SELECT count(*) FROM t WHERE id BETWEEN 50 AND 90 AND tag = 'x1'")
+        .unwrap();
+    let brute = d
+        .execute("SELECT count(*) FROM t WHERE id >= 50 AND id <= 90 AND tag = 'x1'")
+        .unwrap();
+    assert_eq!(rs.rows, brute.rows);
+}
+
+#[test]
+fn text_ops_and_like_in_queries() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE p (name TEXT);
+         INSERT INTO p VALUES ('alpha kinase'), ('beta kinase'), ('gamma phosphatase');",
+    )
+    .unwrap();
+    let rs = d.execute("SELECT count(*) FROM p WHERE name LIKE '%kinase'").unwrap();
+    assert_eq!(ints(&rs), vec![2]);
+    let rs = d
+        .execute("SELECT upper(substr(name, 0, 5)) FROM p WHERE name NOT LIKE '%kinase' ")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Datum::Text("GAMMA".into()));
+    // Text concatenation via +.
+    let rs = d.execute("SELECT name + '!' FROM p LIMIT 1").unwrap();
+    assert_eq!(rs.rows[0][0], Datum::Text("alpha kinase!".into()));
+}
+
+#[test]
+fn update_through_expressions_and_self_reference() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE acc (id INT, balance FLOAT);
+         INSERT INTO acc VALUES (1, 10.0), (2, 20.0);",
+    )
+    .unwrap();
+    d.execute("UPDATE acc SET balance = balance * 2 + id").unwrap();
+    let rs = d.execute("SELECT balance FROM acc ORDER BY id").unwrap();
+    assert_eq!(rs.rows[0][0], Datum::Float(21.0));
+    assert_eq!(rs.rows[1][0], Datum::Float(42.0));
+}
+
+#[test]
+fn medium_scale_consistency() {
+    let d = db();
+    d.execute("CREATE TABLE n (v INT)").unwrap();
+    d.execute("BEGIN").unwrap();
+    for i in 0..5000 {
+        d.execute(&format!("INSERT INTO n VALUES ({i})")).unwrap();
+    }
+    d.execute("COMMIT").unwrap();
+    let rs = d.execute("SELECT count(*), sum(v), min(v), max(v) FROM n").unwrap();
+    assert_eq!(
+        rs.rows[0],
+        vec![
+            Datum::Int(5000),
+            Datum::Int(4999 * 5000 / 2),
+            Datum::Int(0),
+            Datum::Int(4999)
+        ]
+    );
+    let rs = d.execute("SELECT count(*) FROM n WHERE v % 7 = 0").unwrap();
+    assert_eq!(ints(&rs), vec![715]);
+}

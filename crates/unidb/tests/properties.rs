@@ -1,0 +1,260 @@
+//! Property-based tests for the storage engine's invariants.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use unidb::datum::Datum;
+use unidb::expr::eval::like_match;
+use unidb::index::btree::BTreeIndex;
+use unidb::storage::buffer::BufferPool;
+use unidb::storage::heap::{HeapFile, Rid};
+use unidb::storage::page::Page;
+use unidb::storage::store::MemStore;
+use unidb::storage::wal::{crc32, WalRecord};
+use unidb::tuple::{decode_row, encode_row};
+
+fn arb_datum() -> impl Strategy<Value = Datum> {
+    prop_oneof![
+        Just(Datum::Null),
+        any::<bool>().prop_map(Datum::Bool),
+        any::<i64>().prop_map(Datum::Int),
+        any::<f64>().prop_map(Datum::Float),
+        "[a-zA-Z0-9 '\\-]{0,40}".prop_map(Datum::Text),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Datum::Blob),
+        (0u32..10, proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(t, b)| Datum::opaque(t, b)),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Vec<Datum>> {
+    proptest::collection::vec(arb_datum(), 0..8)
+}
+
+proptest! {
+    // --- tuple encoding -------------------------------------------------------
+
+    #[test]
+    fn row_roundtrip(row in arb_row()) {
+        let bytes = encode_row(&row);
+        let back = decode_row(&bytes).unwrap();
+        // Representation-exact comparison (Debug) because Datum's Eq
+        // intentionally unifies Int(3) and Float(3.0).
+        prop_assert_eq!(format!("{back:?}"), format!("{row:?}"));
+    }
+
+    #[test]
+    fn row_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode_row(&bytes);
+    }
+
+    // --- datum ordering ----------------------------------------------------------
+
+    #[test]
+    fn total_cmp_is_total_order(a in arb_datum(), b in arb_datum(), c in arb_datum()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Reflexivity.
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        // Transitivity (sampled).
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn eq_datums_hash_alike(a in arb_datum(), b in arb_datum()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |d: &Datum| {
+            let mut s = DefaultHasher::new();
+            d.hash(&mut s);
+            s.finish()
+        };
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    // --- pages ----------------------------------------------------------------------
+
+    #[test]
+    fn page_model(records in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..300), 1..30)
+    ) {
+        let mut page = Page::new();
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        for rec in &records {
+            match page.insert(rec) {
+                Some(slot) => {
+                    prop_assert_eq!(slot as usize, model.len());
+                    model.push(Some(rec.clone()));
+                }
+                None => {
+                    // Full page: record must genuinely not fit.
+                    prop_assert!(rec.len() + 4 > page.free_space());
+                    model.push(None);
+                    break;
+                }
+            }
+        }
+        for (i, m) in model.iter().enumerate() {
+            if let Some(rec) = m { prop_assert_eq!(page.get(i as u16), Some(rec.as_slice())) }
+        }
+    }
+
+    // --- heap ------------------------------------------------------------------------
+
+    #[test]
+    fn heap_model(ops in proptest::collection::vec(
+        (0u8..3, proptest::collection::vec(any::<u8>(), 0..2000)), 1..60)
+    ) {
+        let mut heap = HeapFile::new(BufferPool::new(Box::new(MemStore::new()), 16));
+        let mut model: HashMap<Rid, Vec<u8>> = HashMap::new();
+        let mut live: Vec<Rid> = Vec::new();
+        for (op, payload) in ops {
+            match op {
+                0 => {
+                    let rid = heap.insert(&payload).unwrap();
+                    prop_assert!(!model.contains_key(&rid), "rid reuse");
+                    model.insert(rid, payload);
+                    live.push(rid);
+                }
+                1 if !live.is_empty() => {
+                    let victim = live[payload.len() % live.len()];
+                    prop_assert!(heap.delete(victim).unwrap());
+                    model.remove(&victim);
+                    live.retain(|r| *r != victim);
+                }
+                2 if !live.is_empty() => {
+                    let target = live[payload.len() % live.len()];
+                    let new_rid = heap.update(target, &payload).unwrap();
+                    model.remove(&target);
+                    live.retain(|r| *r != target);
+                    model.insert(new_rid, payload);
+                    live.push(new_rid);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(heap.len() as usize, model.len());
+        for (rid, expected) in &model {
+            let got = heap.get(*rid).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(expected));
+        }
+        let scanned: HashMap<Rid, Vec<u8>> = heap.scan().unwrap().into_iter().collect();
+        prop_assert_eq!(scanned, model);
+    }
+
+    // --- B-tree -----------------------------------------------------------------------
+
+    #[test]
+    fn btree_model(ops in proptest::collection::vec((any::<bool>(), -50i64..50, 0u32..100), 1..300)) {
+        let mut tree = BTreeIndex::new(false);
+        let mut model: HashMap<i64, Vec<Rid>> = HashMap::new();
+        for (insert, key, ridn) in ops {
+            let rid = Rid { page: ridn, slot: 0 };
+            if insert {
+                tree.insert(Datum::Int(key), rid).unwrap();
+                model.entry(key).or_default().push(rid);
+            } else {
+                let existed = tree.remove(&Datum::Int(key), rid);
+                let model_had = model.get_mut(&key).is_some_and(|v| {
+                    if let Some(at) = v.iter().position(|r| *r == rid) {
+                        v.swap_remove(at);
+                        true
+                    } else {
+                        false
+                    }
+                });
+                prop_assert_eq!(existed, model_had);
+            }
+        }
+        let model_len: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(tree.len(), model_len);
+        for (key, rids) in &model {
+            let mut got = tree.get(&Datum::Int(*key));
+            let mut expected = rids.clone();
+            got.sort();
+            expected.sort();
+            prop_assert_eq!(got, expected);
+        }
+        // Full iteration is sorted by key.
+        let all = tree.iter_all();
+        for pair in all.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+
+    #[test]
+    fn btree_range_equals_filtered_scan(
+        keys in proptest::collection::vec(-100i64..100, 0..200),
+        lo in -100i64..100,
+        span in 0i64..100,
+    ) {
+        let mut tree = BTreeIndex::new(false);
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(Datum::Int(*k), Rid { page: i as u32, slot: 0 }).unwrap();
+        }
+        let hi = lo + span;
+        let from_range: Vec<i64> = tree
+            .range(
+                std::ops::Bound::Included(&Datum::Int(lo)),
+                std::ops::Bound::Included(&Datum::Int(hi)),
+            )
+            .into_iter()
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        let mut expected: Vec<i64> =
+            keys.iter().copied().filter(|k| (lo..=hi).contains(k)).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(from_range, expected);
+    }
+
+    // --- LIKE -------------------------------------------------------------------------
+
+    #[test]
+    fn like_matches_reference_implementation(
+        text in "[ab_%]{0,12}",
+        pattern in "[ab_%]{0,8}",
+    ) {
+        fn reference(t: &[char], p: &[char]) -> bool {
+            match (t.first(), p.first()) {
+                (_, None) => t.is_empty(),
+                (_, Some('%')) => {
+                    (0..=t.len()).any(|skip| reference(&t[skip..], &p[1..]))
+                }
+                (Some(tc), Some(pc)) => {
+                    (*pc == '_' || pc == tc) && reference(&t[1..], &p[1..])
+                }
+                (None, Some(_)) => false,
+            }
+        }
+        let t: Vec<char> = text.chars().collect();
+        let p: Vec<char> = pattern.chars().collect();
+        prop_assert_eq!(like_match(&text, &pattern), reference(&t, &p));
+    }
+
+    // --- WAL ---------------------------------------------------------------------------
+
+    #[test]
+    fn wal_record_roundtrip(table in "[a-z]{1,10}", old in arb_row(), new in arb_row()) {
+        for rec in [
+            WalRecord::Insert { table: table.clone(), row: new.clone() },
+            WalRecord::Delete { table: table.clone(), row: old.clone() },
+            WalRecord::Update { table: table.clone(), old_row: old, new_row: new },
+        ] {
+            let enc = rec.encode();
+            let dec = WalRecord::decode(&enc).unwrap();
+            prop_assert_eq!(format!("{dec:?}"), format!("{rec:?}"));
+        }
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips(payload in proptest::collection::vec(any::<u8>(), 1..100),
+                                    bit in 0usize..800) {
+        let bit = bit % (payload.len() * 8);
+        let mut corrupted = payload.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(crc32(&payload), crc32(&corrupted));
+    }
+}

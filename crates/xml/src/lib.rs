@@ -1,0 +1,724 @@
+//! # genalg-xml — GenAlgXML, the standardized input/output format
+//!
+//! §6.4: existing XML applications for genomic data (GEML, RiboML,
+//! phyloML) "are inappropriate for a representation of the high-level
+//! objects of the Genomics Algebra. Hence, we plan to design our own XML
+//! application, which we name GenAlgXML." This crate is that application:
+//! a self-contained XML dialect covering every genomic data type, with a
+//! writer ([`to_xml`]) and parser ([`from_xml`]) that round-trip exactly.
+//!
+//! ```
+//! use genalg_core::algebra::Value;
+//! use genalg_core::seq::DnaSeq;
+//!
+//! let values = vec![Value::Dna(DnaSeq::from_text("ATTGCCATA").unwrap())];
+//! let xml = genalg_xml::to_xml(&values);
+//! assert!(xml.contains("<dna>ATTGCCATA</dna>"));
+//! assert_eq!(genalg_xml::from_xml(&xml).unwrap(), values);
+//! ```
+
+use genalg_core::algebra::Value;
+use genalg_core::alphabet::Strand;
+use genalg_core::error::{GenAlgError, Result};
+use genalg_core::gdt::{
+    Chromosome, Feature, FeatureKind, Gene, Genome, Interval, Location, Mrna, PrimaryTranscript,
+    Protein,
+};
+use genalg_core::seq::{DnaSeq, ProteinSeq, RnaSeq};
+
+// ---------------------------------------------------------------------------
+// A minimal XML tree + parser (elements, attributes, text, comments)
+// ---------------------------------------------------------------------------
+
+/// One XML element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlNode {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<XmlNode>,
+    pub text: String,
+}
+
+impl XmlNode {
+    pub fn new(name: &str) -> Self {
+        XmlNode { name: name.to_string(), ..Default::default() }
+    }
+
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    pub fn with_attr(mut self, key: &str, value: &str) -> Self {
+        self.attrs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    pub fn with_text(mut self, text: &str) -> Self {
+        self.text = text.to_string();
+        self
+    }
+
+    pub fn with_child(mut self, child: XmlNode) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    pub fn child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    fn required_attr(&self, key: &str) -> Result<&str> {
+        self.attr(key).ok_or_else(|| {
+            GenAlgError::Other(format!("<{}> missing required attribute {key:?}", self.name))
+        })
+    }
+
+    fn required_child(&self, name: &str) -> Result<&XmlNode> {
+        self.child(name).ok_or_else(|| {
+            GenAlgError::Other(format!("<{}> missing required child <{name}>", self.name))
+        })
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+}
+
+/// Serialize a node tree.
+pub fn write_node(node: &XmlNode, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&node.name);
+    for (k, v) in &node.attrs {
+        out.push_str(&format!(" {k}=\"{}\"", escape(v)));
+    }
+    if node.children.is_empty() && node.text.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push('>');
+    if node.children.is_empty() {
+        out.push_str(&escape(&node.text));
+        out.push_str(&format!("</{}>\n", node.name));
+        return;
+    }
+    out.push('\n');
+    if !node.text.is_empty() {
+        out.push_str(&"  ".repeat(depth + 1));
+        out.push_str(&escape(&node.text));
+        out.push('\n');
+    }
+    for c in &node.children {
+        write_node(c, depth + 1, out);
+    }
+    out.push_str(&pad);
+    out.push_str(&format!("</{}>\n", node.name));
+}
+
+/// Parse one document; returns the root element.
+pub fn parse_document(text: &str) -> Result<XmlNode> {
+    let mut parser = XmlParser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_prolog();
+    let root = parser.parse_element()?;
+    parser.skip_ws();
+    if !parser.at_end() {
+        return Err(GenAlgError::Other("trailing content after root element".into()));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<?") {
+                self.consume_until(b"?>");
+            } else if self.starts_with(b"<!--") {
+                self.consume_until(b"-->");
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn starts_with(&self, prefix: &[u8]) -> bool {
+        self.bytes[self.pos..].starts_with(prefix)
+    }
+
+    fn consume_until(&mut self, marker: &[u8]) {
+        while self.pos < self.bytes.len() && !self.starts_with(marker) {
+            self.pos += 1;
+        }
+        self.pos = (self.pos + marker.len()).min(self.bytes.len());
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode> {
+        self.skip_ws();
+        if self.peek() != Some(b'<') {
+            return Err(GenAlgError::Other("expected '<'".into()));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut node = XmlNode::new(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(GenAlgError::Other("malformed self-closing tag".into()));
+                    }
+                    self.pos += 1;
+                    return Ok(node);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(GenAlgError::Other(format!("attribute {key} missing '='")));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.peek() != Some(b'"') {
+                        return Err(GenAlgError::Other("attribute value must be quoted".into()));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"') {
+                        self.pos += 1;
+                    }
+                    if self.at_end() {
+                        return Err(GenAlgError::Other("unterminated attribute value".into()));
+                    }
+                    let value =
+                        unescape(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(
+                            |_| GenAlgError::Other("invalid UTF-8 in attribute".into()),
+                        )?);
+                    self.pos += 1;
+                    node.attrs.push((key, value));
+                }
+                None => return Err(GenAlgError::Other("unexpected end inside tag".into())),
+            }
+        }
+        // Content: text and child elements until the closing tag.
+        loop {
+            if self.starts_with(b"<!--") {
+                self.consume_until(b"-->");
+                continue;
+            }
+            match self.peek() {
+                Some(b'<') if self.starts_with(b"</") => {
+                    self.pos += 2;
+                    let close = self.parse_name()?;
+                    if close != node.name {
+                        return Err(GenAlgError::Other(format!(
+                            "mismatched closing tag </{close}> for <{}>",
+                            node.name
+                        )));
+                    }
+                    self.skip_ws();
+                    if self.peek() != Some(b'>') {
+                        return Err(GenAlgError::Other("malformed closing tag".into()));
+                    }
+                    self.pos += 1;
+                    node.text = node.text.trim().to_string();
+                    return Ok(node);
+                }
+                Some(b'<') => {
+                    node.children.push(self.parse_element()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'<') {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| GenAlgError::Other("invalid UTF-8 in text".into()))?;
+                    node.text.push_str(&unescape(raw));
+                }
+                None => {
+                    return Err(GenAlgError::Other(format!("unclosed element <{}>", node.name)))
+                }
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(GenAlgError::Other("expected a name".into()));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| GenAlgError::Other("invalid UTF-8 in name".into()))?
+            .to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value ↔ GenAlgXML mapping
+// ---------------------------------------------------------------------------
+
+/// Serialize algebra values as a GenAlgXML document.
+pub fn to_xml(values: &[Value]) -> String {
+    let mut root = XmlNode::new("genalgxml").with_attr("version", "1.0");
+    for v in values {
+        root.children.push(value_node(v));
+    }
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_node(&root, 0, &mut out);
+    out
+}
+
+/// Parse a GenAlgXML document back into algebra values.
+pub fn from_xml(text: &str) -> Result<Vec<Value>> {
+    let root = parse_document(text)?;
+    if root.name != "genalgxml" {
+        return Err(GenAlgError::Other(format!(
+            "expected <genalgxml> root, found <{}>",
+            root.name
+        )));
+    }
+    root.children.iter().map(node_value).collect()
+}
+
+fn value_node(v: &Value) -> XmlNode {
+    match v {
+        Value::Dna(d) => XmlNode::new("dna").with_text(&d.to_text()),
+        Value::Rna(r) => XmlNode::new("rna").with_text(&r.to_text()),
+        Value::ProteinSeq(p) => XmlNode::new("proteinSequence").with_text(&p.to_text()),
+        Value::Gene(g) => gene_node(g),
+        Value::Transcript(t) => transcript_node(t),
+        Value::Mrna(m) => mrna_node(m),
+        Value::Protein(p) => protein_node(p),
+        Value::Chromosome(c) => chromosome_node(c),
+        Value::Genome(g) => genome_node(g),
+        other => XmlNode::new("value")
+            .with_attr("sort", other.sort().name())
+            .with_text(&other.render()),
+    }
+}
+
+fn node_value(node: &XmlNode) -> Result<Value> {
+    Ok(match node.name.as_str() {
+        "dna" => Value::Dna(DnaSeq::from_text(&node.text)?),
+        "rna" => Value::Rna(RnaSeq::from_text(&node.text)?),
+        "proteinSequence" => Value::ProteinSeq(ProteinSeq::from_text(&node.text)?),
+        "gene" => Value::Gene(Box::new(parse_gene(node)?)),
+        "transcript" => Value::Transcript(Box::new(parse_transcript(node)?)),
+        "mrna" => Value::Mrna(Box::new(parse_mrna(node)?)),
+        "protein" => Value::Protein(Box::new(parse_protein(node)?)),
+        "chromosome" => Value::Chromosome(Box::new(parse_chromosome(node)?)),
+        "genome" => Value::Genome(Box::new(parse_genome(node)?)),
+        other => return Err(GenAlgError::Other(format!("unknown GenAlgXML element <{other}>"))),
+    })
+}
+
+fn strand_str(s: Strand) -> &'static str {
+    match s {
+        Strand::Forward => "+",
+        Strand::Reverse => "-",
+    }
+}
+
+fn parse_strand(s: &str) -> Result<Strand> {
+    match s {
+        "+" => Ok(Strand::Forward),
+        "-" => Ok(Strand::Reverse),
+        other => Err(GenAlgError::Other(format!("bad strand {other:?}"))),
+    }
+}
+
+fn parse_usize(node: &XmlNode, key: &str) -> Result<usize> {
+    node.required_attr(key)?
+        .parse()
+        .map_err(|_| GenAlgError::Other(format!("<{}> {key} is not a number", node.name)))
+}
+
+fn feature_node(f: &Feature) -> XmlNode {
+    let mut node = XmlNode::new("feature")
+        .with_attr("kind", f.kind.key())
+        .with_attr("strand", strand_str(f.location.strand()));
+    for seg in f.location.segments() {
+        node = node.with_child(
+            XmlNode::new("segment")
+                .with_attr("start", &seg.start.to_string())
+                .with_attr("end", &seg.end.to_string()),
+        );
+    }
+    for (k, v) in f.qualifiers() {
+        node = node.with_child(XmlNode::new("qualifier").with_attr("key", k).with_attr("value", v));
+    }
+    node
+}
+
+fn parse_feature(node: &XmlNode) -> Result<Feature> {
+    let kind = FeatureKind::from_key(node.required_attr("kind")?);
+    let strand = parse_strand(node.required_attr("strand")?)?;
+    let mut segments = Vec::new();
+    for seg in node.children_named("segment") {
+        segments.push(Interval::new(parse_usize(seg, "start")?, parse_usize(seg, "end")?)?);
+    }
+    let mut f = Feature::new(kind, Location::join(segments, strand)?);
+    for q in node.children_named("qualifier") {
+        f = f.with_qualifier(q.required_attr("key")?, q.required_attr("value")?);
+    }
+    Ok(f)
+}
+
+fn gene_node(g: &Gene) -> XmlNode {
+    let mut node = XmlNode::new("gene")
+        .with_attr("id", g.id())
+        .with_attr("codeTable", &g.code_table().to_string());
+    if let Some(name) = g.name() {
+        node = node.with_attr("name", name);
+    }
+    node = node.with_child(XmlNode::new("sequence").with_text(&g.sequence().to_text()));
+    for exon in g.exons() {
+        node = node.with_child(
+            XmlNode::new("exon")
+                .with_attr("start", &exon.start.to_string())
+                .with_attr("end", &exon.end.to_string()),
+        );
+    }
+    if let Some(locus) = g.locus() {
+        node = node.with_child(
+            XmlNode::new("locus")
+                .with_attr("chromosome", &locus.chromosome)
+                .with_attr("start", &locus.interval.start.to_string())
+                .with_attr("end", &locus.interval.end.to_string())
+                .with_attr("strand", strand_str(locus.strand)),
+        );
+    }
+    for f in g.features() {
+        node = node.with_child(feature_node(f));
+    }
+    node
+}
+
+fn parse_gene(node: &XmlNode) -> Result<Gene> {
+    let mut builder = Gene::builder(node.required_attr("id")?);
+    if let Some(name) = node.attr("name") {
+        builder = builder.name(name);
+    }
+    if let Some(table) = node.attr("codeTable") {
+        builder = builder.code_table(
+            table
+                .parse()
+                .map_err(|_| GenAlgError::Other("bad codeTable".into()))?,
+        );
+    }
+    builder = builder.sequence(DnaSeq::from_text(&node.required_child("sequence")?.text)?);
+    for exon in node.children_named("exon") {
+        builder = builder.exon(parse_usize(exon, "start")?, parse_usize(exon, "end")?);
+    }
+    if let Some(locus) = node.child("locus") {
+        builder = builder.locus(
+            locus.required_attr("chromosome")?,
+            Interval::new(parse_usize(locus, "start")?, parse_usize(locus, "end")?)?,
+            parse_strand(locus.required_attr("strand")?)?,
+        );
+    }
+    for f in node.children_named("feature") {
+        builder = builder.feature(parse_feature(f)?);
+    }
+    builder.build()
+}
+
+fn transcript_node(t: &PrimaryTranscript) -> XmlNode {
+    let mut node = XmlNode::new("transcript")
+        .with_attr("geneId", t.gene_id())
+        .with_attr("codeTable", &t.code_table().to_string())
+        .with_child(XmlNode::new("sequence").with_text(&t.sequence().to_text()));
+    for exon in t.exons() {
+        node = node.with_child(
+            XmlNode::new("exon")
+                .with_attr("start", &exon.start.to_string())
+                .with_attr("end", &exon.end.to_string()),
+        );
+    }
+    node
+}
+
+fn parse_transcript(node: &XmlNode) -> Result<PrimaryTranscript> {
+    let seq = RnaSeq::from_text(&node.required_child("sequence")?.text)?;
+    let mut exons = Vec::new();
+    for exon in node.children_named("exon") {
+        exons.push(Interval::new(parse_usize(exon, "start")?, parse_usize(exon, "end")?)?);
+    }
+    let table = node
+        .attr("codeTable")
+        .map_or(Ok(1), |t| t.parse().map_err(|_| GenAlgError::Other("bad codeTable".into())))?;
+    PrimaryTranscript::new(node.required_attr("geneId")?, seq, exons, table)
+}
+
+fn mrna_node(m: &Mrna) -> XmlNode {
+    let mut node = XmlNode::new("mrna")
+        .with_attr("geneId", m.gene_id())
+        .with_attr("codeTable", &m.code_table().to_string())
+        .with_child(XmlNode::new("sequence").with_text(&m.sequence().to_text()));
+    if let Some(cds) = m.cds() {
+        node = node
+            .with_attr("cdsStart", &cds.start.to_string())
+            .with_attr("cdsEnd", &cds.end.to_string());
+    }
+    node
+}
+
+fn parse_mrna(node: &XmlNode) -> Result<Mrna> {
+    let seq = RnaSeq::from_text(&node.required_child("sequence")?.text)?;
+    let cds = match (node.attr("cdsStart"), node.attr("cdsEnd")) {
+        (Some(s), Some(e)) => Some(Interval::new(
+            s.parse().map_err(|_| GenAlgError::Other("bad cdsStart".into()))?,
+            e.parse().map_err(|_| GenAlgError::Other("bad cdsEnd".into()))?,
+        )?),
+        _ => None,
+    };
+    let table = node
+        .attr("codeTable")
+        .map_or(Ok(1), |t| t.parse().map_err(|_| GenAlgError::Other("bad codeTable".into())))?;
+    Mrna::new(node.required_attr("geneId")?, seq, cds, table)
+}
+
+fn protein_node(p: &Protein) -> XmlNode {
+    let mut node = XmlNode::new("protein").with_attr("id", p.id());
+    if let Some(name) = p.name() {
+        node = node.with_attr("name", name);
+    }
+    if let Some(org) = p.organism() {
+        node = node.with_attr("organism", org);
+    }
+    node = node.with_child(XmlNode::new("sequence").with_text(&p.sequence().to_text()));
+    for f in p.features() {
+        node = node.with_child(feature_node(f));
+    }
+    node
+}
+
+fn parse_protein(node: &XmlNode) -> Result<Protein> {
+    let seq = ProteinSeq::from_text(&node.required_child("sequence")?.text)?;
+    let mut p = Protein::new(node.required_attr("id")?, seq);
+    if let Some(name) = node.attr("name") {
+        p = p.with_name(name);
+    }
+    if let Some(org) = node.attr("organism") {
+        p = p.with_organism(org);
+    }
+    for f in node.children_named("feature") {
+        p = p.with_feature(parse_feature(f)?);
+    }
+    Ok(p)
+}
+
+fn chromosome_node(c: &Chromosome) -> XmlNode {
+    let mut node = XmlNode::new("chromosome")
+        .with_attr("name", c.name())
+        .with_child(XmlNode::new("sequence").with_text(&c.sequence().to_text()));
+    for g in c.genes() {
+        node = node.with_child(gene_node(g));
+    }
+    node
+}
+
+fn parse_chromosome(node: &XmlNode) -> Result<Chromosome> {
+    let seq = DnaSeq::from_text(&node.required_child("sequence")?.text)?;
+    let mut c = Chromosome::new(node.required_attr("name")?, seq);
+    for g in node.children_named("gene") {
+        c.add_gene(parse_gene(g)?)?;
+    }
+    Ok(c)
+}
+
+fn genome_node(g: &Genome) -> XmlNode {
+    let mut node = XmlNode::new("genome").with_attr("organism", g.organism());
+    for t in g.taxonomy() {
+        node = node.with_child(XmlNode::new("taxon").with_text(t));
+    }
+    for c in g.chromosomes() {
+        node = node.with_child(chromosome_node(c));
+    }
+    node
+}
+
+fn parse_genome(node: &XmlNode) -> Result<Genome> {
+    let taxonomy: Vec<String> =
+        node.children_named("taxon").map(|t| t.text.clone()).collect();
+    let lineage: Vec<&str> = taxonomy.iter().map(String::as_str).collect();
+    let mut g = Genome::new(node.required_attr("organism")?).with_taxonomy(&lineage);
+    for c in node.children_named("chromosome") {
+        g.add_chromosome(parse_chromosome(c)?)?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genalg_core::gdt::GenomicLocus;
+
+    fn sample_gene() -> Gene {
+        Gene::builder("g1")
+            .name("demo & more")
+            .sequence(DnaSeq::from_text("ATGGCCTTTAAGGTAACCGGGTTTCACTGA").unwrap())
+            .exon(0, 12)
+            .exon(21, 30)
+            .locus("chr1", Interval::new(100, 130).unwrap(), Strand::Reverse)
+            .code_table(11)
+            .feature(
+                Feature::new(
+                    FeatureKind::Cds,
+                    Location::join(
+                        vec![Interval::new(0, 12).unwrap(), Interval::new(21, 30).unwrap()],
+                        Strand::Forward,
+                    )
+                    .unwrap(),
+                )
+                .with_qualifier("product", "a \"quoted\" <thing>"),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sequence_values_roundtrip() {
+        let values = vec![
+            Value::Dna(DnaSeq::from_text("ATGCRYN").unwrap()),
+            Value::Rna(RnaSeq::from_text("AUGGCC").unwrap()),
+            Value::ProteinSeq(ProteinSeq::from_text("MAFK*").unwrap()),
+        ];
+        let xml = to_xml(&values);
+        assert!(xml.starts_with("<?xml"));
+        assert_eq!(from_xml(&xml).unwrap(), values);
+    }
+
+    #[test]
+    fn gene_roundtrip_with_escaping() {
+        let gene = sample_gene();
+        let xml = to_xml(&[Value::Gene(Box::new(gene.clone()))]);
+        assert!(xml.contains("&amp;"), "ampersand in name must be escaped");
+        assert!(xml.contains("&quot;"), "quote in qualifier must be escaped");
+        let back = from_xml(&xml).unwrap();
+        assert_eq!(back, vec![Value::Gene(Box::new(gene))]);
+    }
+
+    #[test]
+    fn dogma_objects_roundtrip() {
+        let gene = sample_gene();
+        let t = genalg_core::dogma::transcribe(&gene).unwrap();
+        let m = genalg_core::dogma::splice(&t).unwrap();
+        let code = genalg_core::codon::GeneticCode::by_id(11).unwrap();
+        let p = genalg_core::dogma::translate(&m, &code).unwrap();
+        let values = vec![
+            Value::Transcript(Box::new(t)),
+            Value::Mrna(Box::new(m)),
+            Value::Protein(Box::new(p.clone())),
+            Value::Protein(Box::new(p.with_name("named").with_organism("E. coli"))),
+        ];
+        let xml = to_xml(&values);
+        assert_eq!(from_xml(&xml).unwrap(), values);
+    }
+
+    #[test]
+    fn chromosome_and_genome_roundtrip() {
+        let mut chr = Chromosome::new("chr1", DnaSeq::from_text("CCATGAAATAACC").unwrap());
+        let gene = Gene::builder("g1")
+            .sequence(DnaSeq::from_text("ATGAAATAA").unwrap())
+            .locus("chr1", Interval::new(2, 11).unwrap(), Strand::Forward)
+            .build()
+            .unwrap();
+        chr.add_gene(gene).unwrap();
+        let mut genome = Genome::new("Examplia").with_taxonomy(&["Bacteria", "Demo"]);
+        genome.add_chromosome(chr).unwrap();
+        let values = vec![Value::Genome(Box::new(genome))];
+        let xml = to_xml(&values);
+        assert_eq!(from_xml(&xml).unwrap(), values);
+    }
+
+    #[test]
+    fn locus_preserved() {
+        let gene = sample_gene();
+        let xml = to_xml(&[Value::Gene(Box::new(gene))]);
+        let back = from_xml(&xml).unwrap();
+        let Value::Gene(g) = &back[0] else { panic!() };
+        assert_eq!(
+            g.locus(),
+            Some(&GenomicLocus {
+                chromosome: "chr1".into(),
+                interval: Interval::new(100, 130).unwrap(),
+                strand: Strand::Reverse,
+            })
+        );
+        assert_eq!(g.code_table(), 11);
+    }
+
+    #[test]
+    fn parser_handles_prolog_comments_and_whitespace() {
+        let xml = "<?xml version=\"1.0\"?>\n<!-- a comment -->\n<genalgxml version=\"1.0\">\n  <!-- inner -->\n  <dna>ATGC</dna>\n</genalgxml>\n";
+        let values = from_xml(xml).unwrap();
+        assert_eq!(values, vec![Value::Dna(DnaSeq::from_text("ATGC").unwrap())]);
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        assert!(from_xml("<genalgxml><dna>ATGC</genalgxml>").is_err(), "mismatched tag");
+        assert!(from_xml("<wrongroot/>").is_err());
+        assert!(from_xml("<genalgxml><mystery/></genalgxml>").is_err());
+        assert!(from_xml("<genalgxml><dna>AT!C</dna></genalgxml>").is_err(), "bad symbol");
+        assert!(from_xml("<genalgxml><gene id=\"x\"/></genalgxml>").is_err(), "gene w/o sequence");
+        assert!(from_xml("not xml at all").is_err());
+        assert!(from_xml("<genalgxml></genalgxml>x").is_err(), "trailing content");
+    }
+
+    #[test]
+    fn self_closing_and_attributes() {
+        let node = parse_document("<a x=\"1\" y=\"two &amp; three\"><b/><c>text</c></a>").unwrap();
+        assert_eq!(node.attr("x"), Some("1"));
+        assert_eq!(node.attr("y"), Some("two & three"));
+        assert_eq!(node.children.len(), 2);
+        assert_eq!(node.child("c").unwrap().text, "text");
+        assert!(node.child("b").unwrap().children.is_empty());
+    }
+}

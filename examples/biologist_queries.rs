@@ -1,0 +1,71 @@
+//! The biologist's view: BQL queries instead of SQL (§6.4).
+//!
+//! "Our high-level Genomics Algebra allows biologists to pose questions
+//! using biological terms, not SQL statements." Each BQL query prints the
+//! SQL it compiles to, then its rendered result — table, histogram, or
+//! FASTA, per the output-description directive.
+//!
+//! ```sh
+//! cargo run --example biologist_queries
+//! ```
+
+use genalg::prelude::*;
+
+fn main() {
+    // Populate a warehouse with one synthetic repository.
+    let mut warehouse = Warehouse::new().expect("warehouse boots");
+    warehouse
+        .add_source(SimulatedRepository::new(
+            "genbank-sim",
+            Representation::FlatFile,
+            Capability::NonQueryable,
+        ))
+        .expect("source registers");
+    let mut generator = RepoGenerator::new(GeneratorConfig { seed: 7, ..Default::default() });
+    for rec in generator.records(80) {
+        warehouse
+            .source_mut("genbank-sim")
+            .expect("registered")
+            .apply(ChangeKind::Insert, rec)
+            .expect("fresh accession");
+    }
+    warehouse.refresh().expect("refresh succeeds");
+    let db = warehouse.db();
+
+    let run = |bql: &str| {
+        let query = genalg::bql::parse(bql).expect(bql);
+        let sql = query.to_sql().expect("compiles");
+        println!("\nBQL : {bql}");
+        println!("SQL : {sql}");
+        let rendered = genalg::bql::run_rendered(db, bql).expect("runs");
+        println!("{rendered}");
+    };
+
+    run("COUNT SEQUENCES BY organism AS HISTOGRAM");
+    run("FIND SEQUENCES LONGER THAN 400 SHOW accession, organism, length \
+         SORTED BY length DESCENDING TOP 5");
+    run("FIND SEQUENCES GC ABOVE 0.55 SHOW accession, gc SORTED BY gc DESCENDING TOP 5");
+    run("FIND SEQUENCES DESCRIBED AS 'locus 7' SHOW accession, description");
+    run("FIND SEQUENCES CONTAINING 'ATGGCC' SHOW accession, length TOP 5");
+
+    // The visual query builder — what the paper's GUI would construct.
+    let visual = QueryBuilder::find_sequences()
+        .from_organism("Homo sapiens")
+        .longer_than(200)
+        .show(&["accession", "length", "gc"])
+        .sorted_by("gc", false)
+        .top(5);
+    println!("\nvisual query → BQL : {}", visual.to_bql());
+    let sql = visual.build().to_sql().expect("compiles");
+    println!("visual query → SQL : {sql}");
+    let rs = db.execute(&sql).expect("runs");
+    println!("{}", db.render(&rs));
+
+    // FASTA export directive.
+    let fasta = genalg::bql::run_rendered(
+        db,
+        "FIND SEQUENCES SHORTER THAN 200 SHOW accession, sequence TOP 3 AS FASTA",
+    )
+    .expect("runs");
+    println!("FASTA export of three short sequences:\n{fasta}");
+}

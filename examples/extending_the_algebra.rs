@@ -1,0 +1,152 @@
+//! Extending the Genomics Algebra at runtime (§4.2, C13/C14).
+//!
+//! "If required, the Genomics Algebra can be extended by new sorts and
+//! operations. In particular, we can combine new sorts with sorts already
+//! present in the algebra." This example registers a new sort
+//! (`restriction-enzyme`), new operations over it, composes them with
+//! built-in sorts in evaluated terms, and finally exposes the new
+//! operation to SQL — the full path a lab would take to integrate its own
+//! methods.
+//!
+//! ```sh
+//! cargo run --example extending_the_algebra
+//! ```
+
+use genalg::core::algebra::{CustomValue, KernelAlgebra, SortId, Term, Value};
+use genalg::prelude::*;
+use std::any::Any;
+use std::sync::Arc;
+
+/// The lab's own data type: a restriction enzyme with a recognition site.
+#[derive(Debug, PartialEq)]
+struct Enzyme {
+    name: String,
+    site: DnaSeq,
+}
+
+impl CustomValue for Enzyme {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn eq_dyn(&self, other: &dyn CustomValue) -> bool {
+        other.as_any().downcast_ref::<Enzyme>() == Some(self)
+    }
+    fn render(&self) -> String {
+        format!("{} ({})", self.name, self.site.to_text())
+    }
+}
+
+fn enzyme(name: &str, site: &str) -> Value {
+    Value::Custom(
+        SortId::new("restriction_enzyme"),
+        Arc::new(Enzyme { name: name.into(), site: DnaSeq::from_text(site).expect("valid site") }),
+    )
+}
+
+fn main() {
+    // --- 1. Extend the kernel algebra ---------------------------------------
+    let mut algebra = KernelAlgebra::standard();
+    let enzyme_sort = SortId::new("restriction_enzyme");
+    algebra.register_sort(enzyme_sort.clone(), "a restriction enzyme with its recognition site");
+
+    // cut_sites : dna × restriction_enzyme → int
+    algebra
+        .register_op(
+            "cut_sites",
+            vec![SortId::dna(), enzyme_sort.clone()],
+            SortId::int(),
+            |args| {
+                let seq = args[0].as_dna().expect("sort-checked");
+                let enz = args[1].as_custom::<Enzyme>().expect("sort-checked");
+                Ok(Value::Int(seq.find_all(&enz.site).len() as i64))
+            },
+        )
+        .expect("fresh operation name");
+
+    // digests : dna × restriction_enzyme → bool (does it cut at all?)
+    algebra
+        .register_op(
+            "digests",
+            vec![SortId::dna(), enzyme_sort.clone()],
+            SortId::bool(),
+            |args| {
+                let seq = args[0].as_dna().expect("sort-checked");
+                let enz = args[1].as_custom::<Enzyme>().expect("sort-checked");
+                Ok(Value::Bool(seq.contains(&enz.site)))
+            },
+        )
+        .expect("fresh operation name");
+
+    println!(
+        "algebra now has {} operations over {} sorts",
+        algebra.signature().op_count(),
+        algebra.signature().sorts().len()
+    );
+
+    // --- 2. The new sort composes with built-ins in terms --------------------
+    let ecori = enzyme("EcoRI", "GAATTC");
+    let plasmid = DnaSeq::from_text("TTGAATTCAAGGGGAATTCCCCTTGAATTCAA").expect("valid");
+    // cut_sites(reverse_complement(plasmid), EcoRI) — mixing built-in and
+    // user operations in one term.
+    let term = Term::apply(
+        "cut_sites",
+        vec![
+            Term::apply(
+                "reverse_complement",
+                vec![Term::constant(Value::Dna(plasmid.clone()))],
+            ),
+            Term::constant(ecori.clone()),
+        ],
+    );
+    println!("term           : {term}");
+    println!(
+        "term sort      : {}",
+        term.sort(algebra.signature()).expect("well-sorted")
+    );
+    println!("evaluates to   : {}", algebra.eval(&term).expect("runs").render());
+    // EcoRI's site is palindromic, so both strands agree:
+    let fwd = Term::apply(
+        "cut_sites",
+        vec![Term::constant(Value::Dna(plasmid.clone())), Term::constant(ecori)],
+    );
+    println!("forward strand : {}", algebra.eval(&fwd).expect("runs").render());
+
+    // --- 3. Expose the extension to SQL (the C14 path) -----------------------
+    let db = Database::in_memory();
+    let adapter =
+        genalg::adapter::Adapter::install_algebra(&db, Arc::new(algebra)).expect("installs");
+    db.execute("CREATE TABLE plasmids (id INT, name TEXT, seq dna)").expect("ddl");
+    db.execute(
+        "INSERT INTO plasmids VALUES
+           (1, 'pDemo1', dna('TTGAATTCAAGGGGAATTCCCC')),
+           (2, 'pDemo2', dna('CCCCCCCCCCCCCCCC')),
+           (3, 'pDemo3', dna('GAATTCGAATTCGAATTC'))",
+    )
+    .expect("insert");
+    // The user-defined operator needs its enzyme argument as a SQL-callable
+    // constructor; register one more scalar for that.
+    db.register_scalar(
+        "ecori_cuts",
+        Arc::new({
+            let adapter = adapter.clone();
+            move |args: &[Datum]| {
+                let seq = adapter.to_value(&args[0])?;
+                let enz = enzyme("EcoRI", "GAATTC");
+                let n = adapter
+                    .algebra()
+                    .apply("cut_sites", &[seq, enz])
+                    .map_err(|e| genalg::unidb::DbError::External(e.to_string()))?;
+                adapter.to_datum(&n)
+            }
+        }),
+    )
+    .expect("fresh function name");
+
+    let rs = db
+        .execute(
+            "SELECT name, ecori_cuts(seq) AS cuts FROM plasmids \
+             WHERE ecori_cuts(seq) > 0 ORDER BY cuts DESC",
+        )
+        .expect("query runs");
+    println!("\nSQL over the extended algebra:\n{}", db.render(&rs));
+}

@@ -1,0 +1,91 @@
+//! Quickstart: the Genomics Algebra as a stand-alone library.
+//!
+//! Demonstrates the kernel algebra (§4 of the paper) without any database:
+//! genomic data types, the central dogma, term evaluation, alignment, and
+//! GenAlgXML export.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use genalg::core::algebra::{KernelAlgebra, Term, Value};
+use genalg::core::codon::GeneticCode;
+use genalg::core::seq::ops::find_orfs;
+use genalg::prelude::*;
+
+fn main() {
+    // --- 1. Genomic data types --------------------------------------------
+    let gene = Gene::builder("demoA")
+        .name("demonstration kinase")
+        .sequence(
+            DnaSeq::from_text("ATGGCCTTTAAGGTAACCGGGTTTCACTGA").expect("valid DNA text"),
+        )
+        .exon(0, 12)
+        .exon(21, 30)
+        .build()
+        .expect("structurally valid gene");
+    println!(
+        "gene {} ({} nt, {} exons, {} introns)",
+        gene.id(),
+        gene.sequence().len(),
+        gene.exons().len(),
+        gene.introns().len()
+    );
+
+    // --- 2. The central dogma: transcribe → splice → translate -------------
+    let transcript = transcribe(&gene).expect("strict sequence");
+    println!("pre-mRNA : {}", transcript.sequence().to_text());
+    let mrna = splice(&transcript).expect("valid exon structure");
+    println!("mRNA     : {} (CDS {:?})", mrna.sequence().to_text(), mrna.cds());
+    let protein = translate(&mrna, &GeneticCode::standard()).expect("located CDS");
+    println!("protein  : {}", protein.sequence().to_text());
+
+    // --- 3. The same pipeline as an algebra *term* --------------------------
+    let algebra = KernelAlgebra::standard();
+    let term = Term::apply(
+        "translate",
+        vec![Term::apply(
+            "splice",
+            vec![Term::apply(
+                "transcribe",
+                vec![Term::constant(Value::Gene(Box::new(gene.clone())))],
+            )],
+        )],
+    );
+    println!("\nterm      : {term}");
+    println!("term sort : {}", term.sort(algebra.signature()).expect("well-sorted"));
+    let result = algebra.eval(&term).expect("evaluates");
+    println!("evaluated : {}", result.render());
+
+    // --- 4. Sequence analysis ----------------------------------------------
+    let seq = gene.sequence();
+    println!("\nGC content        : {:.3}", seq.gc_content());
+    println!("reverse complement: {}", seq.reverse_complement().to_text());
+    let orfs = find_orfs(seq, &GeneticCode::standard(), 9);
+    println!("ORFs >= 9 nt      : {}", orfs.len());
+    for orf in &orfs {
+        println!("  [{}..{}) strand {} frame {}", orf.start, orf.end, orf.strand, orf.frame);
+    }
+
+    // --- 5. Similarity: the resembles predicate -----------------------------
+    let variant = DnaSeq::from_text("ATGGCATTTAAGGTAACCGGGTTTCACTGA").expect("valid");
+    println!(
+        "\nresembles(variant, 90% id, 90% cover) = {}",
+        resembles(seq, &variant, 0.9, 0.9)
+    );
+    let aligned = global_align(
+        seq.to_text().as_bytes(),
+        variant.to_text().as_bytes(),
+        &NucleotideScore::default(),
+    );
+    println!(
+        "global alignment (score {}, identity {:.1}%):",
+        aligned.score,
+        aligned.identity() * 100.0
+    );
+    println!("{aligned}");
+
+    // --- 6. GenAlgXML interchange -------------------------------------------
+    let xml = genalg::xml::to_xml(&[Value::Gene(Box::new(gene))]);
+    println!("\nGenAlgXML ({} bytes):\n{}", xml.len(), &xml[..xml.len().min(400)]);
+}

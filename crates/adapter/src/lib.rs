@@ -444,7 +444,9 @@ mod tests {
         )
         .unwrap();
         let rs = db
-            .execute("SELECT id FROM DNAFragments WHERE contains(fragment, 'ATTGCCATA') ORDER BY id")
+            .execute(
+                "SELECT id FROM DNAFragments WHERE contains(fragment, 'ATTGCCATA') ORDER BY id",
+            )
             .unwrap();
         let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(ids, vec![1, 3]);
@@ -470,9 +472,8 @@ mod tests {
         let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(ids, vec![2, 3, 1]);
         // GROUP BY.
-        let rs = db
-            .execute("SELECT seq_length(s), count(*) FROM seqs GROUP BY seq_length(s)")
-            .unwrap();
+        let rs =
+            db.execute("SELECT seq_length(s), count(*) FROM seqs GROUP BY seq_length(s)").unwrap();
         assert_eq!(rs.rows[0], vec![Datum::Int(4), Datum::Int(3)]);
     }
 
@@ -564,8 +565,7 @@ mod tests {
 
         // Index survives deletes.
         db.execute("DELETE FROM frags WHERE id = 0").unwrap();
-        let rs =
-            db.execute("SELECT count(*) FROM frags WHERE contains(s, 'ATTGCCATA')").unwrap();
+        let rs = db.execute("SELECT count(*) FROM frags WHERE contains(s, 'ATTGCCATA')").unwrap();
         assert_eq!(rs.rows[0][0], Datum::Int(4));
     }
 
@@ -578,9 +578,8 @@ mod tests {
                (1, dna('AT')), (1, dna('ATGGCC')), (2, dna('A'))",
         )
         .unwrap();
-        let rs = db
-            .execute("SELECT grp, longest_seq(s) FROM seqs GROUP BY grp ORDER BY grp")
-            .unwrap();
+        let rs =
+            db.execute("SELECT grp, longest_seq(s) FROM seqs GROUP BY grp ORDER BY grp").unwrap();
         let v = adapter.to_value(&rs.rows[0][1]).unwrap();
         assert_eq!(v.render(), "ATGGCC");
     }
@@ -615,20 +614,14 @@ mod tests {
                (2, dna('CCCCCCCCCCCC'))",
         )
         .unwrap();
-        let rs = db
-            .execute("SELECT id, longest_orf(s) FROM seqs ORDER BY id")
-            .unwrap();
+        let rs = db.execute("SELECT id, longest_orf(s) FROM seqs ORDER BY id").unwrap();
         assert!(rs.rows[0][1].as_int().unwrap() >= 12);
         assert_eq!(rs.rows[1][1].as_int(), Some(0));
 
         // Isoelectric point over protein sequences, straight from text.
-        let rs = db
-            .execute("SELECT isoelectric_point(protein_seq('KKKKKK'))")
-            .unwrap();
+        let rs = db.execute("SELECT isoelectric_point(protein_seq('KKKKKK'))").unwrap();
         assert!(rs.rows[0][0].as_float().unwrap() > 9.0);
-        let rs = db
-            .execute("SELECT isoelectric_point(protein_seq('DDDDDD'))")
-            .unwrap();
+        let rs = db.execute("SELECT isoelectric_point(protein_seq('DDDDDD'))").unwrap();
         assert!(rs.rows[0][0].as_float().unwrap() < 4.5);
     }
 

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use genalg::core::algebra::{KernelAlgebra, Term, Value};
-use genalg::core::align::{
-    global_align, local_align, seed_and_extend, NucleotideScore,
-};
+use genalg::core::align::{global_align, local_align, seed_and_extend, NucleotideScore};
 use genalg::core::codon::GeneticCode;
 use genalg::core::seq::ops::find_orfs;
 use genalg::prelude::*;

@@ -12,17 +12,15 @@ const CHANGES: usize = 10;
 
 fn seeded_repo(representation: Representation, capability: Capability) -> SimulatedRepository {
     let mut repo = SimulatedRepository::new("bench", representation, capability);
-    let mut generator = RepoGenerator::new(GeneratorConfig {
-        seed: 11,
-        error_rate: 0.0,
-        ..Default::default()
-    });
+    let mut generator =
+        RepoGenerator::new(GeneratorConfig { seed: 11, error_rate: 0.0, ..Default::default() });
     generator.populate(&mut repo, RECORDS);
     repo
 }
 
 fn mutate(repo: &mut SimulatedRepository) {
-    let mut g = RepoGenerator::new(GeneratorConfig { seed: 99, error_rate: 0.0, ..Default::default() });
+    let mut g =
+        RepoGenerator::new(GeneratorConfig { seed: 99, error_rate: 0.0, ..Default::default() });
     g.mutation_round(repo, CHANGES);
 }
 
@@ -93,8 +91,7 @@ fn bench_cells(c: &mut Criterion) {
     group.bench_function("tree_diff_hierarchical", |b| {
         b.iter_batched(
             || {
-                let mut repo =
-                    seeded_repo(Representation::Hierarchical, Capability::NonQueryable);
+                let mut repo = seeded_repo(Representation::Hierarchical, Capability::NonQueryable);
                 let mut monitor = DumpMonitor::new();
                 let _ = monitor.poll(&repo).expect("baseline");
                 mutate(&mut repo);
@@ -111,11 +108,8 @@ fn bench_primitives(c: &mut Criterion) {
     use genalg::etl::formats::{genbank, hier};
     use genalg::etl::monitor::{lcs, treediff};
 
-    let mut generator = RepoGenerator::new(GeneratorConfig {
-        seed: 3,
-        error_rate: 0.0,
-        ..Default::default()
-    });
+    let mut generator =
+        RepoGenerator::new(GeneratorConfig { seed: 3, error_rate: 0.0, ..Default::default() });
     let records = generator.records(100);
     let mut changed = records.clone();
     changed[50] = generator.mutate_record(&changed[50]);

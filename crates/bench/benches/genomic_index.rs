@@ -69,9 +69,7 @@ fn bench_btree_vs_scan(c: &mut Criterion) {
         b.iter(|| db.execute("SELECT payload FROM t WHERE id = 4321").unwrap().len())
     });
     group.bench_function("btree_range_100", |b| {
-        b.iter(|| {
-            db.execute("SELECT payload FROM t WHERE id BETWEEN 2000 AND 2099").unwrap().len()
-        })
+        b.iter(|| db.execute("SELECT payload FROM t WHERE id BETWEEN 2000 AND 2099").unwrap().len())
     });
     group.finish();
 }
@@ -115,9 +113,7 @@ fn bench_index_primitives(c: &mut Criterion) {
     });
     let sa = SuffixArray::build(&genome);
     let probe = genome.subseq(25_000, 25_020).unwrap().to_text();
-    group.bench_function("suffix_array_find", |b| {
-        b.iter(|| sa.find_all(probe.as_bytes()).len())
-    });
+    group.bench_function("suffix_array_find", |b| b.iter(|| sa.find_all(probe.as_bytes()).len()));
     group.bench_function("naive_find_50kb", |b| {
         let p = DnaSeq::from_text(&probe).unwrap();
         b.iter(|| genome.find_all(&p).len())

@@ -1,0 +1,164 @@
+//! Throughput of the query-service layer: queries/sec at 1, 4, and 16
+//! concurrent sessions, with the plan + result caches on and off, plus a
+//! single-threaded baseline doing the same total work (so the speedup of
+//! concurrent shared-lock reads is directly visible).
+//!
+//! Emits one JSON document on stdout:
+//!
+//! ```json
+//! {"bench":"server_throughput","results":[
+//!   {"sessions":16,"caches":true,"mode":"concurrent","ops":3200,
+//!    "elapsed_ms":41.2,"qps":77669.9}, ...]}
+//! ```
+//!
+//! Run with `cargo bench -p genalg-bench --bench server`.
+
+use genalg_server::{Server, ServerConfig, SessionKind};
+use std::sync::Arc;
+use std::time::Instant;
+use unidb::{Database, Role};
+
+const OPS_PER_SESSION: usize = 200;
+const ROWS: usize = 2000;
+
+/// Query mix: distinct statements so the plan cache holds several entries;
+/// repeated within a run so the result cache gets real hit traffic.
+const QUERIES: [&str; 4] = [
+    "SELECT count(*) FROM public.seqs WHERE gc > 0.25",
+    "SELECT id, gc FROM public.seqs WHERE id < 50",
+    "SELECT count(*), max(gc) FROM public.seqs WHERE id >= 1000",
+    "SELECT gc FROM public.seqs WHERE id = 777",
+];
+
+fn seeded_db() -> Arc<Database> {
+    let db = Arc::new(Database::in_memory());
+    db.execute_as("CREATE TABLE public.seqs (id INT, gc FLOAT)", &Role::Maintainer)
+        .expect("create");
+    db.execute_as("CREATE INDEX ON public.seqs (id)", &Role::Maintainer).expect("index");
+    for chunk in 0..(ROWS / 100) {
+        let rows: Vec<String> = (0..100)
+            .map(|i| {
+                let id = chunk * 100 + i;
+                format!("({id}, 0.{:02})", (id * 37) % 100)
+            })
+            .collect();
+        db.execute_as(
+            &format!("INSERT INTO public.seqs VALUES {}", rows.join(", ")),
+            &Role::Maintainer,
+        )
+        .expect("seed");
+    }
+    db
+}
+
+struct Sample {
+    sessions: usize,
+    caches: bool,
+    mode: &'static str,
+    ops: usize,
+    elapsed_ms: f64,
+}
+
+impl Sample {
+    fn qps(&self) -> f64 {
+        self.ops as f64 / (self.elapsed_ms / 1000.0)
+    }
+}
+
+fn run_concurrent(db: &Arc<Database>, sessions: usize, caches: bool, total_ops: usize) -> Sample {
+    let config = ServerConfig {
+        workers: sessions.max(4),
+        queue_capacity: 4 * sessions.max(4),
+        caches_enabled: caches,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(Arc::clone(db), &config);
+    let client = server.client();
+    let per_session = total_ops / sessions;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..sessions)
+        .map(|t| {
+            let client = client.clone();
+            std::thread::spawn(move || {
+                let s = client.open(SessionKind::Public);
+                for i in 0..per_session {
+                    let sql = QUERIES[(t + i) % QUERIES.len()];
+                    // Busy is impossible here (queue sized to the session
+                    // count) but retry anyway so the bench never panics.
+                    loop {
+                        match client.query(s, sql) {
+                            Ok(_) => break,
+                            Err(genalg_server::ServerError::Busy { .. }) => continue,
+                            Err(e) => panic!("bench query failed: {e}"),
+                        }
+                    }
+                }
+                client.close(s);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("bench session panicked");
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let mode = if sessions == 1 { "sequential" } else { "concurrent" };
+    Sample { sessions, caches, mode, ops: per_session * sessions, elapsed_ms }
+}
+
+fn main() {
+    let db = seeded_db();
+    let mut samples = Vec::new();
+    for &caches in &[true, false] {
+        for &sessions in &[1usize, 4, 16] {
+            // Same total work per configuration so qps is comparable and the
+            // 16-session run directly measures parallel speedup over the
+            // 1-session (sequential) run.
+            let total_ops = 16 * OPS_PER_SESSION;
+            samples.push(run_concurrent(&db, sessions, caches, total_ops));
+        }
+    }
+
+    let entries: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"sessions\":{},\"caches\":{},\"mode\":\"{}\",\"ops\":{},\
+                 \"elapsed_ms\":{:.1},\"qps\":{:.1}}}",
+                s.sessions,
+                s.caches,
+                s.mode,
+                s.ops,
+                s.elapsed_ms,
+                s.qps()
+            )
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "{{\"bench\":\"server_throughput\",\"cores\":{cores},\"results\":[{}]}}",
+        entries.join(",")
+    );
+
+    // Human-readable summary on stderr, with the headline ratio.
+    for s in &samples {
+        eprintln!(
+            "sessions={:2} caches={:5} mode={:10} {:8} ops in {:8.1} ms  ({:9.0} q/s)",
+            s.sessions,
+            s.caches,
+            s.mode,
+            s.ops,
+            s.elapsed_ms,
+            s.qps()
+        );
+    }
+    let speedup = |caches: bool| {
+        let seq = samples.iter().find(|s| s.sessions == 1 && s.caches == caches).unwrap();
+        let par = samples.iter().find(|s| s.sessions == 16 && s.caches == caches).unwrap();
+        seq.elapsed_ms / par.elapsed_ms
+    };
+    eprintln!(
+        "16-session speedup over sequential: {:.2}x (caches on), {:.2}x (caches off)",
+        speedup(true),
+        speedup(false)
+    );
+}

@@ -58,9 +58,7 @@ fn bench_clauses(c: &mut Criterion) {
     });
     group.bench_function("order_by_genomic_expr_top10", |b| {
         b.iter(|| {
-            db.execute("SELECT id FROM frags ORDER BY gc_content(seq) DESC LIMIT 10")
-                .unwrap()
-                .len()
+            db.execute("SELECT id FROM frags ORDER BY gc_content(seq) DESC LIMIT 10").unwrap().len()
         })
     });
     group.bench_function("resembles_predicate_100rows", |b| {

@@ -56,9 +56,8 @@ fn bench_gene_codec(c: &mut Criterion) {
     });
     group.bench_function("xml_roundtrip", |b| {
         b.iter(|| {
-            let xml = genalg::xml::to_xml(&[genalg::core::algebra::Value::Gene(Box::new(
-                gene.clone(),
-            ))]);
+            let xml =
+                genalg::xml::to_xml(&[genalg::core::algebra::Value::Gene(Box::new(gene.clone()))]);
             genalg::xml::from_xml(&xml).unwrap().len()
         })
     });
@@ -116,9 +115,7 @@ fn bench_btree(c: &mut Criterion) {
     for i in 0..10_000i64 {
         tree.insert(Datum::Int(i), genalg::unidb::Rid { page: i as u32, slot: 0 }).unwrap();
     }
-    group.bench_function("point_lookup", |b| {
-        b.iter(|| tree.get(&Datum::Int(7321)).len())
-    });
+    group.bench_function("point_lookup", |b| b.iter(|| tree.get(&Datum::Int(7321)).len()));
     group.bench_function("range_scan_100", |b| {
         b.iter(|| {
             tree.range(

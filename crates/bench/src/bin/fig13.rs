@@ -92,11 +92,9 @@ fn main() {
                 "organism census",
                 Box::new(|| mediator.count_by_organism().len()),
                 Box::new(|| {
-                    db.execute(
-                        "SELECT organism, count(*) FROM public.sequences GROUP BY organism",
-                    )
-                    .unwrap()
-                    .len()
+                    db.execute("SELECT organism, count(*) FROM public.sequences GROUP BY organism")
+                        .unwrap()
+                        .len()
                 }),
             ),
         ];

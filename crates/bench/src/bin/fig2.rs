@@ -25,17 +25,12 @@ fn main() {
         "capability", "representation", "technique", "deltas", "detect us", "src requests"
     );
 
-    for capability in [
-        Capability::Active,
-        Capability::Logged,
-        Capability::Queryable,
-        Capability::NonQueryable,
-    ] {
-        for representation in [
-            Representation::Relational,
-            Representation::FlatFile,
-            Representation::Hierarchical,
-        ] {
+    for capability in
+        [Capability::Active, Capability::Logged, Capability::Queryable, Capability::NonQueryable]
+    {
+        for representation in
+            [Representation::Relational, Representation::FlatFile, Representation::Hierarchical]
+        {
             let strategy = effective_strategy(capability, representation);
             let figure_says = pick_strategy(capability, representation);
             let cell_label = match figure_says {
@@ -129,21 +124,15 @@ fn main() {
     println!("\nedit-script cost scaling (non-queryable sources, one update in N records):");
     println!("{:<10} {:>16} {:>16}", "records", "LCS diff us", "tree diff us");
     for n in [100usize, 400, 1600] {
-        let mut flat = SimulatedRepository::new(
-            "flat",
-            Representation::FlatFile,
-            Capability::NonQueryable,
-        );
+        let mut flat =
+            SimulatedRepository::new("flat", Representation::FlatFile, Capability::NonQueryable);
         let mut hier = SimulatedRepository::new(
             "hier",
             Representation::Hierarchical,
             Capability::NonQueryable,
         );
-        let mut g = RepoGenerator::new(GeneratorConfig {
-            seed: 5,
-            error_rate: 0.0,
-            ..Default::default()
-        });
+        let mut g =
+            RepoGenerator::new(GeneratorConfig { seed: 5, error_rate: 0.0, ..Default::default() });
         let records = g.records(n);
         for rec in &records {
             flat.apply(ChangeKind::Insert, rec.clone()).unwrap();

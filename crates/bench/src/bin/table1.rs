@@ -15,15 +15,24 @@ use std::sync::Arc;
 /// The paper's published cells for the six systems (condensed wording).
 const LITERATURE: &[(&str, [&str; 6])] = &[
     ("C1 shield from sources", ["yes", "yes", "yes", "yes", "yes", "yes"]),
-    ("C2 common representation", ["HTML", "HTML", "OO schema", "rel. schema", "descr. logic", "rel. schema"]),
+    (
+        "C2 common representation",
+        ["HTML", "HTML", "OO schema", "rel. schema", "descr. logic", "rel. schema"],
+    ),
     ("C3 single access point", ["yes", "yes", "yes", "yes", "yes", "yes"]),
     ("C4 user-level interface", ["visual", "visual", "no", "needs SQL", "visual", "needs SQL"]),
     ("C5 query capability", ["limited", "none", "full", "full", "full", "full"]),
     ("C6 new operations", ["no", "no", "on views", "on views", "on views", "on warehouse"]),
-    ("C7 re-usable results", ["no", "no", "re-organize", "re-organize", "re-organize", "re-organize"]),
+    (
+        "C7 re-usable results",
+        ["no", "no", "re-organize", "re-organize", "re-organize", "re-organize"],
+    ),
     ("C8 reconciliation", ["no", "no", "no", "no", "partial", "cleansed"]),
     ("C9 uncertainty", ["no", "no", "no", "no", "no", "no"]),
-    ("C10 combine sources", ["web only", "web only", "wrappers", "wrappers", "wrappers", "integrated"]),
+    (
+        "C10 combine sources",
+        ["web only", "web only", "wrappers", "wrappers", "wrappers", "integrated"],
+    ),
     ("C11 new knowledge", ["no", "no", "no", "no", "no", "annotations"]),
     ("C12 high-level GDTs", ["no", "no", "no", "no", "no", "no"]),
     ("C13 own data", ["no", "no", "no", "no", "no", "yes"]),
@@ -52,8 +61,7 @@ impl Probed {
             Capability::Queryable,
         ))
         .expect("register");
-        let mut generator =
-            RepoGenerator::new(GeneratorConfig { seed: 33, ..Default::default() });
+        let mut generator = RepoGenerator::new(GeneratorConfig { seed: 33, ..Default::default() });
         let (a, b) = generator.overlapping_pair(30, 0.5, 0.4);
         for rec in a {
             w.source_mut("genbank-sim").unwrap().apply(ChangeKind::Insert, rec).unwrap();
@@ -102,9 +110,8 @@ impl Probed {
             }
             "C6 " => {
                 assert!(
-                    self.count(
-                        "SELECT count(*) FROM public.sequences WHERE gc_content(seq) > 0.5"
-                    ) >= 0
+                    self.count("SELECT count(*) FROM public.sequences WHERE gc_content(seq) > 0.5")
+                        >= 0
                 );
                 "genomic ops in queries".into()
             }
@@ -115,11 +122,15 @@ impl Probed {
                 "results are GDT values".into()
             }
             "C8 " => {
-                assert!(self.count("SELECT count(*) FROM public.sequences WHERE n_sources = 2") > 0);
+                assert!(
+                    self.count("SELECT count(*) FROM public.sequences WHERE n_sources = 2") > 0
+                );
                 "merged + corroborated".into()
             }
             "C9 " => {
-                assert!(self.count("SELECT count(*) FROM public.sequences WHERE disputed = true") > 0);
+                assert!(
+                    self.count("SELECT count(*) FROM public.sequences WHERE disputed = true") > 0
+                );
                 "alternatives kept".into()
             }
             "C10" => {
@@ -157,11 +168,8 @@ impl Probed {
             "C13" => {
                 let alice = Role::User("alice".into());
                 db.execute_as("CREATE TABLE t1own (s dna)", &alice).unwrap();
-                db.execute_as("INSERT INTO t1own VALUES (dna('ATGGCCTTTAAG'))", &alice)
-                    .unwrap();
-                let rs = db
-                    .execute_as("SELECT gc_content(s) FROM alice.t1own", &alice)
-                    .unwrap();
+                db.execute_as("INSERT INTO t1own VALUES (dna('ATGGCCTTTAAG'))", &alice).unwrap();
+                let rs = db.execute_as("SELECT gc_content(s) FROM alice.t1own", &alice).unwrap();
                 assert!(rs.rows[0][0].as_float().is_some());
                 "user spaces, same ops".into()
             }

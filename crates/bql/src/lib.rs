@@ -185,20 +185,21 @@ impl BqlQuery {
                 match self.target {
                     Target::Features => "accession, kind, loc_start, loc_end, strand".to_string(),
                     Target::Proteins => "accession, length, weight".to_string(),
-                    _ => "accession, organism, description, seq_length(seq) AS length"
-                        .to_string(),
+                    _ => "accession, organism, description, seq_length(seq) AS length".to_string(),
                 }
             } else {
                 self.show
                     .iter()
                     .map(|f| {
-                        self.map_field(f).map(|sql| {
-                            if sql == *f {
-                                sql
-                            } else {
-                                format!("{sql} AS {f}")
-                            }
-                        })
+                        self.map_field(f).map(
+                            |sql| {
+                                if sql == *f {
+                                    sql
+                                } else {
+                                    format!("{sql} AS {f}")
+                                }
+                            },
+                        )
                     })
                     .collect::<Result<Vec<_>>>()?
                     .join(", ")
@@ -317,8 +318,7 @@ impl P {
     fn number(&mut self) -> Result<f64> {
         let w = self.word()?;
         let w = w.trim_end_matches('%');
-        w.parse()
-            .map_err(|_| GenAlgError::Other(format!("expected a number, found {w:?}")))
+        w.parse().map_err(|_| GenAlgError::Other(format!("expected a number, found {w:?}")))
     }
 
     /// Percentages (`90%`) become fractions; plain numbers pass through.
@@ -465,9 +465,7 @@ pub fn parse(text: &str) -> Result<BqlQuery> {
                 } else if p.eat_kw("FASTA") {
                     OutputSpec::Fasta
                 } else {
-                    return Err(GenAlgError::Other(
-                        "AS expects TABLE, HISTOGRAM, or FASTA".into(),
-                    ));
+                    return Err(GenAlgError::Other("AS expects TABLE, HISTOGRAM, or FASTA".into()));
                 };
             }
             other => {
@@ -479,8 +477,18 @@ pub fn parse(text: &str) -> Result<BqlQuery> {
 }
 
 const RESERVED: &[&str] = &[
-    "FROM", "CONTAINING", "RESEMBLING", "LONGER", "SHORTER", "GC", "DESCRIBED", "OF", "SHOW",
-    "SORTED", "TOP", "AS",
+    "FROM",
+    "CONTAINING",
+    "RESEMBLING",
+    "LONGER",
+    "SHORTER",
+    "GC",
+    "DESCRIBED",
+    "OF",
+    "SHOW",
+    "SORTED",
+    "TOP",
+    "AS",
 ];
 
 // ---------------------------------------------------------------------------
@@ -541,9 +549,8 @@ pub fn render(db: &Database, rs: &ResultSet, spec: OutputSpec) -> String {
         OutputSpec::Histogram => {
             // First text-ish column is the label, first numeric column the value.
             let mut out = String::new();
-            let numeric_col = rs.rows.first().and_then(|row| {
-                row.iter().position(|d| d.as_float().is_some())
-            });
+            let numeric_col =
+                rs.rows.first().and_then(|row| row.iter().position(|d| d.as_float().is_some()));
             let Some(vcol) = numeric_col else {
                 return "histogram: no numeric column in result\n".into();
             };
@@ -694,10 +701,10 @@ impl QueryBuilder {
 mod tests {
     use super::*;
     use genalg_adapter::Adapter;
+    use genalg_core::seq::DnaSeq;
     use genalg_etl::integrate::{reconcile, TrustModel};
     use genalg_etl::loader::Loader;
     use genalg_etl::record::SeqRecord;
-    use genalg_core::seq::DnaSeq;
     use std::collections::HashMap;
 
     fn warehouse() -> Database {
@@ -786,11 +793,9 @@ mod tests {
     #[test]
     fn resembling_with_percentages() {
         let db = warehouse();
-        let rs = run(
-            &db,
-            "FIND SEQUENCES RESEMBLING 'ATTGCCATAGGGGGGCC' IDENTITY 90% COVERING 80%",
-        )
-        .unwrap();
+        let rs =
+            run(&db, "FIND SEQUENCES RESEMBLING 'ATTGCCATAGGGGGGCC' IDENTITY 90% COVERING 80%")
+                .unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0][0].as_text(), Some("A1"));
     }
@@ -801,9 +806,11 @@ mod tests {
         let table = run_rendered(&db, "FIND SEQUENCES SHOW accession AS TABLE").unwrap();
         assert!(table.contains("accession"));
 
-        let fasta =
-            run_rendered(&db, "FIND SEQUENCES CONTAINING 'ATTGCC' SHOW accession, sequence AS FASTA")
-                .unwrap();
+        let fasta = run_rendered(
+            &db,
+            "FIND SEQUENCES CONTAINING 'ATTGCC' SHOW accession, sequence AS FASTA",
+        )
+        .unwrap();
         assert!(fasta.starts_with(">A1\n"), "{fasta}");
         assert!(fasta.contains("ATTGCCATAGG"));
 
@@ -816,11 +823,9 @@ mod tests {
     fn proteins_target() {
         let db = warehouse();
         // Add an entity with a clean CDS and derive proteins.
-        let records = vec![SeqRecord::new(
-            "PR1",
-            DnaSeq::from_text("CCATGAAATTTGGGTAACC").unwrap(),
-        )
-        .with_source("s1")];
+        let records =
+            vec![SeqRecord::new("PR1", DnaSeq::from_text("CCATGAAATTTGGGTAACC").unwrap())
+                .with_source("s1")];
         let entries = reconcile(&records, &TrustModel::default(), &HashMap::new());
         let loader = Loader::new(&db);
         loader.upsert(&entries).unwrap();

@@ -24,14 +24,14 @@
 //!   terms. [`KernelAlgebra::standard`] ships the full built-in operation
 //!   set; `register_sort`/`register_op` extend it (requirement C13/C14).
 
-mod sort;
-mod value;
-mod signature;
-mod term;
 mod registry;
+mod signature;
+mod sort;
+mod term;
+mod value;
 
-pub use sort::SortId;
-pub use value::{CustomValue, Value};
-pub use signature::{OpSig, Signature};
-pub use term::Term;
 pub use registry::{Bindings, KernelAlgebra, OpImpl};
+pub use signature::{OpSig, Signature};
+pub use sort::SortId;
+pub use term::Term;
+pub use value::{CustomValue, Value};

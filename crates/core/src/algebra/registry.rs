@@ -98,9 +98,8 @@ impl KernelAlgebra {
         match term {
             Term::Const(v) => Ok(v.clone()),
             Term::Var(name, sort) => {
-                let v = bindings
-                    .get(name)
-                    .ok_or_else(|| GenAlgError::UnboundVariable(name.clone()))?;
+                let v =
+                    bindings.get(name).ok_or_else(|| GenAlgError::UnboundVariable(name.clone()))?;
                 if &v.sort() != sort {
                     return Err(GenAlgError::SortMismatch {
                         operation: format!("variable {name}"),
@@ -122,10 +121,9 @@ impl KernelAlgebra {
         let arg_sorts: Vec<SortId> = args.iter().map(Value::sort).collect();
         // Resolve against the signature first for a precise error message.
         self.signature.resolve(op, &arg_sorts)?;
-        let body = self
-            .impls
-            .get(&(op.to_string(), arg_sorts))
-            .ok_or_else(|| GenAlgError::UnknownOperation(format!("{op} (declared but not implemented)")))?;
+        let body = self.impls.get(&(op.to_string(), arg_sorts)).ok_or_else(|| {
+            GenAlgError::UnknownOperation(format!("{op} (declared but not implemented)"))
+        })?;
         body(args)
     }
 
@@ -137,9 +135,7 @@ impl KernelAlgebra {
             Ok(Value::Transcript(Box::new(dogma::transcribe(need_gene(&a[0])?)?)))
         })?;
         self.register_op("splice", vec![S::primary_transcript()], S::mrna(), |a| {
-            let t = a[0]
-                .as_transcript()
-                .ok_or_else(|| sort_err("splice"))?;
+            let t = a[0].as_transcript().ok_or_else(|| sort_err("splice"))?;
             Ok(Value::Mrna(Box::new(dogma::splice(t)?)))
         })?;
         self.register_op("translate", vec![S::mrna()], S::protein(), |a| {
@@ -207,10 +203,10 @@ impl KernelAlgebra {
         self.register_op("getchar", vec![S::string(), S::int()], S::string(), |a| {
             let s = need_str(&a[0])?;
             let i = need_int(&a[1])?;
-            let c = s
-                .chars()
-                .nth(i.max(0) as usize)
-                .ok_or(GenAlgError::OutOfBounds { index: i.max(0) as usize, len: s.chars().count() })?;
+            let c = s.chars().nth(i.max(0) as usize).ok_or(GenAlgError::OutOfBounds {
+                index: i.max(0) as usize,
+                len: s.chars().count(),
+            })?;
             Ok(Value::Str(c.to_string()))
         })?;
 
@@ -219,9 +215,7 @@ impl KernelAlgebra {
             Ok(Value::Bool(need_dna(&a[0])?.contains(need_dna(&a[1])?)))
         })?;
         self.register_op("find", vec![S::dna(), S::dna()], S::int(), |a| {
-            Ok(Value::Int(
-                need_dna(&a[0])?.find(need_dna(&a[1])?).map_or(-1, |p| p as i64),
-            ))
+            Ok(Value::Int(need_dna(&a[0])?.find(need_dna(&a[1])?).map_or(-1, |p| p as i64)))
         })?;
         self.register_op(
             "resembles",
@@ -275,9 +269,7 @@ impl KernelAlgebra {
             Ok(Value::Float(need_protein_seq(&a[0])?.isoelectric_point()))
         })?;
         self.register_op("longest_orf", vec![S::dna()], S::int(), |a| {
-            Ok(Value::Int(
-                seqops::longest_orf(need_dna(&a[0])?, &GeneticCode::standard()) as i64,
-            ))
+            Ok(Value::Int(seqops::longest_orf(need_dna(&a[0])?, &GeneticCode::standard()) as i64))
         })?;
 
         // --- Accessors --------------------------------------------------------
@@ -402,14 +394,8 @@ mod tests {
     #[test]
     fn overloaded_length() {
         let alg = KernelAlgebra::standard();
-        assert_eq!(
-            alg.apply("length", &[Value::Dna(dna("ATGC"))]).unwrap(),
-            Value::Int(4)
-        );
-        assert_eq!(
-            alg.apply("length", &[Value::Str("hello".into())]).unwrap(),
-            Value::Int(5)
-        );
+        assert_eq!(alg.apply("length", &[Value::Dna(dna("ATGC"))]).unwrap(), Value::Int(4));
+        assert_eq!(alg.apply("length", &[Value::Str("hello".into())]).unwrap(), Value::Int(5));
         assert!(alg.apply("length", &[Value::Bool(true)]).is_err());
     }
 
@@ -420,10 +406,7 @@ mod tests {
         let pat = Value::Dna(dna("GCCATA"));
         assert_eq!(alg.apply("contains", &[frag.clone(), pat.clone()]).unwrap(), Value::Bool(true));
         assert_eq!(alg.apply("find", &[frag.clone(), pat]).unwrap(), Value::Int(3));
-        assert_eq!(
-            alg.apply("find", &[frag, Value::Dna(dna("TTTT"))]).unwrap(),
-            Value::Int(-1)
-        );
+        assert_eq!(alg.apply("find", &[frag, Value::Dna(dna("TTTT"))]).unwrap(), Value::Int(-1));
     }
 
     #[test]
@@ -459,7 +442,7 @@ mod tests {
                 let seq = args[0].as_dna().expect("checked by signature");
                 let motif = args[1].as_custom::<Motif>().expect("checked by signature");
                 let _ = &ms;
-                Ok(Value::Int(seq.find_all(&motif.0) .len() as i64))
+                Ok(Value::Int(seq.find_all(&motif.0).len() as i64))
             },
         )
         .unwrap();
@@ -468,10 +451,7 @@ mod tests {
             "motif_hits",
             vec![
                 Term::constant(Value::Dna(dna("TATATATA"))),
-                Term::constant(Value::Custom(
-                    motif_sort,
-                    Arc::new(Motif(dna("TATA"))),
-                )),
+                Term::constant(Value::Custom(motif_sort, Arc::new(Motif(dna("TATA"))))),
             ],
         );
         assert_eq!(alg.eval(&term).unwrap(), Value::Int(3));
@@ -488,9 +468,8 @@ mod tests {
     fn resembles_through_algebra() {
         let alg = KernelAlgebra::standard();
         let a = Value::Dna(dna("ATGGCCTTTAAGGGGCCCAAATTTGGGCCCATAT"));
-        let res = alg
-            .apply("resembles", &[a.clone(), a, Value::Float(0.9), Value::Float(0.9)])
-            .unwrap();
+        let res =
+            alg.apply("resembles", &[a.clone(), a, Value::Float(0.9), Value::Float(0.9)]).unwrap();
         assert_eq!(res, Value::Bool(true));
     }
 

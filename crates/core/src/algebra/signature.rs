@@ -83,20 +83,17 @@ impl Signature {
 
     /// Resolve an application by name and argument sorts.
     pub fn resolve(&self, name: &str, arg_sorts: &[SortId]) -> Result<&OpSig> {
-        let overloads = self
-            .ops
-            .get(name)
-            .ok_or_else(|| GenAlgError::UnknownOperation(name.to_string()))?;
-        overloads
-            .iter()
-            .find(|op| op.args.as_slice() == arg_sorts)
-            .ok_or_else(|| GenAlgError::SortMismatch {
+        let overloads =
+            self.ops.get(name).ok_or_else(|| GenAlgError::UnknownOperation(name.to_string()))?;
+        overloads.iter().find(|op| op.args.as_slice() == arg_sorts).ok_or_else(|| {
+            GenAlgError::SortMismatch {
                 operation: name.to_string(),
                 detail: format!(
                     "no overload accepts ({})",
                     arg_sorts.iter().map(SortId::name).collect::<Vec<_>>().join(", ")
                 ),
-            })
+            }
+        })
     }
 
     /// All operator names, sorted.
@@ -143,15 +140,27 @@ mod tests {
     #[test]
     fn overloading_by_argument_sorts() {
         let mut s = sig();
-        s.add_op(OpSig { name: "length".into(), args: vec![SortId::string()], result: SortId::int() })
-            .unwrap();
-        s.add_op(OpSig { name: "length".into(), args: vec![SortId::gene()], result: SortId::int() })
-            .unwrap();
+        s.add_op(OpSig {
+            name: "length".into(),
+            args: vec![SortId::string()],
+            result: SortId::int(),
+        })
+        .unwrap();
+        s.add_op(OpSig {
+            name: "length".into(),
+            args: vec![SortId::gene()],
+            result: SortId::int(),
+        })
+        .unwrap();
         assert_eq!(s.overloads("length").len(), 2);
         assert!(s.resolve("length", &[SortId::gene()]).is_ok());
         // Duplicate overload rejected.
         assert!(s
-            .add_op(OpSig { name: "length".into(), args: vec![SortId::gene()], result: SortId::int() })
+            .add_op(OpSig {
+                name: "length".into(),
+                args: vec![SortId::gene()],
+                result: SortId::int()
+            })
             .is_err());
     }
 

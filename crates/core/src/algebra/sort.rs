@@ -23,25 +23,55 @@ impl SortId {
     }
 
     // Built-in base sorts.
-    pub fn bool() -> Self { Self::new("bool") }
-    pub fn int() -> Self { Self::new("int") }
-    pub fn float() -> Self { Self::new("float") }
-    pub fn string() -> Self { Self::new("string") }
+    pub fn bool() -> Self {
+        Self::new("bool")
+    }
+    pub fn int() -> Self {
+        Self::new("int")
+    }
+    pub fn float() -> Self {
+        Self::new("float")
+    }
+    pub fn string() -> Self {
+        Self::new("string")
+    }
 
     // Genomic sorts.
-    pub fn dna() -> Self { Self::new("dna") }
-    pub fn rna() -> Self { Self::new("rna") }
-    pub fn protein_seq() -> Self { Self::new("protein_seq") }
-    pub fn gene() -> Self { Self::new("gene") }
-    pub fn primary_transcript() -> Self { Self::new("primary_transcript") }
-    pub fn mrna() -> Self { Self::new("mrna") }
-    pub fn protein() -> Self { Self::new("protein") }
-    pub fn chromosome() -> Self { Self::new("chromosome") }
-    pub fn genome() -> Self { Self::new("genome") }
+    pub fn dna() -> Self {
+        Self::new("dna")
+    }
+    pub fn rna() -> Self {
+        Self::new("rna")
+    }
+    pub fn protein_seq() -> Self {
+        Self::new("protein_seq")
+    }
+    pub fn gene() -> Self {
+        Self::new("gene")
+    }
+    pub fn primary_transcript() -> Self {
+        Self::new("primary_transcript")
+    }
+    pub fn mrna() -> Self {
+        Self::new("mrna")
+    }
+    pub fn protein() -> Self {
+        Self::new("protein")
+    }
+    pub fn chromosome() -> Self {
+        Self::new("chromosome")
+    }
+    pub fn genome() -> Self {
+        Self::new("genome")
+    }
 
     // Structural sorts.
-    pub fn list() -> Self { Self::new("list") }
-    pub fn uncertain() -> Self { Self::new("uncertain") }
+    pub fn list() -> Self {
+        Self::new("list")
+    }
+    pub fn uncertain() -> Self {
+        Self::new("uncertain")
+    }
 }
 
 impl fmt::Display for SortId {

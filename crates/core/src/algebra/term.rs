@@ -182,10 +182,7 @@ mod tests {
     #[test]
     fn variables_carry_their_sort() {
         let s = sig();
-        let t = Term::apply(
-            "concat",
-            vec![Term::var("x", SortId::string()), Term::str("suffix")],
-        );
+        let t = Term::apply("concat", vec![Term::var("x", SortId::string()), Term::str("suffix")]);
         assert_eq!(t.sort(&s).unwrap(), SortId::string());
         let vars = t.free_vars();
         assert_eq!(vars.len(), 1);

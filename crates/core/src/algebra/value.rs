@@ -201,9 +201,7 @@ impl PartialEq for Value {
             (Value::Genome(a), Value::Genome(b)) => a == b,
             (Value::List(a), Value::List(b)) => a == b,
             (Value::Uncertain(a), Value::Uncertain(b)) => a == b,
-            (Value::Custom(sa, va), Value::Custom(sb, vb)) => {
-                sa == sb && va.eq_dyn(vb.as_ref())
-            }
+            (Value::Custom(sa, va), Value::Custom(sb, vb)) => sa == sb && va.eq_dyn(vb.as_ref()),
             _ => false,
         }
     }

@@ -38,11 +38,7 @@ impl Aligned {
 
     /// Columns where the two symbols are identical.
     pub fn matches(&self) -> usize {
-        self.aligned_a
-            .iter()
-            .zip(&self.aligned_b)
-            .filter(|(x, y)| x == y && **x != b'-')
-            .count()
+        self.aligned_a.iter().zip(&self.aligned_b).filter(|(x, y)| x == y && **x != b'-').count()
     }
 
     /// Fraction of identical columns (0 for an empty alignment).
@@ -243,13 +239,7 @@ fn align(a: &[u8], b: &[u8], scoring: &impl Scoring, local: bool) -> Aligned {
     ra.reverse();
     rb.reverse();
 
-    Aligned {
-        score,
-        aligned_a: ra,
-        aligned_b: rb,
-        a_range: (i, a_end),
-        b_range: (j, b_end),
-    }
+    Aligned { score, aligned_a: ra, aligned_b: rb, a_range: (i, a_end), b_range: (j, b_end) }
 }
 
 #[cfg(test)]
@@ -294,13 +284,8 @@ mod tests {
         let aln = global_align(b"AAAATTTTCCCC", b"AAAACCCC", &s());
         assert_eq!(aln.score, 8 * 2 - 5 - 3 * 2);
         // All gap columns must be contiguous.
-        let gaps: Vec<usize> = aln
-            .aligned_b
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c == b'-')
-            .map(|(i, _)| i)
-            .collect();
+        let gaps: Vec<usize> =
+            aln.aligned_b.iter().enumerate().filter(|(_, &c)| c == b'-').map(|(i, _)| i).collect();
         assert_eq!(gaps.len(), 4);
         assert!(gaps.windows(2).all(|w| w[1] == w[0] + 1), "gap not contiguous: {gaps:?}");
     }

@@ -15,16 +15,16 @@
 //! All aligners work on ASCII symbol slices so one implementation serves
 //! DNA, RNA, and protein sequences; typed wrappers do the conversion.
 
-mod score;
-mod matrix;
-mod gotoh;
 mod banded;
+mod gotoh;
+mod matrix;
+mod score;
 mod seedextend;
 
-pub use score::{NucleotideScore, Scoring};
-pub use matrix::Blosum62;
-pub use gotoh::{global_align, local_align, Aligned};
 pub use banded::banded_global_align;
+pub use gotoh::{global_align, local_align, Aligned};
+pub use matrix::Blosum62;
+pub use score::{NucleotideScore, Scoring};
 pub use seedextend::{best_hsp_score, seed_and_extend, Hsp};
 
 use crate::seq::{DnaSeq, ProteinSeq};

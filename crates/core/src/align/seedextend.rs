@@ -97,9 +97,7 @@ pub fn best_hsp_score(
     scoring: &NucleotideScore,
     x_drop: i32,
 ) -> i32 {
-    seed_and_extend(query, subject, k, scoring, x_drop)
-        .first()
-        .map_or(0, |h| h.score)
+    seed_and_extend(query, subject, k, scoring, x_drop).first().map_or(0, |h| h.score)
 }
 
 fn extend(

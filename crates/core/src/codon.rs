@@ -55,10 +55,8 @@ impl GeneticCode {
         }
         let mut starts = [false; 64];
         for s in start_codons {
-            let bases: Vec<DnaBase> = s
-                .chars()
-                .map(|c| DnaBase::from_char(c).expect("valid start codon"))
-                .collect();
+            let bases: Vec<DnaBase> =
+                s.chars().map(|c| DnaBase::from_char(c).expect("valid start codon")).collect();
             assert_eq!(bases.len(), 3);
             starts[codon_index_dna([bases[0], bases[1], bases[2]])] = true;
         }
@@ -158,16 +156,12 @@ impl GeneticCode {
 
     /// All stop codons of this table, as RNA triplets.
     pub fn stop_codons(&self) -> Vec<[RnaBase; 3]> {
-        all_rna_codons()
-            .filter(|&c| self.is_stop_rna(c))
-            .collect()
+        all_rna_codons().filter(|&c| self.is_stop_rna(c)).collect()
     }
 
     /// All start codons of this table, as RNA triplets.
     pub fn start_codons(&self) -> Vec<[RnaBase; 3]> {
-        all_rna_codons()
-            .filter(|&c| self.is_start_rna(c))
-            .collect()
+        all_rna_codons().filter(|&c| self.is_start_rna(c)).collect()
     }
 
     /// Translate a complete coding sequence (length must be a multiple of
@@ -208,23 +202,18 @@ impl GeneticCode {
 /// Iterate over complete codons of `rna` starting at offset `frame`.
 pub fn codons(rna: &RnaSeq, frame: usize) -> impl Iterator<Item = [RnaBase; 3]> + '_ {
     let n = rna.len();
-    (frame..)
-        .step_by(3)
-        .take_while(move |i| i + 3 <= n)
-        .map(move |i| {
-            [
-                rna.get(i).expect("bounds checked"),
-                rna.get(i + 1).expect("bounds checked"),
-                rna.get(i + 2).expect("bounds checked"),
-            ]
-        })
+    (frame..).step_by(3).take_while(move |i| i + 3 <= n).map(move |i| {
+        [
+            rna.get(i).expect("bounds checked"),
+            rna.get(i + 1).expect("bounds checked"),
+            rna.get(i + 2).expect("bounds checked"),
+        ]
+    })
 }
 
 fn all_rna_codons() -> impl Iterator<Item = [RnaBase; 3]> {
     RnaBase::ALL.into_iter().flat_map(|a| {
-        RnaBase::ALL
-            .into_iter()
-            .flat_map(move |b| RnaBase::ALL.into_iter().map(move |c| [a, b, c]))
+        RnaBase::ALL.into_iter().flat_map(move |b| RnaBase::ALL.into_iter().map(move |c| [a, b, c]))
     })
 }
 

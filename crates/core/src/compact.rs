@@ -11,8 +11,8 @@
 //! type tag — so a decoded payload can be dispatched back to its sort
 //! ([`value_to_bytes`] / [`value_from_bytes`]).
 
-use crate::alphabet::Strand;
 use crate::algebra::Value;
+use crate::alphabet::Strand;
 use crate::error::{GenAlgError, Result};
 use crate::gdt::{
     Chromosome, Feature, FeatureKind, Gene, Genome, Interval, Location, Mrna, PrimaryTranscript,
@@ -43,10 +43,7 @@ pub trait Compact: Sized {
     fn from_bytes(mut bytes: &[u8]) -> Result<Self> {
         let tag = take_u8(&mut bytes)?;
         if tag != Self::TAG {
-            return Err(GenAlgError::Corrupt(format!(
-                "expected tag {}, found {tag}",
-                Self::TAG
-            )));
+            return Err(GenAlgError::Corrupt(format!("expected tag {}, found {tag}", Self::TAG)));
         }
         let value = Self::decode(&mut bytes)?;
         if !bytes.is_empty() {
@@ -505,15 +502,15 @@ pub fn value_to_bytes(v: &Value) -> Result<Vec<u8>> {
 
 /// Decode a self-describing byte string back into a [`Value`].
 pub fn value_from_bytes(bytes: &[u8]) -> Result<Value> {
-    let tag = *bytes
-        .first()
-        .ok_or_else(|| GenAlgError::Corrupt("empty opaque payload".into()))?;
+    let tag = *bytes.first().ok_or_else(|| GenAlgError::Corrupt("empty opaque payload".into()))?;
     Ok(match tag {
         DnaSeq::TAG => Value::Dna(DnaSeq::from_bytes(bytes)?),
         RnaSeq::TAG => Value::Rna(RnaSeq::from_bytes(bytes)?),
         ProteinSeq::TAG => Value::ProteinSeq(ProteinSeq::from_bytes(bytes)?),
         Gene::TAG => Value::Gene(Box::new(Gene::from_bytes(bytes)?)),
-        PrimaryTranscript::TAG => Value::Transcript(Box::new(PrimaryTranscript::from_bytes(bytes)?)),
+        PrimaryTranscript::TAG => {
+            Value::Transcript(Box::new(PrimaryTranscript::from_bytes(bytes)?))
+        }
         Mrna::TAG => Value::Mrna(Box::new(Mrna::from_bytes(bytes)?)),
         Protein::TAG => Value::Protein(Box::new(Protein::from_bytes(bytes)?)),
         Chromosome::TAG => Value::Chromosome(Box::new(Chromosome::from_bytes(bytes)?)),
@@ -594,10 +591,7 @@ mod tests {
 
     #[test]
     fn transcript_mrna_protein_roundtrip() {
-        let g = Gene::builder("g")
-            .sequence(dna("ATGGCCTAA"))
-            .build()
-            .unwrap();
+        let g = Gene::builder("g").sequence(dna("ATGGCCTAA")).build().unwrap();
         let t = crate::dogma::transcribe(&g).unwrap();
         assert_eq!(PrimaryTranscript::from_bytes(&t.to_bytes()).unwrap(), t);
         let m = crate::dogma::splice(&t).unwrap();

@@ -46,11 +46,9 @@ pub fn splice(transcript: &PrimaryTranscript) -> Result<Mrna> {
     for exon in transcript.exons() {
         mature = mature.concat(&transcript.sequence().subseq(exon.start, exon.end)?);
     }
-    let code = GeneticCode::by_id(transcript.code_table())
-        .ok_or_else(|| GenAlgError::Other(format!(
-            "unknown translation table {}",
-            transcript.code_table()
-        )))?;
+    let code = GeneticCode::by_id(transcript.code_table()).ok_or_else(|| {
+        GenAlgError::Other(format!("unknown translation table {}", transcript.code_table()))
+    })?;
     let cds = locate_cds(&mature, &code);
     Mrna::new(transcript.gene_id(), mature, cds, transcript.code_table())
 }
@@ -144,8 +142,9 @@ pub fn reverse_transcribe(mrna: &Mrna) -> DnaSeq {
 /// Convenience composition of the full pathway:
 /// `translate(splice(transcribe(g)))` — the paper's flagship term.
 pub fn express(gene: &Gene) -> Result<Protein> {
-    let code = GeneticCode::by_id(gene.code_table())
-        .ok_or_else(|| GenAlgError::Other(format!("unknown translation table {}", gene.code_table())))?;
+    let code = GeneticCode::by_id(gene.code_table()).ok_or_else(|| {
+        GenAlgError::Other(format!("unknown translation table {}", gene.code_table()))
+    })?;
     translate(&splice(&transcribe(gene)?)?, &code)
 }
 
@@ -255,11 +254,7 @@ mod tests {
         // Under table 2, AGA is a stop; under table 1 it is Arg.
         let g_std = Gene::builder("g4").sequence(dna("ATGAGATAA")).build().unwrap();
         assert_eq!(express(&g_std).unwrap().sequence().to_text(), "MR");
-        let g_mito = Gene::builder("g5")
-            .sequence(dna("ATGAGATAA"))
-            .code_table(2)
-            .build()
-            .unwrap();
+        let g_mito = Gene::builder("g5").sequence(dna("ATGAGATAA")).code_table(2).build().unwrap();
         // CDS ends at the AGA stop.
         assert_eq!(express(&g_mito).unwrap().sequence().to_text(), "M");
     }

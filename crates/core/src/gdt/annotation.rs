@@ -210,10 +210,7 @@ impl Feature {
 
     /// First value of the named qualifier.
     pub fn qualifier(&self, key: &str) -> Option<&str> {
-        self.qualifiers
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.qualifiers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// All qualifiers in insertion order.

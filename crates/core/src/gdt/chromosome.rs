@@ -63,9 +63,13 @@ impl Chromosome {
             )));
         }
         if locus.interval.end > self.seq.len() {
-            return Err(GenAlgError::OutOfBounds { index: locus.interval.end, len: self.seq.len() });
+            return Err(GenAlgError::OutOfBounds {
+                index: locus.interval.end,
+                len: self.seq.len(),
+            });
         }
-        let extracted = self.region_sequence(locus.interval.start, locus.interval.end, locus.strand)?;
+        let extracted =
+            self.region_sequence(locus.interval.start, locus.interval.end, locus.strand)?;
         if &extracted != gene.sequence() {
             return Err(GenAlgError::InvalidStructure(format!(
                 "gene {}'s sequence disagrees with chromosome {} at {}",

@@ -162,9 +162,9 @@ impl GeneBuilder {
     ///   sequence;
     /// * if a locus is given, its interval length equals the sequence length.
     pub fn build(mut self) -> Result<Gene> {
-        let sequence = self
-            .sequence
-            .ok_or_else(|| GenAlgError::InvalidStructure(format!("gene {} has no sequence", self.id)))?;
+        let sequence = self.sequence.ok_or_else(|| {
+            GenAlgError::InvalidStructure(format!("gene {} has no sequence", self.id))
+        })?;
         if sequence.is_empty() {
             return Err(GenAlgError::InvalidStructure(format!(
                 "gene {} has an empty sequence",
@@ -263,22 +263,10 @@ mod tests {
     fn rejects_structural_errors() {
         assert!(Gene::builder("e1").build().is_err()); // no sequence
         assert!(Gene::builder("e2").sequence(DnaSeq::empty()).build().is_err());
-        assert!(Gene::builder("e3")
-            .sequence(dna("ATG"))
-            .exon(0, 5)
-            .build()
-            .is_err()); // exon past end
-        assert!(Gene::builder("e4")
-            .sequence(dna("ATGATG"))
-            .exon(0, 4)
-            .exon(3, 6)
-            .build()
-            .is_err()); // overlap
-        assert!(Gene::builder("e5")
-            .sequence(dna("ATG"))
-            .exon(1, 1)
-            .build()
-            .is_err()); // empty exon
+        assert!(Gene::builder("e3").sequence(dna("ATG")).exon(0, 5).build().is_err()); // exon past end
+        assert!(Gene::builder("e4").sequence(dna("ATGATG")).exon(0, 4).exon(3, 6).build().is_err()); // overlap
+        assert!(Gene::builder("e5").sequence(dna("ATG")).exon(1, 1).build().is_err());
+        // empty exon
     }
 
     #[test]
@@ -297,11 +285,7 @@ mod tests {
 
     #[test]
     fn code_table_selectable() {
-        let g = Gene::builder("g6")
-            .sequence(dna("ATGTAA"))
-            .code_table(11)
-            .build()
-            .unwrap();
+        let g = Gene::builder("g6").sequence(dna("ATGTAA")).code_table(11).build().unwrap();
         assert_eq!(g.code_table(), 11);
     }
 }

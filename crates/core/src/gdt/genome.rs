@@ -85,10 +85,7 @@ impl Genome {
         if total == 0 {
             return 0.0;
         }
-        self.chromosomes
-            .iter()
-            .map(|c| c.sequence().gc_content() * c.len() as f64)
-            .sum::<f64>()
+        self.chromosomes.iter().map(|c| c.sequence().gc_content() * c.len() as f64).sum::<f64>()
             / total as f64
     }
 }

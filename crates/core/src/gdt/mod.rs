@@ -7,15 +7,15 @@
 //! central-dogma operations in [`crate::dogma`] never see malformed input.
 
 mod annotation;
-mod gene;
-mod transcript;
-mod protein;
 mod chromosome;
+mod gene;
 mod genome;
+mod protein;
+mod transcript;
 
 pub use annotation::{Feature, FeatureKind, Interval, Location};
-pub use gene::{Gene, GeneBuilder, GenomicLocus};
-pub use transcript::{Mrna, PrimaryTranscript};
-pub use protein::Protein;
 pub use chromosome::Chromosome;
+pub use gene::{Gene, GeneBuilder, GenomicLocus};
 pub use genome::Genome;
+pub use protein::Protein;
+pub use transcript::{Mrna, PrimaryTranscript};

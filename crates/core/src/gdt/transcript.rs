@@ -141,10 +141,8 @@ mod tests {
         );
         assert!(ok.is_ok());
         assert!(PrimaryTranscript::new("g", seq.clone(), vec![], 1).is_err());
-        assert!(
-            PrimaryTranscript::new("g", seq.clone(), vec![Interval::new(0, 20).unwrap()], 1)
-                .is_err()
-        );
+        assert!(PrimaryTranscript::new("g", seq.clone(), vec![Interval::new(0, 20).unwrap()], 1)
+            .is_err());
         assert!(PrimaryTranscript::new(
             "g",
             seq,

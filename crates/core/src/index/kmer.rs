@@ -126,14 +126,12 @@ impl KmerIndex {
         let rarest = pattern_kmers
             .iter()
             .map(|(_, km)| {
-                self.map
-                    .get(km)
-                    .map_or(0, |p| {
-                        let mut keys: Vec<u64> = p.iter().map(|(k, _)| *k).collect();
-                        keys.sort_unstable();
-                        keys.dedup();
-                        keys.len()
-                    })
+                self.map.get(km).map_or(0, |p| {
+                    let mut keys: Vec<u64> = p.iter().map(|(k, _)| *k).collect();
+                    keys.sort_unstable();
+                    keys.dedup();
+                    keys.len()
+                })
             })
             .min()
             .unwrap_or(0);

@@ -37,8 +37,7 @@ impl SuffixArray {
                 for w in 1..n {
                     let prev = sa[w - 1];
                     let cur = sa[w];
-                    tmp[cur as usize] =
-                        tmp[prev as usize] + i64::from(key(prev) != key(cur));
+                    tmp[cur as usize] = tmp[prev as usize] + i64::from(key(prev) != key(cur));
                 }
                 rank.copy_from_slice(&tmp);
                 if rank[sa[n - 1] as usize] as usize == n - 1 {
@@ -189,11 +188,7 @@ mod tests {
         let text = "ATGGCCTTTAAGATGGCC";
         let sa = SuffixArray::build(&dna(text));
         for pat in ["ATG", "GCC", "TTTAAG", "GGCCT", "AAA", "CCGG"] {
-            assert_eq!(
-                sa.contains(pat.as_bytes()),
-                text.contains(pat),
-                "disagreement on {pat}"
-            );
+            assert_eq!(sa.contains(pat.as_bytes()), text.contains(pat), "disagreement on {pat}");
         }
         assert!(sa.contains(b""));
     }
@@ -202,9 +197,8 @@ mod tests {
     fn find_all_agrees_with_naive_scan() {
         let text = "AAAAABAAAAB";
         let sa = SuffixArray::from_bytes(text.as_bytes().to_vec());
-        let naive: Vec<usize> = (0..=text.len() - 3)
-            .filter(|&i| &text.as_bytes()[i..i + 3] == b"AAA")
-            .collect();
+        let naive: Vec<usize> =
+            (0..=text.len() - 3).filter(|&i| &text.as_bytes()[i..i + 3] == b"AAA").collect();
         assert_eq!(sa.find_all(b"AAA"), naive);
     }
 

@@ -46,36 +46,36 @@
 //! assert_eq!(protein.sequence().to_text(), "MAFKFH");
 //! ```
 
-pub mod alphabet;
-pub mod error;
-pub mod seq;
-pub mod codon;
-pub mod dogma;
-pub mod gdt;
-pub mod uncertainty;
 pub mod algebra;
 pub mod align;
-pub mod index;
+pub mod alphabet;
+pub mod codon;
 pub mod compact;
+pub mod dogma;
+pub mod error;
+pub mod gdt;
+pub mod index;
+pub mod seq;
+pub mod uncertainty;
 
 pub use error::{GenAlgError, Result};
 
 /// Convenient glob import of the most commonly used types.
 pub mod prelude {
-    pub use crate::alphabet::{AminoAcid, DnaBase, IupacDna, RnaBase, Strand};
-    pub use crate::seq::{DnaSeq, ProteinSeq, RnaSeq};
-    pub use crate::codon::GeneticCode;
-    pub use crate::dogma::{decode, express, reverse_transcribe, splice, transcribe, translate};
-    pub use crate::gdt::{
-        Chromosome, Feature, FeatureKind, Gene, Genome, Interval, Location, Mrna,
-        PrimaryTranscript, Protein,
-    };
-    pub use crate::uncertainty::{Alternatives, Confidence, Uncertain};
     pub use crate::algebra::{KernelAlgebra, Signature, SortId, Term, Value};
     pub use crate::align::{
         global_align, local_align, resembles, Aligned, NucleotideScore, Scoring,
     };
-    pub use crate::index::{KmerIndex, SuffixArray};
+    pub use crate::alphabet::{AminoAcid, DnaBase, IupacDna, RnaBase, Strand};
+    pub use crate::codon::GeneticCode;
     pub use crate::compact::Compact;
+    pub use crate::dogma::{decode, express, reverse_transcribe, splice, transcribe, translate};
     pub use crate::error::{GenAlgError, Result};
+    pub use crate::gdt::{
+        Chromosome, Feature, FeatureKind, Gene, Genome, Interval, Location, Mrna,
+        PrimaryTranscript, Protein,
+    };
+    pub use crate::index::{KmerIndex, SuffixArray};
+    pub use crate::seq::{DnaSeq, ProteinSeq, RnaSeq};
+    pub use crate::uncertainty::{Alternatives, Confidence, Uncertain};
 }

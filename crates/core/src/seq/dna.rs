@@ -235,11 +235,7 @@ impl DnaSeq {
                 actual: other.len(),
             });
         }
-        Ok(self
-            .iter()
-            .zip(other.iter())
-            .filter(|(a, b)| a != b)
-            .count())
+        Ok(self.iter().zip(other.iter()).filter(|(a, b)| a != b).count())
     }
 
     /// Raw packed payload (for compact serialization).

@@ -11,12 +11,12 @@
 //! concatenation, reversal, complementation (nucleic acids), searching, and
 //! composition statistics.
 
-pub mod packed;
 mod dna;
-mod rna;
-mod protein;
 pub mod ops;
+pub mod packed;
+mod protein;
+mod rna;
 
 pub use dna::DnaSeq;
-pub use rna::RnaSeq;
 pub use protein::ProteinSeq;
+pub use rna::RnaSeq;

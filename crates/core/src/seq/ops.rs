@@ -56,7 +56,13 @@ pub fn find_orfs(seq: &DnaSeq, code: &GeneticCode, min_len: usize) -> Vec<Orf> {
     orfs
 }
 
-fn scan_strand(seq: &DnaSeq, code: &GeneticCode, min_len: usize, strand: Strand, out: &mut Vec<Orf>) {
+fn scan_strand(
+    seq: &DnaSeq,
+    code: &GeneticCode,
+    min_len: usize,
+    strand: Strand,
+    out: &mut Vec<Orf>,
+) {
     let bases: Vec<Option<DnaBase>> = seq.iter().map(|s| s.as_base()).collect();
     let n = bases.len();
     for frame in 0..3usize {
@@ -123,17 +129,12 @@ pub fn kmers(seq: &DnaSeq, k: usize) -> Vec<(usize, u64)> {
 /// Pack a strict k-mer (given as bases) into its 2-bit integer code.
 pub fn pack_kmer(bases: &[DnaBase]) -> u64 {
     assert!(bases.len() <= 31);
-    bases
-        .iter()
-        .fold(0u64, |acc, b| (acc << 2) | b.code() as u64)
+    bases.iter().fold(0u64, |acc, b| (acc << 2) | b.code() as u64)
 }
 
 /// Unpack a 2-bit k-mer code back into bases.
 pub fn unpack_kmer(packed: u64, k: usize) -> Vec<DnaBase> {
-    (0..k)
-        .rev()
-        .map(|i| DnaBase::from_code(((packed >> (2 * i)) & 0b11) as u8))
-        .collect()
+    (0..k).rev().map(|i| DnaBase::from_code(((packed >> (2 * i)) & 0b11) as u8)).collect()
 }
 
 /// GC fraction in sliding windows of `window` nucleotides stepped by `step`.

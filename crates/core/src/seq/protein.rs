@@ -152,9 +152,7 @@ impl ProteinSeq {
         if pattern.is_empty() {
             return Some(0);
         }
-        self.residues
-            .windows(pattern.len())
-            .position(|w| w == pattern.residues.as_slice())
+        self.residues.windows(pattern.len()).position(|w| w == pattern.residues.as_slice())
     }
 
     /// True if `pattern` occurs in this sequence.

@@ -107,10 +107,7 @@ impl RnaSeq {
         if self.is_empty() {
             return 0.0;
         }
-        let gc = self
-            .iter()
-            .filter(|b| matches!(b, RnaBase::G | RnaBase::C))
-            .count();
+        let gc = self.iter().filter(|b| matches!(b, RnaBase::G | RnaBase::C)).count();
         gc as f64 / self.len() as f64
     }
 
@@ -198,10 +195,7 @@ mod tests {
     fn subseq_concat_find() {
         let s = RnaSeq::from_text("AUGGCCUAA").unwrap();
         assert_eq!(s.subseq(3, 6).unwrap().to_text(), "GCC");
-        assert_eq!(
-            s.subseq(0, 3).unwrap().concat(&s.subseq(6, 9).unwrap()).to_text(),
-            "AUGUAA"
-        );
+        assert_eq!(s.subseq(0, 3).unwrap().concat(&s.subseq(6, 9).unwrap()).to_text(), "AUGUAA");
         assert_eq!(s.find(&RnaSeq::from_text("GCC").unwrap()), Some(3));
         assert_eq!(s.find(&RnaSeq::from_text("GGG").unwrap()), None);
         assert_eq!(s.find(&RnaSeq::empty()), Some(0));

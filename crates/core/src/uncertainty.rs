@@ -91,7 +91,12 @@ impl<T> Uncertain<T> {
 
     /// Apply an operation to the value; the result is *at most* as certain
     /// as the input, scaled by the operation's own reliability.
-    pub fn map<U>(self, op_reliability: Confidence, op_name: &str, f: impl FnOnce(T) -> U) -> Uncertain<U> {
+    pub fn map<U>(
+        self,
+        op_reliability: Confidence,
+        op_name: &str,
+        f: impl FnOnce(T) -> U,
+    ) -> Uncertain<U> {
         let mut provenance = self.provenance;
         provenance.push(op_name.to_string());
         Uncertain {
@@ -141,11 +146,8 @@ impl<T: PartialEq> Alternatives<T> {
     /// alternative. Either way the biologist retains access to every claim.
     pub fn add_claim(&mut self, claim: Uncertain<T>) {
         if let Some(existing) = self.options.iter_mut().find(|o| o.value() == claim.value()) {
-            let source = claim
-                .provenance()
-                .last()
-                .cloned()
-                .unwrap_or_else(|| "unknown".to_string());
+            let source =
+                claim.provenance().last().cloned().unwrap_or_else(|| "unknown".to_string());
             existing.corroborate(claim.confidence(), &source);
         } else {
             self.options.push(claim);
@@ -223,11 +225,8 @@ mod tests {
 
     #[test]
     fn alternatives_keep_every_claim() {
-        let mut alts = Alternatives::single(Uncertain::new(
-            "ATGC",
-            Confidence::new(0.5).unwrap(),
-            "genbank",
-        ));
+        let mut alts =
+            Alternatives::single(Uncertain::new("ATGC", Confidence::new(0.5).unwrap(), "genbank"));
         alts.add_claim(Uncertain::new("ATGG", Confidence::new(0.8).unwrap(), "swissprot"));
         assert_eq!(alts.len(), 2);
         assert!(!alts.is_undisputed());
@@ -239,11 +238,8 @@ mod tests {
 
     #[test]
     fn matching_claim_corroborates_instead_of_duplicating() {
-        let mut alts = Alternatives::single(Uncertain::new(
-            "ATGC",
-            Confidence::new(0.5).unwrap(),
-            "genbank",
-        ));
+        let mut alts =
+            Alternatives::single(Uncertain::new("ATGC", Confidence::new(0.5).unwrap(), "genbank"));
         alts.add_claim(Uncertain::new("ATGC", Confidence::new(0.5).unwrap(), "embl"));
         assert_eq!(alts.len(), 1);
         assert!(alts.is_undisputed());

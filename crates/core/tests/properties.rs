@@ -1,12 +1,12 @@
 //! Property-based tests for the kernel algebra's core invariants.
 
+use genalg_core::algebra::Value;
 use genalg_core::align::{
     banded_global_align, global_align, local_align, NucleotideScore, Scoring,
 };
 use genalg_core::alphabet::{AminoAcid, DnaBase, IupacDna};
 use genalg_core::codon::GeneticCode;
 use genalg_core::compact::{value_from_bytes, value_to_bytes, Compact};
-use genalg_core::algebra::Value;
 use genalg_core::gdt::Gene;
 use genalg_core::index::{KmerIndex, SuffixArray};
 use genalg_core::seq::ops::{kmers, pack_kmer, unpack_kmer};

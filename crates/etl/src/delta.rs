@@ -36,7 +36,12 @@ impl Delta {
     ///
     /// # Panics
     /// Panics on the impossible `(None, None)` combination.
-    pub fn infer(id: u64, timestamp: u64, before: Option<SeqRecord>, after: Option<SeqRecord>) -> Self {
+    pub fn infer(
+        id: u64,
+        timestamp: u64,
+        before: Option<SeqRecord>,
+        after: Option<SeqRecord>,
+    ) -> Self {
         let (kind, accession) = match (&before, &after) {
             (None, Some(a)) => (ChangeKind::Insert, a.accession.clone()),
             (Some(b), None) => (ChangeKind::Delete, b.accession.clone()),

@@ -39,9 +39,7 @@ fn parse_one(lines: &[&str]) -> Result<SeqRecord> {
     let mut pending: PendingFeature = None;
     let mut in_sq = false;
 
-    let flush = |pending: &mut PendingFeature,
-                     features: &mut Vec<Feature>|
-     -> Result<()> {
+    let flush = |pending: &mut PendingFeature, features: &mut Vec<Feature>| -> Result<()> {
         if let Some((key, loc, quals)) = pending.take() {
             let mut f = Feature::new(FeatureKind::from_key(&key), parse_location(&loc)?);
             for (k, v) in quals {
@@ -95,9 +93,8 @@ fn parse_one(lines: &[&str]) -> Result<SeqRecord> {
                 } else if !body.starts_with(' ') && !trimmed.is_empty() {
                     flush(&mut pending, &mut features)?;
                     let mut parts = trimmed.split_whitespace();
-                    let key = parts
-                        .next()
-                        .ok_or_else(|| GenAlgError::Other("empty FT line".into()))?;
+                    let key =
+                        parts.next().ok_or_else(|| GenAlgError::Other("empty FT line".into()))?;
                     let loc: String = parts.collect::<Vec<_>>().join("");
                     pending = Some((key.to_string(), loc, Vec::new()));
                 } else if let Some((_, loc, _)) = pending.as_mut() {
@@ -144,11 +141,7 @@ pub fn write(records: &[SeqRecord]) -> String {
             out.push_str(&format!("OS   {org}\n"));
         }
         for f in &r.features {
-            out.push_str(&format!(
-                "FT   {:<16}{}\n",
-                f.kind.key(),
-                render_location(&f.location)
-            ));
+            out.push_str(&format!("FT   {:<16}{}\n", f.kind.key(), render_location(&f.location)));
             for (k, v) in f.qualifiers() {
                 out.push_str(&format!("FT                   /{k}=\"{v}\"\n"));
             }

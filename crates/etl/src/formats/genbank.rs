@@ -60,20 +60,17 @@ fn parse_one(chunk: &str) -> Result<SeqRecord> {
     // In-progress feature: (key, location text, qualifiers).
     let mut pending: PendingFeature = None;
 
-    let flush =
-        |pending: &mut PendingFeature,
-         features: &mut Vec<Feature>|
-         -> Result<()> {
-            if let Some((key, loc, quals)) = pending.take() {
-                let location = parse_location(&loc)?;
-                let mut f = Feature::new(FeatureKind::from_key(&key), location);
-                for (k, v) in quals {
-                    f = f.with_qualifier(&k, &v);
-                }
-                features.push(f);
+    let flush = |pending: &mut PendingFeature, features: &mut Vec<Feature>| -> Result<()> {
+        if let Some((key, loc, quals)) = pending.take() {
+            let location = parse_location(&loc)?;
+            let mut f = Feature::new(FeatureKind::from_key(&key), location);
+            for (k, v) in quals {
+                f = f.with_qualifier(&k, &v);
             }
-            Ok(())
-        };
+            features.push(f);
+        }
+        Ok(())
+    };
 
     for line in chunk.lines() {
         if line.trim().is_empty() {
@@ -88,9 +85,9 @@ fn parse_one(chunk: &str) -> Result<SeqRecord> {
                 "VERSION" => {
                     let v = line[12..].trim();
                     if let Some((_, n)) = v.rsplit_once('.') {
-                        version = n.parse().map_err(|_| {
-                            GenAlgError::Other(format!("bad VERSION line {v:?}"))
-                        })?;
+                        version = n
+                            .parse()
+                            .map_err(|_| GenAlgError::Other(format!("bad VERSION line {v:?}")))?;
                     }
                 }
                 "SOURCE" => organism = Some(line[12..].trim().to_string()),
@@ -157,11 +154,7 @@ fn parse_one(chunk: &str) -> Result<SeqRecord> {
 pub fn write(records: &[SeqRecord]) -> String {
     let mut out = String::new();
     for r in records {
-        out.push_str(&format!(
-            "LOCUS       {:<16} {} bp    DNA\n",
-            r.accession,
-            r.sequence.len()
-        ));
+        out.push_str(&format!("LOCUS       {:<16} {} bp    DNA\n", r.accession, r.sequence.len()));
         if !r.description.is_empty() {
             out.push_str(&format!("DEFINITION  {}.\n", r.description));
         }
@@ -205,32 +198,29 @@ mod tests {
     use genalg_core::gdt::{Interval, Location};
 
     fn sample() -> SeqRecord {
-        SeqRecord::new(
-            "ACC00001",
-            DnaSeq::from_text("ATGGCCTTTAAGGTAACCGGGTTTCACTGAATGC").unwrap(),
-        )
-        .with_description("synthetic demo locus")
-        .with_organism("Examplia demonstrans")
-        .with_version(3)
-        .with_feature(
-            Feature::new(
-                FeatureKind::Gene,
-                Location::simple(Interval::new(0, 30).unwrap(), Strand::Forward),
-            )
-            .with_qualifier("gene", "demoA"),
-        )
-        .with_feature(
-            Feature::new(
-                FeatureKind::Cds,
-                Location::join(
-                    vec![Interval::new(0, 12).unwrap(), Interval::new(21, 30).unwrap()],
-                    Strand::Forward,
+        SeqRecord::new("ACC00001", DnaSeq::from_text("ATGGCCTTTAAGGTAACCGGGTTTCACTGAATGC").unwrap())
+            .with_description("synthetic demo locus")
+            .with_organism("Examplia demonstrans")
+            .with_version(3)
+            .with_feature(
+                Feature::new(
+                    FeatureKind::Gene,
+                    Location::simple(Interval::new(0, 30).unwrap(), Strand::Forward),
                 )
-                .unwrap(),
+                .with_qualifier("gene", "demoA"),
             )
-            .with_qualifier("product", "demo protein")
-            .with_qualifier("codon_start", "1"),
-        )
+            .with_feature(
+                Feature::new(
+                    FeatureKind::Cds,
+                    Location::join(
+                        vec![Interval::new(0, 12).unwrap(), Interval::new(21, 30).unwrap()],
+                        Strand::Forward,
+                    )
+                    .unwrap(),
+                )
+                .with_qualifier("product", "demo protein")
+                .with_qualifier("codon_start", "1"),
+            )
     }
 
     #[test]
@@ -287,7 +277,8 @@ mod tests {
         let rec = SeqRecord::new("L", DnaSeq::from_text(&"ACGT".repeat(40)).unwrap());
         let text = write(std::slice::from_ref(&rec));
         // 160 nt → 3 ORIGIN lines.
-        let origin_lines = text.lines().filter(|l| l.starts_with("    ") || l.starts_with("  ")).count();
+        let origin_lines =
+            text.lines().filter(|l| l.starts_with("    ") || l.starts_with("  ")).count();
         assert!(origin_lines >= 3);
         assert_eq!(parse(&text).unwrap()[0].sequence, rec.sequence);
     }

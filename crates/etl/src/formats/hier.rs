@@ -183,10 +183,8 @@ pub fn from_records(records: &[SeqRecord]) -> Vec<HierNode> {
             }
             node = node.with_child(HierNode::leaf("DNA", &[&r.sequence.to_text()]));
             for f in &r.features {
-                let mut fnode = HierNode::leaf(
-                    "Feature",
-                    &[f.kind.key(), &render_location(&f.location)],
-                );
+                let mut fnode =
+                    HierNode::leaf("Feature", &[f.kind.key(), &render_location(&f.location)]);
                 for (k, v) in f.qualifiers() {
                     fnode = fnode.with_child(HierNode::leaf("Qualifier", &[k, v]));
                 }
@@ -209,18 +207,11 @@ pub fn to_records(nodes: &[HierNode]) -> Result<Vec<SeqRecord>> {
             .first()
             .ok_or_else(|| GenAlgError::Other("Sequence node without accession".into()))?
             .clone();
-        let version = n
-            .child("Version")
-            .and_then(|c| c.args.first())
-            .map_or(Ok(1), |v| {
-                v.parse()
-                    .map_err(|_| GenAlgError::Other(format!("bad version {v:?}")))
-            })?;
-        let description = n
-            .child("Description")
-            .and_then(|c| c.args.first())
-            .cloned()
-            .unwrap_or_default();
+        let version = n.child("Version").and_then(|c| c.args.first()).map_or(Ok(1), |v| {
+            v.parse().map_err(|_| GenAlgError::Other(format!("bad version {v:?}")))
+        })?;
+        let description =
+            n.child("Description").and_then(|c| c.args.first()).cloned().unwrap_or_default();
         let organism = n.child("Organism").and_then(|c| c.args.first()).cloned();
         let dna = n
             .child("DNA")

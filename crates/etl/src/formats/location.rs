@@ -9,10 +9,7 @@ use genalg_core::gdt::{Interval, Location};
 /// Parse a feature location.
 pub fn parse_location(text: &str) -> Result<Location> {
     let text = text.trim();
-    if let Some(inner) = text
-        .strip_prefix("complement(")
-        .and_then(|t| t.strip_suffix(')'))
-    {
+    if let Some(inner) = text.strip_prefix("complement(").and_then(|t| t.strip_suffix(')')) {
         let fwd = parse_location(inner)?;
         return Location::join(fwd.segments().to_vec(), Strand::Reverse);
     }
@@ -32,14 +29,10 @@ fn parse_span(text: &str) -> Result<Interval> {
         Some((a, b)) => (a, b),
         None => (text, text), // single-position feature
     };
-    let start: usize = a
-        .trim()
-        .parse()
-        .map_err(|_| GenAlgError::Other(format!("bad location start {a:?}")))?;
-    let end: usize = b
-        .trim()
-        .parse()
-        .map_err(|_| GenAlgError::Other(format!("bad location end {b:?}")))?;
+    let start: usize =
+        a.trim().parse().map_err(|_| GenAlgError::Other(format!("bad location start {a:?}")))?;
+    let end: usize =
+        b.trim().parse().map_err(|_| GenAlgError::Other(format!("bad location end {b:?}")))?;
     if start == 0 {
         return Err(GenAlgError::Other("locations are 1-based".into()));
     }

@@ -5,9 +5,9 @@
 //! Genomics Algebra (§5.1). All four formats round-trip: a record written
 //! and re-parsed compares equal, which the property tests verify.
 
+pub mod embl;
 pub mod fasta;
 pub mod genbank;
-pub mod embl;
 pub mod hier;
 
 mod location;

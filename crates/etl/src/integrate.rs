@@ -90,8 +90,7 @@ pub fn find_duplicate_accessions(records: &[SeqRecord]) -> Vec<(String, String)>
         for j in i + 1..entries.len() {
             let (acc_a, a) = entries[i];
             let (acc_b, b) = entries[j];
-            let same = a.sequence == b.sequence
-                || resembles(&a.sequence, &b.sequence, 0.95, 0.9);
+            let same = a.sequence == b.sequence || resembles(&a.sequence, &b.sequence, 0.95, 0.9);
             if same {
                 pairs.push((acc_b.to_string(), acc_a.to_string()));
             }
@@ -113,8 +112,7 @@ pub fn reconcile(
 ) -> Vec<ReconciledEntry> {
     let mut groups: BTreeMap<String, Vec<&SeqRecord>> = BTreeMap::new();
     for r in records {
-        let canonical =
-            aliases.get(&r.accession).cloned().unwrap_or_else(|| r.accession.clone());
+        let canonical = aliases.get(&r.accession).cloned().unwrap_or_else(|| r.accession.clone());
         groups.entry(canonical).or_default().push(r);
     }
 
@@ -169,8 +167,7 @@ mod tests {
 
     #[test]
     fn agreeing_sources_corroborate() {
-        let records =
-            vec![rec("A1", "ATGGCC", "genbank-sim"), rec("A1", "ATGGCC", "embl-sim")];
+        let records = vec![rec("A1", "ATGGCC", "genbank-sim"), rec("A1", "ATGGCC", "embl-sim")];
         let trust = TrustModel::default();
         let entries = reconcile(&records, &trust, &HashMap::new());
         assert_eq!(entries.len(), 1);
@@ -183,8 +180,7 @@ mod tests {
 
     #[test]
     fn conflicting_sources_preserve_both_claims() {
-        let records =
-            vec![rec("A1", "ATGGCC", "genbank-sim"), rec("A1", "ATGGCG", "embl-sim")];
+        let records = vec![rec("A1", "ATGGCC", "genbank-sim"), rec("A1", "ATGGCG", "embl-sim")];
         let mut trust = TrustModel::default();
         trust.set("embl-sim", 0.95);
         trust.set("genbank-sim", 0.6);

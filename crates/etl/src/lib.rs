@@ -25,14 +25,14 @@
 //! maintenance (self-maintainability: refresh consumes deltas plus
 //! warehouse content, never a full source reload).
 
-pub mod record;
 pub mod delta;
 pub mod formats;
-pub mod source;
-pub mod monitor;
 pub mod integrate;
 pub mod loader;
+pub mod monitor;
+pub mod record;
 pub mod refresh;
+pub mod source;
 
 pub use delta::{ChangeKind, Delta};
 pub use record::SeqRecord;

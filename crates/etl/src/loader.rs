@@ -93,9 +93,8 @@ impl<'a> Loader<'a> {
     /// stored. Entities without a complete CDS simply contribute nothing.
     pub fn derive_proteins(&self) -> DbResult<usize> {
         self.ensure_protein_schema()?;
-        let rs = self
-            .db
-            .execute_as("SELECT accession, seq FROM public.sequences", &Role::Maintainer)?;
+        let rs =
+            self.db.execute_as("SELECT accession, seq FROM public.sequences", &Role::Maintainer)?;
         let code = GeneticCode::standard();
         let mut stored = 0usize;
         for row in &rs.rows {
@@ -174,10 +173,7 @@ impl<'a> Loader<'a> {
     /// Remove an accession from every warehouse table.
     pub fn delete(&self, accession: &str) -> DbResult<()> {
         for table in ["public.sequences", "public.sequence_alternatives", "public.features"] {
-            self.exec(&format!(
-                "DELETE FROM {table} WHERE accession = {}",
-                quote(accession)
-            ))?;
+            self.exec(&format!("DELETE FROM {table} WHERE accession = {}", quote(accession)))?;
         }
         Ok(())
     }
@@ -306,18 +302,14 @@ mod tests {
         assert_eq!(loader.derive_proteins().unwrap(), 1);
 
         let rs = db
-            .execute(
-                "SELECT accession, length, cds_start FROM public.proteins ORDER BY accession",
-            )
+            .execute("SELECT accession, length, cds_start FROM public.proteins ORDER BY accession")
             .unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0][0].as_text(), Some("P1"));
         assert_eq!(rs.rows[0][1].as_int(), Some(3)); // M K F
         assert_eq!(rs.rows[0][2].as_int(), Some(2));
         // The residues are a first-class protein_seq value.
-        let rs = db
-            .execute("SELECT molecular_weight(residues) FROM public.proteins")
-            .unwrap();
+        let rs = db.execute("SELECT molecular_weight(residues) FROM public.proteins").unwrap();
         assert!(rs.rows[0][0].as_float().unwrap() > 100.0);
         // Nucleotide and protein worlds join on accession.
         let rs = db
@@ -335,15 +327,12 @@ mod tests {
         let (db, _) = setup();
         let loader = Loader::new(&db);
         loader.ensure_schema().unwrap();
-        let records = vec![
-            rec("C3", "ATGGCCTTTAAG", "genbank-sim"),
-            rec("C3", "ATGGACTTTAAG", "embl-sim"),
-        ];
+        let records =
+            vec![rec("C3", "ATGGCCTTTAAG", "genbank-sim"), rec("C3", "ATGGACTTTAAG", "embl-sim")];
         let entries = reconcile(&records, &TrustModel::default(), &HashMap::new());
         loader.upsert(&entries).unwrap();
-        let rs = db
-            .execute("SELECT disputed FROM public.sequences WHERE accession = 'C3'")
-            .unwrap();
+        let rs =
+            db.execute("SELECT disputed FROM public.sequences WHERE accession = 'C3'").unwrap();
         assert_eq!(rs.rows[0][0].as_bool(), Some(true));
         // Both claims are queryable — "access to both alternatives".
         let rs = db

@@ -24,11 +24,8 @@ pub fn diff_lines(old: &str, new: &str) -> Vec<LineEdit> {
     let mut lcs = vec![vec![0u32; m + 1]; n + 1];
     for i in (0..n).rev() {
         for j in (0..m).rev() {
-            lcs[i][j] = if a[i] == b[j] {
-                lcs[i + 1][j + 1] + 1
-            } else {
-                lcs[i + 1][j].max(lcs[i][j + 1])
-            };
+            lcs[i][j] =
+                if a[i] == b[j] { lcs[i + 1][j + 1] + 1 } else { lcs[i + 1][j].max(lcs[i][j + 1]) };
         }
     }
     let mut edits = Vec::new();
@@ -67,8 +64,12 @@ pub fn apply_edits(old: &str, edits: &[LineEdit]) -> String {
             LineEdit::Insert(_, _) => None,
         })
         .collect();
-    let mut kept: Vec<String> =
-        a.iter().enumerate().filter(|(i, _)| !deleted.contains(i)).map(|(_, l)| l.to_string()).collect();
+    let mut kept: Vec<String> = a
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !deleted.contains(i))
+        .map(|(_, l)| l.to_string())
+        .collect();
     // Inserts carry their position in the *new* document; apply ascending.
     let mut inserts: Vec<(usize, &String)> = edits
         .iter()

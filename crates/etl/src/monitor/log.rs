@@ -83,8 +83,7 @@ mod tests {
 
     #[test]
     fn requires_logged_capability() {
-        let repo =
-            SimulatedRepository::new("q", Representation::Relational, Capability::Queryable);
+        let repo = SimulatedRepository::new("q", Representation::Relational, Capability::Queryable);
         assert!(LogMonitor::new().poll(&repo).is_err());
     }
 }

@@ -7,12 +7,12 @@
 //! nearest working technique for N/A cells so the warehouse can always
 //! monitor a source.
 
-pub mod snapshot;
 pub mod lcs;
-pub mod treediff;
 pub mod log;
-pub mod trigger;
 pub mod poll;
+pub mod snapshot;
+pub mod treediff;
+pub mod trigger;
 
 use crate::source::{Capability, Representation};
 
@@ -82,7 +82,10 @@ mod tests {
         for r in [R::Relational, R::FlatFile, R::Hierarchical] {
             assert_eq!(pick_strategy(C::Logged, r), Some(Strategy::InspectLog));
         }
-        assert_eq!(pick_strategy(C::Queryable, R::Relational), Some(Strategy::SnapshotDifferential));
+        assert_eq!(
+            pick_strategy(C::Queryable, R::Relational),
+            Some(Strategy::SnapshotDifferential)
+        );
         assert_eq!(pick_strategy(C::Queryable, R::Hierarchical), Some(Strategy::EditSequence));
         assert_eq!(pick_strategy(C::NonQueryable, R::FlatFile), Some(Strategy::LcsDiff));
         assert_eq!(pick_strategy(C::NonQueryable, R::Hierarchical), Some(Strategy::EditSequence));
@@ -98,9 +101,6 @@ mod tests {
                 let _ = effective_strategy(c, r); // must not panic
             }
         }
-        assert_eq!(
-            effective_strategy(C::Queryable, R::FlatFile),
-            Strategy::SnapshotDifferential
-        );
+        assert_eq!(effective_strategy(C::Queryable, R::FlatFile), Strategy::SnapshotDifferential);
     }
 }

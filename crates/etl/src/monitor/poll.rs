@@ -33,8 +33,7 @@ impl PollMonitor {
     pub fn poll(&mut self, source: &SimulatedRepository) -> Vec<Delta> {
         self.polls += 1;
         let current = source.snapshot();
-        let deltas =
-            snapshot_differential(&self.last, &current, &mut self.next_id, source.clock());
+        let deltas = snapshot_differential(&self.last, &current, &mut self.next_id, source.clock());
         self.last = current;
         self.deltas_seen += deltas.len() as u64;
         deltas

@@ -199,16 +199,13 @@ mod tests {
                 tree(
                     "Sequence",
                     &format!("S{i}"),
-                    vec![
-                        HierNode::leaf("Version", &["1"]),
-                        HierNode::leaf("DNA", &["ATGC"]),
-                    ],
+                    vec![HierNode::leaf("Version", &["1"]), HierNode::leaf("DNA", &["ATGC"])],
                 )
             })
             .collect();
         let variants: Vec<Vec<HierNode>> = vec![
-            base[1..].to_vec(),                       // drop first
-            base[..4].to_vec(),                       // truncate
+            base[1..].to_vec(), // drop first
+            base[..4].to_vec(), // truncate
             {
                 let mut v = base.clone();
                 v.swap(0, 5);

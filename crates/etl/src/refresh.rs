@@ -237,15 +237,8 @@ impl Warehouse {
     }
 
     fn current_accessions(&self) -> Result<Vec<String>> {
-        let rs = self
-            .db
-            .execute("SELECT accession FROM public.sequences")
-            .map_err(wrap)?;
-        Ok(rs
-            .rows
-            .iter()
-            .filter_map(|r| r[0].as_text().map(str::to_string))
-            .collect())
+        let rs = self.db.execute("SELECT accession FROM public.sequences").map_err(wrap)?;
+        Ok(rs.rows.iter().filter_map(|r| r[0].as_text().map(str::to_string)).collect())
     }
 }
 
@@ -265,10 +258,7 @@ mod tests {
     }
 
     fn count(w: &Warehouse) -> i64 {
-        w.db()
-            .execute("SELECT count(*) FROM public.sequences")
-            .unwrap()
-            .rows[0][0]
+        w.db().execute("SELECT count(*) FROM public.sequences").unwrap().rows[0][0]
             .as_int()
             .unwrap()
     }
@@ -319,10 +309,7 @@ mod tests {
             .unwrap()
             .apply(ChangeKind::Insert, rec("B2", "GGGGCCCC"))
             .unwrap();
-        w.source_mut("ace-sim")
-            .unwrap()
-            .apply(ChangeKind::Insert, rec("C3", "TTTTAAAA"))
-            .unwrap();
+        w.source_mut("ace-sim").unwrap().apply(ChangeKind::Insert, rec("C3", "TTTTAAAA")).unwrap();
 
         let report = w.refresh().unwrap();
         assert_eq!(report.deltas, 4);
@@ -355,10 +342,7 @@ mod tests {
         assert_eq!(rs.rows[0][0].as_int(), Some(10));
 
         // Delete propagates and removes the entity.
-        w.source_mut("ace-sim")
-            .unwrap()
-            .apply(ChangeKind::Delete, rec("C3", "TTTTAAAA"))
-            .unwrap();
+        w.source_mut("ace-sim").unwrap().apply(ChangeKind::Delete, rec("C3", "TTTTAAAA")).unwrap();
         let report = w.refresh().unwrap();
         assert_eq!(report.deleted, 1);
         assert_eq!(count(&w), 2);
@@ -381,19 +365,11 @@ mod tests {
             Capability::Queryable,
         ))
         .unwrap();
-        w.source_mut("trusted")
-            .unwrap()
-            .apply(ChangeKind::Insert, rec("X", "ATGGCC"))
-            .unwrap();
-        w.source_mut("sloppy")
-            .unwrap()
-            .apply(ChangeKind::Insert, rec("X", "ATGGAC"))
-            .unwrap();
+        w.source_mut("trusted").unwrap().apply(ChangeKind::Insert, rec("X", "ATGGCC")).unwrap();
+        w.source_mut("sloppy").unwrap().apply(ChangeKind::Insert, rec("X", "ATGGAC")).unwrap();
         w.refresh().unwrap();
-        let rs = w
-            .db()
-            .execute("SELECT disputed FROM public.sequences WHERE accession = 'X'")
-            .unwrap();
+        let rs =
+            w.db().execute("SELECT disputed FROM public.sequences WHERE accession = 'X'").unwrap();
         assert_eq!(rs.rows[0][0].as_bool(), Some(true));
         // Best-believed sequence is the trusted one.
         let rs = w
@@ -436,9 +412,7 @@ mod tests {
             assert_eq!(count(&w), 5);
             let rs = w
                 .db()
-                .execute(
-                    "SELECT count(*) FROM public.sequences WHERE contains(seq, 'ATGAAA')",
-                )
+                .execute("SELECT count(*) FROM public.sequences WHERE contains(seq, 'ATGAAA')")
                 .unwrap();
             assert_eq!(rs.rows[0][0].as_int(), Some(5));
             let rs = w.db().execute("SELECT count(*) FROM public.proteins").unwrap();
@@ -462,10 +436,8 @@ mod tests {
             .unwrap();
         w.refresh().unwrap();
         assert_eq!(w.derive_proteins().unwrap(), 1);
-        let rs = w
-            .db()
-            .execute("SELECT length FROM public.proteins WHERE accession = 'X'")
-            .unwrap();
+        let rs =
+            w.db().execute("SELECT length FROM public.proteins WHERE accession = 'X'").unwrap();
         assert_eq!(rs.rows[0][0].as_int(), Some(3)); // M G F
     }
 

@@ -286,8 +286,11 @@ mod tests {
 
     #[test]
     fn capability_gating() {
-        let mut nq =
-            SimulatedRepository::new("dump-only", Representation::FlatFile, Capability::NonQueryable);
+        let mut nq = SimulatedRepository::new(
+            "dump-only",
+            Representation::FlatFile,
+            Capability::NonQueryable,
+        );
         nq.apply(ChangeKind::Insert, rec("A", "ACGT")).unwrap();
         assert!(nq.fetch("A").is_err());
         assert!(nq.read_log(0).is_err());

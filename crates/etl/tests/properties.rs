@@ -57,9 +57,8 @@ fn arb_record() -> impl Strategy<Value = SeqRecord> {
         |(acc, seq, desc, version, with_org)| {
             let len = seq.len();
             proptest::collection::vec(arb_feature(len), 0..3).prop_map(move |features| {
-                let mut rec = SeqRecord::new(&acc, seq.clone())
-                    .with_description(&desc)
-                    .with_version(version);
+                let mut rec =
+                    SeqRecord::new(&acc, seq.clone()).with_description(&desc).with_version(version);
                 if with_org {
                     rec = rec.with_organism("Examplia demonstrans");
                 }

@@ -96,10 +96,7 @@ mod tests {
         assert!(!rs.is_empty());
 
         // GenAlgXML out of query results.
-        let rs = w
-            .db()
-            .execute("SELECT seq FROM public.sequences LIMIT 1")
-            .unwrap();
+        let rs = w.db().execute("SELECT seq FROM public.sequences LIMIT 1").unwrap();
         let value = w.adapter().to_value(&rs.rows[0][0]).unwrap();
         let xml = genalg_xml::to_xml(std::slice::from_ref(&value));
         assert_eq!(genalg_xml::from_xml(&xml).unwrap(), vec![value]);

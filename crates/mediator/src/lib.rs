@@ -126,8 +126,7 @@ mod tests {
 
     fn mediator() -> Mediator {
         let mut m = Mediator::new();
-        let mut a =
-            SimulatedRepository::new("gb", Representation::FlatFile, Capability::Queryable);
+        let mut a = SimulatedRepository::new("gb", Representation::FlatFile, Capability::Queryable);
         a.apply(ChangeKind::Insert, rec("A1", "ATGGCCTTTAAG")).unwrap();
         a.apply(ChangeKind::Insert, rec("B2", "GGGGGGGG")).unwrap();
         let mut b =

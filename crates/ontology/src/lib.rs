@@ -168,11 +168,8 @@ impl Ontology {
 
     /// Resolve a free-text term through labels, synonyms, and ids.
     pub fn resolve(&self, term: &str) -> Result<Resolution> {
-        let mut ids = self
-            .synonym_index
-            .get(&term.to_ascii_lowercase())
-            .cloned()
-            .unwrap_or_default();
+        let mut ids =
+            self.synonym_index.get(&term.to_ascii_lowercase()).cloned().unwrap_or_default();
         ids.sort();
         ids.dedup();
         match ids.len() {
@@ -544,10 +541,7 @@ mod tests {
             o.resolve("pre-mRNA").unwrap(),
             Resolution::Unique(ConceptId::new("primary-transcript"))
         );
-        assert_eq!(
-            o.resolve("messenger rna").unwrap(),
-            Resolution::Unique(ConceptId::new("mrna"))
-        );
+        assert_eq!(o.resolve("messenger rna").unwrap(), Resolution::Unique(ConceptId::new("mrna")));
         assert!(o.resolve("flux capacitor").is_err());
     }
 

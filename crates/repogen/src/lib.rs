@@ -87,8 +87,8 @@ impl RepoGenerator {
             let n_errors = self.rng.gen_range(1..=3.min(len));
             for _ in 0..n_errors {
                 let pos = self.rng.gen_range(0..len);
-                let code = [IupacDna::N, IupacDna::R, IupacDna::Y, IupacDna::S]
-                    [self.rng.gen_range(0..4)];
+                let code =
+                    [IupacDna::N, IupacDna::R, IupacDna::Y, IupacDna::S][self.rng.gen_range(0..4)];
                 seq.set(pos, code).expect("pos < len");
             }
         }
@@ -205,8 +205,7 @@ impl RepoGenerator {
         // Coding sequence: ATG, interior codons that are never stops, stop.
         let coding_codons = (n_exons * exon_len) / 3;
         let mut coding = String::from("ATG");
-        let safe_codons =
-            ["GCT", "GGC", "TTT", "AAA", "CCC", "GAT", "CAT", "AGT", "GTT", "ACA"];
+        let safe_codons = ["GCT", "GGC", "TTT", "AAA", "CCC", "GAT", "CAT", "AGT", "GTT", "ACA"];
         for _ in 0..coding_codons.saturating_sub(2) {
             coding.push_str(safe_codons[self.rng.gen_range(0..safe_codons.len())]);
         }

@@ -1,0 +1,49 @@
+//! Stand up a genalg-server on a TCP port, load a small demo warehouse,
+//! and run a few queries against it over the wire.
+//!
+//! ```sh
+//! cargo run --release -p genalg-server --example serve
+//! ```
+
+use genalg_server::{Lang, Server, ServerConfig, SessionKind, TcpClient};
+use std::sync::Arc;
+use unidb::{Database, Role};
+
+fn main() {
+    let db = Arc::new(Database::in_memory());
+    db.execute_as(
+        "CREATE TABLE public.sequences (accession TEXT, organism TEXT, length INT)",
+        &Role::Maintainer,
+    )
+    .expect("create demo table");
+    db.execute_as(
+        "INSERT INTO public.sequences VALUES \
+         ('U00096', 'Escherichia coli', 4641652), \
+         ('AL009126', 'Bacillus subtilis', 4215606), \
+         ('AE006468', 'Salmonella enterica', 4857450)",
+        &Role::Maintainer,
+    )
+    .expect("seed demo rows");
+
+    let server = Server::new(Arc::clone(&db), &ServerConfig::default());
+    let handle = server.listen("127.0.0.1:0").expect("bind");
+    println!("genalg-server listening on {}", handle.addr());
+
+    let mut client = TcpClient::connect(handle.addr()).expect("connect");
+    let session = client.open(SessionKind::Public).expect("open session");
+
+    for sql in [
+        "SELECT accession, organism FROM public.sequences WHERE length > 4500000",
+        "SELECT count(*) FROM public.sequences",
+        "SHOW STATS",
+    ] {
+        println!("\n> {sql}");
+        match client.query(session, Lang::Sql, sql) {
+            Ok(rs) => print!("{}", db.render(&rs)),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    client.close(session).expect("close session");
+    handle.stop();
+}

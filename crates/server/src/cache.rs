@@ -1,0 +1,267 @@
+//! Prepared-plan and result caches.
+//!
+//! Both caches key on *normalized* statement text (case-folded outside
+//! string literals, whitespace collapsed) plus the session's default space,
+//! so `SELECT * FROM t` and `select  *  from t` share an entry while the
+//! same text from sessions resolving different spaces does not.
+//!
+//! Invalidation is generation-based, piggybacking on counters the engine
+//! already maintains:
+//!
+//! * a **plan** is valid while the catalog generation it was built under is
+//!   current — any DDL bumps it and the entry is re-prepared on next use;
+//! * a **result** is valid while every base table the plan read still has
+//!   the version counter observed *before* execution — any DML on one of
+//!   those tables makes the entry unreachable. Snapshotting versions before
+//!   execution errs toward spurious misses, never stale hits.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+use unidb::{Prepared, ResultSet};
+
+/// Normalize SQL/BQL text for cache keying: collapse runs of whitespace to
+/// one space, lowercase everything outside single-quoted literals, strip a
+/// trailing semicolon.
+pub fn normalize_sql(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_string = false;
+    let mut pending_space = false;
+    for ch in text.chars() {
+        if in_string {
+            out.push(ch);
+            if ch == '\'' {
+                in_string = false;
+            }
+            continue;
+        }
+        if ch.is_whitespace() {
+            pending_space = !out.is_empty();
+            continue;
+        }
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+        if ch == '\'' {
+            in_string = true;
+            out.push(ch);
+        } else {
+            out.extend(ch.to_lowercase());
+        }
+    }
+    while out.ends_with(';') || out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// A small LRU map: capacity-bounded, least-recently-*used* eviction via a
+/// logical clock (same scheme as the storage buffer pool).
+struct Lru<K, V> {
+    map: HashMap<K, (V, u64)>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    fn new(capacity: usize) -> Self {
+        Lru { map: HashMap::new(), capacity: capacity.max(1), clock: 0 }
+    }
+
+    fn get(&mut self, k: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(k).map(|(v, used)| {
+            *used = clock;
+            &*v
+        })
+    }
+
+    fn insert(&mut self, k: K, v: V) {
+        if !self.map.contains_key(&k) && self.map.len() >= self.capacity {
+            if let Some(victim) =
+                self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.clock += 1;
+        self.map.insert(k, (v, self.clock));
+    }
+
+    fn remove(&mut self, k: &K) {
+        self.map.remove(k);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Cache key: normalized statement text + the space unqualified names
+/// resolve under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StatementKey {
+    pub normalized_sql: String,
+    pub space: String,
+}
+
+/// LRU cache of prepared SELECT plans.
+pub struct PlanCache {
+    entries: Mutex<Lru<StatementKey, Arc<Prepared>>>,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> Self {
+        PlanCache { entries: Mutex::new(Lru::new(capacity)) }
+    }
+
+    /// A cached plan still valid under `catalog_gen`, bumping its recency.
+    /// A stale entry (planned under an older catalog) is dropped.
+    pub fn get(&self, key: &StatementKey, catalog_gen: u64) -> Option<Arc<Prepared>> {
+        let mut entries = self.entries.lock();
+        let cached = entries.get(key).map(Arc::clone)?;
+        if cached.catalog_generation() == catalog_gen {
+            Some(cached)
+        } else {
+            entries.remove(key);
+            None
+        }
+    }
+
+    pub fn insert(&self, key: StatementKey, plan: Arc<Prepared>) {
+        self.entries.lock().insert(key, plan);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One cached query result plus the versions it is valid for.
+struct CachedResult {
+    result: Arc<ResultSet>,
+    table_ids: Vec<u32>,
+    /// Version of each table in `table_ids`, snapshotted before execution.
+    table_versions: Vec<u64>,
+    catalog_gen: u64,
+}
+
+/// LRU cache of SELECT results, invalidated by table-generation counters.
+pub struct ResultCache {
+    entries: Mutex<Lru<StatementKey, CachedResult>>,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> Self {
+        ResultCache { entries: Mutex::new(Lru::new(capacity)) }
+    }
+
+    /// A cached result whose tables are all unchanged. `current_versions`
+    /// must come from `db.table_versions(entry.table_ids)` — the closure
+    /// receives the entry's table ids and returns their current versions.
+    pub fn get(
+        &self,
+        key: &StatementKey,
+        catalog_gen: u64,
+        current_versions: impl FnOnce(&[u32]) -> Vec<u64>,
+    ) -> Option<Arc<ResultSet>> {
+        let mut entries = self.entries.lock();
+        let (result, ids, versions, entry_gen) = {
+            let entry = entries.get(key)?;
+            (
+                Arc::clone(&entry.result),
+                entry.table_ids.clone(),
+                entry.table_versions.clone(),
+                entry.catalog_gen,
+            )
+        };
+        // Version check runs inside the cache lock, so a concurrent writer
+        // cannot swap the entry underneath us.
+        if entry_gen == catalog_gen && current_versions(&ids) == versions {
+            Some(result)
+        } else {
+            entries.remove(key);
+            None
+        }
+    }
+
+    pub fn insert(
+        &self,
+        key: StatementKey,
+        result: Arc<ResultSet>,
+        table_ids: Vec<u32>,
+        table_versions: Vec<u64>,
+        catalog_gen: u64,
+    ) {
+        self.entries
+            .lock()
+            .insert(key, CachedResult { result, table_ids, table_versions, catalog_gen });
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_folds_case_and_space() {
+        assert_eq!(
+            normalize_sql("SELECT  *\n FROM   T  WHERE name = 'MiXeD Case';"),
+            "select * from t where name = 'MiXeD Case'"
+        );
+        assert_eq!(normalize_sql("select 1"), normalize_sql("  SELECT    1 ; "));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(&10)); // 2 becomes LRU
+        lru.insert(3, 30);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(&10));
+        assert_eq!(lru.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn result_cache_invalidated_by_table_version() {
+        let cache = ResultCache::new(4);
+        let key = StatementKey { normalized_sql: "select 1".into(), space: "public".into() };
+        let rs = Arc::new(ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![],
+            affected: 0,
+            explain: None,
+        });
+        cache.insert(key.clone(), Arc::clone(&rs), vec![7], vec![3], 1);
+        // Same versions: hit.
+        assert!(cache
+            .get(&key, 1, |ids| {
+                assert_eq!(ids, [7]);
+                vec![3]
+            })
+            .is_some());
+        // Bumped table version: miss, entry dropped.
+        assert!(cache.get(&key, 1, |_| vec![4]).is_none());
+        assert!(cache.is_empty());
+        // Catalog generation moved: miss too.
+        cache.insert(key.clone(), rs, vec![7], vec![3], 1);
+        assert!(cache.get(&key, 2, |_| vec![3]).is_none());
+    }
+}

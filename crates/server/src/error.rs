@@ -1,0 +1,57 @@
+//! Error surface of the service layer.
+
+use std::fmt;
+use unidb::DbError;
+
+/// Errors a client can receive from the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The admission queue is full. The request was *not* executed; the
+    /// client should wait roughly `retry_after_ms` and resubmit.
+    Busy { retry_after_ms: u64 },
+    /// The engine rejected or failed the statement.
+    Db(DbError),
+    /// The session id is unknown (never opened, or already closed).
+    UnknownSession,
+    /// A public (anonymous) session attempted a write statement.
+    ReadOnly(String),
+    /// BQL text failed to parse or compile.
+    Bql(String),
+    /// Malformed wire frame or request.
+    Protocol(String),
+    /// Transport-level failure (connection dropped, I/O error).
+    Io(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Busy { retry_after_ms } => {
+                write!(f, "server busy: admission queue full, retry after {retry_after_ms} ms")
+            }
+            ServerError::Db(e) => write!(f, "{e}"),
+            ServerError::UnknownSession => write!(f, "unknown session"),
+            ServerError::ReadOnly(m) => write!(f, "read-only session: {m}"),
+            ServerError::Bql(m) => write!(f, "BQL error: {m}"),
+            ServerError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServerError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<DbError> for ServerError {
+    fn from(e: DbError) -> Self {
+        ServerError::Db(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e.to_string())
+    }
+}
+
+/// Result alias for the service layer.
+pub type ServerResult<T> = Result<T, ServerError>;

@@ -1,0 +1,242 @@
+//! # genalg-server — the concurrent query-service layer
+//!
+//! §5 of the paper puts the Unifying Database at the center of a *Genomics
+//! Research Warehouse* that many researchers query at once: the public
+//! space holds curated data every user reads, user spaces hold private
+//! work, and the maintainer loads new releases. This crate is that service
+//! tier — everything between a client connection and
+//! [`unidb::Database::execute_as`]:
+//!
+//! * **sessions** ([`SessionManager`]) with the §5.1 role split: public
+//!   (anonymous, read-only), user, maintainer;
+//! * a **worker pool** ([`WorkerPool`]) behind a *bounded* admission queue —
+//!   a saturated server rejects with a structured [`ServerError::Busy`]
+//!   carrying a retry hint instead of queueing unboundedly;
+//! * **plan and result caches** ([`PlanCache`], [`ResultCache`]) keyed on
+//!   normalized statement text and invalidated by the engine's catalog /
+//!   table generation counters — repeated public-space queries (the
+//!   warehouse's dominant workload) skip parse, plan, and execution;
+//! * a **wire protocol** ([`protocol`]) of length-prefixed binary frames
+//!   carrying SQL or BQL text out and tuple-encoded rows back, served over
+//!   TCP ([`Server::listen`]) or in process ([`Server::client`]);
+//! * **metrics** ([`Metrics`]) — latency histograms, cache hit/miss
+//!   counters, queue depth, active sessions — queryable by any session via
+//!   `SHOW STATS`.
+//!
+//! The engine itself runs reads concurrently (shared read lock; see
+//! [`unidb::Database`]), so the pool translates directly into parallel
+//! SELECT throughput.
+//!
+//! ```
+//! use genalg_server::{Server, ServerConfig, SessionKind};
+//! use std::sync::Arc;
+//! use unidb::Database;
+//!
+//! let db = Arc::new(Database::in_memory());
+//! db.execute("CREATE TABLE public.t (x INT)").ok();
+//! let server = Server::new(db, &ServerConfig::default());
+//! let client = server.client();
+//! let session = client.open(SessionKind::Public);
+//! let rs = client.query(session, "SELECT 1 + 1").unwrap();
+//! assert_eq!(rs.rows[0][0], unidb::Datum::Int(2));
+//! client.close(session);
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod session;
+
+pub use cache::{normalize_sql, PlanCache, ResultCache, StatementKey};
+pub use error::{ServerError, ServerResult};
+pub use metrics::{Histogram, Metrics};
+pub use protocol::{Lang, Request, Response};
+pub use queue::WorkerPool;
+pub use server::{Client, Server, ServerHandle, TcpClient};
+pub use service::{stat_value, QueryService, ServerConfig};
+pub use session::{SessionId, SessionKind, SessionManager};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unidb::{Database, Datum};
+
+    fn seeded_server(config: &ServerConfig) -> Server {
+        let db = Arc::new(Database::in_memory());
+        db.execute_as("CREATE TABLE public.genes (id INT, name TEXT)", &unidb::Role::Maintainer)
+            .unwrap();
+        db.execute_as(
+            "INSERT INTO public.genes VALUES (1, 'lacZ'), (2, 'recA'), (3, 'rpoB')",
+            &unidb::Role::Maintainer,
+        )
+        .unwrap();
+        Server::new(db, config)
+    }
+
+    #[test]
+    fn end_to_end_select_in_process() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        let rs = client.query(s, "SELECT name FROM public.genes WHERE id = 2").unwrap();
+        assert_eq!(rs.rows, vec![vec![Datum::Text("recA".into())]]);
+        client.close(s);
+    }
+
+    #[test]
+    fn public_sessions_cannot_write() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        let err = client.query(s, "INSERT INTO public.genes VALUES (4, 'gyrA')").unwrap_err();
+        assert!(matches!(err, ServerError::ReadOnly(_)), "got {err:?}");
+        // User sessions hit the engine's ACL instead (public is curated).
+        let u = client.open(SessionKind::User("alice".into()));
+        let err = client.query(u, "INSERT INTO public.genes VALUES (4, 'gyrA')").unwrap_err();
+        assert!(matches!(err, ServerError::Db(unidb::DbError::AccessDenied(_))), "got {err:?}");
+        // The maintainer may write.
+        let m = client.open(SessionKind::Maintainer);
+        let rs = client.query(m, "INSERT INTO public.genes VALUES (4, 'gyrA')").unwrap();
+        assert_eq!(rs.affected, 1);
+    }
+
+    #[test]
+    fn repeated_query_hits_plan_and_result_cache() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        let sql = "SELECT id, name FROM public.genes WHERE id <= 2";
+        let first = client.query(s, sql).unwrap();
+        // Same text modulo case/whitespace must share the cache entry.
+        let second = client.query(s, "select  id, name from public.genes where id <= 2").unwrap();
+        let third = client.query(s, sql).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, third);
+
+        let stats = client.query(s, "SHOW STATS").unwrap();
+        assert_eq!(stat_value(&stats, "result_cache_hits"), Some(2));
+        assert_eq!(stat_value(&stats, "result_cache_misses"), Some(1));
+        assert_eq!(stat_value(&stats, "plan_cache_misses"), Some(1));
+        assert_eq!(stat_value(&stats, "queries_ok"), Some(3));
+    }
+
+    #[test]
+    fn dml_invalidates_cached_results() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let reader = client.open(SessionKind::Public);
+        let writer = client.open(SessionKind::Maintainer);
+        let sql = "SELECT count(*) FROM public.genes";
+        let before = client.query(reader, sql).unwrap();
+        assert_eq!(before.rows[0][0], Datum::Int(3));
+        client.query(writer, "INSERT INTO public.genes VALUES (4, 'gyrA')").unwrap();
+        // The cached result must not survive the write.
+        let after = client.query(reader, sql).unwrap();
+        assert_eq!(after.rows[0][0], Datum::Int(4));
+    }
+
+    #[test]
+    fn ddl_invalidates_cached_plans() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let m = client.open(SessionKind::Maintainer);
+        let sql = "SELECT count(*) FROM public.genes";
+        client.query(m, sql).unwrap();
+        client.query(m, "CREATE TABLE public.other (x INT)").unwrap();
+        // The plan was prepared under the old catalog; the service must
+        // re-prepare transparently rather than surface a Stale error.
+        let rs = client.query(m, sql).unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Int(3));
+    }
+
+    #[test]
+    fn bql_is_compiled_and_dispatched() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        // Invalid BQL surfaces as a typed Bql error.
+        let err = client.query_bql(s, "FROB the database").unwrap_err();
+        assert!(matches!(err, ServerError::Bql(_)), "got {err:?}");
+        // Valid BQL compiles to SQL and reaches the engine; without the
+        // warehouse schema installed the engine reports what is missing,
+        // proving the text made it through compilation and dispatch.
+        let err = client.query_bql(s, "COUNT sequences BY organism").unwrap_err();
+        assert!(matches!(err, ServerError::Db(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn caches_can_be_disabled() {
+        let config = ServerConfig { caches_enabled: false, ..ServerConfig::default() };
+        let server = seeded_server(&config);
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        let sql = "SELECT id FROM public.genes";
+        client.query(s, sql).unwrap();
+        client.query(s, sql).unwrap();
+        let stats = client.query(s, "SHOW STATS").unwrap();
+        assert_eq!(stat_value(&stats, "result_cache_hits"), Some(0));
+        assert_eq!(stat_value(&stats, "result_cache_misses"), Some(0));
+        assert_eq!(stat_value(&stats, "plan_cache_entries"), Some(0));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let server = seeded_server(&ServerConfig::default());
+        let handle = server.listen("127.0.0.1:0").unwrap();
+        let mut client = TcpClient::connect(handle.addr()).unwrap();
+        let session = client.open(SessionKind::User("remote".into())).unwrap();
+        let rs =
+            client.query(session, Lang::Sql, "SELECT name FROM public.genes WHERE id = 1").unwrap();
+        assert_eq!(rs.rows, vec![vec![Datum::Text("lacZ".into())]]);
+        // Errors travel as structured responses, not dropped connections.
+        let err = client.query(session, Lang::Sql, "SELEC oops").unwrap_err();
+        assert!(matches!(err, ServerError::Db(_)), "got {err:?}");
+        // Unknown sessions are rejected.
+        let err = client.query(9999, Lang::Sql, "SELECT 1").unwrap_err();
+        assert!(matches!(err, ServerError::UnknownSession), "got {err:?}");
+        client.close(session).unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn saturated_queue_returns_busy_to_clients() {
+        // One worker, one queue slot: park the worker, fill the slot, then
+        // the next query must bounce with Busy — deterministically.
+        let config = ServerConfig { workers: 1, queue_capacity: 1, ..ServerConfig::default() };
+        let server = seeded_server(&config);
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        server
+            .pool()
+            .submit(move || {
+                started_tx.send(()).unwrap();
+                let _ = release_rx.recv();
+            })
+            .unwrap();
+        started_rx.recv().unwrap(); // the only worker is now parked
+        server.pool().submit(|| ()).unwrap(); // fills the single queue slot
+
+        let err = client.query(s, "SELECT 1").unwrap_err();
+        match err {
+            ServerError::Busy { retry_after_ms } => assert!(retry_after_ms > 0),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        release_tx.send(()).unwrap();
+
+        // The server recovers once the queue drains, and the rejection is
+        // visible in SHOW STATS.
+        let rs = client.query(s, "SELECT count(*) FROM public.genes").unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Int(3));
+        let stats = client.query(s, "SHOW STATS").unwrap();
+        assert!(stat_value(&stats, "rejected_busy").unwrap() >= 1);
+        assert!(stat_value(&stats, "queue_peak").unwrap() >= 1);
+    }
+}

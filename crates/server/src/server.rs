@@ -1,0 +1,248 @@
+//! Transports: a TCP listener speaking the frame protocol, and an
+//! in-process client that exercises the identical dispatch path without a
+//! socket (used by tests and benches).
+//!
+//! Both funnel into [`dispatch`]: session management runs inline (cheap,
+//! never blocks on the engine) while queries go through the worker pool's
+//! bounded admission queue — a saturated server answers `Busy` instead of
+//! stacking connections.
+
+use crate::error::{ServerError, ServerResult};
+use crate::protocol::{read_frame, write_frame, Lang, Request, Response};
+use crate::queue::WorkerPool;
+use crate::service::{QueryService, ServerConfig};
+use crate::session::{SessionId, SessionKind};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use unidb::{Database, ResultSet};
+
+/// The query server: service + worker pool, independent of transport.
+pub struct Server {
+    service: Arc<QueryService>,
+    pool: Arc<WorkerPool>,
+}
+
+impl Server {
+    /// Stand up a server over `db` with the given tuning.
+    pub fn new(db: Arc<Database>, config: &ServerConfig) -> Self {
+        let service = Arc::new(QueryService::new(db, config));
+        let pool = Arc::new(WorkerPool::new(
+            config.workers,
+            config.queue_capacity,
+            Arc::clone(service.metrics()),
+        ));
+        Server { service, pool }
+    }
+
+    /// The service behind this server (for stats inspection in tests).
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// The worker pool (tests use this to park workers deterministically).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// An in-process client sharing this server's admission queue.
+    pub fn client(&self) -> Client {
+        Client { service: Arc::clone(&self.service), pool: Arc::clone(&self.pool) }
+    }
+
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve connections until the
+    /// returned handle is stopped.
+    pub fn listen(&self, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::clone(&self.service);
+        let pool = Arc::clone(&self.pool);
+        let accept_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new().name("genalg-accept".into()).spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let service = Arc::clone(&service);
+                let pool = Arc::clone(&pool);
+                let _ = std::thread::Builder::new().name("genalg-conn".into()).spawn(move || {
+                    let _ = serve_connection(&service, &pool, stream);
+                });
+            }
+        })?;
+        Ok(ServerHandle { addr: local_addr, stop, thread: Some(thread) })
+    }
+}
+
+/// Handle to a listening server; stops the accept loop on drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread. Established
+    /// connections finish their in-flight request and close.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One request through the shared dispatch path. Session open/close run
+/// inline (cheap, never touch the engine); queries pass the bounded
+/// admission queue via [`dispatch_query`].
+fn dispatch(service: &Arc<QueryService>, pool: &WorkerPool, req: Request) -> Response {
+    match req {
+        Request::OpenSession { kind } => {
+            Response::SessionOpened { session: service.open_session(kind).0 }
+        }
+        Request::CloseSession { session } => {
+            service.close_session(SessionId(session));
+            Response::Ok(ResultSet { columns: vec![], rows: vec![], affected: 0, explain: None })
+        }
+        Request::Query { session, lang, text } => {
+            dispatch_query(service, pool, session, lang, text)
+        }
+    }
+}
+
+fn dispatch_query(
+    service: &Arc<QueryService>,
+    pool: &WorkerPool,
+    session: u64,
+    lang: Lang,
+    text: String,
+) -> Response {
+    let svc = Arc::clone(service);
+    match pool.run(move || svc.execute(SessionId(session), lang, &text)) {
+        Ok(Ok(rs)) => Response::Ok(rs),
+        Ok(Err(e)) => Response::Error(e),
+        Err(e) => Response::Error(e),
+    }
+}
+
+fn serve_connection(
+    service: &Arc<QueryService>,
+    pool: &WorkerPool,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let response = match Request::decode(&payload) {
+            Ok(req) => dispatch(service, pool, req),
+            Err(e) => Response::Error(e),
+        };
+        write_frame(&mut writer, &response.encode())?;
+    }
+    Ok(())
+}
+
+/// In-process client: same admission control and dispatch as TCP, no socket.
+#[derive(Clone)]
+pub struct Client {
+    service: Arc<QueryService>,
+    pool: Arc<WorkerPool>,
+}
+
+impl Client {
+    /// Open a session.
+    pub fn open(&self, kind: SessionKind) -> SessionId {
+        self.service.open_session(kind)
+    }
+
+    /// Close a session.
+    pub fn close(&self, id: SessionId) {
+        self.service.close_session(id);
+    }
+
+    /// Run one SQL statement through the worker pool.
+    pub fn query(&self, session: SessionId, sql: &str) -> ServerResult<ResultSet> {
+        self.request(session, Lang::Sql, sql)
+    }
+
+    /// Run one BQL statement through the worker pool.
+    pub fn query_bql(&self, session: SessionId, bql: &str) -> ServerResult<ResultSet> {
+        self.request(session, Lang::Bql, bql)
+    }
+
+    fn request(&self, session: SessionId, lang: Lang, text: &str) -> ServerResult<ResultSet> {
+        let svc = Arc::clone(&self.service);
+        let text = text.to_string();
+        self.pool.run(move || svc.execute(session, lang, &text))?
+    }
+}
+
+/// Blocking TCP client for tests and examples.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpClient {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpClient { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Send one request and read one response.
+    pub fn request(&mut self, req: &Request) -> ServerResult<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| ServerError::Io("server closed connection".into()))?;
+        Response::decode(&payload)
+    }
+
+    /// Open a session, returning its id.
+    pub fn open(&mut self, kind: SessionKind) -> ServerResult<u64> {
+        match self.request(&Request::OpenSession { kind })? {
+            Response::SessionOpened { session } => Ok(session),
+            Response::Error(e) => Err(e),
+            other => Err(ServerError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Run one statement, returning its result set.
+    pub fn query(&mut self, session: u64, lang: Lang, text: &str) -> ServerResult<ResultSet> {
+        match self.request(&Request::Query { session, lang, text: text.into() })? {
+            Response::Ok(rs) => Ok(rs),
+            Response::Error(e) => Err(e),
+            other => Err(ServerError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Close a session on the server.
+    pub fn close(&mut self, session: u64) -> ServerResult<()> {
+        match self.request(&Request::CloseSession { session })? {
+            Response::Ok(_) => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(ServerError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The query service: sessions in, result sets out.
+//!
+//! [`QueryService::execute`] is the single entry point every transport
+//! (TCP handler, in-process client, benches) funnels through. It:
+//!
+//! 1. resolves the session to a role (public sessions may only read);
+//! 2. compiles BQL to the extended SQL of the Unifying Database (§6.4);
+//! 3. intercepts `SHOW STATS`;
+//! 4. routes reads through the plan + result caches, writes straight to
+//!    the engine (whose generation counters invalidate cached state).
+
+use crate::cache::{normalize_sql, PlanCache, ResultCache, StatementKey};
+use crate::error::{ServerError, ServerResult};
+use crate::metrics::Metrics;
+use crate::protocol::Lang;
+use crate::session::{SessionId, SessionKind, SessionManager};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+use unidb::{Database, Datum, DbError, ResultSet};
+
+/// Tuning knobs for [`QueryService`] and [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission-queue slots; submissions beyond this bounce with `Busy`.
+    pub queue_capacity: usize,
+    /// Prepared-plan LRU capacity.
+    pub plan_cache_size: usize,
+    /// Result LRU capacity.
+    pub result_cache_size: usize,
+    /// Master switch for both caches (off = every query plans + executes).
+    pub caches_enabled: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_capacity: 64,
+            plan_cache_size: 256,
+            result_cache_size: 256,
+            caches_enabled: true,
+        }
+    }
+}
+
+/// The transport-independent query engine front end.
+pub struct QueryService {
+    db: Arc<Database>,
+    sessions: SessionManager,
+    plan_cache: PlanCache,
+    result_cache: ResultCache,
+    metrics: Arc<Metrics>,
+    caches_enabled: bool,
+}
+
+impl QueryService {
+    pub fn new(db: Arc<Database>, config: &ServerConfig) -> Self {
+        let metrics = Arc::new(Metrics::default());
+        QueryService {
+            db,
+            sessions: SessionManager::new(Arc::clone(&metrics)),
+            plan_cache: PlanCache::new(config.plan_cache_size),
+            result_cache: ResultCache::new(config.result_cache_size),
+            metrics,
+            caches_enabled: config.caches_enabled,
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The underlying database handle.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Open a session of the given kind.
+    pub fn open_session(&self, kind: SessionKind) -> SessionId {
+        self.sessions.open(kind)
+    }
+
+    /// Close a session (idempotent).
+    pub fn close_session(&self, id: SessionId) {
+        self.sessions.close(id);
+    }
+
+    /// Number of currently open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.count()
+    }
+
+    /// Execute one statement on behalf of a session.
+    pub fn execute(&self, session: SessionId, lang: Lang, text: &str) -> ServerResult<ResultSet> {
+        let result = self.execute_inner(session, lang, text);
+        match &result {
+            Ok(_) => self.metrics.queries_ok.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.metrics.queries_err.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    fn execute_inner(&self, session: SessionId, lang: Lang, text: &str) -> ServerResult<ResultSet> {
+        let kind = self.sessions.kind(session).ok_or(ServerError::UnknownSession)?;
+        let sql = match lang {
+            Lang::Sql => text.to_string(),
+            Lang::Bql => genalg_bql::parse(text)
+                .and_then(|q| q.to_sql())
+                .map_err(|e| ServerError::Bql(e.to_string()))?,
+        };
+        let normalized = normalize_sql(&sql);
+        if normalized == "show stats" {
+            return Ok(self.stats_result());
+        }
+        let is_read = normalized.starts_with("select") || normalized.starts_with("explain");
+        if !is_read && !kind.can_write() {
+            return Err(ServerError::ReadOnly(
+                "public sessions may only run SELECT / EXPLAIN / SHOW STATS".into(),
+            ));
+        }
+        let role = kind.role();
+        let start = Instant::now();
+        let result = if is_read {
+            self.execute_read(&sql, normalized, &role)
+        } else {
+            self.db.execute_as(&sql, &role).map_err(ServerError::Db)
+        };
+        let hist = if is_read { &self.metrics.read_latency } else { &self.metrics.write_latency };
+        hist.record(start.elapsed());
+        result
+    }
+
+    fn execute_read(
+        &self,
+        sql: &str,
+        normalized: String,
+        role: &unidb::Role,
+    ) -> ServerResult<ResultSet> {
+        // EXPLAIN and other non-SELECT reads bypass the caches entirely.
+        if !normalized.starts_with("select") || !self.caches_enabled {
+            return self.db.execute_as(sql, role).map_err(ServerError::Db);
+        }
+        let key = StatementKey { normalized_sql: normalized, space: role.default_space().into() };
+        let catalog_gen = self.db.catalog_generation();
+        if let Some(cached) =
+            self.result_cache.get(&key, catalog_gen, |ids| self.db.table_versions(ids))
+        {
+            self.metrics.result_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((*cached).clone());
+        }
+        self.metrics.result_cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Two attempts: a plan can go stale between lookup and execution if
+        // DDL slips in; re-prepare once and retry before giving up.
+        for attempt in 0..2 {
+            let catalog_gen = self.db.catalog_generation();
+            let plan = match self.plan_cache.get(&key, catalog_gen) {
+                Some(plan) => {
+                    self.metrics.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    plan
+                }
+                None => {
+                    self.metrics.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+                    let plan = Arc::new(self.db.prepare_as(sql, role)?);
+                    self.plan_cache.insert(key.clone(), Arc::clone(&plan));
+                    plan
+                }
+            };
+            // Version snapshot *before* execution: a write landing in the
+            // window makes the cached entry miss (safe), never hit stale.
+            let versions = self.db.table_versions(plan.table_ids());
+            match self.db.execute_prepared(&plan) {
+                Ok(rs) => {
+                    self.result_cache.insert(
+                        key,
+                        Arc::new(rs.clone()),
+                        plan.table_ids().to_vec(),
+                        versions,
+                        plan.catalog_generation(),
+                    );
+                    return Ok(rs);
+                }
+                Err(DbError::Stale(_)) if attempt == 0 => continue,
+                Err(e) => return Err(ServerError::Db(e)),
+            }
+        }
+        unreachable!("second attempt either returns or errors")
+    }
+
+    /// `SHOW STATS` as a two-column result set.
+    fn stats_result(&self) -> ResultSet {
+        let (pool_hits, pool_misses, pool_evictions) = self.db.pool_stats();
+        let mut stats = self.metrics.snapshot();
+        stats.push(("buffer_pool_hits".into(), pool_hits));
+        stats.push(("buffer_pool_misses".into(), pool_misses));
+        stats.push(("buffer_pool_evictions".into(), pool_evictions));
+        stats.push(("plan_cache_entries".into(), self.plan_cache.len() as u64));
+        stats.push(("result_cache_entries".into(), self.result_cache.len() as u64));
+        stats.sort();
+        let rows = stats
+            .into_iter()
+            .map(|(name, value)| vec![Datum::Text(name), Datum::Int(value as i64)])
+            .collect();
+        ResultSet { columns: vec!["stat".into(), "value".into()], rows, affected: 0, explain: None }
+    }
+}
+
+/// Convenience: pull one named counter out of a `SHOW STATS` result.
+pub fn stat_value(rs: &ResultSet, name: &str) -> Option<i64> {
+    rs.rows.iter().find_map(|row| match (&row[0], &row[1]) {
+        (Datum::Text(n), Datum::Int(v)) if n == name => Some(*v),
+        _ => None,
+    })
+}

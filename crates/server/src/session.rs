@@ -1,0 +1,123 @@
+//! Session management with the paper's §5.1 role separation.
+//!
+//! The Genomics Research Warehouse distinguishes the *public* space —
+//! curated data, read-only for everyone but the maintainer — from per-user
+//! spaces where researchers keep private tables. A connection therefore
+//! opens as one of three kinds of session:
+//!
+//! * **public** — anonymous; may only read (SELECT / EXPLAIN / SHOW);
+//! * **user** — authenticated as a named researcher; reads everything,
+//!   writes its own space (enforced by the engine's catalog ACLs);
+//! * **maintainer** — the ETL loader; writes every space.
+
+use crate::metrics::Metrics;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unidb::Role;
+
+/// Opaque session handle issued by [`SessionManager::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub u64);
+
+/// Who a session is, which determines what it may do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionKind {
+    /// Anonymous read-only access to the public space.
+    Public,
+    /// A named researcher with a private user space.
+    User(String),
+    /// The warehouse maintainer (may write the public space).
+    Maintainer,
+}
+
+impl SessionKind {
+    /// The engine role this session runs statements under.
+    pub fn role(&self) -> Role {
+        match self {
+            // Public sessions read as an anonymous user; the service layer
+            // additionally rejects any write statement before it reaches
+            // the engine.
+            SessionKind::Public => Role::User("public_reader".into()),
+            SessionKind::User(name) => Role::User(name.clone()),
+            SessionKind::Maintainer => Role::Maintainer,
+        }
+    }
+
+    /// May this session execute write statements at all?
+    pub fn can_write(&self) -> bool {
+        !matches!(self, SessionKind::Public)
+    }
+}
+
+/// Registry of open sessions.
+#[derive(Debug)]
+pub struct SessionManager {
+    sessions: Mutex<HashMap<u64, SessionKind>>,
+    next_id: AtomicU64,
+    metrics: Arc<Metrics>,
+}
+
+impl SessionManager {
+    pub fn new(metrics: Arc<Metrics>) -> Self {
+        SessionManager { sessions: Mutex::new(HashMap::new()), next_id: AtomicU64::new(1), metrics }
+    }
+
+    /// Open a session of the given kind; ids are never reused.
+    pub fn open(&self, kind: SessionKind) -> SessionId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().insert(id, kind);
+        self.metrics.active_sessions.fetch_add(1, Ordering::Relaxed);
+        SessionId(id)
+    }
+
+    /// Close a session. Unknown ids are ignored (closing twice is fine).
+    pub fn close(&self, id: SessionId) {
+        if self.sessions.lock().remove(&id.0).is_some() {
+            self.metrics.active_sessions.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The kind of an open session, or `None` if it was never opened or has
+    /// been closed.
+    pub fn kind(&self, id: SessionId) -> Option<SessionKind> {
+        self.sessions.lock().get(&id.0).cloned()
+    }
+
+    /// Number of open sessions.
+    pub fn count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_lifecycle() {
+        let m = Arc::new(Metrics::default());
+        let sm = SessionManager::new(Arc::clone(&m));
+        let a = sm.open(SessionKind::Public);
+        let b = sm.open(SessionKind::User("alice".into()));
+        assert_ne!(a, b);
+        assert_eq!(sm.count(), 2);
+        assert_eq!(sm.kind(a), Some(SessionKind::Public));
+        assert_eq!(sm.kind(b), Some(SessionKind::User("alice".into())));
+        sm.close(a);
+        sm.close(a); // double-close is a no-op
+        assert_eq!(sm.count(), 1);
+        assert_eq!(m.active_sessions.load(Ordering::Relaxed), 1);
+        assert_eq!(sm.kind(a), None);
+    }
+
+    #[test]
+    fn role_mapping() {
+        assert_eq!(SessionKind::Maintainer.role(), Role::Maintainer);
+        assert_eq!(SessionKind::User("bob".into()).role(), Role::User("bob".into()));
+        assert!(!SessionKind::Public.can_write());
+        assert!(SessionKind::User("bob".into()).can_write());
+        assert!(SessionKind::Maintainer.can_write());
+    }
+}

@@ -187,9 +187,7 @@ impl Catalog {
     /// Drop a table.
     pub fn drop_table(&mut self, space: &str, name: &str) -> DbResult<TableDef> {
         let key = format!("{}.{}", space.to_ascii_lowercase(), name.to_ascii_lowercase());
-        self.tables
-            .remove(&key)
-            .ok_or(DbError::NotFound { kind: "table", name: key })
+        self.tables.remove(&key).ok_or(DbError::NotFound { kind: "table", name: key })
     }
 
     /// Resolve a possibly qualified table name against the session's
@@ -198,19 +196,14 @@ impl Catalog {
         let lower = name.to_ascii_lowercase();
         if let Some((space, table)) = lower.split_once('.') {
             let key = format!("{space}.{table}");
-            return self
-                .tables
-                .get(&key)
-                .ok_or(DbError::NotFound { kind: "table", name: key });
+            return self.tables.get(&key).ok_or(DbError::NotFound { kind: "table", name: key });
         }
         let own = format!("{}.{lower}", default_space.to_ascii_lowercase());
         if let Some(t) = self.tables.get(&own) {
             return Ok(t);
         }
         let public = format!("public.{lower}");
-        self.tables
-            .get(&public)
-            .ok_or(DbError::NotFound { kind: "table", name: name.into() })
+        self.tables.get(&public).ok_or(DbError::NotFound { kind: "table", name: name.into() })
     }
 
     /// Find a table by qualified name, or by bare name when it is
@@ -219,13 +212,9 @@ impl Catalog {
     pub fn find_table(&self, name: &str) -> DbResult<&TableDef> {
         let lower = name.to_ascii_lowercase();
         if lower.contains('.') {
-            return self
-                .tables
-                .get(&lower)
-                .ok_or(DbError::NotFound { kind: "table", name: lower });
+            return self.tables.get(&lower).ok_or(DbError::NotFound { kind: "table", name: lower });
         }
-        let hits: Vec<&TableDef> =
-            self.tables.values().filter(|t| t.name == lower).collect();
+        let hits: Vec<&TableDef> = self.tables.values().filter(|t| t.name == lower).collect();
         match hits.as_slice() {
             [one] => Ok(one),
             [] => Err(DbError::NotFound { kind: "table", name: lower }),

@@ -10,6 +10,7 @@ use crate::expr::func::{AggregateFn, FunctionRegistry, ScalarFn};
 use crate::index::btree::BTreeIndex;
 use crate::index::udi::AccessMethod;
 use crate::plan::planner::{plan_select, PlannerContext};
+use crate::plan::PhysicalPlan;
 use crate::sql::ast::{Expr, Stmt};
 use crate::sql::parser::{parse, parse_many};
 use crate::storage::buffer::BufferPool;
@@ -17,7 +18,7 @@ use crate::storage::heap::{HeapFile, Rid};
 use crate::storage::store::MemStore;
 use crate::storage::wal::{read_log, WalRecord, WalWriter};
 use crate::tuple::{decode_row, encode_row, Row};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
@@ -91,19 +92,58 @@ pub(crate) struct Inner {
     txn_undo: Option<Vec<Undo>>,
     replaying: bool,
     buffer_capacity: usize,
+    /// Per-table version counter, bumped on every row mutation. Cache layers
+    /// (e.g. the server's result cache) compare snapshots of these to decide
+    /// whether a cached result is still current.
+    table_gens: HashMap<u32, u64>,
+    /// Catalog version, bumped on DDL. Prepared statements carry the value
+    /// they were planned under and refuse to run once it moves.
+    catalog_gen: u64,
+}
+
+/// A planned SELECT, reusable across executions without re-parsing or
+/// re-planning. Produced by [`Database::prepare`]; invalidated by DDL.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    plan: PhysicalPlan,
+    columns: Vec<String>,
+    table_ids: Vec<u32>,
+    catalog_gen: u64,
+}
+
+impl Prepared {
+    /// Output column names of the planned query.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Ids of every base table the plan reads (deduplicated).
+    pub fn table_ids(&self) -> &[u32] {
+        &self.table_ids
+    }
+
+    /// The catalog generation this plan was built under.
+    pub fn catalog_generation(&self) -> u64 {
+        self.catalog_gen
+    }
 }
 
 /// The Unifying Database engine. Cheap to share (`Arc` internally is not
 /// needed; the handle itself is `Send + Sync` via the internal lock).
+///
+/// Reads run concurrently: SELECT/EXPLAIN take a shared (read) lock on the
+/// engine, so any number of sessions can scan and join at once — page-level
+/// synchronization happens inside each table's buffer pool. DML and DDL take
+/// the exclusive (write) lock.
 pub struct Database {
-    inner: Mutex<Inner>,
+    inner: RwLock<Inner>,
 }
 
 impl Database {
     /// A volatile in-memory database.
     pub fn in_memory() -> Self {
         Database {
-            inner: Mutex::new(Inner {
+            inner: RwLock::new(Inner {
                 catalog: Catalog::new(),
                 tables: HashMap::new(),
                 funcs: FunctionRegistry::with_builtins(),
@@ -112,6 +152,8 @@ impl Database {
                 txn_undo: None,
                 replaying: false,
                 buffer_capacity: 256,
+                table_gens: HashMap::new(),
+                catalog_gen: 0,
             }),
         }
     }
@@ -131,7 +173,7 @@ impl Database {
         std::fs::create_dir_all(dir)?;
         let db = Database::in_memory();
         {
-            let mut inner = db.inner.lock();
+            let mut inner = db.inner.write();
             inner.dir = Some(dir.to_path_buf());
         }
         Ok(db)
@@ -140,7 +182,7 @@ impl Database {
     /// Run recovery: load the snapshot, replay the WAL, then arm the WAL
     /// writer. Call after registering extensions.
     pub fn recover(&self) -> DbResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let Some(dir) = inner.dir.clone() else {
             return Err(DbError::Unsupported("recover() on an in-memory database".into()));
         };
@@ -159,7 +201,7 @@ impl Database {
 
     /// Write a snapshot and truncate the WAL.
     pub fn checkpoint(&self) -> DbResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let Some(dir) = inner.dir.clone() else {
             return Err(DbError::Unsupported("checkpoint() on an in-memory database".into()));
         };
@@ -185,10 +227,81 @@ impl Database {
     }
 
     /// Execute one statement with an explicit role.
+    ///
+    /// SELECT and EXPLAIN run under the shared read lock (concurrently with
+    /// other readers); everything else takes the exclusive write lock.
     pub fn execute_as(&self, sql: &str, role: &Role) -> DbResult<ResultSet> {
         let stmt = parse(sql)?;
-        let mut inner = self.inner.lock();
-        inner.run_stmt(stmt, role)
+        if matches!(stmt, Stmt::Select(_) | Stmt::Explain(_)) {
+            let inner = self.inner.read();
+            inner.run_read(stmt, role)
+        } else {
+            let mut inner = self.inner.write();
+            inner.run_stmt(stmt, role)
+        }
+    }
+
+    /// Parse and plan a SELECT once for repeated execution. The prepared
+    /// plan pins the current catalog generation; DDL invalidates it.
+    pub fn prepare(&self, sql: &str) -> DbResult<Prepared> {
+        self.prepare_as(sql, &Role::User("user".into()))
+    }
+
+    /// [`Database::prepare`] with an explicit role (the role determines the
+    /// default space used to resolve unqualified table names).
+    pub fn prepare_as(&self, sql: &str, role: &Role) -> DbResult<Prepared> {
+        let stmt = parse(sql)?;
+        let Stmt::Select(s) = stmt else {
+            return Err(DbError::Unsupported("only SELECT can be prepared".into()));
+        };
+        let inner = self.inner.read();
+        let (plan, columns) = plan_select(&*inner, role.default_space(), &s)?;
+        let table_ids = plan.table_ids();
+        Ok(Prepared { plan, columns, table_ids, catalog_gen: inner.catalog_gen })
+    }
+
+    /// Execute a previously prepared SELECT under the shared read lock.
+    ///
+    /// Fails with [`DbError::Stale`] if DDL has moved the catalog generation
+    /// since [`Database::prepare`]; callers should re-prepare.
+    pub fn execute_prepared(&self, prepared: &Prepared) -> DbResult<ResultSet> {
+        let inner = self.inner.read();
+        if inner.catalog_gen != prepared.catalog_gen {
+            return Err(DbError::Stale(format!(
+                "prepared against catalog generation {}, now at {}",
+                prepared.catalog_gen, inner.catalog_gen
+            )));
+        }
+        let rows = execute_plan(&*inner, &inner.funcs, &prepared.plan)?;
+        Ok(ResultSet { columns: prepared.columns.clone(), rows, affected: 0, explain: None })
+    }
+
+    /// Current catalog generation (bumped by every DDL statement).
+    pub fn catalog_generation(&self) -> u64 {
+        self.inner.read().catalog_gen
+    }
+
+    /// Version counters for the given tables, in input order. A table that
+    /// has never been written (or does not exist) reports 0. Comparing a
+    /// snapshot of these against a later call tells a cache whether any of
+    /// the underlying tables changed.
+    pub fn table_versions(&self, table_ids: &[u32]) -> Vec<u64> {
+        let inner = self.inner.read();
+        table_ids.iter().map(|id| inner.table_gens.get(id).copied().unwrap_or(0)).collect()
+    }
+
+    /// Aggregated buffer-pool counters `(hits, misses, evictions)` across
+    /// every table's pool.
+    pub fn pool_stats(&self) -> (u64, u64, u64) {
+        let inner = self.inner.read();
+        let mut total = (0, 0, 0);
+        for t in inner.tables.values() {
+            let (h, m, e) = t.heap.pool_stats();
+            total.0 += h;
+            total.1 += m;
+            total.2 += e;
+        }
+        total
     }
 
     /// Execute a semicolon-separated script, returning each statement's result.
@@ -199,7 +312,7 @@ impl Database {
     /// Execute a script with an explicit role.
     pub fn execute_script_as(&self, sql: &str, role: &Role) -> DbResult<Vec<ResultSet>> {
         let stmts = parse_many(sql)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         stmts.into_iter().map(|s| inner.run_stmt(s, role)).collect()
     }
 
@@ -209,17 +322,19 @@ impl Database {
         name: &str,
         display: Option<crate::catalog::DisplayHook>,
     ) -> DbResult<u32> {
-        self.inner.lock().catalog.register_opaque_type(name, display)
+        let mut inner = self.inner.write();
+        inner.bump_catalog();
+        inner.catalog.register_opaque_type(name, display)
     }
 
     /// Register an external scalar function (§6.3).
     pub fn register_scalar(&self, name: &str, f: ScalarFn) -> DbResult<()> {
-        self.inner.lock().funcs.register_scalar(name, f)
+        self.inner.write().funcs.register_scalar(name, f)
     }
 
     /// Register a user-defined aggregate (C14).
     pub fn register_aggregate(&self, name: &str, f: AggregateFn) -> DbResult<()> {
-        self.inner.lock().funcs.register_aggregate(name, f)
+        self.inner.write().funcs.register_aggregate(name, f)
     }
 
     /// Attach a user-defined index access method to `table.column` (§6.5),
@@ -230,7 +345,7 @@ impl Database {
         column: &str,
         mut method: Box<dyn AccessMethod>,
     ) -> DbResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let def = inner.catalog.find_table(table)?;
         let table_id = def.id;
         let col_idx = def
@@ -252,7 +367,7 @@ impl Database {
     /// Render a result set as an aligned text table, using registered
     /// opaque-type display hooks.
     pub fn render(&self, rs: &ResultSet) -> String {
-        let inner = self.inner.lock();
+        let inner = self.inner.read();
         let mut cells: Vec<Vec<String>> = vec![rs.columns.clone()];
         for row in &rs.rows {
             cells.push(
@@ -286,7 +401,9 @@ impl Database {
             }
             out.push('\n');
             if ri == 0 {
-                out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * width.saturating_sub(1)));
+                out.push_str(
+                    &"-".repeat(widths.iter().sum::<usize>() + 3 * width.saturating_sub(1)),
+                );
                 out.push('\n');
             }
         }
@@ -295,18 +412,12 @@ impl Database {
 
     /// Qualified names of all tables.
     pub fn table_names(&self) -> Vec<String> {
-        self.inner
-            .lock()
-            .catalog
-            .tables()
-            .iter()
-            .map(|t| t.qualified_name())
-            .collect()
+        self.inner.read().catalog.tables().iter().map(|t| t.qualified_name()).collect()
     }
 
     /// Live row count of a table.
     pub fn row_count(&self, table: &str) -> DbResult<u64> {
-        let inner = self.inner.lock();
+        let inner = self.inner.read();
         let def = inner.catalog.find_table(table)?;
         Ok(inner.tables.get(&def.id).map_or(0, |t| t.heap.len()))
     }
@@ -317,12 +428,13 @@ impl Database {
 // ---------------------------------------------------------------------------
 
 impl Inner {
-    fn run_stmt(&mut self, stmt: Stmt, role: &Role) -> DbResult<ResultSet> {
+    /// Read-only statements (SELECT / EXPLAIN). Takes `&self` so callers can
+    /// run it under the shared read lock, concurrently with other readers.
+    fn run_read(&self, stmt: Stmt, role: &Role) -> DbResult<ResultSet> {
         match stmt {
             Stmt::Select(s) => {
                 let (plan, columns) = plan_select(self, role.default_space(), &s)?;
-                let funcs = self.funcs.clone();
-                let rows = execute_plan(self, &funcs, &plan)?;
+                let rows = execute_plan(self, &self.funcs, &plan)?;
                 Ok(ResultSet { columns, rows, affected: 0, explain: None })
             }
             Stmt::Explain(inner_stmt) => match *inner_stmt {
@@ -330,11 +442,17 @@ impl Inner {
                     let (plan, _) = plan_select(self, role.default_space(), &s)?;
                     Ok(ResultSet { explain: Some(plan.explain()), ..ResultSet::empty() })
                 }
-                other => Ok(ResultSet {
-                    explain: Some(format!("{other:?}")),
-                    ..ResultSet::empty()
-                }),
+                other => {
+                    Ok(ResultSet { explain: Some(format!("{other:?}")), ..ResultSet::empty() })
+                }
             },
+            _ => Err(DbError::Internal("run_read called on a write statement".into())),
+        }
+    }
+
+    fn run_stmt(&mut self, stmt: Stmt, role: &Role) -> DbResult<ResultSet> {
+        match stmt {
+            Stmt::Select(_) | Stmt::Explain(_) => self.run_read(stmt, role),
             Stmt::CreateTable { table, columns } => self.create_table(&table, &columns, role),
             Stmt::DropTable { table } => self.drop_table(&table, role),
             Stmt::CreateIndex { table, column, unique } => {
@@ -346,6 +464,7 @@ impl Inner {
                     Role::User(u) => u.clone(),
                 };
                 self.catalog.create_space(&name, &owner)?;
+                self.bump_catalog();
                 self.log(WalRecord::CreateSpace { name, owner })?;
                 self.maybe_sync()?;
                 Ok(ResultSet::empty())
@@ -378,18 +497,18 @@ impl Inner {
                 for op in undo.into_iter().rev() {
                     match op {
                         Undo::Insert { table_id, rid } => {
-                            let row = self.fetch_row(table_id, rid)?.ok_or_else(|| {
-                                DbError::Internal("undo target vanished".into())
-                            })?;
+                            let row = self
+                                .fetch_row(table_id, rid)?
+                                .ok_or_else(|| DbError::Internal("undo target vanished".into()))?;
                             self.delete_row(table_id, rid, &row)?;
                         }
                         Undo::Delete { table_id, row } => {
                             self.insert_row(table_id, row)?;
                         }
                         Undo::Update { table_id, rid, old_row } => {
-                            let current = self.fetch_row(table_id, rid)?.ok_or_else(|| {
-                                DbError::Internal("undo target vanished".into())
-                            })?;
+                            let current = self
+                                .fetch_row(table_id, rid)?
+                                .ok_or_else(|| DbError::Internal("undo target vanished".into()))?;
                             self.update_row(table_id, rid, &current, old_row)?;
                         }
                     }
@@ -400,6 +519,19 @@ impl Inner {
                 Ok(ResultSet::empty())
             }
         }
+    }
+
+    // -- version counters ----------------------------------------------------
+
+    /// Record that `table_id`'s contents changed. Monotonic; an extra bump
+    /// only costs caches a spurious miss, never a stale hit.
+    fn bump_table(&mut self, table_id: u32) {
+        *self.table_gens.entry(table_id).or_insert(0) += 1;
+    }
+
+    /// Record that the catalog changed (tables, indexes, spaces, types).
+    fn bump_catalog(&mut self) {
+        self.catalog_gen += 1;
     }
 
     // -- DDL -----------------------------------------------------------------
@@ -427,6 +559,7 @@ impl Inner {
         }
         let id = self.catalog.create_table(&space, &name, defs.clone())?.id;
         self.tables.insert(id, TableStorage::new(self.buffer_capacity));
+        self.bump_catalog();
         self.log(WalRecord::CreateTable {
             space: space.clone(),
             name: name.clone(),
@@ -444,6 +577,8 @@ impl Inner {
         }
         self.catalog.drop_table(&space, &name)?;
         self.tables.remove(&id);
+        self.table_gens.remove(&id);
+        self.bump_catalog();
         self.log(WalRecord::DropTable { space, name })?;
         self.maybe_sync()?;
         Ok(ResultSet::empty())
@@ -479,6 +614,7 @@ impl Inner {
             index.insert(row[col_idx].clone(), rid)?;
         }
         storage.btrees.insert(column.clone(), index);
+        self.bump_catalog();
         self.log(WalRecord::CreateIndex { table: qualified, column, unique })?;
         self.maybe_sync()?;
         Ok(ResultSet::empty())
@@ -506,8 +642,7 @@ impl Inner {
             Some(cols) => cols
                 .iter()
                 .map(|c| {
-                    def.column_index(c)
-                        .ok_or(DbError::NotFound { kind: "column", name: c.clone() })
+                    def.column_index(c).ok_or(DbError::NotFound { kind: "column", name: c.clone() })
                 })
                 .collect::<DbResult<_>>()?,
         };
@@ -666,6 +801,7 @@ impl Inner {
             let pos = def.column_index(col).expect("indexed column exists");
             udi.on_insert(rid, &row[pos]);
         }
+        self.bump_table(table_id);
         self.log(WalRecord::Insert { table: def.qualified_name(), row })?;
         Ok(rid)
     }
@@ -689,11 +825,18 @@ impl Inner {
             let pos = def.column_index(col).expect("indexed column exists");
             udi.on_delete(rid, &row[pos]);
         }
+        self.bump_table(table_id);
         self.log(WalRecord::Delete { table: def.qualified_name(), row: row.clone() })?;
         Ok(())
     }
 
-    fn update_row(&mut self, table_id: u32, rid: Rid, old_row: &Row, new_row: Row) -> DbResult<Rid> {
+    fn update_row(
+        &mut self,
+        table_id: u32,
+        rid: Rid,
+        old_row: &Row,
+        new_row: Row,
+    ) -> DbResult<Rid> {
         let def = self
             .catalog
             .table_by_id(table_id)
@@ -726,6 +869,7 @@ impl Inner {
             udi.on_delete(rid, &old_row[pos]);
             udi.on_insert(new_rid, &new_row[pos]);
         }
+        self.bump_table(table_id);
         self.log(WalRecord::Update {
             table: def.qualified_name(),
             old_row: old_row.clone(),
@@ -769,7 +913,11 @@ impl Inner {
 
     fn apply_wal_record(&mut self, rec: WalRecord) -> DbResult<()> {
         match rec {
-            WalRecord::CreateSpace { name, owner } => self.catalog.create_space(&name, &owner),
+            WalRecord::CreateSpace { name, owner } => {
+                self.catalog.create_space(&name, &owner)?;
+                self.bump_catalog();
+                Ok(())
+            }
             WalRecord::CreateTable { space, name, columns } => {
                 let defs = columns
                     .into_iter()
@@ -777,16 +925,18 @@ impl Inner {
                     .collect();
                 let id = self.catalog.create_table(&space, &name, defs)?.id;
                 self.tables.insert(id, TableStorage::new(self.buffer_capacity));
+                self.bump_catalog();
                 Ok(())
             }
             WalRecord::DropTable { space, name } => {
                 let def = self.catalog.drop_table(&space, &name)?;
                 self.tables.remove(&def.id);
+                self.table_gens.remove(&def.id);
+                self.bump_catalog();
                 Ok(())
             }
             WalRecord::CreateIndex { table, column, unique } => {
-                self.create_index(&table, &column, unique, &Role::Maintainer)
-                    .map(|_| ())
+                self.create_index(&table, &column, unique, &Role::Maintainer).map(|_| ())
             }
             WalRecord::Insert { table, row } => {
                 let id = self.catalog.resolve_table("public", &table)?.id;
@@ -851,17 +1001,10 @@ impl Inner {
                 .tables
                 .get_mut(&t.id)
                 .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
-            let btree_meta: Vec<(String, bool)> = storage
-                .btrees
-                .iter()
-                .map(|(c, i)| (c.clone(), i.is_unique()))
-                .collect();
+            let btree_meta: Vec<(String, bool)> =
+                storage.btrees.iter().map(|(c, i)| (c.clone(), i.is_unique())).collect();
             for (column, unique) in btree_meta {
-                recs.push(WalRecord::CreateIndex {
-                    table: t.qualified_name(),
-                    column,
-                    unique,
-                });
+                recs.push(WalRecord::CreateIndex { table: t.qualified_name(), column, unique });
             }
             for (_, bytes) in storage.heap.scan()? {
                 recs.push(WalRecord::Insert {
@@ -924,10 +1067,7 @@ impl PlannerContext for Inner {
 
     fn btree_columns(&self, table_id: u32) -> Vec<(String, usize)> {
         self.tables.get(&table_id).map_or_else(Vec::new, |t| {
-            t.btrees
-                .iter()
-                .map(|(c, i)| (c.clone(), i.distinct_keys()))
-                .collect()
+            t.btrees.iter().map(|(c, i)| (c.clone(), i.distinct_keys())).collect()
         })
     }
 
@@ -951,23 +1091,18 @@ impl PlannerContext for Inner {
 }
 
 impl StorageAccess for Inner {
-    fn scan_table(&mut self, table_id: u32) -> DbResult<Vec<Row>> {
+    fn scan_table(&self, table_id: u32) -> DbResult<Vec<Row>> {
         let storage = self
             .tables
-            .get_mut(&table_id)
+            .get(&table_id)
             .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
-        storage
-            .heap
-            .scan()?
-            .into_iter()
-            .map(|(_, bytes)| decode_row(&bytes))
-            .collect()
+        storage.heap.scan()?.into_iter().map(|(_, bytes)| decode_row(&bytes)).collect()
     }
 
-    fn fetch_rids(&mut self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>> {
+    fn fetch_rids(&self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>> {
         let storage = self
             .tables
-            .get_mut(&table_id)
+            .get(&table_id)
             .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
         let mut out = Vec::with_capacity(rids.len());
         for &rid in rids {
@@ -978,7 +1113,7 @@ impl StorageAccess for Inner {
         Ok(out)
     }
 
-    fn btree_eq(&mut self, table_id: u32, column: &str, key: &Datum) -> DbResult<Vec<Rid>> {
+    fn btree_eq(&self, table_id: u32, column: &str, key: &Datum) -> DbResult<Vec<Rid>> {
         let storage = self
             .tables
             .get(&table_id)
@@ -991,7 +1126,7 @@ impl StorageAccess for Inner {
     }
 
     fn btree_range(
-        &mut self,
+        &self,
         table_id: u32,
         column: &str,
         lo: Bound<&Datum>,
@@ -1009,7 +1144,7 @@ impl StorageAccess for Inner {
     }
 
     fn udi_probe(
-        &mut self,
+        &self,
         table_id: u32,
         column: &str,
         func: &str,

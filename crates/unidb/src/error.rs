@@ -27,6 +27,9 @@ pub enum DbError {
     Storage(String),
     /// The statement is recognized but not supported by this engine.
     Unsupported(String),
+    /// A prepared statement outlived the catalog it was planned against
+    /// (DDL ran in between). Callers should re-prepare and retry.
+    Stale(String),
     /// Internal invariant violation — indicates a bug, not user error.
     Internal(String),
 }
@@ -43,6 +46,7 @@ impl fmt::Display for DbError {
             DbError::External(m) => write!(f, "external function error: {m}"),
             DbError::Storage(m) => write!(f, "storage error: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::Stale(m) => write!(f, "stale plan: {m}"),
             DbError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

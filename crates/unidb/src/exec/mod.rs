@@ -19,14 +19,14 @@ use std::ops::Bound;
 /// The storage operations the executor needs; implemented by the engine.
 pub trait StorageAccess {
     /// Every live row of a table.
-    fn scan_table(&mut self, table_id: u32) -> DbResult<Vec<Row>>;
+    fn scan_table(&self, table_id: u32) -> DbResult<Vec<Row>>;
     /// Fetch specific rows (missing rids are skipped).
-    fn fetch_rids(&mut self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>>;
+    fn fetch_rids(&self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>>;
     /// Rids with `column == key` from the B-tree index.
-    fn btree_eq(&mut self, table_id: u32, column: &str, key: &Datum) -> DbResult<Vec<Rid>>;
+    fn btree_eq(&self, table_id: u32, column: &str, key: &Datum) -> DbResult<Vec<Rid>>;
     /// Rids with `column` in the given range.
     fn btree_range(
-        &mut self,
+        &self,
         table_id: u32,
         column: &str,
         lo: Bound<&Datum>,
@@ -34,7 +34,7 @@ pub trait StorageAccess {
     ) -> DbResult<Vec<Rid>>;
     /// Candidate rids from a user-defined index probe.
     fn udi_probe(
-        &mut self,
+        &self,
         table_id: u32,
         column: &str,
         func: &str,
@@ -44,7 +44,7 @@ pub trait StorageAccess {
 
 /// Execute a plan to completion.
 pub fn execute_plan(
-    storage: &mut dyn StorageAccess,
+    storage: &dyn StorageAccess,
     funcs: &FunctionRegistry,
     plan: &PhysicalPlan,
 ) -> DbResult<Vec<Row>> {
@@ -61,7 +61,8 @@ pub fn execute_plan(
             apply_residual(rows, residual.as_ref(), columns, funcs)
         }
         PhysicalPlan::IndexRangeScan { table_id, column, lo, hi, residual, columns, .. } => {
-            let rids = storage.btree_range(*table_id, column, as_ref_bound(lo), as_ref_bound(hi))?;
+            let rids =
+                storage.btree_range(*table_id, column, as_ref_bound(lo), as_ref_bound(hi))?;
             let rows = storage.fetch_rids(*table_id, &rids)?;
             apply_residual(rows, residual.as_ref(), columns, funcs)
         }
@@ -165,7 +166,7 @@ fn apply_residual(
 }
 
 fn nested_loop_join(
-    storage: &mut dyn StorageAccess,
+    storage: &dyn StorageAccess,
     funcs: &FunctionRegistry,
     left: &PhysicalPlan,
     right: &PhysicalPlan,
@@ -207,7 +208,7 @@ fn nested_loop_join(
 }
 
 fn hash_join(
-    storage: &mut dyn StorageAccess,
+    storage: &dyn StorageAccess,
     funcs: &FunctionRegistry,
     left: &PhysicalPlan,
     right: &PhysicalPlan,
@@ -248,7 +249,7 @@ fn hash_join(
 }
 
 fn aggregate(
-    storage: &mut dyn StorageAccess,
+    storage: &dyn StorageAccess,
     funcs: &FunctionRegistry,
     input: &PhysicalPlan,
     group_by: &[Expr],
@@ -273,11 +274,7 @@ fn aggregate(
                 .ok_or(DbError::NotFound { kind: "aggregate", name: c.func.clone() })?;
             accs.push(factory());
         }
-        Ok(Group {
-            key,
-            accs,
-            distinct_seen: vec![std::collections::HashSet::new(); calls.len()],
-        })
+        Ok(Group { key, accs, distinct_seen: vec![std::collections::HashSet::new(); calls.len()] })
     };
 
     for row in &rows {
@@ -301,10 +298,10 @@ fn aggregate(
                 None => Datum::Int(1), // count(*): a non-null marker per row
                 Some(e) => eval(e, &ctx)?,
             };
-            if call.distinct
-                && (value.is_null() || !group.distinct_seen[ci].insert(value.clone())) {
-                    continue;
-                }
+            if call.distinct && (value.is_null() || !group.distinct_seen[ci].insert(value.clone()))
+            {
+                continue;
+            }
             group.accs[ci].update(&value).map_err(|e| match e {
                 DbError::TypeMismatch(m) => DbError::TypeMismatch(format!("{}(): {m}", call.func)),
                 other => other,

@@ -78,7 +78,9 @@ pub fn eval(expr: &Expr, ctx: &EvalContext) -> DbResult<Datum> {
                     Datum::Int(i) => Datum::Int(-i),
                     Datum::Float(f) => Datum::Float(-f),
                     other => {
-                        return Err(DbError::TypeMismatch(format!("- expects a number, got {other}")))
+                        return Err(DbError::TypeMismatch(format!(
+                            "- expects a number, got {other}"
+                        )))
                     }
                 }),
             }
@@ -222,17 +224,13 @@ fn arith(op: BinOp, l: &Datum, r: &Datum) -> DbResult<Datum> {
                 }
                 _ => unreachable!("arith ops only"),
             };
-            result
-                .map(Datum::Int)
-                .ok_or_else(|| DbError::TypeMismatch("integer overflow".into()))
+            result.map(Datum::Int).ok_or_else(|| DbError::TypeMismatch("integer overflow".into()))
         }
         _ => {
-            let a = l
-                .as_float()
-                .ok_or_else(|| DbError::TypeMismatch(format!("arithmetic on {l}")))?;
-            let b = r
-                .as_float()
-                .ok_or_else(|| DbError::TypeMismatch(format!("arithmetic on {r}")))?;
+            let a =
+                l.as_float().ok_or_else(|| DbError::TypeMismatch(format!("arithmetic on {l}")))?;
+            let b =
+                r.as_float().ok_or_else(|| DbError::TypeMismatch(format!("arithmetic on {r}")))?;
             let v = match op {
                 BinOp::Add => a + b,
                 BinOp::Sub => a - b,
@@ -297,8 +295,8 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::parser::parse;
     use crate::sql::ast::{Projection, Stmt};
+    use crate::sql::parser::parse;
 
     fn expr(sql: &str) -> Expr {
         let stmt = parse(&format!("SELECT {sql}")).unwrap();
@@ -405,10 +403,7 @@ mod tests {
     #[test]
     fn functions_through_eval() {
         assert_eq!(eval_str("upper('ab')").unwrap(), Datum::Text("AB".into()));
-        assert_eq!(
-            eval_str("coalesce(NULL, lower('X'))").unwrap(),
-            Datum::Text("x".into())
-        );
+        assert_eq!(eval_str("coalesce(NULL, lower('X'))").unwrap(), Datum::Text("x".into()));
         assert!(eval_str("no_such_fn(1)").is_err());
         // Aggregates are rejected in scalar contexts.
         assert!(eval_str("count(1)").is_err());

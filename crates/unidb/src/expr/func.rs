@@ -89,13 +89,15 @@ impl FunctionRegistry {
         self.scalars.insert(
             "upper".into(),
             Arc::new(|args| {
-                text_arg(args, "upper").map(|s| s.map_or(Datum::Null, |s| Datum::Text(s.to_uppercase())))
+                text_arg(args, "upper")
+                    .map(|s| s.map_or(Datum::Null, |s| Datum::Text(s.to_uppercase())))
             }),
         );
         self.scalars.insert(
             "lower".into(),
             Arc::new(|args| {
-                text_arg(args, "lower").map(|s| s.map_or(Datum::Null, |s| Datum::Text(s.to_lowercase())))
+                text_arg(args, "lower")
+                    .map(|s| s.map_or(Datum::Null, |s| Datum::Text(s.to_lowercase())))
             }),
         );
         self.scalars.insert(
@@ -123,16 +125,16 @@ impl FunctionRegistry {
                     Datum::Int(i) => Datum::Int(i.abs()),
                     Datum::Float(f) => Datum::Float(f.abs()),
                     other => {
-                        return Err(DbError::TypeMismatch(format!("abs() expects a number, got {other}")))
+                        return Err(DbError::TypeMismatch(format!(
+                            "abs() expects a number, got {other}"
+                        )))
                     }
                 })
             }),
         );
         self.scalars.insert(
             "coalesce".into(),
-            Arc::new(|args| {
-                Ok(args.iter().find(|d| !d.is_null()).cloned().unwrap_or(Datum::Null))
-            }),
+            Arc::new(|args| Ok(args.iter().find(|d| !d.is_null()).cloned().unwrap_or(Datum::Null))),
         );
         self.scalars.insert(
             "substr".into(),
@@ -159,8 +161,12 @@ impl FunctionRegistry {
         self.aggregates.insert("count".into(), Arc::new(|| Box::new(CountAcc(0))));
         self.aggregates.insert("sum".into(), Arc::new(|| Box::new(SumAcc::default())));
         self.aggregates.insert("avg".into(), Arc::new(|| Box::new(AvgAcc::default())));
-        self.aggregates.insert("min".into(), Arc::new(|| Box::new(ExtremeAcc { best: None, want_min: true })));
-        self.aggregates.insert("max".into(), Arc::new(|| Box::new(ExtremeAcc { best: None, want_min: false })));
+        self.aggregates
+            .insert("min".into(), Arc::new(|| Box::new(ExtremeAcc { best: None, want_min: true })));
+        self.aggregates.insert(
+            "max".into(),
+            Arc::new(|| Box::new(ExtremeAcc { best: None, want_min: false })),
+        );
     }
 }
 
@@ -333,10 +339,7 @@ mod tests {
         assert_eq!(abs(&[Datum::Float(-1.5)]).unwrap(), Datum::Float(1.5));
 
         let coalesce = r.scalar("coalesce").unwrap();
-        assert_eq!(
-            coalesce(&[Datum::Null, Datum::Int(2), Datum::Int(3)]).unwrap(),
-            Datum::Int(2)
-        );
+        assert_eq!(coalesce(&[Datum::Null, Datum::Int(2), Datum::Int(3)]).unwrap(), Datum::Int(2));
         assert_eq!(coalesce(&[]).unwrap(), Datum::Null);
 
         let substr = r.scalar("substr").unwrap();
@@ -385,12 +388,15 @@ mod tests {
     #[test]
     fn user_registration_and_conflicts() {
         let mut r = reg();
-        r.register_scalar("reverse_text", Arc::new(|args| {
-            Ok(match &args[0] {
-                Datum::Text(s) => Datum::Text(s.chars().rev().collect()),
-                _ => Datum::Null,
-            })
-        }))
+        r.register_scalar(
+            "reverse_text",
+            Arc::new(|args| {
+                Ok(match &args[0] {
+                    Datum::Text(s) => Datum::Text(s.chars().rev().collect()),
+                    _ => Datum::Null,
+                })
+            }),
+        )
         .unwrap();
         let f = r.scalar("reverse_text").unwrap();
         assert_eq!(f(&[Datum::Text("abc".into())]).unwrap(), Datum::Text("cba".into()));

@@ -1,7 +1,7 @@
 //! Expression evaluation and the extensible function registry.
 
-pub mod func;
 pub mod eval;
+pub mod func;
 
 pub use eval::{eval, ColumnBinding, EvalContext};
 pub use func::{Accumulator, AggregateFn, FunctionRegistry, ScalarFn};

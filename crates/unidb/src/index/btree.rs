@@ -261,7 +261,11 @@ impl BTreeIndex {
         let right_next = next.take();
         *next = Some(new_idx);
         let sep = right_keys[0].clone();
-        self.nodes.push(Node::Leaf { keys: right_keys, postings: right_postings, next: right_next });
+        self.nodes.push(Node::Leaf {
+            keys: right_keys,
+            postings: right_postings,
+            next: right_next,
+        });
         (sep, new_idx)
     }
 

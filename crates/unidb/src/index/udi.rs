@@ -16,7 +16,10 @@ use crate::datum::Datum;
 use crate::storage::heap::Rid;
 
 /// A pluggable domain index over one column of one table.
-pub trait AccessMethod: Send {
+///
+/// `Send + Sync` because registered methods live inside the database and are
+/// probed under the shared read lock by concurrent sessions.
+pub trait AccessMethod: Send + Sync {
     /// Name for EXPLAIN output and diagnostics.
     fn name(&self) -> &str;
 

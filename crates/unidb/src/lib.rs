@@ -32,21 +32,22 @@
 //! assert_eq!(rs.rows[0][0].as_text(), Some("beta"));
 //! ```
 
-pub mod error;
-pub mod datum;
-pub mod tuple;
 pub mod catalog;
-pub mod storage;
-pub mod index;
-pub mod sql;
-pub mod expr;
-pub mod plan;
-pub mod exec;
+pub mod datum;
 pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod index;
+pub mod plan;
+pub mod sql;
+pub mod storage;
+pub mod tuple;
 
+pub use catalog::Role;
 pub use catalog::{ColumnDef, OpaqueTypeDef, TableDef};
 pub use datum::{DataType, Datum};
-pub use db::{Database, ResultSet};
+pub use db::{Database, Prepared, ResultSet};
 pub use error::{DbError, DbResult};
 pub use expr::func::{AggregateFn, FunctionRegistry, ScalarFn};
 pub use index::udi::AccessMethod;

@@ -151,6 +151,39 @@ impl PhysicalPlan {
         }
     }
 
+    /// Ids of every base table this plan reads, deduplicated, in first-seen
+    /// order. Caches key result invalidation on these tables' versions.
+    pub fn table_ids(&self) -> Vec<u32> {
+        let mut ids = Vec::new();
+        self.collect_table_ids(&mut ids);
+        ids
+    }
+
+    fn collect_table_ids(&self, ids: &mut Vec<u32>) {
+        match self {
+            PhysicalPlan::Nothing => {}
+            PhysicalPlan::SeqScan { table_id, .. }
+            | PhysicalPlan::IndexEqScan { table_id, .. }
+            | PhysicalPlan::IndexRangeScan { table_id, .. }
+            | PhysicalPlan::UdiScan { table_id, .. } => {
+                if !ids.contains(table_id) {
+                    ids.push(*table_id);
+                }
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Aggregate { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Limit { input, .. } => input.collect_table_ids(ids),
+            PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. } => {
+                left.collect_table_ids(ids);
+                right.collect_table_ids(ids);
+            }
+        }
+    }
+
     /// Render the plan tree for `EXPLAIN`.
     pub fn explain(&self) -> String {
         let mut out = String::new();

@@ -20,8 +20,13 @@ pub trait PlannerContext {
     /// Live row count of a table.
     fn row_count(&self, table_id: u32) -> u64;
     /// Selectivity if a UDI on `(table, column)` can answer `func(args)`.
-    fn udi_selectivity(&self, table_id: u32, column: &str, func: &str, args: &[Datum])
-        -> Option<f64>;
+    fn udi_selectivity(
+        &self,
+        table_id: u32,
+        column: &str,
+        func: &str,
+        args: &[Datum],
+    ) -> Option<f64>;
 }
 
 #[derive(Debug, Clone)]
@@ -43,7 +48,13 @@ pub fn plan_select(
     // ---- resolve FROM ------------------------------------------------------
     let mut tables: Vec<TableInfo> = Vec::new();
     if let Some(from) = &s.from {
-        tables.push(resolve_table(ctx, default_space, &from.base.name, from.base.binding(), false)?);
+        tables.push(resolve_table(
+            ctx,
+            default_space,
+            &from.base.name,
+            from.base.binding(),
+            false,
+        )?);
         for j in &from.joins {
             tables.push(resolve_table(
                 ctx,
@@ -172,7 +183,8 @@ pub fn plan_select(
         plan = PhysicalPlan::Sort { input: Box::new(plan), keys };
     }
 
-    plan = PhysicalPlan::Project { input: Box::new(plan), exprs: out_exprs, names: out_names.clone() };
+    plan =
+        PhysicalPlan::Project { input: Box::new(plan), exprs: out_exprs, names: out_names.clone() };
     if s.distinct {
         plan = PhysicalPlan::Distinct { input: Box::new(plan) };
     }
@@ -191,11 +203,7 @@ fn resolve_table(
 ) -> DbResult<TableInfo> {
     let def = ctx.catalog().resolve_table(default_space, name)?;
     let binding = binding.to_ascii_lowercase();
-    let columns = def
-        .columns
-        .iter()
-        .map(|c| ColumnBinding::new(&binding, &c.name))
-        .collect();
+    let columns = def.columns.iter().map(|c| ColumnBinding::new(&binding, &c.name)).collect();
     Ok(TableInfo {
         table_id: def.id,
         qualified: def.qualified_name(),
@@ -216,9 +224,7 @@ fn attribute(expr: &Expr, tables: &[TableInfo]) -> Option<usize> {
         }
         if let Expr::Column { table, name } = e {
             let idx = match table {
-                Some(t) => tables
-                    .iter()
-                    .position(|ti| ti.binding.eq_ignore_ascii_case(t)),
+                Some(t) => tables.iter().position(|ti| ti.binding.eq_ignore_ascii_case(t)),
                 None => {
                     let name = name.to_ascii_lowercase();
                     let hits: Vec<usize> = tables
@@ -308,7 +314,10 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
                                 BinOp::Gt => (Bound::Excluded(d.clone()), Bound::Unbounded),
                                 _ => (Bound::Included(d.clone()), Bound::Unbounded),
                             };
-                            consider((i, 0.3, Path::Range { column: name, lo, hi }, true), &mut best);
+                            consider(
+                                (i, 0.3, Path::Range { column: name, lo, hi }, true),
+                                &mut best,
+                            );
                         }
                         _ => {}
                     }
@@ -352,7 +361,12 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
                     let col = col.to_ascii_lowercase();
                     if let Some(sel) = ctx.udi_selectivity(t.table_id, &col, func, &rest) {
                         consider(
-                            (i, sel, Path::Udi { column: col, func: func.clone(), args: rest }, false),
+                            (
+                                i,
+                                sel,
+                                Path::Udi { column: col, func: func.clone(), args: rest },
+                                false,
+                            ),
                             &mut best,
                         );
                     }
@@ -431,14 +445,22 @@ fn plan_join(
                     if let Expr::Binary { op: BinOp::Eq, left: l, right: r } = &f {
                         let l_attr = attribute(l, &left_tables);
                         let r_attr = attribute(r, right_table);
-                        if l_attr.is_some() && r_attr.is_some() && l.references_columns() && r.references_columns() {
+                        if l_attr.is_some()
+                            && r_attr.is_some()
+                            && l.references_columns()
+                            && r.references_columns()
+                        {
                             equi = Some((l.as_ref().clone(), r.as_ref().clone()));
                             continue;
                         }
                         // Maybe flipped: right side references left tables.
                         let l_attr2 = attribute(r, &left_tables);
                         let r_attr2 = attribute(l, right_table);
-                        if l_attr2.is_some() && r_attr2.is_some() && l.references_columns() && r.references_columns() {
+                        if l_attr2.is_some()
+                            && r_attr2.is_some()
+                            && l.references_columns()
+                            && r.references_columns()
+                        {
                             equi = Some((r.as_ref().clone(), l.as_ref().clone()));
                             continue;
                         }
@@ -460,12 +482,7 @@ fn plan_join(
             }
         }
     }
-    Ok(PhysicalPlan::NestedLoopJoin {
-        left: Box::new(left),
-        right: Box::new(right),
-        kind,
-        on,
-    })
+    Ok(PhysicalPlan::NestedLoopJoin { left: Box::new(left), right: Box::new(right), kind, on })
 }
 
 /// Collect aggregate calls, deduplicated.
@@ -547,10 +564,9 @@ fn rewrite_post_agg(
                 table.map_or(String::new(), |t| format!("{t}."))
             )))
         }
-        Expr::Unary { op, expr } => Expr::Unary {
-            op,
-            expr: Box::new(rewrite_post_agg(*expr, group_by, calls, funcs)?),
-        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op, expr: Box::new(rewrite_post_agg(*expr, group_by, calls, funcs)?) }
+        }
         Expr::Binary { op, left, right } => Expr::Binary {
             op,
             left: Box::new(rewrite_post_agg(*left, group_by, calls, funcs)?),

@@ -107,17 +107,47 @@ pub enum JoinKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     Literal(Datum),
-    Column { table: Option<String>, name: String },
-    Unary { op: UnaryOp, expr: Box<Expr> },
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Column {
+        table: Option<String>,
+        name: String,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Scalar function, user-defined operator, or aggregate call.
-    Func { name: String, args: Vec<Expr>, distinct: bool },
+    Func {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+    },
     /// `*` inside `COUNT(*)`.
     Wildcard,
-    IsNull { expr: Box<Expr>, negated: bool },
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
-    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
 }
 
 /// Unary operators.

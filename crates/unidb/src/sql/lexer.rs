@@ -202,9 +202,10 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                 }
                 let text = &input[start..i];
                 if is_float {
-                    tokens.push(Token::Float(text.parse().map_err(|_| {
-                        DbError::Parse(format!("bad float literal {text:?}"))
-                    })?));
+                    tokens.push(Token::Float(
+                        text.parse()
+                            .map_err(|_| DbError::Parse(format!("bad float literal {text:?}")))?,
+                    ));
                 } else {
                     tokens.push(Token::Int(text.parse().map_err(|_| {
                         DbError::Parse(format!("integer literal {text:?} out of range"))

@@ -7,8 +7,8 @@
 //! and crucially, *user-defined operators callable wherever expressions
 //! occur*, which is how the Genomics Algebra enters the language.
 
-pub mod lexer;
 pub mod ast;
+pub mod lexer;
 pub mod parser;
 
 pub use ast::{Expr, FromClause, Join, JoinKind, Projection, SelectStmt, Stmt, TableRef};

@@ -8,10 +8,9 @@ use crate::sql::lexer::{lex, Token};
 /// Words that terminate expressions/aliases and may not be identifiers.
 const RESERVED: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "JOIN", "INNER",
-    "LEFT", "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "SET", "VALUES", "ASC", "DESC", "IS",
-    "IN", "BETWEEN", "LIKE", "DISTINCT", "INSERT", "INTO", "UPDATE", "DELETE", "CREATE", "DROP",
-    "TABLE", "INDEX", "UNIQUE", "SPACE", "NULL", "TRUE", "FALSE", "BEGIN", "COMMIT", "ROLLBACK",
-    "EXPLAIN",
+    "LEFT", "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "SET", "VALUES", "ASC", "DESC", "IS", "IN",
+    "BETWEEN", "LIKE", "DISTINCT", "INSERT", "INTO", "UPDATE", "DELETE", "CREATE", "DROP", "TABLE",
+    "INDEX", "UNIQUE", "SPACE", "NULL", "TRUE", "FALSE", "BEGIN", "COMMIT", "ROLLBACK", "EXPLAIN",
 ];
 
 /// Parse a single SQL statement.
@@ -321,11 +320,22 @@ impl Parser {
         let mut joins = Vec::new();
         loop {
             if self.eat_tok(&Token::Comma) {
-                joins.push(Join { kind: JoinKind::Cross, table: self.parse_table_ref()?, on: None });
+                joins.push(Join {
+                    kind: JoinKind::Cross,
+                    table: self.parse_table_ref()?,
+                    on: None,
+                });
             } else if self.eat_kw("CROSS") {
                 self.expect_kw("JOIN")?;
-                joins.push(Join { kind: JoinKind::Cross, table: self.parse_table_ref()?, on: None });
-            } else if self.peek().is_some_and(|t| t.is_kw("JOIN") || t.is_kw("INNER") || t.is_kw("LEFT")) {
+                joins.push(Join {
+                    kind: JoinKind::Cross,
+                    table: self.parse_table_ref()?,
+                    on: None,
+                });
+            } else if self
+                .peek()
+                .is_some_and(|t| t.is_kw("JOIN") || t.is_kw("INNER") || t.is_kw("LEFT"))
+            {
                 let kind = if self.eat_kw("LEFT") {
                     let _ = self.eat_kw("OUTER");
                     JoinKind::Left
@@ -555,8 +565,8 @@ mod tests {
     #[test]
     fn paper_flagship_query() {
         // §6.3's example, verbatim modulo the string literal.
-        let stmt = parse("SELECT id FROM DNAFragments WHERE contains(fragment, 'ATTGCCATA')")
-            .unwrap();
+        let stmt =
+            parse("SELECT id FROM DNAFragments WHERE contains(fragment, 'ATTGCCATA')").unwrap();
         let Stmt::Select(s) = stmt else { panic!("not a select") };
         assert_eq!(s.projections.len(), 1);
         assert_eq!(s.from.unwrap().base.name, "DNAFragments");
@@ -624,8 +634,8 @@ mod tests {
 
     #[test]
     fn ddl() {
-        let s = parse("CREATE TABLE public.genes (id INT NOT NULL, seq dna, note TEXT NULL)")
-            .unwrap();
+        let s =
+            parse("CREATE TABLE public.genes (id INT NOT NULL, seq dna, note TEXT NULL)").unwrap();
         let Stmt::CreateTable { table, columns } = s else { panic!() };
         assert_eq!(table, "public.genes");
         assert_eq!(columns.len(), 3);
@@ -659,10 +669,7 @@ mod tests {
         let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
         // OR is the outermost operator.
-        assert_eq!(
-            sel.filter.unwrap().render(),
-            "((a = 1) OR ((b = 2) AND (c = 3)))"
-        );
+        assert_eq!(sel.filter.unwrap().render(), "((a = 1) OR ((b = 2) AND (c = 3)))");
     }
 
     #[test]
@@ -687,8 +694,7 @@ mod tests {
         };
         assert_eq!(name, "count");
         assert_eq!(args, &[Expr::Wildcard]);
-        let Projection::Expr { expr: Expr::Func { distinct, .. }, .. } = &sel.projections[1]
-        else {
+        let Projection::Expr { expr: Expr::Func { distinct, .. }, .. } = &sel.projections[1] else {
             panic!()
         };
         assert!(*distinct);

@@ -3,6 +3,7 @@
 use crate::error::DbResult;
 use crate::storage::page::Page;
 use crate::storage::store::PageStore;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// A cached page frame.
@@ -13,13 +14,8 @@ struct Frame {
     last_used: u64,
 }
 
-/// An LRU buffer pool over a [`PageStore`].
-///
-/// Accesses go through closures ([`BufferPool::with_page`] /
-/// [`BufferPool::with_page_mut`]) so frames cannot leak out of the pool;
-/// eviction writes dirty frames back to the store. Statistics feed the
-/// architecture benchmarks.
-pub struct BufferPool {
+/// All mutable pool state, behind the pool's internal mutex.
+struct PoolState {
     store: Box<dyn PageStore>,
     frames: HashMap<u32, Frame>,
     capacity: usize,
@@ -29,68 +25,95 @@ pub struct BufferPool {
     evictions: u64,
 }
 
+/// An LRU buffer pool over a [`PageStore`].
+///
+/// Accesses go through closures ([`BufferPool::with_page`] /
+/// [`BufferPool::with_page_mut`]) so frames cannot leak out of the pool;
+/// eviction writes dirty frames back to the store. Statistics feed the
+/// architecture benchmarks.
+///
+/// The pool is internally synchronized: every method takes `&self` and frame
+/// bookkeeping happens under a private mutex, so concurrent readers can share
+/// one pool. The closure passed to `with_page`/`with_page_mut` runs while the
+/// mutex is held — keep it short (copy bytes out, decode outside).
+pub struct BufferPool {
+    state: Mutex<PoolState>,
+}
+
 impl BufferPool {
     /// A pool caching up to `capacity` frames.
     pub fn new(store: Box<dyn PageStore>, capacity: usize) -> Self {
         assert!(capacity >= 1);
         BufferPool {
-            store,
-            frames: HashMap::new(),
-            capacity,
-            clock: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            state: Mutex::new(PoolState {
+                store,
+                frames: HashMap::new(),
+                capacity,
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
         }
     }
 
     /// Number of pages in the underlying store.
     pub fn num_pages(&self) -> u32 {
-        self.store.num_pages()
+        self.state.lock().store.num_pages()
     }
 
     /// Allocate a fresh page (immediately cached).
-    pub fn allocate(&mut self) -> DbResult<u32> {
-        let page_no = self.store.allocate()?;
-        self.admit(page_no, Page::new(), true)?;
+    pub fn allocate(&self) -> DbResult<u32> {
+        let mut state = self.state.lock();
+        let page_no = state.store.allocate()?;
+        state.admit(page_no, Page::new(), true)?;
         Ok(page_no)
     }
 
     /// Read-only access to a page.
-    pub fn with_page<R>(&mut self, page_no: u32, f: impl FnOnce(&Page) -> R) -> DbResult<R> {
-        self.fault(page_no)?;
-        let frame = self.frames.get_mut(&page_no).expect("just faulted in");
-        self.clock += 1;
-        frame.last_used = self.clock;
+    pub fn with_page<R>(&self, page_no: u32, f: impl FnOnce(&Page) -> R) -> DbResult<R> {
+        let mut state = self.state.lock();
+        state.fault(page_no)?;
+        state.clock += 1;
+        let clock = state.clock;
+        let frame = state.frames.get_mut(&page_no).expect("just faulted in");
+        frame.last_used = clock;
         Ok(f(&frame.page))
     }
 
     /// Mutable access to a page; marks it dirty.
-    pub fn with_page_mut<R>(&mut self, page_no: u32, f: impl FnOnce(&mut Page) -> R) -> DbResult<R> {
-        self.fault(page_no)?;
-        let frame = self.frames.get_mut(&page_no).expect("just faulted in");
-        self.clock += 1;
-        frame.last_used = self.clock;
+    pub fn with_page_mut<R>(&self, page_no: u32, f: impl FnOnce(&mut Page) -> R) -> DbResult<R> {
+        let mut state = self.state.lock();
+        state.fault(page_no)?;
+        state.clock += 1;
+        let clock = state.clock;
+        let frame = state.frames.get_mut(&page_no).expect("just faulted in");
+        frame.last_used = clock;
         frame.dirty = true;
         Ok(f(&mut frame.page))
     }
 
     /// Write every dirty frame back and sync the store.
-    pub fn flush_all(&mut self) -> DbResult<()> {
-        for (&page_no, frame) in self.frames.iter_mut() {
+    pub fn flush_all(&self) -> DbResult<()> {
+        let mut state = self.state.lock();
+        let PoolState { store, frames, .. } = &mut *state;
+        for (&page_no, frame) in frames.iter_mut() {
             if frame.dirty {
-                self.store.write(page_no, &frame.page)?;
+                store.write(page_no, &frame.page)?;
                 frame.dirty = false;
             }
         }
-        self.store.sync()
+        store.sync()
     }
 
     /// `(hits, misses, evictions)` counters.
     pub fn stats(&self) -> (u64, u64, u64) {
-        (self.hits, self.misses, self.evictions)
+        let state = self.state.lock();
+        (state.hits, state.misses, state.evictions)
     }
+}
 
+impl PoolState {
     fn fault(&mut self, page_no: u32) -> DbResult<()> {
         if self.frames.contains_key(&page_no) {
             self.hits += 1;
@@ -128,10 +151,11 @@ impl BufferPool {
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
         f.debug_struct("BufferPool")
-            .field("cached", &self.frames.len())
-            .field("capacity", &self.capacity)
-            .field("pages", &self.num_pages())
+            .field("cached", &state.frames.len())
+            .field("capacity", &state.capacity)
+            .field("pages", &state.store.num_pages())
             .finish()
     }
 }
@@ -147,21 +171,19 @@ mod tests {
 
     #[test]
     fn read_write_through_pool() {
-        let mut p = pool(4);
+        let p = pool(4);
         let page_no = p.allocate().unwrap();
         p.with_page_mut(page_no, |pg| {
             pg.insert(b"cached").unwrap();
         })
         .unwrap();
-        let data = p
-            .with_page(page_no, |pg| pg.get(0).map(<[u8]>::to_vec))
-            .unwrap();
+        let data = p.with_page(page_no, |pg| pg.get(0).map(<[u8]>::to_vec)).unwrap();
         assert_eq!(data.as_deref(), Some(&b"cached"[..]));
     }
 
     #[test]
     fn eviction_preserves_dirty_data() {
-        let mut p = pool(2);
+        let p = pool(2);
         let pages: Vec<u32> = (0..5).map(|_| p.allocate().unwrap()).collect();
         for (i, &page_no) in pages.iter().enumerate() {
             p.with_page_mut(page_no, |pg| {
@@ -172,10 +194,7 @@ mod tests {
         // Every page must read back its own payload even though only two
         // frames fit in the pool.
         for (i, &page_no) in pages.iter().enumerate() {
-            let data = p
-                .with_page(page_no, |pg| pg.get(0).map(<[u8]>::to_vec))
-                .unwrap()
-                .unwrap();
+            let data = p.with_page(page_no, |pg| pg.get(0).map(<[u8]>::to_vec)).unwrap().unwrap();
             assert_eq!(data, format!("page-{i}").into_bytes());
         }
         let (_, _, evictions) = p.stats();
@@ -184,7 +203,7 @@ mod tests {
 
     #[test]
     fn lru_victim_selection() {
-        let mut p = pool(2);
+        let p = pool(2);
         let a = p.allocate().unwrap();
         let b = p.allocate().unwrap();
         // Touch `a` so `b` is the LRU victim when `c` arrives.
@@ -202,7 +221,7 @@ mod tests {
 
     #[test]
     fn flush_all_clears_dirty() {
-        let mut p = pool(4);
+        let p = pool(4);
         let page_no = p.allocate().unwrap();
         p.with_page_mut(page_no, |pg| {
             pg.insert(b"x").unwrap();
@@ -215,7 +234,50 @@ mod tests {
 
     #[test]
     fn missing_page_error() {
-        let mut p = pool(2);
+        let p = pool(2);
         assert!(p.with_page(42, |_| ()).is_err());
+    }
+
+    #[test]
+    fn shared_pool_across_threads() {
+        // Two sessions hammering the same two hot pages through a pool that
+        // only fits one frame: every access faults or hits under the internal
+        // mutex, and no update may be lost when frames bounce in and out.
+        let p = std::sync::Arc::new(pool(1));
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |pg| pg.insert(&0u64.to_be_bytes()).unwrap()).unwrap();
+        p.with_page_mut(b, |pg| pg.insert(&0u64.to_be_bytes()).unwrap()).unwrap();
+
+        let handles: Vec<_> = [a, b]
+            .into_iter()
+            .map(|page_no| {
+                let p = std::sync::Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        p.with_page_mut(page_no, |pg| {
+                            let mut v = [0u8; 8];
+                            v.copy_from_slice(pg.get(0).unwrap());
+                            let next = u64::from_be_bytes(v) + 1;
+                            assert!(pg.update_in_place(0, &next.to_be_bytes()));
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for page_no in [a, b] {
+            let count = p
+                .with_page(page_no, |pg| {
+                    let mut v = [0u8; 8];
+                    v.copy_from_slice(pg.get(0).unwrap());
+                    u64::from_be_bytes(v)
+                })
+                .unwrap();
+            assert_eq!(count, 200, "page {page_no} lost updates under eviction");
+        }
     }
 }

@@ -80,13 +80,11 @@ impl HeapFile {
     }
 
     /// Read a record.
-    pub fn get(&mut self, rid: Rid) -> DbResult<Option<Vec<u8>>> {
+    pub fn get(&self, rid: Rid) -> DbResult<Option<Vec<u8>>> {
         if rid.page >= self.pool.num_pages() {
             return Ok(None);
         }
-        let stub = self
-            .pool
-            .with_page(rid.page, |p| p.get(rid.slot).map(<[u8]>::to_vec))?;
+        let stub = self.pool.with_page(rid.page, |p| p.get(rid.slot).map(<[u8]>::to_vec))?;
         let Some(stub) = stub else { return Ok(None) };
         self.expand(&stub).map(Some)
     }
@@ -97,9 +95,7 @@ impl HeapFile {
         if rid.page >= self.pool.num_pages() {
             return Ok(false);
         }
-        let stub = self
-            .pool
-            .with_page(rid.page, |p| p.get(rid.slot).map(<[u8]>::to_vec))?;
+        let stub = self.pool.with_page(rid.page, |p| p.get(rid.slot).map(<[u8]>::to_vec))?;
         let Some(stub) = stub else { return Ok(false) };
         if stub.first() == Some(&OVERFLOW) {
             let (mut page, mut slot, _) = parse_overflow_stub(&stub)?;
@@ -132,9 +128,8 @@ impl HeapFile {
             let mut rec = Vec::with_capacity(1 + bytes.len());
             rec.push(INLINE);
             rec.extend_from_slice(bytes);
-            let updated = self
-                .pool
-                .with_page_mut(rid.page, |p| p.update_in_place(rid.slot, &rec))?;
+            let updated =
+                self.pool.with_page_mut(rid.page, |p| p.update_in_place(rid.slot, &rec))?;
             if updated {
                 return Ok(rid);
             }
@@ -145,13 +140,13 @@ impl HeapFile {
 
     /// Live records of one page, expanded. Pages past the end yield an
     /// empty batch, which lets scans race ahead safely.
-    pub fn page_records(&mut self, page_no: u32) -> DbResult<Vec<(Rid, Vec<u8>)>> {
+    pub fn page_records(&self, page_no: u32) -> DbResult<Vec<(Rid, Vec<u8>)>> {
         if page_no >= self.pool.num_pages() {
             return Ok(Vec::new());
         }
-        let stubs: Vec<(u16, Vec<u8>)> = self.pool.with_page(page_no, |p| {
-            p.iter().map(|(slot, rec)| (slot, rec.to_vec())).collect()
-        })?;
+        let stubs: Vec<(u16, Vec<u8>)> = self
+            .pool
+            .with_page(page_no, |p| p.iter().map(|(slot, rec)| (slot, rec.to_vec())).collect())?;
         let mut out = Vec::with_capacity(stubs.len());
         for (slot, stub) in stubs {
             // Overflow chunks are internal records; only stubs are rows.
@@ -163,7 +158,7 @@ impl HeapFile {
     }
 
     /// Materialize every live record.
-    pub fn scan(&mut self) -> DbResult<Vec<(Rid, Vec<u8>)>> {
+    pub fn scan(&self) -> DbResult<Vec<(Rid, Vec<u8>)>> {
         let mut out = Vec::new();
         for page_no in 0..self.pool.num_pages() {
             out.extend(self.page_records(page_no)?);
@@ -219,7 +214,7 @@ impl HeapFile {
     }
 
     /// Expand a stub into the full record bytes.
-    fn expand(&mut self, stub: &[u8]) -> DbResult<Vec<u8>> {
+    fn expand(&self, stub: &[u8]) -> DbResult<Vec<u8>> {
         match stub.first() {
             Some(&INLINE) => Ok(stub[1..].to_vec()),
             Some(&OVERFLOW) => {
@@ -311,15 +306,11 @@ mod tests {
     #[test]
     fn many_records_spill_to_new_pages() {
         let mut h = heap();
-        let rids: Vec<Rid> = (0..1000)
-            .map(|i| h.insert(format!("record-{i:04}").as_bytes()).unwrap())
-            .collect();
+        let rids: Vec<Rid> =
+            (0..1000).map(|i| h.insert(format!("record-{i:04}").as_bytes()).unwrap()).collect();
         assert!(h.num_pages() > 1);
         for (i, rid) in rids.iter().enumerate() {
-            assert_eq!(
-                h.get(*rid).unwrap().unwrap(),
-                format!("record-{i:04}").into_bytes()
-            );
+            assert_eq!(h.get(*rid).unwrap().unwrap(), format!("record-{i:04}").into_bytes());
         }
         assert_eq!(h.scan().unwrap().len(), 1000);
     }
@@ -410,9 +401,8 @@ mod tests {
         let mut h = HeapFile::new(BufferPool::new(Box::new(MemStore::new()), 2));
         let big = vec![5u8; 60_000];
         let rid = h.insert(&big).unwrap();
-        let small: Vec<Rid> = (0..200)
-            .map(|i| h.insert(format!("r{i}").as_bytes()).unwrap())
-            .collect();
+        let small: Vec<Rid> =
+            (0..200).map(|i| h.insert(format!("r{i}").as_bytes()).unwrap()).collect();
         assert_eq!(h.get(rid).unwrap().unwrap(), big);
         assert_eq!(h.get(small[0]).unwrap().as_deref(), Some(&b"r0"[..]));
         let (_, _, evictions) = h.pool_stats();

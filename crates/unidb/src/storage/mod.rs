@@ -9,8 +9,8 @@
 //! to reason about, and the replay path doubles as the ETL refresh
 //! machinery's transport format.
 
-pub mod page;
-pub mod store;
 pub mod buffer;
 pub mod heap;
+pub mod page;
+pub mod store;
 pub mod wal;

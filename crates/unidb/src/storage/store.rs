@@ -72,7 +72,8 @@ pub struct FileStore {
 impl FileStore {
     /// Open (creating if needed) a page file.
     pub fn open(path: &Path) -> DbResult<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(DbError::Storage(format!(

@@ -19,16 +19,40 @@ use std::path::{Path, PathBuf};
 /// One logical WAL record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
-    CreateSpace { name: String, owner: String },
-    CreateTable { space: String, name: String, columns: Vec<(String, DataType, bool)> },
-    DropTable { space: String, name: String },
-    Insert { table: String, row: Vec<Datum> },
-    Delete { table: String, row: Vec<Datum> },
-    Update { table: String, old_row: Vec<Datum>, new_row: Vec<Datum> },
+    CreateSpace {
+        name: String,
+        owner: String,
+    },
+    CreateTable {
+        space: String,
+        name: String,
+        columns: Vec<(String, DataType, bool)>,
+    },
+    DropTable {
+        space: String,
+        name: String,
+    },
+    Insert {
+        table: String,
+        row: Vec<Datum>,
+    },
+    Delete {
+        table: String,
+        row: Vec<Datum>,
+    },
+    Update {
+        table: String,
+        old_row: Vec<Datum>,
+        new_row: Vec<Datum>,
+    },
     /// Marks a completed checkpoint; replay may start after the last one.
     Checkpoint,
     /// Secondary-index creation (indexes are rebuilt from rows on replay).
-    CreateIndex { table: String, column: String, unique: bool },
+    CreateIndex {
+        table: String,
+        column: String,
+        unique: bool,
+    },
 }
 
 const OP_CREATE_SPACE: u8 = 1;
@@ -97,10 +121,9 @@ impl WalRecord {
     pub fn decode(mut buf: &[u8]) -> DbResult<Self> {
         let op = take_u8(&mut buf)?;
         let rec = match op {
-            OP_CREATE_SPACE => WalRecord::CreateSpace {
-                name: take_str(&mut buf)?,
-                owner: take_str(&mut buf)?,
-            },
+            OP_CREATE_SPACE => {
+                WalRecord::CreateSpace { name: take_str(&mut buf)?, owner: take_str(&mut buf)? }
+            }
             OP_CREATE_TABLE => {
                 let space = take_str(&mut buf)?;
                 let name = take_str(&mut buf)?;
@@ -114,10 +137,9 @@ impl WalRecord {
                 }
                 WalRecord::CreateTable { space, name, columns }
             }
-            OP_DROP_TABLE => WalRecord::DropTable {
-                space: take_str(&mut buf)?,
-                name: take_str(&mut buf)?,
-            },
+            OP_DROP_TABLE => {
+                WalRecord::DropTable { space: take_str(&mut buf)?, name: take_str(&mut buf)? }
+            }
             OP_INSERT => WalRecord::Insert {
                 table: take_str(&mut buf)?,
                 row: tuple::decode_row(&take_bytes(&mut buf)?)?,
@@ -337,7 +359,11 @@ mod tests {
             },
             WalRecord::Delete { table: "public.genes".into(), row: vec![Datum::Int(1)] },
             WalRecord::DropTable { space: "public".into(), name: "genes".into() },
-            WalRecord::CreateIndex { table: "public.genes".into(), column: "id".into(), unique: true },
+            WalRecord::CreateIndex {
+                table: "public.genes".into(),
+                column: "id".into(),
+                unique: true,
+            },
             WalRecord::Checkpoint,
         ]
     }

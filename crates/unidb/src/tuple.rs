@@ -83,9 +83,10 @@ pub fn decode_row(mut buf: &[u8]) -> DbResult<Row> {
             T_TEXT => {
                 let len = take_varint(&mut buf)? as usize;
                 let bytes = take_slice(&mut buf, len)?;
-                Datum::Text(String::from_utf8(bytes.to_vec()).map_err(|_| {
-                    DbError::Storage("invalid UTF-8 in stored text".into())
-                })?)
+                Datum::Text(
+                    String::from_utf8(bytes.to_vec())
+                        .map_err(|_| DbError::Storage("invalid UTF-8 in stored text".into()))?,
+                )
             }
             T_BLOB => {
                 let len = take_varint(&mut buf)? as usize;
@@ -142,9 +143,8 @@ pub(crate) fn take_varint(buf: &mut &[u8]) -> DbResult<u64> {
 }
 
 pub(crate) fn take_u8(buf: &mut &[u8]) -> DbResult<u8> {
-    let (&b, rest) = buf
-        .split_first()
-        .ok_or_else(|| DbError::Storage("unexpected end of row bytes".into()))?;
+    let (&b, rest) =
+        buf.split_first().ok_or_else(|| DbError::Storage("unexpected end of row bytes".into()))?;
     *buf = rest;
     Ok(b)
 }

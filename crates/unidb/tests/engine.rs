@@ -51,9 +51,7 @@ fn basic_crud_cycle() {
 #[test]
 fn ordering_limits_distinct() {
     let d = seeded();
-    let rs = d
-        .execute("SELECT symbol FROM genes ORDER BY len DESC LIMIT 2")
-        .unwrap();
+    let rs = d.execute("SELECT symbol FROM genes ORDER BY len DESC LIMIT 2").unwrap();
     assert_eq!(texts(&rs), vec!["brca1", "egfr"]);
 
     d.execute("INSERT INTO genes VALUES (6, 'tp53', 999, 0.4)").unwrap();
@@ -88,9 +86,8 @@ fn aggregation_group_having() {
     assert_eq!(rs.rows, vec![vec![Datum::Int(0), Datum::Null]]);
 
     // min/max/sum with DISTINCT.
-    let rs = d
-        .execute("SELECT min(reading), max(reading), count(DISTINCT organism) FROM obs")
-        .unwrap();
+    let rs =
+        d.execute("SELECT min(reading), max(reading), count(DISTINCT organism) FROM obs").unwrap();
     assert_eq!(rs.rows[0], vec![Datum::Float(1.0), Datum::Float(30.0), Datum::Int(3)]);
 }
 
@@ -144,15 +141,11 @@ fn hash_join_is_planned_for_equi_joins() {
          INSERT INTO a VALUES (1); INSERT INTO b VALUES (1);",
     )
     .unwrap();
-    let rs = d
-        .execute("EXPLAIN SELECT * FROM a JOIN b ON a.x = b.y")
-        .unwrap();
+    let rs = d.execute("EXPLAIN SELECT * FROM a JOIN b ON a.x = b.y").unwrap();
     let plan = rs.explain.unwrap();
     assert!(plan.contains("HashJoin"), "{plan}");
 
-    let rs = d
-        .execute("EXPLAIN SELECT * FROM a JOIN b ON a.x < b.y")
-        .unwrap();
+    let rs = d.execute("EXPLAIN SELECT * FROM a JOIN b ON a.x < b.y").unwrap();
     let plan = rs.explain.unwrap();
     assert!(plan.contains("NestedLoopJoin"), "{plan}");
 }
@@ -161,16 +154,12 @@ fn hash_join_is_planned_for_equi_joins() {
 fn btree_index_planning_and_results_match_scan() {
     let d = seeded();
     for i in 6..2000 {
-        d.execute(&format!("INSERT INTO genes VALUES ({i}, 'g{i}', {}, 0.5)", i * 3))
-            .unwrap();
+        d.execute(&format!("INSERT INTO genes VALUES ({i}, 'g{i}', {}, 0.5)", i * 3)).unwrap();
     }
     let scan = d.execute("SELECT symbol FROM genes WHERE id = 1500").unwrap();
     d.execute("CREATE UNIQUE INDEX ON genes (id)").unwrap();
-    let plan = d
-        .execute("EXPLAIN SELECT symbol FROM genes WHERE id = 1500")
-        .unwrap()
-        .explain
-        .unwrap();
+    let plan =
+        d.execute("EXPLAIN SELECT symbol FROM genes WHERE id = 1500").unwrap().explain.unwrap();
     assert!(plan.contains("IndexEqScan"), "{plan}");
     let indexed = d.execute("SELECT symbol FROM genes WHERE id = 1500").unwrap();
     assert_eq!(scan.rows, indexed.rows);
@@ -262,10 +251,7 @@ fn transactions_commit_and_rollback() {
     d.execute("ROLLBACK").unwrap();
     // All three mutations reverted.
     assert_eq!(ints(&d.execute("SELECT count(*) FROM genes").unwrap()), vec![5]);
-    assert_eq!(
-        texts(&d.execute("SELECT symbol FROM genes WHERE id = 1").unwrap()),
-        vec!["tp53"]
-    );
+    assert_eq!(texts(&d.execute("SELECT symbol FROM genes WHERE id = 1").unwrap()), vec!["tp53"]);
     assert_eq!(ints(&d.execute("SELECT count(*) FROM genes WHERE id = 2").unwrap()), vec![1]);
 
     d.execute("BEGIN").unwrap();
@@ -290,10 +276,7 @@ fn rollback_restores_index_consistency() {
     // id 1 is findable through the index again.
     let plan = d.execute("EXPLAIN SELECT symbol FROM genes WHERE id = 1").unwrap();
     assert!(plan.explain.unwrap().contains("IndexEqScan"));
-    assert_eq!(
-        texts(&d.execute("SELECT symbol FROM genes WHERE id = 1").unwrap()),
-        vec!["tp53"]
-    );
+    assert_eq!(texts(&d.execute("SELECT symbol FROM genes WHERE id = 1").unwrap()), vec!["tp53"]);
     // And re-inserting it violates uniqueness (the index entry is back).
     assert!(d.execute("INSERT INTO genes VALUES (1, 'dup', 1, 0.1)").is_err());
 }
@@ -352,10 +335,7 @@ fn user_defined_aggregate() {
 fn opaque_types_store_and_render() {
     let d = db();
     let ty = d
-        .register_opaque_type(
-            "dna",
-            Some(Arc::new(|b: &[u8]| format!("<dna {} bytes>", b.len()))),
-        )
+        .register_opaque_type("dna", Some(Arc::new(|b: &[u8]| format!("<dna {} bytes>", b.len()))))
         .unwrap();
     d.execute("CREATE TABLE frags (id INT, seq dna)").unwrap();
     // Opaque values cannot come from SQL literals; they arrive through the
@@ -452,17 +432,13 @@ fn user_defined_index_drives_the_plan() {
     assert!(plan.contains("UdiScan"), "{plan}");
     assert!(plan.contains("recheck"), "UDI scans must re-check the predicate: {plan}");
 
-    let rs = d
-        .execute("SELECT symbol FROM genes WHERE same_parity(id, 2) ORDER BY id")
-        .unwrap();
+    let rs = d.execute("SELECT symbol FROM genes WHERE same_parity(id, 2) ORDER BY id").unwrap();
     assert_eq!(texts(&rs), vec!["brca1", "egfr"]);
 
     // Index stays correct through mutations.
     d.execute("DELETE FROM genes WHERE id = 2").unwrap();
     d.execute("INSERT INTO genes VALUES (6, 'new_even', 10, 0.5)").unwrap();
-    let rs = d
-        .execute("SELECT symbol FROM genes WHERE same_parity(id, 2) ORDER BY id")
-        .unwrap();
+    let rs = d.execute("SELECT symbol FROM genes WHERE same_parity(id, 2) ORDER BY id").unwrap();
     assert_eq!(texts(&rs), vec!["egfr", "new_even"]);
 }
 
@@ -543,14 +519,8 @@ fn predicate_pushdown_visible_in_plan() {
 #[test]
 fn errors_are_informative() {
     let d = seeded();
-    assert!(matches!(
-        d.execute("SELECT * FROM missing").unwrap_err(),
-        DbError::NotFound { .. }
-    ));
-    assert!(matches!(
-        d.execute("SELECT nope FROM genes").unwrap_err(),
-        DbError::NotFound { .. }
-    ));
+    assert!(matches!(d.execute("SELECT * FROM missing").unwrap_err(), DbError::NotFound { .. }));
+    assert!(matches!(d.execute("SELECT nope FROM genes").unwrap_err(), DbError::NotFound { .. }));
     assert!(matches!(
         d.execute("SELECT no_such_fn(id) FROM genes").unwrap_err(),
         DbError::NotFound { .. }
@@ -647,12 +617,9 @@ fn in_list_and_between_with_index() {
     let rs = d.execute("SELECT count(*) FROM t WHERE id IN (3, 77, 199, 500)").unwrap();
     assert_eq!(ints(&rs), vec![3]);
     // BETWEEN uses the range path and composes with another predicate.
-    let rs = d
-        .execute("SELECT count(*) FROM t WHERE id BETWEEN 50 AND 90 AND tag = 'x1'")
-        .unwrap();
-    let brute = d
-        .execute("SELECT count(*) FROM t WHERE id >= 50 AND id <= 90 AND tag = 'x1'")
-        .unwrap();
+    let rs = d.execute("SELECT count(*) FROM t WHERE id BETWEEN 50 AND 90 AND tag = 'x1'").unwrap();
+    let brute =
+        d.execute("SELECT count(*) FROM t WHERE id >= 50 AND id <= 90 AND tag = 'x1'").unwrap();
     assert_eq!(rs.rows, brute.rows);
 }
 
@@ -701,12 +668,7 @@ fn medium_scale_consistency() {
     let rs = d.execute("SELECT count(*), sum(v), min(v), max(v) FROM n").unwrap();
     assert_eq!(
         rs.rows[0],
-        vec![
-            Datum::Int(5000),
-            Datum::Int(4999 * 5000 / 2),
-            Datum::Int(0),
-            Datum::Int(4999)
-        ]
+        vec![Datum::Int(5000), Datum::Int(4999 * 5000 / 2), Datum::Int(0), Datum::Int(4999)]
     );
     let rs = d.execute("SELECT count(*) FROM n WHERE v % 7 = 0").unwrap();
     assert_eq!(ints(&rs), vec![715]);

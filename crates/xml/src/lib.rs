@@ -85,17 +85,11 @@ impl XmlNode {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
-        .replace('"', "&quot;")
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("&quot;", "\"")
-        .replace("&gt;", ">")
-        .replace("&lt;", "<")
-        .replace("&amp;", "&")
+    s.replace("&quot;", "\"").replace("&gt;", ">").replace("&lt;", "<").replace("&amp;", "&")
 }
 
 /// Serialize a node tree.
@@ -228,10 +222,10 @@ impl<'a> XmlParser<'a> {
                     if self.at_end() {
                         return Err(GenAlgError::Other("unterminated attribute value".into()));
                     }
-                    let value =
-                        unescape(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(
-                            |_| GenAlgError::Other("invalid UTF-8 in attribute".into()),
-                        )?);
+                    let value = unescape(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| GenAlgError::Other("invalid UTF-8 in attribute".into()))?,
+                    );
                     self.pos += 1;
                     node.attrs.push((key, value));
                 }
@@ -336,9 +330,9 @@ fn value_node(v: &Value) -> XmlNode {
         Value::Protein(p) => protein_node(p),
         Value::Chromosome(c) => chromosome_node(c),
         Value::Genome(g) => genome_node(g),
-        other => XmlNode::new("value")
-            .with_attr("sort", other.sort().name())
-            .with_text(&other.render()),
+        other => {
+            XmlNode::new("value").with_attr("sort", other.sort().name()).with_text(&other.render())
+        }
     }
 }
 
@@ -445,11 +439,8 @@ fn parse_gene(node: &XmlNode) -> Result<Gene> {
         builder = builder.name(name);
     }
     if let Some(table) = node.attr("codeTable") {
-        builder = builder.code_table(
-            table
-                .parse()
-                .map_err(|_| GenAlgError::Other("bad codeTable".into()))?,
-        );
+        builder = builder
+            .code_table(table.parse().map_err(|_| GenAlgError::Other("bad codeTable".into()))?);
     }
     builder = builder.sequence(DnaSeq::from_text(&node.required_child("sequence")?.text)?);
     for exon in node.children_named("exon") {
@@ -584,8 +575,7 @@ fn genome_node(g: &Genome) -> XmlNode {
 }
 
 fn parse_genome(node: &XmlNode) -> Result<Genome> {
-    let taxonomy: Vec<String> =
-        node.children_named("taxon").map(|t| t.text.clone()).collect();
+    let taxonomy: Vec<String> = node.children_named("taxon").map(|t| t.text.clone()).collect();
     let lineage: Vec<&str> = taxonomy.iter().map(String::as_str).collect();
     let mut g = Genome::new(node.required_attr("organism")?).with_taxonomy(&lineage);
     for c in node.children_named("chromosome") {

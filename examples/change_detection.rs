@@ -26,12 +26,9 @@ fn main() {
     // --- The grid itself ------------------------------------------------------
     println!("Figure 2 — change-detection technique per (capability × representation):\n");
     println!("{:<14} {:<14} {:<22} {:<22}", "", "Relational", "Flat file", "Hierarchical");
-    for cap in [
-        Capability::Active,
-        Capability::Logged,
-        Capability::Queryable,
-        Capability::NonQueryable,
-    ] {
+    for cap in
+        [Capability::Active, Capability::Logged, Capability::Queryable, Capability::NonQueryable]
+    {
         let cell = |r: Representation| {
             pick_strategy(cap, r)
                 .map(|s| format!("{s:?}"))
@@ -106,14 +103,8 @@ fn main() {
     println!("  id          : {}", d.id);
     println!("  item        : {}", d.accession);
     println!("  kind        : {:?}", d.kind);
-    println!(
-        "  a priori    : {}",
-        d.before.as_ref().map_or("—".into(), |r| r.sequence.to_text())
-    );
-    println!(
-        "  a posteriori: {}",
-        d.after.as_ref().map_or("—".into(), |r| r.sequence.to_text())
-    );
+    println!("  a priori    : {}", d.before.as_ref().map_or("—".into(), |r| r.sequence.to_text()));
+    println!("  a posteriori: {}", d.after.as_ref().map_or("—".into(), |r| r.sequence.to_text()));
     println!("  timestamp   : {}", d.timestamp);
 
     println!(

@@ -51,30 +51,20 @@ fn main() {
 
     // cut_sites : dna × restriction_enzyme → int
     algebra
-        .register_op(
-            "cut_sites",
-            vec![SortId::dna(), enzyme_sort.clone()],
-            SortId::int(),
-            |args| {
-                let seq = args[0].as_dna().expect("sort-checked");
-                let enz = args[1].as_custom::<Enzyme>().expect("sort-checked");
-                Ok(Value::Int(seq.find_all(&enz.site).len() as i64))
-            },
-        )
+        .register_op("cut_sites", vec![SortId::dna(), enzyme_sort.clone()], SortId::int(), |args| {
+            let seq = args[0].as_dna().expect("sort-checked");
+            let enz = args[1].as_custom::<Enzyme>().expect("sort-checked");
+            Ok(Value::Int(seq.find_all(&enz.site).len() as i64))
+        })
         .expect("fresh operation name");
 
     // digests : dna × restriction_enzyme → bool (does it cut at all?)
     algebra
-        .register_op(
-            "digests",
-            vec![SortId::dna(), enzyme_sort.clone()],
-            SortId::bool(),
-            |args| {
-                let seq = args[0].as_dna().expect("sort-checked");
-                let enz = args[1].as_custom::<Enzyme>().expect("sort-checked");
-                Ok(Value::Bool(seq.contains(&enz.site)))
-            },
-        )
+        .register_op("digests", vec![SortId::dna(), enzyme_sort.clone()], SortId::bool(), |args| {
+            let seq = args[0].as_dna().expect("sort-checked");
+            let enz = args[1].as_custom::<Enzyme>().expect("sort-checked");
+            Ok(Value::Bool(seq.contains(&enz.site)))
+        })
         .expect("fresh operation name");
 
     println!(
@@ -91,18 +81,12 @@ fn main() {
     let term = Term::apply(
         "cut_sites",
         vec![
-            Term::apply(
-                "reverse_complement",
-                vec![Term::constant(Value::Dna(plasmid.clone()))],
-            ),
+            Term::apply("reverse_complement", vec![Term::constant(Value::Dna(plasmid.clone()))]),
             Term::constant(ecori.clone()),
         ],
     );
     println!("term           : {term}");
-    println!(
-        "term sort      : {}",
-        term.sort(algebra.signature()).expect("well-sorted")
-    );
+    println!("term sort      : {}", term.sort(algebra.signature()).expect("well-sorted"));
     println!("evaluates to   : {}", algebra.eval(&term).expect("runs").render());
     // EcoRI's site is palindromic, so both strands agree:
     let fwd = Term::apply(

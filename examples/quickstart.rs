@@ -17,9 +17,7 @@ fn main() {
     // --- 1. Genomic data types --------------------------------------------
     let gene = Gene::builder("demoA")
         .name("demonstration kinase")
-        .sequence(
-            DnaSeq::from_text("ATGGCCTTTAAGGTAACCGGGTTTCACTGA").expect("valid DNA text"),
-        )
+        .sequence(DnaSeq::from_text("ATGGCCTTTAAGGTAACCGGGTTTCACTGA").expect("valid DNA text"))
         .exon(0, 12)
         .exon(21, 30)
         .build()
@@ -69,10 +67,7 @@ fn main() {
 
     // --- 5. Similarity: the resembles predicate -----------------------------
     let variant = DnaSeq::from_text("ATGGCATTTAAGGTAACCGGGTTTCACTGA").expect("valid");
-    println!(
-        "\nresembles(variant, 90% id, 90% cover) = {}",
-        resembles(seq, &variant, 0.9, 0.9)
-    );
+    println!("\nresembles(variant, 90% id, 90% cover) = {}", resembles(seq, &variant, 0.9, 0.9));
     let aligned = global_align(
         seq.to_text().as_bytes(),
         variant.to_text().as_bytes(),

@@ -1,0 +1,662 @@
+//! Offline shim for `proptest`: the strategy combinators, `proptest!` macro,
+//! and assertion macros the workspace's property tests use.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case panics with the generated inputs left to
+//!   the assertion message;
+//! - 64 cases per property by default (configurable via `ProptestConfig`);
+//! - the RNG is seeded from the property's name, so failures reproduce
+//!   deterministically across runs;
+//! - string strategies support only the character-class subset of regex
+//!   actually used here: concatenations of `[class]{lo,hi}` groups.
+
+pub mod test_runner {
+    /// Per-property configuration (the `cases` knob is the only one honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator seeded from the property name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name gives a stable, well-mixed seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform signed value in `[lo, hi]` over an i128 span.
+        pub fn in_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u128 + 1;
+            lo + (self.next_u64() as u128 % span) as i128
+        }
+    }
+
+    /// Drives one property: owns the RNG and the case counter.
+    pub struct TestRunner {
+        rng: TestRng,
+        pub cases: u32,
+    }
+
+    impl TestRunner {
+        pub fn new(name: &str, config: &ProptestConfig) -> Self {
+            TestRunner { rng: TestRng::from_name(name), cases: config.cases }
+        }
+
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy, the currency of `prop_oneof!`.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    // --- numeric range strategies ----------------------------------------------
+
+    macro_rules! impl_int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.in_i128(self.start as i128, self.end as i128 - 1) as $ty
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.in_i128(*self.start() as i128, *self.end() as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    // --- tuples -----------------------------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+    // --- string (character-class regex subset) ----------------------------------
+
+    /// One `[class]{lo,hi}` group: candidate chars plus a length range.
+    struct ClassGroup {
+        chars: Vec<char>,
+        lo: usize,
+        hi: usize,
+    }
+
+    fn parse_class_pattern(pattern: &str) -> Vec<ClassGroup> {
+        let mut chars = pattern.chars().peekable();
+        let mut groups = Vec::new();
+        while let Some(c) = chars.next() {
+            let mut set = Vec::new();
+            if c == '[' {
+                loop {
+                    let item = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    match item {
+                        ']' => break,
+                        '\\' => {
+                            let esc = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                            set.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                other => other,
+                            });
+                        }
+                        first => {
+                            // Possible range `a-z`; a trailing `-` is literal.
+                            if chars.peek() == Some(&'-') {
+                                let mut ahead = chars.clone();
+                                ahead.next();
+                                match ahead.peek() {
+                                    Some(&']') | None => set.push(first),
+                                    Some(&last) => {
+                                        chars.next();
+                                        chars.next();
+                                        assert!(
+                                            first <= last,
+                                            "inverted range {first}-{last} in {pattern:?}"
+                                        );
+                                        set.extend(first..=last);
+                                    }
+                                }
+                            } else {
+                                set.push(first);
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Bare literal character acts as a singleton class.
+                set.push(c);
+            }
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad repeat lower bound"),
+                        b.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!set.is_empty(), "empty character class in {pattern:?}");
+            assert!(lo <= hi, "inverted repeat bounds in {pattern:?}");
+            groups.push(ClassGroup { chars: set, lo, hi });
+        }
+        groups
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for group in parse_class_pattern(self) {
+                let len = group.lo + rng.below((group.hi - group.lo + 1) as u64) as usize;
+                for _ in 0..len {
+                    out.push(group.chars[rng.below(group.chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    // --- any::<T>() --------------------------------------------------------------
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mostly uniform bit patterns (hits subnormals and NaNs), with the
+            // headline special values injected often enough to matter.
+            if rng.below(16) == 0 {
+                const SPECIALS: [f64; 6] =
+                    [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, 1.0];
+                SPECIALS[rng.below(SPECIALS.len() as u64) as usize]
+            } else {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text debuggable.
+            (0x20u8 + rng.below(0x5f) as u8) as char
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for collection strategies (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed pool of values.
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs a non-empty pool");
+        Select { items }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs each property `config.cases` times with freshly generated inputs.
+/// No shrinking: the panic message carries whatever the assertion prints.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(stringify!($name), &config);
+            for _ in 0..runner.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&$strat, runner.rng());
+                )+
+                // One closure per case so `prop_assume!` can skip via `return`.
+                // Zero-arg + move: the captures are already fully typed above.
+                #[allow(clippy::redundant_closure_call)]
+                (move || $body)();
+            }
+        }
+    )*};
+}
+
+/// Like `assert!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Value {
+        Unit,
+        Flag(bool),
+        Num(i64),
+        Text(String),
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Unit),
+            any::<bool>().prop_map(Value::Flag),
+            (-50i64..50).prop_map(Value::Num),
+            "[a-c]{0,5}".prop_map(Value::Text),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -5i64..=5, z in 0u8..=255) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            let _ = z;
+        }
+
+        #[test]
+        fn string_pattern_respected(s in "[A-Z]{1,3}[0-9]{3,6}") {
+            let letters = s.chars().take_while(|c| c.is_ascii_uppercase()).count();
+            prop_assert!((1..=3).contains(&letters), "{s:?}");
+            let digits = s.len() - letters;
+            prop_assert!((3..=6).contains(&digits), "{s:?}");
+            prop_assert!(s[letters..].chars().all(|c| c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn escapes_and_ranges(s in "[a-z\\-\\n]{0,20}") {
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '-' || c == '\n'));
+        }
+
+        #[test]
+        fn vec_and_select(v in proptest::collection::vec(
+            proptest::sample::select(vec!['A', 'C', 'G', 'T']), 1..30))
+        {
+            prop_assert!(!v.is_empty() && v.len() < 30);
+            prop_assert!(v.iter().all(|c| "ACGT".contains(*c)));
+        }
+
+        #[test]
+        fn oneof_and_flat_map(
+            val in arb_value(),
+            pair in (1usize..4).prop_flat_map(|n| {
+                proptest::collection::vec(Just(n), n..n + 1).prop_map(move |v| (n, v))
+            }),
+        ) {
+            match val {
+                Value::Num(n) => prop_assert!((-50..50).contains(&n)),
+                Value::Text(t) => prop_assert!(t.len() <= 5),
+                Value::Unit | Value::Flag(_) => {}
+            }
+            prop_assert_eq!(pair.1.len(), pair.0);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn config_cases_honored() {
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let config = ProptestConfig::with_cases(7);
+        let runner = TestRunner::new("config_cases_honored", &config);
+        assert_eq!(runner.cases, 7);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        let mut c = TestRng::from_name("other");
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        assert_eq!(xs, (0..4).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert_ne!(xs, (0..4).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline shim for `rand` 0.8: `StdRng`, the `Rng`/`SeedableRng` traits,
+//! and `SliceRandom`, implemented over a splitmix64 generator.
+//!
+//! Deterministic per seed (like the real `StdRng`) but a *different
+//! stream*: callers may only rely on reproducibility, not on matching
+//! rand 0.8's output.
+
+/// Raw 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform float in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// High-level sampling methods (the subset of rand 0.8's `Rng` in use).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`Range` or `RangeInclusive`). Generic over
+    /// the output type like rand 0.8, so integer literals infer from context.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniform value of a primitive type (`rng.gen::<f64>()`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain (floats over `[0,1)`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_f64() as f32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`], generic over the sampled type so
+/// type inference flows from the call site into the range's literals.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types samplable uniformly from a range. The single blanket impl of
+/// [`SampleRange`] over this trait is what lets `rng.gen_range(0..4)` infer
+/// its literals from how the result is used (e.g. as a slice index).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+/// Random helpers on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// A uniformly chosen element, `None` on an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.next_u64() as usize % self.len())
+        }
+    }
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.next_u64() as usize % (i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Named RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (splitmix64 underneath).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Avoid the all-zeros fixed point and decorrelate small seeds.
+            StdRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Vigna); passes BigCrush, one add + two xorshifts.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// `rand::seq` module mirror.
+pub mod seq {
+    pub use super::SliceRandom;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let empty: Vec<u8> = vec![];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1, 2, 3];
+        assert!(items.contains(items.choose(&mut rng).unwrap()));
+        let mut data: Vec<u32> = (0..50).collect();
+        let orig = data.clone();
+        data.shuffle(&mut rng);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle is a permutation");
+        assert_ne!(data, orig, "50 elements virtually never shuffle to identity");
+    }
+}

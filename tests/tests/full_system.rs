@@ -43,12 +43,7 @@ fn populated_warehouse(seed: u64, per_source: usize) -> Warehouse {
 }
 
 fn entity_count(w: &Warehouse) -> i64 {
-    w.db()
-        .execute("SELECT count(*) FROM public.sequences")
-        .unwrap()
-        .rows[0][0]
-        .as_int()
-        .unwrap()
+    w.db().execute("SELECT count(*) FROM public.sequences").unwrap().rows[0][0].as_int().unwrap()
 }
 
 #[test]
@@ -76,9 +71,7 @@ fn repeated_incremental_refresh_matches_full_reload() {
 #[test]
 fn kmer_index_stays_consistent_through_refreshes() {
     let mut w = populated_warehouse(77, 40);
-    w.adapter()
-        .attach_kmer_index(w.db(), "public.sequences", "seq", 8)
-        .unwrap();
+    w.adapter().attach_kmer_index(w.db(), "public.sequences", "seq", 8).unwrap();
 
     let probe = |w: &Warehouse, pattern: &str| -> Vec<String> {
         w.db()
@@ -95,17 +88,16 @@ fn kmer_index_stays_consistent_through_refreshes() {
     // The plan uses the UDI.
     let plan = w
         .db()
-        .execute("EXPLAIN SELECT accession FROM public.sequences WHERE contains(seq, 'ATGCATGCATGC')")
+        .execute(
+            "EXPLAIN SELECT accession FROM public.sequences WHERE contains(seq, 'ATGCATGCATGC')",
+        )
         .unwrap()
         .explain
         .unwrap();
     assert!(plan.contains("UdiScan"), "{plan}");
 
     // Pick a real pattern, then churn and verify results track a fresh scan.
-    let sample = w
-        .db()
-        .execute("SELECT seq FROM public.sequences LIMIT 1")
-        .unwrap();
+    let sample = w.db().execute("SELECT seq FROM public.sequences LIMIT 1").unwrap();
     let value = w.adapter().to_value(&sample.rows[0][0]).unwrap();
     let genalg::core::algebra::Value::Dna(seq) = value else { panic!() };
     let pattern = seq.subseq(10, 22).unwrap().to_text();
@@ -180,8 +172,11 @@ fn durable_warehouse_full_lifecycle() {
             Capability::NonQueryable,
         ))
         .unwrap();
-        let mut generator =
-            RepoGenerator::new(GeneratorConfig { seed: 500, error_rate: 0.0, ..Default::default() });
+        let mut generator = RepoGenerator::new(GeneratorConfig {
+            seed: 500,
+            error_rate: 0.0,
+            ..Default::default()
+        });
         for rec in generator.records(25) {
             w.source_mut("s1").unwrap().apply(ChangeKind::Insert, rec).unwrap();
         }

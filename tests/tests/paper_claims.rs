@@ -42,10 +42,7 @@ fn c1_c3_single_access_point() {
     let w = warehouse_with_data();
     // One SQL interface answers over data that arrived from a flat-file
     // dump and a relational source alike.
-    let rs = w
-        .db()
-        .execute("SELECT count(*), sum(n_sources) FROM public.sequences")
-        .unwrap();
+    let rs = w.db().execute("SELECT count(*), sum(n_sources) FROM public.sequences").unwrap();
     assert_eq!(rs.rows[0][0].as_int(), Some(45)); // 30 + 30 − 15 shared
     assert_eq!(rs.rows[0][1].as_int(), Some(60));
 }
@@ -61,12 +58,10 @@ fn c2_standard_representation() {
     use genalg::etl::formats::{embl, fasta, genbank, hier};
     let via_genbank = &genbank::parse(&genbank::write(std::slice::from_ref(&rec))).unwrap()[0];
     let via_embl = &embl::parse(&embl::write(std::slice::from_ref(&rec))).unwrap()[0];
-    let via_hier =
-        &hier::to_records(&hier::parse(&hier::write(&hier::from_records(std::slice::from_ref(
-            &rec,
-        ))))
-        .unwrap())
-        .unwrap()[0];
+    let via_hier = &hier::to_records(
+        &hier::parse(&hier::write(&hier::from_records(std::slice::from_ref(&rec)))).unwrap(),
+    )
+    .unwrap()[0];
     assert!(via_genbank.same_content(&rec));
     assert!(via_embl.same_content(&rec));
     assert!(via_hier.same_content(&rec));
@@ -109,10 +104,7 @@ fn c6_new_query_kinds() {
 #[test]
 fn c7_results_feed_further_computation() {
     let w = warehouse_with_data();
-    let rs = w
-        .db()
-        .execute("SELECT seq FROM public.sequences LIMIT 1")
-        .unwrap();
+    let rs = w.db().execute("SELECT seq FROM public.sequences LIMIT 1").unwrap();
     let value = w.adapter().to_value(&rs.rows[0][0]).unwrap();
     let genalg::core::algebra::Value::Dna(seq) = value else { panic!("expected DNA") };
     // The result is a first-class GDT: run more algebra on it.
@@ -124,10 +116,7 @@ fn c7_results_feed_further_computation() {
 #[test]
 fn c8_reconciliation() {
     let w = warehouse_with_data();
-    let rs = w
-        .db()
-        .execute("SELECT count(*) FROM public.sequences WHERE n_sources = 2")
-        .unwrap();
+    let rs = w.db().execute("SELECT count(*) FROM public.sequences WHERE n_sources = 2").unwrap();
     assert_eq!(rs.rows[0][0].as_int(), Some(15), "shared accessions merged, not duplicated");
 }
 
@@ -135,13 +124,11 @@ fn c8_reconciliation() {
 #[test]
 fn c9_uncertainty_preserved() {
     let w = warehouse_with_data();
-    let disputed = w
-        .db()
-        .execute("SELECT count(*) FROM public.sequences WHERE disputed = true")
-        .unwrap()
-        .rows[0][0]
-        .as_int()
-        .unwrap();
+    let disputed =
+        w.db().execute("SELECT count(*) FROM public.sequences WHERE disputed = true").unwrap().rows
+            [0][0]
+            .as_int()
+            .unwrap();
     assert!(disputed > 0, "the 40% conflict rate must yield disputed entries");
     let rs = w
         .db()
@@ -175,14 +162,9 @@ fn c10_cross_source_combination() {
 fn c11_user_annotations() {
     let w = warehouse_with_data();
     let alice = Role::User("alice".into());
+    w.db().execute_as("CREATE TABLE annotations (accession TEXT, note TEXT)", &alice).unwrap();
     w.db()
-        .execute_as("CREATE TABLE annotations (accession TEXT, note TEXT)", &alice)
-        .unwrap();
-    w.db()
-        .execute_as(
-            "INSERT INTO annotations VALUES ('SYN000001', 'validated in our lab')",
-            &alice,
-        )
+        .execute_as("INSERT INTO annotations VALUES ('SYN000001', 'validated in our lab')", &alice)
         .unwrap();
     let rs = w
         .db()
@@ -204,15 +186,12 @@ fn c12_high_level_operations() {
     db.execute("CREATE TABLE genes (id INT, g gene)").unwrap();
     let mut generator = RepoGenerator::new(GeneratorConfig { seed: 5, ..Default::default() });
     let gene = generator.gene_with_structure("hl-gene", 3, 30);
-    let datum = adapter
-        .to_datum(&genalg::core::algebra::Value::Gene(Box::new(gene)))
-        .unwrap();
+    let datum = adapter.to_datum(&genalg::core::algebra::Value::Gene(Box::new(gene))).unwrap();
     db.register_scalar("g0", Arc::new(move |_| Ok(datum.clone()))).unwrap();
     db.execute("INSERT INTO genes VALUES (1, g0())").unwrap();
     // The paper's flagship composition, in SQL, on a stored gene.
-    let rs = db
-        .execute("SELECT protein_sequence(translate(splice(transcribe(g)))) FROM genes")
-        .unwrap();
+    let rs =
+        db.execute("SELECT protein_sequence(translate(splice(transcribe(g)))) FROM genes").unwrap();
     let v = adapter.to_value(&rs.rows[0][0]).unwrap();
     assert!(v.render().starts_with('M'));
 }
@@ -225,10 +204,8 @@ fn c13_self_generated_data() {
     let alice = Role::User("alice".into());
     w.db().execute_as("CREATE TABLE myseqs (label TEXT, s dna)", &alice).unwrap();
     // Alice stores her own experimental sequence…
-    let sample = w
-        .db()
-        .execute("SELECT seq FROM public.sequences WHERE accession = 'SYN000002'")
-        .unwrap();
+    let sample =
+        w.db().execute("SELECT seq FROM public.sequences WHERE accession = 'SYN000002'").unwrap();
     let v = w.adapter().to_value(&sample.rows[0][0]).unwrap();
     let text = v.render();
     w.db()
@@ -243,10 +220,7 @@ fn c13_self_generated_data() {
             &alice,
         )
         .unwrap();
-    assert!(rs
-        .rows
-        .iter()
-        .any(|r| r[0].as_text() == Some("SYN000002")));
+    assert!(rs.rows.iter().any(|r| r[0].as_text() == Some("SYN000002")));
 }
 
 /// C14: user-defined evaluation functions over both kinds of data.
@@ -288,12 +262,8 @@ fn c15_archival_and_durability() {
     // even though the (simulated) company behind a source folded — no
     // refresh ever deletes data unless the source explicitly retracts it.
     let w = warehouse_with_data();
-    let before = w
-        .db()
-        .execute("SELECT count(*) FROM public.sequences")
-        .unwrap()
-        .rows[0][0]
-        .clone();
+    let before =
+        w.db().execute("SELECT count(*) FROM public.sequences").unwrap().rows[0][0].clone();
     // (dropping the Warehouse's source handle = the repository vanishing;
     // the loaded data remains queryable)
     assert_eq!(before.as_int(), Some(45));
@@ -332,10 +302,8 @@ fn mediator_lacks_reconciliation_and_uncertainty() {
     let mut generator = RepoGenerator::new(GeneratorConfig { seed: 33, ..Default::default() });
     let (a, b) = generator.overlapping_pair(30, 0.5, 0.4);
     let mut med = Mediator::new();
-    let mut s1 =
-        SimulatedRepository::new("gb", Representation::FlatFile, Capability::Queryable);
-    let mut s2 =
-        SimulatedRepository::new("em", Representation::Relational, Capability::Queryable);
+    let mut s1 = SimulatedRepository::new("gb", Representation::FlatFile, Capability::Queryable);
+    let mut s2 = SimulatedRepository::new("em", Representation::Relational, Capability::Queryable);
     for rec in a {
         s1.apply(ChangeKind::Insert, rec).unwrap();
     }
@@ -370,10 +338,7 @@ fn ontology_grounds_the_algebra() {
         ontology.resolve("pre-mRNA").unwrap(),
         Resolution::Unique(ConceptId::new("primary-transcript"))
     );
-    assert!(matches!(
-        ontology.resolve("translation").unwrap(),
-        Resolution::Ambiguous(_)
-    ));
+    assert!(matches!(ontology.resolve("translation").unwrap(), Resolution::Ambiguous(_)));
 }
 
 /// Reconciliation by similarity resolves cross-source naming differences

@@ -42,7 +42,9 @@ fn bench_queries(c: &mut Criterion) {
             format!("SELECT accession FROM public.sequences WHERE contains(seq, '{present}')");
         b.iter(|| warehouse.db().execute(&sql).unwrap().len())
     });
-    group.bench_function("mediator_census", |b| b.iter(|| mediator.count_by_organism().len()));
+    group.bench_function("mediator_census", |b| {
+        b.iter(|| mediator.count_by_organism().expect("sources reachable").len())
+    });
     group.bench_function("warehouse_census", |b| {
         b.iter(|| {
             warehouse

@@ -67,7 +67,7 @@ fn bench_cells(c: &mut Criterion) {
                 mutate(&mut repo);
                 (repo, monitor)
             },
-            |(repo, mut monitor)| monitor.poll(&repo).len(),
+            |(repo, mut monitor)| monitor.poll(&repo).expect("snapshot").len(),
             BatchSize::PerIteration,
         )
     });

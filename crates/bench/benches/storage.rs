@@ -12,7 +12,9 @@ use genalg::unidb::index::btree::BTreeIndex;
 use genalg::unidb::storage::buffer::BufferPool;
 use genalg::unidb::storage::heap::HeapFile;
 use genalg::unidb::storage::store::MemStore;
-use genalg::unidb::Datum;
+use genalg::unidb::{Database, Datum, FaultVfs};
+use std::path::Path;
+use std::sync::Arc;
 
 fn bench_encodings(c: &mut Criterion) {
     let mut generator = RepoGenerator::new(GeneratorConfig { seed: 1, ..Default::default() });
@@ -128,5 +130,58 @@ fn bench_btree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encodings, bench_gene_codec, bench_heap, bench_btree);
+/// Build a durable database whose WAL holds `n` logged inserts (no
+/// checkpoint), entirely on an in-memory fault-free VFS.
+fn db_with_wal(vfs: &FaultVfs, n: usize) -> genalg::unidb::DbResult<()> {
+    let db = Database::open_with_vfs(Path::new("/replaybench"), Arc::new(vfs.clone()))?;
+    db.recover()?;
+    db.execute_as("CREATE TABLE public.t (id INT, val TEXT)", &genalg::unidb::Role::Maintainer)?;
+    for i in 0..n {
+        db.execute_as(
+            &format!("INSERT INTO public.t VALUES ({i}, 'r{i}')"),
+            &genalg::unidb::Role::Maintainer,
+        )?;
+    }
+    Ok(())
+}
+
+/// Recovery cost as a function of WAL length: reopen + replay, no faults.
+/// Prints one JSON document so CI can track replay latency over time.
+fn bench_wal_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/wal_replay");
+    group.sample_size(10);
+    let mut json_rows = Vec::new();
+    for n in [100usize, 1_000, 4_000] {
+        let vfs = FaultVfs::reliable();
+        db_with_wal(&vfs, n).expect("reliable VFS");
+        group.bench_with_input(BenchmarkId::new("open_and_recover", n), &n, |b, _| {
+            b.iter(|| {
+                let db = Database::open_with_vfs(Path::new("/replaybench"), Arc::new(vfs.clone()))
+                    .unwrap();
+                db.recover().unwrap();
+                db
+            })
+        });
+        // One timed sample outside criterion for the JSON summary.
+        let start = std::time::Instant::now();
+        let db = Database::open_with_vfs(Path::new("/replaybench"), Arc::new(vfs.clone())).unwrap();
+        db.recover().unwrap();
+        let micros = start.elapsed().as_micros();
+        json_rows.push(format!("{{\"wal_records\": {n}, \"replay_us\": {micros}}}"));
+    }
+    group.finish();
+    println!(
+        "{{\"bench\": \"wal_replay\", \"unit\": \"us\", \"points\": [{}]}}",
+        json_rows.join(", ")
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_encodings,
+    bench_gene_codec,
+    bench_heap,
+    bench_btree,
+    bench_wal_replay
+);
 criterion_main!(benches);

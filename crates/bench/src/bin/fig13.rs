@@ -90,7 +90,7 @@ fn main() {
             ),
             (
                 "organism census",
-                Box::new(|| mediator.count_by_organism().len()),
+                Box::new(|| mediator.count_by_organism().expect("sources reachable").len()),
                 Box::new(|| {
                     db.execute("SELECT organism, count(*) FROM public.sequences GROUP BY organism")
                         .unwrap()

@@ -90,7 +90,7 @@ fn main() {
                 let n = match &mut monitor {
                     M::Trigger(m) => m.drain().len(),
                     M::Log(m) => m.poll(&repo).expect("logged").len(),
-                    M::Poll(m) => m.poll(&repo).len(),
+                    M::Poll(m) => m.poll(&repo).expect("snapshot").len(),
                     M::Dump(m) => m.poll(&repo).expect("dump parses").0.len(),
                 };
                 detect_time += start.elapsed();

@@ -35,8 +35,18 @@ pub enum GenAlgError {
     UnboundVariable(String),
     /// A compact encoding could not be decoded.
     Corrupt(String),
+    /// A transient failure talking to an external source (timeout, dropped
+    /// connection). Retrying the same request may succeed.
+    Transient(String),
     /// Any other domain error with a human-readable explanation.
     Other(String),
+}
+
+impl GenAlgError {
+    /// True for errors a caller may reasonably retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GenAlgError::Transient(_))
+    }
 }
 
 impl fmt::Display for GenAlgError {
@@ -62,6 +72,7 @@ impl fmt::Display for GenAlgError {
             GenAlgError::UnknownSort(name) => write!(f, "unknown sort {name:?}"),
             GenAlgError::UnboundVariable(name) => write!(f, "unbound variable {name:?}"),
             GenAlgError::Corrupt(msg) => write!(f, "corrupt compact encoding: {msg}"),
+            GenAlgError::Transient(msg) => write!(f, "transient source error: {msg}"),
             GenAlgError::Other(msg) => write!(f, "{msg}"),
         }
     }

@@ -29,14 +29,16 @@ impl PollMonitor {
         PollMonitor { last: Vec::new(), next_id: 1, polls: 0, deltas_seen: 0 }
     }
 
-    /// Re-query the source and diff against the previous snapshot.
-    pub fn poll(&mut self, source: &SimulatedRepository) -> Vec<Delta> {
+    /// Re-query the source and diff against the previous snapshot. A failed
+    /// snapshot leaves the monitor's state untouched, so the next successful
+    /// poll still diffs against the last *good* snapshot — no deltas lost.
+    pub fn poll(&mut self, source: &SimulatedRepository) -> Result<Vec<Delta>> {
         self.polls += 1;
-        let current = source.snapshot();
+        let current = source.snapshot()?;
         let deltas = snapshot_differential(&self.last, &current, &mut self.next_id, source.clock());
         self.last = current;
         self.deltas_seen += deltas.len() as u64;
-        deltas
+        Ok(deltas)
     }
 
     /// `(polls, deltas seen)` counters.
@@ -61,10 +63,12 @@ impl DumpMonitor {
         DumpMonitor { last_dump: String::new(), next_id: 1, polls: 0 }
     }
 
-    /// Fetch the next periodic dump and compare with the previous one.
+    /// Fetch the next periodic dump and compare with the previous one. Like
+    /// [`PollMonitor::poll`], a failed fetch leaves the previous dump in
+    /// place for the next attempt.
     pub fn poll(&mut self, source: &SimulatedRepository) -> Result<(Vec<Delta>, usize)> {
         self.polls += 1;
-        let dump = source.dump();
+        let dump = source.dump()?;
         let result = match source.representation() {
             Representation::FlatFile | Representation::Relational => lcs::flatfile_deltas(
                 &self.last_dump,
@@ -147,10 +151,10 @@ mod tests {
         let mut repo =
             SimulatedRepository::new("q", Representation::Relational, Capability::Queryable);
         let mut monitor = PollMonitor::new();
-        assert!(monitor.poll(&repo).is_empty());
+        assert!(monitor.poll(&repo).unwrap().is_empty());
 
         repo.apply(ChangeKind::Insert, rec("A", "ATGC")).unwrap();
-        let d = monitor.poll(&repo);
+        let d = monitor.poll(&repo).unwrap();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].kind, ChangeKind::Insert);
 
@@ -159,7 +163,7 @@ mod tests {
         for seq in ["ATGCA", "ATGCAT", "ATGCATG"] {
             repo.apply(ChangeKind::Update, rec("A", seq)).unwrap();
         }
-        let d = monitor.poll(&repo);
+        let d = monitor.poll(&repo).unwrap();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].kind, ChangeKind::Update);
         assert_eq!(
@@ -171,7 +175,7 @@ mod tests {
         // Insert-then-delete between polls is invisible.
         repo.apply(ChangeKind::Insert, rec("GHOST", "GG")).unwrap();
         repo.apply(ChangeKind::Delete, rec("GHOST", "GG")).unwrap();
-        assert!(monitor.poll(&repo).is_empty());
+        assert!(monitor.poll(&repo).unwrap().is_empty());
         assert_eq!(monitor.stats().0, 4);
     }
 

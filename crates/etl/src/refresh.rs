@@ -34,8 +34,48 @@ struct SourceEntry {
     strategy: Strategy,
 }
 
+/// Bounded-backoff retry policy for talking to flaky sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per source per refresh (1 = no retry).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub base_backoff: std::time::Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: std::time::Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail fast.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: std::time::Duration::ZERO,
+            max_backoff: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Backoff before the given (1-based) retry attempt.
+    fn backoff(&self, attempt: u32) -> std::time::Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        exp.min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 ms → 2 ms backoff — enough to ride out injected
+    /// transients in tests without slowing a healthy refresh measurably.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(20),
+        }
+    }
+}
+
 /// Outcome of one refresh round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RefreshReport {
     /// Deltas collected across all sources.
     pub deltas: usize,
@@ -43,6 +83,10 @@ pub struct RefreshReport {
     pub upserted: usize,
     /// Entities removed entirely.
     pub deleted: usize,
+    /// Sources whose monitor still failed after all retry attempts. Their
+    /// pending changes are *not* lost: each monitor keeps its cursor /
+    /// snapshot, so the next refresh picks them up.
+    pub failed_sources: Vec<String>,
 }
 
 /// The Unifying Database plus its ETL machinery.
@@ -138,19 +182,56 @@ impl Warehouse {
 
     /// Manual refresh: collect deltas from every monitor, fold them into
     /// staging, re-reconcile only the affected accessions, and upsert.
+    /// Flaky sources are retried with the default [`RetryPolicy`].
     pub fn refresh(&mut self) -> Result<RefreshReport> {
+        self.refresh_with_retry(&RetryPolicy::default())
+    }
+
+    /// Refresh with an explicit retry policy. One source exhausting its
+    /// attempts does not abort the round: deltas already collected from
+    /// healthy sources are still applied, and the stragglers are listed in
+    /// [`RefreshReport::failed_sources`]. A failed monitor keeps its cursor
+    /// / last-good snapshot, so nothing is skipped on the next refresh.
+    pub fn refresh_with_retry(&mut self, policy: &RetryPolicy) -> Result<RefreshReport> {
         let mut deltas: Vec<(String, Delta)> = Vec::new();
+        let mut failed_sources = Vec::new();
         for entry in &mut self.sources {
             let source_name = entry.repo.name().to_string();
-            let collected: Vec<Delta> = match &mut entry.monitor {
-                MonitorKind::Trigger(m) => m.drain(),
-                MonitorKind::Log(m) => m.poll(&entry.repo)?,
-                MonitorKind::Poll(m) => m.poll(&entry.repo),
-                MonitorKind::Dump(m) => m.poll(&entry.repo)?.0,
-            };
-            deltas.extend(collected.into_iter().map(|d| (source_name.clone(), d)));
+            let mut outcome = None;
+            for attempt in 1..=policy.max_attempts.max(1) {
+                let result: Result<Vec<Delta>> = match &mut entry.monitor {
+                    MonitorKind::Trigger(m) => Ok(m.drain()),
+                    MonitorKind::Log(m) => m.poll(&entry.repo),
+                    MonitorKind::Poll(m) => m.poll(&entry.repo),
+                    MonitorKind::Dump(m) => m.poll(&entry.repo).map(|(d, _)| d),
+                };
+                match result {
+                    Ok(collected) => {
+                        outcome = Some(collected);
+                        break;
+                    }
+                    // Non-transient failures (a parse bug, a capability
+                    // mismatch) won't heal by waiting; surface them.
+                    Err(e) if !e.is_transient() => return Err(e),
+                    Err(_) if attempt < policy.max_attempts => {
+                        let backoff = policy.backoff(attempt);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                    }
+                    Err(_) => {}
+                }
+            }
+            match outcome {
+                Some(collected) => {
+                    deltas.extend(collected.into_iter().map(|d| (source_name.clone(), d)));
+                }
+                None => failed_sources.push(source_name),
+            }
         }
-        self.apply_deltas(deltas)
+        let mut report = self.apply_deltas(deltas)?;
+        report.failed_sources = failed_sources;
+        Ok(report)
     }
 
     fn apply_deltas(&mut self, deltas: Vec<(String, Delta)>) -> Result<RefreshReport> {
@@ -193,7 +274,7 @@ impl Warehouse {
                 upserted += entries.len();
             }
         }
-        Ok(RefreshReport { deltas: n_deltas, upserted, deleted })
+        Ok(RefreshReport { deltas: n_deltas, upserted, deleted, failed_sources: Vec::new() })
     }
 
     /// Expensive alternative: re-read every source completely and rebuild
@@ -204,8 +285,24 @@ impl Warehouse {
         let _ = self.refresh()?;
         self.staging.clear();
         let mut all: Vec<(String, SeqRecord)> = Vec::new();
+        let policy = RetryPolicy::default();
         for entry in &self.sources {
-            for rec in entry.repo.snapshot() {
+            // A full reload *needs* every source; retry with backoff and
+            // give up on the round (not the data) if one stays down.
+            let mut snapshot = None;
+            for attempt in 1..=policy.max_attempts {
+                match entry.repo.snapshot() {
+                    Ok(records) => {
+                        snapshot = Some(records);
+                        break;
+                    }
+                    Err(e) if !e.is_transient() || attempt == policy.max_attempts => {
+                        return Err(e);
+                    }
+                    Err(_) => std::thread::sleep(policy.backoff(attempt)),
+                }
+            }
+            for rec in snapshot.expect("loop breaks with Some or returns Err") {
                 all.push((entry.repo.name().to_string(), rec));
             }
         }
@@ -220,7 +317,7 @@ impl Warehouse {
             loader.delete(&accession).map_err(wrap)?;
         }
         loader.upsert(&entries).map_err(wrap)?;
-        Ok(RefreshReport { deltas: 0, upserted: entries.len(), deleted: 0 })
+        Ok(RefreshReport { deltas: 0, upserted: entries.len(), deleted: 0, failed_sources: vec![] })
     }
 
     /// §5.2 schema evolution: extend the warehouse with derived protein

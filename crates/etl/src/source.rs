@@ -48,6 +48,11 @@ pub struct SimulatedRepository {
     clock: u64,
     latency: Duration,
     requests: AtomicU64,
+    /// Probability that any external request fails transiently (network
+    /// timeouts, rate limits). 0 = perfectly reliable.
+    fail_rate: f64,
+    /// Deterministic RNG state for failure injection (splitmix64).
+    fail_rng: AtomicU64,
 }
 
 impl SimulatedRepository {
@@ -64,12 +69,28 @@ impl SimulatedRepository {
             clock: 0,
             latency: Duration::ZERO,
             requests: AtomicU64::new(0),
+            fail_rate: 0.0,
+            fail_rng: AtomicU64::new(0),
         }
     }
 
     /// Configure a simulated per-request latency (builder style).
     pub fn with_latency(mut self, latency: Duration) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Make a fraction `rate` of external requests fail with
+    /// [`GenAlgError::Transient`], deterministically from `seed` (builder
+    /// style). Failed requests still count toward [`requests_served`], so
+    /// retries are observable.
+    ///
+    /// [`requests_served`]: SimulatedRepository::requests_served
+    pub fn with_transient_failures(mut self, rate: f64, seed: u64) -> Self {
+        self.fail_rate = rate.clamp(0.0, 1.0);
+        // A zero state would make splitmix emit a poor first value; mix the
+        // seed so even seed 0 injects.
+        self.fail_rng = AtomicU64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
         self
     }
 
@@ -105,11 +126,26 @@ impl SimulatedRepository {
         self.clock
     }
 
-    fn charge(&self) {
+    fn charge(&self) -> Result<()> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if !self.latency.is_zero() {
             std::thread::sleep(self.latency);
         }
+        if self.fail_rate > 0.0 {
+            // splitmix64 step on the shared state; deterministic across a
+            // single-threaded monitor loop.
+            let mut x = self.fail_rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            if ((x >> 11) as f64 / ((1u64 << 53) as f64)) < self.fail_rate {
+                return Err(GenAlgError::Transient(format!(
+                    "{}: request timed out (injected)",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
     }
 
     // -- mutation (the repository's own curators) -----------------------------
@@ -169,20 +205,20 @@ impl SimulatedRepository {
 
     /// Full dump in the source's native representation (the "periodic data
     /// dump" every source offers, even non-queryable ones).
-    pub fn dump(&self) -> String {
-        self.charge();
+    pub fn dump(&self) -> Result<String> {
+        self.charge()?;
         let records: Vec<SeqRecord> = self.records.values().cloned().collect();
-        match self.representation {
+        Ok(match self.representation {
             Representation::FlatFile => genbank::write(&records),
             Representation::Hierarchical => hier::write(&hier::from_records(&records)),
             Representation::Relational => relational_dump(&records),
-        }
+        })
     }
 
     /// The parsed view of the current contents (a wrapper's output).
-    pub fn snapshot(&self) -> Vec<SeqRecord> {
-        self.charge();
-        self.records.values().cloned().collect()
+    pub fn snapshot(&self) -> Result<Vec<SeqRecord>> {
+        self.charge()?;
+        Ok(self.records.values().cloned().collect())
     }
 
     /// Point query by accession; requires at least a queryable source.
@@ -193,7 +229,7 @@ impl SimulatedRepository {
                 self.name
             )));
         }
-        self.charge();
+        self.charge()?;
         Ok(self.records.get(accession).cloned())
     }
 
@@ -203,7 +239,7 @@ impl SimulatedRepository {
         if self.capability < Capability::Logged {
             return Err(GenAlgError::Other(format!("{} keeps no inspectable log", self.name)));
         }
-        self.charge();
+        self.charge()?;
         Ok(self.log.iter().filter(|(id, _)| *id > since).cloned().collect())
     }
 
@@ -217,10 +253,10 @@ impl SimulatedRepository {
     }
 
     /// FASTA export (some repositories only publish FASTA).
-    pub fn dump_fasta(&self) -> String {
-        self.charge();
+    pub fn dump_fasta(&self) -> Result<String> {
+        self.charge()?;
         let records: Vec<SeqRecord> = self.records.values().cloned().collect();
-        fasta::write(&records)
+        Ok(fasta::write(&records))
     }
 }
 
@@ -268,7 +304,7 @@ mod tests {
         repo.apply(ChangeKind::Insert, rec("A2", "GGGG")).unwrap();
         repo.apply(ChangeKind::Update, rec("A1", "ATGCAT")).unwrap();
         assert_eq!(repo.len(), 2);
-        let snap = repo.snapshot();
+        let snap = repo.snapshot().unwrap();
         let a1 = snap.iter().find(|r| r.accession == "A1").unwrap();
         assert_eq!(a1.version, 2, "update bumps the version");
         assert_eq!(a1.source, "genbank-sim");
@@ -297,7 +333,7 @@ mod tests {
         let (tx, _rx) = crossbeam::channel::unbounded();
         assert!(nq.subscribe(tx).is_err());
         // But dumps work.
-        assert!(nq.dump().contains("ACGT".to_ascii_lowercase().as_str()));
+        assert!(nq.dump().unwrap().contains("ACGT".to_ascii_lowercase().as_str()));
 
         let q = SimulatedRepository::new("q", Representation::FlatFile, Capability::Queryable);
         assert!(q.fetch("A").unwrap().is_none());
@@ -327,17 +363,17 @@ mod tests {
         ] {
             let mut repo = SimulatedRepository::new("r", repr, Capability::NonQueryable);
             repo.apply(ChangeKind::Insert, rec("D1", "ATGGCC")).unwrap();
-            let dump = repo.dump();
+            let dump = repo.dump().unwrap();
             assert!(dump.contains(check), "{repr:?} dump missing {check}: {dump}");
         }
         // Flat-file dumps re-parse through the GenBank wrapper.
         let mut repo =
             SimulatedRepository::new("r", Representation::FlatFile, Capability::NonQueryable);
         repo.apply(ChangeKind::Insert, rec("D1", "ATGGCC")).unwrap();
-        let parsed = crate::formats::genbank::parse(&repo.dump()).unwrap();
+        let parsed = crate::formats::genbank::parse(&repo.dump().unwrap()).unwrap();
         assert_eq!(parsed[0].accession, "D1");
         // And FASTA export parses too.
-        let parsed = crate::formats::fasta::parse(&repo.dump_fasta()).unwrap();
+        let parsed = crate::formats::fasta::parse(&repo.dump_fasta().unwrap()).unwrap();
         assert_eq!(parsed[0].sequence.to_text(), "ATGGCC");
     }
 
@@ -347,10 +383,34 @@ mod tests {
             SimulatedRepository::new("r", Representation::FlatFile, Capability::Queryable);
         repo.apply(ChangeKind::Insert, rec("A", "ACGT")).unwrap();
         assert_eq!(repo.requests_served(), 0);
-        let _ = repo.snapshot();
+        let _ = repo.snapshot().unwrap();
         let _ = repo.fetch("A").unwrap();
-        let _ = repo.dump();
+        let _ = repo.dump().unwrap();
         assert_eq!(repo.requests_served(), 3);
         assert!(repo.clock() > 0);
+    }
+
+    #[test]
+    fn transient_failures_are_deterministic_and_typed() {
+        let mut repo =
+            SimulatedRepository::new("flaky", Representation::FlatFile, Capability::Queryable)
+                .with_transient_failures(0.5, 7);
+        repo.apply(ChangeKind::Insert, rec("A", "ACGT")).unwrap();
+        let outcomes: Vec<bool> = (0..40).map(|_| repo.snapshot().is_ok()).collect();
+        let failures = outcomes.iter().filter(|ok| !**ok).count();
+        assert!(failures > 5 && failures < 35, "rate 0.5 gave {failures}/40 failures");
+        // Every failure is the typed, retryable error — and still billed.
+        let repo2 =
+            SimulatedRepository::new("flaky", Representation::FlatFile, Capability::Queryable)
+                .with_transient_failures(1.0, 7);
+        let err = repo2.snapshot().unwrap_err();
+        assert!(err.is_transient(), "got {err:?}");
+        assert_eq!(repo2.requests_served(), 1);
+        // Same seed, same outcome sequence.
+        let repo3 =
+            SimulatedRepository::new("flaky", Representation::FlatFile, Capability::Queryable)
+                .with_transient_failures(0.5, 7);
+        let replay: Vec<bool> = (0..40).map(|_| repo3.snapshot().is_ok()).collect();
+        assert_eq!(outcomes, replay);
     }
 }

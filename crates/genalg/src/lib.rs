@@ -56,7 +56,7 @@ pub mod prelude {
     pub use genalg_etl::integrate::{reconcile, TrustModel};
     pub use genalg_etl::loader::Loader;
     pub use genalg_etl::record::SeqRecord;
-    pub use genalg_etl::refresh::{RefreshReport, Warehouse};
+    pub use genalg_etl::refresh::{RefreshReport, RetryPolicy, Warehouse};
     pub use genalg_etl::source::{Capability, Representation, SimulatedRepository};
     pub use genalg_mediator::Mediator;
     pub use genalg_ontology::{standard_ontology, Ontology};

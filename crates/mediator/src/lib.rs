@@ -62,7 +62,7 @@ impl Mediator {
                     out.push(rec);
                 }
             } else {
-                out.extend(s.snapshot().into_iter().filter(|r| r.accession == accession));
+                out.extend(s.snapshot()?.into_iter().filter(|r| r.accession == accession));
             }
         }
         Ok(out)
@@ -76,7 +76,7 @@ impl Mediator {
         }
         let mut out = Vec::new();
         for s in &self.sources {
-            out.extend(s.snapshot().into_iter().filter(|r| r.sequence.contains(pattern)));
+            out.extend(s.snapshot()?.into_iter().filter(|r| r.sequence.contains(pattern)));
         }
         Ok(out)
     }
@@ -91,7 +91,7 @@ impl Mediator {
         let mut out = Vec::new();
         for s in &self.sources {
             out.extend(
-                s.snapshot()
+                s.snapshot()?
                     .into_iter()
                     .filter(|r| resembles(&r.sequence, query, min_identity, min_cover)),
             );
@@ -99,18 +99,23 @@ impl Mediator {
         Ok(out)
     }
 
-    /// Cross-source union, duplicates included.
-    pub fn all_records(&self) -> Vec<SeqRecord> {
-        self.sources.iter().flat_map(SimulatedRepository::snapshot).collect()
+    /// Cross-source union, duplicates included. A mediator has no cached
+    /// state to fall back on: one unreachable source fails the whole query.
+    pub fn all_records(&self) -> Result<Vec<SeqRecord>> {
+        let mut out = Vec::new();
+        for s in &self.sources {
+            out.extend(s.snapshot()?);
+        }
+        Ok(out)
     }
 
     /// Group sizes per organism, computed centrally per query.
-    pub fn count_by_organism(&self) -> Vec<(String, usize)> {
+    pub fn count_by_organism(&self) -> Result<Vec<(String, usize)>> {
         let mut counts = std::collections::BTreeMap::new();
-        for r in self.all_records() {
+        for r in self.all_records()? {
             *counts.entry(r.organism.unwrap_or_else(|| "unknown".into())).or_insert(0) += 1;
         }
-        counts.into_iter().collect()
+        Ok(counts.into_iter().collect())
     }
 }
 
@@ -170,9 +175,9 @@ mod tests {
     #[test]
     fn aggregation_recomputed_per_query() {
         let m = mediator();
-        let counts = m.count_by_organism();
+        let counts = m.count_by_organism().unwrap();
         assert_eq!(counts, vec![("E. coli".to_string(), 4)]);
-        assert_eq!(m.all_records().len(), 4);
+        assert_eq!(m.all_records().unwrap().len(), 4);
         assert_eq!(m.source_count(), 2);
     }
 

@@ -231,9 +231,18 @@ mod tests {
         }
         release_tx.send(()).unwrap();
 
-        // The server recovers once the queue drains, and the rejection is
-        // visible in SHOW STATS.
-        let rs = client.query(s, "SELECT count(*) FROM public.genes").unwrap();
+        // The server recovers once the queue drains — which takes a moment,
+        // so honor the Busy retry hint — and the rejection is visible in
+        // SHOW STATS.
+        let rs = loop {
+            match client.query(s, "SELECT count(*) FROM public.genes") {
+                Ok(rs) => break rs,
+                Err(ServerError::Busy { retry_after_ms }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.min(20)));
+                }
+                Err(other) => panic!("expected Busy or success, got {other:?}"),
+            }
+        };
         assert_eq!(rs.rows[0][0], Datum::Int(3));
         let stats = client.query(s, "SHOW STATS").unwrap();
         assert!(stat_value(&stats, "rejected_busy").unwrap() >= 1);

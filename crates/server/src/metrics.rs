@@ -71,6 +71,11 @@ pub struct Metrics {
     pub queries_err: AtomicU64,
     /// Requests rejected at admission because the queue was full.
     pub rejected_busy: AtomicU64,
+    /// Queries that failed with a storage-level I/O error
+    /// ([`unidb::DbError::Io`]) — disk faults, not client mistakes.
+    pub io_errors: AtomicU64,
+    /// Jobs that panicked on a worker thread (the worker survived).
+    pub worker_panics: AtomicU64,
     /// Plan-cache lookups that found a live prepared plan.
     pub plan_cache_hits: AtomicU64,
     /// Plan-cache lookups that had to parse + plan.
@@ -111,7 +116,9 @@ impl Metrics {
             ("active_sessions".to_string(), g(&self.active_sessions)),
             ("plan_cache_hits".to_string(), g(&self.plan_cache_hits)),
             ("plan_cache_misses".to_string(), g(&self.plan_cache_misses)),
+            ("io_errors".to_string(), g(&self.io_errors)),
             ("queries_err".to_string(), g(&self.queries_err)),
+            ("worker_panics".to_string(), g(&self.worker_panics)),
             ("queries_ok".to_string(), g(&self.queries_ok)),
             ("queue_depth".to_string(), g(&self.queue_depth)),
             ("queue_peak".to_string(), g(&self.queue_peak)),

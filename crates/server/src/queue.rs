@@ -119,7 +119,14 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, metrics: &Metrics) {
             Err(_) => return,
         };
         metrics.dequeue();
-        job();
+        // A job that panics (a bug in one session's statement, a poisoned
+        // engine invariant) must not take the worker thread down with it —
+        // that would shrink the pool until the whole server wedges. The
+        // panicking caller's reply channel drops, so *its* client gets a
+        // structured error; everyone else keeps their worker.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            metrics.worker_panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 }
 
@@ -163,6 +170,22 @@ mod tests {
         }
         assert!(metrics.rejected_busy.load(Ordering::Relaxed) >= 1);
         block_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_the_pool() {
+        let metrics = Arc::new(Metrics::default());
+        // One worker: if the panic killed it, every later job would hang.
+        let pool = WorkerPool::new(1, 8, Arc::clone(&metrics));
+        let err = pool.run(|| -> u64 { panic!("boom") });
+        assert!(
+            matches!(err, Err(ServerError::Io(_))),
+            "caller of a panicked job must get a structured error, got {err:?}"
+        );
+        // The sole worker survived and still runs jobs.
+        assert_eq!(pool.run(|| 7u64).unwrap(), 7);
+        assert_eq!(metrics.worker_panics.load(Ordering::Relaxed), 1);
         pool.shutdown();
     }
 

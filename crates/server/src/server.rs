@@ -2,7 +2,7 @@
 //! in-process client that exercises the identical dispatch path without a
 //! socket (used by tests and benches).
 //!
-//! Both funnel into [`dispatch`]: session management runs inline (cheap,
+//! Both funnel into `dispatch`: session management runs inline (cheap,
 //! never blocks on the engine) while queries go through the worker pool's
 //! bounded admission queue — a saturated server answers `Busy` instead of
 //! stacking connections.

@@ -98,9 +98,19 @@ impl QueryService {
     pub fn execute(&self, session: SessionId, lang: Lang, text: &str) -> ServerResult<ResultSet> {
         let result = self.execute_inner(session, lang, text);
         match &result {
-            Ok(_) => self.metrics.queries_ok.fetch_add(1, Ordering::Relaxed),
-            Err(_) => self.metrics.queries_err.fetch_add(1, Ordering::Relaxed),
-        };
+            Ok(_) => {
+                self.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                self.metrics.queries_err.fetch_add(1, Ordering::Relaxed);
+                // Storage faults are the operator's problem, not the
+                // client's — count them separately so `SHOW STATS` makes a
+                // sick disk visible.
+                if matches!(e, ServerError::Db(DbError::Io(_))) {
+                    self.metrics.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         result
     }
 

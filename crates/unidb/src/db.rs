@@ -16,12 +16,14 @@ use crate::sql::parser::{parse, parse_many};
 use crate::storage::buffer::BufferPool;
 use crate::storage::heap::{HeapFile, Rid};
 use crate::storage::store::MemStore;
-use crate::storage::wal::{read_log, WalRecord, WalWriter};
+use crate::storage::vfs::{StdVfs, Vfs};
+use crate::storage::wal::{read_log_prefix, WalRecord, WalWriter};
 use crate::tuple::{decode_row, encode_row, Row};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +91,12 @@ pub(crate) struct Inner {
     funcs: FunctionRegistry,
     wal: Option<WalWriter>,
     dir: Option<PathBuf>,
+    /// The file system all durability IO goes through ([`StdVfs`] in
+    /// production, a fault-injecting one under test).
+    vfs: Arc<dyn Vfs>,
+    /// Checkpoint epoch: the snapshot and the live WAL each open with an
+    /// [`WalRecord::Epoch`]; mismatch marks a stale pre-checkpoint log.
+    epoch: u64,
     txn_undo: Option<Vec<Undo>>,
     replaying: bool,
     buffer_capacity: usize,
@@ -149,6 +157,8 @@ impl Database {
                 funcs: FunctionRegistry::with_builtins(),
                 wal: None,
                 dir: None,
+                vfs: Arc::new(StdVfs),
+                epoch: 0,
                 txn_undo: None,
                 replaying: false,
                 buffer_capacity: 256,
@@ -170,53 +180,98 @@ impl Database {
     /// before replay rows reference the types, which `open` guarantees by
     /// deferring replay to [`Database::recover`].
     pub fn open(dir: &Path) -> DbResult<Self> {
-        std::fs::create_dir_all(dir)?;
+        Database::open_with_vfs(dir, Arc::new(StdVfs))
+    }
+
+    /// [`Database::open`] over an explicit file system — the entry point
+    /// the fault-injection harness uses to run the whole engine against a
+    /// [`crate::storage::vfs::FaultVfs`].
+    pub fn open_with_vfs(dir: &Path, vfs: Arc<dyn Vfs>) -> DbResult<Self> {
+        vfs.create_dir_all(dir)?;
         let db = Database::in_memory();
         {
             let mut inner = db.inner.write();
             inner.dir = Some(dir.to_path_buf());
+            inner.vfs = vfs;
         }
         Ok(db)
     }
 
     /// Run recovery: load the snapshot, replay the WAL, then arm the WAL
     /// writer. Call after registering extensions.
+    ///
+    /// Replay is prefix-consistent and idempotent: the WAL's valid prefix
+    /// (torn tails are dropped by frame CRCs) is applied on top of the
+    /// snapshot; explicit transactions apply only up to their commit
+    /// record, so a crash mid-transaction leaves them invisible; and a WAL
+    /// whose epoch header predates the snapshot's (a crash between
+    /// snapshot rename and log truncation) is discarded instead of being
+    /// double-applied.
     pub fn recover(&self) -> DbResult<()> {
         let mut inner = self.inner.write();
         let Some(dir) = inner.dir.clone() else {
             return Err(DbError::Unsupported("recover() on an in-memory database".into()));
         };
+        let vfs = Arc::clone(&inner.vfs);
         inner.replaying = true;
-        let snapshot = dir.join("snapshot.db");
-        for rec in read_log(&snapshot)? {
-            inner.apply_wal_record(rec)?;
-        }
-        for rec in read_log(&dir.join("wal.db"))? {
-            inner.apply_wal_record(rec)?;
+        let (snapshot_records, _) = read_log_prefix(vfs.as_ref(), &dir.join("snapshot.db"))?;
+        let snap_epoch = leading_epoch(&snapshot_records);
+        inner.replay_records(snapshot_records)?;
+        let wal_path = dir.join("wal.db");
+        let (wal_records, valid_len) = read_log_prefix(vfs.as_ref(), &wal_path)?;
+        let stale_wal = !wal_records.is_empty() && leading_epoch(&wal_records) != snap_epoch;
+        let fresh_wal = wal_records.is_empty();
+        if !stale_wal {
+            inner.replay_records(wal_records)?;
         }
         inner.replaying = false;
-        inner.wal = Some(WalWriter::open(&dir.join("wal.db"))?);
+        inner.epoch = snap_epoch;
+        let mut wal =
+            WalWriter::open(vfs.as_ref(), &wal_path, if stale_wal { 0 } else { valid_len })?;
+        if stale_wal {
+            wal.truncate()?;
+        }
+        if stale_wal || fresh_wal {
+            // Stamp the epoch the log continues from, so the next recovery
+            // can tell it apart from a stale pre-checkpoint log.
+            wal.append(&WalRecord::Epoch(snap_epoch));
+            wal.sync()?;
+        }
+        inner.wal = Some(wal);
         Ok(())
     }
 
     /// Write a snapshot and truncate the WAL.
+    ///
+    /// Crash safety: the snapshot is built in a temp file, fsynced, then
+    /// renamed over `snapshot.db` with a bumped epoch header. Only after
+    /// the rename is the WAL truncated and re-stamped. A crash anywhere in
+    /// between leaves either (old snapshot + full WAL) or (new snapshot +
+    /// stale WAL, skipped at recovery via the epoch) — never double apply.
     pub fn checkpoint(&self) -> DbResult<()> {
         let mut inner = self.inner.write();
         let Some(dir) = inner.dir.clone() else {
             return Err(DbError::Unsupported("checkpoint() on an in-memory database".into()));
         };
+        let vfs = Arc::clone(&inner.vfs);
+        let next_epoch = inner.epoch + 1;
         let tmp = dir.join("snapshot.tmp");
-        let _ = std::fs::remove_file(&tmp);
         {
-            let mut w = WalWriter::open(&tmp)?;
+            let mut w = WalWriter::create(vfs.as_ref(), &tmp)?;
+            w.append(&WalRecord::Epoch(next_epoch));
             for rec in inner.snapshot_records()? {
-                w.append(&rec)?;
+                w.append(&rec);
             }
             w.sync()?;
         }
-        std::fs::rename(&tmp, dir.join("snapshot.db"))?;
+        vfs.rename(&tmp, &dir.join("snapshot.db"))?;
+        // The snapshot now governs; commit the epoch even if the WAL
+        // cleanup below fails (the stale log will be skipped at recovery).
+        inner.epoch = next_epoch;
         if let Some(wal) = inner.wal.as_mut() {
             wal.truncate()?;
+            wal.append(&WalRecord::Epoch(next_epoch));
+            wal.sync()?;
         }
         Ok(())
     }
@@ -479,12 +534,14 @@ impl Inner {
                     return Err(DbError::Unsupported("nested transactions".into()));
                 }
                 self.txn_undo = Some(Vec::new());
+                self.log(WalRecord::TxnBegin)?;
                 Ok(ResultSet::empty())
             }
             Stmt::Commit => {
                 if self.txn_undo.take().is_none() {
                     return Err(DbError::Unsupported("COMMIT without BEGIN".into()));
                 }
+                self.log(WalRecord::TxnCommit)?;
                 if let Some(wal) = self.wal.as_mut() {
                     wal.sync()?;
                 }
@@ -513,6 +570,9 @@ impl Inner {
                         }
                     }
                 }
+                // The compensating records above were logged inside the
+                // transaction frame; commit the frame so replay nets zero.
+                self.log(WalRecord::TxnCommit)?;
                 if let Some(wal) = self.wal.as_mut() {
                     wal.sync()?;
                 }
@@ -896,7 +956,7 @@ impl Inner {
             return Ok(());
         }
         if let Some(wal) = self.wal.as_mut() {
-            wal.append(&rec)?;
+            wal.append(&rec);
         }
         Ok(())
     }
@@ -908,6 +968,38 @@ impl Inner {
                 wal.sync()?;
             }
         }
+        Ok(())
+    }
+
+    /// Replay a record stream with transaction framing: records between
+    /// [`WalRecord::TxnBegin`] and [`WalRecord::TxnCommit`] are buffered
+    /// and applied atomically at the commit; a stream ending inside an
+    /// uncommitted transaction drops it (crash mid-transaction).
+    fn replay_records(&mut self, records: Vec<WalRecord>) -> DbResult<()> {
+        let mut open_txn: Option<Vec<WalRecord>> = None;
+        for rec in records {
+            match rec {
+                WalRecord::TxnBegin => {
+                    // A dangling earlier transaction (no commit record)
+                    // cannot precede later records in a well-formed log,
+                    // but drop it defensively rather than merge.
+                    open_txn = Some(Vec::new());
+                }
+                WalRecord::TxnCommit => {
+                    if let Some(buffered) = open_txn.take() {
+                        for r in buffered {
+                            self.apply_wal_record(r)?;
+                        }
+                    }
+                }
+                other => match open_txn.as_mut() {
+                    Some(buffered) => buffered.push(other),
+                    None => self.apply_wal_record(other)?,
+                },
+            }
+        }
+        // `open_txn` still Some here means the log ended mid-transaction:
+        // the records stay unapplied, i.e. uncommitted work is invisible.
         Ok(())
     }
 
@@ -957,7 +1049,10 @@ impl Inner {
                 }
                 Ok(())
             }
-            WalRecord::Checkpoint => Ok(()),
+            WalRecord::Checkpoint | WalRecord::Epoch(_) => Ok(()),
+            // Framing records are consumed by `replay_records`; reaching
+            // here (e.g. via a raw record stream) they are no-ops.
+            WalRecord::TxnBegin | WalRecord::TxnCommit => Ok(()),
         }
     }
 
@@ -1022,6 +1117,15 @@ impl Inner {
             Some((s, t)) => (s.to_ascii_lowercase(), t.to_ascii_lowercase()),
             None => (role.default_space().to_ascii_lowercase(), table.to_ascii_lowercase()),
         }
+    }
+}
+
+/// Epoch named by a log's leading [`WalRecord::Epoch`] (0 when absent, for
+/// logs predating checkpoint epochs).
+fn leading_epoch(records: &[WalRecord]) -> u64 {
+    match records.first() {
+        Some(WalRecord::Epoch(e)) => *e,
+        _ => 0,
     }
 }
 

@@ -23,8 +23,12 @@ pub enum DbError {
     Constraint(String),
     /// A registered external function reported an error.
     External(String),
-    /// Storage-layer failure (page corruption, I/O, WAL replay).
+    /// Storage-layer failure (page corruption, invalid WAL frames).
     Storage(String),
+    /// An I/O operation failed (disk full, failed fsync, injected fault).
+    /// The database stays reopenable: recovery replays the WAL to the last
+    /// durable prefix.
+    Io(String),
     /// The statement is recognized but not supported by this engine.
     Unsupported(String),
     /// A prepared statement outlived the catalog it was planned against
@@ -45,6 +49,7 @@ impl fmt::Display for DbError {
             DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
             DbError::External(m) => write!(f, "external function error: {m}"),
             DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::Stale(m) => write!(f, "stale plan: {m}"),
             DbError::Internal(m) => write!(f, "internal error: {m}"),
@@ -56,7 +61,7 @@ impl std::error::Error for DbError {}
 
 impl From<std::io::Error> for DbError {
     fn from(e: std::io::Error) -> Self {
-        DbError::Storage(e.to_string())
+        DbError::Io(e.to_string())
     }
 }
 
@@ -71,6 +76,7 @@ mod tests {
             .to_string()
             .contains("table"));
         let io = std::io::Error::other("disk gone");
-        assert!(matches!(DbError::from(io), DbError::Storage(_)));
+        assert!(matches!(DbError::from(io), DbError::Io(_)));
+        assert!(DbError::Io("enospc".into()).to_string().contains("io error"));
     }
 }

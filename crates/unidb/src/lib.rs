@@ -52,3 +52,4 @@ pub use error::{DbError, DbResult};
 pub use expr::func::{AggregateFn, FunctionRegistry, ScalarFn};
 pub use index::udi::AccessMethod;
 pub use storage::heap::Rid;
+pub use storage::vfs::{FaultConfig, FaultVfs, StdVfs, Vfs};

@@ -140,10 +140,14 @@ impl PoolState {
             .min_by_key(|(_, f)| f.last_used)
             .map(|(&p, _)| p)
             .expect("evict called on non-empty pool");
-        let frame = self.frames.remove(&victim).expect("victim exists");
-        if frame.dirty {
-            self.store.write(victim, &frame.page)?;
+        // Write back *before* dropping the frame: if the store write fails
+        // (e.g. an injected IO fault), the dirty frame stays resident and
+        // its data is not lost.
+        if self.frames.get(&victim).expect("victim exists").dirty {
+            let PoolState { store, frames, .. } = self;
+            store.write(victim, &frames[&victim].page)?;
         }
+        self.frames.remove(&victim);
         self.evictions += 1;
         Ok(())
     }

@@ -408,4 +408,46 @@ mod tests {
         let (_, _, evictions) = h.pool_stats();
         assert!(evictions > 0);
     }
+
+    #[test]
+    fn injected_io_faults_surface_as_structured_errors() {
+        // A heap over a file store on a faulty disk: every failure must be
+        // a structured DbError::Io (no panic, no silent corruption), and
+        // once the disk behaves again the heap must still be usable with
+        // all successfully written data intact.
+        use crate::error::DbError;
+        use crate::storage::store::FileStore;
+        use crate::storage::vfs::{FaultConfig, FaultVfs};
+
+        let mut cfg = FaultConfig::transient(0xFA01);
+        cfg.enospc_prob = 0.2;
+        cfg.torn_write_prob = 0.2;
+        let vfs = FaultVfs::new(cfg);
+        vfs.disarm();
+        let store = FileStore::open(&vfs, std::path::Path::new("/heap.pages")).unwrap();
+        // Tiny pool so evictions force store writes mid-workload.
+        let mut h = HeapFile::new(BufferPool::new(Box::new(store), 2));
+        vfs.arm();
+        let mut written = Vec::new();
+        let mut io_errors = 0u32;
+        for i in 0..100 {
+            // Big enough that every few inserts open a new page, forcing
+            // evictions (and thus store writes) through the 2-frame pool.
+            let payload = format!("record-{i}-{}", "g".repeat(2500)).into_bytes();
+            match h.insert(&payload) {
+                Ok(rid) => written.push((rid, payload)),
+                Err(DbError::Io(_)) => io_errors += 1,
+                Err(other) => panic!("expected DbError::Io, got {other:?}"),
+            }
+        }
+        assert!(io_errors > 0, "fault config injected nothing");
+        vfs.disarm();
+        for (rid, payload) in &written {
+            match h.get(*rid) {
+                Ok(Some(bytes)) => assert_eq!(&bytes, payload, "corrupt record at {rid}"),
+                Ok(None) => panic!("successfully inserted record {rid} vanished"),
+                Err(e) => panic!("read of {rid} failed after faults cleared: {e}"),
+            }
+        }
+    }
 }

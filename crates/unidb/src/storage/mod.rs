@@ -8,9 +8,15 @@
 //! `crate::db`). This is the classical snapshot-plus-redo-log design: easy
 //! to reason about, and the replay path doubles as the ETL refresh
 //! machinery's transport format.
+//!
+//! Every byte of file IO goes through the [`vfs`] abstraction —
+//! [`vfs::StdVfs`] in production, [`vfs::FaultVfs`] under the
+//! crash-recovery test harness — so fault injection covers the whole
+//! stack. See DESIGN.md ("Fault model") for the recovery guarantee.
 
 pub mod buffer;
 pub mod heap;
 pub mod page;
 pub mod store;
+pub mod vfs;
 pub mod wal;

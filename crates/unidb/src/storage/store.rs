@@ -2,8 +2,7 @@
 
 use crate::error::{DbError, DbResult};
 use crate::storage::page::{Page, PAGE_SIZE};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::storage::vfs::{read_exact_at, Vfs, VfsFile};
 use std::path::Path;
 
 /// The backing store of a heap file's pages.
@@ -64,17 +63,17 @@ impl PageStore for MemStore {
 }
 
 /// A file-backed page store: page `n` lives at byte offset `n * PAGE_SIZE`.
+/// All IO goes through the [`Vfs`] handle it was opened with.
 pub struct FileStore {
-    file: File,
+    file: Box<dyn VfsFile>,
     num_pages: u32,
 }
 
 impl FileStore {
     /// Open (creating if needed) a page file.
-    pub fn open(path: &Path) -> DbResult<Self> {
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
-        let len = file.metadata()?.len();
+    pub fn open(vfs: &dyn Vfs, path: &Path) -> DbResult<Self> {
+        let mut file = vfs.open(path)?;
+        let len = file.len()?;
         if len % PAGE_SIZE as u64 != 0 {
             return Err(DbError::Storage(format!(
                 "page file {} has a partial page ({len} bytes)",
@@ -92,8 +91,7 @@ impl PageStore for FileStore {
 
     fn allocate(&mut self) -> DbResult<u32> {
         let page_no = self.num_pages;
-        self.file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
-        self.file.write_all(Page::new().as_bytes())?;
+        self.file.write_at(page_no as u64 * PAGE_SIZE as u64, Page::new().as_bytes())?;
         self.num_pages += 1;
         Ok(page_no)
     }
@@ -102,9 +100,8 @@ impl PageStore for FileStore {
         if page_no >= self.num_pages {
             return Err(DbError::Storage(format!("page {page_no} out of range")));
         }
-        self.file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
         let mut buf = vec![0u8; PAGE_SIZE];
-        self.file.read_exact(&mut buf)?;
+        read_exact_at(self.file.as_mut(), page_no as u64 * PAGE_SIZE as u64, &mut buf)?;
         Ok(Page::from_bytes(&buf))
     }
 
@@ -112,20 +109,20 @@ impl PageStore for FileStore {
         if page_no >= self.num_pages {
             return Err(DbError::Storage(format!("page {page_no} out of range")));
         }
-        self.file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
-        self.file.write_all(page.as_bytes())?;
+        self.file.write_at(page_no as u64 * PAGE_SIZE as u64, page.as_bytes())?;
         Ok(())
     }
 
     fn sync(&mut self) -> DbResult<()> {
-        self.file.sync_data()?;
-        Ok(())
+        self.file.sync()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::vfs::{FaultVfs, StdVfs};
+    use std::path::PathBuf;
 
     fn exercise(store: &mut dyn PageStore) {
         assert_eq!(store.num_pages(), 0);
@@ -150,29 +147,41 @@ mod tests {
     }
 
     #[test]
-    fn file_store_roundtrip_and_reopen() {
-        let dir = std::env::temp_dir().join(format!("unidb-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("t1.pages");
-        let _ = std::fs::remove_file(&path);
+    fn file_store_roundtrip_and_reopen_in_memory() {
+        let vfs = FaultVfs::reliable();
+        let path = PathBuf::from("/pages/t1.pages");
         {
-            let mut fs = FileStore::open(&path).unwrap();
+            let mut fs = FileStore::open(&vfs, &path).unwrap();
             exercise(&mut fs);
         }
         // Reopen and verify persistence.
-        let mut fs = FileStore::open(&path).unwrap();
+        let mut fs = FileStore::open(&vfs, &path).unwrap();
         assert_eq!(fs.num_pages(), 2);
         assert_eq!(fs.read(1).unwrap().get(0), Some(&b"data"[..]));
-        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_store_roundtrip_on_real_fs() {
+        let vfs = StdVfs;
+        let dir = std::env::temp_dir().join(format!("unidb-test-{}", std::process::id()));
+        vfs.create_dir_all(&dir).unwrap();
+        let path = dir.join("t1.pages");
+        vfs.remove_file(&path).unwrap();
+        {
+            let mut fs = FileStore::open(&vfs, &path).unwrap();
+            exercise(&mut fs);
+        }
+        let mut fs = FileStore::open(&vfs, &path).unwrap();
+        assert_eq!(fs.num_pages(), 2);
+        assert_eq!(fs.read(1).unwrap().get(0), Some(&b"data"[..]));
+        vfs.remove_file(&path).unwrap();
     }
 
     #[test]
     fn file_store_rejects_partial_page() {
-        let dir = std::env::temp_dir().join(format!("unidb-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("corrupt.pages");
-        std::fs::write(&path, vec![0u8; 100]).unwrap();
-        assert!(FileStore::open(&path).is_err());
-        std::fs::remove_file(&path).unwrap();
+        let vfs = FaultVfs::reliable();
+        let path = PathBuf::from("/pages/corrupt.pages");
+        vfs.open(&path).unwrap().write_at(0, &[0u8; 100]).unwrap();
+        assert!(FileStore::open(&vfs, &path).is_err());
     }
 }

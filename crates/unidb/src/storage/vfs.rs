@@ -1,0 +1,592 @@
+//! The virtual file system: every byte the storage engine persists goes
+//! through a [`Vfs`], so fault injection can sit between the engine and the
+//! disk.
+//!
+//! Two implementations:
+//!
+//! * [`StdVfs`] — the production passthrough to `std::fs`. This module is
+//!   the *only* place in `storage/` allowed to touch `std::fs`.
+//! * [`FaultVfs`] — an in-memory file system with seeded, deterministic
+//!   injection of short reads, torn/partial writes, `ENOSPC`, fsync
+//!   failure, and hard crash points that freeze the on-disk image at its
+//!   last durable state (plus whatever unsynced writes "made it" to the
+//!   platter, decided by the seed).
+//!
+//! The fault model [`FaultVfs`] implements is the classical one: a write
+//! is *volatile* until the next successful `sync` of that file. A crash
+//! discards volatile writes, except that a seed-chosen prefix of them (the
+//! last possibly torn) is retained — exactly the torn-tail situation WAL
+//! recovery must survive.
+
+use crate::error::{DbError, DbResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An open file handle dispensed by a [`Vfs`]. Handles take `&mut self`
+/// (callers serialize access); `Sync` is required only so owners like the
+/// engine's `Inner` stay shareable behind their own locks.
+// `len` is fallible and takes `&mut self`; a paired `is_empty` would not
+// make call sites clearer.
+#[allow(clippy::len_without_is_empty)]
+pub trait VfsFile: Send + Sync {
+    /// Current length in bytes.
+    fn len(&mut self) -> DbResult<u64>;
+    /// Read up to `buf.len()` bytes at `offset`, returning how many were
+    /// read. A short read is legal (and injected by [`FaultVfs`]); zero
+    /// means end of file. Use [`read_exact_at`] when the caller needs all
+    /// of them.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> DbResult<usize>;
+    /// Write all of `data` at `offset`, extending the file if needed. On
+    /// error the file may hold any prefix of the write (a torn write);
+    /// callers must treat errored regions as undefined until re-written.
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> DbResult<()>;
+    /// Force written data to stable storage. Only data covered by a
+    /// successful `sync` is guaranteed to survive a crash.
+    fn sync(&mut self) -> DbResult<()>;
+    /// Cut or extend the file to exactly `len` bytes.
+    fn truncate(&mut self, len: u64) -> DbResult<()>;
+}
+
+/// A file-system namespace the storage engine runs on.
+pub trait Vfs: Send + Sync {
+    /// Open a file for reading and writing, creating it if missing.
+    fn open(&self, path: &Path) -> DbResult<Box<dyn VfsFile>>;
+    /// Whether `path` currently exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Create a directory (and parents). Metadata ops are treated as
+    /// immediately durable — the WAL protocol only relies on file *data*
+    /// ordering.
+    fn create_dir_all(&self, path: &Path) -> DbResult<()>;
+    /// Atomically replace `to` with `from` (the checkpoint commit step).
+    fn rename(&self, from: &Path, to: &Path) -> DbResult<()>;
+    /// Delete a file; a missing file is not an error.
+    fn remove_file(&self, path: &Path) -> DbResult<()>;
+
+    /// Read a whole file, or `None` if it does not exist. Loops over
+    /// `read_at`, so injected short reads are exercised on the recovery
+    /// path too.
+    fn read_file(&self, path: &Path) -> DbResult<Option<Vec<u8>>> {
+        if !self.exists(path) {
+            return Ok(None);
+        }
+        let mut f = self.open(path)?;
+        let len = f.len()? as usize;
+        let mut out = vec![0u8; len];
+        read_exact_at(f.as_mut(), 0, &mut out)?;
+        Ok(Some(out))
+    }
+}
+
+/// Read exactly `buf.len()` bytes at `offset`, looping over short reads.
+pub fn read_exact_at(f: &mut dyn VfsFile, mut offset: u64, mut buf: &mut [u8]) -> DbResult<()> {
+    while !buf.is_empty() {
+        let n = f.read_at(offset, buf)?;
+        if n == 0 {
+            return Err(DbError::Io(format!(
+                "unexpected end of file at offset {offset} ({} bytes short)",
+                buf.len()
+            )));
+        }
+        offset += n as u64;
+        buf = &mut buf[n..];
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// StdVfs — the production passthrough
+// ---------------------------------------------------------------------------
+
+/// The real file system. The only code in `storage/` that uses `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+struct StdFile {
+    file: std::fs::File,
+}
+
+impl Vfs for StdVfs {
+    fn open(&self, path: &Path) -> DbResult<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Box::new(StdFile { file }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create_dir_all(&self, path: &Path) -> DbResult<()> {
+        std::fs::create_dir_all(path)?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> DbResult<()> {
+        std::fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> DbResult<()> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+impl VfsFile for StdFile {
+    fn len(&mut self) -> DbResult<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> DbResult<usize> {
+        use std::io::{Read, Seek, SeekFrom};
+        self.file.seek(SeekFrom::Start(offset))?;
+        Ok(self.file.read(buf)?)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> DbResult<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> DbResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> DbResult<()> {
+        self.file.set_len(len)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs — deterministic fault injection over an in-memory file system
+// ---------------------------------------------------------------------------
+
+/// Probabilities and trigger points for injected faults. All randomness is
+/// drawn from a splitmix64 stream seeded with `seed`, so a (seed, workload)
+/// pair always fails the same way — a failing seed from CI reproduces
+/// locally.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Seed for the fault-decision RNG.
+    pub seed: u64,
+    /// Probability a `write_at` fails with no effect (disk full).
+    pub enospc_prob: f64,
+    /// Probability a `write_at` persists only a prefix, then errors.
+    pub torn_write_prob: f64,
+    /// Probability a `read_at` returns fewer bytes than asked.
+    pub short_read_prob: f64,
+    /// Probability a `sync` fails, leaving its data volatile.
+    pub sync_fail_prob: f64,
+    /// Hard crash after this many mutating operations (writes, syncs,
+    /// truncates) while armed: the disk image freezes at its durable state
+    /// plus a seed-chosen torn prefix of unsynced writes, and every
+    /// subsequent operation fails until [`FaultVfs::reset_after_crash`].
+    pub crash_after_ops: Option<u64>,
+}
+
+impl FaultConfig {
+    /// No faults at all — a reliable in-memory file system.
+    pub fn reliable() -> Self {
+        FaultConfig {
+            seed: 0,
+            enospc_prob: 0.0,
+            torn_write_prob: 0.0,
+            short_read_prob: 0.0,
+            sync_fail_prob: 0.0,
+            crash_after_ops: None,
+        }
+    }
+
+    /// A transient-fault mix: everything can fail, nothing crashes.
+    pub fn transient(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            enospc_prob: 0.05,
+            torn_write_prob: 0.05,
+            short_read_prob: 0.10,
+            sync_fail_prob: 0.10,
+            crash_after_ops: None,
+        }
+    }
+
+    /// A crash point: reliable operation until `ops` mutating operations
+    /// have run, then a hard crash with a seed-chosen torn tail.
+    pub fn crash_at(seed: u64, ops: u64) -> Self {
+        FaultConfig { crash_after_ops: Some(ops), ..FaultConfig::reliable() }.with_seed(seed)
+    }
+
+    fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One unsynced mutation, replayable onto the durable image when a crash
+/// decides how much of it survived.
+enum PendingOp {
+    Write { offset: usize, data: Vec<u8> },
+    Truncate { len: usize },
+}
+
+#[derive(Default)]
+struct FaultFile {
+    /// Live contents (what readers of the running process see).
+    data: Vec<u8>,
+    /// Durable contents as of the last successful sync.
+    shadow: Vec<u8>,
+    /// Mutations since the last successful sync, in order.
+    pending: Vec<PendingOp>,
+}
+
+impl FaultFile {
+    fn apply(data: &mut Vec<u8>, op: &PendingOp, bytes: usize) {
+        match op {
+            PendingOp::Write { offset, data: payload } => {
+                let payload = &payload[..bytes.min(payload.len())];
+                let end = offset + payload.len();
+                if data.len() < end {
+                    data.resize(end, 0);
+                }
+                data[*offset..end].copy_from_slice(payload);
+            }
+            PendingOp::Truncate { len } => data.resize(*len, 0),
+        }
+    }
+}
+
+struct FaultState {
+    files: HashMap<PathBuf, FaultFile>,
+    dirs: Vec<PathBuf>,
+    rng: SplitMix64,
+    config: FaultConfig,
+    /// Faults fire only while armed; setup and recovery run disarmed.
+    armed: bool,
+    crashed: bool,
+    /// Mutating ops observed while armed (the crash-point clock).
+    ops: u64,
+    faults_injected: u64,
+}
+
+impl FaultState {
+    /// Advance the crash clock; returns an error if this op crashes (or the
+    /// disk already crashed).
+    fn tick(&mut self) -> DbResult<()> {
+        self.check_alive()?;
+        if !self.armed {
+            return Ok(());
+        }
+        self.ops += 1;
+        if let Some(n) = self.config.crash_after_ops {
+            if self.ops >= n {
+                self.crash();
+                return Err(DbError::Io("injected crash: disk image frozen".into()));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_alive(&self) -> DbResult<()> {
+        if self.crashed {
+            return Err(DbError::Io("injected crash: disk image frozen".into()));
+        }
+        Ok(())
+    }
+
+    fn roll(&mut self, prob: f64) -> bool {
+        if !self.armed || prob <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.chance(prob);
+        if hit {
+            self.faults_injected += 1;
+        }
+        hit
+    }
+
+    /// Freeze every file at its durable image plus a seed-chosen prefix of
+    /// its unsynced mutations; the last surviving write may itself be torn.
+    fn crash(&mut self) {
+        self.crashed = true;
+        self.faults_injected += 1;
+        let mut paths: Vec<PathBuf> = self.files.keys().cloned().collect();
+        paths.sort(); // deterministic iteration order
+        for path in paths {
+            let file = self.files.get_mut(&path).expect("path just listed");
+            let mut frozen = std::mem::take(&mut file.shadow);
+            let pending = std::mem::take(&mut file.pending);
+            let survive = self.rng.below(pending.len() as u64 + 1) as usize;
+            for (i, op) in pending.iter().take(survive).enumerate() {
+                let full = match op {
+                    PendingOp::Write { data, .. } => data.len(),
+                    PendingOp::Truncate { .. } => 0,
+                };
+                let torn_last = i + 1 == survive && self.rng.chance(0.5);
+                let bytes = if torn_last { self.rng.below(full as u64 + 1) as usize } else { full };
+                FaultFile::apply(&mut frozen, op, bytes);
+            }
+            file.data = frozen.clone();
+            file.shadow = frozen;
+        }
+    }
+}
+
+/// The fault-injecting file system. Cloning shares the underlying disk, so
+/// a database can be reopened "after the crash" on the same image.
+#[derive(Clone)]
+pub struct FaultVfs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// A fault-injecting in-memory file system.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultVfs {
+            state: Arc::new(Mutex::new(FaultState {
+                files: HashMap::new(),
+                dirs: Vec::new(),
+                rng: SplitMix64::new(config.seed),
+                config,
+                armed: true,
+                crashed: false,
+                ops: 0,
+                faults_injected: 0,
+            })),
+        }
+    }
+
+    /// A reliable in-memory file system (no faults) — handy for tests and
+    /// benches that want durability mechanics without touching disk.
+    pub fn reliable() -> Self {
+        let vfs = FaultVfs::new(FaultConfig::reliable());
+        vfs.disarm();
+        vfs
+    }
+
+    /// Stop injecting faults (setup / verification phases).
+    pub fn disarm(&self) {
+        self.state.lock().armed = false;
+    }
+
+    /// Resume injecting faults.
+    pub fn arm(&self) {
+        self.state.lock().armed = true;
+    }
+
+    /// Whether a crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Clear the crashed flag and disarm faults, leaving the frozen disk
+    /// image in place — the state a process restart would see.
+    pub fn reset_after_crash(&self) {
+        let mut s = self.state.lock();
+        s.crashed = false;
+        s.armed = false;
+    }
+
+    /// Number of faults injected so far (including a crash).
+    pub fn faults_injected(&self) -> u64 {
+        self.state.lock().faults_injected
+    }
+
+    /// Mutating operations observed while armed.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn open(&self, path: &Path) -> DbResult<Box<dyn VfsFile>> {
+        let mut s = self.state.lock();
+        s.check_alive()?;
+        s.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(FaultHandle { path: path.to_path_buf(), state: Arc::clone(&self.state) }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let s = self.state.lock();
+        s.files.contains_key(path) || s.dirs.iter().any(|d| d == path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> DbResult<()> {
+        let mut s = self.state.lock();
+        s.check_alive()?;
+        let path = path.to_path_buf();
+        if !s.dirs.contains(&path) {
+            s.dirs.push(path);
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> DbResult<()> {
+        let mut s = self.state.lock();
+        s.tick()?;
+        let file = s
+            .files
+            .remove(from)
+            .ok_or_else(|| DbError::Io(format!("rename: {} not found", from.display())))?;
+        // Metadata ops are modeled as immediately durable: the renamed file
+        // carries only its synced image.
+        let durable = FaultFile { data: file.shadow.clone(), shadow: file.shadow, pending: vec![] };
+        s.files.insert(to.to_path_buf(), durable);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> DbResult<()> {
+        let mut s = self.state.lock();
+        s.tick()?;
+        s.files.remove(path);
+        Ok(())
+    }
+}
+
+struct FaultHandle {
+    path: PathBuf,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultHandle {
+    fn with_state<R>(&mut self, f: impl FnOnce(&mut FaultState, &PathBuf) -> R) -> R {
+        let mut s = self.state.lock();
+        f(&mut s, &self.path)
+    }
+}
+
+impl VfsFile for FaultHandle {
+    fn len(&mut self) -> DbResult<u64> {
+        self.with_state(|s, path| {
+            s.check_alive()?;
+            Ok(s.files.get(path).map_or(0, |f| f.data.len() as u64))
+        })
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> DbResult<usize> {
+        self.with_state(|s, path| {
+            s.check_alive()?;
+            let short = s.roll(s.config.short_read_prob);
+            let file = s
+                .files
+                .get(path)
+                .ok_or_else(|| DbError::Io(format!("{} removed", path.display())))?;
+            let offset = offset as usize;
+            let available = file.data.len().saturating_sub(offset);
+            let mut n = buf.len().min(available);
+            if short && n > 1 {
+                // A short read must still make progress (≥ 1 byte) so
+                // read_exact_at loops terminate.
+                n = 1 + s.rng.below(n as u64 - 1) as usize;
+            }
+            buf[..n].copy_from_slice(&file.data[offset..offset + n]);
+            Ok(n)
+        })
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> DbResult<()> {
+        self.with_state(|s, path| {
+            s.tick()?;
+            if s.roll(s.config.enospc_prob) {
+                return Err(DbError::Io("injected fault: no space left on device".into()));
+            }
+            let torn = if s.roll(s.config.torn_write_prob) {
+                Some(s.rng.below(data.len() as u64) as usize)
+            } else {
+                None
+            };
+            let file = s
+                .files
+                .get_mut(path)
+                .ok_or_else(|| DbError::Io(format!("{} removed", path.display())))?;
+            let written = torn.unwrap_or(data.len());
+            let op = PendingOp::Write { offset: offset as usize, data: data[..written].to_vec() };
+            FaultFile::apply(&mut file.data, &op, written);
+            if written > 0 {
+                file.pending.push(op);
+            }
+            if torn.is_some() {
+                return Err(DbError::Io(format!(
+                    "injected fault: torn write ({written} of {} bytes)",
+                    data.len()
+                )));
+            }
+            Ok(())
+        })
+    }
+
+    fn sync(&mut self) -> DbResult<()> {
+        self.with_state(|s, path| {
+            s.tick()?;
+            if s.roll(s.config.sync_fail_prob) {
+                return Err(DbError::Io("injected fault: fsync failed".into()));
+            }
+            let file = s
+                .files
+                .get_mut(path)
+                .ok_or_else(|| DbError::Io(format!("{} removed", path.display())))?;
+            file.shadow = file.data.clone();
+            file.pending.clear();
+            Ok(())
+        })
+    }
+
+    fn truncate(&mut self, len: u64) -> DbResult<()> {
+        self.with_state(|s, path| {
+            s.tick()?;
+            let file = s
+                .files
+                .get_mut(path)
+                .ok_or_else(|| DbError::Io(format!("{} removed", path.display())))?;
+            file.data.resize(len as usize, 0);
+            file.pending.push(PendingOp::Truncate { len: len as usize });
+            Ok(())
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// splitmix64 — the deterministic fault-decision stream
+// ---------------------------------------------------------------------------
+
+/// A tiny deterministic RNG (splitmix64). Not exposed; fault decisions only.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `p`.
+    fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+
+    /// Uniform in `0..n` (0 when `n` is 0).
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}

@@ -8,13 +8,20 @@
 //! Records are *logical* (full row images, qualified table names) rather
 //! than physical page deltas — the same format doubles as the transport
 //! for ETL delta shipping.
+//!
+//! All file IO goes through the [`crate::storage::vfs::Vfs`] abstraction so
+//! the crash-recovery tests can inject faults. [`WalWriter`] is written to
+//! survive them: records are buffered in memory until `sync`, a failed
+//! sync leaves the buffer intact for a later retry (so `Ok` from `sync`
+//! means *everything* appended so far is durable, in order), and a torn
+//! on-disk tail left by a failed write is truncated away before the next
+//! attempt.
 
 use crate::datum::{DataType, Datum};
 use crate::error::{DbError, DbResult};
+use crate::storage::vfs::{Vfs, VfsFile};
 use crate::tuple::{self, put_varint, take_slice, take_u8, take_varint};
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// One logical WAL record.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +60,18 @@ pub enum WalRecord {
         column: String,
         unique: bool,
     },
+    /// Opens an explicit transaction. Replay buffers subsequent records
+    /// and applies them only when the matching [`WalRecord::TxnCommit`]
+    /// arrives — a crash mid-transaction leaves its records invisible.
+    TxnBegin,
+    /// Commits the open transaction's buffered records.
+    TxnCommit,
+    /// Checkpoint epoch marker. The snapshot starts with its epoch and the
+    /// WAL's first record names the epoch it continues from; a WAL carrying
+    /// an older epoch than the snapshot is a leftover from a crash between
+    /// snapshot rename and log truncation and is skipped, making replay
+    /// idempotent.
+    Epoch(u64),
 }
 
 const OP_CREATE_SPACE: u8 = 1;
@@ -63,6 +82,9 @@ const OP_DELETE: u8 = 5;
 const OP_UPDATE: u8 = 6;
 const OP_CHECKPOINT: u8 = 7;
 const OP_CREATE_INDEX: u8 = 8;
+const OP_TXN_BEGIN: u8 = 9;
+const OP_TXN_COMMIT: u8 = 10;
+const OP_EPOCH: u8 = 11;
 
 impl WalRecord {
     /// Serialize the record payload (without framing).
@@ -113,6 +135,12 @@ impl WalRecord {
                 put_str(&mut buf, column);
                 buf.push(u8::from(*unique));
             }
+            WalRecord::TxnBegin => buf.push(OP_TXN_BEGIN),
+            WalRecord::TxnCommit => buf.push(OP_TXN_COMMIT),
+            WalRecord::Epoch(e) => {
+                buf.push(OP_EPOCH);
+                put_varint(&mut buf, *e);
+            }
         }
         buf
     }
@@ -159,6 +187,9 @@ impl WalRecord {
                 column: take_str(&mut buf)?,
                 unique: take_u8(&mut buf)? != 0,
             },
+            OP_TXN_BEGIN => WalRecord::TxnBegin,
+            OP_TXN_COMMIT => WalRecord::TxnCommit,
+            OP_EPOCH => WalRecord::Epoch(take_varint(&mut buf)?),
             other => return Err(DbError::Storage(format!("unknown WAL op {other}"))),
         };
         if !buf.is_empty() {
@@ -250,65 +281,123 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // Writer / reader
 // ---------------------------------------------------------------------------
 
-/// Appends CRC-framed records to a log file.
+/// Appends CRC-framed records to a log file, hardened against IO faults.
+///
+/// State machine: `append` only buffers (no IO, so it cannot fail and no
+/// partial transaction ever reaches the disk behind the engine's back);
+/// `sync` writes the whole buffer after `confirmed` and fsyncs. On any
+/// failure the buffer is retained and the on-disk bytes past `confirmed`
+/// are treated as garbage — the next `sync` truncates them away and
+/// rewrites everything, so a successful `sync` always means "every record
+/// appended so far is durable, in order".
 pub struct WalWriter {
-    path: PathBuf,
-    file: BufWriter<File>,
+    file: Box<dyn VfsFile>,
+    /// Bytes known durable and valid on disk.
+    confirmed: u64,
+    /// Framed records appended but not yet confirmed durable.
+    buf: Vec<u8>,
+    /// The file may hold garbage past `confirmed` (a torn write); it must
+    /// be truncated before the next write.
+    dirty_tail: bool,
+    /// A requested truncation has not reached the disk yet; it must be
+    /// applied (and fsynced) before anything else is written.
+    pending_truncate: bool,
     records_written: u64,
 }
 
 impl WalWriter {
-    /// Open (append mode, creating if needed).
-    pub fn open(path: &Path) -> DbResult<Self> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(WalWriter { path: path.to_path_buf(), file: BufWriter::new(file), records_written: 0 })
+    /// Open the log, trusting the first `valid_len` bytes (as reported by
+    /// [`read_log`]). Anything past that is a torn tail from a previous
+    /// crash and is truncated away on the first sync.
+    pub fn open(vfs: &dyn Vfs, path: &Path, valid_len: u64) -> DbResult<Self> {
+        let mut file = vfs.open(path)?;
+        let disk_len = file.len()?;
+        Ok(WalWriter {
+            file,
+            confirmed: valid_len,
+            buf: Vec::new(),
+            dirty_tail: disk_len > valid_len,
+            pending_truncate: false,
+            records_written: 0,
+        })
     }
 
-    /// Append one record. Framing: `len (u32 LE) | crc32 (u32 LE) | payload`.
-    pub fn append(&mut self, record: &WalRecord) -> DbResult<()> {
+    /// Open a fresh log at `path`, discarding any existing content.
+    pub fn create(vfs: &dyn Vfs, path: &Path) -> DbResult<Self> {
+        vfs.remove_file(path)?;
+        WalWriter::open(vfs, path, 0)
+    }
+
+    /// Append one record to the in-memory tail. Framing:
+    /// `len (u32 LE) | crc32 (u32 LE) | payload`. Durable only after the
+    /// next successful [`WalWriter::sync`].
+    pub fn append(&mut self, record: &WalRecord) {
         let payload = record.encode();
-        self.file.write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.file.write_all(&crc32(&payload).to_le_bytes())?;
-        self.file.write_all(&payload)?;
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
         self.records_written += 1;
-        Ok(())
     }
 
-    /// Flush buffered frames and fsync.
+    /// Make every appended record durable. Retries any truncation or tail
+    /// cleanup a previous failure left behind, in order, before writing.
     pub fn sync(&mut self) -> DbResult<()> {
-        self.file.flush()?;
-        self.file.get_ref().sync_data()?;
+        if self.pending_truncate {
+            self.file.truncate(0)?;
+            self.file.sync()?;
+            self.pending_truncate = false;
+            self.dirty_tail = false;
+            self.confirmed = 0;
+        }
+        if self.dirty_tail {
+            self.file.truncate(self.confirmed)?;
+            self.file.sync()?;
+            self.dirty_tail = false;
+        }
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        // A failed write below may leave a torn tail past `confirmed`.
+        self.dirty_tail = true;
+        self.file.write_at(self.confirmed, &self.buf)?;
+        self.file.sync()?;
+        self.confirmed += self.buf.len() as u64;
+        self.buf.clear();
+        self.dirty_tail = false;
         Ok(())
     }
 
-    /// Truncate the log (after a checkpoint has made it redundant).
+    /// Truncate the log (after a checkpoint has made it redundant),
+    /// fsyncing the truncation before any new record can be written. On
+    /// failure the truncation stays pending: no later write reaches the
+    /// disk until a retry succeeds, so stale pre-checkpoint records can
+    /// never be followed by post-checkpoint ones.
     pub fn truncate(&mut self) -> DbResult<()> {
-        self.file.flush()?;
-        let file = OpenOptions::new().write(true).truncate(true).open(&self.path)?;
-        file.sync_data()?;
-        let file = OpenOptions::new().create(true).append(true).open(&self.path)?;
-        self.file = BufWriter::new(file);
-        Ok(())
+        self.buf.clear();
+        self.pending_truncate = true;
+        self.sync()
     }
 
     /// Number of records appended through this writer.
     pub fn records_written(&self) -> u64 {
         self.records_written
     }
+
+    /// Bytes confirmed durable on disk.
+    pub fn confirmed_len(&self) -> u64 {
+        self.confirmed
+    }
 }
 
-/// Read every intact record from a log file; a torn or corrupt tail ends
-/// the iteration silently (crash-recovery semantics), but corruption
-/// *before* intact data is reported.
-pub fn read_log(path: &Path) -> DbResult<Vec<WalRecord>> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e.into()),
-    }
+/// Read every intact record from a log file, with the byte length of the
+/// valid prefix. A torn or corrupt tail ends the iteration silently
+/// (crash-recovery semantics) — the returned length lets the writer resume
+/// right where the intact records end — but corruption *before* intact
+/// data is reported.
+pub fn read_log_prefix(vfs: &dyn Vfs, path: &Path) -> DbResult<(Vec<WalRecord>, u64)> {
+    let Some(bytes) = vfs.read_file(path)? else {
+        return Ok((Vec::new(), 0));
+    };
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos + 8 <= bytes.len() {
@@ -324,17 +413,22 @@ pub fn read_log(path: &Path) -> DbResult<Vec<WalRecord>> {
         records.push(WalRecord::decode(payload)?);
         pos += 8 + len;
     }
-    Ok(records)
+    Ok((records, pos as u64))
+}
+
+/// [`read_log_prefix`] without the length, for callers that only replay.
+pub fn read_log(vfs: &dyn Vfs, path: &Path) -> DbResult<Vec<WalRecord>> {
+    read_log_prefix(vfs, path).map(|(records, _)| records)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::vfs::{FaultConfig, FaultVfs};
+    use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("unidb-wal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
+        PathBuf::from("/wal").join(name)
     }
 
     fn sample_records() -> Vec<WalRecord> {
@@ -365,6 +459,9 @@ mod tests {
                 unique: true,
             },
             WalRecord::Checkpoint,
+            WalRecord::TxnBegin,
+            WalRecord::TxnCommit,
+            WalRecord::Epoch(42),
         ]
     }
 
@@ -385,77 +482,172 @@ mod tests {
 
     #[test]
     fn write_and_read_back() {
+        let vfs = FaultVfs::reliable();
         let path = tmp("roundtrip.wal");
-        let _ = std::fs::remove_file(&path);
         {
-            let mut w = WalWriter::open(&path).unwrap();
+            let mut w = WalWriter::create(&vfs, &path).unwrap();
             for rec in sample_records() {
-                w.append(&rec).unwrap();
+                w.append(&rec);
             }
             w.sync().unwrap();
-            assert_eq!(w.records_written(), 8);
+            assert_eq!(w.records_written(), 11);
         }
-        let back = read_log(&path).unwrap();
+        let back = read_log(&vfs, &path).unwrap();
         assert_eq!(back, sample_records());
-        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn torn_tail_ignored() {
+        let vfs = FaultVfs::reliable();
         let path = tmp("torn.wal");
-        let _ = std::fs::remove_file(&path);
-        {
-            let mut w = WalWriter::open(&path).unwrap();
-            w.append(&WalRecord::Checkpoint).unwrap();
-            w.sync().unwrap();
-        }
+        let mut w = WalWriter::create(&vfs, &path).unwrap();
+        w.append(&WalRecord::Checkpoint);
+        w.sync().unwrap();
         // Append garbage simulating a crash mid-frame.
-        use std::io::Write;
-        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-        f.write_all(&[42, 0, 0, 0, 1, 2]).unwrap();
-        let back = read_log(&path).unwrap();
+        let mut f = vfs.open(&path).unwrap();
+        let len = f.len().unwrap();
+        f.write_at(len, &[42, 0, 0, 0, 1, 2]).unwrap();
+        let (back, valid) = read_log_prefix(&vfs, &path).unwrap();
         assert_eq!(back, vec![WalRecord::Checkpoint]);
-        std::fs::remove_file(&path).unwrap();
+        assert_eq!(valid, len, "valid prefix ends where the garbage starts");
     }
 
+    /// A torn tail record with a CRC mismatch is dropped, not an error:
+    /// replay returns every intact record before it.
     #[test]
-    fn corrupt_crc_stops_replay() {
+    fn corrupt_crc_tail_dropped_not_error() {
+        let vfs = FaultVfs::reliable();
         let path = tmp("crc.wal");
-        let _ = std::fs::remove_file(&path);
-        {
-            let mut w = WalWriter::open(&path).unwrap();
-            w.append(&WalRecord::Checkpoint).unwrap();
-            w.append(&WalRecord::CreateSpace { name: "x".into(), owner: "x".into() }).unwrap();
-            w.sync().unwrap();
+        let intact = vec![
+            WalRecord::Checkpoint,
+            WalRecord::CreateSpace { name: "x".into(), owner: "x".into() },
+        ];
+        let mut w = WalWriter::create(&vfs, &path).unwrap();
+        for rec in &intact {
+            w.append(rec);
         }
-        // Flip a byte in the second frame's payload.
-        let mut bytes = std::fs::read(&path).unwrap();
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0xFF;
-        std::fs::write(&path, &bytes).unwrap();
-        let back = read_log(&path).unwrap();
-        assert_eq!(back, vec![WalRecord::Checkpoint]);
-        std::fs::remove_file(&path).unwrap();
+        w.append(&WalRecord::CreateSpace { name: "torn".into(), owner: "torn".into() });
+        w.sync().unwrap();
+        let valid_before = {
+            let (records, valid) = read_log_prefix(&vfs, &path).unwrap();
+            assert_eq!(records.len(), 3);
+            valid
+        };
+        // Flip a byte in the last frame's payload: the CRC no longer
+        // matches, so that record reads as a torn tail.
+        let mut f = vfs.open(&path).unwrap();
+        let last = f.len().unwrap() - 1;
+        let mut b = [0u8; 1];
+        assert_eq!(f.read_at(last, &mut b).unwrap(), 1);
+        f.write_at(last, &[b[0] ^ 0xFF]).unwrap();
+        let (back, valid) = read_log_prefix(&vfs, &path).unwrap();
+        assert_eq!(back, intact, "intact prefix survives, torn record is dropped");
+        assert!(valid < valid_before);
     }
 
     #[test]
     fn truncate_resets_log() {
+        let vfs = FaultVfs::reliable();
         let path = tmp("trunc.wal");
-        let _ = std::fs::remove_file(&path);
-        let mut w = WalWriter::open(&path).unwrap();
-        w.append(&WalRecord::Checkpoint).unwrap();
+        let mut w = WalWriter::create(&vfs, &path).unwrap();
+        w.append(&WalRecord::Checkpoint);
         w.sync().unwrap();
         w.truncate().unwrap();
-        assert!(read_log(&path).unwrap().is_empty());
+        assert!(read_log(&vfs, &path).unwrap().is_empty());
         // Still usable after truncation.
-        w.append(&WalRecord::Checkpoint).unwrap();
+        w.append(&WalRecord::Checkpoint);
         w.sync().unwrap();
-        assert_eq!(read_log(&path).unwrap().len(), 1);
-        std::fs::remove_file(&path).unwrap();
+        assert_eq!(read_log(&vfs, &path).unwrap().len(), 1);
     }
 
     #[test]
     fn missing_file_is_empty_log() {
-        assert!(read_log(Path::new("/nonexistent/definitely.wal")).unwrap().is_empty());
+        let vfs = FaultVfs::reliable();
+        assert!(read_log(&vfs, Path::new("/nonexistent/definitely.wal")).unwrap().is_empty());
+    }
+
+    /// A failed sync keeps the buffer: a later sync lands every record,
+    /// in order, with nothing lost or duplicated.
+    #[test]
+    fn failed_sync_retries_buffered_records() {
+        let path = tmp("retry.wal");
+        let mut cfg = FaultConfig::reliable();
+        cfg.sync_fail_prob = 1.0;
+        let vfs = FaultVfs::new(cfg);
+        vfs.disarm();
+        let mut w = WalWriter::create(&vfs, &path).unwrap();
+        w.append(&WalRecord::Epoch(1));
+        vfs.arm();
+        assert!(matches!(w.sync(), Err(DbError::Io(_))));
+        w.append(&WalRecord::Checkpoint);
+        assert!(matches!(w.sync(), Err(DbError::Io(_))));
+        vfs.disarm();
+        w.sync().unwrap();
+        let back = read_log(&vfs, &path).unwrap();
+        assert_eq!(back, vec![WalRecord::Epoch(1), WalRecord::Checkpoint]);
+    }
+
+    /// A torn write leaves garbage past the confirmed prefix; the next
+    /// sync truncates it and rewrites, so readers never see the tear.
+    #[test]
+    fn torn_write_cleaned_up_on_retry() {
+        let path = tmp("torn-retry.wal");
+        let mut cfg = FaultConfig::reliable();
+        cfg.torn_write_prob = 1.0;
+        let vfs = FaultVfs::new(cfg);
+        vfs.disarm();
+        let mut w = WalWriter::create(&vfs, &path).unwrap();
+        w.append(&WalRecord::CreateSpace { name: "a".into(), owner: "a".into() });
+        w.sync().unwrap();
+        w.append(&WalRecord::CreateSpace { name: "b".into(), owner: "b".into() });
+        vfs.arm();
+        assert!(matches!(w.sync(), Err(DbError::Io(_))));
+        vfs.disarm();
+        w.sync().unwrap();
+        let back = read_log(&vfs, &path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(w.confirmed_len(), vfs.open(&path).unwrap().len().unwrap());
+    }
+
+    /// A failed truncation stays pending: nothing is written until the
+    /// retry succeeds, so stale records can never precede fresh ones.
+    #[test]
+    fn failed_truncate_blocks_writes_until_retried() {
+        let path = tmp("trunc-fail.wal");
+        let mut cfg = FaultConfig::reliable();
+        cfg.sync_fail_prob = 1.0;
+        let vfs = FaultVfs::new(cfg);
+        vfs.disarm();
+        let mut w = WalWriter::create(&vfs, &path).unwrap();
+        w.append(&WalRecord::Epoch(7));
+        w.sync().unwrap();
+        vfs.arm();
+        assert!(w.truncate().is_err());
+        vfs.disarm();
+        w.append(&WalRecord::Checkpoint);
+        w.sync().unwrap();
+        let back = read_log(&vfs, &path).unwrap();
+        assert_eq!(back, vec![WalRecord::Checkpoint], "stale pre-truncate record discarded");
+    }
+
+    /// Opening at the valid prefix of a file with a torn tail resumes
+    /// appending over the garbage.
+    #[test]
+    fn open_at_valid_prefix_overwrites_garbage() {
+        let vfs = FaultVfs::reliable();
+        let path = tmp("resume.wal");
+        let mut w = WalWriter::create(&vfs, &path).unwrap();
+        w.append(&WalRecord::Checkpoint);
+        w.sync().unwrap();
+        let mut f = vfs.open(&path).unwrap();
+        let len = f.len().unwrap();
+        f.write_at(len, &[9, 9, 9]).unwrap();
+        let (records, valid) = read_log_prefix(&vfs, &path).unwrap();
+        assert_eq!(records.len(), 1);
+        let mut w = WalWriter::open(&vfs, &path, valid).unwrap();
+        w.append(&WalRecord::Epoch(3));
+        w.sync().unwrap();
+        let back = read_log(&vfs, &path).unwrap();
+        assert_eq!(back, vec![WalRecord::Checkpoint, WalRecord::Epoch(3)]);
     }
 }

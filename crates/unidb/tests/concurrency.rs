@@ -79,7 +79,9 @@ fn concurrent_readers_and_a_writer_stay_consistent() {
             std::thread::spawn(move || {
                 let mut last = 0i64;
                 let mut observations = 0u64;
-                while !done.load(Ordering::Relaxed) {
+                // Query-then-check so every reader observes at least once
+                // even if the writer finishes before this thread starts.
+                loop {
                     let rs = db.execute("SELECT count(*) FROM public.log").unwrap();
                     let n = rs.rows[0][0].as_int().unwrap();
                     // Rows are only ever inserted, so observed counts must
@@ -87,6 +89,9 @@ fn concurrent_readers_and_a_writer_stay_consistent() {
                     assert!(n >= last, "count went backwards: {n} < {last}");
                     last = n;
                     observations += 1;
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
                 }
                 observations
             })

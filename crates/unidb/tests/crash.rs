@@ -1,0 +1,410 @@
+//! Property-style crash-recovery harness: randomized workloads against a
+//! model table, swept across fault seeds and crash points.
+//!
+//! The property checked is **prefix consistency**: after a crash (or a run
+//! of transient IO faults) and a fresh `Database::open` + `recover()` on
+//! the surviving disk image, the recovered table must equal the model
+//! state after some prefix of the workload — at least every operation
+//! that returned `Ok` (autocommit syncs, so `Ok` means durable), with
+//! explicit transactions applied atomically and uncommitted work
+//! invisible. Secondary indexes must come back consistent with the heap.
+//!
+//! Every fault decision derives from a seed, so a failing (seed, crash
+//! point) pair from the CI fault matrix reproduces exactly. The sweep is
+//! sharded via `FAULT_SEED_START` / `FAULT_SEED_COUNT`; failing seeds are
+//! appended to `target/fault-matrix/failing-seeds.txt` for artifact
+//! upload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use unidb::catalog::Role;
+use unidb::{Database, DbError, FaultConfig, FaultVfs};
+
+const DB_DIR: &str = "/crashdb";
+const OPS_PER_WORKLOAD: usize = 40;
+
+/// The model: id → val, mirroring `public.t (id INT, val TEXT)`.
+type Model = BTreeMap<i64, String>;
+
+/// One generated workload step.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert {
+        id: i64,
+        val: String,
+    },
+    Update {
+        id: i64,
+        val: String,
+    },
+    Delete {
+        id: i64,
+    },
+    /// BEGIN; inner ops; COMMIT — applied atomically or not at all.
+    Txn(Vec<Op>),
+}
+
+impl Op {
+    fn apply_to(&self, model: &mut Model) {
+        match self {
+            Op::Insert { id, val } | Op::Update { id, val } => {
+                model.insert(*id, val.clone());
+            }
+            Op::Delete { id } => {
+                model.remove(id);
+            }
+            Op::Txn(ops) => ops.iter().for_each(|op| op.apply_to(model)),
+        }
+    }
+
+    fn sql(&self) -> Vec<String> {
+        match self {
+            Op::Insert { id, val } => {
+                vec![format!("INSERT INTO public.t VALUES ({id}, '{val}')")]
+            }
+            Op::Update { id, val } => {
+                vec![format!("UPDATE public.t SET val = '{val}' WHERE id = {id}")]
+            }
+            Op::Delete { id } => vec![format!("DELETE FROM public.t WHERE id = {id}")],
+            Op::Txn(ops) => {
+                let mut stmts = vec!["BEGIN".to_string()];
+                stmts.extend(ops.iter().flat_map(Op::sql));
+                stmts.push("COMMIT".to_string());
+                stmts
+            }
+        }
+    }
+}
+
+/// Deterministically generate a workload from a seed. Single-row
+/// statements only (targeted by unique id), so a statement either fully
+/// applies or fully fails — the granularity the model tracks.
+fn generate_workload(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let mut next_id = 0i64;
+    let mut live: Vec<i64> = Vec::new();
+    let mut ops = Vec::with_capacity(len);
+    let single = |rng: &mut StdRng, next_id: &mut i64, live: &mut Vec<i64>| {
+        let roll: f64 = rng.gen();
+        if live.is_empty() || roll < 0.55 {
+            let id = *next_id;
+            *next_id += 1;
+            live.push(id);
+            Op::Insert { id, val: format!("v{id}-{}", rng.gen_range(0..1000)) }
+        } else if roll < 0.8 {
+            let id = live[rng.gen_range(0..live.len())];
+            Op::Update { id, val: format!("u{id}-{}", rng.gen_range(0..1000)) }
+        } else {
+            let id = live.swap_remove(rng.gen_range(0..live.len()));
+            Op::Delete { id }
+        }
+    };
+    while ops.len() < len {
+        if rng.gen_bool(0.15) {
+            let n = rng.gen_range(2..=4);
+            let inner: Vec<Op> =
+                (0..n).map(|_| single(&mut rng, &mut next_id, &mut live)).collect();
+            ops.push(Op::Txn(inner));
+        } else {
+            ops.push(single(&mut rng, &mut next_id, &mut live));
+        }
+    }
+    ops
+}
+
+/// Open the database on `vfs` and run recovery.
+fn open_db(vfs: &FaultVfs) -> Result<Database, DbError> {
+    let db = Database::open_with_vfs(Path::new(DB_DIR), Arc::new(vfs.clone()))?;
+    db.recover()?;
+    Ok(db)
+}
+
+/// Create the schema (table + unique secondary index) with faults disarmed.
+fn setup(vfs: &FaultVfs) -> Database {
+    vfs.disarm();
+    let db = open_db(vfs).expect("setup open must not fail with faults disarmed");
+    db.execute_script_as(
+        "CREATE TABLE public.t (id INT, val TEXT);
+         CREATE UNIQUE INDEX ON public.t (id);",
+        &Role::Maintainer,
+    )
+    .expect("setup DDL must not fail with faults disarmed");
+    db
+}
+
+/// Read the recovered table back into a model, via a full scan.
+fn dump_table(db: &Database) -> Model {
+    let rs = db
+        .execute_as("SELECT id, val FROM public.t", &Role::Maintainer)
+        .expect("post-recovery scan must succeed");
+    rs.rows
+        .iter()
+        .map(|r| (r[0].as_int().expect("int id"), r[1].as_text().expect("text val").to_string()))
+        .collect()
+}
+
+/// Outcome of running a workload against the engine.
+struct RunOutcome {
+    /// Model states s_0..s_n (state after each op attempt).
+    states: Vec<Model>,
+    /// Largest index whose op returned Ok — recovery may not land before it.
+    floor: usize,
+    /// Errors observed (each must be DbError::Io).
+    io_errors: usize,
+    /// Index at which a crash stopped the run, if any.
+    crashed_at: Option<usize>,
+}
+
+/// Drive the workload. In-memory effects track the model regardless of IO
+/// errors (mutations precede logging); durability is what recovery checks.
+fn run_workload(db: &Database, vfs: &FaultVfs, ops: &[Op]) -> RunOutcome {
+    let mut states = vec![Model::new()];
+    let mut floor = 0usize;
+    let mut io_errors = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let mut ok = true;
+        for stmt in op.sql() {
+            match db.execute_as(&stmt, &Role::Maintainer) {
+                Ok(_) => {}
+                Err(DbError::Io(_)) => {
+                    ok = false;
+                    io_errors += 1;
+                }
+                Err(other) => panic!("op {i} ({stmt:?}): expected DbError::Io, got {other:?}"),
+            }
+        }
+        let mut next = states.last().expect("nonempty").clone();
+        op.apply_to(&mut next);
+        states.push(next);
+        if vfs.crashed() {
+            return RunOutcome { states, floor, io_errors, crashed_at: Some(i) };
+        }
+        if ok {
+            // Every statement of the op succeeded; autocommit (and COMMIT)
+            // sync the WAL, so this state is durable.
+            floor = states.len() - 1;
+        }
+    }
+    RunOutcome { states, floor, io_errors, crashed_at: None }
+}
+
+/// Check prefix consistency: `recovered` equals some states[k], k ≥ floor.
+///
+/// One subtlety: an op that errored (never reached the durable floor) may
+/// still have *partially* persisted if a later successful sync flushed the
+/// buffered tail of a mid-transaction statement... it cannot — `sync` only
+/// returns Ok after writing every buffered record, and the floor advances
+/// past the errored op on the next Ok. So recovered must be an exact
+/// model state.
+fn check_prefix_consistency(outcome: &RunOutcome, recovered: &Model) -> Result<usize, String> {
+    for (k, state) in outcome.states.iter().enumerate().skip(outcome.floor) {
+        if state == recovered {
+            return Ok(k);
+        }
+    }
+    Err(format!(
+        "recovered state matches no model prefix ≥ {}: recovered {} rows {:?}, floor state {:?}",
+        outcome.floor,
+        recovered.len(),
+        recovered.iter().take(8).collect::<Vec<_>>(),
+        outcome.states[outcome.floor].iter().take(8).collect::<Vec<_>>(),
+    ))
+}
+
+/// Post-recovery invariants beyond row contents: the unique index answers
+/// point queries consistently with the heap and still enforces uniqueness.
+fn check_index_consistency(db: &Database, recovered: &Model) -> Result<(), String> {
+    for (id, val) in recovered.iter().take(5) {
+        let rs = db
+            .execute_as(&format!("SELECT val FROM public.t WHERE id = {id}"), &Role::Maintainer)
+            .map_err(|e| format!("index point query failed: {e}"))?;
+        if rs.rows.len() != 1 || rs.rows[0][0].as_text() != Some(val.as_str()) {
+            return Err(format!("index lookup for id {id} disagrees with heap"));
+        }
+    }
+    if let Some(id) = recovered.keys().next() {
+        match db
+            .execute_as(&format!("INSERT INTO public.t VALUES ({id}, 'dup')"), &Role::Maintainer)
+        {
+            Err(DbError::Constraint(_)) => {}
+            other => return Err(format!("unique index not enforced after recovery: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Record a failing combo for the CI artifact and return the message.
+fn report_failure(kind: &str, seed: u64, detail: &str) -> String {
+    let line = format!("{kind} seed={seed}: {detail}");
+    let dir = Path::new("target/fault-matrix");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("failing-seeds.txt");
+    let mut existing = std::fs::read_to_string(&path).unwrap_or_default();
+    existing.push_str(&line);
+    existing.push('\n');
+    let _ = std::fs::write(&path, existing);
+    line
+}
+
+fn seed_range() -> (u64, u64) {
+    let start = std::env::var("FAULT_SEED_START").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let count = std::env::var("FAULT_SEED_COUNT").ok().and_then(|v| v.parse().ok()).unwrap_or(25);
+    (start, count)
+}
+
+/// Crash-point sweep: for each seed, freeze the disk at a range of points
+/// in the IO stream, then recover on the frozen image and check prefix
+/// consistency + index integrity. ≥ 200 (seed, crash point) combinations
+/// at the default 25-seed range.
+#[test]
+fn crash_points_recover_to_a_consistent_prefix() {
+    let (start, count) = seed_range();
+    let crash_points: &[u64] = &[1, 2, 3, 5, 8, 13, 21, 34];
+    let mut combos = 0u64;
+    let mut crashed = 0u64;
+    let mut failures = Vec::new();
+    for seed in start..start + count {
+        let ops = generate_workload(seed, OPS_PER_WORKLOAD);
+        for &point in crash_points {
+            combos += 1;
+            let vfs = FaultVfs::new(FaultConfig::crash_at(seed ^ (point << 32), point));
+            let db = setup(&vfs);
+            vfs.arm();
+            let outcome = run_workload(&db, &vfs, &ops);
+            drop(db);
+            if outcome.crashed_at.is_none() {
+                // Workload finished before the crash point fired (short
+                // workloads with late points) — nothing to recover.
+                continue;
+            }
+            crashed += 1;
+            // "Restart the process": clear the crashed flag, keep the
+            // frozen image, reopen, recover.
+            vfs.reset_after_crash();
+            let db = match open_db(&vfs) {
+                Ok(db) => db,
+                Err(e) => {
+                    failures.push(report_failure(
+                        "crash",
+                        seed,
+                        &format!("point={point}: recovery failed: {e}"),
+                    ));
+                    continue;
+                }
+            };
+            let recovered = dump_table(&db);
+            if let Err(msg) = check_prefix_consistency(&outcome, &recovered) {
+                failures.push(report_failure("crash", seed, &format!("point={point}: {msg}")));
+                continue;
+            }
+            if let Err(msg) = check_index_consistency(&db, &recovered) {
+                failures.push(report_failure("crash", seed, &format!("point={point}: {msg}")));
+            }
+        }
+    }
+    println!(
+        "crash sweep: {combos} (seed, crash point) combinations, {crashed} crashed mid-workload, {} failed",
+        failures.len()
+    );
+    assert!(combos >= 8, "sweep ran no combinations");
+    assert!(crashed * 2 >= combos, "too few combos actually crashed ({crashed}/{combos})");
+    assert!(failures.is_empty(), "{} failing combos:\n{}", failures.len(), failures.join("\n"));
+}
+
+/// Transient-fault sweep: no crash, but writes/syncs/reads can fail. Every
+/// error must be a structured `DbError::Io`; the database must stay usable
+/// in-process, and a fresh open on the same disk must recover a consistent
+/// prefix that includes every op that reported Ok.
+#[test]
+fn transient_io_faults_leave_database_reopenable() {
+    let (start, count) = seed_range();
+    let mut failures = Vec::new();
+    let mut total_io_errors = 0usize;
+    for seed in start..start + count {
+        let ops = generate_workload(seed ^ 0xDEAD_BEEF, OPS_PER_WORKLOAD);
+        let vfs = FaultVfs::new(FaultConfig::transient(seed));
+        let db = setup(&vfs);
+        vfs.arm();
+        let outcome = run_workload(&db, &vfs, &ops);
+        total_io_errors += outcome.io_errors;
+        assert!(outcome.crashed_at.is_none(), "transient config must not crash");
+
+        // The engine must still answer queries in-process after IO errors.
+        db.execute_as("SELECT count(*) FROM public.t", &Role::Maintainer)
+            .expect("reads must survive WAL-layer faults");
+
+        // A fresh open on the same (still faulty-history) disk: disarm and
+        // recover, as an administrator would after fixing the disk.
+        vfs.disarm();
+        drop(db);
+        let db = match open_db(&vfs) {
+            Ok(db) => db,
+            Err(e) => {
+                failures.push(report_failure("transient", seed, &format!("reopen failed: {e}")));
+                continue;
+            }
+        };
+        let recovered = dump_table(&db);
+        if let Err(msg) = check_prefix_consistency(&outcome, &recovered) {
+            failures.push(report_failure("transient", seed, &msg));
+            continue;
+        }
+        // The reopened database must accept new writes.
+        if let Err(e) =
+            db.execute_as("INSERT INTO public.t VALUES (100000, 'post')", &Role::Maintainer)
+        {
+            failures.push(report_failure("transient", seed, &format!("post-recovery write: {e}")));
+        }
+    }
+    println!("transient sweep: {count} seeds, {total_io_errors} injected IO errors surfaced");
+    assert!(failures.is_empty(), "{} failing seeds:\n{}", failures.len(), failures.join("\n"));
+}
+
+/// Crash during checkpoint: the epoch scheme must prevent double apply
+/// (old WAL replayed on top of a new snapshot) at every crash offset.
+#[test]
+fn crash_during_checkpoint_never_double_applies() {
+    let (start, count) = seed_range();
+    let mut failures = Vec::new();
+    for seed in start..start + count.min(10) {
+        let ops = generate_workload(seed ^ 0x5EED, 20);
+        for point in 1..=12u64 {
+            let vfs = FaultVfs::new(FaultConfig::crash_at(seed.wrapping_add(point), point));
+            let db = setup(&vfs);
+            let outcome = run_workload(&db, &vfs, &ops); // disarmed: all Ok
+            assert_eq!(outcome.io_errors, 0);
+            vfs.arm(); // the crash clock now ticks inside checkpoint()
+            let checkpoint_result = db.checkpoint();
+            drop(db);
+            vfs.reset_after_crash();
+            let db = match open_db(&vfs) {
+                Ok(db) => db,
+                Err(e) => {
+                    failures.push(report_failure(
+                        "checkpoint",
+                        seed,
+                        &format!("point={point}: recovery failed: {e} (checkpoint was {checkpoint_result:?})"),
+                    ));
+                    continue;
+                }
+            };
+            let recovered = dump_table(&db);
+            let expected = outcome.states.last().expect("nonempty");
+            if recovered != *expected {
+                failures.push(report_failure(
+                    "checkpoint",
+                    seed,
+                    &format!(
+                        "point={point}: recovered {} rows, expected {} (checkpoint was {checkpoint_result:?})",
+                        recovered.len(),
+                        expected.len()
+                    ),
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{} failing combos:\n{}", failures.len(), failures.join("\n"));
+}

@@ -84,7 +84,7 @@ fn main() {
         "ddbj-sim    (InspectLog)           : {} log entries — every change recovered",
         logged_deltas.len()
     );
-    let polled = poller.poll(&queryable);
+    let polled = poller.poll(&queryable).expect("queryable source");
     println!(
         "embl-sim    (SnapshotDifferential) : {} net deltas — rapid updates collapsed, \
          the GHOST record never seen",

@@ -231,7 +231,7 @@ fn warehouse_handles_source_retractions_gracefully() {
     // One source deletes everything it holds.
     let accs: Vec<String> = {
         let repo = w.source_mut("swiss-sim").unwrap();
-        repo.snapshot().iter().map(|r| r.accession.clone()).collect()
+        repo.snapshot().unwrap().iter().map(|r| r.accession.clone()).collect()
     };
     for acc in &accs {
         let repo = w.source_mut("swiss-sim").unwrap();

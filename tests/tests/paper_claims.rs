@@ -313,7 +313,7 @@ fn mediator_lacks_reconciliation_and_uncertainty() {
     med.add_source(s1);
     med.add_source(s2);
     // The union contains raw duplicates: 60 records for 45 entities.
-    assert_eq!(med.all_records().len(), 60);
+    assert_eq!(med.all_records().unwrap().len(), 60);
     // A lookup of a shared accession returns two unreconciled answers.
     let hits = med.lookup("SYN000000").unwrap();
     assert_eq!(hits.len(), 2);

@@ -1,0 +1,58 @@
+//! Throughput of the differential-testing harness itself: how many fuzzed
+//! scenarios (and individual SQL statements) per second the generate →
+//! execute-on-engine → execute-on-oracle → compare loop sustains. This is
+//! the number that decides how wide the CI seed matrix can be.
+//!
+//! Emits one JSON document on stdout:
+//!
+//! ```json
+//! {"bench":"qdiff_throughput","results":[
+//!   {"phase":"generate","scenarios":400,"elapsed_ms":12.0,"per_sec":33333.3},
+//!   {"phase":"check","scenarios":400,"statements":3800,"elapsed_ms":900.0,
+//!    "per_sec":444.4}]}
+//! ```
+//!
+//! Run with `cargo bench -p genalg-bench --bench qdiff`.
+
+use qdiff::{check_scenario, gen_scenario};
+use std::time::Instant;
+
+const SCENARIOS: u64 = 400;
+
+fn main() {
+    // Generation alone (pure, no database).
+    let t = Instant::now();
+    let mut statements = 0usize;
+    for seed in 0..SCENARIOS {
+        let sc = gen_scenario(seed);
+        statements += sc.ops.len() + sc.setup_sql().len();
+    }
+    let gen_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Full differential check: engine + oracle + comparison per statement.
+    let t = Instant::now();
+    let mut divergences = 0usize;
+    for seed in 0..SCENARIOS {
+        if check_scenario(&gen_scenario(seed)).is_some() {
+            divergences += 1;
+        }
+    }
+    let check_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(divergences, 0, "bench range must be divergence-free");
+
+    println!(
+        concat!(
+            "{{\"bench\":\"qdiff_throughput\",\"results\":[",
+            "{{\"phase\":\"generate\",\"scenarios\":{sc},\"statements\":{st},",
+            "\"elapsed_ms\":{gms:.1},\"per_sec\":{gps:.1}}},",
+            "{{\"phase\":\"check\",\"scenarios\":{sc},\"statements\":{st},",
+            "\"elapsed_ms\":{cms:.1},\"per_sec\":{cps:.1}}}]}}"
+        ),
+        sc = SCENARIOS,
+        st = statements,
+        gms = gen_ms,
+        gps = SCENARIOS as f64 / (gen_ms / 1e3),
+        cms = check_ms,
+        cps = SCENARIOS as f64 / (check_ms / 1e3),
+    );
+}

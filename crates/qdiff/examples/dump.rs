@@ -1,0 +1,22 @@
+//! Print the SQL script for one seed, and — if it diverges — the shrunk
+//! counterexample. Handy when triaging a CI artifact by seed number:
+//!
+//! ```text
+//! cargo run -p qdiff --example dump -- 4
+//! ```
+
+fn main() {
+    let seed: u64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).expect("usage: dump <seed>");
+    let sc = qdiff::gen_scenario(seed);
+    println!("{}", sc.render_script());
+    if let Some(d) = qdiff::check_scenario(&sc) {
+        println!("-- DIVERGENCE: {d}");
+        let mut fails = |s: &qdiff::Scenario| qdiff::check_scenario(s).is_some();
+        let small = qdiff::shrink(&sc, &mut fails, 400);
+        println!("-- SHRUNK:\n{}", small.render_script());
+        if let Some(d) = qdiff::check_scenario(&small) {
+            println!("-- {d}");
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Counterexample minimization.
+//!
+//! A ddmin-lite greedy loop: repeatedly try structural simplifications —
+//! drop whole statements, drop inserted rows, strip query clauses, replace
+//! expressions by their children, drop unreferenced tables — keeping a
+//! candidate whenever the failure predicate still holds, until a full pass
+//! changes nothing or the probe budget runs out. The predicate is abstract
+//! (`FnMut(&Scenario) -> bool`) so tests can shrink against synthetic
+//! properties without touching a database.
+
+use crate::{Op, Proj, QExpr, Query, Scenario};
+
+/// Minimize `sc` under `fails` (true = still reproduces). `budget` caps
+/// predicate evaluations; each probe runs the whole scenario, so this is
+/// the knob that bounds shrink time.
+pub fn shrink(sc: &Scenario, fails: &mut dyn FnMut(&Scenario) -> bool, budget: usize) -> Scenario {
+    let mut cur = sc.clone();
+    let mut left = budget;
+    loop {
+        let mut changed = false;
+        changed |= pass_drop_ops(&mut cur, fails, &mut left);
+        changed |= pass_drop_rows(&mut cur, fails, &mut left);
+        changed |= pass_simplify_queries(&mut cur, fails, &mut left);
+        changed |= pass_drop_filters(&mut cur, fails, &mut left);
+        changed |= pass_drop_tables(&mut cur, fails, &mut left);
+        if !changed || left == 0 {
+            return cur;
+        }
+    }
+}
+
+fn accept(
+    cur: &mut Scenario,
+    cand: Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> bool,
+    left: &mut usize,
+) -> bool {
+    if *left == 0 {
+        return false;
+    }
+    *left -= 1;
+    if fails(&cand) {
+        *cur = cand;
+        true
+    } else {
+        false
+    }
+}
+
+/// Drop whole statements, last first (later ops depend on earlier state,
+/// so trailing ops are the cheapest to lose).
+fn pass_drop_ops(
+    cur: &mut Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> bool,
+    left: &mut usize,
+) -> bool {
+    let mut changed = false;
+    let mut i = cur.ops.len();
+    while i > 0 {
+        i -= 1;
+        if i >= cur.ops.len() {
+            continue;
+        }
+        let mut cand = cur.clone();
+        cand.ops.remove(i);
+        changed |= accept(cur, cand, fails, left);
+    }
+    changed
+}
+
+/// Thin out INSERT rows: halves first, then single rows.
+fn pass_drop_rows(
+    cur: &mut Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> bool,
+    left: &mut usize,
+) -> bool {
+    let mut changed = false;
+    for i in 0..cur.ops.len() {
+        let Op::Insert { rows, .. } = &cur.ops[i] else { continue };
+        let n = rows.len();
+        if n > 1 {
+            for keep_second in [false, true] {
+                let Op::Insert { rows, .. } = &cur.ops[i] else { continue };
+                if rows.len() < 2 {
+                    break;
+                }
+                let mid = rows.len() / 2;
+                let mut cand = cur.clone();
+                if let Op::Insert { rows, .. } = &mut cand.ops[i] {
+                    *rows = if keep_second { rows.split_off(mid) } else { rows[..mid].to_vec() };
+                }
+                changed |= accept(cur, cand, fails, left);
+            }
+        }
+        // Single-row removal (an empty INSERT isn't valid SQL, so stop at 1;
+        // the op-drop pass removes the remainder if it's irrelevant).
+        let mut r = n;
+        while r > 0 {
+            r -= 1;
+            let Op::Insert { rows, .. } = &cur.ops[i] else { break };
+            if r >= rows.len() || rows.len() == 1 {
+                continue;
+            }
+            let mut cand = cur.clone();
+            if let Op::Insert { rows, .. } = &mut cand.ops[i] {
+                rows.remove(r);
+            }
+            changed |= accept(cur, cand, fails, left);
+        }
+    }
+    changed
+}
+
+/// Strip query decorations and thin projections.
+fn pass_simplify_queries(
+    cur: &mut Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> bool,
+    left: &mut usize,
+) -> bool {
+    let mut changed = false;
+    for i in 0..cur.ops.len() {
+        if !matches!(cur.ops[i], Op::Query(_)) {
+            continue;
+        }
+        // Clause-dropping candidates, cheapest simplification first.
+        type Tweak = fn(&mut Query) -> bool; // returns false if inapplicable
+        let tweaks: [Tweak; 6] = [
+            |q| q.limit.take().is_some(),
+            |q| q.offset.take().is_some(),
+            |q| !std::mem::take(&mut q.order_by).is_empty(),
+            |q| std::mem::replace(&mut q.distinct, false),
+            |q| q.filter.take().is_some(),
+            |q| q.join.take().is_some(),
+        ];
+        for tweak in tweaks {
+            let Op::Query(q) = &cur.ops[i] else { break };
+            let mut q2 = q.clone();
+            if !tweak(&mut q2) {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand.ops[i] = Op::Query(q2);
+            changed |= accept(cur, cand, fails, left);
+        }
+        // Drop one output column at a time (remapping ORDER BY indices).
+        let mut progress = true;
+        while progress {
+            let Op::Query(q) = &cur.ops[i] else { break };
+            let arity = q.out_arity();
+            let mut any = false;
+            for k in 0..arity {
+                let Op::Query(q) = &cur.ops[i] else { break };
+                if q.out_arity() <= 1 || k >= q.out_arity() {
+                    continue;
+                }
+                let Some(q2) = drop_output_column(q, k) else { continue };
+                let mut cand = cur.clone();
+                cand.ops[i] = Op::Query(q2);
+                any |= accept(cur, cand, fails, left);
+            }
+            changed |= any;
+            progress = any;
+        }
+        // Replace plain projections with their sub-expressions.
+        let mut progress = true;
+        while progress {
+            let Op::Query(q) = &cur.ops[i] else { break };
+            let Proj::Plain(exprs) = &q.proj else { break };
+            let mut any = false;
+            for k in 0..exprs.len() {
+                let Op::Query(q) = &cur.ops[i] else { break };
+                let Proj::Plain(exprs) = &q.proj else { break };
+                if k >= exprs.len() {
+                    continue;
+                }
+                for child in children(&exprs[k]) {
+                    let Op::Query(q) = &cur.ops[i] else { break };
+                    let mut q2 = q.clone();
+                    if let Proj::Plain(exprs) = &mut q2.proj {
+                        exprs[k] = child;
+                    }
+                    let mut cand = cur.clone();
+                    cand.ops[i] = Op::Query(q2);
+                    any |= accept(cur, cand, fails, left);
+                }
+            }
+            changed |= any;
+            progress = any;
+        }
+    }
+    changed
+}
+
+/// Simplify WHERE clauses (queries and DML alike) by replacing them with
+/// their boolean sub-expressions.
+fn pass_drop_filters(
+    cur: &mut Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> bool,
+    left: &mut usize,
+) -> bool {
+    let mut changed = false;
+    for i in 0..cur.ops.len() {
+        loop {
+            let filter = match &cur.ops[i] {
+                Op::Query(q) => q.filter.clone(),
+                Op::Update { filter, .. } | Op::Delete { filter, .. } => filter.clone(),
+                Op::Insert { .. } => None,
+            };
+            let Some(f) = filter else { break };
+            let mut any = false;
+            // Dropping entirely first, then one structural level.
+            let mut candidates: Vec<Option<QExpr>> = vec![None];
+            candidates.extend(bool_children(&f).into_iter().map(Some));
+            for repl in candidates {
+                let mut cand = cur.clone();
+                match &mut cand.ops[i] {
+                    Op::Query(q) => q.filter = repl.clone(),
+                    Op::Update { filter, .. } | Op::Delete { filter, .. } => *filter = repl.clone(),
+                    Op::Insert { .. } => {}
+                }
+                if accept(cur, cand, fails, left) {
+                    any = true;
+                    break; // filter changed; restart from the new one
+                }
+            }
+            changed |= any;
+            if !any {
+                break;
+            }
+        }
+    }
+    changed
+}
+
+/// Remove tables no op references (remapping indices above the gap).
+fn pass_drop_tables(
+    cur: &mut Scenario,
+    fails: &mut dyn FnMut(&Scenario) -> bool,
+    left: &mut usize,
+) -> bool {
+    let mut changed = false;
+    let mut t = cur.tables.len();
+    while t > 0 {
+        t -= 1;
+        if cur.tables.len() <= 1 || t >= cur.tables.len() {
+            continue;
+        }
+        let referenced = cur.ops.iter().any(|op| match op {
+            Op::Insert { table, .. } | Op::Update { table, .. } | Op::Delete { table, .. } => {
+                *table == t
+            }
+            Op::Query(q) => q.table == t || q.join.as_ref().is_some_and(|j| j.table == t),
+        });
+        if referenced {
+            continue;
+        }
+        let mut cand = cur.clone();
+        cand.tables.remove(t);
+        for op in &mut cand.ops {
+            let remap = |x: &mut usize| {
+                if *x > t {
+                    *x -= 1;
+                }
+            };
+            match op {
+                Op::Insert { table, .. } | Op::Update { table, .. } | Op::Delete { table, .. } => {
+                    remap(table)
+                }
+                Op::Query(q) => {
+                    remap(&mut q.table);
+                    if let Some(j) = &mut q.join {
+                        remap(&mut j.table);
+                    }
+                }
+            }
+        }
+        changed |= accept(cur, cand, fails, left);
+    }
+    changed
+}
+
+/// Remove output column `k` from a query, remapping ORDER BY indices.
+/// Returns `None` when a key references `k` itself (dropping it would
+/// change which query we're testing in a way the ORDER BY can't follow).
+fn drop_output_column(q: &Query, k: usize) -> Option<Query> {
+    if q.order_by.iter().any(|(i, _)| *i == k) {
+        return None;
+    }
+    let mut q2 = q.clone();
+    match &mut q2.proj {
+        Proj::Plain(exprs) => {
+            exprs.remove(k);
+        }
+        Proj::Agg { group, aggs } => {
+            // Group columns can't be dropped without changing the grouping;
+            // only aggregate outputs are droppable.
+            if k < group.len() {
+                return None;
+            }
+            aggs.remove(k - group.len());
+        }
+    }
+    for (i, _) in &mut q2.order_by {
+        if *i > k {
+            *i -= 1;
+        }
+    }
+    Some(q2)
+}
+
+/// Direct sub-expressions (any type) — used to peel projection trees.
+fn children(e: &QExpr) -> Vec<QExpr> {
+    match e {
+        QExpr::Lit(_) | QExpr::Col(_) => Vec::new(),
+        QExpr::Neg(x) | QExpr::Not(x) => vec![(**x).clone()],
+        QExpr::Bin(_, l, r) => vec![(**l).clone(), (**r).clone()],
+        QExpr::IsNull { expr, .. } => vec![(**expr).clone()],
+        QExpr::InList { expr, list, .. } => {
+            let mut v = vec![(**expr).clone()];
+            v.extend(list.iter().cloned());
+            v
+        }
+        QExpr::Between { expr, lo, hi, .. } => {
+            vec![(**expr).clone(), (**lo).clone(), (**hi).clone()]
+        }
+        QExpr::Like { expr, .. } => vec![(**expr).clone()],
+    }
+}
+
+/// Boolean-valued sub-expressions only — valid WHERE replacements.
+fn bool_children(e: &QExpr) -> Vec<QExpr> {
+    match e {
+        QExpr::Bin(QOp::And | QOp::Or, l, r) => vec![(**l).clone(), (**r).clone()],
+        QExpr::Not(x) => vec![(**x).clone()],
+        QExpr::Between { expr, lo, hi, negated } if *negated => vec![QExpr::Between {
+            expr: expr.clone(),
+            lo: lo.clone(),
+            hi: hi.clone(),
+            negated: false,
+        }],
+        QExpr::Like { expr, pattern, escape, negated } if *negated => vec![QExpr::Like {
+            expr: expr.clone(),
+            pattern: pattern.clone(),
+            escape: *escape,
+            negated: false,
+        }],
+        QExpr::InList { expr, list, negated } if *negated => {
+            vec![QExpr::InList { expr: expr.clone(), list: list.clone(), negated: false }]
+        }
+        _ => Vec::new(),
+    }
+}
+
+use crate::QOp;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen_scenario;
+
+    /// Shrinking against "contains at least one UPDATE" must strip the
+    /// scenario down to almost nothing but an UPDATE.
+    #[test]
+    fn shrinks_to_the_predicate_core() {
+        // Find a seed whose scenario has an UPDATE.
+        let sc = (0..50)
+            .map(gen_scenario)
+            .find(|s| s.ops.iter().any(|o| matches!(o, Op::Update { .. })))
+            .expect("some seed generates an UPDATE");
+        let before_ops = sc.ops.len();
+        let mut fails = |s: &Scenario| s.ops.iter().any(|o| matches!(o, Op::Update { .. }));
+        let small = shrink(&sc, &mut fails, 500);
+        assert!(fails(&small), "shrinking must preserve the property");
+        assert!(small.ops.len() <= before_ops);
+        assert_eq!(
+            small.ops.iter().filter(|o| matches!(o, Op::Update { .. })).count(),
+            small.ops.len(),
+            "every surviving op should be an UPDATE: {:?}",
+            small.ops
+        );
+        assert_eq!(small.tables.len(), 1, "unreferenced tables should be gone");
+    }
+
+    /// The budget is a hard cap on predicate probes.
+    #[test]
+    fn respects_probe_budget() {
+        let sc = gen_scenario(3);
+        let mut calls = 0usize;
+        let mut fails = |_: &Scenario| {
+            calls += 1;
+            true
+        };
+        let _ = shrink(&sc, &mut fails, 17);
+        assert!(calls <= 17, "made {calls} probes with budget 17");
+    }
+
+    /// Query decorations (LIMIT, ORDER BY, DISTINCT, filters, joins) are
+    /// all strippable when irrelevant to the failure.
+    #[test]
+    fn strips_irrelevant_query_clauses() {
+        let sc = (0..80)
+            .map(gen_scenario)
+            .find(|s| {
+                s.ops.iter().any(|o| {
+                    matches!(o, Op::Query(q)
+                        if q.limit.is_some() && !q.order_by.is_empty() && q.filter.is_some())
+                })
+            })
+            .expect("some seed generates a decorated query");
+        let mut fails = |s: &Scenario| s.ops.iter().any(|o| matches!(o, Op::Query(_)));
+        let small = shrink(&sc, &mut fails, 800);
+        let Some(Op::Query(q)) = small.ops.first() else {
+            panic!("expected a lone query, got {:?}", small.ops)
+        };
+        assert_eq!(small.ops.len(), 1);
+        assert!(q.limit.is_none() && q.order_by.is_empty() && q.filter.is_none());
+    }
+}

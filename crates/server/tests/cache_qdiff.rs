@@ -1,0 +1,99 @@
+//! qdiff-driven result-cache correctness.
+//!
+//! Two [`QueryService`]s over the *same* database: one with caches on, one
+//! with caches off (ground truth — every query replans and re-executes).
+//! We drive generated scenarios through the cached service and, after every
+//! DML statement, replay every SELECT seen so far on both services. If the
+//! generation-counter invalidation ever serves a stale cached result, the
+//! two sides disagree and the seed pinpoints the statement interleaving.
+
+use genalg_server::{Lang, QueryService, ServerConfig, SessionKind};
+use qdiff::{gen_scenario, Op};
+use std::sync::Arc;
+use unidb::Database;
+
+fn services() -> (QueryService, QueryService) {
+    let db = Arc::new(Database::in_memory());
+    let cached = QueryService::new(
+        Arc::clone(&db),
+        &ServerConfig { caches_enabled: true, ..ServerConfig::default() },
+    );
+    let uncached =
+        QueryService::new(db, &ServerConfig { caches_enabled: false, ..ServerConfig::default() });
+    (cached, uncached)
+}
+
+#[test]
+fn cached_selects_never_go_stale_under_fuzzed_dml() {
+    for seed in 0..24u64 {
+        let sc = gen_scenario(seed);
+        let (cached, uncached) = services();
+        let cs = cached.open_session(SessionKind::Maintainer);
+        let us = uncached.open_session(SessionKind::Maintainer);
+
+        for ddl in sc.setup_sql() {
+            cached.execute(cs, Lang::Sql, &ddl).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+
+        let mut seen_selects: Vec<String> = Vec::new();
+        for op in &sc.ops {
+            let sql = sc.op_sql(op);
+            if let Op::Query(_) = op {
+                // Run it twice through the cached side so the second run is
+                // a cache hit, then once uncached; all three must agree.
+                let first = cached.execute(cs, Lang::Sql, &sql);
+                let hit = cached.execute(cs, Lang::Sql, &sql);
+                let truth = uncached.execute(us, Lang::Sql, &sql);
+                match (&first, &hit, &truth) {
+                    (Ok(a), Ok(b), Ok(t)) => {
+                        assert_eq!(a.rows, b.rows, "seed {seed}: cache hit differs: {sql}");
+                        assert_eq!(
+                            sorted(&a.rows),
+                            sorted(&t.rows),
+                            "seed {seed}: cached vs uncached differ: {sql}"
+                        );
+                    }
+                    (Err(_), Err(_), Err(_)) => {}
+                    _ => panic!(
+                        "seed {seed}: error disagreement on {sql}: first={first:?} hit={hit:?} truth={truth:?}"
+                    ),
+                }
+                seen_selects.push(sql);
+            } else {
+                // DML goes through the cached service (shared database, so
+                // it must run exactly once); afterwards every previously
+                // cached SELECT must reflect the new state.
+                let r = cached.execute(cs, Lang::Sql, &sql);
+                if r.is_err() {
+                    // Generated DML only errors when a filter errors, in
+                    // which case the statement was a no-op on both sides.
+                    continue;
+                }
+                for sel in &seen_selects {
+                    let c = cached.execute(cs, Lang::Sql, sel);
+                    let t = uncached.execute(us, Lang::Sql, sel);
+                    match (&c, &t) {
+                        (Ok(c), Ok(t)) => assert_eq!(
+                            sorted(&c.rows),
+                            sorted(&t.rows),
+                            "seed {seed}: stale cached result after `{sql}` for `{sel}`"
+                        ),
+                        (Err(_), Err(_)) => {}
+                        _ => panic!(
+                            "seed {seed}: error disagreement replaying `{sel}` after `{sql}`"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Order-insensitive comparison: scan order is legitimate nondeterminism,
+/// staleness is not. Debug strings give a total order without requiring
+/// `Ord` on datums (no NaNs are generated).
+fn sorted(rows: &[Vec<unidb::Datum>]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}

@@ -112,9 +112,11 @@ pub fn execute_plan(
                 }
                 keyed.push((kvec, row));
             }
+            // `sort_by` is stable, so ties on every key preserve input
+            // order — multi-key sorts and LIMIT windows are deterministic.
             keyed.sort_by(|(ka, _), (kb, _)| {
                 for (i, (_, asc)) in keys.iter().enumerate() {
-                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = order_by_cmp(&ka[i], &kb[i]);
                     let ord = if *asc { ord } else { ord.reverse() };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -129,15 +131,33 @@ pub fn execute_plan(
             let mut seen = std::collections::HashSet::new();
             Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
         }
-        PhysicalPlan::Limit { input, n } => {
+        PhysicalPlan::Limit { input, n, offset } => {
             let mut rows = execute_plan(storage, funcs, input)?;
-            rows.truncate(*n as usize);
+            let skip = (*offset as usize).min(rows.len());
+            rows.drain(..skip);
+            if let Some(n) = n {
+                rows.truncate(*n as usize);
+            }
             Ok(rows)
         }
     }
     .inspect(|rows| {
         debug_assert!(rows.iter().all(|r| r.len() == bindings.len() || bindings.is_empty()));
     })
+}
+
+/// ORDER BY comparator: NULLs sort LAST under ASC (and therefore FIRST
+/// under DESC, which is just the reversal), matching PostgreSQL's
+/// defaults. This is deliberately different from [`Datum::total_cmp`],
+/// whose NULL-first total order is a storage-level concern (B-tree key
+/// order), not a query-semantics one.
+pub fn order_by_cmp(a: &Datum, b: &Datum) -> std::cmp::Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.total_cmp(b),
+    }
 }
 
 fn as_ref_bound(b: &Bound<Datum>) -> Bound<&Datum> {

@@ -73,16 +73,15 @@ pub fn eval(expr: &Expr, ctx: &EvalContext) -> DbResult<Datum> {
                         return Err(DbError::TypeMismatch(format!("NOT expects BOOL, got {other}")))
                     }
                 }),
-                UnaryOp::Neg => Ok(match v {
-                    Datum::Null => Datum::Null,
-                    Datum::Int(i) => Datum::Int(-i),
-                    Datum::Float(f) => Datum::Float(-f),
-                    other => {
-                        return Err(DbError::TypeMismatch(format!(
-                            "- expects a number, got {other}"
-                        )))
-                    }
-                }),
+                UnaryOp::Neg => match v {
+                    Datum::Null => Ok(Datum::Null),
+                    Datum::Int(i) => i
+                        .checked_neg()
+                        .map(Datum::Int)
+                        .ok_or_else(|| DbError::TypeMismatch("integer overflow".into())),
+                    Datum::Float(f) => Ok(Datum::Float(-f)),
+                    other => Err(DbError::TypeMismatch(format!("- expects a number, got {other}"))),
+                },
             }
         }
         Expr::Binary { op, left, right } => eval_binary(*op, left, right, ctx),
@@ -131,20 +130,26 @@ pub fn eval(expr: &Expr, ctx: &EvalContext) -> DbResult<Datum> {
             let v = eval(expr, ctx)?;
             let lo = eval(low, ctx)?;
             let hi = eval(high, ctx)?;
-            if v.is_null() || lo.is_null() || hi.is_null() {
-                return Ok(Datum::Null);
-            }
-            let inside =
-                v.total_cmp(&lo) != Ordering::Less && v.total_cmp(&hi) != Ordering::Greater;
-            Ok(Datum::Bool(inside != *negated))
+            // `v BETWEEN lo AND hi` is `v >= lo AND v <= hi` under
+            // three-valued logic, so a NULL bound only yields NULL when the
+            // other comparison doesn't already force the AND to FALSE
+            // (e.g. `6 BETWEEN NULL AND 5` is FALSE, not NULL).
+            let ge = cmp3(&v, &lo).map(|o| o != Ordering::Less);
+            let le = cmp3(&v, &hi).map(|o| o != Ordering::Greater);
+            let inside = match (ge, le) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            };
+            Ok(inside.map_or(Datum::Null, |b| Datum::Bool(b != *negated)))
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like { expr, pattern, negated, escape } => {
             let v = eval(expr, ctx)?;
             let p = eval(pattern, ctx)?;
             match (v, p) {
                 (Datum::Null, _) | (_, Datum::Null) => Ok(Datum::Null),
                 (Datum::Text(s), Datum::Text(pat)) => {
-                    Ok(Datum::Bool(like_match(&s, &pat) != *negated))
+                    Ok(Datum::Bool(like_match(&s, &pat, *escape)? != *negated))
                 }
                 _ => Err(DbError::TypeMismatch("LIKE expects TEXT operands".into())),
             }
@@ -262,34 +267,81 @@ fn to_bool3(d: Datum) -> DbResult<Option<bool>> {
     }
 }
 
-/// SQL LIKE: `%` matches any run, `_` matches one character.
-pub fn like_match(text: &str, pattern: &str) -> bool {
+/// Three-valued comparison: `None` when either side is NULL.
+fn cmp3(a: &Datum, b: &Datum) -> Option<Ordering> {
+    if a.is_null() || b.is_null() {
+        None
+    } else {
+        Some(a.total_cmp(b))
+    }
+}
+
+/// One element of a compiled LIKE pattern.
+enum PatTok {
+    /// `%`: any run of characters, including empty.
+    Any,
+    /// `_`: exactly one character.
+    One,
+    /// A character that must match literally.
+    Lit(char),
+}
+
+/// SQL LIKE: `%` matches any run, `_` matches one character. With an
+/// `ESCAPE` character, escape followed by any character makes that
+/// character literal (so `\%` with `ESCAPE '\'` matches a percent sign);
+/// a pattern ending in a bare escape character is an error.
+pub fn like_match(text: &str, pattern: &str, escape: Option<char>) -> DbResult<bool> {
+    let mut p: Vec<PatTok> = Vec::with_capacity(pattern.len());
+    let mut chars = pattern.chars();
+    while let Some(c) = chars.next() {
+        if Some(c) == escape {
+            match chars.next() {
+                Some(next) => p.push(PatTok::Lit(next)),
+                None => {
+                    return Err(DbError::TypeMismatch(
+                        "LIKE pattern ends with its escape character".into(),
+                    ))
+                }
+            }
+        } else {
+            p.push(match c {
+                '%' => PatTok::Any,
+                '_' => PatTok::One,
+                other => PatTok::Lit(other),
+            });
+        }
+    }
     let t: Vec<char> = text.chars().collect();
-    let p: Vec<char> = pattern.chars().collect();
     // Iterative two-pointer with backtracking on the last '%'.
     let (mut ti, mut pi) = (0usize, 0usize);
     let (mut star_p, mut star_t) = (usize::MAX, 0usize);
     while ti < t.len() {
-        // '%' must act as a wildcard even when the text also contains '%'.
-        if pi < p.len() && p[pi] == '%' {
-            star_p = pi;
-            star_t = ti;
-            pi += 1;
-        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
-            ti += 1;
-            pi += 1;
-        } else if star_p != usize::MAX {
-            pi = star_p + 1;
-            star_t += 1;
-            ti = star_t;
-        } else {
-            return false;
+        match p.get(pi) {
+            Some(PatTok::Any) => {
+                star_p = pi;
+                star_t = ti;
+                pi += 1;
+            }
+            Some(PatTok::One) => {
+                ti += 1;
+                pi += 1;
+            }
+            Some(PatTok::Lit(c)) if *c == t[ti] => {
+                ti += 1;
+                pi += 1;
+            }
+            _ if star_p != usize::MAX => {
+                pi = star_p + 1;
+                star_t += 1;
+                ti = star_t;
+            }
+            _ => return Ok(false),
         }
     }
-    while pi < p.len() && p[pi] == '%' {
+    while matches!(p.get(pi), Some(PatTok::Any)) {
         pi += 1;
     }
-    pi == p.len()
+    Ok(pi == p.len())
 }
 
 #[cfg(test)]
@@ -366,20 +418,83 @@ mod tests {
         assert_eq!(eval_str("NULL BETWEEN 1 AND 3").unwrap(), Datum::Null);
     }
 
+    /// A NULL BETWEEN bound behaves like the `>= AND <=` it desugars to:
+    /// the non-NULL comparison can still force the result to FALSE.
+    #[test]
+    fn between_three_valued_bounds() {
+        assert_eq!(eval_str("6 BETWEEN NULL AND 5").unwrap(), Datum::Bool(false));
+        assert_eq!(eval_str("6 NOT BETWEEN NULL AND 5").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str("0 BETWEEN 1 AND NULL").unwrap(), Datum::Bool(false));
+        assert_eq!(eval_str("3 BETWEEN NULL AND 5").unwrap(), Datum::Null);
+        assert_eq!(eval_str("3 BETWEEN 1 AND NULL").unwrap(), Datum::Null);
+        assert_eq!(eval_str("3 BETWEEN NULL AND NULL").unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn negation_overflow_is_an_error() {
+        // -(i64::MIN) does not fit in i64; it must be a structured error,
+        // not a wrap or a panic.
+        assert!(eval_str("-(-9223372036854775807 - 1)").is_err());
+        assert_eq!(eval_str("-(-9223372036854775807)").unwrap(), Datum::Int(i64::MAX));
+    }
+
+    fn lm(text: &str, pattern: &str) -> bool {
+        like_match(text, pattern, None).unwrap()
+    }
+
     #[test]
     fn like_patterns() {
-        assert!(like_match("kinase", "kin%"));
-        assert!(like_match("kinase", "%ase"));
-        assert!(like_match("kinase", "k_nase"));
-        assert!(like_match("kinase", "%"));
-        assert!(!like_match("kinase", "kin"));
-        assert!(like_match("", "%"));
-        assert!(!like_match("", "_"));
-        assert!(like_match("abc", "a%c"));
-        assert!(like_match("axxxyc", "a%c"));
+        assert!(lm("kinase", "kin%"));
+        assert!(lm("kinase", "%ase"));
+        assert!(lm("kinase", "k_nase"));
+        assert!(lm("kinase", "%"));
+        assert!(!lm("kinase", "kin"));
+        assert!(lm("", "%"));
+        assert!(!lm("", "_"));
+        assert!(lm("abc", "a%c"));
+        assert!(lm("axxxyc", "a%c"));
         assert_eq!(eval_str("'kinase' LIKE 'kin%'").unwrap(), Datum::Bool(true));
         assert_eq!(eval_str("'kinase' NOT LIKE '%zz%'").unwrap(), Datum::Bool(true));
         assert_eq!(eval_str("NULL LIKE 'x'").unwrap(), Datum::Null);
+    }
+
+    #[test]
+    fn like_escape_semantics() {
+        let esc = Some('\\');
+        // Escaped wildcards are literal.
+        assert!(like_match("100%", "100\\%", esc).unwrap());
+        assert!(!like_match("100x", "100\\%", esc).unwrap());
+        assert!(like_match("a_b", "a\\_b", esc).unwrap());
+        assert!(!like_match("axb", "a\\_b", esc).unwrap());
+        // The escape character escapes itself.
+        assert!(like_match("a\\b", "a\\\\b", esc).unwrap());
+        // Unescaped wildcards still work alongside escaped ones.
+        assert!(like_match("50% off", "%\\%%", esc).unwrap());
+        // Escape before an ordinary character makes it literal.
+        assert!(like_match("ab", "a\\b", esc).unwrap());
+        // A trailing escape is an error.
+        assert!(like_match("x", "x\\", esc).is_err());
+        // Without ESCAPE, a backslash is an ordinary character.
+        assert!(lm("a\\b", "a\\_"));
+        assert!(!lm("100%", "100\\%"));
+        // End-to-end through the parser and evaluator.
+        assert_eq!(eval_str(r"'100%' LIKE '100\%' ESCAPE '\'").unwrap(), Datum::Bool(true));
+        assert_eq!(eval_str(r"'100x' LIKE '100\%' ESCAPE '\'").unwrap(), Datum::Bool(false));
+        assert!(eval_str(r"'x' LIKE 'x\' ESCAPE '\'").is_err());
+    }
+
+    #[test]
+    fn like_unicode_and_empty_patterns() {
+        // `_` consumes one character, not one byte.
+        assert!(lm("héllo", "h_llo"));
+        assert!(lm("🧬🧬", "__"));
+        assert!(!lm("🧬🧬", "_"));
+        assert!(lm("naïve", "na%e"));
+        // Empty pattern matches only the empty string.
+        assert!(lm("", ""));
+        assert!(!lm("a", ""));
+        // Unicode escape characters work too.
+        assert!(like_match("100%", "100é%", Some('é')).unwrap());
     }
 
     #[test]

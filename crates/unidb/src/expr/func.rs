@@ -122,7 +122,10 @@ impl FunctionRegistry {
                 arity(args, 1, "abs")?;
                 Ok(match &args[0] {
                     Datum::Null => Datum::Null,
-                    Datum::Int(i) => Datum::Int(i.abs()),
+                    Datum::Int(i) => Datum::Int(
+                        i.checked_abs()
+                            .ok_or_else(|| DbError::TypeMismatch("integer overflow".into()))?,
+                    ),
                     Datum::Float(f) => Datum::Float(f.abs()),
                     other => {
                         return Err(DbError::TypeMismatch(format!(
@@ -213,9 +216,12 @@ impl Accumulator for CountAcc {
     }
 }
 
+/// Integer inputs accumulate in i128 so no realistic row count can
+/// overflow mid-sum; if the final total doesn't fit i64 the result widens
+/// to FLOAT (documented in DESIGN.md) rather than wrapping or panicking.
 #[derive(Default)]
 struct SumAcc {
-    int_sum: i64,
+    int_sum: i128,
     float_sum: f64,
     saw_float: bool,
     saw_any: bool,
@@ -226,7 +232,10 @@ impl Accumulator for SumAcc {
         match value {
             Datum::Null => {}
             Datum::Int(i) => {
-                self.int_sum += i;
+                self.int_sum = self
+                    .int_sum
+                    .checked_add(*i as i128)
+                    .ok_or_else(|| DbError::TypeMismatch("integer overflow".into()))?;
                 self.saw_any = true;
             }
             Datum::Float(f) => {
@@ -246,28 +255,41 @@ impl Accumulator for SumAcc {
             Datum::Null
         } else if self.saw_float {
             Datum::Float(self.float_sum + self.int_sum as f64)
+        } else if let Ok(i) = i64::try_from(self.int_sum) {
+            Datum::Int(i)
         } else {
-            Datum::Int(self.int_sum)
+            Datum::Float(self.int_sum as f64)
         }
     }
 }
 
+/// Like [`SumAcc`], integers accumulate exactly in i128; the division
+/// happens once at finish so int-only averages don't lose precision to
+/// incremental float rounding.
 #[derive(Default)]
 struct AvgAcc {
-    sum: f64,
+    int_sum: i128,
+    float_sum: f64,
     n: u64,
 }
 
 impl Accumulator for AvgAcc {
     fn update(&mut self, value: &Datum) -> DbResult<()> {
-        match value.as_float() {
-            Some(f) => {
-                self.sum += f;
+        match value {
+            Datum::Null => {}
+            Datum::Int(i) => {
+                self.int_sum = self
+                    .int_sum
+                    .checked_add(*i as i128)
+                    .ok_or_else(|| DbError::TypeMismatch("integer overflow".into()))?;
                 self.n += 1;
             }
-            None if value.is_null() => {}
-            None => {
-                return Err(DbError::TypeMismatch(format!("avg() expects numbers, got {value}")))
+            Datum::Float(f) => {
+                self.float_sum += f;
+                self.n += 1;
+            }
+            other => {
+                return Err(DbError::TypeMismatch(format!("avg() expects numbers, got {other}")))
             }
         }
         Ok(())
@@ -277,7 +299,7 @@ impl Accumulator for AvgAcc {
         if self.n == 0 {
             Datum::Null
         } else {
-            Datum::Float(self.sum / self.n as f64)
+            Datum::Float((self.int_sum as f64 + self.float_sum) / self.n as f64)
         }
     }
 }
@@ -383,6 +405,42 @@ mod tests {
         }
         assert_eq!(min.finish(), Datum::Int(1));
         assert_eq!(max.finish(), Datum::Int(9));
+    }
+
+    /// Regression: SUM over large INT values used to accumulate in i64 and
+    /// panic (debug) or wrap (release). It now accumulates in i128 and
+    /// widens to FLOAT when the total doesn't fit i64.
+    #[test]
+    fn sum_avg_do_not_overflow() {
+        let r = reg();
+        let mut sum = r.aggregate("sum").unwrap()();
+        sum.update(&Datum::Int(i64::MAX)).unwrap();
+        sum.update(&Datum::Int(i64::MAX)).unwrap();
+        assert_eq!(sum.finish(), Datum::Float(i64::MAX as f64 * 2.0));
+        // A sum that dips past i64::MAX and comes back still returns INT.
+        let mut sum = r.aggregate("sum").unwrap()();
+        sum.update(&Datum::Int(i64::MAX)).unwrap();
+        sum.update(&Datum::Int(5)).unwrap();
+        sum.update(&Datum::Int(-6)).unwrap();
+        assert_eq!(sum.finish(), Datum::Int(i64::MAX - 1));
+
+        let mut avg = r.aggregate("avg").unwrap()();
+        avg.update(&Datum::Int(i64::MAX)).unwrap();
+        avg.update(&Datum::Int(i64::MAX)).unwrap();
+        assert_eq!(avg.finish(), Datum::Float(i64::MAX as f64));
+        // Int-only averages are exact: no incremental float rounding.
+        let mut avg = r.aggregate("avg").unwrap()();
+        avg.update(&Datum::Int(1)).unwrap();
+        avg.update(&Datum::Int(2)).unwrap();
+        assert_eq!(avg.finish(), Datum::Float(1.5));
+    }
+
+    #[test]
+    fn abs_overflow_is_an_error() {
+        let r = reg();
+        let abs = r.scalar("abs").unwrap();
+        assert!(abs(&[Datum::Int(i64::MIN)]).is_err());
+        assert_eq!(abs(&[Datum::Int(i64::MIN + 1)]).unwrap(), Datum::Int(i64::MAX));
     }
 
     #[test]

@@ -111,7 +111,10 @@ pub enum PhysicalPlan {
     },
     Limit {
         input: Box<PhysicalPlan>,
-        n: u64,
+        /// Maximum rows to emit; `None` means no cap (OFFSET without LIMIT).
+        n: Option<u64>,
+        /// Rows to skip before the cap applies.
+        offset: u64,
     },
 }
 
@@ -277,8 +280,15 @@ impl PhysicalPlan {
                 out.push_str(&format!("{pad}Distinct\n"));
                 input.explain_into(out, depth + 1);
             }
-            PhysicalPlan::Limit { input, n } => {
-                out.push_str(&format!("{pad}Limit {n}\n"));
+            PhysicalPlan::Limit { input, n, offset } => {
+                match n {
+                    Some(n) => out.push_str(&format!("{pad}Limit {n}")),
+                    None => out.push_str(&format!("{pad}Limit all")),
+                }
+                if *offset > 0 {
+                    out.push_str(&format!(" offset {offset}"));
+                }
+                out.push('\n');
                 input.explain_into(out, depth + 1);
             }
         }

@@ -188,8 +188,12 @@ pub fn plan_select(
     if s.distinct {
         plan = PhysicalPlan::Distinct { input: Box::new(plan) };
     }
-    if let Some(n) = s.limit {
-        plan = PhysicalPlan::Limit { input: Box::new(plan), n };
+    if s.limit.is_some() || s.offset.is_some() {
+        plan = PhysicalPlan::Limit {
+            input: Box::new(plan),
+            n: s.limit,
+            offset: s.offset.unwrap_or(0),
+        };
     }
     Ok((plan, out_names))
 }
@@ -286,6 +290,13 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
             };
             if let Some((name, d, op, flipped)) = pair {
                 let name = name.to_ascii_lowercase();
+                // `col op NULL` is never true under three-valued logic, but
+                // the index *stores* NULL keys, so an eq/range probe built
+                // from a NULL literal would wrongly return those rows. Leave
+                // the conjunct to the residual filter instead.
+                if matches!(d, Datum::Null) {
+                    continue;
+                }
                 if let Some((_, distinct)) = btrees.iter().find(|(c, _)| *c == name) {
                     match op {
                         BinOp::Eq => {
@@ -308,9 +319,16 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
                             } else {
                                 op
                             };
+                            // NULL keys sort before every real value in the
+                            // index, so an open low end must still exclude
+                            // them: `col <= k` is never true for NULL.
                             let (lo, hi) = match effective {
-                                BinOp::Lt => (Bound::Unbounded, Bound::Excluded(d.clone())),
-                                BinOp::LtEq => (Bound::Unbounded, Bound::Included(d.clone())),
+                                BinOp::Lt => {
+                                    (Bound::Excluded(Datum::Null), Bound::Excluded(d.clone()))
+                                }
+                                BinOp::LtEq => {
+                                    (Bound::Excluded(Datum::Null), Bound::Included(d.clone()))
+                                }
                                 BinOp::Gt => (Bound::Excluded(d.clone()), Bound::Unbounded),
                                 _ => (Bound::Included(d.clone()), Bound::Unbounded),
                             };
@@ -330,6 +348,11 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
                 (expr.as_ref(), low.as_ref(), high.as_ref())
             {
                 let name = name.to_ascii_lowercase();
+                // Same NULL-literal trap as above: `x BETWEEN NULL AND k`
+                // matches nothing, but Included(Null) would scan NULL keys.
+                if matches!(lo, Datum::Null) || matches!(hi, Datum::Null) {
+                    continue;
+                }
                 if btrees.iter().any(|(c, _)| *c == name) {
                     consider(
                         (
@@ -598,10 +621,11 @@ fn rewrite_post_agg(
             high: Box::new(rewrite_post_agg(*high, group_by, calls, funcs)?),
             negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like { expr, pattern, negated, escape } => Expr::Like {
             expr: Box::new(rewrite_post_agg(*expr, group_by, calls, funcs)?),
             pattern: Box::new(rewrite_post_agg(*pattern, group_by, calls, funcs)?),
             negated,
+            escape,
         },
         leaf @ (Expr::Literal(_) | Expr::Wildcard) => leaf,
     };

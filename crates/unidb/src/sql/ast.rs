@@ -54,6 +54,8 @@ pub struct SelectStmt {
     pub having: Option<Expr>,
     pub order_by: Vec<(Expr, bool)>,
     pub limit: Option<u64>,
+    /// Rows to skip before the limit applies (`LIMIT n OFFSET m`).
+    pub offset: Option<u64>,
 }
 
 /// One item of a `SELECT` list.
@@ -147,6 +149,9 @@ pub enum Expr {
         expr: Box<Expr>,
         pattern: Box<Expr>,
         negated: bool,
+        /// `ESCAPE 'c'`: in the pattern, `c` followed by any character makes
+        /// that character literal (so `\%` matches a percent sign).
+        escape: Option<char>,
     },
 }
 
@@ -252,7 +257,9 @@ impl Expr {
             Expr::Column { table: Some(t), name } => format!("{t}.{name}"),
             Expr::Column { table: None, name } => name.clone(),
             Expr::Unary { op: UnaryOp::Not, expr } => format!("NOT {}", expr.render()),
-            Expr::Unary { op: UnaryOp::Neg, expr } => format!("-{}", expr.render()),
+            // Parenthesized so nested negation never renders as `--x`,
+            // which the lexer would read as a comment.
+            Expr::Unary { op: UnaryOp::Neg, expr } => format!("(-{})", expr.render()),
             Expr::Binary { op, left, right } => {
                 let sym = match op {
                     BinOp::And => "AND",
@@ -296,11 +303,12 @@ impl Expr {
                 low.render(),
                 high.render()
             ),
-            Expr::Like { expr, pattern, negated } => format!(
-                "{} {}LIKE {}",
+            Expr::Like { expr, pattern, negated, escape } => format!(
+                "{} {}LIKE {}{}",
                 expr.render(),
                 if *negated { "NOT " } else { "" },
-                pattern.render()
+                pattern.render(),
+                escape.map_or(String::new(), |c| format!(" ESCAPE '{c}'"))
             ),
         }
     }

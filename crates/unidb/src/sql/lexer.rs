@@ -152,19 +152,20 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                 let mut s = String::new();
                 i += 1;
                 loop {
-                    match bytes.get(i) {
+                    // Decode chars, not bytes: multi-byte UTF-8 must survive.
+                    match input[i..].chars().next() {
                         None => return Err(DbError::Parse("unterminated string literal".into())),
-                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        Some('\'') if input[i + 1..].starts_with('\'') => {
                             s.push('\'');
                             i += 2;
                         }
-                        Some(b'\'') => {
+                        Some('\'') => {
                             i += 1;
                             break;
                         }
-                        Some(&b) => {
-                            s.push(b as char);
-                            i += 1;
+                        Some(ch) => {
+                            s.push(ch);
+                            i += ch.len_utf8();
                         }
                     }
                 }
@@ -287,6 +288,14 @@ mod tests {
         assert!(lex("'unterminated").is_err());
         assert!(lex("@").is_err());
         assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn unicode_string_literals() {
+        assert_eq!(lex("'héllo'").unwrap(), vec![Token::Str("héllo".into())]);
+        assert_eq!(lex("'αβ''γ'").unwrap(), vec![Token::Str("αβ'γ".into())]);
+        assert_eq!(lex("'🧬'").unwrap(), vec![Token::Str("🧬".into())]);
+        assert!(lex("'é").is_err());
     }
 
     #[test]

@@ -1,4 +1,21 @@
 //! Recursive-descent SQL parser.
+//!
+//! # Operator precedence
+//!
+//! Expressions are parsed with one function per precedence level; the table
+//! below lists them from loosest-binding to tightest-binding. Each level is
+//! left-associative except where noted.
+//!
+//! | level | operators                                        | notes |
+//! |-------|--------------------------------------------------|-------|
+//! | 1     | `OR`                                             | left-assoc |
+//! | 2     | `AND`                                            | left-assoc |
+//! | 3     | `NOT`                                            | prefix; applies to the whole comparison below it, so `NOT a = 1` is `NOT (a = 1)` |
+//! | 4     | `=` `<>` `!=` `<` `<=` `>` `>=`, `IS [NOT] NULL`, `[NOT] IN`, `[NOT] BETWEEN … AND …`, `[NOT] LIKE … [ESCAPE 'c']` | **non-associative**: `a = b = c` is a parse error, and a `BETWEEN`/`LIKE`/`IN` form cannot be chained with another comparison without parentheses |
+//! | 5     | `+` `-` (binary)                                 | left-assoc; `BETWEEN` bounds parse at this level, so `a BETWEEN 1 AND 2 AND b` keeps the trailing `AND b` at level 2 |
+//! | 6     | `*` `/` `%`                                      | left-assoc |
+//! | 7     | `-` (unary)                                      | prefix; binds tighter than any binary operator: `-a * b` is `(-a) * b`, `-1 + 2` is `(-1) + 2` |
+//! | 8     | literals, columns, `f(args)`, `( expr )`         | |
 
 use crate::datum::Datum;
 use crate::error::{DbError, DbResult};
@@ -7,10 +24,11 @@ use crate::sql::lexer::{lex, Token};
 
 /// Words that terminate expressions/aliases and may not be identifiers.
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "JOIN", "INNER",
-    "LEFT", "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "SET", "VALUES", "ASC", "DESC", "IS", "IN",
-    "BETWEEN", "LIKE", "DISTINCT", "INSERT", "INTO", "UPDATE", "DELETE", "CREATE", "DROP", "TABLE",
-    "INDEX", "UNIQUE", "SPACE", "NULL", "TRUE", "FALSE", "BEGIN", "COMMIT", "ROLLBACK", "EXPLAIN",
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "JOIN",
+    "INNER", "LEFT", "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "SET", "VALUES", "ASC", "DESC",
+    "IS", "IN", "BETWEEN", "LIKE", "ESCAPE", "DISTINCT", "INSERT", "INTO", "UPDATE", "DELETE",
+    "CREATE", "DROP", "TABLE", "INDEX", "UNIQUE", "SPACE", "NULL", "TRUE", "FALSE", "BEGIN",
+    "COMMIT", "ROLLBACK", "EXPLAIN",
 ];
 
 /// Parse a single SQL statement.
@@ -288,20 +306,29 @@ impl Parser {
                 }
             }
         }
-        let limit = if self.eat_kw("LIMIT") {
-            match self.advance() {
-                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
-                other => {
-                    return Err(DbError::Parse(format!(
-                        "LIMIT expects a non-negative integer, found {}",
-                        other.map_or("end of input".into(), |t| format!("{t}"))
-                    )))
-                }
-            }
-        } else {
-            None
-        };
-        Ok(SelectStmt { distinct, projections, from, filter, group_by, having, order_by, limit })
+        let limit = if self.eat_kw("LIMIT") { Some(self.nonneg_int("LIMIT")?) } else { None };
+        let offset = if self.eat_kw("OFFSET") { Some(self.nonneg_int("OFFSET")?) } else { None };
+        Ok(SelectStmt {
+            distinct,
+            projections,
+            from,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn nonneg_int(&mut self, clause: &str) -> DbResult<u64> {
+        match self.advance() {
+            Some(Token::Int(n)) if n >= 0 => Ok(n as u64),
+            other => Err(DbError::Parse(format!(
+                "{clause} expects a non-negative integer, found {}",
+                other.map_or("end of input".into(), |t| format!("{t}"))
+            ))),
+        }
     }
 
     fn parse_projection(&mut self) -> DbResult<Projection> {
@@ -427,7 +454,25 @@ impl Parser {
         }
         if self.eat_kw("LIKE") {
             let pattern = self.parse_additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            let escape = if self.eat_kw("ESCAPE") {
+                match self.advance() {
+                    Some(Token::Str(s)) if s.chars().count() == 1 => s.chars().next(),
+                    other => {
+                        return Err(DbError::Parse(format!(
+                            "ESCAPE expects a single-character string, found {}",
+                            other.map_or("end of input".into(), |t| format!("{t}"))
+                        )))
+                    }
+                }
+            } else {
+                None
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+                escape,
+            });
         }
         if negated {
             return Err(DbError::Parse("NOT must be followed by IN, BETWEEN, or LIKE here".into()));
@@ -730,5 +775,79 @@ mod tests {
         let s = parse("SELECT -3, -(1 + 2)").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
         assert_eq!(sel.projections.len(), 2);
+    }
+
+    /// Golden parses pinning the precedence table in the module doc: each
+    /// input must render to exactly the parenthesization documented there.
+    #[test]
+    fn golden_precedence_renders() {
+        let golden: &[(&str, &str)] = &[
+            // NOT applies to the whole comparison, not just the left operand.
+            ("NOT a = 1", "NOT (a = 1)"),
+            ("NOT a LIKE 'x%'", "NOT a LIKE 'x%'"),
+            ("NOT a = 1 OR b = 2", "(NOT (a = 1) OR (b = 2))"),
+            ("NOT NOT a", "NOT NOT a"),
+            // Unary minus binds tighter than every binary operator, on
+            // literals and columns alike.
+            ("-a * b", "((-a) * b)"),
+            ("-1 + 2", "((-1) + 2)"),
+            ("2 - -3", "(2 - (-3))"),
+            ("-a.b + c", "((-a.b) + c)"),
+            // BETWEEN bounds parse at the additive level, so a trailing AND
+            // belongs to the conjunction, and arithmetic stays inside.
+            ("a BETWEEN 1 + 1 AND 2 * 3 AND b", "(a BETWEEN (1 + 1) AND (2 * 3) AND b)"),
+            ("a NOT BETWEEN -1 AND c - 1", "a NOT BETWEEN (-1) AND (c - 1)"),
+            // AND binds tighter than OR.
+            ("a OR b AND c", "(a OR (b AND c))"),
+            // Comparison chains with arithmetic on both sides.
+            ("a + 1 < b * 2", "((a + 1) < (b * 2))"),
+            // != is an alias for <>.
+            ("a != 1", "(a <> 1)"),
+            // LIKE with an escape clause round-trips through render().
+            ("a LIKE '100\\%' ESCAPE '\\'", "a LIKE '100\\%' ESCAPE '\\'"),
+        ];
+        for (input, want) in golden {
+            let s = parse(&format!("SELECT * FROM t WHERE {input}")).unwrap();
+            let Stmt::Select(sel) = s else { panic!() };
+            assert_eq!(&sel.filter.unwrap().render(), want, "input: {input}");
+        }
+    }
+
+    /// Comparisons are non-associative: chaining them without parentheses
+    /// is a parse error rather than a silent left-fold.
+    #[test]
+    fn comparison_non_associative() {
+        assert!(parse("SELECT * FROM t WHERE a = b = c").is_err());
+        assert!(parse("SELECT * FROM t WHERE a < b < c").is_err());
+        assert!(parse("SELECT * FROM t WHERE a BETWEEN 1 AND 2 BETWEEN 3 AND 4").is_err());
+        // ...but explicit parentheses make the intent parseable.
+        assert!(parse("SELECT * FROM t WHERE (a = b) = c").is_ok());
+    }
+
+    #[test]
+    fn limit_offset() {
+        let s = parse("SELECT * FROM t ORDER BY a LIMIT 10 OFFSET 5").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(sel.limit, Some(10));
+        assert_eq!(sel.offset, Some(5));
+        let s = parse("SELECT * FROM t LIMIT 3").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(sel.offset, None);
+        assert!(parse("SELECT * FROM t OFFSET 2").unwrap() != Stmt::Begin); // OFFSET without LIMIT parses
+        assert!(parse("SELECT * FROM t LIMIT 10 OFFSET 'x'").is_err());
+        assert!(parse("SELECT * FROM t LIMIT 10 OFFSET -1").is_err());
+    }
+
+    #[test]
+    fn like_escape_clause() {
+        let s = parse("SELECT * FROM t WHERE a LIKE 'x#%%' ESCAPE '#'").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let Some(Expr::Like { escape, negated, .. }) = sel.filter else { panic!() };
+        assert_eq!(escape, Some('#'));
+        assert!(!negated);
+        // ESCAPE requires a single-character string literal.
+        assert!(parse("SELECT * FROM t WHERE a LIKE 'x' ESCAPE 'ab'").is_err());
+        assert!(parse("SELECT * FROM t WHERE a LIKE 'x' ESCAPE ''").is_err());
+        assert!(parse("SELECT * FROM t WHERE a LIKE 'x' ESCAPE 5").is_err());
     }
 }

@@ -180,6 +180,39 @@ fn btree_index_planning_and_results_match_scan() {
     assert_eq!(ints(&rs), vec![10]);
 }
 
+/// Found by qdiff (seed 4, shrunk): NULL keys sort first in the B-tree, so
+/// an index range scan with an open low end (`col <= k`, `col < k`) used to
+/// sweep them in — but `NULL <= k` is never true under three-valued logic.
+/// NULL literals in the predicate are the dual trap: `col = NULL` and
+/// `col BETWEEN NULL AND k` match nothing, yet an index probe keyed on NULL
+/// would find the NULL entries.
+#[test]
+fn index_range_scan_excludes_null_keys() {
+    let d = db();
+    d.execute("CREATE TABLE t (v INT)").unwrap();
+    d.execute("CREATE INDEX ON t (v)").unwrap();
+    d.execute("INSERT INTO t VALUES (NULL), (3), (NULL), (8), (12)").unwrap();
+
+    let plan = d.execute("EXPLAIN SELECT count(*) FROM t WHERE v <= 8").unwrap().explain.unwrap();
+    assert!(plan.contains("IndexRangeScan"), "{plan}");
+    let rs = d.execute("SELECT count(*) FROM t WHERE v <= 8").unwrap();
+    assert_eq!(ints(&rs), vec![2]);
+    let rs = d.execute("SELECT count(*) FROM t WHERE v < 9").unwrap();
+    assert_eq!(ints(&rs), vec![2]);
+    // The closed-low-end direction never included NULLs; keep it pinned.
+    let rs = d.execute("SELECT count(*) FROM t WHERE v >= 3").unwrap();
+    assert_eq!(ints(&rs), vec![3]);
+
+    // NULL literals: unsatisfiable predicates must yield nothing even with
+    // an index available.
+    let rs = d.execute("SELECT count(*) FROM t WHERE v = NULL").unwrap();
+    assert_eq!(ints(&rs), vec![0]);
+    let rs = d.execute("SELECT count(*) FROM t WHERE v BETWEEN NULL AND 8").unwrap();
+    assert_eq!(ints(&rs), vec![0]);
+    let rs = d.execute("SELECT count(*) FROM t WHERE v <= NULL").unwrap();
+    assert_eq!(ints(&rs), vec![0]);
+}
+
 #[test]
 fn unique_index_enforced() {
     let d = seeded();
@@ -555,15 +588,60 @@ fn null_semantics_in_queries() {
     assert_eq!(rs.len(), 2);
     let rs = d.execute("SELECT id FROM t WHERE v IS NULL").unwrap();
     assert_eq!(ints(&rs), vec![2]);
-    // NULLs sort first (documented total order).
+    // ORDER BY puts NULLs LAST under ASC and FIRST under DESC (the
+    // reversal), matching PostgreSQL defaults.
     let rs = d.execute("SELECT id FROM t ORDER BY v").unwrap();
-    assert_eq!(ints(&rs), vec![2, 1, 3]);
+    assert_eq!(ints(&rs), vec![1, 3, 2]);
+    let rs = d.execute("SELECT id FROM t ORDER BY v DESC").unwrap();
+    assert_eq!(ints(&rs), vec![2, 3, 1]);
     // Aggregates skip NULLs; count(*) does not.
     let rs = d.execute("SELECT count(v), count(*), sum(v) FROM t").unwrap();
     assert_eq!(rs.rows[0], vec![Datum::Int(2), Datum::Int(3), Datum::Int(40)]);
     // coalesce patches them.
     let rs = d.execute("SELECT sum(coalesce(v, 0) + 1) FROM t").unwrap();
     assert_eq!(ints(&rs), vec![43]);
+}
+
+/// Multi-key ORDER BY is a stable sort: rows tied on every key keep the
+/// order the input produced them in, and secondary keys only reorder
+/// within primary-key groups. This is a documented guarantee, not an
+/// implementation accident.
+#[test]
+fn order_by_multi_key_stability() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE t (id INT, a INT, b INT);
+         INSERT INTO t VALUES (1, 2, 9), (2, 1, 5), (3, 2, 9), (4, 1, 7), (5, 2, 3);",
+    )
+    .unwrap();
+    // Ties on (a, b) — ids 1 and 3 — keep insertion order.
+    let rs = d.execute("SELECT id FROM t ORDER BY a, b").unwrap();
+    assert_eq!(ints(&rs), vec![2, 4, 5, 1, 3]);
+    // Same with the secondary key descending: ties still keep order.
+    let rs = d.execute("SELECT id FROM t ORDER BY a, b DESC").unwrap();
+    assert_eq!(ints(&rs), vec![4, 2, 1, 3, 5]);
+    // NULL keys: last under ASC, and ties among NULLs are stable too.
+    d.execute("INSERT INTO t VALUES (6, NULL, 1), (7, NULL, 1)").unwrap();
+    let rs = d.execute("SELECT id FROM t ORDER BY a, b").unwrap();
+    assert_eq!(ints(&rs), vec![2, 4, 5, 1, 3, 6, 7]);
+}
+
+#[test]
+fn limit_offset_pagination() {
+    let d = db();
+    d.execute("CREATE TABLE t (id INT)").unwrap();
+    for i in 1..=10 {
+        d.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    let rs = d.execute("SELECT id FROM t ORDER BY id LIMIT 3 OFFSET 4").unwrap();
+    assert_eq!(ints(&rs), vec![5, 6, 7]);
+    // OFFSET past the end yields nothing; OFFSET without LIMIT skips only.
+    let rs = d.execute("SELECT id FROM t ORDER BY id LIMIT 5 OFFSET 100").unwrap();
+    assert!(rs.rows.is_empty());
+    let rs = d.execute("SELECT id FROM t ORDER BY id OFFSET 8").unwrap();
+    assert_eq!(ints(&rs), vec![9, 10]);
+    let rs = d.execute("SELECT id FROM t ORDER BY id LIMIT 0 OFFSET 2").unwrap();
+    assert!(rs.rows.is_empty());
 }
 
 #[test]

@@ -231,7 +231,52 @@ proptest! {
         }
         let t: Vec<char> = text.chars().collect();
         let p: Vec<char> = pattern.chars().collect();
-        prop_assert_eq!(like_match(&text, &pattern), reference(&t, &p));
+        prop_assert_eq!(like_match(&text, &pattern, None).unwrap(), reference(&t, &p));
+    }
+
+    #[test]
+    fn like_escape_matches_reference_implementation(
+        text in "[ab_%#]{0,12}",
+        pattern in "[ab_%#]{0,8}",
+    ) {
+        // Reference with '#' as the escape character: '#x' is literal x,
+        // a trailing '#' is an error (reference returns None).
+        fn compile(p: &[char]) -> Option<Vec<(char, bool)>> {
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < p.len() {
+                if p[i] == '#' {
+                    if i + 1 >= p.len() {
+                        return None;
+                    }
+                    out.push((p[i + 1], true));
+                    i += 2;
+                } else {
+                    out.push((p[i], false));
+                    i += 1;
+                }
+            }
+            Some(out)
+        }
+        fn matches(t: &[char], p: &[(char, bool)]) -> bool {
+            match (t.first(), p.first()) {
+                (_, None) => t.is_empty(),
+                (_, Some(('%', false))) => {
+                    (0..=t.len()).any(|skip| matches(&t[skip..], &p[1..]))
+                }
+                (Some(tc), Some((pc, literal))) => {
+                    ((!literal && *pc == '_') || pc == tc) && matches(&t[1..], &p[1..])
+                }
+                (None, Some(_)) => false,
+            }
+        }
+        let t: Vec<char> = text.chars().collect();
+        let p: Vec<char> = pattern.chars().collect();
+        let got = like_match(&text, &pattern, Some('#'));
+        match compile(&p) {
+            None => prop_assert!(got.is_err()),
+            Some(compiled) => prop_assert_eq!(got.unwrap(), matches(&t, &compiled)),
+        }
     }
 
     // --- WAL ---------------------------------------------------------------------------

@@ -1,0 +1,22 @@
+//! Cross-crate smoke check: the differential oracle agrees with the full
+//! system on a small always-on seed range. The qdiff crate's own tests and
+//! the CI matrix sweep far wider; this wires the harness into the tier-1
+//! suite so a semantics regression anywhere in parse → plan → execute is
+//! caught by plain `cargo test` with a shrunk, replayable counterexample.
+
+use qdiff::{check_scenario, gen_scenario, shrink};
+
+#[test]
+fn differential_sweep_is_clean() {
+    for seed in 0..16u64 {
+        let sc = gen_scenario(seed);
+        if let Some(d) = check_scenario(&sc) {
+            // Shrink before failing so the assertion message is actionable.
+            let mut fails = |s: &qdiff::Scenario| check_scenario(s).is_some();
+            let small = shrink(&sc, &mut fails, 300);
+            let detail =
+                check_scenario(&small).map(|d| d.to_string()).unwrap_or_else(|| d.to_string());
+            panic!("seed {seed} diverges: {detail}\n-- shrunk repro:\n{}", small.render_script());
+        }
+    }
+}

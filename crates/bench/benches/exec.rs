@@ -1,0 +1,115 @@
+//! Executor throughput: rows/sec through the four shapes that dominate
+//! analytical load — scan-filter-project, hash join, grouped aggregation,
+//! and ORDER BY + LIMIT (Top-N) — at each requested table size, serial vs
+//! parallel.
+//!
+//! Emits one JSON document on stdout:
+//!
+//! ```json
+//! {"bench":"exec","results":[
+//!   {"query":"scan_filter_project","rows":100000,"parallelism":1,
+//!    "elapsed_ms":120.0,"rows_per_sec":833333.3}]}
+//! ```
+//!
+//! Environment:
+//!
+//! * `BENCH_EXEC_ROWS` — comma-separated table sizes (default
+//!   `100000,1000000`); CI smoke uses a small value to catch bit-rot.
+//! * `BENCH_EXEC_PAR` — comma-separated parallelism levels (default `1,4`).
+//!
+//! Run with `cargo bench -p genalg-bench --bench exec`.
+
+use std::time::Instant;
+use unidb::Database;
+
+const DIM_ROWS: u64 = 10_000;
+
+fn env_list(name: &str, default: &str) -> Vec<u64> {
+    let raw = std::env::var(name).unwrap_or_else(|_| default.to_string());
+    raw.split(',').filter_map(|s| s.trim().parse().ok()).collect()
+}
+
+/// Deterministic but well-shuffled value in `0..m`.
+fn scramble(i: u64, m: u64) -> u64 {
+    (i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)) % m
+}
+
+fn build_db(rows: u64) -> Database {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (a INT, b INT, g INT, k INT)").unwrap();
+    db.execute("CREATE TABLE d (id INT, name TEXT)").unwrap();
+    let mut batch = String::new();
+    for i in 0..rows {
+        if batch.is_empty() {
+            batch.push_str("INSERT INTO t VALUES ");
+        } else {
+            batch.push(',');
+        }
+        let b = scramble(i, rows.max(1));
+        batch.push_str(&format!("({i}, {b}, {}, {})", i % 100, scramble(i, DIM_ROWS)));
+        if (i + 1) % 1000 == 0 || i + 1 == rows {
+            db.execute(&batch).unwrap();
+            batch.clear();
+        }
+    }
+    for i in 0..DIM_ROWS {
+        if batch.is_empty() {
+            batch.push_str("INSERT INTO d VALUES ");
+        } else {
+            batch.push(',');
+        }
+        batch.push_str(&format!("({i}, 'dim{i}')"));
+        if (i + 1) % 1000 == 0 || i + 1 == DIM_ROWS {
+            db.execute(&batch).unwrap();
+            batch.clear();
+        }
+    }
+    db
+}
+
+/// Best-of-`iters` wall time for one query, in milliseconds.
+fn time_query(db: &Database, sql: &str, iters: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let rs = db.execute(sql).unwrap();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(rs);
+        best = best.min(ms);
+    }
+    best
+}
+
+fn main() {
+    let sizes = env_list("BENCH_EXEC_ROWS", "100000,1000000");
+    let pars = env_list("BENCH_EXEC_PAR", "1,4");
+    let mut results = Vec::new();
+    for &rows in &sizes {
+        let db = build_db(rows);
+        let half = rows / 2;
+        let queries = [
+            ("scan_filter_project", format!("SELECT a, a + b FROM t WHERE b < {half}")),
+            ("hash_join", "SELECT count(*) FROM t JOIN d ON t.k = d.id".to_string()),
+            ("group_agg", "SELECT g, count(*), sum(b) FROM t GROUP BY g".to_string()),
+            ("order_by_limit", "SELECT a, b FROM t ORDER BY b LIMIT 100".to_string()),
+        ];
+        for &par in &pars {
+            db.set_parallelism(par as usize);
+            for (name, sql) in &queries {
+                let ms = time_query(&db, sql, 3);
+                results.push(format!(
+                    concat!(
+                        "{{\"query\":\"{}\",\"rows\":{},\"parallelism\":{},",
+                        "\"elapsed_ms\":{:.1},\"rows_per_sec\":{:.0}}}"
+                    ),
+                    name,
+                    rows,
+                    par,
+                    ms,
+                    rows as f64 / (ms / 1e3),
+                ));
+            }
+        }
+    }
+    println!("{{\"bench\":\"exec\",\"results\":[{}]}}", results.join(","));
+}

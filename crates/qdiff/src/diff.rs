@@ -56,8 +56,27 @@ pub fn datum_to_val(d: &Datum) -> Result<Val, String> {
 
 /// Execute the scenario on a fresh in-memory database and on the oracle,
 /// statement by statement. Returns the first divergence, if any.
+///
+/// The engine's parallelism defaults from the environment
+/// (`UNIDB_PARALLELISM`), so CI shards can sweep the same seeds serial and
+/// parallel; [`check_scenario_with_parallelism`] pins it explicitly.
 pub fn check_scenario(sc: &Scenario) -> Option<Divergence> {
+    check_inner(sc, None)
+}
+
+/// [`check_scenario`] with the engine's worker-thread count pinned. The
+/// oracle is always scalar and single-threaded; running the same scenario
+/// at parallelism 1 and >1 against it is what proves morsel-parallel
+/// execution is observationally identical to serial.
+pub fn check_scenario_with_parallelism(sc: &Scenario, parallelism: usize) -> Option<Divergence> {
+    check_inner(sc, Some(parallelism))
+}
+
+fn check_inner(sc: &Scenario, parallelism: Option<usize>) -> Option<Divergence> {
     let db = Database::in_memory();
+    if let Some(n) = parallelism {
+        db.set_parallelism(n);
+    }
     for (i, ddl) in sc.setup_sql().iter().enumerate() {
         if let Err(e) = db.execute(ddl) {
             return Some(Divergence {

@@ -36,7 +36,7 @@ pub mod gen;
 pub mod oracle;
 pub mod shrink;
 
-pub use diff::{check_scenario, Divergence};
+pub use diff::{check_scenario, check_scenario_with_parallelism, Divergence};
 pub use gen::gen_scenario;
 pub use shrink::shrink;
 

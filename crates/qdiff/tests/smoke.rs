@@ -2,7 +2,7 @@
 //! zero divergences between the engine and the reference oracle. The CI
 //! qdiff job covers a much wider range; this keeps `cargo test` honest.
 
-use qdiff::{check_scenario, gen_scenario};
+use qdiff::{check_scenario, check_scenario_with_parallelism, gen_scenario};
 
 #[test]
 fn seeds_0_to_47_agree_with_the_oracle() {
@@ -10,6 +10,23 @@ fn seeds_0_to_47_agree_with_the_oracle() {
     for seed in 0..48 {
         if let Some(d) = check_scenario(&gen_scenario(seed)) {
             failures.push(format!("seed {seed}: {d}"));
+        }
+    }
+    assert!(failures.is_empty(), "engine/oracle divergences:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn parallel_execution_matches_the_scalar_oracle() {
+    // The oracle is single-threaded and tuple-at-a-time by design; running
+    // the same seeds with the engine pinned serial and 4-way parallel is
+    // the determinism proof for morsel-driven execution.
+    let mut failures = Vec::new();
+    for seed in 0..32 {
+        let sc = gen_scenario(seed);
+        for par in [1, 4] {
+            if let Some(d) = check_scenario_with_parallelism(&sc, par) {
+                failures.push(format!("seed {seed} (parallelism {par}): {d}"));
+            }
         }
     }
     assert!(failures.is_empty(), "engine/oracle divergences:\n{}", failures.join("\n"));

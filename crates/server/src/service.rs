@@ -210,6 +210,8 @@ impl QueryService {
         stats.push(("buffer_pool_evictions".into(), pool_evictions));
         stats.push(("plan_cache_entries".into(), self.plan_cache.len() as u64));
         stats.push(("result_cache_entries".into(), self.result_cache.len() as u64));
+        stats.push(("parallelism".into(), self.db.parallelism() as u64));
+        stats.push(("scan_pages_read".into(), self.db.scan_pages_read()));
         stats.sort();
         let rows = stats
             .into_iter()

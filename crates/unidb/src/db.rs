@@ -5,6 +5,7 @@ use crate::catalog::{Catalog, ColumnDef, Role, TableDef};
 use crate::datum::{DataType, Datum};
 use crate::error::{DbError, DbResult};
 use crate::exec::{execute_plan, StorageAccess};
+use crate::expr::compile::compile;
 use crate::expr::eval::{eval, ColumnBinding, EvalContext};
 use crate::expr::func::{AggregateFn, FunctionRegistry, ScalarFn};
 use crate::index::btree::BTreeIndex;
@@ -18,11 +19,12 @@ use crate::storage::heap::{HeapFile, Rid};
 use crate::storage::store::MemStore;
 use crate::storage::vfs::{StdVfs, Vfs};
 use crate::storage::wal::{read_log_prefix, WalRecord, WalWriter};
-use crate::tuple::{decode_row, encode_row, Row};
+use crate::tuple::{decode_row, decode_row_prefix_into, encode_row, Row};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The result of executing one statement.
@@ -107,6 +109,24 @@ pub(crate) struct Inner {
     /// Catalog version, bumped on DDL. Prepared statements carry the value
     /// they were planned under and refuse to run once it moves.
     catalog_gen: u64,
+    /// Worker threads per query (1 = serial). Morsel-driven scans and the
+    /// executor's pipeline breakers fan out to this many scoped threads.
+    parallelism: usize,
+    /// Heap pages read by `scan_batches` since open — an observability
+    /// counter (SHOW STATS, tests asserting LIMIT short-circuits).
+    scan_pages: AtomicU64,
+}
+
+/// Default query parallelism: `UNIDB_PARALLELISM` if set (min 1), else the
+/// machine's available parallelism capped at 8 (diminishing returns for
+/// the morsel sizes this engine uses).
+fn default_parallelism() -> usize {
+    if let Ok(v) = std::env::var("UNIDB_PARALLELISM") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
 /// A planned SELECT, reusable across executions without re-parsing or
@@ -164,6 +184,8 @@ impl Database {
                 buffer_capacity: 256,
                 table_gens: HashMap::new(),
                 catalog_gen: 0,
+                parallelism: default_parallelism(),
+                scan_pages: AtomicU64::new(0),
             }),
         }
     }
@@ -327,7 +349,7 @@ impl Database {
                 prepared.catalog_gen, inner.catalog_gen
             )));
         }
-        let rows = execute_plan(&*inner, &inner.funcs, &prepared.plan)?;
+        let rows = execute_plan(&*inner, &inner.funcs, &prepared.plan, inner.parallelism)?;
         Ok(ResultSet { columns: prepared.columns.clone(), rows, affected: 0, explain: None })
     }
 
@@ -343,6 +365,24 @@ impl Database {
     pub fn table_versions(&self, table_ids: &[u32]) -> Vec<u64> {
         let inner = self.inner.read();
         table_ids.iter().map(|id| inner.table_gens.get(id).copied().unwrap_or(0)).collect()
+    }
+
+    /// Set the per-query worker thread count (clamped to at least 1).
+    /// 1 disables all intra-query parallelism.
+    pub fn set_parallelism(&self, n: usize) {
+        self.inner.write().parallelism = n.max(1);
+    }
+
+    /// Current per-query worker thread count.
+    pub fn parallelism(&self) -> usize {
+        self.inner.read().parallelism
+    }
+
+    /// Total heap pages read by sequential scans since open. The delta
+    /// across a query shows how much of the heap it actually touched
+    /// (e.g. a short-circuiting LIMIT reads far fewer than a full scan).
+    pub fn scan_pages_read(&self) -> u64 {
+        self.inner.read().scan_pages.load(Ordering::Relaxed)
     }
 
     /// Aggregated buffer-pool counters `(hits, misses, evictions)` across
@@ -489,7 +529,7 @@ impl Inner {
         match stmt {
             Stmt::Select(s) => {
                 let (plan, columns) = plan_select(self, role.default_space(), &s)?;
-                let rows = execute_plan(self, &self.funcs, &plan)?;
+                let rows = execute_plan(self, &self.funcs, &plan, self.parallelism)?;
                 Ok(ResultSet { columns, rows, affected: 0, explain: None })
             }
             Stmt::Explain(inner_stmt) => match *inner_stmt {
@@ -807,6 +847,7 @@ impl Inner {
         filter: Option<&Expr>,
         funcs: &FunctionRegistry,
     ) -> DbResult<Vec<(Rid, Row)>> {
+        let compiled = filter.map(|pred| compile(pred, bindings, funcs)).transpose()?;
         let storage = self
             .tables
             .get_mut(&def.id)
@@ -814,12 +855,9 @@ impl Inner {
         let mut out = Vec::new();
         for (rid, bytes) in storage.heap.scan()? {
             let row = decode_row(&bytes)?;
-            let keep = match filter {
+            let keep = match &compiled {
                 None => true,
-                Some(pred) => {
-                    let ctx = EvalContext { bindings, row: &row, funcs };
-                    eval(pred, &ctx)? == Datum::Bool(true)
-                }
+                Some(pred) => pred.accepts(&row)?,
             };
             if keep {
                 out.push((rid, row));
@@ -1195,12 +1233,32 @@ impl PlannerContext for Inner {
 }
 
 impl StorageAccess for Inner {
-    fn scan_table(&self, table_id: u32) -> DbResult<Vec<Row>> {
+    fn scan_batches(
+        &self,
+        table_id: u32,
+        first_page: u32,
+        max_pages: u32,
+        max_fields: usize,
+        on_row: &mut dyn FnMut(&[Datum]) -> DbResult<()>,
+    ) -> DbResult<Option<u32>> {
         let storage = self
             .tables
             .get(&table_id)
             .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
-        storage.heap.scan()?.into_iter().map(|(_, bytes)| decode_row(&bytes)).collect()
+        let total = storage.heap.num_pages();
+        if first_page >= total {
+            return Ok(None);
+        }
+        let end = first_page.saturating_add(max_pages).min(total);
+        let mut scratch: Row = Vec::new();
+        for page_no in first_page..end {
+            storage.heap.page_visit_rows(page_no, &mut |bytes| {
+                decode_row_prefix_into(&mut scratch, bytes, max_fields)?;
+                on_row(&scratch)
+            })?;
+        }
+        self.scan_pages.fetch_add(u64::from(end - first_page), Ordering::Relaxed);
+        Ok(if end < total { Some(end) } else { None })
     }
 
     fn fetch_rids(&self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>> {

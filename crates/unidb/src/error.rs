@@ -16,6 +16,9 @@ pub enum DbError {
     AlreadyExists { kind: &'static str, name: String },
     /// A value's type does not match the column or operator expectation.
     TypeMismatch(String),
+    /// An unqualified column reference matches more than one table binding.
+    /// A planning-time error: qualify the column to disambiguate.
+    AmbiguousColumn(String),
     /// A statement violates access control (e.g. writing the public space
     /// without the maintainer role).
     AccessDenied(String),
@@ -45,6 +48,7 @@ impl fmt::Display for DbError {
             DbError::NotFound { kind, name } => write!(f, "{kind} {name:?} not found"),
             DbError::AlreadyExists { kind, name } => write!(f, "{kind} {name:?} already exists"),
             DbError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            DbError::AmbiguousColumn(name) => write!(f, "ambiguous column {name:?}"),
             DbError::AccessDenied(m) => write!(f, "access denied: {m}"),
             DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
             DbError::External(m) => write!(f, "external function error: {m}"),
@@ -75,6 +79,7 @@ mod tests {
         assert!(DbError::NotFound { kind: "table", name: "t".into() }
             .to_string()
             .contains("table"));
+        assert!(DbError::AmbiguousColumn("id".into()).to_string().contains("ambiguous"));
         let io = std::io::Error::other("disk gone");
         assert!(matches!(DbError::from(io), DbError::Io(_)));
         assert!(DbError::Io("enospc".into()).to_string().contains("io error"));

@@ -1,25 +1,69 @@
-//! Plan execution.
+//! Plan execution: a pull-based, batched, morsel-parallel engine.
 //!
-//! Operators consume and produce materialized row batches. For an
-//! analytical warehouse at this scale, batch materialization keeps the
-//! engine simple and the per-row overhead low; scans still stream from the
-//! heap page by page underneath.
+//! Every operator implements [`BatchIter`] and pulls ~[`BATCH_ROWS`]-row
+//! batches from its input, so Scan→Filter→Project pipelines stream without
+//! materializing intermediate `Vec<Row>`s and `LIMIT` stops pulling as
+//! soon as its window is full (unless a fallible expression downstream
+//! means early exit could change which queries error — then it drains).
+//! Pipeline breakers (Sort, TopN, Aggregate, the join build sides) still
+//! buffer what they must, and nothing more: `Sort+LIMIT` arrives here
+//! pre-fused into [`PhysicalPlan::TopN`], whose bounded heap never holds
+//! more than `offset + n` rows.
+//!
+//! All expressions are lowered to [`CompiledExpr`] when the operator tree
+//! is built — before the first row flows — so per-row evaluation does no
+//! name resolution, and unknown/ambiguous column errors surface at plan
+//! time.
+//!
+//! With `parallelism > 1`, SeqScan fans page-range morsels out over scoped
+//! std threads (filter and projection run inside the morsel when fused),
+//! and the pipeline breakers evaluate their keys across row chunks the
+//! same way. Workers write results back in morsel order, so the output —
+//! including tie order everywhere — is byte-identical to a serial run; the
+//! qdiff sweep pins this by running the same seeds at parallelism 1 and 4.
 
 use crate::datum::Datum;
 use crate::error::{DbError, DbResult};
-use crate::expr::eval::{eval, ColumnBinding, EvalContext};
+use crate::expr::compile::{compile, infallible, CompiledExpr};
 use crate::expr::func::FunctionRegistry;
 use crate::plan::{AggCall, PhysicalPlan};
 use crate::sql::ast::{Expr, JoinKind};
 use crate::storage::heap::Rid;
 use crate::tuple::Row;
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
+use std::sync::Arc;
+
+/// Target rows per batch pulled through the operator tree.
+pub const BATCH_ROWS: usize = 1024;
+/// Heap pages per scan morsel (the unit of scan parallelism).
+const MORSEL_PAGES: u32 = 32;
+/// Below this many rows a pipeline breaker evaluates serially: scoped
+/// thread spawns would cost more than they save.
+const PAR_MIN_ROWS: usize = 4096;
 
 /// The storage operations the executor needs; implemented by the engine.
-pub trait StorageAccess {
-    /// Every live row of a table.
-    fn scan_table(&self, table_id: u32) -> DbResult<Vec<Row>>;
+/// `Sync` because morsel workers share one handle across scoped threads —
+/// the same way concurrent reader sessions already share the engine under
+/// its read lock.
+pub trait StorageAccess: Sync {
+    /// Stream the decoded rows of up to `max_pages` heap pages starting at
+    /// `first_page` into `on_row`, returning the page to continue from
+    /// (`None` once the heap is exhausted). Page ranges past the end visit
+    /// nothing, so parallel morsels can race ahead safely. Only the first
+    /// `max_fields` columns of each row are decoded (`usize::MAX` for all):
+    /// a fused scan passes the highest position its expressions read so
+    /// trailing columns aren't even deserialized. Rows are borrowed from a
+    /// reused decode scratch — `on_row` must copy anything it keeps.
+    fn scan_batches(
+        &self,
+        table_id: u32,
+        first_page: u32,
+        max_pages: u32,
+        max_fields: usize,
+        on_row: &mut dyn FnMut(&[Datum]) -> DbResult<()>,
+    ) -> DbResult<Option<u32>>;
     /// Fetch specific rows (missing rids are skipped).
     fn fetch_rids(&self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>>;
     /// Rids with `column == key` from the B-tree index.
@@ -42,108 +86,236 @@ pub trait StorageAccess {
     ) -> DbResult<Vec<Rid>>;
 }
 
-/// Execute a plan to completion.
+/// Execute a plan to completion, collecting every emitted batch.
 pub fn execute_plan(
     storage: &dyn StorageAccess,
     funcs: &FunctionRegistry,
     plan: &PhysicalPlan,
+    parallelism: usize,
 ) -> DbResult<Vec<Row>> {
-    let bindings = plan.bindings();
-    match plan {
-        PhysicalPlan::Nothing => Ok(vec![Vec::new()]),
-        PhysicalPlan::SeqScan { table_id, residual, columns, .. } => {
-            let rows = storage.scan_table(*table_id)?;
-            apply_residual(rows, residual.as_ref(), columns, funcs)
+    let mut it = build_iter(storage, funcs, plan, parallelism.max(1))?;
+    let mut out = Vec::new();
+    while let Some(batch) = it.next_batch()? {
+        out.extend(batch);
+    }
+    Ok(out)
+}
+
+/// A pull-based operator. `next_batch` returns `Ok(None)` when exhausted;
+/// an `Ok(Some(batch))` may be empty (e.g. a filter rejected a whole
+/// input batch) — callers keep pulling until `None`.
+trait BatchIter {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>>;
+}
+
+type BoxIter<'a> = Box<dyn BatchIter + 'a>;
+
+/// Lower a plan into its operator tree, compiling every expression. All
+/// name-resolution errors surface here, before any row is read.
+fn build_iter<'a>(
+    storage: &'a dyn StorageAccess,
+    funcs: &'a FunctionRegistry,
+    plan: &PhysicalPlan,
+    par: usize,
+) -> DbResult<BoxIter<'a>> {
+    Ok(match plan {
+        PhysicalPlan::Nothing => Box::new(NothingIter { done: false }),
+        PhysicalPlan::SeqScan { table_id, residual, columns, .. } => Box::new(SeqScanIter {
+            storage,
+            table_id: *table_id,
+            filter: compile_opt(residual.as_ref(), columns, funcs)?,
+            project: None,
+            prefix: usize::MAX,
+            next_page: Some(0),
+            par,
+        }),
+        // Project directly over SeqScan fuses into the scan morsel, so
+        // filter + projection run inside the parallel workers — and only
+        // the column prefix the fused expressions actually read is decoded.
+        PhysicalPlan::Project { input, exprs, .. }
+            if matches!(**input, PhysicalPlan::SeqScan { .. }) =>
+        {
+            let PhysicalPlan::SeqScan { table_id, residual, columns, .. } = &**input else {
+                unreachable!()
+            };
+            let filter = compile_opt(residual.as_ref(), columns, funcs)?;
+            let project = compile_all(exprs, columns, funcs)?;
+            let prefix = project
+                .iter()
+                .chain(filter.iter())
+                .filter_map(CompiledExpr::max_column)
+                .max()
+                .map_or(0, |m| m + 1);
+            Box::new(SeqScanIter {
+                storage,
+                table_id: *table_id,
+                filter,
+                project: Some(project),
+                prefix,
+                next_page: Some(0),
+                par,
+            })
         }
         PhysicalPlan::IndexEqScan { table_id, column, key, residual, columns, .. } => {
-            let rids = storage.btree_eq(*table_id, column, key)?;
-            let rows = storage.fetch_rids(*table_id, &rids)?;
-            apply_residual(rows, residual.as_ref(), columns, funcs)
+            Box::new(RidScanIter {
+                storage,
+                table_id: *table_id,
+                rids: storage.btree_eq(*table_id, column, key)?,
+                pos: 0,
+                filter: compile_opt(residual.as_ref(), columns, funcs)?,
+            })
         }
         PhysicalPlan::IndexRangeScan { table_id, column, lo, hi, residual, columns, .. } => {
-            let rids =
-                storage.btree_range(*table_id, column, as_ref_bound(lo), as_ref_bound(hi))?;
-            let rows = storage.fetch_rids(*table_id, &rids)?;
-            apply_residual(rows, residual.as_ref(), columns, funcs)
+            Box::new(RidScanIter {
+                storage,
+                table_id: *table_id,
+                rids: storage.btree_range(*table_id, column, as_ref_bound(lo), as_ref_bound(hi))?,
+                pos: 0,
+                filter: compile_opt(residual.as_ref(), columns, funcs)?,
+            })
         }
         PhysicalPlan::UdiScan { table_id, column, func, args, residual, columns, .. } => {
-            let rids = storage.udi_probe(*table_id, column, func, args)?;
-            let rows = storage.fetch_rids(*table_id, &rids)?;
-            apply_residual(rows, residual.as_ref(), columns, funcs)
+            Box::new(RidScanIter {
+                storage,
+                table_id: *table_id,
+                rids: storage.udi_probe(*table_id, column, func, args)?,
+                pos: 0,
+                filter: compile_opt(residual.as_ref(), columns, funcs)?,
+            })
         }
         PhysicalPlan::Filter { input, predicate } => {
-            let in_bindings = input.bindings();
-            let rows = execute_plan(storage, funcs, input)?;
-            apply_residual(rows, Some(predicate), &in_bindings, funcs)
-        }
-        PhysicalPlan::NestedLoopJoin { left, right, kind, on } => {
-            nested_loop_join(storage, funcs, left, right, *kind, on.as_ref())
-        }
-        PhysicalPlan::HashJoin { left, right, left_key, right_key } => {
-            hash_join(storage, funcs, left, right, left_key, right_key)
-        }
-        PhysicalPlan::Aggregate { input, group_by, calls } => {
-            aggregate(storage, funcs, input, group_by, calls)
+            let pred = compile(predicate, &input.bindings(), funcs)?;
+            Box::new(FilterIter { input: build_iter(storage, funcs, input, par)?, pred })
         }
         PhysicalPlan::Project { input, exprs, .. } => {
+            let exprs = compile_all(exprs, &input.bindings(), funcs)?;
+            Box::new(ProjectIter { input: build_iter(storage, funcs, input, par)?, exprs })
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, kind, on } => {
+            let mut bindings = left.bindings();
+            let right_width = right.bindings().len();
+            bindings.extend(right.bindings());
+            Box::new(NlJoinIter {
+                left: build_iter(storage, funcs, left, par)?,
+                right: Some(build_iter(storage, funcs, right, par)?),
+                right_rows: Vec::new(),
+                kind: *kind,
+                on: compile_opt(on.as_ref(), &bindings, funcs)?,
+                right_width,
+            })
+        }
+        PhysicalPlan::HashJoin { left, right, left_key, right_key } => Box::new(HashJoinIter {
+            left: build_iter(storage, funcs, left, par)?,
+            right: Some(build_iter(storage, funcs, right, par)?),
+            right_rows: Vec::new(),
+            table: HashMap::new(),
+            left_key: compile(left_key, &left.bindings(), funcs)?,
+            right_key: compile(right_key, &right.bindings(), funcs)?,
+            par,
+        }),
+        PhysicalPlan::Aggregate { input, group_by, calls } => {
             let in_bindings = input.bindings();
-            let rows = execute_plan(storage, funcs, input)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let ctx = EvalContext { bindings: &in_bindings, row: &row, funcs };
-                let mut projected = Vec::with_capacity(exprs.len());
-                for e in exprs {
-                    projected.push(eval(e, &ctx)?);
-                }
-                out.push(projected);
-            }
-            Ok(out)
+            Box::new(AggregateIter {
+                input: Some(build_iter(storage, funcs, input, par)?),
+                group_by: compile_all(group_by, &in_bindings, funcs)?,
+                args: calls
+                    .iter()
+                    .map(|c| compile_opt(c.arg.as_ref(), &in_bindings, funcs))
+                    .collect::<DbResult<Vec<_>>>()?,
+                calls: calls.to_vec(),
+                funcs,
+                par,
+            })
         }
-        PhysicalPlan::Sort { input, keys } => {
-            let in_bindings = input.bindings();
-            let rows = execute_plan(storage, funcs, input)?;
-            // Precompute sort keys, then stable sort.
-            let mut keyed: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(rows.len());
-            for row in rows {
-                let ctx = EvalContext { bindings: &in_bindings, row: &row, funcs };
-                let mut kvec = Vec::with_capacity(keys.len());
-                for (e, _) in keys {
-                    kvec.push(eval(e, &ctx)?);
-                }
-                keyed.push((kvec, row));
-            }
-            // `sort_by` is stable, so ties on every key preserve input
-            // order — multi-key sorts and LIMIT windows are deterministic.
-            keyed.sort_by(|(ka, _), (kb, _)| {
-                for (i, (_, asc)) in keys.iter().enumerate() {
-                    let ord = order_by_cmp(&ka[i], &kb[i]);
-                    let ord = if *asc { ord } else { ord.reverse() };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            Ok(keyed.into_iter().map(|(_, r)| r).collect())
+        PhysicalPlan::Sort { input, keys } => Box::new(SortIter {
+            input: Some(build_iter(storage, funcs, input, par)?),
+            keys: compile_keys(keys, &input.bindings(), funcs)?,
+            dirs: keys.iter().map(|(_, asc)| *asc).collect(),
+            par,
+        }),
+        PhysicalPlan::TopN { input, keys, n, offset } => Box::new(TopNIter {
+            input: Some(build_iter(storage, funcs, input, par)?),
+            keys: compile_keys(keys, &input.bindings(), funcs)?,
+            dirs: Arc::new(keys.iter().map(|(_, asc)| *asc).collect()),
+            n: *n,
+            offset: *offset,
+        }),
+        PhysicalPlan::Distinct { input } => Box::new(DistinctIter {
+            input: build_iter(storage, funcs, input, par)?,
+            seen: HashSet::new(),
+        }),
+        PhysicalPlan::Limit { input, n, offset } => Box::new(LimitIter {
+            // When any expression under this operator can error, an early
+            // exit could skip the evaluation that would have raised it and
+            // change the query's outcome — drain the input instead.
+            eager: plan_fallible(input),
+            input: build_iter(storage, funcs, input, par)?,
+            n: *n,
+            offset: *offset,
+            emitted: 0,
+            done: false,
+        }),
+    })
+}
+
+fn compile_opt(
+    expr: Option<&Expr>,
+    bindings: &[crate::expr::eval::ColumnBinding],
+    funcs: &FunctionRegistry,
+) -> DbResult<Option<CompiledExpr>> {
+    expr.map(|e| compile(e, bindings, funcs)).transpose()
+}
+
+fn compile_all(
+    exprs: &[Expr],
+    bindings: &[crate::expr::eval::ColumnBinding],
+    funcs: &FunctionRegistry,
+) -> DbResult<Vec<CompiledExpr>> {
+    exprs.iter().map(|e| compile(e, bindings, funcs)).collect()
+}
+
+fn compile_keys(
+    keys: &[(Expr, bool)],
+    bindings: &[crate::expr::eval::ColumnBinding],
+    funcs: &FunctionRegistry,
+) -> DbResult<Vec<CompiledExpr>> {
+    keys.iter().map(|(e, _)| compile(e, bindings, funcs)).collect()
+}
+
+/// Could executing this subtree raise an expression-evaluation error?
+/// Conservative (see [`infallible`]); `LIMIT` uses it to decide whether
+/// short-circuiting is observationally safe.
+fn plan_fallible(plan: &PhysicalPlan) -> bool {
+    let exprs_ok = |exprs: &[&Expr]| exprs.iter().all(|e| infallible(e));
+    match plan {
+        PhysicalPlan::Nothing => false,
+        PhysicalPlan::SeqScan { residual, .. }
+        | PhysicalPlan::IndexEqScan { residual, .. }
+        | PhysicalPlan::IndexRangeScan { residual, .. }
+        | PhysicalPlan::UdiScan { residual, .. } => !exprs_ok(&residual.iter().collect::<Vec<_>>()),
+        PhysicalPlan::Filter { input, predicate } => !infallible(predicate) || plan_fallible(input),
+        PhysicalPlan::NestedLoopJoin { left, right, on, .. } => {
+            !exprs_ok(&on.iter().collect::<Vec<_>>()) || plan_fallible(left) || plan_fallible(right)
         }
-        PhysicalPlan::Distinct { input } => {
-            let rows = execute_plan(storage, funcs, input)?;
-            let mut seen = std::collections::HashSet::new();
-            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        PhysicalPlan::HashJoin { left, right, left_key, right_key } => {
+            !infallible(left_key)
+                || !infallible(right_key)
+                || plan_fallible(left)
+                || plan_fallible(right)
         }
-        PhysicalPlan::Limit { input, n, offset } => {
-            let mut rows = execute_plan(storage, funcs, input)?;
-            let skip = (*offset as usize).min(rows.len());
-            rows.drain(..skip);
-            if let Some(n) = n {
-                rows.truncate(*n as usize);
-            }
-            Ok(rows)
+        // Accumulators themselves can reject values (sum over TEXT), so an
+        // aggregate is always treated as fallible.
+        PhysicalPlan::Aggregate { .. } => true,
+        PhysicalPlan::Project { input, exprs, .. } => {
+            !exprs.iter().all(infallible) || plan_fallible(input)
+        }
+        PhysicalPlan::Sort { input, keys } | PhysicalPlan::TopN { input, keys, .. } => {
+            !keys.iter().all(|(e, _)| infallible(e)) || plan_fallible(input)
+        }
+        PhysicalPlan::Distinct { input } | PhysicalPlan::Limit { input, .. } => {
+            plan_fallible(input)
         }
     }
-    .inspect(|rows| {
-        debug_assert!(rows.iter().all(|r| r.len() == bindings.len() || bindings.is_empty()));
-    })
 }
 
 /// ORDER BY comparator: NULLs sort LAST under ASC (and therefore FIRST
@@ -151,13 +323,24 @@ pub fn execute_plan(
 /// defaults. This is deliberately different from [`Datum::total_cmp`],
 /// whose NULL-first total order is a storage-level concern (B-tree key
 /// order), not a query-semantics one.
-pub fn order_by_cmp(a: &Datum, b: &Datum) -> std::cmp::Ordering {
+pub fn order_by_cmp(a: &Datum, b: &Datum) -> Ordering {
     match (a.is_null(), b.is_null()) {
-        (true, true) => std::cmp::Ordering::Equal,
-        (true, false) => std::cmp::Ordering::Greater,
-        (false, true) => std::cmp::Ordering::Less,
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
         (false, false) => a.total_cmp(b),
     }
+}
+
+fn cmp_key_vecs(a: &[Datum], b: &[Datum], dirs: &[bool]) -> Ordering {
+    for (i, asc) in dirs.iter().enumerate() {
+        let ord = order_by_cmp(&a[i], &b[i]);
+        let ord = if *asc { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
 }
 
 fn as_ref_bound(b: &Bound<Datum>) -> Bound<&Datum> {
@@ -168,179 +351,598 @@ fn as_ref_bound(b: &Bound<Datum>) -> Bound<&Datum> {
     }
 }
 
-fn apply_residual(
-    rows: Vec<Row>,
-    residual: Option<&Expr>,
-    bindings: &[ColumnBinding],
-    funcs: &FunctionRegistry,
-) -> DbResult<Vec<Row>> {
-    let Some(pred) = residual else { return Ok(rows) };
-    let mut out = Vec::with_capacity(rows.len());
-    for row in rows {
-        let ctx = EvalContext { bindings, row: &row, funcs };
-        if eval(pred, &ctx)? == Datum::Bool(true) {
+// ---------------------------------------------------------------------------
+// Parallel helpers
+// ---------------------------------------------------------------------------
+
+/// Map `f` over `rows`, fanning out over up to `par` scoped threads when
+/// the input is large enough to pay for them. Results come back in row
+/// order; the returned error (if any) is the one the earliest-ordered row
+/// produced, matching a serial run.
+fn par_map<R: Send>(
+    rows: &[Row],
+    par: usize,
+    f: impl Fn(&Row) -> DbResult<R> + Sync,
+) -> DbResult<Vec<R>> {
+    if par <= 1 || rows.len() < PAR_MIN_ROWS {
+        return rows.iter().map(f).collect();
+    }
+    let chunk = rows.len().div_ceil(par);
+    let mut results: Vec<DbResult<Vec<R>>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = rows
+            .chunks(chunk)
+            .map(|c| s.spawn(|| c.iter().map(&f).collect::<DbResult<Vec<R>>>()))
+            .collect();
+        results = handles.into_iter().map(join_worker).collect();
+    });
+    let mut flat = Vec::with_capacity(rows.len());
+    for r in results {
+        flat.extend(r?);
+    }
+    Ok(flat)
+}
+
+/// Propagate worker panics onto the pulling thread so a panic stays a
+/// panic (the qdiff harness treats panics as divergences; swallowing one
+/// into an error would mask it).
+fn join_worker<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match h.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf operators
+// ---------------------------------------------------------------------------
+
+struct NothingIter {
+    done: bool,
+}
+
+impl BatchIter for NothingIter {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        Ok(Some(vec![Vec::new()]))
+    }
+}
+
+/// Streaming heap scan with optional fused filter and projection. Each
+/// `next_batch` reads one morsel (serial) or one wave of `par` morsels on
+/// scoped threads, reassembled in morsel order so the row order is
+/// identical to a serial scan.
+struct SeqScanIter<'a> {
+    storage: &'a dyn StorageAccess,
+    table_id: u32,
+    filter: Option<CompiledExpr>,
+    project: Option<Vec<CompiledExpr>>,
+    /// Columns `0..prefix` are decoded; the rest are skipped. Only ever
+    /// narrower than the schema when projection is fused into the scan, so
+    /// downstream operators always see full rows.
+    prefix: usize,
+    next_page: Option<u32>,
+    par: usize,
+}
+
+impl SeqScanIter<'_> {
+    fn run_morsel(&self, first_page: u32) -> DbResult<(Vec<Row>, Option<u32>)> {
+        // Filter and projection run directly on the scan's borrowed decode
+        // scratch; only surviving (projected) rows are materialized.
+        let mut out = Vec::new();
+        let next = self.storage.scan_batches(
+            self.table_id,
+            first_page,
+            MORSEL_PAGES,
+            self.prefix,
+            &mut |row| {
+                if let Some(f) = &self.filter {
+                    if !f.accepts(row)? {
+                        return Ok(());
+                    }
+                }
+                match &self.project {
+                    Some(exprs) => {
+                        let mut projected = Vec::with_capacity(exprs.len());
+                        for e in exprs {
+                            projected.push(e.eval(row)?);
+                        }
+                        out.push(projected);
+                    }
+                    None => out.push(row.to_vec()),
+                }
+                Ok(())
+            },
+        )?;
+        Ok((out, next))
+    }
+}
+
+impl BatchIter for SeqScanIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        let Some(start) = self.next_page else { return Ok(None) };
+        if self.par <= 1 {
+            let (rows, next) = self.run_morsel(start)?;
+            self.next_page = next;
+            return Ok(Some(rows));
+        }
+        // One wave: morsel i covers pages [start + i*M, start + (i+1)*M).
+        // The last morsel's continuation is the wave's continuation.
+        let mut results: Vec<DbResult<(Vec<Row>, Option<u32>)>> = Vec::new();
+        let this: &SeqScanIter<'_> = self;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..this.par as u32)
+                .map(|i| {
+                    let first = start.saturating_add(i * MORSEL_PAGES);
+                    s.spawn(move || this.run_morsel(first))
+                })
+                .collect();
+            results = handles.into_iter().map(join_worker).collect();
+        });
+        let mut batch = Vec::new();
+        let mut wave_next = None;
+        for r in results {
+            let (rows, next) = r?;
+            batch.extend(rows);
+            wave_next = next;
+        }
+        self.next_page = wave_next;
+        Ok(Some(batch))
+    }
+}
+
+/// Index / UDI scans: the rid list is materialized by the probe, rows are
+/// fetched in [`BATCH_ROWS`] chunks.
+struct RidScanIter<'a> {
+    storage: &'a dyn StorageAccess,
+    table_id: u32,
+    rids: Vec<Rid>,
+    pos: usize,
+    filter: Option<CompiledExpr>,
+}
+
+impl BatchIter for RidScanIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        if self.pos >= self.rids.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + BATCH_ROWS).min(self.rids.len());
+        let rows = self.storage.fetch_rids(self.table_id, &self.rids[self.pos..end])?;
+        self.pos = end;
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            if let Some(f) = &self.filter {
+                if !f.accepts(&row)? {
+                    continue;
+                }
+            }
             out.push(row);
         }
+        Ok(Some(out))
     }
-    Ok(out)
 }
 
-fn nested_loop_join(
-    storage: &dyn StorageAccess,
-    funcs: &FunctionRegistry,
-    left: &PhysicalPlan,
-    right: &PhysicalPlan,
-    kind: JoinKind,
-    on: Option<&Expr>,
-) -> DbResult<Vec<Row>> {
-    let left_rows = execute_plan(storage, funcs, left)?;
-    let right_rows = execute_plan(storage, funcs, right)?;
-    let mut bindings = left.bindings();
-    let right_bindings = right.bindings();
-    bindings.extend(right_bindings.clone());
-    let right_width = right_bindings.len();
+// ---------------------------------------------------------------------------
+// Streaming operators
+// ---------------------------------------------------------------------------
 
-    let mut out = Vec::new();
-    for l in &left_rows {
-        let mut matched = false;
-        for r in &right_rows {
-            let mut combined = l.clone();
-            combined.extend(r.iter().cloned());
-            let keep = match on {
-                None => true,
-                Some(pred) => {
-                    let ctx = EvalContext { bindings: &bindings, row: &combined, funcs };
-                    eval(pred, &ctx)? == Datum::Bool(true)
-                }
-            };
-            if keep {
-                matched = true;
-                out.push(combined);
-            }
-        }
-        if kind == JoinKind::Left && !matched {
-            let mut padded = l.clone();
-            padded.extend(std::iter::repeat_n(Datum::Null, right_width));
-            out.push(padded);
-        }
-    }
-    Ok(out)
+struct FilterIter<'a> {
+    input: BoxIter<'a>,
+    pred: CompiledExpr,
 }
 
-fn hash_join(
-    storage: &dyn StorageAccess,
-    funcs: &FunctionRegistry,
-    left: &PhysicalPlan,
-    right: &PhysicalPlan,
-    left_key: &Expr,
-    right_key: &Expr,
-) -> DbResult<Vec<Row>> {
-    let left_rows = execute_plan(storage, funcs, left)?;
-    let right_rows = execute_plan(storage, funcs, right)?;
-    let left_bindings = left.bindings();
-    let right_bindings = right.bindings();
-
-    // Build on the right side.
-    let mut table: HashMap<Datum, Vec<usize>> = HashMap::new();
-    for (i, r) in right_rows.iter().enumerate() {
-        let ctx = EvalContext { bindings: &right_bindings, row: r, funcs };
-        let k = eval(right_key, &ctx)?;
-        if !k.is_null() {
-            table.entry(k).or_default().push(i);
-        }
-    }
-
-    let mut out = Vec::new();
-    for l in &left_rows {
-        let ctx = EvalContext { bindings: &left_bindings, row: l, funcs };
-        let k = eval(left_key, &ctx)?;
-        if k.is_null() {
-            continue;
-        }
-        if let Some(matches) = table.get(&k) {
-            for &i in matches {
-                let mut combined = l.clone();
-                combined.extend(right_rows[i].iter().cloned());
-                out.push(combined);
+impl BatchIter for FilterIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+        let mut out = Vec::with_capacity(batch.len());
+        for row in batch {
+            if self.pred.accepts(&row)? {
+                out.push(row);
             }
         }
+        Ok(Some(out))
     }
-    Ok(out)
 }
 
-fn aggregate(
-    storage: &dyn StorageAccess,
-    funcs: &FunctionRegistry,
-    input: &PhysicalPlan,
-    group_by: &[Expr],
-    calls: &[AggCall],
-) -> DbResult<Vec<Row>> {
-    let in_bindings = input.bindings();
-    let rows = execute_plan(storage, funcs, input)?;
+struct ProjectIter<'a> {
+    input: BoxIter<'a>,
+    exprs: Vec<CompiledExpr>,
+}
 
-    struct Group {
-        key: Vec<Datum>,
-        accs: Vec<Box<dyn crate::expr::func::Accumulator>>,
-        distinct_seen: Vec<std::collections::HashSet<Datum>>,
-    }
-    let mut groups: Vec<Group> = Vec::new();
-    let mut lookup: HashMap<Vec<Datum>, usize> = HashMap::new();
-
-    let make_group = |key: Vec<Datum>| -> DbResult<Group> {
-        let mut accs = Vec::with_capacity(calls.len());
-        for c in calls {
-            let factory = funcs
-                .aggregate(&c.func)
-                .ok_or(DbError::NotFound { kind: "aggregate", name: c.func.clone() })?;
-            accs.push(factory());
-        }
-        Ok(Group { key, accs, distinct_seen: vec![std::collections::HashSet::new(); calls.len()] })
-    };
-
-    for row in &rows {
-        let ctx = EvalContext { bindings: &in_bindings, row, funcs };
-        let mut key = Vec::with_capacity(group_by.len());
-        for g in group_by {
-            key.push(eval(g, &ctx)?);
-        }
-        let gi = match lookup.get(&key) {
-            Some(&i) => i,
-            None => {
-                let g = make_group(key.clone())?;
-                groups.push(g);
-                lookup.insert(key, groups.len() - 1);
-                groups.len() - 1
+impl BatchIter for ProjectIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+        let mut out = Vec::with_capacity(batch.len());
+        for row in batch {
+            let mut projected = Vec::with_capacity(self.exprs.len());
+            for e in &self.exprs {
+                projected.push(e.eval(&row)?);
             }
+            out.push(projected);
+        }
+        Ok(Some(out))
+    }
+}
+
+/// Each incoming row is kept exactly once: the seen-set owns the only
+/// retained copy, duplicates are dropped without ever being cloned, and
+/// the emitted row is the original moving on downstream.
+struct DistinctIter<'a> {
+    input: BoxIter<'a>,
+    seen: HashSet<Row>,
+}
+
+impl BatchIter for DistinctIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        let Some(batch) = self.input.next_batch()? else { return Ok(None) };
+        let mut out = Vec::new();
+        for row in batch {
+            if !self.seen.contains(&row) {
+                self.seen.insert(row.clone());
+                out.push(row);
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+struct LimitIter<'a> {
+    input: BoxIter<'a>,
+    n: Option<u64>,
+    offset: u64,
+    emitted: u64,
+    eager: bool,
+    done: bool,
+}
+
+impl BatchIter for LimitIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(mut batch) = self.input.next_batch()? else {
+            self.done = true;
+            return Ok(None);
         };
-        let group = &mut groups[gi];
-        for (ci, call) in calls.iter().enumerate() {
-            let value = match &call.arg {
-                None => Datum::Int(1), // count(*): a non-null marker per row
-                Some(e) => eval(e, &ctx)?,
-            };
+        if self.offset > 0 {
+            let skip = (self.offset).min(batch.len() as u64);
+            batch.drain(..skip as usize);
+            self.offset -= skip;
+        }
+        if let Some(n) = self.n {
+            let remaining = n - self.emitted;
+            if (batch.len() as u64) > remaining {
+                batch.truncate(remaining as usize);
+            }
+            self.emitted += batch.len() as u64;
+            if self.emitted >= n {
+                self.done = true;
+                if self.eager {
+                    // Keep evaluating the input for its error effects.
+                    while self.input.next_batch()?.is_some() {}
+                }
+            }
+        }
+        Ok(Some(batch))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers
+// ---------------------------------------------------------------------------
+
+fn drain(mut it: BoxIter<'_>) -> DbResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    while let Some(batch) = it.next_batch()? {
+        rows.extend(batch);
+    }
+    Ok(rows)
+}
+
+struct SortIter<'a> {
+    input: Option<BoxIter<'a>>,
+    keys: Vec<CompiledExpr>,
+    dirs: Vec<bool>,
+    par: usize,
+}
+
+impl BatchIter for SortIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        let Some(input) = self.input.take() else { return Ok(None) };
+        let rows = drain(input)?;
+        let keyed = par_map(&rows, self.par, |row| {
+            self.keys.iter().map(|k| k.eval(row)).collect::<DbResult<Vec<_>>>()
+        })?;
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        // Stable, so ties on every key preserve input order — multi-key
+        // sorts and LIMIT windows are deterministic.
+        order.sort_by(|&a, &b| cmp_key_vecs(&keyed[a], &keyed[b], &self.dirs));
+        let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
+        Ok(Some(order.iter().map(|&i| slots[i].take().expect("each slot once")).collect()))
+    }
+}
+
+/// Bounded Top-N: a max-heap (in sort order) of the best `offset + n`
+/// rows seen so far. A sequence number per row makes the heap order a
+/// total order that exactly reproduces stable-sort-then-limit, so results
+/// are deterministic under any parallelism.
+struct TopNIter<'a> {
+    input: Option<BoxIter<'a>>,
+    keys: Vec<CompiledExpr>,
+    dirs: Arc<Vec<bool>>,
+    n: u64,
+    offset: u64,
+}
+
+struct TopEntry {
+    key: Vec<Datum>,
+    seq: u64,
+    row: Row,
+    dirs: Arc<Vec<bool>>,
+}
+
+impl PartialEq for TopEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for TopEntry {}
+impl PartialOrd for TopEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TopEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_key_vecs(&self.key, &other.key, &self.dirs).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl BatchIter for TopNIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        let Some(mut input) = self.input.take() else { return Ok(None) };
+        let keep = usize::try_from(self.offset.saturating_add(self.n)).unwrap_or(usize::MAX);
+        let mut heap: std::collections::BinaryHeap<TopEntry> =
+            std::collections::BinaryHeap::with_capacity(keep.min(BATCH_ROWS) + 1);
+        let mut seq = 0u64;
+        while let Some(batch) = input.next_batch()? {
+            for row in batch {
+                // Key evaluation happens for every input row — exactly as
+                // the unfused Sort would — so error behavior is unchanged.
+                let key =
+                    self.keys.iter().map(|k| k.eval(&row)).collect::<DbResult<Vec<Datum>>>()?;
+                if keep == 0 {
+                    continue;
+                }
+                if heap.len() == keep {
+                    // Cheap reject: worse than the current worst kept row.
+                    let worst = heap.peek().expect("non-empty at capacity");
+                    if cmp_key_vecs(&key, &worst.key, &self.dirs).then(seq.cmp(&worst.seq)).is_ge()
+                    {
+                        seq += 1;
+                        continue;
+                    }
+                }
+                heap.push(TopEntry { key, seq, row, dirs: Arc::clone(&self.dirs) });
+                seq += 1;
+                if heap.len() > keep {
+                    heap.pop();
+                }
+            }
+        }
+        let mut entries = heap.into_sorted_vec();
+        let skip = (self.offset as usize).min(entries.len());
+        Ok(Some(entries.drain(skip..).map(|e| e.row).collect()))
+    }
+}
+
+struct NlJoinIter<'a> {
+    left: BoxIter<'a>,
+    right: Option<BoxIter<'a>>,
+    right_rows: Vec<Row>,
+    kind: JoinKind,
+    on: Option<CompiledExpr>,
+    right_width: usize,
+}
+
+impl BatchIter for NlJoinIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        if let Some(right) = self.right.take() {
+            self.right_rows = drain(right)?;
+        }
+        let Some(batch) = self.left.next_batch()? else { return Ok(None) };
+        let mut out = Vec::new();
+        for l in &batch {
+            let mut matched = false;
+            for r in &self.right_rows {
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
+                let keep = match &self.on {
+                    None => true,
+                    Some(pred) => pred.accepts(&combined)?,
+                };
+                if keep {
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+            if self.kind == JoinKind::Left && !matched {
+                let mut padded = l.clone();
+                padded.extend(std::iter::repeat_n(Datum::Null, self.right_width));
+                out.push(padded);
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+/// Hash join: builds on the right side (keys evaluated across morsel
+/// threads), probes left batches as they stream through.
+struct HashJoinIter<'a> {
+    left: BoxIter<'a>,
+    right: Option<BoxIter<'a>>,
+    right_rows: Vec<Row>,
+    table: HashMap<Datum, Vec<usize>>,
+    left_key: CompiledExpr,
+    right_key: CompiledExpr,
+    par: usize,
+}
+
+impl BatchIter for HashJoinIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        if let Some(right) = self.right.take() {
+            self.right_rows = drain(right)?;
+            let keys = par_map(&self.right_rows, self.par, |r| self.right_key.eval(r))?;
+            for (i, k) in keys.into_iter().enumerate() {
+                // NULL keys never join.
+                if !k.is_null() {
+                    self.table.entry(k).or_default().push(i);
+                }
+            }
+        }
+        let Some(batch) = self.left.next_batch()? else { return Ok(None) };
+        let mut out = Vec::new();
+        for l in &batch {
+            let k = self.left_key.eval(l)?;
+            if k.is_null() {
+                continue;
+            }
+            if let Some(matches) = self.table.get(&k) {
+                for &i in matches {
+                    let mut combined = l.clone();
+                    combined.extend(self.right_rows[i].iter().cloned());
+                    out.push(combined);
+                }
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+struct AggregateIter<'a> {
+    input: Option<BoxIter<'a>>,
+    group_by: Vec<CompiledExpr>,
+    /// Compiled argument per call; `None` is `count(*)`.
+    args: Vec<Option<CompiledExpr>>,
+    calls: Vec<AggCall>,
+    funcs: &'a FunctionRegistry,
+    par: usize,
+}
+
+impl BatchIter for AggregateIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        let Some(mut input) = self.input.take() else { return Ok(None) };
+
+        struct Group {
+            key: Vec<Datum>,
+            accs: Vec<Box<dyn crate::expr::func::Accumulator>>,
+            distinct_seen: Vec<HashSet<Datum>>,
+        }
+        let make_group = |key: Vec<Datum>| -> DbResult<Group> {
+            let mut accs = Vec::with_capacity(self.calls.len());
+            for c in &self.calls {
+                let factory = self
+                    .funcs
+                    .aggregate(&c.func)
+                    .ok_or(DbError::NotFound { kind: "aggregate", name: c.func.clone() })?;
+                accs.push(factory());
+            }
+            Ok(Group { key, accs, distinct_seen: vec![HashSet::new(); self.calls.len()] })
+        };
+
+        fn apply(call: &AggCall, group: &mut Group, ci: usize, value: Datum) -> DbResult<()> {
             if call.distinct && (value.is_null() || !group.distinct_seen[ci].insert(value.clone()))
             {
-                continue;
+                return Ok(());
             }
             group.accs[ci].update(&value).map_err(|e| match e {
                 DbError::TypeMismatch(m) => DbError::TypeMismatch(format!("{}(): {m}", call.func)),
                 other => other,
-            })?;
+            })
         }
-    }
 
-    // A global aggregate over zero rows still produces one row.
-    if groups.is_empty() && group_by.is_empty() {
-        groups.push(make_group(Vec::new())?);
-    }
-
-    let mut out = Vec::with_capacity(groups.len());
-    for g in groups {
-        let mut row = g.key;
-        for acc in &g.accs {
-            row.push(acc.finish());
+        let mut groups: Vec<Group> = Vec::new();
+        let mut lookup: HashMap<Vec<Datum>, usize> = HashMap::new();
+        // The fold into the accumulators is always sequential in row order —
+        // [`crate::expr::func::Accumulator`] is an open extension trait with
+        // no merge operation — but expression evaluation (group key and
+        // every aggregate argument) fans out across the worker threads one
+        // batch at a time when the batch is big enough to pay for it.
+        // Streaming batch by batch means the input is never fully
+        // materialized here.
+        while let Some(batch) = input.next_batch()? {
+            if self.par > 1 && batch.len() >= PAR_MIN_ROWS {
+                let evaluated: Vec<(Vec<Datum>, Vec<Datum>)> = par_map(&batch, self.par, |row| {
+                    let key = self
+                        .group_by
+                        .iter()
+                        .map(|g| g.eval(row))
+                        .collect::<DbResult<Vec<Datum>>>()?;
+                    let mut vals = Vec::with_capacity(self.args.len());
+                    for a in &self.args {
+                        vals.push(match a {
+                            None => Datum::Int(1), // count(*): a non-null marker per row
+                            Some(e) => e.eval(row)?,
+                        });
+                    }
+                    Ok((key, vals))
+                })?;
+                drop(batch);
+                for (key, vals) in evaluated {
+                    let gi = match lookup.get(&key) {
+                        Some(&i) => i,
+                        None => {
+                            groups.push(make_group(key.clone())?);
+                            lookup.insert(key, groups.len() - 1);
+                            groups.len() - 1
+                        }
+                    };
+                    for (ci, (call, value)) in self.calls.iter().zip(vals).enumerate() {
+                        apply(call, &mut groups[gi], ci, value)?;
+                    }
+                }
+            } else {
+                for row in &batch {
+                    let key = self
+                        .group_by
+                        .iter()
+                        .map(|g| g.eval(row))
+                        .collect::<DbResult<Vec<Datum>>>()?;
+                    let gi = match lookup.get(&key) {
+                        Some(&i) => i,
+                        None => {
+                            groups.push(make_group(key.clone())?);
+                            lookup.insert(key, groups.len() - 1);
+                            groups.len() - 1
+                        }
+                    };
+                    for (ci, call) in self.calls.iter().enumerate() {
+                        let value = match &self.args[ci] {
+                            None => Datum::Int(1), // count(*): a non-null marker per row
+                            Some(e) => e.eval(row)?,
+                        };
+                        apply(call, &mut groups[gi], ci, value)?;
+                    }
+                }
+            }
         }
-        out.push(row);
+
+        // A global aggregate over zero rows still produces one row.
+        if groups.is_empty() && self.group_by.is_empty() {
+            groups.push(make_group(Vec::new())?);
+        }
+
+        let mut out = Vec::with_capacity(groups.len());
+        for g in groups {
+            let mut row = g.key;
+            for acc in &g.accs {
+                row.push(acc.finish());
+            }
+            out.push(row);
+        }
+        Ok(Some(out))
     }
-    Ok(out)
 }

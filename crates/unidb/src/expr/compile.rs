@@ -1,0 +1,478 @@
+//! Plan-time expression compilation.
+//!
+//! [`compile`] lowers an [`Expr`] into a [`CompiledExpr`]: column references
+//! become positional indices into the operator's input row, scalar function
+//! names become direct [`ScalarFn`] handles, and literal LIKE patterns are
+//! tokenized once. Evaluating a compiled program therefore does zero string
+//! work per row — the interpreter's per-row, per-reference lower-cased name
+//! scan (see [`EvalContext::resolve`]) happens exactly once, before the
+//! first row flows. Resolution errors (unknown or ambiguous columns,
+//! unknown functions, aggregates in scalar position) surface at plan time
+//! instead of on the first evaluated row.
+//!
+//! Compiled programs are `Send + Sync` (they hold only data and `Arc`'d
+//! function handles), so morsel workers can share one program across
+//! threads.
+
+use crate::datum::Datum;
+use crate::error::{DbError, DbResult};
+use crate::expr::eval::{ColumnBinding, EvalContext, LikePattern};
+use crate::expr::func::{FunctionRegistry, ScalarFn};
+use crate::sql::ast::{BinOp, Expr, UnaryOp};
+use std::cmp::Ordering;
+
+/// An executable expression with all names resolved.
+pub enum CompiledExpr {
+    Literal(Datum),
+    /// Load the input row's column at this position.
+    Column(usize),
+    Unary {
+        op: UnaryOp,
+        expr: Box<CompiledExpr>,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<CompiledExpr>,
+        right: Box<CompiledExpr>,
+    },
+    Func {
+        f: ScalarFn,
+        args: Vec<CompiledExpr>,
+    },
+    IsNull {
+        expr: Box<CompiledExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<CompiledExpr>,
+        list: Vec<CompiledExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<CompiledExpr>,
+        low: Box<CompiledExpr>,
+        high: Box<CompiledExpr>,
+        negated: bool,
+    },
+    /// LIKE with a literal pattern, tokenized at compile time.
+    LikePre {
+        expr: Box<CompiledExpr>,
+        pattern: LikePattern,
+        negated: bool,
+    },
+    /// LIKE whose pattern is itself computed per row.
+    LikeDyn {
+        expr: Box<CompiledExpr>,
+        pattern: Box<CompiledExpr>,
+        negated: bool,
+        escape: Option<char>,
+    },
+}
+
+/// Lower `expr` against the input schema `bindings`. Name resolution
+/// follows [`EvalContext::resolve`] exactly: lower-cased comparison, an
+/// optional table qualifier narrows candidates, more than one match is
+/// [`DbError::AmbiguousColumn`].
+pub fn compile(
+    expr: &Expr,
+    bindings: &[ColumnBinding],
+    funcs: &FunctionRegistry,
+) -> DbResult<CompiledExpr> {
+    match expr {
+        Expr::Literal(d) => Ok(CompiledExpr::Literal(d.clone())),
+        Expr::Column { table, name } => {
+            let ctx = EvalContext { bindings, row: &[], funcs };
+            Ok(CompiledExpr::Column(ctx.resolve(table.as_deref(), name)?))
+        }
+        Expr::Wildcard => Err(DbError::TypeMismatch("* is only valid inside count(*)".into())),
+        Expr::Unary { op, expr } => {
+            Ok(CompiledExpr::Unary { op: *op, expr: Box::new(compile(expr, bindings, funcs)?) })
+        }
+        Expr::Binary { op, left, right } => Ok(CompiledExpr::Binary {
+            op: *op,
+            left: Box::new(compile(left, bindings, funcs)?),
+            right: Box::new(compile(right, bindings, funcs)?),
+        }),
+        Expr::Func { name, args, .. } => {
+            if funcs.is_aggregate(name) {
+                return Err(DbError::TypeMismatch(format!(
+                    "aggregate {name}() is not allowed in this context"
+                )));
+            }
+            let f = funcs
+                .scalar(name)
+                .ok_or(DbError::NotFound { kind: "function", name: name.clone() })?
+                .clone();
+            let args =
+                args.iter().map(|a| compile(a, bindings, funcs)).collect::<DbResult<Vec<_>>>()?;
+            Ok(CompiledExpr::Func { f, args })
+        }
+        Expr::IsNull { expr, negated } => Ok(CompiledExpr::IsNull {
+            expr: Box::new(compile(expr, bindings, funcs)?),
+            negated: *negated,
+        }),
+        Expr::InList { expr, list, negated } => Ok(CompiledExpr::InList {
+            expr: Box::new(compile(expr, bindings, funcs)?),
+            list: list.iter().map(|e| compile(e, bindings, funcs)).collect::<DbResult<Vec<_>>>()?,
+            negated: *negated,
+        }),
+        Expr::Between { expr, low, high, negated } => Ok(CompiledExpr::Between {
+            expr: Box::new(compile(expr, bindings, funcs)?),
+            low: Box::new(compile(low, bindings, funcs)?),
+            high: Box::new(compile(high, bindings, funcs)?),
+            negated: *negated,
+        }),
+        Expr::Like { expr, pattern, negated, escape } => {
+            let expr = Box::new(compile(expr, bindings, funcs)?);
+            // A literal pattern (the overwhelmingly common case) is
+            // tokenized here; only its NULL-ness must still be decided per
+            // row against the left operand.
+            if let Expr::Literal(Datum::Text(p)) = pattern.as_ref() {
+                return Ok(CompiledExpr::LikePre {
+                    expr,
+                    pattern: LikePattern::compile(p, *escape)?,
+                    negated: *negated,
+                });
+            }
+            Ok(CompiledExpr::LikeDyn {
+                expr,
+                pattern: Box::new(compile(pattern, bindings, funcs)?),
+                negated: *negated,
+                escape: *escape,
+            })
+        }
+    }
+}
+
+impl CompiledExpr {
+    /// Evaluate against one row. Matches the interpreter's semantics
+    /// (three-valued logic, checked arithmetic) exactly — the qdiff oracle
+    /// pins the two against each other.
+    pub fn eval(&self, row: &[Datum]) -> DbResult<Datum> {
+        match self {
+            CompiledExpr::Literal(d) => Ok(d.clone()),
+            CompiledExpr::Column(i) => Ok(row[*i].clone()),
+            CompiledExpr::Unary { op, expr } => {
+                let v = expr.eval(row)?;
+                match op {
+                    UnaryOp::Not => match v {
+                        Datum::Null => Ok(Datum::Null),
+                        Datum::Bool(b) => Ok(Datum::Bool(!b)),
+                        other => {
+                            Err(DbError::TypeMismatch(format!("NOT expects BOOL, got {other}")))
+                        }
+                    },
+                    UnaryOp::Neg => match v {
+                        Datum::Null => Ok(Datum::Null),
+                        Datum::Int(i) => i
+                            .checked_neg()
+                            .map(Datum::Int)
+                            .ok_or_else(|| DbError::TypeMismatch("integer overflow".into())),
+                        Datum::Float(f) => Ok(Datum::Float(-f)),
+                        other => {
+                            Err(DbError::TypeMismatch(format!("- expects a number, got {other}")))
+                        }
+                    },
+                }
+            }
+            CompiledExpr::Binary { op, left, right } => eval_binary(*op, left, right, row),
+            CompiledExpr::Func { f, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(a.eval(row)?);
+                }
+                f(&values)
+            }
+            CompiledExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Datum::Bool(v.is_null() != *negated))
+            }
+            CompiledExpr::InList { expr, list, negated } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Datum::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let w = item.eval(row)?;
+                    match v.sql_eq(&w) {
+                        Some(true) => return Ok(Datum::Bool(!*negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Datum::Null)
+                } else {
+                    Ok(Datum::Bool(*negated))
+                }
+            }
+            CompiledExpr::Between { expr, low, high, negated } => {
+                let v = expr.eval(row)?;
+                let lo = low.eval(row)?;
+                let hi = high.eval(row)?;
+                // Desugars to `v >= lo AND v <= hi` under three-valued
+                // logic: a NULL bound yields NULL only when the other
+                // comparison doesn't already force the AND to FALSE.
+                let ge = cmp3(&v, &lo).map(|o| o != Ordering::Less);
+                let le = cmp3(&v, &hi).map(|o| o != Ordering::Greater);
+                let inside = match (ge, le) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                };
+                Ok(inside.map_or(Datum::Null, |b| Datum::Bool(b != *negated)))
+            }
+            CompiledExpr::LikePre { expr, pattern, negated } => match expr.eval(row)? {
+                Datum::Null => Ok(Datum::Null),
+                Datum::Text(s) => Ok(Datum::Bool(pattern.matches(&s) != *negated)),
+                _ => Err(DbError::TypeMismatch("LIKE expects TEXT operands".into())),
+            },
+            CompiledExpr::LikeDyn { expr, pattern, negated, escape } => {
+                let v = expr.eval(row)?;
+                let p = pattern.eval(row)?;
+                match (v, p) {
+                    (Datum::Null, _) | (_, Datum::Null) => Ok(Datum::Null),
+                    (Datum::Text(s), Datum::Text(pat)) => Ok(Datum::Bool(
+                        LikePattern::compile(&pat, *escape)?.matches(&s) != *negated,
+                    )),
+                    _ => Err(DbError::TypeMismatch("LIKE expects TEXT operands".into())),
+                }
+            }
+        }
+    }
+
+    /// True when the predicate accepts the row (NULL and FALSE both
+    /// reject, per SQL WHERE semantics).
+    pub fn accepts(&self, row: &[Datum]) -> DbResult<bool> {
+        Ok(self.eval(row)? == Datum::Bool(true))
+    }
+
+    /// Highest column position this expression reads, if any. A fused scan
+    /// decodes only positions `0..=max` across its expressions, skipping
+    /// trailing columns no expression touches.
+    pub fn max_column(&self) -> Option<usize> {
+        fn opt_max(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (x, None) | (None, x) => x,
+            }
+        }
+        match self {
+            CompiledExpr::Literal(_) => None,
+            CompiledExpr::Column(i) => Some(*i),
+            CompiledExpr::Unary { expr, .. }
+            | CompiledExpr::IsNull { expr, .. }
+            | CompiledExpr::LikePre { expr, .. } => expr.max_column(),
+            CompiledExpr::Binary { left, right, .. } => {
+                opt_max(left.max_column(), right.max_column())
+            }
+            CompiledExpr::Func { args, .. } => {
+                args.iter().fold(None, |m, a| opt_max(m, a.max_column()))
+            }
+            CompiledExpr::InList { expr, list, .. } => {
+                list.iter().fold(expr.max_column(), |m, e| opt_max(m, e.max_column()))
+            }
+            CompiledExpr::Between { expr, low, high, .. } => {
+                opt_max(expr.max_column(), opt_max(low.max_column(), high.max_column()))
+            }
+            CompiledExpr::LikeDyn { expr, pattern, .. } => {
+                opt_max(expr.max_column(), pattern.max_column())
+            }
+        }
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    left: &CompiledExpr,
+    right: &CompiledExpr,
+    row: &[Datum],
+) -> DbResult<Datum> {
+    // AND/OR need lazy NULL handling.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let l = to_bool3(left.eval(row)?)?;
+        // Short-circuit where the result is already determined.
+        match (op, l) {
+            (BinOp::And, Some(false)) => return Ok(Datum::Bool(false)),
+            (BinOp::Or, Some(true)) => return Ok(Datum::Bool(true)),
+            _ => {}
+        }
+        let r = to_bool3(right.eval(row)?)?;
+        let result = match op {
+            BinOp::And => match (l, r) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (l, r) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!("only AND/OR here"),
+        };
+        return Ok(result.map_or(Datum::Null, Datum::Bool));
+    }
+
+    let l = left.eval(row)?;
+    let r = right.eval(row)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Datum::Null);
+    }
+    match op {
+        BinOp::Eq => Ok(Datum::Bool(l.sql_eq(&r).expect("nulls handled"))),
+        BinOp::NotEq => Ok(Datum::Bool(!l.sql_eq(&r).expect("nulls handled"))),
+        BinOp::Lt => Ok(Datum::Bool(l.total_cmp(&r) == Ordering::Less)),
+        BinOp::LtEq => Ok(Datum::Bool(l.total_cmp(&r) != Ordering::Greater)),
+        BinOp::Gt => Ok(Datum::Bool(l.total_cmp(&r) == Ordering::Greater)),
+        BinOp::GtEq => Ok(Datum::Bool(l.total_cmp(&r) != Ordering::Less)),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            crate::expr::eval::arith(op, &l, &r)
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn to_bool3(d: Datum) -> DbResult<Option<bool>> {
+    match d {
+        Datum::Null => Ok(None),
+        Datum::Bool(b) => Ok(Some(b)),
+        other => Err(DbError::TypeMismatch(format!("expected BOOL, got {other}"))),
+    }
+}
+
+/// Three-valued comparison: `None` when either side is NULL.
+fn cmp3(a: &Datum, b: &Datum) -> Option<Ordering> {
+    if a.is_null() || b.is_null() {
+        None
+    } else {
+        Some(a.total_cmp(b))
+    }
+}
+
+/// Can evaluating this expression ever return an error, given that its
+/// column references resolved? Deliberately conservative: only shapes with
+/// no runtime failure mode at all (column loads, literals, IS NULL) count.
+/// The executor uses this to decide when `LIMIT` may stop pulling rows
+/// early and when Top-N may project only surviving rows — skipping
+/// evaluation of an expression that could error would change which queries
+/// fail, which the qdiff oracle would flag.
+pub fn infallible(expr: &Expr) -> bool {
+    match expr {
+        Expr::Literal(_) | Expr::Column { .. } => true,
+        Expr::IsNull { expr, .. } => infallible(expr),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::{Projection, Stmt};
+    use crate::sql::parser::parse;
+
+    fn expr(sql: &str) -> Expr {
+        let stmt = parse(&format!("SELECT {sql}")).unwrap();
+        let Stmt::Select(s) = stmt else { panic!() };
+        let Projection::Expr { expr, .. } = s.projections.into_iter().next().unwrap() else {
+            panic!()
+        };
+        expr
+    }
+
+    fn bindings() -> Vec<ColumnBinding> {
+        vec![
+            ColumnBinding::new("g", "id"),
+            ColumnBinding::new("g", "name"),
+            ColumnBinding::new("p", "id"),
+        ]
+    }
+
+    fn run(sql: &str, row: &[Datum]) -> DbResult<Datum> {
+        let funcs = FunctionRegistry::with_builtins();
+        let prog = compile(&expr(sql), &bindings(), &funcs)?;
+        prog.eval(row)
+    }
+
+    #[test]
+    fn columns_become_positions() {
+        let row = vec![Datum::Int(1), Datum::Text("tp53".into()), Datum::Int(9)];
+        assert_eq!(run("name", &row).unwrap(), Datum::Text("tp53".into()));
+        assert_eq!(run("p.id", &row).unwrap(), Datum::Int(9));
+        assert_eq!(run("g.id + p.id", &row).unwrap(), Datum::Int(10));
+    }
+
+    #[test]
+    fn resolution_errors_surface_at_compile_time() {
+        let funcs = FunctionRegistry::with_builtins();
+        assert!(matches!(
+            compile(&expr("id"), &bindings(), &funcs),
+            Err(DbError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(
+            compile(&expr("missing"), &bindings(), &funcs),
+            Err(DbError::NotFound { kind: "column", .. })
+        ));
+        assert!(matches!(
+            compile(&expr("no_such_fn(1)"), &bindings(), &funcs),
+            Err(DbError::NotFound { kind: "function", .. })
+        ));
+        // Aggregates are rejected in scalar contexts at compile time too.
+        assert!(compile(&expr("count(name)"), &bindings(), &funcs).is_err());
+    }
+
+    /// The compiled evaluator and the tree interpreter must agree on every
+    /// expression shape — sweep a grid of expressions over a grid of rows.
+    #[test]
+    fn compiled_matches_interpreter() {
+        let funcs = FunctionRegistry::with_builtins();
+        let b = bindings();
+        let exprs = [
+            "g.id + p.id * 2",
+            "g.id / p.id",
+            "-g.id",
+            "g.id % p.id",
+            "name + '!'",
+            "g.id < p.id AND name IS NOT NULL",
+            "g.id > p.id OR name LIKE 't%'",
+            "NOT (g.id = p.id)",
+            "g.id IN (1, 2, NULL)",
+            "g.id BETWEEN p.id AND 10",
+            "name LIKE 'tp_3'",
+            "name LIKE name",
+            "upper(name)",
+            "coalesce(NULL, name)",
+            "length(name) + g.id",
+        ];
+        let rows: Vec<Vec<Datum>> = vec![
+            vec![Datum::Int(1), Datum::Text("tp53".into()), Datum::Int(9)],
+            vec![Datum::Int(2), Datum::Null, Datum::Int(0)],
+            vec![Datum::Null, Datum::Text("t".into()), Datum::Int(2)],
+        ];
+        for sql in exprs {
+            let e = expr(sql);
+            let prog = compile(&e, &b, &funcs).unwrap();
+            for row in &rows {
+                let ctx = EvalContext { bindings: &b, row, funcs: &funcs };
+                let interp = crate::expr::eval::eval(&e, &ctx);
+                let compiled = prog.eval(row);
+                match (interp, compiled) {
+                    (Ok(a), Ok(c)) => assert_eq!(a, c, "{sql} over {row:?}"),
+                    (Err(_), Err(_)) => {}
+                    (a, c) => panic!("{sql} over {row:?}: interp {a:?} vs compiled {c:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infallible_is_conservative() {
+        assert!(infallible(&expr("a")));
+        assert!(infallible(&expr("1")));
+        assert!(infallible(&expr("a IS NOT NULL")));
+        assert!(!infallible(&expr("a + 1")));
+        assert!(!infallible(&expr("upper(a)")));
+        assert!(!infallible(&expr("a = 1")));
+    }
+}

@@ -44,7 +44,7 @@ impl<'a> EvalContext<'a> {
                 }
             }
             if hit.is_some() {
-                return Err(DbError::TypeMismatch(format!("ambiguous column {name:?}")));
+                return Err(DbError::AmbiguousColumn(name));
             }
             hit = Some(i);
         }
@@ -202,7 +202,7 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, ctx: &EvalContext) -> DbRes
     }
 }
 
-fn arith(op: BinOp, l: &Datum, r: &Datum) -> DbResult<Datum> {
+pub(crate) fn arith(op: BinOp, l: &Datum, r: &Datum) -> DbResult<Datum> {
     // TEXT + TEXT is concatenation, a convenience for the output language.
     if op == BinOp::Add {
         if let (Datum::Text(a), Datum::Text(b)) = (l, r) {
@@ -286,62 +286,81 @@ enum PatTok {
     Lit(char),
 }
 
-/// SQL LIKE: `%` matches any run, `_` matches one character. With an
-/// `ESCAPE` character, escape followed by any character makes that
-/// character literal (so `\%` with `ESCAPE '\'` matches a percent sign);
-/// a pattern ending in a bare escape character is an error.
-pub fn like_match(text: &str, pattern: &str, escape: Option<char>) -> DbResult<bool> {
-    let mut p: Vec<PatTok> = Vec::with_capacity(pattern.len());
-    let mut chars = pattern.chars();
-    while let Some(c) = chars.next() {
-        if Some(c) == escape {
-            match chars.next() {
-                Some(next) => p.push(PatTok::Lit(next)),
-                None => {
-                    return Err(DbError::TypeMismatch(
-                        "LIKE pattern ends with its escape character".into(),
-                    ))
+/// A LIKE pattern tokenized once, reusable across rows. The expression
+/// compiler builds one of these per literal pattern so matching does no
+/// per-row pattern parsing.
+pub struct LikePattern {
+    toks: Vec<PatTok>,
+}
+
+impl LikePattern {
+    /// Tokenize a pattern: `%` matches any run, `_` matches one character.
+    /// With an `ESCAPE` character, escape followed by any character makes
+    /// that character literal (so `\%` with `ESCAPE '\'` matches a percent
+    /// sign); a pattern ending in a bare escape character is an error.
+    pub fn compile(pattern: &str, escape: Option<char>) -> DbResult<LikePattern> {
+        let mut toks: Vec<PatTok> = Vec::with_capacity(pattern.len());
+        let mut chars = pattern.chars();
+        while let Some(c) = chars.next() {
+            if Some(c) == escape {
+                match chars.next() {
+                    Some(next) => toks.push(PatTok::Lit(next)),
+                    None => {
+                        return Err(DbError::TypeMismatch(
+                            "LIKE pattern ends with its escape character".into(),
+                        ))
+                    }
                 }
+            } else {
+                toks.push(match c {
+                    '%' => PatTok::Any,
+                    '_' => PatTok::One,
+                    other => PatTok::Lit(other),
+                });
             }
-        } else {
-            p.push(match c {
-                '%' => PatTok::Any,
-                '_' => PatTok::One,
-                other => PatTok::Lit(other),
-            });
         }
+        Ok(LikePattern { toks })
     }
-    let t: Vec<char> = text.chars().collect();
-    // Iterative two-pointer with backtracking on the last '%'.
-    let (mut ti, mut pi) = (0usize, 0usize);
-    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
-    while ti < t.len() {
-        match p.get(pi) {
-            Some(PatTok::Any) => {
-                star_p = pi;
-                star_t = ti;
-                pi += 1;
+
+    pub fn matches(&self, text: &str) -> bool {
+        let p = &self.toks;
+        let t: Vec<char> = text.chars().collect();
+        // Iterative two-pointer with backtracking on the last '%'.
+        let (mut ti, mut pi) = (0usize, 0usize);
+        let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+        while ti < t.len() {
+            match p.get(pi) {
+                Some(PatTok::Any) => {
+                    star_p = pi;
+                    star_t = ti;
+                    pi += 1;
+                }
+                Some(PatTok::One) => {
+                    ti += 1;
+                    pi += 1;
+                }
+                Some(PatTok::Lit(c)) if *c == t[ti] => {
+                    ti += 1;
+                    pi += 1;
+                }
+                _ if star_p != usize::MAX => {
+                    pi = star_p + 1;
+                    star_t += 1;
+                    ti = star_t;
+                }
+                _ => return false,
             }
-            Some(PatTok::One) => {
-                ti += 1;
-                pi += 1;
-            }
-            Some(PatTok::Lit(c)) if *c == t[ti] => {
-                ti += 1;
-                pi += 1;
-            }
-            _ if star_p != usize::MAX => {
-                pi = star_p + 1;
-                star_t += 1;
-                ti = star_t;
-            }
-            _ => return Ok(false),
         }
+        while matches!(p.get(pi), Some(PatTok::Any)) {
+            pi += 1;
+        }
+        pi == p.len()
     }
-    while matches!(p.get(pi), Some(PatTok::Any)) {
-        pi += 1;
-    }
-    Ok(pi == p.len())
+}
+
+/// One-shot SQL LIKE over an uncompiled pattern (see [`LikePattern`]).
+pub fn like_match(text: &str, pattern: &str, escape: Option<char>) -> DbResult<bool> {
+    Ok(LikePattern::compile(pattern, escape)?.matches(text))
 }
 
 #[cfg(test)]

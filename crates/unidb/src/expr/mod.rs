@@ -1,7 +1,15 @@
 //! Expression evaluation and the extensible function registry.
+//!
+//! Two evaluators share one semantics contract: the tree-walking
+//! interpreter in [`eval`] (used by one-shot contexts like INSERT values
+//! and tests) and the compiled form in [`compile`] (used wherever an
+//! expression runs once per row, so per-row name resolution would
+//! dominate).
 
+pub mod compile;
 pub mod eval;
 pub mod func;
 
-pub use eval::{eval, ColumnBinding, EvalContext};
+pub use compile::{compile, infallible, CompiledExpr};
+pub use eval::{eval, ColumnBinding, EvalContext, LikePattern};
 pub use func::{Accumulator, AggregateFn, FunctionRegistry, ScalarFn};

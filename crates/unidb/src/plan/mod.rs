@@ -106,6 +106,15 @@ pub enum PhysicalPlan {
         input: Box<PhysicalPlan>,
         keys: Vec<(Expr, bool)>,
     },
+    /// Fused Sort + Limit: a bounded heap keeps only the top
+    /// `offset + n` rows in sort order, then rows `offset..offset + n`
+    /// are emitted. Never sorts (or even retains) the full input.
+    TopN {
+        input: Box<PhysicalPlan>,
+        keys: Vec<(Expr, bool)>,
+        n: u64,
+        offset: u64,
+    },
     Distinct {
         input: Box<PhysicalPlan>,
     },
@@ -129,6 +138,7 @@ impl PhysicalPlan {
             | PhysicalPlan::UdiScan { columns, .. } => columns.clone(),
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::TopN { input, .. }
             | PhysicalPlan::Distinct { input }
             | PhysicalPlan::Limit { input, .. } => input.bindings(),
             PhysicalPlan::NestedLoopJoin { left, right, .. } => {
@@ -177,6 +187,7 @@ impl PhysicalPlan {
             | PhysicalPlan::Aggregate { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::TopN { input, .. }
             | PhysicalPlan::Distinct { input }
             | PhysicalPlan::Limit { input, .. } => input.collect_table_ids(ids),
             PhysicalPlan::NestedLoopJoin { left, right, .. }
@@ -274,6 +285,18 @@ impl PhysicalPlan {
                     .map(|(e, asc)| format!("{}{}", e.render(), if *asc { "" } else { " DESC" }))
                     .collect();
                 out.push_str(&format!("{pad}Sort [{}]\n", ks.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::TopN { input, keys, n, offset } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, asc)| format!("{}{}", e.render(), if *asc { "" } else { " DESC" }))
+                    .collect();
+                out.push_str(&format!("{pad}TopN [{}] limit {n}", ks.join(", ")));
+                if *offset > 0 {
+                    out.push_str(&format!(" offset {offset}"));
+                }
+                out.push('\n');
                 input.explain_into(out, depth + 1);
             }
             PhysicalPlan::Distinct { input } => {

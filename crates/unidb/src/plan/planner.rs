@@ -195,7 +195,35 @@ pub fn plan_select(
             offset: s.offset.unwrap_or(0),
         };
     }
-    Ok((plan, out_names))
+    Ok((fuse_top_n(plan), out_names))
+}
+
+/// Rewrite `Limit(Project(Sort(x)))` into `Project(TopN(x))`: a bounded
+/// heap replaces the full sort, and the projection runs only over the
+/// surviving `offset + n` rows.
+///
+/// Fusing is only legal when every projection expression is infallible
+/// (column loads, literals, IS NULL): projecting fewer rows must not be
+/// able to suppress an evaluation error the unfused pipeline would have
+/// raised — the qdiff oracle evaluates the SELECT list on every sorted
+/// row and treats a one-sided error as a divergence. DISTINCT blocks the
+/// fusion because it changes the cardinality between sort and limit.
+fn fuse_top_n(plan: PhysicalPlan) -> PhysicalPlan {
+    let PhysicalPlan::Limit { input, n: Some(n), offset } = plan else { return plan };
+    match *input {
+        PhysicalPlan::Project { input: sort, exprs, names }
+            if matches!(*sort, PhysicalPlan::Sort { .. })
+                && exprs.iter().all(crate::expr::infallible) =>
+        {
+            let PhysicalPlan::Sort { input: base, keys } = *sort else { unreachable!() };
+            PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::TopN { input: base, keys, n, offset }),
+                exprs,
+                names,
+            }
+        }
+        other => PhysicalPlan::Limit { input: Box::new(other), n: Some(n), offset },
+    }
 }
 
 fn resolve_table(

@@ -144,17 +144,73 @@ impl HeapFile {
         if page_no >= self.pool.num_pages() {
             return Ok(Vec::new());
         }
-        let stubs: Vec<(u16, Vec<u8>)> = self
-            .pool
-            .with_page(page_no, |p| p.iter().map(|(slot, rec)| (slot, rec.to_vec())).collect())?;
-        let mut out = Vec::with_capacity(stubs.len());
-        for (slot, stub) in stubs {
-            // Overflow chunks are internal records; only stubs are rows.
-            if stub.first() == Some(&INLINE) || stub.first() == Some(&OVERFLOW) {
-                out.push((Rid { page: page_no, slot }, self.expand(&stub)?));
+        // Inline records (the common case) are expanded inside the pool
+        // visit — a single copy straight off the page. Overflow stubs are
+        // noted and chased afterwards: `expand` re-enters the pool, which
+        // would deadlock under the page latch. Overflow chunks themselves
+        // are internal records; only stubs are rows.
+        let mut out: Vec<(Rid, Vec<u8>)> = Vec::new();
+        let mut deferred: Vec<(usize, Vec<u8>)> = Vec::new();
+        self.pool.with_page(page_no, |p| {
+            for (slot, rec) in p.iter() {
+                let rid = Rid { page: page_no, slot };
+                match rec.first() {
+                    Some(&INLINE) => out.push((rid, rec[1..].to_vec())),
+                    Some(&OVERFLOW) => {
+                        deferred.push((out.len(), rec.to_vec()));
+                        out.push((rid, Vec::new()));
+                    }
+                    _ => {}
+                }
             }
+        })?;
+        for (i, stub) in deferred {
+            out[i].1 = self.expand(&stub)?;
         }
         Ok(out)
+    }
+
+    /// Visit the live records of one page in slot order without copying
+    /// inline payloads out of the page first: `visit` runs on the page's
+    /// own bytes under the latch. Overflow stubs can't be expanded there
+    /// (`expand` re-enters the pool, which would deadlock under the page
+    /// latch), so from the first stub onward records are buffered and
+    /// visited after the latch drops — slot order is preserved either way,
+    /// and the common all-inline page stays copy-free.
+    pub fn page_visit_rows(
+        &self,
+        page_no: u32,
+        visit: &mut dyn FnMut(&[u8]) -> DbResult<()>,
+    ) -> DbResult<()> {
+        if page_no >= self.pool.num_pages() {
+            return Ok(());
+        }
+        let mut tail: Vec<Vec<u8>> = Vec::new();
+        let mut failed = None;
+        self.pool.with_page(page_no, |p| {
+            for (_slot, rec) in p.iter() {
+                match rec.first() {
+                    Some(&INLINE) if tail.is_empty() => {
+                        if let Err(e) = visit(&rec[1..]) {
+                            failed = Some(e);
+                            return;
+                        }
+                    }
+                    Some(&INLINE) | Some(&OVERFLOW) => tail.push(rec.to_vec()),
+                    _ => {}
+                }
+            }
+        })?;
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        for rec in tail {
+            match rec.first() {
+                Some(&INLINE) => visit(&rec[1..])?,
+                _ => visit(&self.expand(&rec)?)?,
+            }
+        }
+        Ok(())
     }
 
     /// Materialize every live record.

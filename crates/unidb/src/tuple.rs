@@ -56,7 +56,25 @@ pub fn encode_row(row: &[Datum]) -> Vec<u8> {
 }
 
 /// Deserialize a row.
-pub fn decode_row(mut buf: &[u8]) -> DbResult<Row> {
+pub fn decode_row(buf: &[u8]) -> DbResult<Row> {
+    decode_row_prefix(buf, usize::MAX)
+}
+
+/// Deserialize only the first `max_fields` fields of a row (the whole row
+/// when it has fewer). Positional references below `max_fields` stay
+/// valid; scans use this to skip decoding trailing columns no compiled
+/// expression reads. Trailing-byte validation only applies to full
+/// decodes — a prefix decode stops reading mid-payload by design.
+pub fn decode_row_prefix(buf: &[u8], max_fields: usize) -> DbResult<Row> {
+    let mut row = Vec::new();
+    decode_row_prefix_into(&mut row, buf, max_fields)?;
+    Ok(row)
+}
+
+/// [`decode_row_prefix`] into a caller-owned buffer, so hot scan loops can
+/// reuse one allocation across rows. Clears `row` first.
+pub fn decode_row_prefix_into(row: &mut Row, mut buf: &[u8], max_fields: usize) -> DbResult<()> {
+    row.clear();
     let n = take_varint(&mut buf)? as usize;
     // Every datum occupies at least one byte, so a count exceeding the
     // remaining payload is corrupt — reject before allocating.
@@ -66,8 +84,9 @@ pub fn decode_row(mut buf: &[u8]) -> DbResult<Row> {
             buf.len()
         )));
     }
-    let mut row = Vec::with_capacity(n);
-    for _ in 0..n {
+    let take = n.min(max_fields);
+    row.reserve(take);
+    for _ in 0..take {
         let tag = take_u8(&mut buf)?;
         row.push(match tag {
             T_NULL => Datum::Null,
@@ -100,10 +119,10 @@ pub fn decode_row(mut buf: &[u8]) -> DbResult<Row> {
             other => return Err(DbError::Storage(format!("unknown datum tag {other}"))),
         });
     }
-    if !buf.is_empty() {
+    if take == n && !buf.is_empty() {
         return Err(DbError::Storage(format!("{} trailing bytes after row", buf.len())));
     }
-    Ok(row)
+    Ok(())
 }
 
 fn zigzag(i: i64) -> u64 {

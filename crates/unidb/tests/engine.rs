@@ -751,3 +751,141 @@ fn medium_scale_consistency() {
     let rs = d.execute("SELECT count(*) FROM n WHERE v % 7 = 0").unwrap();
     assert_eq!(ints(&rs), vec![715]);
 }
+
+// ---------------------------------------------------------------------------
+// Vectorized / parallel execution (PR 4)
+// ---------------------------------------------------------------------------
+
+/// `ORDER BY + LIMIT` plans as a fused, bounded `TopN` operator — the
+/// golden EXPLAIN shape — and produces exactly the stable-sort window.
+#[test]
+fn explain_shows_fused_top_n() {
+    let d = seeded();
+    let plan = d
+        .execute("EXPLAIN SELECT symbol FROM genes ORDER BY len DESC LIMIT 2")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert_eq!(plan, "Project [symbol]\n  TopN [len DESC] limit 2\n    SeqScan user.genes\n");
+    assert!(!plan.contains("Sort"), "Sort should be fused away:\n{plan}");
+
+    // OFFSET rides along inside the heap bound.
+    let plan = d
+        .execute("EXPLAIN SELECT symbol FROM genes ORDER BY len LIMIT 2 OFFSET 1")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(plan.contains("TopN [len] limit 2 offset 1"), "plan:\n{plan}");
+
+    // DISTINCT between Sort and Limit blocks the fusion (it changes which
+    // rows the window sees), so the plan keeps the unfused pair.
+    let plan = d
+        .execute("EXPLAIN SELECT DISTINCT symbol FROM genes ORDER BY symbol LIMIT 2")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(plan.contains("Limit") && plan.contains("Sort") && !plan.contains("TopN"));
+}
+
+/// Top-N reproduces stable-sort-then-window semantics exactly, ties and
+/// OFFSET included.
+#[test]
+fn top_n_matches_sort_limit_semantics() {
+    let d = db();
+    d.execute("CREATE TABLE t (id INT, v INT)").unwrap();
+    // Many ties on v: stability means lowest insertion order wins.
+    for i in 0..500 {
+        d.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 7)).unwrap();
+    }
+    let rs = d.execute("SELECT id FROM t ORDER BY v LIMIT 5").unwrap();
+    assert_eq!(ints(&rs), vec![0, 7, 14, 21, 28]);
+    let rs = d.execute("SELECT id FROM t ORDER BY v LIMIT 4 OFFSET 3").unwrap();
+    assert_eq!(ints(&rs), vec![21, 28, 35, 42]);
+    let rs = d.execute("SELECT id FROM t ORDER BY v DESC, id DESC LIMIT 3").unwrap();
+    assert_eq!(ints(&rs), vec![496, 489, 482]);
+    // Window larger than the table degrades to a full sort.
+    let rs = d.execute("SELECT id FROM t ORDER BY v, id LIMIT 10000").unwrap();
+    assert_eq!(rs.len(), 500);
+}
+
+/// A bare LIMIT stops pulling from the scan once satisfied: the engine's
+/// page counter must move by far fewer pages than the table holds.
+#[test]
+fn limit_short_circuits_the_scan() {
+    let d = db();
+    d.execute("CREATE TABLE big (id INT, v INT)").unwrap();
+    for chunk in (0..100_000).collect::<Vec<i64>>().chunks(1000) {
+        let values: Vec<String> = chunk.iter().map(|i| format!("({i}, {})", i * 3)).collect();
+        d.execute(&format!("INSERT INTO big VALUES {}", values.join(", "))).unwrap();
+    }
+    d.set_parallelism(1);
+
+    let before_full = d.scan_pages_read();
+    d.execute("SELECT count(*) FROM big").unwrap();
+    let full_scan_pages = d.scan_pages_read() - before_full;
+    assert!(full_scan_pages > 100, "table should span many pages, got {full_scan_pages}");
+
+    let before = d.scan_pages_read();
+    let rs = d.execute("SELECT id FROM big LIMIT 10").unwrap();
+    assert_eq!(rs.len(), 10);
+    let limited_pages = d.scan_pages_read() - before;
+    assert!(
+        limited_pages < full_scan_pages / 4,
+        "LIMIT 10 read {limited_pages} pages; full scan reads {full_scan_pages}"
+    );
+}
+
+/// Serial and 4-way parallel execution are row-for-row identical across
+/// operator types (morsel reassembly keeps the scan order).
+#[test]
+fn parallel_execution_is_deterministic() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE t (a INT, b INT, g INT);
+         CREATE TABLE dim (id INT, name TEXT);",
+    )
+    .unwrap();
+    d.execute("BEGIN").unwrap();
+    for i in 0..10_000 {
+        d.execute(&format!("INSERT INTO t VALUES ({i}, {}, {})", (i * 37) % 1000, i % 13)).unwrap();
+    }
+    for i in 0..13 {
+        d.execute(&format!("INSERT INTO dim VALUES ({i}, 'g{i}')")).unwrap();
+    }
+    d.execute("COMMIT").unwrap();
+
+    let queries = [
+        "SELECT a, a + b FROM t WHERE b < 300",
+        "SELECT g, count(*), sum(b) FROM t GROUP BY g ORDER BY g",
+        "SELECT a FROM t ORDER BY b, a LIMIT 50",
+        "SELECT t.a, dim.name FROM t JOIN dim ON t.g = dim.id WHERE t.a < 100 ORDER BY t.a",
+        "SELECT DISTINCT g FROM t ORDER BY g",
+    ];
+    for q in queries {
+        d.set_parallelism(1);
+        let serial = d.execute(q).unwrap();
+        d.set_parallelism(4);
+        assert_eq!(d.parallelism(), 4);
+        let parallel = d.execute(q).unwrap();
+        assert_eq!(serial.rows, parallel.rows, "parallel run diverged for {q}");
+    }
+}
+
+/// An unqualified column matching two join sides is its own error kind,
+/// raised at plan time — not a type error, and not a per-row surprise.
+#[test]
+fn ambiguous_columns_error_at_plan_time() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE a (id INT, x INT);
+         CREATE TABLE b (id INT, y INT);
+         INSERT INTO a VALUES (1, 10);
+         INSERT INTO b VALUES (1, 20);",
+    )
+    .unwrap();
+    let err = d.execute("SELECT id FROM a JOIN b ON a.id = b.id").unwrap_err();
+    assert!(matches!(err, DbError::AmbiguousColumn(ref c) if c == "id"), "got {err:?}");
+    // Qualified references still work.
+    let rs = d.execute("SELECT a.id, b.y FROM a JOIN b ON a.id = b.id").unwrap();
+    assert_eq!(rs.rows, vec![vec![Datum::Int(1), Datum::Int(20)]]);
+}

@@ -19,6 +19,7 @@ use crate::source::SimulatedRepository;
 use genalg_adapter::Adapter;
 use genalg_core::error::{GenAlgError, Result};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
 use unidb::Database;
 
 enum MonitorKind {
@@ -193,10 +194,17 @@ impl Warehouse {
     /// [`RefreshReport::failed_sources`]. A failed monitor keeps its cursor
     /// / last-good snapshot, so nothing is skipped on the next refresh.
     pub fn refresh_with_retry(&mut self, policy: &RetryPolicy) -> Result<RefreshReport> {
+        let counters = genalg_obs::etl_counters();
+        counters.refresh_rounds.fetch_add(1, Ordering::Relaxed);
+        let tracer = genalg_obs::tracer();
+        let mut round_span = tracer.span("etl.refresh");
+        round_span.field("sources", self.sources.len() as u64);
         let mut deltas: Vec<(String, Delta)> = Vec::new();
         let mut failed_sources = Vec::new();
         for entry in &mut self.sources {
             let source_name = entry.repo.name().to_string();
+            let mut fetch_span = tracer.span_with_parent("etl.fetch", round_span.id());
+            fetch_span.field("source", source_name.clone());
             let mut outcome = None;
             for attempt in 1..=policy.max_attempts.max(1) {
                 let result: Result<Vec<Delta>> = match &mut entry.monitor {
@@ -214,6 +222,7 @@ impl Warehouse {
                     // mismatch) won't heal by waiting; surface them.
                     Err(e) if !e.is_transient() => return Err(e),
                     Err(_) if attempt < policy.max_attempts => {
+                        counters.retries.fetch_add(1, Ordering::Relaxed);
                         let backoff = policy.backoff(attempt);
                         if !backoff.is_zero() {
                             std::thread::sleep(backoff);
@@ -224,12 +233,20 @@ impl Warehouse {
             }
             match outcome {
                 Some(collected) => {
+                    fetch_span.field("deltas", collected.len() as u64);
                     deltas.extend(collected.into_iter().map(|d| (source_name.clone(), d)));
                 }
-                None => failed_sources.push(source_name),
+                None => {
+                    counters.source_failures.fetch_add(1, Ordering::Relaxed);
+                    fetch_span.field("failed", true);
+                    failed_sources.push(source_name);
+                }
             }
         }
+        round_span.field("failed_sources", failed_sources.len() as u64);
+        let apply_span = tracer.span_with_parent("etl.apply", round_span.id());
         let mut report = self.apply_deltas(deltas)?;
+        drop(apply_span);
         report.failed_sources = failed_sources;
         Ok(report)
     }
@@ -274,6 +291,10 @@ impl Warehouse {
                 upserted += entries.len();
             }
         }
+        let counters = genalg_obs::etl_counters();
+        counters.deltas.fetch_add(n_deltas as u64, Ordering::Relaxed);
+        counters.upserts.fetch_add(upserted as u64, Ordering::Relaxed);
+        counters.deletes.fetch_add(deleted as u64, Ordering::Relaxed);
         Ok(RefreshReport { deltas: n_deltas, upserted, deleted, failed_sources: Vec::new() })
     }
 

@@ -1,0 +1,167 @@
+//! Log₂-bucketed latency histograms over microseconds.
+//!
+//! Bucket *i* holds samples whose duration in microseconds has *i*
+//! significant bits, which gives ~2× resolution from 1 µs to ~18 minutes
+//! in 31 buckets with a single `fetch_add` per sample. Bucket 0 is the
+//! zero-microsecond bucket; the top bucket is open-ended (`+Inf` in
+//! Prometheus terms) and absorbs everything at or above 2³⁰ µs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets.
+pub const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram over microseconds. Lock-free: every
+/// recording is three relaxed `fetch_add`s.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one sample given directly in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = bucket_index(us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.snapshot().mean_us()
+    }
+
+    /// Approximate quantile: the upper bound (in µs) of the bucket containing
+    /// the q-th sample. `q` in [0, 1].
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.snapshot().quantile_us(q)
+    }
+
+    /// A consistent-enough point-in-time copy (relaxed loads; counters may
+    /// be mid-update under concurrent recording, which only ever smears a
+    /// sample between `count` and its bucket, never corrupts either).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Which bucket a microsecond value lands in.
+fn bucket_index(us: u64) -> usize {
+    (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// A plain-integer copy of a [`Histogram`], used for rendering and
+/// cross-bucket math without re-reading atomics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (not cumulative).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded samples, in microseconds.
+    pub sum_us: u64,
+    /// Number of recorded samples.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Inclusive upper bound of bucket `i` in microseconds, `u64::MAX` for
+    /// the open-ended top bucket. Bucket 0 holds exactly the 0 µs samples.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ if i >= BUCKETS - 1 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile: the upper bound (in µs) of the bucket containing
+    /// the q-th sample. `q` is clamped to [0, 1]; an empty histogram reports 0.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(1), 1);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(3), 7);
+        assert_eq!(HistogramSnapshot::bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn mean_and_quantiles() {
+        let h = Histogram::default();
+        for us in [1u64, 2, 4, 100, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean_us(), (1 + 2 + 4 + 100 + 1000) / 5);
+        // p50 falls in the bucket holding the third sample (4 µs → 3 bits →
+        // upper bound 7).
+        assert_eq!(h.quantile_us(0.5), 7);
+        assert!(h.quantile_us(1.0) >= 1000);
+        assert_eq!(Histogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_matches_live_histogram() {
+        let h = Histogram::default();
+        h.record_us(0);
+        h.record_us(7);
+        h.record_us(500);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_us, 507);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(s.quantile_us(0.5), h.quantile_us(0.5));
+        assert_eq!(s.mean_us(), h.mean_us());
+    }
+}

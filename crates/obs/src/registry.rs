@@ -1,0 +1,184 @@
+//! The unified metrics snapshot and its two renderings.
+//!
+//! Every subsystem folds its counters, gauges, and histogram snapshots
+//! into one [`Snapshot`]; `SHOW STATS` ([`Snapshot::stats_rows`]) and
+//! `SHOW METRICS` ([`Snapshot::prometheus`]) are renderings of the same
+//! data, so they can never disagree about a value.
+//!
+//! Names follow the `<subsystem>_<name>` convention documented in the
+//! crate root: a plain lexicographic sort groups related counters, which
+//! is exactly what both renderings rely on.
+
+use crate::hist::{HistogramSnapshot, BUCKETS};
+
+#[derive(Debug, Clone)]
+struct Scalar {
+    name: String,
+    value: u64,
+    gauge: bool,
+}
+
+/// A point-in-time collection of every counter, gauge, and histogram the
+/// process wants to expose. Build one per request with the `counter` /
+/// `gauge` / `histogram` adders, then render it.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    scalars: Vec<Scalar>,
+    hists: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a monotonically increasing counter.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.scalars.push(Scalar { name: name.into(), value, gauge: false });
+    }
+
+    /// Add a gauge (a value that can go down, e.g. queue depth).
+    pub fn gauge(&mut self, name: impl Into<String>, value: u64) {
+        self.scalars.push(Scalar { name: name.into(), value, gauge: true });
+    }
+
+    /// Add a latency histogram under `name` (e.g. `query_read_latency`).
+    pub fn histogram(&mut self, name: impl Into<String>, snap: HistogramSnapshot) {
+        self.hists.push((name.into(), snap));
+    }
+
+    /// Rows for `SHOW STATS`: every scalar plus, per histogram, derived
+    /// `<name>_count` / `<name>_mean_us` / `<name>_p50_us` / `<name>_p95_us`
+    /// rows. Sorted by name, which groups subsystems thanks to the naming
+    /// convention.
+    pub fn stats_rows(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> =
+            self.scalars.iter().map(|s| (s.name.clone(), s.value)).collect();
+        for (name, h) in &self.hists {
+            rows.push((format!("{name}_count"), h.count));
+            rows.push((format!("{name}_mean_us"), h.mean_us()));
+            rows.push((format!("{name}_p50_us"), h.quantile_us(0.50)));
+            rows.push((format!("{name}_p95_us"), h.quantile_us(0.95)));
+        }
+        rows.sort();
+        rows
+    }
+
+    /// Prometheus text exposition (text format 0.0.4): `# TYPE` comments,
+    /// scalar samples, and full cumulative bucket series per histogram.
+    /// `namespace` prefixes every family name (e.g. `genalg`).
+    pub fn prometheus(&self, namespace: &str) -> String {
+        let prefix = if namespace.is_empty() { String::new() } else { format!("{namespace}_") };
+        let mut scalars = self.scalars.clone();
+        scalars.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut hists: Vec<&(String, HistogramSnapshot)> = self.hists.iter().collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut out = String::new();
+        for s in &scalars {
+            let kind = if s.gauge { "gauge" } else { "counter" };
+            out.push_str(&format!("# TYPE {prefix}{} {kind}\n", s.name));
+            out.push_str(&format!("{prefix}{} {}\n", s.name, s.value));
+        }
+        for (name, h) in hists {
+            out.push_str(&format!("# TYPE {prefix}{name}_us histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                cumulative += b;
+                let le = if i == BUCKETS - 1 {
+                    "+Inf".to_string()
+                } else {
+                    HistogramSnapshot::bucket_upper_bound(i).to_string()
+                };
+                out.push_str(&format!("{prefix}{name}_us_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{prefix}{name}_us_sum {}\n", h.sum_us));
+            out.push_str(&format!("{prefix}{name}_us_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample_hist() -> HistogramSnapshot {
+        let h = Histogram::default();
+        h.record_us(0);
+        h.record_us(5);
+        h.record_us(300);
+        h.snapshot()
+    }
+
+    #[test]
+    fn stats_rows_sort_by_subsystem_prefix() {
+        let mut s = Snapshot::new();
+        s.counter("wal_appends", 7);
+        s.counter("cache_plan_hits", 3);
+        s.gauge("server_queue_depth", 1);
+        s.counter("cache_plan_misses", 2);
+        s.histogram("query_read_latency", sample_hist());
+        let rows = s.stats_rows();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cache_plan_hits",
+                "cache_plan_misses",
+                "query_read_latency_count",
+                "query_read_latency_mean_us",
+                "query_read_latency_p50_us",
+                "query_read_latency_p95_us",
+                "server_queue_depth",
+                "wal_appends",
+            ]
+        );
+        assert_eq!(rows[0].1, 3);
+        assert_eq!(rows[2].1, 3, "histogram count");
+    }
+
+    #[test]
+    fn prometheus_text_format_is_well_formed() {
+        let mut s = Snapshot::new();
+        s.counter("query_ok", 42);
+        s.gauge("server_queue_depth", 2);
+        s.histogram("query_read_latency", sample_hist());
+        let text = s.prometheus("genalg");
+        assert!(text.contains("# TYPE genalg_query_ok counter\n"));
+        assert!(text.contains("genalg_query_ok 42\n"));
+        assert!(text.contains("# TYPE genalg_server_queue_depth gauge\n"));
+        assert!(text.contains("# TYPE genalg_query_read_latency_us histogram\n"));
+        assert!(text.contains("genalg_query_read_latency_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("genalg_query_read_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("genalg_query_read_latency_us_sum 305\n"));
+        assert!(text.contains("genalg_query_read_latency_us_count 3\n"));
+        // Buckets are cumulative and non-decreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+        // Every non-comment line is `name{labels?} value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "));
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(value.parse::<u64>().is_ok(), "bad value in {line}");
+        }
+    }
+
+    #[test]
+    fn empty_namespace_emits_bare_names() {
+        let mut s = Snapshot::new();
+        s.counter("wal_syncs", 1);
+        let text = s.prometheus("");
+        assert!(text.contains("# TYPE wal_syncs counter\nwal_syncs 1\n"));
+    }
+}

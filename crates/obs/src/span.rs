@@ -1,0 +1,364 @@
+//! Structured spans: named, timed regions with key/value fields and
+//! parent links, recorded into a bounded ring buffer.
+//!
+//! The recorder is built for an always-on deployment:
+//!
+//! * [`Tracer::enabled`] is one relaxed atomic load — the entire cost of
+//!   instrumentation when tracing is off is that load plus a branch.
+//! * A disabled [`Tracer::span`] returns an inert guard: no id allocation,
+//!   no clock read, no field storage, nothing on drop.
+//! * An enabled span records itself when dropped: one `fetch_add` to claim
+//!   a ring slot and one per-slot mutex lock to store the record. Slots
+//!   are independent, so concurrent span completions only contend when
+//!   they hash to the same slot.
+//!
+//! The ring keeps the most recent `capacity` spans; older records are
+//! overwritten (and counted as dropped), which is the right trade for a
+//! flight recorder — the interesting spans are the latest ones.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One finished span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id (1-based; 0 never appears).
+    pub id: u64,
+    /// Parent span id, 0 for a root span.
+    pub parent: u64,
+    /// Static span name (e.g. `"exec.seq_scan"`).
+    pub name: &'static str,
+    /// Start time in microseconds since the tracer was created.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub elapsed_us: u64,
+    /// Key/value fields attached while the span was open.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// One-line human rendering, used by `SHOW TRACE`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} id={} parent={} start_us={} elapsed_us={}",
+            self.name, self.id, self.parent, self.start_us, self.elapsed_us
+        );
+        for (k, v) in &self.fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+}
+
+/// A lock-free span recorder with a bounded ring buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    next_id: AtomicU64,
+    cursor: AtomicU64,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    ring: Vec<Mutex<Option<SpanRecord>>>,
+}
+
+impl Tracer {
+    /// A tracer keeping the most recent `capacity` spans. Starts disabled.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            cursor: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Is span recording on? A single relaxed load — this is the whole
+    /// per-call-site cost when tracing is disabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn span recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Open a root span. Inert (free) when the tracer is disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        self.span_with_parent(name, 0)
+    }
+
+    /// Open a span under an explicit parent id (0 = root).
+    pub fn span_with_parent(&self, name: &'static str, parent: u64) -> Span<'_> {
+        if !self.enabled() {
+            return Span::inert();
+        }
+        Span {
+            tracer: Some(self),
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name,
+            start: Some(Instant::now()),
+            start_us: self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Spans recorded since creation (including ones since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let len = self.ring.len() as u64;
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let mut out = Vec::new();
+        for off in 0..len {
+            let idx = ((cursor + off) % len) as usize;
+            if let Some(rec) = self.ring[idx].lock().as_ref() {
+                out.push(rec.clone());
+            }
+        }
+        out
+    }
+
+    /// Drop every retained span (counters keep their totals).
+    pub fn clear(&self) {
+        for slot in &self.ring {
+            *slot.lock() = None;
+        }
+    }
+
+    fn finish(&self, record: SpanRecord) {
+        let seq = self.cursor.fetch_add(1, Ordering::AcqRel);
+        let idx = (seq % self.ring.len() as u64) as usize;
+        if self.ring[idx].lock().replace(record).is_some() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An open span; records itself into the tracer on drop. Obtained from
+/// [`Tracer::span`] — inert (every method a no-op) when tracing is off.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: Option<&'a Tracer>,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Option<Instant>,
+    start_us: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl<'a> Span<'a> {
+    fn inert() -> Self {
+        Span {
+            tracer: None,
+            id: 0,
+            parent: 0,
+            name: "",
+            start: None,
+            start_us: 0,
+            fields: Vec::new(),
+        }
+    }
+
+    /// This span's id (0 when inert) — pass to
+    /// [`Tracer::span_with_parent`] to link children across threads.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Is this a live (recording) span?
+    pub fn is_recording(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Attach a key/value field. No-op on an inert span.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.tracer.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+
+    /// Open a child span of this one.
+    pub fn child(&self, name: &'static str) -> Span<'a> {
+        match self.tracer {
+            Some(t) => t.span_with_parent(name, self.id),
+            None => Span::inert(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(tracer) = self.tracer else { return };
+        let elapsed_us =
+            self.start.map_or(0, |s| s.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        tracer.finish(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_us: self.start_us,
+            elapsed_us,
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(8);
+        assert!(!t.enabled());
+        {
+            let mut s = t.span("noop");
+            s.field("k", 1u64);
+            assert!(!s.is_recording());
+            assert_eq!(s.id(), 0);
+            let _child = s.child("noop.child");
+        }
+        assert_eq!(t.recorded(), 0);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn spans_record_fields_and_parent_links() {
+        let t = Tracer::new(8);
+        t.set_enabled(true);
+        let child_id;
+        {
+            let mut root = t.span("query");
+            root.field("sql", "select 1");
+            root.field("rows", 3u64);
+            let child = root.child("query.exec");
+            child_id = child.id();
+            assert_ne!(child_id, 0);
+            assert_ne!(child_id, root.id());
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        // The child drops first, so it is the older record.
+        assert_eq!(spans[0].name, "query.exec");
+        assert_eq!(spans[1].name, "query");
+        assert_eq!(spans[0].parent, spans[1].id);
+        assert_eq!(spans[0].id, child_id);
+        assert_eq!(spans[1].parent, 0);
+        let rendered = spans[1].render();
+        assert!(rendered.contains("sql=\"select 1\""), "got {rendered}");
+        assert!(rendered.contains("rows=3"), "got {rendered}");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Tracer::new(4);
+        t.set_enabled(true);
+        for _ in 0..10 {
+            let _s = t.span("tick");
+        }
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.dropped(), 6);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 4);
+        // Oldest-first: the four survivors are the last four recorded.
+        for pair in spans.windows(2) {
+            assert!(pair[0].id < pair[1].id);
+        }
+        t.clear();
+        assert!(t.spans().is_empty());
+        assert_eq!(t.recorded(), 10, "clear keeps totals");
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let t = Tracer::new(0);
+        assert_eq!(t.capacity(), 1);
+        t.set_enabled(true);
+        let _ = t.span("a");
+        let _ = t.span("b");
+        assert_eq!(t.spans().len(), 1);
+    }
+}

@@ -112,7 +112,9 @@ fn check_inner(sc: &Scenario, parallelism: Option<usize>) -> Option<Divergence> 
                     rs.rows.iter().map(|r| r.iter().map(datum_to_val).collect()).collect();
                 match converted {
                     Err(e) => Some(e),
-                    Ok(engine_rows) => compare_query(q, &engine_rows, &oracle_rows).err(),
+                    Ok(engine_rows) => compare_query(q, &engine_rows, &oracle_rows)
+                        .err()
+                        .or_else(|| analyze_crosscheck(&db, &sql, engine_rows.len(), q)),
                 }
             }
         };
@@ -121,6 +123,47 @@ fn check_inner(sc: &Scenario, parallelism: Option<usize>) -> Option<Divergence> 
         }
     }
     None
+}
+
+/// Re-run a query that already agreed with the oracle under
+/// `EXPLAIN ANALYZE` and cross-check the runtime counters themselves:
+///
+/// * the root operator's `rows_out` must equal the result's row count;
+/// * for non-windowed queries (no LIMIT/OFFSET — those may legitimately
+///   stop scanning early, at a point that depends on morsel scheduling),
+///   the deterministic counter rendering must be byte-identical at
+///   parallelism 1 and 4.
+fn analyze_crosscheck(db: &Database, sql: &str, row_count: usize, q: &Query) -> Option<String> {
+    let saved = db.parallelism();
+    let outcome = (|| {
+        let (_, stats) =
+            db.explain_analyze(sql).map_err(|e| format!("EXPLAIN ANALYZE failed: {e}"))?;
+        if stats.rows_out as usize != row_count {
+            return Err(format!(
+                "ANALYZE root rows_out {} vs result row count {row_count}",
+                stats.rows_out
+            ));
+        }
+        if q.limit.is_none() && q.offset.is_none() {
+            db.set_parallelism(1);
+            let (_, s1) = db
+                .explain_analyze(sql)
+                .map_err(|e| format!("EXPLAIN ANALYZE (parallelism 1) failed: {e}"))?;
+            db.set_parallelism(4);
+            let (_, s4) = db
+                .explain_analyze(sql)
+                .map_err(|e| format!("EXPLAIN ANALYZE (parallelism 4) failed: {e}"))?;
+            let (c1, c4) = (s1.render_counters(), s4.render_counters());
+            if c1 != c4 {
+                return Err(format!(
+                    "ANALYZE counters diverge at parallelism 1 vs 4:\n{c1}vs\n{c4}"
+                ));
+            }
+        }
+        Ok(())
+    })();
+    db.set_parallelism(saved);
+    outcome.err()
 }
 
 /// Compare a query's engine rows against the oracle's full (pre-window)

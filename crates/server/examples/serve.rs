@@ -36,6 +36,8 @@ fn main() {
         "SELECT accession, organism FROM public.sequences WHERE length > 4500000",
         "SELECT count(*) FROM public.sequences",
         "SHOW STATS",
+        "SHOW METRICS",
+        "SHOW SLOW QUERIES",
     ] {
         println!("\n> {sql}");
         match client.query(session, Lang::Sql, sql) {

@@ -19,9 +19,11 @@
 //! * a **wire protocol** ([`protocol`]) of length-prefixed binary frames
 //!   carrying SQL or BQL text out and tuple-encoded rows back, served over
 //!   TCP ([`Server::listen`]) or in process ([`Server::client`]);
-//! * **metrics** ([`Metrics`]) — latency histograms, cache hit/miss
-//!   counters, queue depth, active sessions — queryable by any session via
-//!   `SHOW STATS`.
+//! * **observability** — one [`genalg_obs::Snapshot`] feeds both
+//!   `SHOW STATS` (counters, grouped by `<subsystem>_` prefix) and
+//!   `SHOW METRICS` (Prometheus text exposition); `SHOW SLOW QUERIES`
+//!   returns the N slowest statements with plan and cache attribution, and
+//!   `SHOW TRACE` drains the structured span ring when tracing is on.
 //!
 //! The engine itself runs reads concurrently (shared read lock; see
 //! [`unidb::Database`]), so the pool translates directly into parallel
@@ -57,7 +59,7 @@ pub use metrics::{Histogram, Metrics};
 pub use protocol::{Lang, Request, Response};
 pub use queue::WorkerPool;
 pub use server::{Client, Server, ServerHandle, TcpClient};
-pub use service::{stat_value, QueryService, ServerConfig};
+pub use service::{stat_value, QueryService, ServerConfig, SlowQuery};
 pub use session::{SessionId, SessionKind, SessionManager};
 
 #[cfg(test)]
@@ -119,10 +121,10 @@ mod tests {
         assert_eq!(first, third);
 
         let stats = client.query(s, "SHOW STATS").unwrap();
-        assert_eq!(stat_value(&stats, "result_cache_hits"), Some(2));
-        assert_eq!(stat_value(&stats, "result_cache_misses"), Some(1));
-        assert_eq!(stat_value(&stats, "plan_cache_misses"), Some(1));
-        assert_eq!(stat_value(&stats, "queries_ok"), Some(3));
+        assert_eq!(stat_value(&stats, "cache_result_hits"), Some(2));
+        assert_eq!(stat_value(&stats, "cache_result_misses"), Some(1));
+        assert_eq!(stat_value(&stats, "cache_plan_misses"), Some(1));
+        assert_eq!(stat_value(&stats, "query_ok"), Some(3));
     }
 
     #[test]
@@ -179,9 +181,9 @@ mod tests {
         client.query(s, sql).unwrap();
         client.query(s, sql).unwrap();
         let stats = client.query(s, "SHOW STATS").unwrap();
-        assert_eq!(stat_value(&stats, "result_cache_hits"), Some(0));
-        assert_eq!(stat_value(&stats, "result_cache_misses"), Some(0));
-        assert_eq!(stat_value(&stats, "plan_cache_entries"), Some(0));
+        assert_eq!(stat_value(&stats, "cache_result_hits"), Some(0));
+        assert_eq!(stat_value(&stats, "cache_result_misses"), Some(0));
+        assert_eq!(stat_value(&stats, "cache_plan_entries"), Some(0));
     }
 
     #[test]
@@ -245,7 +247,177 @@ mod tests {
         };
         assert_eq!(rs.rows[0][0], Datum::Int(3));
         let stats = client.query(s, "SHOW STATS").unwrap();
-        assert!(stat_value(&stats, "rejected_busy").unwrap() >= 1);
-        assert!(stat_value(&stats, "queue_peak").unwrap() >= 1);
+        assert!(stat_value(&stats, "server_rejected_busy").unwrap() >= 1);
+        assert!(stat_value(&stats, "server_queue_peak").unwrap() >= 1);
+    }
+
+    /// Satellite: `SHOW STATS` rows group by subsystem prefix. The exact
+    /// name list is the golden contract — adding a counter means updating
+    /// this list *and* keeping its `<subsystem>_<name>` shape.
+    #[test]
+    fn show_stats_names_are_grouped_by_subsystem() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        let stats = client.query(s, "SHOW STATS").unwrap();
+        let names: Vec<String> = stats
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Datum::Text(n) => n.clone(),
+                other => panic!("stat name should be text, got {other:?}"),
+            })
+            .collect();
+        let golden = vec![
+            "cache_plan_entries",
+            "cache_plan_hits",
+            "cache_plan_misses",
+            "cache_result_entries",
+            "cache_result_hits",
+            "cache_result_misses",
+            "etl_deletes",
+            "etl_deltas",
+            "etl_refresh_rounds",
+            "etl_retries",
+            "etl_source_failures",
+            "etl_upserts",
+            "exec_parallelism",
+            "exec_scan_pages_read",
+            "obs_spans_dropped",
+            "obs_spans_recorded",
+            "obs_tracing_enabled",
+            "pool_evictions",
+            "pool_hits",
+            "pool_misses",
+            "query_err",
+            "query_ok",
+            "query_queue_wait_count",
+            "query_queue_wait_mean_us",
+            "query_queue_wait_p50_us",
+            "query_queue_wait_p95_us",
+            "query_read_latency_count",
+            "query_read_latency_mean_us",
+            "query_read_latency_p50_us",
+            "query_read_latency_p95_us",
+            "query_write_latency_count",
+            "query_write_latency_mean_us",
+            "query_write_latency_p50_us",
+            "query_write_latency_p95_us",
+            "server_active_sessions",
+            "server_io_errors",
+            "server_queue_depth",
+            "server_queue_peak",
+            "server_rejected_busy",
+            "server_worker_panics",
+            "wal_appends",
+            "wal_sync_failures",
+            "wal_syncs",
+        ];
+        assert_eq!(names, golden, "SHOW STATS names changed — update the golden list");
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "rows must stay lexicographically sorted");
+    }
+
+    #[test]
+    fn show_metrics_emits_parseable_prometheus() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        client.query(s, "SELECT count(*) FROM public.genes").unwrap();
+        let rs = client.query(s, "SHOW METRICS").unwrap();
+        assert_eq!(rs.columns, vec!["metrics".to_string()]);
+        let text: Vec<String> = rs
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Datum::Text(l) => l.clone(),
+                other => panic!("metrics line should be text, got {other:?}"),
+            })
+            .collect();
+        let text = text.join("\n");
+        assert!(text.contains("# TYPE genalg_query_ok counter"));
+        assert!(text.contains("# TYPE genalg_query_read_latency_us histogram"));
+        assert!(text.contains("genalg_query_read_latency_us_bucket{le=\"+Inf\"}"));
+        // Every line is either a TYPE comment or `name{labels?} value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(name.starts_with("genalg_"), "unprefixed family: {line}");
+            assert!(value.parse::<u64>().is_ok(), "bad value: {line}");
+        }
+    }
+
+    #[test]
+    fn slow_queries_are_captured_with_attribution() {
+        // Threshold 0: every successful statement counts as slow, so the
+        // test needs no sleeps; capacity 2 exercises the bound.
+        let config = ServerConfig {
+            slow_query_threshold_us: 0,
+            slow_query_capacity: 2,
+            ..ServerConfig::default()
+        };
+        let server = seeded_server(&config);
+        let client = server.client();
+        let s = client.open(SessionKind::User("alice".into()));
+        client.query(s, "SELECT name FROM public.genes WHERE id = 1").unwrap();
+        client.query(s, "SELECT name FROM public.genes WHERE id = 1").unwrap();
+        client.query(s, "SELECT count(*) FROM public.genes").unwrap();
+        let rs = client.query(s, "SHOW SLOW QUERIES").unwrap();
+        assert_eq!(rs.columns, vec!["query", "latency_us", "role", "plan", "cache"]);
+        assert_eq!(rs.rows.len(), 2, "log keeps only the slowest N");
+        // Slowest first, and every entry carries full attribution.
+        let lat = |row: &Vec<Datum>| match row[1] {
+            Datum::Int(v) => v,
+            _ => panic!("latency should be an int"),
+        };
+        assert!(lat(&rs.rows[0]) >= lat(&rs.rows[1]));
+        for row in &rs.rows {
+            assert_eq!(row[2], Datum::Text("user:alice".into()));
+            match (&row[0], &row[3], &row[4]) {
+                (Datum::Text(sql), Datum::Text(plan), Datum::Text(cache)) => {
+                    assert!(sql.starts_with("select"), "normalized sql: {sql}");
+                    assert!(!plan.is_empty());
+                    assert!(["result", "plan", "miss", "bypass"].contains(&cache.as_str()));
+                }
+                other => panic!("bad slow-query row: {other:?}"),
+            }
+        }
+        // SHOW statements themselves never land in the log.
+        let again = client.query(s, "SHOW SLOW QUERIES").unwrap();
+        assert!(again
+            .rows
+            .iter()
+            .all(|r| !matches!(&r[0], Datum::Text(q) if q.starts_with("show"))));
+    }
+
+    #[test]
+    fn show_trace_surfaces_spans_when_tracing_enabled() {
+        let config = ServerConfig { tracing: true, ..ServerConfig::default() };
+        let server = seeded_server(&config);
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        client.query(s, "SELECT count(*) FROM public.genes").unwrap();
+        let rs = client.query(s, "SHOW TRACE").unwrap();
+        assert_eq!(rs.columns, vec!["span".to_string()]);
+        let spans: Vec<String> = rs
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Datum::Text(t) => t.clone(),
+                other => panic!("span row should be text, got {other:?}"),
+            })
+            .collect();
+        assert!(
+            spans.iter().any(|l| l.starts_with("server.query")),
+            "expected a server.query span in {spans:?}"
+        );
+        assert!(
+            spans.iter().any(|l| l.starts_with("exec.query")),
+            "expected an exec.query span in {spans:?}"
+        );
     }
 }

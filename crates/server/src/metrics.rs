@@ -1,65 +1,17 @@
 //! Server-wide counters and latency histograms, surfaced through
-//! `SHOW STATS`.
+//! `SHOW STATS` and `SHOW METRICS`.
 //!
 //! Everything here is lock-free (`AtomicU64`) so the hot query path never
-//! serializes on the metrics registry. Latencies go into log₂-bucketed
-//! histograms: bucket *i* holds samples whose duration in microseconds has
-//! *i* significant bits, which gives ~2× resolution from 1 µs to ~18 minutes
-//! in 31 buckets with a single `fetch_add` per sample.
+//! serializes on the metrics registry. The histogram type itself lives in
+//! [`genalg_obs`] (log₂ buckets, one `fetch_add` per sample); this module
+//! owns the server's counters and folds them into the unified
+//! [`Snapshot`] under the `<subsystem>_<name>` naming convention — a plain
+//! lexicographic sort then groups `cache_*`, `query_*`, `server_*`, …
+//! families together in both renderings.
 
+pub use genalg_obs::Histogram;
+use genalg_obs::Snapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-const BUCKETS: usize = 32;
-
-/// A log₂-bucketed latency histogram over microseconds.
-#[derive(Debug, Default)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    sum_us: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Histogram {
-    /// Record one sample.
-    pub fn record(&self, d: Duration) {
-        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        self.sum_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
-    }
-
-    /// Approximate quantile: the upper bound (in µs) of the bucket containing
-    /// the q-th sample. `q` in [0, 1].
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let target = ((n as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                // Bucket i holds values with i significant bits: upper bound
-                // 2^i - 1 (bucket 0 is the zero-microsecond bucket).
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
-            }
-        }
-        u64::MAX
-    }
-}
 
 /// The server's metrics registry. One instance per [`crate::Server`]; shared
 /// by every session and worker.
@@ -94,6 +46,9 @@ pub struct Metrics {
     pub read_latency: Histogram,
     /// Latency of write statements (DML / DDL / transactions).
     pub write_latency: Histogram,
+    /// Time jobs spend in the admission queue between enqueue and worker
+    /// pickup — the saturation signal `queue_depth` only hints at.
+    pub queue_wait: Histogram,
 }
 
 impl Metrics {
@@ -108,40 +63,33 @@ impl Metrics {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// All counters as `(name, value)` rows, sorted by name — the body of
-    /// `SHOW STATS`.
-    pub fn snapshot(&self) -> Vec<(String, u64)> {
+    /// Fold every counter and histogram into `snap` under its exposition
+    /// name. The service layer adds engine- and process-level families
+    /// (`pool_*`, `exec_*`, `wal_*`, `etl_*`, `obs_*`) on top.
+    pub fn collect_into(&self, snap: &mut Snapshot) {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let mut rows = vec![
-            ("active_sessions".to_string(), g(&self.active_sessions)),
-            ("plan_cache_hits".to_string(), g(&self.plan_cache_hits)),
-            ("plan_cache_misses".to_string(), g(&self.plan_cache_misses)),
-            ("io_errors".to_string(), g(&self.io_errors)),
-            ("queries_err".to_string(), g(&self.queries_err)),
-            ("worker_panics".to_string(), g(&self.worker_panics)),
-            ("queries_ok".to_string(), g(&self.queries_ok)),
-            ("queue_depth".to_string(), g(&self.queue_depth)),
-            ("queue_peak".to_string(), g(&self.queue_peak)),
-            ("read_count".to_string(), self.read_latency.count()),
-            ("read_mean_us".to_string(), self.read_latency.mean_us()),
-            ("read_p50_us".to_string(), self.read_latency.quantile_us(0.50)),
-            ("read_p95_us".to_string(), self.read_latency.quantile_us(0.95)),
-            ("rejected_busy".to_string(), g(&self.rejected_busy)),
-            ("result_cache_hits".to_string(), g(&self.result_cache_hits)),
-            ("result_cache_misses".to_string(), g(&self.result_cache_misses)),
-            ("write_count".to_string(), self.write_latency.count()),
-            ("write_mean_us".to_string(), self.write_latency.mean_us()),
-            ("write_p50_us".to_string(), self.write_latency.quantile_us(0.50)),
-            ("write_p95_us".to_string(), self.write_latency.quantile_us(0.95)),
-        ];
-        rows.sort();
-        rows
+        snap.counter("query_ok", g(&self.queries_ok));
+        snap.counter("query_err", g(&self.queries_err));
+        snap.counter("server_rejected_busy", g(&self.rejected_busy));
+        snap.counter("server_io_errors", g(&self.io_errors));
+        snap.counter("server_worker_panics", g(&self.worker_panics));
+        snap.counter("cache_plan_hits", g(&self.plan_cache_hits));
+        snap.counter("cache_plan_misses", g(&self.plan_cache_misses));
+        snap.counter("cache_result_hits", g(&self.result_cache_hits));
+        snap.counter("cache_result_misses", g(&self.result_cache_misses));
+        snap.gauge("server_queue_depth", g(&self.queue_depth));
+        snap.gauge("server_queue_peak", g(&self.queue_peak));
+        snap.gauge("server_active_sessions", g(&self.active_sessions));
+        snap.histogram("query_read_latency", self.read_latency.snapshot());
+        snap.histogram("query_write_latency", self.write_latency.snapshot());
+        snap.histogram("query_queue_wait", self.queue_wait.snapshot());
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn histogram_mean_and_quantiles() {
@@ -159,15 +107,64 @@ mod tests {
     }
 
     #[test]
+    fn histogram_zero_microsecond_samples_stay_in_bucket_zero() {
+        let h = Histogram::default();
+        h.record(Duration::from_nanos(400)); // rounds down to 0 µs
+        h.record_us(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean_us(), 0);
+        // Every quantile of an all-zero histogram is the zero bucket.
+        assert_eq!(h.quantile_us(0.0), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.quantile_us(1.0), 0);
+    }
+
+    #[test]
+    fn histogram_single_sample_dominates_every_quantile() {
+        let h = Histogram::default();
+        h.record_us(10); // 4 significant bits → bucket upper bound 15
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 15, "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_extremes_clamp() {
+        let h = Histogram::default();
+        h.record_us(1);
+        h.record_us(1000); // 10 bits → upper bound 1023
+                           // q below 0 clamps to the first sample's bucket, q above 1 to the
+                           // last — out-of-range inputs never panic or index out of bounds.
+        assert_eq!(h.quantile_us(-3.0), 1);
+        assert_eq!(h.quantile_us(0.0), 1);
+        assert_eq!(h.quantile_us(1.0), 1023);
+        assert_eq!(h.quantile_us(7.5), 1023);
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturates_not_overflows() {
+        let h = Histogram::default();
+        // Anything with ≥ 31 significant bits lands in the open-ended top
+        // bucket; its quantile reports u64::MAX (rendered +Inf).
+        h.record_us(u64::MAX);
+        h.record(Duration::from_secs(40_000_000));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(0.5), u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+    }
+
+    #[test]
     fn queue_gauge_tracks_peak() {
         let m = Metrics::default();
         m.enqueue();
         m.enqueue();
         m.dequeue();
         m.enqueue();
-        let snap = m.snapshot();
-        let get = |k: &str| snap.iter().find(|(n, _)| n == k).unwrap().1;
-        assert_eq!(get("queue_depth"), 2);
-        assert_eq!(get("queue_peak"), 2);
+        let mut snap = Snapshot::new();
+        m.collect_into(&mut snap);
+        let rows = snap.stats_rows();
+        let get = |k: &str| rows.iter().find(|(n, _)| n == k).unwrap().1;
+        assert_eq!(get("server_queue_depth"), 2);
+        assert_eq!(get("server_queue_peak"), 2);
     }
 }

@@ -48,6 +48,14 @@ impl WorkerPool {
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> ServerResult<()> {
         let tx = self.tx.as_ref().expect("pool not shut down");
         self.metrics.enqueue();
+        // Stamp admission time so pickup can record how long the job sat in
+        // the queue — the latency component `queue_depth` only hints at.
+        let metrics = Arc::clone(&self.metrics);
+        let enqueued = std::time::Instant::now();
+        let job = move || {
+            metrics.queue_wait.record(enqueued.elapsed());
+            job();
+        };
         match tx.try_send(Box::new(job)) {
             Ok(()) => Ok(()),
             Err(err) => {

@@ -5,15 +5,22 @@
 //!
 //! 1. resolves the session to a role (public sessions may only read);
 //! 2. compiles BQL to the extended SQL of the Unifying Database (§6.4);
-//! 3. intercepts `SHOW STATS`;
+//! 3. intercepts the observability statements — `SHOW STATS`,
+//!    `SHOW METRICS` (Prometheus text), `SHOW SLOW QUERIES`, `SHOW TRACE`;
 //! 4. routes reads through the plan + result caches, writes straight to
 //!    the engine (whose generation counters invalidate cached state).
+//!
+//! Both `SHOW STATS` and `SHOW METRICS` render the same
+//! [`genalg_obs::Snapshot`], built in one place (`build_snapshot`); the
+//! two surfaces can never disagree about a value.
 
 use crate::cache::{normalize_sql, PlanCache, ResultCache, StatementKey};
 use crate::error::{ServerError, ServerResult};
 use crate::metrics::Metrics;
 use crate::protocol::Lang;
 use crate::session::{SessionId, SessionKind, SessionManager};
+use genalg_obs::Snapshot;
+use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -32,6 +39,13 @@ pub struct ServerConfig {
     pub result_cache_size: usize,
     /// Master switch for both caches (off = every query plans + executes).
     pub caches_enabled: bool,
+    /// Statements at or above this latency land in the slow-query log.
+    pub slow_query_threshold_us: u64,
+    /// How many slowest statements `SHOW SLOW QUERIES` retains (0 = off).
+    pub slow_query_capacity: usize,
+    /// Enable the process-global span tracer at startup (it can also be
+    /// pre-enabled with the `GENALG_TRACE` environment variable).
+    pub tracing: bool,
 }
 
 impl Default for ServerConfig {
@@ -42,8 +56,60 @@ impl Default for ServerConfig {
             plan_cache_size: 256,
             result_cache_size: 256,
             caches_enabled: true,
+            slow_query_threshold_us: 100_000,
+            slow_query_capacity: 32,
+            tracing: false,
         }
     }
+}
+
+/// One statement captured by the slow-query log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Normalized statement text (lowercased, whitespace-collapsed) — the
+    /// cache key, so repeats of the same shape are recognizable.
+    pub sql: String,
+    /// End-to-end service latency (admission excluded), microseconds.
+    pub latency_us: u64,
+    /// Session kind label: `public`, `user:<name>`, or `maintainer`.
+    pub role: String,
+    /// Root plan operator, or a statement-kind tag for uncached paths.
+    pub plan: String,
+    /// Which cache tier answered: `result`, `plan`, `miss`, or `bypass`.
+    pub cache: &'static str,
+}
+
+/// Bounded log of the N slowest statements seen so far, slowest first.
+#[derive(Debug)]
+struct SlowQueryLog {
+    entries: Mutex<Vec<SlowQuery>>,
+    capacity: usize,
+}
+
+impl SlowQueryLog {
+    fn new(capacity: usize) -> Self {
+        SlowQueryLog { entries: Mutex::new(Vec::new()), capacity }
+    }
+
+    fn record(&self, q: SlowQuery) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        entries.push(q);
+        entries.sort_by_key(|e| std::cmp::Reverse(e.latency_us));
+        entries.truncate(self.capacity);
+    }
+
+    fn snapshot(&self) -> Vec<SlowQuery> {
+        self.entries.lock().clone()
+    }
+}
+
+/// How a read statement was answered — feeds the slow-query log.
+struct QueryPath {
+    plan: String,
+    cache: &'static str,
 }
 
 /// The transport-independent query engine front end.
@@ -54,11 +120,17 @@ pub struct QueryService {
     result_cache: ResultCache,
     metrics: Arc<Metrics>,
     caches_enabled: bool,
+    slow_threshold_us: u64,
+    slow_log: SlowQueryLog,
 }
 
 impl QueryService {
     pub fn new(db: Arc<Database>, config: &ServerConfig) -> Self {
         let metrics = Arc::new(Metrics::default());
+        if config.tracing {
+            // Enable-only: never turn a GENALG_TRACE-enabled tracer off.
+            genalg_obs::tracer().set_enabled(true);
+        }
         QueryService {
             db,
             sessions: SessionManager::new(Arc::clone(&metrics)),
@@ -66,6 +138,8 @@ impl QueryService {
             result_cache: ResultCache::new(config.result_cache_size),
             metrics,
             caches_enabled: config.caches_enabled,
+            slow_threshold_us: config.slow_query_threshold_us,
+            slow_log: SlowQueryLog::new(config.slow_query_capacity),
         }
     }
 
@@ -77,6 +151,11 @@ impl QueryService {
     /// The underlying database handle.
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    /// Current contents of the slow-query log, slowest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log.snapshot()
     }
 
     /// Open a session of the given kind.
@@ -116,15 +195,23 @@ impl QueryService {
 
     fn execute_inner(&self, session: SessionId, lang: Lang, text: &str) -> ServerResult<ResultSet> {
         let kind = self.sessions.kind(session).ok_or(ServerError::UnknownSession)?;
+        let tracer = genalg_obs::tracer();
         let sql = match lang {
             Lang::Sql => text.to_string(),
-            Lang::Bql => genalg_bql::parse(text)
-                .and_then(|q| q.to_sql())
-                .map_err(|e| ServerError::Bql(e.to_string()))?,
+            Lang::Bql => {
+                let _span = tracer.span("server.parse_bql");
+                genalg_bql::parse(text)
+                    .and_then(|q| q.to_sql())
+                    .map_err(|e| ServerError::Bql(e.to_string()))?
+            }
         };
         let normalized = normalize_sql(&sql);
-        if normalized == "show stats" {
-            return Ok(self.stats_result());
+        match normalized.as_str() {
+            "show stats" => return Ok(self.stats_result()),
+            "show metrics" => return Ok(self.metrics_result()),
+            "show slow queries" => return Ok(self.slow_queries_result()),
+            "show trace" => return Ok(self.trace_result()),
+            _ => {}
         }
         let is_read = normalized.starts_with("select") || normalized.starts_with("explain");
         if !is_read && !kind.can_write() {
@@ -133,14 +220,30 @@ impl QueryService {
             ));
         }
         let role = kind.role();
+        let mut span = tracer.span("server.query");
+        span.field("read", is_read);
+        let mut path = QueryPath { plan: statement_tag(&normalized), cache: "bypass" };
         let start = Instant::now();
         let result = if is_read {
-            self.execute_read(&sql, normalized, &role)
+            self.execute_read(&sql, normalized.clone(), &role, &mut path, span.id())
         } else {
+            let _exec = tracer.span_with_parent("server.execute", span.id());
             self.db.execute_as(&sql, &role).map_err(ServerError::Db)
         };
+        let elapsed = start.elapsed();
         let hist = if is_read { &self.metrics.read_latency } else { &self.metrics.write_latency };
-        hist.record(start.elapsed());
+        hist.record(elapsed);
+        let latency_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        span.field("latency_us", latency_us);
+        if result.is_ok() && latency_us >= self.slow_threshold_us {
+            self.slow_log.record(SlowQuery {
+                sql: normalized,
+                latency_us,
+                role: kind_label(&kind),
+                plan: std::mem::take(&mut path.plan),
+                cache: path.cache,
+            });
+        }
         result
     }
 
@@ -149,19 +252,26 @@ impl QueryService {
         sql: &str,
         normalized: String,
         role: &unidb::Role,
+        path: &mut QueryPath,
+        parent: u64,
     ) -> ServerResult<ResultSet> {
+        let tracer = genalg_obs::tracer();
         // EXPLAIN and other non-SELECT reads bypass the caches entirely.
         if !normalized.starts_with("select") || !self.caches_enabled {
+            let _exec = tracer.span_with_parent("server.execute", parent);
             return self.db.execute_as(sql, role).map_err(ServerError::Db);
         }
         let key = StatementKey { normalized_sql: normalized, space: role.default_space().into() };
         let catalog_gen = self.db.catalog_generation();
+        let lookup = tracer.span_with_parent("server.cache_lookup", parent);
         if let Some(cached) =
             self.result_cache.get(&key, catalog_gen, |ids| self.db.table_versions(ids))
         {
             self.metrics.result_cache_hits.fetch_add(1, Ordering::Relaxed);
+            path.cache = "result";
             return Ok((*cached).clone());
         }
+        drop(lookup);
         self.metrics.result_cache_misses.fetch_add(1, Ordering::Relaxed);
 
         // Two attempts: a plan can go stale between lookup and execution if
@@ -171,20 +281,31 @@ impl QueryService {
             let plan = match self.plan_cache.get(&key, catalog_gen) {
                 Some(plan) => {
                     self.metrics.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    path.cache = "plan";
                     plan
                 }
                 None => {
                     self.metrics.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
-                    let plan = Arc::new(self.db.prepare_as(sql, role)?);
+                    path.cache = "miss";
+                    let plan = {
+                        let _span = tracer.span_with_parent("server.plan", parent);
+                        Arc::new(self.db.prepare_as(sql, role)?)
+                    };
                     self.plan_cache.insert(key.clone(), Arc::clone(&plan));
                     plan
                 }
             };
+            path.plan = plan.root_label();
             // Version snapshot *before* execution: a write landing in the
             // window makes the cached entry miss (safe), never hit stale.
             let versions = self.db.table_versions(plan.table_ids());
-            match self.db.execute_prepared(&plan) {
+            let outcome = {
+                let _span = tracer.span_with_parent("server.execute", parent);
+                self.db.execute_prepared(&plan)
+            };
+            match outcome {
                 Ok(rs) => {
+                    let _span = tracer.span_with_parent("server.cache_fill", parent);
                     self.result_cache.insert(
                         key,
                         Arc::new(rs.clone()),
@@ -201,23 +322,113 @@ impl QueryService {
         unreachable!("second attempt either returns or errors")
     }
 
-    /// `SHOW STATS` as a two-column result set.
-    fn stats_result(&self) -> ResultSet {
+    /// The one snapshot both `SHOW STATS` and `SHOW METRICS` render: the
+    /// server's own registry plus the engine-level (`pool_*`, `exec_*`,
+    /// `wal_*`, `cache_*_entries`) and process-level (`etl_*`, `obs_*`)
+    /// families.
+    fn build_snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::new();
+        self.metrics.collect_into(&mut s);
         let (pool_hits, pool_misses, pool_evictions) = self.db.pool_stats();
-        let mut stats = self.metrics.snapshot();
-        stats.push(("buffer_pool_hits".into(), pool_hits));
-        stats.push(("buffer_pool_misses".into(), pool_misses));
-        stats.push(("buffer_pool_evictions".into(), pool_evictions));
-        stats.push(("plan_cache_entries".into(), self.plan_cache.len() as u64));
-        stats.push(("result_cache_entries".into(), self.result_cache.len() as u64));
-        stats.push(("parallelism".into(), self.db.parallelism() as u64));
-        stats.push(("scan_pages_read".into(), self.db.scan_pages_read()));
-        stats.sort();
-        let rows = stats
+        s.counter("pool_hits", pool_hits);
+        s.counter("pool_misses", pool_misses);
+        s.counter("pool_evictions", pool_evictions);
+        s.gauge("cache_plan_entries", self.plan_cache.len() as u64);
+        s.gauge("cache_result_entries", self.result_cache.len() as u64);
+        s.gauge("exec_parallelism", self.db.parallelism() as u64);
+        s.counter("exec_scan_pages_read", self.db.scan_pages_read());
+        let wal = self.db.wal_stats();
+        s.counter("wal_appends", wal.appends);
+        s.counter("wal_syncs", wal.syncs);
+        s.counter("wal_sync_failures", wal.sync_failures);
+        let etl = genalg_obs::etl_counters();
+        let g = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+        s.counter("etl_refresh_rounds", g(&etl.refresh_rounds));
+        s.counter("etl_deltas", g(&etl.deltas));
+        s.counter("etl_upserts", g(&etl.upserts));
+        s.counter("etl_deletes", g(&etl.deletes));
+        s.counter("etl_source_failures", g(&etl.source_failures));
+        s.counter("etl_retries", g(&etl.retries));
+        let tracer = genalg_obs::tracer();
+        s.counter("obs_spans_recorded", tracer.recorded());
+        s.counter("obs_spans_dropped", tracer.dropped());
+        s.gauge("obs_tracing_enabled", u64::from(tracer.enabled()));
+        s
+    }
+
+    /// `SHOW STATS` as a two-column result set, sorted by name (which
+    /// groups counters by subsystem prefix).
+    fn stats_result(&self) -> ResultSet {
+        let rows = self
+            .build_snapshot()
+            .stats_rows()
             .into_iter()
             .map(|(name, value)| vec![Datum::Text(name), Datum::Int(value as i64)])
             .collect();
         ResultSet { columns: vec!["stat".into(), "value".into()], rows, affected: 0, explain: None }
+    }
+
+    /// `SHOW METRICS`: the same snapshot in Prometheus text exposition
+    /// format, one line per row.
+    fn metrics_result(&self) -> ResultSet {
+        let text = self.build_snapshot().prometheus("genalg");
+        let rows = text.lines().map(|l| vec![Datum::Text(l.to_string())]).collect();
+        ResultSet { columns: vec!["metrics".into()], rows, affected: 0, explain: None }
+    }
+
+    /// `SHOW SLOW QUERIES`: the retained slowest statements, slowest first.
+    fn slow_queries_result(&self) -> ResultSet {
+        let rows = self
+            .slow_log
+            .snapshot()
+            .into_iter()
+            .map(|q| {
+                vec![
+                    Datum::Text(q.sql),
+                    Datum::Int(q.latency_us as i64),
+                    Datum::Text(q.role),
+                    Datum::Text(q.plan),
+                    Datum::Text(q.cache.to_string()),
+                ]
+            })
+            .collect();
+        ResultSet {
+            columns: vec![
+                "query".into(),
+                "latency_us".into(),
+                "role".into(),
+                "plan".into(),
+                "cache".into(),
+            ],
+            rows,
+            affected: 0,
+            explain: None,
+        }
+    }
+
+    /// `SHOW TRACE`: the tracer's ring of finished spans, oldest first.
+    /// Empty unless tracing is enabled (config or `GENALG_TRACE`).
+    fn trace_result(&self) -> ResultSet {
+        let rows = genalg_obs::tracer()
+            .spans()
+            .into_iter()
+            .map(|r| vec![Datum::Text(r.render())])
+            .collect();
+        ResultSet { columns: vec!["span".into()], rows, affected: 0, explain: None }
+    }
+}
+
+/// Coarse statement tag for slow-log entries that never reach the planner
+/// (writes, EXPLAIN, cache-bypass reads).
+fn statement_tag(normalized: &str) -> String {
+    normalized.split_whitespace().next().unwrap_or("statement").to_string()
+}
+
+fn kind_label(kind: &SessionKind) -> String {
+    match kind {
+        SessionKind::Public => "public".to_string(),
+        SessionKind::User(name) => format!("user:{name}"),
+        SessionKind::Maintainer => "maintainer".to_string(),
     }
 }
 

@@ -50,8 +50,8 @@ fn io_faults_degrade_to_structured_errors_not_dead_workers() {
 
     // The fault counter is operator-visible.
     let stats = client.query(reader, "SHOW STATS").unwrap();
-    assert_eq!(stat_value(&stats, "io_errors"), Some(io_errors));
-    assert_eq!(stat_value(&stats, "worker_panics"), Some(0));
+    assert_eq!(stat_value(&stats, "server_io_errors"), Some(io_errors));
+    assert_eq!(stat_value(&stats, "server_worker_panics"), Some(0));
 
     // Disk recovers: the same server, same sessions, writes flow again.
     vfs.disarm();

@@ -124,7 +124,7 @@ fn mixed_workload_under_contention() {
     // The cache did real work during the run and agrees with the engine:
     // bypassing the service gives the same counts.
     let stats = retrying(|| client.query(s, "SHOW STATS"));
-    assert!(stat_value(&stats, "queries_ok").unwrap() > 0);
+    assert!(stat_value(&stats, "query_ok").unwrap() > 0);
     let direct = db.execute("SELECT count(*) FROM public.events").unwrap();
     assert_eq!(direct.rows[0][0], Datum::Int(expected));
 }

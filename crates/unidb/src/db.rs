@@ -4,7 +4,8 @@
 use crate::catalog::{Catalog, ColumnDef, Role, TableDef};
 use crate::datum::{DataType, Datum};
 use crate::error::{DbError, DbResult};
-use crate::exec::{execute_plan, StorageAccess};
+use crate::exec::stats::OpStatsSnapshot;
+use crate::exec::{execute_plan, execute_plan_with_stats, ScanProgress, StorageAccess};
 use crate::expr::compile::compile;
 use crate::expr::eval::{eval, ColumnBinding, EvalContext};
 use crate::expr::func::{AggregateFn, FunctionRegistry, ScalarFn};
@@ -63,6 +64,17 @@ impl ResultSet {
     pub fn scalar(&self) -> Option<&Datum> {
         self.rows.first().and_then(|r| r.first())
     }
+}
+
+/// Write-ahead-log counters for the live log (see [`Database::wal_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since open.
+    pub appends: u64,
+    /// Successful fsync-backed sync operations.
+    pub syncs: u64,
+    /// Failed sync attempts (each retried later with the buffer intact).
+    pub sync_failures: u64,
 }
 
 struct TableStorage {
@@ -153,6 +165,12 @@ impl Prepared {
     /// The catalog generation this plan was built under.
     pub fn catalog_generation(&self) -> u64 {
         self.catalog_gen
+    }
+
+    /// One-line summary of the plan's root operator (the first line of
+    /// `EXPLAIN`) — what slow-query logs record instead of the whole tree.
+    pub fn root_label(&self) -> String {
+        self.plan.node_label()
     }
 }
 
@@ -309,7 +327,7 @@ impl Database {
     /// other readers); everything else takes the exclusive write lock.
     pub fn execute_as(&self, sql: &str, role: &Role) -> DbResult<ResultSet> {
         let stmt = parse(sql)?;
-        if matches!(stmt, Stmt::Select(_) | Stmt::Explain(_)) {
+        if matches!(stmt, Stmt::Select(_) | Stmt::Explain { .. }) {
             let inner = self.inner.read();
             inner.run_read(stmt, role)
         } else {
@@ -383,6 +401,41 @@ impl Database {
     /// (e.g. a short-circuiting LIMIT reads far fewer than a full scan).
     pub fn scan_pages_read(&self) -> u64 {
         self.inner.read().scan_pages.load(Ordering::Relaxed)
+    }
+
+    /// Execute a SELECT while attributing per-operator runtime counters —
+    /// the programmatic face of `EXPLAIN ANALYZE`, returning the result
+    /// rows *and* the annotated stats tree. The qdiff harness uses this to
+    /// cross-check `rows_out` and `pages_read` against the actual results.
+    pub fn explain_analyze(&self, sql: &str) -> DbResult<(ResultSet, OpStatsSnapshot)> {
+        self.explain_analyze_as(sql, &Role::User("user".into()))
+    }
+
+    /// [`Database::explain_analyze`] with an explicit role.
+    pub fn explain_analyze_as(
+        &self,
+        sql: &str,
+        role: &Role,
+    ) -> DbResult<(ResultSet, OpStatsSnapshot)> {
+        let Stmt::Select(s) = parse(sql)? else {
+            return Err(DbError::Unsupported("explain_analyze takes a SELECT".into()));
+        };
+        let inner = self.inner.read();
+        let (plan, columns) = plan_select(&*inner, role.default_space(), &s)?;
+        let (rows, stats) =
+            execute_plan_with_stats(&*inner, &inner.funcs, &plan, inner.parallelism)?;
+        Ok((ResultSet { columns, rows, affected: 0, explain: None }, stats))
+    }
+
+    /// Write-ahead-log counters since open; all zero for an in-memory
+    /// database (which has no WAL).
+    pub fn wal_stats(&self) -> WalStats {
+        let inner = self.inner.read();
+        inner.wal.as_ref().map_or_else(WalStats::default, |w| WalStats {
+            appends: w.records_written(),
+            syncs: w.syncs(),
+            sync_failures: w.sync_failures(),
+        })
     }
 
     /// Aggregated buffer-pool counters `(hits, misses, evictions)` across
@@ -528,14 +581,27 @@ impl Inner {
     fn run_read(&self, stmt: Stmt, role: &Role) -> DbResult<ResultSet> {
         match stmt {
             Stmt::Select(s) => {
+                let plan_span = genalg_obs::tracer().span("unidb.plan");
                 let (plan, columns) = plan_select(self, role.default_space(), &s)?;
+                drop(plan_span);
                 let rows = execute_plan(self, &self.funcs, &plan, self.parallelism)?;
                 Ok(ResultSet { columns, rows, affected: 0, explain: None })
             }
-            Stmt::Explain(inner_stmt) => match *inner_stmt {
+            Stmt::Explain { stmt: inner_stmt, analyze } => match *inner_stmt {
                 Stmt::Select(s) => {
                     let (plan, _) = plan_select(self, role.default_space(), &s)?;
-                    Ok(ResultSet { explain: Some(plan.explain()), ..ResultSet::empty() })
+                    if analyze {
+                        // ANALYZE executes the query (discarding rows) and
+                        // renders the plan annotated with live counters.
+                        let (_, stats) =
+                            execute_plan_with_stats(self, &self.funcs, &plan, self.parallelism)?;
+                        Ok(ResultSet { explain: Some(stats.render()), ..ResultSet::empty() })
+                    } else {
+                        Ok(ResultSet { explain: Some(plan.explain()), ..ResultSet::empty() })
+                    }
+                }
+                _ if analyze => {
+                    Err(DbError::Unsupported("EXPLAIN ANALYZE supports only SELECT".into()))
                 }
                 other => {
                     Ok(ResultSet { explain: Some(format!("{other:?}")), ..ResultSet::empty() })
@@ -547,7 +613,7 @@ impl Inner {
 
     fn run_stmt(&mut self, stmt: Stmt, role: &Role) -> DbResult<ResultSet> {
         match stmt {
-            Stmt::Select(_) | Stmt::Explain(_) => self.run_read(stmt, role),
+            Stmt::Select(_) | Stmt::Explain { .. } => self.run_read(stmt, role),
             Stmt::CreateTable { table, columns } => self.create_table(&table, &columns, role),
             Stmt::DropTable { table } => self.drop_table(&table, role),
             Stmt::CreateIndex { table, column, unique } => {
@@ -1240,14 +1306,14 @@ impl StorageAccess for Inner {
         max_pages: u32,
         max_fields: usize,
         on_row: &mut dyn FnMut(&[Datum]) -> DbResult<()>,
-    ) -> DbResult<Option<u32>> {
+    ) -> DbResult<ScanProgress> {
         let storage = self
             .tables
             .get(&table_id)
             .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
         let total = storage.heap.num_pages();
         if first_page >= total {
-            return Ok(None);
+            return Ok(ScanProgress { next_page: None, pages_read: 0 });
         }
         let end = first_page.saturating_add(max_pages).min(total);
         let mut scratch: Row = Vec::new();
@@ -1258,7 +1324,10 @@ impl StorageAccess for Inner {
             })?;
         }
         self.scan_pages.fetch_add(u64::from(end - first_page), Ordering::Relaxed);
-        Ok(if end < total { Some(end) } else { None })
+        Ok(ScanProgress {
+            next_page: if end < total { Some(end) } else { None },
+            pages_read: end - first_page,
+        })
     }
 
     fn fetch_rids(&self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>> {

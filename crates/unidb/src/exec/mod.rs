@@ -1,6 +1,6 @@
 //! Plan execution: a pull-based, batched, morsel-parallel engine.
 //!
-//! Every operator implements [`BatchIter`] and pulls ~[`BATCH_ROWS`]-row
+//! Every operator implements `BatchIter` and pulls ~[`BATCH_ROWS`]-row
 //! batches from its input, so Scan→Filter→Project pipelines stream without
 //! materializing intermediate `Vec<Row>`s and `LIMIT` stops pulling as
 //! soon as its window is full (unless a fallible expression downstream
@@ -22,6 +22,8 @@
 //! including tie order everywhere — is byte-identical to a serial run; the
 //! qdiff sweep pins this by running the same seeds at parallelism 1 and 4.
 
+pub mod stats;
+
 use crate::datum::Datum;
 use crate::error::{DbError, DbResult};
 use crate::expr::compile::{compile, infallible, CompiledExpr};
@@ -30,6 +32,7 @@ use crate::plan::{AggCall, PhysicalPlan};
 use crate::sql::ast::{Expr, JoinKind};
 use crate::storage::heap::Rid;
 use crate::tuple::Row;
+use stats::{stats_tree, OpStats, OpStatsSnapshot};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
@@ -49,8 +52,8 @@ const PAR_MIN_ROWS: usize = 4096;
 /// its read lock.
 pub trait StorageAccess: Sync {
     /// Stream the decoded rows of up to `max_pages` heap pages starting at
-    /// `first_page` into `on_row`, returning the page to continue from
-    /// (`None` once the heap is exhausted). Page ranges past the end visit
+    /// `first_page` into `on_row`, returning the page to continue from and
+    /// how many pages were visited. Page ranges past the end visit
     /// nothing, so parallel morsels can race ahead safely. Only the first
     /// `max_fields` columns of each row are decoded (`usize::MAX` for all):
     /// a fused scan passes the highest position its expressions read so
@@ -63,7 +66,7 @@ pub trait StorageAccess: Sync {
         max_pages: u32,
         max_fields: usize,
         on_row: &mut dyn FnMut(&[Datum]) -> DbResult<()>,
-    ) -> DbResult<Option<u32>>;
+    ) -> DbResult<ScanProgress>;
     /// Fetch specific rows (missing rids are skipped).
     fn fetch_rids(&self, table_id: u32, rids: &[Rid]) -> DbResult<Vec<Row>>;
     /// Rids with `column == key` from the B-tree index.
@@ -86,6 +89,15 @@ pub trait StorageAccess: Sync {
     ) -> DbResult<Vec<Rid>>;
 }
 
+/// The outcome of one [`StorageAccess::scan_batches`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanProgress {
+    /// Page to continue from; `None` once the heap is exhausted.
+    pub next_page: Option<u32>,
+    /// Pages actually visited by this call (0 for a range past the end).
+    pub pages_read: u32,
+}
+
 /// Execute a plan to completion, collecting every emitted batch.
 pub fn execute_plan(
     storage: &dyn StorageAccess,
@@ -93,12 +105,37 @@ pub fn execute_plan(
     plan: &PhysicalPlan,
     parallelism: usize,
 ) -> DbResult<Vec<Row>> {
-    let mut it = build_iter(storage, funcs, plan, parallelism.max(1))?;
+    let mut query_span = genalg_obs::tracer().span("exec.query");
+    let mut it = build_iter(storage, funcs, plan, parallelism.max(1), None, query_span.id())?;
     let mut out = Vec::new();
     while let Some(batch) = it.next_batch()? {
         out.extend(batch);
     }
+    drop(it);
+    query_span.field("rows", out.len());
     Ok(out)
+}
+
+/// Execute a plan to completion while attributing per-operator runtime
+/// counters (`EXPLAIN ANALYZE`). Returns the rows plus the annotated
+/// stats tree mirroring the plan.
+pub fn execute_plan_with_stats(
+    storage: &dyn StorageAccess,
+    funcs: &FunctionRegistry,
+    plan: &PhysicalPlan,
+    parallelism: usize,
+) -> DbResult<(Vec<Row>, OpStatsSnapshot)> {
+    let mut query_span = genalg_obs::tracer().span("exec.query");
+    let root = stats_tree(plan);
+    let mut it =
+        build_iter(storage, funcs, plan, parallelism.max(1), Some(&root), query_span.id())?;
+    let mut out = Vec::new();
+    while let Some(batch) = it.next_batch()? {
+        out.extend(batch);
+    }
+    drop(it);
+    query_span.field("rows", out.len());
+    Ok((out, root.snapshot()))
 }
 
 /// A pull-based operator. `next_batch` returns `Ok(None)` when exhausted;
@@ -112,13 +149,25 @@ type BoxIter<'a> = Box<dyn BatchIter + 'a>;
 
 /// Lower a plan into its operator tree, compiling every expression. All
 /// name-resolution errors surface here, before any row is read.
+///
+/// When `stats` is given (`EXPLAIN ANALYZE`), each operator is wrapped in
+/// a [`StatIter`] attributing rows/batches/time to the matching node of
+/// the stats tree, and scans additionally record `pages_read`.
+///
+/// When the process tracer is enabled, each operator is also wrapped in a
+/// [`SpanIter`] that records one `exec.operator` span (under the query's
+/// `span_parent`) when the operator is dropped. The gate is one relaxed
+/// load per operator at *build* time — nothing on the per-batch path.
 fn build_iter<'a>(
     storage: &'a dyn StorageAccess,
     funcs: &'a FunctionRegistry,
     plan: &PhysicalPlan,
     par: usize,
+    stats: Option<&Arc<OpStats>>,
+    span_parent: u64,
 ) -> DbResult<BoxIter<'a>> {
-    Ok(match plan {
+    let child = |i: usize| stats.map(|s| &s.children[i]);
+    let it: BoxIter<'a> = match plan {
         PhysicalPlan::Nothing => Box::new(NothingIter { done: false }),
         PhysicalPlan::SeqScan { table_id, residual, columns, .. } => Box::new(SeqScanIter {
             storage,
@@ -128,6 +177,7 @@ fn build_iter<'a>(
             prefix: usize::MAX,
             next_page: Some(0),
             par,
+            stats: stats.map(Arc::clone),
         }),
         // Project directly over SeqScan fuses into the scan morsel, so
         // filter + projection run inside the parallel workers — and only
@@ -146,7 +196,11 @@ fn build_iter<'a>(
                 .filter_map(CompiledExpr::max_column)
                 .max()
                 .map_or(0, |m| m + 1);
-            Box::new(SeqScanIter {
+            // The fused operator reports through both plan nodes: the scan
+            // child gets pages_read (inside SeqScanIter) plus rows/time via
+            // its own StatIter; the Project gets the same via the outer
+            // wrap below. Their row counts are identical by construction.
+            let scan: BoxIter<'a> = Box::new(SeqScanIter {
                 storage,
                 table_id: *table_id,
                 filter,
@@ -154,7 +208,12 @@ fn build_iter<'a>(
                 prefix,
                 next_page: Some(0),
                 par,
-            })
+                stats: child(0).map(Arc::clone),
+            });
+            match child(0) {
+                Some(s) => Box::new(StatIter { input: scan, stats: Arc::clone(s) }),
+                None => scan,
+            }
         }
         PhysicalPlan::IndexEqScan { table_id, column, key, residual, columns, .. } => {
             Box::new(RidScanIter {
@@ -185,19 +244,25 @@ fn build_iter<'a>(
         }
         PhysicalPlan::Filter { input, predicate } => {
             let pred = compile(predicate, &input.bindings(), funcs)?;
-            Box::new(FilterIter { input: build_iter(storage, funcs, input, par)?, pred })
+            Box::new(FilterIter {
+                input: build_iter(storage, funcs, input, par, child(0), span_parent)?,
+                pred,
+            })
         }
         PhysicalPlan::Project { input, exprs, .. } => {
             let exprs = compile_all(exprs, &input.bindings(), funcs)?;
-            Box::new(ProjectIter { input: build_iter(storage, funcs, input, par)?, exprs })
+            Box::new(ProjectIter {
+                input: build_iter(storage, funcs, input, par, child(0), span_parent)?,
+                exprs,
+            })
         }
         PhysicalPlan::NestedLoopJoin { left, right, kind, on } => {
             let mut bindings = left.bindings();
             let right_width = right.bindings().len();
             bindings.extend(right.bindings());
             Box::new(NlJoinIter {
-                left: build_iter(storage, funcs, left, par)?,
-                right: Some(build_iter(storage, funcs, right, par)?),
+                left: build_iter(storage, funcs, left, par, child(0), span_parent)?,
+                right: Some(build_iter(storage, funcs, right, par, child(1), span_parent)?),
                 right_rows: Vec::new(),
                 kind: *kind,
                 on: compile_opt(on.as_ref(), &bindings, funcs)?,
@@ -205,8 +270,8 @@ fn build_iter<'a>(
             })
         }
         PhysicalPlan::HashJoin { left, right, left_key, right_key } => Box::new(HashJoinIter {
-            left: build_iter(storage, funcs, left, par)?,
-            right: Some(build_iter(storage, funcs, right, par)?),
+            left: build_iter(storage, funcs, left, par, child(0), span_parent)?,
+            right: Some(build_iter(storage, funcs, right, par, child(1), span_parent)?),
             right_rows: Vec::new(),
             table: HashMap::new(),
             left_key: compile(left_key, &left.bindings(), funcs)?,
@@ -216,7 +281,7 @@ fn build_iter<'a>(
         PhysicalPlan::Aggregate { input, group_by, calls } => {
             let in_bindings = input.bindings();
             Box::new(AggregateIter {
-                input: Some(build_iter(storage, funcs, input, par)?),
+                input: Some(build_iter(storage, funcs, input, par, child(0), span_parent)?),
                 group_by: compile_all(group_by, &in_bindings, funcs)?,
                 args: calls
                     .iter()
@@ -228,20 +293,20 @@ fn build_iter<'a>(
             })
         }
         PhysicalPlan::Sort { input, keys } => Box::new(SortIter {
-            input: Some(build_iter(storage, funcs, input, par)?),
+            input: Some(build_iter(storage, funcs, input, par, child(0), span_parent)?),
             keys: compile_keys(keys, &input.bindings(), funcs)?,
             dirs: keys.iter().map(|(_, asc)| *asc).collect(),
             par,
         }),
         PhysicalPlan::TopN { input, keys, n, offset } => Box::new(TopNIter {
-            input: Some(build_iter(storage, funcs, input, par)?),
+            input: Some(build_iter(storage, funcs, input, par, child(0), span_parent)?),
             keys: compile_keys(keys, &input.bindings(), funcs)?,
             dirs: Arc::new(keys.iter().map(|(_, asc)| *asc).collect()),
             n: *n,
             offset: *offset,
         }),
         PhysicalPlan::Distinct { input } => Box::new(DistinctIter {
-            input: build_iter(storage, funcs, input, par)?,
+            input: build_iter(storage, funcs, input, par, child(0), span_parent)?,
             seen: HashSet::new(),
         }),
         PhysicalPlan::Limit { input, n, offset } => Box::new(LimitIter {
@@ -249,12 +314,30 @@ fn build_iter<'a>(
             // exit could skip the evaluation that would have raised it and
             // change the query's outcome — drain the input instead.
             eager: plan_fallible(input),
-            input: build_iter(storage, funcs, input, par)?,
+            input: build_iter(storage, funcs, input, par, child(0), span_parent)?,
             n: *n,
             offset: *offset,
             emitted: 0,
             done: false,
         }),
+    };
+    let it = match stats {
+        Some(s) => Box::new(StatIter { input: it, stats: Arc::clone(s) }),
+        None => it,
+    };
+    let tracer = genalg_obs::tracer();
+    Ok(if tracer.enabled() {
+        Box::new(SpanIter {
+            input: it,
+            tracer,
+            parent: span_parent,
+            label: plan.node_label(),
+            rows: 0,
+            batches: 0,
+            time_us: 0,
+        })
+    } else {
+        it
     })
 }
 
@@ -393,6 +476,68 @@ fn join_worker<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
     }
 }
 
+/// `EXPLAIN ANALYZE` wrapper: forwards `next_batch` while attributing
+/// rows, batches, and inclusive wall time to one stats node. Only present
+/// in the operator tree when a stats tree was requested, so ordinary
+/// execution pays nothing for it.
+struct StatIter<'a> {
+    input: BoxIter<'a>,
+    stats: Arc<OpStats>,
+}
+
+impl BatchIter for StatIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        use std::sync::atomic::Ordering as AtomicOrdering;
+        let start = std::time::Instant::now();
+        let result = self.input.next_batch();
+        let elapsed = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.stats.time_us.fetch_add(elapsed, AtomicOrdering::Relaxed);
+        if let Ok(Some(batch)) = &result {
+            self.stats.batches.fetch_add(1, AtomicOrdering::Relaxed);
+            self.stats.rows_out.fetch_add(batch.len() as u64, AtomicOrdering::Relaxed);
+        }
+        result
+    }
+}
+
+/// Tracing wrapper: accumulates rows/batches/inclusive time in plain
+/// fields (no atomics — each operator is pulled single-threaded) and
+/// records one `exec.operator` span when the operator is dropped at the
+/// end of the query. Only present when the tracer was enabled at build
+/// time, so the per-batch cost is zero when tracing is off.
+struct SpanIter<'a> {
+    input: BoxIter<'a>,
+    tracer: &'static genalg_obs::Tracer,
+    parent: u64,
+    label: String,
+    rows: u64,
+    batches: u64,
+    time_us: u64,
+}
+
+impl BatchIter for SpanIter<'_> {
+    fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
+        let start = std::time::Instant::now();
+        let result = self.input.next_batch();
+        self.time_us += start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        if let Ok(Some(batch)) = &result {
+            self.batches += 1;
+            self.rows += batch.len() as u64;
+        }
+        result
+    }
+}
+
+impl Drop for SpanIter<'_> {
+    fn drop(&mut self) {
+        let mut span = self.tracer.span_with_parent("exec.operator", self.parent);
+        span.field("op", self.label.as_str());
+        span.field("rows_out", self.rows);
+        span.field("batches", self.batches);
+        span.field("time_us", self.time_us);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Leaf operators
 // ---------------------------------------------------------------------------
@@ -426,14 +571,18 @@ struct SeqScanIter<'a> {
     prefix: usize,
     next_page: Option<u32>,
     par: usize,
+    /// `EXPLAIN ANALYZE` node to attribute `pages_read` to. Per-morsel
+    /// page counts are summed on the pulling thread after the wave joins,
+    /// so the total is deterministic at any parallelism.
+    stats: Option<Arc<OpStats>>,
 }
 
 impl SeqScanIter<'_> {
-    fn run_morsel(&self, first_page: u32) -> DbResult<(Vec<Row>, Option<u32>)> {
+    fn run_morsel(&self, first_page: u32) -> DbResult<(Vec<Row>, ScanProgress)> {
         // Filter and projection run directly on the scan's borrowed decode
         // scratch; only surviving (projected) rows are materialized.
         let mut out = Vec::new();
-        let next = self.storage.scan_batches(
+        let progress = self.storage.scan_batches(
             self.table_id,
             first_page,
             MORSEL_PAGES,
@@ -457,7 +606,13 @@ impl SeqScanIter<'_> {
                 Ok(())
             },
         )?;
-        Ok((out, next))
+        Ok((out, progress))
+    }
+
+    fn record_pages(&self, pages: u64) {
+        if let Some(stats) = &self.stats {
+            stats.pages_read.fetch_add(pages, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 }
 
@@ -465,13 +620,14 @@ impl BatchIter for SeqScanIter<'_> {
     fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
         let Some(start) = self.next_page else { return Ok(None) };
         if self.par <= 1 {
-            let (rows, next) = self.run_morsel(start)?;
-            self.next_page = next;
+            let (rows, progress) = self.run_morsel(start)?;
+            self.record_pages(u64::from(progress.pages_read));
+            self.next_page = progress.next_page;
             return Ok(Some(rows));
         }
         // One wave: morsel i covers pages [start + i*M, start + (i+1)*M).
         // The last morsel's continuation is the wave's continuation.
-        let mut results: Vec<DbResult<(Vec<Row>, Option<u32>)>> = Vec::new();
+        let mut results: Vec<DbResult<(Vec<Row>, ScanProgress)>> = Vec::new();
         let this: &SeqScanIter<'_> = self;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..this.par as u32)
@@ -484,11 +640,14 @@ impl BatchIter for SeqScanIter<'_> {
         });
         let mut batch = Vec::new();
         let mut wave_next = None;
+        let mut wave_pages = 0u64;
         for r in results {
-            let (rows, next) = r?;
+            let (rows, progress) = r?;
             batch.extend(rows);
-            wave_next = next;
+            wave_pages += u64::from(progress.pages_read);
+            wave_next = progress.next_page;
         }
+        self.record_pages(wave_pages);
         self.next_page = wave_next;
         Ok(Some(batch))
     }

@@ -1,0 +1,153 @@
+//! Per-operator runtime counters for `EXPLAIN ANALYZE`.
+//!
+//! A stats tree mirrors the [`PhysicalPlan`] shape one node per operator.
+//! Counters are `AtomicU64` so morsel workers can attribute work (e.g.
+//! pages read) without synchronization beyond the adds themselves; every
+//! add is a plain sum, so totals are deterministic regardless of thread
+//! interleaving — `rows_out` and `pages_read` are byte-identical at any
+//! parallelism for plans that drain their input (the qdiff harness pins
+//! this at parallelism 1 vs 4).
+//!
+//! `time_us` and `batches` are *not* parallelism-stable by design: a
+//! serial scan emits one morsel per batch while a parallel scan emits one
+//! wave of `par` morsels per batch. [`OpStatsSnapshot::render_counters`]
+//! therefore exposes only the stable subset, and the golden tests compare
+//! that rendering.
+
+use crate::plan::PhysicalPlan;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live counters for one operator while a plan executes.
+#[derive(Debug)]
+pub struct OpStats {
+    /// The operator's `EXPLAIN` label ([`PhysicalPlan::node_label`]).
+    pub label: String,
+    /// True for heap-scanning operators (`SeqScan`), whose rendering
+    /// includes `pages_read`.
+    pub is_scan: bool,
+    /// Rows emitted by this operator.
+    pub rows_out: AtomicU64,
+    /// Batches emitted.
+    pub batches: AtomicU64,
+    /// Inclusive wall time spent inside `next_batch` (children included).
+    pub time_us: AtomicU64,
+    /// Heap pages read (scans only).
+    pub pages_read: AtomicU64,
+    /// Child operators, in plan order.
+    pub children: Vec<Arc<OpStats>>,
+}
+
+impl OpStats {
+    /// A point-in-time copy of the whole tree.
+    pub fn snapshot(&self) -> OpStatsSnapshot {
+        OpStatsSnapshot {
+            label: self.label.clone(),
+            is_scan: self.is_scan,
+            rows_out: self.rows_out.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            time_us: self.time_us.load(Ordering::Relaxed),
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            children: self.children.iter().map(|c| c.snapshot()).collect(),
+        }
+    }
+}
+
+/// Build the zeroed stats tree mirroring `plan`.
+pub fn stats_tree(plan: &PhysicalPlan) -> Arc<OpStats> {
+    Arc::new(OpStats {
+        label: plan.node_label(),
+        is_scan: matches!(plan, PhysicalPlan::SeqScan { .. }),
+        rows_out: AtomicU64::new(0),
+        batches: AtomicU64::new(0),
+        time_us: AtomicU64::new(0),
+        pages_read: AtomicU64::new(0),
+        children: plan.children().into_iter().map(stats_tree).collect(),
+    })
+}
+
+/// Plain-integer copy of an [`OpStats`] tree after execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpStatsSnapshot {
+    /// The operator's `EXPLAIN` label.
+    pub label: String,
+    /// True for heap-scanning operators.
+    pub is_scan: bool,
+    /// Rows emitted by this operator.
+    pub rows_out: u64,
+    /// Batches emitted.
+    pub batches: u64,
+    /// Inclusive wall time inside `next_batch`, microseconds.
+    pub time_us: u64,
+    /// Heap pages read (scans only).
+    pub pages_read: u64,
+    /// Child operators, in plan order.
+    pub children: Vec<OpStatsSnapshot>,
+}
+
+impl OpStatsSnapshot {
+    /// The annotated plan tree `EXPLAIN ANALYZE` prints: every counter,
+    /// including the timing ones that vary run to run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, true);
+        out
+    }
+
+    /// The deterministic subset (`rows_out`, plus `pages_read` on scans):
+    /// identical across runs and across parallelism levels for plans that
+    /// drain their input. Golden tests compare this rendering.
+    pub fn render_counters(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, false);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, timing: bool) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.label);
+        out.push_str(&format!(" (rows_out={}", self.rows_out));
+        if timing {
+            out.push_str(&format!(" batches={} time_us={}", self.batches, self.time_us));
+        }
+        if self.is_scan {
+            out.push_str(&format!(" pages_read={}", self.pages_read));
+        }
+        out.push(')');
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(out, depth + 1, timing);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_mirrors_plan_shape() {
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Distinct { input: Box::new(PhysicalPlan::Nothing) }),
+            n: Some(3),
+            offset: 0,
+        };
+        let stats = stats_tree(&plan);
+        assert_eq!(stats.label, "Limit 3");
+        assert_eq!(stats.children.len(), 1);
+        assert_eq!(stats.children[0].label, "Distinct");
+        assert_eq!(stats.children[0].children[0].label, "Nothing");
+        assert!(!stats.is_scan);
+    }
+
+    #[test]
+    fn renderings_differ_only_in_timing_fields() {
+        let stats = stats_tree(&PhysicalPlan::Nothing);
+        stats.rows_out.store(5, Ordering::Relaxed);
+        stats.batches.store(2, Ordering::Relaxed);
+        stats.time_us.store(99, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.render(), "Nothing (rows_out=5 batches=2 time_us=99)\n");
+        assert_eq!(snap.render_counters(), "Nothing (rows_out=5)\n");
+    }
+}

@@ -1,8 +1,8 @@
 //! Expression evaluation and the extensible function registry.
 //!
 //! Two evaluators share one semantics contract: the tree-walking
-//! interpreter in [`eval`] (used by one-shot contexts like INSERT values
-//! and tests) and the compiled form in [`compile`] (used wherever an
+//! interpreter in [`mod@eval`] (used by one-shot contexts like INSERT values
+//! and tests) and the compiled form in [`mod@compile`] (used wherever an
 //! expression runs once per row, so per-row name resolution would
 //! dominate).
 

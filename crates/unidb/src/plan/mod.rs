@@ -198,68 +198,71 @@ impl PhysicalPlan {
         }
     }
 
-    /// Render the plan tree for `EXPLAIN`.
-    pub fn explain(&self) -> String {
-        let mut out = String::new();
-        self.explain_into(&mut out, 0);
-        out
+    /// Direct child operators, in executor order (left before right).
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::Nothing
+            | PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::IndexEqScan { .. }
+            | PhysicalPlan::IndexRangeScan { .. }
+            | PhysicalPlan::UdiScan { .. } => Vec::new(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Aggregate { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::TopN { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Limit { input, .. } => vec![input],
+            PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. } => vec![left, right],
+        }
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
-        let pad = "  ".repeat(depth);
+    /// One-line label for this operator (no children, no indentation) —
+    /// the shared vocabulary of `EXPLAIN` and `EXPLAIN ANALYZE`.
+    pub fn node_label(&self) -> String {
         match self {
-            PhysicalPlan::Nothing => out.push_str(&format!("{pad}Nothing\n")),
+            PhysicalPlan::Nothing => "Nothing".to_string(),
             PhysicalPlan::SeqScan { qualified, residual, .. } => {
-                out.push_str(&format!("{pad}SeqScan {qualified}"));
+                let mut s = format!("SeqScan {qualified}");
                 if let Some(r) = residual {
-                    out.push_str(&format!(" filter={}", r.render()));
+                    s.push_str(&format!(" filter={}", r.render()));
                 }
-                out.push('\n');
+                s
             }
             PhysicalPlan::IndexEqScan { qualified, column, key, residual, .. } => {
-                out.push_str(&format!("{pad}IndexEqScan {qualified}.{column} = {key}"));
+                let mut s = format!("IndexEqScan {qualified}.{column} = {key}");
                 if let Some(r) = residual {
-                    out.push_str(&format!(" filter={}", r.render()));
+                    s.push_str(&format!(" filter={}", r.render()));
                 }
-                out.push('\n');
+                s
             }
             PhysicalPlan::IndexRangeScan { qualified, column, residual, .. } => {
-                out.push_str(&format!("{pad}IndexRangeScan {qualified}.{column}"));
+                let mut s = format!("IndexRangeScan {qualified}.{column}");
                 if let Some(r) = residual {
-                    out.push_str(&format!(" filter={}", r.render()));
+                    s.push_str(&format!(" filter={}", r.render()));
                 }
-                out.push('\n');
+                s
             }
             PhysicalPlan::UdiScan { qualified, column, func, residual, .. } => {
-                out.push_str(&format!("{pad}UdiScan {qualified}.{column} via {func}()"));
+                let mut s = format!("UdiScan {qualified}.{column} via {func}()");
                 if let Some(r) = residual {
-                    out.push_str(&format!(" recheck={}", r.render()));
+                    s.push_str(&format!(" recheck={}", r.render()));
                 }
-                out.push('\n');
+                s
             }
-            PhysicalPlan::Filter { input, predicate } => {
-                out.push_str(&format!("{pad}Filter {}\n", predicate.render()));
-                input.explain_into(out, depth + 1);
-            }
-            PhysicalPlan::NestedLoopJoin { left, right, kind, on } => {
-                out.push_str(&format!("{pad}NestedLoopJoin {kind:?}"));
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter {}", predicate.render()),
+            PhysicalPlan::NestedLoopJoin { kind, on, .. } => {
+                let mut s = format!("NestedLoopJoin {kind:?}");
                 if let Some(on) = on {
-                    out.push_str(&format!(" on={}", on.render()));
+                    s.push_str(&format!(" on={}", on.render()));
                 }
-                out.push('\n');
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                s
             }
-            PhysicalPlan::HashJoin { left, right, left_key, right_key } => {
-                out.push_str(&format!(
-                    "{pad}HashJoin {} = {}\n",
-                    left_key.render(),
-                    right_key.render()
-                ));
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+            PhysicalPlan::HashJoin { left_key, right_key, .. } => {
+                format!("HashJoin {} = {}", left_key.render(), right_key.render())
             }
-            PhysicalPlan::Aggregate { input, group_by, calls } => {
+            PhysicalPlan::Aggregate { group_by, calls, .. } => {
                 let groups: Vec<String> = group_by.iter().map(Expr::render).collect();
                 let aggs: Vec<String> = calls
                     .iter()
@@ -268,52 +271,54 @@ impl PhysicalPlan {
                         format!("{}({})", c.func, arg)
                     })
                     .collect();
-                out.push_str(&format!(
-                    "{pad}Aggregate groups=[{}] aggs=[{}]\n",
-                    groups.join(", "),
-                    aggs.join(", ")
-                ));
-                input.explain_into(out, depth + 1);
+                format!("Aggregate groups=[{}] aggs=[{}]", groups.join(", "), aggs.join(", "))
             }
-            PhysicalPlan::Project { input, names, .. } => {
-                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
-                input.explain_into(out, depth + 1);
-            }
-            PhysicalPlan::Sort { input, keys } => {
+            PhysicalPlan::Project { names, .. } => format!("Project [{}]", names.join(", ")),
+            PhysicalPlan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|(e, asc)| format!("{}{}", e.render(), if *asc { "" } else { " DESC" }))
                     .collect();
-                out.push_str(&format!("{pad}Sort [{}]\n", ks.join(", ")));
-                input.explain_into(out, depth + 1);
+                format!("Sort [{}]", ks.join(", "))
             }
-            PhysicalPlan::TopN { input, keys, n, offset } => {
+            PhysicalPlan::TopN { keys, n, offset, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|(e, asc)| format!("{}{}", e.render(), if *asc { "" } else { " DESC" }))
                     .collect();
-                out.push_str(&format!("{pad}TopN [{}] limit {n}", ks.join(", ")));
+                let mut s = format!("TopN [{}] limit {n}", ks.join(", "));
                 if *offset > 0 {
-                    out.push_str(&format!(" offset {offset}"));
+                    s.push_str(&format!(" offset {offset}"));
                 }
-                out.push('\n');
-                input.explain_into(out, depth + 1);
+                s
             }
-            PhysicalPlan::Distinct { input } => {
-                out.push_str(&format!("{pad}Distinct\n"));
-                input.explain_into(out, depth + 1);
-            }
-            PhysicalPlan::Limit { input, n, offset } => {
-                match n {
-                    Some(n) => out.push_str(&format!("{pad}Limit {n}")),
-                    None => out.push_str(&format!("{pad}Limit all")),
-                }
+            PhysicalPlan::Distinct { .. } => "Distinct".to_string(),
+            PhysicalPlan::Limit { n, offset, .. } => {
+                let mut s = match n {
+                    Some(n) => format!("Limit {n}"),
+                    None => "Limit all".to_string(),
+                };
                 if *offset > 0 {
-                    out.push_str(&format!(" offset {offset}"));
+                    s.push_str(&format!(" offset {offset}"));
                 }
-                out.push('\n');
-                input.explain_into(out, depth + 1);
+                s
             }
+        }
+    }
+
+    /// Render the plan tree for `EXPLAIN`.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.node_label());
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
         }
     }
 }

@@ -40,7 +40,12 @@ pub enum Stmt {
     Begin,
     Commit,
     Rollback,
-    Explain(Box<Stmt>),
+    Explain {
+        stmt: Box<Stmt>,
+        /// `EXPLAIN ANALYZE`: execute the statement and annotate the plan
+        /// with per-operator runtime counters.
+        analyze: bool,
+    },
 }
 
 /// A `SELECT` statement.

@@ -145,7 +145,10 @@ impl Parser {
 
     fn parse_stmt(&mut self) -> DbResult<Stmt> {
         if self.eat_kw("EXPLAIN") {
-            return Ok(Stmt::Explain(Box::new(self.parse_stmt()?)));
+            // ANALYZE is contextual (valid only right after EXPLAIN), not
+            // reserved — `analyze` stays usable as an identifier.
+            let analyze = self.eat_kw("ANALYZE");
+            return Ok(Stmt::Explain { stmt: Box::new(self.parse_stmt()?), analyze });
         }
         if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
             return Ok(Stmt::Select(self.parse_select()?));
@@ -700,7 +703,11 @@ mod tests {
         assert_eq!(parse("COMMIT;").unwrap(), Stmt::Commit);
         assert_eq!(parse("ROLLBACK").unwrap(), Stmt::Rollback);
         let s = parse("EXPLAIN SELECT 1").unwrap();
-        assert!(matches!(s, Stmt::Explain(_)));
+        assert!(matches!(s, Stmt::Explain { analyze: false, .. }));
+        let s = parse("EXPLAIN ANALYZE SELECT 1").unwrap();
+        assert!(matches!(s, Stmt::Explain { analyze: true, .. }));
+        // ANALYZE is contextual, not reserved: still fine as a column name.
+        assert!(parse("SELECT analyze FROM t").is_ok());
     }
 
     #[test]

@@ -120,6 +120,10 @@ impl PoolState {
             return Ok(());
         }
         self.misses += 1;
+        // A miss is a disk read — span it; hits stay span-free since they
+        // are the hot path the pool exists to keep cheap.
+        let mut span = genalg_obs::tracer().span("pool.fault");
+        span.field("page", u64::from(page_no));
         let page = self.store.read(page_no)?;
         self.admit(page_no, page, false)
     }

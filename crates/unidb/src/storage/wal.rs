@@ -303,6 +303,8 @@ pub struct WalWriter {
     /// applied (and fsynced) before anything else is written.
     pending_truncate: bool,
     records_written: u64,
+    syncs: u64,
+    sync_failures: u64,
 }
 
 impl WalWriter {
@@ -319,6 +321,8 @@ impl WalWriter {
             dirty_tail: disk_len > valid_len,
             pending_truncate: false,
             records_written: 0,
+            syncs: 0,
+            sync_failures: 0,
         })
     }
 
@@ -342,6 +346,22 @@ impl WalWriter {
     /// Make every appended record durable. Retries any truncation or tail
     /// cleanup a previous failure left behind, in order, before writing.
     pub fn sync(&mut self) -> DbResult<()> {
+        let mut span = genalg_obs::tracer().span("wal.sync");
+        span.field("bytes", self.buf.len());
+        match self.sync_inner() {
+            Ok(()) => {
+                self.syncs += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.sync_failures += 1;
+                span.field("failed", true);
+                Err(e)
+            }
+        }
+    }
+
+    fn sync_inner(&mut self) -> DbResult<()> {
         if self.pending_truncate {
             self.file.truncate(0)?;
             self.file.sync()?;
@@ -381,6 +401,17 @@ impl WalWriter {
     /// Number of records appended through this writer.
     pub fn records_written(&self) -> u64 {
         self.records_written
+    }
+
+    /// Successful [`WalWriter::sync`] calls.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Failed [`WalWriter::sync`] calls (each leaves the buffer intact
+    /// for a retry).
+    pub fn sync_failures(&self) -> u64 {
+        self.sync_failures
     }
 
     /// Bytes confirmed durable on disk.

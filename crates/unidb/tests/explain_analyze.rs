@@ -1,0 +1,109 @@
+//! Golden tests for `EXPLAIN ANALYZE`.
+//!
+//! The acceptance bar: on a scan -> join -> TopN plan, the deterministic
+//! counter rendering (`rows_out`, plus `pages_read` on scans) is
+//! byte-identical at parallelism 1 and 4. `time_us` and `batches` vary
+//! run to run and across parallelism, so only the full rendering shows
+//! them.
+
+use unidb::exec::stats::OpStatsSnapshot;
+use unidb::Database;
+
+/// Enough rows that a parallel scan actually splits into several morsels
+/// (PAR_MIN_ROWS is 4096 and a morsel is 32 pages).
+const BIG_ROWS: usize = 6000;
+
+fn seeded() -> Database {
+    let d = Database::in_memory();
+    d.execute_script(
+        "CREATE TABLE reads (id INT NOT NULL, chrom INT, score INT);
+         CREATE TABLE chroms (chrom INT NOT NULL, name TEXT);",
+    )
+    .unwrap();
+    for c in 0..4 {
+        d.execute(&format!("INSERT INTO chroms VALUES ({c}, 'chr{c}')")).unwrap();
+    }
+    let mut batch = String::new();
+    for i in 0..BIG_ROWS {
+        if batch.is_empty() {
+            batch.push_str("INSERT INTO reads VALUES ");
+        } else {
+            batch.push(',');
+        }
+        batch.push_str(&format!("({i}, {}, {})", i % 4, (i * 7919) % 100_000));
+        if batch.len() > 60_000 {
+            d.execute(&batch).unwrap();
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        d.execute(&batch).unwrap();
+    }
+    d
+}
+
+const QUERY: &str = "SELECT r.id, c.name FROM reads r JOIN chroms c ON r.chrom = c.chrom \
+                     ORDER BY r.score DESC LIMIT 10";
+
+fn analyze_at(d: &Database, par: usize) -> (unidb::ResultSet, OpStatsSnapshot) {
+    d.set_parallelism(par);
+    d.explain_analyze(QUERY).unwrap()
+}
+
+#[test]
+fn counters_are_byte_identical_across_parallelism() {
+    let d = seeded();
+    let (rs1, s1) = analyze_at(&d, 1);
+    let (rs4, s4) = analyze_at(&d, 4);
+
+    assert_eq!(rs1.rows, rs4.rows, "results must not depend on parallelism");
+    assert_eq!(
+        s1.render_counters(),
+        s4.render_counters(),
+        "deterministic counters must match at parallelism 1 vs 4"
+    );
+
+    // The golden shape: TopN at the root fed by a hash join over two scans.
+    let golden = s1.render_counters();
+    assert!(golden.contains("TopN"), "plan should fuse sort+limit into TopN:\n{golden}");
+    assert!(golden.contains("HashJoin"), "equi-join should hash:\n{golden}");
+    assert_eq!(golden.matches("SeqScan").count(), 2, "two base scans:\n{golden}");
+
+    // Root rows_out matches the result set, scans report real page counts.
+    assert_eq!(s1.rows_out as usize, rs1.rows.len());
+    fn scans(s: &OpStatsSnapshot, out: &mut Vec<u64>) {
+        if s.is_scan {
+            out.push(s.pages_read);
+        }
+        s.children.iter().for_each(|c| scans(c, out));
+    }
+    let mut pages = Vec::new();
+    scans(&s1, &mut pages);
+    assert_eq!(pages.len(), 2);
+    assert!(pages.iter().any(|&p| p > 1), "big table spans multiple pages: {pages:?}");
+}
+
+#[test]
+fn explain_analyze_statement_reports_all_counters() {
+    let d = seeded();
+    let rs = d.execute(&format!("EXPLAIN ANALYZE {QUERY}")).unwrap();
+    let text = rs.explain.expect("EXPLAIN ANALYZE returns an annotated plan");
+    for needle in ["rows_out=", "batches=", "time_us=", "pages_read="] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    // Plain EXPLAIN stays cost-free: no counters.
+    let rs = d.execute(&format!("EXPLAIN {QUERY}")).unwrap();
+    let text = rs.explain.unwrap();
+    assert!(!text.contains("rows_out="), "plain EXPLAIN must not execute:\n{text}");
+}
+
+#[test]
+fn explain_analyze_rejects_writes() {
+    let d = seeded();
+    let err = d.execute("EXPLAIN ANALYZE INSERT INTO chroms VALUES (9, 'x')").unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("EXPLAIN ANALYZE"), "unexpected error: {msg}");
+    // Nothing was inserted.
+    let rs = d.execute("SELECT count(*) FROM chroms").unwrap();
+    assert_eq!(rs.rows[0][0].as_int().unwrap(), 4);
+}

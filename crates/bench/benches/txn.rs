@@ -1,0 +1,221 @@
+//! Transaction engine throughput: committed transactions/sec for N
+//! concurrent writers in three contention regimes — disjoint key ranges
+//! (no conflicts possible, measures commit-path serialization), a hot
+//! 8-key set (first-committer-wins aborts, measures retry cost), and
+//! snapshot readers scanning while writers churn (measures reader
+//! isolation from the write path).
+//!
+//! Emits one JSON document on stdout:
+//!
+//! ```json
+//! {"bench":"txn","results":[
+//!   {"mode":"disjoint","writers":4,"committed":8000,"conflict_retries":0,
+//!    "elapsed_ms":420.0,"commits_per_sec":19047.6}]}
+//! ```
+//!
+//! Environment:
+//!
+//! * `BENCH_TXN_WRITERS` — comma-separated writer-thread counts
+//!   (default `1,2,4`); CI smoke uses `1,2`.
+//! * `BENCH_TXN_OPS` — committed transactions per writer (default `2000`).
+//!
+//! Run with `cargo bench -p genalg-bench --bench txn`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use unidb::{Database, DbError};
+
+/// Seeded rows: enough that snapshot scans do real work, small enough
+/// that setup stays out of the measured window.
+const SEED_ROWS: i64 = 1024;
+/// Contended mode hammers this many keys from every writer.
+const HOT_KEYS: i64 = 8;
+
+fn env_list(name: &str, default: &str) -> Vec<u64> {
+    let raw = std::env::var(name).unwrap_or_else(|_| default.to_string());
+    raw.split(',').filter_map(|s| s.trim().parse().ok()).collect()
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(default)
+}
+
+fn build_db() -> Arc<Database> {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    db.execute("CREATE UNIQUE INDEX ON t (k)").unwrap();
+    let mut batch = String::new();
+    for k in 0..SEED_ROWS {
+        if batch.is_empty() {
+            batch.push_str("INSERT INTO t VALUES ");
+        } else {
+            batch.push(',');
+        }
+        batch.push_str(&format!("({k}, 0)"));
+        if (k + 1) % 256 == 0 || k + 1 == SEED_ROWS {
+            db.execute(&batch).unwrap();
+            batch.clear();
+        }
+    }
+    Arc::new(db)
+}
+
+/// Run one committed single-UPDATE transaction against `key`, retrying on
+/// serialization conflicts. Returns the number of retries it took.
+fn commit_update(db: &Database, key: i64, val: i64) -> u64 {
+    let mut retries = 0;
+    loop {
+        let id = db.txn_begin();
+        let staged = db.txn_execute(id, &format!("UPDATE t SET v = {val} WHERE k = {key}"));
+        let outcome = match staged {
+            Ok(_) => db.txn_commit(id),
+            Err(e) => {
+                let _ = db.txn_rollback(id);
+                Err(e)
+            }
+        };
+        match outcome {
+            Ok(()) => return retries,
+            Err(DbError::Conflict(_)) => retries += 1,
+            Err(e) => panic!("unexpected transaction failure: {e}"),
+        }
+    }
+}
+
+/// `writers` threads each committing `ops` transactions; `key_of` maps
+/// (writer, op) to the key that transaction updates. Returns
+/// (elapsed_ms, total conflict retries).
+fn run_writers(
+    db: &Arc<Database>,
+    writers: u64,
+    ops: u64,
+    key_of: impl Fn(u64, u64) -> i64 + Copy + Send,
+) -> (f64, u64) {
+    let retries = AtomicU64::new(0);
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let db = Arc::clone(db);
+            let retries = &retries;
+            s.spawn(move || {
+                for i in 0..ops {
+                    let r = commit_update(&db, key_of(w, i), (w * ops + i) as i64);
+                    if r > 0 {
+                        retries.fetch_add(r, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    (t.elapsed().as_secs_f64() * 1e3, retries.load(Ordering::Relaxed))
+}
+
+/// Disjoint writers racing `writers` snapshot readers; each reader runs
+/// full-table aggregate scans inside read-only transactions until the
+/// writers finish. Returns (elapsed_ms, conflict retries, reader scans).
+fn run_read_while_write(db: &Arc<Database>, writers: u64, ops: u64) -> (f64, u64, u64) {
+    let retries = AtomicU64::new(0);
+    let scans = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let db = Arc::clone(db);
+            let retries = &retries;
+            let done = &done;
+            s.spawn(move || {
+                for i in 0..ops {
+                    let key = (w as i64) * (SEED_ROWS / writers.max(1) as i64) + (i as i64 % 4);
+                    let r = commit_update(&db, key, i as i64);
+                    if r > 0 {
+                        retries.fetch_add(r, Ordering::Relaxed);
+                    }
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..writers {
+            let db = Arc::clone(db);
+            let scans = &scans;
+            let done = &done;
+            s.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    let id = db.txn_begin();
+                    let rs = db.txn_execute(id, "SELECT count(*), sum(v) FROM t").unwrap();
+                    std::hint::black_box(rs);
+                    db.txn_commit(id).unwrap();
+                    scans.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    (
+        t.elapsed().as_secs_f64() * 1e3,
+        retries.load(Ordering::Relaxed),
+        scans.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let writer_counts = env_list("BENCH_TXN_WRITERS", "1,2,4");
+    let ops = env_u64("BENCH_TXN_OPS", 2000);
+    let mut results = Vec::new();
+    for &writers in &writer_counts {
+        let shard = SEED_ROWS / writers.max(1) as i64;
+        // Disjoint: writer w owns keys [w*shard, (w+1)*shard) — conflicts
+        // are impossible, so retries > 0 here would be an engine bug.
+        let db = build_db();
+        let (ms, retries) =
+            run_writers(&db, writers, ops, |w, i| (w as i64) * shard + (i as i64 % shard));
+        assert_eq!(retries, 0, "disjoint writers must never conflict");
+        let committed = writers * ops;
+        results.push(format!(
+            concat!(
+                "{{\"mode\":\"disjoint\",\"writers\":{},\"committed\":{},",
+                "\"conflict_retries\":{},\"elapsed_ms\":{:.1},\"commits_per_sec\":{:.0}}}"
+            ),
+            writers,
+            committed,
+            retries,
+            ms,
+            committed as f64 / (ms / 1e3),
+        ));
+
+        // Contended: every writer updates the same HOT_KEYS keys;
+        // first-committer-wins aborts the losers, who retry to completion.
+        let db = build_db();
+        let (ms, retries) = run_writers(&db, writers, ops, |w, i| (w + i) as i64 % HOT_KEYS);
+        results.push(format!(
+            concat!(
+                "{{\"mode\":\"contended\",\"writers\":{},\"committed\":{},",
+                "\"conflict_retries\":{},\"elapsed_ms\":{:.1},\"commits_per_sec\":{:.0}}}"
+            ),
+            writers,
+            committed,
+            retries,
+            ms,
+            committed as f64 / (ms / 1e3),
+        ));
+
+        // Snapshot readers racing disjoint writers: scans/sec is the
+        // headline — readers must not serialize behind the commit path.
+        let db = build_db();
+        let (ms, retries, scans) = run_read_while_write(&db, writers, ops);
+        results.push(format!(
+            concat!(
+                "{{\"mode\":\"read_while_write\",\"writers\":{},\"committed\":{},",
+                "\"conflict_retries\":{},\"reader_scans\":{},\"elapsed_ms\":{:.1},",
+                "\"commits_per_sec\":{:.0},\"scans_per_sec\":{:.0}}}"
+            ),
+            writers,
+            committed,
+            retries,
+            scans,
+            ms,
+            committed as f64 / (ms / 1e3),
+            scans as f64 / (ms / 1e3),
+        ));
+    }
+    println!("{{\"bench\":\"txn\",\"results\":[{}]}}", results.join(","));
+}

@@ -35,10 +35,12 @@ pub mod diff;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
+pub mod txn;
 
 pub use diff::{check_scenario, check_scenario_with_parallelism, Divergence};
 pub use gen::gen_scenario;
 pub use shrink::shrink;
+pub use txn::{check_txn_scenario, gen_txn_scenario, shrink_txn, TxnDivergence, TxnScenario};
 
 use std::cmp::Ordering;
 

@@ -11,20 +11,28 @@
 //! trailing comments describe the disagreement — paste it into any unidb
 //! shell to replay.
 
-use qdiff::{check_scenario, gen_scenario, shrink};
+use qdiff::{
+    check_scenario, check_txn_scenario, gen_scenario, gen_txn_scenario, shrink, shrink_txn,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     start: u64,
     count: u64,
+    txn_count: u64,
     shrink_budget: usize,
     out: PathBuf,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { start: 0, count: 200, shrink_budget: 400, out: PathBuf::from("target/qdiff") };
+    let mut args = Args {
+        start: 0,
+        count: 200,
+        txn_count: 200,
+        shrink_budget: 400,
+        out: PathBuf::from("target/qdiff"),
+    };
     // Env overrides first (the CI shard matrix sets these), flags on top.
     if let Ok(s) = std::env::var("QDIFF_SEED_START") {
         args.start = s.parse().map_err(|_| format!("bad QDIFF_SEED_START: {s}"))?;
@@ -32,18 +40,23 @@ fn parse_args() -> Result<Args, String> {
     if let Ok(s) = std::env::var("QDIFF_SEED_COUNT") {
         args.count = s.parse().map_err(|_| format!("bad QDIFF_SEED_COUNT: {s}"))?;
     }
+    if let Ok(s) = std::env::var("QDIFF_TXN_SEED_COUNT") {
+        args.txn_count = s.parse().map_err(|_| format!("bad QDIFF_TXN_SEED_COUNT: {s}"))?;
+    }
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--seeds" => args.count = parse(&val("--seeds")?)?,
+            "--txn-seeds" => args.txn_count = parse(&val("--txn-seeds")?)?,
             "--start" => args.start = parse(&val("--start")?)?,
             "--shrink-budget" => args.shrink_budget = parse::<usize>(&val("--shrink-budget")?)?,
             "--out" => args.out = PathBuf::from(val("--out")?),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: qdiff [--seeds N] [--start S] [--shrink-budget B] [--out DIR]\n\
-                     env: QDIFF_SEED_START, QDIFF_SEED_COUNT"
+                    "usage: qdiff [--seeds N] [--txn-seeds N] [--start S] [--shrink-budget B] \
+                     [--out DIR]\n\
+                     env: QDIFF_SEED_START, QDIFF_SEED_COUNT, QDIFF_TXN_SEED_COUNT"
                 );
                 std::process::exit(0);
             }
@@ -102,11 +115,44 @@ fn main() -> ExitCode {
         }
     }
 
+    // Concurrent-transaction sweep: interleaved BEGIN/COMMIT events across
+    // slots, checked against the snapshot-isolation oracle.
+    for seed in args.start..args.start + args.txn_count {
+        let sc = gen_txn_scenario(seed);
+        let Some(first) = check_txn_scenario(&sc) else { continue };
+        divergent += 1;
+        eprintln!("txn seed {seed}: DIVERGENCE — {first}");
+
+        let mut fails = |s: &qdiff::TxnScenario| check_txn_scenario(s).is_some();
+        let small = shrink_txn(&sc, &mut fails, args.shrink_budget);
+        let report = check_txn_scenario(&small)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "shrunk scenario no longer diverges (flaky?)".into());
+
+        let mut script = small.render_script();
+        script.push_str("\n-- DIVERGENCE:\n");
+        for line in report.lines() {
+            script.push_str("--   ");
+            script.push_str(line);
+            script.push('\n');
+        }
+        if let Err(e) = std::fs::create_dir_all(&args.out) {
+            eprintln!("qdiff: cannot create {}: {e}", args.out.display());
+            return ExitCode::from(2);
+        }
+        let path = args.out.join(format!("txn-seed-{seed}.txt"));
+        match std::fs::write(&path, &script) {
+            Ok(()) => eprintln!("  shrunk repro written to {}", path.display()),
+            Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
+        }
+        for line in report.lines() {
+            eprintln!("  {line}");
+        }
+    }
+
     println!(
-        "qdiff: {} seeds checked ({}..{}), {divergent} divergence(s)",
-        args.count,
-        args.start,
-        args.start + args.count
+        "qdiff: {} scalar + {} txn seeds checked (from {}), {divergent} divergence(s)",
+        args.count, args.txn_count, args.start
     );
     if divergent == 0 {
         ExitCode::SUCCESS

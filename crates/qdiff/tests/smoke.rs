@@ -33,6 +33,20 @@ fn parallel_execution_matches_the_scalar_oracle() {
 }
 
 #[test]
+fn concurrent_txn_seeds_agree_with_the_si_oracle() {
+    // Interleaved-transaction sweep: 300 seeds of BEGIN/COMMIT interleavings
+    // across three slots plus racing auto-commit statements, compared event
+    // by event against the snapshot-isolation reference model.
+    let mut failures = Vec::new();
+    for seed in 0..300 {
+        if let Some(d) = qdiff::check_txn_scenario(&qdiff::gen_txn_scenario(seed)) {
+            failures.push(format!("txn seed {seed}: {d}"));
+        }
+    }
+    assert!(failures.is_empty(), "engine/oracle divergences:\n{}", failures.join("\n"));
+}
+
+#[test]
 fn scenarios_replay_deterministically() {
     // Same seed, two runs, same SQL — the whole design rests on this.
     for seed in [0, 7, 23] {

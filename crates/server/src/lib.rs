@@ -309,6 +309,14 @@ mod tests {
             "server_queue_peak",
             "server_rejected_busy",
             "server_worker_panics",
+            "txn_aborted",
+            "txn_begun",
+            "txn_committed",
+            "txn_conflicts",
+            "txn_duration_count",
+            "txn_duration_mean_us",
+            "txn_duration_p50_us",
+            "txn_duration_p95_us",
             "wal_appends",
             "wal_sync_failures",
             "wal_syncs",
@@ -392,6 +400,128 @@ mod tests {
             .rows
             .iter()
             .all(|r| !matches!(&r[0], Datum::Text(q) if q.starts_with("show"))));
+    }
+
+    /// Tentpole: interactive BEGIN/COMMIT/ROLLBACK over the wire. A
+    /// transaction pins its session, its buffered writes stay invisible to
+    /// other sessions (and to the result cache) until COMMIT, and ROLLBACK
+    /// discards them.
+    #[test]
+    fn wire_transactions_begin_commit_rollback() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let writer = client.open(SessionKind::Maintainer);
+        let reader = client.open(SessionKind::Public);
+        let count_sql = "SELECT count(*) FROM public.genes";
+
+        client.query(writer, "BEGIN").unwrap();
+        client.query(writer, "INSERT INTO public.genes VALUES (4, 'gyrA')").unwrap();
+        // The writer sees its own buffered insert; the reader must not —
+        // and its (cacheable) count must stay pinned at the committed state.
+        let own = client.query(writer, count_sql).unwrap();
+        assert_eq!(own.rows[0][0], Datum::Int(4));
+        let other = client.query(reader, count_sql).unwrap();
+        assert_eq!(other.rows[0][0], Datum::Int(3));
+        client.query(writer, "COMMIT").unwrap();
+        // COMMIT advances the commit epoch, so the cached count is stale
+        // and the reader observes the new row.
+        let after = client.query(reader, count_sql).unwrap();
+        assert_eq!(after.rows[0][0], Datum::Int(4));
+
+        // ROLLBACK discards buffered work without a trace.
+        client.query(writer, "BEGIN").unwrap();
+        client.query(writer, "DELETE FROM public.genes WHERE id = 4").unwrap();
+        client.query(writer, "ROLLBACK").unwrap();
+        let still = client.query(reader, count_sql).unwrap();
+        assert_eq!(still.rows[0][0], Datum::Int(4));
+
+        let stats = client.query(reader, "SHOW STATS").unwrap();
+        assert_eq!(stat_value(&stats, "txn_begun"), Some(2));
+        assert_eq!(stat_value(&stats, "txn_committed"), Some(1));
+        assert_eq!(stat_value(&stats, "txn_aborted"), Some(1));
+        assert_eq!(stat_value(&stats, "txn_conflicts"), Some(0));
+    }
+
+    /// Satellite: transaction-control misuse and write-write conflicts
+    /// travel the TCP wire as structured, exactly-typed errors — never as
+    /// dropped connections.
+    #[test]
+    fn txn_misuse_and_conflicts_are_structured_over_tcp() {
+        let server = seeded_server(&ServerConfig::default());
+        let handle = server.listen("127.0.0.1:0").unwrap();
+        let mut client = TcpClient::connect(handle.addr()).unwrap();
+        let a = client.open(SessionKind::Maintainer).unwrap();
+        let b = client.open(SessionKind::Maintainer).unwrap();
+
+        // COMMIT / ROLLBACK without BEGIN are structured Txn errors.
+        let err = client.query(a, Lang::Sql, "COMMIT").unwrap_err();
+        assert!(
+            matches!(&err, ServerError::Db(unidb::DbError::Txn(m)) if m == "COMMIT without BEGIN"),
+            "got {err:?}"
+        );
+        let err = client.query(a, Lang::Sql, "ROLLBACK").unwrap_err();
+        assert!(matches!(err, ServerError::Db(unidb::DbError::Txn(_))), "got {err:?}");
+
+        // Nested BEGIN on the same session is rejected, txn survives.
+        client.query(a, Lang::Sql, "BEGIN").unwrap();
+        let err = client.query(a, Lang::Sql, "begin").unwrap_err();
+        assert!(matches!(err, ServerError::Db(unidb::DbError::Txn(_))), "got {err:?}");
+
+        // Two sessions race an update of the same row: the first committer
+        // wins, the loser's COMMIT decodes as a retryable Conflict.
+        client.query(b, Lang::Sql, "BEGIN").unwrap();
+        client.query(a, Lang::Sql, "UPDATE public.genes SET name = 'a' WHERE id = 1").unwrap();
+        client.query(b, Lang::Sql, "UPDATE public.genes SET name = 'b' WHERE id = 1").unwrap();
+        client.query(a, Lang::Sql, "COMMIT").unwrap();
+        let err = client.query(b, Lang::Sql, "COMMIT").unwrap_err();
+        assert!(matches!(err, ServerError::Db(unidb::DbError::Conflict(_))), "got {err:?}");
+        let rs = client.query(a, Lang::Sql, "SELECT name FROM public.genes WHERE id = 1").unwrap();
+        assert_eq!(rs.rows, vec![vec![Datum::Text("a".into())]]);
+
+        // Public sessions cannot open transactions at all.
+        let p = client.open(SessionKind::Public).unwrap();
+        let err = client.query(p, Lang::Sql, "BEGIN").unwrap_err();
+        assert!(matches!(err, ServerError::ReadOnly(_)), "got {err:?}");
+        handle.stop();
+    }
+
+    /// Satellite: an abandoned transaction is reaped lazily — the next
+    /// statement finds it expired, the engine rolls it back, and the
+    /// session learns via a structured Txn error.
+    #[test]
+    fn abandoned_transactions_time_out_and_roll_back() {
+        let config = ServerConfig { txn_timeout_ms: 0, ..ServerConfig::default() };
+        let server = seeded_server(&config);
+        let client = server.client();
+        let m = client.open(SessionKind::Maintainer);
+        client.query(m, "BEGIN").unwrap();
+        let err = client.query(m, "INSERT INTO public.genes VALUES (4, 'gyrA')").unwrap_err();
+        assert!(
+            matches!(&err, ServerError::Db(unidb::DbError::Txn(msg)) if msg.contains("timed out")),
+            "got {err:?}"
+        );
+        // The pin is gone: COMMIT now reports there is nothing to commit,
+        // and no buffered work leaked into the table.
+        let err = client.query(m, "COMMIT").unwrap_err();
+        assert!(matches!(err, ServerError::Db(unidb::DbError::Txn(_))), "got {err:?}");
+        let rs = client.query(m, "SELECT count(*) FROM public.genes").unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Int(3));
+    }
+
+    /// Closing (or dropping) a session rolls back its open transaction.
+    #[test]
+    fn closing_a_session_rolls_back_its_transaction() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let m = client.open(SessionKind::Maintainer);
+        client.query(m, "BEGIN").unwrap();
+        client.query(m, "INSERT INTO public.genes VALUES (4, 'gyrA')").unwrap();
+        client.close(m);
+        let s = client.open(SessionKind::Public);
+        let rs = client.query(s, "SELECT count(*) FROM public.genes").unwrap();
+        assert_eq!(rs.rows[0][0], Datum::Int(3));
+        let stats = client.query(s, "SHOW STATS").unwrap();
+        assert_eq!(stat_value(&stats, "txn_aborted"), Some(1));
     }
 
     #[test]

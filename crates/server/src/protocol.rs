@@ -248,12 +248,18 @@ fn decode_result(c: &mut Cursor<'_>) -> Result<ResultSet, ServerError> {
     Ok(ResultSet { columns, rows, affected, explain })
 }
 
-/// Numeric error codes on the wire. Codes the client cannot reconstruct
-/// exactly (engine errors) decode to [`ServerError::Db`] with the message
-/// wrapped as an internal-format string.
+/// Numeric error codes on the wire. Transaction-state errors (8) and
+/// serialization conflicts (9) get their own codes so clients can
+/// reconstruct the exact [`unidb::DbError`] variant — a retry loop must
+/// distinguish "conflict, rerun from BEGIN" from everything else without
+/// parsing message text. Other engine errors share code 2 and decode to
+/// [`ServerError::Db`] with the message wrapped as an internal-format
+/// string.
 fn error_code(e: &ServerError) -> u8 {
     match e {
         ServerError::Busy { .. } => 1,
+        ServerError::Db(unidb::DbError::Txn(_)) => 8,
+        ServerError::Db(unidb::DbError::Conflict(_)) => 9,
         ServerError::Db(_) => 2,
         ServerError::UnknownSession => 3,
         ServerError::ReadOnly(_) => 4,
@@ -283,7 +289,14 @@ impl Response {
                     _ => 0,
                 };
                 out.extend_from_slice(&retry.to_be_bytes());
-                put_str(&mut out, &e.to_string());
+                // Exactly-reconstructable variants carry the bare inner
+                // message; the decoder re-wraps it in the right variant.
+                let msg = match e {
+                    ServerError::Db(unidb::DbError::Txn(m))
+                    | ServerError::Db(unidb::DbError::Conflict(m)) => m.clone(),
+                    other => other.to_string(),
+                };
+                put_str(&mut out, &msg);
             }
         }
         out
@@ -305,6 +318,8 @@ impl Response {
                     4 => ServerError::ReadOnly(message),
                     5 => ServerError::Bql(message),
                     7 => ServerError::Io(message),
+                    8 => ServerError::Db(unidb::DbError::Txn(message)),
+                    9 => ServerError::Db(unidb::DbError::Conflict(message)),
                     _ => ServerError::Protocol(message),
                 };
                 Response::Error(err)
@@ -352,6 +367,19 @@ mod tests {
 
         let busy = Response::Error(ServerError::Busy { retry_after_ms: 25 });
         assert_eq!(Response::decode(&busy.encode()).unwrap(), busy);
+    }
+
+    /// Transaction-state errors and serialization conflicts survive the
+    /// wire as their exact `DbError` variants — clients branch on them.
+    #[test]
+    fn txn_errors_round_trip_exactly() {
+        let txn =
+            Response::Error(ServerError::Db(unidb::DbError::Txn("COMMIT without BEGIN".into())));
+        assert_eq!(Response::decode(&txn.encode()).unwrap(), txn);
+        let conflict = Response::Error(ServerError::Db(unidb::DbError::Conflict(
+            "row was modified by a concurrent transaction".into(),
+        )));
+        assert_eq!(Response::decode(&conflict.encode()).unwrap(), conflict);
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct ServerConfig {
     /// Enable the process-global span tracer at startup (it can also be
     /// pre-enabled with the `GENALG_TRACE` environment variable).
     pub tracing: bool,
+    /// Idle limit for an interactive transaction: a session whose open
+    /// transaction has not run a statement for this long is rolled back
+    /// on its next use (abandoned `BEGIN`s must not pin snapshots — or
+    /// MVCC version chains — forever).
+    pub txn_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +64,7 @@ impl Default for ServerConfig {
             slow_query_threshold_us: 100_000,
             slow_query_capacity: 32,
             tracing: false,
+            txn_timeout_ms: 30_000,
         }
     }
 }
@@ -122,6 +128,7 @@ pub struct QueryService {
     caches_enabled: bool,
     slow_threshold_us: u64,
     slow_log: SlowQueryLog,
+    txn_timeout_ms: u64,
 }
 
 impl QueryService {
@@ -140,6 +147,7 @@ impl QueryService {
             caches_enabled: config.caches_enabled,
             slow_threshold_us: config.slow_query_threshold_us,
             slow_log: SlowQueryLog::new(config.slow_query_capacity),
+            txn_timeout_ms: config.txn_timeout_ms,
         }
     }
 
@@ -163,9 +171,13 @@ impl QueryService {
         self.sessions.open(kind)
     }
 
-    /// Close a session (idempotent).
+    /// Close a session (idempotent). A transaction left open by the
+    /// session is rolled back — a disconnecting client must not keep a
+    /// snapshot pinned.
     pub fn close_session(&self, id: SessionId) {
-        self.sessions.close(id);
+        if let Some(txn) = self.sessions.close(id) {
+            let _ = self.db.txn_rollback(txn.id);
+        }
     }
 
     /// Number of currently open sessions.
@@ -213,6 +225,22 @@ impl QueryService {
             "show trace" => return Ok(self.trace_result()),
             _ => {}
         }
+        // Abandoned-transaction reaping is lazy: the deadline is checked
+        // when the session next speaks. An expired transaction is rolled
+        // back and the statement that found it fails, so the client learns
+        // its `BEGIN` is gone before anything half-applies.
+        if let Some(txn) = self.sessions.txn(session) {
+            let idle_ms = txn.last_used.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+            if idle_ms >= self.txn_timeout_ms {
+                self.sessions.clear_txn(session);
+                let _ = self.db.txn_rollback(txn.id);
+                return Err(ServerError::Db(DbError::Txn(format!(
+                    "transaction timed out after {idle_ms} ms idle (limit {} ms) and was \
+                     rolled back",
+                    self.txn_timeout_ms
+                ))));
+            }
+        }
         let is_read = normalized.starts_with("select") || normalized.starts_with("explain");
         if !is_read && !kind.can_write() {
             return Err(ServerError::ReadOnly(
@@ -220,11 +248,45 @@ impl QueryService {
             ));
         }
         let role = kind.role();
+        match normalized.as_str() {
+            "begin" => {
+                if self.sessions.txn(session).is_some() {
+                    return Err(ServerError::Db(DbError::Txn(
+                        "nested transactions are not supported".into(),
+                    )));
+                }
+                let txn_id = self.db.txn_begin();
+                self.sessions.set_txn(session, txn_id);
+                return Ok(empty_result());
+            }
+            "commit" | "rollback" => {
+                let verb = if normalized == "commit" { "COMMIT" } else { "ROLLBACK" };
+                let txn = self.sessions.clear_txn(session).ok_or_else(|| {
+                    ServerError::Db(DbError::Txn(format!("{verb} without BEGIN")))
+                })?;
+                let outcome = if normalized == "commit" {
+                    self.db.txn_commit(txn.id)
+                } else {
+                    self.db.txn_rollback(txn.id)
+                };
+                return outcome.map(|()| empty_result()).map_err(ServerError::Db);
+            }
+            _ => {}
+        }
         let mut span = tracer.span("server.query");
         span.field("read", is_read);
         let mut path = QueryPath { plan: statement_tag(&normalized), cache: "bypass" };
         let start = Instant::now();
-        let result = if is_read {
+        let result = if let Some(txn) = self.sessions.txn(session) {
+            // Inside an interactive transaction every statement goes to
+            // its snapshot + write-set, bypassing both caches (a cached
+            // latest-state result would violate snapshot isolation).
+            path.cache = "txn";
+            let _exec = tracer.span_with_parent("server.execute", span.id());
+            let outcome = self.db.txn_execute_as(txn.id, &sql, &role).map_err(ServerError::Db);
+            self.sessions.touch_txn(session);
+            outcome
+        } else if is_read {
             self.execute_read(&sql, normalized.clone(), &role, &mut path, span.id())
         } else {
             let _exec = tracer.span_with_parent("server.execute", span.id());
@@ -341,6 +403,12 @@ impl QueryService {
         s.counter("wal_appends", wal.appends);
         s.counter("wal_syncs", wal.syncs);
         s.counter("wal_sync_failures", wal.sync_failures);
+        let txn = self.db.txn_stats();
+        s.counter("txn_begun", txn.begun);
+        s.counter("txn_committed", txn.committed);
+        s.counter("txn_aborted", txn.aborted);
+        s.counter("txn_conflicts", txn.conflicts);
+        s.histogram("txn_duration", self.db.txn_duration());
         let etl = genalg_obs::etl_counters();
         let g = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
         s.counter("etl_refresh_rounds", g(&etl.refresh_rounds));
@@ -416,6 +484,10 @@ impl QueryService {
             .collect();
         ResultSet { columns: vec!["span".into()], rows, affected: 0, explain: None }
     }
+}
+
+fn empty_result() -> ResultSet {
+    ResultSet { columns: Vec::new(), rows: Vec::new(), affected: 0, explain: None }
 }
 
 /// Coarse statement tag for slow-log entries that never reach the planner

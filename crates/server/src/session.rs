@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use unidb::Role;
 
 /// Opaque session handle issued by [`SessionManager::open`].
@@ -51,10 +52,28 @@ impl SessionKind {
     }
 }
 
+/// The interactive transaction a session currently has open (a session
+/// can pin at most one).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SessionTxn {
+    /// The engine transaction id.
+    pub id: u64,
+    /// Last time the session ran a statement in (or began) the
+    /// transaction — the idle clock the abandoned-transaction timeout
+    /// measures against.
+    pub last_used: Instant,
+}
+
+#[derive(Debug)]
+struct SessionEntry {
+    kind: SessionKind,
+    txn: Option<SessionTxn>,
+}
+
 /// Registry of open sessions.
 #[derive(Debug)]
 pub struct SessionManager {
-    sessions: Mutex<HashMap<u64, SessionKind>>,
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
     next_id: AtomicU64,
     metrics: Arc<Metrics>,
 }
@@ -67,22 +86,55 @@ impl SessionManager {
     /// Open a session of the given kind; ids are never reused.
     pub fn open(&self, kind: SessionKind) -> SessionId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.sessions.lock().insert(id, kind);
+        self.sessions.lock().insert(id, SessionEntry { kind, txn: None });
         self.metrics.active_sessions.fetch_add(1, Ordering::Relaxed);
         SessionId(id)
     }
 
-    /// Close a session. Unknown ids are ignored (closing twice is fine).
-    pub fn close(&self, id: SessionId) {
-        if self.sessions.lock().remove(&id.0).is_some() {
-            self.metrics.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    /// Close a session, returning the id of its still-open transaction (if
+    /// any) so the caller can roll it back. Unknown ids are ignored
+    /// (closing twice is fine).
+    pub(crate) fn close(&self, id: SessionId) -> Option<SessionTxn> {
+        match self.sessions.lock().remove(&id.0) {
+            Some(entry) => {
+                self.metrics.active_sessions.fetch_sub(1, Ordering::Relaxed);
+                entry.txn
+            }
+            None => None,
         }
     }
 
     /// The kind of an open session, or `None` if it was never opened or has
     /// been closed.
     pub fn kind(&self, id: SessionId) -> Option<SessionKind> {
-        self.sessions.lock().get(&id.0).cloned()
+        self.sessions.lock().get(&id.0).map(|e| e.kind.clone())
+    }
+
+    /// The session's open transaction, if any.
+    pub(crate) fn txn(&self, id: SessionId) -> Option<SessionTxn> {
+        self.sessions.lock().get(&id.0).and_then(|e| e.txn)
+    }
+
+    /// Pin a freshly begun transaction to the session.
+    pub(crate) fn set_txn(&self, id: SessionId, txn_id: u64) {
+        if let Some(entry) = self.sessions.lock().get_mut(&id.0) {
+            entry.txn = Some(SessionTxn { id: txn_id, last_used: Instant::now() });
+        }
+    }
+
+    /// Unpin the session's transaction (it committed, rolled back, or
+    /// timed out), returning what was pinned.
+    pub(crate) fn clear_txn(&self, id: SessionId) -> Option<SessionTxn> {
+        self.sessions.lock().get_mut(&id.0).and_then(|e| e.txn.take())
+    }
+
+    /// Reset the transaction's idle clock after a statement ran in it.
+    pub(crate) fn touch_txn(&self, id: SessionId) {
+        if let Some(entry) = self.sessions.lock().get_mut(&id.0) {
+            if let Some(txn) = entry.txn.as_mut() {
+                txn.last_used = Instant::now();
+            }
+        }
     }
 
     /// Number of open sessions.

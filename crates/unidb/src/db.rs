@@ -21,7 +21,8 @@ use crate::storage::store::MemStore;
 use crate::storage::vfs::{StdVfs, Vfs};
 use crate::storage::wal::{read_log_prefix, WalRecord, WalWriter};
 use crate::tuple::{decode_row, decode_row_prefix_into, encode_row, Row};
-use parking_lot::RwLock;
+use crate::txn::TxnManager;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
@@ -42,11 +43,11 @@ pub struct ResultSet {
 }
 
 impl ResultSet {
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         ResultSet { columns: Vec::new(), rows: Vec::new(), affected: 0, explain: None }
     }
 
-    fn affected(n: u64) -> Self {
+    pub(crate) fn affected(n: u64) -> Self {
         ResultSet { affected: n, ..Self::empty() }
     }
 
@@ -77,10 +78,30 @@ pub struct WalStats {
     pub sync_failures: u64,
 }
 
-struct TableStorage {
-    heap: HeapFile,
-    btrees: HashMap<String, BTreeIndex>,
-    udis: HashMap<String, Box<dyn AccessMethod>>,
+pub(crate) struct TableStorage {
+    pub(crate) heap: HeapFile,
+    pub(crate) btrees: HashMap<String, BTreeIndex>,
+    pub(crate) udis: HashMap<String, Box<dyn AccessMethod>>,
+    /// Commit timestamp of each live rid's current content. Absent means
+    /// "ancient": committed before every snapshot still alive. Entries at
+    /// or below the oldest active snapshot are pruned by
+    /// [`Inner::gc_versions`].
+    pub(crate) born: HashMap<Rid, u64>,
+    /// Prior images of updated/deleted rows, kept while any snapshot that
+    /// can still see them is active. A version is visible to snapshot `s`
+    /// iff `born <= s < died`.
+    pub(crate) old_versions: Vec<OldVersion>,
+}
+
+/// A superseded row version retained for snapshot-isolation readers.
+pub(crate) struct OldVersion {
+    /// The heap rid this version lived at before it was superseded — an
+    /// open transaction that buffered a write against that rid must not
+    /// see the version again (its own overlay supersedes it).
+    pub(crate) rid: Rid,
+    pub(crate) row: Row,
+    pub(crate) born: u64,
+    pub(crate) died: u64,
 }
 
 impl TableStorage {
@@ -89,21 +110,17 @@ impl TableStorage {
             heap: HeapFile::new(BufferPool::new(Box::new(MemStore::new()), buffer_capacity)),
             btrees: HashMap::new(),
             udis: HashMap::new(),
+            born: HashMap::new(),
+            old_versions: Vec::new(),
         }
     }
 }
 
-enum Undo {
-    Insert { table_id: u32, rid: Rid },
-    Delete { table_id: u32, row: Row },
-    Update { table_id: u32, rid: Rid, old_row: Row },
-}
-
 pub(crate) struct Inner {
-    catalog: Catalog,
-    tables: HashMap<u32, TableStorage>,
-    funcs: FunctionRegistry,
-    wal: Option<WalWriter>,
+    pub(crate) catalog: Catalog,
+    pub(crate) tables: HashMap<u32, TableStorage>,
+    pub(crate) funcs: FunctionRegistry,
+    pub(crate) wal: Option<WalWriter>,
     dir: Option<PathBuf>,
     /// The file system all durability IO goes through ([`StdVfs`] in
     /// production, a fault-injecting one under test).
@@ -111,22 +128,35 @@ pub(crate) struct Inner {
     /// Checkpoint epoch: the snapshot and the live WAL each open with an
     /// [`WalRecord::Epoch`]; mismatch marks a stale pre-checkpoint log.
     epoch: u64,
-    txn_undo: Option<Vec<Undo>>,
     replaying: bool,
     buffer_capacity: usize,
-    /// Per-table version counter, bumped on every row mutation. Cache layers
-    /// (e.g. the server's result cache) compare snapshots of these to decide
-    /// whether a cached result is still current.
-    table_gens: HashMap<u32, u64>,
+    /// Per-table version stamp: the commit timestamp of the last statement
+    /// or transaction that changed the table. Cache layers (e.g. the
+    /// server's result cache) compare snapshots of these to decide whether
+    /// a cached result is still current, and MVCC read views compare them
+    /// against their snapshot to take the unversioned fast path on tables
+    /// nothing committed to since the snapshot was pinned.
+    pub(crate) table_gens: HashMap<u32, u64>,
     /// Catalog version, bumped on DDL. Prepared statements carry the value
     /// they were planned under and refuse to run once it moves.
     catalog_gen: u64,
     /// Worker threads per query (1 = serial). Morsel-driven scans and the
     /// executor's pipeline breakers fan out to this many scoped threads.
-    parallelism: usize,
+    pub(crate) parallelism: usize,
     /// Heap pages read by `scan_batches` since open — an observability
     /// counter (SHOW STATS, tests asserting LIMIT short-circuits).
-    scan_pages: AtomicU64,
+    pub(crate) scan_pages: AtomicU64,
+    /// Timestamp of the newest committed statement or transaction.
+    /// Snapshots pin this value; mutations stamp `committed_ts + 1`.
+    pub(crate) committed_ts: u64,
+    /// True while at least one transaction snapshot is active, so row
+    /// mutations must record `born` stamps and prior images. With no
+    /// active snapshot the bookkeeping would be garbage-collected
+    /// immediately, so it is skipped at the source.
+    pub(crate) track_versions: bool,
+    /// Set by row mutators; consumed by [`Inner::seal_statement`] to
+    /// advance [`Inner::committed_ts`] once per mutating statement.
+    pub(crate) pending_dirty: bool,
 }
 
 /// Default query parallelism: `UNIDB_PARALLELISM` if set (min 1), else the
@@ -182,7 +212,15 @@ impl Prepared {
 /// synchronization happens inside each table's buffer pool. DML and DDL take
 /// the exclusive (write) lock.
 pub struct Database {
-    inner: RwLock<Inner>,
+    pub(crate) inner: RwLock<Inner>,
+    /// Transaction manager: ids, snapshots, write-sets, counters. Lives
+    /// outside the engine lock so transactions on different sessions run
+    /// their statements concurrently.
+    pub(crate) txns: TxnManager,
+    /// The ambient transaction driven by textual `BEGIN`/`COMMIT`/`ROLLBACK`
+    /// through [`Database::execute`] — script-style transactions that are
+    /// not pinned to an explicit [`crate::txn::Transaction`] handle.
+    pub(crate) ambient: Mutex<Option<u64>>,
 }
 
 impl Database {
@@ -197,14 +235,18 @@ impl Database {
                 dir: None,
                 vfs: Arc::new(StdVfs),
                 epoch: 0,
-                txn_undo: None,
                 replaying: false,
                 buffer_capacity: 256,
                 table_gens: HashMap::new(),
                 catalog_gen: 0,
                 parallelism: default_parallelism(),
                 scan_pages: AtomicU64::new(0),
+                committed_ts: 0,
+                track_versions: false,
+                pending_dirty: false,
             }),
+            txns: TxnManager::new(),
+            ambient: Mutex::new(None),
         }
     }
 
@@ -265,6 +307,7 @@ impl Database {
             inner.replay_records(wal_records)?;
         }
         inner.replaying = false;
+        inner.pending_dirty = false;
         inner.epoch = snap_epoch;
         let mut wal =
             WalWriter::open(vfs.as_ref(), &wal_path, if stale_wal { 0 } else { valid_len })?;
@@ -324,15 +367,64 @@ impl Database {
     /// Execute one statement with an explicit role.
     ///
     /// SELECT and EXPLAIN run under the shared read lock (concurrently with
-    /// other readers); everything else takes the exclusive write lock.
+    /// other readers); auto-committed DML and DDL take the exclusive write
+    /// lock. `BEGIN` opens the ambient transaction: until `COMMIT` or
+    /// `ROLLBACK`, statements buffer their writes in a snapshot-isolated
+    /// write-set and run under the read lock only.
     pub fn execute_as(&self, sql: &str, role: &Role) -> DbResult<ResultSet> {
         let stmt = parse(sql)?;
-        if matches!(stmt, Stmt::Select(_) | Stmt::Explain { .. }) {
-            let inner = self.inner.read();
-            inner.run_read(stmt, role)
-        } else {
-            let mut inner = self.inner.write();
-            inner.run_stmt(stmt, role)
+        self.dispatch_stmt(stmt, role)
+    }
+
+    /// Route one parsed statement: transaction control to the ambient
+    /// transaction, statements inside an open ambient transaction to its
+    /// write-set, everything else to the auto-commit path.
+    pub(crate) fn dispatch_stmt(&self, stmt: Stmt, role: &Role) -> DbResult<ResultSet> {
+        match stmt {
+            Stmt::Begin => {
+                let mut ambient = self.ambient.lock();
+                if ambient.is_some() {
+                    return Err(DbError::Txn("nested transactions are not supported".into()));
+                }
+                *ambient = Some(self.txn_begin());
+                Ok(ResultSet::empty())
+            }
+            Stmt::Commit => {
+                let id = self
+                    .ambient
+                    .lock()
+                    .take()
+                    .ok_or_else(|| DbError::Txn("COMMIT without BEGIN".into()))?;
+                self.txn_commit(id)?;
+                Ok(ResultSet::empty())
+            }
+            Stmt::Rollback => {
+                let id = self
+                    .ambient
+                    .lock()
+                    .take()
+                    .ok_or_else(|| DbError::Txn("ROLLBACK without BEGIN".into()))?;
+                self.txn_rollback(id)?;
+                Ok(ResultSet::empty())
+            }
+            other => {
+                let ambient = *self.ambient.lock();
+                if let Some(id) = ambient {
+                    return self.txn_dispatch(id, other, role);
+                }
+                if matches!(other, Stmt::Select(_) | Stmt::Explain { .. }) {
+                    let inner = self.inner.read();
+                    inner.run_read(other, role)
+                } else {
+                    let mut inner = self.inner.write();
+                    inner.track_versions = self.txns.active() > 0;
+                    let result = inner.run_stmt(other, role);
+                    inner.seal_statement();
+                    let min = self.txns.min_active_snapshot(inner.committed_ts);
+                    inner.gc_versions(min);
+                    result
+                }
+            }
         }
     }
 
@@ -457,11 +549,11 @@ impl Database {
         self.execute_script_as(sql, &Role::User("user".into()))
     }
 
-    /// Execute a script with an explicit role.
+    /// Execute a script with an explicit role. Each statement dispatches
+    /// independently, so scripts can open and commit transactions.
     pub fn execute_script_as(&self, sql: &str, role: &Role) -> DbResult<Vec<ResultSet>> {
         let stmts = parse_many(sql)?;
-        let mut inner = self.inner.write();
-        stmts.into_iter().map(|s| inner.run_stmt(s, role)).collect()
+        stmts.into_iter().map(|s| self.dispatch_stmt(s, role)).collect()
     }
 
     /// Register an opaque UDT (§6.2); returns its type id.
@@ -635,64 +727,59 @@ impl Inner {
                 self.update(&table, assignments, filter, role)
             }
             Stmt::Delete { table, filter } => self.delete(&table, filter, role),
-            Stmt::Begin => {
-                if self.txn_undo.is_some() {
-                    return Err(DbError::Unsupported("nested transactions".into()));
-                }
-                self.txn_undo = Some(Vec::new());
-                self.log(WalRecord::TxnBegin)?;
-                Ok(ResultSet::empty())
-            }
-            Stmt::Commit => {
-                if self.txn_undo.take().is_none() {
-                    return Err(DbError::Unsupported("COMMIT without BEGIN".into()));
-                }
-                self.log(WalRecord::TxnCommit)?;
-                if let Some(wal) = self.wal.as_mut() {
-                    wal.sync()?;
-                }
-                Ok(ResultSet::empty())
-            }
-            Stmt::Rollback => {
-                let Some(undo) = self.txn_undo.take() else {
-                    return Err(DbError::Unsupported("ROLLBACK without BEGIN".into()));
-                };
-                for op in undo.into_iter().rev() {
-                    match op {
-                        Undo::Insert { table_id, rid } => {
-                            let row = self
-                                .fetch_row(table_id, rid)?
-                                .ok_or_else(|| DbError::Internal("undo target vanished".into()))?;
-                            self.delete_row(table_id, rid, &row)?;
-                        }
-                        Undo::Delete { table_id, row } => {
-                            self.insert_row(table_id, row)?;
-                        }
-                        Undo::Update { table_id, rid, old_row } => {
-                            let current = self
-                                .fetch_row(table_id, rid)?
-                                .ok_or_else(|| DbError::Internal("undo target vanished".into()))?;
-                            self.update_row(table_id, rid, &current, old_row)?;
-                        }
-                    }
-                }
-                // The compensating records above were logged inside the
-                // transaction frame; commit the frame so replay nets zero.
-                self.log(WalRecord::TxnCommit)?;
-                if let Some(wal) = self.wal.as_mut() {
-                    wal.sync()?;
-                }
-                Ok(ResultSet::empty())
-            }
+            // Transaction control never reaches the auto-commit executor:
+            // `Database::dispatch_stmt` routes it to the ambient transaction.
+            Stmt::Begin | Stmt::Commit | Stmt::Rollback => Err(DbError::Internal(
+                "transaction control must go through Database::execute".into(),
+            )),
         }
     }
 
     // -- version counters ----------------------------------------------------
 
-    /// Record that `table_id`'s contents changed. Monotonic; an extra bump
-    /// only costs caches a spurious miss, never a stale hit.
+    /// Commit timestamp the statement or transaction currently applying
+    /// its writes will commit under (0 during replay, where every row is
+    /// ancient by definition).
+    fn pending_ts(&self) -> u64 {
+        if self.replaying {
+            0
+        } else {
+            self.committed_ts + 1
+        }
+    }
+
+    /// Record that `table_id`'s contents changed, stamping the table with
+    /// the pending commit timestamp. Monotonic; an extra bump only costs
+    /// caches a spurious miss, never a stale hit.
     fn bump_table(&mut self, table_id: u32) {
-        *self.table_gens.entry(table_id).or_insert(0) += 1;
+        let ts = self.pending_ts();
+        let gen = self.table_gens.entry(table_id).or_insert(0);
+        *gen = (*gen).max(ts);
+        self.pending_dirty = true;
+    }
+
+    /// Advance the commit timestamp if the finished statement mutated any
+    /// row. Called once per auto-commit statement; explicit transactions
+    /// advance it in their commit path instead.
+    pub(crate) fn seal_statement(&mut self) {
+        if self.pending_dirty {
+            self.committed_ts += 1;
+            self.pending_dirty = false;
+        }
+    }
+
+    /// Drop version bookkeeping no snapshot at or above `min_snapshot` can
+    /// still need: prior images whose `died` stamp is visible to every
+    /// active snapshot, and `born` stamps old enough to be "ancient".
+    pub(crate) fn gc_versions(&mut self, min_snapshot: u64) {
+        for t in self.tables.values_mut() {
+            if !t.old_versions.is_empty() {
+                t.old_versions.retain(|v| v.died > min_snapshot);
+            }
+            if !t.born.is_empty() {
+                t.born.retain(|_, ts| *ts > min_snapshot);
+            }
+        }
     }
 
     /// Record that the catalog changed (tables, indexes, spaces, types).
@@ -828,10 +915,7 @@ impl Inner {
                 row[pos] = eval(expr, &ctx)?;
             }
             let row = check_row(&def, row)?;
-            let rid = self.insert_row(def.id, row)?;
-            if let Some(undo) = self.txn_undo.as_mut() {
-                undo.push(Undo::Insert { table_id: def.id, rid });
-            }
+            self.insert_row(def.id, row)?;
             n += 1;
         }
         self.maybe_sync()?;
@@ -872,10 +956,7 @@ impl Inner {
                 new_row[*pos] = eval(expr, &ctx)?;
             }
             let new_row = check_row(&def, new_row)?;
-            let new_rid = self.update_row(def.id, rid, &row, new_row)?;
-            if let Some(undo) = self.txn_undo.as_mut() {
-                undo.push(Undo::Update { table_id: def.id, rid: new_rid, old_row: row });
-            }
+            self.update_row(def.id, rid, &row, new_row)?;
             n += 1;
         }
         self.maybe_sync()?;
@@ -897,9 +978,6 @@ impl Inner {
         let mut n = 0u64;
         for (rid, row) in matching {
             self.delete_row(def.id, rid, &row)?;
-            if let Some(undo) = self.txn_undo.as_mut() {
-                undo.push(Undo::Delete { table_id: def.id, row });
-            }
             n += 1;
         }
         self.maybe_sync()?;
@@ -934,7 +1012,9 @@ impl Inner {
 
     // -- row-level mutation with index + WAL maintenance -----------------------
 
-    fn insert_row(&mut self, table_id: u32, row: Row) -> DbResult<Rid> {
+    pub(crate) fn insert_row(&mut self, table_id: u32, row: Row) -> DbResult<Rid> {
+        let ts = self.pending_ts();
+        let track = self.track_versions && !self.replaying;
         let def = self
             .catalog
             .table_by_id(table_id)
@@ -957,6 +1037,9 @@ impl Inner {
             }
         }
         let rid = storage.heap.insert(&encode_row(&row))?;
+        if track {
+            storage.born.insert(rid, ts);
+        }
         for (col, idx) in storage.btrees.iter_mut() {
             let pos = def.column_index(col).expect("index column exists");
             idx.insert(row[pos].clone(), rid)?;
@@ -970,7 +1053,9 @@ impl Inner {
         Ok(rid)
     }
 
-    fn delete_row(&mut self, table_id: u32, rid: Rid, row: &Row) -> DbResult<()> {
+    pub(crate) fn delete_row(&mut self, table_id: u32, rid: Rid, row: &Row) -> DbResult<()> {
+        let ts = self.pending_ts();
+        let track = self.track_versions && !self.replaying;
         let def = self
             .catalog
             .table_by_id(table_id)
@@ -981,6 +1066,12 @@ impl Inner {
             .get_mut(&table_id)
             .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
         storage.heap.delete(rid)?;
+        if track {
+            let born = storage.born.remove(&rid).unwrap_or(0);
+            storage.old_versions.push(OldVersion { rid, row: row.clone(), born, died: ts });
+        } else {
+            storage.born.remove(&rid);
+        }
         for (col, idx) in storage.btrees.iter_mut() {
             let pos = def.column_index(col).expect("index column exists");
             idx.remove(&row[pos], rid);
@@ -994,13 +1085,15 @@ impl Inner {
         Ok(())
     }
 
-    fn update_row(
+    pub(crate) fn update_row(
         &mut self,
         table_id: u32,
         rid: Rid,
         old_row: &Row,
         new_row: Row,
     ) -> DbResult<Rid> {
+        let ts = self.pending_ts();
+        let track = self.track_versions && !self.replaying;
         let def = self
             .catalog
             .table_by_id(table_id)
@@ -1023,6 +1116,13 @@ impl Inner {
             }
         }
         let new_rid = storage.heap.update(rid, &encode_row(&new_row))?;
+        if track {
+            let born = storage.born.remove(&rid).unwrap_or(0);
+            storage.old_versions.push(OldVersion { rid, row: old_row.clone(), born, died: ts });
+            storage.born.insert(new_rid, ts);
+        } else if rid != new_rid {
+            storage.born.remove(&rid);
+        }
         for (col, idx) in storage.btrees.iter_mut() {
             let pos = def.column_index(col).expect("index column exists");
             idx.remove(&old_row[pos], rid);
@@ -1042,7 +1142,7 @@ impl Inner {
         Ok(new_rid)
     }
 
-    fn fetch_row(&mut self, table_id: u32, rid: Rid) -> DbResult<Option<Row>> {
+    pub(crate) fn fetch_row(&mut self, table_id: u32, rid: Rid) -> DbResult<Option<Row>> {
         let storage = self
             .tables
             .get_mut(&table_id)
@@ -1055,7 +1155,7 @@ impl Inner {
 
     // -- WAL ---------------------------------------------------------------------
 
-    fn log(&mut self, rec: WalRecord) -> DbResult<()> {
+    pub(crate) fn log(&mut self, rec: WalRecord) -> DbResult<()> {
         if self.replaying {
             return Ok(());
         }
@@ -1065,12 +1165,12 @@ impl Inner {
         Ok(())
     }
 
-    /// Sync the WAL when auto-committing (outside an explicit transaction).
+    /// Sync the WAL at an auto-commit statement boundary. Explicit
+    /// transactions never reach this: their writes buffer in the write-set
+    /// and hit the WAL (framed, with one sync) at commit.
     fn maybe_sync(&mut self) -> DbResult<()> {
-        if self.txn_undo.is_none() {
-            if let Some(wal) = self.wal.as_mut() {
-                wal.sync()?;
-            }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.sync()?;
         }
         Ok(())
     }
@@ -1234,7 +1334,7 @@ fn leading_epoch(records: &[WalRecord]) -> u64 {
 }
 
 /// Validate and coerce a row against the table definition.
-fn check_row(def: &TableDef, mut row: Row) -> DbResult<Row> {
+pub(crate) fn check_row(def: &TableDef, mut row: Row) -> DbResult<Row> {
     for (i, col) in def.columns.iter().enumerate() {
         let d = &row[i];
         if d.is_null() {

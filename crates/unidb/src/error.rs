@@ -37,6 +37,14 @@ pub enum DbError {
     /// A prepared statement outlived the catalog it was planned against
     /// (DDL ran in between). Callers should re-prepare and retry.
     Stale(String),
+    /// Transaction-state error: `COMMIT` without `BEGIN`, nested `BEGIN`,
+    /// a statement sent to a transaction that is busy on another thread,
+    /// or an expired/unknown transaction id.
+    Txn(String),
+    /// Serialization failure under snapshot isolation: the transaction
+    /// touched a row that a concurrent transaction committed first. The
+    /// transaction has been aborted; callers should retry it from `BEGIN`.
+    Conflict(String),
     /// Internal invariant violation — indicates a bug, not user error.
     Internal(String),
 }
@@ -56,6 +64,8 @@ impl fmt::Display for DbError {
             DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::Stale(m) => write!(f, "stale plan: {m}"),
+            DbError::Txn(m) => write!(f, "transaction error: {m}"),
+            DbError::Conflict(m) => write!(f, "serialization conflict: {m}"),
             DbError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -80,6 +90,12 @@ mod tests {
             .to_string()
             .contains("table"));
         assert!(DbError::AmbiguousColumn("id".into()).to_string().contains("ambiguous"));
+        assert!(DbError::Txn("COMMIT without BEGIN".into())
+            .to_string()
+            .contains("transaction error"));
+        assert!(DbError::Conflict("row moved".into())
+            .to_string()
+            .contains("serialization conflict"));
         let io = std::io::Error::other("disk gone");
         assert!(matches!(DbError::from(io), DbError::Io(_)));
         assert!(DbError::Io("enospc".into()).to_string().contains("io error"));

@@ -45,6 +45,7 @@ pub mod plan;
 pub mod sql;
 pub mod storage;
 pub mod tuple;
+pub mod txn;
 
 pub use catalog::Role;
 pub use catalog::{ColumnDef, OpaqueTypeDef, TableDef};
@@ -55,3 +56,4 @@ pub use expr::func::{AggregateFn, FunctionRegistry, ScalarFn};
 pub use index::udi::AccessMethod;
 pub use storage::heap::Rid;
 pub use storage::vfs::{FaultConfig, FaultVfs, StdVfs, Vfs};
+pub use txn::{DbTransaction, Engine, Transaction, TxnStats};

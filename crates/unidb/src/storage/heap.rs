@@ -213,6 +213,49 @@ impl HeapFile {
         Ok(())
     }
 
+    /// [`HeapFile::page_visit_rows`] with each record's [`Rid`] passed
+    /// alongside its bytes. MVCC read views need the rid to overlay
+    /// version visibility and transaction-local writes onto a page scan.
+    /// Same latch discipline: inline records are visited in place until
+    /// the first overflow stub, after which `(slot, record)` pairs are
+    /// buffered and visited once the latch drops.
+    pub fn page_visit_rows_rid(
+        &self,
+        page_no: u32,
+        visit: &mut dyn FnMut(Rid, &[u8]) -> DbResult<()>,
+    ) -> DbResult<()> {
+        if page_no >= self.pool.num_pages() {
+            return Ok(());
+        }
+        let mut tail: Vec<(u16, Vec<u8>)> = Vec::new();
+        let mut failed = None;
+        self.pool.with_page(page_no, |p| {
+            for (slot, rec) in p.iter() {
+                match rec.first() {
+                    Some(&INLINE) if tail.is_empty() => {
+                        if let Err(e) = visit(Rid { page: page_no, slot }, &rec[1..]) {
+                            failed = Some(e);
+                            return;
+                        }
+                    }
+                    Some(&INLINE) | Some(&OVERFLOW) => tail.push((slot, rec.to_vec())),
+                    _ => {}
+                }
+            }
+        })?;
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        for (slot, rec) in tail {
+            let rid = Rid { page: page_no, slot };
+            match rec.first() {
+                Some(&INLINE) => visit(rid, &rec[1..])?,
+                _ => visit(rid, &self.expand(&rec)?)?,
+            }
+        }
+        Ok(())
+    }
+
     /// Materialize every live record.
     pub fn scan(&self) -> DbResult<Vec<(Rid, Vec<u8>)>> {
         let mut out = Vec::new();

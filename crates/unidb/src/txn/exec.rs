@@ -1,0 +1,504 @@
+//! Statement execution inside a transaction, and commit-time
+//! validate-and-apply.
+//!
+//! Statements run under the shared engine read lock: reads plan and
+//! execute against a [`ReadView`]; writes buffer row images in the
+//! transaction's [`WriteSet`](super::WriteSet) without touching the heap.
+//! Serialization conflicts are detected eagerly where cheap (a write
+//! targeting a row some concurrent transaction already superseded, an
+//! insert colliding with a key committed after the snapshot) and
+//! re-validated at commit, where first-committer-wins is enforced under
+//! the exclusive write lock.
+
+use crate::catalog::{Role, TableDef};
+use crate::db::{check_row, Inner, ResultSet};
+use crate::error::{DbError, DbResult};
+use crate::exec::{execute_plan, execute_plan_with_stats};
+use crate::expr::compile::compile;
+use crate::expr::eval::{eval, ColumnBinding, EvalContext};
+use crate::expr::func::FunctionRegistry;
+use crate::plan::planner::plan_select;
+use crate::sql::ast::{Expr, Stmt};
+use crate::storage::heap::Rid;
+use crate::storage::wal::WalRecord;
+use crate::tuple::{decode_row, Row};
+use crate::txn::{ReadView, TableWrites, TxnState};
+
+/// Where a row matched by an UPDATE/DELETE filter lives.
+enum Prov {
+    /// A committed heap row visible to the snapshot; writes target its rid.
+    Committed(Rid),
+    /// A row this transaction inserted, addressed by write-set position.
+    OwnInsert(usize),
+    /// A prior image: visible to the snapshot, but a concurrent
+    /// transaction already committed over it. Writing it is a
+    /// serialization conflict.
+    Stale,
+}
+
+pub(crate) fn run_txn_stmt(
+    inner: &Inner,
+    state: &mut TxnState,
+    stmt: Stmt,
+    role: &Role,
+) -> DbResult<ResultSet> {
+    if let Some(reason) = &state.doomed {
+        return Err(DbError::Conflict(format!("transaction must be rolled back: {reason}")));
+    }
+    match stmt {
+        Stmt::Select(_) | Stmt::Explain { .. } => run_txn_read(inner, state, stmt, role),
+        Stmt::Insert { table, columns, rows } => {
+            txn_insert(inner, state, &table, columns, rows, role)
+        }
+        Stmt::Update { table, assignments, filter } => {
+            txn_update(inner, state, &table, assignments, filter, role)
+        }
+        Stmt::Delete { table, filter } => txn_delete(inner, state, &table, filter, role),
+        Stmt::CreateTable { .. }
+        | Stmt::DropTable { .. }
+        | Stmt::CreateIndex { .. }
+        | Stmt::CreateSpace { .. } => Err(DbError::Txn(
+            "DDL is not allowed inside a transaction; run it in auto-commit mode".into(),
+        )),
+        Stmt::Begin | Stmt::Commit | Stmt::Rollback => {
+            Err(DbError::Internal("transaction control reached the transaction executor".into()))
+        }
+    }
+}
+
+fn run_txn_read(inner: &Inner, state: &TxnState, stmt: Stmt, role: &Role) -> DbResult<ResultSet> {
+    let view = ReadView::new(inner, state.snapshot, Some(&state.writes));
+    match stmt {
+        Stmt::Select(s) => {
+            let (plan, columns) = plan_select(&view, role.default_space(), &s)?;
+            let rows = execute_plan(&view, &inner.funcs, &plan, inner.parallelism)?;
+            Ok(ResultSet { columns, rows, affected: 0, explain: None })
+        }
+        Stmt::Explain { stmt: inner_stmt, analyze } => match *inner_stmt {
+            Stmt::Select(s) => {
+                let (plan, _) = plan_select(&view, role.default_space(), &s)?;
+                if analyze {
+                    let (_, stats) =
+                        execute_plan_with_stats(&view, &inner.funcs, &plan, inner.parallelism)?;
+                    Ok(ResultSet { explain: Some(stats.render()), ..ResultSet::empty() })
+                } else {
+                    Ok(ResultSet { explain: Some(plan.explain()), ..ResultSet::empty() })
+                }
+            }
+            _ if analyze => {
+                Err(DbError::Unsupported("EXPLAIN ANALYZE supports only SELECT".into()))
+            }
+            other => Ok(ResultSet { explain: Some(format!("{other:?}")), ..ResultSet::empty() }),
+        },
+        _ => Err(DbError::Internal("run_txn_read called on a write statement".into())),
+    }
+}
+
+/// Resolve the target table and check write access, mirroring the
+/// auto-commit DML preamble.
+fn writable_table(inner: &Inner, table: &str, role: &Role) -> DbResult<TableDef> {
+    let def = inner.catalog.resolve_table(role.default_space(), table)?.clone();
+    if !inner.catalog.can_write(role, &def.space) {
+        return Err(DbError::AccessDenied(format!(
+            "space {:?} is read-only for this role",
+            def.space
+        )));
+    }
+    Ok(def)
+}
+
+fn conflict_stale_row() -> DbError {
+    DbError::Conflict(
+        "row was modified by a concurrent transaction after this snapshot; retry the transaction"
+            .into(),
+    )
+}
+
+/// Everything a uniqueness check reads: engine state, the table, the
+/// transaction's buffered writes, and its snapshot.
+struct UniqueScope<'a> {
+    inner: &'a Inner,
+    def: &'a TableDef,
+    tw: &'a TableWrites,
+    snapshot: u64,
+}
+
+impl UniqueScope<'_> {
+    /// Uniqueness check for a row this transaction is about to buffer.
+    ///
+    /// Checks, in precedence order, each unique index column whose key the
+    /// write actually changes (`old_row` is the prior contents for an
+    /// update; `self_rid`/`self_insert` identify the write-set entry being
+    /// rewritten so it does not collide with itself):
+    /// 1. committed heap rows still holding the key (excluding rows this
+    ///    transaction deleted or rewrote, and the row being rewritten):
+    ///    invisible holder (`born > snapshot`) → [`DbError::Conflict`]
+    ///    (a concurrent transaction claimed the key first), visible holder →
+    ///    [`DbError::Constraint`];
+    /// 2. prior images visible to the snapshot → [`DbError::Constraint`]
+    ///    (the duplicate is in the transaction's view even if since removed);
+    /// 3. the transaction's own buffered rows → [`DbError::Constraint`].
+    fn check(
+        &self,
+        new_row: &Row,
+        old_row: Option<&Row>,
+        self_rid: Option<Rid>,
+        self_insert: Option<usize>,
+    ) -> DbResult<()> {
+        let Some(storage) = self.inner.tables.get(&self.def.id) else {
+            return Err(DbError::Internal("missing table storage".into()));
+        };
+        let (tw, snapshot) = (self.tw, self.snapshot);
+        for (col, idx) in &storage.btrees {
+            if !idx.is_unique() {
+                continue;
+            }
+            let pos = self.def.column_index(col).expect("index column exists");
+            let key = &new_row[pos];
+            if let Some(old) = old_row {
+                if old[pos] == *key {
+                    continue;
+                }
+            }
+            for rid in idx.get(key) {
+                // Born-after-snapshot comes first: heap slots are recycled,
+                // so a rid this write-set claims may since have been
+                // re-bestowed on a concurrent commit's row — the claim is
+                // void and the key is taken.
+                if storage.born.get(&rid).copied().unwrap_or(0) > snapshot {
+                    return Err(DbError::Conflict(format!(
+                        "unique key {key} for index on {col} was claimed by a concurrent \
+                         transaction; retry the transaction"
+                    )));
+                }
+                if tw.deleted.contains(&rid)
+                    || tw.updated.contains_key(&rid)
+                    || self_rid == Some(rid)
+                {
+                    continue;
+                }
+                return Err(DbError::Constraint(format!(
+                    "duplicate key {key} for unique index on {col}"
+                )));
+            }
+            for v in &storage.old_versions {
+                if v.born <= snapshot && snapshot < v.died && v.row[pos] == *key {
+                    return Err(DbError::Constraint(format!(
+                        "duplicate key {key} for unique index on {col}"
+                    )));
+                }
+            }
+            let own_dup =
+                tw.updated.iter().any(|(rid, row)| self_rid != Some(*rid) && row[pos] == *key)
+                    || tw.inserted.iter().enumerate().any(|(i, slot)| {
+                        self_insert != Some(i) && slot.as_ref().is_some_and(|row| row[pos] == *key)
+                    });
+            if own_dup {
+                return Err(DbError::Constraint(format!(
+                    "duplicate key {key} for unique index on {col}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn txn_insert(
+    inner: &Inner,
+    state: &mut TxnState,
+    table: &str,
+    columns: Option<Vec<String>>,
+    rows: Vec<Vec<Expr>>,
+    role: &Role,
+) -> DbResult<ResultSet> {
+    let def = writable_table(inner, table, role)?;
+    let positions: Vec<usize> = match &columns {
+        None => (0..def.columns.len()).collect(),
+        Some(cols) => cols
+            .iter()
+            .map(|c| {
+                def.column_index(c).ok_or(DbError::NotFound { kind: "column", name: c.clone() })
+            })
+            .collect::<DbResult<_>>()?,
+    };
+    let snapshot = state.snapshot;
+    let mut n = 0u64;
+    for value_exprs in rows {
+        if value_exprs.len() != positions.len() {
+            return Err(DbError::Constraint(format!(
+                "INSERT supplies {} values for {} columns",
+                value_exprs.len(),
+                positions.len()
+            )));
+        }
+        let mut row: Row = vec![crate::datum::Datum::Null; def.columns.len()];
+        let ctx = EvalContext { bindings: &[], row: &[], funcs: &inner.funcs };
+        for (expr, &pos) in value_exprs.iter().zip(&positions) {
+            row[pos] = eval(expr, &ctx)?;
+        }
+        let row = check_row(&def, row)?;
+        {
+            let tw = state.writes.table_mut(def.id);
+            UniqueScope { inner, def: &def, tw, snapshot }.check(&row, None, None, None)?;
+        }
+        state.writes.table_mut(def.id).inserted.push(Some(row));
+        n += 1;
+    }
+    Ok(ResultSet::affected(n))
+}
+
+/// Rows in the transaction's view that pass `filter`, with provenance.
+fn txn_matching_rows(
+    inner: &Inner,
+    state: &TxnState,
+    def: &TableDef,
+    bindings: &[ColumnBinding],
+    filter: Option<&Expr>,
+    funcs: &FunctionRegistry,
+) -> DbResult<Vec<(Prov, Row)>> {
+    let compiled = filter.map(|pred| compile(pred, bindings, funcs)).transpose()?;
+    let keep = |row: &Row| -> DbResult<bool> {
+        match &compiled {
+            None => Ok(true),
+            Some(pred) => pred.accepts(row),
+        }
+    };
+    let storage = inner
+        .tables
+        .get(&def.id)
+        .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+    let tw = state.writes.table(def.id);
+    let snapshot = state.snapshot;
+    let mut out = Vec::new();
+    for page_no in 0..storage.heap.num_pages() {
+        storage.heap.page_visit_rows_rid(page_no, &mut |rid, bytes| {
+            if let Some(tw) = tw {
+                if tw.deleted.contains(&rid) || tw.updated.contains_key(&rid) {
+                    return Ok(());
+                }
+            }
+            if storage.born.get(&rid).copied().unwrap_or(0) > snapshot {
+                return Ok(());
+            }
+            let row = decode_row(bytes)?;
+            if keep(&row)? {
+                out.push((Prov::Committed(rid), row));
+            }
+            Ok(())
+        })?;
+    }
+    // Prior images visible to the snapshot: the row is in the view, but a
+    // concurrent transaction committed over it — writing it must conflict.
+    for v in &storage.old_versions {
+        if v.born <= snapshot && snapshot < v.died && keep(&v.row)? {
+            out.push((Prov::Stale, v.row.clone()));
+        }
+    }
+    if let Some(tw) = tw {
+        for (rid, row) in &tw.updated {
+            if keep(row)? {
+                out.push((Prov::Committed(*rid), row.clone()));
+            }
+        }
+        for (i, slot) in tw.inserted.iter().enumerate() {
+            if let Some(row) = slot {
+                if keep(row)? {
+                    out.push((Prov::OwnInsert(i), row.clone()));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn txn_update(
+    inner: &Inner,
+    state: &mut TxnState,
+    table: &str,
+    assignments: Vec<(String, Expr)>,
+    filter: Option<Expr>,
+    role: &Role,
+) -> DbResult<ResultSet> {
+    let def = writable_table(inner, table, role)?;
+    let targets: Vec<(usize, Expr)> = assignments
+        .into_iter()
+        .map(|(c, e)| {
+            def.column_index(&c)
+                .map(|i| (i, e))
+                .ok_or(DbError::NotFound { kind: "column", name: c })
+        })
+        .collect::<DbResult<_>>()?;
+    let bindings: Vec<ColumnBinding> =
+        def.columns.iter().map(|c| ColumnBinding::new(&def.name, &c.name)).collect();
+    let matching = txn_matching_rows(inner, state, &def, &bindings, filter.as_ref(), &inner.funcs)?;
+    if matching.iter().any(|(prov, _)| matches!(prov, Prov::Stale)) {
+        return Err(conflict_stale_row());
+    }
+    let snapshot = state.snapshot;
+    let mut n = 0u64;
+    for (prov, row) in matching {
+        let ctx = EvalContext { bindings: &bindings, row: &row, funcs: &inner.funcs };
+        let mut new_row = row.clone();
+        for (pos, expr) in &targets {
+            new_row[*pos] = eval(expr, &ctx)?;
+        }
+        let new_row = check_row(&def, new_row)?;
+        let (self_rid, self_insert) = match prov {
+            Prov::Committed(rid) => (Some(rid), None),
+            Prov::OwnInsert(i) => (None, Some(i)),
+            Prov::Stale => unreachable!("stale rows rejected above"),
+        };
+        {
+            let tw = state.writes.table_mut(def.id);
+            UniqueScope { inner, def: &def, tw, snapshot }.check(
+                &new_row,
+                Some(&row),
+                self_rid,
+                self_insert,
+            )?;
+        }
+        let tw = state.writes.table_mut(def.id);
+        match prov {
+            Prov::Committed(rid) => {
+                tw.updated.insert(rid, new_row);
+            }
+            Prov::OwnInsert(i) => tw.inserted[i] = Some(new_row),
+            Prov::Stale => unreachable!("stale rows rejected above"),
+        }
+        n += 1;
+    }
+    Ok(ResultSet::affected(n))
+}
+
+fn txn_delete(
+    inner: &Inner,
+    state: &mut TxnState,
+    table: &str,
+    filter: Option<Expr>,
+    role: &Role,
+) -> DbResult<ResultSet> {
+    let def = writable_table(inner, table, role)?;
+    let bindings: Vec<ColumnBinding> =
+        def.columns.iter().map(|c| ColumnBinding::new(&def.name, &c.name)).collect();
+    let matching = txn_matching_rows(inner, state, &def, &bindings, filter.as_ref(), &inner.funcs)?;
+    if matching.iter().any(|(prov, _)| matches!(prov, Prov::Stale)) {
+        return Err(conflict_stale_row());
+    }
+    let tw = state.writes.table_mut(def.id);
+    let mut n = 0u64;
+    for (prov, _) in matching {
+        match prov {
+            Prov::Committed(rid) => {
+                tw.updated.remove(&rid);
+                tw.deleted.insert(rid);
+            }
+            Prov::OwnInsert(i) => tw.inserted[i] = None,
+            Prov::Stale => unreachable!("stale rows rejected above"),
+        }
+        n += 1;
+    }
+    Ok(ResultSet::affected(n))
+}
+
+// ---------------------------------------------------------------------------
+// Commit: validate under the write lock, then apply inside one WAL frame
+// ---------------------------------------------------------------------------
+
+/// First-committer-wins validation followed by atomic application of the
+/// write-set. Runs under the exclusive engine lock.
+///
+/// Validation is strictly ordered before any mutation: every check that
+/// can fail runs first, so a conflicting or constraint-violating
+/// transaction leaves the engine untouched. Application then frames the
+/// row mutations between [`WalRecord::TxnBegin`] and
+/// [`WalRecord::TxnCommit`] with one sync, so recovery replays the
+/// transaction all-or-nothing.
+pub(crate) fn validate_and_apply(inner: &mut Inner, state: &TxnState) -> DbResult<()> {
+    let snapshot = state.snapshot;
+    // -- validate ----------------------------------------------------------
+    for (&table_id, tw) in &state.writes.tables {
+        if tw.is_empty() {
+            continue;
+        }
+        let def = inner
+            .catalog
+            .table_by_id(table_id)
+            .ok_or_else(|| DbError::Conflict("table was dropped by a concurrent statement".into()))?
+            .clone();
+        let storage = inner.tables.get(&table_id).ok_or_else(|| {
+            DbError::Conflict("table was dropped by a concurrent statement".into())
+        })?;
+        // Every written rid must still be the version the snapshot saw.
+        for rid in tw.updated.keys().chain(tw.deleted.iter()) {
+            if storage.born.get(rid).copied().unwrap_or(0) > snapshot
+                || storage.heap.get(*rid)?.is_none()
+            {
+                return Err(conflict_stale_row());
+            }
+        }
+        // Unique keys the transaction introduces must not collide — with
+        // each other, or with committed rows that survive phase 1.
+        for (col, idx) in &storage.btrees {
+            if !idx.is_unique() {
+                continue;
+            }
+            let pos = def.column_index(col).expect("index column exists");
+            let new_rows = tw.updated.values().chain(tw.inserted.iter().flatten());
+            let mut keys: Vec<&crate::datum::Datum> = Vec::new();
+            for row in new_rows {
+                let key = &row[pos];
+                if keys.iter().any(|k| **k == *key) {
+                    return Err(DbError::Constraint(format!(
+                        "duplicate key {key} for unique index on {col}"
+                    )));
+                }
+                for rid in idx.get(key) {
+                    // Born check first: a recycled rid may carry a
+                    // concurrent commit's row, voiding this write-set's
+                    // claim on it (the rid loop above already conflicts in
+                    // that case; this keeps the two checks aligned).
+                    if storage.born.get(&rid).copied().unwrap_or(0) > snapshot {
+                        return Err(DbError::Conflict(format!(
+                            "unique key {key} for index on {col} was claimed by a \
+                             concurrent transaction; retry the transaction"
+                        )));
+                    }
+                    if tw.deleted.contains(&rid) || tw.updated.contains_key(&rid) {
+                        continue;
+                    }
+                    return Err(DbError::Constraint(format!(
+                        "duplicate key {key} for unique index on {col}"
+                    )));
+                }
+                keys.push(key);
+            }
+        }
+    }
+    // -- apply -------------------------------------------------------------
+    inner.log(WalRecord::TxnBegin)?;
+    // Phase 1: clear out every rid the transaction supersedes, so phase 2's
+    // inserts can never trip over keys the transaction itself is moving.
+    for (&table_id, tw) in &state.writes.tables {
+        let rids: Vec<Rid> = tw.deleted.iter().chain(tw.updated.keys()).copied().collect();
+        for rid in rids {
+            let row = inner
+                .fetch_row(table_id, rid)?
+                .ok_or_else(|| DbError::Internal("validated rid vanished during apply".into()))?;
+            inner.delete_row(table_id, rid, &row)?;
+        }
+    }
+    // Phase 2: write the new images (updated rows get fresh rids).
+    for (&table_id, tw) in &state.writes.tables {
+        let new_rows = tw.updated.values().chain(tw.inserted.iter().flatten());
+        for row in new_rows {
+            inner.insert_row(table_id, row.clone())?;
+        }
+    }
+    inner.log(WalRecord::TxnCommit)?;
+    inner.committed_ts += 1;
+    inner.pending_dirty = false;
+    if let Some(wal) = inner.wal.as_mut() {
+        wal.sync()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,452 @@
+//! # MVCC transactions: snapshot isolation with optimistic write-sets
+//!
+//! The transaction subsystem gives `unidb` multi-statement atomicity and
+//! concurrent writers without giving up the engine's single `RwLock`
+//! simplicity. The design is optimistic concurrency control over an
+//! in-memory version chain:
+//!
+//! * **Begin** pins a snapshot: the engine's current commit timestamp.
+//!   Registration happens under the shared read lock, so no commit can
+//!   slide between reading the timestamp and publishing the snapshot.
+//! * **Statements** inside a transaction take only the *read* lock. Reads
+//!   go through a `view::ReadView` that filters rows by visibility
+//!   (`born <= snapshot`), serves prior images of rows that were updated
+//!   or deleted after the snapshot, and overlays the transaction's own
+//!   buffered writes. Writes never touch the heap: they accumulate in a
+//!   private `WriteSet`.
+//! * **Commit** takes the write lock briefly: first-committer-wins
+//!   validation (every written rid must still carry a version stamp at or
+//!   below the snapshot; unique keys must not collide with rows the
+//!   transaction cannot see), then the write-set is applied through the
+//!   ordinary row mutators inside a `TxnBegin … TxnCommit` WAL frame with
+//!   a single sync. A crash before the frame is durable rolls the whole
+//!   transaction back at recovery; a transaction that never reaches
+//!   commit writes no WAL bytes at all.
+//! * **Rollback** discards the write-set — zero heap or WAL IO.
+//!
+//! Conflicts surface as [`DbError::Conflict`], which is *retryable*: the
+//! transaction has been aborted and the caller should re-run it from
+//! `BEGIN`. Transaction-state misuse (nested `BEGIN`, `COMMIT` without
+//! `BEGIN`, statements on a finished transaction) surfaces as
+//! [`DbError::Txn`].
+//!
+//! The [`Engine`]/[`Transaction`] traits are the public boundary: code
+//! that drives transactions (the server's session layer, benches, tests)
+//! programs against them rather than against `Database` internals.
+
+mod exec;
+mod view;
+
+pub(crate) use view::ReadView;
+
+use crate::catalog::Role;
+use crate::db::{Database, ResultSet};
+use crate::error::{DbError, DbResult};
+use crate::sql::ast::Stmt;
+use crate::sql::parser::parse;
+use crate::storage::heap::Rid;
+use crate::tuple::Row;
+use genalg_obs::{Histogram, HistogramSnapshot};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A factory for transactions. [`Database`] is the engine; the trait
+/// exists so harnesses (benches, the server session layer, tests) can be
+/// written against the transaction boundary alone.
+pub trait Engine {
+    /// The transaction handle type this engine hands out.
+    type Txn<'a>: Transaction
+    where
+        Self: 'a;
+
+    /// Open a transaction pinned to a snapshot of the current state.
+    fn begin(&self) -> Self::Txn<'_>;
+}
+
+/// An open transaction: snapshot-isolated reads, buffered writes,
+/// first-committer-wins commit. Dropping an unfinished transaction rolls
+/// it back.
+pub trait Transaction {
+    /// The engine-assigned transaction id.
+    fn id(&self) -> u64;
+
+    /// Execute one statement inside the transaction as the default user.
+    fn execute(&mut self, sql: &str) -> DbResult<ResultSet>;
+
+    /// Execute one statement inside the transaction with an explicit role.
+    fn execute_as(&mut self, sql: &str, role: &Role) -> DbResult<ResultSet>;
+
+    /// Validate and atomically apply the write-set. On
+    /// [`DbError::Conflict`] the transaction is aborted and should be
+    /// retried from the beginning.
+    fn commit(self) -> DbResult<()>;
+
+    /// Discard the write-set.
+    fn rollback(self) -> DbResult<()>;
+}
+
+impl Engine for Database {
+    type Txn<'a> = DbTransaction<'a>;
+
+    fn begin(&self) -> DbTransaction<'_> {
+        DbTransaction { db: self, id: self.txn_begin(), finished: false }
+    }
+}
+
+/// RAII transaction handle over a [`Database`]; the [`Engine`] trait's
+/// concrete transaction type.
+pub struct DbTransaction<'a> {
+    db: &'a Database,
+    id: u64,
+    finished: bool,
+}
+
+impl Transaction for DbTransaction<'_> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn execute(&mut self, sql: &str) -> DbResult<ResultSet> {
+        self.db.txn_execute(self.id, sql)
+    }
+
+    fn execute_as(&mut self, sql: &str, role: &Role) -> DbResult<ResultSet> {
+        self.db.txn_execute_as(self.id, sql, role)
+    }
+
+    fn commit(mut self) -> DbResult<()> {
+        self.finished = true;
+        self.db.txn_commit(self.id)
+    }
+
+    fn rollback(mut self) -> DbResult<()> {
+        self.finished = true;
+        self.db.txn_rollback(self.id)
+    }
+}
+
+impl Drop for DbTransaction<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.db.txn_rollback(self.id);
+        }
+    }
+}
+
+/// Counter snapshot for `SHOW STATS` / `SHOW METRICS` (see
+/// [`Database::txn_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Transactions begun since open.
+    pub begun: u64,
+    /// Transactions that committed (including empty commits).
+    pub committed: u64,
+    /// Transactions that ended without committing: explicit rollbacks,
+    /// dropped handles, timeouts, and conflict aborts.
+    pub aborted: u64,
+    /// Serialization conflicts detected (eagerly at a statement or at
+    /// commit validation).
+    pub conflicts: u64,
+}
+
+/// Buffered writes of one transaction against one table.
+#[derive(Debug, Default)]
+pub(crate) struct TableWrites {
+    /// Committed rids rewritten by this transaction, with their new
+    /// contents. The rid keys double as the conflict-validation set.
+    pub(crate) updated: HashMap<Rid, Row>,
+    /// Committed rids deleted by this transaction.
+    pub(crate) deleted: HashSet<Rid>,
+    /// Rows this transaction inserted. `None` marks an insert that a later
+    /// statement in the same transaction deleted (indices must stay stable
+    /// because statements refer to own-inserts by position).
+    pub(crate) inserted: Vec<Option<Row>>,
+}
+
+impl TableWrites {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.updated.is_empty()
+            && self.deleted.is_empty()
+            && self.inserted.iter().all(|r| r.is_none())
+    }
+}
+
+/// A transaction's private, uncommitted writes, grouped by table id.
+#[derive(Debug, Default)]
+pub(crate) struct WriteSet {
+    pub(crate) tables: HashMap<u32, TableWrites>,
+}
+
+impl WriteSet {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.tables.values().all(TableWrites::is_empty)
+    }
+
+    pub(crate) fn table(&self, table_id: u32) -> Option<&TableWrites> {
+        self.tables.get(&table_id)
+    }
+
+    pub(crate) fn table_mut(&mut self, table_id: u32) -> &mut TableWrites {
+        self.tables.entry(table_id).or_default()
+    }
+}
+
+/// Everything the engine keeps for one open transaction.
+pub(crate) struct TxnState {
+    /// The pinned snapshot: rows are visible iff committed at or before it.
+    pub(crate) snapshot: u64,
+    pub(crate) writes: WriteSet,
+    /// Set when a serialization conflict has already been detected: the
+    /// transaction can only be rolled back (commit re-reports the
+    /// conflict), mirroring "current transaction is aborted" semantics.
+    pub(crate) doomed: Option<String>,
+    pub(crate) started: Instant,
+}
+
+/// Registry slot: `Busy` while a thread is executing a statement inside
+/// the transaction (the snapshot stays pinned for GC either way).
+enum Slot {
+    Ready(Box<TxnState>),
+    Busy { snapshot: u64 },
+}
+
+impl Slot {
+    fn snapshot(&self) -> u64 {
+        match self {
+            Slot::Ready(s) => s.snapshot,
+            Slot::Busy { snapshot } => *snapshot,
+        }
+    }
+}
+
+/// Hands out monotonically increasing transaction ids, tracks open
+/// transactions and their snapshots, and owns the transaction counters.
+/// Lives outside the engine `RwLock` so concurrent sessions can run
+/// statements in different transactions at the same time.
+pub(crate) struct TxnManager {
+    next_id: AtomicU64,
+    registry: Mutex<HashMap<u64, Slot>>,
+    pub(crate) begun: AtomicU64,
+    pub(crate) committed: AtomicU64,
+    pub(crate) aborted: AtomicU64,
+    pub(crate) conflicts: AtomicU64,
+    pub(crate) duration: Histogram,
+}
+
+impl TxnManager {
+    pub(crate) fn new() -> Self {
+        TxnManager {
+            next_id: AtomicU64::new(1),
+            registry: Mutex::new(HashMap::new()),
+            begun: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            duration: Histogram::default(),
+        }
+    }
+
+    /// Register a fresh transaction pinned to `snapshot`. The caller must
+    /// hold at least the engine read lock so no commit (and thus no
+    /// version GC) can run between reading the timestamp and registering.
+    fn register(&self, snapshot: u64) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let state = TxnState {
+            snapshot,
+            writes: WriteSet::default(),
+            doomed: None,
+            started: Instant::now(),
+        };
+        self.registry.lock().insert(id, Slot::Ready(Box::new(state)));
+        self.begun.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Check out the transaction's state for one statement (or for
+    /// commit). While checked out, other threads see "busy".
+    fn take(&self, id: u64) -> DbResult<Box<TxnState>> {
+        let mut reg = self.registry.lock();
+        match reg.get_mut(&id) {
+            None => Err(DbError::Txn(format!(
+                "no transaction {id}: it was never begun, or it already committed, \
+                 rolled back, or timed out"
+            ))),
+            Some(slot @ Slot::Ready(_)) => {
+                let snapshot = slot.snapshot();
+                let Slot::Ready(state) = std::mem::replace(slot, Slot::Busy { snapshot }) else {
+                    unreachable!("slot matched Ready");
+                };
+                Ok(state)
+            }
+            Some(Slot::Busy { .. }) => Err(DbError::Txn(format!(
+                "transaction {id} is busy executing a statement on another thread"
+            ))),
+        }
+    }
+
+    fn put_back(&self, id: u64, state: Box<TxnState>) {
+        self.registry.lock().insert(id, Slot::Ready(state));
+    }
+
+    /// Deregister `id` (the state was already taken).
+    fn finish(&self, id: u64) {
+        self.registry.lock().remove(&id);
+    }
+
+    /// Number of open transactions (including busy ones).
+    pub(crate) fn active(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    /// Oldest snapshot any open transaction still needs; `current` when
+    /// none are open. Version bookkeeping at or below this is prunable.
+    pub(crate) fn min_active_snapshot(&self, current: u64) -> u64 {
+        self.registry.lock().values().map(Slot::snapshot).min().unwrap_or(current)
+    }
+
+    pub(crate) fn stats(&self) -> TxnStats {
+        TxnStats {
+            begun: self.begun.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Database: the id-based transaction API the trait handles delegate to
+// ---------------------------------------------------------------------------
+
+impl Database {
+    /// Open a transaction and return its id. The snapshot is pinned under
+    /// the shared read lock, so it is consistent with every committed
+    /// statement and concurrent with nothing.
+    pub fn txn_begin(&self) -> u64 {
+        let inner = self.inner.read();
+        // Register while still holding the read lock: a commit's version
+        // GC (which runs under the write lock) must see this snapshot.
+        self.txns.register(inner.committed_ts)
+    }
+
+    /// Execute one statement inside transaction `id` as the default user.
+    pub fn txn_execute(&self, id: u64, sql: &str) -> DbResult<ResultSet> {
+        self.txn_execute_as(id, sql, &Role::User("user".into()))
+    }
+
+    /// Execute one statement inside transaction `id` with an explicit
+    /// role. Reads see the transaction's snapshot plus its own writes;
+    /// writes buffer in the write-set. DDL and nested transaction control
+    /// are rejected with [`DbError::Txn`].
+    pub fn txn_execute_as(&self, id: u64, sql: &str, role: &Role) -> DbResult<ResultSet> {
+        let stmt = parse(sql)?;
+        self.txn_dispatch(id, stmt, role)
+    }
+
+    pub(crate) fn txn_dispatch(&self, id: u64, stmt: Stmt, role: &Role) -> DbResult<ResultSet> {
+        match stmt {
+            Stmt::Begin => Err(DbError::Txn("nested transactions are not supported".into())),
+            Stmt::Commit | Stmt::Rollback => Err(DbError::Txn(
+                "COMMIT/ROLLBACK of an explicit transaction must go through its handle".into(),
+            )),
+            other => {
+                let mut state = self.txns.take(id)?;
+                let result = {
+                    let inner = self.inner.read();
+                    exec::run_txn_stmt(&inner, &mut state, other, role)
+                };
+                if let Err(DbError::Conflict(msg)) = &result {
+                    if state.doomed.is_none() {
+                        state.doomed = Some(msg.clone());
+                        self.txns.conflicts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                self.txns.put_back(id, state);
+                result
+            }
+        }
+    }
+
+    /// Commit transaction `id`: first-committer-wins validation, then the
+    /// write-set applies atomically inside one WAL frame. Whatever the
+    /// outcome, the transaction is finished afterwards.
+    ///
+    /// Errors: [`DbError::Conflict`] (retryable — a concurrent transaction
+    /// committed first), [`DbError::Constraint`] (the write-set violates a
+    /// unique index), [`DbError::Io`] (the commit applied in memory but
+    /// the WAL sync failed; durability catches up on the next sync).
+    pub fn txn_commit(&self, id: u64) -> DbResult<()> {
+        let state = self.txns.take(id)?;
+        let elapsed = state.started.elapsed();
+        if let Some(reason) = &state.doomed {
+            self.txns.finish(id);
+            self.txns.aborted.fetch_add(1, Ordering::Relaxed);
+            self.txns.duration.record(elapsed);
+            return Err(DbError::Conflict(format!("transaction aborted: {reason}")));
+        }
+        if state.writes.is_empty() {
+            // Read-only: nothing to validate, apply, or log.
+            self.txns.finish(id);
+            self.txns.committed.fetch_add(1, Ordering::Relaxed);
+            self.txns.duration.record(elapsed);
+            return Ok(());
+        }
+        let result = {
+            let mut inner = self.inner.write();
+            // Deregister before applying: the committing transaction's own
+            // snapshot must not pin versions, and its stamps only matter
+            // to transactions that remain active.
+            self.txns.finish(id);
+            inner.track_versions = self.txns.active() > 0;
+            let result = exec::validate_and_apply(&mut inner, &state);
+            let min = self.txns.min_active_snapshot(inner.committed_ts);
+            inner.gc_versions(min);
+            result
+        };
+        self.txns.duration.record(elapsed);
+        match &result {
+            // An Io error means the WAL sync failed *after* the write-set
+            // applied in memory: the transaction is committed for every
+            // in-process reader, durability is retried on the next sync.
+            Ok(()) | Err(DbError::Io(_)) => {
+                self.txns.committed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(DbError::Conflict(_)) => {
+                self.txns.conflicts.fetch_add(1, Ordering::Relaxed);
+                self.txns.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.txns.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Roll back transaction `id`: the write-set is discarded without any
+    /// heap or WAL IO.
+    pub fn txn_rollback(&self, id: u64) -> DbResult<()> {
+        let state = self.txns.take(id)?;
+        self.txns.finish(id);
+        self.txns.aborted.fetch_add(1, Ordering::Relaxed);
+        self.txns.duration.record(state.started.elapsed());
+        Ok(())
+    }
+
+    /// True while transaction `id` is open (idle or busy).
+    pub fn txn_is_active(&self, id: u64) -> bool {
+        self.txns.registry.lock().contains_key(&id)
+    }
+
+    /// Transaction counters since open.
+    pub fn txn_stats(&self) -> TxnStats {
+        self.txns.stats()
+    }
+
+    /// Latency distribution of finished transactions (begin → commit or
+    /// rollback), for the server's `txn_duration` histogram.
+    pub fn txn_duration(&self) -> HistogramSnapshot {
+        self.txns.duration.snapshot()
+    }
+}

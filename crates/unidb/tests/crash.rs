@@ -314,6 +314,150 @@ fn crash_points_recover_to_a_consistent_prefix() {
     assert!(failures.is_empty(), "{} failing combos:\n{}", failures.len(), failures.join("\n"));
 }
 
+/// Crash with an *interactive* transaction in flight: one explicit
+/// `txn_begin` transaction buffers inserts on a disjoint id range while
+/// autocommit traffic ticks the fault clock, and the crash can land
+/// before, during, or after the transaction's COMMIT. After recovery the
+/// transaction must be all-or-nothing: invisible if COMMIT was never
+/// attempted (its statements are buffered and do no IO, so no partial
+/// frame can exist), fully present if COMMIT returned Ok, and either —
+/// but never partial — if COMMIT itself hit the crash. The autocommit
+/// stream must independently recover to a consistent prefix.
+#[test]
+fn crash_inside_open_transactions_leaves_no_trace() {
+    /// Ids the open transaction writes; autocommit ids stay far below.
+    const TXN_BASE: i64 = 100_000;
+    let (start, count) = seed_range();
+    let crash_points: &[u64] = &[1, 2, 3, 5, 8, 13, 21, 34];
+    let mut combos = 0u64;
+    let mut crashed = 0u64;
+    let mut failures = Vec::new();
+    for seed in start..start + count {
+        // Autocommit stream: single-row ops only (the ambient-transaction
+        // sweep above covers `Op::Txn`), so the model prefix is exact.
+        let ops: Vec<Op> = generate_workload(seed ^ 0x7A31_0000, OPS_PER_WORKLOAD)
+            .into_iter()
+            .flat_map(|op| match op {
+                Op::Txn(inner) => inner,
+                single => vec![single],
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x51C7_C1B5).wrapping_add(7));
+        let txn_rows: Vec<(i64, String)> = (0..rng.gen_range(3..=6))
+            .map(|j| (TXN_BASE + j, format!("t{j}-{}", rng.gen_range(0..1000))))
+            .collect();
+        let commit_at = rng.gen_range(ops.len() / 2..ops.len());
+        for &point in crash_points {
+            combos += 1;
+            let vfs = FaultVfs::new(FaultConfig::crash_at(seed ^ (point << 16) ^ 0xABCD, point));
+            let db = setup(&vfs);
+            vfs.arm();
+            // Open the transaction and buffer its writes *after* arming:
+            // buffered statements must not touch the fault clock at all.
+            let txn = db.txn_begin();
+            for (id, val) in &txn_rows {
+                db.txn_execute_as(
+                    txn,
+                    &format!("INSERT INTO public.t VALUES ({id}, '{val}')"),
+                    &Role::Maintainer,
+                )
+                .expect("buffered transaction insert must do no IO");
+            }
+            // Drive the autocommit stream, attempting COMMIT partway in.
+            let mut states = vec![Model::new()];
+            let mut floor = 0usize;
+            let mut crashed_at = None;
+            let mut commit_result: Option<Result<(), DbError>> = None;
+            for (i, op) in ops.iter().enumerate() {
+                if i == commit_at {
+                    commit_result = Some(db.txn_commit(txn));
+                    if vfs.crashed() {
+                        crashed_at = Some(i);
+                        break;
+                    }
+                }
+                let mut ok = true;
+                for stmt in op.sql() {
+                    match db.execute_as(&stmt, &Role::Maintainer) {
+                        Ok(_) => {}
+                        Err(DbError::Io(_)) => ok = false,
+                        Err(other) => panic!("op {i} ({stmt:?}): expected Io, got {other:?}"),
+                    }
+                }
+                let mut next = states.last().expect("nonempty").clone();
+                op.apply_to(&mut next);
+                states.push(next);
+                if vfs.crashed() {
+                    crashed_at = Some(i);
+                    break;
+                }
+                if ok {
+                    floor = states.len() - 1;
+                }
+            }
+            drop(db);
+            if crashed_at.is_none() {
+                continue;
+            }
+            crashed += 1;
+            vfs.reset_after_crash();
+            let db = match open_db(&vfs) {
+                Ok(db) => db,
+                Err(e) => {
+                    failures.push(report_failure(
+                        "txn-crash",
+                        seed,
+                        &format!("point={point}: recovery failed: {e}"),
+                    ));
+                    continue;
+                }
+            };
+            let full = dump_table(&db);
+            let auto_rec: Model = full
+                .iter()
+                .filter(|(id, _)| **id < TXN_BASE)
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            let txn_rec: Model = full
+                .iter()
+                .filter(|(id, _)| **id >= TXN_BASE)
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            let expected_txn: Model = txn_rows.iter().cloned().collect();
+            let txn_ok = match &commit_result {
+                // COMMIT acknowledged: the frame was synced, rows survive.
+                Some(Ok(())) => txn_rec == expected_txn,
+                // COMMIT hit the crash: atomic either way, never partial.
+                Some(Err(_)) => txn_rec.is_empty() || txn_rec == expected_txn,
+                // Crash before COMMIT: buffered work leaves no trace.
+                None => txn_rec.is_empty(),
+            };
+            if !txn_ok {
+                failures.push(report_failure(
+                    "txn-crash",
+                    seed,
+                    &format!(
+                        "point={point}: commit {commit_result:?} but {} of {} txn rows recovered",
+                        txn_rec.len(),
+                        expected_txn.len()
+                    ),
+                ));
+                continue;
+            }
+            let outcome = RunOutcome { states, floor, io_errors: 0, crashed_at };
+            if let Err(msg) = check_prefix_consistency(&outcome, &auto_rec) {
+                failures.push(report_failure("txn-crash", seed, &format!("point={point}: {msg}")));
+            }
+        }
+    }
+    println!(
+        "txn crash sweep: {combos} (seed, crash point) combinations, {crashed} crashed mid-workload, {} failed",
+        failures.len()
+    );
+    assert!(combos >= 8, "sweep ran no combinations");
+    assert!(failures.is_empty(), "{} failing combos:\n{}", failures.len(), failures.join("\n"));
+}
+
 /// Transient-fault sweep: no crash, but writes/syncs/reads can fail. Every
 /// error must be a structured `DbError::Io`; the database must stay usable
 /// in-process, and a fresh open on the same disk must recover a consistent

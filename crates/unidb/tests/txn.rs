@@ -1,0 +1,472 @@
+//! Acceptance tests for the MVCC transaction subsystem: snapshot
+//! isolation, first-committer-wins conflicts, concurrent disjoint
+//! writers, the `Engine`/`Transaction` trait boundary, and ambient
+//! (`BEGIN`/`COMMIT`/`ROLLBACK`) transaction control.
+
+use std::sync::{Arc, Barrier};
+use unidb::{Database, Datum, DbError, Engine, Transaction};
+
+fn fresh_kv() -> Database {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    db.execute("CREATE UNIQUE INDEX ON t (k)").unwrap();
+    db
+}
+
+fn ints(db: &Database, sql: &str) -> Vec<(i64, i64)> {
+    let rs = db.execute(sql).unwrap();
+    let mut out: Vec<(i64, i64)> =
+        rs.rows.iter().map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap())).collect();
+    out.sort_unstable();
+    out
+}
+
+fn txn_ints(db: &Database, id: u64, sql: &str) -> Vec<(i64, i64)> {
+    let rs = db.txn_execute(id, sql).unwrap();
+    let mut out: Vec<(i64, i64)> =
+        rs.rows.iter().map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap())).collect();
+    out.sort_unstable();
+    out
+}
+
+// -- disjoint writers ------------------------------------------------------
+
+/// Two transactions writing different rows interleave their statements
+/// while both are open (neither blocks the other on the global write
+/// lock) and both commit.
+#[test]
+fn disjoint_writers_both_commit() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+
+    let a = db.txn_begin();
+    let b = db.txn_begin();
+    // Interleaved statements with both transactions open: under a
+    // lock-per-transaction design the second statement would deadlock or
+    // block forever.
+    db.txn_execute(a, "UPDATE t SET v = 11 WHERE k = 1").unwrap();
+    db.txn_execute(b, "UPDATE t SET v = 21 WHERE k = 2").unwrap();
+    db.txn_execute(a, "INSERT INTO t VALUES (3, 30)").unwrap();
+    db.txn_execute(b, "INSERT INTO t VALUES (4, 40)").unwrap();
+    db.txn_commit(a).unwrap();
+    db.txn_commit(b).unwrap();
+
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 11), (2, 21), (3, 30), (4, 40)]);
+}
+
+/// The threaded variant: writers on disjoint keys running on real
+/// threads all commit without a serialization failure.
+#[test]
+fn threaded_disjoint_writers_all_commit() {
+    let db = Arc::new(fresh_kv());
+    for k in 0..8 {
+        db.execute(&format!("INSERT INTO t VALUES ({k}, 0)")).unwrap();
+    }
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let id = db.txn_begin();
+                db.txn_execute(id, &format!("UPDATE t SET v = {w} WHERE k = {}", 2 * w)).unwrap();
+                db.txn_execute(id, &format!("UPDATE t SET v = {w} WHERE k = {}", 2 * w + 1))
+                    .unwrap();
+                db.txn_commit(id).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = db.txn_stats();
+    assert_eq!(stats.committed, 4);
+    assert_eq!(stats.conflicts, 0);
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), (0..8).map(|k| (k, k / 2)).collect::<Vec<_>>());
+}
+
+// -- write-write conflicts -------------------------------------------------
+
+/// Same-row writers: the first committer wins, the second aborts with the
+/// retryable [`DbError::Conflict`].
+#[test]
+fn same_row_conflict_aborts_exactly_one() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+
+    let a = db.txn_begin();
+    let b = db.txn_begin();
+    db.txn_execute(a, "UPDATE t SET v = 100 WHERE k = 1").unwrap();
+    db.txn_execute(b, "UPDATE t SET v = 200 WHERE k = 1").unwrap();
+    db.txn_commit(a).unwrap();
+    let err = db.txn_commit(b).unwrap_err();
+    assert!(matches!(err, DbError::Conflict(_)), "expected Conflict, got {err:?}");
+
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 100)]);
+    let stats = db.txn_stats();
+    assert_eq!(stats.committed, 1);
+    assert_eq!(stats.aborted, 1);
+    assert_eq!(stats.conflicts, 1);
+}
+
+/// A statement that touches a row a concurrent transaction already
+/// committed over conflicts eagerly; the transaction is doomed and its
+/// commit re-reports the conflict.
+#[test]
+fn stale_row_statement_dooms_transaction() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+
+    let a = db.txn_begin();
+    // Concurrent auto-commit update supersedes the row after a's snapshot.
+    db.execute("UPDATE t SET v = 99 WHERE k = 1").unwrap();
+    let err = db.txn_execute(a, "UPDATE t SET v = 100 WHERE k = 1").unwrap_err();
+    assert!(matches!(err, DbError::Conflict(_)), "expected Conflict, got {err:?}");
+    // Doomed: further statements fail, commit reports the abort.
+    let err = db.txn_execute(a, "SELECT k, v FROM t").unwrap_err();
+    assert!(matches!(err, DbError::Conflict(_)));
+    let err = db.txn_commit(a).unwrap_err();
+    assert!(matches!(err, DbError::Conflict(_)));
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 99)]);
+    // Exactly one conflict counted even though it surfaced three times.
+    assert_eq!(db.txn_stats().conflicts, 1);
+}
+
+/// Concurrent threads racing an increment on one row: conflicts abort
+/// losers, retries converge, and the final value counts every committed
+/// increment exactly once.
+#[test]
+fn contended_increment_with_retries_is_exact() {
+    let db = Arc::new(fresh_kv());
+    db.execute("INSERT INTO t VALUES (1, 0)").unwrap();
+    let threads = 4;
+    let per_thread = 5;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..per_thread {
+                    loop {
+                        let id = db.txn_begin();
+                        let step = db
+                            .txn_execute(id, "UPDATE t SET v = v + 1 WHERE k = 1")
+                            .and_then(|_| db.txn_commit(id));
+                        match step {
+                            Ok(()) => break,
+                            Err(DbError::Conflict(_)) => {
+                                // Doomed transactions must be cleaned up
+                                // before retrying (commit already did).
+                                if db.txn_is_active(id) {
+                                    db.txn_rollback(id).unwrap();
+                                }
+                            }
+                            Err(e) => panic!("unexpected error: {e:?}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, (threads * per_thread) as i64)]);
+}
+
+// -- snapshot isolation ----------------------------------------------------
+
+/// A snapshot reader never sees rows a concurrent transaction commits
+/// after the snapshot was pinned — at serial and parallel scan settings.
+#[test]
+fn snapshot_reader_never_sees_concurrent_commit() {
+    for parallelism in [1usize, 4] {
+        let db = fresh_kv();
+        db.set_parallelism(parallelism);
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+
+        let reader = db.txn_begin();
+        assert_eq!(txn_ints(&db, reader, "SELECT k, v FROM t"), vec![(1, 10), (2, 20)]);
+
+        let writer = db.txn_begin();
+        db.txn_execute(writer, "INSERT INTO t VALUES (3, 30)").unwrap();
+        db.txn_execute(writer, "UPDATE t SET v = 11 WHERE k = 1").unwrap();
+        db.txn_execute(writer, "DELETE FROM t WHERE k = 2").unwrap();
+        db.txn_commit(writer).unwrap();
+
+        // Latest state moved; the reader's snapshot has not.
+        assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 11), (3, 30)]);
+        for _ in 0..3 {
+            assert_eq!(
+                txn_ints(&db, reader, "SELECT k, v FROM t"),
+                vec![(1, 10), (2, 20)],
+                "snapshot leaked at parallelism {parallelism}"
+            );
+        }
+        // Aggregates and filters see the same frozen state.
+        let rs = db.txn_execute(reader, "SELECT count(*) FROM t").unwrap();
+        assert_eq!(rs.scalar(), Some(&Datum::Int(2)));
+        let rs = db.txn_execute(reader, "SELECT v FROM t WHERE k = 1").unwrap();
+        assert_eq!(rs.scalar(), Some(&Datum::Int(10)));
+        db.txn_commit(reader).unwrap();
+
+        // Snapshot released: a fresh transaction sees latest.
+        let fresh = db.txn_begin();
+        assert_eq!(txn_ints(&db, fresh, "SELECT k, v FROM t"), vec![(1, 11), (3, 30)]);
+        db.txn_rollback(fresh).unwrap();
+    }
+}
+
+/// A transaction reads its own uncommitted writes; nobody else does until
+/// commit.
+#[test]
+fn own_writes_visible_only_inside() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+
+    let a = db.txn_begin();
+    db.txn_execute(a, "INSERT INTO t VALUES (2, 20)").unwrap();
+    db.txn_execute(a, "UPDATE t SET v = 15 WHERE k = 1").unwrap();
+    assert_eq!(txn_ints(&db, a, "SELECT k, v FROM t"), vec![(1, 15), (2, 20)]);
+    // Outside the transaction: nothing happened yet.
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 10)]);
+    db.txn_commit(a).unwrap();
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 15), (2, 20)]);
+}
+
+/// Updating or deleting a row the same transaction inserted works and
+/// leaves no residue after commit.
+#[test]
+fn own_insert_update_delete_chains() {
+    let db = fresh_kv();
+    let a = db.txn_begin();
+    db.txn_execute(a, "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)").unwrap();
+    db.txn_execute(a, "UPDATE t SET v = 21 WHERE k = 2").unwrap();
+    db.txn_execute(a, "DELETE FROM t WHERE k = 3").unwrap();
+    assert_eq!(txn_ints(&db, a, "SELECT k, v FROM t"), vec![(1, 10), (2, 21)]);
+    db.txn_commit(a).unwrap();
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 10), (2, 21)]);
+}
+
+#[test]
+fn rollback_discards_everything() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    let a = db.txn_begin();
+    db.txn_execute(a, "UPDATE t SET v = 11 WHERE k = 1").unwrap();
+    db.txn_execute(a, "INSERT INTO t VALUES (2, 20)").unwrap();
+    db.txn_rollback(a).unwrap();
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 10)]);
+    // The id is gone: further use reports a structured transaction error.
+    let err = db.txn_execute(a, "SELECT k FROM t").unwrap_err();
+    assert!(matches!(err, DbError::Txn(_)));
+    let err = db.txn_commit(a).unwrap_err();
+    assert!(matches!(err, DbError::Txn(_)));
+}
+
+// -- unique-index interaction ----------------------------------------------
+
+/// Inserting a key that a concurrent transaction committed after the
+/// snapshot is a serialization conflict; a key visible in the snapshot is
+/// an ordinary constraint violation.
+#[test]
+fn unique_key_conflict_vs_constraint() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+
+    // Visible duplicate: plain constraint error, transaction stays usable.
+    let a = db.txn_begin();
+    let err = db.txn_execute(a, "INSERT INTO t VALUES (1, 99)").unwrap_err();
+    assert!(matches!(err, DbError::Constraint(_)), "expected Constraint, got {err:?}");
+    db.txn_execute(a, "INSERT INTO t VALUES (2, 20)").unwrap();
+    db.txn_commit(a).unwrap();
+
+    // Invisible duplicate (committed after the snapshot): conflict.
+    let b = db.txn_begin();
+    db.execute("INSERT INTO t VALUES (7, 70)").unwrap();
+    let err = db.txn_execute(b, "INSERT INTO t VALUES (7, 71)").unwrap_err();
+    assert!(matches!(err, DbError::Conflict(_)), "expected Conflict, got {err:?}");
+
+    // Commit-time race: both transactions insert the same fresh key; the
+    // second committer conflicts.
+    let c = db.txn_begin();
+    let d = db.txn_begin();
+    db.txn_execute(c, "INSERT INTO t VALUES (9, 90)").unwrap();
+    db.txn_execute(d, "INSERT INTO t VALUES (9, 91)").unwrap();
+    db.txn_commit(c).unwrap();
+    let err = db.txn_commit(d).unwrap_err();
+    assert!(matches!(err, DbError::Conflict(_)), "expected Conflict, got {err:?}");
+    assert_eq!(ints(&db, "SELECT k, v FROM t WHERE k = 9"), vec![(9, 90)]);
+}
+
+/// A transaction can reuse a unique key it deleted itself, including the
+/// delete-and-reinsert-in-one-transaction shape that stresses commit
+/// apply ordering.
+#[test]
+fn unique_key_reuse_within_transaction() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    let a = db.txn_begin();
+    db.txn_execute(a, "DELETE FROM t WHERE k = 1").unwrap();
+    db.txn_execute(a, "INSERT INTO t VALUES (1, 100)").unwrap();
+    // Key swap across two rows via update.
+    db.txn_execute(a, "UPDATE t SET k = 3 WHERE k = 2").unwrap();
+    db.txn_execute(a, "INSERT INTO t VALUES (2, 200)").unwrap();
+    db.txn_commit(a).unwrap();
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 100), (2, 200), (3, 20)]);
+}
+
+// -- ambient transactions (BEGIN / COMMIT / ROLLBACK as SQL) ----------------
+
+#[test]
+fn ambient_begin_commit_rollback() {
+    let db = fresh_kv();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    db.execute("COMMIT").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (2, 20)").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 10)]);
+}
+
+/// `COMMIT`/`ROLLBACK` without `BEGIN`, and nested `BEGIN`, are
+/// structured transaction-state errors, not unsupported-statement errors.
+#[test]
+fn transaction_control_misuse_is_structured() {
+    let db = fresh_kv();
+    assert!(matches!(db.execute("COMMIT"), Err(DbError::Txn(_))));
+    assert!(matches!(db.execute("ROLLBACK"), Err(DbError::Txn(_))));
+    db.execute("BEGIN").unwrap();
+    assert!(matches!(db.execute("BEGIN"), Err(DbError::Txn(_))));
+    db.execute("ROLLBACK").unwrap();
+    // The database remains fully usable after every misuse.
+    db.execute("INSERT INTO t VALUES (1, 1)").unwrap();
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 1)]);
+}
+
+#[test]
+fn ddl_inside_transaction_is_rejected() {
+    let db = fresh_kv();
+    let a = db.txn_begin();
+    let err = db.txn_execute(a, "CREATE TABLE u (x INT)").unwrap_err();
+    assert!(matches!(err, DbError::Txn(_)), "expected Txn, got {err:?}");
+    db.txn_rollback(a).unwrap();
+}
+
+// -- Engine / Transaction trait boundary -----------------------------------
+
+/// Drives transactions purely through the trait boundary, the way the
+/// server session layer and benches do.
+fn transfer<E: Engine>(engine: &E, from: i64, to: i64, amount: i64) -> Result<(), DbError> {
+    let mut txn = engine.begin();
+    txn.execute(&format!("UPDATE t SET v = v - {amount} WHERE k = {from}"))?;
+    txn.execute(&format!("UPDATE t SET v = v + {amount} WHERE k = {to}"))?;
+    txn.commit()
+}
+
+#[test]
+fn engine_trait_drives_transactions() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 100), (2, 0)").unwrap();
+    transfer(&db, 1, 2, 40).unwrap();
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 60), (2, 40)]);
+}
+
+/// Dropping an unfinished transaction handle rolls it back.
+#[test]
+fn dropped_handle_rolls_back() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    let id;
+    {
+        let mut txn = db.begin();
+        id = txn.id();
+        txn.execute("UPDATE t SET v = 999 WHERE k = 1").unwrap();
+    }
+    assert!(!db.txn_is_active(id));
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 10)]);
+    assert_eq!(db.txn_stats().aborted, 1);
+}
+
+// -- durability ------------------------------------------------------------
+
+/// Committed transactions survive reopen; a transaction still open at
+/// shutdown (its handle dropped, or simply never committed) leaves no
+/// trace.
+#[test]
+fn committed_survives_reopen_uncommitted_does_not() {
+    use unidb::Role;
+    let m = Role::Maintainer;
+    let dir = std::env::temp_dir().join(format!("unidb-txn-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open(&dir).unwrap();
+        db.recover().unwrap();
+        db.execute_as("CREATE TABLE t (k INT, v INT)", &m).unwrap();
+        let a = db.txn_begin();
+        db.txn_execute_as(a, "INSERT INTO t VALUES (1, 10)", &m).unwrap();
+        db.txn_commit(a).unwrap();
+        let b = db.txn_begin();
+        db.txn_execute_as(b, "INSERT INTO t VALUES (2, 20)", &m).unwrap();
+        // b is never committed: its writes must not reach disk.
+    }
+    {
+        let db = Database::open(&dir).unwrap();
+        db.recover().unwrap();
+        assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 10)]);
+        // The reopened engine accepts new transactions.
+        let c = db.txn_begin();
+        db.txn_execute_as(c, "INSERT INTO t VALUES (3, 30)", &m).unwrap();
+        db.txn_commit(c).unwrap();
+        assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 10), (3, 30)]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -- caches and metrics ----------------------------------------------------
+
+/// Table version counters only move when a transaction *commits*, and
+/// they move past every snapshot pinned before the commit — the property
+/// the server's result cache relies on.
+#[test]
+fn table_versions_track_commits_not_statements() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    let prepared = db.prepare("SELECT k, v FROM t").unwrap();
+    let ids = prepared.table_ids().to_vec();
+    let before = db.table_versions(&ids);
+
+    let a = db.txn_begin();
+    db.txn_execute(a, "UPDATE t SET v = 11 WHERE k = 1").unwrap();
+    // Buffered writes are not commits: the version must not move.
+    assert_eq!(db.table_versions(&ids), before);
+    db.txn_commit(a).unwrap();
+    assert!(db.table_versions(&ids) > before, "commit must advance the table version");
+
+    let b = db.txn_begin();
+    db.txn_execute(b, "UPDATE t SET v = 12 WHERE k = 1").unwrap();
+    db.txn_rollback(b).unwrap();
+    let after_rollback = db.table_versions(&ids);
+    db.txn_commit(db.txn_begin()).unwrap(); // empty commit
+    assert_eq!(db.table_versions(&ids), after_rollback, "rollbacks and empty commits are free");
+}
+
+#[test]
+fn txn_counters_and_duration() {
+    let db = fresh_kv();
+    let a = db.txn_begin();
+    db.txn_execute(a, "INSERT INTO t VALUES (1, 1)").unwrap();
+    db.txn_commit(a).unwrap();
+    let b = db.txn_begin();
+    db.txn_rollback(b).unwrap();
+    let stats = db.txn_stats();
+    assert_eq!(stats.begun, 2);
+    assert_eq!(stats.committed, 1);
+    assert_eq!(stats.aborted, 1);
+    assert_eq!(stats.conflicts, 0);
+    assert_eq!(db.txn_duration().count, 2);
+}

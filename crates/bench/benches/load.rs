@@ -1,0 +1,45 @@
+//! The sustained-load proving ground: runs the full `genalg-loadgen`
+//! scenario suite against a live wire-protocol server, asserts every
+//! scenario's SLO, and emits the trajectory two ways —
+//!
+//! * one JSON document on stdout (last line, like every other bench here,
+//!   so CI can `tail -1`), and
+//! * the same document written to `BENCH_load.json` at the workspace root
+//!   (override with `BENCH_LOAD_OUT=<path>`), the committed trajectory.
+//!
+//! A human-readable summary table goes to stdout above the JSON.
+//!
+//! Environment: all `LOADGEN_*` knobs (see `genalg_loadgen::LoadConfig::
+//! from_env`) plus the server's `GENALG_*` overrides. `LOADGEN_SMOKE=1`
+//! shrinks the scale and skips latency SLOs (error, shed-rate, and hang
+//! SLOs still gate). `LOADGEN_INJECT_SLO_FAILURE=1` demonstrates the
+//! gate by forcing an impossible p99 bound.
+//!
+//! Run with `cargo bench -p genalg-bench --bench load`. The process
+//! exits nonzero (panics) on any SLO violation — after writing both
+//! reports, so a red run still leaves its evidence behind.
+
+use genalg_loadgen::{report, run_suite, LoadConfig};
+
+fn main() {
+    let cfg = LoadConfig::from_env();
+    eprintln!(
+        "load suite starting: seed={} clients={} ops/client={} smoke={}",
+        cfg.seed, cfg.clients, cfg.ops_per_client, cfg.smoke
+    );
+    let suite = run_suite(&cfg);
+
+    let json = report::to_json(&suite);
+    let out = std::env::var("BENCH_LOAD_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_load.json").to_string()
+    });
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("warning: could not write {out}: {e}");
+    }
+
+    print!("{}", report::table(&suite));
+    println!("{json}");
+
+    // Gate last: both reports are already on disk/stdout.
+    suite.assert_slos();
+}

@@ -1,0 +1,455 @@
+//! The scenario engine: wire-protocol workers, watchdog, phase-delta
+//! snapshots, and SLO evaluation shared by every scenario.
+
+use crate::{LoadConfig, ScenarioResult, Slo};
+use genalg_obs::{Histogram, HistogramSnapshot, Snapshot, BUCKETS};
+use genalg_server::{
+    Lang, Server, ServerConfig, ServerError, ServerHandle, SessionKind, TcpClient,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+use unidb::{Database, DbError, ResultSet};
+
+/// How long the post-run drain probe waits for the queue to accept one
+/// more statement before declaring it wedged.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Classification of one executed statement.
+pub enum Class {
+    /// Served.
+    Ok(ResultSet),
+    /// Shed at admission with `Busy` (the worker already backed off).
+    Busy,
+    /// First-committer-wins conflict — retryable by design.
+    Conflict,
+    /// Any other structured engine error (e.g. injected IO faults): the
+    /// server is degrading correctly, not misbehaving.
+    DbErr,
+    /// Everything else — protocol damage, dead workers, transport errors.
+    /// Always an SLO violation.
+    Fatal,
+}
+
+/// Counters and client-side latency shared by every worker of a scenario.
+#[derive(Default)]
+pub struct Shared {
+    pub ok: AtomicU64,
+    pub busy: AtomicU64,
+    pub conflict: AtomicU64,
+    pub db_err: AtomicU64,
+    pub unexpected: AtomicU64,
+    /// Scenario-specific tally (committed txns, leaked txns, …).
+    pub aux: AtomicU64,
+    /// Client-observed wire latency.
+    pub latency: Histogram,
+    problems: Mutex<Vec<String>>,
+}
+
+impl Shared {
+    /// Record an invariant failure observed inside a worker (workers never
+    /// panic — the suite reports). Capped so a systematic failure doesn't
+    /// produce megabytes of identical lines.
+    pub fn note(&self, msg: String) {
+        let mut problems = self.problems.lock().unwrap();
+        if problems.len() < 8 {
+            problems.push(msg);
+        }
+    }
+
+    fn take_problems(&self) -> Vec<String> {
+        std::mem::take(&mut self.problems.lock().unwrap())
+    }
+}
+
+/// One worker's view: its own TCP connection, session, and seeded RNG.
+/// The RNG drives *only* SQL generation (never backoff timing), so the
+/// statement stream is a pure function of `(seed, scenario, worker)`.
+pub struct Ctx {
+    pub conn: TcpClient,
+    pub session: u64,
+    pub rng: StdRng,
+    pub worker: usize,
+    pub shared: Arc<Shared>,
+}
+
+impl Ctx {
+    /// Open this worker's session (first thing every worker does).
+    pub fn open(&mut self, kind: SessionKind) {
+        match self.conn.open(kind) {
+            Ok(s) => self.session = s,
+            Err(e) => {
+                self.shared.unexpected.fetch_add(1, Ordering::Relaxed);
+                self.shared.note(format!("worker {}: open failed: {e}", self.worker));
+            }
+        }
+    }
+
+    /// Execute one statement on this worker's session, record its wire
+    /// latency, classify the outcome, and back off briefly after `Busy`.
+    pub fn exec(&mut self, sql: &str) -> Class {
+        self.exec_on(self.session, sql)
+    }
+
+    /// Like [`Ctx::exec`] but on an explicit session (scenarios that pin
+    /// several sessions per connection, e.g. abandoned-transaction churn).
+    pub fn exec_on(&mut self, session: u64, sql: &str) -> Class {
+        let start = Instant::now();
+        let out = self.conn.query(session, Lang::Sql, sql);
+        self.shared.latency.record(start.elapsed());
+        match out {
+            Ok(rs) => {
+                self.shared.ok.fetch_add(1, Ordering::Relaxed);
+                Class::Ok(rs)
+            }
+            Err(ServerError::Busy { retry_after_ms }) => {
+                self.shared.busy.fetch_add(1, Ordering::Relaxed);
+                // Deterministic backoff (no RNG draw): the worker index
+                // staggers retries so shed workers don't stampede back in
+                // lock-step.
+                let ms = retry_after_ms.clamp(1, 5) + (self.worker as u64 % 3);
+                std::thread::sleep(Duration::from_millis(ms));
+                Class::Busy
+            }
+            Err(ServerError::Db(DbError::Conflict(_))) => {
+                self.shared.conflict.fetch_add(1, Ordering::Relaxed);
+                Class::Conflict
+            }
+            Err(ServerError::Db(_)) => {
+                self.shared.db_err.fetch_add(1, Ordering::Relaxed);
+                Class::DbErr
+            }
+            Err(other) => {
+                self.shared.unexpected.fetch_add(1, Ordering::Relaxed);
+                let head: String = sql.chars().take(60).collect();
+                self.shared.note(format!("worker {}: `{head}` → {other}", self.worker));
+                Class::Fatal
+            }
+        }
+    }
+
+    /// Execute and return the rows, tolerating `Busy` (with retries) but
+    /// noting every other failure. `None` means the op never succeeded.
+    pub fn exec_rows(&mut self, sql: &str) -> Option<ResultSet> {
+        for _ in 0..20 {
+            match self.exec(sql) {
+                Class::Ok(rs) => return Some(rs),
+                Class::Busy => continue,
+                _ => return None,
+            }
+        }
+        None
+    }
+}
+
+/// Per-worker RNG stream: FNV-1a over the scenario name, mixed with the
+/// master seed and a worker-indexed odd constant (splitmix-style spread).
+pub(crate) fn derive_seed(master: u64, scenario: &str, worker: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in scenario.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    master ^ h ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// A scenario in flight: server, listener, baseline snapshot, shared
+/// counters, and accumulated violations.
+pub(crate) struct Run {
+    pub name: &'static str,
+    pub server: Server,
+    pub handle: Option<ServerHandle>,
+    pub baseline: Snapshot,
+    pub shared: Arc<Shared>,
+    pub violations: Vec<String>,
+    pub slo: Slo,
+    started: Instant,
+    hung: bool,
+}
+
+impl Run {
+    /// Boot a server for this scenario (programmatic config + `GENALG_*`
+    /// environment overrides), bind an ephemeral port, and take the
+    /// baseline snapshot the phase delta will subtract.
+    pub fn start(name: &'static str, db: Arc<Database>, config: ServerConfig, slo: Slo) -> Run {
+        let config = config.with_env_overrides();
+        let server = Server::new(db, &config);
+        let handle = server.listen("127.0.0.1:0").expect("bind ephemeral port");
+        let baseline = server.service().snapshot();
+        Run {
+            name,
+            server,
+            handle: Some(handle),
+            baseline,
+            shared: Arc::new(Shared::default()),
+            violations: Vec::new(),
+            slo,
+            started: Instant::now(),
+            hung: false,
+        }
+    }
+
+    /// Fan out `cfg.clients` wire workers running `f`, bounded by the
+    /// watchdog. A worker that panics or outlives the deadline becomes an
+    /// SLO violation (hung threads are leaked, never joined — the harness
+    /// must survive a wedged server to report on it).
+    pub fn drive<F>(&mut self, cfg: &LoadConfig, f: F)
+    where
+        F: Fn(usize, &mut Ctx) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let addr = self.handle.as_ref().expect("drive after finish").addr();
+        let (done_tx, done_rx) = mpsc::channel::<bool>();
+        let mut joins = Vec::new();
+        for worker in 0..cfg.clients {
+            let f = Arc::clone(&f);
+            let shared = Arc::clone(&self.shared);
+            let done_tx = done_tx.clone();
+            let seed = derive_seed(cfg.seed, self.name, worker);
+            let builder = std::thread::Builder::new().name(format!("loadgen-{worker}"));
+            let join = builder
+                .spawn(move || {
+                    let clean = catch_unwind(AssertUnwindSafe(|| {
+                        let conn = match TcpClient::connect(addr) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                shared.unexpected.fetch_add(1, Ordering::Relaxed);
+                                shared.note(format!("worker {worker}: connect failed: {e}"));
+                                return;
+                            }
+                        };
+                        let mut ctx = Ctx {
+                            conn,
+                            session: 0,
+                            rng: StdRng::seed_from_u64(seed),
+                            worker,
+                            shared: Arc::clone(&shared),
+                        };
+                        f(worker, &mut ctx);
+                    }))
+                    .is_ok();
+                    let _ = done_tx.send(clean);
+                })
+                .expect("spawn worker");
+            joins.push(join);
+        }
+        drop(done_tx);
+
+        let deadline = Instant::now() + cfg.timeout;
+        let mut finished = 0;
+        while finished < cfg.clients {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match done_rx.recv_timeout(left) {
+                Ok(true) => finished += 1,
+                Ok(false) => {
+                    finished += 1;
+                    self.violations.push("worker thread panicked (see test output)".into());
+                }
+                Err(_) => {
+                    self.hung = true;
+                    self.violations.push(format!(
+                        "hang: only {finished}/{} workers finished within {:?}",
+                        cfg.clients, cfg.timeout
+                    ));
+                    return; // leak the stuck threads; report must still go out
+                }
+            }
+        }
+        for join in joins {
+            let _ = join.join();
+        }
+
+        // Liveness: after the storm the admission queue must still accept
+        // and answer work — a drained pool, not a wedged one.
+        let client = self.server.client();
+        let probe = client.open(SessionKind::Public);
+        let drain_deadline = Instant::now() + DRAIN_DEADLINE;
+        loop {
+            match client.query(probe, "SELECT 1 + 1") {
+                Ok(_) => break,
+                Err(ServerError::Busy { .. }) if Instant::now() < drain_deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    self.violations.push(format!("queue failed to drain: {e}"));
+                    break;
+                }
+            }
+        }
+        client.close(probe);
+    }
+
+    /// Did the watchdog fire?
+    pub fn hung(&self) -> bool {
+        self.hung
+    }
+
+    /// The scenario's phase delta so far: everything that happened on the
+    /// server since [`Run::start`].
+    pub fn delta(&self) -> Snapshot {
+        self.server.service().snapshot().delta_since(&self.baseline)
+    }
+
+    /// Evaluate SLOs against the final phase delta and close out.
+    pub fn finish(mut self, cfg: &LoadConfig) -> ScenarioResult {
+        let elapsed = self.started.elapsed();
+        let delta = self.delta();
+
+        let ok = self.shared.ok.load(Ordering::Relaxed);
+        let busy = self.shared.busy.load(Ordering::Relaxed);
+        let conflict = self.shared.conflict.load(Ordering::Relaxed);
+        let db_err = self.shared.db_err.load(Ordering::Relaxed);
+        let unexpected = self.shared.unexpected.load(Ordering::Relaxed);
+        let ops = ok + busy + conflict + db_err + unexpected;
+
+        let client = self.shared.latency.snapshot();
+        let server_lat = merge(delta.hist("query_read_latency"), delta.hist("query_write_latency"));
+        let queue = delta.hist("query_queue_wait").cloned().unwrap_or_else(zero_hist);
+
+        self.violations.extend(self.shared.take_problems());
+        if unexpected > 0 {
+            self.violations.push(format!("{unexpected} unexpected (non-structured) errors"));
+        }
+        if delta.value("server_worker_panics").unwrap_or(0) > 0 {
+            self.violations.push(format!(
+                "{} worker panics under load",
+                delta.value("server_worker_panics").unwrap_or(0)
+            ));
+        }
+        let busy_rate = if ops == 0 { 0.0 } else { busy as f64 / ops as f64 };
+        if busy_rate > self.slo.max_busy_rate {
+            self.violations.push(format!(
+                "busy-shed rate {busy_rate:.3} exceeds SLO {:.3}",
+                self.slo.max_busy_rate
+            ));
+        }
+        if let Some(bound) = self.slo.max_p99_us {
+            if (!cfg.smoke || self.slo.force_latency) && server_lat.quantile_us(0.99) > bound {
+                self.violations.push(format!(
+                    "server p99 {}µs exceeds SLO {bound}µs",
+                    server_lat.quantile_us(0.99)
+                ));
+            }
+        }
+
+        if let Some(handle) = self.handle.take() {
+            // Joins only the accept thread, so this is safe even when a
+            // hung scenario left connection threads stuck.
+            handle.stop();
+        }
+
+        let elapsed_ms = elapsed.as_millis().min(u128::from(u64::MAX)) as u64;
+        ScenarioResult {
+            name: self.name,
+            ops,
+            ok,
+            busy,
+            conflict,
+            db_err,
+            unexpected,
+            elapsed_ms,
+            throughput_ops_s: if elapsed_ms == 0 {
+                0.0
+            } else {
+                ok as f64 * 1000.0 / elapsed_ms as f64
+            },
+            client_p50_us: client.quantile_us(0.5),
+            client_p99_us: client.quantile_us(0.99),
+            server_p50_us: server_lat.quantile_us(0.5),
+            server_p99_us: server_lat.quantile_us(0.99),
+            queue_p99_us: queue.quantile_us(0.99),
+            violations: self.violations,
+        }
+    }
+}
+
+fn zero_hist() -> HistogramSnapshot {
+    HistogramSnapshot { buckets: [0; BUCKETS], sum_us: 0, count: 0 }
+}
+
+/// Bucket-wise merge of two optional histogram snapshots (reads + writes
+/// share a latency SLO).
+fn merge(a: Option<&HistogramSnapshot>, b: Option<&HistogramSnapshot>) -> HistogramSnapshot {
+    let mut out = zero_hist();
+    for h in [a, b].into_iter().flatten() {
+        for (i, bucket) in out.buckets.iter_mut().enumerate() {
+            *bucket += h.buckets[i];
+        }
+        out.sum_us += h.sum_us;
+        out.count += h.count;
+    }
+    out
+}
+
+/// On SLO failure, drop a repro bundle where CI uploads artifacts from.
+pub(crate) fn write_failure_dump(cfg: &LoadConfig, result: &ScenarioResult) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/loadgen");
+    let _ = std::fs::create_dir_all(&dir);
+    let mut dump = format!(
+        "scenario: {}\nseed: {}\nclients: {}\nops_per_client: {}\nsmoke: {}\n\
+         repro: LOADGEN_SEED={} LOADGEN_CLIENTS={} LOADGEN_OPS={} cargo bench -p genalg-bench --bench load\n\n\
+         ops={} ok={} busy={} conflict={} db_err={} unexpected={}\n\
+         client p50/p99 = {}/{} µs, server p50/p99 = {}/{} µs, queue p99 = {} µs\n\nviolations:\n",
+        result.name,
+        cfg.seed,
+        cfg.clients,
+        cfg.ops_per_client,
+        cfg.smoke,
+        cfg.seed,
+        cfg.clients,
+        cfg.ops_per_client,
+        result.ops,
+        result.ok,
+        result.busy,
+        result.conflict,
+        result.db_err,
+        result.unexpected,
+        result.client_p50_us,
+        result.client_p99_us,
+        result.server_p50_us,
+        result.server_p99_us,
+        result.queue_p99_us,
+    );
+    for v in &result.violations {
+        dump.push_str("  - ");
+        dump.push_str(v);
+        dump.push('\n');
+    }
+    let _ = std::fs::write(dir.join(format!("failure-{}.txt", result.name)), dump);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_streams_differ_per_worker_and_scenario_but_not_per_run() {
+        let a = derive_seed(42, "point_lookups", 0);
+        assert_eq!(a, derive_seed(42, "point_lookups", 0));
+        assert_ne!(a, derive_seed(42, "point_lookups", 1));
+        assert_ne!(a, derive_seed(42, "analytical_scan", 0));
+        assert_ne!(a, derive_seed(43, "point_lookups", 0));
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_counts() {
+        let mut a = zero_hist();
+        a.buckets[3] = 2;
+        a.sum_us = 20;
+        a.count = 2;
+        let mut b = zero_hist();
+        b.buckets[3] = 1;
+        b.buckets[7] = 4;
+        b.sum_us = 500;
+        b.count = 5;
+        let m = merge(Some(&a), Some(&b));
+        assert_eq!(m.buckets[3], 3);
+        assert_eq!(m.buckets[7], 4);
+        assert_eq!(m.count, 7);
+        assert_eq!(m.sum_us, 520);
+        assert_eq!(merge(None, None).count, 0);
+    }
+}

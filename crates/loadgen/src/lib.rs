@@ -1,0 +1,264 @@
+//! Sustained-load proving ground for the warehouse server.
+//!
+//! The paper's warehouse (§5) is a *service*: the real question is not
+//! whether one statement is correct but whether the server holds its
+//! service levels while researchers hammer it — point lookups racing
+//! analytical scans, ETL refresh storms mid-traffic, transaction loops
+//! retrying conflicts, DDL churn invalidating every cache, and a flaky
+//! disk underneath. This crate is the traffic half of that question: a
+//! deterministic, seeded workload generator that drives `genalg-server`
+//! through the **real wire protocol** (TCP, length-prefixed frames) at
+//! controlled concurrency, plus a scenario suite in which every scenario
+//! declares an SLO and the runner asserts it.
+//!
+//! ## Scenarios
+//!
+//! | scenario | traffic | what it proves |
+//! |---|---|---|
+//! | `point_lookups` | indexed single-row reads | baseline latency floor |
+//! | `analytical_scan` | GROUP BY / filtered aggregates | scans don't starve the pool |
+//! | `txn_conflicts` | BEGIN/UPDATE/COMMIT on hot rows | conflicts retry, no lost updates |
+//! | `etl_refresh_storm` | transactional DELETE+reload vs readers | readers never see half a refresh |
+//! | `cache_churn` | DDL/DML churn + abandoned txns, tiny pool | shedding is safe, reaper unpins |
+//! | `fault_injection` | writes over a faulty disk | faults degrade to errors, then recover |
+//!
+//! ## SLOs
+//!
+//! Every scenario asserts: **zero unexpected errors** (anything that is
+//! not `Ok`, a structured `Db` error, or `Busy`), **no protocol-level
+//! hangs** (a wall-clock watchdog bounds the whole scenario; the queue
+//! must drain afterwards), a **max `Busy`-shed rate**, and (full mode
+//! only) a **p99 latency bound** read from the server's own observability
+//! histograms via phase-delta snapshots
+//! ([`genalg_obs::Snapshot::delta_since`]). Violations are collected, not
+//! panicked, so one bad scenario still yields a full report.
+//!
+//! Everything is reproducible from a single seed: per-worker RNG streams
+//! are derived from `(seed, scenario, worker)`, so the SQL every worker
+//! sends is identical run to run (timing, and therefore counts of
+//! `Busy`/`Conflict`, is the only nondeterminism).
+//!
+//! Entry points: `cargo bench -p genalg-bench --bench load` (writes
+//! `BENCH_load.json`), or [`run_suite`] / [`run_scenario`] directly.
+
+mod driver;
+pub mod report;
+pub mod scenarios;
+pub mod seed;
+
+pub use driver::{Ctx, Shared};
+
+use std::time::Duration;
+
+/// Scenario names in suite order.
+pub const SCENARIOS: &[&str] = &[
+    "point_lookups",
+    "analytical_scan",
+    "txn_conflicts",
+    "etl_refresh_storm",
+    "cache_churn",
+    "fault_injection",
+];
+
+/// Knobs for a suite run. Start from [`LoadConfig::default`] or
+/// [`LoadConfig::from_env`]; the server under test additionally honours
+/// the `GENALG_*` variables via `ServerConfig::with_env_overrides`.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Master seed; every worker's SQL stream derives from it.
+    pub seed: u64,
+    /// Concurrent wire connections per scenario.
+    pub clients: usize,
+    /// Operations each client performs (an op may be several statements,
+    /// e.g. a whole BEGIN/UPDATE/COMMIT cycle).
+    pub ops_per_client: usize,
+    /// Smoke mode: smaller dataset, latency SLOs not asserted (error,
+    /// shed-rate, and hang SLOs still are).
+    pub smoke: bool,
+    /// Wall-clock watchdog per scenario; exceeding it is a hang → SLO
+    /// violation, never a stuck harness.
+    pub timeout: Duration,
+    /// Force an impossible latency SLO on `point_lookups` (even in smoke
+    /// mode) so CI wiring can be demonstrated to fail. Set by
+    /// `LOADGEN_INJECT_SLO_FAILURE=1`.
+    pub inject_slo_failure: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            seed: 42,
+            clients: 8,
+            ops_per_client: 300,
+            smoke: false,
+            timeout: Duration::from_secs(120),
+            inject_slo_failure: false,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// Build a config from the environment:
+    ///
+    /// | variable | effect |
+    /// |---|---|
+    /// | `LOADGEN_SMOKE=1` | smoke mode (4 clients × 60 ops, no latency SLOs) |
+    /// | `LOADGEN_SEED` | master seed (default 42) |
+    /// | `LOADGEN_CLIENTS` | connections per scenario |
+    /// | `LOADGEN_OPS` | ops per client |
+    /// | `LOADGEN_TIMEOUT_S` | per-scenario watchdog seconds |
+    /// | `LOADGEN_INJECT_SLO_FAILURE=1` | demonstrate an SLO failure |
+    pub fn from_env() -> Self {
+        fn env<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+        }
+        let smoke = env::<u8>("LOADGEN_SMOKE").unwrap_or(0) != 0;
+        let mut cfg = LoadConfig { smoke, ..LoadConfig::default() };
+        if smoke {
+            cfg.clients = 4;
+            cfg.ops_per_client = 60;
+            cfg.timeout = Duration::from_secs(60);
+        }
+        if let Some(v) = env::<u64>("LOADGEN_SEED") {
+            cfg.seed = v;
+        }
+        if let Some(v) = env::<usize>("LOADGEN_CLIENTS") {
+            cfg.clients = v.max(1);
+        }
+        if let Some(v) = env::<usize>("LOADGEN_OPS") {
+            cfg.ops_per_client = v.max(1);
+        }
+        if let Some(v) = env::<u64>("LOADGEN_TIMEOUT_S") {
+            cfg.timeout = Duration::from_secs(v.max(1));
+        }
+        cfg.inject_slo_failure = env::<u8>("LOADGEN_INJECT_SLO_FAILURE").unwrap_or(0) != 0;
+        cfg
+    }
+
+    /// Dataset scale: rows in `public.genes`.
+    pub fn genes_rows(&self) -> usize {
+        if self.smoke {
+            2_000
+        } else {
+            20_000
+        }
+    }
+}
+
+/// The service levels one scenario declares. Error-rate and hang SLOs are
+/// implicit and universal (always zero unexpected errors, always bounded
+/// wall clock); these are the per-scenario knobs.
+#[derive(Debug, Clone)]
+pub struct Slo {
+    /// Server-side p99 bound in µs (merged read+write latency histograms
+    /// over the scenario's phase delta). `None` = not asserted.
+    pub max_p99_us: Option<u64>,
+    /// Max fraction of ops the admission queue may shed with `Busy`.
+    pub max_busy_rate: f64,
+    /// Assert the latency bound even in smoke mode (used by the injected
+    /// failure demonstration).
+    pub force_latency: bool,
+}
+
+/// Outcome of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    pub name: &'static str,
+    /// Total ops attempted (ok + busy + conflict + db_err + unexpected).
+    pub ops: u64,
+    pub ok: u64,
+    pub busy: u64,
+    pub conflict: u64,
+    pub db_err: u64,
+    pub unexpected: u64,
+    pub elapsed_ms: u64,
+    /// Successful ops per second of wall clock.
+    pub throughput_ops_s: f64,
+    /// Client-observed latency (connect-to-reply) over the wire.
+    pub client_p50_us: u64,
+    pub client_p99_us: u64,
+    /// Server-side statement latency from the obs histograms (phase delta).
+    pub server_p50_us: u64,
+    pub server_p99_us: u64,
+    pub queue_p99_us: u64,
+    /// Every SLO violation and invariant failure observed; empty = passed.
+    pub violations: Vec<String>,
+}
+
+impl ScenarioResult {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn busy_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Outcome of the whole suite.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    pub seed: u64,
+    pub smoke: bool,
+    pub clients: usize,
+    pub ops_per_client: usize,
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl SuiteResult {
+    pub fn passed(&self) -> bool {
+        self.scenarios.iter().all(|s| s.passed())
+    }
+
+    /// Panic with every violation if any SLO failed — the suite's gate.
+    pub fn assert_slos(&self) {
+        if self.passed() {
+            return;
+        }
+        let mut msg = String::from("SLO violations:\n");
+        for s in self.scenarios.iter().filter(|s| !s.passed()) {
+            for v in &s.violations {
+                msg.push_str(&format!("  [{}] {v}\n", s.name));
+            }
+        }
+        panic!("{msg}");
+    }
+}
+
+/// Run one scenario by name. Returns `None` for an unknown name.
+pub fn run_scenario(name: &str, cfg: &LoadConfig) -> Option<ScenarioResult> {
+    let result = match name {
+        "point_lookups" => scenarios::point_lookups(cfg),
+        "analytical_scan" => scenarios::analytical_scan(cfg),
+        "txn_conflicts" => scenarios::txn_conflicts(cfg),
+        "etl_refresh_storm" => scenarios::etl_refresh_storm(cfg),
+        "cache_churn" => scenarios::cache_churn(cfg),
+        "fault_injection" => scenarios::fault_injection(cfg),
+        _ => return None,
+    };
+    if !result.passed() {
+        driver::write_failure_dump(cfg, &result);
+    }
+    Some(result)
+}
+
+/// Run every scenario in [`SCENARIOS`] order and collect the outcomes.
+/// Does **not** panic on violations — call [`SuiteResult::assert_slos`]
+/// after persisting the report so artifacts survive a failure.
+pub fn run_suite(cfg: &LoadConfig) -> SuiteResult {
+    let mut scenarios = Vec::new();
+    for name in SCENARIOS {
+        scenarios.push(run_scenario(name, cfg).expect("built-in scenario name"));
+    }
+    SuiteResult {
+        seed: cfg.seed,
+        smoke: cfg.smoke,
+        clients: cfg.clients,
+        ops_per_client: cfg.ops_per_client,
+        scenarios,
+    }
+}

@@ -1,0 +1,147 @@
+//! Rendering a [`SuiteResult`] as machine-readable JSON (the committed
+//! `BENCH_load.json` trajectory) and as a human-readable summary table.
+//! Hand-rolled like every other bench in the workspace — the offline
+//! build has no serde.
+
+use crate::{ScenarioResult, SuiteResult};
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn scenario_json(s: &ScenarioResult) -> String {
+    let violations =
+        s.violations.iter().map(|v| format!("\"{}\"", esc(v))).collect::<Vec<_>>().join(",");
+    format!(
+        "{{\"name\":\"{}\",\"passed\":{},\"ops\":{},\"ok\":{},\"busy\":{},\"conflict\":{},\
+         \"db_err\":{},\"unexpected\":{},\"elapsed_ms\":{},\"throughput_ops_s\":{:.1},\
+         \"busy_rate\":{:.4},\"client_p50_us\":{},\"client_p99_us\":{},\"server_p50_us\":{},\
+         \"server_p99_us\":{},\"queue_p99_us\":{},\"violations\":[{}]}}",
+        s.name,
+        s.passed(),
+        s.ops,
+        s.ok,
+        s.busy,
+        s.conflict,
+        s.db_err,
+        s.unexpected,
+        s.elapsed_ms,
+        s.throughput_ops_s,
+        s.busy_rate(),
+        s.client_p50_us,
+        s.client_p99_us,
+        s.server_p50_us,
+        s.server_p99_us,
+        s.queue_p99_us,
+        violations,
+    )
+}
+
+/// The whole suite as one JSON document.
+pub fn to_json(suite: &SuiteResult) -> String {
+    let scenarios = suite.scenarios.iter().map(scenario_json).collect::<Vec<_>>().join(",");
+    format!(
+        "{{\"bench\":\"load\",\"seed\":{},\"smoke\":{},\"clients\":{},\"ops_per_client\":{},\
+         \"passed\":{},\"scenarios\":[{}]}}",
+        suite.seed,
+        suite.smoke,
+        suite.clients,
+        suite.ops_per_client,
+        suite.passed(),
+        scenarios,
+    )
+}
+
+/// A fixed-width summary table for terminals and CI logs.
+pub fn table(suite: &SuiteResult) -> String {
+    let mut out = format!(
+        "load suite: seed={} clients={} ops/client={}{}\n\
+         {:<18} {:>7} {:>7} {:>6} {:>8} {:>9} {:>11} {:>11}  result\n",
+        suite.seed,
+        suite.clients,
+        suite.ops_per_client,
+        if suite.smoke { " (smoke)" } else { "" },
+        "scenario",
+        "ops",
+        "ok",
+        "busy",
+        "conflict",
+        "ops/s",
+        "srv p50 µs",
+        "srv p99 µs",
+    );
+    for s in &suite.scenarios {
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>7} {:>6} {:>8} {:>9.0} {:>11} {:>11}  {}\n",
+            s.name,
+            s.ops,
+            s.ok,
+            s.busy,
+            s.conflict,
+            s.throughput_ops_s,
+            s.server_p50_us,
+            s.server_p99_us,
+            if s.passed() { "PASS" } else { "FAIL" },
+        ));
+        for v in &s.violations {
+            out.push_str(&format!("    ! {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &'static str, violations: Vec<String>) -> ScenarioResult {
+        ScenarioResult {
+            name,
+            ops: 100,
+            ok: 90,
+            busy: 8,
+            conflict: 2,
+            db_err: 0,
+            unexpected: 0,
+            elapsed_ms: 250,
+            throughput_ops_s: 360.0,
+            client_p50_us: 400,
+            client_p99_us: 2_000,
+            server_p50_us: 120,
+            server_p99_us: 900,
+            queue_p99_us: 80,
+            violations,
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_shape_and_escapes_quotes() {
+        let suite = SuiteResult {
+            seed: 7,
+            smoke: true,
+            clients: 4,
+            ops_per_client: 60,
+            scenarios: vec![result("a", vec![]), result("b", vec!["p99 \"too\" slow".into()])],
+        };
+        let json = to_json(&suite);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"bench\":\"load\""));
+        assert!(json.contains("\"passed\":false"));
+        assert!(json.contains("p99 \\\"too\\\" slow"));
+        assert_eq!(json.matches("\"name\":").count(), 2);
+    }
+
+    #[test]
+    fn table_marks_failures() {
+        let suite = SuiteResult {
+            seed: 7,
+            smoke: false,
+            clients: 8,
+            ops_per_client: 300,
+            scenarios: vec![result("a", vec!["broken".into()])],
+        };
+        let t = table(&suite);
+        assert!(t.contains("FAIL"));
+        assert!(t.contains("! broken"));
+    }
+}

@@ -1,0 +1,408 @@
+//! The scenario suite. Each scenario builds its own database and server
+//! (tuned via `ServerConfig`, overridable with `GENALG_*` env vars),
+//! drives it over the wire, and checks scenario-specific invariants on
+//! top of the universal SLOs the driver asserts.
+
+use crate::driver::{Class, Run};
+use crate::{seed, LoadConfig, ScenarioResult, Slo};
+use genalg_server::{ServerConfig, ServerError, SessionKind};
+use rand::Rng;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use unidb::{Database, FaultConfig, FaultVfs, Role};
+
+fn slo(max_p99_us: Option<u64>, max_busy_rate: f64) -> Slo {
+    Slo { max_p99_us, max_busy_rate, force_latency: false }
+}
+
+/// Indexed single-row reads at full concurrency: the latency floor. The
+/// default pool (8 workers, 64 slots) should shed essentially nothing.
+pub fn point_lookups(cfg: &LoadConfig) -> ScenarioResult {
+    let keys = if cfg.smoke { 128 } else { 512 };
+    let db = seed::fresh_db(&seed::hot_script(cfg.seed, keys, None));
+    let mut slo = slo(Some(50_000), 0.01);
+    if cfg.inject_slo_failure {
+        // Demonstration hook: an impossible bound that any real run
+        // violates, asserted even in smoke mode.
+        slo.max_p99_us = Some(0);
+        slo.force_latency = true;
+    }
+    let mut run = Run::start("point_lookups", db, ServerConfig::default(), slo);
+    let ops = cfg.ops_per_client;
+    run.drive(cfg, move |_, ctx| {
+        ctx.open(SessionKind::Public);
+        for _ in 0..ops {
+            let k: usize = ctx.rng.gen_range(0..keys);
+            if let Class::Ok(rs) = ctx.exec(&format!("SELECT v FROM public.hot WHERE k = {k}")) {
+                if rs.rows.len() != 1 {
+                    ctx.shared.note(format!("lookup k={k} returned {} rows", rs.rows.len()));
+                }
+            }
+        }
+    });
+    run.finish(cfg)
+}
+
+/// Analytical scans and aggregates hammering the full table while the
+/// result cache is repeatedly bypassed by fresh predicates.
+pub fn analytical_scan(cfg: &LoadConfig) -> ScenarioResult {
+    let rows = cfg.genes_rows();
+    let db = seed::fresh_db(&seed::genes_script(cfg.seed, rows));
+    let mut run =
+        Run::start("analytical_scan", db, ServerConfig::default(), slo(Some(250_000), 0.05));
+    let ops = cfg.ops_per_client;
+    run.drive(cfg, move |_, ctx| {
+        ctx.open(SessionKind::Public);
+        for i in 0..ops {
+            match i % 4 {
+                0 => {
+                    // Full-table integrity probe: the count never moves in
+                    // this scenario.
+                    if let Class::Ok(rs) = ctx.exec("SELECT count(*) FROM public.genes") {
+                        if rs.rows[0][0].as_int() != Some(rows as i64) {
+                            ctx.shared.note(format!(
+                                "count(*) returned {:?}, want {rows}",
+                                rs.rows[0][0]
+                            ));
+                        }
+                    }
+                }
+                1 => {
+                    if let Class::Ok(rs) = ctx.exec(
+                        "SELECT organism, count(*), avg(len) FROM public.genes \
+                         GROUP BY organism",
+                    ) {
+                        if rs.rows.len() != seed::ORGANISMS {
+                            ctx.shared.note(format!(
+                                "GROUP BY returned {} organisms, want {}",
+                                rs.rows.len(),
+                                seed::ORGANISMS
+                            ));
+                        }
+                    }
+                }
+                2 => {
+                    let cut: i64 = ctx.rng.gen_range(100..10_000);
+                    ctx.exec(&format!("SELECT count(*) FROM public.genes WHERE len > {cut}"));
+                }
+                _ => {
+                    let org: usize = ctx.rng.gen_range(0..seed::ORGANISMS);
+                    ctx.exec(&format!(
+                        "SELECT max(len), min(len) FROM public.genes WHERE organism = 'org{org}'"
+                    ));
+                }
+            }
+        }
+    });
+    run.finish(cfg)
+}
+
+/// BEGIN/UPDATE/COMMIT loops on a handful of hot rows: first-committer
+/// wins, losers retry. The ledger check at the end is the point — every
+/// committed cycle incremented exactly one counter exactly once, so
+/// `sum(v)` must equal the number of commits (no lost updates, no
+/// double-applies).
+pub fn txn_conflicts(cfg: &LoadConfig) -> ScenarioResult {
+    let hot_keys = 4usize;
+    let db = seed::fresh_db(&seed::hot_script(cfg.seed, hot_keys, Some(0)));
+    let mut run =
+        Run::start("txn_conflicts", db, ServerConfig::default(), slo(Some(100_000), 0.20));
+    let ops = cfg.ops_per_client;
+    run.drive(cfg, move |_, ctx| {
+        ctx.open(SessionKind::Maintainer);
+        for _ in 0..ops {
+            // One op = one commit attempt. Any failure mid-cycle rolls
+            // back (unpinning the session) and moves on; conflicts are
+            // counted and effectively retried by the next cycle.
+            if !matches!(ctx.exec("BEGIN"), Class::Ok(_)) {
+                continue;
+            }
+            let k: usize = ctx.rng.gen_range(0..hot_keys);
+            if !matches!(
+                ctx.exec(&format!("UPDATE public.hot SET v = v + 1 WHERE k = {k}")),
+                Class::Ok(_)
+            ) {
+                ctx.exec("ROLLBACK");
+                continue;
+            }
+            // COMMIT unpins the session win or lose; nothing to clean up
+            // on a conflict.
+            if matches!(ctx.exec("COMMIT"), Class::Ok(_)) {
+                ctx.shared.aux.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+
+    let commits = run.shared.aux.load(Ordering::Relaxed);
+    let client = run.server.client();
+    let s = client.open(SessionKind::Public);
+    match client.query(s, "SELECT sum(v) FROM public.hot") {
+        Ok(rs) => {
+            let total = rs.rows[0][0].as_int().unwrap_or(-1);
+            if total != commits as i64 {
+                run.violations.push(format!(
+                    "lost-update ledger broken: sum(v) = {total} but {commits} commits succeeded"
+                ));
+            }
+        }
+        Err(e) => run.violations.push(format!("ledger query failed: {e}")),
+    }
+    client.close(s);
+    if commits == 0 {
+        run.violations.push("no transaction ever committed".into());
+    }
+    let delta = run.delta();
+    if run.shared.conflict.load(Ordering::Relaxed) > 0
+        && delta.value("txn_conflicts").unwrap_or(0) == 0
+    {
+        run.violations.push("client saw conflicts the server never counted".into());
+    }
+    run.finish(cfg)
+}
+
+/// ETL refresh storms mid-traffic: two maintainers transactionally
+/// DELETE and reload whole organisms while readers count the table.
+/// Snapshot isolation means a reader must never observe a half-applied
+/// refresh — the count is always exactly the full table.
+pub fn etl_refresh_storm(cfg: &LoadConfig) -> ScenarioResult {
+    let rows = cfg.genes_rows();
+    let per_org = rows / seed::ORGANISMS;
+    let db = seed::fresh_db(&seed::genes_script(cfg.seed, rows));
+    let mut run =
+        Run::start("etl_refresh_storm", db, ServerConfig::default(), slo(Some(250_000), 0.10));
+    let ops = cfg.ops_per_client;
+    let seed_val = cfg.seed;
+    run.drive(cfg, move |worker, ctx| {
+        if worker < 2 {
+            // Refresher: each owns half the organisms, so two storms never
+            // fight over the same rows.
+            ctx.open(SessionKind::Maintainer);
+            let waves = (ops / 8).max(2);
+            for wave in 0..waves {
+                let org = worker * (seed::ORGANISMS / 2) + wave % (seed::ORGANISMS / 2);
+                if !matches!(ctx.exec("BEGIN"), Class::Ok(_)) {
+                    continue;
+                }
+                let mut aborted = false;
+                if !matches!(
+                    ctx.exec(&format!("DELETE FROM public.genes WHERE organism = 'org{org}'")),
+                    Class::Ok(_)
+                ) {
+                    aborted = true;
+                }
+                if !aborted {
+                    for stmt in seed::organism_rows(seed_val, wave as u64, org, per_org) {
+                        if !matches!(ctx.exec(&stmt), Class::Ok(_)) {
+                            aborted = true;
+                            break;
+                        }
+                    }
+                }
+                if aborted {
+                    ctx.exec("ROLLBACK");
+                } else if matches!(ctx.exec("COMMIT"), Class::Ok(_)) {
+                    ctx.shared.aux.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            // Reader: the row count is invariant under refreshes — any
+            // other answer means a torn snapshot.
+            ctx.open(SessionKind::Public);
+            for _ in 0..ops {
+                if let Class::Ok(rs) = ctx.exec("SELECT count(*) FROM public.genes") {
+                    if rs.rows[0][0].as_int() != Some(rows as i64) {
+                        ctx.shared.note(format!(
+                            "reader saw {:?} rows mid-refresh, want {rows}",
+                            rs.rows[0][0]
+                        ));
+                    }
+                }
+            }
+        }
+    });
+
+    if run.shared.aux.load(Ordering::Relaxed) == 0 {
+        run.violations.push("no refresh wave ever committed".into());
+    }
+    let client = run.server.client();
+    let s = client.open(SessionKind::Public);
+    match client.query(s, "SELECT count(*) FROM public.genes") {
+        Ok(rs) if rs.rows[0][0].as_int() == Some(rows as i64) => {}
+        Ok(rs) => {
+            run.violations.push(format!("final count {:?} after storm, want {rows}", rs.rows[0][0]))
+        }
+        Err(e) => run.violations.push(format!("final count query failed: {e}")),
+    }
+    client.close(s);
+    run.finish(cfg)
+}
+
+/// Cache-hostile churn on a deliberately tiny pool: DDL/DML bump the
+/// generation counters, the queue sheds constantly, and every worker
+/// abandons one open transaction mid-run. The reaper must unpin all of
+/// them from other sessions' traffic alone, and the transaction ledger
+/// must balance afterwards.
+pub fn cache_churn(cfg: &LoadConfig) -> ScenarioResult {
+    let db = seed::fresh_db(&seed::genes_script(cfg.seed, if cfg.smoke { 500 } else { 2_000 }));
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 2,
+        txn_timeout_ms: 150,
+        ..ServerConfig::default()
+    };
+    // Shedding is the point here: allow almost everything to bounce, but
+    // the error SLO (zero unexpected) and the hang SLO still hold.
+    let mut run = Run::start("cache_churn", db, config, slo(None, 0.95));
+    let ops = cfg.ops_per_client;
+    run.drive(cfg, move |worker, ctx| {
+        let maintainer = worker % 2 == 0;
+        ctx.open(if maintainer { SessionKind::Maintainer } else { SessionKind::Public });
+        for i in 0..ops {
+            if maintainer && i == ops / 2 {
+                // Abandon a transaction: open a throwaway session, BEGIN,
+                // write, and never speak on it again. Only the global
+                // reaper can unpin it.
+                if let Ok(doomed) = ctx.conn.open(SessionKind::Maintainer) {
+                    if matches!(ctx.exec_on(doomed, "BEGIN"), Class::Ok(_)) {
+                        ctx.exec_on(
+                            doomed,
+                            &format!("INSERT INTO public.genes VALUES ({}, 'x', 'org0', 1)", {
+                                9_000_000 + worker
+                            }),
+                        );
+                        ctx.shared.aux.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if maintainer {
+                match i % 4 {
+                    0 => {
+                        ctx.exec(&format!("CREATE TABLE public.churn_{worker}_{i} (x INT)"));
+                    }
+                    1 => {
+                        ctx.exec(&format!(
+                            "INSERT INTO public.genes VALUES ({}, 'c', 'org1', 2)",
+                            8_000_000 + worker * 10_000 + i
+                        ));
+                    }
+                    2 => {
+                        ctx.exec(&format!("DROP TABLE public.churn_{worker}_{}", i - 2));
+                    }
+                    _ => {
+                        let id: usize = ctx.rng.gen_range(0..100);
+                        ctx.exec(&format!("UPDATE public.genes SET len = len + 1 WHERE id = {id}"));
+                    }
+                }
+            } else {
+                match i % 2 {
+                    0 => {
+                        ctx.exec("SELECT count(*) FROM public.genes");
+                    }
+                    _ => {
+                        let id: usize = ctx.rng.gen_range(0..100);
+                        ctx.exec(&format!("SELECT name FROM public.genes WHERE id = {id}"));
+                    }
+                }
+            }
+        }
+    });
+
+    // The abandoned transactions can only be unpinned by the global sweep
+    // riding other sessions' traffic — so generate traffic and wait.
+    let leaked = run.shared.aux.load(Ordering::Relaxed);
+    if !run.hung() && leaked > 0 {
+        let client = run.server.client();
+        let s = client.open(SessionKind::Public);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let _ = client.query(s, "SELECT count(*) FROM public.genes");
+            let reaped = run.delta().value("txn_reaped").unwrap_or(0);
+            if reaped >= leaked {
+                break;
+            }
+            if Instant::now() > deadline {
+                run.violations.push(format!(
+                    "reaper unpinned only {reaped}/{leaked} abandoned transactions in 10s"
+                ));
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        client.close(s);
+    }
+    let delta = run.delta();
+    let begun = delta.value("txn_begun").unwrap_or(0);
+    let settled =
+        delta.value("txn_committed").unwrap_or(0) + delta.value("txn_aborted").unwrap_or(0);
+    if begun != settled {
+        run.violations.push(format!("txn ledger unbalanced: {begun} begun vs {settled} settled"));
+    }
+    if delta.value("cache_plan_misses").unwrap_or(0) == 0 {
+        run.violations.push("DDL churn never missed the plan cache".into());
+    }
+    run.finish(cfg)
+}
+
+/// Writes over a disk injecting transient faults: every failure must be
+/// a structured engine error (never a dead worker or a hang), reads keep
+/// flowing, and once the disk recovers the same server accepts writes.
+pub fn fault_injection(cfg: &LoadConfig) -> ScenarioResult {
+    let vfs = FaultVfs::new(FaultConfig::transient(cfg.seed ^ 0xfa17));
+    vfs.disarm();
+    let db = Database::open_with_vfs(Path::new("/loadgen-faults"), Arc::new(vfs.clone()))
+        .expect("open with faults disarmed");
+    db.recover().expect("recover with faults disarmed");
+    db.execute_script_as(&seed::hot_script(cfg.seed, 64, None), &Role::Maintainer)
+        .expect("seed with faults disarmed");
+    let mut run =
+        Run::start("fault_injection", Arc::new(db), ServerConfig::default(), slo(None, 0.05));
+    vfs.arm();
+    let ops = cfg.ops_per_client;
+    run.drive(cfg, move |worker, ctx| {
+        if worker < 2 {
+            ctx.open(SessionKind::Maintainer);
+            for i in 0..ops {
+                // Io faults surface as structured Db errors — the
+                // expected failure class, counted but never fatal.
+                ctx.exec(&format!(
+                    "INSERT INTO public.hot VALUES ({}, {i})",
+                    1_000 + worker * 100_000 + i
+                ));
+            }
+        } else {
+            ctx.open(SessionKind::Public);
+            for _ in 0..ops {
+                let k: usize = ctx.rng.gen_range(0..64);
+                ctx.exec(&format!("SELECT v FROM public.hot WHERE k = {k}"));
+            }
+        }
+    });
+    vfs.disarm();
+
+    let delta = run.delta();
+    if delta.value("server_io_errors").unwrap_or(0) == 0 {
+        run.violations.push("fault injection never fired; scenario proved nothing".into());
+    }
+    // Recovery: with faults disarmed the same server must accept a write.
+    if !run.hung() {
+        let client = run.server.client();
+        let s = client.open(SessionKind::Maintainer);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match client.query(s, "INSERT INTO public.hot VALUES (999999, 1)") {
+                Ok(_) => break,
+                Err(ServerError::Busy { .. }) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    run.violations.push(format!("disk never recovered after disarm: {e}"));
+                    break;
+                }
+            }
+        }
+        client.close(s);
+    }
+    run.finish(cfg)
+}

@@ -1,0 +1,137 @@
+//! Deterministic dataset builders (qdiff-style): the same seed always
+//! yields byte-identical SQL, so every scenario's starting state — and
+//! therefore every worker's statement stream against it — reproduces
+//! exactly. Seeding runs directly on the engine (it is setup, not
+//! measured traffic; only scenario traffic goes over the wire).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use unidb::{Database, Role};
+
+/// Rows per multi-row `INSERT` batch.
+const BATCH: usize = 250;
+
+/// The eight curated organisms of the demo warehouse.
+pub const ORGANISMS: usize = 8;
+
+/// Build the deterministic seeding script for `public.genes(id, name,
+/// organism, len)`: `rows` rows, organisms assigned round-robin (so each
+/// organism holds exactly `rows / ORGANISMS`-ish rows — refresh storms
+/// rely on the exact per-organism count), lengths drawn from the seeded
+/// RNG.
+pub fn genes_script(seed: u64, rows: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0067_656e_6573);
+    let mut script =
+        String::from("CREATE TABLE public.genes (id INT, name TEXT, organism TEXT, len INT);\n");
+    let mut at = 0;
+    while at < rows {
+        let n = BATCH.min(rows - at);
+        script.push_str("INSERT INTO public.genes VALUES ");
+        for i in 0..n {
+            if i > 0 {
+                script.push_str(", ");
+            }
+            let id = at + i;
+            let organism = id % ORGANISMS;
+            let len: i64 = rng.gen_range(100..10_000);
+            script.push_str(&format!("({id}, 'g{id:07}', 'org{organism}', {len})"));
+        }
+        script.push_str(";\n");
+        at += n;
+    }
+    script
+}
+
+/// The `VALUES` tuples for one organism's refresh wave: same shape as the
+/// original load so a DELETE+reload leaves the table statistically (and
+/// count-wise exactly) unchanged.
+pub fn organism_rows(seed: u64, wave: u64, organism: usize, rows: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ wave.wrapping_mul(0x9e37) ^ organism as u64);
+    let mut batches = Vec::new();
+    let mut at = 0;
+    while at < rows {
+        let n = BATCH.min(rows - at);
+        let mut stmt = String::from("INSERT INTO public.genes VALUES ");
+        for i in 0..n {
+            if i > 0 {
+                stmt.push_str(", ");
+            }
+            // Organism and wave both feed the id so concurrent refreshers
+            // on different organisms never mint the same id.
+            let id = 1_000_000 + organism * 1_000_000 + wave as usize * rows + at + i;
+            let len: i64 = rng.gen_range(100..10_000);
+            stmt.push_str(&format!("({id}, 'g{id:07}', 'org{organism}', {len})"));
+        }
+        batches.push(stmt);
+        at += n;
+    }
+    batches
+}
+
+/// Build the seeding script for `public.hot(k, v)`: `keys` rows with a
+/// unique index on `k`. `initial_v` seeds every counter (transaction
+/// scenarios start from zero so `sum(v)` equals the number of committed
+/// increments).
+pub fn hot_script(seed: u64, keys: usize, initial_v: Option<i64>) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0068_6f74);
+    let mut script = String::from("CREATE TABLE public.hot (k INT, v INT);\n");
+    let mut at = 0;
+    while at < keys {
+        let n = BATCH.min(keys - at);
+        script.push_str("INSERT INTO public.hot VALUES ");
+        for i in 0..n {
+            if i > 0 {
+                script.push_str(", ");
+            }
+            let v = initial_v.unwrap_or_else(|| rng.gen_range(0..1_000_000i64));
+            script.push_str(&format!("({}, {v})", at + i));
+        }
+        script.push_str(";\n");
+        at += n;
+    }
+    script.push_str("CREATE UNIQUE INDEX ON public.hot (k);\n");
+    script
+}
+
+/// Fresh in-memory database loaded from a seeding script.
+pub fn fresh_db(script: &str) -> Arc<Database> {
+    let db = Arc::new(Database::in_memory());
+    db.execute_script_as(script, &Role::Maintainer).expect("seed script");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        assert_eq!(genes_script(7, 600), genes_script(7, 600));
+        assert_ne!(genes_script(7, 600), genes_script(8, 600));
+        assert_eq!(hot_script(7, 40, None), hot_script(7, 40, None));
+        assert_eq!(organism_rows(7, 3, 2, 500), organism_rows(7, 3, 2, 500));
+    }
+
+    #[test]
+    fn genes_balance_exactly_across_organisms() {
+        let db = fresh_db(&genes_script(1, 800));
+        let rs = db
+            .execute_as(
+                "SELECT count(*) FROM public.genes WHERE organism = 'org3'",
+                &unidb::Role::Maintainer,
+            )
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(100));
+    }
+
+    #[test]
+    fn hot_table_has_unique_indexed_keys() {
+        let db = fresh_db(&hot_script(1, 300, Some(0)));
+        let rs = db
+            .execute_as("SELECT count(*), sum(v) FROM public.hot", &unidb::Role::Maintainer)
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(300));
+        assert_eq!(rs.rows[0][1].as_int(), Some(0));
+    }
+}

@@ -1,0 +1,46 @@
+//! The scenario suite at tiny scale: every scenario must pass its
+//! error/hang/drain SLOs (latency SLOs are smoke-skipped), and the
+//! injected-failure hook must actually fail — otherwise the CI gate is
+//! decorative.
+
+use genalg_loadgen::{run_scenario, run_suite, LoadConfig, SCENARIOS};
+use std::time::Duration;
+
+fn tiny() -> LoadConfig {
+    LoadConfig {
+        seed: 42,
+        clients: 3,
+        ops_per_client: 12,
+        smoke: true,
+        timeout: Duration::from_secs(60),
+        inject_slo_failure: false,
+    }
+}
+
+#[test]
+fn whole_suite_passes_at_tiny_scale() {
+    let suite = run_suite(&tiny());
+    assert_eq!(suite.scenarios.len(), SCENARIOS.len());
+    for s in &suite.scenarios {
+        assert!(s.passed(), "[{}] violations: {:?}", s.name, s.violations);
+        assert!(s.ok > 0, "[{}] did no successful work", s.name);
+    }
+    suite.assert_slos();
+}
+
+#[test]
+fn injected_slo_failure_fails_point_lookups() {
+    let cfg = LoadConfig { inject_slo_failure: true, ..tiny() };
+    let result = run_scenario("point_lookups", &cfg).unwrap();
+    assert!(!result.passed(), "impossible p99 bound should have failed");
+    assert!(
+        result.violations.iter().any(|v| v.contains("exceeds SLO")),
+        "expected a latency violation, got {:?}",
+        result.violations
+    );
+}
+
+#[test]
+fn unknown_scenario_is_none() {
+    assert!(run_scenario("no_such_scenario", &tiny()).is_none());
+}

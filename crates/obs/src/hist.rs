@@ -100,6 +100,24 @@ impl HistogramSnapshot {
         self.sum_us.checked_div(self.count).unwrap_or(0)
     }
 
+    /// The histogram of samples recorded *since* `baseline` was taken:
+    /// per-bucket counts, sum, and count all subtract (saturating, so a
+    /// mismatched baseline degrades to zeros instead of wrapping). Both
+    /// snapshots must come from the same live histogram for the result to
+    /// mean anything — this is the phase-diffing primitive load harnesses
+    /// use to get per-phase p99s out of cumulative histograms.
+    pub fn delta_since(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(baseline.buckets[i]);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_us: self.sum_us.saturating_sub(baseline.sum_us),
+            count: self.count.saturating_sub(baseline.count),
+        }
+    }
+
     /// Approximate quantile: the upper bound (in µs) of the bucket containing
     /// the q-th sample. `q` is clamped to [0, 1]; an empty histogram reports 0.
     pub fn quantile_us(&self, q: f64) -> u64 {
@@ -149,6 +167,29 @@ mod tests {
         assert_eq!(h.quantile_us(0.5), 7);
         assert!(h.quantile_us(1.0) >= 1000);
         assert_eq!(Histogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn delta_since_isolates_a_phase() {
+        let h = Histogram::default();
+        h.record_us(3);
+        h.record_us(1000);
+        let before = h.snapshot();
+        h.record_us(7);
+        h.record_us(7);
+        h.record_us(200_000);
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count, 3);
+        assert_eq!(delta.sum_us, 7 + 7 + 200_000);
+        assert_eq!(delta.buckets.iter().sum::<u64>(), 3);
+        // The pre-phase samples are gone: the phase median is the 7 µs
+        // bucket, not the 1000 µs one.
+        assert_eq!(delta.quantile_us(0.5), 7);
+        // A stale baseline (taken *after* the snapshot it is subtracted
+        // from) degrades to zeros instead of wrapping.
+        let empty = before.delta_since(&h.snapshot());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.buckets.iter().sum::<u64>(), 0);
     }
 
     #[test]

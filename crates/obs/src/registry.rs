@@ -48,6 +48,51 @@ impl Snapshot {
         self.hists.push((name.into(), snap));
     }
 
+    /// Look up one scalar (counter or gauge) by name.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.scalars.iter().find(|s| s.name == name).map(|s| s.value)
+    }
+
+    /// Look up one histogram snapshot by family name (without `_us`).
+    pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The snapshot of activity *between* `baseline` and `self`: counters
+    /// and histograms subtract (saturating), gauges keep their current
+    /// value (a queue depth has no meaningful "since"). Names present only
+    /// in `self` pass through unchanged; names present only in `baseline`
+    /// are dropped. This is how a load harness turns two cumulative
+    /// `SHOW STATS`-style snapshots into per-phase counters and per-phase
+    /// latency quantiles.
+    pub fn delta_since(&self, baseline: &Snapshot) -> Snapshot {
+        let scalars = self
+            .scalars
+            .iter()
+            .map(|s| Scalar {
+                name: s.name.clone(),
+                value: if s.gauge {
+                    s.value
+                } else {
+                    s.value.saturating_sub(baseline.value(&s.name).unwrap_or(0))
+                },
+                gauge: s.gauge,
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(name, h)| {
+                let diffed = match baseline.hist(name) {
+                    Some(b) => h.delta_since(b),
+                    None => h.clone(),
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        Snapshot { scalars, hists }
+    }
+
     /// Rows for `SHOW STATS`: every scalar plus, per histogram, derived
     /// `<name>_count` / `<name>_mean_us` / `<name>_p50_us` / `<name>_p95_us`
     /// rows. Sorted by name, which groups subsystems thanks to the naming
@@ -138,6 +183,37 @@ mod tests {
         );
         assert_eq!(rows[0].1, 3);
         assert_eq!(rows[2].1, 3, "histogram count");
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_but_not_gauges() {
+        let mut before = Snapshot::new();
+        before.counter("query_ok", 100);
+        before.gauge("server_queue_depth", 5);
+        before.histogram("query_read_latency", sample_hist());
+
+        let mut after = Snapshot::new();
+        after.counter("query_ok", 160);
+        after.counter("query_err", 2); // new family appears mid-run
+        after.gauge("server_queue_depth", 1);
+        let h = Histogram::default();
+        h.record_us(0);
+        h.record_us(5);
+        h.record_us(300);
+        h.record_us(9_000);
+        after.histogram("query_read_latency", h.snapshot());
+
+        let d = after.delta_since(&before);
+        assert_eq!(d.value("query_ok"), Some(60));
+        assert_eq!(d.value("query_err"), Some(2));
+        // Gauges are instantaneous, not cumulative: keep the current value.
+        assert_eq!(d.value("server_queue_depth"), Some(1));
+        // Only the one sample recorded between the snapshots remains.
+        let ph = d.hist("query_read_latency").unwrap();
+        assert_eq!(ph.count, 1);
+        assert_eq!(ph.quantile_us(1.0), 16383); // 9000 µs → 14-bit bucket
+                                                // Names only in the baseline are dropped, not negated.
+        assert_eq!(d.value("server_queue_peak"), None);
     }
 
     #[test]

@@ -305,6 +305,8 @@ mod tests {
             "query_write_latency_p95_us",
             "server_active_sessions",
             "server_io_errors",
+            "server_jobs_completed",
+            "server_jobs_submitted",
             "server_queue_depth",
             "server_queue_peak",
             "server_rejected_busy",
@@ -317,6 +319,7 @@ mod tests {
             "txn_duration_mean_us",
             "txn_duration_p50_us",
             "txn_duration_p95_us",
+            "txn_reaped",
             "wal_appends",
             "wal_sync_failures",
             "wal_syncs",

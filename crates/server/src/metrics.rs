@@ -23,6 +23,17 @@ pub struct Metrics {
     pub queries_err: AtomicU64,
     /// Requests rejected at admission because the queue was full.
     pub rejected_busy: AtomicU64,
+    /// Jobs offered to the admission queue (accepted or shed). The pool's
+    /// conservation law — checked by the load tests — is
+    /// `jobs_submitted == jobs_completed + worker_panics + rejected_busy`
+    /// once the queue has drained.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs a worker ran to completion without panicking.
+    pub jobs_completed: AtomicU64,
+    /// Transactions rolled back by the expired-transaction sweep (the
+    /// owning session went quiet — shed with `Busy` mid-transaction,
+    /// dropped its connection, or simply stopped talking).
+    pub txn_reaped: AtomicU64,
     /// Queries that failed with a storage-level I/O error
     /// ([`unidb::DbError::Io`]) — disk faults, not client mistakes.
     pub io_errors: AtomicU64,
@@ -71,6 +82,9 @@ impl Metrics {
         snap.counter("query_ok", g(&self.queries_ok));
         snap.counter("query_err", g(&self.queries_err));
         snap.counter("server_rejected_busy", g(&self.rejected_busy));
+        snap.counter("server_jobs_submitted", g(&self.jobs_submitted));
+        snap.counter("server_jobs_completed", g(&self.jobs_completed));
+        snap.counter("txn_reaped", g(&self.txn_reaped));
         snap.counter("server_io_errors", g(&self.io_errors));
         snap.counter("server_worker_panics", g(&self.worker_panics));
         snap.counter("cache_plan_hits", g(&self.plan_cache_hits));

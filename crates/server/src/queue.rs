@@ -47,6 +47,7 @@ impl WorkerPool {
     /// the queue is full.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> ServerResult<()> {
         let tx = self.tx.as_ref().expect("pool not shut down");
+        self.metrics.jobs_submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.metrics.enqueue();
         // Stamp admission time so pickup can record how long the job sat in
         // the queue — the latency component `queue_depth` only hints at.
@@ -134,6 +135,8 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, metrics: &Metrics) {
         // structured error; everyone else keeps their worker.
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
             metrics.worker_panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        } else {
+            metrics.jobs_completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
 }
@@ -200,7 +203,8 @@ mod tests {
     #[test]
     fn shutdown_drains_pending_jobs() {
         let counter = Arc::new(AtomicU64::new(0));
-        let pool = WorkerPool::new(2, 32, Arc::new(Metrics::default()));
+        let metrics = Arc::new(Metrics::default());
+        let pool = WorkerPool::new(2, 32, Arc::clone(&metrics));
         for _ in 0..20 {
             let c = Arc::clone(&counter);
             pool.submit(move || {
@@ -210,5 +214,10 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 20);
+        // Job conservation at quiescence: everything submitted completed,
+        // and every admitted job left a queue-wait sample.
+        assert_eq!(metrics.jobs_submitted.load(Ordering::Relaxed), 20);
+        assert_eq!(metrics.jobs_completed.load(Ordering::Relaxed), 20);
+        assert_eq!(metrics.queue_wait.count(), 20);
     }
 }

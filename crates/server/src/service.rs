@@ -11,7 +11,7 @@
 //!    the engine (whose generation counters invalidate cached state).
 //!
 //! Both `SHOW STATS` and `SHOW METRICS` render the same
-//! [`genalg_obs::Snapshot`], built in one place (`build_snapshot`); the
+//! [`genalg_obs::Snapshot`], built in one place ([`QueryService::snapshot`]); the
 //! two surfaces can never disagree about a value.
 
 use crate::cache::{normalize_sql, PlanCache, ResultCache, StatementKey};
@@ -66,6 +66,62 @@ impl Default for ServerConfig {
             tracing: false,
             txn_timeout_ms: 30_000,
         }
+    }
+}
+
+impl ServerConfig {
+    /// The default config with every `GENALG_*` environment override
+    /// applied — the entry point operators (and the load harness) use to
+    /// tune a server without recompiling.
+    pub fn from_env() -> Self {
+        Self::default().with_env_overrides()
+    }
+
+    /// Apply environment overrides on top of `self` (programmatic defaults
+    /// lose to the environment, so a deployed knob always wins):
+    ///
+    /// | variable | field |
+    /// |---|---|
+    /// | `GENALG_WORKERS` | `workers` (min 1) |
+    /// | `GENALG_QUEUE_CAPACITY` | `queue_capacity` (min 1) |
+    /// | `GENALG_PLAN_CACHE_SIZE` | `plan_cache_size` |
+    /// | `GENALG_RESULT_CACHE_SIZE` | `result_cache_size` |
+    /// | `GENALG_CACHES` | `caches_enabled` (`0` disables) |
+    /// | `GENALG_SLOW_QUERY_US` | `slow_query_threshold_us` |
+    /// | `GENALG_SLOW_QUERY_CAPACITY` | `slow_query_capacity` |
+    /// | `GENALG_TXN_TIMEOUT_MS` | `txn_timeout_ms` |
+    ///
+    /// (`GENALG_TRACE` already enables tracing process-wide via
+    /// [`genalg_obs::tracer`]; there is no config override for it here.)
+    pub fn with_env_overrides(mut self) -> Self {
+        fn env<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+        }
+        if let Some(v) = env::<usize>("GENALG_WORKERS") {
+            self.workers = v.max(1);
+        }
+        if let Some(v) = env::<usize>("GENALG_QUEUE_CAPACITY") {
+            self.queue_capacity = v.max(1);
+        }
+        if let Some(v) = env("GENALG_PLAN_CACHE_SIZE") {
+            self.plan_cache_size = v;
+        }
+        if let Some(v) = env("GENALG_RESULT_CACHE_SIZE") {
+            self.result_cache_size = v;
+        }
+        if let Some(v) = env::<u8>("GENALG_CACHES") {
+            self.caches_enabled = v != 0;
+        }
+        if let Some(v) = env("GENALG_SLOW_QUERY_US") {
+            self.slow_query_threshold_us = v;
+        }
+        if let Some(v) = env("GENALG_SLOW_QUERY_CAPACITY") {
+            self.slow_query_capacity = v;
+        }
+        if let Some(v) = env("GENALG_TXN_TIMEOUT_MS") {
+            self.txn_timeout_ms = v;
+        }
+        self
     }
 }
 
@@ -129,6 +185,11 @@ pub struct QueryService {
     slow_threshold_us: u64,
     slow_log: SlowQueryLog,
     txn_timeout_ms: u64,
+    /// Clock base for the reap rate limiter below.
+    reap_epoch: Instant,
+    /// Milliseconds (since `reap_epoch`) of the last global expired-txn
+    /// sweep — a CAS gate so at most one statement per period pays for it.
+    last_reap_ms: std::sync::atomic::AtomicU64,
 }
 
 impl QueryService {
@@ -148,6 +209,8 @@ impl QueryService {
             slow_threshold_us: config.slow_query_threshold_us,
             slow_log: SlowQueryLog::new(config.slow_query_capacity),
             txn_timeout_ms: config.txn_timeout_ms,
+            reap_epoch: Instant::now(),
+            last_reap_ms: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -185,6 +248,54 @@ impl QueryService {
         self.sessions.count()
     }
 
+    /// Roll back every transaction whose session has been idle past the
+    /// timeout, regardless of whether that session ever speaks again.
+    /// Returns how many were reaped. Runs automatically (rate-limited)
+    /// from the statement path; public so harnesses and tests can force a
+    /// deterministic sweep.
+    ///
+    /// This closes the gap the lazy per-session check leaves open: a
+    /// session shed with `Busy` mid-transaction never reaches the service,
+    /// so nothing touches its idle clock — and if the client gives up (or
+    /// its connection drops without a close frame), the per-session reap
+    /// never fires and the transaction would pin its MVCC snapshot
+    /// forever. The sweep reaps on *other* sessions' traffic instead.
+    pub fn reap_expired_txns(&self) -> usize {
+        // SessionId 0 is never issued, so nothing is exempt.
+        self.reap_except(SessionId(0))
+    }
+
+    fn reap_except(&self, speaking: SessionId) -> usize {
+        let expired = self.sessions.take_expired_txns(self.txn_timeout_ms, speaking);
+        for txn in &expired {
+            let _ = self.db.txn_rollback(txn.id);
+        }
+        if !expired.is_empty() {
+            self.metrics.txn_reaped.fetch_add(expired.len() as u64, Ordering::Relaxed);
+        }
+        expired.len()
+    }
+
+    /// Rate-limited global sweep, paid for by at most one statement per
+    /// period (a quarter of the timeout, clamped to [10 ms, 2 s]).
+    fn maybe_reap(&self, speaking: SessionId) {
+        let now_ms = self.reap_epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+        let period = (self.txn_timeout_ms / 4).clamp(10, 2_000);
+        let last = self.last_reap_ms.load(Ordering::Relaxed);
+        if now_ms.saturating_sub(last) < period {
+            return;
+        }
+        // Losing the CAS means another statement is already sweeping.
+        if self
+            .last_reap_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.reap_except(speaking);
+    }
+
     /// Execute one statement on behalf of a session.
     pub fn execute(&self, session: SessionId, lang: Lang, text: &str) -> ServerResult<ResultSet> {
         let result = self.execute_inner(session, lang, text);
@@ -207,6 +318,12 @@ impl QueryService {
 
     fn execute_inner(&self, session: SessionId, lang: Lang, text: &str) -> ServerResult<ResultSet> {
         let kind = self.sessions.kind(session).ok_or(ServerError::UnknownSession)?;
+        // Abandoned transactions on *other* sessions are reaped by a
+        // rate-limited global sweep riding on any statement (including the
+        // SHOW family) — the owning session may never speak again (shed
+        // with Busy mid-transaction, or its connection dropped), so its
+        // own lazy check below would never run.
+        self.maybe_reap(session);
         let tracer = genalg_obs::tracer();
         let sql = match lang {
             Lang::Sql => text.to_string(),
@@ -225,10 +342,10 @@ impl QueryService {
             "show trace" => return Ok(self.trace_result()),
             _ => {}
         }
-        // Abandoned-transaction reaping is lazy: the deadline is checked
-        // when the session next speaks. An expired transaction is rolled
-        // back and the statement that found it fails, so the client learns
-        // its `BEGIN` is gone before anything half-applies.
+        // The speaking session's reaping stays lazy and inline: the
+        // deadline is checked when it next speaks. An expired transaction
+        // is rolled back and the statement that found it fails, so the
+        // client learns its `BEGIN` is gone before anything half-applies.
         if let Some(txn) = self.sessions.txn(session) {
             let idle_ms = txn.last_used.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
             if idle_ms >= self.txn_timeout_ms {
@@ -387,8 +504,9 @@ impl QueryService {
     /// The one snapshot both `SHOW STATS` and `SHOW METRICS` render: the
     /// server's own registry plus the engine-level (`pool_*`, `exec_*`,
     /// `wal_*`, `cache_*_entries`) and process-level (`etl_*`, `obs_*`)
-    /// families.
-    fn build_snapshot(&self) -> Snapshot {
+    /// families. Public so harnesses can take phase baselines and diff
+    /// them with [`Snapshot::delta_since`].
+    pub fn snapshot(&self) -> Snapshot {
         let mut s = Snapshot::new();
         self.metrics.collect_into(&mut s);
         let (pool_hits, pool_misses, pool_evictions) = self.db.pool_stats();
@@ -428,7 +546,7 @@ impl QueryService {
     /// groups counters by subsystem prefix).
     fn stats_result(&self) -> ResultSet {
         let rows = self
-            .build_snapshot()
+            .snapshot()
             .stats_rows()
             .into_iter()
             .map(|(name, value)| vec![Datum::Text(name), Datum::Int(value as i64)])
@@ -439,7 +557,7 @@ impl QueryService {
     /// `SHOW METRICS`: the same snapshot in Prometheus text exposition
     /// format, one line per row.
     fn metrics_result(&self) -> ResultSet {
-        let text = self.build_snapshot().prometheus("genalg");
+        let text = self.snapshot().prometheus("genalg");
         let rows = text.lines().map(|l| vec![Datum::Text(l.to_string())]).collect();
         ResultSet { columns: vec!["metrics".into()], rows, affected: 0, explain: None }
     }

@@ -137,6 +137,34 @@ impl SessionManager {
         }
     }
 
+    /// Unpin and return every transaction idle for at least `timeout_ms`,
+    /// except the one pinned to `except` (the session currently speaking —
+    /// its own expiry is handled inline so *it* gets the timeout error).
+    ///
+    /// This is the global reap path: the lazy per-session check only fires
+    /// when the owning session next speaks, but a session that was shed
+    /// with `Busy` mid-transaction — or whose connection dropped without a
+    /// close — may never speak again, and its transaction would otherwise
+    /// pin an MVCC snapshot forever. The caller rolls the returned
+    /// transactions back outside the session lock.
+    pub(crate) fn take_expired_txns(&self, timeout_ms: u64, except: SessionId) -> Vec<SessionTxn> {
+        let mut expired = Vec::new();
+        let mut sessions = self.sessions.lock();
+        for (id, entry) in sessions.iter_mut() {
+            if *id == except.0 {
+                continue;
+            }
+            let idle_ms = match &entry.txn {
+                Some(txn) => txn.last_used.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+                None => continue,
+            };
+            if idle_ms >= timeout_ms {
+                expired.push(entry.txn.take().expect("txn checked above"));
+            }
+        }
+        expired
+    }
+
     /// Number of open sessions.
     pub fn count(&self) -> usize {
         self.sessions.lock().len()

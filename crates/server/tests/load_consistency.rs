@@ -1,0 +1,160 @@
+//! Accounting invariants under sustained concurrent load with cache churn
+//! (ISSUE 7 satellite). The worker pool's conservation law must hold at
+//! quiescence no matter how the run went — jobs can complete, panic, or
+//! be shed, but never vanish:
+//!
+//! * `jobs_submitted == jobs_completed + worker_panics + rejected_busy`
+//! * `queue_wait_count == jobs_completed + worker_panics` — the
+//!   queue-wait histogram samples every *admitted* job exactly once;
+//! * `query_ok + query_err == jobs_completed` — every job that ran to
+//!   completion answered exactly one statement.
+
+use genalg_server::{Server, ServerConfig, ServerError, SessionKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unidb::{Database, Datum, DbResult, Role};
+
+const CHURNERS: usize = 2;
+const READERS: usize = 6;
+const OPS_PER_THREAD: usize = 150;
+
+#[test]
+fn pool_accounting_survives_churn_panics_and_shedding() {
+    let db = Arc::new(Database::in_memory());
+    db.execute_script_as(
+        "CREATE TABLE public.genes (id INT, name TEXT);
+         INSERT INTO public.genes VALUES (1, 'lacZ'), (2, 'recA'), (3, 'rpoB');",
+        &Role::Maintainer,
+    )
+    .unwrap();
+    // A scalar that always panics: the deterministic way to exercise the
+    // worker-panic leg of the conservation law from the statement path.
+    db.register_scalar(
+        "boom",
+        Arc::new(|_: &[Datum]| -> DbResult<Datum> { panic!("injected worker panic") }),
+    )
+    .unwrap();
+
+    // Two workers behind two queue slots, eight client threads: the queue
+    // saturates constantly, so the shed leg gets real traffic too.
+    let config = ServerConfig { workers: 2, queue_capacity: 2, ..ServerConfig::default() };
+    let server = Server::new(Arc::clone(&db), &config);
+    let client = server.client();
+
+    let shed = Arc::new(AtomicU64::new(0));
+    let panicked = Arc::new(AtomicU64::new(0));
+
+    let mut threads = Vec::new();
+    // Churners: DDL (create/drop) bumps the catalog generation and every
+    // cached plan; DML on genes bumps its table version and every cached
+    // result — the cache-hostile half of the workload.
+    for t in 0..CHURNERS {
+        let client = client.clone();
+        let shed = Arc::clone(&shed);
+        threads.push(std::thread::spawn(move || {
+            let s = client.open(SessionKind::Maintainer);
+            for i in 0..OPS_PER_THREAD {
+                let sql = match i % 3 {
+                    0 => format!("CREATE TABLE public.churn_{t}_{i} (x INT)"),
+                    1 => format!("INSERT INTO public.genes VALUES ({}, 'g')", 100 + t * 1000 + i),
+                    _ => format!("DROP TABLE public.churn_{t}_{}", i - 2),
+                };
+                match client.query(s, &sql) {
+                    Ok(_) => {}
+                    Err(ServerError::Busy { .. }) => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    // A shed CREATE makes the paired DROP fail: structured
+                    // Db errors are part of normal churn here.
+                    Err(ServerError::Db(_)) => {}
+                    Err(other) => panic!("unexpected error: {other:?}"),
+                }
+            }
+            client.close(s);
+        }));
+    }
+    // Readers: mostly cacheable reads, plus a panicking statement every
+    // 30th op.
+    for r in 0..READERS {
+        let client = client.clone();
+        let shed = Arc::clone(&shed);
+        let panicked = Arc::clone(&panicked);
+        threads.push(std::thread::spawn(move || {
+            let s = client.open(SessionKind::Public);
+            for i in 0..OPS_PER_THREAD {
+                let sql = match i % 30 {
+                    29 => "SELECT boom()".to_string(),
+                    n if n % 2 == 0 => "SELECT count(*) FROM public.genes".to_string(),
+                    n => format!("SELECT name FROM public.genes WHERE id = {}", n + r),
+                };
+                match client.query(s, &sql) {
+                    Ok(_) => {}
+                    Err(ServerError::Busy { .. }) => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    Err(ServerError::Io(_)) if sql == "SELECT boom()" => {
+                        panicked.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(ServerError::Db(_)) => {}
+                    Err(other) => panic!("unexpected error: {other:?}"),
+                }
+            }
+            client.close(s);
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Quiescence: every client call has returned, so every admitted job
+    // has run. The worker bumps its completion/panic counter *after*
+    // replying (a panic can only be counted once the unwind finishes), so
+    // give the final increments a moment to land, then read the snapshot
+    // straight from the service (not through the pool) so no in-flight
+    // job skews the counters.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let snap = loop {
+        let snap = server.service().snapshot();
+        let v = |name: &str| snap.value(name).unwrap_or(0);
+        let accounted =
+            v("server_jobs_completed") + v("server_worker_panics") + v("server_rejected_busy");
+        if accounted == v("server_jobs_submitted") || std::time::Instant::now() > deadline {
+            break snap;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    let v = |name: &str| snap.value(name).unwrap_or_else(|| panic!("missing stat {name}"));
+
+    let submitted = v("server_jobs_submitted");
+    let completed = v("server_jobs_completed");
+    let panics = v("server_worker_panics");
+    let busy = v("server_rejected_busy");
+    assert_eq!(
+        submitted,
+        completed + panics + busy,
+        "pool conservation law violated: {submitted} submitted vs {completed} completed + \
+         {panics} panicked + {busy} shed"
+    );
+    assert_eq!(
+        snap.hist("query_queue_wait").expect("queue_wait histogram").count,
+        completed + panics,
+        "queue_wait must sample every admitted job exactly once"
+    );
+    assert_eq!(
+        v("query_ok") + v("query_err"),
+        completed,
+        "every completed job answers exactly one statement"
+    );
+
+    // The run really exercised all three legs and really churned the
+    // caches.
+    assert_eq!(panics, panicked.load(Ordering::Relaxed), "client saw every panic");
+    assert!(panics >= 1, "panic leg never ran");
+    assert_eq!(busy, shed.load(Ordering::Relaxed), "client saw every shed");
+    assert!(busy >= 1, "shed leg never ran (queue never saturated)");
+    assert!(v("cache_plan_misses") > 1, "DDL churn should invalidate plans");
+    assert!(v("cache_result_misses") > 1, "DML churn should invalidate results");
+    assert_eq!(v("server_queue_depth"), 0, "queue drained at quiescence");
+}

@@ -33,7 +33,58 @@ struct EnvCol {
     ty: ColTy,
 }
 
+/// Generation profile: tilts the workload mix without changing the
+/// number of RNG draws, so a given `(seed, profile)` pair is stable and
+/// `Profile::Default` reproduces the historical `gen_scenario` output
+/// exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Profile {
+    /// The balanced mix: 1–3 tables, ~35% of queries join.
+    #[default]
+    Default,
+    /// Join-pressure: always ≥2 tables, ~85% of queries join, and NULLs
+    /// land in nullable columns more often, so NULL join keys (which must
+    /// never match under 3VL) get dense differential coverage.
+    JoinHeavy,
+}
+
+impl Profile {
+    /// Parse a CLI/env spelling; `None` for an unknown name.
+    pub fn from_name(name: &str) -> Option<Profile> {
+        match name {
+            "default" => Some(Profile::Default),
+            "join-heavy" => Some(Profile::JoinHeavy),
+            _ => None,
+        }
+    }
+
+    fn min_tables(self) -> usize {
+        match self {
+            Profile::Default => 1,
+            Profile::JoinHeavy => 2,
+        }
+    }
+
+    fn join_chance(self) -> f64 {
+        match self {
+            Profile::Default => 0.35,
+            Profile::JoinHeavy => 0.85,
+        }
+    }
+
+    fn null_chance(self) -> f64 {
+        match self {
+            Profile::Default => 0.25,
+            Profile::JoinHeavy => 0.45,
+        }
+    }
+}
+
 pub fn gen_scenario(seed: u64) -> Scenario {
+    gen_scenario_with_profile(seed, Profile::Default)
+}
+
+pub fn gen_scenario_with_profile(seed: u64, profile: Profile) -> Scenario {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut col_counter = 0usize;
 
@@ -41,7 +92,7 @@ pub fn gen_scenario(seed: u64) -> Scenario {
     // sum/avg always have a target. `big[t]` marks tables whose INT columns
     // may hold near-i64 values (their columns stay out of filter
     // arithmetic, see module doc).
-    let n_tables = rng.gen_range(1..=3usize);
+    let n_tables = rng.gen_range(profile.min_tables()..=3usize);
     let mut tables = Vec::with_capacity(n_tables);
     let mut big = Vec::with_capacity(n_tables);
     for t in 0..n_tables {
@@ -72,7 +123,7 @@ pub fn gen_scenario(seed: u64) -> Scenario {
         big.push(rng.gen_bool(0.2));
     }
 
-    let mut g = Gen { rng, tables: &tables, big: &big };
+    let mut g = Gen { rng, tables: &tables, big: &big, profile };
 
     let mut ops = Vec::new();
     // Seed data: 1–2 INSERTs per table.
@@ -100,13 +151,14 @@ struct Gen<'a> {
     rng: StdRng,
     tables: &'a [TableSpec],
     big: &'a [bool],
+    profile: Profile,
 }
 
 impl Gen<'_> {
     // ---- values ------------------------------------------------------------
 
     fn gen_value(&mut self, col: &ColSpec, big: bool) -> Val {
-        if col.nullable && self.rng.gen_bool(0.25) {
+        if col.nullable && self.rng.gen_bool(self.profile.null_chance()) {
             return Val::Null;
         }
         match col.ty {
@@ -214,7 +266,7 @@ impl Gen<'_> {
 
     fn gen_query(&mut self) -> Query {
         let left = self.rng.gen_range(0..self.tables.len());
-        let join = if self.tables.len() >= 2 && self.rng.gen_bool(0.35) {
+        let join = if self.tables.len() >= 2 && self.rng.gen_bool(self.profile.join_chance()) {
             let mut right = self.rng.gen_range(0..self.tables.len() - 1);
             if right >= left {
                 right += 1;
@@ -527,6 +579,32 @@ mod tests {
         assert!(joins > 5, "joins: {joins}");
         assert!(aggs > 10, "aggs: {aggs}");
         assert!(windows > 10, "windows: {windows}");
+    }
+
+    #[test]
+    fn join_heavy_profile_is_join_heavy() {
+        // The profile's whole point: multiple tables every time, a join in
+        // most queries, and deterministic per (seed, profile).
+        let (mut queries, mut joins) = (0usize, 0usize);
+        for seed in 0..60 {
+            let sc = gen_scenario_with_profile(seed, Profile::JoinHeavy);
+            assert!(sc.tables.len() >= 2, "seed {seed}: join-heavy needs ≥2 tables");
+            for op in &sc.ops {
+                if let Op::Query(q) = op {
+                    queries += 1;
+                    joins += q.join.is_some() as usize;
+                }
+            }
+        }
+        assert!(joins * 10 > queries * 6, "joins: {joins}/{queries} — expected a clear majority");
+        let a = gen_scenario_with_profile(7, Profile::JoinHeavy);
+        let b = gen_scenario_with_profile(7, Profile::JoinHeavy);
+        assert_eq!(a.render_script(), b.render_script());
+        // The default profile is untouched by the profile machinery.
+        assert_eq!(
+            gen_scenario(7).render_script(),
+            gen_scenario_with_profile(7, Profile::Default).render_script()
+        );
     }
 
     #[test]

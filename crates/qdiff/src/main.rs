@@ -12,7 +12,8 @@
 //! shell to replay.
 
 use qdiff::{
-    check_scenario, check_txn_scenario, gen_scenario, gen_txn_scenario, shrink, shrink_txn,
+    check_scenario, check_txn_scenario, gen_scenario_with_profile, gen_txn_scenario, shrink,
+    shrink_txn, Profile,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,6 +24,7 @@ struct Args {
     txn_count: u64,
     shrink_budget: usize,
     out: PathBuf,
+    profile: Profile,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,10 +34,14 @@ fn parse_args() -> Result<Args, String> {
         txn_count: 200,
         shrink_budget: 400,
         out: PathBuf::from("target/qdiff"),
+        profile: Profile::Default,
     };
     // Env overrides first (the CI shard matrix sets these), flags on top.
     if let Ok(s) = std::env::var("QDIFF_SEED_START") {
         args.start = s.parse().map_err(|_| format!("bad QDIFF_SEED_START: {s}"))?;
+    }
+    if let Ok(s) = std::env::var("QDIFF_PROFILE") {
+        args.profile = Profile::from_name(&s).ok_or_else(|| format!("bad QDIFF_PROFILE: {s}"))?;
     }
     if let Ok(s) = std::env::var("QDIFF_SEED_COUNT") {
         args.count = s.parse().map_err(|_| format!("bad QDIFF_SEED_COUNT: {s}"))?;
@@ -52,11 +58,16 @@ fn parse_args() -> Result<Args, String> {
             "--start" => args.start = parse(&val("--start")?)?,
             "--shrink-budget" => args.shrink_budget = parse::<usize>(&val("--shrink-budget")?)?,
             "--out" => args.out = PathBuf::from(val("--out")?),
+            "--profile" => {
+                let name = val("--profile")?;
+                args.profile =
+                    Profile::from_name(&name).ok_or_else(|| format!("bad --profile: {name}"))?;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: qdiff [--seeds N] [--txn-seeds N] [--start S] [--shrink-budget B] \
-                     [--out DIR]\n\
-                     env: QDIFF_SEED_START, QDIFF_SEED_COUNT, QDIFF_TXN_SEED_COUNT"
+                     [--out DIR] [--profile default|join-heavy]\n\
+                     env: QDIFF_SEED_START, QDIFF_SEED_COUNT, QDIFF_TXN_SEED_COUNT, QDIFF_PROFILE"
                 );
                 std::process::exit(0);
             }
@@ -81,7 +92,7 @@ fn main() -> ExitCode {
 
     let mut divergent = 0u64;
     for seed in args.start..args.start + args.count {
-        let sc = gen_scenario(seed);
+        let sc = gen_scenario_with_profile(seed, args.profile);
         let Some(first) = check_scenario(&sc) else { continue };
         divergent += 1;
         eprintln!("seed {seed}: DIVERGENCE — {first}");

@@ -320,6 +320,7 @@ mod tests {
             "txn_duration_p50_us",
             "txn_duration_p95_us",
             "txn_reaped",
+            "txn_versions_pruned",
             "wal_appends",
             "wal_sync_failures",
             "wal_syncs",

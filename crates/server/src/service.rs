@@ -526,6 +526,7 @@ impl QueryService {
         s.counter("txn_committed", txn.committed);
         s.counter("txn_aborted", txn.aborted);
         s.counter("txn_conflicts", txn.conflicts);
+        s.counter("txn_versions_pruned", txn.versions_pruned);
         s.histogram("txn_duration", self.db.txn_duration());
         let etl = genalg_obs::etl_counters();
         let g = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);

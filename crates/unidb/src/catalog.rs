@@ -7,9 +7,9 @@
 //! updateable by their owners." Writes to the public space require the
 //! maintainer role (held by the ETL loader).
 
-use crate::datum::DataType;
+use crate::datum::{DataType, Datum};
 use crate::error::{DbError, DbResult};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -72,6 +72,61 @@ impl TableDef {
     }
 }
 
+/// Sketch size: the K smallest hashes kept per column. 256 keeps the
+/// estimate within a few percent while costing 2 KiB per column.
+const NDV_SKETCH_K: usize = 256;
+
+/// A KMV (k-minimum-values) distinct-count sketch.
+///
+/// Feed it the 64-bit hash of every observed value; it keeps only the K
+/// smallest distinct hashes. If fewer than K have been seen the count is
+/// exact; otherwise the classic KMV estimator extrapolates from how
+/// tightly the K minima crowd the bottom of the hash space. Insert-only:
+/// deletes are not un-observed, so the estimate is an upper bound on a
+/// shrinking table (the planner only needs relative magnitudes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NdvSketch {
+    mins: BTreeSet<u64>,
+}
+
+impl NdvSketch {
+    /// Observe one value by its 64-bit hash.
+    pub fn observe(&mut self, hash: u64) {
+        if self.mins.len() < NDV_SKETCH_K {
+            self.mins.insert(hash);
+        } else if let Some(&max) = self.mins.last() {
+            if hash < max && self.mins.insert(hash) {
+                self.mins.pop_last();
+            }
+        }
+    }
+
+    /// Estimated number of distinct values observed.
+    pub fn estimate(&self) -> u64 {
+        if self.mins.len() < NDV_SKETCH_K {
+            return self.mins.len() as u64;
+        }
+        // KMV: with the K-th smallest hash at fraction x of the hash
+        // space, NDV ≈ (K-1)/x. Computed in f64 to dodge u64 overflow.
+        let kth = (*self.mins.last().expect("sketch is full")).max(1);
+        ((NDV_SKETCH_K - 1) as f64 * (u64::MAX as f64) / kth as f64) as u64
+    }
+}
+
+/// Per-table statistics maintained at insert/update time.
+///
+/// Row counts live in the heap (always exact); this adds the per-column
+/// distinct-value sketches the planner uses for join ordering. Stats are
+/// runtime-only state: like the rest of the catalog they are rebuilt by
+/// WAL replay on recovery, so they never need their own persistence.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// One sketch per column position. NULLs are never observed — the
+    /// estimate counts distinct non-NULL values, which is exactly the
+    /// population a hash-join key can match.
+    pub columns: Vec<NdvSketch>,
+}
+
 /// A registered opaque user-defined type (§6.2).
 ///
 /// The engine never inspects the payload; the registering adapter may
@@ -100,6 +155,7 @@ pub struct Catalog {
     tables: HashMap<String, TableDef>,
     types_by_name: HashMap<String, OpaqueTypeDef>,
     types_by_id: HashMap<u32, OpaqueTypeDef>,
+    stats: HashMap<u32, TableStats>,
     next_table_id: u32,
     next_type_id: u32,
 }
@@ -184,10 +240,40 @@ impl Catalog {
         Ok(self.tables.entry(key).or_insert(def))
     }
 
-    /// Drop a table.
+    /// Drop a table (and its statistics).
     pub fn drop_table(&mut self, space: &str, name: &str) -> DbResult<TableDef> {
         let key = format!("{}.{}", space.to_ascii_lowercase(), name.to_ascii_lowercase());
-        self.tables.remove(&key).ok_or(DbError::NotFound { kind: "table", name: key })
+        let def = self.tables.remove(&key).ok_or(DbError::NotFound { kind: "table", name: key })?;
+        self.stats.remove(&def.id);
+        Ok(def)
+    }
+
+    // -- statistics ---------------------------------------------------------
+
+    /// Fold one inserted (or post-update) row into the table's per-column
+    /// NDV sketches. Called from the row mutators, including WAL replay,
+    /// so recovery rebuilds statistics along with the data.
+    pub fn observe_row(&mut self, table_id: u32, row: &[Datum]) {
+        let stats = self.stats.entry(table_id).or_default();
+        if stats.columns.len() < row.len() {
+            stats.columns.resize(row.len(), NdvSketch::default());
+        }
+        for (sketch, datum) in stats.columns.iter_mut().zip(row) {
+            if !datum.is_null() {
+                sketch.observe(crate::fxhash::hash_one(datum));
+            }
+        }
+    }
+
+    /// Estimated count of distinct non-NULL values in a column, or `None`
+    /// when the column has never been observed (pre-existing data, or a
+    /// table with no inserts yet) — callers fall back to the row count.
+    pub fn column_ndv(&self, table_id: u32, column: usize) -> Option<u64> {
+        let sketch = self.stats.get(&table_id)?.columns.get(column)?;
+        match sketch.estimate() {
+            0 => None,
+            n => Some(n),
+        }
     }
 
     /// Resolve a possibly qualified table name against the session's
@@ -369,5 +455,37 @@ mod tests {
         c.create_table("public", "t", cols()).unwrap();
         assert!(c.drop_table("public", "t").is_ok());
         assert!(c.drop_table("public", "t").is_err());
+    }
+
+    #[test]
+    fn ndv_sketch_exact_below_k_and_close_above() {
+        let mut s = NdvSketch::default();
+        for i in 0..100u64 {
+            s.observe(crate::fxhash::hash_one(&i));
+            s.observe(crate::fxhash::hash_one(&i)); // duplicates don't count
+        }
+        assert_eq!(s.estimate(), 100);
+
+        let mut big = NdvSketch::default();
+        for i in 0..100_000u64 {
+            big.observe(crate::fxhash::hash_one(&i));
+        }
+        let est = big.estimate() as f64;
+        assert!((est - 100_000.0).abs() / 100_000.0 < 0.25, "estimate {est} too far from 100000");
+    }
+
+    #[test]
+    fn table_stats_observe_and_lookup() {
+        let mut c = Catalog::new();
+        let id = c.create_table("public", "t", cols()).unwrap().id;
+        assert_eq!(c.column_ndv(id, 0), None); // nothing observed yet
+        for i in 0..10i64 {
+            c.observe_row(id, &[Datum::Int(i % 3), Datum::Null]);
+        }
+        assert_eq!(c.column_ndv(id, 0), Some(3));
+        assert_eq!(c.column_ndv(id, 1), None); // all-NULL column: no estimate
+        assert_eq!(c.column_ndv(id, 9), None); // out-of-range column
+        c.drop_table("public", "t").unwrap();
+        assert_eq!(c.column_ndv(id, 0), None); // stats dropped with the table
     }
 }

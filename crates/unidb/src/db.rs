@@ -420,8 +420,10 @@ impl Database {
                     inner.track_versions = self.txns.active() > 0;
                     let result = inner.run_stmt(other, role);
                     inner.seal_statement();
-                    let min = self.txns.min_active_snapshot(inner.committed_ts);
-                    inner.gc_versions(min);
+                    let actives = self.txns.active_snapshots();
+                    let current = inner.committed_ts;
+                    let pruned = inner.gc_versions(&actives, current);
+                    self.txns.versions_pruned.fetch_add(pruned, Ordering::Relaxed);
                     result
                 }
             }
@@ -768,18 +770,36 @@ impl Inner {
         }
     }
 
-    /// Drop version bookkeeping no snapshot at or above `min_snapshot` can
-    /// still need: prior images whose `died` stamp is visible to every
-    /// active snapshot, and `born` stamps old enough to be "ancient".
-    pub(crate) fn gc_versions(&mut self, min_snapshot: u64) {
+    /// Drop version bookkeeping no active snapshot can still see,
+    /// returning how many prior images were pruned. `actives` is the
+    /// sorted snapshot list of open transactions; a prior image is kept
+    /// iff some active snapshot falls inside its `[born, died)`
+    /// visibility window. No *future* snapshot can need a pruned version
+    /// either: new snapshots pin `committed_ts`, and every `died` stamp
+    /// is at or below it.
+    ///
+    /// Testing each version against the window — rather than against a
+    /// single low-water mark — is what keeps chains bounded under a
+    /// long-lived reader: churn versions born *after* the oldest snapshot
+    /// are invisible to it and get pruned, where `died > min` would have
+    /// retained them for the snapshot's whole lifetime.
+    pub(crate) fn gc_versions(&mut self, actives: &[u64], current: u64) -> u64 {
+        let min = actives.first().copied().unwrap_or(current);
+        let mut pruned = 0u64;
         for t in self.tables.values_mut() {
             if !t.old_versions.is_empty() {
-                t.old_versions.retain(|v| v.died > min_snapshot);
+                let before = t.old_versions.len();
+                t.old_versions.retain(|v| {
+                    let i = actives.partition_point(|&s| s < v.born);
+                    actives.get(i).is_some_and(|&s| s < v.died)
+                });
+                pruned += (before - t.old_versions.len()) as u64;
             }
             if !t.born.is_empty() {
-                t.born.retain(|_, ts| *ts > min_snapshot);
+                t.born.retain(|_, ts| *ts > min);
             }
         }
+        pruned
     }
 
     /// Record that the catalog changed (tables, indexes, spaces, types).
@@ -1037,6 +1057,10 @@ impl Inner {
             }
         }
         let rid = storage.heap.insert(&encode_row(&row))?;
+        // Feed the per-column NDV sketches. Runs during WAL replay too —
+        // the catalog (and its statistics) is in-memory, so recovery
+        // rebuilds the sketches from the replayed inserts.
+        self.catalog.observe_row(table_id, &row);
         if track {
             storage.born.insert(rid, ts);
         }
@@ -1116,6 +1140,7 @@ impl Inner {
             }
         }
         let new_rid = storage.heap.update(rid, &encode_row(&new_row))?;
+        self.catalog.observe_row(table_id, &new_row);
         if track {
             let born = storage.born.remove(&rid).unwrap_or(0);
             storage.old_versions.push(OldVersion { rid, row: old_row.clone(), born, died: ts });
@@ -1381,6 +1406,11 @@ impl PlannerContext for Inner {
 
     fn row_count(&self, table_id: u32) -> u64 {
         self.tables.get(&table_id).map_or(0, |t| t.heap.len())
+    }
+
+    fn column_ndv(&self, table_id: u32, column: &str) -> Option<u64> {
+        let pos = self.catalog.table_by_id(table_id)?.column_index(column)?;
+        self.catalog.column_ndv(table_id, pos)
     }
 
     fn udi_selectivity(

@@ -28,13 +28,14 @@ use crate::datum::Datum;
 use crate::error::{DbError, DbResult};
 use crate::expr::compile::{compile, infallible, CompiledExpr};
 use crate::expr::func::FunctionRegistry;
+use crate::fxhash::{hash_one, FxBuildHasher, FxHashMap};
 use crate::plan::{AggCall, PhysicalPlan};
 use crate::sql::ast::{Expr, JoinKind};
 use crate::storage::heap::Rid;
 use crate::tuple::Row;
 use stats::{stats_tree, OpStats, OpStatsSnapshot};
 use std::cmp::Ordering;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::ops::Bound;
 use std::sync::Arc;
 
@@ -269,15 +270,36 @@ fn build_iter<'a>(
                 right_width,
             })
         }
-        PhysicalPlan::HashJoin { left, right, left_key, right_key } => Box::new(HashJoinIter {
-            left: build_iter(storage, funcs, left, par, child(0), span_parent)?,
-            right: Some(build_iter(storage, funcs, right, par, child(1), span_parent)?),
-            right_rows: Vec::new(),
-            table: HashMap::new(),
-            left_key: compile(left_key, &left.bindings(), funcs)?,
-            right_key: compile(right_key, &right.bindings(), funcs)?,
-            par,
-        }),
+        PhysicalPlan::HashJoin { left, right, left_key, right_key, build_left, kind } => {
+            // Children are built (and compiled) in plan order so build-time
+            // side effects — index probes, name-resolution errors — happen
+            // in the same order whichever side the executor builds on, and
+            // child(0)/child(1) stay attached to the plan's left/right
+            // inputs regardless.
+            let left_it = build_iter(storage, funcs, left, par, child(0), span_parent)?;
+            let right_it = build_iter(storage, funcs, right, par, child(1), span_parent)?;
+            let left_k = compile(left_key, &left.bindings(), funcs)?;
+            let right_k = compile(right_key, &right.bindings(), funcs)?;
+            let (build_it, build_k, build_plan, probe_it, probe_k) = if *build_left {
+                (left_it, left_k, left, right_it, right_k)
+            } else {
+                (right_it, right_k, right, left_it, left_k)
+            };
+            Box::new(HashJoinIter {
+                probe: probe_it,
+                build: Some(build_it),
+                build_rows: Vec::new(),
+                parts: Vec::new(),
+                mask: 0,
+                probe_key: probe_k,
+                build_key: build_k,
+                build_is_left: *build_left,
+                left_outer: *kind == JoinKind::Left,
+                build_width: build_plan.bindings().len(),
+                par,
+                stats: stats.map(Arc::clone),
+            })
+        }
         PhysicalPlan::Aggregate { input, group_by, calls } => {
             let in_bindings = input.bindings();
             Box::new(AggregateIter {
@@ -290,6 +312,7 @@ fn build_iter<'a>(
                 calls: calls.to_vec(),
                 funcs,
                 par,
+                stats: stats.map(Arc::clone),
             })
         }
         PhysicalPlan::Sort { input, keys } => Box::new(SortIter {
@@ -380,7 +403,7 @@ fn plan_fallible(plan: &PhysicalPlan) -> bool {
         PhysicalPlan::NestedLoopJoin { left, right, on, .. } => {
             !exprs_ok(&on.iter().collect::<Vec<_>>()) || plan_fallible(left) || plan_fallible(right)
         }
-        PhysicalPlan::HashJoin { left, right, left_key, right_key } => {
+        PhysicalPlan::HashJoin { left, right, left_key, right_key, .. } => {
             !infallible(left_key)
                 || !infallible(right_key)
                 || plan_fallible(left)
@@ -938,48 +961,150 @@ impl BatchIter for NlJoinIter<'_> {
     }
 }
 
-/// Hash join: builds on the right side (keys evaluated across morsel
-/// threads), probes left batches as they stream through.
+/// Radix partition count for a hash-join build side of `rows` rows: one
+/// partition per ~4k rows keeps each partition's table cache-sized, as a
+/// power of two so `hash & mask` selects it. A pure function of the data
+/// (never of the parallelism level), because `EXPLAIN ANALYZE` renders it
+/// in the deterministic counter subset.
+fn join_partitions(rows: usize) -> usize {
+    (rows / 4096).next_power_of_two().clamp(1, 256)
+}
+
+/// Build one partition's table from its bucketed `(key, build-row index)`
+/// pairs. Indices arrive in build order, so match lists — and therefore
+/// emitted row order — are identical however partitions are built.
+fn build_partition(bucket: Vec<(Datum, u32)>) -> FxHashMap<Datum, Vec<u32>> {
+    let mut table: FxHashMap<Datum, Vec<u32>> =
+        FxHashMap::with_capacity_and_hasher(bucket.len(), FxBuildHasher);
+    for (key, i) in bucket {
+        table.entry(key).or_default().push(i);
+    }
+    table
+}
+
+/// Hash join, radix-partitioned: the build side (chosen by the planner's
+/// statistics — `build=left|right` in `EXPLAIN`) is drained once, its
+/// keys evaluated across morsel threads, and its rows bucketed by key
+/// hash into cache-sized partitions, each with its own private table —
+/// partitions are independent, so parallel table builds share nothing.
+/// Probe batches then stream through; each probe key hashes to exactly
+/// one partition whose table stays cache-resident.
+///
+/// Emitted rows are always in `left ++ right` column order regardless of
+/// which side was built. For LEFT joins the build side is always the
+/// right (padded) side; unmatched probe rows — including rows whose key
+/// is NULL, which never joins anything — are padded with NULLs.
 struct HashJoinIter<'a> {
-    left: BoxIter<'a>,
-    right: Option<BoxIter<'a>>,
-    right_rows: Vec<Row>,
-    table: HashMap<Datum, Vec<usize>>,
-    left_key: CompiledExpr,
-    right_key: CompiledExpr,
+    probe: BoxIter<'a>,
+    build: Option<BoxIter<'a>>,
+    build_rows: Vec<Row>,
+    parts: Vec<FxHashMap<Datum, Vec<u32>>>,
+    mask: u64,
+    probe_key: CompiledExpr,
+    build_key: CompiledExpr,
+    /// The build side is the plan's *left* input: emit build ++ probe.
+    build_is_left: bool,
+    /// LEFT OUTER join (probe side preserved, build side padded).
+    left_outer: bool,
+    build_width: usize,
     par: usize,
+    /// `EXPLAIN ANALYZE` node for `partitions` / `build_rows`.
+    stats: Option<Arc<OpStats>>,
+}
+
+impl HashJoinIter<'_> {
+    fn build_table(&mut self, build: BoxIter<'_>) -> DbResult<()> {
+        self.build_rows = drain(build)?;
+        let keys = par_map(&self.build_rows, self.par, |r| self.build_key.eval(r))?;
+        let npart = join_partitions(self.build_rows.len());
+        self.mask = npart as u64 - 1;
+        let mut buckets: Vec<Vec<(Datum, u32)>> = vec![Vec::new(); npart];
+        for (i, k) in keys.into_iter().enumerate() {
+            // NULL keys never join; they are dropped at bucket time.
+            if !k.is_null() {
+                buckets[(hash_one(&k) & self.mask) as usize].push((k, i as u32));
+            }
+        }
+        if self.par > 1 && npart > 1 && self.build_rows.len() >= PAR_MIN_ROWS {
+            let chunk = npart.div_ceil(self.par);
+            let mut groups: Vec<Vec<Vec<(Datum, u32)>>> = Vec::new();
+            while !buckets.is_empty() {
+                let take = chunk.min(buckets.len());
+                groups.push(buckets.drain(..take).collect());
+            }
+            std::thread::scope(|s| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|g| {
+                        s.spawn(move || g.into_iter().map(build_partition).collect::<Vec<_>>())
+                    })
+                    .collect();
+                for h in handles {
+                    self.parts.extend(join_worker(h));
+                }
+            });
+        } else {
+            self.parts = buckets.into_iter().map(build_partition).collect();
+        }
+        if let Some(stats) = &self.stats {
+            use std::sync::atomic::Ordering as AtomicOrdering;
+            stats.partitions.store(npart as u64, AtomicOrdering::Relaxed);
+            stats.build_rows.store(self.build_rows.len() as u64, AtomicOrdering::Relaxed);
+        }
+        Ok(())
+    }
 }
 
 impl BatchIter for HashJoinIter<'_> {
     fn next_batch(&mut self) -> DbResult<Option<Vec<Row>>> {
-        if let Some(right) = self.right.take() {
-            self.right_rows = drain(right)?;
-            let keys = par_map(&self.right_rows, self.par, |r| self.right_key.eval(r))?;
-            for (i, k) in keys.into_iter().enumerate() {
-                // NULL keys never join.
-                if !k.is_null() {
-                    self.table.entry(k).or_default().push(i);
-                }
-            }
+        if let Some(build) = self.build.take() {
+            self.build_table(build)?;
         }
-        let Some(batch) = self.left.next_batch()? else { return Ok(None) };
+        let Some(batch) = self.probe.next_batch()? else { return Ok(None) };
+        let keys = par_map(&batch, self.par, |r| self.probe_key.eval(r))?;
         let mut out = Vec::new();
-        for l in &batch {
-            let k = self.left_key.eval(l)?;
-            if k.is_null() {
-                continue;
-            }
-            if let Some(matches) = self.table.get(&k) {
-                for &i in matches {
-                    let mut combined = l.clone();
-                    combined.extend(self.right_rows[i].iter().cloned());
-                    out.push(combined);
+        for (p, k) in batch.iter().zip(&keys) {
+            let matches = if k.is_null() {
+                None // NULL never equals anything, including NULL (3VL).
+            } else {
+                self.parts[(hash_one(k) & self.mask) as usize].get(k)
+            };
+            match matches {
+                Some(idxs) => {
+                    for &i in idxs {
+                        let b = &self.build_rows[i as usize];
+                        let (l, r) = if self.build_is_left {
+                            (b.as_slice(), &p[..])
+                        } else {
+                            (&p[..], b.as_slice())
+                        };
+                        let mut combined = Vec::with_capacity(l.len() + r.len());
+                        combined.extend_from_slice(l);
+                        combined.extend_from_slice(r);
+                        out.push(combined);
+                    }
                 }
+                // LEFT join: the probe row survives with the build side
+                // padded — also the path a NULL probe key takes.
+                None if self.left_outer => {
+                    let mut padded = Vec::with_capacity(p.len() + self.build_width);
+                    padded.extend_from_slice(p);
+                    padded.extend(std::iter::repeat_n(Datum::Null, self.build_width));
+                    out.push(padded);
+                }
+                None => {}
             }
         }
         Ok(Some(out))
     }
 }
+
+/// Radix fan-out for partitioned aggregation. Aggregation streams its
+/// input, so the partition count can't be sized from a known row count
+/// the way the join build side is — a fixed fan-out keeps the
+/// `EXPLAIN ANALYZE` counter a constant of the operator, independent of
+/// both data size and parallelism.
+const AGG_PARTITIONS: usize = 16;
 
 struct AggregateIter<'a> {
     input: Option<BoxIter<'a>>,
@@ -989,6 +1114,8 @@ struct AggregateIter<'a> {
     calls: Vec<AggCall>,
     funcs: &'a FunctionRegistry,
     par: usize,
+    /// `EXPLAIN ANALYZE` node for `partitions`.
+    stats: Option<Arc<OpStats>>,
 }
 
 impl BatchIter for AggregateIter<'_> {
@@ -999,17 +1126,36 @@ impl BatchIter for AggregateIter<'_> {
             key: Vec<Datum>,
             accs: Vec<Box<dyn crate::expr::func::Accumulator>>,
             distinct_seen: Vec<HashSet<Datum>>,
+            /// Global input sequence of the row that created the group;
+            /// emission sorts on it, reproducing single-table insertion
+            /// order exactly at any parallelism.
+            first_seen: u64,
         }
-        let make_group = |key: Vec<Datum>| -> DbResult<Group> {
-            let mut accs = Vec::with_capacity(self.calls.len());
-            for c in &self.calls {
-                let factory = self
-                    .funcs
+
+        /// An evaluated input row: group key, aggregate arguments, and the
+        /// global sequence number that pins emission order.
+        type KeyedRow = (Vec<Datum>, Vec<Datum>, u64);
+
+        /// One radix partition: a private table over its share of the key
+        /// space. Keys are looked up by slice before being cloned, so the
+        /// common case (existing group) allocates nothing.
+        #[derive(Default)]
+        struct AggPart {
+            lookup: FxHashMap<Vec<Datum>, u32>,
+            groups: Vec<Group>,
+        }
+
+        let calls = self.calls.as_slice();
+        let funcs = self.funcs;
+        let make_group = move |key: Vec<Datum>, first_seen: u64| -> DbResult<Group> {
+            let mut accs = Vec::with_capacity(calls.len());
+            for c in calls {
+                let factory = funcs
                     .aggregate(&c.func)
                     .ok_or(DbError::NotFound { kind: "aggregate", name: c.func.clone() })?;
                 accs.push(factory());
             }
-            Ok(Group { key, accs, distinct_seen: vec![HashSet::new(); self.calls.len()] })
+            Ok(Group { key, accs, distinct_seen: vec![HashSet::new(); calls.len()], first_seen })
         };
 
         fn apply(call: &AggCall, group: &mut Group, ci: usize, value: Datum) -> DbResult<()> {
@@ -1023,15 +1169,43 @@ impl BatchIter for AggregateIter<'_> {
             })
         }
 
-        let mut groups: Vec<Group> = Vec::new();
-        let mut lookup: HashMap<Vec<Datum>, usize> = HashMap::new();
-        // The fold into the accumulators is always sequential in row order —
-        // [`crate::expr::func::Accumulator`] is an open extension trait with
-        // no merge operation — but expression evaluation (group key and
-        // every aggregate argument) fans out across the worker threads one
-        // batch at a time when the batch is big enough to pay for it.
-        // Streaming batch by batch means the input is never fully
-        // materialized here.
+        /// Fold one partition's bucketed rows into its table. Rows arrive
+        /// in global sequence order; an error is tagged with the failing
+        /// row's sequence so the caller can report the earliest one — the
+        /// same error a serial fold would have raised.
+        fn fold_part(
+            part: &mut AggPart,
+            rows: Vec<KeyedRow>,
+            calls: &[AggCall],
+            make_group: &impl Fn(Vec<Datum>, u64) -> DbResult<Group>,
+        ) -> Result<(), (u64, DbError)> {
+            for (key, vals, seq) in rows {
+                let gi = match part.lookup.get(key.as_slice()) {
+                    Some(&i) => i as usize,
+                    None => {
+                        part.groups.push(make_group(key.clone(), seq).map_err(|e| (seq, e))?);
+                        part.lookup.insert(key, (part.groups.len() - 1) as u32);
+                        part.groups.len() - 1
+                    }
+                };
+                let group = &mut part.groups[gi];
+                for (ci, (call, value)) in calls.iter().zip(vals).enumerate() {
+                    apply(call, group, ci, value).map_err(|e| (seq, e))?;
+                }
+            }
+            Ok(())
+        }
+
+        let mask = AGG_PARTITIONS as u64 - 1;
+        let mut parts: Vec<AggPart> = (0..AGG_PARTITIONS).map(|_| AggPart::default()).collect();
+        let mut seq = 0u64;
+        let mut key_scratch: Vec<Datum> = Vec::with_capacity(self.group_by.len());
+        // The fold into the accumulators is sequential per partition —
+        // [`crate::expr::func::Accumulator`] is an open extension trait
+        // with no merge operation — but partitions are disjoint by key,
+        // so big batches fan both expression evaluation and the partition
+        // folds out across worker threads. Streaming batch by batch means
+        // the input is never fully materialized here.
         while let Some(batch) = input.next_batch()? {
             if self.par > 1 && batch.len() >= PAR_MIN_ROWS {
                 let evaluated: Vec<(Vec<Datum>, Vec<Datum>)> = par_map(&batch, self.par, |row| {
@@ -1050,50 +1224,77 @@ impl BatchIter for AggregateIter<'_> {
                     Ok((key, vals))
                 })?;
                 drop(batch);
+                let mut buckets: Vec<Vec<KeyedRow>> =
+                    (0..AGG_PARTITIONS).map(|_| Vec::new()).collect();
                 for (key, vals) in evaluated {
-                    let gi = match lookup.get(&key) {
-                        Some(&i) => i,
-                        None => {
-                            groups.push(make_group(key.clone())?);
-                            lookup.insert(key, groups.len() - 1);
-                            groups.len() - 1
+                    buckets[(hash_one(key.as_slice()) & mask) as usize].push((key, vals, seq));
+                    seq += 1;
+                }
+                let mut work: Vec<(&mut AggPart, Vec<KeyedRow>)> =
+                    parts.iter_mut().zip(buckets).collect();
+                let chunk = work.len().div_ceil(self.par);
+                let mut failures: Vec<(u64, DbError)> = Vec::new();
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = work
+                        .chunks_mut(chunk)
+                        .map(|group| {
+                            s.spawn(move || {
+                                for (part, rows) in group.iter_mut() {
+                                    fold_part(part, std::mem::take(rows), calls, &make_group)?;
+                                }
+                                Ok(())
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        if let Err(e) = join_worker(h) {
+                            failures.push(e);
                         }
-                    };
-                    for (ci, (call, value)) in self.calls.iter().zip(vals).enumerate() {
-                        apply(call, &mut groups[gi], ci, value)?;
                     }
+                });
+                if let Some((_, err)) = failures.into_iter().min_by_key(|(at, _)| *at) {
+                    return Err(err);
                 }
             } else {
                 for row in &batch {
-                    let key = self
-                        .group_by
-                        .iter()
-                        .map(|g| g.eval(row))
-                        .collect::<DbResult<Vec<Datum>>>()?;
-                    let gi = match lookup.get(&key) {
-                        Some(&i) => i,
+                    key_scratch.clear();
+                    for g in &self.group_by {
+                        key_scratch.push(g.eval(row)?);
+                    }
+                    let part = &mut parts[(hash_one(key_scratch.as_slice()) & mask) as usize];
+                    let gi = match part.lookup.get(key_scratch.as_slice()) {
+                        Some(&i) => i as usize,
                         None => {
-                            groups.push(make_group(key.clone())?);
-                            lookup.insert(key, groups.len() - 1);
-                            groups.len() - 1
+                            let key = key_scratch.clone();
+                            part.groups.push(make_group(key.clone(), seq)?);
+                            part.lookup.insert(key, (part.groups.len() - 1) as u32);
+                            part.groups.len() - 1
                         }
                     };
-                    for (ci, call) in self.calls.iter().enumerate() {
+                    let group = &mut part.groups[gi];
+                    for (ci, call) in calls.iter().enumerate() {
                         let value = match &self.args[ci] {
                             None => Datum::Int(1), // count(*): a non-null marker per row
                             Some(e) => e.eval(row)?,
                         };
-                        apply(call, &mut groups[gi], ci, value)?;
+                        apply(call, group, ci, value)?;
                     }
+                    seq += 1;
                 }
             }
         }
 
-        // A global aggregate over zero rows still produces one row.
-        if groups.is_empty() && self.group_by.is_empty() {
-            groups.push(make_group(Vec::new())?);
+        if let Some(stats) = &self.stats {
+            stats.partitions.store(AGG_PARTITIONS as u64, std::sync::atomic::Ordering::Relaxed);
         }
 
+        // A global aggregate over zero rows still produces one row.
+        if self.group_by.is_empty() && parts.iter().all(|p| p.groups.is_empty()) {
+            parts[0].groups.push(make_group(Vec::new(), 0)?);
+        }
+
+        let mut groups: Vec<Group> = parts.into_iter().flat_map(|p| p.groups).collect();
+        groups.sort_by_key(|g| g.first_seen);
         let mut out = Vec::with_capacity(groups.len());
         for g in groups {
             let mut row = g.key;

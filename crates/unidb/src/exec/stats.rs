@@ -26,6 +26,12 @@ pub struct OpStats {
     /// True for heap-scanning operators (`SeqScan`), whose rendering
     /// includes `pages_read`.
     pub is_scan: bool,
+    /// True for radix-partitioned operators (`HashJoin`, `Aggregate`),
+    /// whose rendering includes `partitions`.
+    pub has_partitions: bool,
+    /// True for build/probe operators (`HashJoin`), whose rendering
+    /// includes `build_rows`.
+    pub has_build: bool,
     /// Rows emitted by this operator.
     pub rows_out: AtomicU64,
     /// Batches emitted.
@@ -34,6 +40,13 @@ pub struct OpStats {
     pub time_us: AtomicU64,
     /// Heap pages read (scans only).
     pub pages_read: AtomicU64,
+    /// Radix partition count (partitioned operators only). A pure
+    /// function of the data — build-side row count for joins, a fixed
+    /// fan-out for aggregation — never of the parallelism level, so it
+    /// belongs to the deterministic rendering.
+    pub partitions: AtomicU64,
+    /// Rows materialized on the build side (hash joins only).
+    pub build_rows: AtomicU64,
     /// Child operators, in plan order.
     pub children: Vec<Arc<OpStats>>,
 }
@@ -44,10 +57,14 @@ impl OpStats {
         OpStatsSnapshot {
             label: self.label.clone(),
             is_scan: self.is_scan,
+            has_partitions: self.has_partitions,
+            has_build: self.has_build,
             rows_out: self.rows_out.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             time_us: self.time_us.load(Ordering::Relaxed),
             pages_read: self.pages_read.load(Ordering::Relaxed),
+            partitions: self.partitions.load(Ordering::Relaxed),
+            build_rows: self.build_rows.load(Ordering::Relaxed),
             children: self.children.iter().map(|c| c.snapshot()).collect(),
         }
     }
@@ -58,10 +75,17 @@ pub fn stats_tree(plan: &PhysicalPlan) -> Arc<OpStats> {
     Arc::new(OpStats {
         label: plan.node_label(),
         is_scan: matches!(plan, PhysicalPlan::SeqScan { .. }),
+        has_partitions: matches!(
+            plan,
+            PhysicalPlan::HashJoin { .. } | PhysicalPlan::Aggregate { .. }
+        ),
+        has_build: matches!(plan, PhysicalPlan::HashJoin { .. }),
         rows_out: AtomicU64::new(0),
         batches: AtomicU64::new(0),
         time_us: AtomicU64::new(0),
         pages_read: AtomicU64::new(0),
+        partitions: AtomicU64::new(0),
+        build_rows: AtomicU64::new(0),
         children: plan.children().into_iter().map(stats_tree).collect(),
     })
 }
@@ -73,6 +97,10 @@ pub struct OpStatsSnapshot {
     pub label: String,
     /// True for heap-scanning operators.
     pub is_scan: bool,
+    /// True for radix-partitioned operators.
+    pub has_partitions: bool,
+    /// True for build/probe operators.
+    pub has_build: bool,
     /// Rows emitted by this operator.
     pub rows_out: u64,
     /// Batches emitted.
@@ -81,6 +109,10 @@ pub struct OpStatsSnapshot {
     pub time_us: u64,
     /// Heap pages read (scans only).
     pub pages_read: u64,
+    /// Radix partition count (partitioned operators only).
+    pub partitions: u64,
+    /// Rows materialized on the build side (hash joins only).
+    pub build_rows: u64,
     /// Child operators, in plan order.
     pub children: Vec<OpStatsSnapshot>,
 }
@@ -94,9 +126,10 @@ impl OpStatsSnapshot {
         out
     }
 
-    /// The deterministic subset (`rows_out`, plus `pages_read` on scans):
-    /// identical across runs and across parallelism levels for plans that
-    /// drain their input. Golden tests compare this rendering.
+    /// The deterministic subset (`rows_out`, plus `pages_read` on scans
+    /// and `partitions`/`build_rows` on partitioned operators): identical
+    /// across runs and across parallelism levels for plans that drain
+    /// their input. Golden tests compare this rendering.
     pub fn render_counters(&self) -> String {
         let mut out = String::new();
         self.render_into(&mut out, 0, false);
@@ -107,6 +140,12 @@ impl OpStatsSnapshot {
         out.push_str(&"  ".repeat(depth));
         out.push_str(&self.label);
         out.push_str(&format!(" (rows_out={}", self.rows_out));
+        if self.has_partitions {
+            out.push_str(&format!(" partitions={}", self.partitions));
+        }
+        if self.has_build {
+            out.push_str(&format!(" build_rows={}", self.build_rows));
+        }
         if timing {
             out.push_str(&format!(" batches={} time_us={}", self.batches, self.time_us));
         }
@@ -149,5 +188,31 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.render(), "Nothing (rows_out=5 batches=2 time_us=99)\n");
         assert_eq!(snap.render_counters(), "Nothing (rows_out=5)\n");
+    }
+
+    #[test]
+    fn partition_counters_appear_in_both_renderings() {
+        let stats = OpStats {
+            label: "HashJoin a = b build=right".into(),
+            is_scan: false,
+            has_partitions: true,
+            has_build: true,
+            rows_out: AtomicU64::new(7),
+            batches: AtomicU64::new(1),
+            time_us: AtomicU64::new(3),
+            pages_read: AtomicU64::new(0),
+            partitions: AtomicU64::new(4),
+            build_rows: AtomicU64::new(100),
+            children: Vec::new(),
+        };
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.render_counters(),
+            "HashJoin a = b build=right (rows_out=7 partitions=4 build_rows=100)\n"
+        );
+        assert_eq!(
+            snap.render(),
+            "HashJoin a = b build=right (rows_out=7 partitions=4 build_rows=100 batches=1 time_us=3)\n"
+        );
     }
 }

@@ -40,6 +40,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fxhash;
 pub mod index;
 pub mod plan;
 pub mod sql;

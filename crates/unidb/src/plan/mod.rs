@@ -91,6 +91,13 @@ pub enum PhysicalPlan {
         right: Box<PhysicalPlan>,
         left_key: Expr,
         right_key: Expr,
+        /// Which input the hash table is built from. The planner puts the
+        /// smaller estimated side here; the executor always emits columns
+        /// in `left ++ right` order regardless of the choice.
+        build_left: bool,
+        /// `Inner` or `Left`. A LEFT hash join always builds on the right
+        /// (padding) side so probe misses can emit null-padded rows.
+        kind: JoinKind,
     },
     Aggregate {
         input: Box<PhysicalPlan>,
@@ -259,8 +266,17 @@ impl PhysicalPlan {
                 }
                 s
             }
-            PhysicalPlan::HashJoin { left_key, right_key, .. } => {
-                format!("HashJoin {} = {}", left_key.render(), right_key.render())
+            PhysicalPlan::HashJoin { left_key, right_key, build_left, kind, .. } => {
+                let side = if *build_left { "left" } else { "right" };
+                let kind_tag = match kind {
+                    JoinKind::Left => "Left ",
+                    _ => "",
+                };
+                format!(
+                    "HashJoin {kind_tag}{} = {} build={side}",
+                    left_key.render(),
+                    right_key.render()
+                )
             }
             PhysicalPlan::Aggregate { group_by, calls, .. } => {
                 let groups: Vec<String> = group_by.iter().map(Expr::render).collect();

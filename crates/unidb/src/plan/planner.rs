@@ -19,6 +19,12 @@ pub trait PlannerContext {
     fn btree_columns(&self, table_id: u32) -> Vec<(String, usize)>;
     /// Live row count of a table.
     fn row_count(&self, table_id: u32) -> u64;
+    /// Estimated count of distinct non-NULL values in a named column, when
+    /// the catalog has statistics for it. `None` (the default) makes the
+    /// planner fall back to the row count.
+    fn column_ndv(&self, _table_id: u32, _column: &str) -> Option<u64> {
+        None
+    }
     /// Selectivity if a UDI on `(table, column)` can answer `func(args)`.
     fn udi_selectivity(
         &self,
@@ -85,18 +91,10 @@ pub fn plan_select(
     }
 
     // ---- scans and joins ----------------------------------------------------
-    let mut plan = if tables.is_empty() {
-        PhysicalPlan::Nothing
-    } else {
-        build_scan(ctx, &tables[0], std::mem::take(&mut pushed[0]))
+    let mut plan = match &s.from {
+        None => PhysicalPlan::Nothing,
+        Some(from) => plan_from(ctx, from, &tables, &mut pushed)?,
     };
-    if let Some(from) = &s.from {
-        for (idx, j) in from.joins.iter().enumerate() {
-            let t = &tables[idx + 1];
-            let right = build_scan(ctx, t, std::mem::take(&mut pushed[idx + 1]));
-            plan = plan_join(plan, right, j.kind, j.on.clone(), &tables[..idx + 2])?;
-        }
-    }
     if let Some(filter) = Expr::conjoin(post_join) {
         plan = PhysicalPlan::Filter { input: Box::new(plan), predicate: filter };
     }
@@ -133,13 +131,15 @@ pub fn plan_select(
     }
 
     // ---- projection list -------------------------------------------------------
-    let input_bindings = plan.bindings();
     let mut out_exprs: Vec<Expr> = Vec::new();
     let mut out_names: Vec<String> = Vec::new();
     for p in &s.projections {
         match p {
             Projection::Star => {
-                for b in &input_bindings {
+                // Expand from the FROM-order table list, not the plan's
+                // bindings: join reordering may permute the plan's column
+                // order, but `SELECT *` output order is fixed by FROM.
+                for b in tables.iter().flat_map(|t| &t.columns) {
                     out_exprs.push(Expr::Column {
                         table: Some(b.table.clone()),
                         name: b.column.clone(),
@@ -476,64 +476,339 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
     }
 }
 
-/// Pick a join strategy.
+/// Plan the FROM clause: scans plus the join tree.
+///
+/// All-INNER equi-join chains of three or more tables go through the
+/// greedy cheapest-first reordering; everything else (single joins, LEFT
+/// or CROSS anywhere in the chain) folds in FROM order, with per-join
+/// stats still choosing the hash-table build side.
+fn plan_from(
+    ctx: &dyn PlannerContext,
+    from: &crate::sql::ast::FromClause,
+    tables: &[TableInfo],
+    pushed: &mut [Vec<Expr>],
+) -> DbResult<PhysicalPlan> {
+    if from.joins.len() >= 2
+        && from.joins.iter().all(|j| j.kind == JoinKind::Inner && j.on.is_some())
+    {
+        if let Some(plan) = reorder_inner_joins(ctx, from, tables, pushed) {
+            return Ok(plan);
+        }
+    }
+    let mut est = scan_estimate(ctx, &tables[0], pushed[0].len());
+    let mut plan = build_scan(ctx, &tables[0], std::mem::take(&mut pushed[0]));
+    for (idx, j) in from.joins.iter().enumerate() {
+        let t = &tables[idx + 1];
+        let right_est = scan_estimate(ctx, t, pushed[idx + 1].len());
+        let right = build_scan(ctx, t, std::mem::take(&mut pushed[idx + 1]));
+        (plan, est) =
+            plan_join(ctx, plan, right, j.kind, j.on.clone(), &tables[..idx + 2], est, right_est)?;
+    }
+    Ok(plan)
+}
+
+/// Estimated output rows of one table's scan: the live row count damped
+/// by a fixed selectivity per pushed-down conjunct. Coarse on purpose —
+/// the planner only compares relative magnitudes.
+fn scan_estimate(ctx: &dyn PlannerContext, t: &TableInfo, n_conjuncts: usize) -> f64 {
+    ctx.row_count(t.table_id).max(1) as f64 * 0.25f64.powi(n_conjuncts as i32)
+}
+
+/// NDV of a join key when it is a bare column attributable to one table
+/// of `tables` — the hook that feeds catalog statistics into join-size
+/// estimates. Non-column keys (expressions) get no estimate.
+fn key_ndv(ctx: &dyn PlannerContext, key: &Expr, tables: &[TableInfo]) -> Option<u64> {
+    let Expr::Column { table, name } = key else { return None };
+    let ti = match table {
+        Some(b) => tables.iter().find(|t| t.binding.eq_ignore_ascii_case(b))?,
+        None => {
+            let lower = name.to_ascii_lowercase();
+            let mut hits = tables.iter().filter(|t| t.columns.iter().any(|c| c.column == lower));
+            let first = hits.next()?;
+            if hits.next().is_some() {
+                return None;
+            }
+            first
+        }
+    };
+    ctx.column_ndv(ti.table_id, name)
+}
+
+/// Estimated output rows of an equi-join: `|L| * |R| / max(ndv(keys))`,
+/// falling back to the larger side's cardinality as the divisor (the
+/// key/foreign-key assumption) when no sketch exists.
+fn equi_join_estimate(left_est: f64, right_est: f64, dl: Option<u64>, dr: Option<u64>) -> f64 {
+    let d = dl.unwrap_or(0).max(dr.unwrap_or(0)) as f64;
+    let d = if d > 0.0 { d } else { left_est.max(right_est) };
+    (left_est * right_est / d.max(1.0)).max(1.0)
+}
+
+/// Split an ON expression into one hash-key pair (left side attributable
+/// to `left_tables`, right side to `right_table`, flipped operands
+/// normalized) plus the leftover conjuncts.
+fn split_equi(
+    on_expr: &Expr,
+    left_tables: &[TableInfo],
+    right_table: &[TableInfo],
+) -> (Option<(Expr, Expr)>, Vec<Expr>) {
+    let mut equi: Option<(Expr, Expr)> = None;
+    let mut rest: Vec<Expr> = Vec::new();
+    for f in on_expr.clone().conjuncts() {
+        if equi.is_none() {
+            if let Expr::Binary { op: BinOp::Eq, left: l, right: r } = &f {
+                if l.references_columns() && r.references_columns() {
+                    if attribute(l, left_tables).is_some() && attribute(r, right_table).is_some() {
+                        equi = Some((l.as_ref().clone(), r.as_ref().clone()));
+                        continue;
+                    }
+                    // Maybe flipped: right operand references left tables.
+                    if attribute(r, left_tables).is_some() && attribute(l, right_table).is_some() {
+                        equi = Some((r.as_ref().clone(), l.as_ref().clone()));
+                        continue;
+                    }
+                }
+            }
+        }
+        rest.push(f);
+    }
+    (equi, rest)
+}
+
+/// Pick a join strategy for one FROM-order step; returns the plan and
+/// its estimated output rows.
+#[allow(clippy::too_many_arguments)]
 fn plan_join(
+    ctx: &dyn PlannerContext,
     left: PhysicalPlan,
     right: PhysicalPlan,
     kind: JoinKind,
     on: Option<Expr>,
     tables: &[TableInfo],
-) -> DbResult<PhysicalPlan> {
-    if kind == JoinKind::Inner {
+    left_est: f64,
+    right_est: f64,
+) -> DbResult<(PhysicalPlan, f64)> {
+    if matches!(kind, JoinKind::Inner | JoinKind::Left) {
         if let Some(on_expr) = &on {
-            let factors = on_expr.clone().conjuncts();
-            let left_tables: Vec<TableInfo> = tables[..tables.len() - 1].to_vec();
+            let left_tables = &tables[..tables.len() - 1];
             let right_table = &tables[tables.len() - 1..];
-            let mut equi: Option<(Expr, Expr)> = None;
-            let mut rest: Vec<Expr> = Vec::new();
-            for f in factors {
-                if equi.is_none() {
-                    if let Expr::Binary { op: BinOp::Eq, left: l, right: r } = &f {
-                        let l_attr = attribute(l, &left_tables);
-                        let r_attr = attribute(r, right_table);
-                        if l_attr.is_some()
-                            && r_attr.is_some()
-                            && l.references_columns()
-                            && r.references_columns()
-                        {
-                            equi = Some((l.as_ref().clone(), r.as_ref().clone()));
-                            continue;
-                        }
-                        // Maybe flipped: right side references left tables.
-                        let l_attr2 = attribute(r, &left_tables);
-                        let r_attr2 = attribute(l, right_table);
-                        if l_attr2.is_some()
-                            && r_attr2.is_some()
-                            && l.references_columns()
-                            && r.references_columns()
-                        {
-                            equi = Some((r.as_ref().clone(), l.as_ref().clone()));
-                            continue;
-                        }
-                    }
-                }
-                rest.push(f);
-            }
-            if let Some((lk, rk)) = equi {
+            let (equi, rest) = split_equi(on_expr, left_tables, right_table);
+            // A LEFT join can only hash when the single equi conjunct IS
+            // the whole ON clause: leftover conjuncts influence which
+            // rows get null-padded and cannot become a filter above.
+            let hashable = equi.is_some() && (kind == JoinKind::Inner || rest.is_empty());
+            if hashable {
+                let (lk, rk) = equi.expect("checked above");
+                let inner_est = equi_join_estimate(
+                    left_est,
+                    right_est,
+                    key_ndv(ctx, &lk, left_tables),
+                    key_ndv(ctx, &rk, right_table),
+                );
+                // Build on the smaller estimated side; ties keep the
+                // right side (the pre-stats default). LEFT joins always
+                // build right so probe misses can null-pad.
+                let build_left = kind == JoinKind::Inner && left_est < right_est;
+                let out_est =
+                    if kind == JoinKind::Left { inner_est.max(left_est) } else { inner_est };
                 let mut plan = PhysicalPlan::HashJoin {
                     left: Box::new(left),
                     right: Box::new(right),
                     left_key: lk,
                     right_key: rk,
+                    build_left,
+                    kind,
                 };
                 if let Some(f) = Expr::conjoin(rest) {
                     plan = PhysicalPlan::Filter { input: Box::new(plan), predicate: f };
                 }
-                return Ok(plan);
+                return Ok((plan, out_est));
             }
         }
     }
-    Ok(PhysicalPlan::NestedLoopJoin { left: Box::new(left), right: Box::new(right), kind, on })
+    let out_est = match kind {
+        JoinKind::Left => (left_est * right_est * 0.1).max(left_est),
+        _ => left_est * right_est,
+    };
+    let plan =
+        PhysicalPlan::NestedLoopJoin { left: Box::new(left), right: Box::new(right), kind, on };
+    Ok((plan, out_est))
+}
+
+/// Greedy cheapest-first ordering for an all-INNER equi-join chain.
+///
+/// Inner-join ON conjuncts are semantically WHERE conjuncts, so they pool
+/// freely: start from the smallest estimated table, then repeatedly join
+/// the connectable table minimizing the estimated intermediate size. Any
+/// pooled conjunct not consumed as a hash key becomes a filter at the
+/// earliest point all its tables are in scope. Returns `None` — caller
+/// falls back to FROM order — when a step has no connecting equi
+/// conjunct, or when an ON clause references tables that FROM order has
+/// not yet introduced (kept an error, as in the unordered path).
+fn reorder_inner_joins(
+    ctx: &dyn PlannerContext,
+    from: &crate::sql::ast::FromClause,
+    tables: &[TableInfo],
+    pushed: &mut [Vec<Expr>],
+) -> Option<PhysicalPlan> {
+    // Pool every ON conjunct, validating FROM-order scoping first.
+    let mut pool: Vec<Expr> = Vec::new();
+    for (idx, j) in from.joins.iter().enumerate() {
+        let on = j.on.as_ref()?;
+        for c in on.clone().conjuncts() {
+            let targets = column_targets(&c, tables)?;
+            if targets.iter().any(|&t| t > idx + 1) {
+                return None; // references a table FROM hasn't introduced yet
+            }
+            pool.push(c);
+        }
+    }
+
+    let ests: Vec<f64> =
+        tables.iter().enumerate().map(|(i, t)| scan_estimate(ctx, t, pushed[i].len())).collect();
+    let start = (0..tables.len())
+        .min_by(|&a, &b| ests[a].total_cmp(&ests[b]).then(a.cmp(&b)))
+        .expect("at least three tables");
+
+    let mut included = vec![start];
+    let mut order: Vec<(usize, usize, bool)> = Vec::new(); // (table, key conjunct, flipped)
+    let mut consumed = vec![false; pool.len()];
+    let mut cur_est = ests[start];
+    let mut step_ests = Vec::new();
+    while included.len() < tables.len() {
+        let in_set: Vec<TableInfo> = included.iter().map(|&i| tables[i].clone()).collect();
+        // Candidates: excluded tables reachable through a pooled equi
+        // conjunct whose sides split cleanly across the frontier.
+        let mut best: Option<(f64, usize, usize, bool)> = None;
+        for (t, info) in tables.iter().enumerate() {
+            if included.contains(&t) {
+                continue;
+            }
+            let t_side = std::slice::from_ref(info);
+            for (ci, c) in pool.iter().enumerate() {
+                if consumed[ci] {
+                    continue;
+                }
+                let Expr::Binary { op: BinOp::Eq, left: l, right: r } = c else { continue };
+                if !l.references_columns() || !r.references_columns() {
+                    continue;
+                }
+                let (key_in, key_new, flipped) =
+                    if attribute(l, &in_set).is_some() && attribute(r, t_side).is_some() {
+                        (l.as_ref(), r.as_ref(), false)
+                    } else if attribute(r, &in_set).is_some() && attribute(l, t_side).is_some() {
+                        (r.as_ref(), l.as_ref(), true)
+                    } else {
+                        continue;
+                    };
+                let est = equi_join_estimate(
+                    cur_est,
+                    ests[t],
+                    key_ndv(ctx, key_in, &in_set),
+                    key_ndv(ctx, key_new, t_side),
+                );
+                // Strict < keeps ties resolved by (table, conjunct) order,
+                // which is deterministic across runs.
+                if best.as_ref().is_none_or(|b| est < b.0) {
+                    best = Some((est, t, ci, flipped));
+                }
+            }
+        }
+        let (est, t, ci, flipped) = best?;
+        consumed[ci] = true;
+        included.push(t);
+        order.push((t, ci, flipped));
+        step_ests.push(est);
+        cur_est = est;
+    }
+
+    // Build the tree in the chosen order.
+    let mut plan = build_scan(ctx, &tables[start], std::mem::take(&mut pushed[start]));
+    let mut covered = vec![start];
+    let mut apply_covered = |plan: PhysicalPlan, covered: &[usize]| {
+        let mut residual = Vec::new();
+        for (ci, c) in pool.iter().enumerate() {
+            if consumed[ci] {
+                continue;
+            }
+            let in_scope =
+                column_targets(c, tables).is_some_and(|ts| ts.iter().all(|t| covered.contains(t)));
+            if in_scope {
+                consumed[ci] = true;
+                residual.push(c.clone());
+            }
+        }
+        match Expr::conjoin(residual) {
+            Some(f) => PhysicalPlan::Filter { input: Box::new(plan), predicate: f },
+            None => plan,
+        }
+    };
+    plan = apply_covered(plan, &covered);
+    let mut build_est = ests[start];
+    for (step, &(t, ci, flipped)) in order.iter().enumerate() {
+        let right = build_scan(ctx, &tables[t], std::mem::take(&mut pushed[t]));
+        let Expr::Binary { op: BinOp::Eq, left: l, right: r } = &pool[ci] else { unreachable!() };
+        let (lk, rk) = if flipped {
+            (r.as_ref().clone(), l.as_ref().clone())
+        } else {
+            (*l.clone(), *r.clone())
+        };
+        plan = PhysicalPlan::HashJoin {
+            left: Box::new(plan),
+            right: Box::new(right),
+            left_key: lk,
+            right_key: rk,
+            build_left: build_est < ests[t],
+            kind: JoinKind::Inner,
+        };
+        covered.push(t);
+        plan = apply_covered(plan, &covered);
+        build_est = step_ests[step];
+    }
+    Some(plan)
+}
+
+/// Every table index referenced by `expr`'s columns, resolved against the
+/// full FROM-order table list (the same resolution the executor's
+/// compiler uses). `None` when any reference is unknown or ambiguous.
+fn column_targets(expr: &Expr, tables: &[TableInfo]) -> Option<Vec<usize>> {
+    let mut targets = Vec::new();
+    let mut failed = false;
+    expr.visit(&mut |e| {
+        if failed {
+            return;
+        }
+        if let Expr::Column { table, name } = e {
+            let idx = match table {
+                Some(t) => tables.iter().position(|ti| ti.binding.eq_ignore_ascii_case(t)),
+                None => {
+                    let lower = name.to_ascii_lowercase();
+                    let hits: Vec<usize> = tables
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, ti)| ti.columns.iter().any(|c| c.column == lower))
+                        .map(|(i, _)| i)
+                        .collect();
+                    match hits.as_slice() {
+                        [one] => Some(*one),
+                        _ => None,
+                    }
+                }
+            };
+            match idx {
+                Some(i) => {
+                    if !targets.contains(&i) {
+                        targets.push(i);
+                    }
+                }
+                None => failed = true,
+            }
+        }
+    });
+    if failed {
+        None
+    } else {
+        Some(targets)
+    }
 }
 
 /// Collect aggregate calls, deduplicated.

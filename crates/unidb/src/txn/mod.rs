@@ -149,6 +149,9 @@ pub struct TxnStats {
     /// Serialization conflicts detected (eagerly at a statement or at
     /// commit validation).
     pub conflicts: u64,
+    /// Prior row images garbage-collected because no active snapshot
+    /// could still see them (see `Inner::gc_versions`).
+    pub versions_pruned: u64,
 }
 
 /// Buffered writes of one transaction against one table.
@@ -232,6 +235,7 @@ pub(crate) struct TxnManager {
     pub(crate) committed: AtomicU64,
     pub(crate) aborted: AtomicU64,
     pub(crate) conflicts: AtomicU64,
+    pub(crate) versions_pruned: AtomicU64,
     pub(crate) duration: Histogram,
 }
 
@@ -244,6 +248,7 @@ impl TxnManager {
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
+            versions_pruned: AtomicU64::new(0),
             duration: Histogram::default(),
         }
     }
@@ -300,10 +305,13 @@ impl TxnManager {
         self.registry.lock().len()
     }
 
-    /// Oldest snapshot any open transaction still needs; `current` when
-    /// none are open. Version bookkeeping at or below this is prunable.
-    pub(crate) fn min_active_snapshot(&self, current: u64) -> u64 {
-        self.registry.lock().values().map(Slot::snapshot).min().unwrap_or(current)
+    /// Snapshots of every open transaction, sorted ascending — the
+    /// version GC tests each prior image's visibility window against
+    /// this list.
+    pub(crate) fn active_snapshots(&self) -> Vec<u64> {
+        let mut snaps: Vec<u64> = self.registry.lock().values().map(Slot::snapshot).collect();
+        snaps.sort_unstable();
+        snaps
     }
 
     pub(crate) fn stats(&self) -> TxnStats {
@@ -312,6 +320,7 @@ impl TxnManager {
             committed: self.committed.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
             conflicts: self.conflicts.load(Ordering::Relaxed),
+            versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
         }
     }
 }
@@ -401,8 +410,10 @@ impl Database {
             self.txns.finish(id);
             inner.track_versions = self.txns.active() > 0;
             let result = exec::validate_and_apply(&mut inner, &state);
-            let min = self.txns.min_active_snapshot(inner.committed_ts);
-            inner.gc_versions(min);
+            let actives = self.txns.active_snapshots();
+            let current = inner.committed_ts;
+            let pruned = inner.gc_versions(&actives, current);
+            self.txns.versions_pruned.fetch_add(pruned, Ordering::Relaxed);
             result
         };
         self.txns.duration.record(elapsed);

@@ -219,6 +219,12 @@ impl PlannerContext for ReadView<'_> {
         self.inner.row_count(table_id)
     }
 
+    fn column_ndv(&self, table_id: u32, column: &str) -> Option<u64> {
+        // NDV only steers build-side choice and join order; like
+        // `row_count`, the latest sketch is close enough for a snapshot.
+        self.inner.column_ndv(table_id, column)
+    }
+
     fn udi_selectivity(
         &self,
         table_id: u32,

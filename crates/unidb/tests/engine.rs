@@ -150,6 +150,96 @@ fn hash_join_is_planned_for_equi_joins() {
     assert!(plan.contains("NestedLoopJoin"), "{plan}");
 }
 
+/// NULL join keys never match — `NULL = NULL` is UNKNOWN under
+/// three-valued logic, so the hash table must not treat NULL as an
+/// ordinary key value on either side.
+#[test]
+fn hash_join_null_keys_never_match() {
+    let d = db();
+    d.execute_script(
+        "CREATE TABLE l (k INT, tag TEXT);
+         CREATE TABLE r (k INT, val TEXT);
+         INSERT INTO l VALUES (1, 'a'), (NULL, 'b'), (2, 'c'), (NULL, 'd');
+         INSERT INTO r VALUES (1, 'x'), (NULL, 'y'), (3, 'z');",
+    )
+    .unwrap();
+    // INNER: the two NULL keys on the left must not pair with the NULL
+    // key on the right.
+    let rs = d.execute("SELECT l.tag, r.val FROM l JOIN r ON l.k = r.k").unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][0], Datum::Text("a".into()));
+    // LEFT: NULL-keyed left rows survive NULL-padded instead of matching
+    // the right side's NULL key.
+    let rs =
+        d.execute("SELECT l.tag, r.val FROM l LEFT JOIN r ON l.k = r.k ORDER BY l.tag").unwrap();
+    assert_eq!(rs.len(), 4);
+    let padded: Vec<String> = rs
+        .rows
+        .iter()
+        .filter(|row| row[1] == Datum::Null)
+        .map(|row| row[0].as_text().unwrap().to_string())
+        .collect();
+    assert_eq!(padded, vec!["b", "c", "d"]);
+}
+
+/// The planner's stats-driven build-side choice is a physical detail: it
+/// must never leak into output column order or LEFT-join semantics.
+#[test]
+fn build_side_choice_follows_stats_and_preserves_output() {
+    let d = db();
+    d.execute_script("CREATE TABLE big (k INT, n INT); CREATE TABLE small (k INT, tag TEXT);")
+        .unwrap();
+    d.execute("INSERT INTO small VALUES (0, 'z'), (1, 'o'), (2, 't')").unwrap();
+    let mut batch = String::from("INSERT INTO big VALUES ");
+    for i in 0..200 {
+        if i > 0 {
+            batch.push(',');
+        }
+        batch.push_str(&format!("({}, {i})", i % 3));
+    }
+    d.execute(&batch).unwrap();
+
+    // The smaller input builds, whichever side of the JOIN it sits on.
+    let plan = d
+        .execute("EXPLAIN SELECT * FROM small JOIN big ON small.k = big.k")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(plan.contains("build=left"), "small left side should build:\n{plan}");
+    let plan = d
+        .execute("EXPLAIN SELECT * FROM big JOIN small ON big.k = small.k")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(plan.contains("build=right"), "small right side should build:\n{plan}");
+
+    // LEFT join must keep building the preserved (right) side even though
+    // the left input is far smaller.
+    let plan = d
+        .execute("EXPLAIN SELECT * FROM small LEFT JOIN big ON small.k = big.k")
+        .unwrap()
+        .explain
+        .unwrap();
+    assert!(
+        plan.contains("HashJoin Left") && plan.contains("build=right"),
+        "LEFT join pins the build side:\n{plan}"
+    );
+
+    // Output schema and rows stay in declared left-then-right order even
+    // when the build side is the left input.
+    let rs = d.execute("SELECT * FROM small JOIN big ON small.k = big.k WHERE big.n = 7 ").unwrap();
+    assert_eq!(rs.columns, vec!["k", "tag", "k", "n"]);
+    assert_eq!(
+        rs.rows,
+        vec![vec![Datum::Int(1), Datum::Text("o".into()), Datum::Int(1), Datum::Int(7),]]
+    );
+    // Same query spelled with the big table first: same data, swapped
+    // column order, and counts agree with the NDV estimate (200/3 rows
+    // share each key).
+    let rs = d.execute("SELECT count(*) FROM big JOIN small ON big.k = small.k").unwrap();
+    assert_eq!(ints(&rs), vec![200]);
+}
+
 #[test]
 fn btree_index_planning_and_results_match_scan() {
     let d = seeded();

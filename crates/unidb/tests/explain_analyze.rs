@@ -84,6 +84,34 @@ fn counters_are_byte_identical_across_parallelism() {
 }
 
 #[test]
+fn partition_counters_are_deterministic_and_stats_driven() {
+    let d = seeded();
+    let (_, s1) = analyze_at(&d, 1);
+    let (_, s4) = analyze_at(&d, 4);
+    let golden = s1.render_counters();
+    assert_eq!(golden, s4.render_counters(), "partition counters must not depend on parallelism");
+    // Stats pick the 4-row chroms table as build side; partition count is a
+    // pure function of the build rows (4 rows -> a single partition).
+    assert!(golden.contains("build=right"), "small side should build:\n{golden}");
+    assert!(golden.contains("partitions=1"), "tiny build fits one partition:\n{golden}");
+    assert!(golden.contains("build_rows=4"), "build side is 4-row chroms:\n{golden}");
+
+    // Aggregation partitions the same way at any parallelism.
+    let agg = "SELECT chrom, count(*), min(score) FROM reads GROUP BY chrom";
+    d.set_parallelism(1);
+    let (r1, a1) = d.explain_analyze(agg).unwrap();
+    d.set_parallelism(4);
+    let (r4, a4) = d.explain_analyze(agg).unwrap();
+    assert_eq!(r1.rows, r4.rows, "aggregate results must not depend on parallelism");
+    assert_eq!(a1.render_counters(), a4.render_counters());
+    assert!(
+        a1.render_counters().contains("partitions=16"),
+        "aggregation uses its fixed partition fan-out:\n{}",
+        a1.render_counters()
+    );
+}
+
+#[test]
 fn explain_analyze_statement_reports_all_counters() {
     let d = seeded();
     let rs = d.execute(&format!("EXPLAIN ANALYZE {QUERY}")).unwrap();

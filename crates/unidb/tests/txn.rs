@@ -470,3 +470,37 @@ fn txn_counters_and_duration() {
     assert_eq!(stats.conflicts, 0);
     assert_eq!(db.txn_duration().count, 2);
 }
+
+// -- version-chain GC ------------------------------------------------------
+
+/// Version chains are pruned even while a long-lived snapshot is open:
+/// churn versions born *after* the snapshot can never become visible to
+/// any active or future snapshot, so GC drops them instead of letting the
+/// chain grow for the lifetime of the reader.
+#[test]
+fn version_gc_prunes_churn_under_long_lived_reader() {
+    let db = fresh_kv();
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+
+    let reader = db.txn_begin();
+    assert_eq!(txn_ints(&db, reader, "SELECT k, v FROM t"), vec![(1, 10), (2, 20)]);
+
+    // Heavy churn on one row while the reader stays open. Every UPDATE
+    // auto-commits and retires a version; all but the one alive at the
+    // reader's snapshot are unreachable and must be pruned promptly.
+    for i in 0..100 {
+        db.execute(&format!("UPDATE t SET v = {} WHERE k = 1", 100 + i)).unwrap();
+    }
+    let pruned = db.txn_stats().versions_pruned;
+    assert!(pruned >= 90, "churn should be pruned while the reader is open, got {pruned}");
+
+    // The one version the snapshot *does* need survived the pruning.
+    assert_eq!(txn_ints(&db, reader, "SELECT k, v FROM t"), vec![(1, 10), (2, 20)]);
+    db.txn_commit(reader).unwrap();
+
+    // Reader gone: the next commit collapses the remaining history too,
+    // and latest state is what the churn left behind.
+    db.execute("UPDATE t SET v = 0 WHERE k = 2").unwrap();
+    assert!(db.txn_stats().versions_pruned > pruned, "post-reader GC should reclaim the rest");
+    assert_eq!(ints(&db, "SELECT k, v FROM t"), vec![(1, 199), (2, 0)]);
+}

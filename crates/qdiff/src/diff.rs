@@ -131,7 +131,9 @@ fn check_inner(sc: &Scenario, parallelism: Option<usize>) -> Option<Divergence> 
 /// * the root operator's `rows_out` must equal the result's row count;
 /// * for non-windowed queries (no LIMIT/OFFSET — those may legitimately
 ///   stop scanning early, at a point that depends on morsel scheduling),
-///   the deterministic counter rendering must be byte-identical at
+///   the planner's `upper_bound_rows` must dominate both the observed row
+///   count and its own `estimate_rows` (the estimate-vs-observed check),
+///   and the deterministic counter rendering must be byte-identical at
 ///   parallelism 1 and 4.
 fn analyze_crosscheck(db: &Database, sql: &str, row_count: usize, q: &Query) -> Option<String> {
     let saved = db.parallelism();
@@ -145,6 +147,18 @@ fn analyze_crosscheck(db: &Database, sql: &str, row_count: usize, q: &Query) -> 
             ));
         }
         if q.limit.is_none() && q.offset.is_none() {
+            let (estimate, upper) =
+                db.plan_estimate(sql).map_err(|e| format!("plan_estimate failed: {e}"))?;
+            if row_count as f64 > upper + 0.5 {
+                return Err(format!(
+                    "observed {row_count} rows exceeds planner upper bound {upper}"
+                ));
+            }
+            if estimate > upper * 1.0001 + 1.0 {
+                return Err(format!(
+                    "planner estimate {estimate} exceeds its own upper bound {upper}"
+                ));
+            }
             db.set_parallelism(1);
             let (_, s1) = db
                 .explain_analyze(sql)

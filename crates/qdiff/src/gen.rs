@@ -46,6 +46,12 @@ pub enum Profile {
     /// land in nullable columns more often, so NULL join keys (which must
     /// never match under 3VL) get dense differential coverage.
     JoinHeavy,
+    /// Scan-pressure: wider tables (up to 8 columns), larger seed
+    /// INSERTs, few joins, NULL-rich data, and leaf predicates tilted
+    /// toward comparisons and BETWEEN — exactly the shapes zone-map
+    /// pruning and sparse column decode act on, so the differential
+    /// oracle hammers the pruned-scan path.
+    ScanHeavy,
 }
 
 impl Profile {
@@ -54,13 +60,14 @@ impl Profile {
         match name {
             "default" => Some(Profile::Default),
             "join-heavy" => Some(Profile::JoinHeavy),
+            "scan-heavy" => Some(Profile::ScanHeavy),
             _ => None,
         }
     }
 
     fn min_tables(self) -> usize {
         match self {
-            Profile::Default => 1,
+            Profile::Default | Profile::ScanHeavy => 1,
             Profile::JoinHeavy => 2,
         }
     }
@@ -69,6 +76,7 @@ impl Profile {
         match self {
             Profile::Default => 0.35,
             Profile::JoinHeavy => 0.85,
+            Profile::ScanHeavy => 0.10,
         }
     }
 
@@ -76,6 +84,35 @@ impl Profile {
         match self {
             Profile::Default => 0.25,
             Profile::JoinHeavy => 0.45,
+            Profile::ScanHeavy => 0.55,
+        }
+    }
+
+    /// Widest table the schema generator may produce.
+    fn max_cols(self) -> usize {
+        match self {
+            Profile::Default | Profile::JoinHeavy => 5,
+            Profile::ScanHeavy => 8,
+        }
+    }
+
+    /// Cap on rows per seed-data INSERT.
+    fn seed_rows(self) -> usize {
+        match self {
+            Profile::Default | Profile::JoinHeavy => 12,
+            Profile::ScanHeavy => 30,
+        }
+    }
+
+    /// Leaf-predicate shape thresholds for one `0..100` roll:
+    /// inclusive upper bounds for comparison, IS NULL, IN, and BETWEEN;
+    /// the remainder is LIKE. One roll regardless of profile, so the
+    /// draw count — and therefore `(seed, profile)` stability — is
+    /// unchanged.
+    fn pred_bands(self) -> (u32, u32, u32, u32) {
+        match self {
+            Profile::Default | Profile::JoinHeavy => (44, 59, 74, 89),
+            Profile::ScanHeavy => (59, 71, 77, 95),
         }
     }
 }
@@ -96,7 +133,7 @@ pub fn gen_scenario_with_profile(seed: u64, profile: Profile) -> Scenario {
     let mut tables = Vec::with_capacity(n_tables);
     let mut big = Vec::with_capacity(n_tables);
     for t in 0..n_tables {
-        let n_cols = rng.gen_range(2..=5usize);
+        let n_cols = rng.gen_range(2..=profile.max_cols());
         let mut cols = Vec::with_capacity(n_cols);
         for c in 0..n_cols {
             let ty = if c == 0 {
@@ -129,7 +166,8 @@ pub fn gen_scenario_with_profile(seed: u64, profile: Profile) -> Scenario {
     // Seed data: 1–2 INSERTs per table.
     for t in 0..n_tables {
         for _ in 0..g.rng.gen_range(1..=2usize) {
-            ops.push(g.gen_insert(t, 12));
+            let cap = profile.seed_rows();
+            ops.push(g.gen_insert(t, cap));
         }
     }
     // Mixed workload.
@@ -382,10 +420,12 @@ impl Gen<'_> {
         }
         let col = &env[self.rng.gen_range(0..env.len())];
         let negated = self.rng.gen_bool(0.3);
-        match self.rng.gen_range(0..100u32) {
+        let (cmp_hi, is_null_hi, in_hi, between_hi) = self.profile.pred_bands();
+        let roll = self.rng.gen_range(0..100u32);
+        match roll {
             // Comparison against a literal (10% deliberately cross-typed:
             // total_cmp rank ordering is part of the contract).
-            0..=44 => {
+            r if r <= cmp_hi => {
                 let lit_ty = if self.rng.gen_bool(0.9) {
                     col.ty
                 } else {
@@ -396,8 +436,10 @@ impl Gen<'_> {
                 let op = CMP_OPS[self.rng.gen_range(0..CMP_OPS.len())];
                 QExpr::Bin(op, Box::new(QExpr::Col(col.name.clone())), Box::new(QExpr::Lit(lit)))
             }
-            45..=59 => QExpr::IsNull { expr: Box::new(QExpr::Col(col.name.clone())), negated },
-            60..=74 => {
+            r if r <= is_null_hi => {
+                QExpr::IsNull { expr: Box::new(QExpr::Col(col.name.clone())), negated }
+            }
+            r if r <= in_hi => {
                 let n = self.rng.gen_range(1..=4usize);
                 let mut list: Vec<QExpr> =
                     (0..n).map(|_| QExpr::Lit(self.gen_lit(col.ty))).collect();
@@ -406,7 +448,7 @@ impl Gen<'_> {
                 }
                 QExpr::InList { expr: Box::new(QExpr::Col(col.name.clone())), list, negated }
             }
-            75..=89 => {
+            r if r <= between_hi => {
                 // NULL bounds on purpose: `x BETWEEN NULL AND hi` must
                 // still go FALSE when the non-NULL leg decides.
                 let mut lo = self.gen_lit(col.ty);
@@ -605,6 +647,36 @@ mod tests {
             gen_scenario(7).render_script(),
             gen_scenario_with_profile(7, Profile::Default).render_script()
         );
+    }
+
+    #[test]
+    fn scan_heavy_profile_is_scan_heavy() {
+        // Few joins, predicate-dense queries, wider tables, and more seed
+        // rows than the default — the mix zone-map pruning feeds on.
+        let (mut queries, mut joins, mut filters) = (0usize, 0usize, 0usize);
+        let (mut widest, mut seed_rows) = (0usize, 0usize);
+        for seed in 0..60 {
+            let sc = gen_scenario_with_profile(seed, Profile::ScanHeavy);
+            widest = widest.max(sc.tables.iter().map(|t| t.cols.len()).max().unwrap());
+            for op in &sc.ops {
+                match op {
+                    Op::Query(q) => {
+                        queries += 1;
+                        joins += q.join.is_some() as usize;
+                        filters += q.filter.is_some() as usize;
+                    }
+                    Op::Insert { rows, .. } => seed_rows += rows.len(),
+                    _ => {}
+                }
+            }
+        }
+        assert!(joins * 4 < queries, "joins: {joins}/{queries} — expected a small minority");
+        assert!(filters * 2 > queries, "filters: {filters}/{queries}");
+        assert!(widest > 5, "widest table: {widest} — expected >5 columns somewhere");
+        assert!(seed_rows > 60 * 20, "seed rows: {seed_rows}");
+        let a = gen_scenario_with_profile(7, Profile::ScanHeavy);
+        let b = gen_scenario_with_profile(7, Profile::ScanHeavy);
+        assert_eq!(a.render_script(), b.render_script());
     }
 
     #[test]

@@ -283,6 +283,8 @@ mod tests {
             "etl_upserts",
             "exec_parallelism",
             "exec_scan_pages_read",
+            "exec_scan_pages_skipped",
+            "exec_stats_rebuilt",
             "obs_spans_dropped",
             "obs_spans_recorded",
             "obs_tracing_enabled",

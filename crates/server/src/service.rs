@@ -517,6 +517,8 @@ impl QueryService {
         s.gauge("cache_result_entries", self.result_cache.len() as u64);
         s.gauge("exec_parallelism", self.db.parallelism() as u64);
         s.counter("exec_scan_pages_read", self.db.scan_pages_read());
+        s.counter("exec_scan_pages_skipped", self.db.scan_pages_skipped());
+        s.counter("exec_stats_rebuilt", self.db.stats_rebuilt());
         let wal = self.db.wal_stats();
         s.counter("wal_appends", wal.appends);
         s.counter("wal_syncs", wal.syncs);

@@ -9,6 +9,7 @@
 
 use crate::datum::{DataType, Datum};
 use crate::error::{DbError, DbResult};
+use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -113,18 +114,171 @@ impl NdvSketch {
     }
 }
 
+/// Reservoir sample size per column. 256 values bound the equi-depth
+/// histogram's memory while keeping bucket boundaries within a few
+/// percent of the true quantiles for the table sizes this engine serves.
+const SAMPLE_CAP: usize = 256;
+
+/// Maximum equi-depth histogram buckets built from a sample.
+const HIST_BUCKETS: usize = 16;
+
+/// A fixed-size uniform random sample of a column's non-NULL values
+/// (Vitter's reservoir algorithm R).
+///
+/// The RNG is a seeded xorshift64 — *deterministic*, which matters more
+/// here than statistical polish: WAL replay re-observes the same values
+/// in the same order, so a recovered database lands on byte-identical
+/// samples (and therefore identical histograms and plans).
+#[derive(Debug, Clone)]
+pub struct ReservoirSample {
+    values: Vec<Datum>,
+    seen: u64,
+    rng: u64,
+}
+
+impl ReservoirSample {
+    fn new(column: usize) -> Self {
+        // Per-column seed so sibling columns don't share an RNG stream.
+        ReservoirSample {
+            values: Vec::new(),
+            seen: 0,
+            rng: 0x9E37_79B9_7F4A_7C15 ^ ((column as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D)),
+        }
+    }
+
+    fn observe(&mut self, d: &Datum) {
+        self.seen += 1;
+        if self.values.len() < SAMPLE_CAP {
+            self.values.push(d.clone());
+            return;
+        }
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let j = self.rng % self.seen;
+        if (j as usize) < SAMPLE_CAP {
+            self.values[j as usize] = d.clone();
+        }
+    }
+}
+
+/// One column's statistics: distinct-value sketch, NULL count, and the
+/// sample the equi-depth histogram is built from.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    ndv: NdvSketch,
+    sample: ReservoirSample,
+    nulls: u64,
+}
+
+impl ColumnStats {
+    fn new(column: usize) -> Self {
+        ColumnStats { ndv: NdvSketch::default(), sample: ReservoirSample::new(column), nulls: 0 }
+    }
+}
+
 /// Per-table statistics maintained at insert/update time.
 ///
 /// Row counts live in the heap (always exact); this adds the per-column
-/// distinct-value sketches the planner uses for join ordering. Stats are
+/// distinct-value sketches, NULL counts, and histogram samples the
+/// planner uses for join ordering and filter selectivity. Stats are
 /// runtime-only state: like the rest of the catalog they are rebuilt by
 /// WAL replay on recovery, so they never need their own persistence.
 #[derive(Debug, Clone, Default)]
 pub struct TableStats {
-    /// One sketch per column position. NULLs are never observed — the
-    /// estimate counts distinct non-NULL values, which is exactly the
-    /// population a hash-join key can match.
-    pub columns: Vec<NdvSketch>,
+    /// One entry per column position. NULLs are counted but never fed to
+    /// the sketch or sample — the estimates describe the non-NULL
+    /// population, which is exactly what join keys and comparisons match.
+    columns: Vec<ColumnStats>,
+    /// Rows observed (inserts and post-update images) since the last
+    /// reset.
+    observed: u64,
+    /// Deletes since the last reset. Sketches and samples are insert-only,
+    /// so heavy deletion drifts them away from the live data; past a
+    /// threshold ([`Catalog::observe_delete`]) the engine rebuilds.
+    deleted: u64,
+}
+
+/// An equi-depth histogram over one column's sampled non-NULL values:
+/// every bucket holds the same number of sampled values, so bucket
+/// *boundaries* (not counts) carry the shape of the distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    /// Smallest sampled value: anything below it selects nothing.
+    min: Datum,
+    /// Bucket upper bounds, nondecreasing, at most [`HIST_BUCKETS`].
+    bounds: Vec<Datum>,
+    /// The full sorted sample, kept for exact-match selectivity.
+    sorted: Vec<Datum>,
+}
+
+impl EquiDepthHistogram {
+    /// Build from a (not necessarily sorted) sample; `None` when empty.
+    pub fn from_sample(values: &[Datum]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let buckets = HIST_BUCKETS.min(n);
+        let bounds = (1..=buckets).map(|b| sorted[b * n / buckets - 1].clone()).collect();
+        Some(EquiDepthHistogram { min: sorted[0].clone(), bounds, sorted })
+    }
+
+    /// Bucket upper bounds (equal depth each).
+    pub fn buckets(&self) -> &[Datum] {
+        &self.bounds
+    }
+
+    /// Estimated fraction of non-NULL values at or below `v` (strictly
+    /// below when `inclusive` is false). Bucket-granular with half-bucket
+    /// interpolation for values landing inside a bucket.
+    fn frac_at_most(&self, v: &Datum, inclusive: bool) -> f64 {
+        match v.total_cmp(&self.min) {
+            Ordering::Less => return 0.0,
+            Ordering::Equal if !inclusive => return 0.0,
+            _ => {}
+        }
+        let k = self.bounds.len() as f64;
+        // Repeated values can share several bucket bounds; an inclusive
+        // probe equal to a bound covers every bucket ending at it.
+        let mut eq_through: Option<usize> = None;
+        for (i, ub) in self.bounds.iter().enumerate() {
+            match v.total_cmp(ub) {
+                Ordering::Less => {
+                    return match eq_through {
+                        Some(n) => n as f64 / k,
+                        None => (i as f64 + 0.5) / k,
+                    };
+                }
+                Ordering::Equal if inclusive => eq_through = Some(i + 1),
+                Ordering::Equal => return (i as f64 + 0.5) / k,
+                Ordering::Greater => {}
+            }
+        }
+        match eq_through {
+            Some(n) => n as f64 / k,
+            None => 1.0,
+        }
+    }
+
+    /// Estimated selectivity of `lo < / <= col < / <= hi` over the
+    /// non-NULL population (either side optional; the bool is
+    /// "inclusive").
+    pub fn range_selectivity(&self, lo: Option<(&Datum, bool)>, hi: Option<(&Datum, bool)>) -> f64 {
+        let hi_f = hi.map_or(1.0, |(v, incl)| self.frac_at_most(v, incl));
+        let lo_f = lo.map_or(0.0, |(v, incl)| self.frac_at_most(v, !incl));
+        (hi_f - lo_f).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `col = v` over the non-NULL population:
+    /// the exact match fraction within the sample.
+    pub fn eq_selectivity(&self, v: &Datum) -> f64 {
+        let lo = self.sorted.partition_point(|x| x.total_cmp(v) == Ordering::Less);
+        let hi = self.sorted.partition_point(|x| x.total_cmp(v) != Ordering::Greater);
+        (hi - lo) as f64 / self.sorted.len() as f64
+    }
 }
 
 /// A registered opaque user-defined type (§6.2).
@@ -251,29 +405,94 @@ impl Catalog {
     // -- statistics ---------------------------------------------------------
 
     /// Fold one inserted (or post-update) row into the table's per-column
-    /// NDV sketches. Called from the row mutators, including WAL replay,
+    /// statistics. Called from the row mutators, including WAL replay,
     /// so recovery rebuilds statistics along with the data.
     pub fn observe_row(&mut self, table_id: u32, row: &[Datum]) {
         let stats = self.stats.entry(table_id).or_default();
-        if stats.columns.len() < row.len() {
-            stats.columns.resize(row.len(), NdvSketch::default());
+        stats.observed += 1;
+        while stats.columns.len() < row.len() {
+            let pos = stats.columns.len();
+            stats.columns.push(ColumnStats::new(pos));
         }
-        for (sketch, datum) in stats.columns.iter_mut().zip(row) {
-            if !datum.is_null() {
-                sketch.observe(crate::fxhash::hash_one(datum));
+        for (col, datum) in stats.columns.iter_mut().zip(row) {
+            if datum.is_null() {
+                col.nulls += 1;
+            } else {
+                col.ndv.observe(crate::fxhash::hash_one(datum));
+                col.sample.observe(datum);
             }
         }
+    }
+
+    /// Record one deleted row. Returns `true` when deletion has outpaced
+    /// the insert-only statistics badly enough that the caller should
+    /// rebuild them from the live rows: at least 64 deletes since the
+    /// last reset, and deletes make up half of everything observed.
+    pub fn observe_delete(&mut self, table_id: u32) -> bool {
+        let Some(stats) = self.stats.get_mut(&table_id) else { return false };
+        stats.deleted += 1;
+        stats.deleted >= 64 && stats.deleted * 2 >= stats.observed
+    }
+
+    /// Discard a table's statistics so the caller can re-observe the live
+    /// rows from scratch (fresh sketches, samples, and churn counters).
+    pub fn reset_stats(&mut self, table_id: u32) {
+        self.stats.remove(&table_id);
     }
 
     /// Estimated count of distinct non-NULL values in a column, or `None`
     /// when the column has never been observed (pre-existing data, or a
     /// table with no inserts yet) — callers fall back to the row count.
     pub fn column_ndv(&self, table_id: u32, column: usize) -> Option<u64> {
-        let sketch = self.stats.get(&table_id)?.columns.get(column)?;
+        let sketch = &self.stats.get(&table_id)?.columns.get(column)?.ndv;
         match sketch.estimate() {
             0 => None,
             n => Some(n),
         }
+    }
+
+    /// Fraction of observed rows whose value in `column` is NULL, or
+    /// `None` when nothing has been observed.
+    pub fn column_null_frac(&self, table_id: u32, column: usize) -> Option<f64> {
+        let stats = self.stats.get(&table_id)?;
+        if stats.observed == 0 {
+            return None;
+        }
+        let col = stats.columns.get(column)?;
+        Some(col.nulls as f64 / stats.observed as f64)
+    }
+
+    /// Equi-depth histogram over a column's sampled non-NULL values, or
+    /// `None` when the sample is empty. Built on demand — the sample is
+    /// at most `SAMPLE_CAP` values, so the sort is cheap relative to
+    /// planning.
+    pub fn column_histogram(&self, table_id: u32, column: usize) -> Option<EquiDepthHistogram> {
+        let col = self.stats.get(&table_id)?.columns.get(column)?;
+        EquiDepthHistogram::from_sample(&col.sample.values)
+    }
+
+    /// Order-sensitive fingerprint of a table's statistics: sketches,
+    /// samples, NULL counts, and churn counters. Two databases that
+    /// applied the same logical history (e.g. a clean run and a
+    /// crash-recovered WAL replay) must produce the same value; `0` for a
+    /// table with no statistics.
+    pub fn stats_fingerprint(&self, table_id: u32) -> u64 {
+        let Some(stats) = self.stats.get(&table_id) else { return 0 };
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mix = |h: &mut u64, v: u64| *h = (*h ^ v).wrapping_mul(0x100_0000_01b3);
+        mix(&mut h, stats.observed);
+        mix(&mut h, stats.deleted);
+        for col in &stats.columns {
+            mix(&mut h, col.nulls);
+            mix(&mut h, col.sample.seen);
+            for m in &col.ndv.mins {
+                mix(&mut h, *m);
+            }
+            for v in &col.sample.values {
+                mix(&mut h, crate::fxhash::hash_one(v));
+            }
+        }
+        h
     }
 
     /// Resolve a possibly qualified table name against the session's
@@ -472,6 +691,75 @@ mod tests {
         }
         let est = big.estimate() as f64;
         assert!((est - 100_000.0).abs() / 100_000.0 < 0.25, "estimate {est} too far from 100000");
+    }
+
+    #[test]
+    fn reservoir_and_fingerprint_are_deterministic() {
+        let build = || {
+            let mut c = Catalog::new();
+            let id = c.create_table("public", "t", cols()).unwrap().id;
+            for i in 0..2000i64 {
+                let name =
+                    if i % 5 == 0 { Datum::Null } else { Datum::Text(format!("g{}", i % 7)) };
+                c.observe_row(id, &[Datum::Int(i), name]);
+            }
+            (c, id)
+        };
+        let (a, ia) = build();
+        let (b, ib) = build();
+        assert_ne!(a.stats_fingerprint(ia), 0);
+        assert_eq!(a.stats_fingerprint(ia), b.stats_fingerprint(ib));
+        assert_eq!(a.column_histogram(ia, 0), b.column_histogram(ib, 0));
+        // Different history ⇒ different fingerprint.
+        let (mut c, ic) = build();
+        c.observe_row(ic, &[Datum::Int(9999), Datum::Null]);
+        assert_ne!(a.stats_fingerprint(ia), c.stats_fingerprint(ic));
+    }
+
+    #[test]
+    fn equi_depth_histogram_selectivity() {
+        let mut c = Catalog::new();
+        let id = c.create_table("public", "t", cols()).unwrap().id;
+        for i in 0..200i64 {
+            c.observe_row(id, &[Datum::Int(i), Datum::Null]);
+        }
+        let h = c.column_histogram(id, 0).unwrap();
+        assert!(h.buckets().len() <= 16);
+        assert!(h.buckets().windows(2).all(|w| w[0].total_cmp(&w[1]) != Ordering::Greater));
+        // Below the minimum: nothing qualifies.
+        assert_eq!(h.range_selectivity(Some((&Datum::Int(500), true)), None), 0.0);
+        // Top ~10% of a uniform column.
+        let sel = h.range_selectivity(Some((&Datum::Int(180), true)), None);
+        assert!(sel > 0.02 && sel < 0.25, "selectivity {sel} not near 0.1");
+        // Whole range.
+        assert_eq!(h.range_selectivity(None, None), 1.0);
+        // Exact match on a 200-distinct-values column is rare.
+        assert!(h.eq_selectivity(&Datum::Int(42)) <= 0.05);
+        // No histogram for the all-NULL column.
+        assert!(c.column_histogram(id, 1).is_none());
+        let nf = c.column_null_frac(id, 1).unwrap();
+        assert!((nf - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn observe_delete_flags_heavy_churn() {
+        let mut c = Catalog::new();
+        let id = c.create_table("public", "t", cols()).unwrap().id;
+        // No stats yet: deletes against an unobserved table never flag.
+        assert!(!c.observe_delete(id));
+        for i in 0..100i64 {
+            c.observe_row(id, &[Datum::Int(i), Datum::Null]);
+        }
+        for n in 1..=100u64 {
+            let flagged = c.observe_delete(id);
+            assert_eq!(flagged, n >= 64, "delete #{n}");
+            if flagged {
+                break;
+            }
+        }
+        // A reset clears the churn counters.
+        c.reset_stats(id);
+        assert!(!c.observe_delete(id));
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The database engine facade: sessions, DDL/DML execution, transactions,
 //! durability, and the extension registration surface.
 
-use crate::catalog::{Catalog, ColumnDef, Role, TableDef};
+use crate::catalog::{Catalog, ColumnDef, EquiDepthHistogram, Role, TableDef};
 use crate::datum::{DataType, Datum};
 use crate::error::{DbError, DbResult};
 use crate::exec::stats::OpStatsSnapshot;
-use crate::exec::{execute_plan, execute_plan_with_stats, ScanProgress, StorageAccess};
+use crate::exec::{execute_plan, execute_plan_with_stats, ScanProgress, ScanSpec, StorageAccess};
 use crate::expr::compile::compile;
 use crate::expr::eval::{eval, ColumnBinding, EvalContext};
 use crate::expr::func::{AggregateFn, FunctionRegistry, ScalarFn};
@@ -16,11 +16,12 @@ use crate::plan::PhysicalPlan;
 use crate::sql::ast::{Expr, Stmt};
 use crate::sql::parser::{parse, parse_many};
 use crate::storage::buffer::BufferPool;
+use crate::storage::colpage::{ColumnPage, PageZone, ZoneMaps};
 use crate::storage::heap::{HeapFile, Rid};
 use crate::storage::store::MemStore;
 use crate::storage::vfs::{StdVfs, Vfs};
 use crate::storage::wal::{read_log_prefix, WalRecord, WalWriter};
-use crate::tuple::{decode_row, decode_row_prefix_into, encode_row, Row};
+use crate::tuple::{decode_row, decode_row_cols_into, encode_row, Row};
 use crate::txn::TxnManager;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -91,6 +92,16 @@ pub(crate) struct TableStorage {
     /// can still see them is active. A version is visible to snapshot `s`
     /// iff `born <= s < died`.
     pub(crate) old_versions: Vec<OldVersion>,
+    /// Per-page zone maps (min/max/null-count per leading column),
+    /// maintained on every row mutation: inserts widen the target page's
+    /// zone incrementally, deletes and updates rebuild the touched pages
+    /// from the heap so zones stay exact. WAL replay re-runs the same
+    /// mutators, so recovery rebuilds them for free.
+    pub(crate) zones: ZoneMaps,
+    /// Lazily-built columnar images of cold heap pages, keyed by page
+    /// number. A page is cached only when fully inline and not the
+    /// append target; any write to the page evicts its entry.
+    pub(crate) col_cache: Mutex<HashMap<u32, Arc<ColumnPage>>>,
 }
 
 /// A superseded row version retained for snapshot-isolation readers.
@@ -112,6 +123,8 @@ impl TableStorage {
             udis: HashMap::new(),
             born: HashMap::new(),
             old_versions: Vec::new(),
+            zones: ZoneMaps::default(),
+            col_cache: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -144,8 +157,14 @@ pub(crate) struct Inner {
     /// executor's pipeline breakers fan out to this many scoped threads.
     pub(crate) parallelism: usize,
     /// Heap pages read by `scan_batches` since open — an observability
-    /// counter (SHOW STATS, tests asserting LIMIT short-circuits).
+    /// counter (SHOW STATS, tests asserting LIMIT short-circuits). Counts
+    /// only pages actually visited; zone-map-refuted pages land in
+    /// [`Inner::scan_pages_skipped`] instead.
     pub(crate) scan_pages: AtomicU64,
+    /// Heap pages zone maps refuted without reading, since open.
+    pub(crate) scan_pages_skipped: AtomicU64,
+    /// Statistics rebuilds triggered by delete-heavy churn, since open.
+    pub(crate) stats_rebuilt: AtomicU64,
     /// Timestamp of the newest committed statement or transaction.
     /// Snapshots pin this value; mutations stamp `committed_ts + 1`.
     pub(crate) committed_ts: u64,
@@ -241,6 +260,8 @@ impl Database {
                 catalog_gen: 0,
                 parallelism: default_parallelism(),
                 scan_pages: AtomicU64::new(0),
+                scan_pages_skipped: AtomicU64::new(0),
+                stats_rebuilt: AtomicU64::new(0),
                 committed_ts: 0,
                 track_versions: false,
                 pending_dirty: false,
@@ -497,6 +518,58 @@ impl Database {
         self.inner.read().scan_pages.load(Ordering::Relaxed)
     }
 
+    /// Total heap pages zone maps refuted (skipped without reading) since
+    /// open. The pruning counterpart of [`Database::scan_pages_read`].
+    pub fn scan_pages_skipped(&self) -> u64 {
+        self.inner.read().scan_pages_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Statistics rebuilds triggered by delete-heavy churn since open.
+    pub fn stats_rebuilt(&self) -> u64 {
+        self.inner.read().stats_rebuilt.load(Ordering::Relaxed)
+    }
+
+    /// Debug/test hook: check every maintained page zone of `table`
+    /// against a fresh rebuild from the heap. Returns `false` on the
+    /// first divergence — maintained zones are required to be *exact*
+    /// (not merely conservative), which is what makes pruning decisions
+    /// reproducible across WAL replay.
+    pub fn verify_zone_maps(&self, table: &str) -> DbResult<bool> {
+        let inner = self.inner.read();
+        let id = inner.catalog.find_table(table)?.id;
+        let storage = inner
+            .tables
+            .get(&id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        for page_no in 0..storage.heap.num_pages() {
+            let mut rows: Vec<Row> = Vec::new();
+            storage.heap.page_visit_rows(page_no, &mut |bytes| {
+                rows.push(decode_row(bytes)?);
+                Ok(())
+            })?;
+            let fresh = PageZone::rebuild(rows.iter());
+            let ok = match storage.zones.page(page_no) {
+                Some(zone) => *zone == fresh,
+                // No zone recorded is fine only while no row starts here.
+                None => fresh.rows == 0,
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Debug/test hook: a fingerprint of `table`'s catalog statistics
+    /// (sketches, samples, null counts, churn counters). Two databases
+    /// that applied the same logical history — e.g. a clean run and a
+    /// crash-recovered replay — must agree.
+    pub fn stats_fingerprint(&self, table: &str) -> DbResult<u64> {
+        let inner = self.inner.read();
+        let id = inner.catalog.find_table(table)?.id;
+        Ok(inner.catalog.stats_fingerprint(id))
+    }
+
     /// Execute a SELECT while attributing per-operator runtime counters —
     /// the programmatic face of `EXPLAIN ANALYZE`, returning the result
     /// rows *and* the annotated stats tree. The qdiff harness uses this to
@@ -519,6 +592,24 @@ impl Database {
         let (rows, stats) =
             execute_plan_with_stats(&*inner, &inner.funcs, &plan, inner.parallelism)?;
         Ok((ResultSet { columns, rows, affected: 0, explain: None }, stats))
+    }
+
+    /// Plan a SELECT and return `(estimated_rows, upper_bound_rows)`
+    /// without executing it. The estimate uses the planner's
+    /// histogram-backed selectivity model; the bound is a hard ceiling
+    /// on what executing the same plan against the current committed
+    /// state can emit, so `observed <= bound` is a checkable invariant
+    /// (qdiff's estimate-vs-observed cross-check relies on it).
+    pub fn plan_estimate(&self, sql: &str) -> DbResult<(f64, f64)> {
+        let Stmt::Select(s) = parse(sql)? else {
+            return Err(DbError::Unsupported("plan_estimate takes a SELECT".into()));
+        };
+        let inner = self.inner.read();
+        let role = Role::User("user".into());
+        let (plan, _) = plan_select(&*inner, role.default_space(), &s)?;
+        let est = crate::plan::planner::estimate_rows(&plan, &*inner);
+        let bound = crate::plan::planner::upper_bound_rows(&plan, &*inner);
+        Ok((est, bound))
     }
 
     /// Write-ahead-log counters since open; all zero for an in-memory
@@ -1057,9 +1148,15 @@ impl Inner {
             }
         }
         let rid = storage.heap.insert(&encode_row(&row))?;
-        // Feed the per-column NDV sketches. Runs during WAL replay too —
-        // the catalog (and its statistics) is in-memory, so recovery
-        // rebuilds the sketches from the replayed inserts.
+        // Widen the target page's zone map and evict any stale columnar
+        // image. Runs during WAL replay too, so recovery rebuilds zones
+        // from the replayed inserts.
+        storage.zones.observe_insert(rid.page, &row);
+        storage.col_cache.get_mut().remove(&rid.page);
+        // Feed the per-column statistics (NDV sketches, null counts,
+        // histogram samples). Runs during WAL replay too — the catalog
+        // (and its statistics) is in-memory, so recovery rebuilds them
+        // from the replayed inserts.
         self.catalog.observe_row(table_id, &row);
         if track {
             storage.born.insert(rid, ts);
@@ -1104,7 +1201,15 @@ impl Inner {
             let pos = def.column_index(col).expect("indexed column exists");
             udi.on_delete(rid, &row[pos]);
         }
+        rebuild_page_zone(storage, rid.page)?;
         self.bump_table(table_id);
+        // Delete-heavy churn decays the table's statistics (the sketches
+        // and samples only ever accumulate); past a threshold, rebuild
+        // them from the live rows. Runs during WAL replay too, so a
+        // recovered database lands on the same statistics.
+        if self.catalog.observe_delete(table_id) {
+            self.rebuild_table_stats(table_id)?;
+        }
         self.log(WalRecord::Delete { table: def.qualified_name(), row: row.clone() })?;
         Ok(())
     }
@@ -1157,6 +1262,10 @@ impl Inner {
             let pos = def.column_index(col).expect("indexed column exists");
             udi.on_delete(rid, &old_row[pos]);
             udi.on_insert(new_rid, &new_row[pos]);
+        }
+        rebuild_page_zone(storage, rid.page)?;
+        if new_rid.page != rid.page {
+            rebuild_page_zone(storage, new_rid.page)?;
         }
         self.bump_table(table_id);
         self.log(WalRecord::Update {
@@ -1413,6 +1522,16 @@ impl PlannerContext for Inner {
         self.catalog.column_ndv(table_id, pos)
     }
 
+    fn column_histogram(&self, table_id: u32, column: &str) -> Option<EquiDepthHistogram> {
+        let pos = self.catalog.table_by_id(table_id)?.column_index(column)?;
+        self.catalog.column_histogram(table_id, pos)
+    }
+
+    fn column_null_frac(&self, table_id: u32, column: &str) -> Option<f64> {
+        let pos = self.catalog.table_by_id(table_id)?.column_index(column)?;
+        self.catalog.column_null_frac(table_id, pos)
+    }
+
     fn udi_selectivity(
         &self,
         table_id: u32,
@@ -1428,13 +1547,79 @@ impl PlannerContext for Inner {
     }
 }
 
+/// Rebuild one page's zone map from the heap and drop its cached
+/// columnar image. Called after deletes and updates, whose effect on
+/// min/max cannot be applied incrementally.
+fn rebuild_page_zone(storage: &mut TableStorage, page_no: u32) -> DbResult<()> {
+    let mut rows: Vec<Row> = Vec::new();
+    storage.heap.page_visit_rows(page_no, &mut |bytes| {
+        rows.push(decode_row(bytes)?);
+        Ok(())
+    })?;
+    storage.zones.set_page(page_no, PageZone::rebuild(rows.iter()));
+    storage.col_cache.get_mut().remove(&page_no);
+    Ok(())
+}
+
+impl Inner {
+    /// Discard and recompute `table_id`'s catalog statistics from the
+    /// live heap rows, in heap-scan order (deterministic, so WAL replay
+    /// reproduces the same sketches/samples).
+    fn rebuild_table_stats(&mut self, table_id: u32) -> DbResult<()> {
+        let storage = self
+            .tables
+            .get_mut(&table_id)
+            .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
+        let mut rows: Vec<Row> = Vec::new();
+        for (_, bytes) in storage.heap.scan()? {
+            rows.push(decode_row(&bytes)?);
+        }
+        self.catalog.reset_stats(table_id);
+        for row in &rows {
+            self.catalog.observe_row(table_id, row);
+        }
+        self.stats_rebuilt.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The cached (or freshly built) columnar image of a heap page, or
+    /// `None` when the page is not a candidate: the append-target tail
+    /// page is still changing, and pages with overflow stubs hold rows
+    /// the column segments could not represent inline.
+    fn column_image(
+        &self,
+        storage: &TableStorage,
+        page_no: u32,
+        total: u32,
+    ) -> DbResult<Option<Arc<ColumnPage>>> {
+        if page_no + 1 >= total {
+            return Ok(None);
+        }
+        if let Some(cp) = storage.col_cache.lock().get(&page_no) {
+            return Ok(Some(Arc::clone(cp)));
+        }
+        if !storage.heap.page_all_inline(page_no)? {
+            return Ok(None);
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        storage.heap.page_visit_rows(page_no, &mut |bytes| {
+            rows.push(decode_row(bytes)?);
+            Ok(())
+        })?;
+        let Some(cp) = ColumnPage::build(&rows) else { return Ok(None) };
+        let cp = Arc::new(cp);
+        storage.col_cache.lock().insert(page_no, Arc::clone(&cp));
+        Ok(Some(cp))
+    }
+}
+
 impl StorageAccess for Inner {
     fn scan_batches(
         &self,
         table_id: u32,
         first_page: u32,
         max_pages: u32,
-        max_fields: usize,
+        spec: &ScanSpec,
         on_row: &mut dyn FnMut(&[Datum]) -> DbResult<()>,
     ) -> DbResult<ScanProgress> {
         let storage = self
@@ -1443,20 +1628,73 @@ impl StorageAccess for Inner {
             .ok_or_else(|| DbError::Internal("missing table storage".into()))?;
         let total = storage.heap.num_pages();
         if first_page >= total {
-            return Ok(ScanProgress { next_page: None, pages_read: 0 });
+            return Ok(ScanProgress {
+                next_page: None,
+                pages_read: 0,
+                pages_skipped: 0,
+                segments_decoded: 0,
+            });
         }
         let end = first_page.saturating_add(max_pages).min(total);
+        let (mut skipped, mut segments, mut visited) = (0u32, 0u64, 0u64);
         let mut scratch: Row = Vec::new();
+        // The columnar image only beats direct row decode when the mask
+        // skips *interior* columns: segment decode then avoids walking the
+        // skipped columns' bytes entirely, where the row codec must parse
+        // past them. A dense scan (no mask, or every prefix column
+        // referenced — trailing columns are free to skip in row form too)
+        // decodes rows in place with no intermediate column vectors. The
+        // choice is a pure function of the spec, so `segments_decoded`
+        // (same formula both paths) stays deterministic.
+        let sparse = spec.mask.as_deref().is_some_and(|m| m.iter().any(|b| !*b));
         for page_no in first_page..end {
+            // Zone-map pruning. Only reached when the caller supplied
+            // bounds, i.e. the whole filter is error-free; an
+            // unconditional scan visits every page.
+            if !spec.bounds.is_empty() {
+                if let Some(zone) = storage.zones.page(page_no) {
+                    if zone.refutes(&spec.bounds) {
+                        skipped += 1;
+                        continue;
+                    }
+                }
+            }
+            visited += 1;
+            if sparse {
+                if let Some(cp) = self.column_image(storage, page_no, total)? {
+                    segments +=
+                        cp.emit_rows(spec.prefix, spec.mask.as_deref(), &mut *on_row)? as u64;
+                    continue;
+                }
+            }
+            // Row path: decode only the referenced columns. The per-page
+            // segment count uses the same formula as the columnar path —
+            // referenced columns within the page's row arity, counted
+            // once per non-empty page — so the counter is identical
+            // whichever representation served the page.
+            let (mut rows_on_page, mut referenced) = (0u64, 0u64);
             storage.heap.page_visit_rows(page_no, &mut |bytes| {
-                decode_row_prefix_into(&mut scratch, bytes, max_fields)?;
+                decode_row_cols_into(&mut scratch, bytes, spec.prefix, spec.mask.as_deref())?;
+                if rows_on_page == 0 {
+                    referenced = match spec.mask.as_deref() {
+                        Some(m) => m.iter().take(scratch.len()).filter(|b| **b).count() as u64,
+                        None => scratch.len() as u64,
+                    };
+                }
+                rows_on_page += 1;
                 on_row(&scratch)
             })?;
+            if rows_on_page > 0 {
+                segments += referenced;
+            }
         }
-        self.scan_pages.fetch_add(u64::from(end - first_page), Ordering::Relaxed);
+        self.scan_pages.fetch_add(visited, Ordering::Relaxed);
+        self.scan_pages_skipped.fetch_add(u64::from(skipped), Ordering::Relaxed);
         Ok(ScanProgress {
             next_page: if end < total { Some(end) } else { None },
             pages_read: end - first_page,
+            pages_skipped: skipped,
+            segments_decoded: segments,
         })
     }
 

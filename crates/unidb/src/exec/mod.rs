@@ -31,6 +31,7 @@ use crate::expr::func::FunctionRegistry;
 use crate::fxhash::{hash_one, FxBuildHasher, FxHashMap};
 use crate::plan::{AggCall, PhysicalPlan};
 use crate::sql::ast::{Expr, JoinKind};
+use crate::storage::colpage::ColBound;
 use crate::storage::heap::Rid;
 use crate::tuple::Row;
 use stats::{stats_tree, OpStats, OpStatsSnapshot};
@@ -54,18 +55,19 @@ const PAR_MIN_ROWS: usize = 4096;
 pub trait StorageAccess: Sync {
     /// Stream the decoded rows of up to `max_pages` heap pages starting at
     /// `first_page` into `on_row`, returning the page to continue from and
-    /// how many pages were visited. Page ranges past the end visit
-    /// nothing, so parallel morsels can race ahead safely. Only the first
-    /// `max_fields` columns of each row are decoded (`usize::MAX` for all):
-    /// a fused scan passes the highest position its expressions read so
-    /// trailing columns aren't even deserialized. Rows are borrowed from a
-    /// reused decode scratch — `on_row` must copy anything it keeps.
+    /// how many pages the range covered. Page ranges past the end visit
+    /// nothing, so parallel morsels can race ahead safely. The [`ScanSpec`]
+    /// says which columns the caller reads (so trailing or masked-out
+    /// columns aren't even deserialized) and carries the predicate bounds a
+    /// page-level zone map may refute without reading the page. Rows are
+    /// borrowed from a reused decode scratch — `on_row` must copy anything
+    /// it keeps.
     fn scan_batches(
         &self,
         table_id: u32,
         first_page: u32,
         max_pages: u32,
-        max_fields: usize,
+        spec: &ScanSpec,
         on_row: &mut dyn FnMut(&[Datum]) -> DbResult<()>,
     ) -> DbResult<ScanProgress>;
     /// Fetch specific rows (missing rids are skipped).
@@ -90,13 +92,48 @@ pub trait StorageAccess: Sync {
     ) -> DbResult<Vec<Rid>>;
 }
 
+/// What a scan reads of each row, built once per scan iterator from the
+/// compiled fused expressions.
+#[derive(Debug, Clone, Default)]
+pub struct ScanSpec {
+    /// Columns `0..prefix` are decoded (`usize::MAX` for all): the highest
+    /// position the fused expressions read, plus one.
+    pub prefix: usize,
+    /// Within the prefix, which columns are actually referenced. `None`
+    /// means all of them; with a mask, unreferenced positions are skipped
+    /// during decode and surface as `Datum::Null` placeholders.
+    pub mask: Option<Vec<bool>>,
+    /// Per-column bounds extracted from the fused filter for zone-map
+    /// pruning. Empty unless the *whole* filter is error-free: skipping a
+    /// page must never skip an evaluation error the engine mandates.
+    pub bounds: Vec<ColBound>,
+}
+
 /// The outcome of one [`StorageAccess::scan_batches`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Zone-map bounds for a fused scan filter. Pruning is only sound when
+/// the *whole* filter is guaranteed error-free: a skipped page must not
+/// swallow a runtime error (division by zero, type mismatch) the engine
+/// is required to raise, so any filter that can error yields no bounds.
+fn scan_bounds(filter: &Option<CompiledExpr>) -> Vec<ColBound> {
+    match filter {
+        Some(f) if f.error_free() => f.zone_bounds(),
+        _ => Vec::new(),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanProgress {
     /// Page to continue from; `None` once the heap is exhausted.
     pub next_page: Option<u32>,
-    /// Pages actually visited by this call (0 for a range past the end).
+    /// Pages the call's range covered (0 for a range past the end),
+    /// *including* zone-refuted pages — the legacy meaning of "pages this
+    /// scan examined".
     pub pages_read: u32,
+    /// Pages within the range the zone map refuted without reading.
+    pub pages_skipped: u32,
+    /// Column segments decoded: referenced columns × pages with at least
+    /// one live row, identical on the row and columnar decode paths.
+    pub segments_decoded: u64,
 }
 
 /// Execute a plan to completion, collecting every emitted batch.
@@ -170,16 +207,20 @@ fn build_iter<'a>(
     let child = |i: usize| stats.map(|s| &s.children[i]);
     let it: BoxIter<'a> = match plan {
         PhysicalPlan::Nothing => Box::new(NothingIter { done: false }),
-        PhysicalPlan::SeqScan { table_id, residual, columns, .. } => Box::new(SeqScanIter {
-            storage,
-            table_id: *table_id,
-            filter: compile_opt(residual.as_ref(), columns, funcs)?,
-            project: None,
-            prefix: usize::MAX,
-            next_page: Some(0),
-            par,
-            stats: stats.map(Arc::clone),
-        }),
+        PhysicalPlan::SeqScan { table_id, residual, columns, .. } => {
+            let filter = compile_opt(residual.as_ref(), columns, funcs)?;
+            let spec = ScanSpec { prefix: usize::MAX, mask: None, bounds: scan_bounds(&filter) };
+            Box::new(SeqScanIter {
+                storage,
+                table_id: *table_id,
+                filter,
+                project: None,
+                spec,
+                next_page: Some(0),
+                par,
+                stats: stats.map(Arc::clone),
+            })
+        }
         // Project directly over SeqScan fuses into the scan morsel, so
         // filter + projection run inside the parallel workers — and only
         // the column prefix the fused expressions actually read is decoded.
@@ -197,6 +238,21 @@ fn build_iter<'a>(
                 .filter_map(CompiledExpr::max_column)
                 .max()
                 .map_or(0, |m| m + 1);
+            let mut referenced = std::collections::BTreeSet::new();
+            for e in project.iter().chain(filter.iter()) {
+                e.collect_columns(&mut referenced);
+            }
+            let mut mask = vec![false; prefix];
+            for c in referenced {
+                if c < prefix {
+                    mask[c] = true;
+                }
+            }
+            // An all-true mask is just a prefix decode; drop it so the scan
+            // takes the branch-free dense loop. `segments_decoded` counts
+            // min(prefix, arity) either way, so counters don't move.
+            let mask = if mask.iter().all(|b| *b) { None } else { Some(mask) };
+            let spec = ScanSpec { prefix, mask, bounds: scan_bounds(&filter) };
             // The fused operator reports through both plan nodes: the scan
             // child gets pages_read (inside SeqScanIter) plus rows/time via
             // its own StatIter; the Project gets the same via the outer
@@ -206,7 +262,7 @@ fn build_iter<'a>(
                 table_id: *table_id,
                 filter,
                 project: Some(project),
-                prefix,
+                spec,
                 next_page: Some(0),
                 par,
                 stats: child(0).map(Arc::clone),
@@ -588,15 +644,17 @@ struct SeqScanIter<'a> {
     table_id: u32,
     filter: Option<CompiledExpr>,
     project: Option<Vec<CompiledExpr>>,
-    /// Columns `0..prefix` are decoded; the rest are skipped. Only ever
-    /// narrower than the schema when projection is fused into the scan, so
-    /// downstream operators always see full rows.
-    prefix: usize,
+    /// What to decode (column prefix/mask) and which pages the zone maps
+    /// may refute (predicate bounds). The mask is only ever narrower than
+    /// the schema when projection is fused into the scan, so downstream
+    /// operators always see full rows.
+    spec: ScanSpec,
     next_page: Option<u32>,
     par: usize,
-    /// `EXPLAIN ANALYZE` node to attribute `pages_read` to. Per-morsel
-    /// page counts are summed on the pulling thread after the wave joins,
-    /// so the total is deterministic at any parallelism.
+    /// `EXPLAIN ANALYZE` node to attribute `pages_read`, `pages_skipped`
+    /// and `segments_decoded` to. Per-morsel counts are summed on the
+    /// pulling thread after the wave joins, so the totals are
+    /// deterministic at any parallelism.
     stats: Option<Arc<OpStats>>,
 }
 
@@ -609,7 +667,7 @@ impl SeqScanIter<'_> {
             self.table_id,
             first_page,
             MORSEL_PAGES,
-            self.prefix,
+            &self.spec,
             &mut |row| {
                 if let Some(f) = &self.filter {
                     if !f.accepts(row)? {
@@ -632,9 +690,11 @@ impl SeqScanIter<'_> {
         Ok((out, progress))
     }
 
-    fn record_pages(&self, pages: u64) {
+    fn record_progress(&self, pages: u64, skipped: u64, segments: u64) {
         if let Some(stats) = &self.stats {
             stats.pages_read.fetch_add(pages, std::sync::atomic::Ordering::Relaxed);
+            stats.pages_skipped.fetch_add(skipped, std::sync::atomic::Ordering::Relaxed);
+            stats.segments_decoded.fetch_add(segments, std::sync::atomic::Ordering::Relaxed);
         }
     }
 }
@@ -644,7 +704,11 @@ impl BatchIter for SeqScanIter<'_> {
         let Some(start) = self.next_page else { return Ok(None) };
         if self.par <= 1 {
             let (rows, progress) = self.run_morsel(start)?;
-            self.record_pages(u64::from(progress.pages_read));
+            self.record_progress(
+                u64::from(progress.pages_read),
+                u64::from(progress.pages_skipped),
+                progress.segments_decoded,
+            );
             self.next_page = progress.next_page;
             return Ok(Some(rows));
         }
@@ -663,14 +727,16 @@ impl BatchIter for SeqScanIter<'_> {
         });
         let mut batch = Vec::new();
         let mut wave_next = None;
-        let mut wave_pages = 0u64;
+        let (mut wave_pages, mut wave_skipped, mut wave_segments) = (0u64, 0u64, 0u64);
         for r in results {
             let (rows, progress) = r?;
             batch.extend(rows);
             wave_pages += u64::from(progress.pages_read);
+            wave_skipped += u64::from(progress.pages_skipped);
+            wave_segments += progress.segments_decoded;
             wave_next = progress.next_page;
         }
-        self.record_pages(wave_pages);
+        self.record_progress(wave_pages, wave_skipped, wave_segments);
         self.next_page = wave_next;
         Ok(Some(batch))
     }

@@ -40,6 +40,15 @@ pub struct OpStats {
     pub time_us: AtomicU64,
     /// Heap pages read (scans only).
     pub pages_read: AtomicU64,
+    /// Pages the zone map refuted before reading (scans only). A pure
+    /// function of the stored data and the predicate, so it belongs to
+    /// the deterministic rendering.
+    pub pages_skipped: AtomicU64,
+    /// Column segments decoded across visited pages (scans only).
+    /// Counted identically on the row and columnar paths — referenced
+    /// columns × non-empty pages visited — so it too is
+    /// parallelism-stable.
+    pub segments_decoded: AtomicU64,
     /// Radix partition count (partitioned operators only). A pure
     /// function of the data — build-side row count for joins, a fixed
     /// fan-out for aggregation — never of the parallelism level, so it
@@ -63,6 +72,8 @@ impl OpStats {
             batches: self.batches.load(Ordering::Relaxed),
             time_us: self.time_us.load(Ordering::Relaxed),
             pages_read: self.pages_read.load(Ordering::Relaxed),
+            pages_skipped: self.pages_skipped.load(Ordering::Relaxed),
+            segments_decoded: self.segments_decoded.load(Ordering::Relaxed),
             partitions: self.partitions.load(Ordering::Relaxed),
             build_rows: self.build_rows.load(Ordering::Relaxed),
             children: self.children.iter().map(|c| c.snapshot()).collect(),
@@ -84,6 +95,8 @@ pub fn stats_tree(plan: &PhysicalPlan) -> Arc<OpStats> {
         batches: AtomicU64::new(0),
         time_us: AtomicU64::new(0),
         pages_read: AtomicU64::new(0),
+        pages_skipped: AtomicU64::new(0),
+        segments_decoded: AtomicU64::new(0),
         partitions: AtomicU64::new(0),
         build_rows: AtomicU64::new(0),
         children: plan.children().into_iter().map(stats_tree).collect(),
@@ -109,6 +122,10 @@ pub struct OpStatsSnapshot {
     pub time_us: u64,
     /// Heap pages read (scans only).
     pub pages_read: u64,
+    /// Pages the zone map refuted before reading (scans only).
+    pub pages_skipped: u64,
+    /// Column segments decoded across visited pages (scans only).
+    pub segments_decoded: u64,
     /// Radix partition count (partitioned operators only).
     pub partitions: u64,
     /// Rows materialized on the build side (hash joins only).
@@ -150,7 +167,10 @@ impl OpStatsSnapshot {
             out.push_str(&format!(" batches={} time_us={}", self.batches, self.time_us));
         }
         if self.is_scan {
-            out.push_str(&format!(" pages_read={}", self.pages_read));
+            out.push_str(&format!(
+                " pages_read={} pages_skipped={} segments_decoded={}",
+                self.pages_read, self.pages_skipped, self.segments_decoded
+            ));
         }
         out.push(')');
         out.push('\n');
@@ -191,6 +211,34 @@ mod tests {
     }
 
     #[test]
+    fn scan_counters_render_pruning_fields() {
+        let stats = OpStats {
+            label: "SeqScan t".into(),
+            is_scan: true,
+            has_partitions: false,
+            has_build: false,
+            rows_out: AtomicU64::new(12),
+            batches: AtomicU64::new(1),
+            time_us: AtomicU64::new(8),
+            pages_read: AtomicU64::new(10),
+            pages_skipped: AtomicU64::new(7),
+            segments_decoded: AtomicU64::new(6),
+            partitions: AtomicU64::new(0),
+            build_rows: AtomicU64::new(0),
+            children: Vec::new(),
+        };
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.render_counters(),
+            "SeqScan t (rows_out=12 pages_read=10 pages_skipped=7 segments_decoded=6)\n"
+        );
+        assert_eq!(
+            snap.render(),
+            "SeqScan t (rows_out=12 batches=1 time_us=8 pages_read=10 pages_skipped=7 segments_decoded=6)\n"
+        );
+    }
+
+    #[test]
     fn partition_counters_appear_in_both_renderings() {
         let stats = OpStats {
             label: "HashJoin a = b build=right".into(),
@@ -201,6 +249,8 @@ mod tests {
             batches: AtomicU64::new(1),
             time_us: AtomicU64::new(3),
             pages_read: AtomicU64::new(0),
+            pages_skipped: AtomicU64::new(0),
+            segments_decoded: AtomicU64::new(0),
             partitions: AtomicU64::new(4),
             build_rows: AtomicU64::new(100),
             children: Vec::new(),

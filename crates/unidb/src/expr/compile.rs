@@ -19,7 +19,9 @@ use crate::error::{DbError, DbResult};
 use crate::expr::eval::{ColumnBinding, EvalContext, LikePattern};
 use crate::expr::func::{FunctionRegistry, ScalarFn};
 use crate::sql::ast::{BinOp, Expr, UnaryOp};
+use crate::storage::colpage::ColBound;
 use std::cmp::Ordering;
+use std::collections::BTreeMap;
 
 /// An executable expression with all names resolved.
 pub enum CompiledExpr {
@@ -281,6 +283,222 @@ impl CompiledExpr {
             }
         }
     }
+
+    /// Record every column position this expression reads into `out`
+    /// (sparse scans decode exactly these positions).
+    pub fn collect_columns(&self, out: &mut std::collections::BTreeSet<usize>) {
+        match self {
+            CompiledExpr::Literal(_) => {}
+            CompiledExpr::Column(i) => {
+                out.insert(*i);
+            }
+            CompiledExpr::Unary { expr, .. }
+            | CompiledExpr::IsNull { expr, .. }
+            | CompiledExpr::LikePre { expr, .. } => expr.collect_columns(out),
+            CompiledExpr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            CompiledExpr::Func { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            CompiledExpr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            CompiledExpr::Between { expr, low, high, .. } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            CompiledExpr::LikeDyn { expr, pattern, .. } => {
+                expr.collect_columns(out);
+                pattern.collect_columns(out);
+            }
+        }
+    }
+
+    /// Can [`CompiledExpr::eval`] *never* return an error for this
+    /// expression, whatever datums the row holds? This is the gate for
+    /// zone-map page skipping and for reordering AND conjuncts: an
+    /// expression that can error must be evaluated on every row it would
+    /// have seen, or the engine would stop raising errors it owes the
+    /// caller (and the qdiff oracle would flag the divergence).
+    ///
+    /// Deliberately conservative: arithmetic (overflow/division), scalar
+    /// functions, LIKE (errors on non-TEXT operands — column types are
+    /// not statically known here) and NOT/AND/OR over operands not
+    /// *guaranteed* boolean all answer `false`.
+    pub fn error_free(&self) -> bool {
+        match self {
+            CompiledExpr::Literal(_) | CompiledExpr::Column(_) => true,
+            CompiledExpr::IsNull { expr, .. } => expr.error_free(),
+            CompiledExpr::Unary { op: UnaryOp::Not, expr } => {
+                expr.error_free() && expr.bool_typed()
+            }
+            CompiledExpr::Unary { op: UnaryOp::Neg, .. } => false,
+            CompiledExpr::Binary { op, left, right } => match op {
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                    left.error_free() && right.error_free()
+                }
+                BinOp::And | BinOp::Or => {
+                    left.error_free()
+                        && left.bool_typed()
+                        && right.error_free()
+                        && right.bool_typed()
+                }
+                _ => false,
+            },
+            CompiledExpr::InList { expr, list, .. } => {
+                expr.error_free() && list.iter().all(CompiledExpr::error_free)
+            }
+            CompiledExpr::Between { expr, low, high, .. } => {
+                expr.error_free() && low.error_free() && high.error_free()
+            }
+            CompiledExpr::Func { .. }
+            | CompiledExpr::LikePre { .. }
+            | CompiledExpr::LikeDyn { .. } => false,
+        }
+    }
+
+    /// Is this expression guaranteed to evaluate to `Bool` or `Null`
+    /// (assuming it evaluates at all)? Needed by [`error_free`] because
+    /// NOT/AND/OR error on non-boolean operands.
+    fn bool_typed(&self) -> bool {
+        match self {
+            CompiledExpr::Literal(Datum::Bool(_)) | CompiledExpr::Literal(Datum::Null) => true,
+            CompiledExpr::IsNull { .. }
+            | CompiledExpr::InList { .. }
+            | CompiledExpr::Between { .. }
+            | CompiledExpr::LikePre { .. }
+            | CompiledExpr::LikeDyn { .. } => true,
+            CompiledExpr::Unary { op: UnaryOp::Not, .. } => true,
+            CompiledExpr::Binary { op, .. } => matches!(
+                op,
+                BinOp::Eq
+                    | BinOp::NotEq
+                    | BinOp::Lt
+                    | BinOp::LtEq
+                    | BinOp::Gt
+                    | BinOp::GtEq
+                    | BinOp::And
+                    | BinOp::Or
+            ),
+            _ => false,
+        }
+    }
+
+    /// Extract per-column zone-map bounds from the top-level AND
+    /// conjuncts of a filter. Only leaves of the shape
+    /// `column <op> literal` (either orientation), `column BETWEEN
+    /// literal AND literal`, `column IN (literals)` and
+    /// `column IS [NOT] NULL` contribute; everything else is ignored
+    /// (conservative — never refutes what it cannot prove).
+    ///
+    /// Callers must gate page skipping on [`CompiledExpr::error_free`]:
+    /// the bounds alone say nothing about whether *other* conjuncts
+    /// could raise errors on the skipped rows.
+    pub fn zone_bounds(&self) -> Vec<ColBound> {
+        let mut by_col: BTreeMap<usize, ColBound> = BTreeMap::new();
+        self.gather_bounds(&mut by_col);
+        by_col.into_values().collect()
+    }
+
+    fn gather_bounds(&self, by_col: &mut BTreeMap<usize, ColBound>) {
+        match self {
+            CompiledExpr::Binary { op: BinOp::And, left, right } => {
+                left.gather_bounds(by_col);
+                right.gather_bounds(by_col);
+            }
+            CompiledExpr::Binary { op, left, right } => {
+                // Normalize to column-on-the-left; a NULL literal makes
+                // the comparison unknown for every row, which zone maps
+                // do not model — skip it.
+                let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+                    (CompiledExpr::Column(c), CompiledExpr::Literal(v)) => (*c, v, *op),
+                    (CompiledExpr::Literal(v), CompiledExpr::Column(c)) => {
+                        let flipped = match op {
+                            BinOp::Lt => BinOp::Gt,
+                            BinOp::LtEq => BinOp::GtEq,
+                            BinOp::Gt => BinOp::Lt,
+                            BinOp::GtEq => BinOp::LtEq,
+                            other => *other,
+                        };
+                        (*c, v, flipped)
+                    }
+                    _ => return,
+                };
+                if lit.is_null() {
+                    return;
+                }
+                let b = by_col.entry(col).or_insert_with(|| ColBound::new(col));
+                match op {
+                    BinOp::Eq => {
+                        b.add_lo(lit.clone(), true);
+                        b.add_hi(lit.clone(), true);
+                    }
+                    BinOp::Lt => b.add_hi(lit.clone(), false),
+                    BinOp::LtEq => b.add_hi(lit.clone(), true),
+                    BinOp::Gt => b.add_lo(lit.clone(), false),
+                    BinOp::GtEq => b.add_lo(lit.clone(), true),
+                    _ => {}
+                }
+            }
+            CompiledExpr::Between { expr, low, high, negated: false } => {
+                if let (
+                    CompiledExpr::Column(c),
+                    CompiledExpr::Literal(lo),
+                    CompiledExpr::Literal(hi),
+                ) = (expr.as_ref(), low.as_ref(), high.as_ref())
+                {
+                    let b = by_col.entry(*c).or_insert_with(|| ColBound::new(*c));
+                    if !lo.is_null() {
+                        b.add_lo(lo.clone(), true);
+                    }
+                    if !hi.is_null() {
+                        b.add_hi(hi.clone(), true);
+                    }
+                }
+            }
+            CompiledExpr::InList { expr, list, negated: false } => {
+                // TRUE requires equality with some non-NULL list value,
+                // so [min, max] over the non-NULL literals bounds it.
+                let CompiledExpr::Column(c) = expr.as_ref() else { return };
+                let mut values: Vec<&Datum> = Vec::with_capacity(list.len());
+                for item in list {
+                    match item {
+                        CompiledExpr::Literal(v) if v.is_null() => {}
+                        CompiledExpr::Literal(v) => values.push(v),
+                        _ => return,
+                    }
+                }
+                let (Some(min), Some(max)) = (
+                    values.iter().min_by(|a, b| a.total_cmp(b)),
+                    values.iter().max_by(|a, b| a.total_cmp(b)),
+                ) else {
+                    return;
+                };
+                let b = by_col.entry(*c).or_insert_with(|| ColBound::new(*c));
+                b.add_lo((*min).clone(), true);
+                b.add_hi((*max).clone(), true);
+            }
+            CompiledExpr::IsNull { expr, negated } => {
+                if let CompiledExpr::Column(c) = expr.as_ref() {
+                    let b = by_col.entry(*c).or_insert_with(|| ColBound::new(*c));
+                    if *negated {
+                        b.require_non_null = true;
+                    } else {
+                        b.require_null = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 fn eval_binary(
@@ -464,6 +682,81 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn error_free_is_conservative() {
+        let funcs = FunctionRegistry::with_builtins();
+        let b = bindings();
+        let ef = |sql: &str| compile(&expr(sql), &b, &funcs).unwrap().error_free();
+        assert!(ef("g.id"));
+        assert!(ef("g.id > 5"));
+        assert!(ef("g.id = 1 AND p.id < 3"));
+        assert!(ef("NOT (g.id = 1)"));
+        assert!(ef("g.id IS NULL OR p.id BETWEEN 1 AND 9"));
+        assert!(ef("g.id IN (1, 2, NULL)"));
+        // Arithmetic can overflow/divide-by-zero; functions and LIKE can
+        // type-error; AND over a bare column can type-error.
+        assert!(!ef("g.id + 1 > 2"));
+        assert!(!ef("g.id / p.id = 1"));
+        assert!(!ef("-g.id < 0"));
+        assert!(!ef("upper(name) = 'X'"));
+        assert!(!ef("name LIKE 't%'"));
+        assert!(!ef("g.id AND p.id"));
+        assert!(!ef("NOT name"));
+    }
+
+    #[test]
+    fn collect_columns_finds_every_reference() {
+        let funcs = FunctionRegistry::with_builtins();
+        let b = bindings();
+        let prog = compile(&expr("g.id > 1 AND p.id IN (2, 3)"), &b, &funcs).unwrap();
+        let mut cols = std::collections::BTreeSet::new();
+        prog.collect_columns(&mut cols);
+        assert_eq!(cols.into_iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn zone_bounds_extraction() {
+        let funcs = FunctionRegistry::with_builtins();
+        let b = bindings();
+        let bounds = |sql: &str| compile(&expr(sql), &b, &funcs).unwrap().zone_bounds();
+
+        // Range conjuncts merge per column; literal-on-the-left flips.
+        let bs = bounds("g.id >= 5 AND 10 > g.id");
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].col, 0);
+        assert_eq!(bs[0].lo, Some((Datum::Int(5), true)));
+        assert_eq!(bs[0].hi, Some((Datum::Int(10), false)));
+
+        // Equality folds to lo == hi inclusive.
+        let bs = bounds("p.id = 7");
+        assert_eq!(bs[0].col, 2);
+        assert_eq!(bs[0].lo, Some((Datum::Int(7), true)));
+        assert_eq!(bs[0].hi, Some((Datum::Int(7), true)));
+
+        // BETWEEN and IN contribute [min, max]; NULL list items drop out.
+        let bs = bounds("g.id BETWEEN 2 AND 4");
+        assert_eq!(bs[0].lo, Some((Datum::Int(2), true)));
+        assert_eq!(bs[0].hi, Some((Datum::Int(4), true)));
+        let bs = bounds("g.id IN (9, 3, NULL, 6)");
+        assert_eq!(bs[0].lo, Some((Datum::Int(3), true)));
+        assert_eq!(bs[0].hi, Some((Datum::Int(9), true)));
+
+        // IS NULL / IS NOT NULL set the null-side requirements.
+        let bs = bounds("g.id IS NULL");
+        assert!(bs[0].require_null && !bs[0].require_non_null);
+        let bs = bounds("g.id IS NOT NULL");
+        assert!(bs[0].require_non_null);
+
+        // NULL comparisons, OR, NOT and non-leaf shapes extract nothing.
+        assert!(bounds("g.id > NULL").is_empty());
+        assert!(bounds("g.id > 1 OR p.id < 2").is_empty());
+        assert!(bounds("NOT (g.id > 1)").is_empty());
+        assert!(bounds("g.id + 1 > 2").is_empty());
+        assert!(bounds("g.id NOT BETWEEN 1 AND 2").is_empty());
+        assert!(bounds("g.id NOT IN (1, 2)").is_empty());
+        assert!(bounds("g.id IN (NULL)").is_empty());
     }
 
     #[test]

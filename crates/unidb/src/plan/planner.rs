@@ -1,6 +1,6 @@
 //! The planner: SELECT → physical plan.
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, EquiDepthHistogram};
 use crate::datum::Datum;
 use crate::error::{DbError, DbResult};
 use crate::expr::eval::ColumnBinding;
@@ -23,6 +23,16 @@ pub trait PlannerContext {
     /// the catalog has statistics for it. `None` (the default) makes the
     /// planner fall back to the row count.
     fn column_ndv(&self, _table_id: u32, _column: &str) -> Option<u64> {
+        None
+    }
+    /// Equi-depth histogram over a named column's non-NULL values, when
+    /// the catalog has sampled statistics for it. `None` (the default)
+    /// makes the planner fall back to fixed per-conjunct selectivities.
+    fn column_histogram(&self, _table_id: u32, _column: &str) -> Option<EquiDepthHistogram> {
+        None
+    }
+    /// Fraction of a column's observed values that are NULL.
+    fn column_null_frac(&self, _table_id: u32, _column: &str) -> Option<f64> {
         None
     }
     /// Selectivity if a UDI on `(table, column)` can answer `func(args)`.
@@ -289,6 +299,125 @@ fn attribute(expr: &Expr, tables: &[TableInfo]) -> Option<usize> {
     }
 }
 
+/// A histogram-backed access path expected to touch at least this
+/// fraction of the table loses to the fused sequential scan, which
+/// streams pages in order and prunes them by zone map. Fixed fallback
+/// selectivities (no histogram) never trigger the cutoff, so plans
+/// without statistics are unchanged.
+const INDEX_WORTHWHILE: f64 = 0.4;
+
+/// Mirror a comparison for flipped operands: `5 < col` is `col > 5`.
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+/// Histogram-backed selectivity of one conjunct, when it is a simple
+/// comparison, BETWEEN, or IS [NOT] NULL over a bare column with catalog
+/// statistics. `None` otherwise — callers fall back to the pre-stats
+/// fixed damping factors.
+fn histogram_selectivity(ctx: &dyn PlannerContext, table_id: u32, c: &Expr) -> Option<f64> {
+    match c {
+        Expr::Binary { op, left, right } => {
+            let (name, d, op) = match (left.as_ref(), right.as_ref()) {
+                (Expr::Column { name, .. }, Expr::Literal(d)) => (name, d, *op),
+                (Expr::Literal(d), Expr::Column { name, .. }) => (name, d, flip_cmp(*op)),
+                _ => return None,
+            };
+            if matches!(d, Datum::Null) {
+                // `col op NULL` is never true under three-valued logic.
+                return Some(0.0);
+            }
+            let name = name.to_ascii_lowercase();
+            let h = ctx.column_histogram(table_id, &name)?;
+            let non_null = 1.0 - ctx.column_null_frac(table_id, &name).unwrap_or(0.0);
+            let sel = match op {
+                BinOp::Eq => h.eq_selectivity(d),
+                BinOp::NotEq => 1.0 - h.eq_selectivity(d),
+                BinOp::Lt => h.range_selectivity(None, Some((d, false))),
+                BinOp::LtEq => h.range_selectivity(None, Some((d, true))),
+                BinOp::Gt => h.range_selectivity(Some((d, false)), None),
+                BinOp::GtEq => h.range_selectivity(Some((d, true)), None),
+                _ => return None,
+            };
+            Some((sel * non_null).clamp(0.0, 1.0))
+        }
+        Expr::Between { expr, low, high, negated: false } => {
+            let (Expr::Column { name, .. }, Expr::Literal(lo), Expr::Literal(hi)) =
+                (expr.as_ref(), low.as_ref(), high.as_ref())
+            else {
+                return None;
+            };
+            if matches!(lo, Datum::Null) || matches!(hi, Datum::Null) {
+                return Some(0.0);
+            }
+            let name = name.to_ascii_lowercase();
+            let h = ctx.column_histogram(table_id, &name)?;
+            let non_null = 1.0 - ctx.column_null_frac(table_id, &name).unwrap_or(0.0);
+            let sel = h.range_selectivity(Some((lo, true)), Some((hi, true)));
+            Some((sel * non_null).clamp(0.0, 1.0))
+        }
+        Expr::IsNull { expr, negated } => {
+            let Expr::Column { name, .. } = expr.as_ref() else { return None };
+            let name = name.to_ascii_lowercase();
+            let f = ctx.column_null_frac(table_id, &name)?;
+            Some(if *negated { (1.0 - f).clamp(0.0, 1.0) } else { f })
+        }
+        _ => None,
+    }
+}
+
+/// Estimated selectivity of one conjunct: histogram-backed when the
+/// catalog can help, else the legacy fixed 0.25 damping.
+fn conjunct_selectivity(ctx: &dyn PlannerContext, table_id: u32, c: &Expr) -> f64 {
+    histogram_selectivity(ctx, table_id, c).unwrap_or(0.25)
+}
+
+/// Can this conjunct never raise an evaluation error? AST-level mirror
+/// of `CompiledExpr::error_free`: comparisons over error-free operands
+/// compare by total order and never fail, while arithmetic, functions,
+/// LIKE, and boolean connectives (whose operands may be non-boolean at
+/// runtime) all answer `false`.
+fn never_errors(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Column { .. } => true,
+        Expr::IsNull { expr, .. } => never_errors(expr),
+        Expr::Binary { op, left, right } => {
+            matches!(
+                op,
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+            ) && never_errors(left)
+                && never_errors(right)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            never_errors(expr) && never_errors(low) && never_errors(high)
+        }
+        Expr::InList { expr, list, .. } => never_errors(expr) && list.iter().all(never_errors),
+        _ => false,
+    }
+}
+
+/// Order residual conjuncts most-selective-first so the fused filter
+/// rejects rows as early as possible. Reordering changes which conjunct
+/// evaluates first, so it only applies when *every* conjunct is
+/// error-free — otherwise a cheap-but-false conjunct hoisted to the
+/// front could short-circuit past an error the original order raised.
+/// The sort is stable: equal selectivities keep the user's order.
+fn order_residual(ctx: &dyn PlannerContext, table_id: u32, parts: Vec<Expr>) -> Vec<Expr> {
+    if parts.len() < 2 || !parts.iter().all(never_errors) {
+        return parts;
+    }
+    let mut keyed: Vec<(f64, Expr)> =
+        parts.into_iter().map(|c| (conjunct_selectivity(ctx, table_id, &c), c)).collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    keyed.into_iter().map(|(_, c)| c).collect()
+}
+
 /// Choose the cheapest access path for one table given its pushed conjuncts.
 fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> PhysicalPlan {
     let btrees = ctx.btree_columns(t.table_id);
@@ -326,27 +455,20 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
                     continue;
                 }
                 if let Some((_, distinct)) = btrees.iter().find(|(c, _)| *c == name) {
+                    let hist = histogram_selectivity(ctx, t.table_id, c);
                     match op {
                         BinOp::Eq => {
-                            let sel = 1.0 / (*distinct).max(1) as f64;
-                            consider(
-                                (i, sel, Path::Eq { column: name, key: d.clone() }, true),
-                                &mut best,
-                            );
+                            let sel = hist.unwrap_or(1.0 / (*distinct).max(1) as f64);
+                            if hist.is_none() || sel < INDEX_WORTHWHILE {
+                                consider(
+                                    (i, sel, Path::Eq { column: name, key: d.clone() }, true),
+                                    &mut best,
+                                );
+                            }
                         }
                         BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
                             // Normalize for flipped operands: `5 < col` is `col > 5`.
-                            let effective = if flipped {
-                                match op {
-                                    BinOp::Lt => BinOp::Gt,
-                                    BinOp::LtEq => BinOp::GtEq,
-                                    BinOp::Gt => BinOp::Lt,
-                                    BinOp::GtEq => BinOp::LtEq,
-                                    other => other,
-                                }
-                            } else {
-                                op
-                            };
+                            let effective = if flipped { flip_cmp(op) } else { op };
                             // NULL keys sort before every real value in the
                             // index, so an open low end must still exclude
                             // them: `col <= k` is never true for NULL.
@@ -360,10 +482,13 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
                                 BinOp::Gt => (Bound::Excluded(d.clone()), Bound::Unbounded),
                                 _ => (Bound::Included(d.clone()), Bound::Unbounded),
                             };
-                            consider(
-                                (i, 0.3, Path::Range { column: name, lo, hi }, true),
-                                &mut best,
-                            );
+                            let sel = hist.unwrap_or(0.3);
+                            if hist.is_none() || sel < INDEX_WORTHWHILE {
+                                consider(
+                                    (i, sel, Path::Range { column: name, lo, hi }, true),
+                                    &mut best,
+                                );
+                            }
                         }
                         _ => {}
                     }
@@ -382,19 +507,23 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
                     continue;
                 }
                 if btrees.iter().any(|(c, _)| *c == name) {
-                    consider(
-                        (
-                            i,
-                            0.25,
-                            Path::Range {
-                                column: name,
-                                lo: Bound::Included(lo.clone()),
-                                hi: Bound::Included(hi.clone()),
-                            },
-                            true,
-                        ),
-                        &mut best,
-                    );
+                    let hist = histogram_selectivity(ctx, t.table_id, c);
+                    let sel = hist.unwrap_or(0.25);
+                    if hist.is_none() || sel < INDEX_WORTHWHILE {
+                        consider(
+                            (
+                                i,
+                                sel,
+                                Path::Range {
+                                    column: name,
+                                    lo: Bound::Included(lo.clone()),
+                                    hi: Bound::Included(hi.clone()),
+                                },
+                                true,
+                            ),
+                            &mut best,
+                        );
+                    }
                 }
             }
         }
@@ -432,7 +561,7 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
             table_id: t.table_id,
             qualified: t.qualified.clone(),
             columns: t.columns.clone(),
-            residual: Expr::conjoin(conjuncts),
+            residual: Expr::conjoin(order_residual(ctx, t.table_id, conjuncts)),
         },
         Some((chosen, _sel, path, exact)) => {
             let mut residual_parts: Vec<Expr> = Vec::new();
@@ -443,7 +572,7 @@ fn build_scan(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: Vec<Expr>) -> 
                     residual_parts.push(c);
                 }
             }
-            let residual = Expr::conjoin(residual_parts);
+            let residual = Expr::conjoin(order_residual(ctx, t.table_id, residual_parts));
             match path {
                 Path::Eq { column, key } => PhysicalPlan::IndexEqScan {
                     table_id: t.table_id,
@@ -495,11 +624,11 @@ fn plan_from(
             return Ok(plan);
         }
     }
-    let mut est = scan_estimate(ctx, &tables[0], pushed[0].len());
+    let mut est = scan_estimate(ctx, &tables[0], &pushed[0]);
     let mut plan = build_scan(ctx, &tables[0], std::mem::take(&mut pushed[0]));
     for (idx, j) in from.joins.iter().enumerate() {
         let t = &tables[idx + 1];
-        let right_est = scan_estimate(ctx, t, pushed[idx + 1].len());
+        let right_est = scan_estimate(ctx, t, &pushed[idx + 1]);
         let right = build_scan(ctx, t, std::mem::take(&mut pushed[idx + 1]));
         (plan, est) =
             plan_join(ctx, plan, right, j.kind, j.on.clone(), &tables[..idx + 2], est, right_est)?;
@@ -508,10 +637,12 @@ fn plan_from(
 }
 
 /// Estimated output rows of one table's scan: the live row count damped
-/// by a fixed selectivity per pushed-down conjunct. Coarse on purpose —
-/// the planner only compares relative magnitudes.
-fn scan_estimate(ctx: &dyn PlannerContext, t: &TableInfo, n_conjuncts: usize) -> f64 {
-    ctx.row_count(t.table_id).max(1) as f64 * 0.25f64.powi(n_conjuncts as i32)
+/// per pushed-down conjunct — histogram selectivity where the catalog
+/// has a sample for the column, a fixed 0.25 otherwise. Coarse on
+/// purpose — the planner only compares relative magnitudes.
+fn scan_estimate(ctx: &dyn PlannerContext, t: &TableInfo, conjuncts: &[Expr]) -> f64 {
+    let sel: f64 = conjuncts.iter().map(|c| conjunct_selectivity(ctx, t.table_id, c)).product();
+    ctx.row_count(t.table_id).max(1) as f64 * sel
 }
 
 /// NDV of a join key when it is a bare column attributable to one table
@@ -664,7 +795,7 @@ fn reorder_inner_joins(
     }
 
     let ests: Vec<f64> =
-        tables.iter().enumerate().map(|(i, t)| scan_estimate(ctx, t, pushed[i].len())).collect();
+        tables.iter().enumerate().map(|(i, t)| scan_estimate(ctx, t, &pushed[i])).collect();
     let start = (0..tables.len())
         .min_by(|&a, &b| ests[a].total_cmp(&ests[b]).then(a.cmp(&b)))
         .expect("at least three tables");
@@ -940,5 +1071,158 @@ fn default_name(expr: &Expr) -> String {
         Expr::Column { name, .. } => name.to_ascii_lowercase(),
         Expr::Func { name, .. } => name.clone(),
         other => other.render(),
+    }
+}
+
+/// One side of a range probe as `(value, inclusive)` for
+/// [`EquiDepthHistogram::range_selectivity`].
+fn bound_ref(b: &Bound<Datum>) -> Option<(&Datum, bool)> {
+    match b {
+        Bound::Included(d) => Some((d, true)),
+        Bound::Excluded(d) => Some((d, false)),
+        Bound::Unbounded => None,
+    }
+}
+
+/// Rows a scan emits: live count, damped by the access path's
+/// selectivity and then by each residual conjunct.
+fn scan_rows(
+    ctx: &dyn PlannerContext,
+    table_id: u32,
+    residual: &Option<Expr>,
+    path_sel: f64,
+) -> f64 {
+    let sel: f64 = residual.as_ref().map_or(1.0, |r| {
+        r.clone().conjuncts().iter().map(|c| conjunct_selectivity(ctx, table_id, c)).product()
+    });
+    ctx.row_count(table_id) as f64 * path_sel * sel
+}
+
+/// Best-effort estimate of the rows a plan emits, using the same
+/// per-conjunct selectivity model the planner costs scans with. Feeds
+/// `EXPLAIN`-style diagnostics and qdiff's estimate-vs-observed
+/// cross-check; compare against [`upper_bound_rows`] for a hard ceiling.
+pub fn estimate_rows(plan: &PhysicalPlan, ctx: &dyn PlannerContext) -> f64 {
+    match plan {
+        PhysicalPlan::Nothing => 1.0,
+        PhysicalPlan::SeqScan { table_id, residual, .. } => {
+            scan_rows(ctx, *table_id, residual, 1.0)
+        }
+        PhysicalPlan::IndexEqScan { table_id, column, key, residual, .. } => {
+            let eq = ctx
+                .column_histogram(*table_id, column)
+                .map(|h| h.eq_selectivity(key))
+                .or_else(|| ctx.column_ndv(*table_id, column).map(|n| 1.0 / n.max(1) as f64))
+                .unwrap_or(0.25);
+            scan_rows(ctx, *table_id, residual, eq)
+        }
+        PhysicalPlan::IndexRangeScan { table_id, column, lo, hi, residual, .. } => {
+            let range = ctx
+                .column_histogram(*table_id, column)
+                .map(|h| h.range_selectivity(bound_ref(lo), bound_ref(hi)))
+                .unwrap_or(0.3);
+            scan_rows(ctx, *table_id, residual, range)
+        }
+        PhysicalPlan::UdiScan { table_id, column, func, args, residual, .. } => {
+            let sel = ctx.udi_selectivity(*table_id, column, func, args).unwrap_or(0.25);
+            scan_rows(ctx, *table_id, residual, sel)
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            // Post-join conjuncts have no single-table attribution, so
+            // each gets the fixed damping factor.
+            let n = predicate.clone().conjuncts().len();
+            estimate_rows(input, ctx) * 0.25f64.powi(n as i32)
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, kind, on } => {
+            let l = estimate_rows(left, ctx);
+            let r = estimate_rows(right, ctx);
+            let inner = match on {
+                Some(_) => (l * r * 0.1).max(1.0),
+                None => l * r,
+            };
+            if *kind == JoinKind::Left {
+                inner.max(l)
+            } else {
+                inner
+            }
+        }
+        PhysicalPlan::HashJoin { left, right, kind, .. } => {
+            // Key/foreign-key assumption: the larger side's cardinality
+            // divides the cross product.
+            let l = estimate_rows(left, ctx);
+            let r = estimate_rows(right, ctx);
+            let inner = (l * r / l.max(r).max(1.0)).max(1.0);
+            if *kind == JoinKind::Left {
+                inner.max(l)
+            } else {
+                inner
+            }
+        }
+        PhysicalPlan::Aggregate { input, group_by, .. } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                estimate_rows(input, ctx)
+            }
+        }
+        PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Distinct { input } => estimate_rows(input, ctx),
+        PhysicalPlan::TopN { input, n, offset, .. } => {
+            (estimate_rows(input, ctx) - *offset as f64).clamp(0.0, *n as f64)
+        }
+        PhysicalPlan::Limit { input, n, offset } => {
+            let base = (estimate_rows(input, ctx) - *offset as f64).max(0.0);
+            match n {
+                Some(n) => base.min(*n as f64),
+                None => base,
+            }
+        }
+    }
+}
+
+/// A hard ceiling on the rows a plan can emit when executed against the
+/// same committed state it was planned from: scans are bounded by the
+/// live row count, joins by the product of their inputs (null-padding
+/// floors a LEFT join at its left side), limits by `n`. Unlike
+/// [`estimate_rows`] this never under-counts, which makes
+/// `observed <= upper_bound_rows` a checkable invariant.
+pub fn upper_bound_rows(plan: &PhysicalPlan, ctx: &dyn PlannerContext) -> f64 {
+    match plan {
+        PhysicalPlan::Nothing => 1.0,
+        PhysicalPlan::SeqScan { table_id, .. }
+        | PhysicalPlan::IndexEqScan { table_id, .. }
+        | PhysicalPlan::IndexRangeScan { table_id, .. }
+        | PhysicalPlan::UdiScan { table_id, .. } => ctx.row_count(*table_id) as f64,
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Distinct { input } => upper_bound_rows(input, ctx),
+        PhysicalPlan::NestedLoopJoin { left, right, kind, .. }
+        | PhysicalPlan::HashJoin { left, right, kind, .. } => {
+            let l = upper_bound_rows(left, ctx);
+            let r = upper_bound_rows(right, ctx);
+            match kind {
+                JoinKind::Left => (l * r).max(l),
+                _ => l * r,
+            }
+        }
+        PhysicalPlan::Aggregate { input, group_by, .. } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                upper_bound_rows(input, ctx)
+            }
+        }
+        PhysicalPlan::TopN { input, n, offset, .. } => {
+            (upper_bound_rows(input, ctx) - *offset as f64).clamp(0.0, *n as f64)
+        }
+        PhysicalPlan::Limit { input, n, offset } => {
+            let base = (upper_bound_rows(input, ctx) - *offset as f64).max(0.0);
+            match n {
+                Some(n) => base.min(*n as f64),
+                None => base,
+            }
+        }
     }
 }

@@ -1,0 +1,730 @@
+//! Columnar (column-group) pages and per-page zone maps.
+//!
+//! A columnar page is a second on-page layout next to the slotted row
+//! page: the live rows of one heap page transposed into per-column
+//! *segments*, each independently encoded as PLAIN (the row codec's
+//! tagged datums), RLE (run-length, for sorted/repetitive runs) or DICT
+//! (distinct values + 1-byte codes, for low-NDV columns). The first two
+//! bytes of the page image carry the marker `0xFFFF`, a slot count no
+//! slotted page can reach (`n_slots <= (PAGE_SIZE - 4) / 4 = 2047`), so
+//! the two kinds coexist in one page store.
+//!
+//! ```text
+//! 0..2   0xFFFF    columnar page marker (impossible slotted n_slots)
+//! 2..4   reserved  (zero)
+//! 4..    varint n_rows, varint n_cols,
+//!        then per column: tag u8 (0=PLAIN 1=RLE 2=DICT),
+//!                         varint seg_len, seg_len segment bytes
+//! ```
+//!
+//! Segment bodies:
+//! - PLAIN: `n_rows` tagged datums, concatenated.
+//! - RLE:   varint n_runs, then per run varint count + tagged datum.
+//! - DICT:  varint n_values, the distinct tagged datums in first-seen
+//!   order, then `n_rows` 1-byte codes.
+//!
+//! At runtime the executor keeps decoded [`ColumnPage`]s in a per-table
+//! cache so selective scans decode only the column segments a query
+//! references. The *zone map* ([`PageZone`]) is the pruning side: per
+//! page and per column (first [`ZONE_COLS`]) the min/max over non-NULL
+//! values and the NULL count, consulted before a page is read at all.
+//!
+//! Zone-map soundness leans on two engine invariants: comparison
+//! operators evaluate through [`Datum::total_cmp`], and `sql_eq(a, b)`
+//! implies `total_cmp(a, b) == Equal`. Min/max are therefore computed
+//! with `total_cmp` over non-NULL values, and a refuted range bound
+//! cannot hide a row the predicate would have accepted. NULL rows never
+//! pass a comparison (3VL: unknown is not TRUE), so they are covered by
+//! the null-count side of the zone.
+
+use crate::datum::Datum;
+use crate::error::{DbError, DbResult};
+use crate::storage::page::{Page, PAGE_SIZE};
+use crate::tuple::{put_datum, put_varint, take_datum, take_slice, take_u8, take_varint, Row};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Zone maps cover the first `ZONE_COLS` columns of a table; wider
+/// tables keep exact zones for the leading columns and simply cannot
+/// prune on the tail.
+pub const ZONE_COLS: usize = 16;
+
+/// Marker in the first two bytes of a columnar page image.
+pub const COLUMNAR_MARKER: u16 = 0xFFFF;
+
+const TAG_PLAIN: u8 = 0;
+const TAG_RLE: u8 = 1;
+const TAG_DICT: u8 = 2;
+
+/// Payload starts after the 2-byte marker + 2 reserved bytes.
+const COL_HEADER: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Zone maps
+// ---------------------------------------------------------------------------
+
+/// Per-column zone entry: NULL count plus min/max over non-NULL values
+/// (absent when every observed value was NULL).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColZone {
+    pub nulls: u32,
+    pub min: Option<Datum>,
+    pub max: Option<Datum>,
+}
+
+impl ColZone {
+    fn observe(&mut self, d: &Datum) {
+        if d.is_null() {
+            self.nulls += 1;
+            return;
+        }
+        match &self.min {
+            Some(m) if d.total_cmp(m) != Ordering::Less => {}
+            _ => self.min = Some(d.clone()),
+        }
+        match &self.max {
+            Some(m) if d.total_cmp(m) != Ordering::Greater => {}
+            _ => self.max = Some(d.clone()),
+        }
+    }
+}
+
+/// Zone map for one heap page: row count plus a [`ColZone`] per leading
+/// column. Chunk/overflow continuation pages host no row starts, so
+/// their zones stay empty; a row's zone entry lives on the page its
+/// stub starts on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PageZone {
+    pub rows: u32,
+    pub cols: Vec<ColZone>,
+}
+
+impl PageZone {
+    /// Fold one (fully decoded) row into the zone. Used incrementally on
+    /// insert and by full-page rebuilds after delete/update.
+    pub fn observe_row(&mut self, row: &[Datum]) {
+        self.rows += 1;
+        let n = row.len().min(ZONE_COLS);
+        if self.cols.len() < n {
+            self.cols.resize(n, ColZone::default());
+        }
+        for (i, d) in row.iter().take(n).enumerate() {
+            self.cols[i].observe(d);
+        }
+    }
+
+    /// Rebuild from scratch over a page's live rows.
+    pub fn rebuild<'a>(rows: impl Iterator<Item = &'a Row>) -> PageZone {
+        let mut z = PageZone::default();
+        for r in rows {
+            z.observe_row(r);
+        }
+        z
+    }
+
+    /// True when the zone proves no row on this page can satisfy every
+    /// bound — the page may be skipped without reading it.
+    ///
+    /// Conservative by construction: a bound on a column the zone does
+    /// not cover contributes nothing.
+    pub fn refutes(&self, bounds: &[ColBound]) -> bool {
+        if self.rows == 0 {
+            return true;
+        }
+        for b in bounds {
+            let Some(cz) = self.cols.get(b.col) else { continue };
+            let non_null = self.rows - cz.nulls;
+            if b.require_non_null && non_null == 0 {
+                return true;
+            }
+            if b.require_null && cz.nulls == 0 {
+                return true;
+            }
+            if (b.lo.is_some() || b.hi.is_some()) && non_null == 0 {
+                // Comparisons over NULL are unknown, never TRUE.
+                return true;
+            }
+            if let (Some((lo, incl)), Some(max)) = (&b.lo, &cz.max) {
+                match max.total_cmp(lo) {
+                    Ordering::Less => return true,
+                    Ordering::Equal if !incl => return true,
+                    _ => {}
+                }
+            }
+            if let (Some((hi, incl)), Some(min)) = (&b.hi, &cz.min) {
+                match min.total_cmp(hi) {
+                    Ordering::Greater => return true,
+                    Ordering::Equal if !incl => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+/// One column's contribution to a conjunctive predicate, extracted from
+/// the compiled filter for zone-map refutation. `lo`/`hi` carry the
+/// bound value and whether it is inclusive; an equality folds to
+/// `lo == hi`, both inclusive.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColBound {
+    pub col: usize,
+    pub lo: Option<(Datum, bool)>,
+    pub hi: Option<(Datum, bool)>,
+    pub require_null: bool,
+    pub require_non_null: bool,
+}
+
+impl ColBound {
+    pub fn new(col: usize) -> Self {
+        ColBound { col, ..Default::default() }
+    }
+
+    /// Tighten `lo` to the greater of the existing and new bound.
+    pub fn add_lo(&mut self, v: Datum, inclusive: bool) {
+        let replace = match &self.lo {
+            Some((cur, cur_incl)) => match v.total_cmp(cur) {
+                Ordering::Greater => true,
+                Ordering::Equal => *cur_incl && !inclusive,
+                Ordering::Less => false,
+            },
+            None => true,
+        };
+        if replace {
+            self.lo = Some((v, inclusive));
+        }
+    }
+
+    /// Tighten `hi` to the lesser of the existing and new bound.
+    pub fn add_hi(&mut self, v: Datum, inclusive: bool) {
+        let replace = match &self.hi {
+            Some((cur, cur_incl)) => match v.total_cmp(cur) {
+                Ordering::Less => true,
+                Ordering::Equal => *cur_incl && !inclusive,
+                Ordering::Greater => false,
+            },
+            None => true,
+        };
+        if replace {
+            self.hi = Some((v, inclusive));
+        }
+    }
+}
+
+/// All zone maps of one table, indexed by page number. Pages the vector
+/// does not reach (or continuation pages that never saw a row start)
+/// read as empty zones — which refute everything, matching the fact
+/// that no row *starts* there.
+#[derive(Debug, Default)]
+pub struct ZoneMaps {
+    pages: Vec<PageZone>,
+}
+
+impl ZoneMaps {
+    /// Zone of `page_no`, if a row was ever observed there.
+    pub fn page(&self, page_no: u32) -> Option<&PageZone> {
+        self.pages.get(page_no as usize)
+    }
+
+    /// Fold a newly inserted row into `page_no`'s zone.
+    pub fn observe_insert(&mut self, page_no: u32, row: &[Datum]) {
+        let idx = page_no as usize;
+        if self.pages.len() <= idx {
+            self.pages.resize(idx + 1, PageZone::default());
+        }
+        self.pages[idx].observe_row(row);
+    }
+
+    /// Replace `page_no`'s zone wholesale (post delete/update rebuild).
+    pub fn set_page(&mut self, page_no: u32, zone: PageZone) {
+        let idx = page_no as usize;
+        if self.pages.len() <= idx {
+            self.pages.resize(idx + 1, PageZone::default());
+        }
+        self.pages[idx] = zone;
+    }
+
+    /// Number of pages with a zone entry.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Drop everything (table truncation / full reload).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar pages
+// ---------------------------------------------------------------------------
+
+/// Encoding of one column segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    Plain,
+    Rle,
+    Dict,
+}
+
+/// One encoded column segment.
+#[derive(Debug, Clone)]
+pub struct ColSegment {
+    enc: Encoding,
+    bytes: Vec<u8>,
+}
+
+impl ColSegment {
+    pub fn encoding(&self) -> Encoding {
+        self.enc
+    }
+
+    /// Encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// A heap page's live rows in columnar form: one [`ColSegment`] per
+/// column, rows in slot order. Built only for pages whose rows all share
+/// one arity (the invariant every table page satisfies); [`None`] from
+/// [`ColumnPage::build`] means "keep the row layout for this page".
+#[derive(Debug, Clone)]
+pub struct ColumnPage {
+    n_rows: u32,
+    segs: Vec<ColSegment>,
+}
+
+impl ColumnPage {
+    /// Transpose and encode `rows`. Returns `None` when the rows do not
+    /// share one arity or there is nothing to encode.
+    pub fn build(rows: &[Row]) -> Option<ColumnPage> {
+        let first = rows.first()?;
+        let arity = first.len();
+        if arity == 0 || rows.iter().any(|r| r.len() != arity) {
+            return None;
+        }
+        let mut segs = Vec::with_capacity(arity);
+        for c in 0..arity {
+            let col: Vec<&Datum> = rows.iter().map(|r| &r[c]).collect();
+            segs.push(encode_segment(&col));
+        }
+        Some(ColumnPage { n_rows: rows.len() as u32, segs })
+    }
+
+    pub fn n_rows(&self) -> u32 {
+        self.n_rows
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// The raw segment for column `c` (for size/encoding introspection).
+    pub fn segment(&self, c: usize) -> Option<&ColSegment> {
+        self.segs.get(c)
+    }
+
+    /// Decode column `c` into `n_rows` datums.
+    pub fn decode_col(&self, c: usize) -> DbResult<Vec<Datum>> {
+        let seg = self
+            .segs
+            .get(c)
+            .ok_or_else(|| DbError::Storage(format!("columnar page has no column {c}")))?;
+        decode_segment(seg, self.n_rows as usize)
+    }
+
+    /// Materialize rows, decoding only the columns `mask` marks as
+    /// referenced (all of the first `prefix` columns when `mask` is
+    /// `None`); unreferenced positions hold `Datum::Null` placeholders.
+    /// Returns the number of segments decoded.
+    pub fn emit_rows(
+        &self,
+        prefix: usize,
+        mask: Option<&[bool]>,
+        mut on_row: impl FnMut(&[Datum]) -> DbResult<()>,
+    ) -> DbResult<usize> {
+        let width = self.segs.len().min(prefix);
+        let mut cols: Vec<Option<Vec<Datum>>> = Vec::with_capacity(width);
+        let mut decoded = 0usize;
+        for c in 0..width {
+            let wanted = mask.is_none_or(|m| m.get(c).copied().unwrap_or(false));
+            if wanted {
+                cols.push(Some(self.decode_col(c)?));
+                decoded += 1;
+            } else {
+                cols.push(None);
+            }
+        }
+        let mut row: Row = vec![Datum::Null; width];
+        for r in 0..self.n_rows as usize {
+            for (c, col) in cols.iter().enumerate() {
+                row[c] = match col {
+                    Some(v) => v[r].clone(),
+                    None => Datum::Null,
+                };
+            }
+            on_row(&row)?;
+        }
+        Ok(decoded)
+    }
+
+    /// Serialize into a page image. `None` when the encoded form does
+    /// not fit in [`PAGE_SIZE`] (the caller keeps the row layout).
+    pub fn to_page(&self) -> Option<Page> {
+        let mut buf = Vec::with_capacity(PAGE_SIZE);
+        buf.extend_from_slice(&COLUMNAR_MARKER.to_le_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        put_varint(&mut buf, self.n_rows as u64);
+        put_varint(&mut buf, self.segs.len() as u64);
+        for seg in &self.segs {
+            buf.push(match seg.enc {
+                Encoding::Plain => TAG_PLAIN,
+                Encoding::Rle => TAG_RLE,
+                Encoding::Dict => TAG_DICT,
+            });
+            put_varint(&mut buf, seg.bytes.len() as u64);
+            buf.extend_from_slice(&seg.bytes);
+        }
+        if buf.len() > PAGE_SIZE {
+            return None;
+        }
+        buf.resize(PAGE_SIZE, 0);
+        Some(Page::from_bytes(&buf))
+    }
+
+    /// Deserialize a page image; `Ok(None)` when the page is not
+    /// columnar (a slotted row page).
+    pub fn from_page(page: &Page) -> DbResult<Option<ColumnPage>> {
+        if !page.is_columnar() {
+            return Ok(None);
+        }
+        let mut buf = &page.as_bytes()[COL_HEADER..];
+        let n_rows = take_varint(&mut buf)? as u32;
+        let n_cols = take_varint(&mut buf)? as usize;
+        if n_cols > PAGE_SIZE {
+            return Err(DbError::Storage(format!("columnar page claims {n_cols} columns")));
+        }
+        let mut segs = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let enc = match take_u8(&mut buf)? {
+                TAG_PLAIN => Encoding::Plain,
+                TAG_RLE => Encoding::Rle,
+                TAG_DICT => Encoding::Dict,
+                other => return Err(DbError::Storage(format!("unknown segment encoding {other}"))),
+            };
+            let len = take_varint(&mut buf)? as usize;
+            let bytes = take_slice(&mut buf, len)?.to_vec();
+            segs.push(ColSegment { enc, bytes });
+        }
+        Ok(Some(ColumnPage { n_rows, segs }))
+    }
+}
+
+/// Pick the smallest of PLAIN / RLE / DICT for one column. Run and
+/// dictionary identity use the *encoded bytes* of each value, so
+/// representation fidelity survives (e.g. `Int(3)` and `Float(3.0)`
+/// compare SQL-equal but stay distinct dictionary entries).
+fn encode_segment(col: &[&Datum]) -> ColSegment {
+    let encoded: Vec<Vec<u8>> = col
+        .iter()
+        .map(|d| {
+            let mut b = Vec::new();
+            put_datum(&mut b, d);
+            b
+        })
+        .collect();
+    let plain_size: usize = encoded.iter().map(Vec::len).sum();
+
+    // Run-length candidate.
+    let mut runs: Vec<(usize, u32)> = Vec::new(); // (index of representative, count)
+    for (i, e) in encoded.iter().enumerate() {
+        match runs.last_mut() {
+            Some((rep, count)) if encoded[*rep] == *e => *count += 1,
+            _ => runs.push((i, 1)),
+        }
+    }
+    let mut rle_size = varint_len(runs.len() as u64);
+    for (rep, count) in &runs {
+        rle_size += varint_len(u64::from(*count)) + encoded[*rep].len();
+    }
+
+    // Dictionary candidate (≤ 255 distinct values → 1-byte codes).
+    let mut dict: Vec<usize> = Vec::new(); // representatives, first-seen order
+    let mut codes: Vec<u8> = Vec::with_capacity(encoded.len());
+    let mut index: HashMap<&[u8], u8> = HashMap::new();
+    let mut dict_ok = true;
+    for (i, e) in encoded.iter().enumerate() {
+        match index.get(e.as_slice()) {
+            Some(&code) => codes.push(code),
+            None => {
+                if dict.len() >= 255 {
+                    dict_ok = false;
+                    break;
+                }
+                let code = dict.len() as u8;
+                index.insert(e.as_slice(), code);
+                dict.push(i);
+                codes.push(code);
+            }
+        }
+    }
+    let dict_size = if dict_ok {
+        varint_len(dict.len() as u64)
+            + dict.iter().map(|&i| encoded[i].len()).sum::<usize>()
+            + encoded.len()
+    } else {
+        usize::MAX
+    };
+
+    if rle_size < plain_size && rle_size <= dict_size {
+        let mut bytes = Vec::with_capacity(rle_size);
+        put_varint(&mut bytes, runs.len() as u64);
+        for (rep, count) in &runs {
+            put_varint(&mut bytes, u64::from(*count));
+            bytes.extend_from_slice(&encoded[*rep]);
+        }
+        ColSegment { enc: Encoding::Rle, bytes }
+    } else if dict_size < plain_size {
+        let mut bytes = Vec::with_capacity(dict_size);
+        put_varint(&mut bytes, dict.len() as u64);
+        for &i in &dict {
+            bytes.extend_from_slice(&encoded[i]);
+        }
+        bytes.extend_from_slice(&codes);
+        ColSegment { enc: Encoding::Dict, bytes }
+    } else {
+        ColSegment { enc: Encoding::Plain, bytes: encoded.concat() }
+    }
+}
+
+fn decode_segment(seg: &ColSegment, n_rows: usize) -> DbResult<Vec<Datum>> {
+    let mut buf = seg.bytes.as_slice();
+    let mut out = Vec::with_capacity(n_rows);
+    match seg.enc {
+        Encoding::Plain => {
+            for _ in 0..n_rows {
+                out.push(take_datum(&mut buf)?);
+            }
+        }
+        Encoding::Rle => {
+            let n_runs = take_varint(&mut buf)? as usize;
+            for _ in 0..n_runs {
+                let count = take_varint(&mut buf)? as usize;
+                let v = take_datum(&mut buf)?;
+                for _ in 0..count {
+                    out.push(v.clone());
+                }
+            }
+        }
+        Encoding::Dict => {
+            let n_values = take_varint(&mut buf)? as usize;
+            let mut values = Vec::with_capacity(n_values);
+            for _ in 0..n_values {
+                values.push(take_datum(&mut buf)?);
+            }
+            for _ in 0..n_rows {
+                let code = take_u8(&mut buf)? as usize;
+                let v = values.get(code).ok_or_else(|| {
+                    DbError::Storage(format!("dictionary code {code} out of range"))
+                })?;
+                out.push(v.clone());
+            }
+        }
+    }
+    if out.len() != n_rows {
+        return Err(DbError::Storage(format!(
+            "segment decoded {} rows, expected {n_rows}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+fn varint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(vals: &[&[Datum]]) -> Vec<Row> {
+        vals.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn encoding_choice_matches_data_shape() {
+        // Low-NDV text → DICT; long runs → RLE; distinct ints → PLAIN.
+        let rs: Vec<Row> = (0..200)
+            .map(|i| {
+                vec![
+                    Datum::Int(i),                                                // distinct
+                    Datum::Text(if i % 2 == 0 { "chr1" } else { "chr2" }.into()), // low NDV
+                    Datum::Int(i / 100),                                          // two long runs
+                ]
+            })
+            .collect();
+        let cp = ColumnPage::build(&rs).unwrap();
+        assert_eq!(cp.segment(0).unwrap().encoding(), Encoding::Plain);
+        assert_eq!(cp.segment(1).unwrap().encoding(), Encoding::Dict);
+        assert_eq!(cp.segment(2).unwrap().encoding(), Encoding::Rle);
+        for c in 0..3 {
+            let col = cp.decode_col(c).unwrap();
+            for (row, d) in rs.iter().zip(&col) {
+                assert_eq!(format!("{d:?}"), format!("{:?}", row[c]));
+            }
+        }
+    }
+
+    #[test]
+    fn page_roundtrip_and_marker_disjointness() {
+        let rs: Vec<Row> = (0..50)
+            .map(|i| vec![Datum::Int(i), Datum::Text(format!("n{}", i % 3)), Datum::Null])
+            .collect();
+        let cp = ColumnPage::build(&rs).unwrap();
+        let page = cp.to_page().unwrap();
+        assert!(page.is_columnar());
+        let back = ColumnPage::from_page(&page).unwrap().unwrap();
+        assert_eq!(back.n_rows(), 50);
+        assert_eq!(back.n_cols(), 3);
+        for c in 0..3 {
+            assert_eq!(back.decode_col(c).unwrap(), cp.decode_col(c).unwrap());
+        }
+        // A slotted page is never mistaken for columnar and vice versa.
+        let mut slotted = Page::new();
+        slotted.insert(b"row").unwrap();
+        assert!(!slotted.is_columnar());
+        assert!(ColumnPage::from_page(&slotted).unwrap().is_none());
+    }
+
+    #[test]
+    fn emit_rows_decodes_only_referenced_segments() {
+        let rs: Vec<Row> = (0..20)
+            .map(|i| vec![Datum::Int(i), Datum::Text("x".into()), Datum::Int(i * 2)])
+            .collect();
+        let cp = ColumnPage::build(&rs).unwrap();
+        let mask = [false, false, true];
+        let mut seen = Vec::new();
+        let decoded = cp
+            .emit_rows(3, Some(&mask), |row| {
+                seen.push(row.to_vec());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(decoded, 1);
+        assert_eq!(seen.len(), 20);
+        for (i, row) in seen.iter().enumerate() {
+            assert!(row[0].is_null() && row[1].is_null());
+            assert_eq!(row[2], Datum::Int(i as i64 * 2));
+        }
+        // Prefix-only (no mask) decodes every segment in the prefix.
+        let decoded = cp.emit_rows(2, None, |_| Ok(())).unwrap();
+        assert_eq!(decoded, 2);
+    }
+
+    #[test]
+    fn mixed_arity_and_empty_fall_back() {
+        assert!(ColumnPage::build(&[]).is_none());
+        assert!(ColumnPage::build(&rows(&[&[Datum::Int(1)], &[Datum::Int(1), Datum::Int(2)]]))
+            .is_none());
+    }
+
+    #[test]
+    fn zone_observe_and_refute() {
+        let mut z = PageZone::default();
+        z.observe_row(&[Datum::Int(10), Datum::Null]);
+        z.observe_row(&[Datum::Int(20), Datum::Text("a".into())]);
+        z.observe_row(&[Datum::Int(15), Datum::Null]);
+        assert_eq!(z.rows, 3);
+        assert_eq!(z.cols[0].min, Some(Datum::Int(10)));
+        assert_eq!(z.cols[0].max, Some(Datum::Int(20)));
+        assert_eq!(z.cols[0].nulls, 0);
+        assert_eq!(z.cols[1].nulls, 2);
+
+        let lo = |v: i64, incl: bool| {
+            let mut b = ColBound::new(0);
+            b.add_lo(Datum::Int(v), incl);
+            b
+        };
+        let hi = |v: i64, incl: bool| {
+            let mut b = ColBound::new(0);
+            b.add_hi(Datum::Int(v), incl);
+            b
+        };
+        assert!(z.refutes(&[lo(21, true)]), "max 20 < 21");
+        assert!(z.refutes(&[lo(20, false)]), "max 20, exclusive");
+        assert!(!z.refutes(&[lo(20, true)]));
+        assert!(z.refutes(&[hi(9, true)]), "min 10 > 9");
+        assert!(z.refutes(&[hi(10, false)]), "min 10, exclusive");
+        assert!(!z.refutes(&[hi(10, true)]));
+
+        // NULL-side refutation.
+        let mut isnull = ColBound::new(0);
+        isnull.require_null = true;
+        assert!(z.refutes(&[isnull]), "col 0 has no NULLs");
+        let mut notnull = ColBound::new(1);
+        notnull.require_non_null = true;
+        assert!(!z.refutes(&[notnull]), "col 1 has one non-NULL");
+
+        // All-NULL column refutes any comparison.
+        let mut z2 = PageZone::default();
+        z2.observe_row(&[Datum::Null]);
+        assert!(z2.refutes(&[lo(0, true)]));
+
+        // Empty pages refute everything, even empty bounds.
+        assert!(PageZone::default().refutes(&[]));
+        // Bounds on uncovered columns never refute.
+        assert!(!z.refutes(&[lo(0, true).clone()].map(|mut b| {
+            b.col = 9;
+            b
+        })));
+    }
+
+    #[test]
+    fn bound_tightening() {
+        let mut b = ColBound::new(0);
+        b.add_lo(Datum::Int(5), true);
+        b.add_lo(Datum::Int(3), true); // looser, ignored
+        assert_eq!(b.lo, Some((Datum::Int(5), true)));
+        b.add_lo(Datum::Int(5), false); // same value, stricter
+        assert_eq!(b.lo, Some((Datum::Int(5), false)));
+        b.add_hi(Datum::Int(10), false);
+        b.add_hi(Datum::Int(12), true); // looser, ignored
+        assert_eq!(b.hi, Some((Datum::Int(10), false)));
+    }
+
+    #[test]
+    fn zone_maps_track_pages() {
+        let mut zm = ZoneMaps::default();
+        zm.observe_insert(2, &[Datum::Int(7)]);
+        assert_eq!(zm.len(), 3);
+        assert_eq!(zm.page(0).unwrap().rows, 0);
+        assert_eq!(zm.page(2).unwrap().rows, 1);
+        assert!(zm.page(5).is_none());
+        zm.set_page(2, PageZone::default());
+        assert_eq!(zm.page(2).unwrap().rows, 0);
+        zm.clear();
+        assert!(zm.is_empty());
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let rs: Vec<Row> =
+            (0..30).map(|i| vec![Datum::Int(i % 7), Datum::Float(i as f64)]).collect();
+        let mut inc = PageZone::default();
+        for r in &rs {
+            inc.observe_row(r);
+        }
+        assert_eq!(PageZone::rebuild(rs.iter()), inc);
+    }
+}

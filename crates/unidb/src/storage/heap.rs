@@ -256,6 +256,27 @@ impl HeapFile {
         Ok(())
     }
 
+    /// True when every live record on `page_no` is stored inline — the
+    /// precondition for caching the page in columnar form. Pages with
+    /// overflow stubs stay on the row path: their expanded payloads can
+    /// dwarf the page (whole chromosomes), so a decoded columnar cache
+    /// entry would pin unbounded memory.
+    pub fn page_all_inline(&self, page_no: u32) -> DbResult<bool> {
+        if page_no >= self.pool.num_pages() {
+            return Ok(true);
+        }
+        let mut all_inline = true;
+        self.pool.with_page(page_no, |p| {
+            for (_slot, rec) in p.iter() {
+                if rec.first() == Some(&OVERFLOW) {
+                    all_inline = false;
+                    return;
+                }
+            }
+        })?;
+        Ok(all_inline)
+    }
+
     /// Materialize every live record.
     pub fn scan(&self) -> DbResult<Vec<(Rid, Vec<u8>)>> {
         let mut out = Vec::new();

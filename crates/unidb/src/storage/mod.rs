@@ -15,6 +15,7 @@
 //! stack. See DESIGN.md ("Fault model") for the recovery guarantee.
 
 pub mod buffer;
+pub mod colpage;
 pub mod heap;
 pub mod page;
 pub mod store;

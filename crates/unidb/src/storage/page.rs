@@ -52,6 +52,14 @@ impl Page {
         &self.data[..]
     }
 
+    /// True when the image carries the columnar-page marker (`0xFFFF`
+    /// where a slotted page keeps its slot count — unreachable for
+    /// slotted pages, whose slot count tops out at
+    /// `(PAGE_SIZE - HEADER) / SLOT = 2047`). See `colpage`.
+    pub fn is_columnar(&self) -> bool {
+        self.data[0] == 0xFF && self.data[1] == 0xFF
+    }
+
     fn n_slots(&self) -> u16 {
         u16::from_le_bytes([self.data[0], self.data[1]])
     }

@@ -178,6 +178,40 @@ mod tests {
     }
 
     #[test]
+    fn columnar_pages_coexist_with_slotted_pages_in_one_store() {
+        use crate::datum::Datum;
+        use crate::storage::colpage::ColumnPage;
+
+        let vfs = FaultVfs::reliable();
+        let path = PathBuf::from("/pages/mixed.pages");
+        let rows: Vec<Vec<Datum>> =
+            (0..40).map(|i| vec![Datum::Int(i), Datum::Text(format!("chr{}", i % 4))]).collect();
+        let cp = ColumnPage::build(&rows).unwrap();
+        {
+            let mut fs = FileStore::open(&vfs, &path).unwrap();
+            let slotted_no = fs.allocate().unwrap();
+            let columnar_no = fs.allocate().unwrap();
+            let mut slotted = Page::new();
+            slotted.insert(b"row page").unwrap();
+            fs.write(slotted_no, &slotted).unwrap();
+            fs.write(columnar_no, &cp.to_page().unwrap()).unwrap();
+            fs.sync().unwrap();
+        }
+        let mut fs = FileStore::open(&vfs, &path).unwrap();
+        let slotted = fs.read(0).unwrap();
+        assert!(!slotted.is_columnar());
+        assert!(ColumnPage::from_page(&slotted).unwrap().is_none());
+        assert_eq!(slotted.get(0), Some(&b"row page"[..]));
+        let columnar = fs.read(1).unwrap();
+        assert!(columnar.is_columnar());
+        let back = ColumnPage::from_page(&columnar).unwrap().unwrap();
+        assert_eq!(back.n_rows(), 40);
+        for c in 0..2 {
+            assert_eq!(back.decode_col(c).unwrap(), cp.decode_col(c).unwrap());
+        }
+    }
+
+    #[test]
     fn file_store_rejects_partial_page() {
         let vfs = FaultVfs::reliable();
         let path = PathBuf::from("/pages/corrupt.pages");

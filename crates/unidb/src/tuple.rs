@@ -22,37 +22,106 @@ pub fn encode_row(row: &[Datum]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(16 * row.len());
     put_varint(&mut buf, row.len() as u64);
     for d in row {
-        match d {
-            Datum::Null => buf.push(T_NULL),
-            Datum::Bool(false) => buf.push(T_BOOL_FALSE),
-            Datum::Bool(true) => buf.push(T_BOOL_TRUE),
-            Datum::Int(i) => {
-                buf.push(T_INT);
-                put_varint(&mut buf, zigzag(*i));
-            }
-            Datum::Float(f) => {
-                buf.push(T_FLOAT);
-                buf.extend_from_slice(&f.to_bits().to_le_bytes());
-            }
-            Datum::Text(s) => {
-                buf.push(T_TEXT);
-                put_varint(&mut buf, s.len() as u64);
-                buf.extend_from_slice(s.as_bytes());
-            }
-            Datum::Blob(b) => {
-                buf.push(T_BLOB);
-                put_varint(&mut buf, b.len() as u64);
-                buf.extend_from_slice(b);
-            }
-            Datum::Opaque(ty, b) => {
-                buf.push(T_OPAQUE);
-                put_varint(&mut buf, *ty as u64);
-                put_varint(&mut buf, b.len() as u64);
-                buf.extend_from_slice(b);
-            }
-        }
+        put_datum(&mut buf, d);
     }
     buf
+}
+
+/// Append one tagged datum to `buf` — the same per-field encoding
+/// [`encode_row`] uses, exposed so columnar segments share the codec.
+pub(crate) fn put_datum(buf: &mut Vec<u8>, d: &Datum) {
+    match d {
+        Datum::Null => buf.push(T_NULL),
+        Datum::Bool(false) => buf.push(T_BOOL_FALSE),
+        Datum::Bool(true) => buf.push(T_BOOL_TRUE),
+        Datum::Int(i) => {
+            buf.push(T_INT);
+            put_varint(buf, zigzag(*i));
+        }
+        Datum::Float(f) => {
+            buf.push(T_FLOAT);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Datum::Text(s) => {
+            buf.push(T_TEXT);
+            put_varint(buf, s.len() as u64);
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Datum::Blob(b) => {
+            buf.push(T_BLOB);
+            put_varint(buf, b.len() as u64);
+            buf.extend_from_slice(b);
+        }
+        Datum::Opaque(ty, b) => {
+            buf.push(T_OPAQUE);
+            put_varint(buf, *ty as u64);
+            put_varint(buf, b.len() as u64);
+            buf.extend_from_slice(b);
+        }
+    }
+}
+
+/// Decode one tagged datum from the front of `buf`.
+#[inline]
+pub(crate) fn take_datum(buf: &mut &[u8]) -> DbResult<Datum> {
+    let tag = take_u8(buf)?;
+    Ok(match tag {
+        T_NULL => Datum::Null,
+        T_BOOL_FALSE => Datum::Bool(false),
+        T_BOOL_TRUE => Datum::Bool(true),
+        T_INT => Datum::Int(unzigzag(take_varint(buf)?)),
+        T_FLOAT => {
+            let bytes = take_slice(buf, 8)?;
+            let mut arr = [0u8; 8];
+            arr.copy_from_slice(bytes);
+            Datum::Float(f64::from_bits(u64::from_le_bytes(arr)))
+        }
+        T_TEXT => {
+            let len = take_varint(buf)? as usize;
+            let bytes = take_slice(buf, len)?;
+            Datum::Text(
+                String::from_utf8(bytes.to_vec())
+                    .map_err(|_| DbError::Storage("invalid UTF-8 in stored text".into()))?,
+            )
+        }
+        T_BLOB => {
+            let len = take_varint(buf)? as usize;
+            Datum::Blob(take_slice(buf, len)?.to_vec())
+        }
+        T_OPAQUE => {
+            let ty = take_varint(buf)? as u32;
+            let len = take_varint(buf)? as usize;
+            Datum::Opaque(ty, Arc::new(take_slice(buf, len)?.to_vec()))
+        }
+        other => return Err(DbError::Storage(format!("unknown datum tag {other}"))),
+    })
+}
+
+/// Advance `buf` past one tagged datum without materializing it — the
+/// sparse-decode fast path for columns no expression references.
+#[inline]
+pub(crate) fn skip_datum(buf: &mut &[u8]) -> DbResult<()> {
+    let tag = take_u8(buf)?;
+    match tag {
+        T_NULL | T_BOOL_FALSE | T_BOOL_TRUE => {}
+        T_INT => {
+            take_varint(buf)?;
+        }
+        T_FLOAT => {
+            take_slice(buf, 8)?;
+        }
+        T_TEXT | T_BLOB => {
+            let len = take_varint(buf)? as usize;
+            take_slice(buf, len)?;
+        }
+        T_OPAQUE => {
+            take_varint(buf)?;
+            let len = take_varint(buf)? as usize;
+            take_slice(buf, len)?;
+        }
+        other => return Err(DbError::Storage(format!("unknown datum tag {other}"))),
+    }
+    Ok(())
 }
 
 /// Deserialize a row.
@@ -73,7 +142,26 @@ pub fn decode_row_prefix(buf: &[u8], max_fields: usize) -> DbResult<Row> {
 
 /// [`decode_row_prefix`] into a caller-owned buffer, so hot scan loops can
 /// reuse one allocation across rows. Clears `row` first.
-pub fn decode_row_prefix_into(row: &mut Row, mut buf: &[u8], max_fields: usize) -> DbResult<()> {
+pub fn decode_row_prefix_into(row: &mut Row, buf: &[u8], max_fields: usize) -> DbResult<()> {
+    decode_row_cols_into(row, buf, max_fields, None)
+}
+
+/// Sparse column decode: like [`decode_row_prefix_into`], but when `mask`
+/// is given, only fields whose mask bit is set are materialized — the
+/// payload bytes of every other field are *skipped* (tag + length walk,
+/// no allocation, no UTF-8 validation) and a `Datum::Null` placeholder
+/// keeps positional references below `max_fields` valid. Fields at or
+/// beyond `mask.len()` count as unreferenced.
+///
+/// This is the fix for the old behavior where a query touching only a
+/// late column still paid full decode for every earlier column: the scan
+/// now decodes exactly the referenced column segments.
+pub fn decode_row_cols_into(
+    row: &mut Row,
+    mut buf: &[u8],
+    max_fields: usize,
+    mask: Option<&[bool]>,
+) -> DbResult<()> {
     row.clear();
     let n = take_varint(&mut buf)? as usize;
     // Every datum occupies at least one byte, so a count exceeding the
@@ -86,38 +174,25 @@ pub fn decode_row_prefix_into(row: &mut Row, mut buf: &[u8], max_fields: usize) 
     }
     let take = n.min(max_fields);
     row.reserve(take);
-    for _ in 0..take {
-        let tag = take_u8(&mut buf)?;
-        row.push(match tag {
-            T_NULL => Datum::Null,
-            T_BOOL_FALSE => Datum::Bool(false),
-            T_BOOL_TRUE => Datum::Bool(true),
-            T_INT => Datum::Int(unzigzag(take_varint(&mut buf)?)),
-            T_FLOAT => {
-                let bytes = take_slice(&mut buf, 8)?;
-                let mut arr = [0u8; 8];
-                arr.copy_from_slice(bytes);
-                Datum::Float(f64::from_bits(u64::from_le_bytes(arr)))
+    // The dense loop is kept free of the per-field mask test: full-row
+    // decode is the hot path for every pipeline-breaker scan, and the
+    // branch (plus the bounds lookup behind it) costs real throughput.
+    match mask {
+        None => {
+            for _ in 0..take {
+                row.push(take_datum(&mut buf)?);
             }
-            T_TEXT => {
-                let len = take_varint(&mut buf)? as usize;
-                let bytes = take_slice(&mut buf, len)?;
-                Datum::Text(
-                    String::from_utf8(bytes.to_vec())
-                        .map_err(|_| DbError::Storage("invalid UTF-8 in stored text".into()))?,
-                )
+        }
+        Some(m) => {
+            for i in 0..take {
+                if m.get(i).copied().unwrap_or(false) {
+                    row.push(take_datum(&mut buf)?);
+                } else {
+                    skip_datum(&mut buf)?;
+                    row.push(Datum::Null);
+                }
             }
-            T_BLOB => {
-                let len = take_varint(&mut buf)? as usize;
-                Datum::Blob(take_slice(&mut buf, len)?.to_vec())
-            }
-            T_OPAQUE => {
-                let ty = take_varint(&mut buf)? as u32;
-                let len = take_varint(&mut buf)? as usize;
-                Datum::Opaque(ty, Arc::new(take_slice(&mut buf, len)?.to_vec()))
-            }
-            other => return Err(DbError::Storage(format!("unknown datum tag {other}"))),
-        });
+        }
     }
     if take == n && !buf.is_empty() {
         return Err(DbError::Storage(format!("{} trailing bytes after row", buf.len())));
@@ -220,6 +295,38 @@ mod tests {
         for i in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
             assert_eq!(unzigzag(zigzag(i)), i);
         }
+    }
+
+    #[test]
+    fn sparse_decode_skips_unreferenced_columns() {
+        let row = sample_row();
+        let bytes = encode_row(&row);
+        // Only columns 3 and 7 referenced; everything else must come back
+        // as a Null placeholder at the right position.
+        let mut mask = vec![false; row.len()];
+        mask[3] = true;
+        mask[7] = true;
+        let mut out = Row::new();
+        decode_row_cols_into(&mut out, &bytes, row.len(), Some(&mask)).unwrap();
+        assert_eq!(out.len(), row.len());
+        assert_eq!(format!("{:?}", out[3]), format!("{:?}", row[3]));
+        assert_eq!(format!("{:?}", out[7]), format!("{:?}", row[7]));
+        for (i, d) in out.iter().enumerate() {
+            if i != 3 && i != 7 {
+                assert!(matches!(d, Datum::Null), "col {i} should be a placeholder: {d:?}");
+            }
+        }
+        // A mask shorter than the row treats the tail as unreferenced.
+        let mut out = Row::new();
+        decode_row_cols_into(&mut out, &bytes, row.len(), Some(&[true])).unwrap();
+        assert_eq!(format!("{:?}", out[0]), format!("{:?}", row[0]));
+        assert!(out[1..].iter().all(|d| matches!(d, Datum::Null)));
+        // Truncated bytes still error even when the damaged field is
+        // skipped rather than decoded.
+        let mut out = Row::new();
+        let mask = vec![false; row.len()];
+        assert!(decode_row_cols_into(&mut out, &bytes[..bytes.len() - 1], row.len(), Some(&mask))
+            .is_err());
     }
 
     #[test]

@@ -18,15 +18,15 @@
 //! index entries reflect latest state, not the snapshot, so rid-based
 //! access paths would be wrong.
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, EquiDepthHistogram};
 use crate::datum::Datum;
 use crate::db::{Inner, TableStorage};
 use crate::error::{DbError, DbResult};
-use crate::exec::{ScanProgress, StorageAccess};
+use crate::exec::{ScanProgress, ScanSpec, StorageAccess};
 use crate::expr::func::FunctionRegistry;
 use crate::plan::planner::PlannerContext;
 use crate::storage::heap::Rid;
-use crate::tuple::{decode_row_prefix_into, Row};
+use crate::tuple::{decode_row_cols_into, Row};
 use crate::txn::{TableWrites, WriteSet};
 use std::ops::Bound;
 use std::sync::atomic::Ordering;
@@ -118,12 +118,17 @@ impl StorageAccess for ReadView<'_> {
         table_id: u32,
         first_page: u32,
         max_pages: u32,
-        max_fields: usize,
+        spec: &ScanSpec,
         on_row: &mut dyn FnMut(&[Datum]) -> DbResult<()>,
     ) -> DbResult<ScanProgress> {
         if !self.dirty(table_id) {
-            return self.inner.scan_batches(table_id, first_page, max_pages, max_fields, on_row);
+            return self.inner.scan_batches(table_id, first_page, max_pages, spec, on_row);
         }
+        // Versioned path: no zone-map pruning. Zones describe the latest
+        // heap, while this view filters per-rid and serves prior images
+        // from the virtual page; visiting every page keeps the soundness
+        // argument local. The path choice depends only on table state,
+        // never on parallelism, so counters stay deterministic.
         let storage = self.storage(table_id)?;
         let overlay = self.overlay(table_id);
         let real = storage.heap.num_pages();
@@ -131,21 +136,40 @@ impl StorageAccess for ReadView<'_> {
         // overlay, so morsel-parallel scans pick it up like any other page.
         let total = real.saturating_add(1);
         if first_page >= total {
-            return Ok(ScanProgress { next_page: None, pages_read: 0 });
+            return Ok(ScanProgress {
+                next_page: None,
+                pages_read: 0,
+                pages_skipped: 0,
+                segments_decoded: 0,
+            });
         }
         let end = first_page.saturating_add(max_pages).min(total);
+        let mut segments = 0u64;
         let mut scratch: Row = Vec::new();
         for page_no in first_page..end.min(real) {
+            let (mut rows_on_page, mut referenced) = (0u64, 0u64);
             storage.heap.page_visit_rows_rid(page_no, &mut |rid, bytes| {
                 if !self.rid_visible(storage, overlay, rid) {
                     return Ok(());
                 }
-                decode_row_prefix_into(&mut scratch, bytes, max_fields)?;
+                decode_row_cols_into(&mut scratch, bytes, spec.prefix, spec.mask.as_deref())?;
+                if rows_on_page == 0 {
+                    referenced = match spec.mask.as_deref() {
+                        Some(m) => m.iter().take(scratch.len()).filter(|b| **b).count() as u64,
+                        None => scratch.len() as u64,
+                    };
+                }
+                rows_on_page += 1;
                 on_row(&scratch)
             })?;
+            if rows_on_page > 0 {
+                segments += referenced;
+            }
         }
         if end == total {
-            self.visit_virtual_page(storage, overlay, max_fields, on_row)?;
+            // The virtual page serves pre-materialized rows; it decodes
+            // no segments, identically at any parallelism.
+            self.visit_virtual_page(storage, overlay, spec.prefix, on_row)?;
         }
         let real_visited = end.min(real).saturating_sub(first_page.min(real));
         if real_visited > 0 {
@@ -154,6 +178,8 @@ impl StorageAccess for ReadView<'_> {
         Ok(ScanProgress {
             next_page: if end < total { Some(end) } else { None },
             pages_read: end - first_page,
+            pages_skipped: 0,
+            segments_decoded: segments,
         })
     }
 
@@ -223,6 +249,16 @@ impl PlannerContext for ReadView<'_> {
         // NDV only steers build-side choice and join order; like
         // `row_count`, the latest sketch is close enough for a snapshot.
         self.inner.column_ndv(table_id, column)
+    }
+
+    fn column_histogram(&self, table_id: u32, column: &str) -> Option<EquiDepthHistogram> {
+        // Histograms only rank access paths and order filters; the
+        // latest sample is close enough for a snapshot.
+        self.inner.column_histogram(table_id, column)
+    }
+
+    fn column_null_frac(&self, table_id: u32, column: &str) -> Option<f64> {
+        self.inner.column_null_frac(table_id, column)
     }
 
     fn udi_selectivity(

@@ -458,6 +458,131 @@ fn crash_inside_open_transactions_leaves_no_trace() {
     assert!(failures.is_empty(), "{} failing combos:\n{}", failures.len(), failures.join("\n"));
 }
 
+/// Recovery must rebuild the *derived* read-path state — per-page zone
+/// maps and catalog statistics — not just row contents. After each crash
+/// and recover: the maintained zone maps must exactly equal a fresh
+/// rebuild from the heap (exact, not merely conservative — pruning
+/// correctness rides on it), a zone-pruned scan must agree with the full
+/// scan, and a second independent recovery of the same frozen image must
+/// land on the identical statistics fingerprint — replay is
+/// deterministic, so "crash + replay" and a clean open see the same
+/// statistics.
+#[test]
+fn recovery_rebuilds_zone_maps_and_statistics() {
+    let (start, count) = seed_range();
+    let crash_points: &[u64] = &[3, 8, 21, 34];
+    let mut crashed = 0u64;
+    let mut failures = Vec::new();
+    for seed in start..start + count {
+        let ops = generate_workload(seed ^ 0x20E5_AB1E, OPS_PER_WORKLOAD);
+        for &point in crash_points {
+            let vfs = FaultVfs::new(FaultConfig::crash_at(seed ^ (point << 24), point));
+            let db = setup(&vfs);
+            vfs.arm();
+            let outcome = run_workload(&db, &vfs, &ops);
+            drop(db);
+            if outcome.crashed_at.is_none() {
+                continue;
+            }
+            crashed += 1;
+            vfs.reset_after_crash();
+            let db = match open_db(&vfs) {
+                Ok(db) => db,
+                Err(e) => {
+                    failures.push(report_failure(
+                        "zones",
+                        seed,
+                        &format!("point={point}: recovery failed: {e}"),
+                    ));
+                    continue;
+                }
+            };
+            // Replayed zone maps must match a fresh rebuild exactly.
+            match db.verify_zone_maps("public.t") {
+                Ok(true) => {}
+                Ok(false) => {
+                    failures.push(report_failure(
+                        "zones",
+                        seed,
+                        &format!("point={point}: replayed zone maps diverge from a fresh rebuild"),
+                    ));
+                    continue;
+                }
+                Err(e) => {
+                    failures.push(report_failure(
+                        "zones",
+                        seed,
+                        &format!("point={point}: verify_zone_maps failed: {e}"),
+                    ));
+                    continue;
+                }
+            }
+            // A scan filtered through the replayed zones agrees with the heap.
+            let recovered = dump_table(&db);
+            if let Some((&max_id, _)) = recovered.iter().next_back() {
+                let cutoff = max_id / 2;
+                let rs = db
+                    .execute_as(
+                        &format!("SELECT id, val FROM public.t WHERE id >= {cutoff}"),
+                        &Role::Maintainer,
+                    )
+                    .expect("pruned scan after recovery must succeed");
+                let got: Model = rs
+                    .rows
+                    .iter()
+                    .map(|r| (r[0].as_int().unwrap(), r[1].as_text().unwrap().to_string()))
+                    .collect();
+                let expect: Model =
+                    recovered.range(cutoff..).map(|(k, v)| (*k, v.clone())).collect();
+                if got != expect {
+                    failures.push(report_failure(
+                        "zones",
+                        seed,
+                        &format!(
+                            "point={point}: pruned scan returned {} rows, full scan has {}",
+                            got.len(),
+                            expect.len()
+                        ),
+                    ));
+                    continue;
+                }
+            }
+            // Statistics are a pure function of the disk image: a second
+            // recovery of the same image reproduces the same fingerprint.
+            let fp1 = db.stats_fingerprint("public.t");
+            drop(db);
+            let db2 = match open_db(&vfs) {
+                Ok(db) => db,
+                Err(e) => {
+                    failures.push(report_failure(
+                        "zones",
+                        seed,
+                        &format!("point={point}: second recovery failed: {e}"),
+                    ));
+                    continue;
+                }
+            };
+            let fp2 = db2.stats_fingerprint("public.t");
+            match (&fp1, &fp2) {
+                (Ok(a), Ok(b)) if a == b => {}
+                other => failures.push(report_failure(
+                    "zones",
+                    seed,
+                    &format!(
+                        "point={point}: stats fingerprints diverge across recoveries: {other:?}"
+                    ),
+                )),
+            }
+        }
+    }
+    println!(
+        "zone/stats rebuild sweep: {crashed} crashed combos checked, {} failed",
+        failures.len()
+    );
+    assert!(crashed >= 4, "too few combos actually crashed ({crashed})");
+    assert!(failures.is_empty(), "{} failing combos:\n{}", failures.len(), failures.join("\n"));
+}
+
 /// Transient-fault sweep: no crash, but writes/syncs/reads can fail. Every
 /// error must be a structured `DbError::Io`; the database must stay usable
 /// in-process, and a fresh open on the same disk must recover a consistent

@@ -979,3 +979,39 @@ fn ambiguous_columns_error_at_plan_time() {
     let rs = d.execute("SELECT a.id, b.y FROM a JOIN b ON a.id = b.id").unwrap();
     assert_eq!(rs.rows, vec![vec![Datum::Int(1), Datum::Int(20)]]);
 }
+
+/// Delete-heavy tables recompute their statistics instead of drifting:
+/// once deletes dominate the observed rows, the catalog rebuilds from
+/// the surviving heap, zone maps stay exact, pruned scans stay correct,
+/// and the planner's row estimate tracks the shrunken table.
+#[test]
+fn delete_heavy_table_rebuilds_statistics() {
+    let d = db();
+    d.execute("CREATE TABLE ledger (id INT NOT NULL, grp INT)").unwrap();
+    let mut batch = String::from("INSERT INTO ledger VALUES ");
+    for i in 0..200 {
+        if i > 0 {
+            batch.push(',');
+        }
+        batch.push_str(&format!("({i}, {})", i % 10));
+    }
+    d.execute(&batch).unwrap();
+    assert_eq!(d.stats_rebuilt(), 0, "inserts alone never force a rebuild");
+    let before = d.stats_fingerprint("ledger").unwrap();
+
+    d.execute("DELETE FROM ledger WHERE id < 150").unwrap();
+    assert!(d.stats_rebuilt() > 0, "a delete-heavy table must recompute its statistics");
+    assert_ne!(d.stats_fingerprint("ledger").unwrap(), before, "stats reflect the survivors");
+    assert!(d.verify_zone_maps("ledger").unwrap(), "zone maps stay exact through deletes");
+
+    // Pruned scans over the survivors still answer correctly.
+    let rs = d.execute("SELECT id FROM ledger WHERE id >= 180").unwrap();
+    let mut got = ints(&rs);
+    got.sort_unstable();
+    assert_eq!(got, (180..200).collect::<Vec<i64>>());
+
+    // The planner sees the post-delete cardinality, not the stale one.
+    let (est, upper) = d.plan_estimate("SELECT id FROM ledger").unwrap();
+    assert!(est <= upper + 1e-9, "estimate {est} must respect its upper bound {upper}");
+    assert!((est - 50.0).abs() < 1.0, "estimate should see ~50 surviving rows, got {est}");
+}

@@ -335,6 +335,17 @@ impl Run {
             }
         }
 
+        // Every SLO failure ships its own diagnosis: a full incident
+        // bundle (stats, fingerprints, plan changes, metric history, slow
+        // queries, trace tail) next to the failure dump CI uploads. Written
+        // directly — not through the server's rate-limited recorder — so a
+        // multi-scenario suite never suppresses a later scenario's bundle.
+        if !self.violations.is_empty() {
+            let reason = if self.hung { "watchdog" } else { "slo_violation" };
+            let bundle = self.server.service().incident_bundle(reason);
+            let _ = bundle.write_to(&incident_out_dir(), self.name);
+        }
+
         if let Some(handle) = self.handle.take() {
             // Joins only the accept thread, so this is safe even when a
             // hung scenario left connection threads stuck.
@@ -382,6 +393,16 @@ fn merge(a: Option<&HistogramSnapshot>, b: Option<&HistogramSnapshot>) -> Histog
         out.count += h.count;
     }
     out
+}
+
+/// Where the harness writes incident bundles: `GENALG_INCIDENT_DIR` if
+/// set, else `target/incidents` at the workspace root (cwd-independent,
+/// alongside the failure dumps CI already uploads).
+pub(crate) fn incident_out_dir() -> std::path::PathBuf {
+    match std::env::var("GENALG_INCIDENT_DIR") {
+        Ok(d) if !d.trim().is_empty() => std::path::PathBuf::from(d.trim()),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/incidents"),
+    }
 }
 
 /// On SLO failure, drop a repro bundle where CI uploads artifacts from.

@@ -30,6 +30,9 @@ fn whole_suite_passes_at_tiny_scale() {
 
 #[test]
 fn injected_slo_failure_fails_point_lookups() {
+    let incidents = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/incidents");
+    let started = std::time::SystemTime::now();
+
     let cfg = LoadConfig { inject_slo_failure: true, ..tiny() };
     let result = run_scenario("point_lookups", &cfg).unwrap();
     assert!(!result.passed(), "impossible p99 bound should have failed");
@@ -38,6 +41,30 @@ fn injected_slo_failure_fails_point_lookups() {
         "expected a latency violation, got {:?}",
         result.violations
     );
+
+    // The failure must leave a flight-recorder bundle behind: pick the
+    // bundle this run wrote (mtime >= our start; names carry a scenario
+    // hint) and check it carries the sections an on-call needs.
+    let bundle = std::fs::read_dir(&incidents)
+        .unwrap_or_else(|e| panic!("no incident dir at {}: {e}", incidents.display()))
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name().to_string_lossy().starts_with("incident-point_lookups-")
+                && e.metadata().and_then(|m| m.modified()).map(|t| t >= started).unwrap_or(false)
+        })
+        .map(|e| e.path())
+        .max()
+        .expect("injected SLO failure wrote no incident bundle");
+    let text = std::fs::read_to_string(&bundle).unwrap();
+    for section in ["== stats ==", "== fingerprints ==", "== plan changes ==", "== history =="] {
+        assert!(text.contains(section), "{} missing {section}", bundle.display());
+    }
+    assert!(text.contains("slo_violation"), "bundle should name its trigger");
+
+    // And the plain failure dump CI uploads still exists alongside it.
+    let dump = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/loadgen/failure-point_lookups.txt");
+    assert!(dump.exists(), "missing {}", dump.display());
 }
 
 #[test]

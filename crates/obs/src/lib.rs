@@ -26,13 +26,22 @@
 //! sort therefore groups related counters — that is the point of the
 //! convention, not a side effect.
 
+pub mod fingerprint;
 pub mod hist;
+pub mod recorder;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
+pub use fingerprint::{
+    fingerprint_id, fingerprint_text, CacheTier, Execution, FingerprintRegistry, FingerprintStats,
+    PlanChange,
+};
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
-pub use registry::Snapshot;
+pub use recorder::{incident_dir, IncidentBundle, IncidentRecorder};
+pub use registry::{escape_label_value, Snapshot};
 pub use span::{FieldValue, Span, SpanRecord, Tracer};
+pub use timeseries::{MetricRing, Sampler, DEFAULT_HISTORY_SLOTS};
 
 use std::sync::atomic::AtomicU64;
 use std::sync::OnceLock;

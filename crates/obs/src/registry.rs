@@ -18,12 +18,49 @@ struct Scalar {
     gauge: bool,
 }
 
+/// A scalar sample carrying Prometheus labels (e.g. per-fingerprint
+/// counters). Labeled samples render only in the Prometheus exposition —
+/// `SHOW STATS` stays a flat, label-free name/value table (its golden
+/// name list must not depend on workload contents).
+#[derive(Debug, Clone)]
+struct LabeledScalar {
+    name: String,
+    /// Pre-rendered `key="escaped value"` pairs, comma-joined.
+    labels: String,
+    value: u64,
+    gauge: bool,
+}
+
+/// Escape a label value for the Prometheus text format: backslash, double
+/// quote, and newline must be escaped inside the quoted label value.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// A point-in-time collection of every counter, gauge, and histogram the
 /// process wants to expose. Build one per request with the `counter` /
 /// `gauge` / `histogram` adders, then render it.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     scalars: Vec<Scalar>,
+    labeled: Vec<LabeledScalar>,
     hists: Vec<(String, HistogramSnapshot)>,
 }
 
@@ -43,6 +80,32 @@ impl Snapshot {
         self.scalars.push(Scalar { name: name.into(), value, gauge: true });
     }
 
+    /// Add a labeled counter (Prometheus exposition only; `SHOW STATS`
+    /// never renders labeled samples).
+    pub fn labeled_counter(
+        &mut self,
+        name: impl Into<String>,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) {
+        self.labeled.push(LabeledScalar {
+            name: name.into(),
+            labels: render_labels(labels),
+            value,
+            gauge: false,
+        });
+    }
+
+    /// Add a labeled gauge (Prometheus exposition only).
+    pub fn labeled_gauge(&mut self, name: impl Into<String>, labels: &[(&str, &str)], value: u64) {
+        self.labeled.push(LabeledScalar {
+            name: name.into(),
+            labels: render_labels(labels),
+            value,
+            gauge: true,
+        });
+    }
+
     /// Add a latency histogram under `name` (e.g. `query_read_latency`).
     pub fn histogram(&mut self, name: impl Into<String>, snap: HistogramSnapshot) {
         self.hists.push((name.into(), snap));
@@ -56,6 +119,12 @@ impl Snapshot {
     /// Look up one histogram snapshot by family name (without `_us`).
     pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Look up one labeled scalar by family name and exact label set.
+    pub fn labeled_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let rendered = render_labels(labels);
+        self.labeled.iter().find(|s| s.name == name && s.labels == rendered).map(|s| s.value)
     }
 
     /// The snapshot of activity *between* `baseline` and `self`: counters
@@ -79,6 +148,23 @@ impl Snapshot {
                 gauge: s.gauge,
             })
             .collect();
+        let labeled = self
+            .labeled
+            .iter()
+            .map(|s| {
+                let base = baseline
+                    .labeled
+                    .iter()
+                    .find(|b| b.name == s.name && b.labels == s.labels)
+                    .map_or(0, |b| b.value);
+                LabeledScalar {
+                    name: s.name.clone(),
+                    labels: s.labels.clone(),
+                    value: if s.gauge { s.value } else { s.value.saturating_sub(base) },
+                    gauge: s.gauge,
+                }
+            })
+            .collect();
         let hists = self
             .hists
             .iter()
@@ -90,7 +176,7 @@ impl Snapshot {
                 (name.clone(), diffed)
             })
             .collect();
-        Snapshot { scalars, hists }
+        Snapshot { scalars, labeled, hists }
     }
 
     /// Rows for `SHOW STATS`: every scalar plus, per histogram, derived
@@ -120,11 +206,25 @@ impl Snapshot {
         let mut hists: Vec<&(String, HistogramSnapshot)> = self.hists.iter().collect();
         hists.sort_by(|a, b| a.0.cmp(&b.0));
 
+        let mut labeled = self.labeled.clone();
+        labeled.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+
         let mut out = String::new();
         for s in &scalars {
             let kind = if s.gauge { "gauge" } else { "counter" };
             out.push_str(&format!("# TYPE {prefix}{} {kind}\n", s.name));
             out.push_str(&format!("{prefix}{} {}\n", s.name, s.value));
+        }
+        // Labeled families: one `# TYPE` line per family, samples grouped
+        // under it (the sort above makes each family contiguous).
+        let mut last_family: Option<&str> = None;
+        for s in &labeled {
+            if last_family != Some(s.name.as_str()) {
+                let kind = if s.gauge { "gauge" } else { "counter" };
+                out.push_str(&format!("# TYPE {prefix}{} {kind}\n", s.name));
+                last_family = Some(s.name.as_str());
+            }
+            out.push_str(&format!("{prefix}{}{{{}}} {}\n", s.name, s.labels, s.value));
         }
         for (name, h) in hists {
             out.push_str(&format!("# TYPE {prefix}{name}_us histogram\n"));
@@ -248,6 +348,68 @@ mod tests {
             assert!(!name.is_empty());
             assert!(value.parse::<u64>().is_ok(), "bad value in {line}");
         }
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"a\b"#), r#"a\\b"#);
+        assert_eq!(escape_label_value(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+    }
+
+    #[test]
+    fn labeled_samples_render_grouped_with_one_type_line() {
+        let mut s = Snapshot::new();
+        s.labeled_counter("query_fingerprint_executions", &[("fingerprint", "b")], 2);
+        s.labeled_counter("query_fingerprint_executions", &[("fingerprint", "a")], 7);
+        s.labeled_gauge("query_fingerprint_rows", &[("fingerprint", "a")], 1);
+        let text = s.prometheus("genalg");
+        // One TYPE line per family, samples contiguous and label-sorted.
+        assert_eq!(text.matches("# TYPE genalg_query_fingerprint_executions counter").count(), 1);
+        assert!(text.contains("# TYPE genalg_query_fingerprint_rows gauge\n"));
+        let a = text.find("executions{fingerprint=\"a\"} 7").unwrap();
+        let b = text.find("executions{fingerprint=\"b\"} 2").unwrap();
+        assert!(a < b, "labeled samples must sort by label:\n{text}");
+        // Lookup by exact label set works; wrong labels miss.
+        assert_eq!(
+            s.labeled_value("query_fingerprint_executions", &[("fingerprint", "a")]),
+            Some(7)
+        );
+        assert_eq!(s.labeled_value("query_fingerprint_executions", &[("fingerprint", "z")]), None);
+    }
+
+    #[test]
+    fn labeled_samples_escape_hostile_values_and_parse_line_shaped() {
+        let hostile = "sneaky\"quote\\and\nnewline";
+        let mut s = Snapshot::new();
+        s.labeled_counter("query_fingerprint_executions", &[("fingerprint", hostile)], 3);
+        let text = s.prometheus("genalg");
+        let line = text.lines().find(|l| l.contains("fingerprint=")).unwrap();
+        // The raw newline must not split the sample line.
+        assert!(line.contains("\\n") && line.contains("\\\"") && line.contains("\\\\"));
+        let (name, value) = line.rsplit_once(' ').unwrap();
+        assert!(name.starts_with("genalg_query_fingerprint_executions{"));
+        assert_eq!(value.parse::<u64>().unwrap(), 3);
+    }
+
+    #[test]
+    fn labeled_samples_never_reach_stats_rows_but_do_delta() {
+        let mut before = Snapshot::new();
+        before.labeled_counter("query_fingerprint_executions", &[("fingerprint", "a")], 5);
+        let mut after = Snapshot::new();
+        after.labeled_counter("query_fingerprint_executions", &[("fingerprint", "a")], 9);
+        after.labeled_counter("query_fingerprint_executions", &[("fingerprint", "b")], 4);
+        assert!(after.stats_rows().is_empty(), "labels must not leak into SHOW STATS");
+        let d = after.delta_since(&before);
+        assert_eq!(
+            d.labeled_value("query_fingerprint_executions", &[("fingerprint", "a")]),
+            Some(4)
+        );
+        assert_eq!(
+            d.labeled_value("query_fingerprint_executions", &[("fingerprint", "b")]),
+            Some(4)
+        );
     }
 
     #[test]

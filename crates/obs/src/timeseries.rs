@@ -1,0 +1,258 @@
+//! Metrics time-series: a fixed-size ring of per-interval snapshot deltas
+//! plus the background sampler that feeds it.
+//!
+//! The server's counters are cumulative; "what changed in the last four
+//! minutes" needs periodic differencing. [`MetricRing::push`] takes the
+//! current cumulative [`Snapshot`], diffs it against the previous push
+//! with [`Snapshot::delta_since`], and retains the delta in a bounded
+//! ring (default 240 slots — four minutes at the server's 1 s cadence).
+//! `SHOW HISTORY <metric>` renders one metric's per-slot values.
+//!
+//! [`Sampler`] is the generic tick thread: it runs a closure at a fixed
+//! interval until the closure returns `false` or the sampler is dropped.
+//! The server's closure upgrades a `Weak` service handle, samples, and
+//! runs the incident-trigger checks; the obs bench reuses the same type
+//! to measure the sampler's interference with the hot path.
+
+use crate::registry::Snapshot;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default ring capacity: 240 slots (four minutes at 1 s per slot).
+pub const DEFAULT_HISTORY_SLOTS: usize = 240;
+
+/// A bounded ring of per-interval metric deltas.
+#[derive(Debug)]
+pub struct MetricRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+    /// Slots pushed since creation (including ones since overwritten).
+    pushed: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    /// `(slot_seq, delta)` pairs, oldest first. Slot sequence is 1-based
+    /// and monotonic, so history output stays aligned as slots fall off.
+    slots: VecDeque<(u64, Snapshot)>,
+    /// The cumulative snapshot the next push diffs against.
+    last: Option<Snapshot>,
+}
+
+impl MetricRing {
+    /// A ring retaining the most recent `capacity` interval deltas.
+    pub fn new(capacity: usize) -> Self {
+        MetricRing {
+            inner: Mutex::new(RingInner::default()),
+            capacity: capacity.max(1),
+            pushed: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one tick: diff `cumulative` against the previous push and
+    /// retain the delta. The very first push records the snapshot as-is
+    /// (everything since process start). Returns a clone of the delta so
+    /// the caller can run trigger checks on it without re-locking.
+    pub fn push(&self, cumulative: Snapshot) -> Snapshot {
+        let mut inner = self.inner.lock();
+        let delta = match &inner.last {
+            Some(prev) => cumulative.delta_since(prev),
+            None => cumulative.clone(),
+        };
+        inner.last = Some(cumulative);
+        let seq = self.pushed.fetch_add(1, Ordering::Relaxed) + 1;
+        if inner.slots.len() >= self.capacity {
+            inner.slots.pop_front();
+        }
+        inner.slots.push_back((seq, delta.clone()));
+        delta
+    }
+
+    /// Per-slot values of one metric, oldest first, as `(slot, value)`
+    /// pairs. `metric` may name any scalar or derived histogram row that
+    /// appears in `SHOW STATS` (e.g. `query_ok`,
+    /// `query_read_latency_p95_us`). Slots where the metric is absent are
+    /// skipped.
+    pub fn history(&self, metric: &str) -> Vec<(u64, u64)> {
+        let inner = self.inner.lock();
+        inner
+            .slots
+            .iter()
+            .filter_map(|(seq, delta)| {
+                delta.stats_rows().into_iter().find(|(n, _)| n == metric).map(|(_, v)| (*seq, v))
+            })
+            .collect()
+    }
+
+    /// Sorted names available in the most recent slot — what
+    /// `SHOW HISTORY` suggests when asked for an unknown metric.
+    pub fn metric_names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        inner
+            .slots
+            .back()
+            .map(|(_, d)| d.stats_rows().into_iter().map(|(n, _)| n).collect())
+            .unwrap_or_default()
+    }
+
+    /// Slots currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+}
+
+/// Shutdown signal shared between a [`Sampler`] and its tick thread.
+#[derive(Debug, Default)]
+struct Stop {
+    flag: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// A background thread running a closure at a fixed interval.
+///
+/// Dropping the sampler stops the thread promptly (condvar wakeup, no
+/// interval-long stall). The closure returning `false` also stops it —
+/// that is how a `Weak`-holding closure dies with its service.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<Stop>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Run `tick` every `interval` on a named thread until it returns
+    /// `false` or the sampler is dropped. The first tick fires after one
+    /// full interval, not immediately.
+    pub fn spawn(interval: Duration, mut tick: impl FnMut() -> bool + Send + 'static) -> Sampler {
+        let stop = Arc::new(Stop::default());
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("genalg-sampler".into())
+            .spawn(move || loop {
+                {
+                    let mut guard = thread_stop.lock.lock();
+                    if !thread_stop.flag.load(Ordering::Relaxed) {
+                        thread_stop.cv.wait_for(&mut guard, interval);
+                    }
+                }
+                if thread_stop.flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                if !tick() {
+                    return;
+                }
+            })
+            .expect("spawn sampler thread");
+        Sampler { stop, handle: Some(handle) }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.flag.store(true, Ordering::Relaxed);
+        let _guard = self.stop.lock.lock();
+        self.stop.cv.notify_all();
+        drop(_guard);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(ok: u64, depth: u64) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.counter("query_ok", ok);
+        s.gauge("server_queue_depth", depth);
+        s
+    }
+
+    #[test]
+    fn push_diffs_against_previous_cumulative() {
+        let ring = MetricRing::new(4);
+        ring.push(snap(10, 1));
+        let d = ring.push(snap(25, 3));
+        assert_eq!(d.value("query_ok"), Some(15));
+        // Gauges keep their instantaneous value in each slot.
+        assert_eq!(d.value("server_queue_depth"), Some(3));
+        assert_eq!(ring.history("query_ok"), vec![(1, 10), (2, 15)]);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_slots_stay_numbered() {
+        let ring = MetricRing::new(3);
+        for i in 1..=5u64 {
+            ring.push(snap(i * 10, 0));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.pushed(), 5);
+        // Oldest slots fell off; sequence numbers keep their identity.
+        assert_eq!(ring.history("query_ok"), vec![(3, 10), (4, 10), (5, 10)]);
+        assert!(ring.history("no_such_metric").is_empty());
+        assert!(ring.metric_names().contains(&"query_ok".to_string()));
+    }
+
+    #[test]
+    fn history_covers_derived_histogram_rows() {
+        let ring = MetricRing::new(4);
+        let h = crate::hist::Histogram::default();
+        h.record_us(100);
+        let mut s = Snapshot::new();
+        s.histogram("query_read_latency", h.snapshot());
+        ring.push(s);
+        let counts = ring.history("query_read_latency_count");
+        assert_eq!(counts, vec![(1, 1)]);
+        assert_eq!(ring.history("query_read_latency_p95_us").len(), 1);
+    }
+
+    #[test]
+    fn sampler_ticks_and_stops_on_drop() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&ticks);
+        let sampler = Sampler::spawn(Duration::from_millis(5), move || {
+            t.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ticks.load(Ordering::Relaxed) < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(ticks.load(Ordering::Relaxed) >= 3, "sampler never ticked");
+        drop(sampler); // must join promptly, not hang the test
+        let after = ticks.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ticks.load(Ordering::Relaxed), after, "ticks after drop");
+    }
+
+    #[test]
+    fn sampler_stops_when_tick_returns_false() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&ticks);
+        let _sampler =
+            Sampler::spawn(Duration::from_millis(1), move || t.fetch_add(1, Ordering::Relaxed) < 2);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ticks.load(Ordering::Relaxed) < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(ticks.load(Ordering::Relaxed), 3, "closure's false must stop the loop");
+    }
+}

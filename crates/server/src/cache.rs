@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
-use unidb::{Prepared, ResultSet};
+use unidb::{Datum, Prepared, ResultSet};
 
 /// Normalize SQL/BQL text for cache keying: collapse runs of whitespace to
 /// one space, lowercase everything outside single-quoted literals, strip a
@@ -58,45 +58,57 @@ pub fn normalize_sql(text: &str) -> String {
 }
 
 /// A small LRU map: capacity-bounded, least-recently-*used* eviction via a
-/// logical clock (same scheme as the storage buffer pool).
+/// logical clock (same scheme as the storage buffer pool). Each entry
+/// carries an approximate byte size so the caches can report their heap
+/// footprint, not just their entry count.
 struct Lru<K, V> {
-    map: HashMap<K, (V, u64)>,
+    map: HashMap<K, (V, u64, usize)>,
     capacity: usize,
     clock: u64,
+    bytes: usize,
 }
 
 impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     fn new(capacity: usize) -> Self {
-        Lru { map: HashMap::new(), capacity: capacity.max(1), clock: 0 }
+        Lru { map: HashMap::new(), capacity: capacity.max(1), clock: 0, bytes: 0 }
     }
 
     fn get(&mut self, k: &K) -> Option<&V> {
         self.clock += 1;
         let clock = self.clock;
-        self.map.get_mut(k).map(|(v, used)| {
+        self.map.get_mut(k).map(|(v, used, _)| {
             *used = clock;
             &*v
         })
     }
 
-    fn insert(&mut self, k: K, v: V) {
+    fn insert(&mut self, k: K, v: V, size: usize) {
         if !self.map.contains_key(&k) && self.map.len() >= self.capacity {
             if let Some(victim) =
-                self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+                self.map.iter().min_by_key(|(_, (_, used, _))| *used).map(|(k, _)| k.clone())
             {
-                self.map.remove(&victim);
+                self.remove(&victim);
             }
         }
         self.clock += 1;
-        self.map.insert(k, (v, self.clock));
+        if let Some((_, _, old)) = self.map.insert(k, (v, self.clock, size)) {
+            self.bytes -= old;
+        }
+        self.bytes += size;
     }
 
     fn remove(&mut self, k: &K) {
-        self.map.remove(k);
+        if let Some((_, _, size)) = self.map.remove(k) {
+            self.bytes -= size;
+        }
     }
 
     fn len(&self) -> usize {
         self.map.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.bytes
     }
 }
 
@@ -132,7 +144,8 @@ impl PlanCache {
     }
 
     pub fn insert(&self, key: StatementKey, plan: Arc<Prepared>) {
-        self.entries.lock().insert(key, plan);
+        let size = key_bytes(&key) + plan.approx_bytes();
+        self.entries.lock().insert(key, plan, size);
     }
 
     pub fn len(&self) -> usize {
@@ -141,6 +154,11 @@ impl PlanCache {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate heap bytes held by cached plans (keys included).
+    pub fn bytes(&self) -> usize {
+        self.entries.lock().bytes()
     }
 }
 
@@ -200,9 +218,14 @@ impl ResultCache {
         table_versions: Vec<u64>,
         catalog_gen: u64,
     ) {
-        self.entries
-            .lock()
-            .insert(key, CachedResult { result, table_ids, table_versions, catalog_gen });
+        let size = key_bytes(&key)
+            + approx_result_bytes(&result)
+            + (table_ids.len() + table_versions.len()) * std::mem::size_of::<u64>();
+        self.entries.lock().insert(
+            key,
+            CachedResult { result, table_ids, table_versions, catalog_gen },
+            size,
+        );
     }
 
     pub fn len(&self) -> usize {
@@ -212,6 +235,34 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Approximate heap bytes held by cached results (keys included).
+    pub fn bytes(&self) -> usize {
+        self.entries.lock().bytes()
+    }
+}
+
+fn key_bytes(key: &StatementKey) -> usize {
+    key.normalized_sql.len() + key.space.len()
+}
+
+/// Approximate heap footprint of a result set: per-row/per-cell overhead
+/// plus the variable payload of text and blob datums.
+fn approx_result_bytes(rs: &ResultSet) -> usize {
+    let cell_overhead = std::mem::size_of::<Datum>();
+    let mut bytes = rs.columns.iter().map(|c| c.len()).sum::<usize>();
+    for row in &rs.rows {
+        bytes += row.len() * cell_overhead;
+        for cell in row {
+            bytes += match cell {
+                Datum::Text(s) => s.len(),
+                Datum::Blob(b) => b.len(),
+                Datum::Opaque(_, b) => b.len(),
+                _ => 0,
+            };
+        }
+    }
+    bytes
 }
 
 #[cfg(test)]
@@ -230,13 +281,19 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut lru: Lru<u32, u32> = Lru::new(2);
-        lru.insert(1, 10);
-        lru.insert(2, 20);
+        lru.insert(1, 10, 100);
+        lru.insert(2, 20, 50);
+        assert_eq!(lru.bytes(), 150);
         assert_eq!(lru.get(&1), Some(&10)); // 2 becomes LRU
-        lru.insert(3, 30);
+        lru.insert(3, 30, 25);
         assert_eq!(lru.get(&2), None);
         assert_eq!(lru.get(&1), Some(&10));
         assert_eq!(lru.get(&3), Some(&30));
+        // Byte accounting followed the eviction of entry 2.
+        assert_eq!(lru.bytes(), 125);
+        // Re-inserting a live key replaces its size, not accumulates it.
+        lru.insert(1, 11, 10);
+        assert_eq!(lru.bytes(), 35);
     }
 
     #[test]

@@ -23,7 +23,14 @@
 //!   `SHOW STATS` (counters, grouped by `<subsystem>_` prefix) and
 //!   `SHOW METRICS` (Prometheus text exposition); `SHOW SLOW QUERIES`
 //!   returns the N slowest statements with plan and cache attribution, and
-//!   `SHOW TRACE` drains the structured span ring when tracing is on.
+//!   `SHOW TRACE` drains the structured span ring when tracing is on;
+//! * a **workload observatory** — `SHOW WORKLOAD` lists per-fingerprint
+//!   statistics (normalized query shapes with latency quantiles, cache-tier
+//!   hits, and resource attribution), `SHOW PLAN CHANGES` renders the
+//!   plan-flip audit ring, `SHOW HISTORY <metric>` reads the background
+//!   sampler's per-second delta ring, and an incident flight recorder dumps
+//!   self-contained diagnostic bundles to `target/incidents/` on worker
+//!   panics, conflict storms, and load-harness SLO violations.
 //!
 //! The engine itself runs reads concurrently (shared read lock; see
 //! [`unidb::Database`]), so the pool translates directly into parallel
@@ -269,9 +276,11 @@ mod tests {
             })
             .collect();
         let golden = vec![
+            "cache_plan_bytes",
             "cache_plan_entries",
             "cache_plan_hits",
             "cache_plan_misses",
+            "cache_result_bytes",
             "cache_result_entries",
             "cache_result_hits",
             "cache_result_misses",
@@ -285,6 +294,11 @@ mod tests {
             "exec_scan_pages_read",
             "exec_scan_pages_skipped",
             "exec_stats_rebuilt",
+            "obs_fingerprint_overflow",
+            "obs_fingerprints",
+            "obs_history_slots",
+            "obs_incidents_written",
+            "obs_plan_changes",
             "obs_spans_dropped",
             "obs_spans_recorded",
             "obs_tracing_enabled",
@@ -528,6 +542,205 @@ mod tests {
         assert_eq!(rs.rows[0][0], Datum::Int(3));
         let stats = client.query(s, "SHOW STATS").unwrap();
         assert_eq!(stat_value(&stats, "txn_aborted"), Some(1));
+    }
+
+    /// Tentpole: `SHOW WORKLOAD` collapses literal-differing statements
+    /// into one fingerprint with cumulative attribution.
+    #[test]
+    fn show_workload_groups_statements_by_fingerprint() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        client.query(s, "SELECT name FROM public.genes WHERE id = 1").unwrap();
+        client.query(s, "SELECT name FROM public.genes WHERE id = 2").unwrap();
+        client.query(s, "SELECT name FROM public.genes WHERE id = 2").unwrap();
+        let rs = client.query(s, "SHOW WORKLOAD").unwrap();
+        assert_eq!(rs.columns[0], "fingerprint");
+        let row = rs
+            .rows
+            .iter()
+            .find(|r| {
+                matches!(&r[1], Datum::Text(q) if q == "select name from public.genes where id = ?")
+            })
+            .expect("literal-differing statements share one fingerprint");
+        assert_eq!(row[2], Datum::Int(3), "calls");
+        assert_eq!(row[3], Datum::Int(0), "errors");
+        // Third execution repeated the second's text, so the result cache
+        // answered it.
+        assert_eq!(row[6], Datum::Int(1), "result_hits");
+        // Rows out accumulate across executions (one row each).
+        assert_eq!(row[8], Datum::Int(3), "rows_out");
+        match &row[0] {
+            Datum::Text(id) => {
+                assert_eq!(id.len(), 16, "fingerprint id is 16 hex digits: {id}");
+                assert!(id.bytes().all(|b| b.is_ascii_hexdigit()));
+            }
+            other => panic!("fingerprint should be text, got {other:?}"),
+        }
+        // Errors are attributed too (same shape, bad table ⇒ new shape;
+        // use a failing statement of the *same* shape instead: a type
+        // error inside the where clause still parses the same text).
+        // SHOW statements themselves never register.
+        assert!(rs.rows.iter().all(|r| !matches!(&r[1], Datum::Text(q) if q.starts_with("show"))));
+    }
+
+    /// Tentpole: DDL that flips a fingerprint's plan (seq scan → index
+    /// scan) lands in the audit ring with both sides attributed.
+    #[test]
+    fn show_plan_changes_records_plan_flips() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let m = client.open(SessionKind::Maintainer);
+        let sql = "SELECT name FROM public.genes WHERE id = 2";
+        client.query(m, sql).unwrap();
+        let before = client.query(m, "SHOW PLAN CHANGES").unwrap();
+        assert!(before.rows.is_empty(), "no flip yet");
+        client.query(m, "CREATE INDEX ON public.genes (id)").unwrap();
+        client.query(m, sql).unwrap();
+        let rs = client.query(m, "SHOW PLAN CHANGES").unwrap();
+        assert_eq!(rs.rows.len(), 1, "exactly one flip recorded");
+        let row = &rs.rows[0];
+        assert_eq!(row[0], Datum::Int(1), "seq");
+        match (&row[3], &row[4], &row[5], &row[6]) {
+            (
+                Datum::Text(before_plan),
+                Datum::Text(after_plan),
+                Datum::Text(before_hash),
+                Datum::Text(after_hash),
+            ) => {
+                assert_ne!(before_plan, after_plan, "plan label changed");
+                assert!(after_plan.contains("Index"), "index plan after DDL: {after_plan}");
+                assert_ne!(before_hash, after_hash);
+            }
+            other => panic!("bad plan-change row: {other:?}"),
+        }
+        // Re-running the same (now stable) plan adds nothing.
+        client.query(m, sql).unwrap();
+        let again = client.query(m, "SHOW PLAN CHANGES").unwrap();
+        assert_eq!(again.rows.len(), 1);
+        let stats = client.query(m, "SHOW STATS").unwrap();
+        assert_eq!(stat_value(&stats, "obs_plan_changes"), Some(1));
+    }
+
+    /// Tentpole: `SHOW HISTORY <metric>` reads the sampler ring; an
+    /// explicit tick makes the test deterministic (no background timing).
+    #[test]
+    fn show_history_returns_per_slot_deltas() {
+        // Sampler off: ticks happen only where the test forces them.
+        let config = ServerConfig { sampler_interval_ms: 0, ..ServerConfig::default() };
+        let server = seeded_server(&config);
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        client.query(s, "SELECT count(*) FROM public.genes").unwrap();
+        server.service().sample_tick();
+        client.query(s, "SELECT name FROM public.genes WHERE id = 1").unwrap();
+        client.query(s, "SELECT name FROM public.genes WHERE id = 2").unwrap();
+        server.service().sample_tick();
+        let rs = client.query(s, "SHOW HISTORY query_ok").unwrap();
+        assert_eq!(rs.columns, vec!["slot".to_string(), "value".to_string()]);
+        assert_eq!(rs.rows.len(), 2);
+        // First slot holds everything since start (1 query), the second
+        // the delta between ticks (2 queries).
+        assert_eq!(rs.rows[0], vec![Datum::Int(1), Datum::Int(1)]);
+        assert_eq!(rs.rows[1], vec![Datum::Int(2), Datum::Int(2)]);
+        // Derived histogram rows work too.
+        let hist = client.query(s, "SHOW HISTORY query_read_latency_count").unwrap();
+        assert_eq!(hist.rows.len(), 2);
+        // Unknown metrics fail with a hint; a bare SHOW HISTORY also fails.
+        let err = client.query(s, "SHOW HISTORY no_such_metric").unwrap_err();
+        assert!(matches!(err, ServerError::Db(unidb::DbError::Unsupported(_))), "got {err:?}");
+        let err = client.query(s, "SHOW HISTORY").unwrap_err();
+        assert!(matches!(err, ServerError::Db(unidb::DbError::Unsupported(_))), "got {err:?}");
+    }
+
+    /// Even with the sampler disabled and no prior tick, `SHOW HISTORY`
+    /// self-primes rather than returning an empty ring.
+    #[test]
+    fn show_history_self_primes_an_idle_ring() {
+        let config = ServerConfig { sampler_interval_ms: 0, ..ServerConfig::default() };
+        let server = seeded_server(&config);
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        let rs = client.query(s, "SHOW HISTORY query_ok").unwrap();
+        assert_eq!(rs.rows.len(), 1, "on-demand tick primes the ring");
+    }
+
+    /// Satellite: per-fingerprint Prometheus families carry the stable id
+    /// as a label and render under one `# TYPE` line per family.
+    #[test]
+    fn show_metrics_carries_per_fingerprint_labels() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        client.query(s, "SELECT name FROM public.genes WHERE id = 1").unwrap();
+        client.query(s, "SELECT name FROM public.genes WHERE id = 7").unwrap();
+        let rs = client.query(s, "SHOW METRICS").unwrap();
+        let text = rs
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Datum::Text(l) => l.as_str(),
+                other => panic!("metrics line should be text, got {other:?}"),
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(text.matches("# TYPE genalg_query_fingerprint_executions counter").count(), 1);
+        let sample = text
+            .lines()
+            .find(|l| l.starts_with("genalg_query_fingerprint_executions{fingerprint=\""))
+            .expect("labeled executions sample");
+        let (_, value) = sample.rsplit_once(' ').unwrap();
+        // Both literal variants collapsed into one fingerprint's counter.
+        assert_eq!(value.parse::<u64>().unwrap(), 2);
+        // SHOW STATS stays label-free: no per-fingerprint rows leak in.
+        let stats = client.query(s, "SHOW STATS").unwrap();
+        assert!(stats
+            .rows
+            .iter()
+            .all(|r| !matches!(&r[0], Datum::Text(n) if n.contains("fingerprint{"))));
+    }
+
+    /// Satellite: the caches report their heap footprint in bytes, and the
+    /// gauge moves with the cached payload.
+    #[test]
+    fn cache_byte_gauges_track_cached_payload() {
+        let server = seeded_server(&ServerConfig::default());
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        let stats = client.query(s, "SHOW STATS").unwrap();
+        assert_eq!(stat_value(&stats, "cache_plan_bytes"), Some(0));
+        assert_eq!(stat_value(&stats, "cache_result_bytes"), Some(0));
+        client.query(s, "SELECT id, name FROM public.genes").unwrap();
+        let stats = client.query(s, "SHOW STATS").unwrap();
+        let plan_bytes = stat_value(&stats, "cache_plan_bytes").unwrap();
+        let result_bytes = stat_value(&stats, "cache_result_bytes").unwrap();
+        assert!(plan_bytes > 0, "cached plan accounts bytes");
+        // 3 rows × (one Datum-sized int cell + a text cell with payload).
+        assert!(result_bytes > 0, "cached result accounts bytes");
+        assert!(
+            stat_value(&stats, "cache_plan_entries") == Some(1)
+                && stat_value(&stats, "cache_result_entries") == Some(1)
+        );
+    }
+
+    /// Tentpole: an incident bundle assembles every observatory section.
+    #[test]
+    fn incident_bundle_contains_all_sections() {
+        let config = ServerConfig { sampler_interval_ms: 0, ..ServerConfig::default() };
+        let server = seeded_server(&config);
+        let client = server.client();
+        let s = client.open(SessionKind::Public);
+        client.query(s, "SELECT name FROM public.genes WHERE id = 1").unwrap();
+        let bundle = server.service().incident_bundle("test_reason");
+        assert_eq!(
+            bundle.section_titles(),
+            vec!["stats", "fingerprints", "plan changes", "history", "slow queries", "trace"]
+        );
+        let text = bundle.render();
+        assert!(text.starts_with("incident: test_reason"));
+        assert!(text.contains("select name from public.genes where id = ?"));
+        // The history section self-primed even though no sampler ran.
+        assert!(text.contains("query_ok: 1:"), "history series present:\n{text}");
     }
 
     #[test]

@@ -15,6 +15,22 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+thread_local! {
+    /// Queue wait of the job currently running on this worker thread, in
+    /// microseconds. Set at pickup, consumed by the query service so
+    /// per-fingerprint attribution can include admission delay without
+    /// threading a value through every job closure.
+    static LAST_QUEUE_WAIT_US: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Take (and reset) the queue wait recorded for the job running on the
+/// current thread. Returns 0 off worker threads or when already consumed —
+/// the reset is what keeps a worker's next, differently-routed statement
+/// from inheriting a stale wait.
+pub(crate) fn take_last_queue_wait_us() -> u64 {
+    LAST_QUEUE_WAIT_US.with(|c| c.replace(0))
+}
+
 /// A fixed-size pool of worker threads fed by a bounded queue.
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
@@ -54,7 +70,10 @@ impl WorkerPool {
         let metrics = Arc::clone(&self.metrics);
         let enqueued = std::time::Instant::now();
         let job = move || {
-            metrics.queue_wait.record(enqueued.elapsed());
+            let waited = enqueued.elapsed();
+            metrics.queue_wait.record(waited);
+            let us = waited.as_micros().min(u128::from(u64::MAX)) as u64;
+            LAST_QUEUE_WAIT_US.with(|c| c.set(us));
             job();
         };
         match tx.try_send(Box::new(job)) {

@@ -23,6 +23,10 @@ use unidb::{Database, ResultSet};
 pub struct Server {
     service: Arc<QueryService>,
     pool: Arc<WorkerPool>,
+    /// Background metrics sampler feeding `SHOW HISTORY` and the incident
+    /// triggers; stops when dropped with the server (or on its own once
+    /// the service is gone — the tick holds only a `Weak`).
+    _sampler: Option<genalg_obs::Sampler>,
 }
 
 impl Server {
@@ -34,7 +38,20 @@ impl Server {
             config.queue_capacity,
             Arc::clone(service.metrics()),
         ));
-        Server { service, pool }
+        let sampler = (config.sampler_interval_ms > 0).then(|| {
+            let weak = Arc::downgrade(&service);
+            genalg_obs::Sampler::spawn(
+                std::time::Duration::from_millis(config.sampler_interval_ms),
+                move || match weak.upgrade() {
+                    Some(svc) => {
+                        svc.sample_tick();
+                        true
+                    }
+                    None => false,
+                },
+            )
+        });
+        Server { service, pool, _sampler: sampler }
     }
 
     /// The service behind this server (for stats inspection in tests).

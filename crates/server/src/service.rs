@@ -19,12 +19,24 @@ use crate::error::{ServerError, ServerResult};
 use crate::metrics::Metrics;
 use crate::protocol::Lang;
 use crate::session::{SessionId, SessionKind, SessionManager};
-use genalg_obs::Snapshot;
+use genalg_obs::{
+    incident_dir, CacheTier, Execution, FingerprintRegistry, IncidentBundle, IncidentRecorder,
+    MetricRing, Snapshot, DEFAULT_HISTORY_SLOTS,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use unidb::{Database, Datum, DbError, ResultSet};
+
+/// Distinct query shapes the workload registry tracks before overflowing.
+const FINGERPRINT_CAPACITY: usize = 256;
+/// Plan-change audit entries retained (oldest dropped first).
+const PLAN_AUDIT_CAPACITY: usize = 128;
+/// Minimum spacing between automatically recorded incident bundles.
+const INCIDENT_MIN_INTERVAL: Duration = Duration::from_secs(5);
+/// Transaction conflicts in one sampler interval that count as a storm.
+const CONFLICT_STORM_THRESHOLD: u64 = 256;
 
 /// Tuning knobs for [`QueryService`] and [`crate::Server`].
 #[derive(Debug, Clone)]
@@ -51,6 +63,9 @@ pub struct ServerConfig {
     /// on its next use (abandoned `BEGIN`s must not pin snapshots — or
     /// MVCC version chains — forever).
     pub txn_timeout_ms: u64,
+    /// Interval of the background metrics sampler feeding
+    /// `SHOW HISTORY` and the incident triggers (0 disables it).
+    pub sampler_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +80,7 @@ impl Default for ServerConfig {
             slow_query_capacity: 32,
             tracing: false,
             txn_timeout_ms: 30_000,
+            sampler_interval_ms: 1_000,
         }
     }
 }
@@ -90,6 +106,7 @@ impl ServerConfig {
     /// | `GENALG_SLOW_QUERY_US` | `slow_query_threshold_us` |
     /// | `GENALG_SLOW_QUERY_CAPACITY` | `slow_query_capacity` |
     /// | `GENALG_TXN_TIMEOUT_MS` | `txn_timeout_ms` |
+    /// | `GENALG_SAMPLER_MS` | `sampler_interval_ms` (0 disables) |
     ///
     /// (`GENALG_TRACE` already enables tracing process-wide via
     /// [`genalg_obs::tracer`]; there is no config override for it here.)
@@ -120,6 +137,9 @@ impl ServerConfig {
         }
         if let Some(v) = env("GENALG_TXN_TIMEOUT_MS") {
             self.txn_timeout_ms = v;
+        }
+        if let Some(v) = env("GENALG_SAMPLER_MS") {
+            self.sampler_interval_ms = v;
         }
         self
     }
@@ -184,6 +204,9 @@ pub struct QueryService {
     caches_enabled: bool,
     slow_threshold_us: u64,
     slow_log: SlowQueryLog,
+    fingerprints: FingerprintRegistry,
+    history: MetricRing,
+    recorder: IncidentRecorder,
     txn_timeout_ms: u64,
     /// Clock base for the reap rate limiter below.
     reap_epoch: Instant,
@@ -208,6 +231,9 @@ impl QueryService {
             caches_enabled: config.caches_enabled,
             slow_threshold_us: config.slow_query_threshold_us,
             slow_log: SlowQueryLog::new(config.slow_query_capacity),
+            fingerprints: FingerprintRegistry::new(FINGERPRINT_CAPACITY, PLAN_AUDIT_CAPACITY),
+            history: MetricRing::new(DEFAULT_HISTORY_SLOTS),
+            recorder: IncidentRecorder::new(incident_dir(), INCIDENT_MIN_INTERVAL),
             txn_timeout_ms: config.txn_timeout_ms,
             reap_epoch: Instant::now(),
             last_reap_ms: std::sync::atomic::AtomicU64::new(0),
@@ -227,6 +253,132 @@ impl QueryService {
     /// Current contents of the slow-query log, slowest first.
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.slow_log.snapshot()
+    }
+
+    /// The workload registry: per-fingerprint statistics and the
+    /// plan-change audit ring.
+    pub fn fingerprints(&self) -> &FingerprintRegistry {
+        &self.fingerprints
+    }
+
+    /// The metrics time-series ring behind `SHOW HISTORY`.
+    pub fn history(&self) -> &MetricRing {
+        &self.history
+    }
+
+    /// The incident flight recorder (bundle directory, rate limiting).
+    pub fn recorder(&self) -> &IncidentRecorder {
+        &self.recorder
+    }
+
+    /// One sampler tick: push the current snapshot into the history ring
+    /// and run the automatic incident triggers on the resulting delta.
+    /// Called by the background [`genalg_obs::Sampler`] the [`crate::Server`]
+    /// spawns; public so tests and harnesses can tick deterministically.
+    pub fn sample_tick(&self) {
+        let delta = self.history.push(self.snapshot());
+        if delta.value("server_worker_panics").unwrap_or(0) > 0 {
+            self.record_incident("worker_panic");
+        } else if delta.value("txn_conflicts").unwrap_or(0) >= CONFLICT_STORM_THRESHOLD {
+            self.record_incident("conflict_storm");
+        }
+    }
+
+    /// Write an incident bundle for `reason` through the rate limiter,
+    /// returning the path if one was written.
+    pub fn record_incident(&self, reason: &str) -> Option<std::path::PathBuf> {
+        let bundle = self.incident_bundle(reason);
+        self.recorder.record(&bundle, reason)
+    }
+
+    /// Assemble a self-contained diagnostic bundle: current stats, hottest
+    /// fingerprints, plan-change tail, metric history for the headline
+    /// rates, the slow-query log, and the trace-ring tail.
+    pub fn incident_bundle(&self, reason: &str) -> IncidentBundle {
+        // An idle server may never have ticked; force one sample so the
+        // history section is never empty in a bundle.
+        if self.history.is_empty() {
+            self.sample_tick();
+        }
+        let mut bundle = IncidentBundle::new(reason);
+        let stats = self
+            .snapshot()
+            .stats_rows()
+            .into_iter()
+            .map(|(name, value)| format!("{name} {value}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        bundle.section("stats", stats);
+        let fingerprints = self
+            .fingerprints
+            .top(10)
+            .into_iter()
+            .map(|fp| {
+                format!(
+                    "{} calls={} errors={} p95_us={} rows_out={} plan={} :: {}",
+                    fp.id,
+                    fp.executions,
+                    fp.errors,
+                    fp.latency.quantile_us(0.95),
+                    fp.rows_out,
+                    fp.plan_label,
+                    fp.text
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        bundle.section("fingerprints", fingerprints);
+        let changes = self
+            .fingerprints
+            .plan_changes()
+            .into_iter()
+            .map(|c| {
+                format!(
+                    "seq={} fp={} {}({} rows) -> {}({} rows) stats_gen={} catalog_gen={} :: {}",
+                    c.seq,
+                    c.fingerprint,
+                    c.before_label,
+                    c.before_est_rows,
+                    c.after_label,
+                    c.after_est_rows,
+                    c.stats_generation,
+                    c.catalog_generation,
+                    c.text
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        bundle.section("plan changes", changes);
+        let mut history = String::new();
+        for metric in ["query_ok", "query_err", "txn_conflicts", "query_read_latency_p95_us"] {
+            let series = self
+                .history
+                .history(metric)
+                .into_iter()
+                .map(|(slot, v)| format!("{slot}:{v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            if !series.is_empty() {
+                history.push_str(&format!("{metric}: {series}\n"));
+            }
+        }
+        bundle.section("history", history);
+        let slow = self
+            .slow_log
+            .snapshot()
+            .into_iter()
+            .map(|q| format!("{}us [{}] {} :: {}", q.latency_us, q.cache, q.plan, q.sql))
+            .collect::<Vec<_>>()
+            .join("\n");
+        bundle.section("slow queries", slow);
+        let trace = genalg_obs::tracer()
+            .spans()
+            .into_iter()
+            .map(|r| r.render())
+            .collect::<Vec<_>>()
+            .join("\n");
+        bundle.section("trace", trace);
+        bundle
     }
 
     /// Open a session of the given kind.
@@ -340,7 +492,12 @@ impl QueryService {
             "show metrics" => return Ok(self.metrics_result()),
             "show slow queries" => return Ok(self.slow_queries_result()),
             "show trace" => return Ok(self.trace_result()),
+            "show workload" => return Ok(self.workload_result()),
+            "show plan changes" => return Ok(self.plan_changes_result()),
             _ => {}
+        }
+        if let Some(rest) = normalized.strip_prefix("show history") {
+            return self.history_result(rest.trim());
         }
         // The speaking session's reaping stays lazy and inline: the
         // deadline is checked when it next speaks. An expired transaction
@@ -393,6 +550,12 @@ impl QueryService {
         let mut span = tracer.span("server.query");
         span.field("read", is_read);
         let mut path = QueryPath { plan: statement_tag(&normalized), cache: "bypass" };
+        // Attribution inputs: the admission wait stamped by the worker that
+        // picked this request up, and the engine's page counters before
+        // execution (deltas are approximate under concurrency — shared
+        // counters attribute *somebody's* pages to concurrent statements).
+        let queue_wait_us = crate::queue::take_last_queue_wait_us();
+        let pages_before = (self.db.scan_pages_read(), self.db.scan_pages_skipped());
         let start = Instant::now();
         let result = if let Some(txn) = self.sessions.txn(session) {
             // Inside an interactive transaction every statement goes to
@@ -414,6 +577,21 @@ impl QueryService {
         hist.record(elapsed);
         let latency_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         span.field("latency_us", latency_us);
+        let rows_out = match &result {
+            Ok(rs) if !rs.rows.is_empty() => rs.rows.len() as u64,
+            Ok(rs) => rs.affected,
+            Err(_) => 0,
+        };
+        self.fingerprints.record(&Execution {
+            normalized: &normalized,
+            latency_us,
+            ok: result.is_ok(),
+            tier: CacheTier::from_label(path.cache),
+            rows_out,
+            pages_read: self.db.scan_pages_read().saturating_sub(pages_before.0),
+            pages_skipped: self.db.scan_pages_skipped().saturating_sub(pages_before.1),
+            queue_wait_us,
+        });
         if result.is_ok() && latency_us >= self.slow_threshold_us {
             self.slow_log.record(SlowQuery {
                 sql: normalized,
@@ -475,6 +653,18 @@ impl QueryService {
                 }
             };
             path.plan = plan.root_label();
+            // Every planned execution reports its plan hash; the registry
+            // records an audit entry only when the hash flips. The audit
+            // carries the access path, not the root label — an index
+            // swapping in under an unchanged root is the interesting case.
+            self.fingerprints.observe_plan(
+                &key.normalized_sql,
+                plan.plan_hash(),
+                &plan.access_label(),
+                plan.estimated_rows(),
+                plan.stats_generation(),
+                plan.catalog_generation(),
+            );
             // Version snapshot *before* execution: a write landing in the
             // window makes the cached entry miss (safe), never hit stale.
             let versions = self.db.table_versions(plan.table_ids());
@@ -514,7 +704,9 @@ impl QueryService {
         s.counter("pool_misses", pool_misses);
         s.counter("pool_evictions", pool_evictions);
         s.gauge("cache_plan_entries", self.plan_cache.len() as u64);
+        s.gauge("cache_plan_bytes", self.plan_cache.bytes() as u64);
         s.gauge("cache_result_entries", self.result_cache.len() as u64);
+        s.gauge("cache_result_bytes", self.result_cache.bytes() as u64);
         s.gauge("exec_parallelism", self.db.parallelism() as u64);
         s.counter("exec_scan_pages_read", self.db.scan_pages_read());
         s.counter("exec_scan_pages_skipped", self.db.scan_pages_skipped());
@@ -542,6 +734,22 @@ impl QueryService {
         s.counter("obs_spans_recorded", tracer.recorded());
         s.counter("obs_spans_dropped", tracer.dropped());
         s.gauge("obs_tracing_enabled", u64::from(tracer.enabled()));
+        s.gauge("obs_fingerprints", self.fingerprints.len() as u64);
+        s.counter("obs_fingerprint_overflow", self.fingerprints.overflow());
+        s.counter("obs_plan_changes", self.fingerprints.plan_change_count());
+        s.gauge("obs_history_slots", self.history.len() as u64);
+        s.counter("obs_incidents_written", self.recorder.written());
+        // Per-fingerprint families carry only the stable 16-hex id as a
+        // label (never the SQL text) so exposition output stays bounded;
+        // the id → text mapping lives in `SHOW WORKLOAD`. Labeled samples
+        // render in `SHOW METRICS` only — `stats_rows()` ignores them, so
+        // the pinned golden stat-name list stays workload-independent.
+        for fp in self.fingerprints.snapshot() {
+            let labels: &[(&str, &str)] = &[("fingerprint", &fp.id)];
+            s.labeled_counter("query_fingerprint_executions", labels, fp.executions);
+            s.labeled_counter("query_fingerprint_errors", labels, fp.errors);
+            s.labeled_counter("query_fingerprint_rows_out", labels, fp.rows_out);
+        }
         s
     }
 
@@ -593,6 +801,130 @@ impl QueryService {
             affected: 0,
             explain: None,
         }
+    }
+
+    /// `SHOW WORKLOAD`: every tracked query fingerprint, hottest first —
+    /// per-shape execution counts, latency quantiles, cache-tier hits, and
+    /// cumulative resource attribution.
+    fn workload_result(&self) -> ResultSet {
+        let rows = self
+            .fingerprints
+            .snapshot()
+            .into_iter()
+            .map(|fp| {
+                vec![
+                    Datum::Text(fp.id),
+                    Datum::Text(fp.text),
+                    Datum::Int(fp.executions as i64),
+                    Datum::Int(fp.errors as i64),
+                    Datum::Int(fp.latency.quantile_us(0.5) as i64),
+                    Datum::Int(fp.latency.quantile_us(0.95) as i64),
+                    Datum::Int(fp.tiers[0] as i64),
+                    Datum::Int(fp.tiers[1] as i64),
+                    Datum::Int(fp.rows_out as i64),
+                    Datum::Int(fp.pages_read as i64),
+                    Datum::Int(fp.pages_skipped as i64),
+                    Datum::Int(fp.queue_wait_us as i64),
+                    Datum::Text(fp.plan_label),
+                ]
+            })
+            .collect();
+        ResultSet {
+            columns: vec![
+                "fingerprint".into(),
+                "query".into(),
+                "calls".into(),
+                "errors".into(),
+                "p50_us".into(),
+                "p95_us".into(),
+                "result_hits".into(),
+                "plan_hits".into(),
+                "rows_out".into(),
+                "pages_read".into(),
+                "pages_skipped".into(),
+                "queue_wait_us".into(),
+                "plan".into(),
+            ],
+            rows,
+            affected: 0,
+            explain: None,
+        }
+    }
+
+    /// `SHOW PLAN CHANGES`: the plan-flip audit ring, oldest first — what
+    /// the planner chose before and after, its row estimates, and the
+    /// stats/catalog generations the new plan was built under.
+    fn plan_changes_result(&self) -> ResultSet {
+        let rows = self
+            .fingerprints
+            .plan_changes()
+            .into_iter()
+            .map(|c| {
+                vec![
+                    Datum::Int(c.seq as i64),
+                    Datum::Text(c.fingerprint),
+                    Datum::Text(c.text),
+                    Datum::Text(c.before_label),
+                    Datum::Text(c.after_label),
+                    Datum::Text(format!("{:016x}", c.before_hash)),
+                    Datum::Text(format!("{:016x}", c.after_hash)),
+                    Datum::Int(c.before_est_rows as i64),
+                    Datum::Int(c.after_est_rows as i64),
+                    Datum::Int(c.stats_generation as i64),
+                    Datum::Int(c.catalog_generation as i64),
+                ]
+            })
+            .collect();
+        ResultSet {
+            columns: vec![
+                "seq".into(),
+                "fingerprint".into(),
+                "query".into(),
+                "before_plan".into(),
+                "after_plan".into(),
+                "before_hash".into(),
+                "after_hash".into(),
+                "before_est_rows".into(),
+                "after_est_rows".into(),
+                "stats_gen".into(),
+                "catalog_gen".into(),
+            ],
+            rows,
+            affected: 0,
+            explain: None,
+        }
+    }
+
+    /// `SHOW HISTORY <metric>`: the per-interval values of one metric from
+    /// the sampler's ring, oldest slot first. Any name that appears in
+    /// `SHOW STATS` works, including derived histogram rows.
+    fn history_result(&self, metric: &str) -> ServerResult<ResultSet> {
+        if metric.is_empty() {
+            return Err(ServerError::Db(DbError::Unsupported(
+                "SHOW HISTORY needs a metric name, e.g. SHOW HISTORY query_ok".into(),
+            )));
+        }
+        // An idle or sampler-disabled server still answers: take one
+        // sample on demand so the ring is never empty here.
+        if self.history.is_empty() {
+            self.sample_tick();
+        }
+        let series = self.history.history(metric);
+        if series.is_empty() && !self.history.metric_names().iter().any(|n| n == metric) {
+            return Err(ServerError::Db(DbError::Unsupported(format!(
+                "unknown metric '{metric}' (try any SHOW STATS name, e.g. query_ok)"
+            ))));
+        }
+        let rows = series
+            .into_iter()
+            .map(|(slot, v)| vec![Datum::Int(slot as i64), Datum::Int(v as i64)])
+            .collect();
+        Ok(ResultSet {
+            columns: vec!["slot".into(), "value".into()],
+            rows,
+            affected: 0,
+            explain: None,
+        })
     }
 
     /// `SHOW TRACE`: the tracer's ring of finished spans, oldest first.

@@ -198,6 +198,9 @@ pub struct Prepared {
     columns: Vec<String>,
     table_ids: Vec<u32>,
     catalog_gen: u64,
+    plan_hash: u64,
+    est_rows: u64,
+    stats_gen: u64,
 }
 
 impl Prepared {
@@ -220,6 +223,47 @@ impl Prepared {
     /// `EXPLAIN`) — what slow-query logs record instead of the whole tree.
     pub fn root_label(&self) -> String {
         self.plan.node_label()
+    }
+
+    /// The deepest line of the literal-elided plan, trimmed — the access
+    /// path. Plan-flip audits record this instead of the root label
+    /// because an index swapping in under an unchanged `Project` root is
+    /// exactly the change worth naming; literals are elided so the label
+    /// matches the hash's insensitivity to bound constants.
+    pub fn access_label(&self) -> String {
+        let shape = self.plan.shape();
+        shape.lines().last().unwrap_or_default().trim_start().to_string()
+    }
+
+    /// Deterministic hash of the plan *shape* (the literal-elided
+    /// `EXPLAIN` tree under [`crate::fxhash::FxHasher`]). Two
+    /// preparations of the same statement fingerprint produce the same
+    /// hash unless the planner chose a structurally different plan —
+    /// differing bound constants alone never flip it, which is exactly
+    /// the sensitivity plan-change auditing wants.
+    pub fn plan_hash(&self) -> u64 {
+        self.plan_hash
+    }
+
+    /// The planner's cardinality estimate for this plan's output, rounded.
+    pub fn estimated_rows(&self) -> u64 {
+        self.est_rows
+    }
+
+    /// The statistics generation (drift-rebuild counter) this plan was
+    /// costed under. A plan flip with a moved generation points at a stats
+    /// rebuild as the trigger.
+    pub fn stats_generation(&self) -> u64 {
+        self.stats_gen
+    }
+
+    /// Rough heap footprint of this prepared statement for cache byte
+    /// accounting: the plan's rendered size plus column/table metadata.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.plan.explain().len()
+            + self.columns.iter().map(|c| c.len()).sum::<usize>()
+            + self.table_ids.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -467,7 +511,23 @@ impl Database {
         let inner = self.inner.read();
         let (plan, columns) = plan_select(&*inner, role.default_space(), &s)?;
         let table_ids = plan.table_ids();
-        Ok(Prepared { plan, columns, table_ids, catalog_gen: inner.catalog_gen })
+        let plan_hash = {
+            use std::hash::{Hash, Hasher};
+            let mut h = crate::fxhash::FxHasher::default();
+            plan.shape().hash(&mut h);
+            h.finish()
+        };
+        let est_rows = crate::plan::planner::estimate_rows(&plan, &*inner).round().max(0.0) as u64;
+        let stats_gen = inner.stats_rebuilt.load(Ordering::Relaxed);
+        Ok(Prepared {
+            plan,
+            columns,
+            table_ids,
+            catalog_gen: inner.catalog_gen,
+            plan_hash,
+            est_rows,
+            stats_gen,
+        })
     }
 
     /// Execute a previously prepared SELECT under the shared read lock.

@@ -228,41 +228,58 @@ impl PhysicalPlan {
     /// One-line label for this operator (no children, no indentation) —
     /// the shared vocabulary of `EXPLAIN` and `EXPLAIN ANALYZE`.
     pub fn node_label(&self) -> String {
+        self.label_impl(false)
+    }
+
+    /// Like [`PhysicalPlan::node_label`], but literal values (index keys,
+    /// filter constants, LIMIT/OFFSET counts) are elided as `?` — the
+    /// literal-insensitive label the plan-change audit records, so replans
+    /// that differ only in bound constants are not flagged as flips.
+    pub fn node_shape_label(&self) -> String {
+        self.label_impl(true)
+    }
+
+    fn label_impl(&self, shape: bool) -> String {
+        let r = |e: &Expr| if shape { e.render_shape() } else { e.render() };
         match self {
             PhysicalPlan::Nothing => "Nothing".to_string(),
             PhysicalPlan::SeqScan { qualified, residual, .. } => {
                 let mut s = format!("SeqScan {qualified}");
-                if let Some(r) = residual {
-                    s.push_str(&format!(" filter={}", r.render()));
+                if let Some(res) = residual {
+                    s.push_str(&format!(" filter={}", r(res)));
                 }
                 s
             }
             PhysicalPlan::IndexEqScan { qualified, column, key, residual, .. } => {
-                let mut s = format!("IndexEqScan {qualified}.{column} = {key}");
-                if let Some(r) = residual {
-                    s.push_str(&format!(" filter={}", r.render()));
+                let mut s = if shape {
+                    format!("IndexEqScan {qualified}.{column} = ?")
+                } else {
+                    format!("IndexEqScan {qualified}.{column} = {key}")
+                };
+                if let Some(res) = residual {
+                    s.push_str(&format!(" filter={}", r(res)));
                 }
                 s
             }
             PhysicalPlan::IndexRangeScan { qualified, column, residual, .. } => {
                 let mut s = format!("IndexRangeScan {qualified}.{column}");
-                if let Some(r) = residual {
-                    s.push_str(&format!(" filter={}", r.render()));
+                if let Some(res) = residual {
+                    s.push_str(&format!(" filter={}", r(res)));
                 }
                 s
             }
             PhysicalPlan::UdiScan { qualified, column, func, residual, .. } => {
                 let mut s = format!("UdiScan {qualified}.{column} via {func}()");
-                if let Some(r) = residual {
-                    s.push_str(&format!(" recheck={}", r.render()));
+                if let Some(res) = residual {
+                    s.push_str(&format!(" recheck={}", r(res)));
                 }
                 s
             }
-            PhysicalPlan::Filter { predicate, .. } => format!("Filter {}", predicate.render()),
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter {}", r(predicate)),
             PhysicalPlan::NestedLoopJoin { kind, on, .. } => {
                 let mut s = format!("NestedLoopJoin {kind:?}");
                 if let Some(on) = on {
-                    s.push_str(&format!(" on={}", on.render()));
+                    s.push_str(&format!(" on={}", r(on)));
                 }
                 s
             }
@@ -272,18 +289,14 @@ impl PhysicalPlan {
                     JoinKind::Left => "Left ",
                     _ => "",
                 };
-                format!(
-                    "HashJoin {kind_tag}{} = {} build={side}",
-                    left_key.render(),
-                    right_key.render()
-                )
+                format!("HashJoin {kind_tag}{} = {} build={side}", r(left_key), r(right_key))
             }
             PhysicalPlan::Aggregate { group_by, calls, .. } => {
-                let groups: Vec<String> = group_by.iter().map(Expr::render).collect();
+                let groups: Vec<String> = group_by.iter().map(&r).collect();
                 let aggs: Vec<String> = calls
                     .iter()
                     .map(|c| {
-                        let arg = c.arg.as_ref().map_or("*".to_string(), Expr::render);
+                        let arg = c.arg.as_ref().map_or("*".to_string(), &r);
                         format!("{}({})", c.func, arg)
                     })
                     .collect();
@@ -293,29 +306,42 @@ impl PhysicalPlan {
             PhysicalPlan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|(e, asc)| format!("{}{}", e.render(), if *asc { "" } else { " DESC" }))
+                    .map(|(e, asc)| format!("{}{}", r(e), if *asc { "" } else { " DESC" }))
                     .collect();
                 format!("Sort [{}]", ks.join(", "))
             }
             PhysicalPlan::TopN { keys, n, offset, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|(e, asc)| format!("{}{}", e.render(), if *asc { "" } else { " DESC" }))
+                    .map(|(e, asc)| format!("{}{}", r(e), if *asc { "" } else { " DESC" }))
                     .collect();
-                let mut s = format!("TopN [{}] limit {n}", ks.join(", "));
+                let mut s = if shape {
+                    format!("TopN [{}] limit ?", ks.join(", "))
+                } else {
+                    format!("TopN [{}] limit {n}", ks.join(", "))
+                };
                 if *offset > 0 {
-                    s.push_str(&format!(" offset {offset}"));
+                    if shape {
+                        s.push_str(" offset ?");
+                    } else {
+                        s.push_str(&format!(" offset {offset}"));
+                    }
                 }
                 s
             }
             PhysicalPlan::Distinct { .. } => "Distinct".to_string(),
             PhysicalPlan::Limit { n, offset, .. } => {
                 let mut s = match n {
-                    Some(n) => format!("Limit {n}"),
+                    Some(n) if !shape => format!("Limit {n}"),
+                    Some(_) => "Limit ?".to_string(),
                     None => "Limit all".to_string(),
                 };
                 if *offset > 0 {
-                    s.push_str(&format!(" offset {offset}"));
+                    if shape {
+                        s.push_str(" offset ?");
+                    } else {
+                        s.push_str(&format!(" offset {offset}"));
+                    }
                 }
                 s
             }
@@ -325,16 +351,26 @@ impl PhysicalPlan {
     /// Render the plan tree for `EXPLAIN`.
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0);
+        self.explain_into(&mut out, 0, false);
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
+    /// Render the literal-elided plan tree — [`PhysicalPlan::explain`]
+    /// with every [`PhysicalPlan::node_shape_label`] in place of the full
+    /// label. Two plans with the same shape are, for the plan-change
+    /// audit, the *same plan*.
+    pub fn shape(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0, true);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize, shape: bool) {
         out.push_str(&"  ".repeat(depth));
-        out.push_str(&self.node_label());
+        out.push_str(&self.label_impl(shape));
         out.push('\n');
         for child in self.children() {
-            child.explain_into(out, depth + 1);
+            child.explain_into(out, depth + 1, shape);
         }
     }
 }

@@ -254,17 +254,30 @@ impl Expr {
 
     /// A human-readable rendering for EXPLAIN output.
     pub fn render(&self) -> String {
+        self.render_impl(false)
+    }
+
+    /// Like [`Expr::render`], but every literal value is elided as `?` —
+    /// the literal-insensitive *shape* used for plan hashing, so two
+    /// executions of one statement fingerprint that differ only in bound
+    /// constants hash to the same plan.
+    pub fn render_shape(&self) -> String {
+        self.render_impl(true)
+    }
+
+    fn render_impl(&self, shape: bool) -> String {
         match self {
+            Expr::Literal(_) if shape => "?".to_string(),
             Expr::Literal(d) => match d {
                 Datum::Text(s) => format!("'{s}'"),
                 other => other.to_string(),
             },
             Expr::Column { table: Some(t), name } => format!("{t}.{name}"),
             Expr::Column { table: None, name } => name.clone(),
-            Expr::Unary { op: UnaryOp::Not, expr } => format!("NOT {}", expr.render()),
+            Expr::Unary { op: UnaryOp::Not, expr } => format!("NOT {}", expr.render_impl(shape)),
             // Parenthesized so nested negation never renders as `--x`,
             // which the lexer would read as a comment.
-            Expr::Unary { op: UnaryOp::Neg, expr } => format!("(-{})", expr.render()),
+            Expr::Unary { op: UnaryOp::Neg, expr } => format!("(-{})", expr.render_impl(shape)),
             Expr::Binary { op, left, right } => {
                 let sym = match op {
                     BinOp::And => "AND",
@@ -281,39 +294,43 @@ impl Expr {
                     BinOp::Div => "/",
                     BinOp::Mod => "%",
                 };
-                format!("({} {sym} {})", left.render(), right.render())
+                format!("({} {sym} {})", left.render_impl(shape), right.render_impl(shape))
             }
             Expr::Func { name, args, distinct } => {
-                let inner: Vec<String> = args.iter().map(Expr::render).collect();
+                let inner: Vec<String> = args.iter().map(|a| a.render_impl(shape)).collect();
                 let d = if *distinct { "DISTINCT " } else { "" };
                 format!("{name}({d}{})", inner.join(", "))
             }
             Expr::Wildcard => "*".into(),
             Expr::IsNull { expr, negated } => {
-                format!("{} IS {}NULL", expr.render(), if *negated { "NOT " } else { "" })
+                format!("{} IS {}NULL", expr.render_impl(shape), if *negated { "NOT " } else { "" })
             }
             Expr::InList { expr, list, negated } => {
-                let inner: Vec<String> = list.iter().map(Expr::render).collect();
+                let inner: Vec<String> = list.iter().map(|a| a.render_impl(shape)).collect();
                 format!(
                     "{} {}IN ({})",
-                    expr.render(),
+                    expr.render_impl(shape),
                     if *negated { "NOT " } else { "" },
                     inner.join(", ")
                 )
             }
             Expr::Between { expr, low, high, negated } => format!(
                 "{} {}BETWEEN {} AND {}",
-                expr.render(),
+                expr.render_impl(shape),
                 if *negated { "NOT " } else { "" },
-                low.render(),
-                high.render()
+                low.render_impl(shape),
+                high.render_impl(shape)
             ),
             Expr::Like { expr, pattern, negated, escape } => format!(
                 "{} {}LIKE {}{}",
-                expr.render(),
+                expr.render_impl(shape),
                 if *negated { "NOT " } else { "" },
-                pattern.render(),
-                escape.map_or(String::new(), |c| format!(" ESCAPE '{c}'"))
+                pattern.render_impl(shape),
+                if shape {
+                    escape.map_or(String::new(), |_| " ESCAPE ?".to_string())
+                } else {
+                    escape.map_or(String::new(), |c| format!(" ESCAPE '{c}'"))
+                }
             ),
         }
     }

@@ -1015,3 +1015,30 @@ fn delete_heavy_table_rebuilds_statistics() {
     assert!(est <= upper + 1e-9, "estimate {est} must respect its upper bound {upper}");
     assert!((est - 50.0).abs() < 1.0, "estimate should see ~50 surviving rows, got {est}");
 }
+
+#[test]
+fn plan_hash_ignores_literals_but_sees_structure() {
+    // The plan-change audit keys on plan *shape*: two preparations of the
+    // same statement shape with different bound constants must hash (and
+    // label) identically, while a genuine access-path change must not.
+    let d = db();
+    d.execute("CREATE TABLE seqs (id INT, name TEXT)").unwrap();
+    d.execute("INSERT INTO seqs VALUES (1, 'a'), (2, 'b'), (3, 'c')").unwrap();
+
+    let a = d.prepare("SELECT name FROM seqs WHERE id = 1").unwrap();
+    let b = d.prepare("SELECT name FROM seqs WHERE id = 2").unwrap();
+    assert_eq!(a.plan_hash(), b.plan_hash(), "literal-only difference flipped the plan hash");
+    assert_eq!(a.access_label(), b.access_label());
+    assert!(a.access_label().contains('?'), "access label leaks literals: {}", a.access_label());
+
+    d.execute("CREATE INDEX ON seqs (id)").unwrap();
+    let c = d.prepare("SELECT name FROM seqs WHERE id = 2").unwrap();
+    assert_ne!(b.plan_hash(), c.plan_hash(), "index swap must change the plan hash");
+    assert!(c.access_label().starts_with("IndexEqScan"), "got {}", c.access_label());
+    assert!(c.access_label().ends_with("= ?"), "index key must be elided: {}", c.access_label());
+
+    // LIMIT/OFFSET counts are bound constants too.
+    let l10 = d.prepare("SELECT name FROM seqs LIMIT 10").unwrap();
+    let l20 = d.prepare("SELECT name FROM seqs LIMIT 20").unwrap();
+    assert_eq!(l10.plan_hash(), l20.plan_hash(), "LIMIT count flipped the plan hash");
+}
